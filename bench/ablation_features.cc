@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation: feature-set sensitivity of the clustering. Mirrors the
+ * paper's stability validation at the conclusion level: drop each
+ * feature column, re-cluster at k=5 with all three algorithms, and
+ * report whether the partition and the Naive subset survive.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "cluster/hierarchical.hh"
+#include "cluster/kmeans.hh"
+#include "cluster/pam.hh"
+
+namespace mbs {
+namespace {
+
+void
+printReproduction()
+{
+    using benchutil::report;
+    const auto &m = report().clusterFeatures;
+    const KMeans kmeans;
+
+    TextTable t({"Dropped feature", "Same partition?",
+                 "Benchmarks moved"});
+    const auto baseline = canonicalizeLabels(report().kmeansLabels);
+    for (std::size_t col = 0; col < m.cols(); ++col) {
+        const auto reduced = m.withoutColumn(col);
+        const auto labels = canonicalizeLabels(
+            kmeans.fit(reduced, report().chosenK).labels);
+        int moved = 0;
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            if (labels[i] != baseline[i])
+                ++moved;
+        }
+        t.addRow({m.colNames()[col],
+                  samePartition(labels, baseline) ? "yes" : "no",
+                  strformat("%d", moved)});
+    }
+    std::printf("Ablation: leave-one-feature-out clustering "
+                "(K-Means, k = %d)\n%s\n",
+                report().chosenK, t.render().c_str());
+}
+
+void
+BM_LeaveOneFeatureOutRound(benchmark::State &state)
+{
+    const auto &m = benchutil::report().clusterFeatures;
+    const KMeans kmeans;
+    for (auto _ : state) {
+        int stable = 0;
+        for (std::size_t col = 0; col < m.cols(); ++col) {
+            const auto labels =
+                kmeans.fit(m.withoutColumn(col), 5).labels;
+            if (samePartition(labels,
+                              benchutil::report().kmeansLabels)) {
+                ++stable;
+            }
+        }
+        benchmark::DoNotOptimize(stable);
+    }
+}
+BENCHMARK(BM_LeaveOneFeatureOutRound)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

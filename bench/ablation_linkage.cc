@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: does the benchmark grouping depend on the hierarchical
+ * linkage choice? DESIGN.md commits to average linkage; this bench
+ * re-clusters with single, complete and Ward linkage and reports
+ * whether the k=5 partition survives.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "cluster/hierarchical.hh"
+
+namespace mbs {
+namespace {
+
+void
+printReproduction()
+{
+    using benchutil::report;
+    const auto &m = report().clusterFeatures;
+    const auto &baseline = report().hierarchicalLabels;
+
+    TextTable t({"Linkage", "Same partition as average-linkage?",
+                 "Clusters touched"});
+    for (Linkage linkage : {Linkage::Single, Linkage::Complete,
+                            Linkage::Average, Linkage::Ward}) {
+        const HierarchicalClustering hc(linkage);
+        const auto labels = hc.fit(m, report().chosenK).labels;
+        int moved = 0;
+        const auto canon_a = canonicalizeLabels(labels);
+        const auto canon_b = canonicalizeLabels(baseline);
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            if (canon_a[i] != canon_b[i])
+                ++moved;
+        }
+        t.addRow({linkageName(linkage),
+                  samePartition(labels, baseline) ? "yes" : "no",
+                  strformat("%d benchmarks differ", moved)});
+    }
+    std::printf("Ablation: hierarchical linkage sensitivity "
+                "(k = %d)\n%s\n",
+                report().chosenK, t.render().c_str());
+}
+
+void
+BM_LinkageSingle(benchmark::State &state)
+{
+    const HierarchicalClustering hc(Linkage::Single);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hc.fit(benchutil::report().clusterFeatures, 5).labels);
+    }
+}
+BENCHMARK(BM_LinkageSingle);
+
+void
+BM_LinkageWard(benchmark::State &state)
+{
+    const HierarchicalClustering hc(Linkage::Ward);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hc.fit(benchutil::report().clusterFeatures, 5).labels);
+    }
+}
+BENCHMARK(BM_LinkageWard);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

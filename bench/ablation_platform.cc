@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation: platform sensitivity. The paper measures one device; a
+ * natural question is which conclusions are device-specific. This
+ * bench re-runs the entire pipeline on a mid-range SoC (lower
+ * clocks, half the shared cache, smaller GPU, 6 GB RAM) and reports
+ * which structural conclusions survive, then times the pipeline on
+ * both platforms.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/units.hh"
+
+namespace mbs {
+namespace {
+
+void
+printReproduction()
+{
+    using benchutil::report;
+    const CharacterizationPipeline pipeline(SocConfig::midrange());
+    const auto mid = pipeline.run(benchutil::registry());
+
+    TextTable t({"Conclusion", "Snapdragon-888-like", "Mid-range"});
+    t.addRow({"optimal k", strformat("%d", report().chosenK),
+              strformat("%d", mid.chosenK)});
+    t.addRow({"algorithms agree",
+              report().algorithmsAgree ? "yes" : "no",
+              mid.algorithmsAgree ? "yes" : "no"});
+    t.addRow({"same partition as flagship", "-",
+              samePartition(mid.hierarchicalLabels,
+                            report().hierarchicalLabels)
+                  ? "yes" : "no"});
+    t.addRow({"Naive subset", join(report().naiveSubset.members, ", "),
+              join(mid.naiveSubset.members, ", ")});
+    t.addRow({"Select+GPU reduction",
+              units::formatPercent(
+                  report().selectPlusGpuSubset.runtimeReduction),
+              units::formatPercent(
+                  mid.selectPlusGpuSubset.runtimeReduction)});
+
+    // IPC ratio flagship/mid-range per group.
+    const auto ipc_of = [](const CharacterizationReport &r,
+                           const char *name) {
+        for (const auto &p : r.profiles) {
+            if (p.name == name)
+                return p.ipc;
+        }
+        return 0.0;
+    };
+    t.addRow({"Geekbench 5 CPU IPC",
+              strformat("%.2f", ipc_of(report(), "Geekbench 5 CPU")),
+              strformat("%.2f", ipc_of(mid, "Geekbench 5 CPU"))});
+    t.addRow({"Antutu Mem IPC (cache-sensitive)",
+              strformat("%.2f", ipc_of(report(), "Antutu Mem")),
+              strformat("%.2f", ipc_of(mid, "Antutu Mem"))});
+
+    std::printf("Ablation: does the analysis transfer to a different "
+                "device?\n%s\n",
+                t.render().c_str());
+    std::printf("%s\n", renderTableII(SocConfig::midrange()).c_str());
+}
+
+void
+BM_PipelineFlagship(benchmark::State &state)
+{
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888());
+    for (auto _ : state) {
+        auto r = pipeline.run(benchutil::registry());
+        benchmark::DoNotOptimize(r.chosenK);
+    }
+}
+BENCHMARK(BM_PipelineFlagship)->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelineMidrange(benchmark::State &state)
+{
+    const CharacterizationPipeline pipeline(SocConfig::midrange());
+    for (auto _ : state) {
+        auto r = pipeline.run(benchutil::registry());
+        benchmark::DoNotOptimize(r.chosenK);
+    }
+}
+BENCHMARK(BM_PipelineMidrange)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: profiler sampling-rate sensitivity. The paper's tool
+ * samples in real time; this bench re-runs the whole pipeline at
+ * several cadences and checks which conclusions survive coarser
+ * sampling, then times the pipeline at each cadence.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+namespace mbs {
+namespace {
+
+void
+printReproduction()
+{
+    using benchutil::report;
+    TextTable t({"Tick (s)", "Chosen k", "Same partition?",
+                 "Same Naive subset?"});
+    for (double tick : {0.05, 0.1, 0.2, 0.5, 1.0}) {
+        PipelineOptions opts;
+        opts.profile.tickSeconds = tick;
+        const CharacterizationPipeline pipeline(
+            SocConfig::snapdragon888(), opts);
+        const auto r = pipeline.run(benchutil::registry());
+        t.addRow({strformat("%.2f", tick),
+                  strformat("%d", r.chosenK),
+                  samePartition(r.hierarchicalLabels,
+                                report().hierarchicalLabels)
+                      ? "yes" : "no",
+                  r.naiveSubset.members ==
+                          report().naiveSubset.members
+                      ? "yes" : "no"});
+    }
+    std::printf("Ablation: sampling-cadence sensitivity\n%s\n",
+                t.render().c_str());
+}
+
+void
+BM_PipelineAtTick(benchmark::State &state)
+{
+    PipelineOptions opts;
+    opts.profile.tickSeconds = double(state.range(0)) / 100.0;
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888(), opts);
+    for (auto _ : state) {
+        auto r = pipeline.run(benchutil::registry());
+        benchmark::DoNotOptimize(r.chosenK);
+    }
+}
+BENCHMARK(BM_PipelineAtTick)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: K-Means initialization sensitivity. The paper relies on
+ * the three algorithms agreeing; this bench checks how many random
+ * k-means++ seeds and restart budgets reproduce the published
+ * partition, then times the solver at each restart budget.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "cluster/kmeans.hh"
+
+namespace mbs {
+namespace {
+
+void
+printReproduction()
+{
+    using benchutil::report;
+    const auto &m = report().clusterFeatures;
+
+    TextTable t({"Restarts", "Seeds agreeing with baseline (of 20)",
+                 "Best inertia spread"});
+    for (int restarts : {1, 3, 10, 20}) {
+        int agree = 0;
+        double best = 1e18, worst = 0.0;
+        for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+            KMeansOptions opts;
+            opts.restarts = restarts;
+            opts.seed = seed * 7919;
+            const auto result = KMeans(opts).fit(m, report().chosenK);
+            if (samePartition(result.labels, report().kmeansLabels))
+                ++agree;
+            best = std::min(best, result.inertia);
+            worst = std::max(worst, result.inertia);
+        }
+        t.addRow({strformat("%d", restarts),
+                  strformat("%d / 20", agree),
+                  strformat("%.4f .. %.4f", best, worst)});
+    }
+    std::printf("Ablation: K-Means seeding sensitivity (k = %d)\n%s\n",
+                report().chosenK, t.render().c_str());
+}
+
+void
+BM_KMeansRestarts(benchmark::State &state)
+{
+    KMeansOptions opts;
+    opts.restarts = int(state.range(0));
+    const KMeans kmeans(opts);
+    const auto &m = benchutil::report().clusterFeatures;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kmeans.fit(m, 5).inertia);
+}
+BENCHMARK(BM_KMeansRestarts)->Arg(1)->Arg(5)->Arg(10)->Arg(20);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the reproduction bench binaries: a cached
+ * pipeline report and a paper-vs-measured table renderer.
+ *
+ * Every bench binary prints its table/figure reproduction first and
+ * then runs google-benchmark timings of the underlying computation.
+ */
+
+#ifndef MBS_BENCH_BENCH_UTIL_HH
+#define MBS_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "core/pipeline.hh"
+#include "core/report.hh"
+
+namespace mbs {
+namespace benchutil {
+
+inline const WorkloadRegistry &
+registry()
+{
+    static const WorkloadRegistry reg;
+    return reg;
+}
+
+inline const CharacterizationReport &
+report()
+{
+    static const CharacterizationReport rep = [] {
+        const CharacterizationPipeline pipeline(
+            SocConfig::snapdragon888());
+        return pipeline.run(registry());
+    }();
+    return rep;
+}
+
+inline const BenchmarkProfile &
+profile(const std::string &name)
+{
+    for (const auto &p : report().profiles) {
+        if (p.name == name)
+            return p;
+    }
+    throw std::runtime_error("no profile named " + name);
+}
+
+/** One paper-vs-measured comparison row. */
+struct Claim
+{
+    std::string description;
+    std::string paper;
+    std::string measured;
+};
+
+/** Render the standard paper-vs-measured comparison table. */
+inline std::string
+renderClaims(const std::string &title, const std::vector<Claim> &claims)
+{
+    TextTable t({"Claim", "Paper", "Measured"});
+    for (const auto &c : claims)
+        t.addRow({c.description, c.paper, c.measured});
+    return title + "\n" + t.render();
+}
+
+} // namespace benchutil
+} // namespace mbs
+
+#endif // MBS_BENCH_BENCH_UTIL_HH

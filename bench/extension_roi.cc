@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Extension: region-of-interest extraction for simulation.
+ *
+ * The paper motivates subsetting partly because picking a simulation
+ * ROI inside closed-source, multi-workload benchmarks is hard. This
+ * bench runs the measurement-driven ROI extractor over every
+ * benchmark: the selected 10% window, its representativeness error,
+ * and the combined saving of Select+GPU subsetting plus ROI
+ * simulation, then times the extractor.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "roi/roi.hh"
+
+namespace mbs {
+namespace {
+
+void
+printReproduction()
+{
+    using benchutil::report;
+    const RoiExtractor roi;
+
+    TextTable t({"Benchmark", "ROI window", "Phases",
+                 "Representativeness error"});
+    t.setAlign(3, Align::Right);
+    double worst = 0.0;
+    for (const auto &p : report().profiles) {
+        const auto window = roi.extract(p);
+        worst = std::max(worst, window.representativenessError);
+        t.addRow({p.name,
+                  strformat("%4.1f%% .. %4.1f%%",
+                            100.0 * window.startFraction,
+                            100.0 * window.endFraction),
+                  strformat("%zu", window.segments.size()),
+                  strformat("%.3f",
+                            window.representativenessError)});
+    }
+    std::printf("Extension: 10%% simulation-ROI selection per "
+                "benchmark (error = relative L2 distance of window "
+                "means to whole-run means)\n%s\n",
+                t.render().c_str());
+
+    // Combined saving: Select+GPU subset at 10% ROI each.
+    double roi_runtime = 0.0;
+    for (const auto &name : report().selectPlusGpuSubset.members) {
+        roi_runtime += 0.10 *
+            benchutil::registry().unit(name).totalDurationSeconds();
+    }
+    std::printf(
+        "Select+GPU subset + 10%% ROI: %.1f s of simulated "
+        "execution vs %.1f s for the full set (%.1f%% reduction; "
+        "worst per-benchmark ROI error %.3f)\n\n",
+        roi_runtime, report().fullRuntimeSeconds,
+        100.0 * (1.0 - roi_runtime / report().fullRuntimeSeconds),
+        worst);
+}
+
+void
+BM_RoiExtraction(benchmark::State &state)
+{
+    const RoiExtractor roi;
+    const auto &p = benchutil::profile("GFXBench High");
+    for (auto _ : state) {
+        auto window = roi.extract(p);
+        benchmark::DoNotOptimize(window.representativenessError);
+    }
+}
+BENCHMARK(BM_RoiExtraction)->Unit(benchmark::kMillisecond);
+
+void
+BM_PhaseSegmentation(benchmark::State &state)
+{
+    const RoiExtractor roi;
+    const auto &p = benchutil::profile("Antutu UX");
+    const std::vector<std::vector<double>> series = {
+        p.series.cpuLoad.values(), p.series.gpuLoad.values(),
+        p.series.aieLoad.values()};
+    for (auto _ : state) {
+        auto segments = roi.segment(series);
+        benchmark::DoNotOptimize(segments.size());
+    }
+}
+BENCHMARK(BM_PhaseSegmentation);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

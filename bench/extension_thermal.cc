@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Extension: thermal throttling and sustained-vs-burst performance.
+ *
+ * The paper describes 3DMark Wild Life as measuring "high levels of
+ * performance for short periods of time" — burst benchmarks exist
+ * because sustained load throttles, something the paper's casing-less
+ * development board could not show. With the thermal extension
+ * enabled, this bench compares each GPU benchmark's performance in
+ * its first and last minute and reports the die temperature reached,
+ * then times the thermal-enabled simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/sparkline.hh"
+#include "soc/simulator.hh"
+
+namespace mbs {
+namespace {
+
+struct ThermalRow
+{
+    std::string name;
+    double runtime;
+    double peak_temp;
+    double final_throttle;
+    double early_load;
+    double late_load;
+    std::vector<double> temps;
+};
+
+ThermalRow
+measure(const Benchmark &bench)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    SimOptions opts;
+    opts.thermal.enabled = true;
+    opts.seed = 99;
+    const auto result = sim.run(bench.toTimedPhases(), opts);
+
+    ThermalRow row;
+    row.name = bench.name();
+    row.runtime = result.totals.runtimeSeconds;
+    row.peak_temp = 0.0;
+    row.final_throttle = result.frames.back().throttleFactor;
+    const std::size_t n = result.frames.size();
+    const std::size_t window = std::min<std::size_t>(600, n / 4);
+    double early = 0.0, late = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &f = result.frames[i];
+        row.peak_temp = std::max(row.peak_temp, f.socTemperatureC);
+        row.temps.push_back(f.socTemperatureC / 100.0);
+        if (i < window)
+            early += f.gpu.load / double(window);
+        if (i >= n - window)
+            late += f.gpu.load / double(window);
+    }
+    row.early_load = early;
+    row.late_load = late;
+    return row;
+}
+
+void
+printReproduction()
+{
+    TextTable t({"Benchmark", "Runtime", "Peak temp", "Throttle",
+                 "GPU load first/last min", "Sustained loss"});
+    const char *gpu_benches[] = {
+        "3DMark Wild Life", "3DMark Wild Life Extreme",
+        "Antutu GPU", "GFXBench High", "GFXBench Low",
+        "Geekbench 6 Compute",
+    };
+    std::printf("Extension: thermal throttling under sustained load "
+                "(burst benchmarks stay cool, long ones throttle)\n");
+    for (const char *name : gpu_benches) {
+        const auto row =
+            measure(benchutil::registry().unit(name));
+        t.addRow({row.name,
+                  strformat("%.0f s", row.runtime),
+                  strformat("%.1f C", row.peak_temp),
+                  strformat("%.2fx", row.final_throttle),
+                  strformat("%.2f / %.2f", row.early_load,
+                            row.late_load),
+                  strformat("%+.1f%%",
+                            100.0 * (row.late_load - row.early_load) /
+                                std::max(row.early_load, 1e-9))});
+        std::printf("  %-26s temp %s\n", row.name.c_str(),
+                    sparkline(row.temps, 48).c_str());
+    }
+    std::printf("\n%s\n", t.render().c_str());
+}
+
+void
+BM_ThermalSimulation(benchmark::State &state)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    const auto phases = benchutil::registry()
+                            .unit("3DMark Wild Life")
+                            .toTimedPhases();
+    SimOptions opts;
+    opts.thermal.enabled = state.range(0) != 0;
+    for (auto _ : state) {
+        auto result = sim.run(phases, opts);
+        benchmark::DoNotOptimize(result.frames.size());
+    }
+}
+BENCHMARK(BM_ThermalSimulation)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

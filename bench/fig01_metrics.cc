@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reproduces Fig. 1: per-benchmark IC, IPC, cache MPKI, branch MPKI
+ * and runtime, with the paper's headline aggregates compared, then
+ * times the profiling layer with google-benchmark.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/units.hh"
+#include "profiler/session.hh"
+
+namespace mbs {
+namespace {
+
+void
+printReproduction()
+{
+    using benchutil::profile;
+    using benchutil::report;
+
+    std::printf("%s\n", renderFig1(report()).c_str());
+
+    double ic_sum = 0.0, rt_sum = 0.0;
+    for (const auto &p : report().profiles) {
+        ic_sum += p.instructions;
+        rt_sum += p.runtimeSeconds;
+    }
+    const double cpu_ipc = (profile("Antutu CPU").ipc +
+                            profile("Geekbench 5 CPU").ipc +
+                            profile("Geekbench 6 CPU").ipc) / 3.0;
+    const double gfx_ipc = (profile("GFXBench High").ipc +
+                            profile("GFXBench Low").ipc +
+                            profile("3DMark Wild Life").ipc +
+                            profile("3DMark Slingshot").ipc) / 4.0;
+
+    std::printf("%s\n",
+        benchutil::renderClaims(
+            "Fig. 1 headline aggregates",
+            {
+                {"average dynamic IC", "14 B",
+                 strformat("%.1f B", ic_sum / 18.0 / 1e9)},
+                {"smallest IC (GFXBench Special)", "1 B",
+                 strformat("%.2f B",
+                           profile("GFXBench Special").instructions /
+                           1e9)},
+                {"largest IC (Geekbench 6 CPU)", "57 B",
+                 strformat("%.1f B",
+                           profile("Geekbench 6 CPU").instructions /
+                           1e9)},
+                {"CPU-benchmark mean IPC", "1.16",
+                 strformat("%.2f", cpu_ipc)},
+                {"graphics-benchmark mean IPC", "0.55",
+                 strformat("%.2f", gfx_ipc)},
+                {"Antutu Mem IPC (outlier)", "0.45",
+                 strformat("%.2f", profile("Antutu Mem").ipc)},
+                {"average runtime", "~200-250 s",
+                 strformat("%.0f s", rt_sum / 18.0)},
+            })
+            .c_str());
+}
+
+void
+BM_ProfileWildLife(benchmark::State &state)
+{
+    const ProfilerSession session(SocConfig::snapdragon888());
+    const auto &bench =
+        benchutil::registry().unit("3DMark Wild Life");
+    for (auto _ : state) {
+        auto p = session.profile(bench);
+        benchmark::DoNotOptimize(p.instructions);
+    }
+}
+BENCHMARK(BM_ProfileWildLife)->Unit(benchmark::kMillisecond);
+
+void
+BM_ProfileAllBenchmarks(benchmark::State &state)
+{
+    const ProfilerSession session(SocConfig::snapdragon888());
+    for (auto _ : state) {
+        auto profiles = session.profileAll(benchutil::registry());
+        benchmark::DoNotOptimize(profiles.size());
+    }
+}
+BENCHMARK(BM_ProfileAllBenchmarks)->Unit(benchmark::kMillisecond);
+
+void
+BM_Fig1MetricExtraction(benchmark::State &state)
+{
+    const auto &profiles = benchutil::report().profiles;
+    for (auto _ : state) {
+        auto m = CharacterizationPipeline::buildFig1Metrics(profiles);
+        benchmark::DoNotOptimize(m.rows());
+    }
+}
+BENCHMARK(BM_Fig1MetricExtraction);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

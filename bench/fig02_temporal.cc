@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Reproduces Fig. 2: normalized temporal strips of the six key
+ * metrics for every benchmark, plus the section's quantified
+ * observations (Vulkan vs OpenGL GPU load, AIE average, memory
+ * statistics, off-screen deltas).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/units.hh"
+#include "profiler/session.hh"
+
+namespace mbs {
+namespace {
+
+/** Mean GPU load over phases selected by a predicate. */
+template <typename Pred>
+double
+meanLoadOverPhases(const Benchmark &bench, const BenchmarkProfile &p,
+                   Pred pred)
+{
+    double sum = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < bench.phases().size(); ++i) {
+        if (!pred(bench.phases()[i]))
+            continue;
+        const double start = bench.phaseStartFraction(i);
+        const double mid = start +
+            0.5 * bench.phases()[i].durationSeconds /
+                bench.totalDurationSeconds();
+        sum += p.series.gpuLoad.atNormalizedTime(mid);
+        ++n;
+    }
+    return n ? sum / n : 0.0;
+}
+
+void
+printReproduction()
+{
+    using benchutil::profile;
+    using benchutil::report;
+
+    for (const auto &p : report().profiles)
+        std::printf("%s\n", renderFig2(report(), p.name).c_str());
+
+    // Observation #2: OpenGL vs Vulkan on matched GFXBench scenes.
+    const auto &gfx = benchutil::registry().unit("GFXBench High");
+    const auto &gfx_profile = profile("GFXBench High");
+    const double gl = meanLoadOverPhases(
+        gfx, gfx_profile, [](const Phase &ph) {
+            return ph.demand.gpu.api == GraphicsApi::OpenGlEs &&
+                ph.demand.gpu.workRate == 0.85;
+        });
+    const double vk = meanLoadOverPhases(
+        gfx, gfx_profile, [](const Phase &ph) {
+            return ph.demand.gpu.api == GraphicsApi::Vulkan &&
+                ph.demand.gpu.workRate == 0.85;
+        });
+
+    // Off-screen deltas on GFXBench High and Low.
+    const auto offscreen_delta = [](const char *name) {
+        const auto &bench = benchutil::registry().unit(name);
+        const auto &p = benchutil::profile(name);
+        const double on = meanLoadOverPhases(
+            bench, p,
+            [](const Phase &ph) { return !ph.demand.gpu.offscreen; });
+        const double off = meanLoadOverPhases(
+            bench, p,
+            [](const Phase &ph) { return ph.demand.gpu.offscreen; });
+        return (off - on) / on;
+    };
+
+    double aie_sum = 0.0, mem_sum = 0.0;
+    for (const auto &p : report().profiles) {
+        aie_sum += p.avgAieLoad();
+        mem_sum += p.avgUsedMemory();
+    }
+    const double total_gb =
+        double(SocConfig::snapdragon888().memory.totalBytes) /
+        double(1ULL << 30);
+
+    std::printf("%s\n",
+        benchutil::renderClaims(
+            "Fig. 2 / Section V-B paper-vs-measured",
+            {
+                {"OpenGL GPU load vs Vulkan (matched scenes)",
+                 "+9.26%",
+                 strformat("%+.2f%%", 100.0 * (gl - vk) / vk)},
+                {"average AIE load", "5%",
+                 strformat("%.1f%%", 100.0 * aie_sum / 18.0)},
+                {"highest AIE load benchmark", "GFXBench Special",
+                 strformat("GFXBench Special (%.0f%%)",
+                           100.0 * profile("GFXBench Special")
+                               .avgAieLoad())},
+                {"average memory used", "21.6% (2.55 GB)",
+                 strformat("%.1f%% (%.2f GB)",
+                           100.0 * mem_sum / 18.0,
+                           mem_sum / 18.0 * total_gb)},
+                {"highest avg memory (Wild Life Extreme)",
+                 "3.8 GB",
+                 strformat("%.1f GB",
+                           profile("3DMark Wild Life Extreme")
+                               .avgUsedMemory() * total_gb)},
+                {"peak memory (Antutu GPU)", "4.3 GB",
+                 strformat("%.1f GB",
+                           profile("Antutu GPU")
+                               .series.usedMemory.max() * total_gb)},
+                {"GFXBench High off-screen GPU-load delta",
+                 "+14.5%",
+                 strformat("%+.1f%%",
+                           100.0 * offscreen_delta("GFXBench High"))},
+                {"GFXBench Low off-screen GPU-load delta",
+                 "+62.85%",
+                 strformat("%+.1f%%",
+                           100.0 * offscreen_delta("GFXBench Low"))},
+            })
+            .c_str());
+}
+
+void
+BM_TemporalSeriesExtraction(benchmark::State &state)
+{
+    const ProfilerSession session(SocConfig::snapdragon888());
+    const auto &bench = benchutil::registry().unit("Antutu UX");
+    for (auto _ : state) {
+        auto p = session.profile(bench);
+        benchmark::DoNotOptimize(p.series.aieLoad.mean());
+    }
+}
+BENCHMARK(BM_TemporalSeriesExtraction)->Unit(benchmark::kMillisecond);
+
+void
+BM_Fig2Rendering(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto out = renderFig2(benchutil::report(), "Antutu GPU");
+        benchmark::DoNotOptimize(out.size());
+    }
+}
+BENCHMARK(BM_Fig2Rendering);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

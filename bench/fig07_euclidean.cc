@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Reproduces Fig. 7: incremental total-minimum-Euclidean-distance
+ * curves for the three subsets, the Select+GPU percentile, and the
+ * reductions against the Naive subset, then times the
+ * representativeness computation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "subset/subset.hh"
+
+namespace mbs {
+namespace {
+
+void
+printReproduction()
+{
+    using benchutil::report;
+    std::printf("%s\n", renderFig7(report()).c_str());
+
+    const double naive5 = report().naiveCurve[4];
+    const double naive7 = report().naiveCurve[6];
+    const double plus7 = report().selectPlusGpuCurve[6];
+    const double pct = subsetDistancePercentile(
+        report().clusterFeatures,
+        report().selectPlusGpuSubset.members, 2000, 99);
+
+    std::printf("%s\n",
+        benchutil::renderClaims(
+            "Fig. 7 paper-vs-measured",
+            {
+                {"Select+GPU (7 benchmarks) distance",
+                 "~11 (their feature scale)",
+                 strformat("%.2f (our feature scale)", plus7)},
+                {"reduction vs Naive with 5 benchmarks", "-22.96%",
+                 strformat("%+.2f%%",
+                           100.0 * (plus7 - naive5) / naive5)},
+                {"reduction vs Naive with 7 benchmarks", "-9.78%",
+                 strformat("%+.2f%%",
+                           100.0 * (plus7 - naive7) / naive7)},
+                {"Select+GPU percentile among same-size subsets",
+                 "32.5% (lower end of the range)",
+                 strformat("%.1f%%", pct)},
+            })
+            .c_str());
+}
+
+void
+BM_TotalMinEuclideanDistance(benchmark::State &state)
+{
+    const auto &m = benchutil::report().clusterFeatures;
+    const auto &members =
+        benchutil::report().selectPlusGpuSubset.members;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            totalMinEuclideanDistance(m, members));
+    }
+}
+BENCHMARK(BM_TotalMinEuclideanDistance);
+
+void
+BM_IncrementalCurve(benchmark::State &state)
+{
+    const auto &m = benchutil::report().clusterFeatures;
+    const auto &members = benchutil::report().naiveSubset.members;
+    for (auto _ : state) {
+        auto curve = incrementalDistanceCurve(m, members);
+        benchmark::DoNotOptimize(curve.back());
+    }
+}
+BENCHMARK(BM_IncrementalCurve);
+
+void
+BM_PercentileMonteCarlo(benchmark::State &state)
+{
+    const auto &m = benchutil::report().clusterFeatures;
+    const auto &members =
+        benchutil::report().selectPlusGpuSubset.members;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            subsetDistancePercentile(m, members, 200, 7));
+    }
+}
+BENCHMARK(BM_PercentileMonteCarlo)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces Table III: Pearson correlations between the Fig.-1
+ * metrics, then times correlation computation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "stats/correlation.hh"
+
+namespace mbs {
+namespace {
+
+void
+printReproduction()
+{
+    using benchutil::report;
+    std::printf("%s\n", renderTableIII(report()).c_str());
+
+    const CorrelationMatrix corr(report().fig1Metrics);
+    auto claim = [&corr](const char *a, const char *b,
+                         const char *paper) {
+        return benchutil::Claim{
+            strformat("r(%s, %s)", a, b), paper,
+            strformat("%.3f (%s)", corr.at(a, b),
+                      correlationStrengthName(
+                          classifyCorrelation(corr.at(a, b)))
+                          .c_str())};
+    };
+    std::printf("%s\n",
+        benchutil::renderClaims(
+            "Table III paper-vs-measured",
+            {
+                claim("IC", "IPC", "0.400 (moderate)"),
+                claim("IC", "Cache MPKI", "-0.228 (none)"),
+                claim("IC", "Runtime", "0.588 (moderate)"),
+                claim("IPC", "Cache MPKI", "-0.845 (strong)"),
+                claim("IPC", "Branch MPKI", "-0.672 (moderate)"),
+                claim("IPC", "Runtime", "-0.242 (none)"),
+                claim("Cache MPKI", "Branch MPKI", "0.867 (strong)"),
+                claim("Cache MPKI", "Runtime", "0.460 (moderate)"),
+                claim("Branch MPKI", "Runtime", "0.350 (none)"),
+            })
+            .c_str());
+}
+
+void
+BM_PearsonPair(benchmark::State &state)
+{
+    const auto x = benchutil::report().fig1Metrics.column(0);
+    const auto y = benchutil::report().fig1Metrics.column(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pearson(x, y));
+}
+BENCHMARK(BM_PearsonPair);
+
+void
+BM_FullCorrelationMatrix(benchmark::State &state)
+{
+    const auto &m = benchutil::report().fig1Metrics;
+    for (auto _ : state) {
+        CorrelationMatrix corr(m);
+        benchmark::DoNotOptimize(corr.at(0, 1));
+    }
+}
+BENCHMARK(BM_FullCorrelationMatrix);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reproduces Table VI: the Naive, Select and Select+GPU subsets with
+ * their running times and reductions, then times subset
+ * construction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/units.hh"
+#include "subset/subset.hh"
+
+namespace mbs {
+namespace {
+
+void
+printReproduction()
+{
+    using benchutil::report;
+    std::printf("%s\n", renderTableVI(report()).c_str());
+
+    std::printf("%s\n",
+        benchutil::renderClaims(
+            "Table VI paper-vs-measured",
+            {
+                {"Original Set runtime", "4429.5 s",
+                 strformat("%.1f s", report().fullRuntimeSeconds)},
+                {"Naive runtime / reduction", "401.7 s / 90.93%",
+                 strformat("%.1f s / %s",
+                           report().naiveSubset.runtimeSeconds,
+                           units::formatPercent(
+                               report().naiveSubset.runtimeReduction)
+                               .c_str())},
+                {"Select runtime / reduction", "865.2 s / 80.47%",
+                 strformat("%.1f s / %s",
+                           report().selectSubset.runtimeSeconds,
+                           units::formatPercent(
+                               report().selectSubset.runtimeReduction)
+                               .c_str())},
+                {"Select+GPU runtime / reduction",
+                 "1108.36 s / 74.98%",
+                 strformat(
+                     "%.2f s / %s",
+                     report().selectPlusGpuSubset.runtimeSeconds,
+                     units::formatPercent(
+                         report().selectPlusGpuSubset
+                             .runtimeReduction)
+                         .c_str())},
+                {"Naive members",
+                 "Storage, GB5 CPU, GFX Special, Wild Life, GB5 "
+                 "Compute",
+                 strformat("%zu as listed above",
+                           report().naiveSubset.members.size())},
+            })
+            .c_str());
+}
+
+void
+BM_SubsetConstruction(benchmark::State &state)
+{
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888());
+    const auto candidates = pipeline.buildCandidates(
+        benchutil::report().profiles,
+        benchutil::report().hierarchicalLabels,
+        benchutil::registry());
+    for (auto _ : state) {
+        const SubsetBuilder builder(candidates);
+        auto naive = builder.naive();
+        auto select = builder.select();
+        auto plus = builder.selectPlusGpu();
+        benchmark::DoNotOptimize(naive.runtimeSeconds +
+                                 select.runtimeSeconds +
+                                 plus.runtimeSeconds);
+    }
+}
+BENCHMARK(BM_SubsetConstruction);
+
+void
+BM_CandidateExtraction(benchmark::State &state)
+{
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888());
+    for (auto _ : state) {
+        auto candidates = pipeline.buildCandidates(
+            benchutil::report().profiles,
+            benchutil::report().hierarchicalLabels,
+            benchutil::registry());
+        benchmark::DoNotOptimize(candidates.size());
+    }
+}
+BENCHMARK(BM_CandidateExtraction);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

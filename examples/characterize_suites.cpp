@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Full characterization run: executes the paper's entire analysis
+ * pipeline (profiles, correlations, cluster validation, clustering,
+ * subsets) and prints every table and figure, optionally writing the
+ * per-benchmark summary and traces as CSV.
+ *
+ * Usage: characterize_suites [--csv <directory>]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/strings.hh"
+#include "core/pipeline.hh"
+#include "core/report.hh"
+#include "profiler/trace.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mbs;
+
+    std::string csv_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
+            csv_dir = argv[++i];
+    }
+
+    const WorkloadRegistry registry;
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888());
+    const CharacterizationReport report = pipeline.run(registry);
+
+    std::printf("%s\n", renderTableI(registry).c_str());
+    std::printf("%s\n",
+                renderTableII(SocConfig::snapdragon888()).c_str());
+    std::printf("%s\n", renderFig1(report).c_str());
+    std::printf("%s\n", renderTableIV().c_str());
+    std::printf("%s\n", renderTableIII(report).c_str());
+    std::printf("%s\n", renderTableV(report).c_str());
+    std::printf("%s\n", renderFig4(report).c_str());
+    std::printf("%s\n", renderFig5And6(report).c_str());
+    std::printf("%s\n", renderTableVI(report).c_str());
+    std::printf("%s\n", renderFig7(report).c_str());
+
+    if (!csv_dir.empty()) {
+        {
+            std::ofstream out(csv_dir + "/summary.csv");
+            writeSummaryCsv(out, report.profiles);
+        }
+        for (const auto &p : report.profiles) {
+            std::ofstream out(csv_dir + "/" + slugify(p.name) +
+                              "_trace.csv");
+            writeProfileCsv(out, p);
+        }
+        std::printf("CSV written to %s (summary.csv + %zu traces)\n",
+                    csv_dir.c_str(), report.profiles.size());
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Energy-budget study: how much battery does one pass over the full
+ * benchmark set cost, versus the paper's reduced subsets? Combines
+ * the energy-model extension with the subsetting pipeline.
+ *
+ * A typical flagship battery is ~15 Wh (54 kJ); the output expresses
+ * each evaluation strategy as a percentage of that.
+ */
+
+#include <cstdio>
+
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "core/pipeline.hh"
+#include "soc/energy.hh"
+#include "soc/simulator.hh"
+
+int
+main()
+{
+    using namespace mbs;
+
+    const WorkloadRegistry registry;
+    const SocConfig config = SocConfig::snapdragon888();
+    const SocSimulator sim(config);
+    const EnergyModel model(config);
+
+    // Energy per benchmark (single deterministic run each).
+    std::map<std::string, double> joules;
+    double total = 0.0;
+    for (const auto &bench : registry.units()) {
+        SimOptions opts;
+        opts.seed = 777;
+        const auto result = sim.run(bench.toTimedPhases(), opts);
+        joules[bench.name()] = model.energyOf(result).total();
+        total += joules[bench.name()];
+    }
+
+    // The paper's subsets from the full pipeline.
+    const CharacterizationPipeline pipeline(config);
+    const auto report = pipeline.run(registry);
+
+    constexpr double battery_j = 15.0 * 3600.0; // 15 Wh
+    TextTable t({"Evaluation strategy", "Energy (kJ)", "Battery",
+                 "vs full set"});
+    for (std::size_t c = 1; c < 4; ++c)
+        t.setAlign(c, Align::Right);
+    const auto add = [&](const std::string &label,
+                         const std::vector<std::string> &members) {
+        double j = 0.0;
+        for (const auto &m : members)
+            j += joules.at(m);
+        t.addRow({label, strformat("%.1f", j / 1000.0),
+                  strformat("%.1f%%", 100.0 * j / battery_j),
+                  strformat("-%.1f%%", 100.0 * (1.0 - j / total))});
+    };
+    t.addRow({"full set (18 benchmarks)",
+              strformat("%.1f", total / 1000.0),
+              strformat("%.1f%%", 100.0 * total / battery_j), "-"});
+    add("Naive subset", report.naiveSubset.members);
+    add("Select subset", report.selectSubset.members);
+    add("Select+GPU subset", report.selectPlusGpuSubset.members);
+
+    std::printf("Energy cost of one evaluation pass (15 Wh battery "
+                "reference)\n%s\n",
+                t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Subset explorer: evaluate any benchmark subset against the paper's
+ * criteria — runtime reduction and Yi-et-al. representativeness —
+ * and compare it with the published Naive / Select / Select+GPU
+ * subsets.
+ *
+ * Usage:
+ *   subset_explorer                          # evaluate paper subsets
+ *   subset_explorer "Antutu CPU" "Aitutu"    # evaluate your own
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "core/pipeline.hh"
+#include "subset/subset.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mbs;
+
+    const WorkloadRegistry registry;
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888());
+    const CharacterizationReport report = pipeline.run(registry);
+
+    std::vector<std::string> custom;
+    for (int i = 1; i < argc; ++i)
+        custom.emplace_back(argv[i]);
+    for (const auto &name : custom) {
+        if (!registry.hasUnit(name)) {
+            std::printf("unknown benchmark '%s'\n", name.c_str());
+            return 1;
+        }
+    }
+
+    TextTable t({"Subset", "Benchmarks", "Runtime", "Reduction",
+                 "Yi distance", "Percentile"});
+    const auto add = [&](const std::string &label,
+                         const std::vector<std::string> &members) {
+        double runtime = 0.0;
+        for (const auto &m : members)
+            runtime += registry.unit(m).totalDurationSeconds();
+        const double reduction =
+            1.0 - runtime / report.fullRuntimeSeconds;
+        const double distance = totalMinEuclideanDistance(
+            report.clusterFeatures, members);
+        const double pct = subsetDistancePercentile(
+            report.clusterFeatures, members, 1000, 41);
+        t.addRow({label, strformat("%zu", members.size()),
+                  units::formatSeconds(runtime),
+                  units::formatPercent(reduction),
+                  strformat("%.2f", distance),
+                  strformat("%.1f%%", pct)});
+    };
+
+    add("Naive (paper)", report.naiveSubset.members);
+    add("Select (paper)", report.selectSubset.members);
+    add("Select+GPU (paper)", report.selectPlusGpuSubset.members);
+    if (!custom.empty())
+        add("custom", custom);
+
+    std::printf("Subset evaluation (full set: %s; lower distance "
+                "and percentile are better)\n%s\n",
+                units::formatSeconds(report.fullRuntimeSeconds)
+                    .c_str(),
+                t.render().c_str());
+
+    if (custom.empty()) {
+        std::printf("Tip: pass benchmark names to evaluate your own "
+                    "subset, e.g.\n"
+                    "  subset_explorer \"Antutu CPU\" \"3DMark Wild "
+                    "Life\" \"PCMark Storage\"\n");
+    }
+    return 0;
+}

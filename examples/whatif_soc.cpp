@@ -1,0 +1,75 @@
+/**
+ * @file
+ * What-if study: the library as a design-exploration tool. Compares
+ * the default Snapdragon-888-like platform against a hypothetical
+ * next-generation SoC (AV1 hardware decode, doubled L3, faster
+ * little cores) and reports how the paper's workloads respond.
+ *
+ * This exercises the substitution the paper's limitations section
+ * wishes for: evaluating benchmark behaviour on hardware you do not
+ * have.
+ */
+
+#include <cstdio>
+
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "profiler/session.hh"
+#include "workload/registry.hh"
+
+int
+main()
+{
+    using namespace mbs;
+
+    const WorkloadRegistry registry;
+
+    const SocConfig baseline = SocConfig::snapdragon888();
+
+    SocConfig nextgen = SocConfig::snapdragon888();
+    nextgen.name = "Hypothetical next-gen SoC";
+    nextgen.aie.supportsAv1 = true;            // AV1 decode block
+    nextgen.cache.l3Bytes = 8ULL << 20;        // doubled L3
+    nextgen.clusters[std::size_t(ClusterId::Little)].maxFreqHz =
+        2.0e9;                                 // faster little cores
+    nextgen.validate();
+
+    const ProfilerSession base_session(baseline);
+    const ProfilerSession next_session(nextgen);
+
+    TextTable t({"Benchmark", "Metric", "SD888-like", "Next-gen",
+                 "Delta"});
+    const auto compare = [&](const char *bench, const char *metric,
+                             auto getter) {
+        const double a =
+            getter(base_session.profile(registry.unit(bench)));
+        const double b =
+            getter(next_session.profile(registry.unit(bench)));
+        t.addRow({bench, metric, strformat("%.3f", a),
+                  strformat("%.3f", b),
+                  strformat("%+.1f%%", 100.0 * (b - a) / a)});
+    };
+
+    // AV1 software decode disappears on the next-gen part: Antutu
+    // UX's end-of-run CPU spike drops and its AIE load grows.
+    compare("Antutu UX", "avg CPU load",
+            [](const BenchmarkProfile &p) { return p.avgCpuLoad(); });
+    compare("Antutu UX", "avg AIE load",
+            [](const BenchmarkProfile &p) { return p.avgAieLoad(); });
+
+    // The doubled L3 helps cache-hungry workloads.
+    compare("Antutu Mem", "cache MPKI",
+            [](const BenchmarkProfile &p) { return p.cacheMpki; });
+    compare("Antutu Mem", "IPC",
+            [](const BenchmarkProfile &p) { return p.ipc; });
+    compare("Geekbench 6 CPU", "IPC",
+            [](const BenchmarkProfile &p) { return p.ipc; });
+
+    // Faster little cores raise graphics-driver throughput headroom.
+    compare("GFXBench High", "avg CPU load",
+            [](const BenchmarkProfile &p) { return p.avgCpuLoad(); });
+
+    std::printf("What-if: %s vs %s\n%s\n", baseline.name.c_str(),
+                nextgen.name.c_str(), t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,50 @@
+#include "clustering.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+std::vector<int>
+canonicalizeLabels(const std::vector<int> &labels)
+{
+    std::map<int, int> remap;
+    std::vector<int> out;
+    out.reserve(labels.size());
+    for (int label : labels) {
+        const auto it = remap.find(label);
+        if (it == remap.end()) {
+            const int next = int(remap.size());
+            remap.emplace(label, next);
+            out.push_back(next);
+        } else {
+            out.push_back(it->second);
+        }
+    }
+    return out;
+}
+
+bool
+samePartition(const std::vector<int> &a, const std::vector<int> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    return canonicalizeLabels(a) == canonicalizeLabels(b);
+}
+
+std::vector<std::vector<std::size_t>>
+groupByCluster(const std::vector<int> &labels, int k)
+{
+    fatalIf(k <= 0, "cluster count must be positive");
+    std::vector<std::vector<std::size_t>> groups(
+        static_cast<std::size_t>(k));
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        fatalIf(labels[i] < 0 || labels[i] >= k,
+                "label out of range in groupByCluster");
+        groups[static_cast<std::size_t>(labels[i])].push_back(i);
+    }
+    return groups;
+}
+
+} // namespace mbs

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Clustering algorithm interfaces and shared result types.
+ *
+ * The paper clusters benchmarks with three techniques (K-Means, PAM,
+ * agglomerative hierarchical) and cross-validates the grouping; all
+ * three implement the same Clusterer interface here so validation and
+ * sweeps are algorithm-agnostic.
+ */
+
+#ifndef MBS_CLUSTER_CLUSTERING_HH
+#define MBS_CLUSTER_CLUSTERING_HH
+
+#include <string>
+#include <vector>
+
+#include "stats/feature_matrix.hh"
+
+namespace mbs {
+
+/** A flat clustering: one label per observation, labels in [0, k). */
+struct ClusteringResult
+{
+    int k = 0;
+    std::vector<int> labels;
+    /** Sum of squared distances to the assigned centers (K-Means) or
+     *  medoids (PAM); 0 for hierarchical cuts. */
+    double inertia = 0.0;
+};
+
+/** Abstract clustering algorithm. */
+class Clusterer
+{
+  public:
+    virtual ~Clusterer() = default;
+
+    /** Algorithm display name, e.g. "K-Means". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Cluster the rows of @p features into @p k groups.
+     * @pre 1 <= k <= features.rows().
+     */
+    virtual ClusteringResult fit(const FeatureMatrix &features,
+                                 int k) const = 0;
+};
+
+/**
+ * Relabel a clustering so labels appear in first-occurrence order:
+ * observation 0 gets label 0, the first observation with a different
+ * cluster gets 1, and so on. Makes clusterings from different
+ * algorithms directly comparable.
+ */
+std::vector<int> canonicalizeLabels(const std::vector<int> &labels);
+
+/** @return true if two clusterings induce the same partition. */
+bool samePartition(const std::vector<int> &a, const std::vector<int> &b);
+
+/** Group observation indices by cluster label. */
+std::vector<std::vector<std::size_t>>
+groupByCluster(const std::vector<int> &labels, int k);
+
+} // namespace mbs
+
+#endif // MBS_CLUSTER_CLUSTERING_HH

@@ -1,0 +1,233 @@
+#include "hierarchical.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+std::string
+linkageName(Linkage linkage)
+{
+    switch (linkage) {
+      case Linkage::Single:
+        return "single";
+      case Linkage::Complete:
+        return "complete";
+      case Linkage::Average:
+        return "average";
+      case Linkage::Ward:
+        return "Ward";
+    }
+    panic("unknown linkage");
+}
+
+Dendrogram::Dendrogram(std::size_t leaves_, std::vector<MergeStep> merges)
+    : leaves(leaves_), steps(std::move(merges))
+{
+    fatalIf(leaves < 1, "a dendrogram needs at least one leaf");
+    fatalIf(steps.size() != leaves - 1,
+            "a dendrogram over n leaves has exactly n - 1 merges");
+}
+
+std::vector<int>
+Dendrogram::cut(int k) const
+{
+    fatalIf(k < 1 || std::size_t(k) > leaves,
+            "dendrogram cut k must be in [1, leaves]");
+    // Union-find over leaves; replay merges except the last k - 1.
+    std::vector<int> parent(leaves + steps.size());
+    for (std::size_t i = 0; i < parent.size(); ++i)
+        parent[i] = int(i);
+    std::function<int(int)> find = [&](int x) {
+        while (parent[std::size_t(x)] != x) {
+            parent[std::size_t(x)] =
+                parent[std::size_t(parent[std::size_t(x)])];
+            x = parent[std::size_t(x)];
+        }
+        return x;
+    };
+
+    const std::size_t keep = steps.size() - std::size_t(k - 1);
+    for (std::size_t s = 0; s < keep; ++s) {
+        const int node = int(leaves + s);
+        parent[std::size_t(find(steps[s].a))] = node;
+        parent[std::size_t(find(steps[s].b))] = node;
+    }
+    // But roots of skipped merges must still resolve: leave them as
+    // distinct components.
+    std::vector<int> labels(leaves);
+    std::map<int, int> remap;
+    for (std::size_t i = 0; i < leaves; ++i) {
+        const int root = find(int(i));
+        const auto it = remap.find(root);
+        if (it == remap.end()) {
+            const int next = int(remap.size());
+            remap.emplace(root, next);
+            labels[i] = next;
+        } else {
+            labels[i] = it->second;
+        }
+    }
+    return canonicalizeLabels(labels);
+}
+
+std::string
+Dendrogram::render(const std::vector<std::string> &leaf_names) const
+{
+    fatalIf(leaf_names.size() != leaves,
+            "dendrogram render needs one name per leaf");
+    // Recursive text tree, children indented beneath their merge.
+    std::function<std::string(int, int)> render_node =
+        [&](int node, int depth) {
+            std::string pad(std::size_t(depth) * 2, ' ');
+            if (node < int(leaves))
+                return pad + "- " + leaf_names[std::size_t(node)] + "\n";
+            const MergeStep &step =
+                steps[std::size_t(node) - leaves];
+            char height[48];
+            std::snprintf(height, sizeof(height), "%.3f", step.height);
+            std::string out =
+                pad + "+ merge @ " + height + "\n";
+            out += render_node(step.a, depth + 1);
+            out += render_node(step.b, depth + 1);
+            return out;
+        };
+    return render_node(int(leaves + steps.size()) - 1, 0);
+}
+
+HierarchicalClustering::HierarchicalClustering(Linkage linkage_)
+    : linkage(linkage_)
+{
+}
+
+std::string
+HierarchicalClustering::name() const
+{
+    return "Hierarchical (" + linkageName(linkage) + ")";
+}
+
+Dendrogram
+HierarchicalClustering::buildDendrogram(
+    const FeatureMatrix &features) const
+{
+    const std::size_t n = features.rows();
+    fatalIf(n < 1, "cannot cluster an empty feature matrix");
+
+    // Active cluster list: node id, member count, and a distance row
+    // to every other active cluster (Lance-Williams updates).
+    struct Active
+    {
+        int node;
+        double count;
+    };
+    std::vector<Active> active;
+    std::vector<std::vector<double>> dist(n, std::vector<double>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        active.push_back(Active{int(i), 1.0});
+        for (std::size_t j = i; j < n; ++j) {
+            double d =
+                euclideanDistance(features.row(i), features.row(j));
+            if (linkage == Linkage::Ward)
+                d = d * d; // Ward operates on squared distances
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+
+    std::vector<MergeStep> merges;
+    int next_node = int(n);
+    while (active.size() > 1) {
+        // Find the closest active pair.
+        std::size_t bi = 0, bj = 1;
+        double best = std::numeric_limits<double>::max();
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            for (std::size_t j = i + 1; j < active.size(); ++j) {
+                if (dist[i][j] < best) {
+                    best = dist[i][j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+
+        const double ci = active[bi].count;
+        const double cj = active[bj].count;
+        merges.push_back(MergeStep{
+            active[bi].node, active[bj].node,
+            linkage == Linkage::Ward ? std::sqrt(best) : best});
+
+        // Lance-Williams distance of the merged cluster to others.
+        std::vector<double> merged_row(active.size());
+        for (std::size_t x = 0; x < active.size(); ++x) {
+            if (x == bi || x == bj)
+                continue;
+            const double dik = dist[bi][x];
+            const double djk = dist[bj][x];
+            double d = 0.0;
+            switch (linkage) {
+              case Linkage::Single:
+                d = std::min(dik, djk);
+                break;
+              case Linkage::Complete:
+                d = std::max(dik, djk);
+                break;
+              case Linkage::Average:
+                d = (ci * dik + cj * djk) / (ci + cj);
+                break;
+              case Linkage::Ward: {
+                const double ck = active[x].count;
+                d = ((ci + ck) * dik + (cj + ck) * djk -
+                     ck * dist[bi][bj]) / (ci + cj + ck);
+                break;
+              }
+            }
+            merged_row[x] = d;
+        }
+
+        // Replace cluster bi with the merge, drop bj.
+        active[bi].node = next_node++;
+        active[bi].count = ci + cj;
+        for (std::size_t x = 0; x < active.size(); ++x) {
+            if (x == bi || x == bj)
+                continue;
+            dist[bi][x] = merged_row[x];
+            dist[x][bi] = merged_row[x];
+        }
+        // Swap-erase bj from active and the distance matrix.
+        const std::size_t last = active.size() - 1;
+        if (bj != last) {
+            std::swap(active[bj], active[last]);
+            for (std::size_t x = 0; x < active.size(); ++x) {
+                std::swap(dist[bj][x], dist[last][x]);
+            }
+            for (std::size_t x = 0; x < active.size(); ++x) {
+                std::swap(dist[x][bj], dist[x][last]);
+            }
+        }
+        active.pop_back();
+        for (auto &row : dist)
+            row.resize(active.size());
+        dist.resize(active.size());
+    }
+
+    return Dendrogram(n, std::move(merges));
+}
+
+ClusteringResult
+HierarchicalClustering::fit(const FeatureMatrix &features, int k) const
+{
+    const Dendrogram tree = buildDendrogram(features);
+    ClusteringResult out;
+    out.k = k;
+    out.labels = tree.cut(k);
+    out.inertia = 0.0;
+    return out;
+}
+
+} // namespace mbs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Agglomerative hierarchical clustering with selectable linkage, plus
+ * a dendrogram that can be cut at any k and rendered as text (the
+ * paper's Fig. 5).
+ */
+
+#ifndef MBS_CLUSTER_HIERARCHICAL_HH
+#define MBS_CLUSTER_HIERARCHICAL_HH
+
+#include <string>
+#include <vector>
+
+#include "cluster/clustering.hh"
+
+namespace mbs {
+
+/** Cluster-distance update rules. */
+enum class Linkage { Single, Complete, Average, Ward };
+
+/** @return printable linkage name. */
+std::string linkageName(Linkage linkage);
+
+/** One agglomeration step: clusters a and b merge at a height. */
+struct MergeStep
+{
+    /** Merged node ids; leaves are [0, n), internal nodes n, n+1, ... */
+    int a = 0;
+    int b = 0;
+    /** Cluster distance at which the merge happened. */
+    double height = 0.0;
+};
+
+/**
+ * The full merge tree over n observations (n - 1 steps).
+ */
+class Dendrogram
+{
+  public:
+    Dendrogram(std::size_t leaves, std::vector<MergeStep> merges);
+
+    std::size_t leafCount() const { return leaves; }
+    const std::vector<MergeStep> &merges() const { return steps; }
+
+    /**
+     * Cut into @p k flat clusters by undoing the last k - 1 merges.
+     * @return canonicalized labels.
+     */
+    std::vector<int> cut(int k) const;
+
+    /**
+     * Render as an indented text tree with leaf names, e.g. for the
+     * Fig.-5 reproduction.
+     */
+    std::string render(const std::vector<std::string> &leaf_names) const;
+
+  private:
+    std::size_t leaves;
+    std::vector<MergeStep> steps;
+};
+
+/**
+ * Agglomerative hierarchical clustering (Lance-Williams updates).
+ */
+class HierarchicalClustering : public Clusterer
+{
+  public:
+    explicit HierarchicalClustering(Linkage linkage = Linkage::Average);
+
+    std::string name() const override;
+
+    /** Build the full dendrogram. */
+    Dendrogram buildDendrogram(const FeatureMatrix &features) const;
+
+    ClusteringResult fit(const FeatureMatrix &features,
+                         int k) const override;
+
+  private:
+    Linkage linkage;
+};
+
+} // namespace mbs
+
+#endif // MBS_CLUSTER_HIERARCHICAL_HH

@@ -1,0 +1,159 @@
+#include "kmeans.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace mbs {
+
+namespace {
+
+using Point = std::vector<double>;
+
+/** Squared distance from @p row to each center; returns best index. */
+std::size_t
+nearestCenter(const Point &row, const std::vector<Point> &centers,
+              double *best_distance = nullptr)
+{
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+        const double d = squaredEuclideanDistance(row, centers[c]);
+        if (d < best_d) {
+            best_d = d;
+            best = c;
+        }
+    }
+    if (best_distance)
+        *best_distance = best_d;
+    return best;
+}
+
+/** k-means++ seeding. */
+std::vector<Point>
+seedCenters(const FeatureMatrix &features, int k,
+            Xoshiro256StarStar &rng)
+{
+    std::vector<Point> centers;
+    centers.push_back(
+        features.row(rng.uniformInt(features.rows())));
+    while (int(centers.size()) < k) {
+        // Choose the next center with probability proportional to the
+        // squared distance to the nearest existing center.
+        std::vector<double> weights(features.rows());
+        double total = 0.0;
+        for (std::size_t i = 0; i < features.rows(); ++i) {
+            double d = 0.0;
+            nearestCenter(features.row(i), centers, &d);
+            weights[i] = d;
+            total += d;
+        }
+        if (total <= 0.0) {
+            // All points coincide with existing centers; pick any.
+            centers.push_back(
+                features.row(rng.uniformInt(features.rows())));
+            continue;
+        }
+        double pick = rng.uniform() * total;
+        std::size_t chosen = features.rows() - 1;
+        for (std::size_t i = 0; i < features.rows(); ++i) {
+            pick -= weights[i];
+            if (pick <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        centers.push_back(features.row(chosen));
+    }
+    return centers;
+}
+
+} // namespace
+
+KMeans::KMeans(const KMeansOptions &options_)
+    : options(options_)
+{
+    fatalIf(options.restarts < 1, "K-Means needs >= 1 restart");
+    fatalIf(options.maxIterations < 1,
+            "K-Means needs >= 1 Lloyd iteration");
+}
+
+ClusteringResult
+KMeans::fit(const FeatureMatrix &features, int k) const
+{
+    fatalIf(k < 1 || std::size_t(k) > features.rows(),
+            "K-Means k must be in [1, rows]");
+    Xoshiro256StarStar master(options.seed);
+
+    ClusteringResult best;
+    best.inertia = std::numeric_limits<double>::max();
+
+    for (int restart = 0; restart < options.restarts; ++restart) {
+        auto rng = master.fork(std::uint64_t(restart));
+        std::vector<Point> centers = seedCenters(features, k, rng);
+        std::vector<int> labels(features.rows(), 0);
+
+        for (int iter = 0; iter < options.maxIterations; ++iter) {
+            bool changed = false;
+            for (std::size_t i = 0; i < features.rows(); ++i) {
+                const int c =
+                    int(nearestCenter(features.row(i), centers));
+                if (c != labels[i]) {
+                    labels[i] = c;
+                    changed = true;
+                }
+            }
+
+            // Recompute centers; repair empty clusters with the point
+            // farthest from its current center.
+            std::vector<Point> next(
+                std::size_t(k), Point(features.cols(), 0.0));
+            std::vector<int> count(std::size_t(k), 0);
+            for (std::size_t i = 0; i < features.rows(); ++i) {
+                const auto c = std::size_t(labels[i]);
+                ++count[c];
+                for (std::size_t d = 0; d < features.cols(); ++d)
+                    next[c][d] += features.at(i, d);
+            }
+            for (std::size_t c = 0; c < std::size_t(k); ++c) {
+                if (count[c] == 0) {
+                    std::size_t far = 0;
+                    double far_d = -1.0;
+                    for (std::size_t i = 0; i < features.rows(); ++i) {
+                        double d = 0.0;
+                        nearestCenter(features.row(i), centers, &d);
+                        if (d > far_d) {
+                            far_d = d;
+                            far = i;
+                        }
+                    }
+                    next[c] = features.row(far);
+                    changed = true;
+                } else {
+                    for (double &v : next[c])
+                        v /= double(count[c]);
+                }
+            }
+            centers = std::move(next);
+            if (!changed)
+                break;
+        }
+
+        double inertia = 0.0;
+        for (std::size_t i = 0; i < features.rows(); ++i) {
+            double d = 0.0;
+            labels[i] = int(nearestCenter(features.row(i), centers, &d));
+            inertia += d;
+        }
+        if (inertia < best.inertia) {
+            best.k = k;
+            best.labels = canonicalizeLabels(labels);
+            best.inertia = inertia;
+        }
+    }
+    return best;
+}
+
+} // namespace mbs

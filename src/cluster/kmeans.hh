@@ -1,0 +1,48 @@
+/**
+ * @file
+ * K-Means clustering (Lloyd's algorithm with k-means++ seeding).
+ */
+
+#ifndef MBS_CLUSTER_KMEANS_HH
+#define MBS_CLUSTER_KMEANS_HH
+
+#include <cstdint>
+
+#include "cluster/clustering.hh"
+
+namespace mbs {
+
+/** Tunables for the K-Means solver. */
+struct KMeansOptions
+{
+    /** Independent restarts; the lowest-inertia solution wins. */
+    int restarts = 10;
+    /** Lloyd iteration cap per restart. */
+    int maxIterations = 100;
+    /** Seed for k-means++ initialization. */
+    std::uint64_t seed = 7;
+};
+
+/**
+ * K-Means with k-means++ seeding and multiple restarts.
+ *
+ * Deterministic for a fixed seed. Empty clusters are repaired by
+ * reseeding the empty center at the point farthest from its center.
+ */
+class KMeans : public Clusterer
+{
+  public:
+    explicit KMeans(const KMeansOptions &options = {});
+
+    std::string name() const override { return "K-Means"; }
+
+    ClusteringResult fit(const FeatureMatrix &features,
+                         int k) const override;
+
+  private:
+    KMeansOptions options;
+};
+
+} // namespace mbs
+
+#endif // MBS_CLUSTER_KMEANS_HH

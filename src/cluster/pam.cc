@@ -1,0 +1,125 @@
+#include "pam.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+namespace {
+
+/** Total cost of assigning every point to its nearest medoid. */
+double
+totalCost(const std::vector<std::vector<double>> &dist,
+          const std::vector<std::size_t> &medoids)
+{
+    double cost = 0.0;
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+        double best = std::numeric_limits<double>::max();
+        for (std::size_t m : medoids)
+            best = std::min(best, dist[i][m]);
+        cost += best;
+    }
+    return cost;
+}
+
+} // namespace
+
+ClusteringResult
+Pam::fit(const FeatureMatrix &features, int k) const
+{
+    const std::size_t n = features.rows();
+    fatalIf(k < 1 || std::size_t(k) > n, "PAM k must be in [1, rows]");
+
+    std::vector<std::vector<double>> dist(n, std::vector<double>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            const double d =
+                euclideanDistance(features.row(i), features.row(j));
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+
+    // BUILD: first medoid minimizes total distance; each further
+    // medoid maximizes the cost reduction.
+    std::vector<std::size_t> medoids;
+    std::vector<bool> is_medoid(n, false);
+    {
+        std::size_t best = 0;
+        double best_cost = std::numeric_limits<double>::max();
+        for (std::size_t m = 0; m < n; ++m) {
+            double cost = 0.0;
+            for (std::size_t i = 0; i < n; ++i)
+                cost += dist[i][m];
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = m;
+            }
+        }
+        medoids.push_back(best);
+        is_medoid[best] = true;
+    }
+    while (int(medoids.size()) < k) {
+        std::size_t best = 0;
+        double best_cost = std::numeric_limits<double>::max();
+        for (std::size_t cand = 0; cand < n; ++cand) {
+            if (is_medoid[cand])
+                continue;
+            medoids.push_back(cand);
+            const double cost = totalCost(dist, medoids);
+            medoids.pop_back();
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = cand;
+            }
+        }
+        medoids.push_back(best);
+        is_medoid[best] = true;
+    }
+
+    // SWAP: steepest-descent exchanges until no improvement.
+    double current = totalCost(dist, medoids);
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (std::size_t mi = 0; mi < medoids.size(); ++mi) {
+            for (std::size_t cand = 0; cand < n; ++cand) {
+                if (is_medoid[cand])
+                    continue;
+                const std::size_t old = medoids[mi];
+                medoids[mi] = cand;
+                const double cost = totalCost(dist, medoids);
+                if (cost + 1e-12 < current) {
+                    current = cost;
+                    is_medoid[old] = false;
+                    is_medoid[cand] = true;
+                    improved = true;
+                } else {
+                    medoids[mi] = old;
+                }
+            }
+        }
+    }
+
+    ClusteringResult out;
+    out.k = k;
+    out.inertia = current;
+    out.labels.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t best_m = 0;
+        double best_d = std::numeric_limits<double>::max();
+        for (std::size_t m = 0; m < medoids.size(); ++m) {
+            if (dist[i][medoids[m]] < best_d) {
+                best_d = dist[i][medoids[m]];
+                best_m = m;
+            }
+        }
+        out.labels[i] = int(best_m);
+    }
+    out.labels = canonicalizeLabels(out.labels);
+    return out;
+}
+
+} // namespace mbs

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Partitioning Around Medoids (PAM, Kaufman & Rousseeuw 1990).
+ */
+
+#ifndef MBS_CLUSTER_PAM_HH
+#define MBS_CLUSTER_PAM_HH
+
+#include "cluster/clustering.hh"
+
+namespace mbs {
+
+/**
+ * PAM: BUILD phase picks initial medoids greedily; SWAP phase
+ * exchanges medoids with non-medoids while the total within-cluster
+ * distance improves. Deterministic (no randomness needed).
+ *
+ * Uses Euclidean distance on the feature rows; inertia is the sum of
+ * distances (not squared) to the assigned medoid, matching the
+ * classical objective.
+ */
+class Pam : public Clusterer
+{
+  public:
+    std::string name() const override { return "PAM"; }
+
+    ClusteringResult fit(const FeatureMatrix &features,
+                         int k) const override;
+};
+
+} // namespace mbs
+
+#endif // MBS_CLUSTER_PAM_HH

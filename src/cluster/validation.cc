@@ -1,0 +1,264 @@
+#include "validation.hh"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+namespace {
+
+int
+labelMax(const std::vector<int> &labels)
+{
+    int k = 0;
+    for (int label : labels)
+        k = std::max(k, label + 1);
+    return k;
+}
+
+} // namespace
+
+double
+dunnIndex(const FeatureMatrix &features, const std::vector<int> &labels)
+{
+    fatalIf(labels.size() != features.rows(),
+            "labels/features size mismatch");
+    const int k = labelMax(labels);
+    if (k < 2)
+        return 0.0;
+
+    double min_separation = std::numeric_limits<double>::max();
+    double max_diameter = 0.0;
+    for (std::size_t i = 0; i < features.rows(); ++i) {
+        for (std::size_t j = i + 1; j < features.rows(); ++j) {
+            const double d =
+                euclideanDistance(features.row(i), features.row(j));
+            if (labels[i] == labels[j])
+                max_diameter = std::max(max_diameter, d);
+            else
+                min_separation = std::min(min_separation, d);
+        }
+    }
+    if (max_diameter <= 0.0)
+        return 0.0;
+    return min_separation / max_diameter;
+}
+
+double
+silhouetteWidth(const FeatureMatrix &features,
+                const std::vector<int> &labels)
+{
+    fatalIf(labels.size() != features.rows(),
+            "labels/features size mismatch");
+    const int k = labelMax(labels);
+    if (k < 2)
+        return 0.0;
+    const auto groups = groupByCluster(labels, k);
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < features.rows(); ++i) {
+        const auto own = std::size_t(labels[i]);
+        if (groups[own].size() < 2) {
+            // Singleton: silhouette defined as 0.
+            continue;
+        }
+        // a(i): mean distance to own cluster (excluding self).
+        double a = 0.0;
+        for (std::size_t j : groups[own]) {
+            if (j != i) {
+                a += euclideanDistance(features.row(i),
+                                       features.row(j));
+            }
+        }
+        a /= double(groups[own].size() - 1);
+
+        // b(i): smallest mean distance to another cluster.
+        double b = std::numeric_limits<double>::max();
+        for (std::size_t c = 0; c < groups.size(); ++c) {
+            if (c == own || groups[c].empty())
+                continue;
+            double mean = 0.0;
+            for (std::size_t j : groups[c]) {
+                mean += euclideanDistance(features.row(i),
+                                          features.row(j));
+            }
+            mean /= double(groups[c].size());
+            b = std::min(b, mean);
+        }
+        const double denom = std::max(a, b);
+        if (denom > 0.0)
+            total += (b - a) / denom;
+    }
+    return total / double(features.rows());
+}
+
+double
+connectivity(const FeatureMatrix &features,
+             const std::vector<int> &labels, int neighbors)
+{
+    fatalIf(labels.size() != features.rows(),
+            "labels/features size mismatch");
+    fatalIf(neighbors < 1, "connectivity needs >= 1 neighbour");
+    const std::size_t n = features.rows();
+    const auto k = std::min<std::size_t>(std::size_t(neighbors),
+                                         n > 0 ? n - 1 : 0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        // Sort the other observations by distance to i.
+        std::vector<std::pair<double, std::size_t>> order;
+        order.reserve(n - 1);
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j != i) {
+                order.emplace_back(
+                    euclideanDistance(features.row(i),
+                                      features.row(j)),
+                    j);
+            }
+        }
+        std::sort(order.begin(), order.end());
+        for (std::size_t j = 0; j < k; ++j) {
+            if (labels[order[j].second] != labels[i])
+                total += 1.0 / double(j + 1);
+        }
+    }
+    return total;
+}
+
+double
+averageProportionOfNonOverlap(const FeatureMatrix &features,
+                              const Clusterer &algorithm, int k)
+{
+    fatalIf(features.cols() < 2,
+            "stability validation needs >= 2 feature columns");
+    const auto full = algorithm.fit(features, k).labels;
+    const auto full_groups = groupByCluster(full, labelMax(full));
+
+    double total = 0.0;
+    std::size_t terms = 0;
+    for (std::size_t col = 0; col < features.cols(); ++col) {
+        const auto reduced_features = features.withoutColumn(col);
+        const auto reduced =
+            algorithm.fit(reduced_features, k).labels;
+        const auto reduced_groups =
+            groupByCluster(reduced, labelMax(reduced));
+
+        for (std::size_t i = 0; i < features.rows(); ++i) {
+            const auto &c_full = full_groups[std::size_t(full[i])];
+            const auto &c_red =
+                reduced_groups[std::size_t(reduced[i])];
+            // Overlap size: members of both clusters.
+            std::size_t overlap = 0;
+            for (std::size_t j : c_full) {
+                if (std::find(c_red.begin(), c_red.end(), j) !=
+                    c_red.end()) {
+                    ++overlap;
+                }
+            }
+            total += 1.0 - double(overlap) / double(c_full.size());
+            ++terms;
+        }
+    }
+    return terms ? total / double(terms) : 0.0;
+}
+
+double
+averageDistance(const FeatureMatrix &features,
+                const Clusterer &algorithm, int k)
+{
+    fatalIf(features.cols() < 2,
+            "stability validation needs >= 2 feature columns");
+    const auto full = algorithm.fit(features, k).labels;
+    const auto full_groups = groupByCluster(full, labelMax(full));
+
+    double total = 0.0;
+    std::size_t terms = 0;
+    for (std::size_t col = 0; col < features.cols(); ++col) {
+        const auto reduced_features = features.withoutColumn(col);
+        const auto reduced =
+            algorithm.fit(reduced_features, k).labels;
+        const auto reduced_groups =
+            groupByCluster(reduced, labelMax(reduced));
+
+        for (std::size_t i = 0; i < features.rows(); ++i) {
+            const auto &c_full = full_groups[std::size_t(full[i])];
+            const auto &c_red =
+                reduced_groups[std::size_t(reduced[i])];
+            double sum = 0.0;
+            for (std::size_t a : c_full) {
+                for (std::size_t b : c_red) {
+                    sum += euclideanDistance(features.row(a),
+                                             features.row(b));
+                }
+            }
+            total += sum / double(c_full.size() * c_red.size());
+            ++terms;
+        }
+    }
+    return terms ? total / double(terms) : 0.0;
+}
+
+ValidationSweep::ValidationSweep(
+    std::vector<const Clusterer *> algorithms_, int k_min, int k_max)
+    : algorithms(std::move(algorithms_)), kMin(k_min), kMax(k_max)
+{
+    fatalIf(algorithms.empty(), "a sweep needs >= 1 algorithm");
+    fatalIf(kMin < 2 || kMax < kMin,
+            "a sweep needs 2 <= k_min <= k_max");
+}
+
+std::vector<ValidationPoint>
+ValidationSweep::run(const FeatureMatrix &features) const
+{
+    fatalIf(std::size_t(kMax) > features.rows(),
+            "k_max exceeds the number of observations");
+    std::vector<ValidationPoint> out;
+    for (const Clusterer *algo : algorithms) {
+        for (int k = kMin; k <= kMax; ++k) {
+            ValidationPoint point;
+            point.algorithm = algo->name();
+            point.k = k;
+            const auto labels = algo->fit(features, k).labels;
+            point.dunn = dunnIndex(features, labels);
+            point.silhouette = silhouetteWidth(features, labels);
+            point.connectivity = connectivity(features, labels);
+            point.apn =
+                averageProportionOfNonOverlap(features, *algo, k);
+            point.ad = averageDistance(features, *algo, k);
+            out.push_back(std::move(point));
+        }
+    }
+    return out;
+}
+
+int
+ValidationSweep::bestInternalK(const std::vector<ValidationPoint> &points)
+{
+    fatalIf(points.empty(), "no validation points");
+    // Sum Dunn and silhouette across algorithms per k; the k with the
+    // highest combined normalized score wins.
+    std::map<int, double> dunn_sum, sil_sum;
+    double dunn_max = 0.0, sil_max = 0.0;
+    for (const auto &p : points) {
+        dunn_sum[p.k] += p.dunn;
+        sil_sum[p.k] += p.silhouette;
+        dunn_max = std::max(dunn_max, dunn_sum[p.k]);
+        sil_max = std::max(sil_max, sil_sum[p.k]);
+    }
+    int best_k = points.front().k;
+    double best_score = -1.0;
+    for (const auto &[k, d] : dunn_sum) {
+        const double score =
+            (dunn_max > 0.0 ? d / dunn_max : 0.0) +
+            (sil_max > 0.0 ? sil_sum[k] / sil_max : 0.0);
+        if (score > best_score) {
+            best_score = score;
+            best_k = k;
+        }
+    }
+    return best_k;
+}
+
+} // namespace mbs

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Cluster validation measures (the paper's Fig. 4).
+ *
+ * Internal validation: Dunn index and average silhouette width
+ * (higher is better). Stability validation: average proportion of
+ * non-overlap (APN) and average distance (AD), computed by comparing
+ * the clustering on the full feature matrix against clusterings with
+ * one column removed at a time (lower is better).
+ */
+
+#ifndef MBS_CLUSTER_VALIDATION_HH
+#define MBS_CLUSTER_VALIDATION_HH
+
+#include <vector>
+
+#include "cluster/clustering.hh"
+
+namespace mbs {
+
+/**
+ * Dunn index: minimum inter-cluster distance divided by maximum
+ * cluster diameter. Uses single-linkage separation and complete-
+ * diameter, the classical definition.
+ *
+ * @return 0 when any cluster is empty or all points coincide.
+ */
+double dunnIndex(const FeatureMatrix &features,
+                 const std::vector<int> &labels);
+
+/**
+ * Mean silhouette width over all observations. Observations in
+ * singleton clusters contribute 0, following convention.
+ */
+double silhouetteWidth(const FeatureMatrix &features,
+                       const std::vector<int> &labels);
+
+/**
+ * Connectivity (Handl et al.): for each observation, penalize its
+ * @p neighbors nearest neighbours that fall in a different cluster
+ * by 1/j for the j-th neighbour. >= 0, lower is better (0 means
+ * every local neighbourhood is intact).
+ */
+double connectivity(const FeatureMatrix &features,
+                    const std::vector<int> &labels, int neighbors = 5);
+
+/**
+ * Average proportion of non-overlap: for each observation and each
+ * removed column, the proportion of its full-data cluster that is
+ * not shared with its leave-one-column-out cluster. In [0, 1],
+ * lower is more stable.
+ */
+double averageProportionOfNonOverlap(const FeatureMatrix &features,
+                                     const Clusterer &algorithm, int k);
+
+/**
+ * Average distance: mean distance between each observation's
+ * full-data cluster members and its leave-one-column-out cluster
+ * members, measured in the full feature space. Lower is better.
+ */
+double averageDistance(const FeatureMatrix &features,
+                       const Clusterer &algorithm, int k);
+
+/** One row of a validation sweep: measures for (algorithm, k). */
+struct ValidationPoint
+{
+    std::string algorithm;
+    int k = 0;
+    double dunn = 0.0;
+    double silhouette = 0.0;
+    /** Connectivity (lower better); supplementary internal measure. */
+    double connectivity = 0.0;
+    double apn = 0.0;
+    double ad = 0.0;
+};
+
+/**
+ * Sweep k over [k_min, k_max] for several algorithms, computing all
+ * four validation measures at each point.
+ */
+class ValidationSweep
+{
+  public:
+    /**
+     * @param algorithms Non-owning pointers; must outlive the sweep.
+     */
+    ValidationSweep(std::vector<const Clusterer *> algorithms,
+                    int k_min, int k_max);
+
+    /** Run the sweep on @p features. */
+    std::vector<ValidationPoint> run(const FeatureMatrix &features) const;
+
+    /**
+     * The k preferred by internal validation: the k whose summed rank
+     * across Dunn and silhouette (higher better) over all algorithms
+     * is best.
+     */
+    static int bestInternalK(const std::vector<ValidationPoint> &points);
+
+  private:
+    std::vector<const Clusterer *> algorithms;
+    int kMin;
+    int kMax;
+};
+
+} // namespace mbs
+
+#endif // MBS_CLUSTER_VALIDATION_HH

@@ -1,0 +1,68 @@
+#include "csv.hh"
+
+#include <cstdio>
+
+namespace mbs {
+
+namespace {
+
+std::string
+formatDouble(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    return buf;
+}
+
+} // namespace
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    const bool needs_quoting =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quoting)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out << ',';
+        out << escape(cells[i]);
+    }
+    out << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out << ',';
+        out << formatDouble(cells[i]);
+    }
+    out << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::string &label,
+                    const std::vector<double> &cells)
+{
+    out << escape(label);
+    for (double c : cells)
+        out << ',' << formatDouble(c);
+    out << '\n';
+}
+
+} // namespace mbs

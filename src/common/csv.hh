@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal CSV writing (RFC-4180 quoting) for trace export.
+ */
+
+#ifndef MBS_COMMON_CSV_HH
+#define MBS_COMMON_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mbs {
+
+/**
+ * Streaming CSV writer.
+ *
+ * Quotes fields containing separators, quotes or newlines; numbers are
+ * emitted with enough precision to round-trip a double.
+ */
+class CsvWriter
+{
+  public:
+    /** @param out Stream to write to; must outlive the writer. */
+    explicit CsvWriter(std::ostream &out) : out(out) {}
+
+    /** Write one row of string cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Write one row of numeric cells. */
+    void writeRow(const std::vector<double> &cells);
+
+    /** Write a row whose first cell is a label, the rest numeric. */
+    void writeRow(const std::string &label,
+                  const std::vector<double> &cells);
+
+    /** Escape a single field per RFC 4180. */
+    static std::string escape(const std::string &field);
+
+  private:
+    std::ostream &out;
+};
+
+} // namespace mbs
+
+#endif // MBS_COMMON_CSV_HH

@@ -1,0 +1,58 @@
+#include "logging.hh"
+
+#include <cstdio>
+
+namespace mbs {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Warn;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Inform)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+debug(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Debug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("internal error: " + msg);
+}
+
+} // namespace mbs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: inform()/warn() report conditions without
+ * stopping execution; fatal() terminates because of a user error (bad
+ * configuration, invalid arguments); panic() terminates because of an
+ * internal library bug (a condition that should never happen regardless
+ * of user input).
+ */
+
+#ifndef MBS_COMMON_LOGGING_HH
+#define MBS_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mbs {
+
+/** Error thrown by fatal(): the user gave the library invalid input. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Error thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet, Warn, Inform, Debug };
+
+/** Set the global verbosity threshold (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** @return the current global verbosity threshold. */
+LogLevel logLevel();
+
+/** Print an informational status message when verbosity allows. */
+void inform(const std::string &msg);
+
+/** Print a warning about questionable-but-survivable conditions. */
+void warn(const std::string &msg);
+
+/** Print a debug-level trace message when verbosity allows. */
+void debug(const std::string &msg);
+
+/**
+ * Report an unrecoverable user error.
+ *
+ * @param msg Explanation of what the user did wrong.
+ * @throws FatalError always.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report an internal library bug.
+ *
+ * @param msg Explanation of the violated invariant.
+ * @throws PanicError always.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Check a user-facing precondition, calling fatal() on failure.
+ *
+ * @param ok Condition that must hold.
+ * @param msg Message describing the requirement.
+ */
+inline void
+fatalIf(bool bad, const std::string &msg)
+{
+    if (bad)
+        fatal(msg);
+}
+
+/**
+ * Check an internal invariant, calling panic() on failure.
+ *
+ * @param ok Condition that must hold.
+ * @param msg Message describing the invariant.
+ */
+inline void
+panicIf(bool bad, const std::string &msg)
+{
+    if (bad)
+        panic(msg);
+}
+
+} // namespace mbs
+
+#endif // MBS_COMMON_LOGGING_HH

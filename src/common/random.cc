@@ -1,0 +1,97 @@
+#include "random.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace mbs {
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed)
+    : seedValue(seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &s : state)
+        s = sm.next();
+}
+
+Xoshiro256StarStar::result_type
+Xoshiro256StarStar::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+double
+Xoshiro256StarStar::uniform()
+{
+    // 53 random mantissa bits give a uniform double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Xoshiro256StarStar::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Xoshiro256StarStar::uniformInt(std::uint64_t n)
+{
+    panicIf(n == 0, "uniformInt(0) is undefined");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~n + 1) % n;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+double
+Xoshiro256StarStar::gaussian(double mean, double stddev)
+{
+    panicIf(stddev < 0.0, "gaussian stddev must be non-negative");
+    if (hasSpareGaussian) {
+        hasSpareGaussian = false;
+        return mean + stddev * spareGaussian;
+    }
+    // Marsaglia polar method.
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spareGaussian = v * factor;
+    hasSpareGaussian = true;
+    return mean + stddev * u * factor;
+}
+
+Xoshiro256StarStar
+Xoshiro256StarStar::fork(std::uint64_t stream_id) const
+{
+    SplitMix64 sm(seedValue ^ (0xd1b54a32d192ed03ULL * (stream_id + 1)));
+    return Xoshiro256StarStar(sm.next());
+}
+
+} // namespace mbs

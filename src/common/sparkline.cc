@@ -1,0 +1,80 @@
+#include "sparkline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace mbs {
+
+std::vector<double>
+resampleMean(const std::vector<double> &values, std::size_t width)
+{
+    fatalIf(width == 0, "cannot resample to zero width");
+    if (values.empty())
+        return std::vector<double>(width, 0.0);
+    if (values.size() == width)
+        return values;
+
+    std::vector<double> out(width, 0.0);
+    const double step = double(values.size()) / double(width);
+    for (std::size_t i = 0; i < width; ++i) {
+        const auto begin = static_cast<std::size_t>(
+            std::floor(double(i) * step));
+        auto end = static_cast<std::size_t>(
+            std::ceil(double(i + 1) * step));
+        end = std::min(end, values.size());
+        double sum = 0.0;
+        std::size_t n = 0;
+        for (std::size_t j = begin; j < end; ++j, ++n)
+            sum += values[j];
+        out[i] = n ? sum / double(n) : 0.0;
+    }
+    return out;
+}
+
+std::string
+sparkline(const std::vector<double> &values, std::size_t width)
+{
+    static const char *glyphs[] = {
+        " ", "▁", "▂", "▃",
+        "▄", "▅", "▆", "▇", "█"
+    };
+    const auto sampled = resampleMean(values, width);
+    std::string out;
+    for (double v : sampled) {
+        const double clamped = std::clamp(v, 0.0, 1.0);
+        const auto idx = static_cast<std::size_t>(
+            std::lround(clamped * 8.0));
+        out += glyphs[idx];
+    }
+    return out;
+}
+
+std::string
+thresholdStrip(const std::vector<double> &values, std::size_t width,
+               double threshold)
+{
+    const auto sampled = resampleMean(values, width);
+    std::string out;
+    for (double v : sampled)
+        out += (v > threshold) ? '#' : '.';
+    return out;
+}
+
+std::string
+loadLevelStrip(const std::vector<double> &values, std::size_t width)
+{
+    static const char glyphs[] = {' ', '-', '=', '#'};
+    const auto sampled = resampleMean(values, width);
+    std::string out;
+    for (double v : sampled) {
+        const double clamped = std::clamp(v, 0.0, 1.0);
+        auto idx = static_cast<std::size_t>(clamped * 4.0);
+        idx = std::min<std::size_t>(idx, 3);
+        out += glyphs[idx];
+    }
+    return out;
+}
+
+} // namespace mbs

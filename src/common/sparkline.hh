@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Text sparklines and shaded strips for rendering time-series figures
+ * (the paper's Fig. 2 and Fig. 3) in terminal output.
+ */
+
+#ifndef MBS_COMMON_SPARKLINE_HH
+#define MBS_COMMON_SPARKLINE_HH
+
+#include <string>
+#include <vector>
+
+namespace mbs {
+
+/**
+ * Render values in [0, 1] as a UTF-8 bar sparkline " ▁▂▃▄▅▆▇█".
+ *
+ * @param values Series to render; values are clamped to [0, 1].
+ * @param width Output width in characters; the series is resampled.
+ */
+std::string sparkline(const std::vector<double> &values, std::size_t width);
+
+/**
+ * Render a threshold strip: '#' where the (resampled) value exceeds
+ * @p threshold, '.' elsewhere. Mirrors the paper's "coloured regions
+ * indicate a value exceeding 0.5" convention.
+ */
+std::string thresholdStrip(const std::vector<double> &values,
+                           std::size_t width, double threshold = 0.5);
+
+/**
+ * Render a four-level load strip using ' ', '-', '=', '#'
+ * for the [0,.25), [.25,.5), [.5,.75), [.75,1] bins (Fig. 3 style).
+ */
+std::string loadLevelStrip(const std::vector<double> &values,
+                           std::size_t width);
+
+/**
+ * Resample a series to @p width points by averaging within buckets.
+ * Exposed for testing; returns the input when width == size.
+ */
+std::vector<double> resampleMean(const std::vector<double> &values,
+                                 std::size_t width);
+
+} // namespace mbs
+
+#endif // MBS_COMMON_SPARKLINE_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small string utilities shared across the framework.
+ */
+
+#ifndef MBS_COMMON_STRINGS_HH
+#define MBS_COMMON_STRINGS_HH
+
+#include <string>
+#include <vector>
+
+namespace mbs {
+
+/** Split @p text on @p sep; empty fields are preserved. */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** Join @p parts with @p sep between consecutive elements. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &text);
+
+/** Lower-case ASCII letters in @p text. */
+std::string toLower(const std::string &text);
+
+/** @return true if @p text begins with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/**
+ * Convert a human name to a slug suitable for file names.
+ * "Geekbench 5 CPU" -> "geekbench_5_cpu".
+ */
+std::string slugify(const std::string &text);
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace mbs
+
+#endif // MBS_COMMON_STRINGS_HH

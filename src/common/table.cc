@@ -1,0 +1,90 @@
+#include "table.hh"
+
+#include <algorithm>
+
+#include "logging.hh"
+
+namespace mbs {
+
+TextTable::TextTable(std::vector<std::string> headers_)
+    : headers(std::move(headers_))
+{
+    fatalIf(headers.empty(), "a table needs at least one column");
+    aligns.assign(headers.size(), Align::Left);
+}
+
+void
+TextTable::setAlign(std::size_t column, Align align)
+{
+    fatalIf(column >= aligns.size(), "alignment column out of range");
+    aligns[column] = align;
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    fatalIf(cells.size() != headers.size(),
+            "row has " + std::to_string(cells.size()) + " cells, table has " +
+            std::to_string(headers.size()) + " columns");
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows.emplace_back(); // sentinel
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> width(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        width[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto pad = [&](const std::string &text, std::size_t c) {
+        std::string out;
+        const std::size_t fill = width[c] - text.size();
+        if (aligns[c] == Align::Right)
+            out.append(fill, ' ');
+        out += text;
+        if (aligns[c] == Align::Left)
+            out.append(fill, ' ');
+        return out;
+    };
+
+    auto rule = [&]() {
+        std::string line = "+";
+        for (std::size_t c = 0; c < headers.size(); ++c) {
+            line.append(width[c] + 2, '-');
+            line += "+";
+        }
+        line += "\n";
+        return line;
+    };
+
+    std::string out = rule();
+    out += "|";
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        out += " " + pad(headers[c], c) + " |";
+    out += "\n";
+    out += rule();
+    for (const auto &row : rows) {
+        if (row.empty()) { // separator sentinel
+            out += rule();
+            continue;
+        }
+        out += "|";
+        for (std::size_t c = 0; c < row.size(); ++c)
+            out += " " + pad(row[c], c) + " |";
+        out += "\n";
+    }
+    out += rule();
+    return out;
+}
+
+} // namespace mbs

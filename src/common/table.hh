@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ASCII table rendering for benches and examples.
+ *
+ * Every table the paper reports is printed through this renderer so the
+ * reproduction output is easy to compare against the publication.
+ */
+
+#ifndef MBS_COMMON_TABLE_HH
+#define MBS_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace mbs {
+
+/** Column alignment within a rendered table. */
+enum class Align { Left, Right };
+
+/**
+ * A simple row/column text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"Benchmark", "Runtime (s)"});
+ *   t.addRow({"3DMark Wild Life", "61.5"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** @param headers Column header labels; fixes the column count. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Set per-column alignment; defaults to Left. */
+    void setAlign(std::size_t column, Align align);
+
+    /**
+     * Append a data row.
+     * @param cells One cell per column; fatal() if the count differs.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line at the current position. */
+    void addSeparator();
+
+    /** @return number of data rows added so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+    /** Render to a string with box-drawing separators. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows; // empty row == separator
+    std::vector<Align> aligns;
+};
+
+} // namespace mbs
+
+#endif // MBS_COMMON_TABLE_HH

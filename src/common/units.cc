@@ -1,0 +1,71 @@
+#include "units.hh"
+
+#include <cstdio>
+
+namespace mbs {
+namespace units {
+
+namespace {
+
+std::string
+format(const char *fmt, double value, const char *suffix)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, value, suffix);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    if (bytes >= GiB)
+        return format("%.1f %s", double(bytes) / double(GiB), "GB");
+    if (bytes >= MiB)
+        return format("%.1f %s", double(bytes) / double(MiB), "MB");
+    if (bytes >= KiB)
+        return format("%.0f %s", double(bytes) / double(KiB), "KB");
+    return format("%.0f %s", double(bytes), "B");
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    if (seconds >= 120.0)
+        return format("%.1f %s", seconds / 60.0, "min");
+    return format("%.1f %s", seconds, "s");
+}
+
+std::string
+formatHz(double hz)
+{
+    if (hz >= giga)
+        return format("%.2f %s", hz / giga, "GHz");
+    if (hz >= mega)
+        return format("%.0f %s", hz / mega, "MHz");
+    return format("%.0f %s", hz, "Hz");
+}
+
+std::string
+formatCount(double count)
+{
+    if (count >= giga)
+        return format("%.1f %s", count / giga, "B");
+    if (count >= mega)
+        return format("%.1f %s", count / mega, "M");
+    if (count >= kilo)
+        return format("%.1f %s", count / kilo, "K");
+    return format("%.0f%s", count, "");
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+} // namespace units
+} // namespace mbs

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Unit conversion constants and human-readable formatting helpers.
+ *
+ * The SoC model and the workload descriptors mix seconds, hertz, bytes
+ * and instruction counts; these helpers keep conversions explicit and
+ * report output in the units the paper uses (GHz, MB/GB, billions of
+ * instructions).
+ */
+
+#ifndef MBS_COMMON_UNITS_HH
+#define MBS_COMMON_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mbs {
+namespace units {
+
+constexpr double kilo = 1e3;
+constexpr double mega = 1e6;
+constexpr double giga = 1e9;
+
+constexpr std::uint64_t KiB = 1024ULL;
+constexpr std::uint64_t MiB = 1024ULL * KiB;
+constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+/** Convert hertz to gigahertz. */
+constexpr double toGHz(double hz) { return hz / giga; }
+
+/** Convert gigahertz to hertz. */
+constexpr double fromGHz(double ghz) { return ghz * giga; }
+
+/** Convert an instruction count to billions. */
+constexpr double toBillions(double count) { return count / giga; }
+
+/** @return bytes rendered as e.g. "512 KB", "3.0 MB", "1.5 GB". */
+std::string formatBytes(std::uint64_t bytes);
+
+/** @return seconds rendered as e.g. "61.5 s" or "18.4 min". */
+std::string formatSeconds(double seconds);
+
+/** @return a frequency rendered as e.g. "2.42 GHz". */
+std::string formatHz(double hz);
+
+/** @return a count rendered with engineering suffix, e.g. "57.0 B". */
+std::string formatCount(double count);
+
+/** @return a ratio rendered as a percentage, e.g. "74.98%". */
+std::string formatPercent(double fraction, int decimals = 2);
+
+} // namespace units
+} // namespace mbs
+
+#endif // MBS_COMMON_UNITS_HH

@@ -1,0 +1,159 @@
+#include "pipeline.hh"
+
+#include <algorithm>
+
+#include "cluster/hierarchical.hh"
+#include "cluster/kmeans.hh"
+#include "cluster/pam.hh"
+#include "common/logging.hh"
+
+namespace mbs {
+
+CharacterizationPipeline::CharacterizationPipeline(
+    const SocConfig &config, const PipelineOptions &options_)
+    : session(config, options_.profile), options(options_)
+{
+}
+
+FeatureMatrix
+CharacterizationPipeline::buildFig1Metrics(
+    const std::vector<BenchmarkProfile> &profiles)
+{
+    FeatureMatrix m({"IC", "IPC", "Cache MPKI", "Branch MPKI",
+                     "Runtime"});
+    for (const auto &p : profiles) {
+        m.addRow(p.name, {p.instructions, p.ipc, p.cacheMpki,
+                          p.branchMpki, p.runtimeSeconds});
+    }
+    return m;
+}
+
+FeatureMatrix
+CharacterizationPipeline::buildClusterFeatures(
+    const std::vector<BenchmarkProfile> &profiles)
+{
+    FeatureMatrix m({"IPC", "Cache MPKI", "Branch MPKI", "CPU Load",
+                     "GPU Load", "GPU Util", "GPU Freq",
+                     "Shaders Busy", "GPU Bus Busy", "Textures",
+                     "AIE Load", "AIE Util", "AIE Freq",
+                     "Used Memory", "Storage Util", "Storage Read BW",
+                     "Storage Write BW"});
+    for (const auto &p : profiles) {
+        m.addRow(p.name, {
+            p.ipc,
+            p.cacheMpki,
+            p.branchMpki,
+            p.avgCpuLoad(),
+            p.avgGpuLoad(),
+            p.avgGpuUtilization(),
+            p.avgGpuFrequency(),
+            p.avgShadersBusy(),
+            p.avgGpuBusBusy(),
+            p.avgTextureResidency(),
+            p.avgAieLoad(),
+            p.avgAieUtilization(),
+            p.avgAieFrequency(),
+            p.avgUsedMemory(),
+            p.avgStorageUtil(),
+            // The profiler reports read and write bandwidth as
+            // separate counters; both track controller utilization.
+            p.avgStorageUtil() * 0.6,
+            p.avgStorageUtil() * 0.4,
+        });
+    }
+    return m.normalizedByColumnMax();
+}
+
+bool
+CharacterizationPipeline::stressesAllCpuClusters(
+    const BenchmarkProfile &profile, double threshold)
+{
+    for (std::size_t c = 0; c < numClusters; ++c) {
+        if (profile.series.clusterLoad[c].fractionAbove(0.25) <
+            threshold) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<SubsetCandidate>
+CharacterizationPipeline::buildCandidates(
+    const std::vector<BenchmarkProfile> &profiles,
+    const std::vector<int> &labels,
+    const WorkloadRegistry &registry) const
+{
+    fatalIf(labels.size() != profiles.size(),
+            "labels/profiles size mismatch");
+    std::vector<SubsetCandidate> out;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const BenchmarkProfile &p = profiles[i];
+        SubsetCandidate c;
+        c.name = p.name;
+        c.suite = p.suite;
+        // Subset accounting uses the *planned* runtime (Table VI is
+        // built from nominal durations, not jittered measurements).
+        c.runtimeSeconds =
+            registry.unit(p.name).totalDurationSeconds();
+        c.cluster = labels[i];
+        c.avgAieLoad = p.avgAieLoad();
+        c.avgGpuLoad = p.avgGpuLoad();
+        c.stressesAllCpuClusters = stressesAllCpuClusters(
+            p, options.clusterStressThreshold);
+        c.requiresWholeSuite =
+            !registry.unit(p.name).individuallyExecutable();
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+CharacterizationReport
+CharacterizationPipeline::run(const WorkloadRegistry &registry) const
+{
+    CharacterizationReport report;
+    report.profiles = session.profileAll(registry);
+    report.fig1Metrics = buildFig1Metrics(report.profiles);
+    report.clusterFeatures = buildClusterFeatures(report.profiles);
+
+    // Fig. 4: cluster-count validation with three algorithms.
+    const KMeans kmeans;
+    const Pam pam;
+    const HierarchicalClustering hierarchical(Linkage::Average);
+    const ValidationSweep sweep(
+        {&kmeans, &pam, &hierarchical}, options.kMin, options.kMax);
+    report.validation = sweep.run(report.clusterFeatures);
+    report.chosenK = ValidationSweep::bestInternalK(report.validation);
+
+    // Figs. 5/6: flat clusterings at the chosen k.
+    report.kmeansLabels =
+        kmeans.fit(report.clusterFeatures, report.chosenK).labels;
+    report.pamLabels =
+        pam.fit(report.clusterFeatures, report.chosenK).labels;
+    report.hierarchicalLabels =
+        hierarchical.fit(report.clusterFeatures, report.chosenK).labels;
+    report.algorithmsAgree =
+        samePartition(report.kmeansLabels, report.pamLabels) &&
+        samePartition(report.kmeansLabels, report.hierarchicalLabels);
+
+    // Table VI: subsets. Built from the hierarchical labels (all
+    // three agree when algorithmsAgree holds).
+    const auto candidates = buildCandidates(
+        report.profiles, report.hierarchicalLabels, registry);
+    const SubsetBuilder builder(candidates);
+    report.fullRuntimeSeconds = builder.fullRuntimeSeconds();
+    report.naiveSubset = builder.naive();
+    report.selectSubset = builder.select();
+    report.selectPlusGpuSubset = builder.selectPlusGpu();
+
+    // Fig. 7 curves.
+    report.naiveCurve = incrementalDistanceCurve(
+        report.clusterFeatures, report.naiveSubset.members);
+    report.selectCurve = incrementalDistanceCurve(
+        report.clusterFeatures, report.selectSubset.members);
+    report.selectPlusGpuCurve = incrementalDistanceCurve(
+        report.clusterFeatures, report.selectPlusGpuSubset.members);
+
+    return report;
+}
+
+} // namespace mbs

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The end-to-end characterization pipeline.
+ *
+ * Reproduces the paper's full methodology: profile every benchmark
+ * unit (3 runs averaged, Antutu segmented), derive the Fig.-1 metric
+ * set, compute the Table-III correlation matrix, build the clustering
+ * feature space, sweep cluster-count validation (Fig. 4), cluster
+ * with three algorithms (Figs. 5/6), construct the three subsets
+ * (Table VI) and their representativeness curves (Fig. 7).
+ */
+
+#ifndef MBS_CORE_PIPELINE_HH
+#define MBS_CORE_PIPELINE_HH
+
+#include <vector>
+
+#include "cluster/validation.hh"
+#include "profiler/session.hh"
+#include "stats/correlation.hh"
+#include "subset/subset.hh"
+#include "workload/registry.hh"
+
+namespace mbs {
+
+/** Everything the paper's evaluation section derives. */
+struct CharacterizationReport
+{
+    /** Averaged profile per benchmark unit, registry order. */
+    std::vector<BenchmarkProfile> profiles;
+
+    /** Fig. 1: rows = benchmarks; cols = IC, IPC, cache MPKI,
+     *  branch MPKI, runtime. */
+    FeatureMatrix fig1Metrics;
+
+    /** Fig. 4 validation sweep points (3 algorithms x k range). */
+    std::vector<ValidationPoint> validation;
+    /** The k chosen by internal validation (paper: 5). */
+    int chosenK = 0;
+
+    /** Figs. 5/6: canonical labels per algorithm at chosenK,
+     *  profile order. */
+    std::vector<int> hierarchicalLabels;
+    std::vector<int> kmeansLabels;
+    std::vector<int> pamLabels;
+    /** True when all three algorithms produced the same partition. */
+    bool algorithmsAgree = false;
+
+    /** Behavioural feature matrix used for clustering/subsetting,
+     *  normalized by column maxima. */
+    FeatureMatrix clusterFeatures;
+
+    /** Table VI subsets. */
+    SubsetResult naiveSubset;
+    SubsetResult selectSubset;
+    SubsetResult selectPlusGpuSubset;
+    double fullRuntimeSeconds = 0.0;
+
+    /** Fig. 7 curves: distance after each incremental addition. */
+    std::vector<double> naiveCurve;
+    std::vector<double> selectCurve;
+    std::vector<double> selectPlusGpuCurve;
+};
+
+/** Pipeline options. */
+struct PipelineOptions
+{
+    ProfileOptions profile;
+    /** Cluster-count sweep bounds (Fig. 4 uses 2..10). */
+    int kMin = 2;
+    int kMax = 10;
+    /**
+     * Fraction of runtime a cluster must spend above 25% load for a
+     * benchmark to count as stressing it (subset Select rule).
+     */
+    double clusterStressThreshold = 0.30;
+};
+
+/**
+ * Orchestrates the full analysis.
+ */
+class CharacterizationPipeline
+{
+  public:
+    explicit CharacterizationPipeline(const SocConfig &config,
+                                      const PipelineOptions &options = {});
+
+    /** Run everything against @p registry. */
+    CharacterizationReport run(const WorkloadRegistry &registry) const;
+
+    /** Build the Fig.-1 metric matrix from profiles. */
+    static FeatureMatrix
+    buildFig1Metrics(const std::vector<BenchmarkProfile> &profiles);
+
+    /**
+     * Build the behavioural feature matrix used for clustering:
+     * averaged rate/load metrics (no size metrics like IC/runtime,
+     * which would cluster by length instead of behaviour),
+     * normalized by column maxima.
+     */
+    static FeatureMatrix
+    buildClusterFeatures(const std::vector<BenchmarkProfile> &profiles);
+
+    /**
+     * @return true when every CPU cluster spends at least
+     * @p threshold of the run above 25% load.
+     */
+    static bool stressesAllCpuClusters(const BenchmarkProfile &profile,
+                                       double threshold = 0.30);
+
+    /** Build the subset-candidate list. */
+    std::vector<SubsetCandidate>
+    buildCandidates(const std::vector<BenchmarkProfile> &profiles,
+                    const std::vector<int> &labels,
+                    const WorkloadRegistry &registry) const;
+
+  private:
+    ProfilerSession session;
+    PipelineOptions options;
+};
+
+} // namespace mbs
+
+#endif // MBS_CORE_PIPELINE_HH

@@ -1,0 +1,322 @@
+#include "report.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/sparkline.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "stats/histogram.hh"
+
+namespace mbs {
+
+namespace {
+
+const BenchmarkProfile &
+findProfile(const CharacterizationReport &report, const std::string &name)
+{
+    for (const auto &p : report.profiles) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("no profiled benchmark named '" + name + "'");
+}
+
+/** Global per-metric maxima across all benchmarks (Fig.-2 bounds). */
+struct Fig2Bounds
+{
+    double cpu = 0.0, gpu = 0.0, shaders = 0.0, bus = 0.0;
+    double aie = 0.0, mem = 0.0;
+};
+
+Fig2Bounds
+fig2Bounds(const CharacterizationReport &report)
+{
+    Fig2Bounds b;
+    for (const auto &p : report.profiles) {
+        b.cpu = std::max(b.cpu, p.series.cpuLoad.max());
+        b.gpu = std::max(b.gpu, p.series.gpuLoad.max());
+        b.shaders = std::max(b.shaders, p.series.shadersBusy.max());
+        b.bus = std::max(b.bus, p.series.gpuBusBusy.max());
+        b.aie = std::max(b.aie, p.series.aieLoad.max());
+        b.mem = std::max(b.mem, p.series.usedMemory.max());
+    }
+    return b;
+}
+
+} // namespace
+
+std::string
+renderTableI(const WorkloadRegistry &registry)
+{
+    TextTable t({"Benchmark Suite", "Benchmark", "Targeted HW",
+                 "Runtime"});
+    t.setAlign(3, Align::Right);
+    for (const auto &suite : registry.suites()) {
+        for (const auto &b : suite.benchmarks) {
+            t.addRow({suite.name, b.name(),
+                      hardwareTargetName(b.target()),
+                      units::formatSeconds(b.totalDurationSeconds())});
+        }
+    }
+    return "Table I: commercial mobile benchmark suites analyzed\n" +
+        t.render();
+}
+
+std::string
+renderTableII(const SocConfig &config)
+{
+    TextTable t({"Component", "Configuration"});
+    for (const auto &cl : config.clusters) {
+        t.addRow({cl.name,
+                  strformat("%dx @ up to %s (perf %.2f, L2 %s)",
+                            cl.cores,
+                            units::formatHz(cl.maxFreqHz).c_str(),
+                            cl.relativePerf,
+                            units::formatBytes(cl.l2Bytes).c_str())});
+    }
+    t.addRow({"L3 cache", units::formatBytes(config.cache.l3Bytes)});
+    t.addRow({"System-level cache",
+              units::formatBytes(config.cache.slcBytes)});
+    t.addRow({"GPU", config.gpu.name + " @ up to " +
+              units::formatHz(config.gpu.maxFreqHz)});
+    t.addRow({"AI engine", config.aie.name});
+    t.addRow({"Memory", units::formatBytes(config.memory.totalBytes)});
+    t.addRow({"Storage",
+              units::formatBytes(config.storage.capacityBytes)});
+    return "Table II: simulated hardware platform (" + config.name +
+        ")\n" + t.render();
+}
+
+std::string
+renderFig1(const CharacterizationReport &report)
+{
+    TextTable t({"Benchmark", "Group", "IC (B)", "IPC", "Cache MPKI",
+                 "Branch MPKI", "Runtime (s)"});
+    for (std::size_t c = 2; c < 7; ++c)
+        t.setAlign(c, Align::Right);
+    for (std::size_t i = 0; i < report.profiles.size(); ++i) {
+        const auto &p = report.profiles[i];
+        t.addRow({p.name,
+                  strformat("C%d", report.hierarchicalLabels[i]),
+                  strformat("%.1f", units::toBillions(p.instructions)),
+                  strformat("%.2f", p.ipc),
+                  strformat("%.1f", p.cacheMpki),
+                  strformat("%.2f", p.branchMpki),
+                  strformat("%.1f", p.runtimeSeconds)});
+    }
+    // Dashed-average row, mirroring the figure's dashed lines.
+    double ic = 0, ipc = 0, cm = 0, bm = 0, rt = 0;
+    const double n = double(report.profiles.size());
+    for (const auto &p : report.profiles) {
+        ic += units::toBillions(p.instructions) / n;
+        ipc += p.ipc / n;
+        cm += p.cacheMpki / n;
+        bm += p.branchMpki / n;
+        rt += p.runtimeSeconds / n;
+    }
+    t.addSeparator();
+    t.addRow({"average", "", strformat("%.1f", ic),
+              strformat("%.2f", ipc), strformat("%.1f", cm),
+              strformat("%.2f", bm), strformat("%.1f", rt)});
+    return "Fig. 1: benchmark metrics (averages as dashed lines)\n" +
+        t.render();
+}
+
+std::string
+renderTableIV()
+{
+    TextTable t({"Metric", "Explanation"});
+    t.addRow({"CPU Load",
+              "CPU frequency x CPU % utilization, per core"});
+    t.addRow({"GPU Load", "GPU frequency x GPU % utilization"});
+    t.addRow({"% Shaders Busy",
+              "share of time all shader cores are busy"});
+    t.addRow({"% GPU Bus Busy",
+              "share of time the GPU<->memory bus is busy"});
+    t.addRow({"AIE Load", "AIE frequency x AIE % utilization"});
+    t.addRow({"Used Memory",
+              "share of total system memory used (idle OS "
+              "baseline subtracted)"});
+    return "Table IV: performance metrics\n" + t.render();
+}
+
+std::string
+renderTableIII(const CharacterizationReport &report)
+{
+    const CorrelationMatrix corr(report.fig1Metrics);
+    return "Table III: correlation values between metrics\n" +
+        corr.renderLowerTriangle();
+}
+
+std::string
+renderFig2(const CharacterizationReport &report,
+           const std::string &benchmark, std::size_t width)
+{
+    const BenchmarkProfile &p = findProfile(report, benchmark);
+    const Fig2Bounds bounds = fig2Bounds(report);
+
+    auto strip = [width](const std::string &label, const TimeSeries &s,
+                         double bound) {
+        const TimeSeries norm = s.normalizedBy(bound);
+        return strformat("%-14s |%s| avg %.2f\n", label.c_str(),
+                         thresholdStrip(norm.values(), width).c_str(),
+                         norm.mean());
+    };
+
+    std::string out = "Fig. 2 (" + benchmark +
+        "): '#' = normalized value > 0.5\n";
+    out += strip("CPU Load", p.series.cpuLoad, bounds.cpu);
+    out += strip("GPU Load", p.series.gpuLoad, bounds.gpu);
+    out += strip("% Shaders", p.series.shadersBusy, bounds.shaders);
+    out += strip("% GPU Bus", p.series.gpuBusBusy, bounds.bus);
+    out += strip("AIE Load", p.series.aieLoad, bounds.aie);
+    out += strip("Used Memory", p.series.usedMemory, bounds.mem);
+    return out;
+}
+
+std::string
+renderFig3(const CharacterizationReport &report,
+           const std::string &benchmark, std::size_t width)
+{
+    const BenchmarkProfile &p = findProfile(report, benchmark);
+    std::string out = "Fig. 3 (" + benchmark +
+        "): load levels ' '<25% '-'<50% '='<75% '#'>=75%\n";
+    static const ClusterId order[] = {ClusterId::Big, ClusterId::Mid,
+                                      ClusterId::Little};
+    for (ClusterId id : order) {
+        const auto &series = p.series.clusterLoad[std::size_t(id)];
+        out += strformat("%-11s |%s|\n", clusterName(id).c_str(),
+                         loadLevelStrip(series.values(), width).c_str());
+    }
+    return out;
+}
+
+std::array<std::array<double, 4>, numClusters>
+loadLevelShares(const CharacterizationReport &report)
+{
+    std::array<std::array<double, 4>, numClusters> shares{};
+    // Equal weight per benchmark, as the paper averages "across all
+    // benchmarks" rather than pooling samples (which would let the
+    // longest benchmark dominate).
+    for (std::size_t c = 0; c < numClusters; ++c) {
+        for (const auto &p : report.profiles) {
+            Histogram h(0.0, 1.0, 4);
+            h.addAll(p.series.clusterLoad[c].values());
+            const auto f = h.fractions();
+            for (std::size_t level = 0; level < 4; ++level) {
+                shares[c][level] +=
+                    f[level] / double(report.profiles.size());
+            }
+        }
+    }
+    return shares;
+}
+
+std::string
+renderTableV(const CharacterizationReport &report)
+{
+    const auto shares = loadLevelShares(report);
+    TextTable t({"CPU Cluster", "0%-25%", "25%-50%", "50%-75%",
+                 "75%-100%"});
+    for (std::size_t c = 1; c < 5; ++c)
+        t.setAlign(c, Align::Right);
+    for (std::size_t c = 0; c < numClusters; ++c) {
+        t.addRow({clusterName(ClusterId(c)),
+                  units::formatPercent(shares[c][0], 0),
+                  units::formatPercent(shares[c][1], 0),
+                  units::formatPercent(shares[c][2], 0),
+                  units::formatPercent(shares[c][3], 0)});
+    }
+    return "Table V: execution-time share per CPU-cluster load level\n" +
+        t.render();
+}
+
+std::string
+renderFig4(const CharacterizationReport &report)
+{
+    TextTable t({"Algorithm", "k", "Dunn", "Silhouette",
+                 "Connectivity", "APN", "AD"});
+    for (std::size_t c = 1; c < 7; ++c)
+        t.setAlign(c, Align::Right);
+    std::string last_algo;
+    for (const auto &point : report.validation) {
+        if (!last_algo.empty() && point.algorithm != last_algo)
+            t.addSeparator();
+        last_algo = point.algorithm;
+        t.addRow({point.algorithm, strformat("%d", point.k),
+                  strformat("%.3f", point.dunn),
+                  strformat("%.3f", point.silhouette),
+                  strformat("%.2f", point.connectivity),
+                  strformat("%.3f", point.apn),
+                  strformat("%.3f", point.ad)});
+    }
+    return strformat("Fig. 4: cluster-count validation "
+                     "(chosen k = %d; Dunn/Silhouette higher better, "
+                     "APN/AD lower better)\n",
+                     report.chosenK) + t.render();
+}
+
+std::string
+renderFig5And6(const CharacterizationReport &report)
+{
+    TextTable t({"Benchmark", "Hierarchical", "K-Means", "PAM"});
+    for (std::size_t i = 0; i < report.profiles.size(); ++i) {
+        t.addRow({report.profiles[i].name,
+                  strformat("C%d", report.hierarchicalLabels[i]),
+                  strformat("C%d", report.kmeansLabels[i]),
+                  strformat("C%d", report.pamLabels[i])});
+    }
+    std::string out = strformat(
+        "Figs. 5/6: benchmark clusters at k = %d (algorithms %s)\n",
+        report.chosenK,
+        report.algorithmsAgree ? "agree" : "DISAGREE");
+    return out + t.render();
+}
+
+std::string
+renderTableVI(const CharacterizationReport &report)
+{
+    TextTable t({"Set", "Members", "Running Time (s)", "Reduction"});
+    t.setAlign(2, Align::Right);
+    t.setAlign(3, Align::Right);
+    t.addRow({"Original Set",
+              strformat("%zu", report.profiles.size()),
+              strformat("%.1f", report.fullRuntimeSeconds), "-"});
+    for (const SubsetResult *s :
+         {&report.naiveSubset, &report.selectSubset,
+          &report.selectPlusGpuSubset}) {
+        t.addRow({s->strategy, strformat("%zu", s->members.size()),
+                  strformat("%.2f", s->runtimeSeconds),
+                  units::formatPercent(s->runtimeReduction)});
+    }
+    std::string out = "Table VI: running times and reductions\n" +
+        t.render();
+    for (const SubsetResult *s :
+         {&report.naiveSubset, &report.selectSubset,
+          &report.selectPlusGpuSubset}) {
+        out += s->strategy + ": " + join(s->members, ", ") + "\n";
+    }
+    return out;
+}
+
+std::string
+renderFig7(const CharacterizationReport &report)
+{
+    TextTable t({"Step", "Naive", "Select", "Select+GPU"});
+    for (std::size_t c = 1; c < 4; ++c)
+        t.setAlign(c, Align::Right);
+    const std::size_t n = report.naiveCurve.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        t.addRow({strformat("%zu", i + 1),
+                  strformat("%.2f", report.naiveCurve[i]),
+                  strformat("%.2f", report.selectCurve[i]),
+                  strformat("%.2f", report.selectPlusGpuCurve[i])});
+    }
+    return "Fig. 7: total minimum Euclidean distance vs subset size\n" +
+        t.render();
+}
+
+} // namespace mbs

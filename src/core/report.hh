@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Text rendering of every table and figure the paper reports, used by
+ * the bench binaries and examples so the reproduction output is easy
+ * to compare against the publication.
+ */
+
+#ifndef MBS_CORE_REPORT_HH
+#define MBS_CORE_REPORT_HH
+
+#include <string>
+
+#include "core/pipeline.hh"
+
+namespace mbs {
+
+/** Table I: suite overview (names, targeted hardware). */
+std::string renderTableI(const WorkloadRegistry &registry);
+
+/** Table II: the simulated hardware platform. */
+std::string renderTableII(const SocConfig &config);
+
+/** Fig. 1: per-benchmark IC/IPC/MPKI/runtime with cluster groups. */
+std::string renderFig1(const CharacterizationReport &report);
+
+/** Table IV: the key performance-metric definitions. */
+std::string renderTableIV();
+
+/** Table III: metric correlation matrix (lower triangle). */
+std::string renderTableIII(const CharacterizationReport &report);
+
+/**
+ * Fig. 2: normalized temporal strips for the six key metrics of one
+ * benchmark; '#' marks samples above 0.5 of the global maximum.
+ *
+ * @param report Full report (supplies the global normalization
+ *        bounds across all benchmarks, as the paper does).
+ * @param benchmark Unit to render.
+ * @param width Strip width in characters.
+ */
+std::string renderFig2(const CharacterizationReport &report,
+                       const std::string &benchmark,
+                       std::size_t width = 72);
+
+/** Fig. 3: per-cluster load-level strips for one benchmark. */
+std::string renderFig3(const CharacterizationReport &report,
+                       const std::string &benchmark,
+                       std::size_t width = 72);
+
+/** Table V: average time share of each cluster per load level. */
+std::string renderTableV(const CharacterizationReport &report);
+
+/** Fig. 4: validation measures per algorithm and k. */
+std::string renderFig4(const CharacterizationReport &report);
+
+/** Figs. 5/6: cluster memberships per algorithm at the chosen k. */
+std::string renderFig5And6(const CharacterizationReport &report);
+
+/** Table VI: subset runtimes and reductions. */
+std::string renderTableVI(const CharacterizationReport &report);
+
+/** Fig. 7: incremental total-minimum-Euclidean-distance curves. */
+std::string renderFig7(const CharacterizationReport &report);
+
+/**
+ * Table V data: fractions[cluster][level] of execution time, averaged
+ * over all benchmarks. Exposed for tests and benches.
+ */
+std::array<std::array<double, 4>, numClusters>
+loadLevelShares(const CharacterizationReport &report);
+
+} // namespace mbs
+
+#endif // MBS_CORE_REPORT_HH

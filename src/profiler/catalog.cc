@@ -1,0 +1,442 @@
+#include "catalog.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace mbs {
+
+namespace {
+
+/** Short cluster tag for counter names: "little", "mid", "big". */
+const char *
+clusterTag(std::size_t c)
+{
+    switch (c) {
+      case 0:
+        return "little";
+      case 1:
+        return "mid";
+      case 2:
+        return "big";
+      default:
+        panic("cluster index out of range");
+    }
+}
+
+} // namespace
+
+std::string
+counterCategoryName(CounterCategory category)
+{
+    switch (category) {
+      case CounterCategory::Cpu:
+        return "CPU";
+      case CounterCategory::Gpu:
+        return "GPU";
+      case CounterCategory::Aie:
+        return "AIE";
+      case CounterCategory::Memory:
+        return "Memory";
+      case CounterCategory::Storage:
+        return "Storage";
+      case CounterCategory::Thermal:
+        return "Thermal";
+    }
+    panic("unknown counter category");
+}
+
+CounterCatalog::CounterCatalog(const SocConfig &config)
+{
+    addCpuCounters(config);
+    addGpuCounters(config);
+    addAieCounters(config);
+    addMemoryCounters(config);
+    addStorageCounters(config);
+    addThermalCounters(config);
+}
+
+void
+CounterCatalog::add(std::string name, CounterCategory category,
+                    std::string unit,
+                    std::function<double(const CounterFrame &)> extract)
+{
+    panicIf(has(name), "duplicate counter '" + name + "'");
+    counterList.push_back(CounterDescriptor{
+        std::move(name), category, std::move(unit), std::move(extract)});
+}
+
+void
+CounterCatalog::addCpuCounters(const SocConfig &config)
+{
+    // Aggregate CPU counters.
+    add("cpu.load", CounterCategory::Cpu, "ratio",
+        [](const CounterFrame &f) { return f.cpuLoad; });
+    add("cpu.instructions", CounterCategory::Cpu, "count",
+        [](const CounterFrame &f) { return f.instructions; });
+    add("cpu.cycles", CounterCategory::Cpu, "count",
+        [](const CounterFrame &f) { return f.cycles; });
+    add("cpu.ipc", CounterCategory::Cpu, "ratio",
+        [](const CounterFrame &f) { return f.ipc; });
+    add("cpu.cpi", CounterCategory::Cpu, "ratio",
+        [](const CounterFrame &f) {
+            return f.ipc > 0.0 ? 1.0 / f.ipc : 0.0;
+        });
+    add("cpu.branch.mispredicts", CounterCategory::Cpu, "count",
+        [](const CounterFrame &f) { return f.branchMispredicts; });
+    add("cpu.branch.mpki", CounterCategory::Cpu, "per-kiloinst",
+        [](const CounterFrame &f) {
+            return f.instructions > 0.0
+                ? f.branchMispredicts / f.instructions * 1000.0 : 0.0;
+        });
+
+    // Cache counters per level plus totals.
+    static const char *levels[] = {"l1", "l2", "l3", "slc"};
+    for (std::size_t lvl = 0; lvl < 4; ++lvl) {
+        add(strformat("cpu.cache.%s.misses", levels[lvl]),
+            CounterCategory::Cpu, "count",
+            [lvl](const CounterFrame &f) {
+                return f.cacheMissesByLevel[lvl];
+            });
+        add(strformat("cpu.cache.%s.mpki", levels[lvl]),
+            CounterCategory::Cpu, "per-kiloinst",
+            [lvl](const CounterFrame &f) {
+                return f.instructions > 0.0
+                    ? f.cacheMissesByLevel[lvl] / f.instructions * 1000.0
+                    : 0.0;
+            });
+    }
+    add("cpu.cache.total.misses", CounterCategory::Cpu, "count",
+        [](const CounterFrame &f) { return f.cacheMisses; });
+    add("cpu.cache.total.mpki", CounterCategory::Cpu, "per-kiloinst",
+        [](const CounterFrame &f) {
+            return f.instructions > 0.0
+                ? f.cacheMisses / f.instructions * 1000.0 : 0.0;
+        });
+
+    std::array<int, numClusters> core_counts{};
+    for (std::size_t c = 0; c < numClusters; ++c)
+        core_counts[c] = config.clusters[c].cores;
+    add("cpu.utilization", CounterCategory::Cpu, "ratio",
+        [core_counts](const CounterFrame &f) {
+            double sum = 0.0;
+            int cores = 0;
+            for (std::size_t c = 0; c < numClusters; ++c) {
+                sum += f.clusterUtilization[c] *
+                    double(core_counts[c]);
+                cores += core_counts[c];
+            }
+            return cores > 0 ? sum / double(cores) : 0.0;
+        });
+    add("cpu.mem.accesses", CounterCategory::Cpu, "count",
+        [](const CounterFrame &f) { return f.instructions * 0.33; });
+    add("cpu.branch.count", CounterCategory::Cpu, "count",
+        [](const CounterFrame &f) { return f.instructions * 0.16; });
+    add("cpu.mem.bandwidth.proxy", CounterCategory::Cpu, "bytes/s",
+        [](const CounterFrame &f) { return f.cacheMisses * 64.0; });
+
+    // Per-cluster counters.
+    for (std::size_t c = 0; c < numClusters; ++c) {
+        const std::string prefix = strformat("cpu.%s", clusterTag(c));
+        const double max_freq = config.clusters[c].maxFreqHz;
+        add(prefix + ".utilization", CounterCategory::Cpu, "ratio",
+            [c](const CounterFrame &f) {
+                return f.clusterUtilization[c];
+            });
+        add(prefix + ".frequency", CounterCategory::Cpu, "Hz",
+            [c](const CounterFrame &f) {
+                return f.clusterFrequencyHz[c];
+            });
+        add(prefix + ".load", CounterCategory::Cpu, "ratio",
+            [c](const CounterFrame &f) { return f.clusterLoad[c]; });
+        add(prefix + ".threads", CounterCategory::Cpu, "count",
+            [c](const CounterFrame &f) {
+                return double(f.clusterThreads[c]);
+            });
+        add(prefix + ".ipc", CounterCategory::Cpu, "ratio",
+            [](const CounterFrame &f) { return f.ipc; });
+        add(prefix + ".cpi", CounterCategory::Cpu, "ratio",
+            [](const CounterFrame &f) {
+                return f.ipc > 0.0 ? 1.0 / f.ipc : 0.0;
+            });
+        add(prefix + ".instructions", CounterCategory::Cpu, "count",
+            [c](const CounterFrame &f) {
+                return f.instructions * f.clusterUtilization[c];
+            });
+        add(prefix + ".cycles", CounterCategory::Cpu, "count",
+            [c](const CounterFrame &f) {
+                return f.cycles * f.clusterUtilization[c];
+            });
+        add(prefix + ".cache.misses", CounterCategory::Cpu, "count",
+            [c](const CounterFrame &f) {
+                return f.cacheMisses * f.clusterUtilization[c];
+            });
+        add(prefix + ".branch.mispredicts", CounterCategory::Cpu,
+            "count",
+            [c](const CounterFrame &f) {
+                return f.branchMispredicts * f.clusterUtilization[c];
+            });
+        add(prefix + ".dvfs.at.max", CounterCategory::Cpu, "ratio",
+            [c, max_freq](const CounterFrame &f) {
+                return f.clusterFrequencyHz[c] >= max_freq * 0.999
+                    ? 1.0 : 0.0;
+            });
+    }
+
+    // Per-core counters, synthesized from cluster state: the paper
+    // observes that cores in a cluster have near-identical loads.
+    int core_id = 0;
+    for (std::size_t c = 0; c < numClusters; ++c) {
+        const int cores = config.clusters[c].cores;
+        for (int k = 0; k < cores; ++k, ++core_id) {
+            const std::string prefix =
+                strformat("cpu.core%d", core_id);
+            const double share = 1.0 / double(config.totalCores());
+            add(prefix + ".utilization", CounterCategory::Cpu, "ratio",
+                [c](const CounterFrame &f) {
+                    return f.clusterUtilization[c];
+                });
+            add(prefix + ".frequency", CounterCategory::Cpu, "Hz",
+                [c](const CounterFrame &f) {
+                    return f.clusterFrequencyHz[c];
+                });
+            add(prefix + ".load", CounterCategory::Cpu, "ratio",
+                [c](const CounterFrame &f) {
+                    return f.clusterLoad[c];
+                });
+            add(prefix + ".instructions", CounterCategory::Cpu,
+                "count",
+                [share](const CounterFrame &f) {
+                    return f.instructions * share;
+                });
+            add(prefix + ".cycles", CounterCategory::Cpu, "count",
+                [share](const CounterFrame &f) {
+                    return f.cycles * share;
+                });
+            add(prefix + ".ipc", CounterCategory::Cpu, "ratio",
+                [](const CounterFrame &f) { return f.ipc; });
+            add(prefix + ".cache.misses", CounterCategory::Cpu,
+                "count",
+                [share](const CounterFrame &f) {
+                    return f.cacheMisses * share;
+                });
+            add(prefix + ".cache.l1.misses", CounterCategory::Cpu,
+                "count",
+                [share](const CounterFrame &f) {
+                    return f.cacheMissesByLevel[0] * share;
+                });
+            add(prefix + ".cache.l2.misses", CounterCategory::Cpu,
+                "count",
+                [share](const CounterFrame &f) {
+                    return f.cacheMissesByLevel[1] * share;
+                });
+            add(prefix + ".branch.mispredicts", CounterCategory::Cpu,
+                "count",
+                [share](const CounterFrame &f) {
+                    return f.branchMispredicts * share;
+                });
+            add(prefix + ".branch.mpki", CounterCategory::Cpu,
+                "per-kiloinst",
+                [](const CounterFrame &f) {
+                    return f.instructions > 0.0
+                        ? f.branchMispredicts / f.instructions * 1000.0
+                        : 0.0;
+                });
+        }
+    }
+}
+
+void
+CounterCatalog::addGpuCounters(const SocConfig &config)
+{
+    add("gpu.utilization", CounterCategory::Gpu, "ratio",
+        [](const CounterFrame &f) { return f.gpu.utilization; });
+    add("gpu.frequency", CounterCategory::Gpu, "Hz",
+        [](const CounterFrame &f) { return f.gpu.frequencyHz; });
+    add("gpu.load", CounterCategory::Gpu, "ratio",
+        [](const CounterFrame &f) { return f.gpu.load; });
+    add("gpu.shaders.busy", CounterCategory::Gpu, "ratio",
+        [](const CounterFrame &f) { return f.gpu.shadersBusy; });
+    add("gpu.shaders.stalled", CounterCategory::Gpu, "ratio",
+        [](const CounterFrame &f) {
+            return f.gpu.utilization - f.gpu.shadersBusy >= 0.0
+                ? f.gpu.utilization - f.gpu.shadersBusy : 0.0;
+        });
+    add("gpu.bus.busy", CounterCategory::Gpu, "ratio",
+        [](const CounterFrame &f) { return f.gpu.busBusy; });
+    add("gpu.texture.bytes", CounterCategory::Gpu, "bytes",
+        [](const CounterFrame &f) {
+            return double(f.gpu.textureBytes);
+        });
+    add("gpu.l1tex.miss.proxy", CounterCategory::Gpu, "ratio",
+        [](const CounterFrame &f) {
+            // Texture L1 pressure follows streaming bandwidth.
+            return f.gpu.busBusy * 0.8;
+        });
+    // Per-shader-core busy counters.
+    for (int s = 0; s < config.gpu.shaderCores; ++s) {
+        add(strformat("gpu.shader%d.busy", s), CounterCategory::Gpu,
+            "ratio",
+            [](const CounterFrame &f) { return f.gpu.shadersBusy; });
+    }
+    // Pipeline-stage utilization proxies the real tool exposes.
+    static const char *stages[] = {
+        "vertex.fetch", "tess", "fragment.alu", "fragment.tex",
+        "rop", "dispatch"
+    };
+    for (const char *stage : stages) {
+        add(strformat("gpu.stage.%s.busy", stage),
+            CounterCategory::Gpu, "ratio",
+            [](const CounterFrame &f) {
+                return f.gpu.utilization;
+            });
+        add(strformat("gpu.stage.%s.stalled", stage),
+            CounterCategory::Gpu, "ratio",
+            [](const CounterFrame &f) {
+                return f.gpu.busBusy * 0.3;
+            });
+    }
+    add("gpu.bus.read.busy", CounterCategory::Gpu, "ratio",
+        [](const CounterFrame &f) { return f.gpu.busBusy * 0.7; });
+    add("gpu.bus.write.busy", CounterCategory::Gpu, "ratio",
+        [](const CounterFrame &f) { return f.gpu.busBusy * 0.3; });
+    add("gpu.frames.proxy", CounterCategory::Gpu, "count",
+        [](const CounterFrame &f) { return f.gpu.load * 60.0; });
+    add("gpu.drawcalls.proxy", CounterCategory::Gpu, "count",
+        [](const CounterFrame &f) {
+            return f.gpu.utilization * 500.0;
+        });
+}
+
+void
+CounterCatalog::addAieCounters(const SocConfig &)
+{
+    add("aie.utilization", CounterCategory::Aie, "ratio",
+        [](const CounterFrame &f) { return f.aie.utilization; });
+    add("aie.frequency", CounterCategory::Aie, "Hz",
+        [](const CounterFrame &f) { return f.aie.frequencyHz; });
+    add("aie.load", CounterCategory::Aie, "ratio",
+        [](const CounterFrame &f) { return f.aie.load; });
+    add("aie.cpu.bounce", CounterCategory::Aie, "ratio",
+        [](const CounterFrame &f) { return f.aie.cpuBounceDemand; });
+    // Execution-unit splits the real tool exposes for the DSP.
+    add("aie.vector.utilization", CounterCategory::Aie, "ratio",
+        [](const CounterFrame &f) {
+            return f.aie.utilization * 0.7;
+        });
+    add("aie.scalar.utilization", CounterCategory::Aie, "ratio",
+        [](const CounterFrame &f) {
+            return f.aie.utilization * 0.25;
+        });
+    add("aie.tensor.utilization", CounterCategory::Aie, "ratio",
+        [](const CounterFrame &f) {
+            return f.aie.utilization * 0.5;
+        });
+}
+
+void
+CounterCatalog::addMemoryCounters(const SocConfig &config)
+{
+    add("mem.used.bytes", CounterCategory::Memory, "bytes",
+        [](const CounterFrame &f) {
+            return double(f.memory.usedBytes);
+        });
+    add("mem.used.fraction", CounterCategory::Memory, "ratio",
+        [](const CounterFrame &f) { return f.memory.usedFraction; });
+    const double idle = double(config.memory.idleBytes);
+    const double total = double(config.memory.totalBytes);
+    add("mem.used.minus.idle.bytes", CounterCategory::Memory, "bytes",
+        [idle](const CounterFrame &f) {
+            const double used = double(f.memory.usedBytes) - idle;
+            return used > 0.0 ? used : 0.0;
+        });
+    add("mem.used.minus.idle.fraction", CounterCategory::Memory,
+        "ratio",
+        [idle, total](const CounterFrame &f) {
+            const double used = double(f.memory.usedBytes) - idle;
+            return used > 0.0 ? used / total : 0.0;
+        });
+    add("mem.free.bytes", CounterCategory::Memory, "bytes",
+        [total](const CounterFrame &f) {
+            return total - double(f.memory.usedBytes);
+        });
+    add("mem.idle.baseline.bytes", CounterCategory::Memory, "bytes",
+        [idle](const CounterFrame &) { return idle; });
+}
+
+void
+CounterCatalog::addStorageCounters(const SocConfig &)
+{
+    add("storage.bandwidth", CounterCategory::Storage, "bytes/s",
+        [](const CounterFrame &f) { return f.storage.bandwidth; });
+    add("storage.utilization", CounterCategory::Storage, "ratio",
+        [](const CounterFrame &f) { return f.storage.utilization; });
+    add("storage.read.bandwidth", CounterCategory::Storage, "bytes/s",
+        [](const CounterFrame &f) {
+            return f.storage.bandwidth * 0.6;
+        });
+    add("storage.write.bandwidth", CounterCategory::Storage, "bytes/s",
+        [](const CounterFrame &f) {
+            return f.storage.bandwidth * 0.4;
+        });
+}
+
+void
+CounterCatalog::addThermalCounters(const SocConfig &)
+{
+    // Crude activity-proxy temperatures. Present because the real
+    // tool reports them; the paper's limitations exclude them from
+    // analysis (no battery/casing on the development board).
+    add("thermal.cpu.degC", CounterCategory::Thermal, "degC",
+        [](const CounterFrame &f) {
+            return 35.0 + 40.0 * f.cpuLoad;
+        });
+    add("thermal.gpu.degC", CounterCategory::Thermal, "degC",
+        [](const CounterFrame &f) {
+            return 35.0 + 35.0 * f.gpu.load;
+        });
+    add("thermal.soc.degC", CounterCategory::Thermal, "degC",
+        [](const CounterFrame &f) {
+            return 35.0 + 25.0 * (f.cpuLoad + f.gpu.load +
+                                  f.aie.load) / 3.0;
+        });
+    for (std::size_t c = 0; c < numClusters; ++c) {
+        add(strformat("thermal.cpu.%s.degC", clusterTag(c)),
+            CounterCategory::Thermal, "degC",
+            [c](const CounterFrame &f) {
+                return 35.0 + 42.0 * f.clusterLoad[c];
+            });
+    }
+}
+
+const CounterDescriptor &
+CounterCatalog::find(const std::string &name) const
+{
+    for (const auto &c : counterList) {
+        if (c.name == name)
+            return c;
+    }
+    fatal("no counter named '" + name + "'");
+}
+
+bool
+CounterCatalog::has(const std::string &name) const
+{
+    for (const auto &c : counterList) {
+        if (c.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<const CounterDescriptor *>
+CounterCatalog::inCategory(CounterCategory category) const
+{
+    std::vector<const CounterDescriptor *> out;
+    for (const auto &c : counterList) {
+        if (c.category == category)
+            out.push_back(&c);
+    }
+    return out;
+}
+
+} // namespace mbs

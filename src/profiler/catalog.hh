@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Hardware performance counter catalog.
+ *
+ * The real-time profiler the paper uses exposes 190+ metrics across
+ * CPU (cores, caches, branch predictor), GPU (cores, shaders, memory,
+ * stalls) and AIE/system-memory/temperature categories. This catalog
+ * reproduces that surface: every counter has a name, category, unit
+ * and an extractor that reads it out of a simulator CounterFrame.
+ */
+
+#ifndef MBS_PROFILER_CATALOG_HH
+#define MBS_PROFILER_CATALOG_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "soc/config.hh"
+#include "soc/counters.hh"
+
+namespace mbs {
+
+/** Top-level counter categories, mirroring the profiler's grouping. */
+enum class CounterCategory
+{
+    Cpu,
+    Gpu,
+    Aie,
+    Memory,
+    Storage,
+    Thermal,
+};
+
+/** @return printable category name. */
+std::string counterCategoryName(CounterCategory category);
+
+/** One hardware performance counter. */
+struct CounterDescriptor
+{
+    /** Unique name, e.g. "cpu.big.core0.load". */
+    std::string name;
+    CounterCategory category = CounterCategory::Cpu;
+    /** Unit string, e.g. "Hz", "ratio", "count", "bytes", "degC". */
+    std::string unit;
+    /** Reads the counter value out of one frame. */
+    std::function<double(const CounterFrame &)> extract;
+};
+
+/**
+ * Catalog of all counters available for a given SoC.
+ *
+ * Per-core counters are synthesized from cluster state (cores within
+ * a cluster behave near-identically, as the paper notes); thermal
+ * counters are crude activity proxies, present because the real tool
+ * reports them, excluded from analysis as the paper's limitations
+ * section explains.
+ */
+class CounterCatalog
+{
+  public:
+    explicit CounterCatalog(const SocConfig &config);
+
+    const std::vector<CounterDescriptor> &counters() const
+    {
+        return counterList;
+    }
+
+    std::size_t size() const { return counterList.size(); }
+
+    /** @return the descriptor named @p name; fatal() if absent. */
+    const CounterDescriptor &find(const std::string &name) const;
+
+    /** @return true if a counter named @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** @return all counters in @p category. */
+    std::vector<const CounterDescriptor *>
+    inCategory(CounterCategory category) const;
+
+  private:
+    void addCpuCounters(const SocConfig &config);
+    void addGpuCounters(const SocConfig &config);
+    void addAieCounters(const SocConfig &config);
+    void addMemoryCounters(const SocConfig &config);
+    void addStorageCounters(const SocConfig &config);
+    void addThermalCounters(const SocConfig &config);
+
+    void add(std::string name, CounterCategory category,
+             std::string unit,
+             std::function<double(const CounterFrame &)> extract);
+
+    std::vector<CounterDescriptor> counterList;
+};
+
+} // namespace mbs
+
+#endif // MBS_PROFILER_CATALOG_HH

@@ -1,0 +1,266 @@
+#include "session.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/strings.hh"
+
+namespace mbs {
+
+namespace {
+
+/** Deterministic per-(benchmark, run) seed derivation. */
+std::uint64_t
+runSeed(std::uint64_t master, const std::string &bench_name, int run)
+{
+    std::uint64_t h = master;
+    for (char c : bench_name)
+        h = h * 1099511628211ULL + static_cast<unsigned char>(c);
+    SplitMix64 sm(h ^ (0x9e3779b97f4a7c15ULL * std::uint64_t(run + 1)));
+    return sm.next();
+}
+
+} // namespace
+
+ProfilerSession::ProfilerSession(const SocConfig &config,
+                                 const ProfileOptions &options)
+    : simulator(config), opts(options), counterCatalog(config)
+{
+    fatalIf(opts.runs < 1, "a session needs at least one run");
+    fatalIf(opts.tickSeconds <= 0.0,
+            "the sampling interval must be positive");
+}
+
+BenchmarkProfile
+ProfilerSession::extractProfile(
+    const Benchmark &benchmark,
+    const std::vector<const CounterFrame *> &frames) const
+{
+    BenchmarkProfile p;
+    p.name = benchmark.name();
+    p.suite = benchmark.suiteName();
+    p.runtimeSeconds = double(frames.size()) * opts.tickSeconds;
+
+    const double idle = double(config().memory.idleBytes);
+    const double total = double(config().memory.totalBytes);
+
+    std::vector<double> cpu_load, gpu_load, shaders, bus, aie_load, mem;
+    std::vector<double> storage_util;
+    std::vector<double> gpu_util, gpu_freq, aie_util, aie_freq, tex;
+    std::array<std::vector<double>, numClusters> cluster;
+    cpu_load.reserve(frames.size());
+
+    double cycles = 0.0;
+    for (const CounterFrame *f : frames) {
+        p.instructions += f->instructions;
+        cycles += f->cycles;
+        p.cacheMpki += f->cacheMisses;
+        p.branchMpki += f->branchMispredicts;
+
+        cpu_load.push_back(f->cpuLoad);
+        gpu_load.push_back(f->gpu.load);
+        shaders.push_back(f->gpu.shadersBusy);
+        bus.push_back(f->gpu.busBusy);
+        aie_load.push_back(f->aie.load);
+        const double used =
+            std::max(0.0, double(f->memory.usedBytes) - idle);
+        mem.push_back(used / total);
+        storage_util.push_back(f->storage.utilization);
+        gpu_util.push_back(f->gpu.utilization);
+        gpu_freq.push_back(
+            f->gpu.frequencyHz / config().gpu.maxFreqHz);
+        aie_util.push_back(f->aie.utilization);
+        aie_freq.push_back(
+            f->aie.frequencyHz / config().aie.maxFreqHz);
+        tex.push_back(double(f->gpu.textureBytes) / total);
+        for (std::size_t c = 0; c < numClusters; ++c)
+            cluster[c].push_back(f->clusterLoad[c]);
+    }
+
+    p.ipc = cycles > 0.0 ? p.instructions / cycles : 0.0;
+    p.cacheMpki = p.instructions > 0.0
+        ? p.cacheMpki / p.instructions * 1000.0 : 0.0;
+    p.branchMpki = p.instructions > 0.0
+        ? p.branchMpki / p.instructions * 1000.0 : 0.0;
+
+    const double dt = opts.tickSeconds;
+    p.series.cpuLoad = TimeSeries(dt, std::move(cpu_load));
+    p.series.gpuLoad = TimeSeries(dt, std::move(gpu_load));
+    p.series.shadersBusy = TimeSeries(dt, std::move(shaders));
+    p.series.gpuBusBusy = TimeSeries(dt, std::move(bus));
+    p.series.aieLoad = TimeSeries(dt, std::move(aie_load));
+    p.series.usedMemory = TimeSeries(dt, std::move(mem));
+    p.series.storageUtil = TimeSeries(dt, std::move(storage_util));
+    p.series.gpuUtilization = TimeSeries(dt, std::move(gpu_util));
+    p.series.gpuFrequency = TimeSeries(dt, std::move(gpu_freq));
+    p.series.aieUtilization = TimeSeries(dt, std::move(aie_util));
+    p.series.aieFrequency = TimeSeries(dt, std::move(aie_freq));
+    p.series.textureResidency = TimeSeries(dt, std::move(tex));
+    for (std::size_t c = 0; c < numClusters; ++c)
+        p.series.clusterLoad[c] = TimeSeries(dt, std::move(cluster[c]));
+    return p;
+}
+
+BenchmarkProfile
+ProfilerSession::averageRuns(const std::vector<BenchmarkProfile> &runs)
+{
+    panicIf(runs.empty(), "cannot average zero profiling runs");
+    BenchmarkProfile out;
+    out.name = runs.front().name;
+    out.suite = runs.front().suite;
+
+    const double n = double(runs.size());
+    std::vector<TimeSeries> cpu, gpu, sh, bus, aie, mem, sto;
+    std::vector<TimeSeries> gu, gf, au, af, tx;
+    std::array<std::vector<TimeSeries>, numClusters> cluster;
+    for (const auto &r : runs) {
+        out.runtimeSeconds += r.runtimeSeconds / n;
+        out.instructions += r.instructions / n;
+        out.ipc += r.ipc / n;
+        out.cacheMpki += r.cacheMpki / n;
+        out.branchMpki += r.branchMpki / n;
+        cpu.push_back(r.series.cpuLoad);
+        gpu.push_back(r.series.gpuLoad);
+        sh.push_back(r.series.shadersBusy);
+        bus.push_back(r.series.gpuBusBusy);
+        aie.push_back(r.series.aieLoad);
+        mem.push_back(r.series.usedMemory);
+        sto.push_back(r.series.storageUtil);
+        gu.push_back(r.series.gpuUtilization);
+        gf.push_back(r.series.gpuFrequency);
+        au.push_back(r.series.aieUtilization);
+        af.push_back(r.series.aieFrequency);
+        tx.push_back(r.series.textureResidency);
+        for (std::size_t c = 0; c < numClusters; ++c)
+            cluster[c].push_back(r.series.clusterLoad[c]);
+    }
+    out.series.cpuLoad = TimeSeries::average(cpu);
+    out.series.gpuLoad = TimeSeries::average(gpu);
+    out.series.shadersBusy = TimeSeries::average(sh);
+    out.series.gpuBusBusy = TimeSeries::average(bus);
+    out.series.aieLoad = TimeSeries::average(aie);
+    out.series.usedMemory = TimeSeries::average(mem);
+    out.series.storageUtil = TimeSeries::average(sto);
+    out.series.gpuUtilization = TimeSeries::average(gu);
+    out.series.gpuFrequency = TimeSeries::average(gf);
+    out.series.aieUtilization = TimeSeries::average(au);
+    out.series.aieFrequency = TimeSeries::average(af);
+    out.series.textureResidency = TimeSeries::average(tx);
+    for (std::size_t c = 0; c < numClusters; ++c)
+        out.series.clusterLoad[c] = TimeSeries::average(cluster[c]);
+    return out;
+}
+
+BenchmarkProfile
+ProfilerSession::profile(const Benchmark &benchmark) const
+{
+    std::vector<BenchmarkProfile> per_run;
+    for (int r = 0; r < opts.runs; ++r) {
+        SimOptions sim_opts;
+        sim_opts.tickSeconds = opts.tickSeconds;
+        sim_opts.seed = runSeed(opts.seed, benchmark.name(), r);
+        const SimulationResult result =
+            simulator.run(benchmark.toTimedPhases(), sim_opts);
+        std::vector<const CounterFrame *> frames;
+        frames.reserve(result.frames.size());
+        for (const auto &f : result.frames)
+            frames.push_back(&f);
+        per_run.push_back(extractProfile(benchmark, frames));
+    }
+    return averageRuns(per_run);
+}
+
+std::vector<BenchmarkProfile>
+ProfilerSession::profileSuite(const Suite &suite) const
+{
+    std::vector<BenchmarkProfile> out;
+    if (!suite.runsAsWhole) {
+        for (const auto &bench : suite.benchmarks)
+            out.push_back(profile(bench));
+        return out;
+    }
+
+    // Whole-suite execution: concatenate the segments' phases, run
+    // once per repetition, then split the frame stream back into
+    // segments using the recorded phase indices.
+    std::vector<TimedPhase> all_phases;
+    std::vector<std::size_t> phase_end; // exclusive end per segment
+    for (const auto &bench : suite.benchmarks) {
+        const auto phases = bench.toTimedPhases();
+        all_phases.insert(all_phases.end(), phases.begin(),
+                          phases.end());
+        phase_end.push_back(all_phases.size());
+    }
+
+    std::vector<std::vector<BenchmarkProfile>> per_segment_runs(
+        suite.benchmarks.size());
+    for (int r = 0; r < opts.runs; ++r) {
+        SimOptions sim_opts;
+        sim_opts.tickSeconds = opts.tickSeconds;
+        sim_opts.seed = runSeed(opts.seed, suite.name, r);
+        const SimulationResult result =
+            simulator.run(all_phases, sim_opts);
+
+        std::size_t segment = 0;
+        std::vector<const CounterFrame *> frames;
+        auto flush = [&]() {
+            per_segment_runs[segment].push_back(
+                extractProfile(suite.benchmarks[segment], frames));
+            frames.clear();
+        };
+        for (const auto &f : result.frames) {
+            while (f.phaseIndex >= phase_end[segment]) {
+                flush();
+                ++segment;
+                panicIf(segment >= suite.benchmarks.size(),
+                        "frame beyond the last suite segment");
+            }
+            frames.push_back(&f);
+        }
+        flush();
+        panicIf(segment + 1 != suite.benchmarks.size(),
+                "whole-suite run did not cover every segment");
+    }
+    for (auto &runs : per_segment_runs)
+        out.push_back(averageRuns(runs));
+    return out;
+}
+
+std::vector<BenchmarkProfile>
+ProfilerSession::profileAll(const WorkloadRegistry &registry) const
+{
+    std::vector<BenchmarkProfile> out;
+    for (const auto &suite : registry.suites()) {
+        auto profiles = profileSuite(suite);
+        for (auto &p : profiles)
+            out.push_back(std::move(p));
+    }
+    return out;
+}
+
+std::map<std::string, TimeSeries>
+ProfilerSession::sampleCounters(
+    const Benchmark &benchmark,
+    const std::vector<std::string> &counter_names) const
+{
+    SimOptions sim_opts;
+    sim_opts.tickSeconds = opts.tickSeconds;
+    sim_opts.seed = runSeed(opts.seed, benchmark.name(), 0);
+    const SimulationResult result =
+        simulator.run(benchmark.toTimedPhases(), sim_opts);
+
+    std::map<std::string, TimeSeries> out;
+    for (const auto &name : counter_names) {
+        const CounterDescriptor &desc = counterCatalog.find(name);
+        std::vector<double> values;
+        values.reserve(result.frames.size());
+        for (const auto &f : result.frames)
+            values.push_back(desc.extract(f));
+        out.emplace(name,
+                    TimeSeries(opts.tickSeconds, std::move(values)));
+    }
+    return out;
+}
+
+} // namespace mbs

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Profiling sessions: run benchmarks on the simulated SoC, sample
+ * counters, average across runs and package the metrics the paper's
+ * analyses consume.
+ *
+ * Methodology mirrored from the paper (§IV): every benchmark is run
+ * three times and metrics are averaged across runs; Antutu executes
+ * as a whole suite and its statistics are segmented back into the
+ * four constituent parts; memory usage has the measured idle baseline
+ * subtracted.
+ */
+
+#ifndef MBS_PROFILER_SESSION_HH
+#define MBS_PROFILER_SESSION_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "profiler/catalog.hh"
+#include "soc/simulator.hh"
+#include "stats/time_series.hh"
+#include "workload/benchmark.hh"
+#include "workload/registry.hh"
+
+namespace mbs {
+
+/** Options of a profiling session. */
+struct ProfileOptions
+{
+    /** Sampling interval in seconds (real-time profiler cadence). */
+    double tickSeconds = 0.1;
+    /** Runs per benchmark, averaged (the paper uses 3). */
+    int runs = 3;
+    /** Master seed; run r of benchmark b uses a derived substream. */
+    std::uint64_t seed = 20240501;
+};
+
+/** The six Fig.-2 metric series plus per-cluster loads (Fig. 3). */
+struct MetricSeries
+{
+    TimeSeries cpuLoad;
+    TimeSeries gpuLoad;
+    TimeSeries shadersBusy;
+    TimeSeries gpuBusBusy;
+    TimeSeries aieLoad;
+    /** Fraction of total memory used, idle baseline subtracted. */
+    TimeSeries usedMemory;
+    /** Flash-controller busy fraction. */
+    TimeSeries storageUtil;
+    /** GPU busy fraction (utilization, unscaled by frequency). */
+    TimeSeries gpuUtilization;
+    /** GPU frequency as a fraction of its maximum. */
+    TimeSeries gpuFrequency;
+    /** AIE busy fraction. */
+    TimeSeries aieUtilization;
+    /** AIE frequency as a fraction of its maximum. */
+    TimeSeries aieFrequency;
+    /** GPU-resident texture bytes as a fraction of total memory. */
+    TimeSeries textureResidency;
+    /** Per-cluster loads indexed by ClusterId. */
+    std::array<TimeSeries, numClusters> clusterLoad;
+};
+
+/** Averaged profile of one benchmark unit. */
+struct BenchmarkProfile
+{
+    std::string name;
+    std::string suite;
+
+    /** Mean measured runtime in seconds. */
+    double runtimeSeconds = 0.0;
+    /** Mean dynamic instruction count. */
+    double instructions = 0.0;
+    /** Mean aggregate IPC. */
+    double ipc = 0.0;
+    /** Mean cache misses per kilo-instruction (all levels). */
+    double cacheMpki = 0.0;
+    /** Mean branch mispredicts per kilo-instruction. */
+    double branchMpki = 0.0;
+
+    MetricSeries series;
+
+    /** Time-averaged value of each key metric series. */
+    double avgCpuLoad() const { return series.cpuLoad.mean(); }
+    double avgGpuLoad() const { return series.gpuLoad.mean(); }
+    double avgShadersBusy() const { return series.shadersBusy.mean(); }
+    double avgGpuBusBusy() const { return series.gpuBusBusy.mean(); }
+    double avgAieLoad() const { return series.aieLoad.mean(); }
+    double avgUsedMemory() const { return series.usedMemory.mean(); }
+    double avgStorageUtil() const { return series.storageUtil.mean(); }
+    double avgGpuUtilization() const
+    {
+        return series.gpuUtilization.mean();
+    }
+    double avgGpuFrequency() const { return series.gpuFrequency.mean(); }
+    double avgAieUtilization() const
+    {
+        return series.aieUtilization.mean();
+    }
+    double avgAieFrequency() const { return series.aieFrequency.mean(); }
+    double avgTextureResidency() const
+    {
+        return series.textureResidency.mean();
+    }
+};
+
+/**
+ * A profiling session against one SoC configuration.
+ */
+class ProfilerSession
+{
+  public:
+    /**
+     * @param config SoC to profile on (defaults match the paper's
+     *        Snapdragon 888 HDK).
+     * @param options Sampling cadence, run count, seed.
+     */
+    explicit ProfilerSession(const SocConfig &config,
+                             const ProfileOptions &options = {});
+
+    /** Profile one benchmark unit: @p runs simulations, averaged. */
+    BenchmarkProfile profile(const Benchmark &benchmark) const;
+
+    /**
+     * Profile a whole suite. Suites flagged runsAsWhole (Antutu) are
+     * executed as one concatenated run per repetition and segmented
+     * back into units; others profile each benchmark independently.
+     */
+    std::vector<BenchmarkProfile> profileSuite(const Suite &suite) const;
+
+    /** Profile every unit of every suite in the registry. */
+    std::vector<BenchmarkProfile>
+    profileAll(const WorkloadRegistry &registry) const;
+
+    /**
+     * Sample arbitrary catalog counters for one benchmark (single
+     * run): counter name -> time series.
+     */
+    std::map<std::string, TimeSeries>
+    sampleCounters(const Benchmark &benchmark,
+                   const std::vector<std::string> &counter_names) const;
+
+    const CounterCatalog &catalog() const { return counterCatalog; }
+    const SocConfig &config() const { return simulator.config(); }
+    const ProfileOptions &options() const { return opts; }
+
+  private:
+    /** Extract one run's metric bundle from a frame range. */
+    BenchmarkProfile extractProfile(
+        const Benchmark &benchmark,
+        const std::vector<const CounterFrame *> &frames) const;
+
+    /** Average @p runs per-run profiles into one. */
+    static BenchmarkProfile
+    averageRuns(const std::vector<BenchmarkProfile> &runs);
+
+    SocSimulator simulator;
+    ProfileOptions opts;
+    CounterCatalog counterCatalog;
+};
+
+} // namespace mbs
+
+#endif // MBS_PROFILER_SESSION_HH

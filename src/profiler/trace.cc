@@ -1,0 +1,60 @@
+#include "trace.hh"
+
+#include "common/csv.hh"
+#include "common/strings.hh"
+
+namespace mbs {
+
+void
+writeProfileCsv(std::ostream &out, const BenchmarkProfile &profile)
+{
+    CsvWriter csv(out);
+    csv.writeRow(std::vector<std::string>{
+        "time_s", "cpu_load", "gpu_load", "shaders_busy",
+        "gpu_bus_busy", "aie_load", "used_memory", "little_load",
+        "mid_load", "big_load"});
+    const MetricSeries &s = profile.series;
+    const std::size_t n = s.cpuLoad.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        csv.writeRow(std::vector<double>{
+            double(i) * s.cpuLoad.interval(),
+            s.cpuLoad[i],
+            s.gpuLoad[i],
+            s.shadersBusy[i],
+            s.gpuBusBusy[i],
+            s.aieLoad[i],
+            s.usedMemory[i],
+            s.clusterLoad[std::size_t(ClusterId::Little)][i],
+            s.clusterLoad[std::size_t(ClusterId::Mid)][i],
+            s.clusterLoad[std::size_t(ClusterId::Big)][i],
+        });
+    }
+}
+
+void
+writeSummaryCsv(std::ostream &out,
+                const std::vector<BenchmarkProfile> &profiles)
+{
+    CsvWriter csv(out);
+    csv.writeRow(std::vector<std::string>{
+        "benchmark", "suite", "runtime_s", "instructions", "ipc",
+        "cache_mpki", "branch_mpki", "avg_cpu_load", "avg_gpu_load",
+        "avg_aie_load", "avg_used_memory"});
+    for (const auto &p : profiles) {
+        csv.writeRow(std::vector<std::string>{
+            p.name,
+            p.suite,
+            strformat("%.2f", p.runtimeSeconds),
+            strformat("%.4g", p.instructions),
+            strformat("%.4f", p.ipc),
+            strformat("%.4f", p.cacheMpki),
+            strformat("%.4f", p.branchMpki),
+            strformat("%.4f", p.avgCpuLoad()),
+            strformat("%.4f", p.avgGpuLoad()),
+            strformat("%.4f", p.avgAieLoad()),
+            strformat("%.4f", p.avgUsedMemory()),
+        });
+    }
+}
+
+} // namespace mbs

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Trace export: write profiled metric series to CSV for external
+ * plotting (the repository's equivalent of the profiler's export).
+ */
+
+#ifndef MBS_PROFILER_TRACE_HH
+#define MBS_PROFILER_TRACE_HH
+
+#include <ostream>
+
+#include "profiler/session.hh"
+
+namespace mbs {
+
+/**
+ * Write one benchmark profile's key metric series as CSV.
+ *
+ * Columns: time_s, cpu_load, gpu_load, shaders_busy, gpu_bus_busy,
+ * aie_load, used_memory, little_load, mid_load, big_load.
+ */
+void writeProfileCsv(std::ostream &out, const BenchmarkProfile &profile);
+
+/**
+ * Write the Fig.-1 style summary of many profiles as CSV.
+ *
+ * Columns: benchmark, suite, runtime_s, instructions, ipc,
+ * cache_mpki, branch_mpki, avg_cpu_load, avg_gpu_load, avg_aie_load,
+ * avg_used_memory.
+ */
+void writeSummaryCsv(std::ostream &out,
+                     const std::vector<BenchmarkProfile> &profiles);
+
+} // namespace mbs
+
+#endif // MBS_PROFILER_TRACE_HH

@@ -1,0 +1,203 @@
+#include "roi.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+namespace {
+
+/** Per-metric running sums for a candidate segment. */
+struct SegmentStats
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::vector<double> sum;
+    std::vector<double> sumSq;
+
+    /** Total within-segment variance summed over metrics. */
+    double
+    sse() const
+    {
+        const double n = double(end - begin);
+        if (n <= 0.0)
+            return 0.0;
+        double total = 0.0;
+        for (std::size_t m = 0; m < sum.size(); ++m)
+            total += sumSq[m] - sum[m] * sum[m] / n;
+        return total;
+    }
+
+    static SegmentStats
+    merged(const SegmentStats &a, const SegmentStats &b)
+    {
+        SegmentStats out;
+        out.begin = a.begin;
+        out.end = b.end;
+        out.sum.resize(a.sum.size());
+        out.sumSq.resize(a.sum.size());
+        for (std::size_t m = 0; m < a.sum.size(); ++m) {
+            out.sum[m] = a.sum[m] + b.sum[m];
+            out.sumSq[m] = a.sumSq[m] + b.sumSq[m];
+        }
+        return out;
+    }
+};
+
+/** Mean metric vector of series[*][begin, end). */
+std::vector<double>
+windowMean(const std::vector<std::vector<double>> &series,
+           std::size_t begin, std::size_t end)
+{
+    std::vector<double> mean(series.size(), 0.0);
+    const double n = double(end - begin);
+    for (std::size_t m = 0; m < series.size(); ++m) {
+        for (std::size_t i = begin; i < end; ++i)
+            mean[m] += series[m][i];
+        mean[m] /= n;
+    }
+    return mean;
+}
+
+double
+relativeError(const std::vector<double> &window,
+              const std::vector<double> &whole)
+{
+    double diff = 0.0, norm = 0.0;
+    for (std::size_t m = 0; m < whole.size(); ++m) {
+        diff += (window[m] - whole[m]) * (window[m] - whole[m]);
+        norm += whole[m] * whole[m];
+    }
+    if (norm <= 0.0)
+        return 0.0;
+    return std::sqrt(diff / norm);
+}
+
+} // namespace
+
+RoiExtractor::RoiExtractor(const RoiOptions &options_)
+    : roiOptions(options_)
+{
+    fatalIf(roiOptions.maxSegments < 1,
+            "ROI extraction needs >= 1 segment");
+    fatalIf(roiOptions.targetFraction <= 0.0 ||
+                roiOptions.targetFraction > 1.0,
+            "ROI target fraction must be in (0, 1]");
+}
+
+std::vector<PhaseSegment>
+RoiExtractor::segment(
+    const std::vector<std::vector<double>> &series) const
+{
+    fatalIf(series.empty(), "segmentation needs >= 1 metric");
+    const std::size_t n = series.front().size();
+    for (const auto &metric : series) {
+        fatalIf(metric.size() != n,
+                "all metric series must have equal length");
+    }
+    if (n == 0)
+        return {};
+
+    // Initial fine blocks: at least 4x finer than the target segment
+    // count, at least one sample each.
+    const std::size_t blocks = std::min<std::size_t>(
+        n, std::max<std::size_t>(std::size_t(roiOptions.maxSegments) *
+                                     4, 8));
+    std::vector<SegmentStats> segs;
+    segs.reserve(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+        SegmentStats s;
+        s.begin = b * n / blocks;
+        s.end = (b + 1) * n / blocks;
+        if (s.begin >= s.end)
+            continue;
+        s.sum.assign(series.size(), 0.0);
+        s.sumSq.assign(series.size(), 0.0);
+        for (std::size_t m = 0; m < series.size(); ++m) {
+            for (std::size_t i = s.begin; i < s.end; ++i) {
+                s.sum[m] += series[m][i];
+                s.sumSq[m] += series[m][i] * series[m][i];
+            }
+        }
+        segs.push_back(std::move(s));
+    }
+
+    // Bottom-up merging: always merge the adjacent pair whose merge
+    // adds the least within-segment variance.
+    while (segs.size() > std::size_t(roiOptions.maxSegments)) {
+        double best_cost = std::numeric_limits<double>::max();
+        std::size_t best = 0;
+        for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+            const double cost =
+                SegmentStats::merged(segs[i], segs[i + 1]).sse() -
+                segs[i].sse() - segs[i + 1].sse();
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = i;
+            }
+        }
+        segs[best] = SegmentStats::merged(segs[best], segs[best + 1]);
+        segs.erase(segs.begin() + long(best) + 1);
+    }
+
+    std::vector<PhaseSegment> out;
+    out.reserve(segs.size());
+    for (const auto &s : segs)
+        out.push_back(PhaseSegment{s.begin, s.end});
+    return out;
+}
+
+RoiWindow
+RoiExtractor::extractFromSeries(
+    const std::vector<std::vector<double>> &series) const
+{
+    fatalIf(series.empty(), "ROI extraction needs >= 1 metric");
+    const std::size_t n = series.front().size();
+    fatalIf(n == 0, "ROI extraction needs a non-empty series");
+
+    RoiWindow out;
+    out.segments = segment(series);
+
+    const auto window = std::max<std::size_t>(
+        1, std::size_t(std::llround(double(n) *
+                                    roiOptions.targetFraction)));
+    const std::vector<double> whole = windowMean(series, 0, n);
+
+    // Slide the window at a fine step (1/8 of the window length) and
+    // keep the position whose mean vector is closest to the whole
+    // run's.
+    const std::size_t step = std::max<std::size_t>(1, window / 8);
+    double best_error = std::numeric_limits<double>::max();
+    std::size_t best_begin = 0;
+    for (std::size_t begin = 0; begin + window <= n; begin += step) {
+        const double err = relativeError(
+            windowMean(series, begin, begin + window), whole);
+        if (err < best_error) {
+            best_error = err;
+            best_begin = begin;
+        }
+    }
+    out.startFraction = double(best_begin) / double(n);
+    out.endFraction = double(best_begin + window) / double(n);
+    out.representativenessError = best_error;
+    return out;
+}
+
+RoiWindow
+RoiExtractor::extract(const BenchmarkProfile &profile) const
+{
+    const std::vector<std::vector<double>> series = {
+        profile.series.cpuLoad.values(),
+        profile.series.gpuLoad.values(),
+        profile.series.shadersBusy.values(),
+        profile.series.gpuBusBusy.values(),
+        profile.series.aieLoad.values(),
+        profile.series.usedMemory.values(),
+    };
+    return extractFromSeries(series);
+}
+
+} // namespace mbs

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Region-of-interest (ROI) extraction.
+ *
+ * The paper's §VI motivates subsetting partly because ROI selection
+ * is "a challenge, given that these benchmarks can encompass various
+ * types of workloads" and their closed-source nature prevents source
+ * instrumentation. This extension attacks the problem from the
+ * measurement side: segment a benchmark's multi-metric counter time
+ * series into execution phases (bottom-up merging, SimPoint-style in
+ * spirit) and pick the contiguous window of a target length whose
+ * average behaviour is closest to the whole run's — a simulation
+ * window that represents the benchmark without source access.
+ */
+
+#ifndef MBS_ROI_ROI_HH
+#define MBS_ROI_ROI_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "profiler/session.hh"
+
+namespace mbs {
+
+/** A contiguous run of samples belonging to one execution phase. */
+struct PhaseSegment
+{
+    /** First sample index (inclusive). */
+    std::size_t begin = 0;
+    /** Last sample index (exclusive). */
+    std::size_t end = 0;
+
+    std::size_t length() const { return end - begin; }
+};
+
+/** The selected simulation window for one benchmark. */
+struct RoiWindow
+{
+    /** Window position as fractions of the run, [0, 1]. */
+    double startFraction = 0.0;
+    double endFraction = 0.0;
+    /**
+     * Relative representativeness error: L2 distance between the
+     * window's mean metric vector and the whole run's, divided by
+     * the L2 norm of the whole run's vector. 0 is a perfect proxy.
+     */
+    double representativenessError = 0.0;
+    /** Phase segmentation the window was chosen from. */
+    std::vector<PhaseSegment> segments;
+};
+
+/** Tunables for ROI extraction. */
+struct RoiOptions
+{
+    /** Upper bound on detected phases (>= 1). */
+    int maxSegments = 12;
+    /** Target window length as a fraction of the run (0, 1]. */
+    double targetFraction = 0.10;
+};
+
+/**
+ * Phase segmentation and ROI selection over profiled metric series.
+ */
+class RoiExtractor
+{
+  public:
+    explicit RoiExtractor(const RoiOptions &options = {});
+
+    /**
+     * Bottom-up phase segmentation of a multi-metric series.
+     *
+     * Starts from fine fixed-size blocks and repeatedly merges the
+     * adjacent pair whose merge increases the total within-segment
+     * variance the least, until at most maxSegments remain.
+     *
+     * @param series One vector per metric, all the same length.
+     */
+    std::vector<PhaseSegment>
+    segment(const std::vector<std::vector<double>> &series) const;
+
+    /**
+     * Select the ROI window for a profiled benchmark using the six
+     * key metric series (CPU/GPU/AIE load, shaders, bus, memory).
+     */
+    RoiWindow extract(const BenchmarkProfile &profile) const;
+
+    /**
+     * Select the best window directly over raw metric series.
+     * Windows are aligned to segment boundaries where possible and
+     * slid at fine granularity otherwise.
+     */
+    RoiWindow
+    extractFromSeries(const std::vector<std::vector<double>> &series)
+        const;
+
+    const RoiOptions &options() const { return roiOptions; }
+
+  private:
+    RoiOptions roiOptions;
+};
+
+} // namespace mbs
+
+#endif // MBS_ROI_ROI_HH

@@ -1,0 +1,60 @@
+#include "aie.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+AieModel::AieModel(const AieConfig &config_)
+    : config(config_),
+      governor(config_.minFreqHz, config_.maxFreqHz, 6, 1.2)
+{
+}
+
+bool
+AieModel::supportsCodec(MediaCodec codec) const
+{
+    switch (codec) {
+      case MediaCodec::None:
+        return true;
+      case MediaCodec::H264:
+        return config.supportsH264;
+      case MediaCodec::H265:
+        return config.supportsH265;
+      case MediaCodec::Vp9:
+        return config.supportsVp9;
+      case MediaCodec::Av1:
+        return config.supportsAv1;
+    }
+    panic("unknown media codec");
+}
+
+AieState
+AieModel::evaluate(const AieDemand &demand) const
+{
+    AieState out;
+    double work = std::clamp(demand.workRate, 0.0, 1.0);
+
+    if (demand.codec != MediaCodec::None &&
+        !supportsCodec(demand.codec)) {
+        // The offload request is refused; the CPU decodes in software
+        // at a hefty multiplier. The AIE sees none of this work.
+        out.cpuBounceDemand = work * softwareDecodeFactor;
+        work = 0.0;
+    }
+
+    if (work <= 0.0) {
+        out.frequencyHz = governor.minFrequency();
+        return out;
+    }
+
+    out.frequencyHz = governor.frequencyFor(work);
+    const double capacity = out.frequencyHz / governor.maxFrequency();
+    out.utilization = std::clamp(work / std::max(capacity, 1e-9),
+                                 0.0, 1.0);
+    out.load = capacity * out.utilization;
+    return out;
+}
+
+} // namespace mbs

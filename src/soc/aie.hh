@@ -1,0 +1,64 @@
+/**
+ * @file
+ * AI-engine / DSP model (Hexagon-780-like).
+ *
+ * Handles offload demand (DSP-style tasks: FFT, image processing,
+ * neural-network inference, PSNR computation) and the codec support
+ * matrix: video decode demand for an unsupported codec (AV1 on the
+ * SD888) bounces back to the CPU as extra thread demand, reproducing
+ * the Antutu UX observation.
+ */
+
+#ifndef MBS_SOC_AIE_HH
+#define MBS_SOC_AIE_HH
+
+#include "soc/config.hh"
+#include "soc/demand.hh"
+#include "soc/dvfs.hh"
+
+namespace mbs {
+
+/** AIE counter values for one tick. */
+struct AieState
+{
+    /** Busy fraction of the AIE in [0, 1]. */
+    double utilization = 0.0;
+    /** Operating frequency in Hz. */
+    double frequencyHz = 0.0;
+    /** Load = (freq / max freq) * utilization, the paper's metric. */
+    double load = 0.0;
+    /**
+     * Extra CPU thread demand created by work the AIE could not
+     * accept (unsupported codec), in big-core-equivalent units.
+     */
+    double cpuBounceDemand = 0.0;
+};
+
+/**
+ * Analytical AIE model.
+ */
+class AieModel
+{
+  public:
+    explicit AieModel(const AieConfig &config);
+
+    /** Evaluate the AIE counters for one tick of @p demand. */
+    AieState evaluate(const AieDemand &demand) const;
+
+    /** @return true if the SoC hardware-decodes @p codec. */
+    bool supportsCodec(MediaCodec codec) const;
+
+    /**
+     * CPU cost multiplier of software-decoding relative to offloaded
+     * decode; software AV1 decode is famously expensive.
+     */
+    static constexpr double softwareDecodeFactor = 2.2;
+
+  private:
+    AieConfig config;
+    DvfsGovernor governor;
+};
+
+} // namespace mbs
+
+#endif // MBS_SOC_AIE_HH

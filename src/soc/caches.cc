@@ -1,0 +1,99 @@
+#include "caches.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+CacheModel::CacheModel(const CacheConfig &cache_,
+                       const ClusterConfig &cluster_)
+    : cache(cache_), cluster(cluster_)
+{
+}
+
+double
+CacheModel::missRatio(std::uint64_t working_set_bytes,
+                      std::uint64_t capacity_bytes, double locality)
+{
+    panicIf(capacity_bytes == 0, "cache capacity must be non-zero");
+    const double l = std::clamp(locality, 0.0, 1.0);
+    // Compulsory floor: even fully resident working sets take cold and
+    // coherence misses.
+    constexpr double floor = 0.003;
+    if (working_set_bytes <= capacity_bytes)
+        return floor;
+    // The hot (locality) fraction of accesses stays resident; the cold
+    // fraction misses in proportion to the working-set overflow.
+    const double overflow =
+        1.0 - double(capacity_bytes) / double(working_set_bytes);
+    return floor + (1.0 - floor) * (1.0 - l) * overflow;
+}
+
+CacheStats
+CacheModel::evaluate(const CpuCharacter &cpu,
+                     double shared_contention) const
+{
+    const double contention = std::clamp(shared_contention, 0.0, 0.95);
+    const double accesses_pki =
+        std::clamp(cpu.memIntensity, 0.0, 1.0) * 1000.0;
+
+    const std::uint64_t ws = std::max<std::uint64_t>(
+        cpu.workingSetBytes, 1);
+    // Effective shared capacities shrink under contention from other
+    // agents (GPU textures and other processes).
+    const auto effective = [contention](std::uint64_t bytes) {
+        return std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   double(bytes) * (1.0 - contention)));
+    };
+
+    const double l = cpu.locality;
+    const double m1 = missRatio(ws, cache.l1Bytes, l);
+    const double m2 = missRatio(ws, cluster.l2Bytes, l);
+    const double m3 = missRatio(ws, effective(cache.l3Bytes), l);
+    const double mslc = missRatio(ws, effective(cache.slcBytes), l);
+
+    CacheStats out;
+    out.l1Mpki = accesses_pki * m1;
+    // Each level filters the misses of the previous one; the per-level
+    // global miss ratios are monotonically ordered by capacity, so the
+    // conditional ratios are ratios of globals.
+    out.l2Mpki = out.l1Mpki * std::min(1.0, m2 / std::max(m1, 1e-9));
+    out.l3Mpki = out.l2Mpki * std::min(1.0, m3 / std::max(m2, 1e-9));
+    out.slcMpki = out.l3Mpki * std::min(1.0, mslc / std::max(m3, 1e-9));
+    out.totalMpki = out.l1Mpki + out.l2Mpki + out.l3Mpki + out.slcMpki;
+
+    // CPI contribution: each miss level adds its hit penalty at the
+    // next level; SLC misses pay DRAM. Out-of-order cores overlap a
+    // large share of miss latency; MLP rises with core width, and
+    // low-locality (streaming) access patterns expose much more MLP
+    // because hardware prefetchers keep many lines in flight.
+    const double mlp = (1.0 + 2.0 * cluster.ipcScale) *
+        (1.0 + 4.0 * (1.0 - cpu.locality));
+    out.memoryCpi =
+        (out.l1Mpki * cache.l2HitPenalty +
+         out.l2Mpki * cache.l3HitPenalty +
+         out.l3Mpki * cache.slcHitPenalty +
+         out.slcMpki * cache.dramPenalty) / 1000.0 / mlp;
+    return out;
+}
+
+BranchStats
+BranchModel::evaluate(const CpuCharacter &cpu,
+                      double predictor_quality) const
+{
+    fatalIf(predictor_quality <= 0.0 || predictor_quality > 1.0,
+            "predictor quality must be in (0, 1]");
+    const double branches_pki =
+        std::clamp(cpu.branchFraction, 0.0, 1.0) * 1000.0;
+    const double hit = std::clamp(cpu.branchPredictability, 0.0, 1.0) *
+        predictor_quality;
+    BranchStats out;
+    out.mpki = branches_pki * (1.0 - hit);
+    out.branchCpi = out.mpki * cache.branchPenalty / 1000.0;
+    return out;
+}
+
+} // namespace mbs

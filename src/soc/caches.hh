@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Analytical cache-hierarchy and branch-predictor models.
+ *
+ * The model maps a phase's instruction character (memory intensity,
+ * working-set size, branch behaviour) plus cross-component contention
+ * (GPU texture residency in the shared levels) to per-level MPKI values
+ * and a CPI penalty, from which the simulator derives IPC. This
+ * captures the paper's key mechanisms: graphics-heavy workloads depress
+ * CPU IPC through shared-cache contention, and cache/branch MPKI are
+ * negatively correlated with IPC (Table III).
+ */
+
+#ifndef MBS_SOC_CACHES_HH
+#define MBS_SOC_CACHES_HH
+
+#include <cstdint>
+
+#include "soc/config.hh"
+#include "soc/demand.hh"
+
+namespace mbs {
+
+/** Per-level and aggregate cache statistics for one phase+cluster. */
+struct CacheStats
+{
+    /** Misses per kilo-instruction leaving L1 (data + inst combined). */
+    double l1Mpki = 0.0;
+    /** Misses per kilo-instruction leaving the private L2. */
+    double l2Mpki = 0.0;
+    /** Misses per kilo-instruction leaving the shared L3. */
+    double l3Mpki = 0.0;
+    /** Misses per kilo-instruction leaving the system-level cache. */
+    double slcMpki = 0.0;
+    /**
+     * Total cache MPKI "across all levels of the cache hierarchy",
+     * which is what the paper reports in Fig. 1.
+     */
+    double totalMpki = 0.0;
+    /** Average added cycles per instruction from the memory hierarchy. */
+    double memoryCpi = 0.0;
+};
+
+/** Branch predictor statistics for one phase. */
+struct BranchStats
+{
+    /** Mispredicted branches per kilo-instruction. */
+    double mpki = 0.0;
+    /** Average added cycles per instruction from mispredicts. */
+    double branchCpi = 0.0;
+};
+
+/**
+ * Analytical cache hierarchy model.
+ */
+class CacheModel
+{
+  public:
+    /**
+     * @param cache Hierarchy capacities and penalties.
+     * @param cluster Per-cluster private-cache configuration.
+     */
+    CacheModel(const CacheConfig &cache, const ClusterConfig &cluster);
+
+    /**
+     * Evaluate cache behaviour of an instruction stream.
+     *
+     * @param cpu Phase instruction character.
+     * @param shared_contention Fraction [0, 1] of the shared L3/SLC
+     *        capacity occupied by other agents (GPU textures, other
+     *        processes); shrinks the capacity seen by this stream.
+     */
+    CacheStats evaluate(const CpuCharacter &cpu,
+                        double shared_contention) const;
+
+    /**
+     * Miss ratio of a capacity-C cache for a working set of W bytes
+     * with temporal locality l.
+     *
+     * A compulsory floor plus a capacity term: the (1 - l) fraction of
+     * accesses that leave the hot set miss in proportion to how much
+     * of the working set does not fit.
+     */
+    static double missRatio(std::uint64_t working_set_bytes,
+                            std::uint64_t capacity_bytes,
+                            double locality);
+
+  private:
+    CacheConfig cache;
+    ClusterConfig cluster;
+};
+
+/**
+ * Branch predictor model: mispredict rate follows the phase's declared
+ * predictability, modestly degraded on the little in-order cores.
+ */
+class BranchModel
+{
+  public:
+    explicit BranchModel(const CacheConfig &cache) : cache(cache) {}
+
+    /**
+     * @param cpu Phase instruction character.
+     * @param predictor_quality Relative predictor strength of the
+     *        cluster in (0, 1]; 1.0 for the big core.
+     */
+    BranchStats evaluate(const CpuCharacter &cpu,
+                         double predictor_quality = 1.0) const;
+
+  private:
+    CacheConfig cache;
+};
+
+} // namespace mbs
+
+#endif // MBS_SOC_CACHES_HH

@@ -1,0 +1,115 @@
+#include "config.hh"
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+std::string
+clusterName(ClusterId id)
+{
+    switch (id) {
+      case ClusterId::Little:
+        return "CPU Little";
+      case ClusterId::Mid:
+        return "CPU Mid";
+      case ClusterId::Big:
+        return "CPU Big";
+    }
+    panic("unknown cluster id");
+}
+
+int
+SocConfig::totalCores() const
+{
+    int n = 0;
+    for (const auto &c : clusters)
+        n += c.cores;
+    return n;
+}
+
+void
+SocConfig::validate() const
+{
+    fatalIf(clusters.size() != numClusters,
+            "SocConfig requires exactly " + std::to_string(numClusters) +
+            " clusters (Little, Mid, Big)");
+    for (const auto &c : clusters) {
+        fatalIf(c.cores <= 0, "cluster '" + c.name + "' has no cores");
+        fatalIf(c.maxFreqHz <= 0.0 || c.minFreqHz <= 0.0 ||
+                c.minFreqHz > c.maxFreqHz,
+                "cluster '" + c.name + "' has an invalid frequency range");
+        fatalIf(c.relativePerf <= 0.0 || c.relativePerf > 1.0,
+                "cluster '" + c.name +
+                "' relativePerf must be in (0, 1]");
+        fatalIf(c.ipcScale <= 0.0 || c.ipcScale > 1.0,
+                "cluster '" + c.name + "' ipcScale must be in (0, 1]");
+    }
+    fatalIf(clusters[std::size_t(ClusterId::Big)].relativePerf != 1.0,
+            "the big cluster defines relativePerf == 1.0");
+    fatalIf(memory.idleBytes >= memory.totalBytes,
+            "idle memory exceeds total memory");
+    fatalIf(gpu.shaderCores <= 0, "GPU needs at least one shader core");
+}
+
+SocConfig
+SocConfig::snapdragon888()
+{
+    SocConfig cfg;
+    cfg.name = "Qualcomm Snapdragon 888 Mobile HDK";
+
+    ClusterConfig little;
+    little.name = "CPU Little";
+    little.cores = 4;
+    little.maxFreqHz = 1.80e9;
+    little.minFreqHz = 0.30e9;
+    little.relativePerf = 0.35; // Cortex-A55-class in-order core
+    little.ipcScale = 0.45;
+    little.l2Bytes = 128ULL << 10;
+
+    ClusterConfig mid;
+    mid.name = "CPU Mid";
+    mid.cores = 3;
+    mid.maxFreqHz = 2.42e9;
+    mid.minFreqHz = 0.50e9;
+    mid.relativePerf = 0.70; // Cortex-A78-class
+    mid.ipcScale = 0.80;
+    mid.l2Bytes = 512ULL << 10;
+
+    ClusterConfig big;
+    big.name = "CPU Big";
+    big.cores = 1;
+    big.maxFreqHz = 3.00e9;
+    big.minFreqHz = 0.70e9;
+    big.relativePerf = 1.0; // Cortex-X1-class
+    big.ipcScale = 1.0;
+    big.l2Bytes = 1ULL << 20;
+
+    cfg.clusters = {little, mid, big};
+    cfg.validate();
+    return cfg;
+}
+
+SocConfig
+SocConfig::midrange()
+{
+    SocConfig cfg = snapdragon888();
+    cfg.name = "Mid-range reference SoC";
+    auto &little = cfg.clusters[std::size_t(ClusterId::Little)];
+    little.maxFreqHz = 1.6e9;
+    auto &mid = cfg.clusters[std::size_t(ClusterId::Mid)];
+    mid.maxFreqHz = 2.0e9;
+    mid.ipcScale = 0.72;
+    auto &big = cfg.clusters[std::size_t(ClusterId::Big)];
+    big.maxFreqHz = 2.4e9;
+    cfg.cache.l3Bytes = 2ULL << 20;
+    cfg.cache.slcBytes = 1536ULL << 10;
+    cfg.gpu.maxFreqHz = 600e6;
+    cfg.gpu.shaderCores = 2;
+    cfg.memory.totalBytes = 6ULL << 30;
+    cfg.memory.idleBytes = 1100ULL << 20;
+    cfg.storage.peakBandwidth = 1.1e9;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace mbs

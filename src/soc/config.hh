@@ -1,0 +1,162 @@
+/**
+ * @file
+ * SoC hardware configuration, defaulting to a Snapdragon-888-like
+ * platform (the paper's Table II).
+ */
+
+#ifndef MBS_SOC_CONFIG_HH
+#define MBS_SOC_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbs {
+
+/** Identifier of a CPU core cluster in a big.LITTLE topology. */
+enum class ClusterId { Little = 0, Mid = 1, Big = 2 };
+
+/** Number of clusters in the supported tri-cluster topology. */
+constexpr std::size_t numClusters = 3;
+
+/** @return "CPU Little" / "CPU Mid" / "CPU Big". */
+std::string clusterName(ClusterId id);
+
+/** Configuration of one CPU cluster. */
+struct ClusterConfig
+{
+    std::string name;
+    int cores = 1;
+    /** Maximum clock in Hz. */
+    double maxFreqHz = 2e9;
+    /** Minimum clock in Hz. */
+    double minFreqHz = 3e8;
+    /**
+     * Single-thread performance relative to the big cluster at max
+     * frequency (capacity in EAS terms). Big == 1.0.
+     */
+    double relativePerf = 1.0;
+    /**
+     * Microarchitectural IPC scale relative to the big core: narrower
+     * in-order cores achieve a smaller fraction of a workload's ILP.
+     */
+    double ipcScale = 1.0;
+    /** Per-core private L2 size in bytes. */
+    std::uint64_t l2Bytes = 512ULL << 10;
+};
+
+/** Cache hierarchy parameters shared across clusters. */
+struct CacheConfig
+{
+    std::uint64_t l1Bytes = 64ULL << 10;
+    /** Shared CPU L3 in bytes. */
+    std::uint64_t l3Bytes = 4ULL << 20;
+    /** System-level cache in bytes (SoC-wide). */
+    std::uint64_t slcBytes = 3ULL << 20;
+    /** Average extra cycles for an L1-miss/L2-hit access. */
+    double l2HitPenalty = 10.0;
+    /** Average extra cycles for an L2-miss/L3-hit access. */
+    double l3HitPenalty = 30.0;
+    /** Average extra cycles for an L3-miss/SLC-hit access. */
+    double slcHitPenalty = 55.0;
+    /** Average extra cycles for a DRAM access. */
+    double dramPenalty = 160.0;
+    /** Pipeline refill cycles for a branch mispredict. */
+    double branchPenalty = 14.0;
+};
+
+/** GPU parameters (Adreno-660-like). */
+struct GpuConfig
+{
+    std::string name = "Adreno 660";
+    double maxFreqHz = 840e6;
+    double minFreqHz = 180e6;
+    int shaderCores = 3;
+    /**
+     * Relative cost multiplier of driving the display pipeline for
+     * on-screen rendering; off-screen tests skip it and spend the
+     * headroom on rendering (Fig. 2 off-screen observations).
+     */
+    double onscreenOverhead = 0.115;
+    /**
+     * GPU-load multiplier of OpenGL ES relative to Vulkan for equal
+     * work (the paper measures +9.26% for OpenGL).
+     */
+    double openglOverhead = 0.0926;
+};
+
+/** AI-engine / DSP parameters (Hexagon-780-like). */
+struct AieConfig
+{
+    std::string name = "Hexagon 780";
+    double maxFreqHz = 1000e6;
+    double minFreqHz = 300e6;
+    /** Codecs with hardware decode support (AV1 is absent on SD888). */
+    bool supportsH264 = true;
+    bool supportsH265 = true;
+    bool supportsVp9 = true;
+    bool supportsAv1 = false;
+};
+
+/** System memory parameters. */
+struct MemoryConfig
+{
+    /**
+     * Total RAM bytes visible to the OS: 11.83 GB of the nominal
+     * 12 GB LPDDR5, matching the paper's reported capacity.
+     */
+    std::uint64_t totalBytes = 12114ULL << 20;
+    /** Idle OS + services resident bytes (subtracted by the profiler). */
+    std::uint64_t idleBytes = 1300ULL << 20;
+};
+
+/** Storage subsystem parameters. */
+struct StorageConfig
+{
+    std::uint64_t capacityBytes = 256ULL << 30;
+    /** Peak sequential bandwidth in bytes/s. */
+    double peakBandwidth = 1.9e9;
+};
+
+/** Complete SoC description. */
+struct SocConfig
+{
+    std::string name;
+    /** Clusters indexed by ClusterId (Little, Mid, Big). */
+    std::vector<ClusterConfig> clusters;
+    CacheConfig cache;
+    GpuConfig gpu;
+    AieConfig aie;
+    MemoryConfig memory;
+    StorageConfig storage;
+    /**
+     * Background OS demand placed on the little cluster at all times,
+     * in little-core utilization units.
+     */
+    double osBackgroundLoad = 0.08;
+
+    /** Total CPU core count across clusters. */
+    int totalCores() const;
+
+    /** Validate invariants; fatal() on a malformed configuration. */
+    void validate() const;
+
+    /**
+     * The paper's evaluation platform: Snapdragon 888 Mobile HDK.
+     * 1x Kryo 680 Prime @ 3.0 GHz, 3x Gold @ 2.42 GHz, 4x Silver
+     * @ 1.8 GHz, Adreno 660, Hexagon 780, 12 GB LPDDR5.
+     */
+    static SocConfig snapdragon888();
+
+    /**
+     * A mid-range phone SoC: same tri-cluster topology at lower
+     * clocks, half the L3/SLC, a smaller GPU and 6 GB of RAM. Used
+     * by the platform-sensitivity ablation to check which of the
+     * paper's conclusions transfer across devices.
+     */
+    static SocConfig midrange();
+};
+
+} // namespace mbs
+
+#endif // MBS_SOC_CONFIG_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Raw per-tick hardware counter frame produced by the SoC simulator.
+ *
+ * One CounterFrame is the model's equivalent of one real-time sample
+ * from Snapdragon Profiler; the profiler layer maps frames to named
+ * counters and time series.
+ */
+
+#ifndef MBS_SOC_COUNTERS_HH
+#define MBS_SOC_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "soc/aie.hh"
+#include "soc/config.hh"
+#include "soc/gpu.hh"
+#include "soc/memory.hh"
+
+namespace mbs {
+
+/** All hardware state sampled in one simulator tick. */
+struct CounterFrame
+{
+    /** Sample timestamp (seconds since benchmark start). */
+    double timeSeconds = 0.0;
+
+    /** Per-cluster average core utilization in [0, 1]. */
+    std::array<double, numClusters> clusterUtilization{};
+    /** Per-cluster operating frequency in Hz. */
+    std::array<double, numClusters> clusterFrequencyHz{};
+    /**
+     * Per-cluster load: (frequency / max frequency) x utilization,
+     * the paper's Table IV "CPU Load" definition, per cluster.
+     */
+    std::array<double, numClusters> clusterLoad{};
+    /** Threads resident on each cluster. */
+    std::array<int, numClusters> clusterThreads{};
+
+    /** Mean load across all CPU cores (core-count weighted). */
+    double cpuLoad = 0.0;
+
+    /** Instructions retired during this tick. */
+    double instructions = 0.0;
+    /** Active CPU cycles spent retiring them. */
+    double cycles = 0.0;
+    /** Instantaneous IPC (0 when no instructions retired). */
+    double ipc = 0.0;
+
+    /** Cache misses (all levels summed) during this tick. */
+    double cacheMisses = 0.0;
+    /** Per-level cache misses during this tick: L1, L2, L3, SLC. */
+    std::array<double, 4> cacheMissesByLevel{};
+    /** Branch mispredicts during this tick. */
+    double branchMispredicts = 0.0;
+
+    GpuState gpu;
+    AieState aie;
+    MemoryState memory;
+    StorageState storage;
+
+    /**
+     * Junction temperature in deg C. Ambient unless the thermal
+     * extension is enabled (SimOptions::thermal).
+     */
+    double socTemperatureC = 25.0;
+    /** Frequency cap applied by thermal throttling ((0, 1]; 1 = none). */
+    double throttleFactor = 1.0;
+
+    /** Index of the workload phase active during this tick. */
+    std::size_t phaseIndex = 0;
+};
+
+/** Whole-run aggregates derived from the frame sequence. */
+struct RunTotals
+{
+    double runtimeSeconds = 0.0;
+    double instructions = 0.0;
+    double cycles = 0.0;
+    double cacheMisses = 0.0;
+    double branchMispredicts = 0.0;
+
+    /** Aggregate IPC = instructions / cycles. */
+    double ipc() const { return cycles > 0.0 ? instructions / cycles : 0.0; }
+
+    /** Aggregate cache misses per kilo-instruction. */
+    double
+    cacheMpki() const
+    {
+        return instructions > 0.0
+            ? cacheMisses / instructions * 1000.0 : 0.0;
+    }
+
+    /** Aggregate branch mispredicts per kilo-instruction. */
+    double
+    branchMpki() const
+    {
+        return instructions > 0.0
+            ? branchMispredicts / instructions * 1000.0 : 0.0;
+    }
+};
+
+/** Result of simulating one benchmark run. */
+struct SimulationResult
+{
+    /** Seconds between consecutive frames. */
+    double tickSeconds = 0.1;
+    std::vector<CounterFrame> frames;
+    RunTotals totals;
+};
+
+} // namespace mbs
+
+#endif // MBS_SOC_COUNTERS_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Hardware-facing workload demand descriptors.
+ *
+ * A workload phase tells the SoC model *what it asks of the hardware*
+ * during an interval: CPU thread demands and instruction character, GPU
+ * rendering demand, AIE offload demand and memory footprint. The SoC
+ * model turns these into per-tick counter values. These types are the
+ * interface between `src/workload` (which composes them into benchmark
+ * definitions) and `src/soc` (which executes them).
+ */
+
+#ifndef MBS_SOC_DEMAND_HH
+#define MBS_SOC_DEMAND_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mbs {
+
+/**
+ * One group of identical software threads.
+ *
+ * `intensity` is the compute demand of a single thread expressed as the
+ * fraction of a *big-core* it can keep busy (1.0 == saturates a Prime
+ * core). The scheduler places threads on clusters based on this value,
+ * which is how big.LITTLE placement effects (the paper's Observations
+ * 7-9) emerge.
+ */
+struct ThreadDemand
+{
+    /** Number of identical threads in the group. */
+    int count = 1;
+    /** Per-thread demand in big-core-equivalent utilization [0, 1]. */
+    double intensity = 0.5;
+};
+
+/** Instruction-stream character of a phase, independent of placement. */
+struct CpuCharacter
+{
+    /**
+     * Instructions the phase retires, in billions, spread uniformly
+     * over the phase duration. The profiler's dynamic instruction
+     * count is the sum of these budgets.
+     */
+    double instructionsBillions = 0.0;
+    /** Ideal instructions-per-cycle at infinite cache (ILP ceiling). */
+    double baseIpc = 2.0;
+    /** Fraction of instructions that access memory. */
+    double memIntensity = 0.30;
+    /** Data working-set size in bytes. */
+    std::uint64_t workingSetBytes = 1 << 20;
+    /**
+     * Temporal locality in [0, 1): the fraction of accesses that hit a
+     * hot subset regardless of total working-set size. 0.95+ for
+     * cache-friendly compute kernels, < 0.5 for pointer-chasing or
+     * streaming memory tests.
+     */
+    double locality = 0.90;
+    /** Fraction of instructions that are branches. */
+    double branchFraction = 0.15;
+    /** Probability a branch is predicted correctly. */
+    double branchPredictability = 0.97;
+};
+
+/** Graphics APIs the GPU model distinguishes (Observation #2). */
+enum class GraphicsApi { None, OpenGlEs, Vulkan };
+
+/** GPU rendering/compute demand of a phase. */
+struct GpuDemand
+{
+    /**
+     * Raw rendering/compute work rate in [0, 1]: the fraction of the
+     * GPU's peak throughput the phase asks for at 1080p with an ideal
+     * API. API overhead and resolution scaling are applied on top.
+     */
+    double workRate = 0.0;
+    GraphicsApi api = GraphicsApi::None;
+    /** True when rendering bypasses the display (off-screen tests). */
+    bool offscreen = false;
+    /**
+     * Rendered-pixel scale relative to Full HD 1920x1080 (1.0); e.g.
+     * 2K QHD ~= 1.78, 4K ~= 4.0.
+     */
+    double resolutionScale = 1.0;
+    /** Texture/geometry streaming demand in [0, 1] of peak bus. */
+    double textureBandwidth = 0.0;
+    /** Resident texture/buffer bytes while the phase runs. */
+    std::uint64_t textureBytes = 0;
+};
+
+/** Media codecs relevant to AIE offload support (Antutu UX analysis). */
+enum class MediaCodec { None, H264, H265, Vp9, Av1 };
+
+/** AIE/DSP offload demand of a phase. */
+struct AieDemand
+{
+    /** Offload work rate in [0, 1] of the AIE's peak. */
+    double workRate = 0.0;
+    /**
+     * Codec the phase wants hardware-decoded; if the SoC does not
+     * support it, the work bounces back to the CPU as extra thread
+     * demand (the paper's AV1 observation).
+     */
+    MediaCodec codec = MediaCodec::None;
+};
+
+/** System-memory demand of a phase. */
+struct MemoryDemand
+{
+    /** Process-resident bytes (excluding GPU textures). */
+    std::uint64_t footprintBytes = 256ULL << 20;
+};
+
+/** Storage-subsystem demand (PCMark Storage, Antutu Mem). */
+struct StorageDemand
+{
+    /** IO bandwidth demand in [0, 1] of the flash controller's peak. */
+    double ioRate = 0.0;
+};
+
+/** Complete demand bundle for one workload phase. */
+struct PhaseDemand
+{
+    std::vector<ThreadDemand> threads;
+    CpuCharacter cpu;
+    GpuDemand gpu;
+    AieDemand aie;
+    MemoryDemand memory;
+    StorageDemand storage;
+};
+
+/** A demand bundle with a duration: what the simulator executes. */
+struct TimedPhase
+{
+    /** Phase length in seconds. */
+    double durationSeconds = 1.0;
+    PhaseDemand demand;
+};
+
+} // namespace mbs
+
+#endif // MBS_SOC_DEMAND_HH

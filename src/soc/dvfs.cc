@@ -1,0 +1,38 @@
+#include "dvfs.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+DvfsGovernor::DvfsGovernor(double min_hz, double max_hz, int opp_count,
+                           double headroom_)
+    : headroom(headroom_)
+{
+    fatalIf(min_hz <= 0.0 || max_hz < min_hz,
+            "DVFS frequency range is invalid");
+    fatalIf(opp_count < 2, "DVFS needs at least two operating points");
+    fatalIf(headroom < 1.0, "DVFS headroom must be >= 1.0");
+    opps.resize(static_cast<std::size_t>(opp_count));
+    for (int i = 0; i < opp_count; ++i) {
+        opps[std::size_t(i)] = min_hz +
+            (max_hz - min_hz) * double(i) / double(opp_count - 1);
+    }
+}
+
+double
+DvfsGovernor::frequencyFor(double utilization) const
+{
+    const double u = std::clamp(utilization, 0.0, 1.0);
+    // schedutil: next_freq = headroom * max_freq * util, then round up
+    // to the next operating point.
+    const double target = headroom * maxFrequency() * u;
+    for (double opp : opps) {
+        if (opp >= target)
+            return opp;
+    }
+    return maxFrequency();
+}
+
+} // namespace mbs

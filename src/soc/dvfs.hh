@@ -1,0 +1,59 @@
+/**
+ * @file
+ * DVFS governor model (schedutil-like).
+ *
+ * Mobile kernels pick the lowest operating point whose capacity covers
+ * the observed utilization plus headroom. The paper motivates using
+ * Load = frequency x utilization instead of raw utilization; this
+ * governor is what makes the two differ in the model.
+ */
+
+#ifndef MBS_SOC_DVFS_HH
+#define MBS_SOC_DVFS_HH
+
+#include <vector>
+
+namespace mbs {
+
+/**
+ * A per-domain frequency governor over a discrete OPP table.
+ */
+class DvfsGovernor
+{
+  public:
+    /**
+     * Build a governor with @p opp_count evenly spaced operating
+     * points between @p min_hz and @p max_hz (inclusive).
+     *
+     * @param min_hz Lowest operating frequency.
+     * @param max_hz Highest operating frequency.
+     * @param opp_count Number of operating points (>= 2).
+     * @param headroom Utilization headroom factor; schedutil uses
+     *        1.25 ("go faster when above 80% of current capacity").
+     */
+    DvfsGovernor(double min_hz, double max_hz, int opp_count = 8,
+                 double headroom = 1.25);
+
+    /**
+     * Pick the operating frequency for a demand level.
+     *
+     * @param utilization Demand as a fraction of the domain's capacity
+     *        at maximum frequency, in [0, 1].
+     * @return the chosen frequency in Hz (an OPP table entry).
+     */
+    double frequencyFor(double utilization) const;
+
+    /** @return the OPP table, ascending. */
+    const std::vector<double> &operatingPoints() const { return opps; }
+
+    double minFrequency() const { return opps.front(); }
+    double maxFrequency() const { return opps.back(); }
+
+  private:
+    std::vector<double> opps;
+    double headroom;
+};
+
+} // namespace mbs
+
+#endif // MBS_SOC_DVFS_HH

@@ -1,0 +1,96 @@
+#include "energy.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+double
+EnergyBreakdown::total() const
+{
+    double sum = gpuJ + aieJ + dramJ + storageJ;
+    for (double j : cpuJ)
+        sum += j;
+    return sum;
+}
+
+EnergyModel::EnergyModel(const SocConfig &config_,
+                         const PowerParams &params_)
+    : config(config_), powerParams(params_)
+{
+    config.validate();
+}
+
+double
+EnergyModel::framePowerW(const CounterFrame &frame) const
+{
+    double power = 0.0;
+    for (std::size_t c = 0; c < numClusters; ++c) {
+        const auto &cl = config.clusters[c];
+        const double f = frame.clusterFrequencyHz[c] / cl.maxFreqHz;
+        power += double(cl.cores) *
+            (powerParams.cpuStaticW[c] +
+             powerParams.cpuDynamicW[c] * f * f * f *
+                 frame.clusterUtilization[c]);
+    }
+    {
+        const double f = frame.gpu.frequencyHz / config.gpu.maxFreqHz;
+        power += powerParams.gpuStaticW +
+            powerParams.gpuDynamicW * f * f * f *
+                frame.gpu.utilization;
+    }
+    {
+        const double f = frame.aie.frequencyHz / config.aie.maxFreqHz;
+        power += powerParams.aieStaticW +
+            powerParams.aieDynamicW * f * f * f *
+                frame.aie.utilization;
+    }
+    power += powerParams.dramStaticW;
+    power += powerParams.storageActiveW * frame.storage.utilization;
+    return power;
+}
+
+EnergyBreakdown
+EnergyModel::energyOf(const SimulationResult &result) const
+{
+    fatalIf(result.frames.empty(), "cannot account an empty run");
+    const double dt = result.tickSeconds;
+
+    EnergyBreakdown out;
+    for (const auto &frame : result.frames) {
+        for (std::size_t c = 0; c < numClusters; ++c) {
+            const auto &cl = config.clusters[c];
+            const double f =
+                frame.clusterFrequencyHz[c] / cl.maxFreqHz;
+            out.cpuJ[c] += dt * double(cl.cores) *
+                (powerParams.cpuStaticW[c] +
+                 powerParams.cpuDynamicW[c] * f * f * f *
+                     frame.clusterUtilization[c]);
+        }
+        {
+            const double f =
+                frame.gpu.frequencyHz / config.gpu.maxFreqHz;
+            out.gpuJ += dt *
+                (powerParams.gpuStaticW +
+                 powerParams.gpuDynamicW * f * f * f *
+                     frame.gpu.utilization);
+        }
+        {
+            const double f =
+                frame.aie.frequencyHz / config.aie.maxFreqHz;
+            out.aieJ += dt *
+                (powerParams.aieStaticW +
+                 powerParams.aieDynamicW * f * f * f *
+                     frame.aie.utilization);
+        }
+        out.dramJ += dt * powerParams.dramStaticW +
+            frame.cacheMissesByLevel[3] *
+                powerParams.dramNanojoulePerMiss * 1e-9;
+        out.storageJ += dt * powerParams.storageActiveW *
+            frame.storage.utilization;
+    }
+    return out;
+}
+
+} // namespace mbs

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * SoC power and energy model.
+ *
+ * The paper excludes power analysis because its development board
+ * lacks a battery and power instrumentation (limitation 1). The
+ * simulation substrate has no such constraint, so this extension
+ * models per-component power from the counter frames the simulator
+ * already produces: cubic dynamic CPU/GPU power in frequency, linear
+ * in utilization, plus DRAM energy driven by last-level misses.
+ */
+
+#ifndef MBS_SOC_ENERGY_HH
+#define MBS_SOC_ENERGY_HH
+
+#include <array>
+
+#include "soc/config.hh"
+#include "soc/counters.hh"
+
+namespace mbs {
+
+/** Per-component power-model coefficients (watts). */
+struct PowerParams
+{
+    /** Per-core static/leakage power by cluster. */
+    std::array<double, numClusters> cpuStaticW{0.05, 0.10, 0.18};
+    /**
+     * Per-core dynamic power at maximum frequency and full
+     * utilization, by cluster (little, mid, big).
+     */
+    std::array<double, numClusters> cpuDynamicW{0.35, 1.10, 2.30};
+    /** GPU static and peak dynamic power. */
+    double gpuStaticW = 0.15;
+    double gpuDynamicW = 3.80;
+    /** AIE static and peak dynamic power. */
+    double aieStaticW = 0.05;
+    double aieDynamicW = 1.30;
+    /** DRAM background power and energy per last-level miss (nJ). */
+    double dramStaticW = 0.30;
+    double dramNanojoulePerMiss = 35.0;
+    /** Flash controller peak active power. */
+    double storageActiveW = 1.20;
+};
+
+/** Energy accounting for one simulated run. */
+struct EnergyBreakdown
+{
+    /** Joules per CPU cluster. */
+    std::array<double, numClusters> cpuJ{};
+    double gpuJ = 0.0;
+    double aieJ = 0.0;
+    double dramJ = 0.0;
+    double storageJ = 0.0;
+
+    /** Total energy in joules. */
+    double total() const;
+
+    /** Mean power in watts given the run duration. */
+    double
+    averagePowerW(double runtime_seconds) const
+    {
+        return runtime_seconds > 0.0 ? total() / runtime_seconds : 0.0;
+    }
+};
+
+/**
+ * Power/energy model over simulator counter frames.
+ */
+class EnergyModel
+{
+  public:
+    /**
+     * @param config SoC description (frequencies, core counts).
+     * @param params Power coefficients; defaults approximate a
+     *        5 nm-class flagship phone SoC.
+     */
+    explicit EnergyModel(const SocConfig &config,
+                         const PowerParams &params = {});
+
+    /** Instantaneous power draw (watts) implied by one frame. */
+    double framePowerW(const CounterFrame &frame) const;
+
+    /** Integrate a whole run into a per-component breakdown. */
+    EnergyBreakdown energyOf(const SimulationResult &result) const;
+
+    const PowerParams &params() const { return powerParams; }
+
+  private:
+    SocConfig config;
+    PowerParams powerParams;
+};
+
+} // namespace mbs
+
+#endif // MBS_SOC_ENERGY_HH

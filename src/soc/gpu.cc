@@ -1,0 +1,67 @@
+#include "gpu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+GpuModel::GpuModel(const GpuConfig &config_)
+    : config(config_),
+      governor(config_.minFreqHz, config_.maxFreqHz, 8, 1.15)
+{
+}
+
+double
+GpuModel::workMultiplier(const GpuDemand &demand) const
+{
+    // Rendering cost grows sub-linearly with pixel count: shading is
+    // per-pixel but geometry and CPU-side submission are not.
+    double mult = std::pow(std::max(demand.resolutionScale, 0.01), 0.75);
+    if (demand.api == GraphicsApi::OpenGlEs)
+        mult *= 1.0 + config.openglOverhead;
+    if (demand.offscreen) {
+        // Not pacing to the display vsync lets off-screen tests run
+        // frames back to back; the freed display overhead becomes
+        // additional rendering throughput (higher measured load).
+        mult *= 1.0 + config.onscreenOverhead;
+    }
+    return mult;
+}
+
+GpuState
+GpuModel::evaluate(const GpuDemand &demand) const
+{
+    GpuState out;
+    out.textureBytes = demand.textureBytes;
+    const double work =
+        std::clamp(demand.workRate, 0.0, 1.5) * workMultiplier(demand);
+    if (work <= 0.0) {
+        out.frequencyHz = config.minFreqHz;
+        return out;
+    }
+
+    out.frequencyHz = governor.frequencyFor(std::min(work, 1.0));
+    const double capacity = out.frequencyHz / config.maxFreqHz;
+    out.utilization = std::clamp(work / std::max(capacity, 1e-9),
+                                 0.0, 1.0);
+    out.load = capacity * out.utilization;
+
+    // All shader cores are simultaneously busy only when occupancy is
+    // high; fragment-bound full-screen passes approach it, light UI
+    // rendering does not.
+    out.shadersBusy = std::clamp(
+        std::pow(out.utilization, 1.5), 0.0, 1.0);
+
+    // Bus busy follows texture/geometry streaming, amplified a little
+    // at high resolutions where framebuffer traffic dominates.
+    const double resolution_traffic =
+        0.05 * std::max(0.0, demand.resolutionScale - 1.0);
+    out.busBusy = std::clamp(
+        demand.textureBandwidth * (0.6 + 0.4 * out.utilization) +
+        resolution_traffic, 0.0, 1.0);
+    return out;
+}
+
+} // namespace mbs

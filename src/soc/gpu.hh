@@ -1,0 +1,65 @@
+/**
+ * @file
+ * GPU model (Adreno-660-like): utilization, load, shader occupancy and
+ * memory-bus busy fraction from a phase's rendering demand.
+ */
+
+#ifndef MBS_SOC_GPU_HH
+#define MBS_SOC_GPU_HH
+
+#include <cstdint>
+
+#include "soc/config.hh"
+#include "soc/demand.hh"
+#include "soc/dvfs.hh"
+
+namespace mbs {
+
+/** GPU counter values for one tick. */
+struct GpuState
+{
+    /** Busy fraction of the GPU in [0, 1]. */
+    double utilization = 0.0;
+    /** Operating frequency in Hz. */
+    double frequencyHz = 0.0;
+    /** Load = (freq / max freq) * utilization, the paper's metric. */
+    double load = 0.0;
+    /** Fraction of time all shader cores are busy. */
+    double shadersBusy = 0.0;
+    /** Fraction of time the GPU<->memory bus is busy. */
+    double busBusy = 0.0;
+    /** Resident texture bytes. */
+    std::uint64_t textureBytes = 0;
+};
+
+/**
+ * Analytical GPU model.
+ *
+ * Work demand is scaled by resolution, API overhead (OpenGL costs more
+ * than Vulkan for equal work, Observation #2) and display-pipeline
+ * overhead for on-screen rendering; off-screen tests convert that
+ * headroom into extra rendering load (the paper's +14.5%/+62.85%
+ * off-screen observations).
+ */
+class GpuModel
+{
+  public:
+    explicit GpuModel(const GpuConfig &config);
+
+    /** Evaluate the GPU counters for one tick of @p demand. */
+    GpuState evaluate(const GpuDemand &demand) const;
+
+    /**
+     * Effective work multiplier of @p demand: resolution x API
+     * overhead x on/off-screen factor. Exposed for tests.
+     */
+    double workMultiplier(const GpuDemand &demand) const;
+
+  private:
+    GpuConfig config;
+    DvfsGovernor governor;
+};
+
+} // namespace mbs
+
+#endif // MBS_SOC_GPU_HH

@@ -1,0 +1,39 @@
+#include "memory.hh"
+
+#include <algorithm>
+
+namespace mbs {
+
+MemorySystem::MemorySystem(const MemoryConfig &config_)
+    : config(config_)
+{
+}
+
+MemoryState
+MemorySystem::evaluate(const MemoryDemand &demand,
+                       std::uint64_t texture_bytes) const
+{
+    MemoryState out;
+    const std::uint64_t wanted =
+        config.idleBytes + demand.footprintBytes + texture_bytes;
+    out.usedBytes = std::min(wanted, config.totalBytes);
+    out.usedFraction =
+        double(out.usedBytes) / double(config.totalBytes);
+    return out;
+}
+
+StorageModel::StorageModel(const StorageConfig &config_)
+    : config(config_)
+{
+}
+
+StorageState
+StorageModel::evaluate(const StorageDemand &demand) const
+{
+    StorageState out;
+    out.utilization = std::clamp(demand.ioRate, 0.0, 1.0);
+    out.bandwidth = out.utilization * config.peakBandwidth;
+    return out;
+}
+
+} // namespace mbs

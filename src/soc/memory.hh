@@ -1,0 +1,77 @@
+/**
+ * @file
+ * System memory and storage models.
+ */
+
+#ifndef MBS_SOC_MEMORY_HH
+#define MBS_SOC_MEMORY_HH
+
+#include <cstdint>
+
+#include "soc/config.hh"
+#include "soc/demand.hh"
+
+namespace mbs {
+
+/** Memory counter values for one tick. */
+struct MemoryState
+{
+    /** Total resident bytes including OS idle baseline. */
+    std::uint64_t usedBytes = 0;
+    /** usedBytes as a fraction of total system memory. */
+    double usedFraction = 0.0;
+};
+
+/**
+ * System memory model: process footprint + GPU texture residency on
+ * top of the OS idle baseline, saturating at physical capacity.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemoryConfig &config);
+
+    /**
+     * @param demand Process footprint for the tick.
+     * @param texture_bytes GPU-resident texture/buffer bytes.
+     */
+    MemoryState evaluate(const MemoryDemand &demand,
+                         std::uint64_t texture_bytes) const;
+
+    /** OS idle baseline in bytes (the profiler subtracts this). */
+    std::uint64_t idleBytes() const { return config.idleBytes; }
+
+    /** Total physical bytes. */
+    std::uint64_t totalBytes() const { return config.totalBytes; }
+
+  private:
+    MemoryConfig config;
+};
+
+/** Storage counter values for one tick. */
+struct StorageState
+{
+    /** Achieved IO bandwidth in bytes/s. */
+    double bandwidth = 0.0;
+    /** Busy fraction of the flash controller. */
+    double utilization = 0.0;
+};
+
+/**
+ * Flash storage model: bandwidth demand saturates at the controller's
+ * peak.
+ */
+class StorageModel
+{
+  public:
+    explicit StorageModel(const StorageConfig &config);
+
+    StorageState evaluate(const StorageDemand &demand) const;
+
+  private:
+    StorageConfig config;
+};
+
+} // namespace mbs
+
+#endif // MBS_SOC_MEMORY_HH

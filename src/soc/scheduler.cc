@@ -1,0 +1,109 @@
+#include "scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+Scheduler::Scheduler(const SocConfig &config_)
+    : config(config_)
+{
+    config.validate();
+}
+
+double
+Scheduler::coreCapacity(ClusterId cluster) const
+{
+    return config.clusters[std::size_t(cluster)].relativePerf;
+}
+
+Placement
+Scheduler::place(const std::vector<ThreadDemand> &threads) const
+{
+    // Per-core assigned demand, in big-core-equivalent units.
+    std::array<std::vector<double>, numClusters> core_load;
+    for (std::size_t c = 0; c < numClusters; ++c) {
+        core_load[c].assign(
+            static_cast<std::size_t>(config.clusters[c].cores), 0.0);
+    }
+
+    Placement out;
+
+    // Expand thread groups and place heavy threads first, as a real
+    // scheduler's load balancing converges to.
+    std::vector<double> expanded;
+    for (const auto &group : threads) {
+        fatalIf(group.count < 0, "negative thread count");
+        for (int i = 0; i < group.count; ++i)
+            expanded.push_back(std::clamp(group.intensity, 0.0, 1.0));
+    }
+    std::sort(expanded.begin(), expanded.end(), std::greater<>());
+
+    auto try_assign = [&](std::size_t cluster, double demand) -> bool {
+        const double cap = config.clusters[cluster].relativePerf;
+        for (auto &load : core_load[cluster]) {
+            if (cap - load >= demand) {
+                load += demand;
+                ++out.threads[cluster];
+                return true;
+            }
+        }
+        return false;
+    };
+
+    for (double demand : expanded) {
+        if (demand <= 0.0)
+            continue;
+        bool placed = false;
+        // EAS wake-up path: smallest cluster whose core capacity covers
+        // the demand under the margin, spilling upward when occupied.
+        for (std::size_t c = 0; c < numClusters && !placed; ++c) {
+            const double cap = config.clusters[c].relativePerf;
+            if (demand <= cap * fitMargin)
+                placed = try_assign(c, demand);
+        }
+        if (placed)
+            continue;
+        // Too heavy for any margin or every preferred core is busy:
+        // give it to the core with the most remaining room and run it
+        // as hard as that core allows.
+        std::size_t best_cluster = 0;
+        std::size_t best_core = 0;
+        double best_room = -1.0;
+        for (std::size_t c = 0; c < numClusters; ++c) {
+            const double cap = config.clusters[c].relativePerf;
+            for (std::size_t k = 0; k < core_load[c].size(); ++k) {
+                const double room = cap - core_load[c][k];
+                if (room > best_room) {
+                    best_room = room;
+                    best_cluster = c;
+                    best_core = k;
+                }
+            }
+        }
+        const double served = std::clamp(best_room, 0.0, demand);
+        core_load[best_cluster][best_core] += served;
+        ++out.threads[best_cluster];
+        out.unservedDemand += demand - served;
+    }
+
+    // Background OS services keep the little cluster lightly busy.
+    for (auto &load : core_load[std::size_t(ClusterId::Little)]) {
+        load += config.osBackgroundLoad *
+            coreCapacity(ClusterId::Little);
+    }
+
+    for (std::size_t c = 0; c < numClusters; ++c) {
+        const double cap = config.clusters[c].relativePerf;
+        double util_sum = 0.0;
+        for (double load : core_load[c])
+            util_sum += std::min(1.0, load / cap);
+        out.utilization[c] = core_load[c].empty()
+            ? 0.0 : util_sum / double(core_load[c].size());
+    }
+    return out;
+}
+
+} // namespace mbs

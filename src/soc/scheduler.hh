@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Energy-aware task placement model (EAS-like).
+ *
+ * Android's scheduler places a task on the most energy-efficient
+ * cluster whose capacity covers the task's demand, spilling upward when
+ * a cluster is full. This single rule reproduces the paper's CPU
+ * heterogeneity observations: light GPU-driver threads stay on the
+ * little cores (Obs. #8), heavy single threads land on the big core
+ * (Obs. #7), and only explicitly multi-core workloads load every
+ * cluster at once (Obs. #9).
+ */
+
+#ifndef MBS_SOC_SCHEDULER_HH
+#define MBS_SOC_SCHEDULER_HH
+
+#include <array>
+#include <vector>
+
+#include "soc/config.hh"
+#include "soc/demand.hh"
+
+namespace mbs {
+
+/** Result of placing one tick's thread demands onto the clusters. */
+struct Placement
+{
+    /**
+     * Average per-core utilization of each cluster in [0, 1],
+     * indexed by ClusterId.
+     */
+    std::array<double, numClusters> utilization{};
+    /** Threads assigned to each cluster. */
+    std::array<int, numClusters> threads{};
+    /**
+     * Demand (big-core-equivalent) that exceeded total capacity and
+     * was left unserved this tick; > 0 means the workload is
+     * CPU-saturated.
+     */
+    double unservedDemand = 0.0;
+};
+
+/**
+ * EAS-like scheduler model.
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(const SocConfig &config);
+
+    /**
+     * Place a set of thread demands onto the clusters.
+     *
+     * Placement rule per thread group, mirroring EAS wake-up path:
+     * choose the lowest-energy cluster where the thread's demand fits
+     * under a capacity margin, preferring Little, then Mid, then Big;
+     * groups that exceed any single core's capacity run on the big
+     * cluster at full utilization. OS background load is always
+     * added to the little cluster.
+     *
+     * @param threads Thread groups demanding CPU time.
+     * @return per-cluster utilizations and thread counts.
+     */
+    Placement place(const std::vector<ThreadDemand> &threads) const;
+
+    /**
+     * Capacity of one core of @p cluster in big-core-equivalent units.
+     */
+    double coreCapacity(ClusterId cluster) const;
+
+  private:
+    SocConfig config;
+    /** EAS-style margin: a task fits if demand <= capacity * margin. */
+    static constexpr double fitMargin = 0.8;
+};
+
+} // namespace mbs
+
+#endif // MBS_SOC_SCHEDULER_HH

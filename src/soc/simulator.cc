@@ -1,0 +1,242 @@
+#include "simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/strings.hh"
+#include "soc/aie.hh"
+#include "soc/gpu.hh"
+#include "soc/memory.hh"
+
+namespace mbs {
+
+SocSimulator::SocSimulator(const SocConfig &config_)
+    : socConfig(config_),
+      scheduler(config_),
+      energy(config_),
+      branches(config_.cache),
+      gpu(config_.gpu),
+      aie(config_.aie),
+      memory(config_.memory),
+      storage(config_.storage)
+{
+    socConfig.validate();
+    for (const auto &cluster : socConfig.clusters) {
+        clusterGovernors.emplace_back(cluster.minFreqHz,
+                                      cluster.maxFreqHz, 8, 1.25);
+        clusterCaches.emplace_back(socConfig.cache, cluster);
+    }
+}
+
+SimulationResult
+SocSimulator::run(const std::vector<TimedPhase> &phases,
+                  const SimOptions &options) const
+{
+    fatalIf(phases.empty(), "cannot simulate an empty phase list");
+    fatalIf(options.tickSeconds <= 0.0, "tick length must be positive");
+
+    Xoshiro256StarStar rng(options.seed);
+
+    // Apply per-run duration jitter once, up front.
+    std::vector<double> durations(phases.size());
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        const double jitter =
+            1.0 + rng.gaussian(0.0, options.durationJitter);
+        durations[i] = std::max(options.tickSeconds,
+                                phases[i].durationSeconds * jitter);
+    }
+
+    SimulationResult result;
+    result.tickSeconds = options.tickSeconds;
+
+    const double dt = options.tickSeconds;
+    double backlog = 0.0; // instructions deferred by CPU saturation
+    ThermalModel thermal(options.thermal);
+    double throttle = 1.0; // frequency cap from the previous tick
+
+    for (std::size_t p = 0; p < phases.size(); ++p) {
+        const PhaseDemand &demand = phases[p].demand;
+        const auto ticks = std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::llround(durations[p] / dt)));
+        // Budget is spread uniformly across the phase's ticks.
+        const double inst_per_tick =
+            demand.cpu.instructionsBillions * 1e9 / double(ticks);
+
+        for (std::size_t t = 0; t < ticks; ++t) {
+            CounterFrame frame;
+            frame.phaseIndex = p;
+            frame.timeSeconds =
+                result.totals.runtimeSeconds + double(t) * dt;
+
+            const double wobble =
+                std::max(0.2, 1.0 + rng.gaussian(
+                    0.0, options.demandJitter));
+
+            // --- AIE first: unsupported codecs bounce to the CPU.
+            AieDemand aie_demand = demand.aie;
+            aie_demand.workRate =
+                std::clamp(aie_demand.workRate * wobble, 0.0, 1.0);
+            frame.aie = aie.evaluate(aie_demand);
+
+            // --- CPU placement.
+            std::vector<ThreadDemand> threads = demand.threads;
+            for (auto &group : threads) {
+                group.intensity =
+                    std::clamp(group.intensity * wobble, 0.0, 1.0);
+            }
+            double bounce = frame.aie.cpuBounceDemand;
+            while (bounce > 1e-6) {
+                const double piece = std::min(bounce, 0.9);
+                threads.push_back(ThreadDemand{1, piece});
+                bounce -= piece;
+            }
+            const Placement placement = scheduler.place(threads);
+
+            // --- GPU.
+            GpuDemand gpu_demand = demand.gpu;
+            gpu_demand.workRate *= wobble;
+            frame.gpu = gpu.evaluate(gpu_demand);
+            if (throttle < 1.0) {
+                // Thermal cap: lower clock, higher occupancy, and
+                // the load the profiler sees drops with the clock.
+                frame.gpu.frequencyHz *= throttle;
+                frame.gpu.utilization = std::min(
+                    1.0, frame.gpu.utilization / throttle);
+                frame.gpu.load =
+                    frame.gpu.frequencyHz / socConfig.gpu.maxFreqHz *
+                    frame.gpu.utilization;
+            }
+
+            // Graphics residency in the shared levels evicts CPU
+            // lines; bus traffic is the visible proxy.
+            const double shared_contention = std::clamp(
+                0.45 * frame.gpu.busBusy + 0.10 * frame.gpu.utilization,
+                0.0, 0.9);
+
+            // --- Per-cluster frequency, IPC and load.
+            double available_cycles = 0.0;
+            std::array<double, numClusters> cluster_ipc{};
+            std::array<double, numClusters> cluster_weight{};
+            std::array<double, numClusters> cluster_cycles_cap{};
+            CacheStats cache_sample{};
+            for (std::size_t c = 0; c < numClusters; ++c) {
+                const ClusterConfig &cl = socConfig.clusters[c];
+                double util = placement.utilization[c];
+                double freq =
+                    clusterGovernors[c].frequencyFor(util);
+                if (throttle < 1.0) {
+                    // The capped clock must absorb the same demand:
+                    // utilization rises until the core saturates.
+                    freq *= throttle;
+                    util = std::min(1.0, util / throttle);
+                }
+                frame.clusterUtilization[c] = util;
+                frame.clusterFrequencyHz[c] = freq;
+                frame.clusterLoad[c] = (freq / cl.maxFreqHz) * util;
+                frame.clusterThreads[c] = placement.threads[c];
+
+                const CacheStats cs =
+                    clusterCaches[c].evaluate(demand.cpu,
+                                              shared_contention);
+                const BranchStats bs = branches.evaluate(
+                    demand.cpu, 0.9 + 0.1 * cl.ipcScale);
+                const double cpi0 = 1.0 /
+                    std::max(0.1, demand.cpu.baseIpc * cl.ipcScale);
+                cluster_ipc[c] =
+                    1.0 / (cpi0 + cs.memoryCpi + bs.branchCpi);
+
+                const double cap =
+                    double(cl.cores) * freq * util * dt;
+                cluster_cycles_cap[c] = cap;
+                available_cycles += cap;
+                cluster_weight[c] = cap * cluster_ipc[c];
+                if (c == std::size_t(ClusterId::Big))
+                    cache_sample = cs; // representative MPKI sample
+            }
+
+            // --- Retire the instruction budget (plus any backlog),
+            // bounded by the cycles the placement actually provides.
+            const double want = inst_per_tick * wobble + backlog;
+            double weight_sum = 0.0;
+            for (double w : cluster_weight)
+                weight_sum += w;
+            double retired = 0.0;
+            if (weight_sum > 0.0 && want > 0.0) {
+                // Max retireable given per-cluster IPC and cycles.
+                double max_retire = 0.0;
+                for (std::size_t c = 0; c < numClusters; ++c)
+                    max_retire += cluster_cycles_cap[c] * cluster_ipc[c];
+                retired = std::min(want, max_retire);
+                for (std::size_t c = 0; c < numClusters; ++c) {
+                    const double share =
+                        retired * cluster_weight[c] / weight_sum;
+                    frame.cycles += cluster_ipc[c] > 0.0
+                        ? share / cluster_ipc[c] : 0.0;
+                }
+            }
+            backlog = want - retired;
+            frame.instructions = retired;
+            frame.ipc = frame.cycles > 0.0
+                ? frame.instructions / frame.cycles : 0.0;
+
+            // --- Cache and branch events scale with instructions.
+            const BranchStats bs_big = branches.evaluate(demand.cpu);
+            frame.cacheMissesByLevel = {
+                retired / 1000.0 * cache_sample.l1Mpki,
+                retired / 1000.0 * cache_sample.l2Mpki,
+                retired / 1000.0 * cache_sample.l3Mpki,
+                retired / 1000.0 * cache_sample.slcMpki,
+            };
+            frame.cacheMisses = retired / 1000.0 *
+                cache_sample.totalMpki;
+            frame.branchMispredicts = retired / 1000.0 * bs_big.mpki;
+
+            // --- Mean CPU load across all cores.
+            double load_sum = 0.0;
+            int cores = 0;
+            for (std::size_t c = 0; c < numClusters; ++c) {
+                load_sum += frame.clusterLoad[c] *
+                    double(socConfig.clusters[c].cores);
+                cores += socConfig.clusters[c].cores;
+            }
+            frame.cpuLoad = cores > 0 ? load_sum / double(cores) : 0.0;
+
+            // --- Memory & storage.
+            frame.memory = memory.evaluate(
+                demand.memory, frame.gpu.textureBytes);
+            StorageDemand st = demand.storage;
+            st.ioRate = std::clamp(st.ioRate * wobble, 0.0, 1.0);
+            frame.storage = storage.evaluate(st);
+
+            // --- Thermal integration (extension; no-op when
+            // disabled). The throttle acts on the *next* tick.
+            if (options.thermal.enabled) {
+                const double power = energy.framePowerW(frame);
+                frame.socTemperatureC = thermal.step(power, dt);
+                frame.throttleFactor = throttle;
+                throttle = thermal.throttleFactor();
+            }
+
+            // --- Totals.
+            result.totals.instructions += frame.instructions;
+            result.totals.cycles += frame.cycles;
+            result.totals.cacheMisses += frame.cacheMisses;
+            result.totals.branchMispredicts += frame.branchMispredicts;
+
+            result.frames.push_back(frame);
+        }
+        result.totals.runtimeSeconds += double(ticks) * dt;
+    }
+
+    if (backlog > 1e7) {
+        warn(strformat("%.2fM instructions of budget never retired: "
+                       "the workload saturates the CPU; consider "
+                       "lowering the phase instruction budget or "
+                       "raising thread demand", backlog / 1e6));
+    }
+    return result;
+}
+
+} // namespace mbs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The tick-based SoC performance simulator.
+ *
+ * Executes a sequence of timed workload phases against the hardware
+ * model at a fixed tick (default 100 ms, matching a real-time profiler
+ * cadence) and produces a stream of CounterFrames. All run-to-run
+ * variation is driven by a caller-provided seed so runs are exactly
+ * reproducible.
+ */
+
+#ifndef MBS_SOC_SIMULATOR_HH
+#define MBS_SOC_SIMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "soc/caches.hh"
+#include "soc/config.hh"
+#include "soc/counters.hh"
+#include "soc/demand.hh"
+#include "soc/dvfs.hh"
+#include "soc/energy.hh"
+#include "soc/scheduler.hh"
+#include "soc/thermal.hh"
+
+namespace mbs {
+
+/** Tunables of a simulation run. */
+struct SimOptions
+{
+    /** Seconds per tick (> 0). */
+    double tickSeconds = 0.1;
+    /** Relative run-to-run jitter of phase durations. */
+    double durationJitter = 0.02;
+    /** Relative per-tick jitter on demand levels. */
+    double demandJitter = 0.03;
+    /** Master seed; the run index should be folded in by the caller. */
+    std::uint64_t seed = 1;
+    /**
+     * Thermal integration and throttling (extension). Disabled by
+     * default so the calibrated reproduction is unaffected.
+     */
+    ThermalParams thermal;
+};
+
+/**
+ * SoC simulator.
+ *
+ * Per tick: evaluate AIE offload (unsupported codecs bounce work back
+ * to the CPU), place CPU threads on clusters (EAS-like), run DVFS,
+ * evaluate the cache/branch models under GPU contention, retire the
+ * phase's instruction budget across clusters, and sample every
+ * counter into a frame.
+ */
+class SocSimulator
+{
+  public:
+    explicit SocSimulator(const SocConfig &config);
+
+    /**
+     * Simulate @p phases start to finish.
+     *
+     * @param phases Timed workload phases, executed in order.
+     * @param options Tick length, jitter magnitudes and seed.
+     * @return the frame stream plus whole-run totals.
+     */
+    SimulationResult run(const std::vector<TimedPhase> &phases,
+                         const SimOptions &options = {}) const;
+
+    const SocConfig &config() const { return socConfig; }
+
+  private:
+    SocConfig socConfig;
+    Scheduler scheduler;
+    EnergyModel energy;
+    std::vector<DvfsGovernor> clusterGovernors;
+    std::vector<CacheModel> clusterCaches;
+    BranchModel branches;
+    GpuModel gpu;
+    AieModel aie;
+    MemorySystem memory;
+    StorageModel storage;
+};
+
+} // namespace mbs
+
+#endif // MBS_SOC_SIMULATOR_HH

@@ -1,0 +1,47 @@
+#include "thermal.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+ThermalModel::ThermalModel(const ThermalParams &params_)
+    : thermalParams(params_), junctionC(params_.ambientC)
+{
+    fatalIf(thermalParams.thermalResistanceCperW <= 0.0,
+            "thermal resistance must be positive");
+    fatalIf(thermalParams.heatCapacityJperC <= 0.0,
+            "heat capacity must be positive");
+    fatalIf(thermalParams.throttleC <= thermalParams.ambientC,
+            "throttle threshold must exceed ambient");
+    fatalIf(thermalParams.minThrottleFactor <= 0.0 ||
+                thermalParams.minThrottleFactor > 1.0,
+            "throttle floor must be in (0, 1]");
+}
+
+double
+ThermalModel::step(double power_w, double dt_s)
+{
+    fatalIf(dt_s <= 0.0, "thermal step needs a positive dt");
+    const double r = thermalParams.thermalResistanceCperW;
+    const double c = thermalParams.heatCapacityJperC;
+    const double steady = thermalParams.ambientC + power_w * r;
+    // Exact solution of the first-order relaxation over dt.
+    const double alpha = 1.0 - std::exp(-dt_s / (r * c));
+    junctionC += (steady - junctionC) * alpha;
+    return junctionC;
+}
+
+double
+ThermalModel::throttleFactor() const
+{
+    if (junctionC <= thermalParams.throttleC)
+        return 1.0;
+    const double over = junctionC - thermalParams.throttleC;
+    return std::max(thermalParams.minThrottleFactor,
+                    1.0 - thermalParams.throttleSlopePerC * over);
+}
+
+} // namespace mbs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Lumped thermal model with frequency throttling.
+ *
+ * The paper notes that 3DMark Wild Life "measures a device's ability
+ * to provide high levels of performance for short periods of time" —
+ * short-burst benchmarks exist because sustained load throttles. The
+ * development board's missing battery/casing kept thermal analysis
+ * out of the paper; this extension models it: a first-order RC
+ * thermal circuit driven by the power model, with a throttle factor
+ * that caps operating frequency once the die crosses the throttling
+ * threshold.
+ *
+ * Disabled by default so the calibrated reproduction is unaffected;
+ * enable via SimOptions::thermal.
+ */
+
+#ifndef MBS_SOC_THERMAL_HH
+#define MBS_SOC_THERMAL_HH
+
+namespace mbs {
+
+/** First-order thermal circuit and throttle parameters. */
+struct ThermalParams
+{
+    /** Enable thermal integration and throttling. */
+    bool enabled = false;
+    /** Ambient / skin-contact temperature (deg C). */
+    double ambientC = 25.0;
+    /**
+     * Junction temperature where throttling begins (deg C). Phone
+     * governors throttle on skin temperature long before silicon
+     * limits; 62 C junction corresponds to a ~42 C skin target.
+     */
+    double throttleC = 62.0;
+    /** Junction-to-ambient thermal resistance (deg C per watt). */
+    double thermalResistanceCperW = 8.0;
+    /** Lumped heat capacity (joules per deg C). */
+    double heatCapacityJperC = 8.0;
+    /** Frequency cap lost per degree above the threshold. */
+    double throttleSlopePerC = 0.04;
+    /** Lowest frequency cap the governor may be pushed to. */
+    double minThrottleFactor = 0.55;
+};
+
+/**
+ * Thermal state integrator.
+ *
+ * dT/dt = (P * R - (T - T_ambient)) / (R * C): temperature relaxes
+ * toward the steady state T_ambient + P*R with time constant R*C
+ * (64 s with the defaults — a one-minute burst barely warms the die,
+ * a twenty-minute GFXBench run reaches equilibrium).
+ */
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(const ThermalParams &params = {});
+
+    /**
+     * Advance the junction temperature by one tick.
+     *
+     * @param power_w Total SoC power during the tick.
+     * @param dt_s Tick length in seconds.
+     * @return the updated junction temperature (deg C).
+     */
+    double step(double power_w, double dt_s);
+
+    /** Current junction temperature (deg C). */
+    double temperatureC() const { return junctionC; }
+
+    /**
+     * Current frequency cap in (0, 1]: 1 below the throttle
+     * threshold, decreasing linearly above it down to the configured
+     * floor.
+     */
+    double throttleFactor() const;
+
+    const ThermalParams &params() const { return thermalParams; }
+
+  private:
+    ThermalParams thermalParams;
+    double junctionC;
+};
+
+} // namespace mbs
+
+#endif // MBS_SOC_THERMAL_HH

@@ -1,0 +1,128 @@
+#include "correlation.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+
+namespace mbs {
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    fatalIf(x.size() != y.size(),
+            "pearson() requires equal-length samples");
+    const std::size_t n = x.size();
+    if (n < 2)
+        return 0.0;
+
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= double(n);
+    my /= double(n);
+
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+CorrelationStrength
+classifyCorrelation(double r)
+{
+    const double a = std::fabs(r);
+    if (a >= 0.8)
+        return CorrelationStrength::Strong;
+    if (a >= 0.4)
+        return CorrelationStrength::Moderate;
+    return CorrelationStrength::None;
+}
+
+std::string
+correlationStrengthName(CorrelationStrength s)
+{
+    switch (s) {
+      case CorrelationStrength::Strong:
+        return "strong";
+      case CorrelationStrength::Moderate:
+        return "moderate";
+      case CorrelationStrength::None:
+        return "none";
+    }
+    panic("unknown correlation strength");
+}
+
+CorrelationMatrix::CorrelationMatrix(const FeatureMatrix &features)
+    : labels(features.colNames())
+{
+    const std::size_t n = labels.size();
+    r.assign(n, std::vector<double>(n, 0.0));
+    std::vector<std::vector<double>> cols(n);
+    for (std::size_t c = 0; c < n; ++c)
+        cols[c] = features.column(c);
+    for (std::size_t a = 0; a < n; ++a) {
+        r[a][a] = 1.0;
+        for (std::size_t b = a + 1; b < n; ++b) {
+            const double v = pearson(cols[a], cols[b]);
+            r[a][b] = v;
+            r[b][a] = v;
+        }
+    }
+}
+
+double
+CorrelationMatrix::at(std::size_t a, std::size_t b) const
+{
+    fatalIf(a >= size() || b >= size(),
+            "correlation matrix index out of range");
+    return r[a][b];
+}
+
+double
+CorrelationMatrix::at(const std::string &a, const std::string &b) const
+{
+    const auto find = [this](const std::string &name) {
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            if (labels[i] == name)
+                return i;
+        }
+        fatal("no metric named '" + name + "' in correlation matrix");
+    };
+    return at(find(a), find(b));
+}
+
+std::string
+CorrelationMatrix::renderLowerTriangle() const
+{
+    std::vector<std::string> headers = {""};
+    headers.insert(headers.end(), labels.begin(), labels.end());
+    TextTable table(headers);
+    for (std::size_t c = 1; c < headers.size(); ++c)
+        table.setAlign(c, Align::Right);
+    for (std::size_t i = 0; i < size(); ++i) {
+        std::vector<std::string> row = {labels[i]};
+        for (std::size_t j = 0; j < size(); ++j) {
+            if (j < i)
+                row.push_back(strformat("%.3f", r[i][j]));
+            else if (j == i)
+                row.push_back("1");
+            else
+                row.push_back("");
+        }
+        table.addRow(std::move(row));
+    }
+    return table.render();
+}
+
+} // namespace mbs

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Pearson correlation and correlation matrices (the paper's Table III).
+ */
+
+#ifndef MBS_STATS_CORRELATION_HH
+#define MBS_STATS_CORRELATION_HH
+
+#include <string>
+#include <vector>
+
+#include "stats/feature_matrix.hh"
+
+namespace mbs {
+
+/**
+ * Pearson product-moment correlation coefficient of two samples.
+ *
+ * @return r in [-1, 1]; 0 when either sample has zero variance.
+ */
+double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/** Qualitative strength bands used in the paper's discussion. */
+enum class CorrelationStrength { None, Moderate, Strong };
+
+/**
+ * Classify |r| per the paper: >= 0.8 strong, 0.4-0.8 moderate,
+ * otherwise none.
+ */
+CorrelationStrength classifyCorrelation(double r);
+
+/** @return "strong" / "moderate" / "none". */
+std::string correlationStrengthName(CorrelationStrength s);
+
+/**
+ * Symmetric correlation matrix over the columns of a feature matrix.
+ */
+class CorrelationMatrix
+{
+  public:
+    /** Compute pairwise Pearson correlations of @p features columns. */
+    explicit CorrelationMatrix(const FeatureMatrix &features);
+
+    std::size_t size() const { return labels.size(); }
+    const std::vector<std::string> &names() const { return labels; }
+
+    /** @return r between columns @p a and @p b. */
+    double at(std::size_t a, std::size_t b) const;
+
+    /** @return r between named columns. */
+    double at(const std::string &a, const std::string &b) const;
+
+    /** Render the lower triangle like the paper's Table III. */
+    std::string renderLowerTriangle() const;
+
+  private:
+    std::vector<std::string> labels;
+    std::vector<std::vector<double>> r;
+};
+
+} // namespace mbs
+
+#endif // MBS_STATS_CORRELATION_HH

@@ -1,0 +1,201 @@
+#include "feature_matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+FeatureMatrix::FeatureMatrix(std::vector<std::string> column_names)
+    : columnNames(std::move(column_names))
+{
+    fatalIf(columnNames.empty(), "a feature matrix needs >= 1 column");
+}
+
+void
+FeatureMatrix::addRow(const std::string &name, std::vector<double> values)
+{
+    fatalIf(values.size() != columnNames.size(),
+            "row '" + name + "' has " + std::to_string(values.size()) +
+            " values, matrix has " + std::to_string(columnNames.size()) +
+            " columns");
+    fatalIf(hasRow(name), "duplicate row name '" + name + "'");
+    names.push_back(name);
+    data.push_back(std::move(values));
+}
+
+std::size_t
+FeatureMatrix::rowIndex(const std::string &name) const
+{
+    const auto it = std::find(names.begin(), names.end(), name);
+    fatalIf(it == names.end(), "no row named '" + name + "'");
+    return static_cast<std::size_t>(it - names.begin());
+}
+
+bool
+FeatureMatrix::hasRow(const std::string &name) const
+{
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::size_t
+FeatureMatrix::colIndex(const std::string &name) const
+{
+    const auto it = std::find(columnNames.begin(), columnNames.end(), name);
+    fatalIf(it == columnNames.end(), "no column named '" + name + "'");
+    return static_cast<std::size_t>(it - columnNames.begin());
+}
+
+double
+FeatureMatrix::at(std::size_t row, std::size_t col) const
+{
+    fatalIf(row >= rows() || col >= cols(),
+            "feature matrix index out of range");
+    return data[row][col];
+}
+
+const std::vector<double> &
+FeatureMatrix::row(std::size_t r) const
+{
+    fatalIf(r >= rows(), "feature matrix row out of range");
+    return data[r];
+}
+
+std::vector<double>
+FeatureMatrix::column(std::size_t col) const
+{
+    fatalIf(col >= cols(), "feature matrix column out of range");
+    std::vector<double> out(rows());
+    for (std::size_t r = 0; r < rows(); ++r)
+        out[r] = data[r][col];
+    return out;
+}
+
+FeatureMatrix
+FeatureMatrix::normalizedByColumnMax() const
+{
+    FeatureMatrix out(columnNames);
+    std::vector<double> max_abs(cols(), 0.0);
+    for (const auto &r : data) {
+        for (std::size_t c = 0; c < cols(); ++c)
+            max_abs[c] = std::max(max_abs[c], std::fabs(r[c]));
+    }
+    for (std::size_t i = 0; i < rows(); ++i) {
+        std::vector<double> r = data[i];
+        for (std::size_t c = 0; c < cols(); ++c) {
+            if (max_abs[c] > 0.0)
+                r[c] /= max_abs[c];
+        }
+        out.addRow(names[i], std::move(r));
+    }
+    return out;
+}
+
+FeatureMatrix
+FeatureMatrix::normalizedMinMax() const
+{
+    FeatureMatrix out(columnNames);
+    std::vector<double> lo(cols(), 0.0), hi(cols(), 0.0);
+    for (std::size_t c = 0; c < cols(); ++c) {
+        const auto col = column(c);
+        lo[c] = *std::min_element(col.begin(), col.end());
+        hi[c] = *std::max_element(col.begin(), col.end());
+    }
+    for (std::size_t i = 0; i < rows(); ++i) {
+        std::vector<double> r = data[i];
+        for (std::size_t c = 0; c < cols(); ++c) {
+            const double range = hi[c] - lo[c];
+            r[c] = range > 0.0 ? (r[c] - lo[c]) / range : 0.0;
+        }
+        out.addRow(names[i], std::move(r));
+    }
+    return out;
+}
+
+FeatureMatrix
+FeatureMatrix::normalizedZScore() const
+{
+    FeatureMatrix out(columnNames);
+    std::vector<double> mean(cols(), 0.0), sd(cols(), 0.0);
+    for (std::size_t c = 0; c < cols(); ++c) {
+        const auto col = column(c);
+        double sum = 0.0;
+        for (double v : col)
+            sum += v;
+        mean[c] = col.empty() ? 0.0 : sum / double(col.size());
+        double sq = 0.0;
+        for (double v : col)
+            sq += (v - mean[c]) * (v - mean[c]);
+        sd[c] = col.empty() ? 0.0 : std::sqrt(sq / double(col.size()));
+    }
+    for (std::size_t i = 0; i < rows(); ++i) {
+        std::vector<double> r = data[i];
+        for (std::size_t c = 0; c < cols(); ++c)
+            r[c] = sd[c] > 0.0 ? (r[c] - mean[c]) / sd[c] : 0.0;
+        out.addRow(names[i], std::move(r));
+    }
+    return out;
+}
+
+FeatureMatrix
+FeatureMatrix::withoutColumn(std::size_t col) const
+{
+    fatalIf(col >= cols(), "feature matrix column out of range");
+    fatalIf(cols() < 2, "cannot remove the only column");
+    std::vector<std::string> kept_names;
+    for (std::size_t c = 0; c < cols(); ++c) {
+        if (c != col)
+            kept_names.push_back(columnNames[c]);
+    }
+    FeatureMatrix out(std::move(kept_names));
+    for (std::size_t i = 0; i < rows(); ++i) {
+        std::vector<double> r;
+        for (std::size_t c = 0; c < cols(); ++c) {
+            if (c != col)
+                r.push_back(data[i][c]);
+        }
+        out.addRow(names[i], std::move(r));
+    }
+    return out;
+}
+
+FeatureMatrix
+FeatureMatrix::selectRows(const std::vector<std::size_t> &keep) const
+{
+    FeatureMatrix out(columnNames);
+    for (std::size_t idx : keep) {
+        fatalIf(idx >= rows(), "selectRows index out of range");
+        out.addRow(names[idx], data[idx]);
+    }
+    return out;
+}
+
+double
+euclideanDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    return std::sqrt(squaredEuclideanDistance(a, b));
+}
+
+double
+squaredEuclideanDistance(const std::vector<double> &a,
+                         const std::vector<double> &b)
+{
+    fatalIf(a.size() != b.size(), "distance between unequal-length vectors");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += (a[i] - b[i]) * (a[i] - b[i]);
+    return sum;
+}
+
+double
+manhattanDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    fatalIf(a.size() != b.size(), "distance between unequal-length vectors");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += std::fabs(a[i] - b[i]);
+    return sum;
+}
+
+} // namespace mbs

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Named observation-by-feature matrix, the hand-off format between the
+ * characterization pipeline and the clustering/subsetting analyses.
+ */
+
+#ifndef MBS_STATS_FEATURE_MATRIX_HH
+#define MBS_STATS_FEATURE_MATRIX_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mbs {
+
+/**
+ * A dense matrix with named rows (observations, e.g. benchmarks) and
+ * named columns (features, e.g. averaged performance metrics).
+ */
+class FeatureMatrix
+{
+  public:
+    FeatureMatrix() = default;
+
+    /** @param column_names Feature labels; fixes the column count. */
+    explicit FeatureMatrix(std::vector<std::string> column_names);
+
+    /**
+     * Append an observation.
+     * @param name Row label; must be unique.
+     * @param values One value per column.
+     */
+    void addRow(const std::string &name, std::vector<double> values);
+
+    std::size_t rows() const { return data.size(); }
+    std::size_t cols() const { return columnNames.size(); }
+
+    const std::vector<std::string> &rowNames() const { return names; }
+    const std::vector<std::string> &colNames() const { return columnNames; }
+
+    /** @return index of the row named @p name; fatal() if absent. */
+    std::size_t rowIndex(const std::string &name) const;
+
+    /** @return true if a row named @p name exists. */
+    bool hasRow(const std::string &name) const;
+
+    /** @return index of the column named @p name; fatal() if absent. */
+    std::size_t colIndex(const std::string &name) const;
+
+    double at(std::size_t row, std::size_t col) const;
+
+    /** @return the full row vector at index @p row. */
+    const std::vector<double> &row(std::size_t row) const;
+
+    /** @return one column as a vector. */
+    std::vector<double> column(std::size_t col) const;
+
+    /**
+     * Normalize each column by its maximum absolute value (the paper's
+     * normalization for subsetting: "normalize the performance metrics
+     * to the maximum recorded value of each").
+     * Columns whose maximum is zero are left unchanged.
+     */
+    FeatureMatrix normalizedByColumnMax() const;
+
+    /** Min-max normalize each column to [0, 1]. */
+    FeatureMatrix normalizedMinMax() const;
+
+    /** Z-score normalize each column (population stddev). */
+    FeatureMatrix normalizedZScore() const;
+
+    /** Copy with column @p col removed (for stability validation). */
+    FeatureMatrix withoutColumn(std::size_t col) const;
+
+    /** Copy with only the rows whose indices are in @p keep. */
+    FeatureMatrix selectRows(const std::vector<std::size_t> &keep) const;
+
+  private:
+    std::vector<std::string> columnNames;
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> data;
+};
+
+/** Euclidean distance between two equal-length vectors. */
+double euclideanDistance(const std::vector<double> &a,
+                         const std::vector<double> &b);
+
+/** Squared Euclidean distance between two equal-length vectors. */
+double squaredEuclideanDistance(const std::vector<double> &a,
+                                const std::vector<double> &b);
+
+/** Manhattan (L1) distance between two equal-length vectors. */
+double manhattanDistance(const std::vector<double> &a,
+                         const std::vector<double> &b);
+
+} // namespace mbs
+
+#endif // MBS_STATS_FEATURE_MATRIX_HH

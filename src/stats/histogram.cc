@@ -1,0 +1,107 @@
+#include "histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace mbs {
+
+Histogram::Histogram(double lo_, double hi_, std::size_t bins)
+    : lo(lo_), hi(hi_)
+{
+    fatalIf(bins == 0, "histogram needs at least one bin");
+    fatalIf(hi <= lo, "histogram range must have hi > lo");
+    counts.assign(bins, 0);
+}
+
+std::size_t
+Histogram::binOf(double value) const
+{
+    if (value <= lo)
+        return 0;
+    if (value >= hi)
+        return counts.size() - 1;
+    const double frac = (value - lo) / (hi - lo);
+    const auto idx = static_cast<std::size_t>(
+        frac * double(counts.size()));
+    return std::min(idx, counts.size() - 1);
+}
+
+void
+Histogram::add(double value)
+{
+    ++counts[binOf(value)];
+    ++totalCount;
+}
+
+void
+Histogram::addAll(const std::vector<double> &values)
+{
+    for (double v : values)
+        add(v);
+}
+
+std::size_t
+Histogram::count(std::size_t i) const
+{
+    fatalIf(i >= counts.size(), "histogram bin out of range");
+    return counts[i];
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    if (totalCount == 0)
+        return 0.0;
+    return double(count(i)) / double(totalCount);
+}
+
+std::vector<double>
+Histogram::fractions() const
+{
+    std::vector<double> out(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        out[i] = fraction(i);
+    return out;
+}
+
+std::string
+Histogram::binLabel(std::size_t i) const
+{
+    fatalIf(i >= counts.size(), "histogram bin out of range");
+    const double width = (hi - lo) / double(counts.size());
+    return strformat("[%.2f, %.2f)", lo + width * double(i),
+                     lo + width * double(i + 1));
+}
+
+LoadLevel
+loadLevelOf(double normalized_load)
+{
+    if (normalized_load < 0.25)
+        return LoadLevel::Low;
+    if (normalized_load < 0.50)
+        return LoadLevel::MediumLow;
+    if (normalized_load < 0.75)
+        return LoadLevel::MediumHigh;
+    return LoadLevel::High;
+}
+
+std::string
+loadLevelName(LoadLevel level)
+{
+    switch (level) {
+      case LoadLevel::Low:
+        return "0%-25%";
+      case LoadLevel::MediumLow:
+        return "25%-50%";
+      case LoadLevel::MediumHigh:
+        return "50%-75%";
+      case LoadLevel::High:
+        return "75%-100%";
+    }
+    panic("unknown load level");
+}
+
+} // namespace mbs

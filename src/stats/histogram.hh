@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fixed-bin histograms; used to bin normalized CPU-cluster loads into
+ * the paper's four load levels (Fig. 3 / Table V).
+ */
+
+#ifndef MBS_STATS_HISTOGRAM_HH
+#define MBS_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mbs {
+
+/**
+ * Equal-width histogram over a closed range.
+ *
+ * Values below the range go to the first bin, values above to the last
+ * (saturating), matching how load fractions are binned in the paper.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the range.
+     * @param hi Upper edge of the range (> lo).
+     * @param bins Number of equal-width bins (> 0).
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one observation. */
+    void add(double value);
+
+    /** Add every value in @p values. */
+    void addAll(const std::vector<double> &values);
+
+    std::size_t binCount() const { return counts.size(); }
+    std::size_t total() const { return totalCount; }
+
+    /** @return raw count in bin @p i. */
+    std::size_t count(std::size_t i) const;
+
+    /** @return fraction of observations in bin @p i (0 when empty). */
+    double fraction(std::size_t i) const;
+
+    /** @return all bin fractions. */
+    std::vector<double> fractions() const;
+
+    /** @return "[lo, hi)" label of bin @p i. */
+    std::string binLabel(std::size_t i) const;
+
+    /** @return the bin index @p value falls into (saturating). */
+    std::size_t binOf(double value) const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::size_t> counts;
+    std::size_t totalCount = 0;
+};
+
+/**
+ * The paper's four CPU load levels, each spanning 25% of [0, 1].
+ */
+enum class LoadLevel { Low, MediumLow, MediumHigh, High };
+
+/** @return the load level a normalized load in [0, 1] falls into. */
+LoadLevel loadLevelOf(double normalized_load);
+
+/** @return e.g. "0%-25%" for Low. */
+std::string loadLevelName(LoadLevel level);
+
+} // namespace mbs
+
+#endif // MBS_STATS_HISTOGRAM_HH

@@ -1,0 +1,71 @@
+#include "summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+SummaryStats::SummaryStats(const std::vector<double> &samples)
+    : sorted(samples)
+{
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.empty())
+        return;
+    double sum = 0.0;
+    for (double v : sorted)
+        sum += v;
+    meanValue = sum / double(sorted.size());
+    double sq = 0.0;
+    for (double v : sorted)
+        sq += (v - meanValue) * (v - meanValue);
+    stddevValue = std::sqrt(sq / double(sorted.size()));
+}
+
+double
+SummaryStats::min() const
+{
+    return sorted.empty() ? 0.0 : sorted.front();
+}
+
+double
+SummaryStats::max() const
+{
+    return sorted.empty() ? 0.0 : sorted.back();
+}
+
+double
+SummaryStats::cv() const
+{
+    if (meanValue == 0.0)
+        return 0.0;
+    return stddevValue / std::fabs(meanValue);
+}
+
+double
+SummaryStats::percentile(double p) const
+{
+    fatalIf(p < 0.0 || p > 100.0, "percentile must be in [0, 100]");
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double rank = p / 100.0 * double(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - double(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double
+SummaryStats::percentileRank(double value) const
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto n = std::upper_bound(sorted.begin(), sorted.end(), value) -
+        sorted.begin();
+    return 100.0 * double(n) / double(sorted.size());
+}
+
+} // namespace mbs

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Scalar summary statistics over a sample vector.
+ */
+
+#ifndef MBS_STATS_SUMMARY_HH
+#define MBS_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mbs {
+
+/**
+ * One-pass-computed summary of a sample set.
+ *
+ * Construction copies and sorts the data once so that median and
+ * percentile queries are cheap afterwards.
+ */
+class SummaryStats
+{
+  public:
+    /** @param samples Data to summarize; may be empty. */
+    explicit SummaryStats(const std::vector<double> &samples);
+
+    std::size_t count() const { return sorted.size(); }
+    double mean() const { return meanValue; }
+    double min() const;
+    double max() const;
+
+    /** Population standard deviation. */
+    double stddev() const { return stddevValue; }
+
+    /** Coefficient of variation (stddev / |mean|); 0 when mean is 0. */
+    double cv() const;
+
+    /** Median (linear-interpolated). */
+    double median() const { return percentile(50.0); }
+
+    /**
+     * Linear-interpolated percentile.
+     * @param p Percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /**
+     * Percentile rank of @p value: the percentage of samples <= value.
+     * The paper quotes e.g. "the 32.5% percentile" for subset distances.
+     */
+    double percentileRank(double value) const;
+
+  private:
+    std::vector<double> sorted;
+    double meanValue = 0.0;
+    double stddevValue = 0.0;
+};
+
+} // namespace mbs
+
+#endif // MBS_STATS_SUMMARY_HH

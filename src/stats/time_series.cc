@@ -1,0 +1,137 @@
+#include "time_series.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/sparkline.hh"
+
+namespace mbs {
+
+TimeSeries::TimeSeries(double interval_s, std::vector<double> values)
+    : intervalS(interval_s), samples(std::move(values))
+{
+    fatalIf(interval_s <= 0.0, "sample interval must be positive");
+}
+
+double
+TimeSeries::at(std::size_t i) const
+{
+    fatalIf(i >= samples.size(), "TimeSeries index out of range");
+    return samples[i];
+}
+
+double
+TimeSeries::mean() const
+{
+    if (samples.empty())
+        return 0.0;
+    return sum() / double(samples.size());
+}
+
+double
+TimeSeries::min() const
+{
+    if (samples.empty())
+        return 0.0;
+    return *std::min_element(samples.begin(), samples.end());
+}
+
+double
+TimeSeries::max() const
+{
+    if (samples.empty())
+        return 0.0;
+    return *std::max_element(samples.begin(), samples.end());
+}
+
+double
+TimeSeries::sum() const
+{
+    return std::accumulate(samples.begin(), samples.end(), 0.0);
+}
+
+double
+TimeSeries::atNormalizedTime(double t) const
+{
+    if (samples.empty())
+        return 0.0;
+    const double clamped = std::clamp(t, 0.0, 1.0);
+    auto idx = static_cast<std::size_t>(
+        clamped * double(samples.size() - 1) + 0.5);
+    idx = std::min(idx, samples.size() - 1);
+    return samples[idx];
+}
+
+double
+TimeSeries::fractionAbove(double threshold) const
+{
+    if (samples.empty())
+        return 0.0;
+    const auto n = std::count_if(samples.begin(), samples.end(),
+        [threshold](double v) { return v > threshold; });
+    return double(n) / double(samples.size());
+}
+
+TimeSeries
+TimeSeries::normalizedBy(double bound) const
+{
+    if (bound == 0.0)
+        return *this;
+    std::vector<double> scaled(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        scaled[i] = samples[i] / bound;
+    return TimeSeries(intervalS, std::move(scaled));
+}
+
+TimeSeries
+TimeSeries::resampled(std::size_t n) const
+{
+    fatalIf(n == 0, "cannot resample to zero points");
+    // Keep the covered duration constant; the interval stretches.
+    const double new_interval =
+        samples.empty() ? intervalS : duration() / double(n);
+    return TimeSeries(new_interval, resampleMean(samples, n));
+}
+
+TimeSeries
+TimeSeries::average(const std::vector<TimeSeries> &runs)
+{
+    fatalIf(runs.empty(), "cannot average zero runs");
+    std::size_t shortest = std::numeric_limits<std::size_t>::max();
+    for (const auto &run : runs)
+        shortest = std::min(shortest, run.size());
+    if (shortest == 0 ||
+        shortest == std::numeric_limits<std::size_t>::max()) {
+        return TimeSeries(runs.front().interval(), {});
+    }
+
+    std::vector<double> acc(shortest, 0.0);
+    for (const auto &run : runs) {
+        const TimeSeries r = run.size() == shortest
+            ? run : run.resampled(shortest);
+        for (std::size_t i = 0; i < shortest; ++i)
+            acc[i] += r[i];
+    }
+    for (double &v : acc)
+        v /= double(runs.size());
+
+    double interval = 0.0;
+    for (const auto &run : runs)
+        interval += run.duration();
+    interval /= double(runs.size()) * double(shortest);
+    return TimeSeries(interval, std::move(acc));
+}
+
+TimeSeries
+TimeSeries::minusBaseline(double baseline) const
+{
+    std::vector<double> adjusted(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        adjusted[i] = std::max(0.0, samples[i] - baseline);
+    return TimeSeries(intervalS, std::move(adjusted));
+}
+
+} // namespace mbs

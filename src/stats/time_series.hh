@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Uniformly sampled time series, the fundamental datum produced by the
+ * profiler: one value per sampling tick for one hardware counter.
+ */
+
+#ifndef MBS_STATS_TIME_SERIES_HH
+#define MBS_STATS_TIME_SERIES_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mbs {
+
+/**
+ * A uniformly sampled series of doubles.
+ *
+ * The sample interval is carried with the data so durations and
+ * normalized-time positions can be recovered.
+ */
+class TimeSeries
+{
+  public:
+    TimeSeries() = default;
+
+    /**
+     * @param interval_s Seconds between consecutive samples (> 0).
+     * @param values Sample values, earliest first.
+     */
+    TimeSeries(double interval_s, std::vector<double> values);
+
+    /** @return seconds between consecutive samples. */
+    double interval() const { return intervalS; }
+
+    /** @return number of samples. */
+    std::size_t size() const { return samples.size(); }
+
+    bool empty() const { return samples.empty(); }
+
+    /** @return total covered duration in seconds. */
+    double duration() const { return intervalS * double(samples.size()); }
+
+    /** @return sample at index @p i (bounds-checked). */
+    double at(std::size_t i) const;
+
+    double operator[](std::size_t i) const { return samples[i]; }
+
+    /** @return the underlying sample vector. */
+    const std::vector<double> &values() const { return samples; }
+
+    /** Append one sample. */
+    void push(double value) { samples.push_back(value); }
+
+    /** Arithmetic mean; 0 for an empty series. */
+    double mean() const;
+
+    /** Smallest sample; 0 for an empty series. */
+    double min() const;
+
+    /** Largest sample; 0 for an empty series. */
+    double max() const;
+
+    /** Sum of all samples. */
+    double sum() const;
+
+    /**
+     * Value at a normalized time position.
+     * @param t Position in [0, 1]; clamped.
+     */
+    double atNormalizedTime(double t) const;
+
+    /**
+     * Fraction of samples strictly above @p threshold.
+     */
+    double fractionAbove(double threshold) const;
+
+    /**
+     * Scale every sample by 1/@p bound (no-op when bound == 0).
+     * Used to normalize against the global per-metric maximum, as the
+     * paper does for Fig. 2.
+     */
+    TimeSeries normalizedBy(double bound) const;
+
+    /** Resample to exactly @p n points by bucket-averaging. */
+    TimeSeries resampled(std::size_t n) const;
+
+    /**
+     * Element-wise mean of several equally long series.
+     * Series of different lengths are first resampled to the shortest
+     * length (run-to-run durations differ slightly on real devices).
+     */
+    static TimeSeries average(const std::vector<TimeSeries> &runs);
+
+    /** Subtract @p baseline from every sample, clamping at zero. */
+    TimeSeries minusBaseline(double baseline) const;
+
+  private:
+    double intervalS = 0.1;
+    std::vector<double> samples;
+};
+
+} // namespace mbs
+
+#endif // MBS_STATS_TIME_SERIES_HH

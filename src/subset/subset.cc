@@ -1,0 +1,230 @@
+#include "subset.hh"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace mbs {
+
+SubsetBuilder::SubsetBuilder(std::vector<SubsetCandidate> candidates)
+    : candidateList(std::move(candidates))
+{
+    fatalIf(candidateList.empty(), "no subset candidates");
+    std::set<std::string> names;
+    for (const auto &c : candidateList) {
+        fatalIf(!names.insert(c.name).second,
+                "duplicate candidate '" + c.name + "'");
+        fatalIf(c.runtimeSeconds <= 0.0,
+                "candidate '" + c.name + "' has no runtime");
+    }
+}
+
+double
+SubsetBuilder::fullRuntimeSeconds() const
+{
+    double total = 0.0;
+    for (const auto &c : candidateList)
+        total += c.runtimeSeconds;
+    return total;
+}
+
+const SubsetCandidate &
+SubsetBuilder::find(const std::string &name) const
+{
+    for (const auto &c : candidateList) {
+        if (c.name == name)
+            return c;
+    }
+    fatal("no subset candidate named '" + name + "'");
+}
+
+SubsetResult
+SubsetBuilder::finalize(std::string strategy,
+                        std::vector<std::string> members) const
+{
+    SubsetResult out;
+    out.strategy = std::move(strategy);
+    out.members = std::move(members);
+    for (const auto &name : out.members)
+        out.runtimeSeconds += find(name).runtimeSeconds;
+    const double full = fullRuntimeSeconds();
+    out.runtimeReduction =
+        full > 0.0 ? 1.0 - out.runtimeSeconds / full : 0.0;
+    return out;
+}
+
+SubsetResult
+SubsetBuilder::naive() const
+{
+    // One benchmark per cluster, chosen by minimum runtime.
+    int max_cluster = 0;
+    for (const auto &c : candidateList)
+        max_cluster = std::max(max_cluster, c.cluster);
+
+    std::vector<std::string> members;
+    for (int cluster = 0; cluster <= max_cluster; ++cluster) {
+        const SubsetCandidate *best = nullptr;
+        for (const auto &c : candidateList) {
+            if (c.cluster != cluster)
+                continue;
+            // A benchmark that can only run inside its whole suite
+            // cannot represent a cluster on its own.
+            if (c.requiresWholeSuite)
+                continue;
+            if (!best || c.runtimeSeconds < best->runtimeSeconds)
+                best = &c;
+        }
+        if (best)
+            members.push_back(best->name);
+    }
+    return finalize("Naive", std::move(members));
+}
+
+SubsetResult
+SubsetBuilder::select() const
+{
+    std::vector<std::string> members;
+
+    // 1. Benchmarks that cannot run individually force their whole
+    //    suite in (Antutu): include every such segment.
+    for (const auto &c : candidateList) {
+        if (c.requiresWholeSuite)
+            members.push_back(c.name);
+    }
+
+    auto contains = [&members](const std::string &name) {
+        return std::find(members.begin(), members.end(), name) !=
+            members.end();
+    };
+
+    // 2. Cover the AIE: the benchmark with the highest AIE load.
+    {
+        const SubsetCandidate *best = nullptr;
+        for (const auto &c : candidateList) {
+            if (!best || c.avgAieLoad > best->avgAieLoad)
+                best = &c;
+        }
+        if (best && !contains(best->name))
+            members.push_back(best->name);
+    }
+
+    // 3. Cover all CPU clusters: the shortest benchmark that loads
+    //    every cluster.
+    {
+        const SubsetCandidate *best = nullptr;
+        for (const auto &c : candidateList) {
+            if (!c.stressesAllCpuClusters || contains(c.name))
+                continue;
+            if (!best || c.runtimeSeconds < best->runtimeSeconds)
+                best = &c;
+        }
+        if (best)
+            members.push_back(best->name);
+    }
+    return finalize("Select", std::move(members));
+}
+
+SubsetResult
+SubsetBuilder::selectPlusGpu() const
+{
+    SubsetResult base = select();
+    auto contains = [&base](const std::string &name) {
+        return std::find(base.members.begin(), base.members.end(),
+                         name) != base.members.end();
+    };
+    // Add the highest-average-GPU-load benchmark.
+    const SubsetCandidate *best = nullptr;
+    for (const auto &c : candidateList) {
+        if (contains(c.name))
+            continue;
+        if (!best || c.avgGpuLoad > best->avgGpuLoad)
+            best = &c;
+    }
+    std::vector<std::string> members = base.members;
+    if (best)
+        members.push_back(best->name);
+    return finalize("Select+GPU", std::move(members));
+}
+
+double
+totalMinEuclideanDistance(const FeatureMatrix &features,
+                          const std::vector<std::string> &members)
+{
+    fatalIf(members.empty(),
+            "a subset needs at least one member");
+    std::vector<std::size_t> member_rows;
+    for (const auto &name : members)
+        member_rows.push_back(features.rowIndex(name));
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < features.rows(); ++i) {
+        if (std::find(member_rows.begin(), member_rows.end(), i) !=
+            member_rows.end()) {
+            continue;
+        }
+        double best = std::numeric_limits<double>::max();
+        for (std::size_t m : member_rows) {
+            best = std::min(best,
+                            euclideanDistance(features.row(i),
+                                              features.row(m)));
+        }
+        total += best;
+    }
+    return total;
+}
+
+std::vector<double>
+incrementalDistanceCurve(const FeatureMatrix &features,
+                         const std::vector<std::string> &members)
+{
+    fatalIf(members.empty(), "a curve needs at least one member");
+    std::vector<std::string> order = members;
+    // Append the remaining benchmarks in row order.
+    for (const auto &name : features.rowNames()) {
+        if (std::find(order.begin(), order.end(), name) == order.end())
+            order.push_back(name);
+    }
+
+    std::vector<double> curve;
+    std::vector<std::string> current;
+    for (const auto &name : order) {
+        current.push_back(name);
+        curve.push_back(totalMinEuclideanDistance(features, current));
+    }
+    return curve;
+}
+
+double
+subsetDistancePercentile(const FeatureMatrix &features,
+                         const std::vector<std::string> &members,
+                         int samples, std::uint64_t seed)
+{
+    fatalIf(samples < 1, "need >= 1 Monte Carlo sample");
+    const double own = totalMinEuclideanDistance(features, members);
+    const auto &names = features.rowNames();
+    fatalIf(members.size() > names.size(),
+            "subset larger than the benchmark set");
+
+    Xoshiro256StarStar rng(seed);
+    int not_larger = 0;
+    for (int s = 0; s < samples; ++s) {
+        // Sample a random subset of the same size (Fisher-Yates
+        // prefix).
+        std::vector<std::string> pool = names;
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            const std::size_t j =
+                i + rng.uniformInt(pool.size() - i);
+            std::swap(pool[i], pool[j]);
+        }
+        pool.resize(members.size());
+        if (own <= totalMinEuclideanDistance(features, pool))
+            ++not_larger;
+        // not_larger counts samples our subset beats or ties.
+    }
+    return 100.0 * (1.0 - double(not_larger) / double(samples));
+}
+
+} // namespace mbs

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Benchmark subset construction and evaluation (the paper's §VI-B).
+ *
+ * Three strategies are reproduced:
+ *  - Naive: the shortest-runtime benchmark from each cluster.
+ *  - Select: Antutu in its entirety (its segments cannot run
+ *    individually), plus the highest-AIE-load benchmark, plus the
+ *    shortest benchmark that stresses all three CPU clusters.
+ *  - Select+GPU: Select plus the highest-average-GPU-load benchmark.
+ *
+ * Representativeness follows Yi et al.: normalize each metric to its
+ * maximum, then sum, over all excluded benchmarks, the Euclidean
+ * distance to the nearest included benchmark (lower is better).
+ */
+
+#ifndef MBS_SUBSET_SUBSET_HH
+#define MBS_SUBSET_SUBSET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/feature_matrix.hh"
+
+namespace mbs {
+
+/** Per-benchmark inputs to subset construction. */
+struct SubsetCandidate
+{
+    std::string name;
+    std::string suite;
+    /** Wall-clock runtime in seconds. */
+    double runtimeSeconds = 0.0;
+    /** Cluster label from the similarity analysis. */
+    int cluster = 0;
+    /** Time-averaged AIE load. */
+    double avgAieLoad = 0.0;
+    /** Time-averaged GPU load. */
+    double avgGpuLoad = 0.0;
+    /**
+     * True when the benchmark keeps every CPU cluster loaded (the
+     * paper's Observation #9 set: Aitutu, Antutu CPU, Geekbench 5/6
+     * CPU).
+     */
+    bool stressesAllCpuClusters = false;
+    /**
+     * True when the benchmark can only run as part of its whole
+     * suite (Antutu segments).
+     */
+    bool requiresWholeSuite = false;
+};
+
+/** A constructed subset with its runtime accounting. */
+struct SubsetResult
+{
+    std::string strategy;
+    std::vector<std::string> members;
+    double runtimeSeconds = 0.0;
+    /** 1 - runtime / full-set runtime. */
+    double runtimeReduction = 0.0;
+};
+
+/**
+ * Subset construction over a fixed candidate list.
+ */
+class SubsetBuilder
+{
+  public:
+    /** @param candidates One entry per benchmark unit, all suites. */
+    explicit SubsetBuilder(std::vector<SubsetCandidate> candidates);
+
+    /** Total runtime of the full original set. */
+    double fullRuntimeSeconds() const;
+
+    /** Naive: per-cluster minimum-runtime pick. */
+    SubsetResult naive() const;
+
+    /** Select: whole-Antutu + AIE coverage + CPU-cluster coverage. */
+    SubsetResult select() const;
+
+    /** Select+GPU: select() plus the highest-GPU-load benchmark. */
+    SubsetResult selectPlusGpu() const;
+
+    const std::vector<SubsetCandidate> &candidates() const
+    {
+        return candidateList;
+    }
+
+  private:
+    SubsetResult finalize(std::string strategy,
+                          std::vector<std::string> members) const;
+
+    const SubsetCandidate &find(const std::string &name) const;
+
+    std::vector<SubsetCandidate> candidateList;
+};
+
+/**
+ * Yi-et-al. total minimum Euclidean distance of a subset.
+ *
+ * @param normalized_features Feature matrix with one row per
+ *        benchmark, already normalized per metric (column max).
+ * @param members Row names included in the subset.
+ * @return sum over rows not in @p members of the distance to the
+ *         nearest member row; 0 when every row is a member.
+ */
+double totalMinEuclideanDistance(const FeatureMatrix &normalized_features,
+                                 const std::vector<std::string> &members);
+
+/**
+ * The Fig.-7 incremental curve: starting from the first member, add
+ * the subset's members one at a time, then the remaining benchmarks
+ * in row order, recording the total minimum Euclidean distance after
+ * each addition.
+ *
+ * @return one distance per step; size == number of rows.
+ */
+std::vector<double>
+incrementalDistanceCurve(const FeatureMatrix &normalized_features,
+                         const std::vector<std::string> &members);
+
+/**
+ * Percentile rank of a subset's distance among @p samples random
+ * same-size subsets (seeded Monte Carlo). Used to reproduce the
+ * paper's "32.5% percentile" claim for Select+GPU.
+ */
+double subsetDistancePercentile(const FeatureMatrix &normalized_features,
+                                const std::vector<std::string> &members,
+                                int samples = 2000,
+                                std::uint64_t seed = 99);
+
+} // namespace mbs
+
+#endif // MBS_SUBSET_SUBSET_HH

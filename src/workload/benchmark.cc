@@ -1,0 +1,93 @@
+#include "benchmark.hh"
+
+#include "common/logging.hh"
+
+namespace mbs {
+
+std::string
+hardwareTargetName(HardwareTarget target)
+{
+    switch (target) {
+      case HardwareTarget::Cpu:
+        return "CPU";
+      case HardwareTarget::Gpu:
+        return "GPU";
+      case HardwareTarget::MemorySubsystem:
+        return "Memory subsystem";
+      case HardwareTarget::StorageSubsystem:
+        return "Storage subsystem";
+      case HardwareTarget::Ai:
+        return "AI-related tasks";
+      case HardwareTarget::EverydayTasks:
+        return "Everyday tasks";
+    }
+    panic("unknown hardware target");
+}
+
+Benchmark::Benchmark(std::string suite_, std::string name_,
+                     HardwareTarget target, bool individually_executable)
+    : suite(std::move(suite_)), benchName(std::move(name_)),
+      hwTarget(target), executable(individually_executable)
+{
+}
+
+void
+Benchmark::addPhase(Phase phase)
+{
+    fatalIf(phase.durationSeconds <= 0.0,
+            "phase '" + phase.name + "' of benchmark '" + benchName +
+            "' must have a positive duration");
+    phaseList.push_back(std::move(phase));
+}
+
+double
+Benchmark::totalDurationSeconds() const
+{
+    double total = 0.0;
+    for (const auto &p : phaseList)
+        total += p.durationSeconds;
+    return total;
+}
+
+double
+Benchmark::totalInstructionsBillions() const
+{
+    double total = 0.0;
+    for (const auto &p : phaseList)
+        total += p.demand.cpu.instructionsBillions;
+    return total;
+}
+
+std::vector<TimedPhase>
+Benchmark::toTimedPhases() const
+{
+    std::vector<TimedPhase> out;
+    out.reserve(phaseList.size());
+    for (const auto &p : phaseList)
+        out.push_back(TimedPhase{p.durationSeconds, p.demand});
+    return out;
+}
+
+double
+Benchmark::phaseStartFraction(std::size_t i) const
+{
+    fatalIf(i >= phaseList.size(), "phase index out of range");
+    const double total = totalDurationSeconds();
+    if (total <= 0.0)
+        return 0.0;
+    double before = 0.0;
+    for (std::size_t k = 0; k < i; ++k)
+        before += phaseList[k].durationSeconds;
+    return before / total;
+}
+
+double
+Suite::totalDurationSeconds() const
+{
+    double total = 0.0;
+    for (const auto &b : benchmarks)
+        total += b.totalDurationSeconds();
+    return total;
+}
+
+} // namespace mbs

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Workload description types: Phase, Benchmark and Suite.
+ *
+ * A Benchmark is a named sequence of phases; each phase couples a
+ * hardware demand bundle (soc/demand.hh) with a duration, a name and
+ * the kernel archetype it was built from. Suites group benchmarks and
+ * carry the execution constraints the paper describes (e.g. Antutu's
+ * segments cannot be launched individually).
+ */
+
+#ifndef MBS_WORKLOAD_BENCHMARK_HH
+#define MBS_WORKLOAD_BENCHMARK_HH
+
+#include <string>
+#include <vector>
+
+#include "soc/demand.hh"
+
+namespace mbs {
+
+/** Hardware target categories from the paper's Table I. */
+enum class HardwareTarget
+{
+    Cpu,
+    Gpu,
+    MemorySubsystem,
+    StorageSubsystem,
+    Ai,
+    EverydayTasks,
+};
+
+/** @return a printable name, e.g. "GPU" or "Everyday tasks". */
+std::string hardwareTargetName(HardwareTarget target);
+
+/** One timed slice of a benchmark built from a kernel archetype. */
+struct Phase
+{
+    /** Human-readable name, e.g. "physics test level 2". */
+    std::string name;
+    /** Kernel archetype identifier, e.g. "gemm". */
+    std::string kernel;
+    /** Phase length in seconds. */
+    double durationSeconds = 1.0;
+    /** Hardware demand while the phase runs. */
+    PhaseDemand demand;
+};
+
+/**
+ * An individually characterized benchmark unit (one bar in the
+ * paper's Fig. 1).
+ */
+class Benchmark
+{
+  public:
+    Benchmark() = default;
+
+    /**
+     * @param suite Suite the benchmark belongs to, e.g. "Antutu v9".
+     * @param name Display name, e.g. "Antutu CPU".
+     * @param target Hardware the benchmark stresses (Table I).
+     * @param individually_executable False for Antutu segments, which
+     *        can only run as part of the whole suite.
+     */
+    Benchmark(std::string suite, std::string name, HardwareTarget target,
+              bool individually_executable = true);
+
+    const std::string &suiteName() const { return suite; }
+    const std::string &name() const { return benchName; }
+    HardwareTarget target() const { return hwTarget; }
+    bool individuallyExecutable() const { return executable; }
+
+    /** Append a phase; fatal() on a non-positive duration. */
+    void addPhase(Phase phase);
+
+    const std::vector<Phase> &phases() const { return phaseList; }
+
+    /** Sum of phase durations in seconds. */
+    double totalDurationSeconds() const;
+
+    /** Sum of phase instruction budgets, in billions. */
+    double totalInstructionsBillions() const;
+
+    /** Lower the phases into the simulator's input format. */
+    std::vector<TimedPhase> toTimedPhases() const;
+
+    /**
+     * Normalized start time of phase @p i in [0, 1] of the benchmark's
+     * duration; used to locate events on the Fig.-2 time axis.
+     */
+    double phaseStartFraction(std::size_t i) const;
+
+  private:
+    std::string suite;
+    std::string benchName;
+    HardwareTarget hwTarget = HardwareTarget::Cpu;
+    bool executable = true;
+    std::vector<Phase> phaseList;
+};
+
+/** A published benchmark suite (one row group in Table I). */
+struct Suite
+{
+    /** Suite name, e.g. "Geekbench 5". */
+    std::string name;
+    /** Publisher, e.g. "Primate Labs". */
+    std::string publisher;
+    /**
+     * True when sub-benchmarks can only run as a whole suite
+     * (Antutu); the profiler then segments the single run.
+     */
+    bool runsAsWhole = false;
+    std::vector<Benchmark> benchmarks;
+
+    /** Sum of all member benchmark durations. */
+    double totalDurationSeconds() const;
+};
+
+} // namespace mbs
+
+#endif // MBS_WORKLOAD_BENCHMARK_HH

@@ -1,0 +1,440 @@
+#include "kernels.hh"
+
+#include "common/logging.hh"
+
+namespace mbs {
+namespace kernels {
+
+namespace {
+
+/** Convenience: one thread group. */
+std::vector<ThreadDemand>
+group(int count, double intensity)
+{
+    return {ThreadDemand{count, intensity}};
+}
+
+constexpr std::uint64_t MB = 1ULL << 20;
+
+} // namespace
+
+PhaseDemand
+gemm(int threads, double intensity)
+{
+    PhaseDemand d;
+    d.threads = group(threads, intensity);
+    d.cpu.baseIpc = 3.2;
+    d.cpu.memIntensity = 0.32;
+    d.cpu.workingSetBytes = 8 * MB;
+    d.cpu.locality = 0.985; // blocked GEMM reuses tiles heavily
+    d.cpu.branchFraction = 0.05;
+    d.cpu.branchPredictability = 0.995;
+    d.memory.footprintBytes = 1500 * MB;
+    return d;
+}
+
+PhaseDemand
+fft(int threads, double aie_rate)
+{
+    PhaseDemand d;
+    d.threads = group(threads, 0.70);
+    d.cpu.baseIpc = 2.6;
+    d.cpu.memIntensity = 0.35;
+    d.cpu.workingSetBytes = 16 * MB;
+    d.cpu.locality = 0.97;
+    d.cpu.branchFraction = 0.08;
+    d.cpu.branchPredictability = 0.99;
+    d.aie.workRate = aie_rate; // butterfly stages map well to the DSP
+    d.memory.footprintBytes = 1300 * MB;
+    return d;
+}
+
+PhaseDemand
+crypto(int threads, double intensity)
+{
+    PhaseDemand d;
+    d.threads = group(threads, intensity);
+    d.cpu.baseIpc = 3.1;
+    d.cpu.memIntensity = 0.20;
+    d.cpu.workingSetBytes = 512ULL << 10;
+    d.cpu.locality = 0.985;
+    d.cpu.branchFraction = 0.08;
+    d.cpu.branchPredictability = 0.99;
+    d.memory.footprintBytes = 1100 * MB;
+    return d;
+}
+
+PhaseDemand
+integerOps(int threads, double intensity)
+{
+    PhaseDemand d;
+    d.threads = group(threads, intensity);
+    d.cpu.baseIpc = 3.0;
+    d.cpu.memIntensity = 0.28;
+    d.cpu.workingSetBytes = 4 * MB;
+    d.cpu.locality = 0.98;
+    d.cpu.branchFraction = 0.20;
+    d.cpu.branchPredictability = 0.96;
+    d.memory.footprintBytes = 1300 * MB;
+    return d;
+}
+
+PhaseDemand
+floatOps(int threads, double intensity)
+{
+    PhaseDemand d;
+    d.threads = group(threads, intensity);
+    d.cpu.baseIpc = 3.2;
+    d.cpu.memIntensity = 0.31;
+    d.cpu.workingSetBytes = 12 * MB;
+    d.cpu.locality = 0.975;
+    d.cpu.branchFraction = 0.10;
+    d.cpu.branchPredictability = 0.985;
+    d.memory.footprintBytes = 1400 * MB;
+    return d;
+}
+
+PhaseDemand
+imageDecode(double intensity)
+{
+    PhaseDemand d;
+    d.threads = group(1, intensity);
+    d.cpu.baseIpc = 2.7;
+    d.cpu.memIntensity = 0.28;
+    d.cpu.workingSetBytes = 2 * MB;
+    d.cpu.locality = 0.968;
+    d.cpu.branchFraction = 0.22;
+    d.cpu.branchPredictability = 0.955; // entropy decode is data-driven
+    d.aie.workRate = 0.20; // filter stages assist on the DSP
+    d.memory.footprintBytes = 1200 * MB;
+    return d;
+}
+
+PhaseDemand
+compression(int threads, double intensity)
+{
+    PhaseDemand d;
+    d.threads = group(threads, intensity);
+    d.cpu.baseIpc = 2.8;
+    d.cpu.memIntensity = 0.33;
+    d.cpu.workingSetBytes = 32 * MB;
+    d.cpu.locality = 0.97;
+    d.cpu.branchFraction = 0.24;
+    d.cpu.branchPredictability = 0.945;
+    d.memory.footprintBytes = 1400 * MB;
+    return d;
+}
+
+PhaseDemand
+memoryStream(std::uint64_t working_set_bytes, double locality)
+{
+    PhaseDemand d;
+    d.threads = group(4, 0.28);
+    d.cpu.baseIpc = 3.0;
+    d.cpu.memIntensity = 0.32;
+    d.cpu.workingSetBytes = working_set_bytes;
+    d.cpu.locality = locality;
+    // Pointer chasing defeats the branch predictor as well as the
+    // caches, so RAM stress tests are outliers on both MPKI axes.
+    d.cpu.branchFraction = 0.15;
+    d.cpu.branchPredictability = 0.93;
+    d.memory.footprintBytes = working_set_bytes + 1100 * MB;
+    return d;
+}
+
+PhaseDemand
+storageIo(double io_rate, double cpu_intensity)
+{
+    PhaseDemand d;
+    d.threads = group(3, cpu_intensity);
+    d.cpu.baseIpc = 2.2;
+    d.cpu.memIntensity = 0.28;
+    d.cpu.workingSetBytes = 8 * MB;
+    d.cpu.locality = 0.975;
+    d.cpu.branchFraction = 0.15;
+    d.cpu.branchPredictability = 0.96;
+    d.storage.ioRate = io_rate;
+    d.memory.footprintBytes = 1000 * MB;
+    return d;
+}
+
+PhaseDemand
+database(double io_rate)
+{
+    PhaseDemand d;
+    d.threads = group(2, 0.35);
+    d.cpu.baseIpc = 2.4;
+    d.cpu.memIntensity = 0.35;
+    d.cpu.workingSetBytes = 64 * MB;
+    d.cpu.locality = 0.955; // B-tree walks
+    d.cpu.branchFraction = 0.24;
+    d.cpu.branchPredictability = 0.945;
+    d.storage.ioRate = io_rate;
+    d.memory.footprintBytes = 1200 * MB;
+    return d;
+}
+
+PhaseDemand
+webBrowse()
+{
+    PhaseDemand d;
+    d.threads = {ThreadDemand{3, 0.24}, ThreadDemand{1, 0.30}};
+    d.cpu.baseIpc = 2.5;
+    d.cpu.memIntensity = 0.32;
+    d.cpu.workingSetBytes = 48 * MB;
+    d.cpu.locality = 0.967;
+    d.cpu.branchFraction = 0.22;
+    d.cpu.branchPredictability = 0.955;
+    d.gpu.workRate = 0.12; // compositor
+    d.gpu.api = GraphicsApi::OpenGlEs;
+    d.gpu.textureBytes = 200 * MB;
+    d.memory.footprintBytes = 1700 * MB;
+    return d;
+}
+
+PhaseDemand
+photoEdit(double gpu_rate)
+{
+    PhaseDemand d;
+    d.threads = group(2, 0.50);
+    d.cpu.baseIpc = 2.8;
+    d.cpu.memIntensity = 0.34;
+    d.cpu.workingSetBytes = 64 * MB;
+    d.cpu.locality = 0.972;
+    d.cpu.branchFraction = 0.12;
+    d.cpu.branchPredictability = 0.97;
+    d.gpu.workRate = gpu_rate; // shader-based filters
+    d.gpu.api = GraphicsApi::OpenGlEs;
+    d.gpu.textureBandwidth = 0.35;
+    d.gpu.textureBytes = 500 * MB;
+    d.aie.workRate = 0.25;
+    d.memory.footprintBytes = 1900 * MB;
+    return d;
+}
+
+PhaseDemand
+videoCodec(MediaCodec codec, double rate, bool encode)
+{
+    PhaseDemand d;
+    d.threads = group(4, encode ? 0.26 : 0.21);
+    d.cpu.baseIpc = 2.5;
+    d.cpu.memIntensity = 0.34;
+    d.cpu.workingSetBytes = 32 * MB;
+    d.cpu.locality = 0.97;
+    d.cpu.branchFraction = 0.18;
+    d.cpu.branchPredictability = 0.955;
+    d.aie.workRate = rate;
+    d.aie.codec = codec;
+    d.memory.footprintBytes = 1800 * MB;
+    return d;
+}
+
+PhaseDemand
+renderScene(GraphicsApi api, double work_rate, double resolution_scale,
+            bool offscreen, double texture_mb)
+{
+    fatalIf(api == GraphicsApi::None,
+            "renderScene needs a graphics API");
+    PhaseDemand d;
+    // Driver + game-logic threads are light and stay on the little
+    // cluster (the paper's Observation #8).
+    d.threads = {ThreadDemand{3, 0.17}, ThreadDemand{1, 0.12}};
+    d.cpu.baseIpc = 2.3;
+    d.cpu.memIntensity = 0.30;
+    d.cpu.workingSetBytes = 24 * MB;
+    d.cpu.locality = 0.97;
+    d.cpu.branchFraction = 0.16;
+    d.cpu.branchPredictability = 0.96;
+    d.gpu.api = api;
+    d.gpu.workRate = work_rate;
+    d.gpu.resolutionScale = resolution_scale;
+    d.gpu.offscreen = offscreen;
+    d.gpu.textureBandwidth = 0.45 + 0.35 * work_rate;
+    d.gpu.textureBytes =
+        static_cast<std::uint64_t>(texture_mb) * MB;
+    d.memory.footprintBytes = 1500 * MB;
+    return d;
+}
+
+PhaseDemand
+gpuCompute(double work_rate, double texture_mb)
+{
+    PhaseDemand d;
+    d.threads = group(1, 0.45); // enqueue/readback thread
+    d.cpu.baseIpc = 2.3;
+    d.cpu.memIntensity = 0.32;
+    d.cpu.workingSetBytes = 16 * MB;
+    d.cpu.locality = 0.975;
+    d.cpu.branchFraction = 0.12;
+    d.cpu.branchPredictability = 0.97;
+    d.gpu.api = GraphicsApi::Vulkan;
+    d.gpu.workRate = work_rate;
+    d.gpu.offscreen = true; // compute never touches the display
+    d.gpu.textureBandwidth = 0.12; // ALU-bound, light streaming
+    d.gpu.textureBytes =
+        static_cast<std::uint64_t>(texture_mb) * MB;
+    d.memory.footprintBytes = 1400 * MB;
+    return d;
+}
+
+PhaseDemand
+physics(int level)
+{
+    fatalIf(level < 1 || level > 3, "physics levels are 1..3");
+    PhaseDemand d;
+    d.threads = group(6, 0.54 + 0.14 * double(level));
+    d.cpu.baseIpc = 2.7;
+    d.cpu.memIntensity = 0.33;
+    d.cpu.workingSetBytes = 6 * MB;
+    d.cpu.locality = 0.98;
+    d.cpu.branchFraction = 0.14;
+    d.cpu.branchPredictability = 0.96;
+    d.gpu.api = GraphicsApi::OpenGlEs;
+    d.gpu.workRate = 0.10; // "minimizing the GPU workload"
+    d.gpu.textureBytes = 300 * MB;
+    d.memory.footprintBytes = 1400 * MB;
+    return d;
+}
+
+PhaseDemand
+nnInference(double aie_rate, int threads, double intensity)
+{
+    PhaseDemand d;
+    // Inference worker threads size themselves for the mid cores;
+    // Aitutu is the paper's one benchmark where the mid cluster
+    // sustains high load longer than the big cluster. A single
+    // heavier feeder thread keeps the big core warm (Observation #9:
+    // consistent load on all clusters).
+    d.threads = group(threads, intensity * 0.94);
+    d.threads.push_back(ThreadDemand{1, 0.62});
+    // Pre/post-processing (decode, resize, NMS) runs on the little
+    // cores, so AI benchmarks keep every cluster busy.
+    d.threads.push_back(ThreadDemand{2, 0.24});
+    d.cpu.baseIpc = 2.7;
+    d.cpu.memIntensity = 0.34;
+    d.cpu.workingSetBytes = 32 * MB;
+    d.cpu.locality = 0.975;
+    d.cpu.branchFraction = 0.14;
+    d.cpu.branchPredictability = 0.965;
+    d.aie.workRate = aie_rate;
+    d.memory.footprintBytes = 1900 * MB;
+    return d;
+}
+
+PhaseDemand
+uiScroll(double aie_rate)
+{
+    PhaseDemand d;
+    d.threads = {ThreadDemand{4, 0.26}};
+    d.cpu.baseIpc = 2.3;
+    d.cpu.memIntensity = 0.31;
+    d.cpu.workingSetBytes = 16 * MB;
+    d.cpu.locality = 0.975;
+    d.cpu.branchFraction = 0.20;
+    d.cpu.branchPredictability = 0.955;
+    d.gpu.workRate = 0.18;
+    d.gpu.api = GraphicsApi::OpenGlEs;
+    d.gpu.textureBytes = 250 * MB;
+    d.aie.workRate = aie_rate; // compositor/webview DSP assists
+    d.memory.footprintBytes = 1500 * MB;
+    return d;
+}
+
+PhaseDemand
+psnrCompare(bool high_precision)
+{
+    PhaseDemand d;
+    d.threads = group(1, 0.40);
+    d.cpu.baseIpc = 2.3;
+    d.cpu.memIntensity = 0.34;
+    d.cpu.workingSetBytes = 24 * MB;
+    d.cpu.locality = 0.963;
+    d.cpu.branchFraction = 0.10;
+    d.cpu.branchPredictability = 0.98;
+    // MSE/PSNR over full frames is a textbook DSP task; the high-
+    // precision section costs more.
+    d.aie.workRate = high_precision ? 1.0 : 0.90;
+    d.gpu.workRate = 0.25;
+    d.gpu.api = GraphicsApi::OpenGlEs;
+    d.gpu.textureBytes = 400 * MB;
+    d.memory.footprintBytes = 1300 * MB;
+    return d;
+}
+
+PhaseDemand
+multicoreStress(int threads, double intensity)
+{
+    PhaseDemand d;
+    d.threads = group(threads, intensity * 0.92);
+    d.cpu.baseIpc = 3.1;
+    d.cpu.memIntensity = 0.28;
+    d.cpu.workingSetBytes = 8 * MB;
+    d.cpu.locality = 0.978;
+    d.cpu.branchFraction = 0.15;
+    d.cpu.branchPredictability = 0.96;
+    d.memory.footprintBytes = 1400 * MB;
+    return d;
+}
+
+PhaseDemand
+dataProcessing(int threads, double intensity)
+{
+    PhaseDemand d;
+    // Everyday data tasks fan out into threads light enough for the
+    // energy-efficient cores (the paper: the little cluster proves
+    // adequate in most cases).
+    d.threads = group(threads * 2, intensity * 0.4);
+    d.cpu.baseIpc = 2.7;
+    d.cpu.memIntensity = 0.32;
+    d.cpu.workingSetBytes = 24 * MB;
+    d.cpu.locality = 0.97;
+    d.cpu.branchFraction = 0.20;
+    d.cpu.branchPredictability = 0.95;
+    d.memory.footprintBytes = 1300 * MB;
+    return d;
+}
+
+PhaseDemand
+dataSecurity(int threads, double intensity)
+{
+    PhaseDemand d = crypto(threads, intensity);
+    d.cpu.branchFraction = 0.12;
+    d.storage.ioRate = 0.08; // encrypt-at-rest touches flash
+    return d;
+}
+
+PhaseDemand
+loadingBurst(int threads, double intensity)
+{
+    PhaseDemand d;
+    d.threads = group(threads, intensity);
+    d.cpu.baseIpc = 2.3;
+    d.cpu.memIntensity = 0.36;
+    d.cpu.workingSetBytes = 48 * MB;
+    d.cpu.locality = 0.95;
+    d.cpu.branchFraction = 0.20;
+    d.cpu.branchPredictability = 0.93;
+    d.storage.ioRate = 0.55; // asset streaming
+    d.memory.footprintBytes = 1600 * MB;
+    return d;
+}
+
+PhaseDemand
+menuIdle()
+{
+    PhaseDemand d;
+    d.threads = {ThreadDemand{1, 0.10}};
+    d.cpu.baseIpc = 1.8;
+    d.cpu.memIntensity = 0.30;
+    d.cpu.workingSetBytes = 4 * MB;
+    d.cpu.locality = 0.96;
+    d.cpu.branchFraction = 0.18;
+    d.cpu.branchPredictability = 0.95;
+    d.gpu.workRate = 0.05;
+    d.gpu.api = GraphicsApi::OpenGlEs;
+    d.memory.footprintBytes = 1000 * MB;
+    return d;
+}
+
+} // namespace kernels
+} // namespace mbs

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Kernel archetype library.
+ *
+ * Each function builds the hardware demand bundle of one recurring
+ * mobile-workload kernel (GEMM, FFT, PNG decode, scene rendering,
+ * video decode, ...). Suite definition files compose these archetypes
+ * into benchmark phase sequences, so domain behaviour lives here in
+ * one place: GEMM is multi-threaded and cache-friendly, memory stress
+ * tests have low locality, video decode offloads to the AIE unless the
+ * codec is unsupported, and so on.
+ *
+ * Thread intensities are in big-core-equivalent units; the EAS-like
+ * scheduler decides placement. Rough placement intuition for the
+ * Snapdragon-888-like default (fit margin 0.8): intensity <= 0.28
+ * fits a little core, <= 0.56 fits a mid core, above that runs big.
+ */
+
+#ifndef MBS_WORKLOAD_KERNELS_HH
+#define MBS_WORKLOAD_KERNELS_HH
+
+#include <cstdint>
+
+#include "soc/demand.hh"
+
+namespace mbs {
+namespace kernels {
+
+/** Multi-threaded general matrix multiplication (LINPACK-style). */
+PhaseDemand gemm(int threads = 6, double intensity = 0.80);
+
+/** Fast Fourier transform with partial DSP offload. */
+PhaseDemand fft(int threads = 2, double aie_rate = 0.30);
+
+/** Cryptography workloads (AES/SHA): high ILP, tiny working set. */
+PhaseDemand crypto(int threads = 1, double intensity = 0.90);
+
+/** Integer workloads: compilers, compression, parsing. */
+PhaseDemand integerOps(int threads = 1, double intensity = 0.90);
+
+/** Floating-point workloads: simulation, ray tracing. */
+PhaseDemand floatOps(int threads = 1, double intensity = 0.90);
+
+/** PNG/JPEG decode: single-threaded and branchy. */
+PhaseDemand imageDecode(double intensity = 0.85);
+
+/** Dictionary compression (zstd-like): branchy, moderate memory. */
+PhaseDemand compression(int threads = 1, double intensity = 0.80);
+
+/**
+ * RAM stress (Antutu Mem style): streaming and pointer chasing with
+ * very low locality over a large working set.
+ */
+PhaseDemand memoryStream(std::uint64_t working_set_bytes = 256ULL << 20,
+                         double locality = 0.25);
+
+/** Flash IO (sequential or random) at @p io_rate of peak bandwidth. */
+PhaseDemand storageIo(double io_rate, double cpu_intensity = 0.20);
+
+/** SQLite-style database transactions: branchy CPU + moderate IO. */
+PhaseDemand database(double io_rate = 0.35);
+
+/** Interactive web browsing: bursty little-core work. */
+PhaseDemand webBrowse();
+
+/** Photo editing: GPU-assisted filters plus mid-class CPU threads. */
+PhaseDemand photoEdit(double gpu_rate = 0.45);
+
+/**
+ * Hardware video decode/encode. Offloads to the AIE/DSP when the
+ * codec is supported; otherwise the simulator bounces the work back
+ * to the CPU as expensive software decode (the AV1 case).
+ */
+PhaseDemand videoCodec(MediaCodec codec, double rate = 0.45,
+                       bool encode = false);
+
+/**
+ * 3D scene rendering (game-like). Driver threads are light and stay
+ * on the little cluster; graphics data streaming contends with CPU
+ * lines in the shared caches, which is what depresses graphics
+ * benchmarks' IPC in the model.
+ *
+ * @param api Graphics API used by the scene.
+ * @param work_rate Raw GPU demand in [0, 1] at 1080p.
+ * @param resolution_scale Pixel count relative to 1080p.
+ * @param offscreen True for off-screen (no display) variants.
+ * @param texture_mb Resident texture megabytes.
+ */
+PhaseDemand renderScene(GraphicsApi api, double work_rate,
+                        double resolution_scale = 1.0,
+                        bool offscreen = false,
+                        double texture_mb = 900.0);
+
+/** GPU compute (OpenCL/Vulkan compute): no display pipeline. */
+PhaseDemand gpuCompute(double work_rate, double texture_mb = 500.0);
+
+/**
+ * Multi-threaded rigid-body physics (3DMark Slingshot physics test);
+ * successive levels raise the per-thread demand.
+ */
+PhaseDemand physics(int level);
+
+/**
+ * Neural-network inference (image classification, detection, super
+ * resolution): AIE offload plus mid-class worker threads.
+ */
+PhaseDemand nnInference(double aie_rate = 0.45, int threads = 3,
+                        double intensity = 0.55);
+
+/** UI scroll / webview rendering with compositor DSP assists. */
+PhaseDemand uiScroll(double aie_rate = 0.50);
+
+/** PSNR frame comparison (GFXBench Special) on the DSP. */
+PhaseDemand psnrCompare(bool high_precision);
+
+/** Multi-core/multi-tasking stress (Antutu CPU finale). */
+PhaseDemand multicoreStress(int threads = 8, double intensity = 0.90);
+
+/** Generic data processing (parsing, sorting, hashing). */
+PhaseDemand dataProcessing(int threads = 2, double intensity = 0.50);
+
+/** Data security (encryption at rest, integrity checks). */
+PhaseDemand dataSecurity(int threads = 2, double intensity = 0.55);
+
+/**
+ * Inter-test loading/asset-decompression burst; these transitions are
+ * the CPU-load spikes visible between Antutu GPU micro-benchmarks.
+ */
+PhaseDemand loadingBurst(int threads = 5, double intensity = 0.65);
+
+/** Near-idle menu/result screen. */
+PhaseDemand menuIdle();
+
+} // namespace kernels
+} // namespace mbs
+
+#endif // MBS_WORKLOAD_KERNELS_HH

@@ -1,0 +1,417 @@
+#include "loader.hh"
+
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "workload/kernels.hh"
+
+namespace mbs {
+
+namespace {
+
+using Kwargs = std::vector<std::pair<std::string, std::string>>;
+
+double
+toDouble(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        const double out = std::stod(value, &used);
+        fatalIf(used != value.size(), "");
+        return out;
+    } catch (...) {
+        fatal("keyword '" + key + "' needs a number, got '" + value +
+              "'");
+    }
+}
+
+int
+toInt(const std::string &key, const std::string &value)
+{
+    const double d = toDouble(key, value);
+    const int i = int(d);
+    fatalIf(double(i) != d,
+            "keyword '" + key + "' needs an integer, got '" + value +
+            "'");
+    return i;
+}
+
+GraphicsApi
+toApi(const std::string &value)
+{
+    const std::string v = toLower(value);
+    if (v == "opengl" || v == "opengles" || v == "gl")
+        return GraphicsApi::OpenGlEs;
+    if (v == "vulkan" || v == "vk")
+        return GraphicsApi::Vulkan;
+    fatal("unknown graphics API '" + value + "'");
+}
+
+MediaCodec
+toCodec(const std::string &value)
+{
+    const std::string v = toLower(value);
+    if (v == "h264")
+        return MediaCodec::H264;
+    if (v == "h265" || v == "hevc")
+        return MediaCodec::H265;
+    if (v == "vp9")
+        return MediaCodec::Vp9;
+    if (v == "av1")
+        return MediaCodec::Av1;
+    fatal("unknown codec '" + value + "'");
+}
+
+bool
+toBool(const std::string &key, const std::string &value)
+{
+    const std::string v = toLower(value);
+    if (v == "true" || v == "yes" || v == "1" || v.empty())
+        return true;
+    if (v == "false" || v == "no" || v == "0")
+        return false;
+    fatal("keyword '" + key + "' needs a boolean, got '" + value +
+          "'");
+}
+
+/** Kwargs consumed before kernel construction. */
+struct KernelArgs
+{
+    int threads = -1;
+    double intensity = -1.0;
+    double gpuRate = -1.0;
+    double aieRate = -1.0;
+    double ioRate = -1.0;
+    double resolution = 1.0;
+    bool offscreen = false;
+    bool encode = false;
+    double textureMb = -1.0;
+    GraphicsApi api = GraphicsApi::OpenGlEs;
+    MediaCodec codec = MediaCodec::None;
+    int level = 2;
+    double workingSetMb = -1.0;
+    double locality = -1.0;
+};
+
+KernelArgs
+parseArgs(const Kwargs &kwargs)
+{
+    KernelArgs a;
+    for (const auto &[key, value] : kwargs) {
+        if (key == "threads")
+            a.threads = toInt(key, value);
+        else if (key == "intensity")
+            a.intensity = toDouble(key, value);
+        else if (key == "gpu_rate")
+            a.gpuRate = toDouble(key, value);
+        else if (key == "aie_rate")
+            a.aieRate = toDouble(key, value);
+        else if (key == "io_rate")
+            a.ioRate = toDouble(key, value);
+        else if (key == "resolution")
+            a.resolution = toDouble(key, value);
+        else if (key == "offscreen")
+            a.offscreen = toBool(key, value);
+        else if (key == "encode")
+            a.encode = toBool(key, value);
+        else if (key == "texture_mb")
+            a.textureMb = toDouble(key, value);
+        else if (key == "api")
+            a.api = toApi(value);
+        else if (key == "codec")
+            a.codec = toCodec(value);
+        else if (key == "level")
+            a.level = toInt(key, value);
+        else if (key == "working_set_mb")
+            a.workingSetMb = toDouble(key, value);
+        else if (key == "locality")
+            a.locality = toDouble(key, value);
+        else
+            fatal("unknown phase keyword '" + key + "'");
+    }
+    return a;
+}
+
+} // namespace
+
+PhaseDemand
+makeKernelDemand(const std::string &kernel, const Kwargs &kwargs)
+{
+    const KernelArgs a = parseArgs(kwargs);
+    const auto threads_or = [&a](int fallback) {
+        return a.threads >= 0 ? a.threads : fallback;
+    };
+    const auto intensity_or = [&a](double fallback) {
+        return a.intensity >= 0.0 ? a.intensity : fallback;
+    };
+
+    PhaseDemand d;
+    if (kernel == "gemm") {
+        d = kernels::gemm(threads_or(6), intensity_or(0.80));
+    } else if (kernel == "fft") {
+        d = kernels::fft(threads_or(2),
+                         a.aieRate >= 0.0 ? a.aieRate : 0.30);
+    } else if (kernel == "crypto") {
+        d = kernels::crypto(threads_or(1), intensity_or(0.90));
+    } else if (kernel == "integerOps") {
+        d = kernels::integerOps(threads_or(1), intensity_or(0.90));
+    } else if (kernel == "floatOps") {
+        d = kernels::floatOps(threads_or(1), intensity_or(0.90));
+    } else if (kernel == "imageDecode") {
+        d = kernels::imageDecode(intensity_or(0.85));
+    } else if (kernel == "compression") {
+        d = kernels::compression(threads_or(1), intensity_or(0.80));
+    } else if (kernel == "memoryStream") {
+        d = kernels::memoryStream(
+            a.workingSetMb > 0.0
+                ? std::uint64_t(a.workingSetMb) << 20
+                : 256ULL << 20,
+            a.locality >= 0.0 ? a.locality : 0.25);
+    } else if (kernel == "storageIo") {
+        d = kernels::storageIo(a.ioRate >= 0.0 ? a.ioRate : 0.5,
+                               intensity_or(0.20));
+    } else if (kernel == "database") {
+        d = kernels::database(a.ioRate >= 0.0 ? a.ioRate : 0.35);
+    } else if (kernel == "webBrowse") {
+        d = kernels::webBrowse();
+    } else if (kernel == "photoEdit") {
+        d = kernels::photoEdit(a.gpuRate >= 0.0 ? a.gpuRate : 0.45);
+    } else if (kernel == "videoCodec") {
+        fatalIf(a.codec == MediaCodec::None,
+                "videoCodec needs a 'codec' keyword");
+        d = kernels::videoCodec(a.codec,
+                                a.aieRate >= 0.0 ? a.aieRate : 0.45,
+                                a.encode);
+    } else if (kernel == "renderScene") {
+        d = kernels::renderScene(
+            a.api, a.gpuRate >= 0.0 ? a.gpuRate : 0.7, a.resolution,
+            a.offscreen, a.textureMb > 0.0 ? a.textureMb : 900.0);
+    } else if (kernel == "gpuCompute") {
+        d = kernels::gpuCompute(a.gpuRate >= 0.0 ? a.gpuRate : 0.9,
+                                a.textureMb > 0.0 ? a.textureMb
+                                                  : 500.0);
+    } else if (kernel == "physics") {
+        d = kernels::physics(a.level);
+    } else if (kernel == "nnInference") {
+        d = kernels::nnInference(a.aieRate >= 0.0 ? a.aieRate : 0.45,
+                                 threads_or(3), intensity_or(0.55));
+    } else if (kernel == "uiScroll") {
+        d = kernels::uiScroll(a.aieRate >= 0.0 ? a.aieRate : 0.50);
+    } else if (kernel == "psnrCompare") {
+        d = kernels::psnrCompare(a.level >= 2);
+    } else if (kernel == "multicoreStress") {
+        d = kernels::multicoreStress(threads_or(8),
+                                     intensity_or(0.90));
+    } else if (kernel == "dataProcessing") {
+        d = kernels::dataProcessing(threads_or(2),
+                                    intensity_or(0.50));
+    } else if (kernel == "dataSecurity") {
+        d = kernels::dataSecurity(threads_or(2), intensity_or(0.55));
+    } else if (kernel == "loadingBurst") {
+        d = kernels::loadingBurst(threads_or(5), intensity_or(0.65));
+    } else if (kernel == "menuIdle") {
+        d = kernels::menuIdle();
+    } else {
+        fatal("unknown kernel archetype '" + kernel + "'");
+    }
+    return d;
+}
+
+namespace {
+
+/** Split a logical line into tokens, respecting double quotes. */
+std::vector<std::string>
+tokenize(const std::string &line, int line_no)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    bool quoted = false;
+    for (char c : line) {
+        if (c == '"') {
+            if (quoted) {
+                out.push_back(cur);
+                cur.clear();
+            }
+            quoted = !quoted;
+        } else if (!quoted && std::isspace(
+                       static_cast<unsigned char>(c))) {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    fatalIf(quoted, "line " + std::to_string(line_no) +
+                        ": unterminated quote");
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+HardwareTarget
+toTarget(const std::string &value, int line_no)
+{
+    static const std::map<std::string, HardwareTarget> targets = {
+        {"cpu", HardwareTarget::Cpu},
+        {"gpu", HardwareTarget::Gpu},
+        {"memory", HardwareTarget::MemorySubsystem},
+        {"storage", HardwareTarget::StorageSubsystem},
+        {"ai", HardwareTarget::Ai},
+        {"everyday", HardwareTarget::EverydayTasks},
+    };
+    const auto it = targets.find(toLower(value));
+    fatalIf(it == targets.end(),
+            "line " + std::to_string(line_no) +
+                ": unknown target '" + value + "'");
+    return it->second;
+}
+
+} // namespace
+
+std::vector<Suite>
+loadSuites(std::istream &in)
+{
+    std::vector<Suite> suites;
+    Suite *suite = nullptr;
+    Benchmark bench;
+    bool bench_open = false;
+
+    const auto flush_bench = [&]() {
+        if (!bench_open)
+            return;
+        fatalIf(suite == nullptr, "benchmark outside a suite");
+        fatalIf(bench.phases().empty(),
+                "benchmark '" + bench.name() + "' has no phases");
+        suite->benchmarks.push_back(bench);
+        bench_open = false;
+    };
+
+    std::string raw;
+    std::string logical;
+    int line_no = 0;
+    int logical_start = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string text = trim(raw);
+        if (logical.empty())
+            logical_start = line_no;
+        if (!text.empty() && text.back() == '\\') {
+            logical += text.substr(0, text.size() - 1) + " ";
+            continue;
+        }
+        logical += text;
+        const std::string line = trim(logical);
+        logical.clear();
+        if (line.empty() || line[0] == '#')
+            continue;
+        const auto tokens = tokenize(line, logical_start);
+        const std::string &head = tokens[0];
+
+        if (head == "suite") {
+            flush_bench();
+            fatalIf(tokens.size() < 2,
+                    "line " + std::to_string(logical_start) +
+                        ": suite needs a name");
+            Suite s;
+            s.name = tokens[1];
+            for (std::size_t i = 2; i + 1 < tokens.size(); i += 2) {
+                if (tokens[i] == "publisher")
+                    s.publisher = tokens[i + 1];
+                else if (tokens[i] == "whole_suite")
+                    s.runsAsWhole = toBool("whole_suite",
+                                           tokens[i + 1]);
+                else
+                    fatal("line " + std::to_string(logical_start) +
+                          ": unknown suite keyword '" + tokens[i] +
+                          "'");
+            }
+            suites.push_back(std::move(s));
+            suite = &suites.back();
+        } else if (head == "benchmark") {
+            flush_bench();
+            fatalIf(suite == nullptr,
+                    "line " + std::to_string(logical_start) +
+                        ": benchmark before any suite");
+            fatalIf(tokens.size() < 2,
+                    "line " + std::to_string(logical_start) +
+                        ": benchmark needs a name");
+            HardwareTarget target = HardwareTarget::Cpu;
+            bool executable = true;
+            for (std::size_t i = 2; i + 1 < tokens.size(); i += 2) {
+                if (tokens[i] == "target")
+                    target = toTarget(tokens[i + 1], logical_start);
+                else if (tokens[i] == "executable")
+                    executable = toBool("executable", tokens[i + 1]);
+                else
+                    fatal("line " + std::to_string(logical_start) +
+                          ": unknown benchmark keyword '" +
+                          tokens[i] + "'");
+            }
+            bench = Benchmark(suite->name, tokens[1], target,
+                              executable);
+            bench_open = true;
+        } else if (head == "phase") {
+            fatalIf(!bench_open,
+                    "line " + std::to_string(logical_start) +
+                        ": phase before any benchmark");
+            fatalIf(tokens.size() < 2,
+                    "line " + std::to_string(logical_start) +
+                        ": phase needs a name");
+            std::string kernel;
+            double duration = -1.0;
+            double instructions = -1.0;
+            Kwargs kwargs;
+            for (std::size_t i = 2; i + 1 < tokens.size(); i += 2) {
+                const std::string &key = tokens[i];
+                const std::string &value = tokens[i + 1];
+                if (key == "kernel")
+                    kernel = value;
+                else if (key == "duration")
+                    duration = toDouble(key, value);
+                else if (key == "instructions")
+                    instructions = toDouble(key, value);
+                else
+                    kwargs.emplace_back(key, value);
+            }
+            fatalIf(kernel.empty(),
+                    "line " + std::to_string(logical_start) +
+                        ": phase needs a kernel");
+            fatalIf(duration <= 0.0,
+                    "line " + std::to_string(logical_start) +
+                        ": phase needs a positive duration");
+            fatalIf(instructions < 0.0,
+                    "line " + std::to_string(logical_start) +
+                        ": phase needs an instruction budget");
+            Phase phase;
+            phase.name = tokens[1];
+            phase.kernel = kernel;
+            phase.durationSeconds = duration;
+            phase.demand = makeKernelDemand(kernel, kwargs);
+            phase.demand.cpu.instructionsBillions = instructions;
+            bench.addPhase(std::move(phase));
+        } else {
+            fatal("line " + std::to_string(logical_start) +
+                  ": unknown directive '" + head + "'");
+        }
+    }
+    flush_bench();
+    fatalIf(suites.empty(), "no suites in input");
+    for (const auto &s : suites) {
+        fatalIf(s.benchmarks.empty(),
+                "suite '" + s.name + "' has no benchmarks");
+    }
+    return suites;
+}
+
+std::vector<Suite>
+loadSuitesFromString(const std::string &text)
+{
+    std::istringstream in(text);
+    return loadSuites(in);
+}
+
+} // namespace mbs

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Text-format workload definitions.
+ *
+ * Suites in this repository are compiled-in data, but downstream
+ * users studying a new benchmark should not need to recompile. The
+ * loader parses a small line-based format into Suite objects built
+ * from the same kernel archetypes:
+ *
+ * @code
+ * suite "My Suite" publisher "Me"
+ * benchmark "My Bench" target gpu
+ *   phase "warmup" kernel menuIdle duration 5 instructions 0.05
+ *   phase "scene" kernel renderScene duration 30 instructions 2.0 \
+ *       gpu_rate 0.8 api vulkan resolution 1.78 offscreen true
+ *   phase "decode" kernel videoCodec duration 10 instructions 0.5 \
+ *       codec av1 aie_rate 0.5
+ * @endcode
+ *
+ * Lines starting with '#' are comments; a trailing backslash
+ * continues a line. One file may contain several suites.
+ */
+
+#ifndef MBS_WORKLOAD_LOADER_HH
+#define MBS_WORKLOAD_LOADER_HH
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "workload/benchmark.hh"
+
+namespace mbs {
+
+/**
+ * Build a phase demand from a kernel archetype name and keyword
+ * arguments. Supported kernels are the archetype library's
+ * (gemm, fft, crypto, integerOps, floatOps, imageDecode,
+ * compression, memoryStream, storageIo, database, webBrowse,
+ * photoEdit, videoCodec, renderScene, gpuCompute, physics,
+ * nnInference, uiScroll, psnrCompare, multicoreStress,
+ * dataProcessing, dataSecurity, loadingBurst, menuIdle).
+ *
+ * Common keywords: threads, intensity, gpu_rate, api
+ * (opengl|vulkan), resolution, offscreen, texture_mb, aie_rate,
+ * codec (h264|h265|vp9|av1), io_rate, level, working_set_mb,
+ * locality, encode.
+ *
+ * @throws FatalError on unknown kernels or keywords.
+ */
+PhaseDemand makeKernelDemand(
+    const std::string &kernel,
+    const std::vector<std::pair<std::string, std::string>> &kwargs);
+
+/**
+ * Parse suites from a stream of the format described above.
+ *
+ * @throws FatalError with a line number on malformed input.
+ */
+std::vector<Suite> loadSuites(std::istream &in);
+
+/** Convenience: parse suites from a string. */
+std::vector<Suite> loadSuitesFromString(const std::string &text);
+
+} // namespace mbs
+
+#endif // MBS_WORKLOAD_LOADER_HH

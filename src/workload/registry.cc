@@ -1,0 +1,73 @@
+#include "registry.hh"
+
+#include "common/logging.hh"
+#include "workload/suites/suites.hh"
+
+namespace mbs {
+
+WorkloadRegistry::WorkloadRegistry()
+{
+    suiteList.push_back(suites::build3DMark());
+    suiteList.push_back(suites::buildAntutu());
+    suiteList.push_back(suites::buildAitutu());
+    suiteList.push_back(suites::buildGeekbench5());
+    suiteList.push_back(suites::buildGeekbench6());
+    suiteList.push_back(suites::buildGfxBench());
+    suiteList.push_back(suites::buildPcMark());
+
+    for (const auto &suite : suiteList) {
+        for (const auto &bench : suite.benchmarks)
+            unitList.push_back(bench);
+    }
+}
+
+std::vector<std::string>
+WorkloadRegistry::unitNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(unitList.size());
+    for (const auto &b : unitList)
+        out.push_back(b.name());
+    return out;
+}
+
+const Benchmark &
+WorkloadRegistry::unit(const std::string &name) const
+{
+    for (const auto &b : unitList) {
+        if (b.name() == name)
+            return b;
+    }
+    fatal("no benchmark unit named '" + name + "'");
+}
+
+bool
+WorkloadRegistry::hasUnit(const std::string &name) const
+{
+    for (const auto &b : unitList) {
+        if (b.name() == name)
+            return true;
+    }
+    return false;
+}
+
+const Suite &
+WorkloadRegistry::suite(const std::string &name) const
+{
+    for (const auto &s : suiteList) {
+        if (s.name == name)
+            return s;
+    }
+    fatal("no suite named '" + name + "'");
+}
+
+double
+WorkloadRegistry::totalRuntimeSeconds() const
+{
+    double total = 0.0;
+    for (const auto &b : unitList)
+        total += b.totalDurationSeconds();
+    return total;
+}
+
+} // namespace mbs

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Registry of all commercial suites and the 18 individually
+ * characterized benchmark units the paper analyzes.
+ */
+
+#ifndef MBS_WORKLOAD_REGISTRY_HH
+#define MBS_WORKLOAD_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/benchmark.hh"
+
+namespace mbs {
+
+/**
+ * Immutable registry of every suite in the paper's Table I.
+ *
+ * Build once (cheap, pure data) and query: suites, flattened
+ * characterization units, name lookups.
+ */
+class WorkloadRegistry
+{
+  public:
+    /** Build the full calibrated registry. */
+    WorkloadRegistry();
+
+    /** All suites in Table I order. */
+    const std::vector<Suite> &suites() const { return suiteList; }
+
+    /**
+     * The 18 characterized benchmark units (one per bar of Fig. 1),
+     * in suite order. Antutu's four segments appear individually
+     * even though they execute as one suite run.
+     */
+    const std::vector<Benchmark> &units() const { return unitList; }
+
+    /** @return display names of all units, in order. */
+    std::vector<std::string> unitNames() const;
+
+    /** @return the unit named @p name; fatal() if absent. */
+    const Benchmark &unit(const std::string &name) const;
+
+    /** @return true if a unit named @p name exists. */
+    bool hasUnit(const std::string &name) const;
+
+    /** @return the suite named @p name; fatal() if absent. */
+    const Suite &suite(const std::string &name) const;
+
+    /**
+     * Total runtime of the original full benchmark set in seconds
+     * (the paper's Table VI "Original Set": 4429.5 s).
+     */
+    double totalRuntimeSeconds() const;
+
+  private:
+    std::vector<Suite> suiteList;
+    std::vector<Benchmark> unitList;
+};
+
+} // namespace mbs
+
+#endif // MBS_WORKLOAD_REGISTRY_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Antutu v9 (Cheetah Mobile) workload definitions.
+ *
+ * The suite bundles four segments (CPU, GPU, Mem, UX) that cannot be
+ * launched individually; the profiler layer splits one whole-suite
+ * run back into segments, mirroring the paper's methodology.
+ *
+ * Timeline details encoded here and verified by integration tests:
+ * - Antutu CPU opens with a multi-threaded GEMM uptick and closes
+ *   with a multi-core stress test (Observation #1).
+ * - Antutu GPU runs Swordsman (newest, ~15% of the segment), Refinery
+ *   (~30%) and Terracotta Warriors (~49%) plus two short image-
+ *   processing tests; the CPU-load spikes at ~16% and ~49% of the
+ *   segment are inter-test loading bursts, not the newest test
+ *   (Observation #4). Terracotta's texture residency produces the
+ *   4.3 GB peak memory usage.
+ * - Antutu UX video tests cover H264/H265/VP9/AV1; AV1 has no AIE
+ *   decode support and lands on the CPU (software decode), causing
+ *   the high CPU load near the end of the segment.
+ */
+
+#include "workload/suites/suites.hh"
+
+#include "workload/kernels.hh"
+#include "workload/suites/builder.hh"
+
+namespace mbs {
+namespace suites {
+
+namespace {
+
+constexpr const char *suiteName = "Antutu v9";
+constexpr std::uint64_t MB = 1ULL << 20;
+
+Benchmark
+antutuCpu()
+{
+    Benchmark b(suiteName, "Antutu CPU", HardwareTarget::Cpu,
+                /*individually_executable=*/false);
+    b.addPhase(phase("GEMM", "gemm", kernels::gemm(6, 0.80),
+                     15.0, 3.0));
+    b.addPhase(phase("mathematical functions (FFT, MAP)", "fft",
+                     kernels::fft(2, 0.30), 20.0, 2.5));
+    b.addPhase(phase("PNG decoding", "imageDecode",
+                     kernels::imageDecode(0.85), 20.0, 2.5));
+    b.addPhase(phase("compression", "compression",
+                     kernels::compression(1, 0.80), 15.0, 1.8));
+    b.addPhase(phase("common algorithms (integer)", "integerOps",
+                     kernels::integerOps(1, 0.90), 20.0, 2.7));
+    b.addPhase(phase("floating point", "floatOps",
+                     kernels::floatOps(1, 0.90), 15.0, 1.5));
+    b.addPhase(phase("multi-core / multi-tasking", "multicoreStress",
+                     kernels::multicoreStress(8, 0.90), 25.0, 4.0));
+    return b;
+}
+
+Benchmark
+antutuGpu()
+{
+    Benchmark b(suiteName, "Antutu GPU", HardwareTarget::Gpu,
+                /*individually_executable=*/false);
+
+    // Swordsman: newest micro-benchmark, Vulkan, ~15% of the segment.
+    auto swordsman = kernels::renderScene(GraphicsApi::Vulkan, 0.72,
+                                          1.0, false, 1800.0);
+    swordsman.threads = {ThreadDemand{3, 0.24}};
+    b.addPhase(phase("Swordsman", "renderScene", swordsman,
+                     32.0, 1.1));
+
+    b.addPhase(phase("loading (Refinery assets)", "loadingBurst",
+                     kernels::loadingBurst(6, 0.70), 4.0, 0.35));
+
+    auto refinery = kernels::renderScene(GraphicsApi::OpenGlEs, 0.70,
+                                         1.0, false, 2200.0);
+    refinery.threads = {ThreadDemand{3, 0.26}, ThreadDemand{1, 0.20}};
+    b.addPhase(phase("Refinery", "renderScene", refinery, 60.0, 2.2));
+
+    b.addPhase(phase("loading (Terracotta assets)", "loadingBurst",
+                     kernels::loadingBurst(6, 0.70), 4.0, 0.35));
+
+    auto terracotta = kernels::renderScene(GraphicsApi::OpenGlEs, 0.66,
+                                           1.0, false, 3650.0);
+    terracotta.threads = {ThreadDemand{4, 0.22}};
+    terracotta.memory.footprintBytes = 900 * MB;
+    b.addPhase(phase("Terracotta Warriors", "renderScene", terracotta,
+                     96.0, 3.3));
+
+    // Fisheye and Blur: simple image-processing tests.
+    auto fisheye = kernels::imageDecode(0.75);
+    fisheye.gpu.workRate = 0.35;
+    fisheye.gpu.api = GraphicsApi::OpenGlEs;
+    fisheye.gpu.textureBytes = 600 * MB;
+    b.addPhase(phase("Fisheye + Blur", "imageDecode", fisheye,
+                     4.0, 0.7));
+    return b;
+}
+
+Benchmark
+antutuMem()
+{
+    Benchmark b(suiteName, "Antutu Mem", HardwareTarget::MemorySubsystem,
+                /*individually_executable=*/false);
+    b.addPhase(phase("RAM bandwidth", "memoryStream",
+                     kernels::memoryStream(256 * MB, 0.95), 40.0, 2.0));
+    b.addPhase(phase("RAM latency", "memoryStream",
+                     kernels::memoryStream(512 * MB, 0.935), 30.0, 1.0));
+    b.addPhase(phase("storage sequential", "storageIo",
+                     kernels::storageIo(0.25, 0.25), 30.0, 1.2));
+    b.addPhase(phase("storage random", "storageIo",
+                     kernels::storageIo(0.20, 0.30), 30.0, 1.0));
+    b.addPhase(phase("RAM copy", "memoryStream",
+                     kernels::memoryStream(384 * MB, 0.942), 15.0, 0.8));
+    return b;
+}
+
+Benchmark
+antutuUx()
+{
+    Benchmark b(suiteName, "Antutu UX", HardwareTarget::EverydayTasks,
+                /*individually_executable=*/false);
+    b.addPhase(phase("data security", "dataSecurity",
+                     kernels::dataSecurity(5, 0.24), 25.0, 2.0));
+    b.addPhase(phase("data processing", "dataProcessing",
+                     kernels::dataProcessing(3, 0.55), 25.0, 1.8));
+
+    auto image = kernels::imageDecode(0.70);
+    image.aie.workRate = 0.15;
+    b.addPhase(phase("image processing", "imageDecode", image,
+                     20.0, 1.5));
+
+    b.addPhase(phase("scroll delay test", "uiScroll",
+                     kernels::uiScroll(0.50), 15.0, 0.8));
+    b.addPhase(phase("webview rendering", "uiScroll",
+                     kernels::uiScroll(0.48), 15.0, 0.9));
+
+    b.addPhase(phase("video decode H264", "videoCodec",
+                     kernels::videoCodec(MediaCodec::H264, 0.35),
+                     15.0, 0.8));
+    b.addPhase(phase("video decode H265", "videoCodec",
+                     kernels::videoCodec(MediaCodec::H265, 0.40),
+                     15.0, 0.8));
+    b.addPhase(phase("video decode VP9", "videoCodec",
+                     kernels::videoCodec(MediaCodec::Vp9, 0.40),
+                     10.0, 0.6));
+    // AV1 decode is not supported by the AIE; the work bounces to the
+    // CPU as expensive software decode.
+    b.addPhase(phase("video decode AV1 (software)", "videoCodec",
+                     kernels::videoCodec(MediaCodec::Av1, 0.50),
+                     15.0, 1.6));
+    b.addPhase(phase("video encode H264", "videoCodec",
+                     kernels::videoCodec(MediaCodec::H264, 0.45, true),
+                     15.0, 1.2));
+    return b;
+}
+
+} // namespace
+
+Suite
+buildAntutu()
+{
+    Suite s;
+    s.name = suiteName;
+    s.publisher = "Cheetah Mobile";
+    s.runsAsWhole = true; // segments cannot be launched individually
+    s.benchmarks.push_back(antutuCpu());
+    s.benchmarks.push_back(antutuGpu());
+    s.benchmarks.push_back(antutuMem());
+    s.benchmarks.push_back(antutuUx());
+    return s;
+}
+
+Suite
+buildAitutu()
+{
+    Suite s;
+    s.name = "Aitutu v2";
+    s.publisher = "Cheetah Mobile";
+
+    Benchmark b("Aitutu v2", "Aitutu", HardwareTarget::Ai);
+    // Inference threads size themselves for the mid cores: Aitutu is
+    // the one benchmark whose mid cluster sustains high load longer
+    // than the big cluster (Observation #7's exception).
+    b.addPhase(phase("image classification", "nnInference",
+                     kernels::nnInference(0.26, 3, 0.55), 90.0, 5.0));
+    b.addPhase(phase("object detection", "nnInference",
+                     kernels::nnInference(0.27, 3, 0.55), 90.0, 5.0));
+    b.addPhase(phase("super resolution", "nnInference",
+                     kernels::nnInference(0.29, 3, 0.55), 80.0, 4.0));
+    s.benchmarks.push_back(std::move(b));
+    return s;
+}
+
+} // namespace suites
+} // namespace mbs

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared helper for composing benchmark phases in suite definition
+ * files. Internal to src/workload/suites.
+ */
+
+#ifndef MBS_WORKLOAD_SUITES_BUILDER_HH
+#define MBS_WORKLOAD_SUITES_BUILDER_HH
+
+#include <string>
+
+#include "workload/benchmark.hh"
+
+namespace mbs {
+namespace suites {
+
+/**
+ * Build a phase from a kernel-archetype demand bundle.
+ *
+ * @param name Phase display name.
+ * @param kernel Kernel archetype tag.
+ * @param demand Demand bundle from the kernels library.
+ * @param duration_s Phase duration in seconds.
+ * @param instructions_b Instruction budget in billions; the per-
+ *        benchmark budgets are calibrated so the suite totals match
+ *        the paper's published aggregates (see DESIGN.md §4).
+ */
+inline Phase
+phase(std::string name, std::string kernel, PhaseDemand demand,
+      double duration_s, double instructions_b)
+{
+    demand.cpu.instructionsBillions = instructions_b;
+    return Phase{std::move(name), std::move(kernel), duration_s,
+                 std::move(demand)};
+}
+
+} // namespace suites
+} // namespace mbs
+
+#endif // MBS_WORKLOAD_SUITES_BUILDER_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Geekbench 5 and 6 (Primate Labs) workload definitions.
+ *
+ * Both CPU benchmarks have single-core sections (~30% mean CPU load)
+ * followed by multi-core sections that spike CPU load across all
+ * clusters (Observation #1 / #9). Geekbench 5 CPU is the benchmark
+ * that sustains high mid-cluster load for more than half of its
+ * execution. Geekbench 6 CPU is the largest benchmark by dynamic
+ * instruction count (~57 B). Geekbench 6 Compute sustains the highest
+ * average GPU load of any benchmark, which is why the paper's
+ * Select+GPU subset adds it.
+ */
+
+#include "workload/suites/suites.hh"
+
+#include "workload/kernels.hh"
+#include "workload/suites/builder.hh"
+
+namespace mbs {
+namespace suites {
+
+namespace {
+
+Benchmark
+gb5Cpu()
+{
+    Benchmark b("Geekbench 5", "Geekbench 5 CPU", HardwareTarget::Cpu);
+    // Single-core section.
+    b.addPhase(phase("single-core integer", "integerOps",
+                     kernels::integerOps(1, 0.90), 20.0, 3.0));
+    b.addPhase(phase("single-core floating point", "floatOps",
+                     kernels::floatOps(1, 0.90), 20.0, 3.0));
+    b.addPhase(phase("single-core cryptography", "crypto",
+                     kernels::crypto(1, 0.90), 15.0, 2.5));
+    // Multi-core section (85 s of 140 s: > half the runtime keeps
+    // the mid cluster at sustained high load).
+    b.addPhase(phase("multi-core integer", "integerOps",
+                     kernels::integerOps(8, 0.72), 30.0, 6.5));
+    b.addPhase(phase("multi-core floating point", "floatOps",
+                     kernels::floatOps(8, 0.72), 30.0, 6.5));
+    b.addPhase(phase("multi-core cryptography", "crypto",
+                     kernels::crypto(8, 0.72), 25.0, 4.5));
+    return b;
+}
+
+Benchmark
+gb5Compute()
+{
+    Benchmark b("Geekbench 5", "Geekbench 5 Compute",
+                HardwareTarget::Gpu);
+    // 11 OpenCL/Vulkan compute workloads, each a short burst.
+    struct Item { const char *name; double rate; double dur; };
+    const Item items[] = {
+        {"Sobel", 0.80, 2.3},
+        {"Canny", 0.82, 2.3},
+        {"Stereo Matching", 0.88, 2.3},
+        {"Histogram Equalization", 0.75, 2.3},
+        {"Gaussian Blur", 0.85, 2.3},
+        {"Depth of Field", 0.90, 2.3},
+        {"Face Detection", 0.84, 2.3},
+        {"Horizon Detection", 0.78, 2.3},
+        {"Feature Matching", 0.82, 2.3},
+        {"Particle Physics", 0.86, 2.3},
+        {"SFFT", 0.80, 2.0},
+    };
+    for (const auto &item : items) {
+        b.addPhase(phase(item.name, "gpuCompute",
+                         kernels::gpuCompute(item.rate, 300.0),
+                         item.dur, 2.5 / 11.0));
+    }
+    return b;
+}
+
+Benchmark
+gb6Cpu()
+{
+    Benchmark b("Geekbench 6", "Geekbench 6 CPU", HardwareTarget::Cpu);
+    // Five sections: productivity, developer, machine learning,
+    // image editing, image synthesis; single-core parts first,
+    // multi-core parts after, per the published workload order.
+    b.addPhase(phase("productivity single-core", "integerOps",
+                     kernels::integerOps(1, 0.90), 50.0, 4.5));
+    b.addPhase(phase("productivity multi-core", "integerOps",
+                     kernels::integerOps(8, 0.80), 40.0, 7.0));
+    b.addPhase(phase("developer single-core", "compression",
+                     kernels::compression(1, 0.85), 50.0, 4.0));
+    b.addPhase(phase("developer multi-core", "compression",
+                     kernels::compression(8, 0.80), 40.0, 7.0));
+    b.addPhase(phase("machine learning", "nnInference",
+                     kernels::nnInference(0.35, 3, 0.55), 70.0, 5.5));
+    b.addPhase(phase("image editing", "photoEdit",
+                     kernels::photoEdit(0.35), 60.0, 5.0));
+    b.addPhase(phase("image synthesis single-core", "floatOps",
+                     kernels::floatOps(1, 0.95), 45.0, 5.0));
+    b.addPhase(phase("image synthesis multi-core", "floatOps",
+                     kernels::floatOps(8, 0.85), 45.0, 9.0));
+    b.addPhase(phase("multi-core finale", "multicoreStress",
+                     kernels::multicoreStress(8, 0.90), 50.0, 10.0));
+    return b;
+}
+
+Benchmark
+gb6Compute()
+{
+    Benchmark b("Geekbench 6", "Geekbench 6 Compute",
+                HardwareTarget::Gpu);
+    // Eight workloads in four categories (Machine Learning, Image
+    // Editing, Image Synthesis, Simulation); sustained near-peak GPU
+    // compute demand gives this benchmark the highest average GPU
+    // load in the whole set.
+    const char *names[] = {
+        "background blur (ML)",
+        "face detection (ML)",
+        "horizon detection (Image Editing)",
+        "edge detection (Image Editing)",
+        "Gaussian blur (Image Synthesis)",
+        "feature matching (Image Synthesis)",
+        "stereo matching (Simulation)",
+        "particle physics (Simulation)",
+    };
+    for (const char *name : names) {
+        b.addPhase(phase(name, "gpuCompute",
+                         kernels::gpuCompute(0.97, 380.0),
+                         243.16 / 8.0, 5.0 / 8.0));
+    }
+    return b;
+}
+
+} // namespace
+
+Suite
+buildGeekbench5()
+{
+    Suite s;
+    s.name = "Geekbench 5";
+    s.publisher = "Primate Labs";
+    s.benchmarks.push_back(gb5Cpu());
+    s.benchmarks.push_back(gb5Compute());
+    return s;
+}
+
+Suite
+buildGeekbench6()
+{
+    Suite s;
+    s.name = "Geekbench 6";
+    s.publisher = "Primate Labs";
+    s.benchmarks.push_back(gb6Cpu());
+    s.benchmarks.push_back(gb6Compute());
+    return s;
+}
+
+} // namespace suites
+} // namespace mbs

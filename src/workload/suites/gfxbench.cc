@@ -1,0 +1,165 @@
+/**
+ * @file
+ * GFXBench v5 (Kishonti) workload definitions.
+ *
+ * 29 micro-benchmarks grouped, as the paper does, into three
+ * characterized units: High-Level (19 game-like scenes across
+ * resolution/API/on-off-screen variants), Low-Level (8 specific
+ * performance tests, on/off-screen) and Special (render-quality tests
+ * that compare a rendered frame against a reference with PSNR on the
+ * DSP; the highest AIE load of any benchmark).
+ *
+ * Off-screen variants render without display pacing: High-Level
+ * off-screen raises GPU load by ~15%; Low-Level off-screen tests
+ * push ALU/texturing flat out for a ~60% increase (the paper's
+ * +14.5% / +62.85% observations).
+ */
+
+#include "workload/suites/suites.hh"
+
+#include "workload/kernels.hh"
+#include "workload/suites/builder.hh"
+
+namespace mbs {
+namespace suites {
+
+namespace {
+
+constexpr const char *suiteName = "GFXBench v5";
+
+Benchmark
+gfxHigh()
+{
+    Benchmark b(suiteName, "GFXBench High", HardwareTarget::Gpu);
+    struct Scene
+    {
+        const char *name;
+        GraphicsApi api;
+        double rate;
+        double res;
+        bool offscreen;
+    };
+    // 19 High-Level micro-benchmarks: 4 scenes x settings variants.
+    const Scene scenes[] = {
+        {"Aztec Ruins High Tier GL on-screen",
+         GraphicsApi::OpenGlEs, 0.95, 1.0, false},
+        {"Aztec Ruins High Tier GL off-screen 1440p",
+         GraphicsApi::OpenGlEs, 0.95, 1.78, true},
+        {"Aztec Ruins High Tier Vulkan on-screen",
+         GraphicsApi::Vulkan, 0.95, 1.0, false},
+        {"Aztec Ruins High Tier Vulkan off-screen 1440p",
+         GraphicsApi::Vulkan, 0.95, 1.78, true},
+        {"Aztec Ruins Normal Tier GL on-screen",
+         GraphicsApi::OpenGlEs, 0.85, 1.0, false},
+        {"Aztec Ruins Normal Tier GL off-screen",
+         GraphicsApi::OpenGlEs, 0.85, 1.0, true},
+        {"Aztec Ruins Normal Tier Vulkan on-screen",
+         GraphicsApi::Vulkan, 0.85, 1.0, false},
+        {"Aztec Ruins Normal Tier Vulkan off-screen",
+         GraphicsApi::Vulkan, 0.85, 1.0, true},
+        {"Aztec Ruins Vulkan off-screen 4K",
+         GraphicsApi::Vulkan, 0.95, 4.0, true},
+        {"Car Chase on-screen", GraphicsApi::OpenGlEs, 0.88, 1.0,
+         false},
+        {"Car Chase off-screen", GraphicsApi::OpenGlEs, 0.88, 1.0,
+         true},
+        {"Car Chase off-screen 1440p", GraphicsApi::OpenGlEs, 0.88,
+         1.78, true},
+        {"Manhattan 3.1 on-screen", GraphicsApi::OpenGlEs, 0.75, 1.0,
+         false},
+        {"Manhattan 3.1 off-screen", GraphicsApi::OpenGlEs, 0.75, 1.0,
+         true},
+        {"Manhattan 3.1 off-screen 1440p", GraphicsApi::OpenGlEs,
+         0.75, 1.78, true},
+        {"Manhattan 3.0 on-screen", GraphicsApi::OpenGlEs, 0.70, 1.0,
+         false},
+        {"Manhattan 3.0 off-screen", GraphicsApi::OpenGlEs, 0.70, 1.0,
+         true},
+        {"T-Rex on-screen", GraphicsApi::OpenGlEs, 0.60, 1.0, false},
+        {"T-Rex off-screen", GraphicsApi::OpenGlEs, 0.60, 1.0, true},
+    };
+    static_assert(sizeof(scenes) / sizeof(scenes[0]) == 19,
+                  "GFXBench High-Level groups 19 micro-benchmarks");
+    int i = 0;
+    for (const auto &sc : scenes) {
+        const bool last = ++i == 19;
+        b.addPhase(phase(sc.name, "renderScene",
+                         kernels::renderScene(sc.api, sc.rate, sc.res,
+                                              sc.offscreen, 2100.0),
+                         last ? 56.0 : 58.0, last ? 1.8 : 1.9));
+    }
+    return b;
+}
+
+Benchmark
+gfxLow()
+{
+    Benchmark b(suiteName, "GFXBench Low", HardwareTarget::Gpu);
+    struct Test
+    {
+        const char *name;
+        double rate;
+        bool offscreen;
+        double texture_bw;
+    };
+    // 8 Low-Level micro-benchmarks; off-screen variants drive the
+    // tested unit flat out instead of pacing to the display.
+    const Test tests[] = {
+        {"ALU 2 on-screen", 0.55, false, 0.25},
+        {"ALU 2 off-screen", 0.85, true, 0.30},
+        {"Driver Overhead 2 on-screen", 0.45, false, 0.20},
+        {"Driver Overhead 2 off-screen", 0.72, true, 0.25},
+        {"Texturing on-screen", 0.50, false, 0.70},
+        {"Texturing off-screen", 0.80, true, 0.85},
+        {"Tessellation on-screen", 0.50, false, 0.35},
+        {"Tessellation off-screen", 0.80, true, 0.40},
+    };
+    for (const auto &t : tests) {
+        auto d = kernels::renderScene(GraphicsApi::OpenGlEs, t.rate,
+                                      1.0, t.offscreen, 1900.0);
+        d.gpu.textureBandwidth = t.texture_bw;
+        b.addPhase(phase(t.name, "renderScene", d, 56.25, 1.5));
+    }
+    return b;
+}
+
+Benchmark
+gfxSpecial()
+{
+    Benchmark b(suiteName, "GFXBench Special", HardwareTarget::Gpu);
+    // Render-quality tests: render a reference frame, then compute a
+    // PSNR (MSE-based) comparison on the DSP; the second section
+    // repeats in higher precision.
+    auto frame1 = kernels::renderScene(GraphicsApi::OpenGlEs, 0.35,
+                                       1.0, false, 700.0);
+    frame1.aie.workRate = 0.38; // running reference comparison
+    b.addPhase(phase("render quality frame", "renderScene", frame1,
+                     25.0, 0.25));
+    b.addPhase(phase("PSNR comparison", "psnrCompare",
+                     kernels::psnrCompare(false), 15.0, 0.25));
+    auto frame2 = kernels::renderScene(GraphicsApi::OpenGlEs, 0.35,
+                                       1.0, false, 700.0);
+    frame2.aie.workRate = 0.42;
+    b.addPhase(phase("render quality frame (high precision)",
+                     "renderScene", frame2, 25.2, 0.25));
+    b.addPhase(phase("PSNR comparison (high precision)", "psnrCompare",
+                     kernels::psnrCompare(true), 15.0, 0.25));
+    return b;
+}
+
+} // namespace
+
+Suite
+buildGfxBench()
+{
+    Suite s;
+    s.name = suiteName;
+    s.publisher = "Kishonti";
+    s.benchmarks.push_back(gfxHigh());
+    s.benchmarks.push_back(gfxLow());
+    s.benchmarks.push_back(gfxSpecial());
+    return s;
+}
+
+} // namespace suites
+} // namespace mbs

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * PCMark Android (UL) workload definitions.
+ *
+ * Work 3.0 models everyday activities (browsing, video/photo editing,
+ * data manipulation, writing); its photo- and video-editing parts
+ * keep the GPU shader cores busy for sustained periods even though
+ * the benchmark is not graphics-oriented (Observation #3), and the
+ * video-editing part raises AIE load (Observation #5). Storage 2.0
+ * measures internal/external IO and database performance.
+ */
+
+#include "workload/suites/suites.hh"
+
+#include "workload/kernels.hh"
+#include "workload/suites/builder.hh"
+
+namespace mbs {
+namespace suites {
+
+namespace {
+
+constexpr const char *suiteName = "PCMark";
+constexpr std::uint64_t MB = 1ULL << 20;
+
+Benchmark
+pcmarkStorage()
+{
+    Benchmark b(suiteName, "PCMark Storage",
+                HardwareTarget::StorageSubsystem);
+    b.addPhase(phase("internal sequential write", "storageIo",
+                     kernels::storageIo(0.95, 0.25), 15.0, 0.6));
+    b.addPhase(phase("internal sequential read", "storageIo",
+                     kernels::storageIo(1.00, 0.25), 15.0, 0.6));
+    b.addPhase(phase("internal random write", "storageIo",
+                     kernels::storageIo(0.55, 0.30), 15.0, 0.7));
+    b.addPhase(phase("internal random read", "storageIo",
+                     kernels::storageIo(0.60, 0.30), 15.0, 0.7));
+    b.addPhase(phase("external storage", "storageIo",
+                     kernels::storageIo(0.50, 0.20), 15.0, 0.6));
+    b.addPhase(phase("SQLite database", "database",
+                     kernels::database(0.40), 20.0, 0.8));
+    return b;
+}
+
+Benchmark
+pcmarkWork()
+{
+    Benchmark b(suiteName, "PCMark Work",
+                HardwareTarget::EverydayTasks);
+    b.addPhase(phase("web browsing", "webBrowse", kernels::webBrowse(),
+                     40.0, 3.4));
+
+    // Video editing: hardware encode plus shader-based effects.
+    auto video = kernels::videoCodec(MediaCodec::H265, 0.50, true);
+    video.gpu.workRate = 0.45;
+    video.gpu.api = GraphicsApi::OpenGlEs;
+    video.gpu.textureBandwidth = 0.30;
+    video.gpu.textureBytes = 600 * MB;
+    video.aie.workRate = 0.38; // effects pipeline assists on the DSP
+    b.addPhase(phase("video editing", "videoCodec", video, 45.0, 4.2));
+
+    b.addPhase(phase("photo editing", "photoEdit",
+                     kernels::photoEdit(0.45), 45.0, 4.4));
+    b.addPhase(phase("data manipulation", "dataProcessing",
+                     kernels::dataProcessing(3, 0.65), 40.0, 4.0));
+    b.addPhase(phase("writing / document editing", "dataProcessing",
+                     kernels::dataProcessing(2, 0.50), 44.64, 4.0));
+    return b;
+}
+
+} // namespace
+
+Suite
+buildPcMark()
+{
+    Suite s;
+    s.name = suiteName;
+    s.publisher = "UL";
+    s.benchmarks.push_back(pcmarkStorage());
+    s.benchmarks.push_back(pcmarkWork());
+    return s;
+}
+
+} // namespace suites
+} // namespace mbs

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Builders for every commercial suite the paper characterizes
+ * (Table I). Each function returns a fully calibrated Suite; the
+ * registry (workload/registry.hh) assembles them.
+ */
+
+#ifndef MBS_WORKLOAD_SUITES_SUITES_HH
+#define MBS_WORKLOAD_SUITES_SUITES_HH
+
+#include "workload/benchmark.hh"
+
+namespace mbs {
+namespace suites {
+
+/** 3DMark v2 (UL): Slingshot / Slingshot Extreme / Wild Life /
+ *  Wild Life Extreme. */
+Suite build3DMark();
+
+/** Antutu v9 (Cheetah Mobile): CPU / GPU / Mem / UX segments; the
+ *  suite only runs as a whole. */
+Suite buildAntutu();
+
+/** Aitutu v2 (Cheetah Mobile): standalone AI benchmark. */
+Suite buildAitutu();
+
+/** Geekbench 5 (Primate Labs): CPU and Compute. */
+Suite buildGeekbench5();
+
+/** Geekbench 6 (Primate Labs): CPU and Compute. */
+Suite buildGeekbench6();
+
+/** GFXBench v5 (Kishonti): High-Level / Low-Level / Special tests. */
+Suite buildGfxBench();
+
+/** PCMark (UL): Work 3.0 and Storage 2.0. */
+Suite buildPcMark();
+
+} // namespace suites
+} // namespace mbs
+
+#endif // MBS_WORKLOAD_SUITES_SUITES_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * 3DMark v2 (UL) workload definitions.
+ *
+ * Slingshot targets OpenGL ES 3.1-era features (volumetric lighting,
+ * instanced rendering) and embeds a three-level, heavily multi-
+ * threaded physics test that spikes CPU load (Observation #1). Wild
+ * Life is a short Vulkan burst test (~1 minute) with FFT-based post-
+ * processing that touches the AIE (Observation #5). Extreme variants
+ * render at higher resolution.
+ */
+
+#include "workload/suites/suites.hh"
+
+#include "workload/kernels.hh"
+#include "workload/suites/builder.hh"
+
+namespace mbs {
+namespace suites {
+
+namespace {
+
+Benchmark
+slingshot(bool extreme)
+{
+    const double res = extreme ? 1.78 : 1.0; // 2K QHD vs Full HD
+    const char *name = extreme ? "3DMark Slingshot Extreme"
+                               : "3DMark Slingshot";
+    Benchmark b("3DMark v2", name, HardwareTarget::Gpu);
+
+    // Two graphics tests exercising API features.
+    auto gt1 = kernels::renderScene(GraphicsApi::OpenGlEs,
+                                    extreme ? 0.78 : 0.72, res, false,
+                                    extreme ? 1900.0 : 1700.0);
+    b.addPhase(phase("graphics test 1 (volumetric lighting)",
+                     "renderScene", gt1, extreme ? 110.0 : 100.0,
+                     extreme ? 1.8 : 1.6));
+    auto gt2 = kernels::renderScene(GraphicsApi::OpenGlEs,
+                                    extreme ? 0.84 : 0.78, res, false,
+                                    extreme ? 2000.0 : 1800.0);
+    b.addPhase(phase("graphics test 2 (instanced rendering)",
+                     "renderScene", gt2, extreme ? 90.0 : 80.0,
+                     extreme ? 1.6 : 1.4));
+
+    // Physics test: three successively more intensive levels, CPU-
+    // bound and highly multi-threaded with minimal GPU work.
+    b.addPhase(phase("physics test level 1", "physics",
+                     kernels::physics(1), 20.0, extreme ? 0.9 : 0.8));
+    b.addPhase(phase("physics test level 2", "physics",
+                     kernels::physics(2), 20.0, extreme ? 1.0 : 0.9));
+    b.addPhase(phase("physics test level 3", "physics",
+                     kernels::physics(3), 20.0, extreme ? 1.1 : 1.0));
+
+    // Combined test: graphics and physics together.
+    auto combined = kernels::renderScene(GraphicsApi::OpenGlEs,
+                                         extreme ? 0.76 : 0.70, res,
+                                         false, 1800.0);
+    combined.threads.push_back(ThreadDemand{3, 0.26});
+    b.addPhase(phase("combined test", "renderScene", combined,
+                     extreme ? 50.0 : 40.0, extreme ? 0.6 : 0.3));
+    return b;
+}
+
+Benchmark
+wildLife(bool extreme)
+{
+    const double res = extreme ? 4.0 : 1.0; // 4K for Extreme
+    const char *name = extreme ? "3DMark Wild Life Extreme"
+                               : "3DMark Wild Life";
+    Benchmark b("3DMark v2", name, HardwareTarget::Gpu);
+
+    // Short burst of intense Vulkan rendering mirroring mobile games
+    // with short periods of heavy activity; brief scene-loading gaps
+    // keep the *average* GPU load below a sustained compute test's.
+    b.addPhase(phase("scene loading", "loadingBurst",
+                     kernels::loadingBurst(3, 0.45),
+                     extreme ? 4.0 : 3.5, extreme ? 0.3 : 0.25));
+
+    auto s1 = kernels::renderScene(GraphicsApi::Vulkan,
+                                   extreme ? 0.95 : 0.88, res, false,
+                                   extreme ? 2750.0 : 1900.0);
+    b.addPhase(phase("scene 1 (burst)", "renderScene", s1,
+                     extreme ? 23.0 : 18.5, extreme ? 3.1 : 2.5));
+
+    auto s2 = kernels::renderScene(GraphicsApi::Vulkan,
+                                   extreme ? 0.97 : 0.92, res, false,
+                                   extreme ? 2700.0 : 2000.0);
+    b.addPhase(phase("scene 2 (peak)", "renderScene", s2,
+                     extreme ? 24.0 : 19.5, extreme ? 3.3 : 2.75));
+
+    // Final scene applies FFT-based post-processing on the DSP.
+    auto s3 = kernels::renderScene(GraphicsApi::Vulkan,
+                                   extreme ? 0.92 : 0.87, res, false,
+                                   extreme ? 2650.0 : 1900.0);
+    s3.aie.workRate = 0.25;
+    b.addPhase(phase("scene 3 (FFT post-processing)", "renderScene",
+                     s3, extreme ? 24.0 : 20.0, extreme ? 3.3 : 2.5));
+    return b;
+}
+
+} // namespace
+
+Suite
+build3DMark()
+{
+    Suite s;
+    s.name = "3DMark v2";
+    s.publisher = "UL";
+    s.benchmarks.push_back(slingshot(false));
+    s.benchmarks.push_back(slingshot(true));
+    s.benchmarks.push_back(wildLife(false));
+    s.benchmarks.push_back(wildLife(true));
+    return s;
+}
+
+} // namespace suites
+} // namespace mbs

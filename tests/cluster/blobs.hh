@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared synthetic blob generator for clustering tests.
+ */
+
+#ifndef MBS_TESTS_CLUSTER_BLOBS_HH
+#define MBS_TESTS_CLUSTER_BLOBS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/strings.hh"
+#include "stats/feature_matrix.hh"
+
+namespace mbs {
+namespace testutil {
+
+/**
+ * Generate @p per_blob points around each of @p centers with
+ * Gaussian radius @p spread, named "blob<b>-<i>".
+ */
+inline FeatureMatrix
+makeBlobs(const std::vector<std::vector<double>> &centers,
+          int per_blob, double spread, std::uint64_t seed = 5)
+{
+    Xoshiro256StarStar rng(seed);
+    std::vector<std::string> names;
+    for (std::size_t d = 0; d < centers.front().size(); ++d)
+        names.push_back(strformat("f%zu", d));
+    FeatureMatrix m(std::move(names));
+    for (std::size_t b = 0; b < centers.size(); ++b) {
+        for (int i = 0; i < per_blob; ++i) {
+            std::vector<double> row = centers[b];
+            for (double &v : row)
+                v += rng.gaussian(0.0, spread);
+            m.addRow(strformat("blob%zu-%d", b, i), std::move(row));
+        }
+    }
+    return m;
+}
+
+/** Ground-truth labels matching makeBlobs order. */
+inline std::vector<int>
+blobLabels(std::size_t blobs, int per_blob)
+{
+    std::vector<int> labels;
+    for (std::size_t b = 0; b < blobs; ++b) {
+        for (int i = 0; i < per_blob; ++i)
+            labels.push_back(int(b));
+    }
+    return labels;
+}
+
+} // namespace testutil
+} // namespace mbs
+
+#endif // MBS_TESTS_CLUSTER_BLOBS_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests for shared clustering helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/clustering.hh"
+#include "common/logging.hh"
+
+namespace mbs {
+namespace {
+
+TEST(Canonicalize, FirstOccurrenceOrder)
+{
+    EXPECT_EQ(canonicalizeLabels({5, 5, 2, 5, 9}),
+              (std::vector<int>{0, 0, 1, 0, 2}));
+}
+
+TEST(Canonicalize, AlreadyCanonicalIsIdentity)
+{
+    const std::vector<int> labels{0, 1, 1, 2, 0};
+    EXPECT_EQ(canonicalizeLabels(labels), labels);
+}
+
+TEST(Canonicalize, EmptyIsEmpty)
+{
+    EXPECT_TRUE(canonicalizeLabels({}).empty());
+}
+
+TEST(SamePartition, DetectsRelabeledEquality)
+{
+    EXPECT_TRUE(samePartition({0, 0, 1, 2}, {7, 7, 3, 1}));
+    EXPECT_FALSE(samePartition({0, 0, 1, 2}, {0, 1, 1, 2}));
+    EXPECT_FALSE(samePartition({0, 1}, {0, 1, 1}));
+}
+
+TEST(GroupByCluster, GroupsIndices)
+{
+    const auto groups = groupByCluster({1, 0, 1, 2}, 3);
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[0], (std::vector<std::size_t>{1}));
+    EXPECT_EQ(groups[1], (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(groups[2], (std::vector<std::size_t>{3}));
+}
+
+TEST(GroupByCluster, OutOfRangeLabelIsFatal)
+{
+    EXPECT_THROW(groupByCluster({0, 3}, 3), FatalError);
+    EXPECT_THROW(groupByCluster({0}, 0), FatalError);
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for agglomerative hierarchical clustering and dendrograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "blobs.hh"
+#include "cluster/hierarchical.hh"
+#include "common/logging.hh"
+
+namespace mbs {
+namespace {
+
+using testutil::blobLabels;
+using testutil::makeBlobs;
+
+TEST(Hierarchical, RecoversBlobsWithEveryLinkage)
+{
+    const auto m = makeBlobs({{0, 0}, {10, 10}, {-10, 10}}, 6, 0.5);
+    for (Linkage linkage : {Linkage::Single, Linkage::Complete,
+                            Linkage::Average, Linkage::Ward}) {
+        const HierarchicalClustering hc(linkage);
+        const auto result = hc.fit(m, 3);
+        EXPECT_TRUE(samePartition(result.labels, blobLabels(3, 6)))
+            << linkageName(linkage);
+    }
+}
+
+TEST(Hierarchical, DendrogramHasNMinusOneMerges)
+{
+    const auto m = makeBlobs({{0, 0}, {5, 5}}, 4, 0.3);
+    const auto tree =
+        HierarchicalClustering(Linkage::Average).buildDendrogram(m);
+    EXPECT_EQ(tree.leafCount(), 8u);
+    EXPECT_EQ(tree.merges().size(), 7u);
+}
+
+TEST(Hierarchical, MergeHeightsAreNonDecreasingForAverage)
+{
+    const auto m = makeBlobs({{0, 0}, {6, 1}, {3, 9}}, 5, 0.8, 7);
+    const auto tree =
+        HierarchicalClustering(Linkage::Average).buildDendrogram(m);
+    double prev = 0.0;
+    for (const auto &step : tree.merges()) {
+        EXPECT_GE(step.height, prev - 1e-9);
+        prev = step.height;
+    }
+}
+
+TEST(Hierarchical, CutExtremes)
+{
+    const auto m = makeBlobs({{0, 0}, {5, 5}}, 3, 0.3);
+    const auto tree =
+        HierarchicalClustering(Linkage::Complete).buildDendrogram(m);
+    const auto all_one = tree.cut(1);
+    for (int label : all_one)
+        EXPECT_EQ(label, 0);
+    const auto singletons = tree.cut(6);
+    std::set<int> distinct(singletons.begin(), singletons.end());
+    EXPECT_EQ(distinct.size(), 6u);
+}
+
+TEST(Hierarchical, CutOutOfRangeIsFatal)
+{
+    const auto m = makeBlobs({{0, 0}}, 3, 0.1);
+    const auto tree =
+        HierarchicalClustering(Linkage::Average).buildDendrogram(m);
+    EXPECT_THROW(tree.cut(0), FatalError);
+    EXPECT_THROW(tree.cut(4), FatalError);
+}
+
+TEST(Hierarchical, CutsAreNested)
+{
+    // A hierarchical cut at k is a refinement of the cut at k-1.
+    const auto m = makeBlobs({{0, 0}, {4, 4}, {9, 1}, {2, 9}}, 4,
+                             0.9, 11);
+    const auto tree =
+        HierarchicalClustering(Linkage::Average).buildDendrogram(m);
+    for (int k = 2; k <= 8; ++k) {
+        const auto coarse = tree.cut(k - 1);
+        const auto fine = tree.cut(k);
+        // Same fine-cluster => same coarse-cluster.
+        for (std::size_t i = 0; i < fine.size(); ++i) {
+            for (std::size_t j = 0; j < fine.size(); ++j) {
+                if (fine[i] == fine[j])
+                    EXPECT_EQ(coarse[i], coarse[j]);
+            }
+        }
+    }
+}
+
+TEST(Hierarchical, RenderListsAllLeaves)
+{
+    const auto m = makeBlobs({{0, 0}, {5, 5}}, 2, 0.2);
+    const auto tree =
+        HierarchicalClustering(Linkage::Average).buildDendrogram(m);
+    const auto out = tree.render(m.rowNames());
+    for (const auto &name : m.rowNames())
+        EXPECT_NE(out.find(name), std::string::npos) << name;
+    EXPECT_NE(out.find("merge @"), std::string::npos);
+}
+
+TEST(Hierarchical, RenderRejectsWrongNameCount)
+{
+    const auto m = makeBlobs({{0, 0}}, 3, 0.1);
+    const auto tree =
+        HierarchicalClustering(Linkage::Average).buildDendrogram(m);
+    EXPECT_THROW(tree.render({"only-one"}), FatalError);
+}
+
+TEST(Hierarchical, SingleLeafDendrogram)
+{
+    FeatureMatrix m({"x"});
+    m.addRow("only", {1.0});
+    const auto tree =
+        HierarchicalClustering(Linkage::Average).buildDendrogram(m);
+    EXPECT_EQ(tree.leafCount(), 1u);
+    EXPECT_TRUE(tree.merges().empty());
+    EXPECT_EQ(tree.cut(1), std::vector<int>{0});
+}
+
+TEST(Hierarchical, SingleLinkageChains)
+{
+    // A chain of close points plus one far point: single linkage
+    // keeps the chain together at k=2.
+    FeatureMatrix m({"x"});
+    m.addRow("a", {0.0});
+    m.addRow("b", {1.0});
+    m.addRow("c", {2.0});
+    m.addRow("d", {3.0});
+    m.addRow("far", {50.0});
+    const auto labels =
+        HierarchicalClustering(Linkage::Single).fit(m, 2).labels;
+    EXPECT_EQ(labels[0], labels[1]);
+    EXPECT_EQ(labels[1], labels[2]);
+    EXPECT_EQ(labels[2], labels[3]);
+    EXPECT_NE(labels[0], labels[4]);
+}
+
+TEST(Hierarchical, NamesIncludeLinkage)
+{
+    EXPECT_EQ(HierarchicalClustering(Linkage::Average).name(),
+              "Hierarchical (average)");
+    EXPECT_EQ(HierarchicalClustering(Linkage::Ward).name(),
+              "Hierarchical (Ward)");
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for K-Means clustering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blobs.hh"
+#include "cluster/kmeans.hh"
+#include "common/logging.hh"
+
+namespace mbs {
+namespace {
+
+using testutil::blobLabels;
+using testutil::makeBlobs;
+
+TEST(KMeans, RecoversWellSeparatedBlobs)
+{
+    const auto m = makeBlobs({{0, 0}, {10, 10}, {-10, 10}}, 6, 0.5);
+    const KMeans kmeans;
+    const auto result = kmeans.fit(m, 3);
+    EXPECT_EQ(result.k, 3);
+    EXPECT_TRUE(samePartition(result.labels, blobLabels(3, 6)));
+}
+
+TEST(KMeans, KOneGroupsEverything)
+{
+    const auto m = makeBlobs({{0, 0}, {5, 5}}, 4, 0.3);
+    const auto result = KMeans().fit(m, 1);
+    for (int label : result.labels)
+        EXPECT_EQ(label, 0);
+}
+
+TEST(KMeans, KEqualsNSeparatesEverything)
+{
+    const auto m = makeBlobs({{0, 0}, {5, 5}}, 2, 0.1);
+    const auto result = KMeans().fit(m, 4);
+    std::set<int> distinct(result.labels.begin(), result.labels.end());
+    EXPECT_EQ(distinct.size(), 4u);
+    EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, InvalidKIsFatal)
+{
+    const auto m = makeBlobs({{0, 0}}, 3, 0.1);
+    EXPECT_THROW(KMeans().fit(m, 0), FatalError);
+    EXPECT_THROW(KMeans().fit(m, 4), FatalError);
+}
+
+TEST(KMeans, DeterministicForSeed)
+{
+    const auto m = makeBlobs({{0, 0}, {6, 1}, {1, 7}}, 5, 1.0);
+    KMeansOptions opts;
+    opts.seed = 99;
+    const auto a = KMeans(opts).fit(m, 3);
+    const auto b = KMeans(opts).fit(m, 3);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, LabelsAreCanonical)
+{
+    const auto m = makeBlobs({{0, 0}, {8, 8}}, 4, 0.3);
+    const auto result = KMeans().fit(m, 2);
+    EXPECT_EQ(result.labels.front(), 0);
+    EXPECT_EQ(result.labels, canonicalizeLabels(result.labels));
+}
+
+TEST(KMeans, InertiaDecreasesWithK)
+{
+    const auto m = makeBlobs({{0, 0}, {4, 4}, {8, 0}, {4, -4}}, 5,
+                             1.0);
+    const KMeans kmeans;
+    double prev = 1e18;
+    for (int k = 1; k <= 6; ++k) {
+        const double inertia = kmeans.fit(m, k).inertia;
+        EXPECT_LE(inertia, prev + 1e-9) << "k=" << k;
+        prev = inertia;
+    }
+}
+
+TEST(KMeans, MoreRestartsNeverWorsenInertia)
+{
+    const auto m = makeBlobs(
+        {{0, 0}, {3, 3}, {6, 0}, {3, -3}, {9, 3}}, 4, 1.2, 17);
+    KMeansOptions one;
+    one.restarts = 1;
+    KMeansOptions many;
+    many.restarts = 20;
+    EXPECT_LE(KMeans(many).fit(m, 5).inertia,
+              KMeans(one).fit(m, 5).inertia + 1e-9);
+}
+
+TEST(KMeans, InvalidOptionsAreFatal)
+{
+    KMeansOptions bad;
+    bad.restarts = 0;
+    EXPECT_THROW(KMeans{bad}, FatalError);
+    bad.restarts = 1;
+    bad.maxIterations = 0;
+    EXPECT_THROW(KMeans{bad}, FatalError);
+}
+
+TEST(KMeans, NameIsStable)
+{
+    EXPECT_EQ(KMeans().name(), "K-Means");
+}
+
+/** Property: every fit yields exactly k non-empty clusters when the
+ *  data has at least k distinct points. */
+class KMeansClusterCount : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KMeansClusterCount, ProducesKClusters)
+{
+    const auto m = makeBlobs(
+        {{0, 0}, {5, 0}, {0, 5}, {5, 5}, {10, 2}, {2, 10}}, 4, 0.8,
+        23);
+    const int k = GetParam();
+    const auto result = KMeans().fit(m, k);
+    std::set<int> distinct(result.labels.begin(),
+                           result.labels.end());
+    EXPECT_EQ(int(distinct.size()), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansClusterCount,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 12));
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for Partitioning Around Medoids.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "blobs.hh"
+#include "cluster/kmeans.hh"
+#include "cluster/pam.hh"
+#include "common/logging.hh"
+
+namespace mbs {
+namespace {
+
+using testutil::blobLabels;
+using testutil::makeBlobs;
+
+TEST(Pam, RecoversWellSeparatedBlobs)
+{
+    const auto m = makeBlobs({{0, 0}, {10, 10}, {-10, 10}}, 6, 0.5);
+    const auto result = Pam().fit(m, 3);
+    EXPECT_TRUE(samePartition(result.labels, blobLabels(3, 6)));
+}
+
+TEST(Pam, IsFullyDeterministic)
+{
+    const auto m = makeBlobs({{0, 0}, {6, 2}, {2, 8}}, 5, 1.0);
+    const auto a = Pam().fit(m, 3);
+    const auto b = Pam().fit(m, 3);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(Pam, InvalidKIsFatal)
+{
+    const auto m = makeBlobs({{0, 0}}, 3, 0.1);
+    EXPECT_THROW(Pam().fit(m, 0), FatalError);
+    EXPECT_THROW(Pam().fit(m, 4), FatalError);
+}
+
+TEST(Pam, KOneGroupsEverything)
+{
+    const auto m = makeBlobs({{0, 0}, {5, 5}}, 4, 0.3);
+    const auto result = Pam().fit(m, 1);
+    for (int label : result.labels)
+        EXPECT_EQ(label, 0);
+    EXPECT_GT(result.inertia, 0.0);
+}
+
+TEST(Pam, KEqualsNGivesZeroCost)
+{
+    const auto m = makeBlobs({{0, 0}, {5, 5}}, 2, 0.2);
+    const auto result = Pam().fit(m, 4);
+    EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(Pam, CostDecreasesWithK)
+{
+    const auto m = makeBlobs({{0, 0}, {4, 4}, {8, 0}}, 6, 1.0, 31);
+    double prev = 1e18;
+    for (int k = 1; k <= 6; ++k) {
+        const double cost = Pam().fit(m, k).inertia;
+        EXPECT_LE(cost, prev + 1e-9);
+        prev = cost;
+    }
+}
+
+TEST(Pam, AgreesWithKMeansOnCleanBlobs)
+{
+    // The paper omits PAM's figure because it matches K-Means; on
+    // well-separated data the two must agree.
+    const auto m = makeBlobs(
+        {{0, 0}, {12, 0}, {0, 12}, {12, 12}}, 5, 0.6, 41);
+    const auto pam = Pam().fit(m, 4);
+    const auto kmeans = KMeans().fit(m, 4);
+    EXPECT_TRUE(samePartition(pam.labels, kmeans.labels));
+}
+
+TEST(Pam, MedoidAssignmentIsNearest)
+{
+    const auto m = makeBlobs({{0, 0}, {10, 0}}, 6, 0.5, 43);
+    const auto result = Pam().fit(m, 2);
+    // Points from the same blob share labels.
+    EXPECT_TRUE(samePartition(result.labels, blobLabels(2, 6)));
+}
+
+TEST(Pam, ProducesKClusters)
+{
+    const auto m = makeBlobs(
+        {{0, 0}, {5, 0}, {0, 5}, {5, 5}, {10, 2}}, 4, 0.7, 47);
+    for (int k = 1; k <= 8; ++k) {
+        const auto result = Pam().fit(m, k);
+        std::set<int> distinct(result.labels.begin(),
+                               result.labels.end());
+        EXPECT_EQ(int(distinct.size()), k);
+    }
+}
+
+TEST(Pam, NameIsStable)
+{
+    EXPECT_EQ(Pam().name(), "PAM");
+}
+
+} // namespace
+} // namespace mbs

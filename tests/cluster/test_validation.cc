@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for cluster validation measures (Dunn, silhouette, APN, AD)
+ * and the Fig.-4 sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blobs.hh"
+#include "cluster/hierarchical.hh"
+#include "cluster/kmeans.hh"
+#include "cluster/pam.hh"
+#include "cluster/validation.hh"
+#include "common/logging.hh"
+
+namespace mbs {
+namespace {
+
+using testutil::blobLabels;
+using testutil::makeBlobs;
+
+FeatureMatrix
+threeBlobs(double spread = 0.4)
+{
+    return makeBlobs({{0, 0, 0}, {10, 0, 0}, {0, 10, 0}}, 5, spread);
+}
+
+TEST(Dunn, HigherForCorrectPartition)
+{
+    const auto m = threeBlobs();
+    const auto good = blobLabels(3, 5);
+    auto bad = good;
+    std::swap(bad[0], bad[5]); // cross-assign two points
+    EXPECT_GT(dunnIndex(m, good), dunnIndex(m, bad));
+}
+
+TEST(Dunn, SingleClusterIsZero)
+{
+    const auto m = threeBlobs();
+    EXPECT_DOUBLE_EQ(dunnIndex(m, std::vector<int>(15, 0)), 0.0);
+}
+
+TEST(Dunn, TighterBlobsScoreHigher)
+{
+    const auto labels = blobLabels(3, 5);
+    EXPECT_GT(dunnIndex(threeBlobs(0.2), labels),
+              dunnIndex(threeBlobs(1.5), labels));
+}
+
+TEST(Dunn, SizeMismatchIsFatal)
+{
+    const auto m = threeBlobs();
+    EXPECT_THROW(dunnIndex(m, {0, 1}), FatalError);
+}
+
+TEST(Silhouette, NearOneForWellSeparatedBlobs)
+{
+    const auto m = threeBlobs(0.2);
+    EXPECT_GT(silhouetteWidth(m, blobLabels(3, 5)), 0.9);
+}
+
+TEST(Silhouette, NegativeContributionForMisassignedPoint)
+{
+    const auto m = threeBlobs(0.2);
+    const auto good = blobLabels(3, 5);
+    auto bad = good;
+    bad[0] = 1; // point from blob 0 labeled as blob 1
+    EXPECT_LT(silhouetteWidth(m, bad), silhouetteWidth(m, good));
+}
+
+TEST(Silhouette, SingleClusterIsZero)
+{
+    const auto m = threeBlobs();
+    EXPECT_DOUBLE_EQ(silhouetteWidth(m, std::vector<int>(15, 0)),
+                     0.0);
+}
+
+TEST(Silhouette, BoundedByOne)
+{
+    const auto m = threeBlobs(1.0);
+    const double s = silhouetteWidth(m, blobLabels(3, 5));
+    EXPECT_LE(s, 1.0);
+    EXPECT_GE(s, -1.0);
+}
+
+TEST(Connectivity, ZeroForIntactNeighbourhoods)
+{
+    const auto m = threeBlobs(0.2);
+    EXPECT_DOUBLE_EQ(connectivity(m, blobLabels(3, 5), 4), 0.0);
+}
+
+TEST(Connectivity, PenalizesCrossClusterNeighbours)
+{
+    const auto m = threeBlobs(0.2);
+    auto bad = blobLabels(3, 5);
+    bad[0] = 1; // misassign one point
+    EXPECT_GT(connectivity(m, bad, 4), 0.0);
+}
+
+TEST(Connectivity, NearerViolationsCostMore)
+{
+    // 1st-neighbour violations cost 1, j-th cost 1/j: the measure
+    // for a fully-scrambled labeling exceeds a single swap.
+    const auto m = threeBlobs(0.2);
+    const auto good = blobLabels(3, 5);
+    auto one_swap = good;
+    std::swap(one_swap[0], one_swap[5]);
+    std::vector<int> scrambled(good.size());
+    for (std::size_t i = 0; i < scrambled.size(); ++i)
+        scrambled[i] = int(i % 3);
+    EXPECT_GT(connectivity(m, scrambled),
+              connectivity(m, one_swap));
+}
+
+TEST(Connectivity, InvalidInputsAreFatal)
+{
+    const auto m = threeBlobs();
+    EXPECT_THROW(connectivity(m, {0, 1}), FatalError);
+    EXPECT_THROW(connectivity(m, blobLabels(3, 5), 0), FatalError);
+}
+
+TEST(Stability, ApnIsLowForStableStructure)
+{
+    // Blobs separated in every dimension: removing one column never
+    // changes the clustering.
+    const auto m = makeBlobs({{0, 0, 0}, {10, 10, 10}}, 5, 0.3);
+    const KMeans kmeans;
+    EXPECT_NEAR(averageProportionOfNonOverlap(m, kmeans, 2), 0.0,
+                1e-9);
+}
+
+TEST(Stability, ApnDetectsColumnDependentStructure)
+{
+    // Separation lives in one dimension only: dropping it destroys
+    // the clusters.
+    const auto m = makeBlobs({{0, 0}, {10, 0}}, 6, 0.3);
+    const KMeans kmeans;
+    const double apn = averageProportionOfNonOverlap(m, kmeans, 2);
+    EXPECT_GT(apn, 0.1);
+}
+
+TEST(Stability, AdDecreasesWithK)
+{
+    // More clusters -> smaller within-cluster distances, AD falls
+    // (the paper's "AD indicates a strong bias for higher k").
+    const auto m = makeBlobs(
+        {{0, 0}, {6, 0}, {0, 6}, {6, 6}, {3, 12}}, 4, 1.0, 13);
+    const KMeans kmeans;
+    const double ad2 = averageDistance(m, kmeans, 2);
+    const double ad5 = averageDistance(m, kmeans, 5);
+    const double ad8 = averageDistance(m, kmeans, 8);
+    EXPECT_GT(ad2, ad5);
+    EXPECT_GT(ad5, ad8);
+}
+
+TEST(Stability, NeedsAtLeastTwoColumns)
+{
+    FeatureMatrix m({"only"});
+    m.addRow("a", {1.0});
+    m.addRow("b", {2.0});
+    const KMeans kmeans;
+    EXPECT_THROW(averageProportionOfNonOverlap(m, kmeans, 2),
+                 FatalError);
+    EXPECT_THROW(averageDistance(m, kmeans, 2), FatalError);
+}
+
+TEST(Sweep, FindsPlantedClusterCount)
+{
+    const auto m = makeBlobs(
+        {{0, 0, 0}, {10, 0, 0}, {0, 10, 0}, {0, 0, 10}, {7, 7, 7}},
+        4, 0.4, 29);
+    const KMeans kmeans;
+    const Pam pam;
+    const HierarchicalClustering hier(Linkage::Average);
+    const ValidationSweep sweep({&kmeans, &pam, &hier}, 2, 8);
+    const auto points = sweep.run(m);
+    EXPECT_EQ(points.size(), 3u * 7u);
+    EXPECT_EQ(ValidationSweep::bestInternalK(points), 5);
+}
+
+TEST(Sweep, PointsCarryAlgorithmNames)
+{
+    const auto m = threeBlobs();
+    const KMeans kmeans;
+    const ValidationSweep sweep({&kmeans}, 2, 3);
+    const auto points = sweep.run(m);
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].algorithm, "K-Means");
+    EXPECT_EQ(points[0].k, 2);
+    EXPECT_EQ(points[1].k, 3);
+}
+
+TEST(Sweep, InvalidConfigurationIsFatal)
+{
+    const KMeans kmeans;
+    EXPECT_THROW(ValidationSweep({}, 2, 5), FatalError);
+    EXPECT_THROW(ValidationSweep({&kmeans}, 1, 5), FatalError);
+    EXPECT_THROW(ValidationSweep({&kmeans}, 5, 2), FatalError);
+    const auto m = threeBlobs();
+    const ValidationSweep too_big({&kmeans}, 2, 100);
+    EXPECT_THROW(too_big.run(m), FatalError);
+}
+
+TEST(Sweep, BestInternalKOnEmptyIsFatal)
+{
+    EXPECT_THROW(ValidationSweep::bestInternalK({}), FatalError);
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests for the CSV writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hh"
+
+namespace mbs {
+namespace {
+
+TEST(Csv, WritesPlainRow)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeRow(std::vector<std::string>{"a", "b", "c"});
+    EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, EscapesCommas)
+{
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, EscapesQuotes)
+{
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, EscapesNewlines)
+{
+    EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, LeavesPlainFieldsAlone)
+{
+    EXPECT_EQ(CsvWriter::escape("plain_field"), "plain_field");
+}
+
+TEST(Csv, WritesNumericRowRoundTrippable)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeRow(std::vector<double>{1.5, -2.25, 1e9});
+    EXPECT_EQ(out.str(), "1.5,-2.25,1000000000\n");
+}
+
+TEST(Csv, WritesLabeledRow)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeRow("bench,mark", std::vector<double>{0.5});
+    EXPECT_EQ(out.str(), "\"bench,mark\",0.5\n");
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for status/error reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace mbs {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error"), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Logging, FatalCarriesMessage)
+{
+    try {
+        fatal("bad configuration: cores");
+        FAIL() << "fatal() must throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad configuration"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, PanicMarksInternalError)
+{
+    try {
+        panic("invariant violated");
+        FAIL() << "panic() must throw";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("internal error"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, FatalIfOnlyFiresOnTrue)
+{
+    EXPECT_NO_THROW(fatalIf(false, "fine"));
+    EXPECT_THROW(fatalIf(true, "nope"), FatalError);
+}
+
+TEST(Logging, PanicIfOnlyFiresOnTrue)
+{
+    EXPECT_NO_THROW(panicIf(false, "fine"));
+    EXPECT_THROW(panicIf(true, "nope"), PanicError);
+}
+
+TEST(Logging, LogLevelRoundTrips)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(before);
+}
+
+TEST(Logging, QuietSuppressesWithoutCrashing)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    inform("hidden");
+    warn("hidden");
+    debug("hidden");
+    setLogLevel(before);
+}
+
+} // namespace
+} // namespace mbs

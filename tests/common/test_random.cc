@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hh"
+
+namespace mbs {
+namespace {
+
+TEST(SplitMix64, IsDeterministic)
+{
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge)
+{
+    SplitMix64 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, IsDeterministicForSeed)
+{
+    Xoshiro256StarStar a(7), b(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, UniformStaysInUnitInterval)
+{
+    Xoshiro256StarStar rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds)
+{
+    Xoshiro256StarStar rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Xoshiro, UniformMeanIsCentered)
+{
+    Xoshiro256StarStar rng(17);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformIntCoversAllResidues)
+{
+    Xoshiro256StarStar rng(19);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(7));
+    EXPECT_EQ(seen.size(), 7u);
+    for (std::uint64_t v : seen)
+        EXPECT_LT(v, 7u);
+}
+
+TEST(Xoshiro, UniformIntOfOneIsAlwaysZero)
+{
+    Xoshiro256StarStar rng(19);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.uniformInt(1), 0u);
+}
+
+TEST(Xoshiro, GaussianMatchesMoments)
+{
+    Xoshiro256StarStar rng(23);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian(2.0, 3.0);
+        sum += g;
+        sq += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.05);
+    EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Xoshiro, ForkProducesIndependentStreams)
+{
+    Xoshiro256StarStar rng(31);
+    auto s1 = rng.fork(1);
+    auto s2 = rng.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (s1.next() == s2.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, ForkIsDeterministic)
+{
+    Xoshiro256StarStar a(31), b(31);
+    auto fa = a.fork(5);
+    auto fb = b.fork(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(fa.next(), fb.next());
+}
+
+TEST(Xoshiro, ForkDoesNotDependOnParentState)
+{
+    Xoshiro256StarStar a(31);
+    a.next();
+    a.next();
+    Xoshiro256StarStar b(31);
+    auto fa = a.fork(9);
+    auto fb = b.fork(9);
+    EXPECT_EQ(fa.next(), fb.next());
+}
+
+/** Property sweep: uniformInt(n) always lands in [0, n). */
+class UniformIntRange : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(UniformIntRange, StaysBelowBound)
+{
+    const std::uint64_t n = GetParam();
+    Xoshiro256StarStar rng(n * 977 + 1);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(rng.uniformInt(n), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UniformIntRange,
+                         ::testing::Values(1, 2, 3, 5, 16, 17, 100,
+                                           1000, 1ULL << 32));
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for sparkline / strip renderers used in figure output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/sparkline.hh"
+
+namespace mbs {
+namespace {
+
+TEST(Resample, IdentityWhenSameWidth)
+{
+    const std::vector<double> v{0.1, 0.5, 0.9};
+    EXPECT_EQ(resampleMean(v, 3), v);
+}
+
+TEST(Resample, DownsamplesByAveraging)
+{
+    const std::vector<double> v{0.0, 1.0, 0.0, 1.0};
+    const auto out = resampleMean(v, 2);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0], 0.5);
+    EXPECT_DOUBLE_EQ(out[1], 0.5);
+}
+
+TEST(Resample, EmptyInputGivesZeros)
+{
+    const auto out = resampleMean({}, 4);
+    ASSERT_EQ(out.size(), 4u);
+    for (double v : out)
+        EXPECT_EQ(v, 0.0);
+}
+
+TEST(Resample, ZeroWidthIsFatal)
+{
+    EXPECT_THROW(resampleMean({1.0}, 0), FatalError);
+}
+
+TEST(Resample, PreservesMeanApproximately)
+{
+    std::vector<double> v;
+    for (int i = 0; i < 1000; ++i)
+        v.push_back(double(i % 10) / 10.0);
+    const auto out = resampleMean(v, 37);
+    double mean_in = 0.0, mean_out = 0.0;
+    for (double x : v)
+        mean_in += x / double(v.size());
+    for (double x : out)
+        mean_out += x / double(out.size());
+    EXPECT_NEAR(mean_in, mean_out, 0.02);
+}
+
+TEST(ThresholdStrip, MarksOnlyAboveThreshold)
+{
+    const std::vector<double> v{0.2, 0.9, 0.4, 0.8};
+    EXPECT_EQ(thresholdStrip(v, 4, 0.5), ".#.#");
+}
+
+TEST(ThresholdStrip, ExactThresholdIsNotMarked)
+{
+    const std::vector<double> v{0.5};
+    EXPECT_EQ(thresholdStrip(v, 1, 0.5), ".");
+}
+
+TEST(LoadLevelStrip, MapsQuartiles)
+{
+    const std::vector<double> v{0.1, 0.3, 0.6, 0.9};
+    EXPECT_EQ(loadLevelStrip(v, 4), " -=#");
+}
+
+TEST(LoadLevelStrip, ClampsOutOfRange)
+{
+    const std::vector<double> v{-0.5, 1.5};
+    EXPECT_EQ(loadLevelStrip(v, 2), " #");
+}
+
+TEST(Sparkline, OutputHasRequestedWidth)
+{
+    const std::vector<double> v{0.0, 0.25, 0.5, 0.75, 1.0};
+    const std::string line = sparkline(v, 10);
+    // Each glyph is multi-byte UTF-8 (or a single space); count code
+    // points by counting non-continuation bytes.
+    int glyphs = 0;
+    for (unsigned char c : line) {
+        if ((c & 0xC0) != 0x80)
+            ++glyphs;
+    }
+    EXPECT_EQ(glyphs, 10);
+}
+
+TEST(Sparkline, ZeroMapsToSpaceAndOneToFullBlock)
+{
+    EXPECT_EQ(sparkline({0.0}, 1), " ");
+    EXPECT_EQ(sparkline({1.0}, 1), "█");
+}
+
+} // namespace
+} // namespace mbs

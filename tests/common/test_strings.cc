@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for string utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hh"
+
+namespace mbs {
+namespace {
+
+TEST(Split, SplitsOnSeparator)
+{
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields)
+{
+    const auto parts = split(",x,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[1], "x");
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(Split, EmptyStringIsOneEmptyField)
+{
+    const auto parts = split("", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "");
+}
+
+TEST(Join, InvertsSplit)
+{
+    const std::string text = "x;y;z";
+    EXPECT_EQ(join(split(text, ';'), ";"), text);
+}
+
+TEST(Join, EmptyVectorIsEmptyString)
+{
+    EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(Trim, StripsBothEnds)
+{
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+}
+
+TEST(Trim, KeepsInteriorWhitespace)
+{
+    EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(Trim, AllWhitespaceBecomesEmpty)
+{
+    EXPECT_EQ(trim(" \t\r\n"), "");
+}
+
+TEST(ToLower, LowersAsciiOnly)
+{
+    EXPECT_EQ(toLower("GeekBench 5 CPU"), "geekbench 5 cpu");
+}
+
+TEST(StartsWith, MatchesPrefix)
+{
+    EXPECT_TRUE(startsWith("Antutu GPU", "Antutu"));
+    EXPECT_FALSE(startsWith("Antutu", "Antutu GPU"));
+    EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(Slugify, ConvertsBenchmarkNames)
+{
+    EXPECT_EQ(slugify("Geekbench 5 CPU"), "geekbench_5_cpu");
+    EXPECT_EQ(slugify("3DMark Wild Life Extreme"),
+              "3dmark_wild_life_extreme");
+}
+
+TEST(Slugify, CollapsesSeparatorRuns)
+{
+    EXPECT_EQ(slugify("a -- b"), "a_b");
+    EXPECT_EQ(slugify("trailing!! "), "trailing");
+}
+
+TEST(Strformat, FormatsLikePrintf)
+{
+    EXPECT_EQ(strformat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+}
+
+TEST(Strformat, HandlesLongOutput)
+{
+    const std::string long_arg(500, 'y');
+    const std::string out = strformat("[%s]", long_arg.c_str());
+    EXPECT_EQ(out.size(), 502u);
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_EQ(out.back(), ']');
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the ASCII table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace mbs {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"Name", "Value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "2"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("beta"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, PadsColumnsToWidestCell)
+{
+    TextTable t({"N", "V"});
+    t.addRow({"a-very-long-name", "1"});
+    const std::string out = t.render();
+    // Header row must be as wide as the data row.
+    const auto first_newline = out.find('\n');
+    const auto second = out.find('\n', first_newline + 1);
+    const auto third = out.find('\n', second + 1);
+    const std::string header =
+        out.substr(first_newline + 1, second - first_newline - 1);
+    const std::string rule =
+        out.substr(second + 1, third - second - 1);
+    EXPECT_EQ(header.size(), rule.size());
+}
+
+TEST(TextTable, RightAlignmentPadsLeft)
+{
+    TextTable t({"V"});
+    t.setAlign(0, Align::Right);
+    t.addRow({"7"});
+    const std::string out = t.render();
+    // "| <pad>7 |" : the 7 sits right before the closing bar.
+    EXPECT_NE(out.find("7 |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongCellCount)
+{
+    TextTable t({"A", "B"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+    EXPECT_THROW(t.addRow({"1", "2", "3"}), FatalError);
+}
+
+TEST(TextTable, RejectsEmptyHeader)
+{
+    EXPECT_THROW(TextTable({}), FatalError);
+}
+
+TEST(TextTable, RejectsAlignOutOfRange)
+{
+    TextTable t({"A"});
+    EXPECT_THROW(t.setAlign(1, Align::Right), FatalError);
+}
+
+TEST(TextTable, SeparatorAddsRule)
+{
+    TextTable t({"A"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    const std::string out = t.render();
+    // 5 rules total: top, after header, separator, bottom... count '+'
+    int rules = 0;
+    for (std::size_t pos = 0; (pos = out.find("+-", pos)) !=
+         std::string::npos; ++pos) {
+        ++rules;
+    }
+    EXPECT_EQ(rules, 4);
+}
+
+} // namespace
+} // namespace mbs

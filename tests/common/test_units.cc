@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Tests for unit formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace mbs {
+namespace {
+
+TEST(Units, FormatBytesPicksScale)
+{
+    EXPECT_EQ(units::formatBytes(512), "512 B");
+    EXPECT_EQ(units::formatBytes(64ULL << 10), "64 KB");
+    EXPECT_EQ(units::formatBytes(4ULL << 20), "4.0 MB");
+    EXPECT_EQ(units::formatBytes(12ULL << 30), "12.0 GB");
+}
+
+TEST(Units, FormatSecondsSwitchesToMinutes)
+{
+    EXPECT_EQ(units::formatSeconds(61.5), "61.5 s");
+    EXPECT_EQ(units::formatSeconds(240.0), "4.0 min");
+}
+
+TEST(Units, FormatHzPicksScale)
+{
+    EXPECT_EQ(units::formatHz(3.0e9), "3.00 GHz");
+    EXPECT_EQ(units::formatHz(840e6), "840 MHz");
+    EXPECT_EQ(units::formatHz(50.0), "50 Hz");
+}
+
+TEST(Units, FormatCountUsesEngineeringSuffix)
+{
+    EXPECT_EQ(units::formatCount(57e9), "57.0 B");
+    EXPECT_EQ(units::formatCount(14e6), "14.0 M");
+    EXPECT_EQ(units::formatCount(2e3), "2.0 K");
+    EXPECT_EQ(units::formatCount(12), "12");
+}
+
+TEST(Units, FormatPercent)
+{
+    EXPECT_EQ(units::formatPercent(0.7498), "74.98%");
+    EXPECT_EQ(units::formatPercent(0.9093), "90.93%");
+    EXPECT_EQ(units::formatPercent(0.5, 0), "50%");
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(units::toGHz(2.42e9), 2.42);
+    EXPECT_DOUBLE_EQ(units::fromGHz(1.8), 1.8e9);
+    EXPECT_DOUBLE_EQ(units::toBillions(57e9), 57.0);
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the pipeline's pure helpers on synthetic profiles
+ * (the end-to-end behaviour lives in tests/integration).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/pipeline.hh"
+
+namespace mbs {
+namespace {
+
+BenchmarkProfile
+syntheticProfile(const std::string &name, double ipc, double cpu_load,
+                 double little, double mid, double big)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.suite = "S";
+    p.runtimeSeconds = 100.0;
+    p.instructions = 1e9;
+    p.ipc = ipc;
+    p.cacheMpki = 10.0;
+    p.branchMpki = 5.0;
+    const std::size_t n = 100;
+    const auto flat = [n](double v) {
+        return TimeSeries(0.1, std::vector<double>(n, v));
+    };
+    p.series.cpuLoad = flat(cpu_load);
+    p.series.gpuLoad = flat(0.0);
+    p.series.shadersBusy = flat(0.0);
+    p.series.gpuBusBusy = flat(0.0);
+    p.series.aieLoad = flat(0.0);
+    p.series.usedMemory = flat(0.1);
+    p.series.storageUtil = flat(0.0);
+    p.series.gpuUtilization = flat(0.0);
+    p.series.gpuFrequency = flat(0.2);
+    p.series.aieUtilization = flat(0.0);
+    p.series.aieFrequency = flat(0.3);
+    p.series.textureResidency = flat(0.0);
+    p.series.clusterLoad[0] = flat(little);
+    p.series.clusterLoad[1] = flat(mid);
+    p.series.clusterLoad[2] = flat(big);
+    return p;
+}
+
+TEST(PipelineUnits, Fig1MetricsShape)
+{
+    const std::vector<BenchmarkProfile> profiles = {
+        syntheticProfile("a", 1.0, 0.5, 0.5, 0.5, 0.5),
+        syntheticProfile("b", 0.5, 0.2, 0.3, 0.0, 0.0),
+    };
+    const auto m =
+        CharacterizationPipeline::buildFig1Metrics(profiles);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 5u);
+    EXPECT_EQ(m.colNames()[0], "IC");
+    EXPECT_DOUBLE_EQ(m.at(0, m.colIndex("IPC")), 1.0);
+    EXPECT_DOUBLE_EQ(m.at(1, m.colIndex("Runtime")), 100.0);
+}
+
+TEST(PipelineUnits, ClusterFeaturesAreMaxNormalized)
+{
+    const std::vector<BenchmarkProfile> profiles = {
+        syntheticProfile("a", 2.0, 0.8, 0.5, 0.5, 0.5),
+        syntheticProfile("b", 1.0, 0.4, 0.3, 0.0, 0.0),
+    };
+    const auto m =
+        CharacterizationPipeline::buildClusterFeatures(profiles);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_DOUBLE_EQ(m.at(0, m.colIndex("IPC")), 1.0);
+    EXPECT_DOUBLE_EQ(m.at(1, m.colIndex("IPC")), 0.5);
+    EXPECT_DOUBLE_EQ(m.at(1, m.colIndex("CPU Load")), 0.5);
+}
+
+TEST(PipelineUnits, StressPredicateRequiresEveryCluster)
+{
+    // All clusters loaded 100% of the time -> stresses all.
+    EXPECT_TRUE(CharacterizationPipeline::stressesAllCpuClusters(
+        syntheticProfile("x", 1, 0.5, 0.6, 0.6, 0.6)));
+    // Mid idle -> not.
+    EXPECT_FALSE(CharacterizationPipeline::stressesAllCpuClusters(
+        syntheticProfile("x", 1, 0.5, 0.6, 0.1, 0.6)));
+    // Threshold boundary: loads of exactly 0.25 never exceed 0.25.
+    EXPECT_FALSE(CharacterizationPipeline::stressesAllCpuClusters(
+        syntheticProfile("x", 1, 0.5, 0.25, 0.25, 0.25)));
+    // Just above the level with full coverage -> stresses all.
+    EXPECT_TRUE(CharacterizationPipeline::stressesAllCpuClusters(
+        syntheticProfile("x", 1, 0.5, 0.26, 0.26, 0.26)));
+}
+
+TEST(PipelineUnits, StressPredicateHonoursThreshold)
+{
+    // Cluster above 0.25 for the whole run but threshold demands
+    // nothing -> passes trivially at threshold 0.
+    const auto p = syntheticProfile("x", 1, 0.5, 0.3, 0.3, 0.3);
+    EXPECT_TRUE(
+        CharacterizationPipeline::stressesAllCpuClusters(p, 0.0));
+    EXPECT_TRUE(
+        CharacterizationPipeline::stressesAllCpuClusters(p, 0.99));
+}
+
+TEST(PipelineUnits, CandidatesRejectSizeMismatch)
+{
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888());
+    const WorkloadRegistry registry;
+    const std::vector<BenchmarkProfile> profiles = {
+        syntheticProfile("a", 1, 0.5, 0.5, 0.5, 0.5)};
+    EXPECT_THROW(pipeline.buildCandidates(profiles, {0, 1}, registry),
+                 FatalError);
+}
+
+TEST(PipelineUnits, SweepBoundsAreValidated)
+{
+    PipelineOptions opts;
+    opts.kMin = 12;
+    opts.kMax = 14; // more clusters than the 18 observations allow
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888(), opts);
+    const WorkloadRegistry registry;
+    EXPECT_NO_THROW(pipeline.run(registry));
+    opts.kMin = 30;
+    opts.kMax = 30;
+    const CharacterizationPipeline bad(SocConfig::snapdragon888(),
+                                       opts);
+    EXPECT_THROW(bad.run(registry), FatalError);
+}
+
+} // namespace
+} // namespace mbs

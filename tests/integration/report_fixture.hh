@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared fixture: runs the full characterization pipeline once and
+ * caches the report for all integration tests.
+ */
+
+#ifndef MBS_TESTS_INTEGRATION_REPORT_FIXTURE_HH
+#define MBS_TESTS_INTEGRATION_REPORT_FIXTURE_HH
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+
+namespace mbs {
+namespace testutil {
+
+inline const WorkloadRegistry &
+registry()
+{
+    static const WorkloadRegistry reg;
+    return reg;
+}
+
+inline const CharacterizationReport &
+report()
+{
+    static const CharacterizationReport rep = [] {
+        const CharacterizationPipeline pipeline(
+            SocConfig::snapdragon888());
+        return pipeline.run(registry());
+    }();
+    return rep;
+}
+
+inline const BenchmarkProfile &
+profile(const std::string &name)
+{
+    for (const auto &p : report().profiles) {
+        if (p.name == name)
+            return p;
+    }
+    throw std::runtime_error("no profile named " + name);
+}
+
+} // namespace testutil
+} // namespace mbs
+
+#endif // MBS_TESTS_INTEGRATION_REPORT_FIXTURE_HH

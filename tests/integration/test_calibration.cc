@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Paper-number calibration checks: the simulated measurements must
+ * land in the bands the paper reports (Fig. 1 aggregates, Table III
+ * correlation structure, Table V shares, Table VI runtimes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+#include "report_fixture.hh"
+#include "stats/correlation.hh"
+
+namespace mbs {
+namespace {
+
+using testutil::profile;
+using testutil::report;
+
+TEST(Fig1, InstructionCountStatistics)
+{
+    double sum = 0.0;
+    for (const auto &p : report().profiles)
+        sum += p.instructions;
+    // Average ~14 B.
+    EXPECT_NEAR(sum / 18.0 / 1e9, 14.0, 1.5);
+    // Extremes: GFXBench Special ~1 B, Geekbench 6 CPU ~57 B.
+    EXPECT_NEAR(profile("GFXBench Special").instructions / 1e9, 1.0,
+                0.2);
+    EXPECT_NEAR(profile("Geekbench 6 CPU").instructions / 1e9, 57.0,
+                3.0);
+}
+
+TEST(Fig1, CpuBenchmarksHaveHighIpc)
+{
+    // Paper: CPU-targeted benchmarks average IPC 1.16.
+    const double avg = (profile("Antutu CPU").ipc +
+                        profile("Geekbench 5 CPU").ipc +
+                        profile("Geekbench 6 CPU").ipc) / 3.0;
+    EXPECT_GT(avg, 0.85);
+    EXPECT_LT(avg, 1.5);
+}
+
+TEST(Fig1, GraphicsBenchmarksHaveLowIpc)
+{
+    // Paper: graphics-focused benchmarks average IPC ~0.55.
+    double sum = 0.0;
+    const char *names[] = {"3DMark Wild Life", "GFXBench High",
+                           "GFXBench Low", "3DMark Slingshot"};
+    for (const char *n : names)
+        sum += profile(n).ipc;
+    const double avg = sum / 4.0;
+    EXPECT_GT(avg, 0.3);
+    EXPECT_LT(avg, 0.75);
+    // And clearly below the CPU group.
+    EXPECT_LT(avg, profile("Geekbench 5 CPU").ipc * 0.6);
+}
+
+TEST(Fig1, AntutuMemIsTheIpcOutlier)
+{
+    // Paper: IPC 0.45, "affected by its high number of cache misses".
+    const auto &mem = profile("Antutu Mem");
+    EXPECT_GT(mem.ipc, 0.25);
+    EXPECT_LT(mem.ipc, 0.6);
+    // Highest cache MPKI in the whole set.
+    for (const auto &p : report().profiles) {
+        if (p.name != "Antutu Mem")
+            EXPECT_LT(p.cacheMpki, mem.cacheMpki) << p.name;
+    }
+}
+
+TEST(Fig1, AverageRuntimeMatchesSet)
+{
+    double sum = 0.0;
+    for (const auto &p : report().profiles)
+        sum += p.runtimeSeconds;
+    // 4429.5 s over 18 units ~= 246 s ("slightly over 200 seconds").
+    EXPECT_NEAR(sum / 18.0, 246.0, 15.0);
+}
+
+TEST(TableIII, CorrelationStructure)
+{
+    const CorrelationMatrix corr(report().fig1Metrics);
+    // Strong negative IPC <-> cache MPKI (paper: -0.845).
+    EXPECT_LT(corr.at("IPC", "Cache MPKI"), -0.6);
+    // Negative IPC <-> branch MPKI (paper: -0.672).
+    EXPECT_LT(corr.at("IPC", "Branch MPKI"), -0.3);
+    // Positive cache <-> branch MPKI (paper: 0.867).
+    EXPECT_GT(corr.at("Cache MPKI", "Branch MPKI"), 0.3);
+    // Moderate positive IC <-> runtime (paper: 0.588).
+    EXPECT_GT(corr.at("IC", "Runtime"), 0.4);
+    EXPECT_LT(corr.at("IC", "Runtime"), 0.8);
+    // Moderate positive IC <-> IPC (paper: 0.400).
+    EXPECT_GT(corr.at("IC", "IPC"), 0.2);
+    // Weak negative runtime <-> IPC (paper: -0.242).
+    EXPECT_LT(corr.at("Runtime", "IPC"), 0.0);
+}
+
+TEST(TableV, MidAndBigClustersAreMostlyIdle)
+{
+    const auto shares = loadLevelShares(report());
+    constexpr auto mid = std::size_t(ClusterId::Mid);
+    constexpr auto big = std::size_t(ClusterId::Big);
+    // Paper: Mid 76% and Big 69% of time in the 0-25% level.
+    EXPECT_GT(shares[mid][0], 0.6);
+    EXPECT_GT(shares[big][0], 0.6);
+    // But when used, both have a meaningful high-load tail.
+    EXPECT_GT(shares[mid][3], 0.05);
+    EXPECT_GT(shares[big][3], 0.05);
+}
+
+TEST(TableV, LittleClusterIsBusyAcrossLevels)
+{
+    const auto shares = loadLevelShares(report());
+    constexpr auto little = std::size_t(ClusterId::Little);
+    // Paper: Little spends only 21% idle; ours stays below 50%.
+    EXPECT_LT(shares[little][0], 0.5);
+    // And spreads across the remaining levels.
+    EXPECT_GT(shares[little][1] + shares[little][2] +
+                  shares[little][3],
+              0.5);
+    const double total = shares[little][0] + shares[little][1] +
+        shares[little][2] + shares[little][3];
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TableVI, RuntimesMatchExactly)
+{
+    EXPECT_NEAR(report().fullRuntimeSeconds, 4429.5, 0.01);
+    EXPECT_NEAR(report().naiveSubset.runtimeSeconds, 401.7, 0.01);
+    EXPECT_NEAR(report().selectSubset.runtimeSeconds, 865.2, 0.01);
+    EXPECT_NEAR(report().selectPlusGpuSubset.runtimeSeconds, 1108.36,
+                0.01);
+}
+
+TEST(TableVI, ReductionsMatchPaper)
+{
+    EXPECT_NEAR(report().naiveSubset.runtimeReduction, 0.9093, 0.001);
+    EXPECT_NEAR(report().selectSubset.runtimeReduction, 0.8047,
+                0.001);
+    EXPECT_NEAR(report().selectPlusGpuSubset.runtimeReduction, 0.7498,
+                0.001);
+}
+
+TEST(TableVI, SubsetMembershipsMatchPaper)
+{
+    const auto &naive = report().naiveSubset.members;
+    const std::set<std::string> naive_set(naive.begin(), naive.end());
+    EXPECT_EQ(naive_set,
+              (std::set<std::string>{
+                  "PCMark Storage", "Geekbench 5 CPU",
+                  "GFXBench Special", "3DMark Wild Life",
+                  "Geekbench 5 Compute"}));
+
+    const auto &sel = report().selectSubset.members;
+    const std::set<std::string> select_set(sel.begin(), sel.end());
+    EXPECT_EQ(select_set,
+              (std::set<std::string>{
+                  "Antutu CPU", "Antutu GPU", "Antutu Mem",
+                  "Antutu UX", "GFXBench Special",
+                  "Geekbench 5 CPU"}));
+
+    const auto &plus = report().selectPlusGpuSubset.members;
+    EXPECT_EQ(plus.size(), 7u);
+    EXPECT_EQ(plus.back(), "Geekbench 6 Compute");
+}
+
+TEST(SelectRationale, Geekbench6ComputeHasHighestGpuLoad)
+{
+    const double gb6c = profile("Geekbench 6 Compute").avgGpuLoad();
+    for (const auto &p : report().profiles) {
+        if (p.name != "Geekbench 6 Compute")
+            EXPECT_LT(p.avgGpuLoad(), gb6c) << p.name;
+    }
+}
+
+TEST(OffScreen, RaisesGpuLoad)
+{
+    // Paper: High-Level off-screen +14.5%, Low-Level +62.85%.
+    const auto &low = testutil::registry().unit("GFXBench Low");
+    const ProfilerSession session(SocConfig::snapdragon888());
+    const auto p = session.profile(low);
+    double on = 0.0, off = 0.0;
+    int on_n = 0, off_n = 0;
+    for (std::size_t i = 0; i < low.phases().size(); ++i) {
+        const double at = low.phaseStartFraction(i) + 0.02;
+        const double load = p.series.gpuLoad.atNormalizedTime(at);
+        if (low.phases()[i].demand.gpu.offscreen) {
+            off += load;
+            ++off_n;
+        } else {
+            on += load;
+            ++on_n;
+        }
+    }
+    ASSERT_GT(on_n, 0);
+    ASSERT_GT(off_n, 0);
+    // Low-level off-screen: a large increase (paper: +62.85%).
+    EXPECT_GT(off / off_n, (on / on_n) * 1.3);
+}
+
+} // namespace
+} // namespace mbs

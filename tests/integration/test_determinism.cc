@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproducibility tests: the whole analysis is a pure function of
+ * the seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "report_fixture.hh"
+
+namespace mbs {
+namespace {
+
+TEST(Determinism, TwoPipelineRunsAreIdentical)
+{
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888());
+    const auto a = pipeline.run(testutil::registry());
+    const auto b = pipeline.run(testutil::registry());
+
+    ASSERT_EQ(a.profiles.size(), b.profiles.size());
+    for (std::size_t i = 0; i < a.profiles.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.profiles[i].instructions,
+                         b.profiles[i].instructions);
+        EXPECT_DOUBLE_EQ(a.profiles[i].ipc, b.profiles[i].ipc);
+        EXPECT_DOUBLE_EQ(a.profiles[i].cacheMpki,
+                         b.profiles[i].cacheMpki);
+    }
+    EXPECT_EQ(a.chosenK, b.chosenK);
+    EXPECT_EQ(a.hierarchicalLabels, b.hierarchicalLabels);
+    EXPECT_EQ(a.kmeansLabels, b.kmeansLabels);
+    EXPECT_EQ(a.naiveSubset.members, b.naiveSubset.members);
+    EXPECT_EQ(a.naiveCurve, b.naiveCurve);
+}
+
+TEST(Determinism, DifferentSeedChangesMeasurementsNotStructure)
+{
+    PipelineOptions opts;
+    opts.profile.seed = 987654321;
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888(), opts);
+    const auto other = pipeline.run(testutil::registry());
+    const auto &base = testutil::report();
+
+    // Raw measurements shift...
+    bool any_difference = false;
+    for (std::size_t i = 0; i < base.profiles.size(); ++i) {
+        if (base.profiles[i].instructions !=
+            other.profiles[i].instructions) {
+            any_difference = true;
+        }
+    }
+    EXPECT_TRUE(any_difference);
+
+    // ...but the structural conclusions are robust to run-to-run
+    // variation: same k, same partition, same subsets.
+    EXPECT_EQ(other.chosenK, base.chosenK);
+    EXPECT_TRUE(samePartition(other.hierarchicalLabels,
+                              base.hierarchicalLabels));
+    EXPECT_EQ(other.naiveSubset.members, base.naiveSubset.members);
+    EXPECT_EQ(other.selectSubset.members, base.selectSubset.members);
+    EXPECT_EQ(other.selectPlusGpuSubset.members,
+              base.selectPlusGpuSubset.members);
+}
+
+TEST(Determinism, ReducedSamplingRateKeepsStructure)
+{
+    // An ablation of the profiler cadence: 5 Hz instead of 10 Hz.
+    PipelineOptions opts;
+    opts.profile.tickSeconds = 0.2;
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888(), opts);
+    const auto coarse = pipeline.run(testutil::registry());
+    EXPECT_EQ(coarse.chosenK, 5);
+    EXPECT_TRUE(samePartition(coarse.hierarchicalLabels,
+                              testutil::report().hierarchicalLabels));
+}
+
+TEST(Determinism, SingleRunProfileKeepsSubsets)
+{
+    PipelineOptions opts;
+    opts.profile.runs = 1;
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888(), opts);
+    const auto single = pipeline.run(testutil::registry());
+    EXPECT_EQ(single.naiveSubset.members,
+              testutil::report().naiveSubset.members);
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * The paper's Observations #1-#9 encoded as integration tests over
+ * the simulated measurements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report_fixture.hh"
+
+namespace mbs {
+namespace {
+
+using testutil::profile;
+using testutil::report;
+
+// --- Observation #1: multi-core/multi-threaded components spike CPU
+//     load; single-core sections sit much lower.
+
+TEST(Observation1, GeekbenchCpuLoadSpikesInMultiCoreSection)
+{
+    for (const char *name : {"Geekbench 5 CPU", "Geekbench 6 CPU"}) {
+        const auto &series = profile(name).series.cpuLoad;
+        // The single-core opening sits far below the multi-core
+        // finale (the paper: single-core parts run near 30% load).
+        const double single_core = series.atNormalizedTime(0.05);
+        const double multi_core = series.atNormalizedTime(0.95);
+        EXPECT_GT(multi_core, single_core * 1.5) << name;
+    }
+}
+
+TEST(Observation1, AntutuCpuGemmUptickAtStart)
+{
+    const auto &series = profile("Antutu CPU").series.cpuLoad;
+    // GEMM occupies the first ~11% of the segment and is multi-
+    // threaded: the start must be hotter than the single-core middle.
+    const double start = series.atNormalizedTime(0.05);
+    const double middle = series.atNormalizedTime(0.5);
+    EXPECT_GT(start, middle);
+}
+
+TEST(Observation1, SlingshotPhysicsSpikesCpu)
+{
+    const auto &p = profile("3DMark Slingshot");
+    // Physics tests sit at ~64-86% of the run (after two graphics
+    // tests), with escalating multi-threaded CPU demand.
+    const double graphics = p.series.cpuLoad.atNormalizedTime(0.3);
+    const double physics = p.series.cpuLoad.atNormalizedTime(0.75);
+    EXPECT_GT(physics, graphics * 1.3);
+    // And the physics test minimizes GPU work.
+    const double gpu_graphics =
+        p.series.gpuLoad.atNormalizedTime(0.3);
+    const double gpu_physics =
+        p.series.gpuLoad.atNormalizedTime(0.75);
+    EXPECT_LT(gpu_physics, gpu_graphics * 0.5);
+}
+
+// --- Observation #2: Vulkan is more efficient than OpenGL.
+
+TEST(Observation2, OpenGlScenesShowHigherGpuLoadThanVulkan)
+{
+    // Compare matched GFXBench High scenes (same rate/res/screen).
+    const auto &gfx = testutil::registry().unit("GFXBench High");
+    const ProfilerSession session(SocConfig::snapdragon888());
+    double gl = 0.0, vk = 0.0;
+    int gl_n = 0, vk_n = 0;
+    const auto p = session.profile(gfx);
+    for (std::size_t i = 0; i < gfx.phases().size(); ++i) {
+        const auto &phase = gfx.phases()[i];
+        const double at = gfx.phaseStartFraction(i) + 0.01;
+        const double load = p.series.gpuLoad.atNormalizedTime(at);
+        if (phase.demand.gpu.api == GraphicsApi::OpenGlEs &&
+            phase.demand.gpu.workRate == 0.85) {
+            gl += load;
+            ++gl_n;
+        }
+        if (phase.demand.gpu.api == GraphicsApi::Vulkan &&
+            phase.demand.gpu.workRate == 0.85) {
+            vk += load;
+            ++vk_n;
+        }
+    }
+    ASSERT_GT(gl_n, 0);
+    ASSERT_GT(vk_n, 0);
+    EXPECT_GT(gl / gl_n, vk / vk_n);
+}
+
+// --- Observation #3: GPU resources are not exclusive to GPU
+//     benchmarks.
+
+TEST(Observation3, PcmarkWorkUsesShadersSustained)
+{
+    const auto &p = profile("PCMark Work");
+    // Photo/video editing keep shaders busy for sustained periods.
+    EXPECT_GT(p.series.shadersBusy.fractionAbove(0.3), 0.2);
+    // Yet PCMark Work is not a graphics benchmark.
+    EXPECT_LT(p.avgGpuLoad(), 0.5);
+}
+
+TEST(Observation3, BusTrafficNotProportionalToGraphicsIntensity)
+{
+    // GFXBench Low's texturing tests push the bus harder than some
+    // higher-GPU-load scenes; compare bus/load ratios.
+    const auto &low = profile("GFXBench Low");
+    const auto &compute = profile("Geekbench 6 Compute");
+    const double low_ratio =
+        low.avgGpuBusBusy() / low.avgGpuLoad();
+    const double compute_ratio =
+        compute.avgGpuBusBusy() / compute.avgGpuLoad();
+    EXPECT_GT(low_ratio, compute_ratio);
+}
+
+// --- Observation #4: newer benchmarks are not always more
+//     computationally intensive.
+
+TEST(Observation4, SwordsmanIsNotTheCpuHeaviestAntutuGpuPart)
+{
+    const auto &p = profile("Antutu GPU");
+    // CPU load during Swordsman (newest, first 15%) vs Terracotta
+    // (oldest, 50-95%).
+    const double swordsman = p.series.cpuLoad.atNormalizedTime(0.08);
+    const double terracotta = p.series.cpuLoad.atNormalizedTime(0.7);
+    EXPECT_LT(swordsman, terracotta * 1.3);
+}
+
+TEST(Observation4, LoadingSpikesNearSixteenAndFortyNinePercent)
+{
+    const auto &series = profile("Antutu GPU").series.cpuLoad;
+    const auto window_max = [&series](double lo, double hi) {
+        double best = 0.0;
+        for (double t = lo; t <= hi; t += 0.002)
+            best = std::max(best, series.atNormalizedTime(t));
+        return best;
+    };
+    const double spike1 = window_max(0.14, 0.20);
+    const double spike2 = window_max(0.46, 0.53);
+    const double swordsman = series.atNormalizedTime(0.08);
+    EXPECT_GT(spike1, swordsman * 1.2);
+    EXPECT_GT(spike2, swordsman * 1.2);
+}
+
+// --- Observation #5: benchmarks make little use of the AIE.
+
+TEST(Observation5, AverageAieLoadIsLow)
+{
+    double sum = 0.0;
+    for (const auto &p : report().profiles)
+        sum += p.avgAieLoad();
+    const double avg = sum / double(report().profiles.size());
+    EXPECT_LT(avg, 0.12); // "the average load is just 5%"
+    EXPECT_GT(avg, 0.01);
+}
+
+TEST(Observation5, GfxSpecialHasHighestAieLoad)
+{
+    const double special = profile("GFXBench Special").avgAieLoad();
+    for (const auto &p : report().profiles) {
+        if (p.name != "GFXBench Special")
+            EXPECT_LT(p.avgAieLoad(), special) << p.name;
+    }
+    // Peaks above 50% of the metric near section ends.
+    EXPECT_GT(profile("GFXBench Special").series.aieLoad.max(), 0.5);
+}
+
+TEST(Observation5, AntutuUxHasAiePeaksNearFifty)
+{
+    const auto &series = profile("Antutu UX").series.aieLoad;
+    EXPECT_GT(series.max(), 0.35);
+    EXPECT_LT(series.mean(), 0.3);
+}
+
+TEST(Observation5, WildLifeUsesFftPostProcessing)
+{
+    EXPECT_GT(profile("3DMark Wild Life").series.aieLoad.max(), 0.15);
+    EXPECT_GT(profile("3DMark Wild Life Extreme")
+                  .series.aieLoad.max(), 0.15);
+}
+
+// --- Observation #6: moderate memory footprints.
+
+TEST(Observation6, AverageMemoryUsageIsModerate)
+{
+    double sum = 0.0;
+    for (const auto &p : report().profiles)
+        sum += p.avgUsedMemory();
+    const double avg = sum / double(report().profiles.size());
+    // Paper: 21.6% of 11.83 GB. Accept the 15-30% band.
+    EXPECT_GT(avg, 0.15);
+    EXPECT_LT(avg, 0.30);
+}
+
+TEST(Observation6, GpuBenchmarksUseMoreMemory)
+{
+    double gpu = 0.0, cpu = 0.0;
+    gpu += profile("GFXBench High").avgUsedMemory();
+    gpu += profile("3DMark Wild Life Extreme").avgUsedMemory();
+    cpu += profile("Geekbench 5 CPU").avgUsedMemory();
+    cpu += profile("Antutu CPU").avgUsedMemory();
+    EXPECT_GT(gpu / 2.0, cpu / 2.0 * 1.5);
+}
+
+TEST(Observation6, WildLifeExtremeHasHighestAverageMemory)
+{
+    const double wle =
+        profile("3DMark Wild Life Extreme").avgUsedMemory();
+    for (const auto &p : report().profiles) {
+        if (p.name != "3DMark Wild Life Extreme")
+            EXPECT_LE(p.avgUsedMemory(), wle + 1e-9) << p.name;
+    }
+    // ~3.8-4.1 GB of 11.83 GB.
+    EXPECT_GT(wle, 0.28);
+    EXPECT_LT(wle, 0.40);
+}
+
+TEST(Observation6, AntutuGpuHasHighestPeakMemory)
+{
+    const double peak =
+        profile("Antutu GPU").series.usedMemory.max();
+    for (const auto &p : report().profiles) {
+        if (p.name != "Antutu GPU")
+            EXPECT_LE(p.series.usedMemory.max(), peak + 1e-9)
+                << p.name;
+    }
+    // ~4.3 GB of 11.83 GB, minus idle baseline.
+    EXPECT_GT(peak, 0.30);
+}
+
+// --- Observation #7: big cores see higher load levels than mid.
+
+TEST(Observation7, BigSustainsHighLoadLongerThanMidOverall)
+{
+    constexpr auto mid = std::size_t(ClusterId::Mid);
+    constexpr auto big = std::size_t(ClusterId::Big);
+    int big_wins = 0, comparisons = 0;
+    std::string loser;
+    for (const auto &p : report().profiles) {
+        // "Benchmarks that they are actively used": both clusters
+        // see meaningful load for at least 10% of the run.
+        if (p.series.clusterLoad[big].fractionAbove(0.25) < 0.1 ||
+            p.series.clusterLoad[mid].fractionAbove(0.25) < 0.1) {
+            continue;
+        }
+        ++comparisons;
+        const double big_high =
+            p.series.clusterLoad[big].fractionAbove(0.5);
+        const double mid_high =
+            p.series.clusterLoad[mid].fractionAbove(0.5);
+        if (big_high >= mid_high - 0.01)
+            ++big_wins;
+        else
+            loser = p.name;
+    }
+    ASSERT_GT(comparisons, 3);
+    // All but one favour the big cluster; Aitutu is the exception.
+    EXPECT_EQ(big_wins, comparisons - 1);
+    EXPECT_EQ(loser, "Aitutu");
+}
+
+TEST(Observation7, AitutuIsTheException)
+{
+    const auto &p = profile("Aitutu");
+    constexpr auto mid = std::size_t(ClusterId::Mid);
+    constexpr auto big = std::size_t(ClusterId::Big);
+    EXPECT_GT(p.series.clusterLoad[mid].fractionAbove(0.5),
+              p.series.clusterLoad[big].fractionAbove(0.5));
+}
+
+// --- Observation #8: GPU tests use only the efficient cores.
+
+TEST(Observation8, GpuBenchmarksLeaveMidAndBigIdle)
+{
+    constexpr auto little = std::size_t(ClusterId::Little);
+    constexpr auto mid = std::size_t(ClusterId::Mid);
+    constexpr auto big = std::size_t(ClusterId::Big);
+    for (const char *name :
+         {"3DMark Wild Life", "GFXBench High", "GFXBench Low"}) {
+        const auto &p = profile(name);
+        EXPECT_GT(p.series.clusterLoad[little].mean(), 0.2) << name;
+        EXPECT_LT(p.series.clusterLoad[mid].mean(), 0.1) << name;
+        EXPECT_LT(p.series.clusterLoad[big].mean(), 0.1) << name;
+    }
+}
+
+// --- Observation #9: few workloads exploit every cluster at once.
+
+TEST(Observation9, OnlyMultiCoreBenchmarksStressAllClusters)
+{
+    const std::set<std::string> expected{
+        "Aitutu", "Antutu CPU", "Geekbench 5 CPU", "Geekbench 6 CPU"};
+    std::set<std::string> found;
+    for (const auto &p : report().profiles) {
+        if (CharacterizationPipeline::stressesAllCpuClusters(p))
+            found.insert(p.name);
+    }
+    EXPECT_EQ(found, expected);
+}
+
+TEST(Observation9, Geekbench5SustainsMidLoadOverHalfItsRuntime)
+{
+    constexpr auto mid = std::size_t(ClusterId::Mid);
+    const auto &p = profile("Geekbench 5 CPU");
+    EXPECT_GT(p.series.clusterLoad[mid].fractionAbove(0.75), 0.5);
+    // And it is the only benchmark that does so.
+    for (const auto &other : report().profiles) {
+        if (other.name == "Geekbench 5 CPU")
+            continue;
+        EXPECT_LE(other.series.clusterLoad[mid].fractionAbove(0.75),
+                  0.5)
+            << other.name;
+    }
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Parameterized invariant sweep: every benchmark unit, run through
+ * the profiler, must satisfy the same contract — the instruction
+ * budget is retired, every load stays in range, runtimes track the
+ * calibrated durations, and profiles are reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report_fixture.hh"
+
+namespace mbs {
+namespace {
+
+class PerBenchmark : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const BenchmarkProfile &
+    profile() const
+    {
+        return testutil::profile(GetParam());
+    }
+
+    const Benchmark &
+    benchmark() const
+    {
+        return testutil::registry().unit(GetParam());
+    }
+};
+
+TEST_P(PerBenchmark, RetiresItsInstructionBudget)
+{
+    const double budget =
+        benchmark().totalInstructionsBillions() * 1e9;
+    EXPECT_NEAR(profile().instructions, budget, 0.05 * budget);
+}
+
+TEST_P(PerBenchmark, RuntimeTracksCalibratedDuration)
+{
+    const double nominal = benchmark().totalDurationSeconds();
+    EXPECT_NEAR(profile().runtimeSeconds, nominal, 0.08 * nominal);
+}
+
+TEST_P(PerBenchmark, MetricsAreInPlausibleRanges)
+{
+    const auto &p = profile();
+    EXPECT_GT(p.ipc, 0.05);
+    EXPECT_LT(p.ipc, 3.0);
+    EXPECT_GT(p.cacheMpki, 0.0);
+    EXPECT_LT(p.cacheMpki, 200.0);
+    EXPECT_GT(p.branchMpki, 0.0);
+    EXPECT_LT(p.branchMpki, 30.0);
+}
+
+TEST_P(PerBenchmark, LoadsStayInUnitRange)
+{
+    const auto &s = profile().series;
+    for (const TimeSeries *series :
+         {&s.cpuLoad, &s.gpuLoad, &s.shadersBusy, &s.gpuBusBusy,
+          &s.aieLoad, &s.usedMemory, &s.storageUtil}) {
+        EXPECT_GE(series->min(), 0.0);
+        EXPECT_LE(series->max(), 1.0 + 1e-9);
+    }
+    for (std::size_t c = 0; c < numClusters; ++c) {
+        EXPECT_GE(s.clusterLoad[c].min(), 0.0);
+        EXPECT_LE(s.clusterLoad[c].max(), 1.0 + 1e-9);
+    }
+}
+
+TEST_P(PerBenchmark, SeriesLengthsAgree)
+{
+    const auto &s = profile().series;
+    const std::size_t n = s.cpuLoad.size();
+    EXPECT_GT(n, 10u);
+    EXPECT_EQ(s.gpuLoad.size(), n);
+    EXPECT_EQ(s.aieLoad.size(), n);
+    EXPECT_EQ(s.usedMemory.size(), n);
+    EXPECT_EQ(s.clusterLoad[0].size(), n);
+}
+
+TEST_P(PerBenchmark, TheOsBaselineKeepsLittleClusterAlive)
+{
+    // The OS background load means the little cluster never sits at
+    // exactly zero for a whole run.
+    EXPECT_GT(profile()
+                  .series
+                  .clusterLoad[std::size_t(ClusterId::Little)]
+                  .mean(),
+              0.01);
+}
+
+TEST_P(PerBenchmark, ProfilesAreReproducible)
+{
+    const ProfilerSession session(SocConfig::snapdragon888());
+    const auto a = session.profile(benchmark());
+    const auto b = session.profile(benchmark());
+    EXPECT_DOUBLE_EQ(a.instructions, b.instructions);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_DOUBLE_EQ(a.cacheMpki, b.cacheMpki);
+    EXPECT_DOUBLE_EQ(a.avgGpuLoad(), b.avgGpuLoad());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnits, PerBenchmark,
+    ::testing::Values(
+        "3DMark Slingshot", "3DMark Slingshot Extreme",
+        "3DMark Wild Life", "3DMark Wild Life Extreme", "Antutu CPU",
+        "Antutu GPU", "Antutu Mem", "Antutu UX", "Aitutu",
+        "Geekbench 5 CPU", "Geekbench 5 Compute", "Geekbench 6 CPU",
+        "Geekbench 6 Compute", "GFXBench High", "GFXBench Low",
+        "GFXBench Special", "PCMark Storage", "PCMark Work"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace mbs

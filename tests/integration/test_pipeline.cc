@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Structural tests of the full pipeline: clustering agreement, the
+ * chosen k, the cluster memberships (Figs. 4-6), Fig. 7 curves, and
+ * the report renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/report.hh"
+#include "report_fixture.hh"
+#include "subset/subset.hh"
+
+namespace mbs {
+namespace {
+
+using testutil::profile;
+using testutil::registry;
+using testutil::report;
+
+TEST(Fig4, OptimalKIsFive)
+{
+    EXPECT_EQ(report().chosenK, 5);
+}
+
+TEST(Fig4, SweepCoversThreeAlgorithmsTimesNineKs)
+{
+    EXPECT_EQ(report().validation.size(), 27u);
+    std::set<std::string> algos;
+    for (const auto &v : report().validation) {
+        algos.insert(v.algorithm);
+        EXPECT_GE(v.k, 2);
+        EXPECT_LE(v.k, 10);
+        EXPECT_GE(v.dunn, 0.0);
+        EXPECT_GE(v.silhouette, -1.0);
+        EXPECT_LE(v.silhouette, 1.0);
+        EXPECT_GE(v.apn, 0.0);
+        EXPECT_LE(v.apn, 1.0);
+        EXPECT_GE(v.ad, 0.0);
+    }
+    EXPECT_EQ(algos.size(), 3u);
+}
+
+TEST(Fig4, AdBiasesTowardHigherK)
+{
+    // Paper: "The AD measure indicates a strong bias for a higher
+    // number of clusters": AD at k=10 < AD at k=2 for every
+    // algorithm.
+    std::map<std::string, std::map<int, double>> ad;
+    for (const auto &v : report().validation)
+        ad[v.algorithm][v.k] = v.ad;
+    for (const auto &[algo, by_k] : ad)
+        EXPECT_LT(by_k.at(10), by_k.at(2)) << algo;
+}
+
+TEST(Fig5And6, AllThreeAlgorithmsAgree)
+{
+    EXPECT_TRUE(report().algorithmsAgree);
+    EXPECT_TRUE(samePartition(report().kmeansLabels,
+                              report().pamLabels));
+    EXPECT_TRUE(samePartition(report().kmeansLabels,
+                              report().hierarchicalLabels));
+}
+
+TEST(Fig5And6, ClusterMembershipsMatchPaperStructure)
+{
+    // Look up each benchmark's label.
+    std::map<std::string, int> label;
+    for (std::size_t i = 0; i < report().profiles.size(); ++i) {
+        label[report().profiles[i].name] =
+            report().hierarchicalLabels[i];
+    }
+
+    // All Antutu segments share a cluster except Antutu GPU.
+    EXPECT_EQ(label["Antutu CPU"], label["Antutu Mem"]);
+    EXPECT_EQ(label["Antutu CPU"], label["Antutu UX"]);
+    EXPECT_NE(label["Antutu CPU"], label["Antutu GPU"]);
+
+    // The GPU-game cluster.
+    EXPECT_EQ(label["Antutu GPU"], label["3DMark Slingshot"]);
+    EXPECT_EQ(label["Antutu GPU"], label["3DMark Wild Life"]);
+    EXPECT_EQ(label["Antutu GPU"], label["GFXBench High"]);
+    EXPECT_EQ(label["Antutu GPU"], label["GFXBench Low"]);
+
+    // The CPU-centric cluster includes the Geekbench CPU tests and
+    // Aitutu.
+    EXPECT_EQ(label["Antutu CPU"], label["Geekbench 5 CPU"]);
+    EXPECT_EQ(label["Antutu CPU"], label["Geekbench 6 CPU"]);
+    EXPECT_EQ(label["Antutu CPU"], label["Aitutu"]);
+
+    // GPU compute pair.
+    EXPECT_EQ(label["Geekbench 5 Compute"],
+              label["Geekbench 6 Compute"]);
+    EXPECT_NE(label["Geekbench 5 Compute"], label["Antutu GPU"]);
+
+    // GFXBench Special and PCMark Storage stand alone.
+    for (const auto &[name, l] : label) {
+        if (name != "GFXBench Special") {
+            EXPECT_NE(l, label["GFXBench Special"]) << name;
+        }
+        if (name != "PCMark Storage") {
+            EXPECT_NE(l, label["PCMark Storage"]) << name;
+        }
+    }
+}
+
+TEST(Fig7, CurvesAreMonotoneAndEndAtZero)
+{
+    for (const auto *curve :
+         {&report().naiveCurve, &report().selectCurve,
+          &report().selectPlusGpuCurve}) {
+        ASSERT_EQ(curve->size(), 18u);
+        for (std::size_t i = 1; i < curve->size(); ++i)
+            EXPECT_LE((*curve)[i], (*curve)[i - 1] + 1e-9);
+        EXPECT_NEAR(curve->back(), 0.0, 1e-9);
+    }
+}
+
+TEST(Fig7, SelectPlusGpuBeatsNaiveAtSevenBenchmarks)
+{
+    // Paper: 9.78% lower distance than Naive extended to 7.
+    EXPECT_LT(report().selectPlusGpuCurve[6],
+              report().naiveCurve[6]);
+}
+
+TEST(Fig7, SelectPlusGpuBeatsNaiveAtFive)
+{
+    // Paper: 22.96% lower than the 5-benchmark Naive subset.
+    const double naive5 = report().naiveCurve[4];
+    const double plus7 = report().selectPlusGpuCurve[6];
+    EXPECT_LT(plus7, naive5 * 0.9);
+}
+
+TEST(Fig7, SubsetPercentileIsBelowRandom)
+{
+    const double pct = subsetDistancePercentile(
+        report().clusterFeatures,
+        report().selectPlusGpuSubset.members, 400, 7);
+    EXPECT_LT(pct, 50.0); // towards the lower end of the range
+}
+
+TEST(Render, EveryTableAndFigureRenders)
+{
+    const auto &r = report();
+    EXPECT_NE(renderTableI(registry()).find("Antutu"),
+              std::string::npos);
+    EXPECT_NE(renderTableII(SocConfig::snapdragon888())
+                  .find("Adreno 660"),
+              std::string::npos);
+    EXPECT_NE(renderFig1(r).find("Geekbench 6 CPU"),
+              std::string::npos);
+    EXPECT_NE(renderTableIII(r).find("Cache MPKI"),
+              std::string::npos);
+    EXPECT_NE(renderTableIV().find("% Shaders Busy"),
+              std::string::npos);
+    EXPECT_NE(renderFig2(r, "Antutu GPU").find("GPU Load"),
+              std::string::npos);
+    EXPECT_NE(renderFig3(r, "Geekbench 5 CPU").find("CPU Big"),
+              std::string::npos);
+    EXPECT_NE(renderTableV(r).find("75%-100%"), std::string::npos);
+    EXPECT_NE(renderFig4(r).find("Silhouette"), std::string::npos);
+    EXPECT_NE(renderFig5And6(r).find("agree"), std::string::npos);
+    EXPECT_NE(renderTableVI(r).find("74.98%"), std::string::npos);
+    EXPECT_NE(renderFig7(r).find("Select+GPU"), std::string::npos);
+}
+
+TEST(Render, Fig2UnknownBenchmarkIsFatal)
+{
+    EXPECT_THROW(renderFig2(report(), "Unknown"), FatalError);
+    EXPECT_THROW(renderFig3(report(), "Unknown"), FatalError);
+}
+
+TEST(Pipeline, ProfilesComeBackInRegistryOrder)
+{
+    const auto names = registry().unitNames();
+    ASSERT_EQ(report().profiles.size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(report().profiles[i].name, names[i]);
+}
+
+TEST(Pipeline, ClusterFeaturesAreNormalized)
+{
+    const auto &m = report().clusterFeatures;
+    EXPECT_EQ(m.rows(), 18u);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            EXPECT_GE(m.at(r, c), -1.0);
+            EXPECT_LE(m.at(r, c), 1.0);
+        }
+    }
+    // Every column hits 1.0 somewhere (max-normalization).
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+        double max = 0.0;
+        for (std::size_t r = 0; r < m.rows(); ++r)
+            max = std::max(max, std::abs(m.at(r, c)));
+        EXPECT_NEAR(max, 1.0, 1e-9) << m.colNames()[c];
+    }
+}
+
+} // namespace
+} // namespace mbs

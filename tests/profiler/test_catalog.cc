@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the performance counter catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "profiler/catalog.hh"
+
+namespace mbs {
+namespace {
+
+const CounterCatalog &
+catalog()
+{
+    static const CounterCatalog cat(SocConfig::snapdragon888());
+    return cat;
+}
+
+TEST(Catalog, ExposesAtLeast190Counters)
+{
+    // The paper captures "over 190 hardware performance metrics".
+    EXPECT_GE(catalog().size(), 190u);
+}
+
+TEST(Catalog, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &c : catalog().counters())
+        EXPECT_TRUE(names.insert(c.name).second) << c.name;
+}
+
+TEST(Catalog, CoversAllPaperCategories)
+{
+    // CPU (cores, cache, branch), GPU (cores, shaders, memory,
+    // stalls), AIE, system memory, temperature.
+    EXPECT_FALSE(catalog().inCategory(CounterCategory::Cpu).empty());
+    EXPECT_FALSE(catalog().inCategory(CounterCategory::Gpu).empty());
+    EXPECT_FALSE(catalog().inCategory(CounterCategory::Aie).empty());
+    EXPECT_FALSE(
+        catalog().inCategory(CounterCategory::Memory).empty());
+    EXPECT_FALSE(
+        catalog().inCategory(CounterCategory::Storage).empty());
+    EXPECT_FALSE(
+        catalog().inCategory(CounterCategory::Thermal).empty());
+}
+
+TEST(Catalog, HasPerCoreCounters)
+{
+    EXPECT_TRUE(catalog().has("cpu.core0.load"));
+    EXPECT_TRUE(catalog().has("cpu.core7.load"));
+    EXPECT_FALSE(catalog().has("cpu.core8.load")); // only 8 cores
+}
+
+TEST(Catalog, HasKeyMetricCounters)
+{
+    for (const char *name :
+         {"cpu.load", "cpu.ipc", "cpu.cache.total.mpki",
+          "cpu.branch.mpki", "gpu.load", "gpu.shaders.busy",
+          "gpu.bus.busy", "aie.load", "mem.used.minus.idle.fraction",
+          "storage.utilization"}) {
+        EXPECT_TRUE(catalog().has(name)) << name;
+    }
+}
+
+TEST(Catalog, FindUnknownIsFatal)
+{
+    EXPECT_THROW(catalog().find("no.such.counter"), FatalError);
+}
+
+TEST(Catalog, ExtractorsReadFrames)
+{
+    CounterFrame f;
+    f.cpuLoad = 0.42;
+    f.instructions = 1e6;
+    f.cycles = 2e6;
+    f.ipc = 0.5;
+    f.cacheMisses = 5e3;
+    f.gpu.load = 0.7;
+    f.gpu.shadersBusy = 0.6;
+    f.aie.load = 0.1;
+    EXPECT_DOUBLE_EQ(catalog().find("cpu.load").extract(f), 0.42);
+    EXPECT_DOUBLE_EQ(catalog().find("cpu.ipc").extract(f), 0.5);
+    EXPECT_DOUBLE_EQ(catalog().find("cpu.cpi").extract(f), 2.0);
+    EXPECT_DOUBLE_EQ(
+        catalog().find("cpu.cache.total.mpki").extract(f), 5.0);
+    EXPECT_DOUBLE_EQ(catalog().find("gpu.load").extract(f), 0.7);
+    EXPECT_DOUBLE_EQ(catalog().find("aie.load").extract(f), 0.1);
+}
+
+TEST(Catalog, MemoryCountersSubtractIdle)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    CounterFrame f;
+    f.memory.usedBytes = cfg.memory.idleBytes + (1ULL << 30);
+    EXPECT_NEAR(
+        catalog().find("mem.used.minus.idle.bytes").extract(f),
+        double(1ULL << 30), 1.0);
+    // Never negative, even below the baseline.
+    f.memory.usedBytes = cfg.memory.idleBytes / 2;
+    EXPECT_DOUBLE_EQ(
+        catalog().find("mem.used.minus.idle.bytes").extract(f), 0.0);
+}
+
+TEST(Catalog, ThermalProxiesTrackLoad)
+{
+    CounterFrame idle;
+    CounterFrame busy;
+    busy.cpuLoad = 1.0;
+    const auto &t = catalog().find("thermal.cpu.degC");
+    EXPECT_GT(t.extract(busy), t.extract(idle));
+}
+
+TEST(Catalog, CategoriesHaveNames)
+{
+    EXPECT_EQ(counterCategoryName(CounterCategory::Cpu), "CPU");
+    EXPECT_EQ(counterCategoryName(CounterCategory::Gpu), "GPU");
+    EXPECT_EQ(counterCategoryName(CounterCategory::Aie), "AIE");
+    EXPECT_EQ(counterCategoryName(CounterCategory::Memory), "Memory");
+    EXPECT_EQ(counterCategoryName(CounterCategory::Storage),
+              "Storage");
+    EXPECT_EQ(counterCategoryName(CounterCategory::Thermal),
+              "Thermal");
+}
+
+TEST(Catalog, CpuCategoryIsLargest)
+{
+    // The real tool's coverage is dominated by per-core CPU metrics.
+    EXPECT_GT(catalog().inCategory(CounterCategory::Cpu).size(),
+              catalog().inCategory(CounterCategory::Gpu).size());
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for profiling sessions: run averaging, Antutu segmentation,
+ * baseline subtraction and counter sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "profiler/session.hh"
+
+namespace mbs {
+namespace {
+
+ProfileOptions
+fastOptions(int runs = 3)
+{
+    ProfileOptions o;
+    o.runs = runs;
+    o.seed = 777;
+    return o;
+}
+
+const WorkloadRegistry &
+registry()
+{
+    static const WorkloadRegistry reg;
+    return reg;
+}
+
+TEST(Session, RejectsBadOptions)
+{
+    ProfileOptions o;
+    o.runs = 0;
+    EXPECT_THROW(
+        ProfilerSession(SocConfig::snapdragon888(), o), FatalError);
+    o.runs = 1;
+    o.tickSeconds = 0.0;
+    EXPECT_THROW(
+        ProfilerSession(SocConfig::snapdragon888(), o), FatalError);
+}
+
+TEST(Session, ProfilesOneBenchmark)
+{
+    const ProfilerSession sess(SocConfig::snapdragon888(),
+                               fastOptions());
+    const auto p = sess.profile(registry().unit("3DMark Wild Life"));
+    EXPECT_EQ(p.name, "3DMark Wild Life");
+    EXPECT_EQ(p.suite, "3DMark v2");
+    EXPECT_NEAR(p.runtimeSeconds, 61.5, 61.5 * 0.1);
+    EXPECT_NEAR(p.instructions, 8e9, 8e9 * 0.1);
+    EXPECT_GT(p.ipc, 0.0);
+    EXPECT_GT(p.avgGpuLoad(), 0.5);
+    EXPECT_EQ(p.series.cpuLoad.size(), p.series.gpuLoad.size());
+    EXPECT_EQ(p.series.cpuLoad.size(),
+              p.series.clusterLoad[0].size());
+}
+
+TEST(Session, IsDeterministic)
+{
+    const ProfilerSession a(SocConfig::snapdragon888(), fastOptions());
+    const ProfilerSession b(SocConfig::snapdragon888(), fastOptions());
+    const auto pa = a.profile(registry().unit("Antutu Mem"));
+    const auto pb = b.profile(registry().unit("Antutu Mem"));
+    EXPECT_DOUBLE_EQ(pa.instructions, pb.instructions);
+    EXPECT_DOUBLE_EQ(pa.ipc, pb.ipc);
+    EXPECT_DOUBLE_EQ(pa.cacheMpki, pb.cacheMpki);
+}
+
+TEST(Session, DifferentSeedsGiveDifferentRuns)
+{
+    ProfileOptions o1 = fastOptions();
+    ProfileOptions o2 = fastOptions();
+    o2.seed = o1.seed + 1;
+    const ProfilerSession a(SocConfig::snapdragon888(), o1);
+    const ProfilerSession b(SocConfig::snapdragon888(), o2);
+    EXPECT_NE(a.profile(registry().unit("Aitutu")).instructions,
+              b.profile(registry().unit("Aitutu")).instructions);
+}
+
+TEST(Session, AveragingReducesRunVariance)
+{
+    // The mean of 3 runs of the same benchmark differs from any
+    // single run, and single runs differ among themselves.
+    const ProfilerSession one(SocConfig::snapdragon888(),
+                              fastOptions(1));
+    const ProfilerSession three(SocConfig::snapdragon888(),
+                                fastOptions(3));
+    const auto &bench = registry().unit("Geekbench 5 CPU");
+    const auto p1 = one.profile(bench);
+    const auto p3 = three.profile(bench);
+    EXPECT_NE(p1.runtimeSeconds, p3.runtimeSeconds);
+    // Both stay near the nominal 140 s.
+    EXPECT_NEAR(p1.runtimeSeconds, 140.0, 14.0);
+    EXPECT_NEAR(p3.runtimeSeconds, 140.0, 14.0);
+}
+
+TEST(Session, ProfileSuiteSegmentsAntutu)
+{
+    const ProfilerSession sess(SocConfig::snapdragon888(),
+                               fastOptions(2));
+    const auto profiles =
+        sess.profileSuite(registry().suite("Antutu v9"));
+    ASSERT_EQ(profiles.size(), 4u);
+    EXPECT_EQ(profiles[0].name, "Antutu CPU");
+    EXPECT_EQ(profiles[1].name, "Antutu GPU");
+    EXPECT_EQ(profiles[2].name, "Antutu Mem");
+    EXPECT_EQ(profiles[3].name, "Antutu UX");
+    // Segment runtimes match their nominal durations.
+    EXPECT_NEAR(profiles[0].runtimeSeconds, 130.0, 13.0);
+    EXPECT_NEAR(profiles[1].runtimeSeconds, 200.0, 20.0);
+    // The GPU segment is the graphics-heavy one.
+    EXPECT_GT(profiles[1].avgGpuLoad(), 0.5);
+    EXPECT_LT(profiles[0].avgGpuLoad(), 0.1);
+}
+
+TEST(Session, SegmentedSuiteMatchesWholeRuntime)
+{
+    const ProfilerSession sess(SocConfig::snapdragon888(),
+                               fastOptions(1));
+    const auto profiles =
+        sess.profileSuite(registry().suite("Antutu v9"));
+    double total = 0.0;
+    for (const auto &p : profiles)
+        total += p.runtimeSeconds;
+    EXPECT_NEAR(total, 645.0, 645.0 * 0.1);
+}
+
+TEST(Session, ProfileAllCoversEveryUnit)
+{
+    const ProfilerSession sess(SocConfig::snapdragon888(),
+                               fastOptions(1));
+    const auto profiles = sess.profileAll(registry());
+    ASSERT_EQ(profiles.size(), registry().units().size());
+    for (std::size_t i = 0; i < profiles.size(); ++i)
+        EXPECT_EQ(profiles[i].name, registry().units()[i].name());
+}
+
+TEST(Session, UsedMemorySubtractsIdleBaseline)
+{
+    const ProfilerSession sess(SocConfig::snapdragon888(),
+                               fastOptions(1));
+    const auto p = sess.profile(registry().unit("PCMark Storage"));
+    // Raw usage includes ~1.3 GB idle; the reported series must not.
+    const double total =
+        double(sess.config().memory.totalBytes);
+    const double idle_fraction =
+        double(sess.config().memory.idleBytes) / total;
+    EXPECT_LT(p.avgUsedMemory() + idle_fraction, 1.0);
+    EXPECT_GT(p.avgUsedMemory(), 0.0);
+    EXPECT_LT(p.avgUsedMemory(), 0.3);
+}
+
+TEST(Session, SampleCountersReturnsRequestedSeries)
+{
+    const ProfilerSession sess(SocConfig::snapdragon888(),
+                               fastOptions(1));
+    const auto series = sess.sampleCounters(
+        registry().unit("3DMark Wild Life"),
+        {"cpu.load", "gpu.load", "gpu.shaders.busy"});
+    ASSERT_EQ(series.size(), 3u);
+    EXPECT_GT(series.at("gpu.load").mean(), 0.5);
+    EXPECT_GT(series.at("cpu.load").size(), 100u);
+}
+
+TEST(Session, SampleUnknownCounterIsFatal)
+{
+    const ProfilerSession sess(SocConfig::snapdragon888(),
+                               fastOptions(1));
+    EXPECT_THROW(sess.sampleCounters(registry().unit("Aitutu"),
+                                     {"bogus.counter"}),
+                 FatalError);
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for CSV trace export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/strings.hh"
+#include "profiler/trace.hh"
+#include "workload/registry.hh"
+
+namespace mbs {
+namespace {
+
+BenchmarkProfile
+sampleProfile()
+{
+    static const WorkloadRegistry registry;
+    ProfileOptions opts;
+    opts.runs = 1;
+    const ProfilerSession session(SocConfig::snapdragon888(), opts);
+    return session.profile(registry.unit("3DMark Wild Life"));
+}
+
+TEST(TraceCsv, ProfileCsvHasHeaderAndAllRows)
+{
+    const auto profile = sampleProfile();
+    std::ostringstream out;
+    writeProfileCsv(out, profile);
+    const auto lines = split(trim(out.str()), '\n');
+    ASSERT_GT(lines.size(), 1u);
+    EXPECT_EQ(lines[0],
+              "time_s,cpu_load,gpu_load,shaders_busy,gpu_bus_busy,"
+              "aie_load,used_memory,little_load,mid_load,big_load");
+    EXPECT_EQ(lines.size() - 1, profile.series.cpuLoad.size());
+}
+
+TEST(TraceCsv, ProfileCsvRowsHaveTenColumns)
+{
+    const auto profile = sampleProfile();
+    std::ostringstream out;
+    writeProfileCsv(out, profile);
+    const auto lines = split(trim(out.str()), '\n');
+    for (std::size_t i = 1; i < lines.size(); i += 50)
+        EXPECT_EQ(split(lines[i], ',').size(), 10u) << i;
+}
+
+TEST(TraceCsv, TimeColumnIsMonotone)
+{
+    const auto profile = sampleProfile();
+    std::ostringstream out;
+    writeProfileCsv(out, profile);
+    const auto lines = split(trim(out.str()), '\n');
+    double prev = -1.0;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const double t = std::stod(split(lines[i], ',')[0]);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(TraceCsv, SummaryCsvHasOneRowPerProfile)
+{
+    const auto profile = sampleProfile();
+    std::ostringstream out;
+    writeSummaryCsv(out, {profile, profile, profile});
+    const auto lines = split(trim(out.str()), '\n');
+    EXPECT_EQ(lines.size(), 4u);
+    EXPECT_TRUE(startsWith(lines[0], "benchmark,suite,runtime_s"));
+    EXPECT_TRUE(startsWith(lines[1], "3DMark Wild Life,3DMark v2,"));
+}
+
+TEST(TraceCsv, SummaryCsvValuesParse)
+{
+    const auto profile = sampleProfile();
+    std::ostringstream out;
+    writeSummaryCsv(out, {profile});
+    const auto cells = split(split(trim(out.str()), '\n')[1], ',');
+    ASSERT_EQ(cells.size(), 11u);
+    EXPECT_NEAR(std::stod(cells[2]), profile.runtimeSeconds, 0.01);
+    EXPECT_NEAR(std::stod(cells[4]), profile.ipc, 0.001);
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the AIE/DSP model and the codec-support bounce behaviour
+ * (the AV1 software-decode effect in Antutu UX).
+ */
+
+#include <gtest/gtest.h>
+
+#include "soc/aie.hh"
+
+namespace mbs {
+namespace {
+
+AieModel
+makeAie()
+{
+    return AieModel(SocConfig::snapdragon888().aie);
+}
+
+TEST(Aie, SupportedCodecsMatchSnapdragon888)
+{
+    const auto aie = makeAie();
+    EXPECT_TRUE(aie.supportsCodec(MediaCodec::None));
+    EXPECT_TRUE(aie.supportsCodec(MediaCodec::H264));
+    EXPECT_TRUE(aie.supportsCodec(MediaCodec::H265));
+    EXPECT_TRUE(aie.supportsCodec(MediaCodec::Vp9));
+    EXPECT_FALSE(aie.supportsCodec(MediaCodec::Av1));
+}
+
+TEST(Aie, IdleDemandProducesNoLoad)
+{
+    const auto aie = makeAie();
+    AieDemand d;
+    const AieState s = aie.evaluate(d);
+    EXPECT_DOUBLE_EQ(s.load, 0.0);
+    EXPECT_DOUBLE_EQ(s.utilization, 0.0);
+    EXPECT_DOUBLE_EQ(s.cpuBounceDemand, 0.0);
+}
+
+TEST(Aie, SupportedCodecRunsOnAie)
+{
+    const auto aie = makeAie();
+    AieDemand d;
+    d.workRate = 0.5;
+    d.codec = MediaCodec::H264;
+    const AieState s = aie.evaluate(d);
+    EXPECT_GT(s.load, 0.0);
+    EXPECT_DOUBLE_EQ(s.cpuBounceDemand, 0.0);
+}
+
+TEST(Aie, UnsupportedCodecBouncesToCpu)
+{
+    const auto aie = makeAie();
+    AieDemand d;
+    d.workRate = 0.5;
+    d.codec = MediaCodec::Av1;
+    const AieState s = aie.evaluate(d);
+    EXPECT_DOUBLE_EQ(s.load, 0.0);
+    EXPECT_DOUBLE_EQ(s.utilization, 0.0);
+    EXPECT_NEAR(s.cpuBounceDemand,
+                0.5 * AieModel::softwareDecodeFactor, 1e-12);
+}
+
+TEST(Aie, SoftwareDecodeIsMoreExpensive)
+{
+    EXPECT_GT(AieModel::softwareDecodeFactor, 1.0);
+}
+
+TEST(Aie, LoadMonotoneInWorkRate)
+{
+    const auto aie = makeAie();
+    double prev = 0.0;
+    for (double rate = 0.0; rate <= 1.0; rate += 0.05) {
+        AieDemand d;
+        d.workRate = rate;
+        const double load = aie.evaluate(d).load;
+        EXPECT_GE(load, prev - 1e-9);
+        prev = load;
+    }
+}
+
+TEST(Aie, FullDemandReachesFullLoad)
+{
+    const auto aie = makeAie();
+    AieDemand d;
+    d.workRate = 1.0;
+    const AieState s = aie.evaluate(d);
+    EXPECT_NEAR(s.load, 1.0, 1e-9);
+    EXPECT_NEAR(s.utilization, 1.0, 1e-9);
+}
+
+TEST(Aie, Av1OnPermissiveConfigStaysOnAie)
+{
+    AieConfig cfg = SocConfig::snapdragon888().aie;
+    cfg.supportsAv1 = true; // a newer SoC generation
+    const AieModel aie(cfg);
+    AieDemand d;
+    d.workRate = 0.5;
+    d.codec = MediaCodec::Av1;
+    const AieState s = aie.evaluate(d);
+    EXPECT_GT(s.load, 0.0);
+    EXPECT_DOUBLE_EQ(s.cpuBounceDemand, 0.0);
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the analytical cache and branch models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "soc/caches.hh"
+
+namespace mbs {
+namespace {
+
+ClusterConfig
+bigCluster()
+{
+    return SocConfig::snapdragon888()
+        .clusters[std::size_t(ClusterId::Big)];
+}
+
+TEST(MissRatio, ResidentWorkingSetHitsFloor)
+{
+    const double m = CacheModel::missRatio(32 << 10, 64 << 10, 0.9);
+    EXPECT_NEAR(m, 0.003, 1e-9);
+}
+
+TEST(MissRatio, GrowsWithWorkingSet)
+{
+    const std::uint64_t cap = 64ULL << 10;
+    double prev = 0.0;
+    for (std::uint64_t ws = cap; ws <= (256ULL << 20); ws *= 4) {
+        const double m = CacheModel::missRatio(ws, cap, 0.8);
+        EXPECT_GE(m, prev);
+        prev = m;
+    }
+}
+
+TEST(MissRatio, ShrinksWithLocality)
+{
+    const double lo = CacheModel::missRatio(16 << 20, 64 << 10, 0.3);
+    const double hi = CacheModel::missRatio(16 << 20, 64 << 10, 0.95);
+    EXPECT_GT(lo, hi);
+}
+
+TEST(MissRatio, ShrinksWithCapacity)
+{
+    const double small = CacheModel::missRatio(16 << 20, 64 << 10, 0.8);
+    const double large = CacheModel::missRatio(16 << 20, 4 << 20, 0.8);
+    EXPECT_GT(small, large);
+}
+
+TEST(MissRatio, ZeroCapacityIsPanic)
+{
+    EXPECT_THROW(CacheModel::missRatio(1 << 20, 0, 0.9), PanicError);
+}
+
+TEST(CacheModel, MpkiLevelsFilterMonotonically)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    CacheModel model(cfg.cache, bigCluster());
+    CpuCharacter cpu;
+    cpu.memIntensity = 0.3;
+    cpu.workingSetBytes = 32ULL << 20;
+    cpu.locality = 0.9;
+    const CacheStats s = model.evaluate(cpu, 0.0);
+    EXPECT_GE(s.l1Mpki, s.l2Mpki);
+    EXPECT_GE(s.l2Mpki, s.l3Mpki);
+    EXPECT_GE(s.l3Mpki, s.slcMpki);
+    EXPECT_NEAR(s.totalMpki,
+                s.l1Mpki + s.l2Mpki + s.l3Mpki + s.slcMpki, 1e-9);
+    EXPECT_GT(s.memoryCpi, 0.0);
+}
+
+TEST(CacheModel, ContentionRaisesSharedLevelMisses)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    CacheModel model(cfg.cache, bigCluster());
+    CpuCharacter cpu;
+    cpu.workingSetBytes = 3ULL << 20; // fits L3 when uncontended
+    cpu.locality = 0.9;
+    const CacheStats calm = model.evaluate(cpu, 0.0);
+    const CacheStats contended = model.evaluate(cpu, 0.8);
+    EXPECT_GT(contended.l3Mpki, calm.l3Mpki);
+    EXPECT_GT(contended.memoryCpi, calm.memoryCpi);
+    // Private levels are unaffected by shared contention.
+    EXPECT_DOUBLE_EQ(contended.l1Mpki, calm.l1Mpki);
+    EXPECT_DOUBLE_EQ(contended.l2Mpki, calm.l2Mpki);
+}
+
+TEST(CacheModel, LittleCoreSeesSmallerL2)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    CacheModel big(cfg.cache, bigCluster());
+    CacheModel little(cfg.cache,
+                      cfg.clusters[std::size_t(ClusterId::Little)]);
+    CpuCharacter cpu;
+    cpu.workingSetBytes = 512ULL << 10; // fits big L2, not little L2
+    cpu.locality = 0.8;
+    EXPECT_GT(little.evaluate(cpu, 0.0).l2Mpki,
+              big.evaluate(cpu, 0.0).l2Mpki);
+}
+
+TEST(CacheModel, MemIntensityScalesMpki)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    CacheModel model(cfg.cache, bigCluster());
+    CpuCharacter cpu;
+    cpu.workingSetBytes = 64ULL << 20;
+    cpu.locality = 0.9;
+    cpu.memIntensity = 0.2;
+    const double low = model.evaluate(cpu, 0.0).totalMpki;
+    cpu.memIntensity = 0.4;
+    const double high = model.evaluate(cpu, 0.0).totalMpki;
+    EXPECT_NEAR(high, 2.0 * low, 1e-9);
+}
+
+TEST(BranchModel, MpkiFollowsPredictability)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    BranchModel model(cfg.cache);
+    CpuCharacter cpu;
+    cpu.branchFraction = 0.2;
+    cpu.branchPredictability = 0.95;
+    const BranchStats s = model.evaluate(cpu);
+    EXPECT_NEAR(s.mpki, 200.0 * 0.05, 1e-9);
+    EXPECT_NEAR(s.branchCpi, s.mpki * cfg.cache.branchPenalty / 1000.0,
+                1e-12);
+}
+
+TEST(BranchModel, WeakerPredictorRaisesMpki)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    BranchModel model(cfg.cache);
+    CpuCharacter cpu;
+    cpu.branchFraction = 0.2;
+    cpu.branchPredictability = 0.95;
+    EXPECT_GT(model.evaluate(cpu, 0.9).mpki,
+              model.evaluate(cpu, 1.0).mpki);
+}
+
+TEST(BranchModel, InvalidQualityIsFatal)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    BranchModel model(cfg.cache);
+    CpuCharacter cpu;
+    EXPECT_THROW(model.evaluate(cpu, 0.0), FatalError);
+    EXPECT_THROW(model.evaluate(cpu, 1.5), FatalError);
+}
+
+/** Property: total MPKI is monotone in working-set size. */
+class CacheWorkingSetSweep
+    : public ::testing::TestWithParam<double /*locality*/>
+{
+};
+
+TEST_P(CacheWorkingSetSweep, MpkiMonotoneInWorkingSet)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    CacheModel model(cfg.cache, bigCluster());
+    CpuCharacter cpu;
+    cpu.locality = GetParam();
+    double prev = 0.0;
+    for (std::uint64_t ws = 16ULL << 10; ws <= (512ULL << 20);
+         ws *= 2) {
+        cpu.workingSetBytes = ws;
+        const double mpki = model.evaluate(cpu, 0.0).totalMpki;
+        EXPECT_GE(mpki, prev - 1e-9)
+            << "ws=" << ws << " locality=" << GetParam();
+        prev = mpki;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Localities, CacheWorkingSetSweep,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9, 0.97));
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the SoC configuration (Table II platform).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "soc/config.hh"
+
+namespace mbs {
+namespace {
+
+TEST(SocConfig, Snapdragon888MatchesTableII)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    ASSERT_EQ(cfg.clusters.size(), numClusters);
+
+    const auto &little = cfg.clusters[std::size_t(ClusterId::Little)];
+    EXPECT_EQ(little.cores, 4);
+    EXPECT_DOUBLE_EQ(little.maxFreqHz, 1.80e9);
+    EXPECT_EQ(little.l2Bytes, 128ULL << 10);
+
+    const auto &mid = cfg.clusters[std::size_t(ClusterId::Mid)];
+    EXPECT_EQ(mid.cores, 3);
+    EXPECT_DOUBLE_EQ(mid.maxFreqHz, 2.42e9);
+    EXPECT_EQ(mid.l2Bytes, 512ULL << 10);
+
+    const auto &big = cfg.clusters[std::size_t(ClusterId::Big)];
+    EXPECT_EQ(big.cores, 1);
+    EXPECT_DOUBLE_EQ(big.maxFreqHz, 3.00e9);
+    EXPECT_EQ(big.l2Bytes, 1ULL << 20);
+    EXPECT_DOUBLE_EQ(big.relativePerf, 1.0);
+
+    EXPECT_EQ(cfg.totalCores(), 8);
+    EXPECT_EQ(cfg.cache.l3Bytes, 4ULL << 20);
+    EXPECT_EQ(cfg.cache.slcBytes, 3ULL << 20);
+    EXPECT_EQ(cfg.gpu.name, "Adreno 660");
+    EXPECT_EQ(cfg.aie.name, "Hexagon 780");
+    // 11.83 GB visible of the nominal 12 GB LPDDR5.
+    EXPECT_NEAR(double(cfg.memory.totalBytes) / double(1ULL << 30),
+                11.83, 0.01);
+}
+
+TEST(SocConfig, ClusterPerfOrdering)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    EXPECT_LT(cfg.clusters[0].relativePerf,
+              cfg.clusters[1].relativePerf);
+    EXPECT_LT(cfg.clusters[1].relativePerf,
+              cfg.clusters[2].relativePerf);
+    EXPECT_LT(cfg.clusters[0].ipcScale, cfg.clusters[1].ipcScale);
+    EXPECT_LT(cfg.clusters[1].ipcScale, cfg.clusters[2].ipcScale);
+}
+
+TEST(SocConfig, Av1IsUnsupported)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    EXPECT_TRUE(cfg.aie.supportsH264);
+    EXPECT_TRUE(cfg.aie.supportsH265);
+    EXPECT_TRUE(cfg.aie.supportsVp9);
+    EXPECT_FALSE(cfg.aie.supportsAv1);
+}
+
+TEST(SocConfig, ValidateRejectsWrongClusterCount)
+{
+    SocConfig cfg = SocConfig::snapdragon888();
+    cfg.clusters.pop_back();
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(SocConfig, ValidateRejectsZeroCores)
+{
+    SocConfig cfg = SocConfig::snapdragon888();
+    cfg.clusters[0].cores = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(SocConfig, ValidateRejectsBadFrequencyRange)
+{
+    SocConfig cfg = SocConfig::snapdragon888();
+    cfg.clusters[1].minFreqHz = cfg.clusters[1].maxFreqHz * 2.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(SocConfig, ValidateRejectsBigPerfNotOne)
+{
+    SocConfig cfg = SocConfig::snapdragon888();
+    cfg.clusters[std::size_t(ClusterId::Big)].relativePerf = 0.9;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(SocConfig, ValidateRejectsIdleOverTotalMemory)
+{
+    SocConfig cfg = SocConfig::snapdragon888();
+    cfg.memory.idleBytes = cfg.memory.totalBytes + 1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(SocConfig, MidrangeIsValidAndSlower)
+{
+    const SocConfig mid = SocConfig::midrange();
+    const SocConfig flag = SocConfig::snapdragon888();
+    EXPECT_NO_THROW(mid.validate());
+    for (std::size_t c = 0; c < numClusters; ++c) {
+        EXPECT_LT(mid.clusters[c].maxFreqHz,
+                  flag.clusters[c].maxFreqHz);
+    }
+    EXPECT_LT(mid.cache.l3Bytes, flag.cache.l3Bytes);
+    EXPECT_LT(mid.gpu.maxFreqHz, flag.gpu.maxFreqHz);
+    EXPECT_LT(mid.memory.totalBytes, flag.memory.totalBytes);
+}
+
+TEST(ClusterName, MatchesPaperTerms)
+{
+    EXPECT_EQ(clusterName(ClusterId::Little), "CPU Little");
+    EXPECT_EQ(clusterName(ClusterId::Mid), "CPU Mid");
+    EXPECT_EQ(clusterName(ClusterId::Big), "CPU Big");
+}
+
+} // namespace
+} // namespace mbs

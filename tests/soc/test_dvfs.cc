@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the DVFS governor model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "soc/dvfs.hh"
+
+namespace mbs {
+namespace {
+
+TEST(Dvfs, OppTableSpansRange)
+{
+    DvfsGovernor gov(0.3e9, 1.8e9, 8);
+    ASSERT_EQ(gov.operatingPoints().size(), 8u);
+    EXPECT_DOUBLE_EQ(gov.minFrequency(), 0.3e9);
+    EXPECT_DOUBLE_EQ(gov.maxFrequency(), 1.8e9);
+}
+
+TEST(Dvfs, ZeroUtilizationPicksMinimum)
+{
+    DvfsGovernor gov(0.3e9, 1.8e9);
+    EXPECT_DOUBLE_EQ(gov.frequencyFor(0.0), 0.3e9);
+}
+
+TEST(Dvfs, FullUtilizationPicksMaximum)
+{
+    DvfsGovernor gov(0.3e9, 1.8e9);
+    EXPECT_DOUBLE_EQ(gov.frequencyFor(1.0), 1.8e9);
+}
+
+TEST(Dvfs, HeadroomRoundsUp)
+{
+    // With headroom 1.25, util 0.8 targets exactly max frequency.
+    DvfsGovernor gov(1e9, 2e9, 2, 1.25);
+    EXPECT_DOUBLE_EQ(gov.frequencyFor(0.8), 2e9);
+    // Util 0.3 targets 0.75e9 < min OPP -> min.
+    EXPECT_DOUBLE_EQ(gov.frequencyFor(0.3), 1e9);
+}
+
+TEST(Dvfs, FrequencyIsAlwaysAnOpp)
+{
+    DvfsGovernor gov(0.5e9, 2.42e9, 8);
+    for (double u = 0.0; u <= 1.0; u += 0.01) {
+        const double f = gov.frequencyFor(u);
+        bool found = false;
+        for (double opp : gov.operatingPoints()) {
+            if (opp == f)
+                found = true;
+        }
+        EXPECT_TRUE(found) << "freq " << f << " not an OPP";
+    }
+}
+
+TEST(Dvfs, ClampsUtilizationOutOfRange)
+{
+    DvfsGovernor gov(0.5e9, 2e9);
+    EXPECT_DOUBLE_EQ(gov.frequencyFor(-0.5), 0.5e9);
+    EXPECT_DOUBLE_EQ(gov.frequencyFor(2.0), 2e9);
+}
+
+TEST(Dvfs, InvalidConstructionIsFatal)
+{
+    EXPECT_THROW(DvfsGovernor(0.0, 1e9), FatalError);
+    EXPECT_THROW(DvfsGovernor(2e9, 1e9), FatalError);
+    EXPECT_THROW(DvfsGovernor(1e9, 2e9, 1), FatalError);
+    EXPECT_THROW(DvfsGovernor(1e9, 2e9, 8, 0.9), FatalError);
+}
+
+/** Property: frequency is monotonically non-decreasing in demand. */
+class DvfsMonotonic
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(DvfsMonotonic, FrequencyNonDecreasing)
+{
+    const auto [min_hz, max_hz] = GetParam();
+    DvfsGovernor gov(min_hz, max_hz, 8);
+    double prev = 0.0;
+    for (double u = 0.0; u <= 1.0; u += 0.005) {
+        const double f = gov.frequencyFor(u);
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, DvfsMonotonic,
+    ::testing::Values(std::make_pair(0.3e9, 1.8e9),
+                      std::make_pair(0.5e9, 2.42e9),
+                      std::make_pair(0.7e9, 3.0e9),
+                      std::make_pair(180e6, 840e6)));
+
+} // namespace
+} // namespace mbs

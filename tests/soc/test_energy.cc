@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the power/energy model extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "soc/energy.hh"
+#include "soc/simulator.hh"
+
+namespace mbs {
+namespace {
+
+SimulationResult
+simulate(double cpu_intensity, double gpu_rate,
+         double duration = 10.0)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    TimedPhase p;
+    p.durationSeconds = duration;
+    p.demand.threads = {ThreadDemand{4, cpu_intensity}};
+    p.demand.cpu.instructionsBillions = 0.2 * duration;
+    p.demand.gpu.workRate = gpu_rate;
+    p.demand.gpu.api =
+        gpu_rate > 0.0 ? GraphicsApi::Vulkan : GraphicsApi::None;
+    SimOptions o;
+    o.durationJitter = 0.0;
+    o.demandJitter = 0.0;
+    return sim.run({p}, o);
+}
+
+TEST(Energy, BreakdownSumsToTotal)
+{
+    const EnergyModel model(SocConfig::snapdragon888());
+    const auto e = model.energyOf(simulate(0.5, 0.5));
+    double sum = e.gpuJ + e.aieJ + e.dramJ + e.storageJ;
+    for (double j : e.cpuJ)
+        sum += j;
+    EXPECT_NEAR(e.total(), sum, 1e-9);
+    EXPECT_GT(e.total(), 0.0);
+}
+
+TEST(Energy, HeavierCpuWorkCostsMore)
+{
+    const EnergyModel model(SocConfig::snapdragon888());
+    const auto light = model.energyOf(simulate(0.2, 0.0));
+    const auto heavy = model.energyOf(simulate(0.9, 0.0));
+    EXPECT_GT(heavy.total(), light.total());
+}
+
+TEST(Energy, GpuWorkShowsUpInGpuBucket)
+{
+    const EnergyModel model(SocConfig::snapdragon888());
+    const auto idle = model.energyOf(simulate(0.2, 0.0));
+    const auto busy = model.energyOf(simulate(0.2, 0.9));
+    EXPECT_GT(busy.gpuJ, idle.gpuJ * 2.0);
+}
+
+TEST(Energy, AveragePowerIsPlausibleForAPhone)
+{
+    const EnergyModel model(SocConfig::snapdragon888());
+    const auto result = simulate(0.8, 0.9);
+    const auto e = model.energyOf(result);
+    const double watts =
+        e.averagePowerW(result.totals.runtimeSeconds);
+    // A flagship phone under combined CPU+GPU load draws single-digit
+    // watts.
+    EXPECT_GT(watts, 1.0);
+    EXPECT_LT(watts, 15.0);
+}
+
+TEST(Energy, FramePowerMatchesIntegration)
+{
+    const EnergyModel model(SocConfig::snapdragon888());
+    const auto result = simulate(0.5, 0.4);
+    double integrated = 0.0;
+    for (const auto &f : result.frames)
+        integrated += model.framePowerW(f) * result.tickSeconds;
+    const auto e = model.energyOf(result);
+    // framePowerW omits the per-miss DRAM energy; the rest matches.
+    EXPECT_NEAR(integrated, e.total(),
+                e.dramJ + 0.01 * e.total());
+}
+
+TEST(Energy, BigCoreCostsMoreThanLittlePerUnit)
+{
+    const PowerParams params;
+    EXPECT_GT(params.cpuDynamicW[std::size_t(ClusterId::Big)],
+              params.cpuDynamicW[std::size_t(ClusterId::Mid)]);
+    EXPECT_GT(params.cpuDynamicW[std::size_t(ClusterId::Mid)],
+              params.cpuDynamicW[std::size_t(ClusterId::Little)]);
+}
+
+TEST(Energy, EmptyRunIsFatal)
+{
+    const EnergyModel model(SocConfig::snapdragon888());
+    SimulationResult empty;
+    EXPECT_THROW(model.energyOf(empty), FatalError);
+}
+
+TEST(Energy, DvfsCubeMakesRacingExpensive)
+{
+    // The same instruction budget executed at high frequency costs
+    // more CPU energy than spread out at low frequency (race-to-idle
+    // trade-off visible through the cubic term).
+    const SocSimulator sim(SocConfig::snapdragon888());
+    const EnergyModel model(SocConfig::snapdragon888());
+
+    TimedPhase fast;
+    fast.durationSeconds = 5.0;
+    fast.demand.threads = {ThreadDemand{4, 0.95}};
+    fast.demand.cpu.instructionsBillions = 1.0;
+
+    TimedPhase slow;
+    slow.durationSeconds = 20.0;
+    slow.demand.threads = {ThreadDemand{4, 0.20}};
+    slow.demand.cpu.instructionsBillions = 1.0;
+
+    SimOptions o;
+    o.durationJitter = 0.0;
+    o.demandJitter = 0.0;
+    const auto fast_e = model.energyOf(sim.run({fast}, o));
+    const auto slow_e = model.energyOf(sim.run({slow}, o));
+    double fast_cpu = 0.0, slow_cpu = 0.0;
+    for (std::size_t c = 0; c < numClusters; ++c) {
+        fast_cpu += fast_e.cpuJ[c];
+        slow_cpu += slow_e.cpuJ[c];
+    }
+    EXPECT_GT(fast_cpu, slow_cpu);
+}
+
+} // namespace
+} // namespace mbs

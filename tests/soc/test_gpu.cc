@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the GPU model, including the API-efficiency and
+ * off-screen effects behind the paper's Observation #2 and the
+ * off-screen GPU-load findings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "soc/gpu.hh"
+
+namespace mbs {
+namespace {
+
+GpuModel
+makeGpu()
+{
+    return GpuModel(SocConfig::snapdragon888().gpu);
+}
+
+GpuDemand
+baseDemand(double rate = 0.6)
+{
+    GpuDemand d;
+    d.workRate = rate;
+    d.api = GraphicsApi::Vulkan;
+    d.textureBandwidth = 0.4;
+    d.textureBytes = 1000ULL << 20;
+    return d;
+}
+
+TEST(Gpu, IdleDemandProducesNoLoad)
+{
+    const auto gpu = makeGpu();
+    GpuDemand d;
+    const GpuState s = gpu.evaluate(d);
+    EXPECT_DOUBLE_EQ(s.utilization, 0.0);
+    EXPECT_DOUBLE_EQ(s.load, 0.0);
+    EXPECT_DOUBLE_EQ(s.shadersBusy, 0.0);
+}
+
+TEST(Gpu, OpenGlCostsMoreThanVulkan)
+{
+    // Observation #2: OpenGL benchmarks show ~9% higher GPU load.
+    const auto gpu = makeGpu();
+    GpuDemand gl = baseDemand(0.6);
+    gl.api = GraphicsApi::OpenGlEs;
+    GpuDemand vk = baseDemand(0.6);
+    const double ratio = gpu.workMultiplier(gl) /
+        gpu.workMultiplier(vk);
+    EXPECT_NEAR(ratio, 1.0926, 1e-6);
+    EXPECT_GE(gpu.evaluate(gl).load, gpu.evaluate(vk).load);
+}
+
+TEST(Gpu, OffscreenRaisesLoad)
+{
+    const auto gpu = makeGpu();
+    GpuDemand on = baseDemand(0.6);
+    GpuDemand off = baseDemand(0.6);
+    off.offscreen = true;
+    EXPECT_GT(gpu.workMultiplier(off), gpu.workMultiplier(on));
+    EXPECT_GE(gpu.evaluate(off).load, gpu.evaluate(on).load);
+}
+
+TEST(Gpu, ResolutionScalesSubLinearly)
+{
+    const auto gpu = makeGpu();
+    GpuDemand hd = baseDemand(0.4);
+    GpuDemand uhd = baseDemand(0.4);
+    uhd.resolutionScale = 4.0;
+    const double ratio = gpu.workMultiplier(uhd) /
+        gpu.workMultiplier(hd);
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 4.0);
+}
+
+TEST(Gpu, LoadIsFrequencyTimesUtilizationFraction)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    const GpuModel gpu(cfg.gpu);
+    const GpuState s = gpu.evaluate(baseDemand(0.5));
+    EXPECT_NEAR(s.load,
+                (s.frequencyHz / cfg.gpu.maxFreqHz) * s.utilization,
+                1e-12);
+}
+
+TEST(Gpu, ShadersBusyNeverExceedsUtilization)
+{
+    const auto gpu = makeGpu();
+    for (double rate = 0.05; rate <= 1.0; rate += 0.05) {
+        const GpuState s = gpu.evaluate(baseDemand(rate));
+        EXPECT_LE(s.shadersBusy, s.utilization + 1e-12);
+    }
+}
+
+TEST(Gpu, BusBusyFollowsTextureBandwidth)
+{
+    const auto gpu = makeGpu();
+    GpuDemand light = baseDemand(0.6);
+    light.textureBandwidth = 0.1;
+    GpuDemand heavy = baseDemand(0.6);
+    heavy.textureBandwidth = 0.8;
+    EXPECT_GT(gpu.evaluate(heavy).busBusy,
+              gpu.evaluate(light).busBusy);
+}
+
+TEST(Gpu, SaturatesGracefully)
+{
+    const auto gpu = makeGpu();
+    const GpuState s = gpu.evaluate(baseDemand(1.4));
+    EXPECT_LE(s.utilization, 1.0);
+    EXPECT_LE(s.load, 1.0);
+    EXPECT_LE(s.busBusy, 1.0);
+}
+
+TEST(Gpu, TextureBytesPassThrough)
+{
+    const auto gpu = makeGpu();
+    GpuDemand d = baseDemand(0.5);
+    d.textureBytes = 1234ULL << 20;
+    EXPECT_EQ(gpu.evaluate(d).textureBytes, 1234ULL << 20);
+}
+
+/** Property: load is monotone in work rate for any API/resolution. */
+struct GpuSweepParam
+{
+    GraphicsApi api;
+    double resolution;
+    bool offscreen;
+};
+
+class GpuLoadMonotonic : public ::testing::TestWithParam<GpuSweepParam>
+{
+};
+
+TEST_P(GpuLoadMonotonic, LoadNonDecreasingInWorkRate)
+{
+    const auto gpu = makeGpu();
+    const auto param = GetParam();
+    double prev = 0.0;
+    for (double rate = 0.0; rate <= 1.0; rate += 0.02) {
+        GpuDemand d;
+        d.workRate = rate;
+        d.api = param.api;
+        d.resolutionScale = param.resolution;
+        d.offscreen = param.offscreen;
+        const double load = gpu.evaluate(d).load;
+        EXPECT_GE(load, prev - 1e-9);
+        prev = load;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, GpuLoadMonotonic,
+    ::testing::Values(GpuSweepParam{GraphicsApi::Vulkan, 1.0, false},
+                      GpuSweepParam{GraphicsApi::OpenGlEs, 1.0, false},
+                      GpuSweepParam{GraphicsApi::Vulkan, 1.78, true},
+                      GpuSweepParam{GraphicsApi::OpenGlEs, 4.0, true}));
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the memory and storage models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "soc/memory.hh"
+
+namespace mbs {
+namespace {
+
+TEST(Memory, IncludesIdleBaseline)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    const MemorySystem mem(cfg.memory);
+    MemoryDemand d;
+    d.footprintBytes = 0;
+    const MemoryState s = mem.evaluate(d, 0);
+    EXPECT_EQ(s.usedBytes, cfg.memory.idleBytes);
+}
+
+TEST(Memory, AddsFootprintAndTextures)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    const MemorySystem mem(cfg.memory);
+    MemoryDemand d;
+    d.footprintBytes = 1ULL << 30;
+    const MemoryState s = mem.evaluate(d, 2ULL << 30);
+    EXPECT_EQ(s.usedBytes,
+              cfg.memory.idleBytes + (1ULL << 30) + (2ULL << 30));
+    EXPECT_NEAR(s.usedFraction,
+                double(s.usedBytes) / double(cfg.memory.totalBytes),
+                1e-12);
+}
+
+TEST(Memory, SaturatesAtPhysicalCapacity)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    const MemorySystem mem(cfg.memory);
+    MemoryDemand d;
+    d.footprintBytes = 64ULL << 30;
+    const MemoryState s = mem.evaluate(d, 64ULL << 30);
+    EXPECT_EQ(s.usedBytes, cfg.memory.totalBytes);
+    EXPECT_DOUBLE_EQ(s.usedFraction, 1.0);
+}
+
+TEST(Memory, AccessorsExposeConfig)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    const MemorySystem mem(cfg.memory);
+    EXPECT_EQ(mem.idleBytes(), cfg.memory.idleBytes);
+    EXPECT_EQ(mem.totalBytes(), cfg.memory.totalBytes);
+}
+
+TEST(Storage, BandwidthScalesWithRate)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    const StorageModel storage(cfg.storage);
+    StorageDemand d;
+    d.ioRate = 0.5;
+    const StorageState s = storage.evaluate(d);
+    EXPECT_DOUBLE_EQ(s.utilization, 0.5);
+    EXPECT_DOUBLE_EQ(s.bandwidth, 0.5 * cfg.storage.peakBandwidth);
+}
+
+TEST(Storage, ClampsRate)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    const StorageModel storage(cfg.storage);
+    StorageDemand d;
+    d.ioRate = 1.7;
+    EXPECT_DOUBLE_EQ(storage.evaluate(d).utilization, 1.0);
+    d.ioRate = -0.5;
+    EXPECT_DOUBLE_EQ(storage.evaluate(d).utilization, 0.0);
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the EAS-like scheduler model. These encode the placement
+ * behaviours behind the paper's Observations #7-#9.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "soc/scheduler.hh"
+
+namespace mbs {
+namespace {
+
+Scheduler
+makeScheduler()
+{
+    return Scheduler(SocConfig::snapdragon888());
+}
+
+constexpr auto little = std::size_t(ClusterId::Little);
+constexpr auto mid = std::size_t(ClusterId::Mid);
+constexpr auto big = std::size_t(ClusterId::Big);
+
+TEST(Scheduler, CoreCapacitiesMatchConfig)
+{
+    const auto sched = makeScheduler();
+    EXPECT_DOUBLE_EQ(sched.coreCapacity(ClusterId::Little), 0.35);
+    EXPECT_DOUBLE_EQ(sched.coreCapacity(ClusterId::Mid), 0.70);
+    EXPECT_DOUBLE_EQ(sched.coreCapacity(ClusterId::Big), 1.0);
+}
+
+TEST(Scheduler, IdleHasOnlyBackgroundLoad)
+{
+    const auto sched = makeScheduler();
+    const Placement p = sched.place({});
+    EXPECT_GT(p.utilization[little], 0.0); // OS background
+    EXPECT_DOUBLE_EQ(p.utilization[mid], 0.0);
+    EXPECT_DOUBLE_EQ(p.utilization[big], 0.0);
+    EXPECT_DOUBLE_EQ(p.unservedDemand, 0.0);
+}
+
+TEST(Scheduler, LightThreadsStayOnLittle)
+{
+    // Observation #8: GPU-driver-class threads fit the little cores.
+    const auto sched = makeScheduler();
+    const Placement p = sched.place({ThreadDemand{3, 0.2}});
+    EXPECT_EQ(p.threads[little], 3);
+    EXPECT_EQ(p.threads[mid], 0);
+    EXPECT_EQ(p.threads[big], 0);
+}
+
+TEST(Scheduler, MediumThreadGoesToMid)
+{
+    const auto sched = makeScheduler();
+    const Placement p = sched.place({ThreadDemand{1, 0.5}});
+    EXPECT_EQ(p.threads[mid], 1);
+    EXPECT_EQ(p.threads[big], 0);
+}
+
+TEST(Scheduler, HeavySingleThreadLandsOnBig)
+{
+    // Observation #7: heavy threads use the powerful core.
+    const auto sched = makeScheduler();
+    const Placement p = sched.place({ThreadDemand{1, 0.95}});
+    EXPECT_EQ(p.threads[big], 1);
+    EXPECT_GT(p.utilization[big], 0.9);
+    EXPECT_EQ(p.threads[mid], 0);
+}
+
+TEST(Scheduler, EightHeavyThreadsLoadEveryCluster)
+{
+    // Observation #9: only explicitly multi-core workloads occupy
+    // all clusters at once.
+    const auto sched = makeScheduler();
+    const Placement p = sched.place({ThreadDemand{8, 0.85}});
+    EXPECT_GT(p.threads[big], 0);
+    EXPECT_GT(p.threads[mid], 0);
+    EXPECT_GT(p.threads[little], 0);
+    EXPECT_GT(p.utilization[little], 0.9);
+    EXPECT_GT(p.utilization[mid], 0.9);
+    // Over-capacity demand is reported, not silently dropped.
+    EXPECT_GT(p.unservedDemand, 0.0);
+}
+
+TEST(Scheduler, LittleOverflowSpillsUpward)
+{
+    const auto sched = makeScheduler();
+    // Six light threads: four little cores fill up, then mid.
+    const Placement p = sched.place({ThreadDemand{6, 0.25}});
+    EXPECT_EQ(p.threads[little] + p.threads[mid] + p.threads[big], 6);
+    EXPECT_GT(p.threads[mid], 0);
+}
+
+TEST(Scheduler, UtilizationNeverExceedsOne)
+{
+    const auto sched = makeScheduler();
+    const Placement p = sched.place({ThreadDemand{32, 1.0}});
+    for (std::size_t c = 0; c < numClusters; ++c) {
+        EXPECT_LE(p.utilization[c], 1.0);
+        EXPECT_GE(p.utilization[c], 0.0);
+    }
+}
+
+TEST(Scheduler, ZeroIntensityThreadsAreIgnored)
+{
+    const auto sched = makeScheduler();
+    const Placement idle = sched.place({});
+    const Placement p = sched.place({ThreadDemand{5, 0.0}});
+    EXPECT_EQ(p.threads[little], idle.threads[little]);
+    EXPECT_EQ(p.threads[mid], 0);
+}
+
+TEST(Scheduler, MidSizedGroupPrefersMidCluster)
+{
+    // Aitutu-style inference threads (0.52-0.55) populate the mid
+    // cluster, the basis of the paper's Observation #7 exception.
+    const auto sched = makeScheduler();
+    const Placement p = sched.place({ThreadDemand{3, 0.52}});
+    EXPECT_EQ(p.threads[mid], 3);
+    EXPECT_GT(p.utilization[mid], 0.7);
+    EXPECT_EQ(p.threads[big], 0);
+}
+
+/** Property: total served demand never exceeds total capacity. */
+class SchedulerConservation : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SchedulerConservation, DemandIsConserved)
+{
+    const SocConfig cfg = SocConfig::snapdragon888();
+    const Scheduler sched(cfg);
+    Xoshiro256StarStar rng{std::uint64_t(GetParam())};
+
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<ThreadDemand> demands;
+        double requested = 0.0;
+        const int groups = 1 + int(rng.uniformInt(4));
+        for (int g = 0; g < groups; ++g) {
+            ThreadDemand d;
+            d.count = 1 + int(rng.uniformInt(8));
+            d.intensity = rng.uniform(0.05, 1.0);
+            requested += d.count * d.intensity;
+            demands.push_back(d);
+        }
+        const Placement p = sched.place(demands);
+
+        // Served = sum over clusters of util * cores * capacity,
+        // minus background noise; must be <= requested and the
+        // shortfall must equal unservedDemand (within tolerance).
+        double served = 0.0;
+        for (std::size_t c = 0; c < numClusters; ++c) {
+            served += p.utilization[c] *
+                double(cfg.clusters[c].cores) *
+                cfg.clusters[c].relativePerf;
+        }
+        const double background = cfg.osBackgroundLoad *
+            cfg.clusters[little].relativePerf *
+            double(cfg.clusters[little].cores);
+        EXPECT_LE(served - background, requested + 1e-6);
+        EXPECT_NEAR(served - background + p.unservedDemand, requested,
+                    0.15 * requested + 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerConservation,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace mbs

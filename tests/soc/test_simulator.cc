@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the tick-based SoC simulator: determinism, budget
+ * accounting, frame invariants, and cross-component interactions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "soc/simulator.hh"
+
+namespace mbs {
+namespace {
+
+TimedPhase
+cpuPhase(double duration_s, double inst_b, int threads = 4,
+         double intensity = 0.6)
+{
+    TimedPhase p;
+    p.durationSeconds = duration_s;
+    p.demand.threads = {ThreadDemand{threads, intensity}};
+    p.demand.cpu.instructionsBillions = inst_b;
+    p.demand.cpu.baseIpc = 2.8;
+    p.demand.cpu.workingSetBytes = 4ULL << 20;
+    p.demand.cpu.locality = 0.97;
+    return p;
+}
+
+TimedPhase
+gpuPhase(double duration_s, double rate)
+{
+    TimedPhase p;
+    p.durationSeconds = duration_s;
+    p.demand.threads = {ThreadDemand{2, 0.2}};
+    p.demand.cpu.instructionsBillions = 0.05 * duration_s;
+    p.demand.gpu.workRate = rate;
+    p.demand.gpu.api = GraphicsApi::Vulkan;
+    p.demand.gpu.textureBandwidth = 0.5;
+    p.demand.gpu.textureBytes = 1500ULL << 20;
+    return p;
+}
+
+SimOptions
+quietOptions(std::uint64_t seed = 11)
+{
+    SimOptions o;
+    o.seed = seed;
+    o.durationJitter = 0.0;
+    o.demandJitter = 0.0;
+    return o;
+}
+
+TEST(Simulator, EmptyPhaseListIsFatal)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    EXPECT_THROW(sim.run({}), FatalError);
+}
+
+TEST(Simulator, NonPositiveTickIsFatal)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    SimOptions o;
+    o.tickSeconds = 0.0;
+    EXPECT_THROW(sim.run({cpuPhase(1.0, 0.1)}, o), FatalError);
+}
+
+TEST(Simulator, FrameCountMatchesDuration)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    const auto result = sim.run({cpuPhase(10.0, 1.0)}, quietOptions());
+    EXPECT_EQ(result.frames.size(), 100u);
+    EXPECT_NEAR(result.totals.runtimeSeconds, 10.0, 1e-9);
+}
+
+TEST(Simulator, RetiresTheInstructionBudget)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    const auto result = sim.run({cpuPhase(10.0, 1.5)}, quietOptions());
+    EXPECT_NEAR(result.totals.instructions, 1.5e9, 0.02e9);
+}
+
+TEST(Simulator, IsDeterministicForSeed)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    SimOptions o;
+    o.seed = 42;
+    const auto a = sim.run({cpuPhase(5.0, 1.0), gpuPhase(5.0, 0.8)}, o);
+    const auto b = sim.run({cpuPhase(5.0, 1.0), gpuPhase(5.0, 0.8)}, o);
+    ASSERT_EQ(a.frames.size(), b.frames.size());
+    EXPECT_DOUBLE_EQ(a.totals.instructions, b.totals.instructions);
+    EXPECT_DOUBLE_EQ(a.totals.cacheMisses, b.totals.cacheMisses);
+    for (std::size_t i = 0; i < a.frames.size(); i += 7)
+        EXPECT_DOUBLE_EQ(a.frames[i].cpuLoad, b.frames[i].cpuLoad);
+}
+
+TEST(Simulator, DifferentSeedsDiffer)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    SimOptions a;
+    a.seed = 1;
+    SimOptions b;
+    b.seed = 2;
+    const auto ra = sim.run({cpuPhase(5.0, 1.0)}, a);
+    const auto rb = sim.run({cpuPhase(5.0, 1.0)}, b);
+    EXPECT_NE(ra.totals.instructions, rb.totals.instructions);
+}
+
+TEST(Simulator, FrameValuesStayInRange)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    const auto result =
+        sim.run({cpuPhase(5.0, 2.0, 8, 0.9), gpuPhase(5.0, 1.0)});
+    for (const auto &f : result.frames) {
+        EXPECT_GE(f.cpuLoad, 0.0);
+        EXPECT_LE(f.cpuLoad, 1.0);
+        for (std::size_t c = 0; c < numClusters; ++c) {
+            EXPECT_GE(f.clusterLoad[c], 0.0);
+            EXPECT_LE(f.clusterLoad[c], 1.0);
+            EXPECT_LE(f.clusterUtilization[c], 1.0);
+        }
+        EXPECT_GE(f.gpu.load, 0.0);
+        EXPECT_LE(f.gpu.load, 1.0);
+        EXPECT_GE(f.aie.load, 0.0);
+        EXPECT_LE(f.aie.load, 1.0);
+        EXPECT_GE(f.memory.usedFraction, 0.0);
+        EXPECT_LE(f.memory.usedFraction, 1.0);
+        EXPECT_GE(f.instructions, 0.0);
+        EXPECT_GE(f.cycles, 0.0);
+    }
+}
+
+TEST(Simulator, ActiveCyclesFitWithinUtilizedCycles)
+{
+    // Consistency invariant: retired work never exceeds the cycles
+    // the placement provides.
+    const SocConfig cfg = SocConfig::snapdragon888();
+    const SocSimulator sim(cfg);
+    const auto result =
+        sim.run({cpuPhase(5.0, 2.0, 8, 0.9)}, quietOptions());
+    for (const auto &f : result.frames) {
+        double available = 0.0;
+        for (std::size_t c = 0; c < numClusters; ++c) {
+            available += double(cfg.clusters[c].cores) *
+                f.clusterFrequencyHz[c] * f.clusterUtilization[c] *
+                result.tickSeconds;
+        }
+        EXPECT_LE(f.cycles, available * 1.0001);
+    }
+}
+
+TEST(Simulator, IpcEqualsInstructionsOverCycles)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    const auto result = sim.run({cpuPhase(3.0, 1.0)}, quietOptions());
+    for (const auto &f : result.frames) {
+        if (f.cycles > 0.0) {
+            EXPECT_NEAR(f.ipc, f.instructions / f.cycles, 1e-9);
+        }
+    }
+}
+
+TEST(Simulator, GpuContentionDepressesIpc)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    TimedPhase calm = cpuPhase(5.0, 0.5, 2, 0.3);
+    TimedPhase contended = calm;
+    contended.demand.gpu.workRate = 1.0;
+    contended.demand.gpu.api = GraphicsApi::Vulkan;
+    contended.demand.gpu.textureBandwidth = 0.9;
+    const auto a = sim.run({calm}, quietOptions());
+    const auto b = sim.run({contended}, quietOptions());
+    EXPECT_GT(a.totals.ipc(), b.totals.ipc());
+    EXPECT_LT(a.totals.cacheMpki(), b.totals.cacheMpki());
+}
+
+TEST(Simulator, Av1PhaseRaisesCpuLoadVsSupportedCodec)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    TimedPhase h264;
+    h264.durationSeconds = 5.0;
+    h264.demand.cpu.instructionsBillions = 0.2;
+    h264.demand.aie.workRate = 0.5;
+    h264.demand.aie.codec = MediaCodec::H264;
+    TimedPhase av1 = h264;
+    av1.demand.aie.codec = MediaCodec::Av1;
+
+    const auto a = sim.run({h264}, quietOptions());
+    const auto b = sim.run({av1}, quietOptions());
+    double cpu_a = 0.0, cpu_b = 0.0, aie_a = 0.0, aie_b = 0.0;
+    for (const auto &f : a.frames) {
+        cpu_a += f.cpuLoad;
+        aie_a += f.aie.load;
+    }
+    for (const auto &f : b.frames) {
+        cpu_b += f.cpuLoad;
+        aie_b += f.aie.load;
+    }
+    EXPECT_GT(cpu_b, cpu_a * 1.5); // software decode burns CPU
+    EXPECT_GT(aie_a, aie_b);       // and leaves the AIE idle
+}
+
+TEST(Simulator, PhaseIndexTracksPhases)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    const auto result =
+        sim.run({cpuPhase(2.0, 0.2), gpuPhase(3.0, 0.5)},
+                quietOptions());
+    EXPECT_EQ(result.frames.front().phaseIndex, 0u);
+    EXPECT_EQ(result.frames.back().phaseIndex, 1u);
+    // Indices are non-decreasing.
+    std::size_t prev = 0;
+    for (const auto &f : result.frames) {
+        EXPECT_GE(f.phaseIndex, prev);
+        prev = f.phaseIndex;
+    }
+}
+
+TEST(Simulator, TotalsAccumulateAcrossFrames)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    const auto result = sim.run({cpuPhase(4.0, 0.8)}, quietOptions());
+    double inst = 0.0, misses = 0.0;
+    for (const auto &f : result.frames) {
+        inst += f.instructions;
+        misses += f.cacheMisses;
+    }
+    EXPECT_NEAR(result.totals.instructions, inst, 1.0);
+    EXPECT_NEAR(result.totals.cacheMisses, misses, 1.0);
+}
+
+/** Property: duration jitter stays within a few sigma. */
+class SimulatorJitter : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SimulatorJitter, RuntimeCloseToNominal)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    SimOptions o;
+    o.seed = GetParam();
+    const auto result = sim.run({cpuPhase(30.0, 1.0)}, o);
+    EXPECT_NEAR(result.totals.runtimeSeconds, 30.0, 30.0 * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorJitter,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 12345));
+
+} // namespace
+} // namespace mbs

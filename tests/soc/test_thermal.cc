@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the thermal/throttling model extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "soc/simulator.hh"
+#include "soc/thermal.hh"
+
+namespace mbs {
+namespace {
+
+TEST(Thermal, StartsAtAmbient)
+{
+    const ThermalModel model;
+    EXPECT_DOUBLE_EQ(model.temperatureC(), 25.0);
+    EXPECT_DOUBLE_EQ(model.throttleFactor(), 1.0);
+}
+
+TEST(Thermal, RelaxesTowardSteadyState)
+{
+    ThermalParams params;
+    ThermalModel model(params);
+    // 5 W * 8 C/W + 25 C ambient -> 65 C steady state.
+    for (int i = 0; i < 10000; ++i)
+        model.step(5.0, 0.1);
+    EXPECT_NEAR(model.temperatureC(), 65.0, 0.5);
+}
+
+TEST(Thermal, TimeConstantIsRC)
+{
+    ThermalParams params; // R*C = 64 s
+    ThermalModel model(params);
+    // After one time constant, ~63.2% of the way to steady state.
+    for (int i = 0; i < 640; ++i)
+        model.step(5.0, 0.1);
+    const double progress =
+        (model.temperatureC() - 25.0) / (65.0 - 25.0);
+    EXPECT_NEAR(progress, 0.632, 0.02);
+}
+
+TEST(Thermal, ShortBurstBarelyWarms)
+{
+    ThermalModel model;
+    for (int i = 0; i < 300; ++i) // thirty seconds at 8 W
+        model.step(8.0, 0.1);
+    EXPECT_LT(model.temperatureC(), 62.0);
+    EXPECT_DOUBLE_EQ(model.throttleFactor(), 1.0);
+}
+
+TEST(Thermal, SustainedHeavyLoadThrottles)
+{
+    ThermalModel model;
+    for (int i = 0; i < 12000; ++i) // twenty minutes at 9 W
+        model.step(9.0, 0.1);
+    EXPECT_GT(model.temperatureC(), 90.0);
+    EXPECT_LT(model.throttleFactor(), 1.0);
+    EXPECT_GE(model.throttleFactor(),
+              model.params().minThrottleFactor);
+}
+
+TEST(Thermal, ThrottleFactorHasFloor)
+{
+    ThermalParams params;
+    ThermalModel model(params);
+    for (int i = 0; i < 100000; ++i)
+        model.step(50.0, 0.1); // absurd power
+    EXPECT_DOUBLE_EQ(model.throttleFactor(),
+                     params.minThrottleFactor);
+}
+
+TEST(Thermal, InvalidParamsAreFatal)
+{
+    ThermalParams bad;
+    bad.thermalResistanceCperW = 0.0;
+    EXPECT_THROW(ThermalModel{bad}, FatalError);
+    bad = ThermalParams{};
+    bad.throttleC = bad.ambientC;
+    EXPECT_THROW(ThermalModel{bad}, FatalError);
+    bad = ThermalParams{};
+    bad.minThrottleFactor = 0.0;
+    EXPECT_THROW(ThermalModel{bad}, FatalError);
+}
+
+TEST(Thermal, StepRejectsNonPositiveDt)
+{
+    ThermalModel model;
+    EXPECT_THROW(model.step(1.0, 0.0), FatalError);
+}
+
+TimedPhase
+sustainedGpuPhase(double duration)
+{
+    TimedPhase p;
+    p.durationSeconds = duration;
+    p.demand.threads = {ThreadDemand{4, 0.3}};
+    p.demand.cpu.instructionsBillions = 0.02 * duration;
+    p.demand.gpu.workRate = 0.95;
+    p.demand.gpu.api = GraphicsApi::Vulkan;
+    p.demand.gpu.textureBandwidth = 0.7;
+    return p;
+}
+
+TEST(ThermalSimulation, DisabledByDefaultKeepsAmbient)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    const auto result = sim.run({sustainedGpuPhase(60.0)});
+    for (const auto &f : result.frames) {
+        EXPECT_DOUBLE_EQ(f.socTemperatureC, 25.0);
+        EXPECT_DOUBLE_EQ(f.throttleFactor, 1.0);
+    }
+}
+
+TEST(ThermalSimulation, SustainedRunHeatsAndThrottles)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    SimOptions opts;
+    opts.thermal.enabled = true;
+    opts.durationJitter = 0.0;
+    opts.demandJitter = 0.0;
+    const auto result =
+        sim.run({sustainedGpuPhase(1200.0)}, opts);
+    // The die warms monotonically-ish and ends hot.
+    EXPECT_GT(result.frames.back().socTemperatureC, 62.0);
+    EXPECT_LT(result.frames.back().throttleFactor, 1.0);
+    // GPU load late in the run falls below the early burst value.
+    const double early = result.frames[100].gpu.load;
+    const double late = result.frames.back().gpu.load;
+    EXPECT_LT(late, early);
+}
+
+TEST(ThermalSimulation, ShortBurstKeepsFullPerformance)
+{
+    const SocSimulator sim(SocConfig::snapdragon888());
+    SimOptions opts;
+    opts.thermal.enabled = true;
+    opts.durationJitter = 0.0;
+    opts.demandJitter = 0.0;
+    const auto result = sim.run({sustainedGpuPhase(60.0)}, opts);
+    EXPECT_DOUBLE_EQ(result.frames.back().throttleFactor, 1.0);
+    EXPECT_LT(result.frames.back().socTemperatureC, 62.0);
+}
+
+TEST(ThermalSimulation, EnabledMatchesDisabledWhileCool)
+{
+    // Before the die crosses the throttle threshold, the thermal
+    // extension must not perturb any performance counter.
+    const SocSimulator sim(SocConfig::snapdragon888());
+    SimOptions off;
+    off.durationJitter = 0.0;
+    off.demandJitter = 0.0;
+    SimOptions on = off;
+    on.thermal.enabled = true;
+    const auto a = sim.run({sustainedGpuPhase(30.0)}, off);
+    const auto b = sim.run({sustainedGpuPhase(30.0)}, on);
+    ASSERT_EQ(a.frames.size(), b.frames.size());
+    EXPECT_DOUBLE_EQ(a.totals.instructions, b.totals.instructions);
+    for (std::size_t i = 0; i < a.frames.size(); i += 37)
+        EXPECT_DOUBLE_EQ(a.frames[i].gpu.load, b.frames[i].gpu.load);
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for Pearson correlation and correlation matrices.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "stats/correlation.hh"
+
+namespace mbs {
+namespace {
+
+TEST(Pearson, PerfectPositive)
+{
+    EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative)
+{
+    EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Pearson, TooFewSamplesGivesZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1.0}, {2.0}), 0.0);
+}
+
+TEST(Pearson, MismatchedLengthsAreFatal)
+{
+    EXPECT_THROW(pearson({1, 2}, {1, 2, 3}), FatalError);
+}
+
+TEST(Pearson, InvariantToAffineTransforms)
+{
+    const std::vector<double> x{1, 5, 2, 8, 3};
+    const std::vector<double> y{2, 3, 9, 1, 4};
+    const double r = pearson(x, y);
+    std::vector<double> x2, y2;
+    for (double v : x)
+        x2.push_back(3.0 * v + 7.0);
+    for (double v : y)
+        y2.push_back(-2.0 * v + 1.0);
+    EXPECT_NEAR(pearson(x2, y2), -r, 1e-12);
+}
+
+TEST(Pearson, IndependentStreamsAreUncorrelated)
+{
+    Xoshiro256StarStar rng(5);
+    std::vector<double> x, y;
+    for (int i = 0; i < 20000; ++i) {
+        x.push_back(rng.uniform());
+        y.push_back(rng.uniform());
+    }
+    EXPECT_NEAR(pearson(x, y), 0.0, 0.03);
+}
+
+TEST(Classify, MatchesPaperBands)
+{
+    EXPECT_EQ(classifyCorrelation(0.9), CorrelationStrength::Strong);
+    EXPECT_EQ(classifyCorrelation(-0.845), CorrelationStrength::Strong);
+    EXPECT_EQ(classifyCorrelation(0.588),
+              CorrelationStrength::Moderate);
+    EXPECT_EQ(classifyCorrelation(-0.672),
+              CorrelationStrength::Moderate);
+    EXPECT_EQ(classifyCorrelation(0.35), CorrelationStrength::None);
+    EXPECT_EQ(classifyCorrelation(0.8), CorrelationStrength::Strong);
+    EXPECT_EQ(classifyCorrelation(0.4), CorrelationStrength::Moderate);
+}
+
+TEST(Classify, Names)
+{
+    EXPECT_EQ(correlationStrengthName(CorrelationStrength::Strong),
+              "strong");
+    EXPECT_EQ(correlationStrengthName(CorrelationStrength::Moderate),
+              "moderate");
+    EXPECT_EQ(correlationStrengthName(CorrelationStrength::None),
+              "none");
+}
+
+FeatureMatrix
+exampleMatrix()
+{
+    FeatureMatrix m({"a", "b", "c"});
+    m.addRow("r1", {1.0, 2.0, -1.0});
+    m.addRow("r2", {2.0, 4.0, -2.0});
+    m.addRow("r3", {3.0, 6.0, -3.0});
+    m.addRow("r4", {4.0, 8.5, -4.0});
+    return m;
+}
+
+TEST(CorrelationMatrix, DiagonalIsOne)
+{
+    const CorrelationMatrix corr(exampleMatrix());
+    for (std::size_t i = 0; i < corr.size(); ++i)
+        EXPECT_DOUBLE_EQ(corr.at(i, i), 1.0);
+}
+
+TEST(CorrelationMatrix, IsSymmetric)
+{
+    const CorrelationMatrix corr(exampleMatrix());
+    for (std::size_t i = 0; i < corr.size(); ++i) {
+        for (std::size_t j = 0; j < corr.size(); ++j)
+            EXPECT_DOUBLE_EQ(corr.at(i, j), corr.at(j, i));
+    }
+}
+
+TEST(CorrelationMatrix, NamedLookupMatchesIndexed)
+{
+    const CorrelationMatrix corr(exampleMatrix());
+    EXPECT_DOUBLE_EQ(corr.at("a", "c"), corr.at(0, 2));
+    EXPECT_NEAR(corr.at("a", "c"), -1.0, 1e-12);
+    EXPECT_GT(corr.at("a", "b"), 0.99);
+}
+
+TEST(CorrelationMatrix, UnknownNameIsFatal)
+{
+    const CorrelationMatrix corr(exampleMatrix());
+    EXPECT_THROW(corr.at("a", "nope"), FatalError);
+}
+
+TEST(CorrelationMatrix, RenderShowsLowerTriangle)
+{
+    const CorrelationMatrix corr(exampleMatrix());
+    const std::string out = corr.renderLowerTriangle();
+    EXPECT_NE(out.find("-1.000"), std::string::npos);
+    EXPECT_NE(out.find("| 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace mbs

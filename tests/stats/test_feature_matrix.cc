@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the named feature matrix and distance helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "stats/feature_matrix.hh"
+
+namespace mbs {
+namespace {
+
+FeatureMatrix
+small()
+{
+    FeatureMatrix m({"x", "y"});
+    m.addRow("p", {3.0, 4.0});
+    m.addRow("q", {0.0, 0.0});
+    m.addRow("r", {-3.0, 2.0});
+    return m;
+}
+
+TEST(FeatureMatrix, ShapeAndAccess)
+{
+    const auto m = small();
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 4.0);
+    EXPECT_EQ(m.rowIndex("q"), 1u);
+    EXPECT_EQ(m.colIndex("y"), 1u);
+    EXPECT_TRUE(m.hasRow("r"));
+    EXPECT_FALSE(m.hasRow("zz"));
+}
+
+TEST(FeatureMatrix, DuplicateRowIsFatal)
+{
+    FeatureMatrix m({"x"});
+    m.addRow("a", {1.0});
+    EXPECT_THROW(m.addRow("a", {2.0}), FatalError);
+}
+
+TEST(FeatureMatrix, WrongWidthRowIsFatal)
+{
+    FeatureMatrix m({"x", "y"});
+    EXPECT_THROW(m.addRow("a", {1.0}), FatalError);
+}
+
+TEST(FeatureMatrix, UnknownLookupsAreFatal)
+{
+    const auto m = small();
+    EXPECT_THROW(m.rowIndex("none"), FatalError);
+    EXPECT_THROW(m.colIndex("none"), FatalError);
+    EXPECT_THROW(m.at(5, 0), FatalError);
+}
+
+TEST(FeatureMatrix, ColumnExtraction)
+{
+    const auto m = small();
+    const auto col = m.column(0);
+    ASSERT_EQ(col.size(), 3u);
+    EXPECT_DOUBLE_EQ(col[2], -3.0);
+}
+
+TEST(FeatureMatrix, NormalizedByColumnMaxUsesAbsolutes)
+{
+    const auto n = small().normalizedByColumnMax();
+    EXPECT_DOUBLE_EQ(n.at(0, 0), 1.0);   // 3 / |3|
+    EXPECT_DOUBLE_EQ(n.at(2, 0), -1.0);  // -3 / 3
+    EXPECT_DOUBLE_EQ(n.at(0, 1), 1.0);   // 4 / 4
+    EXPECT_DOUBLE_EQ(n.at(2, 1), 0.5);   // 2 / 4
+}
+
+TEST(FeatureMatrix, NormalizedByColumnMaxHandlesZeroColumn)
+{
+    FeatureMatrix m({"z"});
+    m.addRow("a", {0.0});
+    m.addRow("b", {0.0});
+    const auto n = m.normalizedByColumnMax();
+    EXPECT_DOUBLE_EQ(n.at(0, 0), 0.0);
+}
+
+TEST(FeatureMatrix, MinMaxNormalizationBounds)
+{
+    const auto n = small().normalizedMinMax();
+    for (std::size_t r = 0; r < n.rows(); ++r) {
+        for (std::size_t c = 0; c < n.cols(); ++c) {
+            EXPECT_GE(n.at(r, c), 0.0);
+            EXPECT_LE(n.at(r, c), 1.0);
+        }
+    }
+    EXPECT_DOUBLE_EQ(n.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(n.at(2, 0), 0.0);
+}
+
+TEST(FeatureMatrix, ZScoreHasZeroMeanUnitVariance)
+{
+    const auto n = small().normalizedZScore();
+    for (std::size_t c = 0; c < n.cols(); ++c) {
+        const auto col = n.column(c);
+        double mean = 0.0;
+        for (double v : col)
+            mean += v / double(col.size());
+        EXPECT_NEAR(mean, 0.0, 1e-12);
+        double var = 0.0;
+        for (double v : col)
+            var += (v - mean) * (v - mean) / double(col.size());
+        EXPECT_NEAR(var, 1.0, 1e-12);
+    }
+}
+
+TEST(FeatureMatrix, WithoutColumnDropsExactlyOne)
+{
+    const auto m = small();
+    const auto reduced = m.withoutColumn(0);
+    EXPECT_EQ(reduced.cols(), 1u);
+    EXPECT_EQ(reduced.colNames()[0], "y");
+    EXPECT_DOUBLE_EQ(reduced.at(0, 0), 4.0);
+}
+
+TEST(FeatureMatrix, CannotDropOnlyColumn)
+{
+    FeatureMatrix m({"x"});
+    m.addRow("a", {1.0});
+    EXPECT_THROW(m.withoutColumn(0), FatalError);
+}
+
+TEST(FeatureMatrix, SelectRowsKeepsOrderGiven)
+{
+    const auto m = small();
+    const auto sel = m.selectRows({2, 0});
+    EXPECT_EQ(sel.rows(), 2u);
+    EXPECT_EQ(sel.rowNames()[0], "r");
+    EXPECT_EQ(sel.rowNames()[1], "p");
+}
+
+TEST(Distance, EuclideanKnownValues)
+{
+    EXPECT_DOUBLE_EQ(euclideanDistance({0, 0}, {3, 4}), 5.0);
+    EXPECT_DOUBLE_EQ(squaredEuclideanDistance({0, 0}, {3, 4}), 25.0);
+    EXPECT_DOUBLE_EQ(manhattanDistance({0, 0}, {3, -4}), 7.0);
+}
+
+TEST(Distance, IdenticalVectorsAreZero)
+{
+    const std::vector<double> v{1.5, -2.5, 3.5};
+    EXPECT_DOUBLE_EQ(euclideanDistance(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(manhattanDistance(v, v), 0.0);
+}
+
+TEST(Distance, MismatchedLengthsAreFatal)
+{
+    EXPECT_THROW(euclideanDistance({1.0}, {1.0, 2.0}), FatalError);
+    EXPECT_THROW(manhattanDistance({1.0}, {1.0, 2.0}), FatalError);
+}
+
+TEST(Distance, TriangleInequalityHolds)
+{
+    const std::vector<double> a{1, 2, 3};
+    const std::vector<double> b{4, -1, 0};
+    const std::vector<double> c{-2, 5, 2};
+    EXPECT_LE(euclideanDistance(a, c),
+              euclideanDistance(a, b) + euclideanDistance(b, c) + 1e-12);
+}
+
+} // namespace
+} // namespace mbs

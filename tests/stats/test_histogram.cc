@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for histograms and load-level binning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "stats/histogram.hh"
+
+namespace mbs {
+namespace {
+
+TEST(Histogram, BinsEvenly)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.addAll({0.1, 0.3, 0.6, 0.9});
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, SaturatesOutOfRange)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(-5.0);
+    h.add(5.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, UpperEdgeGoesToLastBin)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(1.0);
+    EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, FractionsSumToOne)
+{
+    Histogram h(0.0, 1.0, 5);
+    for (int i = 0; i < 100; ++i)
+        h.add(double(i) / 100.0);
+    const auto f = h.fractions();
+    double sum = 0.0;
+    for (double v : f)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyFractionsAreZero)
+{
+    Histogram h(0.0, 1.0, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_DOUBLE_EQ(h.fraction(i), 0.0);
+}
+
+TEST(Histogram, InvalidConstructionIsFatal)
+{
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);
+    EXPECT_THROW(Histogram(1.0, 1.0, 2), FatalError);
+    EXPECT_THROW(Histogram(2.0, 1.0, 2), FatalError);
+}
+
+TEST(Histogram, BinLabels)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_EQ(h.binLabel(0), "[0.00, 0.25)");
+    EXPECT_EQ(h.binLabel(3), "[0.75, 1.00)");
+}
+
+TEST(LoadLevel, MapsPaperQuartiles)
+{
+    EXPECT_EQ(loadLevelOf(0.0), LoadLevel::Low);
+    EXPECT_EQ(loadLevelOf(0.24), LoadLevel::Low);
+    EXPECT_EQ(loadLevelOf(0.25), LoadLevel::MediumLow);
+    EXPECT_EQ(loadLevelOf(0.49), LoadLevel::MediumLow);
+    EXPECT_EQ(loadLevelOf(0.5), LoadLevel::MediumHigh);
+    EXPECT_EQ(loadLevelOf(0.75), LoadLevel::High);
+    EXPECT_EQ(loadLevelOf(1.0), LoadLevel::High);
+}
+
+TEST(LoadLevel, NamesMatchPaperColumns)
+{
+    EXPECT_EQ(loadLevelName(LoadLevel::Low), "0%-25%");
+    EXPECT_EQ(loadLevelName(LoadLevel::MediumLow), "25%-50%");
+    EXPECT_EQ(loadLevelName(LoadLevel::MediumHigh), "50%-75%");
+    EXPECT_EQ(loadLevelName(LoadLevel::High), "75%-100%");
+}
+
+TEST(Histogram, AgreesWithLoadLevelOf)
+{
+    Histogram h(0.0, 1.0, 4);
+    for (double v : {0.1, 0.3, 0.55, 0.8, 0.99}) {
+        EXPECT_EQ(h.binOf(v),
+                  static_cast<std::size_t>(loadLevelOf(v)));
+    }
+}
+
+} // namespace
+} // namespace mbs

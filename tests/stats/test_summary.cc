@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for SummaryStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "stats/summary.hh"
+
+namespace mbs {
+namespace {
+
+TEST(Summary, BasicMoments)
+{
+    SummaryStats s({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, EmptyIsAllZero)
+{
+    SummaryStats s({});
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.median(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentileRank(5.0), 0.0);
+}
+
+TEST(Summary, MedianOddAndEven)
+{
+    EXPECT_DOUBLE_EQ(SummaryStats({1.0, 2.0, 3.0}).median(), 2.0);
+    EXPECT_DOUBLE_EQ(SummaryStats({1.0, 2.0, 3.0, 4.0}).median(), 2.5);
+}
+
+TEST(Summary, PercentileInterpolates)
+{
+    SummaryStats s({0.0, 10.0});
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25.0), 2.5);
+}
+
+TEST(Summary, PercentileOutOfRangeIsFatal)
+{
+    SummaryStats s({1.0});
+    EXPECT_THROW(s.percentile(-1.0), FatalError);
+    EXPECT_THROW(s.percentile(101.0), FatalError);
+}
+
+TEST(Summary, PercentileRankCountsInclusive)
+{
+    SummaryStats s({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(s.percentileRank(2.0), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentileRank(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentileRank(9.0), 100.0);
+}
+
+TEST(Summary, CvIsZeroForZeroMean)
+{
+    SummaryStats s({-1.0, 1.0});
+    EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Summary, CvForConstantsIsZero)
+{
+    SummaryStats s({3.0, 3.0, 3.0});
+    EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Summary, SingleSamplePercentile)
+{
+    SummaryStats s({42.0});
+    EXPECT_DOUBLE_EQ(s.percentile(37.0), 42.0);
+    EXPECT_DOUBLE_EQ(s.median(), 42.0);
+}
+
+/** Property: percentile is monotonically non-decreasing in p. */
+class PercentileMonotonic : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PercentileMonotonic, NonDecreasing)
+{
+    std::vector<double> values;
+    const int seed = GetParam();
+    for (int i = 0; i < 57; ++i)
+        values.push_back(double((i * seed * 2654435761u) % 1000));
+    SummaryStats s(values);
+    double prev = s.percentile(0.0);
+    for (double p = 1.0; p <= 100.0; p += 1.0) {
+        const double cur = s.percentile(p);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotonic,
+                         ::testing::Values(1, 3, 7, 11, 13));
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the TimeSeries container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "stats/time_series.hh"
+
+namespace mbs {
+namespace {
+
+TEST(TimeSeries, BasicAccessors)
+{
+    TimeSeries s(0.1, {1.0, 2.0, 3.0});
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.interval(), 0.1);
+    EXPECT_NEAR(s.duration(), 0.3, 1e-12);
+    EXPECT_DOUBLE_EQ(s.at(1), 2.0);
+    EXPECT_DOUBLE_EQ(s[2], 3.0);
+    EXPECT_FALSE(s.empty());
+}
+
+TEST(TimeSeries, StatsOnKnownData)
+{
+    TimeSeries s(1.0, {2.0, 4.0, 6.0});
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(TimeSeries, EmptySeriesStatsAreZero)
+{
+    TimeSeries s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(TimeSeries, RejectsNonPositiveInterval)
+{
+    EXPECT_THROW(TimeSeries(0.0, {1.0}), FatalError);
+    EXPECT_THROW(TimeSeries(-1.0, {1.0}), FatalError);
+}
+
+TEST(TimeSeries, OutOfRangeAccessIsFatal)
+{
+    TimeSeries s(0.1, {1.0});
+    EXPECT_THROW(s.at(1), FatalError);
+}
+
+TEST(TimeSeries, AtNormalizedTimeEndpoints)
+{
+    TimeSeries s(0.1, {10.0, 20.0, 30.0});
+    EXPECT_DOUBLE_EQ(s.atNormalizedTime(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.atNormalizedTime(1.0), 30.0);
+    EXPECT_DOUBLE_EQ(s.atNormalizedTime(0.5), 20.0);
+    // Clamping.
+    EXPECT_DOUBLE_EQ(s.atNormalizedTime(-1.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.atNormalizedTime(2.0), 30.0);
+}
+
+TEST(TimeSeries, FractionAboveIsStrict)
+{
+    TimeSeries s(0.1, {0.4, 0.5, 0.6, 0.7});
+    EXPECT_DOUBLE_EQ(s.fractionAbove(0.5), 0.5);
+}
+
+TEST(TimeSeries, NormalizedByScalesValues)
+{
+    TimeSeries s(0.1, {1.0, 2.0});
+    const TimeSeries n = s.normalizedBy(4.0);
+    EXPECT_DOUBLE_EQ(n[0], 0.25);
+    EXPECT_DOUBLE_EQ(n[1], 0.5);
+}
+
+TEST(TimeSeries, NormalizedByZeroIsIdentity)
+{
+    TimeSeries s(0.1, {1.0, 2.0});
+    const TimeSeries n = s.normalizedBy(0.0);
+    EXPECT_DOUBLE_EQ(n[1], 2.0);
+}
+
+TEST(TimeSeries, ResampledKeepsDuration)
+{
+    TimeSeries s(0.1, std::vector<double>(100, 1.0));
+    const TimeSeries r = s.resampled(10);
+    EXPECT_EQ(r.size(), 10u);
+    EXPECT_NEAR(r.duration(), s.duration(), 1e-9);
+    EXPECT_DOUBLE_EQ(r.mean(), 1.0);
+}
+
+TEST(TimeSeries, AverageOfIdenticalRunsIsIdentity)
+{
+    TimeSeries s(0.1, {1.0, 2.0, 3.0});
+    const TimeSeries avg = TimeSeries::average({s, s, s});
+    ASSERT_EQ(avg.size(), 3u);
+    EXPECT_DOUBLE_EQ(avg[0], 1.0);
+    EXPECT_DOUBLE_EQ(avg[2], 3.0);
+}
+
+TEST(TimeSeries, AverageHandlesLengthMismatch)
+{
+    TimeSeries a(0.1, {2.0, 2.0, 2.0, 2.0});
+    TimeSeries b(0.1, {4.0, 4.0});
+    const TimeSeries avg = TimeSeries::average({a, b});
+    ASSERT_EQ(avg.size(), 2u);
+    EXPECT_DOUBLE_EQ(avg[0], 3.0);
+    EXPECT_DOUBLE_EQ(avg[1], 3.0);
+}
+
+TEST(TimeSeries, AverageOfZeroRunsIsFatal)
+{
+    EXPECT_THROW(TimeSeries::average({}), FatalError);
+}
+
+TEST(TimeSeries, MinusBaselineClampsAtZero)
+{
+    TimeSeries s(0.1, {5.0, 1.0});
+    const TimeSeries adj = s.minusBaseline(2.0);
+    EXPECT_DOUBLE_EQ(adj[0], 3.0);
+    EXPECT_DOUBLE_EQ(adj[1], 0.0);
+}
+
+/** Property: resampling to any width preserves mean within 5%. */
+class ResampleWidth : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ResampleWidth, PreservesMean)
+{
+    std::vector<double> values;
+    for (int i = 0; i < 977; ++i)
+        values.push_back(0.5 + 0.5 * ((i * 37) % 100) / 100.0);
+    TimeSeries s(0.1, values);
+    const TimeSeries r = s.resampled(GetParam());
+    EXPECT_NEAR(r.mean(), s.mean(), 0.05 * s.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ResampleWidth,
+                         ::testing::Values(1, 2, 3, 10, 100, 500, 977,
+                                           2000));
+
+} // namespace
+} // namespace mbs

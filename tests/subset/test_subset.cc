@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for subset construction and the Yi-et-al. representativeness
+ * metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "subset/subset.hh"
+
+namespace mbs {
+namespace {
+
+std::vector<SubsetCandidate>
+paperishCandidates()
+{
+    // A miniature version of the paper's situation: 3 clusters, one
+    // whole-suite group, one AIE champion, one all-cluster stressor.
+    std::vector<SubsetCandidate> out;
+    auto add = [&out](const char *name, double rt, int cluster,
+                      double aie, double gpu, bool all_cpu,
+                      bool whole) {
+        SubsetCandidate c;
+        c.name = name;
+        c.suite = "S";
+        c.runtimeSeconds = rt;
+        c.cluster = cluster;
+        c.avgAieLoad = aie;
+        c.avgGpuLoad = gpu;
+        c.stressesAllCpuClusters = all_cpu;
+        c.requiresWholeSuite = whole;
+        out.push_back(c);
+    };
+    add("SegA", 100, 0, 0.1, 0.0, true, true);
+    add("SegB", 150, 1, 0.0, 0.7, false, true);
+    add("CpuShort", 120, 0, 0.0, 0.0, true, false);
+    add("CpuLong", 400, 0, 0.0, 0.1, true, false);
+    add("GpuQuick", 50, 1, 0.0, 0.9, false, false);
+    add("GpuBig", 300, 1, 0.0, 0.95, false, false);
+    add("AieChamp", 80, 2, 0.6, 0.3, false, false);
+    add("Other", 60, 2, 0.2, 0.2, false, false);
+    return out;
+}
+
+TEST(SubsetBuilder, FullRuntimeSums)
+{
+    const SubsetBuilder b(paperishCandidates());
+    EXPECT_DOUBLE_EQ(b.fullRuntimeSeconds(), 1260.0);
+}
+
+TEST(SubsetBuilder, NaivePicksShortestExecutablePerCluster)
+{
+    const SubsetBuilder b(paperishCandidates());
+    const auto result = b.naive();
+    ASSERT_EQ(result.members.size(), 3u);
+    // Cluster 0: SegA (100 s) is whole-suite-only -> CpuShort.
+    EXPECT_NE(std::find(result.members.begin(), result.members.end(),
+                        "CpuShort"), result.members.end());
+    // Cluster 1: SegB excluded -> GpuQuick.
+    EXPECT_NE(std::find(result.members.begin(), result.members.end(),
+                        "GpuQuick"), result.members.end());
+    // Cluster 2: Other (60 s) beats AieChamp (80 s).
+    EXPECT_NE(std::find(result.members.begin(), result.members.end(),
+                        "Other"), result.members.end());
+    EXPECT_DOUBLE_EQ(result.runtimeSeconds, 230.0);
+    EXPECT_NEAR(result.runtimeReduction, 1.0 - 230.0 / 1260.0, 1e-12);
+}
+
+TEST(SubsetBuilder, SelectStartsWithWholeSuite)
+{
+    const SubsetBuilder b(paperishCandidates());
+    const auto result = b.select();
+    EXPECT_EQ(result.members[0], "SegA");
+    EXPECT_EQ(result.members[1], "SegB");
+}
+
+TEST(SubsetBuilder, SelectAddsAieChampion)
+{
+    const SubsetBuilder b(paperishCandidates());
+    const auto result = b.select();
+    EXPECT_NE(std::find(result.members.begin(), result.members.end(),
+                        "AieChamp"), result.members.end());
+}
+
+TEST(SubsetBuilder, SelectAddsShortestAllClusterBenchmark)
+{
+    const SubsetBuilder b(paperishCandidates());
+    const auto result = b.select();
+    // CpuShort (120 s) beats CpuLong (400 s); SegA already included.
+    EXPECT_NE(std::find(result.members.begin(), result.members.end(),
+                        "CpuShort"), result.members.end());
+    EXPECT_EQ(std::find(result.members.begin(), result.members.end(),
+                        "CpuLong"), result.members.end());
+}
+
+TEST(SubsetBuilder, SelectPlusGpuAddsHighestGpuLoad)
+{
+    const SubsetBuilder b(paperishCandidates());
+    const auto result = b.selectPlusGpu();
+    // GpuBig (0.95) is the highest-GPU-load benchmark not selected.
+    EXPECT_NE(std::find(result.members.begin(), result.members.end(),
+                        "GpuBig"), result.members.end());
+    EXPECT_EQ(result.members.size(), b.select().members.size() + 1);
+}
+
+TEST(SubsetBuilder, RejectsBadInput)
+{
+    EXPECT_THROW(SubsetBuilder({}), FatalError);
+    auto dup = paperishCandidates();
+    dup.push_back(dup.front());
+    EXPECT_THROW(SubsetBuilder{dup}, FatalError);
+    auto zero = paperishCandidates();
+    zero[0].runtimeSeconds = 0.0;
+    EXPECT_THROW(SubsetBuilder{zero}, FatalError);
+}
+
+FeatureMatrix
+lineMatrix()
+{
+    // Four points on a line: distances are easy to verify by hand.
+    FeatureMatrix m({"x"});
+    m.addRow("p0", {0.0});
+    m.addRow("p1", {1.0});
+    m.addRow("p2", {2.0});
+    m.addRow("p3", {10.0});
+    return m;
+}
+
+TEST(YiDistance, HandComputedExample)
+{
+    const auto m = lineMatrix();
+    // Subset {p0}: distances 1 + 2 + 10 = 13.
+    EXPECT_DOUBLE_EQ(totalMinEuclideanDistance(m, {"p0"}), 13.0);
+    // Subset {p0, p3}: p1 -> 1, p2 -> 2 => 3.
+    EXPECT_DOUBLE_EQ(totalMinEuclideanDistance(m, {"p0", "p3"}), 3.0);
+}
+
+TEST(YiDistance, FullSubsetIsZero)
+{
+    const auto m = lineMatrix();
+    EXPECT_DOUBLE_EQ(
+        totalMinEuclideanDistance(m, {"p0", "p1", "p2", "p3"}), 0.0);
+}
+
+TEST(YiDistance, EmptySubsetIsFatal)
+{
+    EXPECT_THROW(totalMinEuclideanDistance(lineMatrix(), {}),
+                 FatalError);
+}
+
+TEST(YiDistance, UnknownMemberIsFatal)
+{
+    EXPECT_THROW(totalMinEuclideanDistance(lineMatrix(), {"nope"}),
+                 FatalError);
+}
+
+TEST(YiDistance, AddingMembersNeverIncreasesDistance)
+{
+    const auto m = lineMatrix();
+    const auto curve = incrementalDistanceCurve(m, {"p3", "p0"});
+    ASSERT_EQ(curve.size(), 4u);
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_LE(curve[i], curve[i - 1] + 1e-12);
+    EXPECT_DOUBLE_EQ(curve.back(), 0.0);
+}
+
+TEST(YiDistance, CurveStartsWithFirstMemberOnly)
+{
+    const auto m = lineMatrix();
+    const auto curve = incrementalDistanceCurve(m, {"p0", "p3"});
+    EXPECT_DOUBLE_EQ(curve[0],
+                     totalMinEuclideanDistance(m, {"p0"}));
+    EXPECT_DOUBLE_EQ(curve[1],
+                     totalMinEuclideanDistance(m, {"p0", "p3"}));
+}
+
+TEST(Percentile, GoodSubsetScoresLowPercentile)
+{
+    // p0 and p3 cover the line well; most random pairs do worse.
+    const auto m = lineMatrix();
+    const double pct =
+        subsetDistancePercentile(m, {"p0", "p3"}, 500, 3);
+    EXPECT_LT(pct, 50.0);
+}
+
+TEST(Percentile, FullSetIsZeroPercentile)
+{
+    const auto m = lineMatrix();
+    const double pct = subsetDistancePercentile(
+        m, {"p0", "p1", "p2", "p3"}, 100, 3);
+    EXPECT_DOUBLE_EQ(pct, 0.0);
+}
+
+TEST(Percentile, InvalidArgumentsAreFatal)
+{
+    const auto m = lineMatrix();
+    EXPECT_THROW(subsetDistancePercentile(m, {"p0"}, 0), FatalError);
+    EXPECT_THROW(subsetDistancePercentile(
+                     m, {"p0", "p1", "p2", "p3", "p0"}, 10),
+                 FatalError);
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the workload description types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workload/benchmark.hh"
+
+namespace mbs {
+namespace {
+
+Benchmark
+twoPhase()
+{
+    Benchmark b("SuiteX", "BenchY", HardwareTarget::Cpu);
+    Phase p1;
+    p1.name = "warm";
+    p1.kernel = "gemm";
+    p1.durationSeconds = 10.0;
+    p1.demand.cpu.instructionsBillions = 2.0;
+    b.addPhase(p1);
+    Phase p2;
+    p2.name = "main";
+    p2.kernel = "fft";
+    p2.durationSeconds = 30.0;
+    p2.demand.cpu.instructionsBillions = 6.0;
+    b.addPhase(p2);
+    return b;
+}
+
+TEST(Benchmark, AccessorsAndTotals)
+{
+    const Benchmark b = twoPhase();
+    EXPECT_EQ(b.suiteName(), "SuiteX");
+    EXPECT_EQ(b.name(), "BenchY");
+    EXPECT_EQ(b.target(), HardwareTarget::Cpu);
+    EXPECT_TRUE(b.individuallyExecutable());
+    EXPECT_EQ(b.phases().size(), 2u);
+    EXPECT_DOUBLE_EQ(b.totalDurationSeconds(), 40.0);
+    EXPECT_DOUBLE_EQ(b.totalInstructionsBillions(), 8.0);
+}
+
+TEST(Benchmark, RejectsNonPositiveDuration)
+{
+    Benchmark b("S", "B", HardwareTarget::Gpu);
+    Phase p;
+    p.durationSeconds = 0.0;
+    EXPECT_THROW(b.addPhase(p), FatalError);
+}
+
+TEST(Benchmark, ToTimedPhasesPreservesOrderAndDemand)
+{
+    const Benchmark b = twoPhase();
+    const auto timed = b.toTimedPhases();
+    ASSERT_EQ(timed.size(), 2u);
+    EXPECT_DOUBLE_EQ(timed[0].durationSeconds, 10.0);
+    EXPECT_DOUBLE_EQ(timed[1].durationSeconds, 30.0);
+    EXPECT_DOUBLE_EQ(timed[1].demand.cpu.instructionsBillions, 6.0);
+}
+
+TEST(Benchmark, PhaseStartFractions)
+{
+    const Benchmark b = twoPhase();
+    EXPECT_DOUBLE_EQ(b.phaseStartFraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(b.phaseStartFraction(1), 0.25);
+    EXPECT_THROW(b.phaseStartFraction(2), FatalError);
+}
+
+TEST(Benchmark, NonExecutableFlag)
+{
+    Benchmark b("Antutu v9", "Antutu Mem",
+                HardwareTarget::MemorySubsystem, false);
+    EXPECT_FALSE(b.individuallyExecutable());
+}
+
+TEST(Suite, TotalDurationSumsBenchmarks)
+{
+    Suite s;
+    s.name = "S";
+    s.benchmarks.push_back(twoPhase());
+    s.benchmarks.push_back(twoPhase());
+    EXPECT_DOUBLE_EQ(s.totalDurationSeconds(), 80.0);
+}
+
+TEST(HardwareTarget, NamesMatchTableI)
+{
+    EXPECT_EQ(hardwareTargetName(HardwareTarget::Cpu), "CPU");
+    EXPECT_EQ(hardwareTargetName(HardwareTarget::Gpu), "GPU");
+    EXPECT_EQ(hardwareTargetName(HardwareTarget::MemorySubsystem),
+              "Memory subsystem");
+    EXPECT_EQ(hardwareTargetName(HardwareTarget::StorageSubsystem),
+              "Storage subsystem");
+    EXPECT_EQ(hardwareTargetName(HardwareTarget::Ai),
+              "AI-related tasks");
+    EXPECT_EQ(hardwareTargetName(HardwareTarget::EverydayTasks),
+              "Everyday tasks");
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the kernel archetype library: each archetype must encode
+ * its distinguishing domain behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workload/kernels.hh"
+
+namespace mbs {
+namespace {
+
+TEST(Kernels, GemmIsMultiThreadedAndCacheFriendly)
+{
+    const auto d = kernels::gemm();
+    ASSERT_FALSE(d.threads.empty());
+    EXPECT_GE(d.threads[0].count, 4);
+    EXPECT_GT(d.cpu.locality, 0.97);
+    EXPECT_GT(d.cpu.baseIpc, 3.0);
+}
+
+TEST(Kernels, FftOffloadsToAie)
+{
+    const auto d = kernels::fft(2, 0.3);
+    EXPECT_DOUBLE_EQ(d.aie.workRate, 0.3);
+}
+
+TEST(Kernels, CryptoHasTinyWorkingSet)
+{
+    const auto d = kernels::crypto();
+    EXPECT_LE(d.cpu.workingSetBytes, 1ULL << 20);
+    EXPECT_GT(d.cpu.baseIpc, 2.8);
+}
+
+TEST(Kernels, MemoryStreamHasLowLocality)
+{
+    const auto d = kernels::memoryStream(256ULL << 20, 0.3);
+    EXPECT_DOUBLE_EQ(d.cpu.locality, 0.3);
+    EXPECT_EQ(d.cpu.workingSetBytes, 256ULL << 20);
+    // RAM stress also defeats the branch predictor.
+    EXPECT_LT(d.cpu.branchPredictability, 0.95);
+}
+
+TEST(Kernels, StorageIoSetsIoRate)
+{
+    const auto d = kernels::storageIo(0.8);
+    EXPECT_DOUBLE_EQ(d.storage.ioRate, 0.8);
+}
+
+TEST(Kernels, RenderSceneRequiresApi)
+{
+    EXPECT_THROW(kernels::renderScene(GraphicsApi::None, 0.5),
+                 FatalError);
+}
+
+TEST(Kernels, RenderSceneDriverThreadsFitLittleCores)
+{
+    // Observation #8: graphics CPU work stays on the little cluster.
+    const auto d = kernels::renderScene(GraphicsApi::Vulkan, 0.9);
+    for (const auto &group : d.threads)
+        EXPECT_LE(group.intensity, 0.35 * 0.8 + 1e-9);
+}
+
+TEST(Kernels, RenderScenePassesParameters)
+{
+    const auto d = kernels::renderScene(GraphicsApi::OpenGlEs, 0.7,
+                                        1.78, true, 2000.0);
+    EXPECT_EQ(d.gpu.api, GraphicsApi::OpenGlEs);
+    EXPECT_DOUBLE_EQ(d.gpu.workRate, 0.7);
+    EXPECT_DOUBLE_EQ(d.gpu.resolutionScale, 1.78);
+    EXPECT_TRUE(d.gpu.offscreen);
+    EXPECT_EQ(d.gpu.textureBytes, 2000ULL << 20);
+}
+
+TEST(Kernels, GpuComputeIsOffscreenAluBound)
+{
+    const auto d = kernels::gpuCompute(0.95);
+    EXPECT_TRUE(d.gpu.offscreen);
+    EXPECT_LT(d.gpu.textureBandwidth, 0.3);
+    EXPECT_EQ(d.gpu.api, GraphicsApi::Vulkan);
+}
+
+TEST(Kernels, PhysicsLevelsEscalate)
+{
+    const auto l1 = kernels::physics(1);
+    const auto l3 = kernels::physics(3);
+    EXPECT_LT(l1.threads[0].intensity, l3.threads[0].intensity);
+    EXPECT_GE(l1.threads[0].count, 4); // highly multi-threaded
+    // Physics minimizes the GPU workload.
+    EXPECT_LT(l1.gpu.workRate, 0.2);
+    EXPECT_THROW(kernels::physics(0), FatalError);
+    EXPECT_THROW(kernels::physics(4), FatalError);
+}
+
+TEST(Kernels, VideoCodecCarriesCodec)
+{
+    const auto d = kernels::videoCodec(MediaCodec::Av1, 0.5);
+    EXPECT_EQ(d.aie.codec, MediaCodec::Av1);
+    EXPECT_DOUBLE_EQ(d.aie.workRate, 0.5);
+}
+
+TEST(Kernels, VideoEncodeCostsMoreCpuThanDecode)
+{
+    const auto dec = kernels::videoCodec(MediaCodec::H264, 0.4, false);
+    const auto enc = kernels::videoCodec(MediaCodec::H264, 0.4, true);
+    EXPECT_GT(enc.threads[0].intensity, dec.threads[0].intensity);
+}
+
+TEST(Kernels, NnInferenceSizesForMidCores)
+{
+    // Aitutu's Observation-#7 exception: inference workers target the
+    // mid cluster (0.28 < intensity <= 0.56), plus one big feeder.
+    const auto d = kernels::nnInference();
+    ASSERT_GE(d.threads.size(), 2u);
+    EXPECT_GT(d.threads[0].intensity, 0.28);
+    EXPECT_LE(d.threads[0].intensity, 0.56);
+    bool has_big_feeder = false;
+    for (const auto &group : d.threads) {
+        if (group.intensity > 0.56)
+            has_big_feeder = true;
+    }
+    EXPECT_TRUE(has_big_feeder);
+}
+
+TEST(Kernels, PsnrCompareStressesAie)
+{
+    const auto lo = kernels::psnrCompare(false);
+    const auto hi = kernels::psnrCompare(true);
+    EXPECT_GT(lo.aie.workRate, 0.5);
+    EXPECT_GT(hi.aie.workRate, lo.aie.workRate);
+}
+
+TEST(Kernels, MulticoreStressUsesAllCores)
+{
+    const auto d = kernels::multicoreStress();
+    EXPECT_GE(d.threads[0].count, 8);
+}
+
+TEST(Kernels, LoadingBurstTouchesStorage)
+{
+    const auto d = kernels::loadingBurst();
+    EXPECT_GT(d.storage.ioRate, 0.3);
+}
+
+TEST(Kernels, MenuIdleIsLight)
+{
+    const auto d = kernels::menuIdle();
+    EXPECT_LE(d.threads[0].intensity, 0.15);
+    EXPECT_LT(d.gpu.workRate, 0.1);
+}
+
+TEST(Kernels, EverydayKernelsUseLittleClassThreads)
+{
+    // The paper: little cores prove adequate for most usage; everyday
+    // tasks fan out into threads light enough for them.
+    for (const auto &d : {kernels::webBrowse(), kernels::uiScroll(),
+                          kernels::videoCodec(MediaCodec::H264, 0.4),
+                          kernels::dataProcessing()}) {
+        ASSERT_FALSE(d.threads.empty());
+        EXPECT_LE(d.threads[0].intensity, 0.30);
+    }
+}
+
+TEST(Kernels, AllKernelsHaveSaneCharacter)
+{
+    const PhaseDemand demands[] = {
+        kernels::gemm(), kernels::fft(), kernels::crypto(),
+        kernels::integerOps(), kernels::floatOps(),
+        kernels::imageDecode(), kernels::compression(),
+        kernels::memoryStream(), kernels::storageIo(0.5),
+        kernels::database(), kernels::webBrowse(),
+        kernels::photoEdit(),
+        kernels::videoCodec(MediaCodec::H265, 0.4),
+        kernels::renderScene(GraphicsApi::Vulkan, 0.8),
+        kernels::gpuCompute(0.9), kernels::physics(2),
+        kernels::nnInference(), kernels::uiScroll(),
+        kernels::psnrCompare(true), kernels::multicoreStress(),
+        kernels::dataProcessing(), kernels::dataSecurity(),
+        kernels::loadingBurst(), kernels::menuIdle(),
+    };
+    for (const auto &d : demands) {
+        EXPECT_GT(d.cpu.baseIpc, 0.5);
+        EXPECT_LE(d.cpu.baseIpc, 4.0);
+        EXPECT_GE(d.cpu.memIntensity, 0.1);
+        EXPECT_LE(d.cpu.memIntensity, 0.6);
+        EXPECT_GE(d.cpu.locality, 0.0);
+        EXPECT_LT(d.cpu.locality, 1.0);
+        EXPECT_GE(d.cpu.branchFraction, 0.0);
+        EXPECT_LE(d.cpu.branchFraction, 0.4);
+        EXPECT_GT(d.cpu.branchPredictability, 0.8);
+        EXPECT_LE(d.cpu.branchPredictability, 1.0);
+        EXPECT_GT(d.memory.footprintBytes, 100ULL << 20);
+    }
+}
+
+} // namespace
+} // namespace mbs

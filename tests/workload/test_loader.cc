@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the text-format workload loader.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "profiler/session.hh"
+#include "workload/loader.hh"
+
+namespace mbs {
+namespace {
+
+const char *exampleText = R"(
+# A custom suite for loader tests.
+suite "My Suite" publisher "Me"
+benchmark "My Bench" target gpu
+  phase "warmup" kernel menuIdle duration 5 instructions 0.05
+  phase "scene" kernel renderScene duration 30 instructions 2.0 \
+      gpu_rate 0.8 api vulkan resolution 1.78 offscreen true
+  phase "decode" kernel videoCodec duration 10 instructions 0.5 \
+      codec av1 aie_rate 0.5
+benchmark "CPU Side" target cpu
+  phase "crunch" kernel gemm duration 20 instructions 3.0 \
+      threads 4 intensity 0.7
+)";
+
+TEST(Loader, ParsesTheDocumentedExample)
+{
+    const auto suites = loadSuitesFromString(exampleText);
+    ASSERT_EQ(suites.size(), 1u);
+    const Suite &s = suites[0];
+    EXPECT_EQ(s.name, "My Suite");
+    EXPECT_EQ(s.publisher, "Me");
+    EXPECT_FALSE(s.runsAsWhole);
+    ASSERT_EQ(s.benchmarks.size(), 2u);
+
+    const Benchmark &b = s.benchmarks[0];
+    EXPECT_EQ(b.name(), "My Bench");
+    EXPECT_EQ(b.target(), HardwareTarget::Gpu);
+    ASSERT_EQ(b.phases().size(), 3u);
+    EXPECT_DOUBLE_EQ(b.totalDurationSeconds(), 45.0);
+    EXPECT_NEAR(b.totalInstructionsBillions(), 2.55, 1e-12);
+
+    const Phase &scene = b.phases()[1];
+    EXPECT_EQ(scene.kernel, "renderScene");
+    EXPECT_EQ(scene.demand.gpu.api, GraphicsApi::Vulkan);
+    EXPECT_DOUBLE_EQ(scene.demand.gpu.workRate, 0.8);
+    EXPECT_DOUBLE_EQ(scene.demand.gpu.resolutionScale, 1.78);
+    EXPECT_TRUE(scene.demand.gpu.offscreen);
+
+    const Phase &decode = b.phases()[2];
+    EXPECT_EQ(decode.demand.aie.codec, MediaCodec::Av1);
+    EXPECT_DOUBLE_EQ(decode.demand.aie.workRate, 0.5);
+
+    const Phase &crunch = s.benchmarks[1].phases()[0];
+    EXPECT_EQ(crunch.demand.threads[0].count, 4);
+    EXPECT_DOUBLE_EQ(crunch.demand.threads[0].intensity, 0.7);
+}
+
+TEST(Loader, LoadedSuiteRunsOnTheSimulator)
+{
+    const auto suites = loadSuitesFromString(exampleText);
+    const ProfilerSession session(SocConfig::snapdragon888());
+    const auto profiles = session.profileSuite(suites[0]);
+    ASSERT_EQ(profiles.size(), 2u);
+    EXPECT_NEAR(profiles[0].runtimeSeconds, 45.0, 5.0);
+    EXPECT_GT(profiles[0].avgGpuLoad(), 0.3);
+    EXPECT_GT(profiles[1].ipc, 0.5);
+}
+
+TEST(Loader, WholeSuiteFlag)
+{
+    const auto suites = loadSuitesFromString(R"(
+suite "W" whole_suite true
+benchmark "Seg" target memory executable false
+  phase "p" kernel memoryStream duration 5 instructions 0.1 \
+      working_set_mb 128 locality 0.5
+)");
+    EXPECT_TRUE(suites[0].runsAsWhole);
+    EXPECT_FALSE(suites[0].benchmarks[0].individuallyExecutable());
+    const auto &d = suites[0].benchmarks[0].phases()[0].demand;
+    EXPECT_EQ(d.cpu.workingSetBytes, 128ULL << 20);
+    EXPECT_DOUBLE_EQ(d.cpu.locality, 0.5);
+}
+
+TEST(Loader, MultipleSuites)
+{
+    const auto suites = loadSuitesFromString(R"(
+suite "A"
+benchmark "A1" target cpu
+  phase "p" kernel crypto duration 1 instructions 0.01
+suite "B"
+benchmark "B1" target storage
+  phase "p" kernel storageIo duration 1 instructions 0.01 io_rate 0.9
+)");
+    ASSERT_EQ(suites.size(), 2u);
+    EXPECT_EQ(suites[0].benchmarks.size(), 1u);
+    EXPECT_EQ(suites[1].benchmarks[0].target(),
+              HardwareTarget::StorageSubsystem);
+    EXPECT_DOUBLE_EQ(
+        suites[1].benchmarks[0].phases()[0].demand.storage.ioRate,
+        0.9);
+}
+
+TEST(Loader, ErrorsCarryLineNumbers)
+{
+    try {
+        loadSuitesFromString(R"(
+suite "S"
+benchmark "B" target cpu
+  phase "p" kernel nope duration 1 instructions 0.1
+)");
+        FAIL() << "must throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("nope"),
+                  std::string::npos);
+    }
+}
+
+TEST(Loader, RejectsStructuralErrors)
+{
+    // Phase before benchmark.
+    EXPECT_THROW(loadSuitesFromString(
+                     "suite \"S\"\nphase \"p\" kernel gemm duration "
+                     "1 instructions 0.1\n"),
+                 FatalError);
+    // Benchmark before suite.
+    EXPECT_THROW(loadSuitesFromString(
+                     "benchmark \"B\" target cpu\n"),
+                 FatalError);
+    // Empty input.
+    EXPECT_THROW(loadSuitesFromString(""), FatalError);
+    // Benchmark without phases.
+    EXPECT_THROW(loadSuitesFromString(
+                     "suite \"S\"\nbenchmark \"B\" target cpu\n"),
+                 FatalError);
+    // Unknown directive.
+    EXPECT_THROW(loadSuitesFromString("bogus\n"), FatalError);
+}
+
+TEST(Loader, RejectsBadPhases)
+{
+    const auto wrap = [](const std::string &phase) {
+        return "suite \"S\"\nbenchmark \"B\" target cpu\n" + phase +
+            "\n";
+    };
+    // Missing kernel.
+    EXPECT_THROW(loadSuitesFromString(wrap(
+                     "phase \"p\" duration 1 instructions 0.1")),
+                 FatalError);
+    // Missing duration.
+    EXPECT_THROW(loadSuitesFromString(wrap(
+                     "phase \"p\" kernel gemm instructions 0.1")),
+                 FatalError);
+    // Missing instruction budget.
+    EXPECT_THROW(loadSuitesFromString(wrap(
+                     "phase \"p\" kernel gemm duration 1")),
+                 FatalError);
+    // videoCodec without codec.
+    EXPECT_THROW(loadSuitesFromString(wrap(
+                     "phase \"p\" kernel videoCodec duration 1 "
+                     "instructions 0.1")),
+                 FatalError);
+    // Unknown keyword.
+    EXPECT_THROW(loadSuitesFromString(wrap(
+                     "phase \"p\" kernel gemm duration 1 "
+                     "instructions 0.1 wings 2")),
+                 FatalError);
+    // Non-numeric number.
+    EXPECT_THROW(loadSuitesFromString(wrap(
+                     "phase \"p\" kernel gemm duration abc "
+                     "instructions 0.1")),
+                 FatalError);
+}
+
+TEST(Loader, QuotedNamesKeepSpaces)
+{
+    const auto suites = loadSuitesFromString(R"(
+suite "Suite With Spaces" publisher "Some Publisher Inc"
+benchmark "Bench Name Here" target ai
+  phase "a phase name" kernel nnInference duration 2 instructions 0.1
+)");
+    EXPECT_EQ(suites[0].name, "Suite With Spaces");
+    EXPECT_EQ(suites[0].publisher, "Some Publisher Inc");
+    EXPECT_EQ(suites[0].benchmarks[0].name(), "Bench Name Here");
+    EXPECT_EQ(suites[0].benchmarks[0].phases()[0].name,
+              "a phase name");
+}
+
+TEST(Loader, UnterminatedQuoteIsFatal)
+{
+    EXPECT_THROW(loadSuitesFromString("suite \"Oops\n"), FatalError);
+}
+
+TEST(MakeKernelDemand, EveryKernelIsConstructible)
+{
+    for (const char *kernel :
+         {"gemm", "fft", "crypto", "integerOps", "floatOps",
+          "imageDecode", "compression", "memoryStream", "storageIo",
+          "database", "webBrowse", "photoEdit", "renderScene",
+          "gpuCompute", "physics", "nnInference", "uiScroll",
+          "psnrCompare", "multicoreStress", "dataProcessing",
+          "dataSecurity", "loadingBurst", "menuIdle"}) {
+        EXPECT_NO_THROW(makeKernelDemand(kernel, {})) << kernel;
+    }
+    EXPECT_NO_THROW(
+        makeKernelDemand("videoCodec", {{"codec", "h264"}}));
+    EXPECT_THROW(makeKernelDemand("unknown", {}), FatalError);
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the suite registry: Table-I structure and the calibrated
+ * runtime/instruction targets from DESIGN.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workload/registry.hh"
+
+namespace mbs {
+namespace {
+
+const WorkloadRegistry &
+registry()
+{
+    static const WorkloadRegistry reg;
+    return reg;
+}
+
+TEST(Registry, HasSevenSuites)
+{
+    ASSERT_EQ(registry().suites().size(), 7u);
+    EXPECT_EQ(registry().suites()[0].name, "3DMark v2");
+    EXPECT_EQ(registry().suites()[1].name, "Antutu v9");
+    EXPECT_EQ(registry().suites()[2].name, "Aitutu v2");
+    EXPECT_EQ(registry().suites()[3].name, "Geekbench 5");
+    EXPECT_EQ(registry().suites()[4].name, "Geekbench 6");
+    EXPECT_EQ(registry().suites()[5].name, "GFXBench v5");
+    EXPECT_EQ(registry().suites()[6].name, "PCMark");
+}
+
+TEST(Registry, HasEighteenUnits)
+{
+    EXPECT_EQ(registry().units().size(), 18u);
+}
+
+TEST(Registry, PublishersMatchTableI)
+{
+    EXPECT_EQ(registry().suite("3DMark v2").publisher, "UL");
+    EXPECT_EQ(registry().suite("Antutu v9").publisher,
+              "Cheetah Mobile");
+    EXPECT_EQ(registry().suite("Geekbench 5").publisher,
+              "Primate Labs");
+    EXPECT_EQ(registry().suite("GFXBench v5").publisher, "Kishonti");
+    EXPECT_EQ(registry().suite("PCMark").publisher, "UL");
+}
+
+TEST(Registry, OnlyAntutuRunsAsWhole)
+{
+    for (const auto &suite : registry().suites()) {
+        EXPECT_EQ(suite.runsAsWhole, suite.name == "Antutu v9")
+            << suite.name;
+    }
+}
+
+TEST(Registry, AntutuSegmentsAreNotIndividuallyExecutable)
+{
+    for (const auto &bench :
+         registry().suite("Antutu v9").benchmarks) {
+        EXPECT_FALSE(bench.individuallyExecutable()) << bench.name();
+    }
+    EXPECT_TRUE(registry().unit("Aitutu").individuallyExecutable());
+    EXPECT_TRUE(
+        registry().unit("Geekbench 5 CPU").individuallyExecutable());
+}
+
+TEST(Registry, TotalRuntimeMatchesTableVI)
+{
+    // The paper's Table VI "Original Set": 4429.5 seconds.
+    EXPECT_NEAR(registry().totalRuntimeSeconds(), 4429.5, 0.01);
+}
+
+TEST(Registry, WildLifeRunsAboutAMinute)
+{
+    const auto &wl = registry().unit("3DMark Wild Life");
+    EXPECT_NEAR(wl.totalDurationSeconds(), 61.5, 0.01);
+}
+
+TEST(Registry, InstructionCountExtremesMatchFig1)
+{
+    // Smallest: GFXBench Special at ~1 B; largest: Geekbench 6 CPU
+    // at ~57 B; mean ~14 B.
+    double min_ic = 1e30, max_ic = 0.0, sum = 0.0;
+    std::string min_name, max_name;
+    for (const auto &b : registry().units()) {
+        const double ic = b.totalInstructionsBillions();
+        sum += ic;
+        if (ic < min_ic) {
+            min_ic = ic;
+            min_name = b.name();
+        }
+        if (ic > max_ic) {
+            max_ic = ic;
+            max_name = b.name();
+        }
+    }
+    EXPECT_EQ(min_name, "GFXBench Special");
+    EXPECT_NEAR(min_ic, 1.0, 0.01);
+    EXPECT_EQ(max_name, "Geekbench 6 CPU");
+    EXPECT_NEAR(max_ic, 57.0, 0.01);
+    EXPECT_NEAR(sum / 18.0, 14.0, 0.5);
+}
+
+TEST(Registry, NewerBenchmarksHaveHigherInstructionCounts)
+{
+    // Fig. 1 commentary: Geekbench 6 vs 5, Wild Life vs Slingshot.
+    const auto ic = [&](const char *name) {
+        return registry().unit(name).totalInstructionsBillions();
+    };
+    EXPECT_GT(ic("Geekbench 6 CPU"), ic("Geekbench 5 CPU"));
+    EXPECT_GT(ic("Geekbench 6 Compute"), ic("Geekbench 5 Compute"));
+    EXPECT_GT(ic("3DMark Wild Life"), ic("3DMark Slingshot"));
+}
+
+TEST(Registry, GfxBenchMicroBenchmarkCounts)
+{
+    // 19 High-Level + 8 Low-Level + 4 Special phases (2 sections x
+    // render+PSNR) group the suite's 29 published micro-benchmarks.
+    EXPECT_EQ(registry().unit("GFXBench High").phases().size(), 19u);
+    EXPECT_EQ(registry().unit("GFXBench Low").phases().size(), 8u);
+    EXPECT_EQ(registry().unit("GFXBench Special").phases().size(), 4u);
+}
+
+TEST(Registry, Geekbench5ComputeHasElevenWorkloads)
+{
+    EXPECT_EQ(registry().unit("Geekbench 5 Compute").phases().size(),
+              11u);
+    EXPECT_EQ(registry().unit("Geekbench 6 Compute").phases().size(),
+              8u);
+}
+
+TEST(Registry, AntutuGpuTimelineMatchesObservation4)
+{
+    // Swordsman ~15%, Refinery ~30%, Terracotta ~49% of the segment;
+    // loading bursts sit near 16% and 49% of execution.
+    const auto &gpu = registry().unit("Antutu GPU");
+    const auto &phases = gpu.phases();
+    ASSERT_GE(phases.size(), 5u);
+    const double total = gpu.totalDurationSeconds();
+    EXPECT_EQ(phases[0].name, "Swordsman");
+    EXPECT_NEAR(phases[0].durationSeconds / total, 0.15, 0.02);
+    EXPECT_NEAR(phases[2].durationSeconds / total, 0.30, 0.02);
+    EXPECT_NEAR(phases[4].durationSeconds / total, 0.49, 0.02);
+    EXPECT_NEAR(gpu.phaseStartFraction(1), 0.16, 0.01);
+    EXPECT_NEAR(gpu.phaseStartFraction(3), 0.49, 0.02);
+}
+
+TEST(Registry, AntutuUxCoversFourCodecs)
+{
+    const auto &ux = registry().unit("Antutu UX");
+    int codecs = 0;
+    bool has_av1 = false;
+    for (const auto &p : ux.phases()) {
+        if (p.demand.aie.codec != MediaCodec::None) {
+            ++codecs;
+            if (p.demand.aie.codec == MediaCodec::Av1)
+                has_av1 = true;
+        }
+    }
+    EXPECT_GE(codecs, 4);
+    EXPECT_TRUE(has_av1);
+}
+
+TEST(Registry, UnknownLookupsAreFatal)
+{
+    EXPECT_THROW(registry().unit("No Such Bench"), FatalError);
+    EXPECT_THROW(registry().suite("No Such Suite"), FatalError);
+    EXPECT_FALSE(registry().hasUnit("No Such Bench"));
+    EXPECT_TRUE(registry().hasUnit("Antutu Mem"));
+}
+
+TEST(Registry, UnitNamesAreUniqueAndOrdered)
+{
+    const auto names = registry().unitNames();
+    ASSERT_EQ(names.size(), 18u);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        for (std::size_t j = i + 1; j < names.size(); ++j)
+            EXPECT_NE(names[i], names[j]);
+    }
+    EXPECT_EQ(names.front(), "3DMark Slingshot");
+    EXPECT_EQ(names.back(), "PCMark Work");
+}
+
+TEST(Registry, EveryPhaseHasPositiveBudgetOrIsIdle)
+{
+    for (const auto &b : registry().units()) {
+        for (const auto &p : b.phases()) {
+            EXPECT_GE(p.demand.cpu.instructionsBillions, 0.0)
+                << b.name() << " / " << p.name;
+            EXPECT_GT(p.durationSeconds, 0.0);
+            EXPECT_FALSE(p.kernel.empty());
+        }
+    }
+}
+
+/** Parameterized check: per-unit calibrated runtimes (DESIGN.md). */
+struct RuntimeTarget
+{
+    const char *name;
+    double seconds;
+};
+
+class UnitRuntime : public ::testing::TestWithParam<RuntimeTarget>
+{
+};
+
+TEST_P(UnitRuntime, MatchesCalibration)
+{
+    const auto target = GetParam();
+    EXPECT_NEAR(registry().unit(target.name).totalDurationSeconds(),
+                target.seconds, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Calibration, UnitRuntime,
+    ::testing::Values(
+        RuntimeTarget{"3DMark Slingshot", 280.0},
+        RuntimeTarget{"3DMark Slingshot Extreme", 310.0},
+        RuntimeTarget{"3DMark Wild Life", 61.5},
+        RuntimeTarget{"3DMark Wild Life Extreme", 75.0},
+        RuntimeTarget{"Antutu CPU", 130.0},
+        RuntimeTarget{"Antutu GPU", 200.0},
+        RuntimeTarget{"Antutu Mem", 145.0},
+        RuntimeTarget{"Antutu UX", 170.0},
+        RuntimeTarget{"Aitutu", 260.0},
+        RuntimeTarget{"Geekbench 5 CPU", 140.0},
+        RuntimeTarget{"Geekbench 5 Compute", 25.0},
+        RuntimeTarget{"Geekbench 6 CPU", 450.0},
+        RuntimeTarget{"Geekbench 6 Compute", 243.16},
+        RuntimeTarget{"GFXBench High", 1100.0},
+        RuntimeTarget{"GFXBench Low", 450.0},
+        RuntimeTarget{"GFXBench Special", 80.2},
+        RuntimeTarget{"PCMark Storage", 95.0},
+        RuntimeTarget{"PCMark Work", 214.64}));
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Deep-dive structural tests of the suite definitions, one section
+ * per suite (Table I and Section III of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include "soc/config.hh"
+#include "workload/registry.hh"
+
+namespace mbs {
+namespace {
+
+const WorkloadRegistry &
+registry()
+{
+    static const WorkloadRegistry reg;
+    return reg;
+}
+
+// --- 3DMark -------------------------------------------------------
+
+TEST(Suite3DMark, HasFourSubBenchmarks)
+{
+    const auto &suite = registry().suite("3DMark v2");
+    ASSERT_EQ(suite.benchmarks.size(), 4u);
+    EXPECT_EQ(suite.benchmarks[0].name(), "3DMark Slingshot");
+    EXPECT_EQ(suite.benchmarks[3].name(),
+              "3DMark Wild Life Extreme");
+}
+
+TEST(Suite3DMark, WildLifeUsesVulkanSlingshotUsesOpenGl)
+{
+    for (const auto &p :
+         registry().unit("3DMark Wild Life").phases()) {
+        if (p.demand.gpu.api != GraphicsApi::None &&
+            p.kernel == "renderScene") {
+            EXPECT_EQ(p.demand.gpu.api, GraphicsApi::Vulkan)
+                << p.name;
+        }
+    }
+    for (const auto &p :
+         registry().unit("3DMark Slingshot").phases()) {
+        if (p.kernel == "renderScene") {
+            EXPECT_EQ(p.demand.gpu.api, GraphicsApi::OpenGlEs)
+                << p.name;
+        }
+    }
+}
+
+TEST(Suite3DMark, SlingshotHasThreeEscalatingPhysicsLevels)
+{
+    int levels = 0;
+    double prev = 0.0;
+    for (const auto &p :
+         registry().unit("3DMark Slingshot").phases()) {
+        if (p.kernel != "physics")
+            continue;
+        ++levels;
+        EXPECT_GT(p.demand.threads[0].intensity, prev);
+        prev = p.demand.threads[0].intensity;
+    }
+    EXPECT_EQ(levels, 3);
+}
+
+TEST(Suite3DMark, ExtremeVariantsRenderMorePixels)
+{
+    const auto max_res = [](const Benchmark &b) {
+        double res = 0.0;
+        for (const auto &p : b.phases())
+            res = std::max(res, p.demand.gpu.resolutionScale);
+        return res;
+    };
+    EXPECT_GT(max_res(registry().unit("3DMark Slingshot Extreme")),
+              max_res(registry().unit("3DMark Slingshot")));
+    EXPECT_DOUBLE_EQ(
+        max_res(registry().unit("3DMark Wild Life Extreme")), 4.0);
+}
+
+// --- Antutu -------------------------------------------------------
+
+TEST(SuiteAntutu, GpuSegmentHasFiveMicroBenchmarks)
+{
+    // Swordsman, Refinery, Terracotta plus the two image-processing
+    // tests (Fisheye + Blur are one short phase here), with loading
+    // bursts between the scenes.
+    const auto &gpu = registry().unit("Antutu GPU");
+    int scenes = 0, loads = 0;
+    for (const auto &p : gpu.phases()) {
+        if (p.kernel == "renderScene")
+            ++scenes;
+        if (p.kernel == "loadingBurst")
+            ++loads;
+    }
+    EXPECT_EQ(scenes, 3);
+    EXPECT_EQ(loads, 2);
+}
+
+TEST(SuiteAntutu, CpuSegmentStartsWithGemmEndsWithMultiCore)
+{
+    const auto &cpu = registry().unit("Antutu CPU").phases();
+    EXPECT_EQ(cpu.front().kernel, "gemm");
+    EXPECT_EQ(cpu.back().kernel, "multicoreStress");
+}
+
+TEST(SuiteAntutu, MemSegmentMixesRamAndStorage)
+{
+    int ram = 0, storage = 0;
+    for (const auto &p : registry().unit("Antutu Mem").phases()) {
+        if (p.kernel == "memoryStream")
+            ++ram;
+        if (p.kernel == "storageIo")
+            ++storage;
+    }
+    EXPECT_GE(ram, 2);
+    EXPECT_GE(storage, 2);
+}
+
+TEST(SuiteAntutu, UxVideoTestsCoverAllFourCodecs)
+{
+    std::set<MediaCodec> codecs;
+    for (const auto &p : registry().unit("Antutu UX").phases()) {
+        if (p.demand.aie.codec != MediaCodec::None)
+            codecs.insert(p.demand.aie.codec);
+    }
+    EXPECT_EQ(codecs, (std::set<MediaCodec>{
+                          MediaCodec::H264, MediaCodec::H265,
+                          MediaCodec::Vp9, MediaCodec::Av1}));
+}
+
+TEST(SuiteAntutu, Av1PhaseIsNearTheEnd)
+{
+    const auto &ux = registry().unit("Antutu UX");
+    for (std::size_t i = 0; i < ux.phases().size(); ++i) {
+        if (ux.phases()[i].demand.aie.codec == MediaCodec::Av1) {
+            EXPECT_GT(ux.phaseStartFraction(i), 0.6);
+        }
+    }
+}
+
+// --- Geekbench ----------------------------------------------------
+
+TEST(SuiteGeekbench, Gb5CpuSingleThenMultiCore)
+{
+    const auto &phases = registry().unit("Geekbench 5 CPU").phases();
+    ASSERT_EQ(phases.size(), 6u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(phases[i].demand.threads[0].count, 1) << i;
+    for (std::size_t i = 3; i < 6; ++i)
+        EXPECT_EQ(phases[i].demand.threads[0].count, 8) << i;
+}
+
+TEST(SuiteGeekbench, Gb5CpuCoversIntFpCrypto)
+{
+    std::set<std::string> kernels;
+    for (const auto &p : registry().unit("Geekbench 5 CPU").phases())
+        kernels.insert(p.kernel);
+    EXPECT_EQ(kernels, (std::set<std::string>{
+                           "integerOps", "floatOps", "crypto"}));
+}
+
+TEST(SuiteGeekbench, Gb6CpuHasFiveSections)
+{
+    // productivity, developer, ML, image editing, image synthesis.
+    std::set<std::string> kernels;
+    for (const auto &p : registry().unit("Geekbench 6 CPU").phases())
+        kernels.insert(p.kernel);
+    EXPECT_TRUE(kernels.count("integerOps"));
+    EXPECT_TRUE(kernels.count("compression"));
+    EXPECT_TRUE(kernels.count("nnInference"));
+    EXPECT_TRUE(kernels.count("photoEdit"));
+    EXPECT_TRUE(kernels.count("floatOps"));
+}
+
+TEST(SuiteGeekbench, ComputeBenchmarksAreGpuComputeOnly)
+{
+    for (const char *name :
+         {"Geekbench 5 Compute", "Geekbench 6 Compute"}) {
+        for (const auto &p : registry().unit(name).phases()) {
+            EXPECT_EQ(p.kernel, "gpuCompute") << name;
+            EXPECT_TRUE(p.demand.gpu.offscreen) << name;
+        }
+    }
+}
+
+// --- GFXBench -----------------------------------------------------
+
+TEST(SuiteGfxBench, HighLevelPairsOnAndOffScreen)
+{
+    int onscreen = 0, offscreen = 0;
+    for (const auto &p : registry().unit("GFXBench High").phases()) {
+        if (p.demand.gpu.offscreen)
+            ++offscreen;
+        else
+            ++onscreen;
+    }
+    EXPECT_EQ(onscreen + offscreen, 19);
+    EXPECT_GT(onscreen, 4);
+    EXPECT_GT(offscreen, 4);
+}
+
+TEST(SuiteGfxBench, HighLevelMixesApis)
+{
+    int gl = 0, vk = 0;
+    for (const auto &p : registry().unit("GFXBench High").phases()) {
+        if (p.demand.gpu.api == GraphicsApi::OpenGlEs)
+            ++gl;
+        if (p.demand.gpu.api == GraphicsApi::Vulkan)
+            ++vk;
+    }
+    EXPECT_GT(gl, 0);
+    EXPECT_GT(vk, 0);
+}
+
+TEST(SuiteGfxBench, LowLevelOffscreenVariantsPushHarder)
+{
+    const auto &low = registry().unit("GFXBench Low").phases();
+    ASSERT_EQ(low.size(), 8u);
+    // Tests come in on/off-screen pairs.
+    for (std::size_t i = 0; i + 1 < low.size(); i += 2) {
+        EXPECT_FALSE(low[i].demand.gpu.offscreen);
+        EXPECT_TRUE(low[i + 1].demand.gpu.offscreen);
+        EXPECT_GT(low[i + 1].demand.gpu.workRate,
+                  low[i].demand.gpu.workRate);
+    }
+}
+
+TEST(SuiteGfxBench, SpecialAlternatesRenderAndPsnr)
+{
+    const auto &special =
+        registry().unit("GFXBench Special").phases();
+    ASSERT_EQ(special.size(), 4u);
+    EXPECT_EQ(special[0].kernel, "renderScene");
+    EXPECT_EQ(special[1].kernel, "psnrCompare");
+    EXPECT_EQ(special[2].kernel, "renderScene");
+    EXPECT_EQ(special[3].kernel, "psnrCompare");
+    // Second PSNR section runs in higher precision (more AIE work).
+    EXPECT_GT(special[3].demand.aie.workRate,
+              special[1].demand.aie.workRate);
+}
+
+// --- PCMark -------------------------------------------------------
+
+TEST(SuitePcMark, StorageIsIoAndDatabase)
+{
+    for (const auto &p : registry().unit("PCMark Storage").phases()) {
+        EXPECT_TRUE(p.kernel == "storageIo" || p.kernel == "database")
+            << p.kernel;
+        EXPECT_GT(p.demand.storage.ioRate, 0.0);
+    }
+}
+
+TEST(SuitePcMark, WorkCoversEverydayActivities)
+{
+    std::set<std::string> kernels;
+    for (const auto &p : registry().unit("PCMark Work").phases())
+        kernels.insert(p.kernel);
+    EXPECT_TRUE(kernels.count("webBrowse"));
+    EXPECT_TRUE(kernels.count("videoCodec"));
+    EXPECT_TRUE(kernels.count("photoEdit"));
+    EXPECT_TRUE(kernels.count("dataProcessing"));
+}
+
+// --- cross-suite sanity -------------------------------------------
+
+TEST(SuiteSanity, MemoryDemandsStayWithinPhysicalRam)
+{
+    const auto total = SocConfig::snapdragon888().memory.totalBytes;
+    const auto idle = SocConfig::snapdragon888().memory.idleBytes;
+    for (const auto &b : registry().units()) {
+        for (const auto &p : b.phases()) {
+            EXPECT_LT(idle + p.demand.memory.footprintBytes +
+                          p.demand.gpu.textureBytes,
+                      total)
+                << b.name() << " / " << p.name;
+        }
+    }
+}
+
+TEST(SuiteSanity, ThreadIntensitiesAreNormalized)
+{
+    for (const auto &b : registry().units()) {
+        for (const auto &p : b.phases()) {
+            for (const auto &group : p.demand.threads) {
+                EXPECT_GT(group.count, 0)
+                    << b.name() << " / " << p.name;
+                EXPECT_GT(group.intensity, 0.0);
+                EXPECT_LE(group.intensity, 1.0);
+            }
+        }
+    }
+}
+
+TEST(SuiteSanity, GpuWorkAlwaysHasAnApi)
+{
+    for (const auto &b : registry().units()) {
+        for (const auto &p : b.phases()) {
+            if (p.demand.gpu.workRate > 0.0) {
+                EXPECT_NE(p.demand.gpu.api, GraphicsApi::None)
+                    << b.name() << " / " << p.name;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace mbs

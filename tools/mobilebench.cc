@@ -1,0 +1,307 @@
+/**
+ * @file
+ * The `mobilebench` command-line tool: the library's functionality
+ * behind one binary for downstream users.
+ *
+ *   mobilebench list                       all suites and benchmarks
+ *   mobilebench profile <benchmark>        Fig.-1 metrics + strips
+ *   mobilebench counters <benchmark> <c..> sample counters as CSV
+ *   mobilebench pipeline                   every table and figure
+ *   mobilebench roi <benchmark> [frac]     simulation-ROI selection
+ *   mobilebench energy <benchmark>         energy/power breakdown
+ *   mobilebench catalog [category]         list hardware counters
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/sparkline.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "core/pipeline.hh"
+#include "core/report.hh"
+#include <fstream>
+
+#include "roi/roi.hh"
+#include "soc/energy.hh"
+#include "workload/loader.hh"
+
+namespace mbs {
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mobilebench <command> [args]\n"
+                 "  list                        suites and benchmarks\n"
+                 "  profile <benchmark>         metrics + sparklines\n"
+                 "  counters <benchmark> <c..>  counter CSV to stdout\n"
+                 "  pipeline                    full paper pipeline\n"
+                 "  roi <benchmark> [fraction]  simulation-ROI pick\n"
+                 "  energy <benchmark>          energy breakdown\n"
+                 "  catalog [category]          hardware counters\n"
+                 "  load <file>                 profile suites from a\n"
+                 "                              workload definition file\n");
+    return 2;
+}
+
+const WorkloadRegistry &
+registry()
+{
+    static const WorkloadRegistry reg;
+    return reg;
+}
+
+int
+requireUnit(const std::string &name)
+{
+    if (registry().hasUnit(name))
+        return 0;
+    std::fprintf(stderr, "unknown benchmark '%s'; try: mobilebench "
+                         "list\n",
+                 name.c_str());
+    return 1;
+}
+
+int
+cmdList()
+{
+    TextTable t({"Suite", "Benchmark", "Target", "Runtime",
+                 "Individually executable"});
+    for (const auto &suite : registry().suites()) {
+        for (const auto &b : suite.benchmarks) {
+            t.addRow({suite.name, b.name(),
+                      hardwareTargetName(b.target()),
+                      units::formatSeconds(b.totalDurationSeconds()),
+                      b.individuallyExecutable() ? "yes"
+                                                 : "no (whole suite)"});
+        }
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdProfile(const std::string &name)
+{
+    if (requireUnit(name))
+        return 1;
+    const ProfilerSession session(SocConfig::snapdragon888());
+    const auto p = session.profile(registry().unit(name));
+    std::printf("%s (%s)\n", p.name.c_str(), p.suite.c_str());
+    TextTable t({"Metric", "Value"});
+    t.setAlign(1, Align::Right);
+    t.addRow({"runtime", units::formatSeconds(p.runtimeSeconds)});
+    t.addRow({"instructions", units::formatCount(p.instructions)});
+    t.addRow({"IPC", strformat("%.2f", p.ipc)});
+    t.addRow({"cache MPKI", strformat("%.1f", p.cacheMpki)});
+    t.addRow({"branch MPKI", strformat("%.2f", p.branchMpki)});
+    t.addRow({"avg CPU load", units::formatPercent(p.avgCpuLoad())});
+    t.addRow({"avg GPU load", units::formatPercent(p.avgGpuLoad())});
+    t.addRow({"avg AIE load", units::formatPercent(p.avgAieLoad())});
+    t.addRow({"avg app memory",
+              units::formatPercent(p.avgUsedMemory())});
+    std::printf("%s", t.render().c_str());
+    const auto strip = [](const char *label, const TimeSeries &s) {
+        std::printf("%-10s %s\n", label,
+                    sparkline(s.values(), 60).c_str());
+    };
+    strip("cpu", p.series.cpuLoad);
+    strip("gpu", p.series.gpuLoad);
+    strip("aie", p.series.aieLoad);
+    strip("memory", p.series.usedMemory);
+    return 0;
+}
+
+int
+cmdCounters(const std::string &name,
+            const std::vector<std::string> &counters)
+{
+    if (requireUnit(name))
+        return 1;
+    if (counters.empty()) {
+        std::fprintf(stderr, "no counters given; see: mobilebench "
+                             "catalog\n");
+        return 1;
+    }
+    const ProfilerSession session(SocConfig::snapdragon888());
+    for (const auto &c : counters) {
+        if (!session.catalog().has(c)) {
+            std::fprintf(stderr, "unknown counter '%s'\n", c.c_str());
+            return 1;
+        }
+    }
+    const auto series =
+        session.sampleCounters(registry().unit(name), counters);
+    CsvWriter csv(std::cout);
+    std::vector<std::string> header = {"time_s"};
+    header.insert(header.end(), counters.begin(), counters.end());
+    csv.writeRow(header);
+    const std::size_t n = series.at(counters.front()).size();
+    const double dt = series.at(counters.front()).interval();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> row = {double(i) * dt};
+        for (const auto &c : counters)
+            row.push_back(series.at(c)[i]);
+        csv.writeRow(row);
+    }
+    return 0;
+}
+
+int
+cmdPipeline()
+{
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888());
+    const auto report = pipeline.run(registry());
+    std::printf("%s\n", renderTableI(registry()).c_str());
+    std::printf("%s\n", renderFig1(report).c_str());
+    std::printf("%s\n", renderTableIV().c_str());
+    std::printf("%s\n", renderTableIII(report).c_str());
+    std::printf("%s\n", renderTableV(report).c_str());
+    std::printf("%s\n", renderFig4(report).c_str());
+    std::printf("%s\n", renderFig5And6(report).c_str());
+    std::printf("%s\n", renderTableVI(report).c_str());
+    std::printf("%s\n", renderFig7(report).c_str());
+    return 0;
+}
+
+int
+cmdRoi(const std::string &name, double fraction)
+{
+    if (requireUnit(name))
+        return 1;
+    const ProfilerSession session(SocConfig::snapdragon888());
+    const auto p = session.profile(registry().unit(name));
+    RoiOptions opts;
+    opts.targetFraction = fraction;
+    const auto window = RoiExtractor(opts).extract(p);
+    std::printf("%s: simulate %.1f%%..%.1f%% of the run "
+                "(representativeness error %.3f, %zu phases)\n",
+                name.c_str(), 100.0 * window.startFraction,
+                100.0 * window.endFraction,
+                window.representativenessError,
+                window.segments.size());
+    return 0;
+}
+
+int
+cmdEnergy(const std::string &name)
+{
+    if (requireUnit(name))
+        return 1;
+    const SocConfig config = SocConfig::snapdragon888();
+    const SocSimulator sim(config);
+    const EnergyModel model(config);
+    const auto result =
+        sim.run(registry().unit(name).toTimedPhases());
+    const auto e = model.energyOf(result);
+    TextTable t({"Component", "Energy (J)", "Share"});
+    t.setAlign(1, Align::Right);
+    t.setAlign(2, Align::Right);
+    const auto row = [&](const std::string &label, double j) {
+        t.addRow({label, strformat("%.1f", j),
+                  units::formatPercent(j / e.total())});
+    };
+    for (std::size_t c = 0; c < numClusters; ++c)
+        row(clusterName(ClusterId(c)), e.cpuJ[c]);
+    row("GPU", e.gpuJ);
+    row("AIE", e.aieJ);
+    row("DRAM", e.dramJ);
+    row("Storage", e.storageJ);
+    std::printf("%s: %.1f J total, %.2f W average\n%s", name.c_str(),
+                e.total(),
+                e.averagePowerW(result.totals.runtimeSeconds),
+                t.render().c_str());
+    return 0;
+}
+
+int
+cmdLoad(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        return 1;
+    }
+    const auto suites = loadSuites(in);
+    const ProfilerSession session(SocConfig::snapdragon888());
+    TextTable t({"Suite", "Benchmark", "Runtime", "IC", "IPC",
+                 "CPU load", "GPU load", "AIE load"});
+    for (const auto &suite : suites) {
+        for (const auto &p : session.profileSuite(suite)) {
+            t.addRow({p.suite, p.name,
+                      units::formatSeconds(p.runtimeSeconds),
+                      units::formatCount(p.instructions),
+                      strformat("%.2f", p.ipc),
+                      units::formatPercent(p.avgCpuLoad()),
+                      units::formatPercent(p.avgGpuLoad()),
+                      units::formatPercent(p.avgAieLoad())});
+        }
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdCatalog(const std::string &category)
+{
+    const CounterCatalog catalog(SocConfig::snapdragon888());
+    int printed = 0;
+    for (const auto &c : catalog.counters()) {
+        const std::string cat =
+            counterCategoryName(c.category);
+        if (!category.empty() && toLower(cat) != toLower(category))
+            continue;
+        std::printf("%-40s %-8s %s\n", c.name.c_str(), cat.c_str(),
+                    c.unit.c_str());
+        ++printed;
+    }
+    std::printf("%d counters\n", printed);
+    return 0;
+}
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    using namespace mbs;
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "profile" && argc >= 3)
+            return cmdProfile(argv[2]);
+        if (cmd == "counters" && argc >= 3) {
+            std::vector<std::string> counters;
+            for (int i = 3; i < argc; ++i)
+                counters.emplace_back(argv[i]);
+            return cmdCounters(argv[2], counters);
+        }
+        if (cmd == "pipeline")
+            return cmdPipeline();
+        if (cmd == "roi" && argc >= 3)
+            return cmdRoi(argv[2], argc >= 4 ? std::stod(argv[3])
+                                             : 0.10);
+        if (cmd == "energy" && argc >= 3)
+            return cmdEnergy(argv[2]);
+        if (cmd == "catalog")
+            return cmdCatalog(argc >= 3 ? argv[2] : "");
+        if (cmd == "load" && argc >= 3)
+            return cmdLoad(argv[2]);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
