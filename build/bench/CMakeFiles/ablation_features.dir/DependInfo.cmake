@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_features.cc" "bench/CMakeFiles/ablation_features.dir/ablation_features.cc.o" "gcc" "bench/CMakeFiles/ablation_features.dir/ablation_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/roi/CMakeFiles/mbs_roi.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/mbs_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/mbs_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/subset/CMakeFiles/mbs_subset.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mbs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_linkage.dir/ablation_linkage.cc.o"
+  "CMakeFiles/ablation_linkage.dir/ablation_linkage.cc.o.d"
+  "ablation_linkage"
+  "ablation_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_platform.dir/ablation_platform.cc.o"
+  "CMakeFiles/ablation_platform.dir/ablation_platform.cc.o.d"
+  "ablation_platform"
+  "ablation_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sampling.dir/ablation_sampling.cc.o"
+  "CMakeFiles/ablation_sampling.dir/ablation_sampling.cc.o.d"
+  "ablation_sampling"
+  "ablation_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_seeding.dir/ablation_seeding.cc.o"
+  "CMakeFiles/ablation_seeding.dir/ablation_seeding.cc.o.d"
+  "ablation_seeding"
+  "ablation_seeding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_seeding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_energy.dir/extension_energy.cc.o"
+  "CMakeFiles/extension_energy.dir/extension_energy.cc.o.d"
+  "extension_energy"
+  "extension_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

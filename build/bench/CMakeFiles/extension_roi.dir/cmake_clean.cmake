@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_roi.dir/extension_roi.cc.o"
+  "CMakeFiles/extension_roi.dir/extension_roi.cc.o.d"
+  "extension_roi"
+  "extension_roi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_roi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

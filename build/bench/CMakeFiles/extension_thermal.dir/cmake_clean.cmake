@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_thermal.dir/extension_thermal.cc.o"
+  "CMakeFiles/extension_thermal.dir/extension_thermal.cc.o.d"
+  "extension_thermal"
+  "extension_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

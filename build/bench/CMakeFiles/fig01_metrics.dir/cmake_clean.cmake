@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_metrics.dir/fig01_metrics.cc.o"
+  "CMakeFiles/fig01_metrics.dir/fig01_metrics.cc.o.d"
+  "fig01_metrics"
+  "fig01_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

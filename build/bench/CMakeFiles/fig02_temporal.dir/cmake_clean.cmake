@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_temporal.dir/fig02_temporal.cc.o"
+  "CMakeFiles/fig02_temporal.dir/fig02_temporal.cc.o.d"
+  "fig02_temporal"
+  "fig02_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

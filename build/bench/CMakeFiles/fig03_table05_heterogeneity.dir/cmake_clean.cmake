@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_table05_heterogeneity.dir/fig03_table05_heterogeneity.cc.o"
+  "CMakeFiles/fig03_table05_heterogeneity.dir/fig03_table05_heterogeneity.cc.o.d"
+  "fig03_table05_heterogeneity"
+  "fig03_table05_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_table05_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_table05_heterogeneity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_cluster_validation.dir/fig04_cluster_validation.cc.o"
+  "CMakeFiles/fig04_cluster_validation.dir/fig04_cluster_validation.cc.o.d"
+  "fig04_cluster_validation"
+  "fig04_cluster_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cluster_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

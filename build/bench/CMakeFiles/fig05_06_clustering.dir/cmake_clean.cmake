@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_06_clustering.dir/fig05_06_clustering.cc.o"
+  "CMakeFiles/fig05_06_clustering.dir/fig05_06_clustering.cc.o.d"
+  "fig05_06_clustering"
+  "fig05_06_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_06_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_euclidean.dir/fig07_euclidean.cc.o"
+  "CMakeFiles/fig07_euclidean.dir/fig07_euclidean.cc.o.d"
+  "fig07_euclidean"
+  "fig07_euclidean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_euclidean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_correlation.dir/table03_correlation.cc.o"
+  "CMakeFiles/table03_correlation.dir/table03_correlation.cc.o.d"
+  "table03_correlation"
+  "table03_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

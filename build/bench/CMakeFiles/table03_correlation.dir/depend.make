@@ -1,0 +1,2 @@
+# Empty dependencies file for table03_correlation.
+# This may be replaced when dependencies are built.

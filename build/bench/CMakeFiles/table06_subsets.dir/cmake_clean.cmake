@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_subsets.dir/table06_subsets.cc.o"
+  "CMakeFiles/table06_subsets.dir/table06_subsets.cc.o.d"
+  "table06_subsets"
+  "table06_subsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_subsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

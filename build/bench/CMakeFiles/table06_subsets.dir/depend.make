@@ -1,0 +1,2 @@
+# Empty dependencies file for table06_subsets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_suites.dir/characterize_suites.cpp.o"
+  "CMakeFiles/characterize_suites.dir/characterize_suites.cpp.o.d"
+  "characterize_suites"
+  "characterize_suites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

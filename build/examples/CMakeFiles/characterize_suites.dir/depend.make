@@ -1,0 +1,2 @@
+# Empty dependencies file for characterize_suites.
+# This may be replaced when dependencies are built.

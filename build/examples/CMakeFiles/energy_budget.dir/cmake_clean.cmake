@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_budget.dir/energy_budget.cpp.o"
+  "CMakeFiles/energy_budget.dir/energy_budget.cpp.o.d"
+  "energy_budget"
+  "energy_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

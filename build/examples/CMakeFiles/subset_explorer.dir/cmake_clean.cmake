@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subset_explorer.dir/subset_explorer.cpp.o"
+  "CMakeFiles/subset_explorer.dir/subset_explorer.cpp.o.d"
+  "subset_explorer"
+  "subset_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subset_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_soc.dir/whatif_soc.cpp.o"
+  "CMakeFiles/whatif_soc.dir/whatif_soc.cpp.o.d"
+  "whatif_soc"
+  "whatif_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/clustering.cc" "src/cluster/CMakeFiles/mbs_cluster.dir/clustering.cc.o" "gcc" "src/cluster/CMakeFiles/mbs_cluster.dir/clustering.cc.o.d"
+  "/root/repo/src/cluster/hierarchical.cc" "src/cluster/CMakeFiles/mbs_cluster.dir/hierarchical.cc.o" "gcc" "src/cluster/CMakeFiles/mbs_cluster.dir/hierarchical.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/mbs_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/mbs_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/pam.cc" "src/cluster/CMakeFiles/mbs_cluster.dir/pam.cc.o" "gcc" "src/cluster/CMakeFiles/mbs_cluster.dir/pam.cc.o.d"
+  "/root/repo/src/cluster/validation.cc" "src/cluster/CMakeFiles/mbs_cluster.dir/validation.cc.o" "gcc" "src/cluster/CMakeFiles/mbs_cluster.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mbs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

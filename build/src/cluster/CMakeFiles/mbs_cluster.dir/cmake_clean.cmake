@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_cluster.dir/clustering.cc.o"
+  "CMakeFiles/mbs_cluster.dir/clustering.cc.o.d"
+  "CMakeFiles/mbs_cluster.dir/hierarchical.cc.o"
+  "CMakeFiles/mbs_cluster.dir/hierarchical.cc.o.d"
+  "CMakeFiles/mbs_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/mbs_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/mbs_cluster.dir/pam.cc.o"
+  "CMakeFiles/mbs_cluster.dir/pam.cc.o.d"
+  "CMakeFiles/mbs_cluster.dir/validation.cc.o"
+  "CMakeFiles/mbs_cluster.dir/validation.cc.o.d"
+  "libmbs_cluster.a"
+  "libmbs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_common.dir/csv.cc.o"
+  "CMakeFiles/mbs_common.dir/csv.cc.o.d"
+  "CMakeFiles/mbs_common.dir/logging.cc.o"
+  "CMakeFiles/mbs_common.dir/logging.cc.o.d"
+  "CMakeFiles/mbs_common.dir/random.cc.o"
+  "CMakeFiles/mbs_common.dir/random.cc.o.d"
+  "CMakeFiles/mbs_common.dir/sparkline.cc.o"
+  "CMakeFiles/mbs_common.dir/sparkline.cc.o.d"
+  "CMakeFiles/mbs_common.dir/strings.cc.o"
+  "CMakeFiles/mbs_common.dir/strings.cc.o.d"
+  "CMakeFiles/mbs_common.dir/table.cc.o"
+  "CMakeFiles/mbs_common.dir/table.cc.o.d"
+  "CMakeFiles/mbs_common.dir/units.cc.o"
+  "CMakeFiles/mbs_common.dir/units.cc.o.d"
+  "libmbs_common.a"
+  "libmbs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

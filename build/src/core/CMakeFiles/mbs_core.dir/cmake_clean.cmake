@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_core.dir/pipeline.cc.o"
+  "CMakeFiles/mbs_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/mbs_core.dir/report.cc.o"
+  "CMakeFiles/mbs_core.dir/report.cc.o.d"
+  "libmbs_core.a"
+  "libmbs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

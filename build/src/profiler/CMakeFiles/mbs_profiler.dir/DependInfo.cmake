@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/catalog.cc" "src/profiler/CMakeFiles/mbs_profiler.dir/catalog.cc.o" "gcc" "src/profiler/CMakeFiles/mbs_profiler.dir/catalog.cc.o.d"
+  "/root/repo/src/profiler/session.cc" "src/profiler/CMakeFiles/mbs_profiler.dir/session.cc.o" "gcc" "src/profiler/CMakeFiles/mbs_profiler.dir/session.cc.o.d"
+  "/root/repo/src/profiler/trace.cc" "src/profiler/CMakeFiles/mbs_profiler.dir/trace.cc.o" "gcc" "src/profiler/CMakeFiles/mbs_profiler.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mbs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/mbs_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mbs_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

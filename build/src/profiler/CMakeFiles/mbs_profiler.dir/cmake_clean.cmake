@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_profiler.dir/catalog.cc.o"
+  "CMakeFiles/mbs_profiler.dir/catalog.cc.o.d"
+  "CMakeFiles/mbs_profiler.dir/session.cc.o"
+  "CMakeFiles/mbs_profiler.dir/session.cc.o.d"
+  "CMakeFiles/mbs_profiler.dir/trace.cc.o"
+  "CMakeFiles/mbs_profiler.dir/trace.cc.o.d"
+  "libmbs_profiler.a"
+  "libmbs_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roi/roi.cc" "src/roi/CMakeFiles/mbs_roi.dir/roi.cc.o" "gcc" "src/roi/CMakeFiles/mbs_roi.dir/roi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mbs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/mbs_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/mbs_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_roi.dir/roi.cc.o"
+  "CMakeFiles/mbs_roi.dir/roi.cc.o.d"
+  "libmbs_roi.a"
+  "libmbs_roi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_roi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mbs_roi.
+# This may be replaced when dependencies are built.

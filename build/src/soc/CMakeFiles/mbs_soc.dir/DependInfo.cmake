@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/aie.cc" "src/soc/CMakeFiles/mbs_soc.dir/aie.cc.o" "gcc" "src/soc/CMakeFiles/mbs_soc.dir/aie.cc.o.d"
+  "/root/repo/src/soc/caches.cc" "src/soc/CMakeFiles/mbs_soc.dir/caches.cc.o" "gcc" "src/soc/CMakeFiles/mbs_soc.dir/caches.cc.o.d"
+  "/root/repo/src/soc/config.cc" "src/soc/CMakeFiles/mbs_soc.dir/config.cc.o" "gcc" "src/soc/CMakeFiles/mbs_soc.dir/config.cc.o.d"
+  "/root/repo/src/soc/dvfs.cc" "src/soc/CMakeFiles/mbs_soc.dir/dvfs.cc.o" "gcc" "src/soc/CMakeFiles/mbs_soc.dir/dvfs.cc.o.d"
+  "/root/repo/src/soc/energy.cc" "src/soc/CMakeFiles/mbs_soc.dir/energy.cc.o" "gcc" "src/soc/CMakeFiles/mbs_soc.dir/energy.cc.o.d"
+  "/root/repo/src/soc/gpu.cc" "src/soc/CMakeFiles/mbs_soc.dir/gpu.cc.o" "gcc" "src/soc/CMakeFiles/mbs_soc.dir/gpu.cc.o.d"
+  "/root/repo/src/soc/memory.cc" "src/soc/CMakeFiles/mbs_soc.dir/memory.cc.o" "gcc" "src/soc/CMakeFiles/mbs_soc.dir/memory.cc.o.d"
+  "/root/repo/src/soc/scheduler.cc" "src/soc/CMakeFiles/mbs_soc.dir/scheduler.cc.o" "gcc" "src/soc/CMakeFiles/mbs_soc.dir/scheduler.cc.o.d"
+  "/root/repo/src/soc/simulator.cc" "src/soc/CMakeFiles/mbs_soc.dir/simulator.cc.o" "gcc" "src/soc/CMakeFiles/mbs_soc.dir/simulator.cc.o.d"
+  "/root/repo/src/soc/thermal.cc" "src/soc/CMakeFiles/mbs_soc.dir/thermal.cc.o" "gcc" "src/soc/CMakeFiles/mbs_soc.dir/thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mbs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

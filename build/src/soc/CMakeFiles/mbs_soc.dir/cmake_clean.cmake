@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_soc.dir/aie.cc.o"
+  "CMakeFiles/mbs_soc.dir/aie.cc.o.d"
+  "CMakeFiles/mbs_soc.dir/caches.cc.o"
+  "CMakeFiles/mbs_soc.dir/caches.cc.o.d"
+  "CMakeFiles/mbs_soc.dir/config.cc.o"
+  "CMakeFiles/mbs_soc.dir/config.cc.o.d"
+  "CMakeFiles/mbs_soc.dir/dvfs.cc.o"
+  "CMakeFiles/mbs_soc.dir/dvfs.cc.o.d"
+  "CMakeFiles/mbs_soc.dir/energy.cc.o"
+  "CMakeFiles/mbs_soc.dir/energy.cc.o.d"
+  "CMakeFiles/mbs_soc.dir/gpu.cc.o"
+  "CMakeFiles/mbs_soc.dir/gpu.cc.o.d"
+  "CMakeFiles/mbs_soc.dir/memory.cc.o"
+  "CMakeFiles/mbs_soc.dir/memory.cc.o.d"
+  "CMakeFiles/mbs_soc.dir/scheduler.cc.o"
+  "CMakeFiles/mbs_soc.dir/scheduler.cc.o.d"
+  "CMakeFiles/mbs_soc.dir/simulator.cc.o"
+  "CMakeFiles/mbs_soc.dir/simulator.cc.o.d"
+  "CMakeFiles/mbs_soc.dir/thermal.cc.o"
+  "CMakeFiles/mbs_soc.dir/thermal.cc.o.d"
+  "libmbs_soc.a"
+  "libmbs_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

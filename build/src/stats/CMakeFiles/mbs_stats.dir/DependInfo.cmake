@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/mbs_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/mbs_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/feature_matrix.cc" "src/stats/CMakeFiles/mbs_stats.dir/feature_matrix.cc.o" "gcc" "src/stats/CMakeFiles/mbs_stats.dir/feature_matrix.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/mbs_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/mbs_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/mbs_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/mbs_stats.dir/summary.cc.o.d"
+  "/root/repo/src/stats/time_series.cc" "src/stats/CMakeFiles/mbs_stats.dir/time_series.cc.o" "gcc" "src/stats/CMakeFiles/mbs_stats.dir/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_stats.dir/correlation.cc.o"
+  "CMakeFiles/mbs_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/mbs_stats.dir/feature_matrix.cc.o"
+  "CMakeFiles/mbs_stats.dir/feature_matrix.cc.o.d"
+  "CMakeFiles/mbs_stats.dir/histogram.cc.o"
+  "CMakeFiles/mbs_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/mbs_stats.dir/summary.cc.o"
+  "CMakeFiles/mbs_stats.dir/summary.cc.o.d"
+  "CMakeFiles/mbs_stats.dir/time_series.cc.o"
+  "CMakeFiles/mbs_stats.dir/time_series.cc.o.d"
+  "libmbs_stats.a"
+  "libmbs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_subset.dir/subset.cc.o"
+  "CMakeFiles/mbs_subset.dir/subset.cc.o.d"
+  "libmbs_subset.a"
+  "libmbs_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

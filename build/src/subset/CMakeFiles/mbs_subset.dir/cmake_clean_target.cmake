@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmbs_subset.a"
+)

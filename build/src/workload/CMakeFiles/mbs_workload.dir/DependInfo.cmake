@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmark.cc" "src/workload/CMakeFiles/mbs_workload.dir/benchmark.cc.o" "gcc" "src/workload/CMakeFiles/mbs_workload.dir/benchmark.cc.o.d"
+  "/root/repo/src/workload/kernels.cc" "src/workload/CMakeFiles/mbs_workload.dir/kernels.cc.o" "gcc" "src/workload/CMakeFiles/mbs_workload.dir/kernels.cc.o.d"
+  "/root/repo/src/workload/loader.cc" "src/workload/CMakeFiles/mbs_workload.dir/loader.cc.o" "gcc" "src/workload/CMakeFiles/mbs_workload.dir/loader.cc.o.d"
+  "/root/repo/src/workload/registry.cc" "src/workload/CMakeFiles/mbs_workload.dir/registry.cc.o" "gcc" "src/workload/CMakeFiles/mbs_workload.dir/registry.cc.o.d"
+  "/root/repo/src/workload/suites/antutu.cc" "src/workload/CMakeFiles/mbs_workload.dir/suites/antutu.cc.o" "gcc" "src/workload/CMakeFiles/mbs_workload.dir/suites/antutu.cc.o.d"
+  "/root/repo/src/workload/suites/geekbench.cc" "src/workload/CMakeFiles/mbs_workload.dir/suites/geekbench.cc.o" "gcc" "src/workload/CMakeFiles/mbs_workload.dir/suites/geekbench.cc.o.d"
+  "/root/repo/src/workload/suites/gfxbench.cc" "src/workload/CMakeFiles/mbs_workload.dir/suites/gfxbench.cc.o" "gcc" "src/workload/CMakeFiles/mbs_workload.dir/suites/gfxbench.cc.o.d"
+  "/root/repo/src/workload/suites/pcmark.cc" "src/workload/CMakeFiles/mbs_workload.dir/suites/pcmark.cc.o" "gcc" "src/workload/CMakeFiles/mbs_workload.dir/suites/pcmark.cc.o.d"
+  "/root/repo/src/workload/suites/threedmark.cc" "src/workload/CMakeFiles/mbs_workload.dir/suites/threedmark.cc.o" "gcc" "src/workload/CMakeFiles/mbs_workload.dir/suites/threedmark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/mbs_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mbs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_workload.dir/benchmark.cc.o"
+  "CMakeFiles/mbs_workload.dir/benchmark.cc.o.d"
+  "CMakeFiles/mbs_workload.dir/kernels.cc.o"
+  "CMakeFiles/mbs_workload.dir/kernels.cc.o.d"
+  "CMakeFiles/mbs_workload.dir/loader.cc.o"
+  "CMakeFiles/mbs_workload.dir/loader.cc.o.d"
+  "CMakeFiles/mbs_workload.dir/registry.cc.o"
+  "CMakeFiles/mbs_workload.dir/registry.cc.o.d"
+  "CMakeFiles/mbs_workload.dir/suites/antutu.cc.o"
+  "CMakeFiles/mbs_workload.dir/suites/antutu.cc.o.d"
+  "CMakeFiles/mbs_workload.dir/suites/geekbench.cc.o"
+  "CMakeFiles/mbs_workload.dir/suites/geekbench.cc.o.d"
+  "CMakeFiles/mbs_workload.dir/suites/gfxbench.cc.o"
+  "CMakeFiles/mbs_workload.dir/suites/gfxbench.cc.o.d"
+  "CMakeFiles/mbs_workload.dir/suites/pcmark.cc.o"
+  "CMakeFiles/mbs_workload.dir/suites/pcmark.cc.o.d"
+  "CMakeFiles/mbs_workload.dir/suites/threedmark.cc.o"
+  "CMakeFiles/mbs_workload.dir/suites/threedmark.cc.o.d"
+  "libmbs_workload.a"
+  "libmbs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_test_cluster.dir/cluster/test_clustering.cc.o"
+  "CMakeFiles/mbs_test_cluster.dir/cluster/test_clustering.cc.o.d"
+  "CMakeFiles/mbs_test_cluster.dir/cluster/test_hierarchical.cc.o"
+  "CMakeFiles/mbs_test_cluster.dir/cluster/test_hierarchical.cc.o.d"
+  "CMakeFiles/mbs_test_cluster.dir/cluster/test_kmeans.cc.o"
+  "CMakeFiles/mbs_test_cluster.dir/cluster/test_kmeans.cc.o.d"
+  "CMakeFiles/mbs_test_cluster.dir/cluster/test_pam.cc.o"
+  "CMakeFiles/mbs_test_cluster.dir/cluster/test_pam.cc.o.d"
+  "CMakeFiles/mbs_test_cluster.dir/cluster/test_validation.cc.o"
+  "CMakeFiles/mbs_test_cluster.dir/cluster/test_validation.cc.o.d"
+  "mbs_test_cluster"
+  "mbs_test_cluster.pdb"
+  "mbs_test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_test_common.dir/common/test_csv.cc.o"
+  "CMakeFiles/mbs_test_common.dir/common/test_csv.cc.o.d"
+  "CMakeFiles/mbs_test_common.dir/common/test_logging.cc.o"
+  "CMakeFiles/mbs_test_common.dir/common/test_logging.cc.o.d"
+  "CMakeFiles/mbs_test_common.dir/common/test_random.cc.o"
+  "CMakeFiles/mbs_test_common.dir/common/test_random.cc.o.d"
+  "CMakeFiles/mbs_test_common.dir/common/test_sparkline.cc.o"
+  "CMakeFiles/mbs_test_common.dir/common/test_sparkline.cc.o.d"
+  "CMakeFiles/mbs_test_common.dir/common/test_strings.cc.o"
+  "CMakeFiles/mbs_test_common.dir/common/test_strings.cc.o.d"
+  "CMakeFiles/mbs_test_common.dir/common/test_table.cc.o"
+  "CMakeFiles/mbs_test_common.dir/common/test_table.cc.o.d"
+  "CMakeFiles/mbs_test_common.dir/common/test_units.cc.o"
+  "CMakeFiles/mbs_test_common.dir/common/test_units.cc.o.d"
+  "mbs_test_common"
+  "mbs_test_common.pdb"
+  "mbs_test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_test_core.dir/core/test_pipeline_units.cc.o"
+  "CMakeFiles/mbs_test_core.dir/core/test_pipeline_units.cc.o.d"
+  "mbs_test_core"
+  "mbs_test_core.pdb"
+  "mbs_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

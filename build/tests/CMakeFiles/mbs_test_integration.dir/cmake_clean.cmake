@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_test_integration.dir/integration/test_calibration.cc.o"
+  "CMakeFiles/mbs_test_integration.dir/integration/test_calibration.cc.o.d"
+  "CMakeFiles/mbs_test_integration.dir/integration/test_determinism.cc.o"
+  "CMakeFiles/mbs_test_integration.dir/integration/test_determinism.cc.o.d"
+  "CMakeFiles/mbs_test_integration.dir/integration/test_observations.cc.o"
+  "CMakeFiles/mbs_test_integration.dir/integration/test_observations.cc.o.d"
+  "CMakeFiles/mbs_test_integration.dir/integration/test_per_benchmark.cc.o"
+  "CMakeFiles/mbs_test_integration.dir/integration/test_per_benchmark.cc.o.d"
+  "CMakeFiles/mbs_test_integration.dir/integration/test_pipeline.cc.o"
+  "CMakeFiles/mbs_test_integration.dir/integration/test_pipeline.cc.o.d"
+  "mbs_test_integration"
+  "mbs_test_integration.pdb"
+  "mbs_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

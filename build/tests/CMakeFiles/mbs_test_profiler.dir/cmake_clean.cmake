@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_test_profiler.dir/profiler/test_catalog.cc.o"
+  "CMakeFiles/mbs_test_profiler.dir/profiler/test_catalog.cc.o.d"
+  "CMakeFiles/mbs_test_profiler.dir/profiler/test_session.cc.o"
+  "CMakeFiles/mbs_test_profiler.dir/profiler/test_session.cc.o.d"
+  "CMakeFiles/mbs_test_profiler.dir/profiler/test_trace.cc.o"
+  "CMakeFiles/mbs_test_profiler.dir/profiler/test_trace.cc.o.d"
+  "mbs_test_profiler"
+  "mbs_test_profiler.pdb"
+  "mbs_test_profiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_test_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

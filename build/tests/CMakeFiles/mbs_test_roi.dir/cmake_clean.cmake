@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_test_roi.dir/roi/test_roi.cc.o"
+  "CMakeFiles/mbs_test_roi.dir/roi/test_roi.cc.o.d"
+  "mbs_test_roi"
+  "mbs_test_roi.pdb"
+  "mbs_test_roi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_test_roi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

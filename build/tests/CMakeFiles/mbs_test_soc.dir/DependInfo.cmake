@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/soc/test_aie.cc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_aie.cc.o" "gcc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_aie.cc.o.d"
+  "/root/repo/tests/soc/test_caches.cc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_caches.cc.o" "gcc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_caches.cc.o.d"
+  "/root/repo/tests/soc/test_config.cc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_config.cc.o" "gcc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_config.cc.o.d"
+  "/root/repo/tests/soc/test_dvfs.cc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_dvfs.cc.o" "gcc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_dvfs.cc.o.d"
+  "/root/repo/tests/soc/test_energy.cc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_energy.cc.o" "gcc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_energy.cc.o.d"
+  "/root/repo/tests/soc/test_gpu.cc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_gpu.cc.o" "gcc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_gpu.cc.o.d"
+  "/root/repo/tests/soc/test_memory.cc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_memory.cc.o" "gcc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_memory.cc.o.d"
+  "/root/repo/tests/soc/test_scheduler.cc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_scheduler.cc.o.d"
+  "/root/repo/tests/soc/test_simulator.cc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_simulator.cc.o" "gcc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_simulator.cc.o.d"
+  "/root/repo/tests/soc/test_thermal.cc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_thermal.cc.o" "gcc" "tests/CMakeFiles/mbs_test_soc.dir/soc/test_thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/roi/CMakeFiles/mbs_roi.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/mbs_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/mbs_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/subset/CMakeFiles/mbs_subset.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mbs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

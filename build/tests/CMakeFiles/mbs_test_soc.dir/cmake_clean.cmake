@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_test_soc.dir/soc/test_aie.cc.o"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_aie.cc.o.d"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_caches.cc.o"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_caches.cc.o.d"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_config.cc.o"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_config.cc.o.d"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_dvfs.cc.o"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_dvfs.cc.o.d"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_energy.cc.o"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_energy.cc.o.d"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_gpu.cc.o"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_gpu.cc.o.d"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_memory.cc.o"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_memory.cc.o.d"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_scheduler.cc.o"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_scheduler.cc.o.d"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_simulator.cc.o"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_simulator.cc.o.d"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_thermal.cc.o"
+  "CMakeFiles/mbs_test_soc.dir/soc/test_thermal.cc.o.d"
+  "mbs_test_soc"
+  "mbs_test_soc.pdb"
+  "mbs_test_soc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_test_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

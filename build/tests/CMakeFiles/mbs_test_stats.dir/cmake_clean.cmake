@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_test_stats.dir/stats/test_correlation.cc.o"
+  "CMakeFiles/mbs_test_stats.dir/stats/test_correlation.cc.o.d"
+  "CMakeFiles/mbs_test_stats.dir/stats/test_feature_matrix.cc.o"
+  "CMakeFiles/mbs_test_stats.dir/stats/test_feature_matrix.cc.o.d"
+  "CMakeFiles/mbs_test_stats.dir/stats/test_histogram.cc.o"
+  "CMakeFiles/mbs_test_stats.dir/stats/test_histogram.cc.o.d"
+  "CMakeFiles/mbs_test_stats.dir/stats/test_summary.cc.o"
+  "CMakeFiles/mbs_test_stats.dir/stats/test_summary.cc.o.d"
+  "CMakeFiles/mbs_test_stats.dir/stats/test_time_series.cc.o"
+  "CMakeFiles/mbs_test_stats.dir/stats/test_time_series.cc.o.d"
+  "mbs_test_stats"
+  "mbs_test_stats.pdb"
+  "mbs_test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_test_subset.dir/subset/test_subset.cc.o"
+  "CMakeFiles/mbs_test_subset.dir/subset/test_subset.cc.o.d"
+  "mbs_test_subset"
+  "mbs_test_subset.pdb"
+  "mbs_test_subset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_test_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

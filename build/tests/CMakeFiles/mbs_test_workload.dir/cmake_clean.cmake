@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_test_workload.dir/workload/test_benchmark.cc.o"
+  "CMakeFiles/mbs_test_workload.dir/workload/test_benchmark.cc.o.d"
+  "CMakeFiles/mbs_test_workload.dir/workload/test_kernels.cc.o"
+  "CMakeFiles/mbs_test_workload.dir/workload/test_kernels.cc.o.d"
+  "CMakeFiles/mbs_test_workload.dir/workload/test_loader.cc.o"
+  "CMakeFiles/mbs_test_workload.dir/workload/test_loader.cc.o.d"
+  "CMakeFiles/mbs_test_workload.dir/workload/test_registry.cc.o"
+  "CMakeFiles/mbs_test_workload.dir/workload/test_registry.cc.o.d"
+  "CMakeFiles/mbs_test_workload.dir/workload/test_suites.cc.o"
+  "CMakeFiles/mbs_test_workload.dir/workload/test_suites.cc.o.d"
+  "mbs_test_workload"
+  "mbs_test_workload.pdb"
+  "mbs_test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mbs_test_common[1]_include.cmake")
+include("/root/repo/build/tests/mbs_test_stats[1]_include.cmake")
+include("/root/repo/build/tests/mbs_test_soc[1]_include.cmake")
+include("/root/repo/build/tests/mbs_test_roi[1]_include.cmake")
+include("/root/repo/build/tests/mbs_test_workload[1]_include.cmake")
+include("/root/repo/build/tests/mbs_test_core[1]_include.cmake")
+include("/root/repo/build/tests/mbs_test_profiler[1]_include.cmake")
+include("/root/repo/build/tests/mbs_test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/mbs_test_subset[1]_include.cmake")
+include("/root/repo/build/tests/mbs_test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobilebench.dir/mobilebench.cc.o"
+  "CMakeFiles/mobilebench.dir/mobilebench.cc.o.d"
+  "mobilebench"
+  "mobilebench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobilebench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mobilebench.
+# This may be replaced when dependencies are built.

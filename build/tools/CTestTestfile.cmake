@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli.usage "/root/repo/build/tools/mobilebench")
+set_tests_properties(cli.usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.list "/root/repo/build/tools/mobilebench" "list")
+set_tests_properties(cli.list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.profile "/root/repo/build/tools/mobilebench" "profile" "3DMark Wild Life")
+set_tests_properties(cli.profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.counters "/root/repo/build/tools/mobilebench" "counters" "Aitutu" "cpu.load" "aie.load")
+set_tests_properties(cli.counters PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.roi "/root/repo/build/tools/mobilebench" "roi" "Geekbench 5 CPU" "0.2")
+set_tests_properties(cli.roi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.energy "/root/repo/build/tools/mobilebench" "energy" "Antutu GPU")
+set_tests_properties(cli.energy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.catalog "/root/repo/build/tools/mobilebench" "catalog" "GPU")
+set_tests_properties(cli.catalog PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.load "/root/repo/build/tools/mobilebench" "load" "/root/repo/tools/../examples/custom_suite.mbs")
+set_tests_properties(cli.load PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.unknown_benchmark "/root/repo/build/tools/mobilebench" "profile" "No Such Benchmark")
+set_tests_properties(cli.unknown_benchmark PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
