@@ -1,46 +1,91 @@
 #include "logging.hh"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
 
 namespace mbs {
 
 namespace {
 
-LogLevel globalLevel = LogLevel::Warn;
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+std::atomic<bool> globalTimestamps{false};
+
+/** Serializes writes to the sink so concurrent log lines never
+ *  interleave mid-line once instrumented code runs under threads. */
+std::mutex sinkMutex;
+
+/** Monotonic origin for log timestamps (first use of the logger). */
+std::chrono::steady_clock::time_point
+logEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    if (globalTimestamps.load(std::memory_order_relaxed)) {
+        const double elapsed = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - logEpoch()).count();
+        std::lock_guard<std::mutex> lock(sinkMutex);
+        std::fprintf(stderr, "[%10.3fs] %s: %s\n", elapsed, tag,
+                     msg.c_str());
+    } else {
+        std::lock_guard<std::mutex> lock(sinkMutex);
+        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    }
+}
 
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+void
+setLogTimestamps(bool enabled)
+{
+    if (enabled)
+        logEpoch(); // pin the origin no later than enable time
+    globalTimestamps.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+logTimestamps()
+{
+    return globalTimestamps.load(std::memory_order_relaxed);
 }
 
 void
 inform(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Inform)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Inform)
+        emit("info", msg);
 }
 
 void
 warn(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Warn)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Warn)
+        emit("warn", msg);
 }
 
 void
 debug(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Debug)
-        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Debug)
+        emit("debug", msg);
 }
 
 void

@@ -43,6 +43,17 @@ void setLogLevel(LogLevel level);
 /** @return the current global verbosity threshold. */
 LogLevel logLevel();
 
+/**
+ * Prefix log lines with seconds elapsed since the logger's first use
+ * ("[    12.345s] warn: ..."). Off by default. The sink is mutex
+ * protected either way, so concurrent threads never interleave
+ * characters within one line.
+ */
+void setLogTimestamps(bool enabled);
+
+/** @return whether log lines carry elapsed-time prefixes. */
+bool logTimestamps();
+
 /** Print an informational status message when verbosity allows. */
 void inform(const std::string &msg);
 

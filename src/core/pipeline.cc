@@ -6,6 +6,8 @@
 #include "cluster/kmeans.hh"
 #include "cluster/pam.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace mbs {
 
@@ -110,48 +112,83 @@ CharacterizationPipeline::buildCandidates(
 CharacterizationReport
 CharacterizationPipeline::run(const WorkloadRegistry &registry) const
 {
+    obs::MetricsRegistry::instance().counter("pipeline.runs").add();
     CharacterizationReport report;
-    report.profiles = session.profileAll(registry);
-    report.fig1Metrics = buildFig1Metrics(report.profiles);
-    report.clusterFeatures = buildClusterFeatures(report.profiles);
+    {
+        const obs::ScopedSpan stage("profile", "stage");
+        report.profiles = session.profileAll(registry);
+    }
+    {
+        const obs::ScopedSpan stage("fig1-metrics", "stage");
+        report.fig1Metrics = buildFig1Metrics(report.profiles);
+    }
+    {
+        // Table III correlations over the Fig.-1 metric columns.
+        const obs::ScopedSpan stage("correlation", "stage");
+        report.correlation = CorrelationMatrix(report.fig1Metrics);
+    }
+    {
+        const obs::ScopedSpan stage("cluster-features", "stage");
+        report.clusterFeatures = buildClusterFeatures(report.profiles);
+    }
 
     // Fig. 4: cluster-count validation with three algorithms.
     const KMeans kmeans;
     const Pam pam;
     const HierarchicalClustering hierarchical(Linkage::Average);
-    const ValidationSweep sweep(
-        {&kmeans, &pam, &hierarchical}, options.kMin, options.kMax);
-    report.validation = sweep.run(report.clusterFeatures);
-    report.chosenK = ValidationSweep::bestInternalK(report.validation);
+    {
+        const obs::ScopedSpan stage("validation-sweep", "stage");
+        const ValidationSweep sweep(
+            {&kmeans, &pam, &hierarchical}, options.kMin, options.kMax);
+        report.validation = sweep.run(report.clusterFeatures);
+        report.chosenK =
+            ValidationSweep::bestInternalK(report.validation);
+    }
 
     // Figs. 5/6: flat clusterings at the chosen k.
-    report.kmeansLabels =
-        kmeans.fit(report.clusterFeatures, report.chosenK).labels;
-    report.pamLabels =
-        pam.fit(report.clusterFeatures, report.chosenK).labels;
-    report.hierarchicalLabels =
-        hierarchical.fit(report.clusterFeatures, report.chosenK).labels;
+    {
+        const obs::ScopedSpan stage("cluster:kmeans", "stage");
+        report.kmeansLabels =
+            kmeans.fit(report.clusterFeatures, report.chosenK).labels;
+    }
+    {
+        const obs::ScopedSpan stage("cluster:pam", "stage");
+        report.pamLabels =
+            pam.fit(report.clusterFeatures, report.chosenK).labels;
+    }
+    {
+        const obs::ScopedSpan stage("cluster:hierarchical", "stage");
+        report.hierarchicalLabels =
+            hierarchical.fit(report.clusterFeatures,
+                             report.chosenK).labels;
+    }
     report.algorithmsAgree =
         samePartition(report.kmeansLabels, report.pamLabels) &&
         samePartition(report.kmeansLabels, report.hierarchicalLabels);
 
-    // Table VI: subsets. Built from the hierarchical labels (all
-    // three agree when algorithmsAgree holds).
-    const auto candidates = buildCandidates(
-        report.profiles, report.hierarchicalLabels, registry);
-    const SubsetBuilder builder(candidates);
-    report.fullRuntimeSeconds = builder.fullRuntimeSeconds();
-    report.naiveSubset = builder.naive();
-    report.selectSubset = builder.select();
-    report.selectPlusGpuSubset = builder.selectPlusGpu();
+    {
+        // Table VI: subsets. Built from the hierarchical labels (all
+        // three agree when algorithmsAgree holds).
+        const obs::ScopedSpan stage("subsetting", "stage");
+        const auto candidates = buildCandidates(
+            report.profiles, report.hierarchicalLabels, registry);
+        const SubsetBuilder builder(candidates);
+        report.fullRuntimeSeconds = builder.fullRuntimeSeconds();
+        report.naiveSubset = builder.naive();
+        report.selectSubset = builder.select();
+        report.selectPlusGpuSubset = builder.selectPlusGpu();
+    }
 
-    // Fig. 7 curves.
-    report.naiveCurve = incrementalDistanceCurve(
-        report.clusterFeatures, report.naiveSubset.members);
-    report.selectCurve = incrementalDistanceCurve(
-        report.clusterFeatures, report.selectSubset.members);
-    report.selectPlusGpuCurve = incrementalDistanceCurve(
-        report.clusterFeatures, report.selectPlusGpuSubset.members);
+    {
+        // Fig. 7 curves.
+        const obs::ScopedSpan stage("fig7-curves", "stage");
+        report.naiveCurve = incrementalDistanceCurve(
+            report.clusterFeatures, report.naiveSubset.members);
+        report.selectCurve = incrementalDistanceCurve(
+            report.clusterFeatures, report.selectSubset.members);
+        report.selectPlusGpuCurve = incrementalDistanceCurve(
+            report.clusterFeatures, report.selectPlusGpuSubset.members);
+    }
 
     return report;
 }

@@ -33,6 +33,9 @@ struct CharacterizationReport
      *  branch MPKI, runtime. */
     FeatureMatrix fig1Metrics;
 
+    /** Table III: pairwise correlations of the Fig.-1 metrics. */
+    CorrelationMatrix correlation;
+
     /** Fig. 4 validation sweep points (3 algorithms x k range). */
     std::vector<ValidationPoint> validation;
     /** The k chosen by internal validation (paper: 5). */

@@ -146,7 +146,12 @@ renderTableIV()
 std::string
 renderTableIII(const CharacterizationReport &report)
 {
-    const CorrelationMatrix corr(report.fig1Metrics);
+    // Reports produced by CharacterizationPipeline::run() carry the
+    // precomputed matrix; hand-built reports fall back to computing
+    // it here.
+    const CorrelationMatrix corr = report.correlation.size() > 0
+        ? report.correlation
+        : CorrelationMatrix(report.fig1Metrics);
     return "Table III: correlation values between metrics\n" +
         corr.renderLowerTriangle();
 }

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Tiny JSON emission helpers shared by the observability exporters.
+ *
+ * The exporters build their documents by hand (the framework has no
+ * JSON dependency); everything that ends up inside a quoted string
+ * must pass through jsonEscape() so arbitrary benchmark and counter
+ * names cannot break the output.
+ */
+
+#ifndef MBS_OBS_JSON_HH
+#define MBS_OBS_JSON_HH
+
+#include <string>
+
+namespace mbs {
+namespace obs {
+
+/** Escape @p text for inclusion inside a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+/**
+ * Format a double as a JSON number. Produces a fixed, perfectly
+ * round-trippable representation ("%.17g") so snapshots are
+ * byte-identical across runs with identical values; non-finite
+ * values (not representable in JSON) are emitted as null.
+ */
+std::string jsonNumber(double value);
+
+} // namespace obs
+} // namespace mbs
+
+#endif // MBS_OBS_JSON_HH

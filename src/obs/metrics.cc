@@ -1,0 +1,216 @@
+#include "metrics.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "obs/json.hh"
+
+namespace mbs {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : upper(std::move(upperBounds)), counts(upper.size() + 1, 0)
+{
+    fatalIf(upper.empty(), "a histogram needs at least one bucket");
+    fatalIf(!std::is_sorted(upper.begin(), upper.end()),
+            "histogram bucket bounds must be ascending");
+}
+
+void
+Histogram::observe(double value)
+{
+    const auto it = std::lower_bound(upper.begin(), upper.end(), value);
+    const std::size_t bucket = std::size_t(it - upper.begin());
+    std::lock_guard<std::mutex> lock(mtx);
+    ++counts[bucket];
+    total += value;
+    ++n;
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return n;
+}
+
+double
+Histogram::sum() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return total;
+}
+
+std::vector<std::uint64_t>
+Histogram::bucketCounts() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return counts;
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::string out = "{\n  \"metrics\": [";
+    bool first = true;
+    for (const auto &s : samples) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    {\"name\": \"" + jsonEscape(s.name) + "\", ";
+        switch (s.kind) {
+          case MetricSample::Kind::Counter:
+            out += "\"type\": \"counter\", \"value\": " +
+                strformat("%llu",
+                          (unsigned long long)(std::uint64_t)s.value);
+            break;
+          case MetricSample::Kind::Gauge:
+            out += "\"type\": \"gauge\", \"value\": " +
+                jsonNumber(s.value);
+            break;
+          case MetricSample::Kind::Histogram: {
+            out += "\"type\": \"histogram\", \"count\": " +
+                strformat("%llu", (unsigned long long)s.observations) +
+                ", \"sum\": " + jsonNumber(s.sum) + ", \"bounds\": [";
+            for (std::size_t i = 0; i < s.bucketBounds.size(); ++i)
+                out += (i ? ", " : "") + jsonNumber(s.bucketBounds[i]);
+            out += "], \"buckets\": [";
+            for (std::size_t i = 0; i < s.bucketCounts.size(); ++i)
+                out += (i ? ", " : "") +
+                    strformat("%llu",
+                              (unsigned long long)s.bucketCounts[i]);
+            out += "]";
+            break;
+          }
+        }
+        out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+std::string
+MetricsSnapshot::toText() const
+{
+    std::string out;
+    for (const auto &s : samples) {
+        switch (s.kind) {
+          case MetricSample::Kind::Counter:
+            out += strformat("%-48s %llu\n", s.name.c_str(),
+                             (unsigned long long)(std::uint64_t)s.value);
+            break;
+          case MetricSample::Kind::Gauge:
+            out += strformat("%-48s %.6g\n", s.name.c_str(), s.value);
+            break;
+          case MetricSample::Kind::Histogram:
+            out += strformat("%-48s count=%llu sum=%.6g\n",
+                             s.name.c_str(),
+                             (unsigned long long)s.observations, s.sum);
+            break;
+        }
+    }
+    return out;
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, Volatility v)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto &entry = counters[name];
+    if (!entry.instrument) {
+        entry.instrument = std::make_unique<Counter>();
+        entry.volatility = v;
+    }
+    return *entry.instrument;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, Volatility v)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto &entry = gauges[name];
+    if (!entry.instrument) {
+        entry.instrument = std::make_unique<Gauge>();
+        entry.volatility = v;
+    }
+    return *entry.instrument;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> upperBounds,
+                           Volatility v)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto &entry = histograms[name];
+    if (!entry.instrument) {
+        entry.instrument =
+            std::make_unique<Histogram>(std::move(upperBounds));
+        entry.volatility = v;
+    }
+    return *entry.instrument;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot(bool includeVolatile) const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mtx);
+    // The per-kind maps are already name-ordered; merging them into
+    // one name-sorted vector afterwards keeps the export stable even
+    // when a counter and a histogram share a prefix.
+    for (const auto &[name, entry] : counters) {
+        if (entry.volatility == Volatility::Volatile && !includeVolatile)
+            continue;
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricSample::Kind::Counter;
+        s.value = double(entry.instrument->value());
+        snap.samples.push_back(std::move(s));
+    }
+    for (const auto &[name, entry] : gauges) {
+        if (entry.volatility == Volatility::Volatile && !includeVolatile)
+            continue;
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricSample::Kind::Gauge;
+        s.value = entry.instrument->value();
+        snap.samples.push_back(std::move(s));
+    }
+    for (const auto &[name, entry] : histograms) {
+        if (entry.volatility == Volatility::Volatile && !includeVolatile)
+            continue;
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricSample::Kind::Histogram;
+        s.bucketBounds = entry.instrument->bounds();
+        s.bucketCounts = entry.instrument->bucketCounts();
+        s.observations = entry.instrument->count();
+        s.sum = entry.instrument->sum();
+        snap.samples.push_back(std::move(s));
+    }
+    std::sort(snap.samples.begin(), snap.samples.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name < b.name;
+              });
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    counters.clear();
+    gauges.clear();
+    histograms.clear();
+}
+
+} // namespace obs
+} // namespace mbs

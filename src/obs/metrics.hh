@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges and
+ * fixed-bucket histograms with a deterministic snapshot exporter.
+ *
+ * The registry is the quantitative half of the observability layer
+ * (the tracer in obs/trace.hh is the temporal half). Instruments are
+ * created on first use and live for the lifetime of the process, so
+ * hot paths can cache a reference once and update it lock-free:
+ *
+ * @code
+ *   auto &ticks = obs::MetricsRegistry::instance().counter("sim.ticks");
+ *   for (...) ticks.add();
+ * @endcode
+ *
+ * Snapshots order instruments by name, so two runs that produce the
+ * same values produce byte-identical exports. Instruments carrying
+ * wall-clock measurements should be registered Volatile; they are
+ * excluded from snapshots by default so exported files stay
+ * deterministic under a fixed seed.
+ */
+
+#ifndef MBS_OBS_METRICS_HH
+#define MBS_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mbs {
+namespace obs {
+
+/**
+ * Whether an instrument's value is reproducible under a fixed seed
+ * (Stable) or depends on wall-clock timing (Volatile).
+ */
+enum class Volatility { Stable, Volatile };
+
+/** A monotonically increasing event count. */
+class Counter
+{
+  public:
+    /** Add @p n events (relaxed atomic; safe from any thread). */
+    void add(std::uint64_t n = 1)
+    {
+        count.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return count.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> count{0};
+};
+
+/** A last-value-wins measurement. */
+class Gauge
+{
+  public:
+    void set(double v) { val.store(v, std::memory_order_relaxed); }
+    double value() const { return val.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> val{0.0};
+};
+
+/**
+ * A fixed-bucket histogram: upper bounds are set at creation and an
+ * implicit overflow bucket catches everything above the last bound.
+ */
+class Histogram
+{
+  public:
+    /** @param upperBounds Inclusive bucket upper bounds, ascending. */
+    explicit Histogram(std::vector<double> upperBounds);
+
+    /** Record one observation. */
+    void observe(double value);
+
+    std::uint64_t count() const;
+    double sum() const;
+    /** Per-bucket counts; one extra entry for the overflow bucket. */
+    std::vector<std::uint64_t> bucketCounts() const;
+    const std::vector<double> &bounds() const { return upper; }
+
+  private:
+    mutable std::mutex mtx;
+    std::vector<double> upper;
+    std::vector<std::uint64_t> counts; // upper.size() + 1 entries
+    double total = 0.0;
+    std::uint64_t n = 0;
+};
+
+/** One instrument's value, as captured by snapshot(). */
+struct MetricSample
+{
+    std::string name;
+    enum class Kind { Counter, Gauge, Histogram } kind;
+    /** Counter value (Counter) or gauge value (Gauge). */
+    double value = 0.0;
+    /** Histogram payload; empty for scalar instruments. */
+    std::vector<double> bucketBounds;
+    std::vector<std::uint64_t> bucketCounts;
+    std::uint64_t observations = 0;
+    double sum = 0.0;
+};
+
+/** A point-in-time capture of every (selected) instrument. */
+struct MetricsSnapshot
+{
+    /** Samples sorted by instrument name. */
+    std::vector<MetricSample> samples;
+
+    /** Deterministic JSON document (sorted keys, fixed formats). */
+    std::string toJson() const;
+    /** Deterministic human-readable listing, one line per metric. */
+    std::string toText() const;
+};
+
+/**
+ * The process-wide instrument registry.
+ *
+ * Thread-safe: instrument lookup takes a mutex, but the returned
+ * references are stable for the process lifetime, so steady-state
+ * updates are lock-free (counters/gauges) or per-instrument
+ * (histograms).
+ */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    /** Find or create the counter named @p name. */
+    Counter &counter(const std::string &name,
+                     Volatility v = Volatility::Stable);
+
+    /** Find or create the gauge named @p name. */
+    Gauge &gauge(const std::string &name,
+                 Volatility v = Volatility::Stable);
+
+    /**
+     * Find or create a histogram. @p upperBounds applies only on
+     * creation; later calls return the existing instrument.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> upperBounds,
+                         Volatility v = Volatility::Stable);
+
+    /**
+     * Capture all instruments, sorted by name. Volatile instruments
+     * (wall-clock measurements) are excluded unless requested so the
+     * export is reproducible under a fixed seed.
+     */
+    MetricsSnapshot snapshot(bool includeVolatile = false) const;
+
+    /** Drop every instrument (intended for tests). */
+    void reset();
+
+  private:
+    MetricsRegistry() = default;
+
+    template <typename T>
+    struct Entry
+    {
+        std::unique_ptr<T> instrument;
+        Volatility volatility = Volatility::Stable;
+    };
+
+    mutable std::mutex mtx;
+    std::map<std::string, Entry<Counter>> counters;
+    std::map<std::string, Entry<Gauge>> gauges;
+    std::map<std::string, Entry<Histogram>> histograms;
+};
+
+} // namespace obs
+} // namespace mbs
+
+#endif // MBS_OBS_METRICS_HH

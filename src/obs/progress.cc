@@ -1,0 +1,62 @@
+#include "progress.hh"
+
+#include <cstdio>
+
+namespace mbs {
+namespace obs {
+
+Progress &
+Progress::instance()
+{
+    static Progress progress;
+    return progress;
+}
+
+void
+Progress::setEnabled(bool enable)
+{
+    on.store(enable, std::memory_order_relaxed);
+}
+
+void
+Progress::begin(std::size_t total_, const std::string &label)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mtx);
+    total = total_;
+    done = 0;
+    if (total > 0) {
+        std::fprintf(stderr, "%s: %zu steps\n", label.c_str(), total);
+    } else {
+        std::fprintf(stderr, "%s\n", label.c_str());
+    }
+}
+
+void
+Progress::step(const std::string &label)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mtx);
+    ++done;
+    if (total > 0) {
+        std::fprintf(stderr, "[%3zu/%zu] %s\n", done, total,
+                     label.c_str());
+    } else {
+        std::fprintf(stderr, "[%3zu] %s\n", done, label.c_str());
+    }
+}
+
+void
+Progress::finish()
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mtx);
+    total = 0;
+    done = 0;
+}
+
+} // namespace obs
+} // namespace mbs

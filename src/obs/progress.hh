@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Lightweight progress reporting for long-running commands.
+ *
+ * The profiler ticks the meter once per benchmark it processes; the
+ * CLI enables it behind `--progress`. Disabled (the default) every
+ * call is a single relaxed atomic load, so library users pay nothing.
+ * Lines go to stderr so they never corrupt machine-readable stdout
+ * output (CSV, tables).
+ */
+
+#ifndef MBS_OBS_PROGRESS_HH
+#define MBS_OBS_PROGRESS_HH
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace mbs {
+namespace obs {
+
+/**
+ * The process-wide progress meter.
+ */
+class Progress
+{
+  public:
+    static Progress &instance();
+
+    /** Turn reporting on or off (off by default). */
+    void setEnabled(bool on);
+    bool enabled() const
+    {
+        return on.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Start a new phase of @p total steps labelled @p label.
+     * Resets the step counter; total 0 means "unknown".
+     */
+    void begin(std::size_t total, const std::string &label);
+
+    /** Report one completed step; prints "[k/total] label". */
+    void step(const std::string &label);
+
+    /** Close the current phase. */
+    void finish();
+
+  private:
+    Progress() = default;
+
+    std::atomic<bool> on{false};
+    std::mutex mtx;
+    std::size_t total = 0;
+    std::size_t done = 0;
+};
+
+} // namespace obs
+} // namespace mbs
+
+#endif // MBS_OBS_PROGRESS_HH

@@ -1,0 +1,269 @@
+#include "trace.hh"
+
+#include <chrono>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "obs/json.hh"
+
+namespace mbs {
+namespace obs {
+
+namespace {
+
+std::uint64_t
+nowMicros()
+{
+    using namespace std::chrono;
+    return std::uint64_t(duration_cast<microseconds>(
+        steady_clock::now().time_since_epoch()).count());
+}
+
+/** Small sequential id per thread, stable for the thread lifetime. */
+int
+threadId()
+{
+    static std::atomic<int> next{1};
+    thread_local int id = next.fetch_add(1);
+    return id;
+}
+
+void
+appendEventJson(std::string &out, const TraceEvent &e)
+{
+    out += "{\"name\": \"" + jsonEscape(e.name) + "\", \"cat\": \"" +
+        jsonEscape(e.category) + "\", \"ph\": \"";
+    out += e.phase;
+    out += strformat("\", \"ts\": %llu, \"pid\": 1, \"tid\": %d",
+                     (unsigned long long)e.tsMicros, e.tid);
+    if (e.phase == 'i')
+        out += ", \"s\": \"t\"";
+    if (!e.args.empty()) {
+        out += ", \"args\": {";
+        bool first = true;
+        for (const auto &[k, v] : e.args) {
+            if (!first)
+                out += ", ";
+            first = false;
+            out += "\"" + jsonEscape(k) + "\": \"" + jsonEscape(v) +
+                "\"";
+        }
+        out += "}";
+    }
+    out += "}";
+}
+
+} // namespace
+
+Tracer::Tracer() : epochMicros(nowMicros())
+{
+}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::setEnabled(bool enable)
+{
+    on.store(enable, std::memory_order_relaxed);
+}
+
+void
+Tracer::record(TraceEvent event)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    buffer.push_back(std::move(event));
+}
+
+void
+Tracer::begin(const std::string &name, const std::string &category,
+              TraceArgs args)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = name;
+    e.category = category;
+    e.phase = 'B';
+    e.tsMicros = nowMicros() - epochMicros;
+    e.tid = threadId();
+    e.args = std::move(args);
+    record(std::move(e));
+}
+
+void
+Tracer::end(const std::string &name, const std::string &category)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = name;
+    e.category = category;
+    e.phase = 'E';
+    e.tsMicros = nowMicros() - epochMicros;
+    e.tid = threadId();
+    record(std::move(e));
+}
+
+void
+Tracer::instant(const std::string &name, const std::string &category,
+                TraceArgs args)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = name;
+    e.category = category;
+    e.phase = 'i';
+    e.tsMicros = nowMicros() - epochMicros;
+    e.tid = threadId();
+    e.args = std::move(args);
+    record(std::move(e));
+}
+
+void
+Tracer::metadata(const std::string &key, const std::string &value)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    meta[key] = value;
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return buffer;
+}
+
+std::map<std::string, std::string>
+Tracer::metadataEntries() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return meta;
+}
+
+std::vector<SpanSummary>
+Tracer::spanSummaries(const std::string &category) const
+{
+    const auto evs = events();
+
+    // Match begin/end pairs per thread with a stack, then aggregate
+    // by (category, name) preserving first-begin order.
+    std::map<int, std::vector<const TraceEvent *>> stacks;
+    std::vector<SpanSummary> out;
+    auto summaryFor = [&](const TraceEvent &e) -> SpanSummary & {
+        for (auto &s : out) {
+            if (s.name == e.name && s.category == e.category)
+                return s;
+        }
+        SpanSummary s;
+        s.name = e.name;
+        s.category = e.category;
+        out.push_back(std::move(s));
+        return out.back();
+    };
+    for (const auto &e : evs) {
+        if (!category.empty() && e.category != category)
+            continue;
+        if (e.phase == 'B') {
+            stacks[e.tid].push_back(&e);
+        } else if (e.phase == 'E') {
+            auto &stack = stacks[e.tid];
+            if (stack.empty())
+                continue; // unmatched end; ignore
+            const TraceEvent *b = stack.back();
+            stack.pop_back();
+            SpanSummary &s = summaryFor(*b);
+            ++s.count;
+            s.totalSeconds +=
+                double(e.tsMicros - b->tsMicros) / 1e6;
+        }
+    }
+    return out;
+}
+
+std::string
+Tracer::exportJson() const
+{
+    std::vector<TraceEvent> evs;
+    std::map<std::string, std::string> md;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        evs = buffer;
+        md = meta;
+    }
+
+    std::string out = "{\n\"displayTimeUnit\": \"ms\",\n";
+    out += "\"otherData\": {";
+    bool first = true;
+    for (const auto &[k, v] : md) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "  \"" + jsonEscape(k) + "\": \"" + jsonEscape(v) +
+            "\"";
+    }
+    out += first ? "},\n" : "\n},\n";
+
+    out += "\"traceEvents\": [\n";
+    out += "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": 0, \"args\": {\"name\": \"mobilebench\"}}";
+    for (const auto &[k, v] : md) {
+        out += ",\n  {\"name\": \"" + jsonEscape(k) +
+            "\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+            "\"args\": {\"value\": \"" + jsonEscape(v) + "\"}}";
+    }
+    for (const auto &e : evs) {
+        out += ",\n  ";
+        appendEventJson(out, e);
+    }
+    out += "\n]\n}\n";
+    return out;
+}
+
+void
+Tracer::writeJson(std::ostream &out) const
+{
+    out << exportJson();
+}
+
+void
+Tracer::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    fatalIf(!out, "cannot open trace output file '" + path + "'");
+    writeJson(out);
+    out.flush();
+    fatalIf(!out, "failed writing trace output file '" + path + "'");
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    buffer.clear();
+    meta.clear();
+    epochMicros = nowMicros();
+}
+
+ScopedSpan::ScopedSpan(std::string name_, std::string category_,
+                       TraceArgs args)
+    : name(std::move(name_)), category(std::move(category_)),
+      active(Tracer::instance().enabled())
+{
+    if (active)
+        Tracer::instance().begin(name, category, std::move(args));
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (active)
+        Tracer::instance().end(name, category);
+}
+
+} // namespace obs
+} // namespace mbs

@@ -5,6 +5,9 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/strings.hh"
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
+#include "obs/trace.hh"
 
 namespace mbs {
 
@@ -155,11 +158,18 @@ ProfilerSession::averageRuns(const std::vector<BenchmarkProfile> &runs)
 BenchmarkProfile
 ProfilerSession::profile(const Benchmark &benchmark) const
 {
+    const obs::ScopedSpan benchSpan(benchmark.name(), "benchmark",
+                                    {{"suite", benchmark.suiteName()}});
+    obs::Progress::instance().step(benchmark.name());
     std::vector<BenchmarkProfile> per_run;
     for (int r = 0; r < opts.runs; ++r) {
         SimOptions sim_opts;
         sim_opts.tickSeconds = opts.tickSeconds;
         sim_opts.seed = runSeed(opts.seed, benchmark.name(), r);
+        const obs::ScopedSpan runSpan(
+            strformat("run %d", r), "run",
+            {{"seed", strformat("%llu",
+                                (unsigned long long)sim_opts.seed)}});
         const SimulationResult result =
             simulator.run(benchmark.toTimedPhases(), sim_opts);
         std::vector<const CounterFrame *> frames;
@@ -168,6 +178,9 @@ ProfilerSession::profile(const Benchmark &benchmark) const
             frames.push_back(&f);
         per_run.push_back(extractProfile(benchmark, frames));
     }
+    auto &metrics = obs::MetricsRegistry::instance();
+    metrics.counter("profiler.benchmarks_profiled").add();
+    metrics.counter("profiler.runs").add(std::uint64_t(opts.runs));
     return averageRuns(per_run);
 }
 
@@ -184,6 +197,10 @@ ProfilerSession::profileSuite(const Suite &suite) const
     // Whole-suite execution: concatenate the segments' phases, run
     // once per repetition, then split the frame stream back into
     // segments using the recorded phase indices.
+    const obs::ScopedSpan suiteSpan(
+        suite.name, "benchmark",
+        {{"segments", strformat("%zu", suite.benchmarks.size())}});
+    obs::Progress::instance().step(suite.name + " (whole suite)");
     std::vector<TimedPhase> all_phases;
     std::vector<std::size_t> phase_end; // exclusive end per segment
     for (const auto &bench : suite.benchmarks) {
@@ -199,6 +216,10 @@ ProfilerSession::profileSuite(const Suite &suite) const
         SimOptions sim_opts;
         sim_opts.tickSeconds = opts.tickSeconds;
         sim_opts.seed = runSeed(opts.seed, suite.name, r);
+        const obs::ScopedSpan runSpan(
+            strformat("run %d", r), "run",
+            {{"seed", strformat("%llu",
+                                (unsigned long long)sim_opts.seed)}});
         const SimulationResult result =
             simulator.run(all_phases, sim_opts);
 
@@ -224,18 +245,30 @@ ProfilerSession::profileSuite(const Suite &suite) const
     }
     for (auto &runs : per_segment_runs)
         out.push_back(averageRuns(runs));
+    auto &metrics = obs::MetricsRegistry::instance();
+    metrics.counter("profiler.benchmarks_profiled")
+        .add(suite.benchmarks.size());
+    metrics.counter("profiler.runs").add(std::uint64_t(opts.runs));
     return out;
 }
 
 std::vector<BenchmarkProfile>
 ProfilerSession::profileAll(const WorkloadRegistry &registry) const
 {
+    // Progress total counts one step per independently profiled
+    // benchmark, or one per whole-suite execution.
+    std::size_t steps = 0;
+    for (const auto &suite : registry.suites())
+        steps += suite.runsAsWhole ? 1 : suite.benchmarks.size();
+    obs::Progress::instance().begin(steps, "profiling all suites");
+
     std::vector<BenchmarkProfile> out;
     for (const auto &suite : registry.suites()) {
         auto profiles = profileSuite(suite);
         for (auto &p : profiles)
             out.push_back(std::move(p));
     }
+    obs::Progress::instance().finish();
     return out;
 }
 
@@ -244,6 +277,8 @@ ProfilerSession::sampleCounters(
     const Benchmark &benchmark,
     const std::vector<std::string> &counter_names) const
 {
+    const obs::ScopedSpan benchSpan(benchmark.name(), "benchmark",
+                                    {{"suite", benchmark.suiteName()}});
     SimOptions sim_opts;
     sim_opts.tickSeconds = opts.tickSeconds;
     sim_opts.seed = runSeed(opts.seed, benchmark.name(), 0);

@@ -51,6 +51,73 @@ SocConfig::validate() const
     fatalIf(gpu.shaderCores <= 0, "GPU needs at least one shader core");
 }
 
+namespace {
+
+/** FNV-1a accumulator over heterogeneous field types. */
+struct Digest
+{
+    std::uint64_t h = 14695981039346656037ULL;
+
+    void bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ULL;
+        }
+    }
+    void mix(const std::string &s) { bytes(s.data(), s.size()); }
+    void mix(double v) { bytes(&v, sizeof(v)); }
+    void mix(std::uint64_t v) { bytes(&v, sizeof(v)); }
+    void mix(int v) { mix(std::uint64_t(v)); }
+    void mix(bool v) { mix(std::uint64_t(v)); }
+};
+
+} // namespace
+
+std::uint64_t
+SocConfig::digest() const
+{
+    Digest d;
+    d.mix(name);
+    for (const auto &c : clusters) {
+        d.mix(c.name);
+        d.mix(c.cores);
+        d.mix(c.maxFreqHz);
+        d.mix(c.minFreqHz);
+        d.mix(c.relativePerf);
+        d.mix(c.ipcScale);
+        d.mix(c.l2Bytes);
+    }
+    d.mix(cache.l1Bytes);
+    d.mix(cache.l3Bytes);
+    d.mix(cache.slcBytes);
+    d.mix(cache.l2HitPenalty);
+    d.mix(cache.l3HitPenalty);
+    d.mix(cache.slcHitPenalty);
+    d.mix(cache.dramPenalty);
+    d.mix(cache.branchPenalty);
+    d.mix(gpu.name);
+    d.mix(gpu.maxFreqHz);
+    d.mix(gpu.minFreqHz);
+    d.mix(gpu.shaderCores);
+    d.mix(gpu.onscreenOverhead);
+    d.mix(gpu.openglOverhead);
+    d.mix(aie.name);
+    d.mix(aie.maxFreqHz);
+    d.mix(aie.minFreqHz);
+    d.mix(aie.supportsH264);
+    d.mix(aie.supportsH265);
+    d.mix(aie.supportsVp9);
+    d.mix(aie.supportsAv1);
+    d.mix(memory.totalBytes);
+    d.mix(memory.idleBytes);
+    d.mix(storage.capacityBytes);
+    d.mix(storage.peakBandwidth);
+    d.mix(osBackgroundLoad);
+    return d.h;
+}
+
 SocConfig
 SocConfig::snapdragon888()
 {

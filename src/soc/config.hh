@@ -142,6 +142,14 @@ struct SocConfig
     void validate() const;
 
     /**
+     * Stable FNV-1a digest over every model parameter. Two configs
+     * with equal fields produce equal digests, so the value
+     * identifies the platform a trace or metrics snapshot was
+     * captured on.
+     */
+    std::uint64_t digest() const;
+
+    /**
      * The paper's evaluation platform: Snapdragon 888 Mobile HDK.
      * 1x Kryo 680 Prime @ 3.0 GHz, 3x Gold @ 2.42 GHz, 4x Silver
      * @ 1.8 GHz, Adreno 660, Hexagon 780, 12 GB LPDDR5.

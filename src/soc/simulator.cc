@@ -1,11 +1,14 @@
 #include "simulator.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/strings.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "soc/aie.hh"
 #include "soc/gpu.hh"
 #include "soc/memory.hh"
@@ -36,6 +39,28 @@ SocSimulator::run(const std::vector<TimedPhase> &phases,
 {
     fatalIf(phases.empty(), "cannot simulate an empty phase list");
     fatalIf(options.tickSeconds <= 0.0, "tick length must be positive");
+
+    const obs::ScopedSpan simSpan(
+        "simulate", "sim",
+        {{"phases", strformat("%zu", phases.size())},
+         {"seed", strformat("%llu",
+                            (unsigned long long)options.seed)}});
+    const auto wallStart = std::chrono::steady_clock::now();
+
+    // Instrumentation accumulates in locals and flushes to the
+    // metrics registry once per run, keeping atomics out of the tick
+    // loop.
+    std::uint64_t statTicks = 0;
+    std::uint64_t statDvfs = 0;
+    std::uint64_t statMigrations = 0;
+    std::uint64_t statCacheEvals = 0;
+    std::uint64_t statMemoryEvals = 0;
+    std::array<double, numClusters> prevFreq{};
+    std::array<int, numClusters> prevThreads{};
+    bool havePrevTick = false;
+    auto &phaseTicksHist = obs::MetricsRegistry::instance().histogram(
+        "sim.phase_ticks",
+        {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
 
     Xoshiro256StarStar rng(options.seed);
 
@@ -156,6 +181,21 @@ SocSimulator::run(const std::vector<TimedPhase> &phases,
                     cache_sample = cs; // representative MPKI sample
             }
 
+            statCacheEvals += numClusters;
+            if (havePrevTick) {
+                for (std::size_t c = 0; c < numClusters; ++c) {
+                    if (frame.clusterFrequencyHz[c] != prevFreq[c])
+                        ++statDvfs;
+                    if (frame.clusterThreads[c] != prevThreads[c])
+                        ++statMigrations;
+                }
+            }
+            for (std::size_t c = 0; c < numClusters; ++c) {
+                prevFreq[c] = frame.clusterFrequencyHz[c];
+                prevThreads[c] = frame.clusterThreads[c];
+            }
+            havePrevTick = true;
+
             // --- Retire the instruction budget (plus any backlog),
             // bounded by the cycles the placement actually provides.
             const double want = inst_per_tick * wobble + backlog;
@@ -206,6 +246,7 @@ SocSimulator::run(const std::vector<TimedPhase> &phases,
             // --- Memory & storage.
             frame.memory = memory.evaluate(
                 demand.memory, frame.gpu.textureBytes);
+            ++statMemoryEvals;
             StorageDemand st = demand.storage;
             st.ioRate = std::clamp(st.ioRate * wobble, 0.0, 1.0);
             frame.storage = storage.evaluate(st);
@@ -226,8 +267,10 @@ SocSimulator::run(const std::vector<TimedPhase> &phases,
             result.totals.branchMispredicts += frame.branchMispredicts;
 
             result.frames.push_back(frame);
+            ++statTicks;
         }
         result.totals.runtimeSeconds += double(ticks) * dt;
+        phaseTicksHist.observe(double(ticks));
     }
 
     if (backlog > 1e7) {
@@ -235,6 +278,27 @@ SocSimulator::run(const std::vector<TimedPhase> &phases,
                        "the workload saturates the CPU; consider "
                        "lowering the phase instruction budget or "
                        "raising thread demand", backlog / 1e6));
+        obs::Tracer::instance().instant(
+            "cpu-saturated", "sim",
+            {{"unretired_instructions",
+              strformat("%.0f", backlog)}});
+    }
+
+    auto &metrics = obs::MetricsRegistry::instance();
+    metrics.counter("sim.runs").add();
+    metrics.counter("sim.phases").add(phases.size());
+    metrics.counter("sim.ticks").add(statTicks);
+    metrics.counter("sim.dvfs_transitions").add(statDvfs);
+    metrics.counter("sim.scheduler_migrations").add(statMigrations);
+    metrics.counter("sim.cache_evals").add(statCacheEvals);
+    metrics.counter("sim.memory_evals").add(statMemoryEvals);
+    const double wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wallStart).count();
+    if (result.totals.runtimeSeconds > 0.0) {
+        metrics.gauge("sim.wall_seconds_per_simulated_second",
+                      obs::Volatility::Volatile)
+            .set(wallSeconds / result.totals.runtimeSeconds);
     }
     return result;
 }

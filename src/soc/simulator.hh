@@ -52,6 +52,11 @@ struct SimOptions
  * evaluate the cache/branch models under GPU contention, retire the
  * phase's instruction budget across clusters, and sample every
  * counter into a frame.
+ *
+ * Each run() executes inside an obs "simulate" tracing span and
+ * reports internal metrics (ticks, phases, DVFS transitions,
+ * scheduler migrations, model invocations, wall-seconds per
+ * simulated second) to the obs::MetricsRegistry.
  */
 class SocSimulator
 {

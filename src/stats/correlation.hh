@@ -38,6 +38,9 @@ std::string correlationStrengthName(CorrelationStrength s);
 class CorrelationMatrix
 {
   public:
+    /** An empty matrix (size() == 0), to be assigned later. */
+    CorrelationMatrix() = default;
+
     /** Compute pairwise Pearson correlations of @p features columns. */
     explicit CorrelationMatrix(const FeatureMatrix &features);
 

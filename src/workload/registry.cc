@@ -51,6 +51,16 @@ WorkloadRegistry::hasUnit(const std::string &name) const
     return false;
 }
 
+bool
+WorkloadRegistry::hasSuite(const std::string &name) const
+{
+    for (const auto &s : suiteList) {
+        if (s.name == name)
+            return true;
+    }
+    return false;
+}
+
 const Suite &
 WorkloadRegistry::suite(const std::string &name) const
 {

@@ -45,6 +45,9 @@ class WorkloadRegistry
     /** @return true if a unit named @p name exists. */
     bool hasUnit(const std::string &name) const;
 
+    /** @return true if a suite named @p name exists. */
+    bool hasSuite(const std::string &name) const;
+
     /** @return the suite named @p name; fatal() if absent. */
     const Suite &suite(const std::string &name) const;
 

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "common/logging.hh"
 
 namespace mbs {
@@ -72,6 +76,71 @@ TEST(Logging, QuietSuppressesWithoutCrashing)
     warn("hidden");
     debug("hidden");
     setLogLevel(before);
+}
+
+TEST(Logging, TimestampFlagRoundTrips)
+{
+    const bool before = logTimestamps();
+    setLogTimestamps(true);
+    EXPECT_TRUE(logTimestamps());
+    setLogTimestamps(false);
+    EXPECT_FALSE(logTimestamps());
+    setLogTimestamps(before);
+}
+
+TEST(Logging, TimestampedLinesCarryElapsedPrefix)
+{
+    const LogLevel levelBefore = logLevel();
+    const bool tsBefore = logTimestamps();
+    setLogLevel(LogLevel::Warn);
+    setLogTimestamps(true);
+    ::testing::internal::CaptureStderr();
+    warn("timestamped message");
+    const std::string out =
+        ::testing::internal::GetCapturedStderr();
+    setLogTimestamps(tsBefore);
+    setLogLevel(levelBefore);
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_NE(out.find("s] warn: timestamped message"),
+              std::string::npos) << out;
+}
+
+TEST(Logging, ConcurrentWritersNeverInterleaveWithinALine)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Warn);
+    ::testing::internal::CaptureStderr();
+    constexpr int threads = 4;
+    constexpr int lines = 200;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([t] {
+            const std::string msg =
+                "thread-" + std::to_string(t) + "-payload";
+            for (int i = 0; i < lines; ++i)
+                warn(msg);
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    const std::string out =
+        ::testing::internal::GetCapturedStderr();
+    setLogLevel(before);
+
+    // Every line is exactly "warn: thread-<t>-payload": the mutex
+    // around the sink means no line is ever torn by another writer.
+    std::size_t count = 0;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t eol = out.find('\n', pos);
+        ASSERT_NE(eol, std::string::npos);
+        const std::string line = out.substr(pos, eol - pos);
+        EXPECT_EQ(line.rfind("warn: thread-", 0), 0u) << line;
+        EXPECT_NE(line.find("-payload"), std::string::npos) << line;
+        ++count;
+        pos = eol + 1;
+    }
+    EXPECT_EQ(count, std::size_t(threads) * lines);
 }
 
 } // namespace

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON parser used by the observability
+ * tests to assert that exported documents are well-formed. Parses the
+ * full JSON grammar but builds no DOM: it only validates.
+ */
+
+#ifndef MBS_TESTS_OBS_JSON_CHECK_HH
+#define MBS_TESTS_OBS_JSON_CHECK_HH
+
+#include <cctype>
+#include <cstring>
+#include <string>
+
+namespace mbs {
+namespace test {
+
+class JsonChecker
+{
+  public:
+    /** @return true when @p text is exactly one valid JSON value. */
+    static bool valid(const std::string &text)
+    {
+        JsonChecker c(text);
+        return c.value() && (c.skipWs(), c.pos == text.size());
+    }
+
+  private:
+    explicit JsonChecker(const std::string &t) : text(t) {}
+
+    const std::string &text;
+    std::size_t pos = 0;
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    bool string()
+    {
+        if (pos >= text.size() || text[pos] != '"')
+            return false;
+        ++pos;
+        while (pos < text.size() && text[pos] != '"') {
+            if (text[pos] == '\\') {
+                ++pos;
+                if (pos >= text.size())
+                    return false;
+                const char e = text[pos];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos;
+                        if (pos >= text.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text[pos])))
+                            return false;
+                    }
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    return false;
+                }
+            } else if (static_cast<unsigned char>(text[pos]) < 0x20) {
+                return false; // raw control character
+            }
+            ++pos;
+        }
+        if (pos >= text.size())
+            return false;
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        if (pos >= text.size() ||
+            !std::isdigit(static_cast<unsigned char>(text[pos])))
+            return false;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            if (pos >= text.size() ||
+                !std::isdigit(static_cast<unsigned char>(text[pos])))
+                return false;
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (pos >= text.size() ||
+                !std::isdigit(static_cast<unsigned char>(text[pos])))
+                return false;
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+        }
+        return pos > start;
+    }
+
+    bool object()
+    {
+        ++pos; // '{'
+        skipWs();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (pos >= text.size() || text[pos] != ':')
+                return false;
+            ++pos;
+            if (!value())
+                return false;
+            skipWs();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            break;
+        }
+        if (pos >= text.size() || text[pos] != '}')
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool array()
+    {
+        ++pos; // '['
+        skipWs();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            break;
+        }
+        if (pos >= text.size() || text[pos] != ']')
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool value()
+    {
+        skipWs();
+        if (pos >= text.size())
+            return false;
+        switch (text[pos]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+};
+
+} // namespace test
+} // namespace mbs
+
+#endif // MBS_TESTS_OBS_JSON_CHECK_HH

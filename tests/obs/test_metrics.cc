@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the metrics registry: counter/gauge/histogram semantics,
+ * deterministic snapshot ordering, volatility filtering, and JSON
+ * export validity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+#include "json_check.hh"
+
+namespace mbs {
+namespace {
+
+using obs::MetricSample;
+using obs::MetricsRegistry;
+using obs::Volatility;
+
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { MetricsRegistry::instance().reset(); }
+    void TearDown() override { MetricsRegistry::instance().reset(); }
+};
+
+TEST_F(MetricsTest, CounterStartsAtZeroAndAccumulates)
+{
+    auto &c = MetricsRegistry::instance().counter("test.count");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST_F(MetricsTest, SameNameReturnsSameInstrument)
+{
+    auto &a = MetricsRegistry::instance().counter("test.same");
+    auto &b = MetricsRegistry::instance().counter("test.same");
+    EXPECT_EQ(&a, &b);
+    a.add(5);
+    EXPECT_EQ(b.value(), 5u);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue)
+{
+    auto &g = MetricsRegistry::instance().gauge("test.gauge");
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(1.5);
+    g.set(-2.25);
+    EXPECT_EQ(g.value(), -2.25);
+}
+
+TEST_F(MetricsTest, HistogramBucketsByUpperBound)
+{
+    auto &h = MetricsRegistry::instance().histogram(
+        "test.hist", {1.0, 10.0, 100.0});
+    h.observe(0.5);   // <= 1
+    h.observe(1.0);   // <= 1 (bounds are inclusive)
+    h.observe(5.0);   // <= 10
+    h.observe(1000.0); // overflow
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+    const auto counts = h.bucketCounts();
+    ASSERT_EQ(counts.size(), 4u); // 3 bounds + overflow
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 1u);
+    EXPECT_EQ(counts[2], 0u);
+    EXPECT_EQ(counts[3], 1u);
+}
+
+TEST_F(MetricsTest, HistogramRejectsBadBounds)
+{
+    EXPECT_ANY_THROW(MetricsRegistry::instance().histogram(
+        "test.bad_empty", {}));
+    EXPECT_ANY_THROW(MetricsRegistry::instance().histogram(
+        "test.bad_order", {10.0, 1.0}));
+}
+
+TEST_F(MetricsTest, SnapshotSortsByNameAcrossKinds)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.gauge("zebra").set(1.0);
+    reg.counter("alpha").add(2);
+    reg.histogram("middle", {1.0}).observe(0.5);
+    reg.counter("beta").add(3);
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.samples.size(), 4u);
+    EXPECT_EQ(snap.samples[0].name, "alpha");
+    EXPECT_EQ(snap.samples[1].name, "beta");
+    EXPECT_EQ(snap.samples[2].name, "middle");
+    EXPECT_EQ(snap.samples[3].name, "zebra");
+}
+
+TEST_F(MetricsTest, SnapshotIsDeterministicAcrossCaptures)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.counter("a.ticks").add(100);
+    reg.gauge("b.level").set(0.75);
+    reg.histogram("c.sizes", {1.0, 2.0}).observe(1.5);
+    const std::string first = reg.snapshot().toJson();
+    const std::string second = reg.snapshot().toJson();
+    EXPECT_EQ(first, second);
+}
+
+TEST_F(MetricsTest, VolatileInstrumentsExcludedByDefault)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.counter("stable.count").add();
+    reg.gauge("volatile.wall_seconds", Volatility::Volatile).set(1.23);
+    const auto stable = reg.snapshot();
+    ASSERT_EQ(stable.samples.size(), 1u);
+    EXPECT_EQ(stable.samples[0].name, "stable.count");
+    const auto all = reg.snapshot(true);
+    EXPECT_EQ(all.samples.size(), 2u);
+}
+
+TEST_F(MetricsTest, JsonExportIsValid)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.counter("json.\"quoted\".count").add(7);
+    reg.gauge("json.gauge").set(-0.125);
+    reg.histogram("json.hist", {1.0, 10.0}).observe(3.0);
+    const std::string json = reg.snapshot().toJson();
+    EXPECT_TRUE(test::JsonChecker::valid(json)) << json;
+}
+
+TEST_F(MetricsTest, TextExportListsEveryMetric)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.counter("text.count").add(3);
+    reg.gauge("text.gauge").set(2.5);
+    reg.histogram("text.hist", {1.0}).observe(0.5);
+    const std::string text = reg.snapshot().toText();
+    EXPECT_NE(text.find("text.count"), std::string::npos);
+    EXPECT_NE(text.find("text.gauge"), std::string::npos);
+    EXPECT_NE(text.find("text.hist"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ConcurrentCounterUpdatesAreLossless)
+{
+    auto &c = MetricsRegistry::instance().counter("mt.count");
+    auto &h = MetricsRegistry::instance().histogram(
+        "mt.hist", {0.5});
+    constexpr int threads = 4;
+    constexpr int adds = 10000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            for (int i = 0; i < adds; ++i) {
+                c.add();
+                h.observe(double(i % 2));
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    EXPECT_EQ(c.value(), std::uint64_t(threads) * adds);
+    EXPECT_EQ(h.count(), std::uint64_t(threads) * adds);
+}
+
+TEST_F(MetricsTest, ResetDropsInstruments)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.counter("gone.count").add(9);
+    reg.reset();
+    EXPECT_TRUE(reg.snapshot(true).samples.empty());
+    EXPECT_EQ(reg.counter("gone.count").value(), 0u);
+}
+
+} // namespace
+} // namespace mbs

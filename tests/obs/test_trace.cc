@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the span tracer: disabled no-op, span nesting, instant
+ * and metadata events, summaries, Chrome trace-event JSON export,
+ * and thread safety.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hh"
+
+#include "json_check.hh"
+
+namespace mbs {
+namespace {
+
+using obs::ScopedSpan;
+using obs::TraceEvent;
+using obs::Tracer;
+
+/** Reset the tracer around each test so state never leaks. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        Tracer::instance().clear();
+        Tracer::instance().setEnabled(true);
+    }
+    void TearDown() override
+    {
+        Tracer::instance().setEnabled(false);
+        Tracer::instance().clear();
+    }
+};
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing)
+{
+    Tracer::instance().setEnabled(false);
+    {
+        ScopedSpan outer("outer", "test");
+        ScopedSpan inner("inner", "test");
+        Tracer::instance().instant("tick", "test");
+    }
+    EXPECT_TRUE(Tracer::instance().events().empty());
+}
+
+TEST_F(TraceTest, SpansRecordBeginEndPairsInNestingOrder)
+{
+    {
+        ScopedSpan outer("outer", "test");
+        {
+            ScopedSpan inner("inner", "test");
+        }
+    }
+    const auto events = Tracer::instance().events();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].name, "outer");
+    EXPECT_EQ(events[0].phase, 'B');
+    EXPECT_EQ(events[1].name, "inner");
+    EXPECT_EQ(events[1].phase, 'B');
+    EXPECT_EQ(events[2].name, "inner");
+    EXPECT_EQ(events[2].phase, 'E');
+    EXPECT_EQ(events[3].name, "outer");
+    EXPECT_EQ(events[3].phase, 'E');
+    // Timestamps never run backwards.
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].tsMicros, events[i - 1].tsMicros);
+}
+
+TEST_F(TraceTest, InstantEventsCarryArgs)
+{
+    Tracer::instance().instant("overload", "sim",
+                               {{"backlog", "12345"}});
+    const auto events = Tracer::instance().events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].phase, 'i');
+    ASSERT_EQ(events[0].args.size(), 1u);
+    EXPECT_EQ(events[0].args[0].first, "backlog");
+    EXPECT_EQ(events[0].args[0].second, "12345");
+}
+
+TEST_F(TraceTest, EnableToggleStopsRecording)
+{
+    {
+        ScopedSpan s("kept", "test");
+    }
+    Tracer::instance().setEnabled(false);
+    {
+        ScopedSpan s("dropped", "test");
+    }
+    const auto events = Tracer::instance().events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].name, "kept");
+}
+
+TEST_F(TraceTest, ExportIsValidJson)
+{
+    Tracer::instance().metadata("seed", "42");
+    {
+        ScopedSpan stage("stage \"quoted\"\n", "stage");
+        ScopedSpan bench("bench\\path", "benchmark",
+                         {{"suite", "3DMark"}});
+    }
+    const std::string json = Tracer::instance().exportJson();
+    EXPECT_TRUE(test::JsonChecker::valid(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+}
+
+TEST_F(TraceTest, MetadataExportedAsMetadataEvents)
+{
+    Tracer::instance().metadata("seed", "20240501");
+    Tracer::instance().metadata("soc", "Snapdragon 888");
+    const std::string json = Tracer::instance().exportJson();
+    EXPECT_TRUE(test::JsonChecker::valid(json)) << json;
+    EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+    EXPECT_NE(json.find("20240501"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+    const auto md = Tracer::instance().metadataEntries();
+    EXPECT_EQ(md.at("seed"), "20240501");
+}
+
+TEST_F(TraceTest, MetadataRecordedEvenWhileDisabled)
+{
+    Tracer::instance().setEnabled(false);
+    Tracer::instance().metadata("seed", "7");
+    EXPECT_EQ(Tracer::instance().metadataEntries().at("seed"), "7");
+}
+
+TEST_F(TraceTest, SpanSummariesAggregateByName)
+{
+    for (int i = 0; i < 3; ++i) {
+        ScopedSpan s("profile", "stage");
+    }
+    {
+        ScopedSpan s("clustering", "stage");
+    }
+    {
+        ScopedSpan s("other", "different-category");
+    }
+    const auto summaries =
+        Tracer::instance().spanSummaries("stage");
+    ASSERT_EQ(summaries.size(), 2u);
+    EXPECT_EQ(summaries[0].name, "profile");
+    EXPECT_EQ(summaries[0].count, 3u);
+    EXPECT_EQ(summaries[1].name, "clustering");
+    EXPECT_EQ(summaries[1].count, 1u);
+    EXPECT_GE(summaries[0].totalSeconds, 0.0);
+}
+
+TEST_F(TraceTest, ConcurrentSpansFromManyThreadsAllRecorded)
+{
+    constexpr int threads = 4;
+    constexpr int spansPerThread = 50;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([] {
+            for (int i = 0; i < spansPerThread; ++i) {
+                ScopedSpan outer("outer", "mt");
+                ScopedSpan inner("inner", "mt");
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    const auto events = Tracer::instance().events();
+    EXPECT_EQ(events.size(),
+              std::size_t(threads) * spansPerThread * 4);
+    EXPECT_TRUE(test::JsonChecker::valid(
+        Tracer::instance().exportJson()));
+    // Every thread's events must carry that thread's own tid, so
+    // summaries still pair up per thread.
+    const auto summaries = Tracer::instance().spanSummaries("mt");
+    ASSERT_EQ(summaries.size(), 2u);
+    EXPECT_EQ(summaries[0].count + summaries[1].count,
+              std::uint64_t(threads) * spansPerThread * 2);
+}
+
+TEST_F(TraceTest, ClearDropsEverything)
+{
+    Tracer::instance().metadata("k", "v");
+    {
+        ScopedSpan s("span", "test");
+    }
+    Tracer::instance().clear();
+    EXPECT_TRUE(Tracer::instance().events().empty());
+    EXPECT_TRUE(Tracer::instance().metadataEntries().empty());
+}
+
+} // namespace
+} // namespace mbs

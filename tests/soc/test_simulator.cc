@@ -9,6 +9,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "soc/simulator.hh"
 
 namespace mbs {
@@ -246,6 +248,40 @@ TEST_P(SimulatorJitter, RuntimeCloseToNominal)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorJitter,
                          ::testing::Values(1, 2, 3, 4, 5, 99, 12345));
+
+TEST(SimulatorObservability, RunReportsInternalMetrics)
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    const std::uint64_t ticksBefore =
+        reg.counter("sim.ticks").value();
+    const std::uint64_t runsBefore = reg.counter("sim.runs").value();
+
+    const SocSimulator sim(SocConfig::snapdragon888());
+    const auto result = sim.run({cpuPhase(10.0, 1.0)});
+
+    EXPECT_EQ(reg.counter("sim.runs").value(), runsBefore + 1);
+    EXPECT_EQ(reg.counter("sim.ticks").value(),
+              ticksBefore + result.frames.size());
+    EXPECT_GE(reg.counter("sim.cache_evals").value(),
+              result.frames.size() * numClusters);
+    EXPECT_GE(reg.counter("sim.memory_evals").value(),
+              result.frames.size());
+}
+
+TEST(SimulatorObservability, TracedRunNestsSimulateSpan)
+{
+    auto &tracer = obs::Tracer::instance();
+    tracer.clear();
+    tracer.setEnabled(true);
+    const SocSimulator sim(SocConfig::snapdragon888());
+    sim.run({cpuPhase(5.0, 0.5)});
+    tracer.setEnabled(false);
+    const auto summaries = tracer.spanSummaries("sim");
+    tracer.clear();
+    ASSERT_EQ(summaries.size(), 1u);
+    EXPECT_EQ(summaries[0].name, "simulate");
+    EXPECT_EQ(summaries[0].count, 1u);
+}
 
 } // namespace
 } // namespace mbs

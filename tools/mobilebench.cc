@@ -4,29 +4,39 @@
  * behind one binary for downstream users.
  *
  *   mobilebench list                       all suites and benchmarks
- *   mobilebench profile <benchmark>        Fig.-1 metrics + strips
+ *   mobilebench profile <benchmark|suite>  Fig.-1 metrics + strips
  *   mobilebench counters <benchmark> <c..> sample counters as CSV
  *   mobilebench pipeline                   every table and figure
  *   mobilebench roi <benchmark> [frac]     simulation-ROI selection
  *   mobilebench energy <benchmark>         energy/power breakdown
  *   mobilebench catalog [category]         list hardware counters
+ *
+ * Observability flags (any command): `--trace <file>` writes a Chrome
+ * trace-event JSON (open in Perfetto), `--metrics <file>` writes a
+ * deterministic metrics snapshot, `--progress` reports per-benchmark
+ * progress on stderr, `--log-timestamps` prefixes log lines with
+ * elapsed time. `profile` and `pipeline` print a stage-timing summary
+ * table after their output.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/csv.hh"
+#include "common/logging.hh"
 #include "common/sparkline.hh"
 #include "common/strings.hh"
 #include "common/table.hh"
 #include "common/units.hh"
 #include "core/pipeline.hh"
 #include "core/report.hh"
-#include <fstream>
-
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
+#include "obs/trace.hh"
 #include "roi/roi.hh"
 #include "soc/energy.hh"
 #include "workload/loader.hh"
@@ -38,16 +48,25 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: mobilebench <command> [args]\n"
+                 "usage: mobilebench <command> [args] [flags]\n"
                  "  list                        suites and benchmarks\n"
-                 "  profile <benchmark>         metrics + sparklines\n"
+                 "  profile <benchmark|suite>   metrics + sparklines\n"
                  "  counters <benchmark> <c..>  counter CSV to stdout\n"
                  "  pipeline                    full paper pipeline\n"
                  "  roi <benchmark> [fraction]  simulation-ROI pick\n"
                  "  energy <benchmark>          energy breakdown\n"
                  "  catalog [category]          hardware counters\n"
                  "  load <file>                 profile suites from a\n"
-                 "                              workload definition file\n");
+                 "                              workload definition file\n"
+                 "flags (any command):\n"
+                 "  --trace <file>       write a Chrome trace-event "
+                 "JSON (Perfetto)\n"
+                 "  --metrics <file>     write a deterministic metrics "
+                 "snapshot (JSON)\n"
+                 "  --progress           per-benchmark progress on "
+                 "stderr\n"
+                 "  --log-timestamps     prefix log lines with elapsed "
+                 "time\n");
     return 2;
 }
 
@@ -69,6 +88,54 @@ requireUnit(const std::string &name)
     return 1;
 }
 
+/**
+ * Attach run metadata to the tracer so exported traces identify the
+ * exact configuration that produced them.
+ */
+void
+recordRunMetadata(const SocConfig &config, const ProfileOptions &opts)
+{
+    auto &tracer = obs::Tracer::instance();
+    tracer.metadata("seed", strformat("%llu",
+                                      (unsigned long long)opts.seed));
+    tracer.metadata("tick_seconds",
+                    strformat("%g", opts.tickSeconds));
+    tracer.metadata("runs_per_benchmark",
+                    strformat("%d", opts.runs));
+    tracer.metadata("soc", config.name);
+    tracer.metadata(
+        "soc_config_digest",
+        strformat("%016llx", (unsigned long long)config.digest()));
+}
+
+/** Render the per-stage wall-time table from the recorded spans. */
+void
+printStageSummary()
+{
+    const auto summaries =
+        obs::Tracer::instance().spanSummaries("stage");
+    if (summaries.empty())
+        return;
+    double total = 0.0;
+    for (const auto &s : summaries)
+        total += s.totalSeconds;
+    TextTable t({"Stage", "Calls", "Time", "Share"});
+    t.setAlign(1, Align::Right);
+    t.setAlign(2, Align::Right);
+    t.setAlign(3, Align::Right);
+    for (const auto &s : summaries) {
+        t.addRow({s.name,
+                  strformat("%llu", (unsigned long long)s.count),
+                  s.totalSeconds >= 1.0
+                      ? strformat("%.2f s", s.totalSeconds)
+                      : strformat("%.1f ms", s.totalSeconds * 1e3),
+                  total > 0.0
+                      ? units::formatPercent(s.totalSeconds / total)
+                      : "-"});
+    }
+    std::printf("\nStage timing\n%s", t.render().c_str());
+}
+
 int
 cmdList()
 {
@@ -87,13 +154,9 @@ cmdList()
     return 0;
 }
 
-int
-cmdProfile(const std::string &name)
+void
+printUnitProfile(const BenchmarkProfile &p)
 {
-    if (requireUnit(name))
-        return 1;
-    const ProfilerSession session(SocConfig::snapdragon888());
-    const auto p = session.profile(registry().unit(name));
     std::printf("%s (%s)\n", p.name.c_str(), p.suite.c_str());
     TextTable t({"Metric", "Value"});
     t.setAlign(1, Align::Right);
@@ -116,6 +179,46 @@ cmdProfile(const std::string &name)
     strip("gpu", p.series.gpuLoad);
     strip("aie", p.series.aieLoad);
     strip("memory", p.series.usedMemory);
+}
+
+int
+cmdProfile(const std::string &name)
+{
+    const SocConfig config = SocConfig::snapdragon888();
+    const ProfilerSession session(config);
+    recordRunMetadata(config, session.options());
+    const obs::ScopedSpan stage("profile", "stage");
+
+    // A suite name profiles every unit of the suite; a benchmark
+    // name profiles just that unit.
+    if (registry().hasSuite(name) && !registry().hasUnit(name)) {
+        const Suite &suite = registry().suite(name);
+        obs::Progress::instance().begin(
+            suite.runsAsWhole ? 1 : suite.benchmarks.size(),
+            "profiling " + suite.name);
+        const auto profiles = session.profileSuite(suite);
+        obs::Progress::instance().finish();
+        TextTable t({"Benchmark", "Runtime", "IC", "IPC",
+                     "Cache MPKI", "CPU load", "GPU load",
+                     "AIE load"});
+        for (const auto &p : profiles) {
+            t.addRow({p.name,
+                      units::formatSeconds(p.runtimeSeconds),
+                      units::formatCount(p.instructions),
+                      strformat("%.2f", p.ipc),
+                      strformat("%.1f", p.cacheMpki),
+                      units::formatPercent(p.avgCpuLoad()),
+                      units::formatPercent(p.avgGpuLoad()),
+                      units::formatPercent(p.avgAieLoad())});
+        }
+        std::printf("%s (%zu benchmarks)\n%s", suite.name.c_str(),
+                    profiles.size(), t.render().c_str());
+        return 0;
+    }
+
+    if (requireUnit(name))
+        return 1;
+    printUnitProfile(session.profile(registry().unit(name)));
     return 0;
 }
 
@@ -157,8 +260,10 @@ cmdCounters(const std::string &name,
 int
 cmdPipeline()
 {
-    const CharacterizationPipeline pipeline(
-        SocConfig::snapdragon888());
+    const SocConfig config = SocConfig::snapdragon888();
+    const PipelineOptions options;
+    recordRunMetadata(config, options.profile);
+    const CharacterizationPipeline pipeline(config, options);
     const auto report = pipeline.run(registry());
     std::printf("%s\n", renderTableI(registry()).c_str());
     std::printf("%s\n", renderFig1(report).c_str());
@@ -231,7 +336,10 @@ cmdLoad(const std::string &path)
         return 1;
     }
     const auto suites = loadSuites(in);
-    const ProfilerSession session(SocConfig::snapdragon888());
+    const SocConfig config = SocConfig::snapdragon888();
+    const ProfilerSession session(config);
+    recordRunMetadata(config, session.options());
+    const obs::ScopedSpan stage("profile", "stage");
     TextTable t({"Suite", "Benchmark", "Runtime", "IC", "IPC",
                  "CPU load", "GPU load", "AIE load"});
     for (const auto &suite : suites) {
@@ -267,6 +375,77 @@ cmdCatalog(const std::string &category)
     return 0;
 }
 
+/** Observability flags, valid on every command. */
+struct GlobalFlags
+{
+    std::string tracePath;
+    std::string metricsPath;
+    bool progress = false;
+    bool logTimestamps = false;
+};
+
+/**
+ * Strip `--` flags out of the raw argument list. Positional
+ * arguments are returned in order; an unknown flag is a fatal()
+ * (non-zero exit) rather than a silently ignored argument.
+ */
+std::vector<std::string>
+parseFlags(int argc, char **argv, GlobalFlags &flags)
+{
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional.push_back(arg);
+            continue;
+        }
+        const auto valueOf = [&](const char *flag) {
+            fatalIf(i + 1 >= argc,
+                    std::string(flag) + " requires a file argument");
+            return std::string(argv[++i]);
+        };
+        if (arg == "--trace")
+            flags.tracePath = valueOf("--trace");
+        else if (arg == "--metrics")
+            flags.metricsPath = valueOf("--metrics");
+        else if (arg == "--progress")
+            flags.progress = true;
+        else if (arg == "--log-timestamps")
+            flags.logTimestamps = true;
+        else
+            fatal("unknown flag '" + arg +
+                  "'; see: mobilebench (no arguments) for usage");
+    }
+    return positional;
+}
+
+int
+dispatch(const std::vector<std::string> &args)
+{
+    const std::string &cmd = args[0];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "profile" && args.size() >= 2)
+        return cmdProfile(args[1]);
+    if (cmd == "counters" && args.size() >= 2) {
+        const std::vector<std::string> counters(args.begin() + 2,
+                                                args.end());
+        return cmdCounters(args[1], counters);
+    }
+    if (cmd == "pipeline")
+        return cmdPipeline();
+    if (cmd == "roi" && args.size() >= 2)
+        return cmdRoi(args[1], args.size() >= 3 ? std::stod(args[2])
+                                                : 0.10);
+    if (cmd == "energy" && args.size() >= 2)
+        return cmdEnergy(args[1]);
+    if (cmd == "catalog")
+        return cmdCatalog(args.size() >= 2 ? args[1] : "");
+    if (cmd == "load" && args.size() >= 2)
+        return cmdLoad(args[1]);
+    return usage();
+}
+
 } // namespace
 } // namespace mbs
 
@@ -274,34 +453,38 @@ int
 main(int argc, char **argv)
 {
     using namespace mbs;
-    if (argc < 2)
-        return usage();
-    const std::string cmd = argv[1];
     try {
-        if (cmd == "list")
-            return cmdList();
-        if (cmd == "profile" && argc >= 3)
-            return cmdProfile(argv[2]);
-        if (cmd == "counters" && argc >= 3) {
-            std::vector<std::string> counters;
-            for (int i = 3; i < argc; ++i)
-                counters.emplace_back(argv[i]);
-            return cmdCounters(argv[2], counters);
+        GlobalFlags flags;
+        const auto args = parseFlags(argc, argv, flags);
+        if (args.empty())
+            return usage();
+
+        obs::Progress::instance().setEnabled(flags.progress);
+        setLogTimestamps(flags.logTimestamps);
+        // Record spans for every command; the buffer is tiny and it
+        // feeds the stage-timing summary even without --trace.
+        obs::Tracer::instance().setEnabled(true);
+
+        const int rc = dispatch(args);
+        if (rc != 0)
+            return rc;
+
+        if (args[0] == "profile" || args[0] == "pipeline" ||
+            args[0] == "load") {
+            printStageSummary();
         }
-        if (cmd == "pipeline")
-            return cmdPipeline();
-        if (cmd == "roi" && argc >= 3)
-            return cmdRoi(argv[2], argc >= 4 ? std::stod(argv[3])
-                                             : 0.10);
-        if (cmd == "energy" && argc >= 3)
-            return cmdEnergy(argv[2]);
-        if (cmd == "catalog")
-            return cmdCatalog(argc >= 3 ? argv[2] : "");
-        if (cmd == "load" && argc >= 3)
-            return cmdLoad(argv[2]);
+        if (!flags.tracePath.empty())
+            obs::Tracer::instance().writeJson(flags.tracePath);
+        if (!flags.metricsPath.empty()) {
+            std::ofstream out(flags.metricsPath);
+            fatalIf(!out, "cannot open metrics output file '" +
+                    flags.metricsPath + "'");
+            out << obs::MetricsRegistry::instance()
+                .snapshot().toJson();
+        }
+        return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
-    return usage();
 }
