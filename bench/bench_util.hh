@@ -10,6 +10,7 @@
 #ifndef MBS_BENCH_BENCH_UTIL_HH
 #define MBS_BENCH_BENCH_UTIL_HH
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -32,8 +33,16 @@ inline const CharacterizationReport &
 report()
 {
     static const CharacterizationReport rep = [] {
+        // The report is identical for any job count (deterministic
+        // merge), so the bench binaries always use every core; set
+        // MBS_CACHE_DIR to also memoize the profiles across the
+        // eight figure binaries.
+        PipelineOptions options;
+        options.profile.jobs = 0;
+        if (const char *dir = std::getenv("MBS_CACHE_DIR"))
+            options.cacheDir = dir;
         const CharacterizationPipeline pipeline(
-            SocConfig::snapdragon888());
+            SocConfig::snapdragon888(), options);
         return pipeline.run(registry());
     }();
     return rep;

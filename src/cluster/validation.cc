@@ -209,6 +209,22 @@ ValidationSweep::ValidationSweep(
             "a sweep needs 2 <= k_min <= k_max");
 }
 
+ValidationPoint
+ValidationSweep::evaluate(const FeatureMatrix &features,
+                          const Clusterer &algorithm, int k)
+{
+    ValidationPoint point;
+    point.algorithm = algorithm.name();
+    point.k = k;
+    const auto labels = algorithm.fit(features, k).labels;
+    point.dunn = dunnIndex(features, labels);
+    point.silhouette = silhouetteWidth(features, labels);
+    point.connectivity = connectivity(features, labels);
+    point.apn = averageProportionOfNonOverlap(features, algorithm, k);
+    point.ad = averageDistance(features, algorithm, k);
+    return point;
+}
+
 std::vector<ValidationPoint>
 ValidationSweep::run(const FeatureMatrix &features) const
 {
@@ -216,19 +232,8 @@ ValidationSweep::run(const FeatureMatrix &features) const
             "k_max exceeds the number of observations");
     std::vector<ValidationPoint> out;
     for (const Clusterer *algo : algorithms) {
-        for (int k = kMin; k <= kMax; ++k) {
-            ValidationPoint point;
-            point.algorithm = algo->name();
-            point.k = k;
-            const auto labels = algo->fit(features, k).labels;
-            point.dunn = dunnIndex(features, labels);
-            point.silhouette = silhouetteWidth(features, labels);
-            point.connectivity = connectivity(features, labels);
-            point.apn =
-                averageProportionOfNonOverlap(features, *algo, k);
-            point.ad = averageDistance(features, *algo, k);
-            out.push_back(std::move(point));
-        }
+        for (int k = kMin; k <= kMax; ++k)
+            out.push_back(evaluate(features, *algo, k));
     }
     return out;
 }

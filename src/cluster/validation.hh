@@ -91,6 +91,13 @@ class ValidationSweep
     std::vector<ValidationPoint> run(const FeatureMatrix &features) const;
 
     /**
+     * Compute all five measures of one (algorithm, k) sweep point.
+     * Pure — safe to evaluate points concurrently.
+     */
+    static ValidationPoint evaluate(const FeatureMatrix &features,
+                                    const Clusterer &algorithm, int k);
+
+    /**
      * The k preferred by internal validation: the k whose summed rank
      * across Dunn and silhouette (higher better) over all algorithms
      * is best.

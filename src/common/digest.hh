@@ -1,0 +1,51 @@
+/**
+ * @file
+ * FNV-1a digesting over heterogeneous field sequences.
+ *
+ * Used wherever the framework needs a stable content identity: SoC
+ * configurations (soc/config.hh), benchmark phase tables
+ * (workload/benchmark.hh) and profile-store cache keys (src/store).
+ * The digest is a pure function of the mixed byte sequence, so two
+ * values with equal fields mixed in the same order produce equal
+ * digests across runs and processes.
+ */
+
+#ifndef MBS_COMMON_DIGEST_HH
+#define MBS_COMMON_DIGEST_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mbs {
+
+/** FNV-1a accumulator over heterogeneous field types. */
+class Fnv1a
+{
+  public:
+    /** Fold @p n raw bytes into the digest. */
+    void bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ULL;
+        }
+    }
+
+    void mix(const std::string &s) { bytes(s.data(), s.size()); }
+    void mix(double v) { bytes(&v, sizeof(v)); }
+    void mix(std::uint64_t v) { bytes(&v, sizeof(v)); }
+    void mix(int v) { mix(std::uint64_t(v)); }
+    void mix(bool v) { mix(std::uint64_t(v)); }
+
+    /** The digest of everything mixed so far. */
+    std::uint64_t value() const { return h; }
+
+  private:
+    std::uint64_t h = 14695981039346656037ULL;
+};
+
+} // namespace mbs
+
+#endif // MBS_COMMON_DIGEST_HH

@@ -6,14 +6,35 @@
 #include "cluster/kmeans.hh"
 #include "cluster/pam.hh"
 #include "common/logging.hh"
+#include "exec/executor.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
 namespace mbs {
 
+namespace {
+
+std::unique_ptr<ProfileStore>
+makeStore(const std::string &cache_dir)
+{
+    return cache_dir.empty() ? nullptr
+                             : std::make_unique<ProfileStore>(cache_dir);
+}
+
+ProfileOptions
+withCache(ProfileOptions opts, ProfileCache *cache)
+{
+    opts.cache = cache;
+    return opts;
+}
+
+} // namespace
+
 CharacterizationPipeline::CharacterizationPipeline(
     const SocConfig &config, const PipelineOptions &options_)
-    : session(config, options_.profile), options(options_)
+    : store(makeStore(options_.cacheDir)),
+      session(config, withCache(options_.profile, store.get())),
+      options(options_)
 {
 }
 
@@ -57,10 +78,8 @@ CharacterizationPipeline::buildClusterFeatures(
             p.avgAieFrequency(),
             p.avgUsedMemory(),
             p.avgStorageUtil(),
-            // The profiler reports read and write bandwidth as
-            // separate counters; both track controller utilization.
-            p.avgStorageUtil() * 0.6,
-            p.avgStorageUtil() * 0.4,
+            p.avgStorageReadBw(),
+            p.avgStorageWriteBw(),
         });
     }
     return m.normalizedByColumnMax();
@@ -138,9 +157,35 @@ CharacterizationPipeline::run(const WorkloadRegistry &registry) const
     const HierarchicalClustering hierarchical(Linkage::Average);
     {
         const obs::ScopedSpan stage("validation-sweep", "stage");
-        const ValidationSweep sweep(
-            {&kmeans, &pam, &hierarchical}, options.kMin, options.kMax);
-        report.validation = sweep.run(report.clusterFeatures);
+        // Construct a sweep for its argument validation even though
+        // the points are evaluated here, across the executor.
+        const std::vector<const Clusterer *> algorithms{
+            &kmeans, &pam, &hierarchical};
+        const ValidationSweep sweep(algorithms, options.kMin,
+                                    options.kMax);
+        fatalIf(std::size_t(options.kMax) >
+                    report.clusterFeatures.rows(),
+                "k_max exceeds the number of observations");
+        struct Point
+        {
+            const Clusterer *algorithm;
+            int k;
+        };
+        std::vector<Point> points;
+        for (const Clusterer *algo : algorithms) {
+            for (int k = options.kMin; k <= options.kMax; ++k)
+                points.push_back(Point{algo, k});
+        }
+        // Every point is a pure function of (features, algorithm, k),
+        // and the slot vector keeps the output in the serial sweep's
+        // algorithm-major, k-minor order for any job count.
+        report.validation.resize(points.size());
+        Executor exec(options.profile.jobs);
+        exec.parallelFor(points.size(), [&](std::size_t i) {
+            report.validation[i] = ValidationSweep::evaluate(
+                report.clusterFeatures, *points[i].algorithm,
+                points[i].k);
+        });
         report.chosenK =
             ValidationSweep::bestInternalK(report.validation);
     }

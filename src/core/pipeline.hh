@@ -13,11 +13,14 @@
 #ifndef MBS_CORE_PIPELINE_HH
 #define MBS_CORE_PIPELINE_HH
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/validation.hh"
 #include "profiler/session.hh"
 #include "stats/correlation.hh"
+#include "store/profile_store.hh"
 #include "subset/subset.hh"
 #include "workload/registry.hh"
 
@@ -69,6 +72,12 @@ struct CharacterizationReport
 struct PipelineOptions
 {
     ProfileOptions profile;
+    /**
+     * Directory for the content-addressed profile store; empty
+     * disables caching. When set, the pipeline owns a ProfileStore
+     * there and installs it as the session's cache.
+     */
+    std::string cacheDir;
     /** Cluster-count sweep bounds (Fig. 4 uses 2..10). */
     int kMin = 2;
     int kMax = 10;
@@ -118,6 +127,8 @@ class CharacterizationPipeline
                     const WorkloadRegistry &registry) const;
 
   private:
+    /** Declared before the session, which holds a pointer into it. */
+    std::unique_ptr<ProfileStore> store;
     ProfilerSession session;
     PipelineOptions options;
 };

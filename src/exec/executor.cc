@@ -1,0 +1,125 @@
+#include "exec/executor.hh"
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace mbs {
+
+namespace {
+
+obs::Counter &taskCounter()
+{
+    static obs::Counter &c =
+        obs::MetricsRegistry::instance().counter("exec.tasks");
+    return c;
+}
+
+obs::Gauge &queueDepthGauge()
+{
+    static obs::Gauge &g =
+        obs::MetricsRegistry::instance().gauge("exec.queue_depth");
+    return g;
+}
+
+} // namespace
+
+int Executor::resolveJobs(int requested)
+{
+    fatalIf(requested < 0, "executor job count must be >= 0, got " +
+                               std::to_string(requested));
+    if (requested == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : int(hw);
+    }
+    return requested;
+}
+
+Executor::Executor(int jobs) : jobCount(resolveJobs(jobs))
+{
+    // Touch both instruments so a serial run still snapshots
+    // exec.tasks = 0 / exec.queue_depth = 0 instead of omitting them.
+    taskCounter();
+    queueDepthGauge().set(0.0);
+    if (jobCount > 1) {
+        workers.reserve(std::size_t(jobCount));
+        for (int i = 0; i < jobCount; ++i)
+            workers.emplace_back([this]() { workerLoop(); });
+    }
+}
+
+Executor::~Executor()
+{
+    if (workers.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void Executor::enqueue(std::function<void()> task)
+{
+    taskCounter().add(1);
+    if (workers.empty()) {
+        // Single-job mode: run inline, preserving the exact serial
+        // execution order the framework had before the executor.
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        queue.push_back(std::move(task));
+        queueDepthGauge().set(double(queue.size()));
+    }
+    cv.notify_one();
+}
+
+void Executor::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock, [this]() { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+            queueDepthGauge().set(double(queue.size()));
+        }
+        task(); // packaged_task captures any exception in its future
+    }
+}
+
+void Executor::parallelFor(std::size_t n,
+                           const std::function<void(std::size_t)> &body)
+{
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        futures.push_back(submit([&body, i]() { body(i); }));
+
+    // Await in submission order; surface the lowest failing index's
+    // exception only after every task has finished so no task is left
+    // running with dangling references.
+    std::exception_ptr first;
+    for (std::future<void> &f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace mbs

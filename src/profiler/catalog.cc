@@ -371,13 +371,9 @@ CounterCatalog::addStorageCounters(const SocConfig &)
     add("storage.utilization", CounterCategory::Storage, "ratio",
         [](const CounterFrame &f) { return f.storage.utilization; });
     add("storage.read.bandwidth", CounterCategory::Storage, "bytes/s",
-        [](const CounterFrame &f) {
-            return f.storage.bandwidth * 0.6;
-        });
+        [](const CounterFrame &f) { return f.storage.readBandwidth; });
     add("storage.write.bandwidth", CounterCategory::Storage, "bytes/s",
-        [](const CounterFrame &f) {
-            return f.storage.bandwidth * 0.4;
-        });
+        [](const CounterFrame &f) { return f.storage.writeBandwidth; });
 }
 
 void

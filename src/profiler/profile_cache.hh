@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cache abstraction the profiler consults before simulating.
+ *
+ * The key captures everything a profiling result is a pure function
+ * of: the SoC configuration digest, the benchmark (or whole-suite)
+ * phase-table digest, the master seed, the run count and the sampling
+ * cadence. Equal keys therefore imply bit-identical profiles, which
+ * is what makes memoization safe. The concrete on-disk implementation
+ * lives in src/store (ProfileStore); the profiler only sees this
+ * interface, keeping the dependency one-directional
+ * (store -> profiler).
+ */
+
+#ifndef MBS_PROFILER_PROFILE_CACHE_HH
+#define MBS_PROFILER_PROFILE_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mbs {
+
+struct BenchmarkProfile;
+
+/** Identity of one profiling result (one benchmark or whole suite). */
+struct ProfileKey
+{
+    /** SocConfig::digest() of the simulated SoC. */
+    std::uint64_t socDigest = 0;
+    /** Benchmark::digest() or Suite::digest() of the workload. */
+    std::uint64_t benchDigest = 0;
+    /** Master seed of the session (per-run seeds derive from it). */
+    std::uint64_t seed = 0;
+    /** Runs averaged into the profile. */
+    int runs = 0;
+    /** Sampling interval in seconds. */
+    double tickSeconds = 0.0;
+
+    bool operator==(const ProfileKey &) const = default;
+};
+
+/**
+ * Memoized profiles keyed by content identity.
+ *
+ * A load() miss returns nullopt; implementations must treat any
+ * unreadable or stale entry as a miss, never as an error, so a
+ * corrupt cache can only cost time, not correctness.
+ */
+class ProfileCache
+{
+  public:
+    virtual ~ProfileCache() = default;
+
+    /** @return the stored profiles for @p key, or nullopt on miss. */
+    virtual std::optional<std::vector<BenchmarkProfile>>
+    load(const ProfileKey &key) = 0;
+
+    /** Store @p profiles under @p key, replacing any prior entry. */
+    virtual void save(const ProfileKey &key,
+                      const std::vector<BenchmarkProfile> &profiles) = 0;
+};
+
+} // namespace mbs
+
+#endif // MBS_PROFILER_PROFILE_CACHE_HH

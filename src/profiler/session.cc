@@ -1,10 +1,14 @@
 #include "session.hh"
 
 #include <algorithm>
+#include <limits>
+#include <optional>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/strings.hh"
+#include "exec/executor.hh"
 #include "obs/metrics.hh"
 #include "obs/progress.hh"
 #include "obs/trace.hh"
@@ -24,7 +28,61 @@ runSeed(std::uint64_t master, const std::string &bench_name, int run)
     return sm.next();
 }
 
+/**
+ * Average one metric series across runs, accumulating in place.
+ *
+ * Replicates TimeSeries::average exactly (resample to the shortest
+ * run, element-wise mean, mean interval) but reads each run's series
+ * through @p proj instead of first copying every series into a
+ * temporary vector — the only transient allocation is the occasional
+ * resample when run lengths differ.
+ */
+template <typename Proj>
+TimeSeries
+averageSeries(const std::vector<BenchmarkProfile> &runs, Proj proj)
+{
+    std::size_t shortest = std::numeric_limits<std::size_t>::max();
+    for (const auto &r : runs)
+        shortest = std::min(shortest, proj(r).size());
+    if (shortest == 0)
+        return TimeSeries(proj(runs.front()).interval(), {});
+
+    std::vector<double> acc(shortest, 0.0);
+    double total_duration = 0.0;
+    for (const auto &r : runs) {
+        const TimeSeries &series = proj(r);
+        total_duration += series.duration();
+        if (series.size() == shortest) {
+            for (std::size_t i = 0; i < shortest; ++i)
+                acc[i] += series[i];
+        } else {
+            const TimeSeries resampled = series.resampled(shortest);
+            for (std::size_t i = 0; i < shortest; ++i)
+                acc[i] += resampled[i];
+        }
+    }
+    const double n = double(runs.size());
+    for (double &v : acc)
+        v /= n;
+    return TimeSeries(total_duration / (n * double(shortest)),
+                      std::move(acc));
+}
+
 } // namespace
+
+/** One unit of profiling work: a benchmark, or a whole-run suite. */
+struct ProfilerSession::ExecUnit
+{
+    /** Set for whole-suite execution (runsAsWhole); else null. */
+    const Suite *suite = nullptr;
+    /** Set for an individually profiled benchmark; else null. */
+    const Benchmark *bench = nullptr;
+
+    const std::string &name() const
+    {
+        return bench ? bench->name() : suite->name;
+    }
+};
 
 ProfilerSession::ProfilerSession(const SocConfig &config,
                                  const ProfileOptions &options)
@@ -33,6 +91,8 @@ ProfilerSession::ProfilerSession(const SocConfig &config,
     fatalIf(opts.runs < 1, "a session needs at least one run");
     fatalIf(opts.tickSeconds <= 0.0,
             "the sampling interval must be positive");
+    fatalIf(opts.jobs < 0,
+            "the job count must be >= 0 (0 = all cores)");
 }
 
 BenchmarkProfile
@@ -49,7 +109,7 @@ ProfilerSession::extractProfile(
     const double total = double(config().memory.totalBytes);
 
     std::vector<double> cpu_load, gpu_load, shaders, bus, aie_load, mem;
-    std::vector<double> storage_util;
+    std::vector<double> storage_util, storage_read, storage_write;
     std::vector<double> gpu_util, gpu_freq, aie_util, aie_freq, tex;
     std::array<std::vector<double>, numClusters> cluster;
     cpu_load.reserve(frames.size());
@@ -70,6 +130,8 @@ ProfilerSession::extractProfile(
             std::max(0.0, double(f->memory.usedBytes) - idle);
         mem.push_back(used / total);
         storage_util.push_back(f->storage.utilization);
+        storage_read.push_back(f->storage.readBandwidth);
+        storage_write.push_back(f->storage.writeBandwidth);
         gpu_util.push_back(f->gpu.utilization);
         gpu_freq.push_back(
             f->gpu.frequencyHz / config().gpu.maxFreqHz);
@@ -95,6 +157,8 @@ ProfilerSession::extractProfile(
     p.series.aieLoad = TimeSeries(dt, std::move(aie_load));
     p.series.usedMemory = TimeSeries(dt, std::move(mem));
     p.series.storageUtil = TimeSeries(dt, std::move(storage_util));
+    p.series.storageReadBw = TimeSeries(dt, std::move(storage_read));
+    p.series.storageWriteBw = TimeSeries(dt, std::move(storage_write));
     p.series.gpuUtilization = TimeSeries(dt, std::move(gpu_util));
     p.series.gpuFrequency = TimeSeries(dt, std::move(gpu_freq));
     p.series.aieUtilization = TimeSeries(dt, std::move(aie_util));
@@ -114,142 +178,234 @@ ProfilerSession::averageRuns(const std::vector<BenchmarkProfile> &runs)
     out.suite = runs.front().suite;
 
     const double n = double(runs.size());
-    std::vector<TimeSeries> cpu, gpu, sh, bus, aie, mem, sto;
-    std::vector<TimeSeries> gu, gf, au, af, tx;
-    std::array<std::vector<TimeSeries>, numClusters> cluster;
     for (const auto &r : runs) {
         out.runtimeSeconds += r.runtimeSeconds / n;
         out.instructions += r.instructions / n;
         out.ipc += r.ipc / n;
         out.cacheMpki += r.cacheMpki / n;
         out.branchMpki += r.branchMpki / n;
-        cpu.push_back(r.series.cpuLoad);
-        gpu.push_back(r.series.gpuLoad);
-        sh.push_back(r.series.shadersBusy);
-        bus.push_back(r.series.gpuBusBusy);
-        aie.push_back(r.series.aieLoad);
-        mem.push_back(r.series.usedMemory);
-        sto.push_back(r.series.storageUtil);
-        gu.push_back(r.series.gpuUtilization);
-        gf.push_back(r.series.gpuFrequency);
-        au.push_back(r.series.aieUtilization);
-        af.push_back(r.series.aieFrequency);
-        tx.push_back(r.series.textureResidency);
-        for (std::size_t c = 0; c < numClusters; ++c)
-            cluster[c].push_back(r.series.clusterLoad[c]);
     }
-    out.series.cpuLoad = TimeSeries::average(cpu);
-    out.series.gpuLoad = TimeSeries::average(gpu);
-    out.series.shadersBusy = TimeSeries::average(sh);
-    out.series.gpuBusBusy = TimeSeries::average(bus);
-    out.series.aieLoad = TimeSeries::average(aie);
-    out.series.usedMemory = TimeSeries::average(mem);
-    out.series.storageUtil = TimeSeries::average(sto);
-    out.series.gpuUtilization = TimeSeries::average(gu);
-    out.series.gpuFrequency = TimeSeries::average(gf);
-    out.series.aieUtilization = TimeSeries::average(au);
-    out.series.aieFrequency = TimeSeries::average(af);
-    out.series.textureResidency = TimeSeries::average(tx);
-    for (std::size_t c = 0; c < numClusters; ++c)
-        out.series.clusterLoad[c] = TimeSeries::average(cluster[c]);
+
+    const auto avg = [&runs](TimeSeries MetricSeries::*member) {
+        return averageSeries(runs, [member](const BenchmarkProfile &r)
+                             -> const TimeSeries & {
+            return r.series.*member;
+        });
+    };
+    out.series.cpuLoad = avg(&MetricSeries::cpuLoad);
+    out.series.gpuLoad = avg(&MetricSeries::gpuLoad);
+    out.series.shadersBusy = avg(&MetricSeries::shadersBusy);
+    out.series.gpuBusBusy = avg(&MetricSeries::gpuBusBusy);
+    out.series.aieLoad = avg(&MetricSeries::aieLoad);
+    out.series.usedMemory = avg(&MetricSeries::usedMemory);
+    out.series.storageUtil = avg(&MetricSeries::storageUtil);
+    out.series.storageReadBw = avg(&MetricSeries::storageReadBw);
+    out.series.storageWriteBw = avg(&MetricSeries::storageWriteBw);
+    out.series.gpuUtilization = avg(&MetricSeries::gpuUtilization);
+    out.series.gpuFrequency = avg(&MetricSeries::gpuFrequency);
+    out.series.aieUtilization = avg(&MetricSeries::aieUtilization);
+    out.series.aieFrequency = avg(&MetricSeries::aieFrequency);
+    out.series.textureResidency = avg(&MetricSeries::textureResidency);
+    for (std::size_t c = 0; c < numClusters; ++c) {
+        out.series.clusterLoad[c] = averageSeries(
+            runs, [c](const BenchmarkProfile &r) -> const TimeSeries & {
+                return r.series.clusterLoad[c];
+            });
+    }
+    return out;
+}
+
+std::vector<BenchmarkProfile>
+ProfilerSession::profileUnits(const std::vector<ExecUnit> &units) const
+{
+    auto &metrics = obs::MetricsRegistry::instance();
+    // Touch the simulation counters up front so a fully cached run
+    // still exports them (as zero) instead of omitting them — the
+    // warm/cold snapshot comparison relies on `sim.ticks` being
+    // present either way.
+    metrics.counter("sim.ticks");
+    metrics.counter("profiler.benchmarks_profiled");
+    metrics.counter("profiler.runs");
+
+    // Per-unit plan: what to simulate, how to slice it back into
+    // benchmarks, and whether the cache already has the answer.
+    struct UnitPlan
+    {
+        std::vector<TimedPhase> phases;
+        /** Exclusive frame-phase end per segment (whole-suite). */
+        std::vector<std::size_t> phaseEnd;
+        ProfileKey key;
+        std::optional<std::vector<BenchmarkProfile>> cached;
+        /** Index of this unit's first task in the flat task list. */
+        std::size_t firstTask = 0;
+    };
+    struct Task
+    {
+        std::size_t unit = 0;
+        int run = 0;
+    };
+
+    const std::uint64_t soc_digest = config().digest();
+    std::vector<UnitPlan> plans(units.size());
+    std::vector<Task> tasks;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        const ExecUnit &u = units[i];
+        UnitPlan &plan = plans[i];
+        if (u.bench) {
+            plan.phases = u.bench->toTimedPhases();
+            plan.key = ProfileKey{soc_digest, u.bench->digest(),
+                                  opts.seed, opts.runs,
+                                  opts.tickSeconds};
+        } else {
+            for (const auto &bench : u.suite->benchmarks) {
+                const auto phases = bench.toTimedPhases();
+                plan.phases.insert(plan.phases.end(), phases.begin(),
+                                   phases.end());
+                plan.phaseEnd.push_back(plan.phases.size());
+            }
+            plan.key = ProfileKey{soc_digest, u.suite->digest(),
+                                  opts.seed, opts.runs,
+                                  opts.tickSeconds};
+        }
+        if (opts.cache)
+            plan.cached = opts.cache->load(plan.key);
+        if (!plan.cached) {
+            plan.firstTask = tasks.size();
+            for (int r = 0; r < opts.runs; ++r)
+                tasks.push_back(Task{i, r});
+        }
+    }
+
+    // Fan the remaining (unit x run) simulations out. Every task owns
+    // its simulator and derives its seed from the unit identity, so
+    // scheduling order cannot influence any result; the slot vector
+    // realizes the merge-by-submission-index contract.
+    std::vector<SimulationResult> results(tasks.size());
+    if (!tasks.empty()) {
+        Executor exec(opts.jobs);
+        exec.parallelFor(tasks.size(), [&](std::size_t t) {
+            const Task &task = tasks[t];
+            const ExecUnit &u = units[task.unit];
+            SimOptions sim_opts;
+            sim_opts.tickSeconds = opts.tickSeconds;
+            sim_opts.seed = runSeed(opts.seed, u.name(), task.run);
+            const obs::ScopedSpan runSpan(
+                strformat("%s run %d", u.name().c_str(), task.run),
+                "run",
+                {{"seed", strformat("%llu", (unsigned long long)
+                                    sim_opts.seed)}});
+            const SocSimulator sim(config());
+            results[t] = sim.run(plans[task.unit].phases, sim_opts);
+        });
+    }
+
+    // Serial merge in unit order: job count and worker scheduling are
+    // invisible from here on.
+    std::vector<BenchmarkProfile> out;
+    auto &progress = obs::Progress::instance();
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        const ExecUnit &u = units[i];
+        UnitPlan &plan = plans[i];
+        if (plan.cached) {
+            progress.step(u.name() + " (cached)");
+            for (auto &p : *plan.cached)
+                out.push_back(std::move(p));
+            continue;
+        }
+
+        std::vector<BenchmarkProfile> profiles;
+        if (u.bench) {
+            const obs::ScopedSpan benchSpan(
+                u.bench->name(), "benchmark",
+                {{"suite", u.bench->suiteName()}});
+            progress.step(u.bench->name());
+            std::vector<BenchmarkProfile> per_run;
+            for (int r = 0; r < opts.runs; ++r) {
+                const SimulationResult &result =
+                    results[plan.firstTask + std::size_t(r)];
+                std::vector<const CounterFrame *> frames;
+                frames.reserve(result.frames.size());
+                for (const auto &f : result.frames)
+                    frames.push_back(&f);
+                per_run.push_back(extractProfile(*u.bench, frames));
+            }
+            profiles.push_back(averageRuns(per_run));
+            metrics.counter("profiler.benchmarks_profiled").add();
+        } else {
+            // Whole-suite execution: split each run's frame stream
+            // back into segments using the recorded phase indices.
+            const obs::ScopedSpan suiteSpan(
+                u.suite->name, "benchmark",
+                {{"segments",
+                  strformat("%zu", u.suite->benchmarks.size())}});
+            progress.step(u.suite->name + " (whole suite)");
+            std::vector<std::vector<BenchmarkProfile>>
+                per_segment_runs(u.suite->benchmarks.size());
+            for (int r = 0; r < opts.runs; ++r) {
+                const SimulationResult &result =
+                    results[plan.firstTask + std::size_t(r)];
+                std::size_t segment = 0;
+                std::vector<const CounterFrame *> frames;
+                auto flush = [&]() {
+                    per_segment_runs[segment].push_back(extractProfile(
+                        u.suite->benchmarks[segment], frames));
+                    frames.clear();
+                };
+                for (const auto &f : result.frames) {
+                    while (f.phaseIndex >= plan.phaseEnd[segment]) {
+                        flush();
+                        ++segment;
+                        panicIf(segment >= u.suite->benchmarks.size(),
+                                "frame beyond the last suite segment");
+                    }
+                    frames.push_back(&f);
+                }
+                flush();
+                panicIf(segment + 1 != u.suite->benchmarks.size(),
+                        "whole-suite run did not cover every segment");
+            }
+            for (auto &runs : per_segment_runs)
+                profiles.push_back(averageRuns(runs));
+            metrics.counter("profiler.benchmarks_profiled")
+                .add(u.suite->benchmarks.size());
+        }
+        metrics.counter("profiler.runs").add(std::uint64_t(opts.runs));
+
+        if (opts.cache)
+            opts.cache->save(plan.key, profiles);
+        for (auto &p : profiles)
+            out.push_back(std::move(p));
+    }
     return out;
 }
 
 BenchmarkProfile
 ProfilerSession::profile(const Benchmark &benchmark) const
 {
-    const obs::ScopedSpan benchSpan(benchmark.name(), "benchmark",
-                                    {{"suite", benchmark.suiteName()}});
-    obs::Progress::instance().step(benchmark.name());
-    std::vector<BenchmarkProfile> per_run;
-    for (int r = 0; r < opts.runs; ++r) {
-        SimOptions sim_opts;
-        sim_opts.tickSeconds = opts.tickSeconds;
-        sim_opts.seed = runSeed(opts.seed, benchmark.name(), r);
-        const obs::ScopedSpan runSpan(
-            strformat("run %d", r), "run",
-            {{"seed", strformat("%llu",
-                                (unsigned long long)sim_opts.seed)}});
-        const SimulationResult result =
-            simulator.run(benchmark.toTimedPhases(), sim_opts);
-        std::vector<const CounterFrame *> frames;
-        frames.reserve(result.frames.size());
-        for (const auto &f : result.frames)
-            frames.push_back(&f);
-        per_run.push_back(extractProfile(benchmark, frames));
-    }
-    auto &metrics = obs::MetricsRegistry::instance();
-    metrics.counter("profiler.benchmarks_profiled").add();
-    metrics.counter("profiler.runs").add(std::uint64_t(opts.runs));
-    return averageRuns(per_run);
+    ExecUnit unit;
+    unit.bench = &benchmark;
+    auto profiles = profileUnits({unit});
+    panicIf(profiles.size() != 1,
+            "profiling one benchmark yielded != 1 profile");
+    return std::move(profiles.front());
 }
 
 std::vector<BenchmarkProfile>
 ProfilerSession::profileSuite(const Suite &suite) const
 {
-    std::vector<BenchmarkProfile> out;
-    if (!suite.runsAsWhole) {
-        for (const auto &bench : suite.benchmarks)
-            out.push_back(profile(bench));
-        return out;
-    }
-
-    // Whole-suite execution: concatenate the segments' phases, run
-    // once per repetition, then split the frame stream back into
-    // segments using the recorded phase indices.
-    const obs::ScopedSpan suiteSpan(
-        suite.name, "benchmark",
-        {{"segments", strformat("%zu", suite.benchmarks.size())}});
-    obs::Progress::instance().step(suite.name + " (whole suite)");
-    std::vector<TimedPhase> all_phases;
-    std::vector<std::size_t> phase_end; // exclusive end per segment
-    for (const auto &bench : suite.benchmarks) {
-        const auto phases = bench.toTimedPhases();
-        all_phases.insert(all_phases.end(), phases.begin(),
-                          phases.end());
-        phase_end.push_back(all_phases.size());
-    }
-
-    std::vector<std::vector<BenchmarkProfile>> per_segment_runs(
-        suite.benchmarks.size());
-    for (int r = 0; r < opts.runs; ++r) {
-        SimOptions sim_opts;
-        sim_opts.tickSeconds = opts.tickSeconds;
-        sim_opts.seed = runSeed(opts.seed, suite.name, r);
-        const obs::ScopedSpan runSpan(
-            strformat("run %d", r), "run",
-            {{"seed", strformat("%llu",
-                                (unsigned long long)sim_opts.seed)}});
-        const SimulationResult result =
-            simulator.run(all_phases, sim_opts);
-
-        std::size_t segment = 0;
-        std::vector<const CounterFrame *> frames;
-        auto flush = [&]() {
-            per_segment_runs[segment].push_back(
-                extractProfile(suite.benchmarks[segment], frames));
-            frames.clear();
-        };
-        for (const auto &f : result.frames) {
-            while (f.phaseIndex >= phase_end[segment]) {
-                flush();
-                ++segment;
-                panicIf(segment >= suite.benchmarks.size(),
-                        "frame beyond the last suite segment");
-            }
-            frames.push_back(&f);
+    std::vector<ExecUnit> units;
+    if (suite.runsAsWhole) {
+        ExecUnit unit;
+        unit.suite = &suite;
+        units.push_back(unit);
+    } else {
+        for (const auto &bench : suite.benchmarks) {
+            ExecUnit unit;
+            unit.bench = &bench;
+            units.push_back(unit);
         }
-        flush();
-        panicIf(segment + 1 != suite.benchmarks.size(),
-                "whole-suite run did not cover every segment");
     }
-    for (auto &runs : per_segment_runs)
-        out.push_back(averageRuns(runs));
-    auto &metrics = obs::MetricsRegistry::instance();
-    metrics.counter("profiler.benchmarks_profiled")
-        .add(suite.benchmarks.size());
-    metrics.counter("profiler.runs").add(std::uint64_t(opts.runs));
-    return out;
+    return profileUnits(units);
 }
 
 std::vector<BenchmarkProfile>
@@ -257,17 +413,23 @@ ProfilerSession::profileAll(const WorkloadRegistry &registry) const
 {
     // Progress total counts one step per independently profiled
     // benchmark, or one per whole-suite execution.
-    std::size_t steps = 0;
-    for (const auto &suite : registry.suites())
-        steps += suite.runsAsWhole ? 1 : suite.benchmarks.size();
-    obs::Progress::instance().begin(steps, "profiling all suites");
-
-    std::vector<BenchmarkProfile> out;
+    std::vector<ExecUnit> units;
     for (const auto &suite : registry.suites()) {
-        auto profiles = profileSuite(suite);
-        for (auto &p : profiles)
-            out.push_back(std::move(p));
+        if (suite.runsAsWhole) {
+            ExecUnit unit;
+            unit.suite = &suite;
+            units.push_back(unit);
+        } else {
+            for (const auto &bench : suite.benchmarks) {
+                ExecUnit unit;
+                unit.bench = &bench;
+                units.push_back(unit);
+            }
+        }
     }
+    obs::Progress::instance().begin(units.size(),
+                                    "profiling all suites");
+    auto out = profileUnits(units);
     obs::Progress::instance().finish();
     return out;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "profiler/catalog.hh"
+#include "profiler/profile_cache.hh"
 #include "soc/simulator.hh"
 #include "stats/time_series.hh"
 #include "workload/benchmark.hh"
@@ -37,6 +38,17 @@ struct ProfileOptions
     int runs = 3;
     /** Master seed; run r of benchmark b uses a derived substream. */
     std::uint64_t seed = 20240501;
+    /**
+     * Simulation worker threads; 1 runs serially, 0 uses all cores.
+     * Results are merged by submission index, so every job count
+     * produces bit-identical profiles.
+     */
+    int jobs = 1;
+    /**
+     * Optional memoization cache consulted per profiled unit
+     * (non-owning; the caller keeps it alive for the session).
+     */
+    ProfileCache *cache = nullptr;
 };
 
 /** The six Fig.-2 metric series plus per-cluster loads (Fig. 3). */
@@ -51,6 +63,10 @@ struct MetricSeries
     TimeSeries usedMemory;
     /** Flash-controller busy fraction. */
     TimeSeries storageUtil;
+    /** Storage read bandwidth in bytes/s. */
+    TimeSeries storageReadBw;
+    /** Storage write bandwidth in bytes/s. */
+    TimeSeries storageWriteBw;
     /** GPU busy fraction (utilization, unscaled by frequency). */
     TimeSeries gpuUtilization;
     /** GPU frequency as a fraction of its maximum. */
@@ -92,6 +108,14 @@ struct BenchmarkProfile
     double avgAieLoad() const { return series.aieLoad.mean(); }
     double avgUsedMemory() const { return series.usedMemory.mean(); }
     double avgStorageUtil() const { return series.storageUtil.mean(); }
+    double avgStorageReadBw() const
+    {
+        return series.storageReadBw.mean();
+    }
+    double avgStorageWriteBw() const
+    {
+        return series.storageWriteBw.mean();
+    }
     double avgGpuUtilization() const
     {
         return series.gpuUtilization.mean();
@@ -149,6 +173,21 @@ class ProfilerSession
     const ProfileOptions &options() const { return opts; }
 
   private:
+    /**
+     * One unit of profiling work: either a single benchmark or a
+     * whole-suite execution (defined in session.cc).
+     */
+    struct ExecUnit;
+
+    /**
+     * Profile a list of units: consult the cache, fan the remaining
+     * (unit x run) simulations across `opts.jobs` workers, then merge
+     * serially in unit order so the output is independent of the job
+     * count.
+     */
+    std::vector<BenchmarkProfile>
+    profileUnits(const std::vector<ExecUnit> &units) const;
+
     /** Extract one run's metric bundle from a frame range. */
     BenchmarkProfile extractProfile(
         const Benchmark &benchmark,

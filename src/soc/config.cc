@@ -1,5 +1,6 @@
 #include "config.hh"
 
+#include "common/digest.hh"
 #include "common/logging.hh"
 
 namespace mbs {
@@ -51,34 +52,10 @@ SocConfig::validate() const
     fatalIf(gpu.shaderCores <= 0, "GPU needs at least one shader core");
 }
 
-namespace {
-
-/** FNV-1a accumulator over heterogeneous field types. */
-struct Digest
-{
-    std::uint64_t h = 14695981039346656037ULL;
-
-    void bytes(const void *data, std::size_t n)
-    {
-        const auto *p = static_cast<const unsigned char *>(data);
-        for (std::size_t i = 0; i < n; ++i) {
-            h ^= p[i];
-            h *= 1099511628211ULL;
-        }
-    }
-    void mix(const std::string &s) { bytes(s.data(), s.size()); }
-    void mix(double v) { bytes(&v, sizeof(v)); }
-    void mix(std::uint64_t v) { bytes(&v, sizeof(v)); }
-    void mix(int v) { mix(std::uint64_t(v)); }
-    void mix(bool v) { mix(std::uint64_t(v)); }
-};
-
-} // namespace
-
 std::uint64_t
 SocConfig::digest() const
 {
-    Digest d;
+    Fnv1a d;
     d.mix(name);
     for (const auto &c : clusters) {
         d.mix(c.name);
@@ -115,7 +92,7 @@ SocConfig::digest() const
     d.mix(storage.capacityBytes);
     d.mix(storage.peakBandwidth);
     d.mix(osBackgroundLoad);
-    return d.h;
+    return d.value();
 }
 
 SocConfig

@@ -117,6 +117,12 @@ struct StorageDemand
 {
     /** IO bandwidth demand in [0, 1] of the flash controller's peak. */
     double ioRate = 0.0;
+    /**
+     * Fraction of the IO bandwidth that is reads, in [0, 1]; the rest
+     * is writes. Asset loading streams are read-heavy (~0.9) while
+     * encryption/database commit phases skew toward writes.
+     */
+    double readFraction = 0.6;
 };
 
 /** Complete demand bundle for one workload phase. */

@@ -33,6 +33,9 @@ StorageModel::evaluate(const StorageDemand &demand) const
     StorageState out;
     out.utilization = std::clamp(demand.ioRate, 0.0, 1.0);
     out.bandwidth = out.utilization * config.peakBandwidth;
+    const double rf = std::clamp(demand.readFraction, 0.0, 1.0);
+    out.readBandwidth = out.bandwidth * rf;
+    out.writeBandwidth = out.bandwidth - out.readBandwidth;
     return out;
 }
 

@@ -53,6 +53,10 @@ struct StorageState
 {
     /** Achieved IO bandwidth in bytes/s. */
     double bandwidth = 0.0;
+    /** Read share of the achieved bandwidth in bytes/s. */
+    double readBandwidth = 0.0;
+    /** Write share of the achieved bandwidth in bytes/s. */
+    double writeBandwidth = 0.0;
     /** Busy fraction of the flash controller. */
     double utilization = 0.0;
 };

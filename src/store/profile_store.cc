@@ -1,0 +1,168 @@
+#include "store/profile_store.hh"
+
+#include <fstream>
+#include <system_error>
+
+#include "common/digest.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "store/serialize.hh"
+
+namespace mbs {
+
+namespace {
+
+struct StoreMetrics
+{
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &evictions;
+    obs::Histogram &entryBytes;
+};
+
+StoreMetrics &
+storeMetrics()
+{
+    auto &registry = obs::MetricsRegistry::instance();
+    static StoreMetrics m{
+        registry.counter("store.hits"),
+        registry.counter("store.misses"),
+        registry.counter("store.evictions"),
+        registry.histogram("store.entry_bytes",
+                           {4096.0, 16384.0, 65536.0, 262144.0,
+                            1048576.0, 4194304.0, 16777216.0}),
+    };
+    return m;
+}
+
+const char entrySuffix[] = ".profile";
+
+} // namespace
+
+ProfileStore::ProfileStore(const std::filesystem::path &directory)
+    : root(directory)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(root, ec);
+    fatalIf(bool(ec), "cannot create cache directory '" +
+                          root.string() + "': " + ec.message());
+    // Touch the instruments so even an unused store exports zeros;
+    // CI's warm-run assertion greps for `store.misses` == 0.
+    storeMetrics();
+}
+
+std::uint64_t
+ProfileStore::keyDigest(const ProfileKey &key)
+{
+    Fnv1a d;
+    d.mix(key.socDigest);
+    d.mix(key.benchDigest);
+    d.mix(key.seed);
+    d.mix(key.runs);
+    d.mix(key.tickSeconds);
+    return d.value();
+}
+
+std::filesystem::path
+ProfileStore::entryPath(const ProfileKey &key) const
+{
+    return root / (strformat("%016llx",
+                             (unsigned long long)keyDigest(key)) +
+                   entrySuffix);
+}
+
+std::optional<std::vector<BenchmarkProfile>>
+ProfileStore::load(const ProfileKey &key)
+{
+    const std::filesystem::path path = entryPath(key);
+    const obs::ScopedSpan span("store.load", "store",
+                               {{"entry", path.filename().string()}});
+    StoreMetrics &m = storeMetrics();
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        m.misses.add();
+        return std::nullopt;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+
+    auto profiles = deserializeProfiles(key, bytes);
+    if (!profiles) {
+        // Corrupt, truncated or stale-format entry: evict it so the
+        // slot is rewritten cleanly after the re-simulation.
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        m.evictions.add();
+        m.misses.add();
+        return std::nullopt;
+    }
+    m.hits.add();
+    return profiles;
+}
+
+void
+ProfileStore::save(const ProfileKey &key,
+                   const std::vector<BenchmarkProfile> &profiles)
+{
+    const std::filesystem::path path = entryPath(key);
+    const obs::ScopedSpan span("store.save", "store",
+                               {{"entry", path.filename().string()}});
+    const std::string bytes = serializeProfiles(key, profiles);
+
+    // Write-then-rename keeps the entry atomic: a concurrent reader
+    // either sees the complete old entry or the complete new one.
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        fatalIf(!out, "cannot write cache entry '" + tmp.string() + "'");
+        out.write(bytes.data(), std::streamsize(bytes.size()));
+        fatalIf(!out.good(),
+                "short write to cache entry '" + tmp.string() + "'");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    fatalIf(bool(ec), "cannot publish cache entry '" + path.string() +
+                          "': " + ec.message());
+    storeMetrics().entryBytes.observe(double(bytes.size()));
+}
+
+ProfileStore::Stats
+ProfileStore::stats() const
+{
+    Stats s;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(root, ec)) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != entrySuffix) {
+            continue;
+        }
+        ++s.entries;
+        s.bytes += std::uint64_t(entry.file_size());
+    }
+    return s;
+}
+
+std::size_t
+ProfileStore::clear()
+{
+    std::size_t removed = 0;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(root, ec)) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != entrySuffix) {
+            continue;
+        }
+        std::error_code rm;
+        if (std::filesystem::remove(entry.path(), rm) && !rm)
+            ++removed;
+    }
+    return removed;
+}
+
+} // namespace mbs

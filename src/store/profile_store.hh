@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Content-addressed on-disk profile store.
+ *
+ * Implements the profiler's ProfileCache interface by memoizing
+ * serialized profiling results in a directory. Entries are addressed
+ * purely by content identity — the FNV-1a digest of the ProfileKey
+ * (SoC config digest, benchmark phase-table digest, seed, runs,
+ * sampling cadence) names the file — so a warm run of an unchanged
+ * configuration skips simulation entirely while producing the exact
+ * bytes a cold run would.
+ *
+ * Robustness: writes go to a temporary file that is renamed into
+ * place (readers never see partial entries), and any unreadable,
+ * truncated, corrupt or version-mismatched entry is evicted and
+ * treated as a miss. Observability: `store.hits`, `store.misses`
+ * and `store.evictions` counters, a `store.entry_bytes` histogram
+ * and per-operation spans via src/obs.
+ */
+
+#ifndef MBS_STORE_PROFILE_STORE_HH
+#define MBS_STORE_PROFILE_STORE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "profiler/profile_cache.hh"
+#include "profiler/session.hh"
+
+namespace mbs {
+
+/** A directory of memoized profiling results. */
+class ProfileStore : public ProfileCache
+{
+  public:
+    /**
+     * Open (creating if needed) the store rooted at @p directory;
+     * fatal() when the directory cannot be created.
+     */
+    explicit ProfileStore(const std::filesystem::path &directory);
+
+    std::optional<std::vector<BenchmarkProfile>>
+    load(const ProfileKey &key) override;
+
+    void save(const ProfileKey &key,
+              const std::vector<BenchmarkProfile> &profiles) override;
+
+    /** Aggregate numbers for `mobilebench cache stats`. */
+    struct Stats
+    {
+        std::size_t entries = 0;
+        std::uint64_t bytes = 0;
+    };
+    Stats stats() const;
+
+    /** Delete every entry. @return the number of entries removed. */
+    std::size_t clear();
+
+    const std::filesystem::path &directory() const { return root; }
+
+    /** The digest that names @p key's entry file. */
+    static std::uint64_t keyDigest(const ProfileKey &key);
+
+  private:
+    std::filesystem::path entryPath(const ProfileKey &key) const;
+
+    std::filesystem::path root;
+};
+
+} // namespace mbs
+
+#endif // MBS_STORE_PROFILE_STORE_HH

@@ -1,0 +1,231 @@
+#include "store/serialize.hh"
+
+#include <cstring>
+
+#include "common/digest.hh"
+
+namespace mbs {
+
+namespace {
+
+constexpr std::uint64_t entryMagic = 0x31464F5250534D42ULL; // "BMSPROF1"
+
+/**
+ * Apply @p fn to every series of @p series in the fixed file order.
+ * Works for const and mutable MetricSeries; keeping the order in one
+ * place guarantees the writer and reader never disagree.
+ */
+template <typename Series, typename Fn>
+void
+forEachSeries(Series &series, Fn fn)
+{
+    fn(series.cpuLoad);
+    fn(series.gpuLoad);
+    fn(series.shadersBusy);
+    fn(series.gpuBusBusy);
+    fn(series.aieLoad);
+    fn(series.usedMemory);
+    fn(series.storageUtil);
+    fn(series.storageReadBw);
+    fn(series.storageWriteBw);
+    fn(series.gpuUtilization);
+    fn(series.gpuFrequency);
+    fn(series.aieUtilization);
+    fn(series.aieFrequency);
+    fn(series.textureResidency);
+    for (std::size_t c = 0; c < numClusters; ++c)
+        fn(series.clusterLoad[c]);
+}
+
+constexpr std::uint32_t seriesPerProfile = 14 + std::uint32_t(numClusters);
+
+/** Little binary writer: appends raw fields to a byte string. */
+struct Writer
+{
+    std::string out;
+
+    void bytes(const void *data, std::size_t n)
+    {
+        out.append(static_cast<const char *>(data), n);
+    }
+    void u32(std::uint32_t v) { bytes(&v, sizeof(v)); }
+    void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+    void i32(std::int32_t v) { bytes(&v, sizeof(v)); }
+    void f64(double v) { bytes(&v, sizeof(v)); }
+    void str(const std::string &s)
+    {
+        u32(std::uint32_t(s.size()));
+        bytes(s.data(), s.size());
+    }
+};
+
+/** Bounds-checked reader over entry bytes; ok() goes false forever
+ *  after the first short read. */
+struct Reader
+{
+    const std::string &in;
+    std::size_t pos = 0;
+    bool good = true;
+
+    explicit Reader(const std::string &bytes) : in(bytes) {}
+
+    bool ok() const { return good; }
+
+    bool bytes(void *data, std::size_t n)
+    {
+        if (!good || in.size() - pos < n) {
+            good = false;
+            return false;
+        }
+        std::memcpy(data, in.data() + pos, n);
+        pos += n;
+        return true;
+    }
+    std::uint32_t u32()
+    {
+        std::uint32_t v = 0;
+        bytes(&v, sizeof(v));
+        return v;
+    }
+    std::uint64_t u64()
+    {
+        std::uint64_t v = 0;
+        bytes(&v, sizeof(v));
+        return v;
+    }
+    std::int32_t i32()
+    {
+        std::int32_t v = 0;
+        bytes(&v, sizeof(v));
+        return v;
+    }
+    double f64()
+    {
+        double v = 0.0;
+        bytes(&v, sizeof(v));
+        return v;
+    }
+    std::string str()
+    {
+        const std::uint32_t n = u32();
+        if (!good || in.size() - pos < n) {
+            good = false;
+            return {};
+        }
+        std::string s(in.data() + pos, n);
+        pos += n;
+        return s;
+    }
+};
+
+std::uint64_t
+checksumOf(const std::string &payload)
+{
+    Fnv1a d;
+    d.bytes(payload.data(), payload.size());
+    return d.value();
+}
+
+} // namespace
+
+std::string
+serializeProfiles(const ProfileKey &key,
+                  const std::vector<BenchmarkProfile> &profiles)
+{
+    Writer w;
+    w.u64(entryMagic);
+    w.u32(profileFormatVersion);
+    w.u64(key.socDigest);
+    w.u64(key.benchDigest);
+    w.u64(key.seed);
+    w.i32(key.runs);
+    w.f64(key.tickSeconds);
+    w.u32(std::uint32_t(profiles.size()));
+    for (const auto &p : profiles) {
+        w.str(p.name);
+        w.str(p.suite);
+        w.f64(p.runtimeSeconds);
+        w.f64(p.instructions);
+        w.f64(p.ipc);
+        w.f64(p.cacheMpki);
+        w.f64(p.branchMpki);
+        w.u32(seriesPerProfile);
+        forEachSeries(p.series, [&w](const TimeSeries &s) {
+            w.f64(s.interval());
+            w.u64(std::uint64_t(s.size()));
+            for (double v : s.values())
+                w.f64(v);
+        });
+    }
+    w.u64(checksumOf(w.out));
+    return std::move(w.out);
+}
+
+std::optional<std::vector<BenchmarkProfile>>
+deserializeProfiles(const ProfileKey &key, const std::string &bytes)
+{
+    if (bytes.size() < sizeof(std::uint64_t))
+        return std::nullopt;
+    const std::string payload =
+        bytes.substr(0, bytes.size() - sizeof(std::uint64_t));
+    std::uint64_t stored_checksum = 0;
+    std::memcpy(&stored_checksum,
+                bytes.data() + payload.size(), sizeof(stored_checksum));
+    if (checksumOf(payload) != stored_checksum)
+        return std::nullopt;
+
+    Reader r(payload);
+    if (r.u64() != entryMagic || r.u32() != profileFormatVersion)
+        return std::nullopt;
+    ProfileKey stored;
+    stored.socDigest = r.u64();
+    stored.benchDigest = r.u64();
+    stored.seed = r.u64();
+    stored.runs = r.i32();
+    stored.tickSeconds = r.f64();
+    if (!r.ok() || !(stored == key))
+        return std::nullopt;
+
+    const std::uint32_t count = r.u32();
+    std::vector<BenchmarkProfile> profiles;
+    profiles.reserve(count);
+    for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+        BenchmarkProfile p;
+        p.name = r.str();
+        p.suite = r.str();
+        p.runtimeSeconds = r.f64();
+        p.instructions = r.f64();
+        p.ipc = r.f64();
+        p.cacheMpki = r.f64();
+        p.branchMpki = r.f64();
+        if (r.u32() != seriesPerProfile) {
+            r.good = false;
+            break;
+        }
+        forEachSeries(p.series, [&r](TimeSeries &s) {
+            const double interval = r.f64();
+            const std::uint64_t n = r.u64();
+            if (!r.ok() ||
+                n > (r.in.size() - r.pos) / sizeof(double)) {
+                r.good = false;
+                return;
+            }
+            std::vector<double> values;
+            values.reserve(std::size_t(n));
+            for (std::uint64_t k = 0; k < n; ++k)
+                values.push_back(r.f64());
+            if (interval <= 0.0) {
+                r.good = false; // TimeSeries rejects such intervals
+                return;
+            }
+            s = TimeSeries(interval, std::move(values));
+        });
+        if (r.ok())
+            profiles.push_back(std::move(p));
+    }
+    if (!r.ok() || r.pos != payload.size())
+        return std::nullopt;
+    return profiles;
+}
+
+} // namespace mbs

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Versioned binary (de)serialization of profiling results.
+ *
+ * The format is deliberately simple and fully self-validating:
+ *
+ *   u64  magic              ("MBSPROF1" as little-endian bytes)
+ *   u32  format version     (profileFormatVersion)
+ *   key  socDigest, benchDigest, seed (u64), runs (i32),
+ *        tickSeconds (f64)
+ *   u32  profile count
+ *   per profile:
+ *     str  name, suite      (u32 length + raw bytes)
+ *     f64  runtimeSeconds, instructions, ipc, cacheMpki, branchMpki
+ *     u32  series count
+ *     per series: f64 interval, u64 sample count, f64 samples...
+ *   u64  FNV-1a checksum of every preceding byte
+ *
+ * Deserialization re-derives the checksum and verifies magic,
+ * version, the embedded key and all length fields; any mismatch or
+ * truncation yields nullopt, which the store treats as a cache miss.
+ * Doubles are raw IEEE-754 bytes, so a round trip is bit-exact — a
+ * warm cache reproduces a cold run's report byte for byte.
+ */
+
+#ifndef MBS_STORE_SERIALIZE_HH
+#define MBS_STORE_SERIALIZE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "profiler/profile_cache.hh"
+#include "profiler/session.hh"
+
+namespace mbs {
+
+/** Bumped whenever the entry layout or MetricSeries shape changes. */
+constexpr std::uint32_t profileFormatVersion = 1;
+
+/** Encode @p profiles (with their identity @p key) into entry bytes. */
+std::string serializeProfiles(const ProfileKey &key,
+                              const std::vector<BenchmarkProfile> &profiles);
+
+/**
+ * Decode entry bytes written by serializeProfiles.
+ * @return the profiles, or nullopt when the bytes are truncated,
+ *         corrupt, of a different format version or keyed for a
+ *         different (SoC, benchmark, seed, runs, cadence) identity.
+ */
+std::optional<std::vector<BenchmarkProfile>>
+deserializeProfiles(const ProfileKey &key, const std::string &bytes);
+
+} // namespace mbs
+
+#endif // MBS_STORE_SERIALIZE_HH

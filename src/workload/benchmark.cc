@@ -1,5 +1,6 @@
 #include "benchmark.hh"
 
+#include "common/digest.hh"
 #include "common/logging.hh"
 
 namespace mbs {
@@ -81,6 +82,46 @@ Benchmark::phaseStartFraction(std::size_t i) const
     return before / total;
 }
 
+std::uint64_t
+Benchmark::digest() const
+{
+    Fnv1a d;
+    d.mix(suite);
+    d.mix(benchName);
+    d.mix(int(hwTarget));
+    d.mix(executable);
+    d.mix(std::uint64_t(phaseList.size()));
+    for (const auto &p : phaseList) {
+        d.mix(p.name);
+        d.mix(p.kernel);
+        d.mix(p.durationSeconds);
+        d.mix(std::uint64_t(p.demand.threads.size()));
+        for (const auto &t : p.demand.threads) {
+            d.mix(t.count);
+            d.mix(t.intensity);
+        }
+        d.mix(p.demand.cpu.instructionsBillions);
+        d.mix(p.demand.cpu.baseIpc);
+        d.mix(p.demand.cpu.memIntensity);
+        d.mix(p.demand.cpu.workingSetBytes);
+        d.mix(p.demand.cpu.locality);
+        d.mix(p.demand.cpu.branchFraction);
+        d.mix(p.demand.cpu.branchPredictability);
+        d.mix(p.demand.gpu.workRate);
+        d.mix(int(p.demand.gpu.api));
+        d.mix(p.demand.gpu.offscreen);
+        d.mix(p.demand.gpu.resolutionScale);
+        d.mix(p.demand.gpu.textureBandwidth);
+        d.mix(p.demand.gpu.textureBytes);
+        d.mix(p.demand.aie.workRate);
+        d.mix(int(p.demand.aie.codec));
+        d.mix(p.demand.memory.footprintBytes);
+        d.mix(p.demand.storage.ioRate);
+        d.mix(p.demand.storage.readFraction);
+    }
+    return d.value();
+}
+
 double
 Suite::totalDurationSeconds() const
 {
@@ -88,6 +129,19 @@ Suite::totalDurationSeconds() const
     for (const auto &b : benchmarks)
         total += b.totalDurationSeconds();
     return total;
+}
+
+std::uint64_t
+Suite::digest() const
+{
+    Fnv1a d;
+    d.mix(name);
+    d.mix(publisher);
+    d.mix(runsAsWhole);
+    d.mix(std::uint64_t(benchmarks.size()));
+    for (const auto &b : benchmarks)
+        d.mix(b.digest());
+    return d.value();
 }
 
 } // namespace mbs

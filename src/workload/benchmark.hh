@@ -12,6 +12,7 @@
 #ifndef MBS_WORKLOAD_BENCHMARK_HH
 #define MBS_WORKLOAD_BENCHMARK_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,14 @@ class Benchmark
      */
     double phaseStartFraction(std::size_t i) const;
 
+    /**
+     * Content digest over the full phase table (names, kernels,
+     * durations and every demand field). Two benchmarks with equal
+     * digests produce identical simulations under equal seeds, which
+     * is what lets the profile store key cache entries by digest.
+     */
+    std::uint64_t digest() const;
+
   private:
     std::string suite;
     std::string benchName;
@@ -114,6 +123,9 @@ struct Suite
 
     /** Sum of all member benchmark durations. */
     double totalDurationSeconds() const;
+
+    /** Content digest over the suite identity and member digests. */
+    std::uint64_t digest() const;
 };
 
 } // namespace mbs

@@ -154,6 +154,9 @@ storageIo(double io_rate, double cpu_intensity)
     d.cpu.branchFraction = 0.15;
     d.cpu.branchPredictability = 0.96;
     d.storage.ioRate = io_rate;
+    // Storage benchmarks interleave sequential-read and random-write
+    // stages; slightly read-dominated overall.
+    d.storage.readFraction = 0.55;
     d.memory.footprintBytes = 1000 * MB;
     return d;
 }
@@ -170,6 +173,7 @@ database(double io_rate)
     d.cpu.branchFraction = 0.24;
     d.cpu.branchPredictability = 0.945;
     d.storage.ioRate = io_rate;
+    d.storage.readFraction = 0.70; // query-dominated with commit writes
     d.memory.footprintBytes = 1200 * MB;
     return d;
 }
@@ -400,6 +404,7 @@ dataSecurity(int threads, double intensity)
     PhaseDemand d = crypto(threads, intensity);
     d.cpu.branchFraction = 0.12;
     d.storage.ioRate = 0.08; // encrypt-at-rest touches flash
+    d.storage.readFraction = 0.35; // re-encryption is write-heavy
     return d;
 }
 
@@ -415,6 +420,7 @@ loadingBurst(int threads, double intensity)
     d.cpu.branchFraction = 0.20;
     d.cpu.branchPredictability = 0.93;
     d.storage.ioRate = 0.55; // asset streaming
+    d.storage.readFraction = 0.92; // almost pure reads off flash
     d.memory.footprintBytes = 1600 * MB;
     return d;
 }

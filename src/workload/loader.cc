@@ -84,6 +84,7 @@ struct KernelArgs
     double gpuRate = -1.0;
     double aieRate = -1.0;
     double ioRate = -1.0;
+    double readFraction = -1.0;
     double resolution = 1.0;
     bool offscreen = false;
     bool encode = false;
@@ -110,6 +111,8 @@ parseArgs(const Kwargs &kwargs)
             a.aieRate = toDouble(key, value);
         else if (key == "io_rate")
             a.ioRate = toDouble(key, value);
+        else if (key == "read_fraction")
+            a.readFraction = toDouble(key, value);
         else if (key == "resolution")
             a.resolution = toDouble(key, value);
         else if (key == "offscreen")
@@ -215,6 +218,11 @@ makeKernelDemand(const std::string &kernel, const Kwargs &kwargs)
         d = kernels::menuIdle();
     } else {
         fatal("unknown kernel archetype '" + kernel + "'");
+    }
+    if (a.readFraction >= 0.0) {
+        fatalIf(a.readFraction > 1.0,
+                "read_fraction must be in [0, 1]");
+        d.storage.readFraction = a.readFraction;
     }
     return d;
 }

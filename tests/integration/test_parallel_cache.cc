@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Golden tests for the parallel executor and the profile store:
+ * profiling with --jobs 4 is bit-identical to serial, and a warm
+ * cache reproduces the cold report without a single simulator tick.
+ */
+
+#include <cstdint>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "obs/metrics.hh"
+#include "report_fixture.hh"
+#include "store/profile_store.hh"
+
+namespace mbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t
+counterValue(const std::string &name)
+{
+    return obs::MetricsRegistry::instance().counter(name).value();
+}
+
+void
+expectProfilesBitIdentical(const std::vector<BenchmarkProfile> &a,
+                           const std::vector<BenchmarkProfile> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(a[i].name);
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].suite, b[i].suite);
+        // Bitwise equality, not EXPECT_DOUBLE_EQ: the merge contract
+        // promises identical arithmetic, not merely close results.
+        EXPECT_EQ(a[i].runtimeSeconds, b[i].runtimeSeconds);
+        EXPECT_EQ(a[i].instructions, b[i].instructions);
+        EXPECT_EQ(a[i].ipc, b[i].ipc);
+        EXPECT_EQ(a[i].cacheMpki, b[i].cacheMpki);
+        EXPECT_EQ(a[i].branchMpki, b[i].branchMpki);
+        EXPECT_EQ(a[i].series.cpuLoad.values(),
+                  b[i].series.cpuLoad.values());
+        EXPECT_EQ(a[i].series.gpuLoad.values(),
+                  b[i].series.gpuLoad.values());
+        EXPECT_EQ(a[i].series.usedMemory.values(),
+                  b[i].series.usedMemory.values());
+        EXPECT_EQ(a[i].series.storageUtil.values(),
+                  b[i].series.storageUtil.values());
+        EXPECT_EQ(a[i].series.storageReadBw.values(),
+                  b[i].series.storageReadBw.values());
+        EXPECT_EQ(a[i].series.storageWriteBw.values(),
+                  b[i].series.storageWriteBw.values());
+        EXPECT_EQ(a[i].series.gpuFrequency.values(),
+                  b[i].series.gpuFrequency.values());
+        EXPECT_EQ(a[i].series.textureResidency.values(),
+                  b[i].series.textureResidency.values());
+        for (std::size_t c = 0; c < numClusters; ++c) {
+            EXPECT_EQ(a[i].series.clusterLoad[c].values(),
+                      b[i].series.clusterLoad[c].values());
+        }
+        EXPECT_EQ(a[i].series.cpuLoad.interval(),
+                  b[i].series.cpuLoad.interval());
+    }
+}
+
+void
+expectReportsBitIdentical(const CharacterizationReport &a,
+                          const CharacterizationReport &b)
+{
+    expectProfilesBitIdentical(a.profiles, b.profiles);
+
+    ASSERT_EQ(a.validation.size(), b.validation.size());
+    for (std::size_t i = 0; i < a.validation.size(); ++i) {
+        SCOPED_TRACE(a.validation[i].algorithm + " k=" +
+                     std::to_string(a.validation[i].k));
+        EXPECT_EQ(a.validation[i].algorithm, b.validation[i].algorithm);
+        EXPECT_EQ(a.validation[i].k, b.validation[i].k);
+        EXPECT_EQ(a.validation[i].dunn, b.validation[i].dunn);
+        EXPECT_EQ(a.validation[i].silhouette,
+                  b.validation[i].silhouette);
+        EXPECT_EQ(a.validation[i].connectivity,
+                  b.validation[i].connectivity);
+        EXPECT_EQ(a.validation[i].apn, b.validation[i].apn);
+        EXPECT_EQ(a.validation[i].ad, b.validation[i].ad);
+    }
+
+    EXPECT_EQ(a.chosenK, b.chosenK);
+    EXPECT_EQ(a.hierarchicalLabels, b.hierarchicalLabels);
+    EXPECT_EQ(a.kmeansLabels, b.kmeansLabels);
+    EXPECT_EQ(a.pamLabels, b.pamLabels);
+    EXPECT_EQ(a.algorithmsAgree, b.algorithmsAgree);
+    EXPECT_EQ(a.naiveSubset.members, b.naiveSubset.members);
+    EXPECT_EQ(a.selectSubset.members, b.selectSubset.members);
+    EXPECT_EQ(a.selectPlusGpuSubset.members,
+              b.selectPlusGpuSubset.members);
+    EXPECT_EQ(a.naiveCurve, b.naiveCurve);
+    EXPECT_EQ(a.selectCurve, b.selectCurve);
+    EXPECT_EQ(a.selectPlusGpuCurve, b.selectPlusGpuCurve);
+    EXPECT_EQ(a.fullRuntimeSeconds, b.fullRuntimeSeconds);
+}
+
+TEST(ParallelDeterminism, ProfileAllWithFourJobsMatchesSerial)
+{
+    ProfileOptions serial_opts;
+    serial_opts.jobs = 1;
+    const ProfilerSession serial(SocConfig::snapdragon888(),
+                                 serial_opts);
+
+    ProfileOptions parallel_opts;
+    parallel_opts.jobs = 4;
+    const ProfilerSession parallel(SocConfig::snapdragon888(),
+                                   parallel_opts);
+
+    expectProfilesBitIdentical(
+        serial.profileAll(testutil::registry()),
+        parallel.profileAll(testutil::registry()));
+}
+
+TEST(ParallelDeterminism, PipelineWithFourJobsMatchesSerial)
+{
+    // The parallel validation sweep must also merge by slot: the
+    // whole report — sweep points included — is bit-identical.
+    PipelineOptions opts;
+    opts.profile.jobs = 4;
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888(), opts);
+    expectReportsBitIdentical(testutil::report(),
+                              pipeline.run(testutil::registry()));
+}
+
+TEST(ProfileCache, WarmRunSkipsSimulationAndReproducesReport)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "mbs-warm-cache";
+    fs::remove_all(dir);
+
+    PipelineOptions opts;
+    opts.cacheDir = dir.string();
+    opts.profile.jobs = 2;
+
+    const std::uint64_t cold_ticks = counterValue("sim.ticks");
+    const CharacterizationReport cold =
+        CharacterizationPipeline(SocConfig::snapdragon888(), opts)
+            .run(testutil::registry());
+    EXPECT_GT(counterValue("sim.ticks"), cold_ticks);
+    EXPECT_GT(ProfileStore(dir).stats().entries, 0u);
+
+    const std::uint64_t warm_ticks = counterValue("sim.ticks");
+    const std::uint64_t warm_misses = counterValue("store.misses");
+    const CharacterizationReport warm =
+        CharacterizationPipeline(SocConfig::snapdragon888(), opts)
+            .run(testutil::registry());
+
+    // Every unit was served from the store: no simulator tick ran and
+    // no probe missed.
+    EXPECT_EQ(counterValue("sim.ticks"), warm_ticks);
+    EXPECT_EQ(counterValue("store.misses"), warm_misses);
+    expectReportsBitIdentical(cold, warm);
+
+    fs::remove_all(dir);
+}
+
+TEST(ProfileCache, DifferentSeedMissesTheCache)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "mbs-seed-cache";
+    fs::remove_all(dir);
+
+    ProfileStore store(dir);
+    ProfileOptions opts;
+    opts.cache = &store;
+    const ProfilerSession session(SocConfig::snapdragon888(), opts);
+    const auto &bench =
+        testutil::registry().unit("3DMark Wild Life");
+    (void)session.profile(bench);
+
+    ProfileOptions other = opts;
+    other.seed += 1;
+    const ProfilerSession session2(SocConfig::snapdragon888(), other);
+    const std::uint64_t misses = counterValue("store.misses");
+    (void)session2.profile(bench);
+    EXPECT_GT(counterValue("store.misses"), misses);
+
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * ProfileStore tests: miss/save/hit flow, corrupt-entry eviction,
+ * stats/clear bookkeeping and the store.* instruments.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+#include "store/profile_store.hh"
+
+namespace mbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh scratch directory per test, removed on destruction. */
+class StoreTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        root = fs::path(::testing::TempDir()) /
+               ("mbs-store-" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        fs::remove_all(root);
+    }
+
+    void TearDown() override { fs::remove_all(root); }
+
+    fs::path root;
+};
+
+ProfileKey
+key(std::uint64_t seed)
+{
+    ProfileKey k;
+    k.socDigest = 0xabcdef;
+    k.benchDigest = 0x123456;
+    k.seed = seed;
+    k.runs = 2;
+    k.tickSeconds = 0.1;
+    return k;
+}
+
+BenchmarkProfile
+profile(const std::string &name)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.suite = "Store Suite";
+    p.runtimeSeconds = 3.25;
+    p.ipc = 1.125;
+    p.series.cpuLoad = TimeSeries(0.1, {0.1, 0.2, 0.3});
+    p.series.storageReadBw = TimeSeries(0.1, {1.5e9, 2.5e9});
+    p.series.storageWriteBw = TimeSeries(0.1, {0.5e9, 0.25e9});
+    return p;
+}
+
+std::uint64_t
+counterValue(const std::string &name)
+{
+    return obs::MetricsRegistry::instance().counter(name).value();
+}
+
+TEST_F(StoreTest, MissThenSaveThenHit)
+{
+    ProfileStore store(root);
+    const auto k = key(1);
+
+    const std::uint64_t misses = counterValue("store.misses");
+    const std::uint64_t hits = counterValue("store.hits");
+
+    EXPECT_FALSE(store.load(k).has_value());
+    EXPECT_EQ(counterValue("store.misses"), misses + 1);
+
+    store.save(k, {profile("cached unit")});
+
+    const auto back = store.load(k);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(counterValue("store.hits"), hits + 1);
+    ASSERT_EQ(back->size(), 1u);
+    EXPECT_EQ(back->front().name, "cached unit");
+    EXPECT_EQ(back->front().runtimeSeconds, 3.25);
+    EXPECT_EQ(back->front().ipc, 1.125);
+    EXPECT_EQ(back->front().series.cpuLoad.values(),
+              std::vector<double>({0.1, 0.2, 0.3}));
+    EXPECT_EQ(back->front().series.storageReadBw.values(),
+              std::vector<double>({1.5e9, 2.5e9}));
+}
+
+TEST_F(StoreTest, DistinctKeysAreIndependentEntries)
+{
+    ProfileStore store(root);
+    store.save(key(1), {profile("one")});
+    store.save(key(2), {profile("two")});
+    EXPECT_NE(ProfileStore::keyDigest(key(1)),
+              ProfileStore::keyDigest(key(2)));
+
+    const auto a = store.load(key(1));
+    const auto b = store.load(key(2));
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->front().name, "one");
+    EXPECT_EQ(b->front().name, "two");
+    EXPECT_EQ(store.stats().entries, 2u);
+}
+
+TEST_F(StoreTest, CorruptEntryIsEvicted)
+{
+    ProfileStore store(root);
+    const auto k = key(3);
+    store.save(k, {profile("will corrupt")});
+
+    // Damage the stored entry in place.
+    fs::path entry;
+    for (const auto &e : fs::directory_iterator(root))
+        entry = e.path();
+    ASSERT_FALSE(entry.empty());
+    {
+        std::fstream f(entry, std::ios::in | std::ios::out |
+                                  std::ios::binary);
+        f.seekp(24);
+        const char junk = 0x5a;
+        f.write(&junk, 1);
+    }
+
+    const std::uint64_t evictions = counterValue("store.evictions");
+    const std::uint64_t misses = counterValue("store.misses");
+    EXPECT_FALSE(store.load(k).has_value());
+    EXPECT_EQ(counterValue("store.evictions"), evictions + 1);
+    EXPECT_EQ(counterValue("store.misses"), misses + 1);
+    // The bad file is gone, so the directory no longer lists it.
+    EXPECT_FALSE(fs::exists(entry));
+    EXPECT_EQ(store.stats().entries, 0u);
+}
+
+TEST_F(StoreTest, SaveOverwritesExistingEntry)
+{
+    ProfileStore store(root);
+    const auto k = key(4);
+    store.save(k, {profile("first")});
+    store.save(k, {profile("second")});
+    const auto back = store.load(k);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->front().name, "second");
+    EXPECT_EQ(store.stats().entries, 1u);
+}
+
+TEST_F(StoreTest, StatsAndClear)
+{
+    ProfileStore store(root);
+    EXPECT_EQ(store.stats().entries, 0u);
+    EXPECT_EQ(store.stats().bytes, 0u);
+
+    store.save(key(5), {profile("a")});
+    store.save(key(6), {profile("b"), profile("c")});
+
+    const auto s = store.stats();
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_GT(s.bytes, 0u);
+
+    // Foreign files in the directory are not store entries and must
+    // survive a clear.
+    { std::ofstream(root / "notes.txt") << "keep me"; }
+    EXPECT_EQ(store.stats().entries, 2u);
+
+    EXPECT_EQ(store.clear(), 2u);
+    EXPECT_EQ(store.stats().entries, 0u);
+    EXPECT_TRUE(fs::exists(root / "notes.txt"));
+    EXPECT_FALSE(store.load(key(5)).has_value());
+}
+
+TEST_F(StoreTest, CreatesDirectoryTree)
+{
+    const fs::path nested = root / "deep" / "nested" / "cache";
+    ProfileStore store(nested);
+    EXPECT_TRUE(fs::is_directory(nested));
+    EXPECT_EQ(store.directory(), nested);
+    store.save(key(7), {profile("nested")});
+    EXPECT_TRUE(ProfileStore(nested).load(key(7)).has_value());
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Serializer tests: bit-exact round trips and rejection of every
+ * corruption class (truncation, bit flips, wrong magic/version/key).
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "store/serialize.hh"
+
+namespace mbs {
+namespace {
+
+BenchmarkProfile
+syntheticProfile(const std::string &name, double scale)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.suite = "Synthetic Suite";
+    p.runtimeSeconds = 12.5 * scale;
+    p.instructions = 3.1e9 * scale;
+    p.ipc = 1.7 * scale;
+    p.cacheMpki = 9.25 * scale;
+    p.branchMpki = 2.125 * scale;
+    const auto series = [scale](double base) {
+        std::vector<double> v;
+        for (int i = 0; i < 17; ++i)
+            v.push_back(base + double(i) * 0.103 * scale);
+        return TimeSeries(0.1, std::move(v));
+    };
+    p.series.cpuLoad = series(0.5);
+    p.series.gpuLoad = series(0.25);
+    p.series.shadersBusy = series(0.33);
+    p.series.gpuBusBusy = series(0.11);
+    p.series.aieLoad = series(0.05);
+    p.series.usedMemory = series(0.4);
+    p.series.storageUtil = series(0.2);
+    p.series.storageReadBw = series(1.25e9);
+    p.series.storageWriteBw = series(0.75e9);
+    p.series.gpuUtilization = series(0.6);
+    p.series.gpuFrequency = series(0.7);
+    p.series.aieUtilization = series(0.15);
+    p.series.aieFrequency = series(0.55);
+    p.series.textureResidency = series(0.08);
+    for (std::size_t c = 0; c < numClusters; ++c)
+        p.series.clusterLoad[c] = series(0.1 * double(c + 1));
+    return p;
+}
+
+ProfileKey
+testKey()
+{
+    ProfileKey key;
+    key.socDigest = 0x1234567890abcdefULL;
+    key.benchDigest = 0xfedcba0987654321ULL;
+    key.seed = 20240501;
+    key.runs = 3;
+    key.tickSeconds = 0.1;
+    return key;
+}
+
+void
+expectProfilesEqual(const BenchmarkProfile &a, const BenchmarkProfile &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.suite, b.suite);
+    EXPECT_EQ(a.runtimeSeconds, b.runtimeSeconds);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.cacheMpki, b.cacheMpki);
+    EXPECT_EQ(a.branchMpki, b.branchMpki);
+    EXPECT_EQ(a.series.cpuLoad.interval(),
+              b.series.cpuLoad.interval());
+    EXPECT_EQ(a.series.cpuLoad.values(), b.series.cpuLoad.values());
+    EXPECT_EQ(a.series.storageReadBw.values(),
+              b.series.storageReadBw.values());
+    EXPECT_EQ(a.series.storageWriteBw.values(),
+              b.series.storageWriteBw.values());
+    EXPECT_EQ(a.series.textureResidency.values(),
+              b.series.textureResidency.values());
+    for (std::size_t c = 0; c < numClusters; ++c) {
+        EXPECT_EQ(a.series.clusterLoad[c].values(),
+                  b.series.clusterLoad[c].values());
+    }
+}
+
+TEST(Serialize, RoundTripIsBitExact)
+{
+    const std::vector<BenchmarkProfile> profiles = {
+        syntheticProfile("Unit A", 1.0),
+        syntheticProfile("Unit B", 0.37),
+    };
+    const auto key = testKey();
+    const std::string bytes = serializeProfiles(key, profiles);
+    const auto back = deserializeProfiles(key, bytes);
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->size(), profiles.size());
+    for (std::size_t i = 0; i < profiles.size(); ++i)
+        expectProfilesEqual(profiles[i], (*back)[i]);
+}
+
+TEST(Serialize, EmptyProfileListRoundTrips)
+{
+    const auto key = testKey();
+    const auto back =
+        deserializeProfiles(key, serializeProfiles(key, {}));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->empty());
+}
+
+TEST(Serialize, EmptySeriesRoundTrips)
+{
+    BenchmarkProfile p;
+    p.name = "empty";
+    p.suite = "s";
+    const auto key = testKey();
+    const auto back =
+        deserializeProfiles(key, serializeProfiles(key, {p}));
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->size(), 1u);
+    EXPECT_TRUE(back->front().series.cpuLoad.empty());
+    EXPECT_EQ(back->front().series.cpuLoad.interval(),
+              p.series.cpuLoad.interval());
+}
+
+TEST(Serialize, RejectsDifferentKey)
+{
+    const auto key = testKey();
+    const std::string bytes =
+        serializeProfiles(key, {syntheticProfile("u", 1.0)});
+
+    ProfileKey other = key;
+    other.seed += 1;
+    EXPECT_FALSE(deserializeProfiles(other, bytes).has_value());
+    other = key;
+    other.benchDigest ^= 1;
+    EXPECT_FALSE(deserializeProfiles(other, bytes).has_value());
+    other = key;
+    other.runs += 1;
+    EXPECT_FALSE(deserializeProfiles(other, bytes).has_value());
+    other = key;
+    other.tickSeconds *= 2.0;
+    EXPECT_FALSE(deserializeProfiles(other, bytes).has_value());
+}
+
+TEST(Serialize, RejectsBitFlipsAnywhere)
+{
+    const auto key = testKey();
+    const std::string bytes =
+        serializeProfiles(key, {syntheticProfile("u", 1.0)});
+    // Flip one bit at a spread of offsets, including inside the
+    // trailing checksum itself.
+    for (std::size_t pos = 0; pos < bytes.size();
+         pos += bytes.size() / 13 + 1) {
+        std::string corrupt = bytes;
+        corrupt[pos] = char(corrupt[pos] ^ 0x40);
+        EXPECT_FALSE(deserializeProfiles(key, corrupt).has_value())
+            << "bit flip at offset " << pos << " was accepted";
+    }
+}
+
+TEST(Serialize, RejectsTruncation)
+{
+    const auto key = testKey();
+    const std::string bytes =
+        serializeProfiles(key, {syntheticProfile("u", 1.0)});
+    EXPECT_FALSE(deserializeProfiles(key, "").has_value());
+    for (const double frac : {0.1, 0.5, 0.9}) {
+        const std::string cut =
+            bytes.substr(0, std::size_t(double(bytes.size()) * frac));
+        EXPECT_FALSE(deserializeProfiles(key, cut).has_value());
+    }
+    EXPECT_FALSE(
+        deserializeProfiles(key, bytes.substr(0, bytes.size() - 1))
+            .has_value());
+}
+
+TEST(Serialize, RejectsTrailingGarbage)
+{
+    const auto key = testKey();
+    std::string bytes =
+        serializeProfiles(key, {syntheticProfile("u", 1.0)});
+    bytes += "extra";
+    EXPECT_FALSE(deserializeProfiles(key, bytes).has_value());
+}
+
+} // namespace
+} // namespace mbs

@@ -10,6 +10,7 @@
  *   mobilebench roi <benchmark> [frac]     simulation-ROI selection
  *   mobilebench energy <benchmark>         energy/power breakdown
  *   mobilebench catalog [category]         list hardware counters
+ *   mobilebench cache <stats|clear>        inspect the profile store
  *
  * Observability flags (any command): `--trace <file>` writes a Chrome
  * trace-event JSON (open in Perfetto), `--metrics <file>` writes a
@@ -17,12 +18,19 @@
  * progress on stderr, `--log-timestamps` prefixes log lines with
  * elapsed time. `profile` and `pipeline` print a stage-timing summary
  * table after their output.
+ *
+ * Execution flags: `--jobs N` fans simulations (and the pipeline's
+ * validation sweep) across N worker threads (0 = all cores) with
+ * bit-identical output for every N; `--cache-dir DIR` memoizes
+ * profiling results in a content-addressed on-disk store so warm
+ * reruns skip simulation entirely.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,6 +47,7 @@
 #include "obs/trace.hh"
 #include "roi/roi.hh"
 #include "soc/energy.hh"
+#include "store/profile_store.hh"
 #include "workload/loader.hh"
 
 namespace mbs {
@@ -56,6 +65,9 @@ usage()
                  "  roi <benchmark> [fraction]  simulation-ROI pick\n"
                  "  energy <benchmark>          energy breakdown\n"
                  "  catalog [category]          hardware counters\n"
+                 "  cache <stats|clear>         inspect or empty the\n"
+                 "                              profile store "
+                 "(needs --cache-dir)\n"
                  "  load <file>                 profile suites from a\n"
                  "                              workload definition file\n"
                  "flags (any command):\n"
@@ -66,7 +78,14 @@ usage()
                  "  --progress           per-benchmark progress on "
                  "stderr\n"
                  "  --log-timestamps     prefix log lines with elapsed "
-                 "time\n");
+                 "time\n"
+                 "  --jobs <n>           simulation worker threads "
+                 "(0 = all cores,\n"
+                 "                       default 1; output is "
+                 "identical for any n)\n"
+                 "  --cache-dir <dir>    memoize profiling results in "
+                 "an on-disk\n"
+                 "                       content-addressed store\n");
     return 2;
 }
 
@@ -136,6 +155,35 @@ printStageSummary()
     std::printf("\nStage timing\n%s", t.render().c_str());
 }
 
+/** Observability/execution flags, valid on every command. */
+struct GlobalFlags
+{
+    std::string tracePath;
+    std::string metricsPath;
+    bool progress = false;
+    bool logTimestamps = false;
+    /** Simulation worker threads; 0 = all cores, 1 = serial. */
+    int jobs = 1;
+    /** Profile-store directory; empty disables caching. */
+    std::string cacheDir;
+
+    /** Apply the execution flags to a session's options. */
+    ProfileOptions sessionOptions(ProfileCache *cache) const
+    {
+        ProfileOptions opts;
+        opts.jobs = jobs;
+        opts.cache = cache;
+        return opts;
+    }
+
+    /** Open the profile store when --cache-dir was given. */
+    std::unique_ptr<ProfileStore> openStore() const
+    {
+        return cacheDir.empty()
+            ? nullptr : std::make_unique<ProfileStore>(cacheDir);
+    }
+};
+
 int
 cmdList()
 {
@@ -182,10 +230,12 @@ printUnitProfile(const BenchmarkProfile &p)
 }
 
 int
-cmdProfile(const std::string &name)
+cmdProfile(const std::string &name, const GlobalFlags &flags)
 {
     const SocConfig config = SocConfig::snapdragon888();
-    const ProfilerSession session(config);
+    const auto store = flags.openStore();
+    const ProfilerSession session(
+        config, flags.sessionOptions(store.get()));
     recordRunMetadata(config, session.options());
     const obs::ScopedSpan stage("profile", "stage");
 
@@ -258,10 +308,12 @@ cmdCounters(const std::string &name,
 }
 
 int
-cmdPipeline()
+cmdPipeline(const GlobalFlags &flags)
 {
     const SocConfig config = SocConfig::snapdragon888();
-    const PipelineOptions options;
+    PipelineOptions options;
+    options.profile.jobs = flags.jobs;
+    options.cacheDir = flags.cacheDir;
     recordRunMetadata(config, options.profile);
     const CharacterizationPipeline pipeline(config, options);
     const auto report = pipeline.run(registry());
@@ -328,7 +380,7 @@ cmdEnergy(const std::string &name)
 }
 
 int
-cmdLoad(const std::string &path)
+cmdLoad(const std::string &path, const GlobalFlags &flags)
 {
     std::ifstream in(path);
     if (!in) {
@@ -337,7 +389,9 @@ cmdLoad(const std::string &path)
     }
     const auto suites = loadSuites(in);
     const SocConfig config = SocConfig::snapdragon888();
-    const ProfilerSession session(config);
+    const auto store = flags.openStore();
+    const ProfilerSession session(
+        config, flags.sessionOptions(store.get()));
     recordRunMetadata(config, session.options());
     const obs::ScopedSpan stage("profile", "stage");
     TextTable t({"Suite", "Benchmark", "Runtime", "IC", "IPC",
@@ -358,6 +412,34 @@ cmdLoad(const std::string &path)
 }
 
 int
+cmdCache(const std::string &action, const GlobalFlags &flags)
+{
+    if (flags.cacheDir.empty()) {
+        std::fprintf(stderr, "cache %s requires --cache-dir <dir>\n",
+                     action.c_str());
+        return 1;
+    }
+    ProfileStore store(flags.cacheDir);
+    if (action == "stats") {
+        const auto s = store.stats();
+        std::printf("%s: %zu entries, %s\n",
+                    store.directory().string().c_str(), s.entries,
+                    units::formatBytes(s.bytes).c_str());
+        return 0;
+    }
+    if (action == "clear") {
+        const std::size_t removed = store.clear();
+        std::printf("%s: removed %zu entries\n",
+                    store.directory().string().c_str(), removed);
+        return 0;
+    }
+    std::fprintf(stderr, "unknown cache action '%s'; use stats or "
+                         "clear\n",
+                 action.c_str());
+    return 1;
+}
+
+int
 cmdCatalog(const std::string &category)
 {
     const CounterCatalog catalog(SocConfig::snapdragon888());
@@ -374,15 +456,6 @@ cmdCatalog(const std::string &category)
     std::printf("%d counters\n", printed);
     return 0;
 }
-
-/** Observability flags, valid on every command. */
-struct GlobalFlags
-{
-    std::string tracePath;
-    std::string metricsPath;
-    bool progress = false;
-    bool logTimestamps = false;
-};
 
 /**
  * Strip `--` flags out of the raw argument list. Positional
@@ -412,6 +485,17 @@ parseFlags(int argc, char **argv, GlobalFlags &flags)
             flags.progress = true;
         else if (arg == "--log-timestamps")
             flags.logTimestamps = true;
+        else if (arg == "--jobs") {
+            const std::string v = valueOf("--jobs");
+            try {
+                flags.jobs = std::stoi(v);
+            } catch (const std::exception &) {
+                fatal("--jobs requires an integer, got '" + v + "'");
+            }
+            fatalIf(flags.jobs < 0,
+                    "--jobs must be >= 0 (0 = all cores)");
+        } else if (arg == "--cache-dir")
+            flags.cacheDir = valueOf("--cache-dir");
         else
             fatal("unknown flag '" + arg +
                   "'; see: mobilebench (no arguments) for usage");
@@ -420,20 +504,21 @@ parseFlags(int argc, char **argv, GlobalFlags &flags)
 }
 
 int
-dispatch(const std::vector<std::string> &args)
+dispatch(const std::vector<std::string> &args,
+         const GlobalFlags &flags)
 {
     const std::string &cmd = args[0];
     if (cmd == "list")
         return cmdList();
     if (cmd == "profile" && args.size() >= 2)
-        return cmdProfile(args[1]);
+        return cmdProfile(args[1], flags);
     if (cmd == "counters" && args.size() >= 2) {
         const std::vector<std::string> counters(args.begin() + 2,
                                                 args.end());
         return cmdCounters(args[1], counters);
     }
     if (cmd == "pipeline")
-        return cmdPipeline();
+        return cmdPipeline(flags);
     if (cmd == "roi" && args.size() >= 2)
         return cmdRoi(args[1], args.size() >= 3 ? std::stod(args[2])
                                                 : 0.10);
@@ -442,7 +527,9 @@ dispatch(const std::vector<std::string> &args)
     if (cmd == "catalog")
         return cmdCatalog(args.size() >= 2 ? args[1] : "");
     if (cmd == "load" && args.size() >= 2)
-        return cmdLoad(args[1]);
+        return cmdLoad(args[1], flags);
+    if (cmd == "cache" && args.size() >= 2)
+        return cmdCache(args[1], flags);
     return usage();
 }
 
@@ -465,7 +552,7 @@ main(int argc, char **argv)
         // feeds the stage-timing summary even without --trace.
         obs::Tracer::instance().setEnabled(true);
 
-        const int rc = dispatch(args);
+        const int rc = dispatch(args, flags);
         if (rc != 0)
             return rc;
 
