@@ -10,6 +10,8 @@
 #ifndef MBS_BENCH_BENCH_UTIL_HH
 #define MBS_BENCH_BENCH_UTIL_HH
 
+#include <benchmark/benchmark.h>
+
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -74,6 +76,42 @@ renderClaims(const std::string &title, const std::vector<Claim> &claims)
     for (const auto &c : claims)
         t.addRow({c.description, c.paper, c.measured});
     return title + "\n" + t.render();
+}
+
+/**
+ * Initialize google-benchmark and run the registered benchmarks.
+ *
+ * When MBS_BENCH_OUT_DIR is set and the caller passed no
+ * `--benchmark_out` of their own, the timings are also written to
+ * `$MBS_BENCH_OUT_DIR/BENCH_<name>.json` in google-benchmark's JSON
+ * format — the input tools/perf_compare diffs against
+ * bench/baselines/ in the CI perf gate. Explicit flags always win
+ * over the injected defaults.
+ */
+inline int
+runBenchmarks(const std::string &name, int argc, char **argv)
+{
+    std::vector<std::string> args(argv, argv + argc);
+    bool has_out = false;
+    for (const auto &a : args) {
+        if (startsWith(a, "--benchmark_out=") || a == "--benchmark_out")
+            has_out = true;
+    }
+    if (!has_out) {
+        if (const char *dir = std::getenv("MBS_BENCH_OUT_DIR")) {
+            args.push_back(std::string("--benchmark_out=") + dir +
+                           "/BENCH_" + name + ".json");
+            args.push_back("--benchmark_out_format=json");
+        }
+    }
+    std::vector<char *> raw;
+    raw.reserve(args.size());
+    for (auto &a : args)
+        raw.push_back(a.data());
+    int count = int(raw.size());
+    benchmark::Initialize(&count, raw.data());
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
 }
 
 } // namespace benchutil

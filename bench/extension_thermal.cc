@@ -120,7 +120,5 @@ int
 main(int argc, char **argv)
 {
     mbs::printReproduction();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return mbs::benchutil::runBenchmarks("extension_thermal", argc, argv);
 }

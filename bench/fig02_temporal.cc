@@ -150,7 +150,5 @@ int
 main(int argc, char **argv)
 {
     mbs::printReproduction();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return mbs::benchutil::runBenchmarks("fig02_temporal", argc, argv);
 }

@@ -105,7 +105,6 @@ int
 main(int argc, char **argv)
 {
     mbs::printReproduction();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return mbs::benchutil::runBenchmarks("fig03_table05_heterogeneity",
+                                         argc, argv);
 }

@@ -89,7 +89,6 @@ int
 main(int argc, char **argv)
 {
     mbs::printReproduction();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return mbs::benchutil::runBenchmarks("fig04_cluster_validation",
+                                         argc, argv);
 }

@@ -75,7 +75,5 @@ int
 main(int argc, char **argv)
 {
     mbs::printReproduction();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return mbs::benchutil::runBenchmarks("table03_correlation", argc, argv);
 }

@@ -1,0 +1,327 @@
+#include "common/json_parse.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace mbs {
+
+namespace {
+
+/** Cursor over the document with position-tagged errors. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text_) : text(text_) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipSpace();
+        failIf(pos != text.size(), "trailing characters after value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        std::size_t line = 1, column = 1;
+        for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
+            if (text[i] == '\n') {
+                ++line;
+                column = 1;
+            } else {
+                ++column;
+            }
+        }
+        fatal(strformat("JSON parse error at line %zu column %zu: ",
+                        line, column) + what);
+    }
+
+    void
+    failIf(bool bad, const std::string &what) const
+    {
+        if (bad)
+            fail(what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    char
+    peek() const
+    {
+        return pos < text.size() ? text[pos] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        failIf(peek() != c,
+               strformat("expected '%c'", c) +
+                   (pos >= text.size()
+                        ? " but input ended"
+                        : strformat(", got '%c'", text[pos])));
+        ++pos;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        std::size_t n = 0;
+        while (word[n] != '\0')
+            ++n;
+        if (text.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    JsonValue
+    value()
+    {
+        skipSpace();
+        failIf(pos >= text.size(), "unexpected end of input");
+        JsonValue v;
+        switch (peek()) {
+          case '{':
+            return objectValue();
+          case '[':
+            return arrayValue();
+          case '"':
+            v.type = JsonValue::Type::String;
+            v.str = string();
+            return v;
+          case 't':
+            failIf(!consumeWord("true"), "invalid literal");
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+            return v;
+          case 'f':
+            failIf(!consumeWord("false"), "invalid literal");
+            v.type = JsonValue::Type::Bool;
+            v.boolean = false;
+            return v;
+          case 'n':
+            failIf(!consumeWord("null"), "invalid literal");
+            v.type = JsonValue::Type::Null;
+            return v;
+          default:
+            return numberValue();
+        }
+    }
+
+    JsonValue
+    objectValue()
+    {
+        expect('{');
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        skipSpace();
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            skipSpace();
+            std::string key = string();
+            skipSpace();
+            expect(':');
+            v.object.emplace_back(std::move(key), value());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    arrayValue()
+    {
+        expect('[');
+        JsonValue v;
+        v.type = JsonValue::Type::Array;
+        skipSpace();
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            v.array.push_back(value());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    numberValue()
+    {
+        const std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-')) {
+            ++pos;
+        }
+        failIf(pos == start, "invalid value");
+        const std::string token = text.substr(start, pos - start);
+        char *end = nullptr;
+        const double parsed = std::strtod(token.c_str(), &end);
+        failIf(end == nullptr || *end != '\0',
+               "invalid number '" + token + "'");
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        v.number = parsed;
+        return v;
+    }
+
+    /** Append @p code point as UTF-8. */
+    void
+    appendUtf8(std::string &out, unsigned code) const
+    {
+        if (code < 0x80) {
+            out.push_back(char(code));
+        } else if (code < 0x800) {
+            out.push_back(char(0xc0 | (code >> 6)));
+            out.push_back(char(0x80 | (code & 0x3f)));
+        } else {
+            out.push_back(char(0xe0 | (code >> 12)));
+            out.push_back(char(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(char(0x80 | (code & 0x3f)));
+        }
+    }
+
+    unsigned
+    hex4()
+    {
+        failIf(pos + 4 > text.size(), "truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text[pos++];
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= unsigned(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= unsigned(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= unsigned(c - 'A' + 10);
+            else
+                fail("invalid \\u escape digit");
+        }
+        return code;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            failIf(pos >= text.size(), "unterminated string");
+            const char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                failIf(static_cast<unsigned char>(c) < 0x20,
+                       "raw control character in string");
+                out.push_back(c);
+                continue;
+            }
+            failIf(pos >= text.size(), "unterminated escape");
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                // Surrogate pairs are kept simple: a high surrogate
+                // followed by an escaped low surrogate combines; a
+                // lone surrogate becomes U+FFFD.
+                unsigned code = hex4();
+                if (code >= 0xd800 && code <= 0xdbff &&
+                    text.compare(pos, 2, "\\u") == 0) {
+                    pos += 2;
+                    const unsigned low = hex4();
+                    if (low >= 0xdc00 && low <= 0xdfff) {
+                        const unsigned combined = 0x10000 +
+                            ((code - 0xd800) << 10) + (low - 0xdc00);
+                        // 4-byte UTF-8.
+                        out.push_back(char(0xf0 | (combined >> 18)));
+                        out.push_back(
+                            char(0x80 | ((combined >> 12) & 0x3f)));
+                        out.push_back(
+                            char(0x80 | ((combined >> 6) & 0x3f)));
+                        out.push_back(char(0x80 | (combined & 0x3f)));
+                        break;
+                    }
+                    code = 0xfffd;
+                } else if (code >= 0xd800 && code <= 0xdfff) {
+                    code = 0xfffd;
+                }
+                appendUtf8(out, code);
+                break;
+              }
+              default:
+                fail(strformat("invalid escape '\\%c'", esc));
+            }
+        }
+    }
+
+    const std::string &text;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    fatalIf(v == nullptr, "missing JSON object key '" + key + "'");
+    return *v;
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace mbs

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser.
+ *
+ * Parses the small, well-formed documents the framework itself deals
+ * in — google-benchmark `--benchmark_out` files for the perf gate,
+ * the CLI's own metrics.json — into a JsonValue tree. It accepts
+ * strict RFC-8259 JSON (no comments, no trailing commas) and throws
+ * FatalError with a line/column position on malformed input. Not a
+ * streaming parser; documents are read fully into memory first.
+ */
+
+#ifndef MBS_COMMON_JSON_PARSE_HH
+#define MBS_COMMON_JSON_PARSE_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mbs {
+
+/** One parsed JSON value; a tree when arrays/objects nest. */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    /** String payload (Type::String), UTF-8, escapes resolved. */
+    std::string str;
+    std::vector<JsonValue> array;
+    /** Object members in document order; keys may repeat. */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** First member named @p key, or nullptr (objects only). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** First member named @p key; fatal() when absent. */
+    const JsonValue &at(const std::string &key) const;
+};
+
+/**
+ * Parse @p text as one JSON document.
+ *
+ * @throws FatalError on malformed input or trailing garbage.
+ */
+JsonValue parseJson(const std::string &text);
+
+} // namespace mbs
+
+#endif // MBS_COMMON_JSON_PARSE_HH

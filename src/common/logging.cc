@@ -12,10 +12,6 @@ namespace {
 std::atomic<LogLevel> globalLevel{LogLevel::Warn};
 std::atomic<bool> globalTimestamps{false};
 
-/** Serializes writes to the sink so concurrent log lines never
- *  interleave mid-line once instrumented code runs under threads. */
-std::mutex sinkMutex;
-
 /** Monotonic origin for log timestamps (first use of the logger). */
 std::chrono::steady_clock::time_point
 logEpoch()
@@ -30,16 +26,23 @@ emit(const char *tag, const std::string &msg)
     if (globalTimestamps.load(std::memory_order_relaxed)) {
         const double elapsed = std::chrono::duration<double>(
             std::chrono::steady_clock::now() - logEpoch()).count();
-        std::lock_guard<std::mutex> lock(sinkMutex);
+        std::lock_guard<std::mutex> lock(logSinkMutex());
         std::fprintf(stderr, "[%10.3fs] %s: %s\n", elapsed, tag,
                      msg.c_str());
     } else {
-        std::lock_guard<std::mutex> lock(sinkMutex);
+        std::lock_guard<std::mutex> lock(logSinkMutex());
         std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
     }
 }
 
 } // namespace
+
+std::mutex &
+logSinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 void
 setLogLevel(LogLevel level)

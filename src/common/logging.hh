@@ -12,11 +12,19 @@
 #ifndef MBS_COMMON_LOGGING_HH
 #define MBS_COMMON_LOGGING_HH
 
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace mbs {
+
+/**
+ * The mutex serializing writes to the stderr log sink. Exposed so
+ * other stderr writers (obs::Progress) can take the same lock and
+ * never tear a concurrently logged line mid-redraw.
+ */
+std::mutex &logSinkMutex();
 
 /** Error thrown by fatal(): the user gave the library invalid input. */
 class FatalError : public std::runtime_error

@@ -67,6 +67,14 @@ startsWith(const std::string &text, const std::string &prefix)
            text.compare(0, prefix.size(), prefix) == 0;
 }
 
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
 std::string
 slugify(const std::string &text)
 {

@@ -27,6 +27,9 @@ std::string toLower(const std::string &text);
 /** @return true if @p text begins with @p prefix. */
 bool startsWith(const std::string &text, const std::string &prefix);
 
+/** @return true if @p text ends with @p suffix. */
+bool endsWith(const std::string &text, const std::string &suffix);
+
 /**
  * Convert a human name to a slug suitable for file names.
  * "Geekbench 5 CPU" -> "geekbench_5_cpu".

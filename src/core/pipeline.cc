@@ -6,13 +6,45 @@
 #include "cluster/kmeans.hh"
 #include "cluster/pam.hh"
 #include "common/logging.hh"
+#include "common/strings.hh"
 #include "exec/executor.hh"
+#include "obs/events.hh"
 #include "obs/metrics.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 
 namespace mbs {
 
 namespace {
+
+/**
+ * One pipeline stage: tracing span plus structured start/end events
+ * and a logical-clock checkpoint when the stage closes. The sampler
+ * checkpoint is what makes per-stage counter deltas visible in
+ * timeseries.csv.
+ */
+class StageScope
+{
+  public:
+    explicit StageScope(const char *name)
+        : stageName(name), span(name, "stage")
+    {
+        obs::EventLog::instance().emit("pipeline.stage.start",
+                                       {{"stage", stageName}});
+    }
+
+    ~StageScope()
+    {
+        obs::EventLog::instance().emit("pipeline.stage.end",
+                                       {{"stage", stageName}});
+        obs::TimeSeriesSampler::instance().sample(
+            obs::ClockDomain::Logical, "stage:" + stageName);
+    }
+
+  private:
+    std::string stageName;
+    obs::ScopedSpan span;
+};
 
 std::unique_ptr<ProfileStore>
 makeStore(const std::string &cache_dir)
@@ -132,22 +164,25 @@ CharacterizationReport
 CharacterizationPipeline::run(const WorkloadRegistry &registry) const
 {
     obs::MetricsRegistry::instance().counter("pipeline.runs").add();
+    obs::EventLog::instance().emit(
+        "pipeline.run.start",
+        {{"suites", strformat("%zu", registry.suites().size())}});
     CharacterizationReport report;
     {
-        const obs::ScopedSpan stage("profile", "stage");
+        const StageScope stage("profile");
         report.profiles = session.profileAll(registry);
     }
     {
-        const obs::ScopedSpan stage("fig1-metrics", "stage");
+        const StageScope stage("fig1-metrics");
         report.fig1Metrics = buildFig1Metrics(report.profiles);
     }
     {
         // Table III correlations over the Fig.-1 metric columns.
-        const obs::ScopedSpan stage("correlation", "stage");
+        const StageScope stage("correlation");
         report.correlation = CorrelationMatrix(report.fig1Metrics);
     }
     {
-        const obs::ScopedSpan stage("cluster-features", "stage");
+        const StageScope stage("cluster-features");
         report.clusterFeatures = buildClusterFeatures(report.profiles);
     }
 
@@ -156,7 +191,7 @@ CharacterizationPipeline::run(const WorkloadRegistry &registry) const
     const Pam pam;
     const HierarchicalClustering hierarchical(Linkage::Average);
     {
-        const obs::ScopedSpan stage("validation-sweep", "stage");
+        const StageScope stage("validation-sweep");
         // Construct a sweep for its argument validation even though
         // the points are evaluated here, across the executor.
         const std::vector<const Clusterer *> algorithms{
@@ -192,17 +227,17 @@ CharacterizationPipeline::run(const WorkloadRegistry &registry) const
 
     // Figs. 5/6: flat clusterings at the chosen k.
     {
-        const obs::ScopedSpan stage("cluster:kmeans", "stage");
+        const StageScope stage("cluster:kmeans");
         report.kmeansLabels =
             kmeans.fit(report.clusterFeatures, report.chosenK).labels;
     }
     {
-        const obs::ScopedSpan stage("cluster:pam", "stage");
+        const StageScope stage("cluster:pam");
         report.pamLabels =
             pam.fit(report.clusterFeatures, report.chosenK).labels;
     }
     {
-        const obs::ScopedSpan stage("cluster:hierarchical", "stage");
+        const StageScope stage("cluster:hierarchical");
         report.hierarchicalLabels =
             hierarchical.fit(report.clusterFeatures,
                              report.chosenK).labels;
@@ -214,7 +249,7 @@ CharacterizationPipeline::run(const WorkloadRegistry &registry) const
     {
         // Table VI: subsets. Built from the hierarchical labels (all
         // three agree when algorithmsAgree holds).
-        const obs::ScopedSpan stage("subsetting", "stage");
+        const StageScope stage("subsetting");
         const auto candidates = buildCandidates(
             report.profiles, report.hierarchicalLabels, registry);
         const SubsetBuilder builder(candidates);
@@ -226,7 +261,7 @@ CharacterizationPipeline::run(const WorkloadRegistry &registry) const
 
     {
         // Fig. 7 curves.
-        const obs::ScopedSpan stage("fig7-curves", "stage");
+        const StageScope stage("fig7-curves");
         report.naiveCurve = incrementalDistanceCurve(
             report.clusterFeatures, report.naiveSubset.members);
         report.selectCurve = incrementalDistanceCurve(
@@ -235,6 +270,14 @@ CharacterizationPipeline::run(const WorkloadRegistry &registry) const
             report.clusterFeatures, report.selectPlusGpuSubset.members);
     }
 
+    obs::EventLog::instance().emit(
+        "pipeline.run.end",
+        {{"benchmarks", strformat("%zu", report.profiles.size())},
+         {"chosen_k", strformat("%d", report.chosenK)},
+         {"algorithms_agree",
+          report.algorithmsAgree ? "true" : "false"}});
+    obs::TimeSeriesSampler::instance().sample(obs::ClockDomain::Logical,
+                                              "pipeline:end");
     return report;
 }
 

@@ -1,8 +1,10 @@
 #include "exec/executor.hh"
 
 #include "common/logging.hh"
+#include "obs/events.hh"
 #include "obs/metrics.hh"
 
+#include <atomic>
 #include <exception>
 #include <string>
 #include <utility>
@@ -23,6 +25,25 @@ obs::Gauge &queueDepthGauge()
     static obs::Gauge &g =
         obs::MetricsRegistry::instance().gauge("exec.queue_depth");
     return g;
+}
+
+/**
+ * Run one task bracketed by exec.task.start / exec.task.end events.
+ * The sequence number is assigned at execution, so it orders events
+ * within one worker's stream, not across workers.
+ */
+void runTask(const std::function<void()> &task)
+{
+    auto &log = obs::EventLog::instance();
+    if (!log.enabled()) {
+        task();
+        return;
+    }
+    static std::atomic<std::uint64_t> nextSeq{0};
+    const std::string seq = std::to_string(nextSeq.fetch_add(1));
+    log.emit("exec.task.start", {{"seq", seq}});
+    task();
+    log.emit("exec.task.end", {{"seq", seq}});
 }
 
 } // namespace
@@ -70,7 +91,7 @@ void Executor::enqueue(std::function<void()> task)
     if (workers.empty()) {
         // Single-job mode: run inline, preserving the exact serial
         // execution order the framework had before the executor.
-        task();
+        runTask(task);
         return;
     }
     {
@@ -94,7 +115,7 @@ void Executor::workerLoop()
             queue.pop_front();
             queueDepthGauge().set(double(queue.size()));
         }
-        task(); // packaged_task captures any exception in its future
+        runTask(task); // packaged_task captures exceptions in its future
     }
 }
 

@@ -1,0 +1,164 @@
+#include "events.hh"
+
+#include <chrono>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "obs/json.hh"
+#include "obs/thread_id.hh"
+
+namespace mbs {
+namespace obs {
+
+namespace {
+
+std::uint64_t
+wallMicros()
+{
+    using namespace std::chrono;
+    return std::uint64_t(duration_cast<microseconds>(
+        system_clock::now().time_since_epoch()).count());
+}
+
+void
+appendEventLine(std::string &out, const Event &e,
+                const std::map<std::string, std::string> &common)
+{
+    out += strformat("{\"ts_us\": %llu, \"tid\": %d, \"type\": \"",
+                     (unsigned long long)e.tsMicros, e.tid);
+    out += jsonEscape(e.type) + "\"";
+    for (const auto &[k, v] : common)
+        out += ", \"" + jsonEscape(k) + "\": \"" + jsonEscape(v) + "\"";
+    for (const auto &[k, v] : e.fields)
+        out += ", \"" + jsonEscape(k) + "\": \"" + jsonEscape(v) + "\"";
+    out += "}\n";
+}
+
+} // namespace
+
+EventLog &
+EventLog::instance()
+{
+    static EventLog log;
+    return log;
+}
+
+void
+EventLog::setEnabled(bool enable)
+{
+    on.store(enable, std::memory_order_relaxed);
+}
+
+void
+EventLog::emit(const std::string &type, EventFields fields)
+{
+    if (!enabled())
+        return;
+    Event e;
+    e.type = type;
+    e.tsMicros = wallMicros();
+    e.tid = currentThreadId();
+    e.fields = std::move(fields);
+    std::lock_guard<std::mutex> lock(mtx);
+    if (buffer.size() >= capacity) {
+        ++droppedCount;
+        return;
+    }
+    buffer.push_back(std::move(e));
+}
+
+void
+EventLog::setCommonField(const std::string &key, const std::string &value)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    common[key] = value;
+}
+
+std::map<std::string, std::string>
+EventLog::commonFields() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return common;
+}
+
+std::vector<Event>
+EventLog::events() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return buffer;
+}
+
+std::uint64_t
+EventLog::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return droppedCount;
+}
+
+std::string
+EventLog::exportJsonl(const std::string &partialReason) const
+{
+    std::vector<Event> evs;
+    std::map<std::string, std::string> commonCopy;
+    std::uint64_t droppedCopy = 0;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        evs = buffer;
+        commonCopy = common;
+        droppedCopy = droppedCount;
+    }
+
+    std::string out;
+    if (!partialReason.empty()) {
+        Event marker;
+        marker.type = "log.partial";
+        marker.tsMicros = wallMicros();
+        marker.tid = currentThreadId();
+        marker.fields = {{"reason", partialReason}};
+        appendEventLine(out, marker, commonCopy);
+    }
+    for (const Event &e : evs)
+        appendEventLine(out, e, commonCopy);
+    if (droppedCopy > 0) {
+        Event marker;
+        marker.type = "log.dropped";
+        marker.tsMicros = wallMicros();
+        marker.tid = currentThreadId();
+        marker.fields = {{"events", strformat(
+            "%llu", (unsigned long long)droppedCopy)}};
+        appendEventLine(out, marker, commonCopy);
+    }
+    return out;
+}
+
+void
+EventLog::writeJsonl(std::ostream &out,
+                     const std::string &partialReason) const
+{
+    out << exportJsonl(partialReason);
+}
+
+void
+EventLog::writeJsonl(const std::string &path,
+                     const std::string &partialReason) const
+{
+    std::ofstream out(path);
+    fatalIf(!out, "cannot open event log output file '" + path + "'");
+    writeJsonl(out, partialReason);
+    out.flush();
+    fatalIf(!out, "failed writing event log output file '" + path +
+            "'");
+}
+
+void
+EventLog::clear()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    buffer.clear();
+    common.clear();
+    droppedCount = 0;
+}
+
+} // namespace obs
+} // namespace mbs

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Structured event log with JSONL export.
+ *
+ * Where the tracer (obs/trace.hh) records *spans* for flame-graph
+ * viewers, the event log records *facts*: discrete, typed happenings
+ * with machine-readable payloads, one JSON object per line. Every
+ * event carries a common envelope — wall-clock timestamp, small
+ * thread id (shared with the tracer, so events correlate with
+ * trace.json slices), event type — plus run-wide common fields (run
+ * id, seed, SoC/benchmark digests) attached once by the CLI.
+ *
+ * Emitters: the pipeline (run/stage boundaries), the profiler (unit
+ * merges), the executor (task lifecycle), the store (hit/miss/evict)
+ * and the simulator (run boundaries, DVFS transitions, migrations —
+ * per-tick detail events are capped per run so a long simulation
+ * cannot flood the log).
+ *
+ * The log is disabled by default; every emit() then costs one relaxed
+ * atomic load. Events buffer in memory (bounded; overflow is counted
+ * and reported at export) and are written by writeJsonl(). Event
+ * order follows buffer insertion, so lines from worker threads
+ * interleave non-deterministically — events.jsonl is a wall-clock
+ * artifact, not part of the deterministic export contract.
+ */
+
+#ifndef MBS_OBS_EVENTS_HH
+#define MBS_OBS_EVENTS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mbs {
+namespace obs {
+
+/** Ordered (key, value) payload of one event; values are strings. */
+using EventFields = std::vector<std::pair<std::string, std::string>>;
+
+/** One recorded event. */
+struct Event
+{
+    /** Dotted type name, e.g. "store.hit" or "sim.run.end". */
+    std::string type;
+    /** Microseconds since the Unix epoch (wall clock). */
+    std::uint64_t tsMicros = 0;
+    /** Small sequential thread id (shared with the tracer). */
+    int tid = 0;
+    EventFields fields;
+};
+
+/**
+ * The process-wide event log.
+ */
+class EventLog
+{
+  public:
+    static EventLog &instance();
+
+    /** Turn recording on or off (off by default). */
+    void setEnabled(bool on);
+    bool enabled() const
+    {
+        return on.load(std::memory_order_relaxed);
+    }
+
+    /** Record one event of @p type with @p fields. No-op while off. */
+    void emit(const std::string &type, EventFields fields = {});
+
+    /**
+     * Attach a field included in every subsequent exported line
+     * (run id, seed, config digests). Recorded independent of the
+     * enabled flag, like tracer metadata.
+     */
+    void setCommonField(const std::string &key,
+                        const std::string &value);
+
+    /** Copy of the recorded common-field map. */
+    std::map<std::string, std::string> commonFields() const;
+
+    /** Copy of the recorded event buffer. */
+    std::vector<Event> events() const;
+
+    /** Events discarded because the buffer cap was reached. */
+    std::uint64_t dropped() const;
+
+    /**
+     * Render one JSON object per event, one per line. A non-empty
+     * @p partialReason prepends a `log.partial` event marking the
+     * output as a partial flush; a non-zero drop count appends a
+     * final `log.dropped` event.
+     */
+    std::string exportJsonl(const std::string &partialReason = "") const;
+
+    /** Write exportJsonl() to @p out. */
+    void writeJsonl(std::ostream &out,
+                    const std::string &partialReason = "") const;
+
+    /** Write exportJsonl() to @p path; fatal() if unwritable. */
+    void writeJsonl(const std::string &path,
+                    const std::string &partialReason = "") const;
+
+    /** Drop all events, common fields and the overflow count. */
+    void clear();
+
+  private:
+    EventLog() = default;
+
+    std::atomic<bool> on{false};
+    mutable std::mutex mtx;
+    std::vector<Event> buffer;
+    std::map<std::string, std::string> common;
+    std::uint64_t droppedCount = 0;
+    /** Buffer cap; overflow increments droppedCount instead. */
+    std::size_t capacity = 1 << 20;
+};
+
+} // namespace obs
+} // namespace mbs
+
+#endif // MBS_OBS_EVENTS_HH

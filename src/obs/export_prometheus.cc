@@ -1,0 +1,111 @@
+#include "export_prometheus.hh"
+
+#include <cmath>
+
+#include "common/strings.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+
+namespace mbs {
+namespace obs {
+
+namespace {
+
+bool
+validNameChar(char c, bool first)
+{
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        c == '_' || c == ':')
+        return true;
+    return !first && c >= '0' && c <= '9';
+}
+
+/** A sample value: %.17g, with Prometheus' non-finite spellings. */
+std::string
+promNumber(double value)
+{
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return value > 0 ? "+Inf" : "-Inf";
+    return jsonNumber(value);
+}
+
+/** A `le` bucket label: compact %g (bounds are config constants). */
+std::string
+leLabel(double bound)
+{
+    return strformat("%g", bound);
+}
+
+} // namespace
+
+std::string
+sanitizePrometheusName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (char c : name) {
+        const bool first = out.empty();
+        if (validNameChar(c, first)) {
+            out += c;
+        } else if (first && c >= '0' && c <= '9') {
+            out += '_';
+            out += c;
+        } else {
+            out += '_';
+        }
+    }
+    if (out.empty())
+        out = "_";
+    return out;
+}
+
+std::string
+toPrometheusText(const MetricsSnapshot &snapshot,
+                 const std::string &partialReason)
+{
+    std::string out;
+    if (!partialReason.empty())
+        out += "# PARTIAL: " + partialReason + "\n";
+    for (const auto &s : snapshot.samples) {
+        const std::string name = sanitizePrometheusName(s.name);
+        switch (s.kind) {
+          case MetricSample::Kind::Counter:
+            out += "# TYPE " + name + " counter\n";
+            out += name + " " +
+                strformat("%llu",
+                          (unsigned long long)(std::uint64_t)s.value) +
+                "\n";
+            break;
+          case MetricSample::Kind::Gauge:
+            out += "# TYPE " + name + " gauge\n";
+            out += name + " " + promNumber(s.value) + "\n";
+            break;
+          case MetricSample::Kind::Histogram: {
+            out += "# TYPE " + name + " histogram\n";
+            std::uint64_t cumulative = 0;
+            for (std::size_t i = 0; i < s.bucketBounds.size(); ++i) {
+                cumulative += i < s.bucketCounts.size()
+                    ? s.bucketCounts[i] : 0;
+                out += name + "_bucket{le=\"" +
+                    leLabel(s.bucketBounds[i]) + "\"} " +
+                    strformat("%llu", (unsigned long long)cumulative) +
+                    "\n";
+            }
+            out += name + "_bucket{le=\"+Inf\"} " +
+                strformat("%llu", (unsigned long long)s.observations) +
+                "\n";
+            out += name + "_sum " + promNumber(s.sum) + "\n";
+            out += name + "_count " +
+                strformat("%llu", (unsigned long long)s.observations) +
+                "\n";
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace mbs

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Prometheus text exposition (version 0.0.4) of a metrics snapshot.
+ *
+ * Renders the registry's counters, gauges and histograms in the
+ * format promtool and every Prometheus scraper understand:
+ *
+ *   # TYPE sim_ticks counter
+ *   sim_ticks 131072
+ *   # TYPE sim_phase_ticks histogram
+ *   sim_phase_ticks_bucket{le="1"} 0
+ *   ...
+ *   sim_phase_ticks_bucket{le="+Inf"} 42
+ *   sim_phase_ticks_sum 12345
+ *   sim_phase_ticks_count 42
+ *
+ * Instrument names pass through sanitizePrometheusName() (dots become
+ * underscores, invalid characters are replaced), histogram buckets
+ * are emitted *cumulatively* with the mandatory `+Inf` bound, and no
+ * timestamps are attached — so an exposition built from a
+ * deterministic snapshot is itself byte-identical across runs.
+ */
+
+#ifndef MBS_OBS_EXPORT_PROMETHEUS_HH
+#define MBS_OBS_EXPORT_PROMETHEUS_HH
+
+#include <string>
+
+namespace mbs {
+namespace obs {
+
+struct MetricsSnapshot;
+
+/**
+ * Map an instrument name onto the Prometheus metric-name grammar
+ * `[a-zA-Z_:][a-zA-Z0-9_:]*`: every invalid character becomes '_',
+ * and a leading digit gains a '_' prefix. Empty names become "_".
+ */
+std::string sanitizePrometheusName(const std::string &name);
+
+/**
+ * Render @p snapshot as Prometheus text exposition format 0.0.4.
+ * A non-empty @p partialReason prepends a comment marking the file
+ * as a partial flush from an abnormal exit.
+ */
+std::string toPrometheusText(const MetricsSnapshot &snapshot,
+                             const std::string &partialReason = "");
+
+} // namespace obs
+} // namespace mbs
+
+#endif // MBS_OBS_EXPORT_PROMETHEUS_HH

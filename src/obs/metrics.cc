@@ -49,10 +49,23 @@ Histogram::bucketCounts() const
     return counts;
 }
 
-std::string
-MetricsSnapshot::toJson() const
+void
+Histogram::reset()
 {
-    std::string out = "{\n  \"metrics\": [";
+    std::lock_guard<std::mutex> lock(mtx);
+    std::fill(counts.begin(), counts.end(), 0);
+    total = 0.0;
+    n = 0;
+}
+
+std::string
+MetricsSnapshot::toJson(const std::string &partialReason) const
+{
+    std::string out = "{\n";
+    if (!partialReason.empty())
+        out += "  \"partial\": \"" + jsonEscape(partialReason) +
+            "\",\n";
+    out += "  \"metrics\": [";
     bool first = true;
     for (const auto &s : samples) {
         out += first ? "\n" : ",\n";
@@ -210,6 +223,18 @@ MetricsRegistry::reset()
     counters.clear();
     gauges.clear();
     histograms.clear();
+}
+
+void
+MetricsRegistry::zeroAll()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    for (auto &[name, entry] : counters)
+        entry.instrument->reset();
+    for (auto &[name, entry] : gauges)
+        entry.instrument->set(0.0);
+    for (auto &[name, entry] : histograms)
+        entry.instrument->reset();
 }
 
 } // namespace obs

@@ -55,6 +55,12 @@ class Counter
         return count.load(std::memory_order_relaxed);
     }
 
+    /** Reset to zero (tests and golden comparisons only). */
+    void reset()
+    {
+        count.store(0, std::memory_order_relaxed);
+    }
+
   private:
     std::atomic<std::uint64_t> count{0};
 };
@@ -82,6 +88,9 @@ class Histogram
 
     /** Record one observation. */
     void observe(double value);
+
+    /** Zero all buckets, the sum and the count (tests only). */
+    void reset();
 
     std::uint64_t count() const;
     double sum() const;
@@ -117,8 +126,12 @@ struct MetricsSnapshot
     /** Samples sorted by instrument name. */
     std::vector<MetricSample> samples;
 
-    /** Deterministic JSON document (sorted keys, fixed formats). */
-    std::string toJson() const;
+    /**
+     * Deterministic JSON document (sorted keys, fixed formats). A
+     * non-empty @p partialReason adds a leading "partial" key marking
+     * the document as a partial flush from an abnormal exit.
+     */
+    std::string toJson(const std::string &partialReason = "") const;
     /** Deterministic human-readable listing, one line per metric. */
     std::string toText() const;
 };
@@ -161,6 +174,13 @@ class MetricsRegistry
 
     /** Drop every instrument (intended for tests). */
     void reset();
+
+    /**
+     * Zero every instrument's value while keeping the instruments —
+     * and every cached reference to them — alive. Used by golden
+     * tests that compare exports across repeated in-process runs.
+     */
+    void zeroAll();
 
   private:
     MetricsRegistry() = default;

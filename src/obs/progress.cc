@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/logging.hh"
+
 namespace mbs {
 namespace obs {
 
@@ -26,6 +28,10 @@ Progress::begin(std::size_t total_, const std::string &label)
     std::lock_guard<std::mutex> lock(mtx);
     total = total_;
     done = 0;
+    // Redraws share the logging sink mutex so a concurrent warn()
+    // from a worker thread never tears a progress line (the state
+    // mutex is always taken first, the sink mutex second).
+    std::lock_guard<std::mutex> sink(logSinkMutex());
     if (total > 0) {
         std::fprintf(stderr, "%s: %zu steps\n", label.c_str(), total);
     } else {
@@ -40,6 +46,7 @@ Progress::step(const std::string &label)
         return;
     std::lock_guard<std::mutex> lock(mtx);
     ++done;
+    std::lock_guard<std::mutex> sink(logSinkMutex());
     if (total > 0) {
         std::fprintf(stderr, "[%3zu/%zu] %s\n", done, total,
                      label.c_str());

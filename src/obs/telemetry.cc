@@ -1,0 +1,150 @@
+#include "telemetry.hh"
+
+#include <exception>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "obs/events.hh"
+#include "obs/export_prometheus.hh"
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
+#include "obs/trace.hh"
+
+namespace mbs {
+namespace obs {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::terminate_handler previousTerminateHandler = nullptr;
+
+[[noreturn]] void
+terminateWithFlush()
+{
+    // Best effort: the process is dying anyway, so a second failure
+    // while flushing must not mask the original reason.
+    try {
+        TelemetrySink::instance().flush("std::terminate called");
+    } catch (...) {
+    }
+    if (previousTerminateHandler)
+        previousTerminateHandler();
+    std::abort();
+}
+
+void
+writeTextFile(const fs::path &path, const std::string &content)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "cannot open telemetry output file '" +
+            path.string() + "'");
+    out << content;
+    out.flush();
+    fatalIf(!out, "failed writing telemetry output file '" +
+            path.string() + "'");
+}
+
+} // namespace
+
+TelemetrySink &
+TelemetrySink::instance()
+{
+    static TelemetrySink sink;
+    return sink;
+}
+
+void
+TelemetrySink::configure(const TelemetryConfig &config)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        cfg = config;
+        flushed = false;
+    }
+    if (!config.telemetryDir.empty()) {
+        std::error_code ec;
+        fs::create_directories(config.telemetryDir, ec);
+        fatalIf(bool(ec), "cannot create telemetry output directory '" +
+                config.telemetryDir + "': " + ec.message());
+        EventLog::instance().setEnabled(true);
+        auto &sampler = TimeSeriesSampler::instance();
+        sampler.setEnabled(true);
+        sampler.startWallSampler();
+    }
+}
+
+void
+TelemetrySink::flush(const std::string &partialReason)
+{
+    TelemetryConfig configCopy;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        // First flush wins: a partial flush from the terminate
+        // handler must not be overwritten by a half-finished normal
+        // path, and a completed normal flush must not be downgraded
+        // to partial by a later crash during cleanup.
+        if (flushed)
+            return;
+        flushed = true;
+        configCopy = cfg;
+    }
+    if (!configCopy.anyConfigured())
+        return;
+
+    auto &sampler = TimeSeriesSampler::instance();
+    if (partialReason.empty()) {
+        // Normal exit: stop the wall sampler so the files are final.
+        // A terminate-handler flush skips the join — the dying thread
+        // may *be* the sampler thread, and a buffered copy is enough.
+        sampler.stopWallSampler();
+    }
+
+    if (!configCopy.tracePath.empty()) {
+        if (!partialReason.empty())
+            Tracer::instance().metadata("partial", partialReason);
+        Tracer::instance().writeJson(configCopy.tracePath);
+    }
+    if (!configCopy.metricsPath.empty()) {
+        writeTextFile(configCopy.metricsPath,
+                      MetricsRegistry::instance().snapshot()
+                          .toJson(partialReason));
+    }
+    if (!configCopy.telemetryDir.empty()) {
+        const fs::path dir(configCopy.telemetryDir);
+        const MetricsSnapshot snap =
+            MetricsRegistry::instance().snapshot();
+        writeTextFile(dir / "metrics.prom",
+                      toPrometheusText(snap, partialReason));
+        writeTextFile(dir / "metrics.json", snap.toJson(partialReason));
+        writeTextFile(dir / "timeseries.csv",
+                      sampler.toCsv(partialReason));
+        EventLog::instance().writeJsonl((dir / "events.jsonl").string(),
+                                        partialReason);
+        if (!partialReason.empty())
+            Tracer::instance().metadata("partial", partialReason);
+        Tracer::instance().writeJson((dir / "trace.json").string());
+    }
+}
+
+void
+TelemetrySink::installAbnormalExitFlush()
+{
+    static std::once_flag once;
+    std::call_once(once, []() {
+        previousTerminateHandler =
+            std::set_terminate(terminateWithFlush);
+    });
+}
+
+void
+TelemetrySink::resetForTest()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    cfg = TelemetryConfig{};
+    flushed = false;
+}
+
+} // namespace obs
+} // namespace mbs

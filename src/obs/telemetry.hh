@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Telemetry output sink: one place that knows every export the
+ * current process was asked to produce (--trace, --metrics,
+ * --telemetry-out) and can write them all — including as a partial
+ * flush when the process dies mid-run.
+ *
+ * Normal flow: the CLI calls configure() after flag parsing, runs the
+ * command, then flush(). Abnormal flow: installAbnormalExitFlush()
+ * registers a std::terminate handler so an uncaught exception or a
+ * stray abort still emits the configured outputs, each clearly marked
+ * partial (`# PARTIAL:` comment in metrics.prom / timeseries.csv, a
+ * "partial" key in the metrics JSON, a `log.partial` event line, a
+ * `partial` metadata entry in trace.json) instead of silently losing
+ * the whole run's telemetry.
+ *
+ * A `--telemetry-out <dir>` directory receives the full bundle:
+ *
+ *   metrics.prom    Prometheus text exposition (deterministic)
+ *   metrics.json    the classic snapshot JSON
+ *   timeseries.csv  sampled counter series, logical + wall domains
+ *   events.jsonl    the structured event log
+ *   trace.json      Chrome trace-event spans (wall clock)
+ */
+
+#ifndef MBS_OBS_TELEMETRY_HH
+#define MBS_OBS_TELEMETRY_HH
+
+#include <mutex>
+#include <string>
+
+namespace mbs {
+namespace obs {
+
+/** Where the process should write its telemetry, if anywhere. */
+struct TelemetryConfig
+{
+    /** `--trace <file>`: Chrome trace-event JSON; empty = off. */
+    std::string tracePath;
+    /** `--metrics <file>`: snapshot JSON; empty = off. */
+    std::string metricsPath;
+    /** `--telemetry-out <dir>`: the full bundle; empty = off. */
+    std::string telemetryDir;
+
+    bool anyConfigured() const
+    {
+        return !tracePath.empty() || !metricsPath.empty() ||
+            !telemetryDir.empty();
+    }
+};
+
+/**
+ * The process-wide telemetry sink.
+ */
+class TelemetrySink
+{
+  public:
+    static TelemetrySink &instance();
+
+    /**
+     * Record what to write and enable the backing collectors: a
+     * telemetry directory turns on the event log and the time-series
+     * sampler (plus its background wall-clock thread) and creates
+     * the directory; fatal() when it cannot be created.
+     */
+    void configure(const TelemetryConfig &config);
+
+    const TelemetryConfig &config() const { return cfg; }
+
+    /**
+     * Write every configured output. An empty @p partialReason marks
+     * a normal, complete export; otherwise each file carries the
+     * reason as a partial marker. Repeated calls rewrite the files;
+     * once a flush with a reason happened, later reasonless flushes
+     * are ignored so a terminate-handler flush is never overwritten
+     * by a half-finished normal path (and vice versa the normal path
+     * marks the run complete before the handlers could fire).
+     */
+    void flush(const std::string &partialReason = "");
+
+    /**
+     * Register a std::terminate handler that flushes with a partial
+     * marker before honoring the previous handler. Idempotent.
+     */
+    void installAbnormalExitFlush();
+
+    /** Forget the configuration (tests). Handlers stay installed. */
+    void resetForTest();
+
+  private:
+    TelemetrySink() = default;
+
+    void writeAll(const std::string &partialReason);
+
+    std::mutex mtx;
+    TelemetryConfig cfg;
+    bool flushed = false;
+};
+
+} // namespace obs
+} // namespace mbs
+
+#endif // MBS_OBS_TELEMETRY_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small sequential per-thread identifiers shared by the tracer and
+ * the event log, so one thread carries the same tid in trace.json and
+ * events.jsonl and the two files can be correlated.
+ */
+
+#ifndef MBS_OBS_THREAD_ID_HH
+#define MBS_OBS_THREAD_ID_HH
+
+#include <atomic>
+
+namespace mbs {
+namespace obs {
+
+/**
+ * @return a small 1-based id, assigned on first call per thread and
+ * stable for the thread's lifetime. The inline function-local statics
+ * guarantee one shared counter across translation units.
+ */
+inline int
+currentThreadId()
+{
+    static std::atomic<int> next{1};
+    thread_local int id = next.fetch_add(1);
+    return id;
+}
+
+} // namespace obs
+} // namespace mbs
+
+#endif // MBS_OBS_THREAD_ID_HH

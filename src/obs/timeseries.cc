@@ -1,0 +1,202 @@
+#include "timeseries.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/strings.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+
+namespace mbs {
+namespace obs {
+
+namespace {
+
+std::uint64_t
+nowMicros()
+{
+    using namespace std::chrono;
+    return std::uint64_t(duration_cast<microseconds>(
+        steady_clock::now().time_since_epoch()).count());
+}
+
+} // namespace
+
+const char *
+clockDomainName(ClockDomain domain)
+{
+    return domain == ClockDomain::Logical ? "logical" : "wall";
+}
+
+TimeSeriesSampler &
+TimeSeriesSampler::instance()
+{
+    static TimeSeriesSampler sampler;
+    return sampler;
+}
+
+void
+TimeSeriesSampler::setEnabled(bool enable)
+{
+    on.store(enable, std::memory_order_relaxed);
+}
+
+void
+TimeSeriesSampler::advance(std::uint64_t ticks)
+{
+    if (!enabled())
+        return;
+    logicalClock.fetch_add(ticks, std::memory_order_relaxed);
+}
+
+void
+TimeSeriesSampler::sample(ClockDomain domain,
+                          const std::string &checkpoint)
+{
+    if (!enabled())
+        return;
+
+    // Snapshot outside the sampler lock; the registry has its own.
+    const bool includeVolatile = domain == ClockDomain::Wall;
+    const MetricsSnapshot snap =
+        MetricsRegistry::instance().snapshot(includeVolatile);
+
+    TimeSample s;
+    s.checkpoint = checkpoint;
+    s.values.reserve(snap.samples.size());
+    for (const auto &m : snap.samples) {
+        // Scalar instruments only: a histogram's shape belongs to the
+        // snapshot exports, but its volume is still visible here.
+        if (m.kind == MetricSample::Kind::Histogram) {
+            s.values.emplace_back(m.name + ".count",
+                                  double(m.observations));
+            s.values.emplace_back(m.name + ".sum", m.sum);
+        } else {
+            s.values.emplace_back(m.name, m.value);
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mtx);
+    if (domain == ClockDomain::Logical) {
+        s.time = logicalClock.load(std::memory_order_relaxed);
+    } else {
+        if (!wallEpochSet) {
+            wallEpochMicros = nowMicros();
+            wallEpochSet = true;
+        }
+        s.time = nowMicros() - wallEpochMicros;
+    }
+    Ring &r = ring(domain);
+    s.index = r.nextIndex++;
+    r.samples.push_back(std::move(s));
+    if (r.samples.size() > ringCapacity) {
+        r.samples.pop_front();
+        ++r.dropped;
+    }
+}
+
+void
+TimeSeriesSampler::startWallSampler(unsigned intervalMillis)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(wallThreadMtx);
+    if (wallThread.joinable())
+        return;
+    wallStop.store(false, std::memory_order_relaxed);
+    wallThread = std::thread(
+        [this, intervalMillis]() { wallLoop(intervalMillis); });
+}
+
+void
+TimeSeriesSampler::stopWallSampler()
+{
+    std::lock_guard<std::mutex> lock(wallThreadMtx);
+    if (!wallThread.joinable())
+        return;
+    wallStop.store(true, std::memory_order_relaxed);
+    wallThread.join();
+    wallThread = std::thread();
+}
+
+void
+TimeSeriesSampler::wallLoop(unsigned intervalMillis)
+{
+    const auto interval = std::chrono::milliseconds(intervalMillis);
+    while (!wallStop.load(std::memory_order_relaxed)) {
+        sample(ClockDomain::Wall, "wall-sampler");
+        // Sleep in small slices so stopWallSampler() returns promptly
+        // even with a long sampling interval.
+        auto remaining = interval;
+        const auto slice = std::chrono::milliseconds(10);
+        while (remaining.count() > 0 &&
+               !wallStop.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(std::min(remaining, slice));
+            remaining -= slice;
+        }
+    }
+}
+
+std::vector<TimeSample>
+TimeSeriesSampler::samples(ClockDomain domain) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    const Ring &r = ring(domain);
+    return {r.samples.begin(), r.samples.end()};
+}
+
+std::uint64_t
+TimeSeriesSampler::evicted(ClockDomain domain) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return ring(domain).dropped;
+}
+
+std::string
+TimeSeriesSampler::toCsv(const std::string &partialReason) const
+{
+    std::ostringstream out;
+    if (!partialReason.empty())
+        out << "# partial: " << partialReason << "\n";
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (logical.dropped > 0 || wall.dropped > 0) {
+            out << strformat("# evicted: logical=%llu wall=%llu\n",
+                             (unsigned long long)logical.dropped,
+                             (unsigned long long)wall.dropped);
+        }
+    }
+    CsvWriter csv(out);
+    csv.writeRow(std::vector<std::string>{
+        "domain", "sample", "time", "checkpoint", "metric", "value"});
+    for (const ClockDomain domain :
+         {ClockDomain::Logical, ClockDomain::Wall}) {
+        for (const TimeSample &s : samples(domain)) {
+            for (const auto &[name, value] : s.values) {
+                csv.writeRow(std::vector<std::string>{
+                    clockDomainName(domain),
+                    strformat("%llu", (unsigned long long)s.index),
+                    strformat("%llu", (unsigned long long)s.time),
+                    s.checkpoint, name, jsonNumber(value)});
+            }
+        }
+    }
+    return out.str();
+}
+
+void
+TimeSeriesSampler::reset()
+{
+    stopWallSampler();
+    std::lock_guard<std::mutex> lock(mtx);
+    logical = Ring{};
+    wall = Ring{};
+    logicalClock.store(0, std::memory_order_relaxed);
+    wallEpochSet = false;
+    wallEpochMicros = 0;
+}
+
+} // namespace obs
+} // namespace mbs

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Sampled metric time series: periodic snapshots of the registry's
+ * counters and gauges into per-instrument ring buffers, in two clock
+ * domains.
+ *
+ * The paper's entire analysis rests on counter *time series* sampled
+ * at a fixed cadence; this sampler applies the same discipline to the
+ * framework itself so the runtime's trajectory (store hit rate,
+ * executor activity, simulated ticks retired over the run) can be
+ * observed rather than inferred from end-of-run totals.
+ *
+ * Clock domains:
+ *
+ *  - **Logical** — time is the count of simulator ticks merged so
+ *    far. Samples are taken only from serial checkpoints (the
+ *    profiler's unit-merge loop, pipeline stage boundaries), so for a
+ *    fixed seed the logical series is byte-identical across repeated
+ *    runs and across any `--jobs` count, exactly like the metrics
+ *    snapshot. Volatile instruments are excluded.
+ *
+ *  - **Wall** — time is microseconds since the sampler epoch; samples
+ *    may be taken from a background thread at a fixed wall cadence
+ *    and include Volatile instruments. Wall series exist for
+ *    self-profiling and carry no determinism guarantee.
+ *
+ * Disabled (the default), sample() and advance() cost one relaxed
+ * atomic load, so instrumented library code pays nothing unless a
+ * tool opts in via --telemetry-out.
+ */
+
+#ifndef MBS_OBS_TIMESERIES_HH
+#define MBS_OBS_TIMESERIES_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mbs {
+namespace obs {
+
+/** Which clock stamps a sample. */
+enum class ClockDomain { Logical, Wall };
+
+/** @return "logical" or "wall". */
+const char *clockDomainName(ClockDomain domain);
+
+/** One captured sample: every instrument's value at one instant. */
+struct TimeSample
+{
+    /** Monotone per-domain sample number (survives ring eviction). */
+    std::uint64_t index = 0;
+    /** Logical ticks or wall microseconds, per the domain. */
+    std::uint64_t time = 0;
+    /** Optional label of the checkpoint that took the sample. */
+    std::string checkpoint;
+    /** (instrument name, value), sorted by name. */
+    std::vector<std::pair<std::string, double>> values;
+};
+
+/**
+ * The process-wide sampler.
+ *
+ * Thread-safe; samples snapshot the MetricsRegistry under the
+ * sampler's own mutex. Each domain keeps an independent ring of the
+ * most recent `capacity()` samples; older samples are evicted and
+ * counted so exports can report the truncation.
+ */
+class TimeSeriesSampler
+{
+  public:
+    static TimeSeriesSampler &instance();
+
+    /** Turn sampling on or off (off by default). */
+    void setEnabled(bool on);
+    bool enabled() const
+    {
+        return on.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Advance the logical clock by @p ticks simulator ticks. Must be
+     * called from serial code only (the deterministic-merge paths);
+     * the clock value stamps subsequent Logical samples.
+     */
+    void advance(std::uint64_t ticks);
+
+    /** @return the current logical clock value in ticks. */
+    std::uint64_t logicalTicks() const
+    {
+        return logicalClock.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Capture one sample in @p domain, labelled @p checkpoint.
+     * Logical samples exclude Volatile instruments so the series
+     * stays reproducible; Wall samples include everything. No-op
+     * while disabled.
+     */
+    void sample(ClockDomain domain, const std::string &checkpoint = "");
+
+    /**
+     * Start a background thread sampling the Wall domain every
+     * @p intervalMillis. No-op if already running or disabled.
+     */
+    void startWallSampler(unsigned intervalMillis = 100);
+
+    /** Stop the background wall sampler, if running. */
+    void stopWallSampler();
+
+    /** Samples currently retained for @p domain, oldest first. */
+    std::vector<TimeSample> samples(ClockDomain domain) const;
+
+    /** Samples evicted from @p domain's ring so far. */
+    std::uint64_t evicted(ClockDomain domain) const;
+
+    /** Ring capacity per domain (samples retained). */
+    std::size_t capacity() const { return ringCapacity; }
+
+    /**
+     * Render every retained sample as CSV with the header
+     * `domain,sample,time,checkpoint,metric,value`. Logical rows come
+     * first (they are the deterministic prefix golden tests compare),
+     * then wall rows; within a domain rows are ordered by sample
+     * index then instrument name. @p partialReason, when non-empty,
+     * adds a leading `# partial: ...` marker line.
+     */
+    std::string toCsv(const std::string &partialReason = "") const;
+
+    /** Drop all samples, reset both clocks and the eviction counts. */
+    void reset();
+
+  private:
+    TimeSeriesSampler() = default;
+    /**
+     * Join the wall thread at static destruction: a partial flush
+     * deliberately leaves it running (the flushing thread may *be*
+     * the sampler), and a joinable std::thread must not be destroyed.
+     */
+    ~TimeSeriesSampler() { stopWallSampler(); }
+
+    struct Ring
+    {
+        std::deque<TimeSample> samples;
+        std::uint64_t nextIndex = 0;
+        std::uint64_t dropped = 0;
+    };
+
+    Ring &ring(ClockDomain domain)
+    {
+        return domain == ClockDomain::Logical ? logical : wall;
+    }
+    const Ring &ring(ClockDomain domain) const
+    {
+        return domain == ClockDomain::Logical ? logical : wall;
+    }
+
+    void wallLoop(unsigned intervalMillis);
+
+    std::atomic<bool> on{false};
+    std::atomic<std::uint64_t> logicalClock{0};
+
+    mutable std::mutex mtx;
+    Ring logical;
+    Ring wall;
+    std::size_t ringCapacity = 4096;
+    std::uint64_t wallEpochMicros = 0;
+    bool wallEpochSet = false;
+
+    std::thread wallThread;
+    std::atomic<bool> wallStop{false};
+    std::mutex wallThreadMtx;
+};
+
+} // namespace obs
+} // namespace mbs
+
+#endif // MBS_OBS_TIMESERIES_HH

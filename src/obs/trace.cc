@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/strings.hh"
 #include "obs/json.hh"
+#include "obs/thread_id.hh"
 
 namespace mbs {
 namespace obs {
@@ -20,13 +21,11 @@ nowMicros()
         steady_clock::now().time_since_epoch()).count());
 }
 
-/** Small sequential id per thread, stable for the thread lifetime. */
+/** Shared with the event log so tids correlate across exports. */
 int
 threadId()
 {
-    static std::atomic<int> next{1};
-    thread_local int id = next.fetch_add(1);
-    return id;
+    return currentThreadId();
 }
 
 void

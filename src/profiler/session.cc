@@ -9,8 +9,10 @@
 #include "common/random.hh"
 #include "common/strings.hh"
 #include "exec/executor.hh"
+#include "obs/events.hh"
 #include "obs/metrics.hh"
 #include "obs/progress.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 
 namespace mbs {
@@ -289,6 +291,10 @@ ProfilerSession::profileUnits(const std::vector<ExecUnit> &units) const
             SimOptions sim_opts;
             sim_opts.tickSeconds = opts.tickSeconds;
             sim_opts.seed = runSeed(opts.seed, u.name(), task.run);
+            // Registry flushes happen in the serial merge below, in
+            // deterministic unit order, so sampled counter series are
+            // identical for any job count.
+            sim_opts.deferObs = true;
             const obs::ScopedSpan runSpan(
                 strformat("%s run %d", u.name().c_str(), task.run),
                 "run",
@@ -310,6 +316,14 @@ ProfilerSession::profileUnits(const std::vector<ExecUnit> &units) const
             progress.step(u.name() + " (cached)");
             for (auto &p : *plan.cached)
                 out.push_back(std::move(p));
+            // Cached units advance zero logical ticks but still leave
+            // a checkpoint so warm and cold runs have the same sample
+            // structure.
+            obs::EventLog::instance().emit(
+                "profiler.unit",
+                {{"name", u.name()}, {"cached", "true"}});
+            obs::TimeSeriesSampler::instance().sample(
+                obs::ClockDomain::Logical, u.name());
             continue;
         }
 
@@ -370,6 +384,24 @@ ProfilerSession::profileUnits(const std::vector<ExecUnit> &units) const
                 .add(u.suite->benchmarks.size());
         }
         metrics.counter("profiler.runs").add(std::uint64_t(opts.runs));
+
+        // Deferred simulator stats flush: aggregate this unit's runs
+        // in run order, flush once, then advance the logical clock and
+        // snapshot. Identical for any job count by construction.
+        SimStats unitStats;
+        for (int r = 0; r < opts.runs; ++r)
+            unitStats.add(results[plan.firstTask + std::size_t(r)].stats);
+        unitStats.flushToRegistry();
+        auto &sampler = obs::TimeSeriesSampler::instance();
+        sampler.advance(unitStats.ticks);
+        sampler.sample(obs::ClockDomain::Logical, u.name());
+        obs::EventLog::instance().emit(
+            "profiler.unit",
+            {{"name", u.name()},
+             {"runs", strformat("%d", opts.runs)},
+             {"ticks", strformat("%llu",
+                                 (unsigned long long)unitStats.ticks)},
+             {"cached", "false"}});
 
         if (opts.cache)
             opts.cache->save(plan.key, profiles);

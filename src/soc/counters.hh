@@ -102,6 +102,32 @@ struct RunTotals
     }
 };
 
+/**
+ * Simulator self-observation counts for one run. Kept in the result
+ * (rather than flushed straight into the metrics registry) so callers
+ * that merge parallel runs deterministically can also flush these in
+ * deterministic merge order — the time-series sampler's logical-clock
+ * contract depends on it.
+ */
+struct SimStats
+{
+    std::uint64_t runs = 0;
+    std::uint64_t phases = 0;
+    std::uint64_t ticks = 0;
+    std::uint64_t dvfsTransitions = 0;
+    std::uint64_t schedulerMigrations = 0;
+    std::uint64_t cacheEvals = 0;
+    std::uint64_t memoryEvals = 0;
+    /** Tick count of each simulated phase, in phase order. */
+    std::vector<std::uint64_t> phaseTicks;
+
+    /** Accumulate another run's counts (phaseTicks appended). */
+    void add(const SimStats &other);
+
+    /** Add every count to the process-wide metrics registry. */
+    void flushToRegistry() const;
+};
+
 /** Result of simulating one benchmark run. */
 struct SimulationResult
 {
@@ -109,6 +135,8 @@ struct SimulationResult
     double tickSeconds = 0.1;
     std::vector<CounterFrame> frames;
     RunTotals totals;
+    /** Per-run simulator internals (see SimStats). */
+    SimStats stats;
 };
 
 } // namespace mbs

@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/strings.hh"
+#include "obs/events.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "soc/aie.hh"
@@ -14,6 +15,50 @@
 #include "soc/memory.hh"
 
 namespace mbs {
+
+namespace {
+
+/**
+ * Per-run cap on detail events (sim.dvfs / sim.migration): a long
+ * simulation has thousands of transitions and must not flood the
+ * event log; overflow is reported in one sim.events_truncated event.
+ */
+constexpr std::uint64_t detailEventCap = 64;
+
+} // namespace
+
+void
+SimStats::add(const SimStats &other)
+{
+    runs += other.runs;
+    phases += other.phases;
+    ticks += other.ticks;
+    dvfsTransitions += other.dvfsTransitions;
+    schedulerMigrations += other.schedulerMigrations;
+    cacheEvals += other.cacheEvals;
+    memoryEvals += other.memoryEvals;
+    phaseTicks.insert(phaseTicks.end(), other.phaseTicks.begin(),
+                      other.phaseTicks.end());
+}
+
+void
+SimStats::flushToRegistry() const
+{
+    auto &metrics = obs::MetricsRegistry::instance();
+    metrics.counter("sim.runs").add(runs);
+    metrics.counter("sim.phases").add(phases);
+    metrics.counter("sim.ticks").add(ticks);
+    metrics.counter("sim.dvfs_transitions").add(dvfsTransitions);
+    metrics.counter("sim.scheduler_migrations")
+        .add(schedulerMigrations);
+    metrics.counter("sim.cache_evals").add(cacheEvals);
+    metrics.counter("sim.memory_evals").add(memoryEvals);
+    auto &hist = metrics.histogram(
+        "sim.phase_ticks",
+        {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+    for (const std::uint64_t t : phaseTicks)
+        hist.observe(double(t));
+}
 
 SocSimulator::SocSimulator(const SocConfig &config_)
     : socConfig(config_),
@@ -47,20 +92,26 @@ SocSimulator::run(const std::vector<TimedPhase> &phases,
                             (unsigned long long)options.seed)}});
     const auto wallStart = std::chrono::steady_clock::now();
 
-    // Instrumentation accumulates in locals and flushes to the
-    // metrics registry once per run, keeping atomics out of the tick
-    // loop.
-    std::uint64_t statTicks = 0;
-    std::uint64_t statDvfs = 0;
-    std::uint64_t statMigrations = 0;
-    std::uint64_t statCacheEvals = 0;
-    std::uint64_t statMemoryEvals = 0;
+    // Instrumentation accumulates into the result's SimStats and is
+    // flushed to the metrics registry once per run (or deferred to
+    // the caller's merge), keeping atomics out of the tick loop.
+    SimStats stats;
+    stats.runs = 1;
     std::array<double, numClusters> prevFreq{};
     std::array<int, numClusters> prevThreads{};
     bool havePrevTick = false;
-    auto &phaseTicksHist = obs::MetricsRegistry::instance().histogram(
-        "sim.phase_ticks",
-        {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+
+    auto &events = obs::EventLog::instance();
+    std::uint64_t dvfsEvents = 0;
+    std::uint64_t migrationEvents = 0;
+    if (events.enabled()) {
+        // "run_seed", not "seed": the envelope already carries the
+        // session master seed as a common field.
+        events.emit("sim.run.start",
+                    {{"phases", strformat("%zu", phases.size())},
+                     {"run_seed", strformat("%llu", (unsigned long long)
+                                            options.seed)}});
+    }
 
     Xoshiro256StarStar rng(options.seed);
 
@@ -181,13 +232,37 @@ SocSimulator::run(const std::vector<TimedPhase> &phases,
                     cache_sample = cs; // representative MPKI sample
             }
 
-            statCacheEvals += numClusters;
+            stats.cacheEvals += numClusters;
             if (havePrevTick) {
                 for (std::size_t c = 0; c < numClusters; ++c) {
-                    if (frame.clusterFrequencyHz[c] != prevFreq[c])
-                        ++statDvfs;
-                    if (frame.clusterThreads[c] != prevThreads[c])
-                        ++statMigrations;
+                    if (frame.clusterFrequencyHz[c] != prevFreq[c]) {
+                        ++stats.dvfsTransitions;
+                        if (events.enabled() &&
+                            dvfsEvents++ < detailEventCap) {
+                            events.emit("sim.dvfs",
+                                {{"cluster", strformat("%zu", c)},
+                                 {"tick", strformat("%llu",
+                                     (unsigned long long)stats.ticks)},
+                                 {"from_hz", strformat("%.0f",
+                                     prevFreq[c])},
+                                 {"to_hz", strformat("%.0f",
+                                     frame.clusterFrequencyHz[c])}});
+                        }
+                    }
+                    if (frame.clusterThreads[c] != prevThreads[c]) {
+                        ++stats.schedulerMigrations;
+                        if (events.enabled() &&
+                            migrationEvents++ < detailEventCap) {
+                            events.emit("sim.migration",
+                                {{"cluster", strformat("%zu", c)},
+                                 {"tick", strformat("%llu",
+                                     (unsigned long long)stats.ticks)},
+                                 {"from_threads", strformat("%d",
+                                     prevThreads[c])},
+                                 {"to_threads", strformat("%d",
+                                     frame.clusterThreads[c])}});
+                        }
+                    }
                 }
             }
             for (std::size_t c = 0; c < numClusters; ++c) {
@@ -246,7 +321,7 @@ SocSimulator::run(const std::vector<TimedPhase> &phases,
             // --- Memory & storage.
             frame.memory = memory.evaluate(
                 demand.memory, frame.gpu.textureBytes);
-            ++statMemoryEvals;
+            ++stats.memoryEvals;
             StorageDemand st = demand.storage;
             st.ioRate = std::clamp(st.ioRate * wobble, 0.0, 1.0);
             frame.storage = storage.evaluate(st);
@@ -267,11 +342,12 @@ SocSimulator::run(const std::vector<TimedPhase> &phases,
             result.totals.branchMispredicts += frame.branchMispredicts;
 
             result.frames.push_back(frame);
-            ++statTicks;
+            ++stats.ticks;
         }
         result.totals.runtimeSeconds += double(ticks) * dt;
-        phaseTicksHist.observe(double(ticks));
+        stats.phaseTicks.push_back(ticks);
     }
+    stats.phases = phases.size();
 
     if (backlog > 1e7) {
         warn(strformat("%.2fM instructions of budget never retired: "
@@ -282,22 +358,47 @@ SocSimulator::run(const std::vector<TimedPhase> &phases,
             "cpu-saturated", "sim",
             {{"unretired_instructions",
               strformat("%.0f", backlog)}});
+        if (events.enabled()) {
+            events.emit("sim.saturated",
+                        {{"unretired_instructions",
+                          strformat("%.0f", backlog)}});
+        }
     }
 
-    auto &metrics = obs::MetricsRegistry::instance();
-    metrics.counter("sim.runs").add();
-    metrics.counter("sim.phases").add(phases.size());
-    metrics.counter("sim.ticks").add(statTicks);
-    metrics.counter("sim.dvfs_transitions").add(statDvfs);
-    metrics.counter("sim.scheduler_migrations").add(statMigrations);
-    metrics.counter("sim.cache_evals").add(statCacheEvals);
-    metrics.counter("sim.memory_evals").add(statMemoryEvals);
+    result.stats = std::move(stats);
+    if (!options.deferObs)
+        result.stats.flushToRegistry();
+
+    if (events.enabled()) {
+        if (dvfsEvents > detailEventCap ||
+            migrationEvents > detailEventCap) {
+            events.emit("sim.events_truncated",
+                {{"dvfs_suppressed", strformat("%llu",
+                     (unsigned long long)(dvfsEvents > detailEventCap
+                         ? dvfsEvents - detailEventCap : 0))},
+                 {"migrations_suppressed", strformat("%llu",
+                     (unsigned long long)
+                     (migrationEvents > detailEventCap
+                         ? migrationEvents - detailEventCap : 0))}});
+        }
+        events.emit("sim.run.end",
+            {{"ticks", strformat("%llu", (unsigned long long)
+                                 result.stats.ticks)},
+             {"dvfs_transitions", strformat("%llu", (unsigned long long)
+                                  result.stats.dvfsTransitions)},
+             {"migrations", strformat("%llu", (unsigned long long)
+                            result.stats.schedulerMigrations)},
+             {"simulated_seconds", strformat("%.3f",
+                                   result.totals.runtimeSeconds)}});
+    }
+
     const double wallSeconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - wallStart).count();
     if (result.totals.runtimeSeconds > 0.0) {
-        metrics.gauge("sim.wall_seconds_per_simulated_second",
-                      obs::Volatility::Volatile)
+        obs::MetricsRegistry::instance()
+            .gauge("sim.wall_seconds_per_simulated_second",
+                   obs::Volatility::Volatile)
             .set(wallSeconds / result.totals.runtimeSeconds);
     }
     return result;

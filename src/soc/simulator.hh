@@ -38,6 +38,14 @@ struct SimOptions
     /** Master seed; the run index should be folded in by the caller. */
     std::uint64_t seed = 1;
     /**
+     * When true the run's SimStats are only returned in the result,
+     * not flushed into the metrics registry. Callers that merge
+     * parallel runs deterministically (the profiler) set this and
+     * flush per merged unit instead, so sampled counter time series
+     * advance in deterministic order for any worker count.
+     */
+    bool deferObs = false;
+    /**
      * Thermal integration and throttling (extension). Disabled by
      * default so the calibrated reproduction is unaffected.
      */

@@ -6,6 +6,7 @@
 #include "common/digest.hh"
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "obs/events.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "store/serialize.hh"
@@ -84,6 +85,8 @@ ProfileStore::load(const ProfileKey &key)
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         m.misses.add();
+        obs::EventLog::instance().emit(
+            "store.miss", {{"entry", path.filename().string()}});
         return std::nullopt;
     }
     std::string bytes((std::istreambuf_iterator<char>(in)),
@@ -98,9 +101,14 @@ ProfileStore::load(const ProfileKey &key)
         std::filesystem::remove(path, ec);
         m.evictions.add();
         m.misses.add();
+        obs::EventLog::instance().emit(
+            "store.evict", {{"entry", path.filename().string()},
+                            {"reason", "corrupt"}});
         return std::nullopt;
     }
     m.hits.add();
+    obs::EventLog::instance().emit(
+        "store.hit", {{"entry", path.filename().string()}});
     return profiles;
 }
 
@@ -128,6 +136,9 @@ ProfileStore::save(const ProfileKey &key,
     fatalIf(bool(ec), "cannot publish cache entry '" + path.string() +
                           "': " + ec.message());
     storeMetrics().entryBytes.observe(double(bytes.size()));
+    obs::EventLog::instance().emit(
+        "store.save", {{"entry", path.filename().string()},
+                       {"bytes", strformat("%zu", bytes.size())}});
 }
 
 ProfileStore::Stats

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the minimal JSON parser: scalar values, nesting, string
+ * escapes (including \u and surrogate pairs), number grammar, object
+ * helpers, and rejection of malformed documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json_parse.hh"
+#include "common/logging.hh"
+
+namespace mbs {
+namespace {
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(parseJson("null").isNull());
+    EXPECT_TRUE(parseJson("true").boolean);
+    EXPECT_FALSE(parseJson("false").boolean);
+    EXPECT_EQ(parseJson("42").number, 42.0);
+    EXPECT_EQ(parseJson("-1.5e3").number, -1500.0);
+    EXPECT_EQ(parseJson("\"hi\"").str, "hi");
+    EXPECT_EQ(parseJson("  \"ws\"  ").str, "ws");
+}
+
+TEST(JsonParse, NestedStructure)
+{
+    const JsonValue v = parseJson(
+        R"({"benchmarks": [{"name": "BM_A", "cpu_time": 12.5},)"
+        R"( {"name": "BM_B", "cpu_time": 7}], "n": 2})");
+    ASSERT_TRUE(v.isObject());
+    const JsonValue &benchmarks = v.at("benchmarks");
+    ASSERT_TRUE(benchmarks.isArray());
+    ASSERT_EQ(benchmarks.array.size(), 2u);
+    EXPECT_EQ(benchmarks.array[0].at("name").str, "BM_A");
+    EXPECT_EQ(benchmarks.array[0].at("cpu_time").number, 12.5);
+    EXPECT_EQ(benchmarks.array[1].at("cpu_time").number, 7.0);
+    EXPECT_EQ(v.at("n").number, 2.0);
+}
+
+TEST(JsonParse, EmptyContainers)
+{
+    EXPECT_TRUE(parseJson("{}").object.empty());
+    EXPECT_TRUE(parseJson("[]").array.empty());
+    EXPECT_TRUE(parseJson("[{}, []]").isArray());
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    EXPECT_EQ(parseJson(R"("a\"b\\c\/d")").str, "a\"b\\c/d");
+    EXPECT_EQ(parseJson(R"("\b\f\n\r\t")").str, "\b\f\n\r\t");
+    EXPECT_EQ(parseJson(R"("\u0041")").str, "A");
+    // 2- and 3-byte UTF-8 from \u escapes.
+    EXPECT_EQ(parseJson(R"("\u00e9")").str, "\xc3\xa9");
+    EXPECT_EQ(parseJson(R"("\u6d4b")").str, "\xe6\xb5\x8b");
+    // Surrogate pair -> 4-byte UTF-8 (U+1F4F1).
+    EXPECT_EQ(parseJson(R"("\ud83d\udcf1")").str,
+              "\xf0\x9f\x93\xb1");
+    // Lone surrogate -> replacement character.
+    EXPECT_EQ(parseJson(R"("\ud800")").str, "\xef\xbf\xbd");
+}
+
+TEST(JsonParse, RawUtf8PassesThrough)
+{
+    EXPECT_EQ(parseJson("\"\xe6\xb5\x8b\xe8\xaf\x95\"").str,
+              "\xe6\xb5\x8b\xe8\xaf\x95");
+}
+
+TEST(JsonParse, FindAndAtHelpers)
+{
+    const JsonValue v = parseJson(R"({"a": 1, "b": "x"})");
+    ASSERT_NE(v.find("a"), nullptr);
+    EXPECT_EQ(v.find("a")->number, 1.0);
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_THROW(v.at("missing"), FatalError);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    const char *bad[] = {
+        "",
+        "{",
+        "}",
+        "[1,]",
+        "{\"a\": }",
+        "{\"a\" 1}",
+        "{'a': 1}",
+        "\"unterminated",
+        "\"bad \\x escape\"",
+        "nul",
+        "truefalse",
+        "1 2",
+        "{\"a\": 1} extra",
+        "\"raw \n newline\"",
+        "--5",
+        "\"\\u12g4\"",
+    };
+    for (const char *doc : bad)
+        EXPECT_THROW(parseJson(doc), FatalError) << doc;
+}
+
+TEST(JsonParse, ErrorsCarryPosition)
+{
+    try {
+        parseJson("{\n  \"a\": nope\n}");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
+} // namespace mbs

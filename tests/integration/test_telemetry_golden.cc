@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Golden tests for the deterministic telemetry exports: a full
+ * pipeline run at --jobs 1 and --jobs 4 must produce byte-identical
+ * Prometheus expositions and logical-clock time series, and repeated
+ * runs at the same job count must reproduce them exactly.
+ *
+ * Runs the pipeline in-process with zeroAll() between runs (reset()
+ * would destroy instruments whose references hot paths cache), so
+ * the comparison covers exactly what `mobilebench pipeline
+ * --telemetry-out` writes.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hh"
+#include "core/pipeline.hh"
+#include "obs/export_prometheus.hh"
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
+#include "workload/registry.hh"
+
+namespace mbs {
+namespace {
+
+using obs::ClockDomain;
+using obs::MetricsRegistry;
+using obs::TimeSeriesSampler;
+
+/** The deterministic artifacts of one pipeline run. */
+struct TelemetryArtifacts
+{
+    std::string prometheus;
+    std::string logicalCsv;
+    std::uint64_t logicalTicks = 0;
+};
+
+/** Logical-domain rows only: the deterministic prefix of the CSV. */
+std::string
+logicalRows(const std::string &csv)
+{
+    std::string out;
+    for (const auto &line : split(csv, '\n')) {
+        if (startsWith(line, "logical,"))
+            out += line + "\n";
+    }
+    return out;
+}
+
+TelemetryArtifacts
+runPipeline(int jobs)
+{
+    MetricsRegistry::instance().zeroAll();
+    auto &sampler = TimeSeriesSampler::instance();
+    sampler.reset();
+    sampler.setEnabled(true);
+
+    PipelineOptions options;
+    options.profile.jobs = jobs;
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888(), options);
+    const WorkloadRegistry registry;
+    const auto report = pipeline.run(registry);
+    EXPECT_FALSE(report.profiles.empty());
+
+    TelemetryArtifacts artifacts;
+    artifacts.prometheus =
+        toPrometheusText(MetricsRegistry::instance().snapshot());
+    artifacts.logicalCsv = logicalRows(sampler.toCsv());
+    artifacts.logicalTicks = sampler.logicalTicks();
+
+    sampler.setEnabled(false);
+    sampler.reset();
+    return artifacts;
+}
+
+class TelemetryGoldenTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        auto &sampler = TimeSeriesSampler::instance();
+        sampler.setEnabled(false);
+        sampler.reset();
+        MetricsRegistry::instance().zeroAll();
+    }
+};
+
+TEST_F(TelemetryGoldenTest, ArtifactsIdenticalAcrossJobCounts)
+{
+    const TelemetryArtifacts serial = runPipeline(1);
+    const TelemetryArtifacts parallel = runPipeline(4);
+
+    // Sanity: the run actually produced telemetry.
+    EXPECT_NE(serial.prometheus.find("sim_ticks"), std::string::npos);
+    EXPECT_GT(serial.logicalTicks, 0u);
+    EXPECT_FALSE(serial.logicalCsv.empty());
+
+    // The contract: byte-identical, not merely similar.
+    EXPECT_EQ(serial.prometheus, parallel.prometheus);
+    EXPECT_EQ(serial.logicalCsv, parallel.logicalCsv);
+    EXPECT_EQ(serial.logicalTicks, parallel.logicalTicks);
+}
+
+TEST_F(TelemetryGoldenTest, ArtifactsIdenticalAcrossRepeatedRuns)
+{
+    const TelemetryArtifacts first = runPipeline(2);
+    const TelemetryArtifacts second = runPipeline(2);
+    EXPECT_EQ(first.prometheus, second.prometheus);
+    EXPECT_EQ(first.logicalCsv, second.logicalCsv);
+}
+
+} // namespace
+} // namespace mbs

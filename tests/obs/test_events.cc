@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the structured event log: envelope fields, common-field
+ * injection, JSONL validity of every exported line, partial and
+ * overflow markers, and the disabled-is-free contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json_parse.hh"
+#include "obs/events.hh"
+
+#include "json_check.hh"
+
+namespace mbs {
+namespace {
+
+using obs::EventLog;
+
+class EventLogTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        EventLog::instance().clear();
+        EventLog::instance().setEnabled(true);
+    }
+
+    void TearDown() override
+    {
+        EventLog::instance().setEnabled(false);
+        EventLog::instance().clear();
+    }
+};
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        out.push_back(line);
+    return out;
+}
+
+TEST_F(EventLogTest, DisabledEmitsNothing)
+{
+    auto &log = EventLog::instance();
+    log.setEnabled(false);
+    log.emit("x.y");
+    EXPECT_TRUE(log.events().empty());
+}
+
+TEST_F(EventLogTest, EventsCarryEnvelopeAndFields)
+{
+    auto &log = EventLog::instance();
+    log.emit("store.hit", {{"entry", "abc.profile"}});
+    const auto events = log.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].type, "store.hit");
+    EXPECT_GT(events[0].tsMicros, 0u);
+    EXPECT_GT(events[0].tid, 0);
+    ASSERT_EQ(events[0].fields.size(), 1u);
+    EXPECT_EQ(events[0].fields[0].first, "entry");
+    EXPECT_EQ(events[0].fields[0].second, "abc.profile");
+}
+
+TEST_F(EventLogTest, EveryExportedLineIsValidJson)
+{
+    auto &log = EventLog::instance();
+    log.setCommonField("run_id", "deadbeef");
+    log.emit("sim.run.start", {{"phases", "6"}});
+    log.emit("hostile \"type\"\n",
+             {{"key with \\", "value with \"quotes\"\n and newline"}});
+    log.emit("sim.run.end");
+
+    const auto all = lines(log.exportJsonl());
+    ASSERT_EQ(all.size(), 3u);
+    for (const auto &line : all) {
+        EXPECT_TRUE(test::JsonChecker::valid(line)) << line;
+        const JsonValue v = parseJson(line);
+        EXPECT_TRUE(v.at("ts_us").isNumber());
+        EXPECT_TRUE(v.at("tid").isNumber());
+        EXPECT_TRUE(v.at("type").isString());
+        EXPECT_EQ(v.at("run_id").str, "deadbeef");
+    }
+    EXPECT_EQ(parseJson(all[1]).at("type").str, "hostile \"type\"\n");
+}
+
+TEST_F(EventLogTest, CommonFieldsRecordedWhileDisabled)
+{
+    auto &log = EventLog::instance();
+    log.setEnabled(false);
+    log.setCommonField("soc", "snapdragon888");
+    log.setEnabled(true);
+    log.emit("sim.run.start");
+    const JsonValue v = parseJson(lines(log.exportJsonl())[0]);
+    EXPECT_EQ(v.at("soc").str, "snapdragon888");
+}
+
+TEST_F(EventLogTest, PartialReasonPrependsMarkerEvent)
+{
+    auto &log = EventLog::instance();
+    log.emit("sim.run.start");
+    const auto all = lines(log.exportJsonl("terminate called"));
+    ASSERT_EQ(all.size(), 2u);
+    const JsonValue first = parseJson(all[0]);
+    EXPECT_EQ(first.at("type").str, "log.partial");
+    EXPECT_EQ(first.at("reason").str, "terminate called");
+    EXPECT_EQ(parseJson(all[1]).at("type").str, "sim.run.start");
+}
+
+TEST_F(EventLogTest, ClearDropsEventsAndCommonFields)
+{
+    auto &log = EventLog::instance();
+    log.setCommonField("k", "v");
+    log.emit("x");
+    log.clear();
+    EXPECT_TRUE(log.events().empty());
+    EXPECT_TRUE(log.commonFields().empty());
+    EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST_F(EventLogTest, WriteJsonlMatchesExport)
+{
+    auto &log = EventLog::instance();
+    log.emit("a.b", {{"k", "v"}});
+    std::ostringstream out;
+    log.writeJsonl(out);
+    EXPECT_EQ(out.str(), log.exportJsonl());
+}
+
+} // namespace
+} // namespace mbs

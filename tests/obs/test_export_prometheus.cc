@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the Prometheus text exposition exporter: name
+ * sanitization against the metric-name grammar, counter/gauge
+ * rendering, cumulative histogram buckets with `le` labels and the
+ * mandatory `+Inf` bound, partial-flush markers, and a line-level
+ * round-trip parse of a full exposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.hh"
+#include "obs/export_prometheus.hh"
+#include "obs/metrics.hh"
+
+namespace mbs {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::sanitizePrometheusName;
+using obs::toPrometheusText;
+
+class PrometheusTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { MetricsRegistry::instance().reset(); }
+    void TearDown() override { MetricsRegistry::instance().reset(); }
+};
+
+TEST(PrometheusName, DotsBecomeUnderscores)
+{
+    EXPECT_EQ(sanitizePrometheusName("sim.ticks"), "sim_ticks");
+    EXPECT_EQ(sanitizePrometheusName("store.entry_bytes"),
+              "store_entry_bytes");
+}
+
+TEST(PrometheusName, ValidNamesPassThrough)
+{
+    EXPECT_EQ(sanitizePrometheusName("valid_name:yes9"),
+              "valid_name:yes9");
+}
+
+TEST(PrometheusName, InvalidCharactersBecomeUnderscores)
+{
+    EXPECT_EQ(sanitizePrometheusName("a-b c/d"), "a_b_c_d");
+    EXPECT_EQ(sanitizePrometheusName("naïve"), "na__ve");
+}
+
+TEST(PrometheusName, LeadingDigitGainsPrefix)
+{
+    EXPECT_EQ(sanitizePrometheusName("3dmark.score"), "_3dmark_score");
+}
+
+TEST(PrometheusName, EmptyBecomesUnderscore)
+{
+    EXPECT_EQ(sanitizePrometheusName(""), "_");
+}
+
+TEST(PrometheusName, GrammarAlwaysHolds)
+{
+    const auto conforms = [](const std::string &name) {
+        if (name.empty())
+            return false;
+        const auto first = [](char c) {
+            return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                   c == '_' || c == ':';
+        };
+        if (!first(name[0]))
+            return false;
+        for (char c : name) {
+            if (!first(c) && !(c >= '0' && c <= '9'))
+                return false;
+        }
+        return true;
+    };
+    const std::vector<std::string> inputs = {
+        "", "9", "a b", "héllo", "-", "...", "UPPER.case",
+        "\"quoted\"", "\n", "0123", "a:b:c", "__x__",
+    };
+    for (const auto &in : inputs)
+        EXPECT_TRUE(conforms(sanitizePrometheusName(in))) << in;
+}
+
+TEST_F(PrometheusTest, CountersAndGaugesRender)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.counter("sim.ticks").add(131072);
+    registry.gauge("exec.queue_depth").set(3.0);
+    const std::string text = toPrometheusText(registry.snapshot());
+    EXPECT_NE(text.find("# TYPE sim_ticks counter\n"
+                        "sim_ticks 131072\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# TYPE exec_queue_depth gauge\n"
+                        "exec_queue_depth 3\n"),
+              std::string::npos)
+        << text;
+}
+
+TEST_F(PrometheusTest, HistogramIsCumulativeWithInfBucket)
+{
+    auto &registry = MetricsRegistry::instance();
+    auto &h = registry.histogram("sim.phase_ticks", {1.0, 5.0, 10.0});
+    h.observe(0.5);  // le=1
+    h.observe(4.0);  // le=5
+    h.observe(4.5);  // le=5
+    h.observe(100.0); // overflow
+    const std::string text = toPrometheusText(registry.snapshot());
+
+    EXPECT_NE(text.find("# TYPE sim_phase_ticks histogram\n"),
+              std::string::npos);
+    // Buckets must be cumulative, not per-bucket.
+    EXPECT_NE(text.find("sim_phase_ticks_bucket{le=\"1\"} 1\n"),
+              std::string::npos) << text;
+    EXPECT_NE(text.find("sim_phase_ticks_bucket{le=\"5\"} 3\n"),
+              std::string::npos) << text;
+    EXPECT_NE(text.find("sim_phase_ticks_bucket{le=\"10\"} 3\n"),
+              std::string::npos) << text;
+    // The +Inf bucket is mandatory and equals the observation count.
+    EXPECT_NE(text.find("sim_phase_ticks_bucket{le=\"+Inf\"} 4\n"),
+              std::string::npos) << text;
+    EXPECT_NE(text.find("sim_phase_ticks_sum 109\n"),
+              std::string::npos) << text;
+    EXPECT_NE(text.find("sim_phase_ticks_count 4\n"),
+              std::string::npos) << text;
+}
+
+TEST_F(PrometheusTest, PartialReasonAddsLeadingComment)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.counter("sim.ticks");
+    const std::string text =
+        toPrometheusText(registry.snapshot(), "terminate called");
+    EXPECT_EQ(text.rfind("# PARTIAL: terminate called\n", 0), 0u)
+        << text;
+}
+
+/**
+ * Parse one exposition back line by line: every line is either a
+ * comment or `name{labels} value`, every histogram carries its
+ * bucket/sum/count triple, and bucket counts never decrease.
+ */
+TEST_F(PrometheusTest, ExpositionRoundTripParses)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.counter("pipeline.runs").add(1);
+    registry.counter("3dmark.launches").add(7);
+    registry.gauge("mem.head room").set(-2.5);
+    auto &h = registry.histogram("store.entry_bytes", {10.0, 100.0});
+    h.observe(5.0);
+    h.observe(500.0);
+
+    const std::string text = toPrometheusText(registry.snapshot());
+    std::istringstream lines(text);
+    std::string line;
+    std::map<std::string, std::string> typeOf;
+    std::map<std::string, double> lastBucket;
+    int samples = 0;
+    while (std::getline(lines, line)) {
+        ASSERT_FALSE(line.empty());
+        if (startsWith(line, "# TYPE ")) {
+            const auto parts = split(line.substr(7), ' ');
+            ASSERT_EQ(parts.size(), 2u) << line;
+            typeOf[parts[0]] = parts[1];
+            continue;
+        }
+        ASSERT_FALSE(startsWith(line, "#")) << line;
+        const std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        const std::string series = line.substr(0, space);
+        const double value = std::stod(line.substr(space + 1));
+        ++samples;
+
+        std::string metric = series;
+        const std::size_t brace = series.find('{');
+        if (brace != std::string::npos) {
+            metric = series.substr(0, brace);
+            ASSERT_EQ(series.back(), '}') << line;
+        }
+        // Strip histogram suffixes to find the declared family.
+        for (const char *suffix : {"_bucket", "_sum", "_count"}) {
+            if (endsWith(metric, suffix) &&
+                typeOf.count(metric.substr(
+                    0, metric.size() - std::string(suffix).size()))) {
+                metric = metric.substr(
+                    0, metric.size() - std::string(suffix).size());
+                break;
+            }
+        }
+        ASSERT_TRUE(typeOf.count(metric)) << line;
+        if (endsWith(series, "\"}") &&
+            series.find("{le=\"") != std::string::npos) {
+            // Cumulative: monotone non-decreasing bucket counts.
+            EXPECT_GE(value, lastBucket.count(metric)
+                                 ? lastBucket[metric] : 0.0)
+                << line;
+            lastBucket[metric] = value;
+        }
+    }
+    // 2 counters + 1 gauge + histogram (3 buckets incl +Inf, sum,
+    // count) = 8 sample lines.
+    EXPECT_EQ(samples, 8);
+    EXPECT_EQ(typeOf.at("pipeline_runs"), "counter");
+    EXPECT_EQ(typeOf.at("_3dmark_launches"), "counter");
+    EXPECT_EQ(typeOf.at("mem_head_room"), "gauge");
+    EXPECT_EQ(typeOf.at("store_entry_bytes"), "histogram");
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the obs JSON emission helpers: escaping of control
+ * characters, quotes and backslashes, UTF-8 passthrough, number
+ * formatting, and a fuzz-ish table of hostile strings that must all
+ * embed into valid JSON documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/json_parse.hh"
+#include "obs/json.hh"
+
+#include "json_check.hh"
+
+namespace mbs {
+namespace {
+
+using obs::jsonEscape;
+using obs::jsonNumber;
+
+/** Embed an escaped string in a document and parse it back. */
+std::string
+roundTrip(const std::string &raw)
+{
+    const std::string doc = "{\"k\": \"" + jsonEscape(raw) + "\"}";
+    EXPECT_TRUE(test::JsonChecker::valid(doc)) << doc;
+    const JsonValue v = parseJson(doc);
+    return v.at("k").str;
+}
+
+TEST(JsonEscape, PlainTextPassesThrough)
+{
+    EXPECT_EQ(jsonEscape("sim.ticks"), "sim.ticks");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(JsonEscape, QuotesAndBackslashes)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(roundTrip("say \"hi\" \\ bye"), "say \"hi\" \\ bye");
+}
+
+TEST(JsonEscape, NamedControlCharacters)
+{
+    EXPECT_EQ(roundTrip("a\nb"), "a\nb");
+    EXPECT_EQ(roundTrip("a\tb"), "a\tb");
+    EXPECT_EQ(roundTrip("a\rb"), "a\rb");
+    EXPECT_EQ(roundTrip("a\bb"), "a\bb");
+    EXPECT_EQ(roundTrip("a\fb"), "a\fb");
+}
+
+TEST(JsonEscape, EveryControlCharacterIsEscaped)
+{
+    // All of U+0000..U+001F must come out as an escape sequence;
+    // none may survive raw (raw control bytes are invalid JSON).
+    for (int c = 0; c < 0x20; ++c) {
+        const std::string raw(1, char(c));
+        const std::string escaped = jsonEscape(raw);
+        EXPECT_GE(escaped.size(), 2u) << "control char " << c;
+        EXPECT_EQ(escaped[0], '\\') << "control char " << c;
+        EXPECT_EQ(roundTrip(raw), raw) << "control char " << c;
+    }
+}
+
+TEST(JsonEscape, NonAsciiUtf8PassesThroughUnmodified)
+{
+    // Multi-byte UTF-8 is legal raw inside JSON strings; escaping
+    // it would bloat every benchmark name with non-ASCII glyphs.
+    const std::string utf8 = "3DMark\xc2\xae \xe6\xb5\x8b\xe8\xaf\x95"
+                             " \xf0\x9f\x93\xb1";
+    EXPECT_EQ(jsonEscape(utf8), utf8);
+    EXPECT_EQ(roundTrip(utf8), utf8);
+}
+
+TEST(JsonEscape, HostileStringsEmbedIntoValidJson)
+{
+    const std::vector<std::string> hostile = {
+        "\"", "\\", "\"\"\"", "\\\\\\", "\"}\n{\"",
+        "line1\nline2\r\nline3",
+        std::string("embedded\0nul", 12),
+        "\x01\x02\x03\x1f",
+        "trailing backslash \\",
+        "{\"fake\": \"json\"}",
+        "</script><script>alert(1)</script>",
+        "ünïcødé 漢字 🙂 mixed with \t tabs",
+        std::string(1024, '"'),
+        std::string(1024, '\\'),
+    };
+    for (const auto &raw : hostile)
+        EXPECT_EQ(roundTrip(raw), raw);
+}
+
+TEST(JsonNumber, RoundTrippableFormatting)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(42.0), "42");
+    EXPECT_EQ(jsonNumber(-1.5), "-1.5");
+    // %.17g keeps the full double: parsing the text recovers the
+    // exact bits.
+    const double tricky = 0.1 + 0.2;
+    const JsonValue v = parseJson(jsonNumber(tricky));
+    EXPECT_EQ(v.number, tricky);
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+              "null");
+}
+
+} // namespace
+} // namespace mbs

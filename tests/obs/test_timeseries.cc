@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the time-series sampler: clock domains, logical-clock
+ * advancement, volatility filtering, ring eviction accounting, CSV
+ * rendering, and the disabled-is-free contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
+
+namespace mbs {
+namespace {
+
+using obs::ClockDomain;
+using obs::MetricsRegistry;
+using obs::TimeSample;
+using obs::TimeSeriesSampler;
+using obs::Volatility;
+
+class TimeSeriesTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        MetricsRegistry::instance().reset();
+        auto &sampler = TimeSeriesSampler::instance();
+        sampler.stopWallSampler();
+        sampler.reset();
+        sampler.setEnabled(true);
+    }
+
+    void TearDown() override
+    {
+        auto &sampler = TimeSeriesSampler::instance();
+        sampler.stopWallSampler();
+        sampler.setEnabled(false);
+        sampler.reset();
+        MetricsRegistry::instance().reset();
+    }
+};
+
+TEST_F(TimeSeriesTest, DomainNames)
+{
+    EXPECT_STREQ(clockDomainName(ClockDomain::Logical), "logical");
+    EXPECT_STREQ(clockDomainName(ClockDomain::Wall), "wall");
+}
+
+TEST_F(TimeSeriesTest, DisabledSamplerRecordsNothing)
+{
+    auto &sampler = TimeSeriesSampler::instance();
+    sampler.setEnabled(false);
+    MetricsRegistry::instance().counter("t.count").add(5);
+    sampler.advance(100);
+    sampler.sample(ClockDomain::Logical, "checkpoint");
+    EXPECT_TRUE(sampler.samples(ClockDomain::Logical).empty());
+    EXPECT_EQ(sampler.logicalTicks(), 0u);
+}
+
+TEST_F(TimeSeriesTest, LogicalClockAdvancesAndStampsSamples)
+{
+    auto &sampler = TimeSeriesSampler::instance();
+    MetricsRegistry::instance().counter("t.count").add(1);
+
+    sampler.advance(10);
+    sampler.sample(ClockDomain::Logical, "unit-a");
+    sampler.advance(32);
+    sampler.sample(ClockDomain::Logical, "unit-b");
+
+    const auto samples = sampler.samples(ClockDomain::Logical);
+    ASSERT_EQ(samples.size(), 2u);
+    EXPECT_EQ(samples[0].index, 0u);
+    EXPECT_EQ(samples[0].time, 10u);
+    EXPECT_EQ(samples[0].checkpoint, "unit-a");
+    EXPECT_EQ(samples[1].index, 1u);
+    EXPECT_EQ(samples[1].time, 42u);
+    EXPECT_EQ(samples[1].checkpoint, "unit-b");
+    EXPECT_EQ(sampler.logicalTicks(), 42u);
+}
+
+TEST_F(TimeSeriesTest, SamplesCaptureInstrumentValuesSorted)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.counter("b.count").add(2);
+    registry.counter("a.count").add(1);
+    registry.gauge("c.gauge").set(1.5);
+
+    auto &sampler = TimeSeriesSampler::instance();
+    sampler.sample(ClockDomain::Logical);
+    const auto samples = sampler.samples(ClockDomain::Logical);
+    ASSERT_EQ(samples.size(), 1u);
+    const auto &values = samples[0].values;
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_EQ(values[0].first, "a.count");
+    EXPECT_EQ(values[0].second, 1.0);
+    EXPECT_EQ(values[1].first, "b.count");
+    EXPECT_EQ(values[1].second, 2.0);
+    EXPECT_EQ(values[2].first, "c.gauge");
+    EXPECT_EQ(values[2].second, 1.5);
+}
+
+TEST_F(TimeSeriesTest, HistogramsAppearAsCountAndSum)
+{
+    auto &registry = MetricsRegistry::instance();
+    auto &h = registry.histogram("t.hist", {1.0, 10.0});
+    h.observe(0.5);
+    h.observe(7.0);
+
+    auto &sampler = TimeSeriesSampler::instance();
+    sampler.sample(ClockDomain::Logical);
+    const auto samples = sampler.samples(ClockDomain::Logical);
+    ASSERT_EQ(samples.size(), 1u);
+    double count = -1.0, sum = -1.0;
+    for (const auto &[name, value] : samples[0].values) {
+        if (name == "t.hist.count")
+            count = value;
+        if (name == "t.hist.sum")
+            sum = value;
+    }
+    EXPECT_EQ(count, 2.0);
+    EXPECT_EQ(sum, 7.5);
+}
+
+TEST_F(TimeSeriesTest, LogicalSamplesExcludeVolatileInstruments)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.counter("stable.count").add(1);
+    registry.gauge("wall.seconds", Volatility::Volatile).set(9.9);
+
+    auto &sampler = TimeSeriesSampler::instance();
+    sampler.sample(ClockDomain::Logical);
+    sampler.sample(ClockDomain::Wall);
+
+    const auto logical = sampler.samples(ClockDomain::Logical);
+    ASSERT_EQ(logical.size(), 1u);
+    for (const auto &[name, value] : logical[0].values)
+        EXPECT_NE(name, "wall.seconds");
+
+    const auto wall = sampler.samples(ClockDomain::Wall);
+    ASSERT_EQ(wall.size(), 1u);
+    bool sawVolatile = false;
+    for (const auto &[name, value] : wall[0].values)
+        sawVolatile |= name == "wall.seconds";
+    EXPECT_TRUE(sawVolatile);
+}
+
+TEST_F(TimeSeriesTest, RingEvictsOldestAndCounts)
+{
+    auto &sampler = TimeSeriesSampler::instance();
+    const std::size_t cap = sampler.capacity();
+    MetricsRegistry::instance().counter("t.count");
+    for (std::size_t i = 0; i < cap + 3; ++i)
+        sampler.sample(ClockDomain::Logical);
+
+    const auto samples = sampler.samples(ClockDomain::Logical);
+    EXPECT_EQ(samples.size(), cap);
+    EXPECT_EQ(sampler.evicted(ClockDomain::Logical), 3u);
+    // Indices keep counting across eviction: the oldest retained
+    // sample is number 3.
+    EXPECT_EQ(samples.front().index, 3u);
+    EXPECT_EQ(samples.back().index, cap + 2);
+}
+
+TEST_F(TimeSeriesTest, CsvRendersHeaderAndRows)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.counter("t.count").add(7);
+    auto &sampler = TimeSeriesSampler::instance();
+    sampler.advance(5);
+    sampler.sample(ClockDomain::Logical, "phase, one");
+
+    const std::string csv = sampler.toCsv();
+    EXPECT_NE(
+        csv.find("domain,sample,time,checkpoint,metric,value\n"),
+        std::string::npos)
+        << csv;
+    // The checkpoint contains a comma, so the CSV writer must quote.
+    EXPECT_NE(csv.find("logical,0,5,\"phase, one\",t.count,7"),
+              std::string::npos)
+        << csv;
+}
+
+TEST_F(TimeSeriesTest, CsvPartialMarker)
+{
+    auto &sampler = TimeSeriesSampler::instance();
+    const std::string csv = sampler.toCsv("it broke");
+    EXPECT_EQ(csv.rfind("# partial: it broke\n", 0), 0u) << csv;
+}
+
+TEST_F(TimeSeriesTest, ResetClearsEverything)
+{
+    auto &sampler = TimeSeriesSampler::instance();
+    MetricsRegistry::instance().counter("t.count");
+    sampler.advance(12);
+    sampler.sample(ClockDomain::Logical);
+    sampler.reset();
+    EXPECT_TRUE(sampler.samples(ClockDomain::Logical).empty());
+    EXPECT_EQ(sampler.logicalTicks(), 0u);
+    EXPECT_EQ(sampler.evicted(ClockDomain::Logical), 0u);
+}
+
+TEST_F(TimeSeriesTest, WallSamplerProducesSamples)
+{
+    auto &sampler = TimeSeriesSampler::instance();
+    MetricsRegistry::instance().counter("t.count").add(1);
+    sampler.startWallSampler(1);
+    // The wall loop takes its first sample immediately; poll briefly
+    // rather than sleeping a fixed amount.
+    bool got = false;
+    for (int i = 0; i < 200 && !got; ++i) {
+        got = !sampler.samples(ClockDomain::Wall).empty();
+        if (!got)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+    }
+    sampler.stopWallSampler();
+    EXPECT_TRUE(got);
+}
+
+} // namespace
+} // namespace mbs

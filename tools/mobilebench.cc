@@ -11,13 +11,17 @@
  *   mobilebench energy <benchmark>         energy/power breakdown
  *   mobilebench catalog [category]         list hardware counters
  *   mobilebench cache <stats|clear>        inspect the profile store
+ *   mobilebench telemetry <dir>            summarize a telemetry dir
  *
  * Observability flags (any command): `--trace <file>` writes a Chrome
  * trace-event JSON (open in Perfetto), `--metrics <file>` writes a
- * deterministic metrics snapshot, `--progress` reports per-benchmark
+ * deterministic metrics snapshot, `--telemetry-out <dir>` writes the
+ * full telemetry bundle (metrics.prom, metrics.json, timeseries.csv,
+ * events.jsonl, trace.json), `--progress` reports per-benchmark
  * progress on stderr, `--log-timestamps` prefixes log lines with
  * elapsed time. `profile` and `pipeline` print a stage-timing summary
- * table after their output.
+ * table after their output. On abnormal termination the telemetry
+ * bundle is still flushed, with every file marked partial.
  *
  * Execution flags: `--jobs N` fans simulations (and the pipeline's
  * validation sweep) across N worker threads (0 = all cores) with
@@ -30,6 +34,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,10 +45,13 @@
 #include "common/strings.hh"
 #include "common/table.hh"
 #include "common/units.hh"
+#include "common/digest.hh"
 #include "core/pipeline.hh"
 #include "core/report.hh"
+#include "obs/events.hh"
 #include "obs/metrics.hh"
 #include "obs/progress.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "roi/roi.hh"
 #include "soc/energy.hh"
@@ -70,11 +78,18 @@ usage()
                  "(needs --cache-dir)\n"
                  "  load <file>                 profile suites from a\n"
                  "                              workload definition file\n"
+                 "  telemetry <dir>             summarize a telemetry "
+                 "bundle written\n"
+                 "                              by --telemetry-out\n"
                  "flags (any command):\n"
                  "  --trace <file>       write a Chrome trace-event "
                  "JSON (Perfetto)\n"
                  "  --metrics <file>     write a deterministic metrics "
                  "snapshot (JSON)\n"
+                 "  --telemetry-out <dir>  write metrics.prom, "
+                 "metrics.json,\n"
+                 "                       timeseries.csv, events.jsonl "
+                 "and trace.json\n"
                  "  --progress           per-benchmark progress on "
                  "stderr\n"
                  "  --log-timestamps     prefix log lines with elapsed "
@@ -114,17 +129,35 @@ requireUnit(const std::string &name)
 void
 recordRunMetadata(const SocConfig &config, const ProfileOptions &opts)
 {
+    const std::string seed =
+        strformat("%llu", (unsigned long long)opts.seed);
+    const std::string tick = strformat("%g", opts.tickSeconds);
+    const std::string runs = strformat("%d", opts.runs);
+    const std::string digest =
+        strformat("%016llx", (unsigned long long)config.digest());
+    // The run id is a digest of the run configuration, so repeated
+    // runs of the same configuration correlate across artifacts.
+    Fnv1a runId;
+    runId.mix(config.digest());
+    runId.mix(opts.seed);
+    runId.mix(opts.runs);
+    runId.mix(opts.tickSeconds);
+    const std::string run_id =
+        strformat("%016llx", (unsigned long long)runId.value());
+
     auto &tracer = obs::Tracer::instance();
-    tracer.metadata("seed", strformat("%llu",
-                                      (unsigned long long)opts.seed));
-    tracer.metadata("tick_seconds",
-                    strformat("%g", opts.tickSeconds));
-    tracer.metadata("runs_per_benchmark",
-                    strformat("%d", opts.runs));
+    tracer.metadata("seed", seed);
+    tracer.metadata("tick_seconds", tick);
+    tracer.metadata("runs_per_benchmark", runs);
     tracer.metadata("soc", config.name);
-    tracer.metadata(
-        "soc_config_digest",
-        strformat("%016llx", (unsigned long long)config.digest()));
+    tracer.metadata("soc_config_digest", digest);
+    tracer.metadata("run_id", run_id);
+
+    auto &log = obs::EventLog::instance();
+    log.setCommonField("run_id", run_id);
+    log.setCommonField("seed", seed);
+    log.setCommonField("soc", config.name);
+    log.setCommonField("soc_config_digest", digest);
 }
 
 /** Render the per-stage wall-time table from the recorded spans. */
@@ -160,6 +193,8 @@ struct GlobalFlags
 {
     std::string tracePath;
     std::string metricsPath;
+    /** Telemetry bundle directory; empty disables the bundle. */
+    std::string telemetryDir;
     bool progress = false;
     bool logTimestamps = false;
     /** Simulation worker threads; 0 = all cores, 1 = serial. */
@@ -439,6 +474,120 @@ cmdCache(const std::string &action, const GlobalFlags &flags)
     return 1;
 }
 
+/**
+ * Summarize a telemetry bundle previously written by
+ * `--telemetry-out`: instrument counts from metrics.prom, sample
+ * counts per clock domain from timeseries.csv, and per-type event
+ * counts from events.jsonl.
+ */
+int
+cmdTelemetry(const std::string &dir)
+{
+    bool any = false;
+    bool partial = false;
+    TextTable t({"Artifact", "Contents"});
+    std::string line;
+
+    {
+        std::ifstream in(dir + "/metrics.prom");
+        if (in) {
+            any = true;
+            int counters = 0, gauges = 0, histograms = 0;
+            while (std::getline(in, line)) {
+                if (line.rfind("# PARTIAL:", 0) == 0)
+                    partial = true;
+                if (line.rfind("# TYPE ", 0) != 0)
+                    continue;
+                if (endsWith(line, " counter"))
+                    ++counters;
+                else if (endsWith(line, " gauge"))
+                    ++gauges;
+                else if (endsWith(line, " histogram"))
+                    ++histograms;
+            }
+            t.addRow({"metrics.prom",
+                      strformat("%d counters, %d gauges, %d histograms",
+                                counters, gauges, histograms)});
+        }
+    }
+
+    {
+        std::ifstream in(dir + "/timeseries.csv");
+        if (in) {
+            any = true;
+            std::size_t logical = 0, wall = 0;
+            std::size_t logicalSamples = 0, wallSamples = 0;
+            std::string lastLogical, lastWall;
+            while (std::getline(in, line)) {
+                if (line.rfind("# partial:", 0) == 0)
+                    partial = true;
+                if (line.rfind("logical,", 0) == 0) {
+                    ++logical;
+                    const std::string sample =
+                        line.substr(0, line.find(',', 8));
+                    if (sample != lastLogical)
+                        ++logicalSamples;
+                    lastLogical = sample;
+                } else if (line.rfind("wall,", 0) == 0) {
+                    ++wall;
+                    const std::string sample =
+                        line.substr(0, line.find(',', 5));
+                    if (sample != lastWall)
+                        ++wallSamples;
+                    lastWall = sample;
+                }
+            }
+            t.addRow({"timeseries.csv",
+                      strformat("%zu logical samples (%zu rows), "
+                                "%zu wall samples (%zu rows)",
+                                logicalSamples, logical, wallSamples,
+                                wall)});
+        }
+    }
+
+    {
+        std::ifstream in(dir + "/events.jsonl");
+        if (in) {
+            any = true;
+            std::size_t total = 0;
+            std::map<std::string, std::size_t> byType;
+            while (std::getline(in, line)) {
+                static const std::string key = "\"type\": \"";
+                const std::size_t at = line.find(key);
+                if (at == std::string::npos)
+                    continue;
+                const std::size_t begin = at + key.size();
+                const std::size_t end = line.find('"', begin);
+                if (end == std::string::npos)
+                    continue;
+                const std::string type =
+                    line.substr(begin, end - begin);
+                if (type == "log.partial")
+                    partial = true;
+                ++total;
+                ++byType[type];
+            }
+            t.addRow({"events.jsonl",
+                      strformat("%zu events, %zu types", total,
+                                byType.size())});
+            for (const auto &[type, n] : byType)
+                t.addRow({"  " + type, strformat("%zu", n)});
+        }
+    }
+
+    if (!any) {
+        std::fprintf(stderr, "no telemetry artifacts under '%s'; "
+                             "produce them with --telemetry-out\n",
+                     dir.c_str());
+        return 1;
+    }
+    std::printf("%s%s", t.render().c_str(),
+                partial ? "warning: bundle is marked PARTIAL (flushed "
+                          "on abnormal exit)\n"
+                        : "");
+    return 0;
+}
+
 int
 cmdCatalog(const std::string &category)
 {
@@ -481,6 +630,8 @@ parseFlags(int argc, char **argv, GlobalFlags &flags)
             flags.tracePath = valueOf("--trace");
         else if (arg == "--metrics")
             flags.metricsPath = valueOf("--metrics");
+        else if (arg == "--telemetry-out")
+            flags.telemetryDir = valueOf("--telemetry-out");
         else if (arg == "--progress")
             flags.progress = true;
         else if (arg == "--log-timestamps")
@@ -530,6 +681,8 @@ dispatch(const std::vector<std::string> &args,
         return cmdLoad(args[1], flags);
     if (cmd == "cache" && args.size() >= 2)
         return cmdCache(args[1], flags);
+    if (cmd == "telemetry" && args.size() >= 2)
+        return cmdTelemetry(args[1]);
     return usage();
 }
 
@@ -552,26 +705,38 @@ main(int argc, char **argv)
         // feeds the stage-timing summary even without --trace.
         obs::Tracer::instance().setEnabled(true);
 
+        // Telemetry is configured before dispatch so a crash mid-run
+        // still flushes a (partial) bundle from the terminate hook.
+        obs::TelemetryConfig telemetry;
+        telemetry.tracePath = flags.tracePath;
+        telemetry.metricsPath = flags.metricsPath;
+        telemetry.telemetryDir = flags.telemetryDir;
+        auto &sink = obs::TelemetrySink::instance();
+        sink.configure(telemetry);
+        if (telemetry.anyConfigured())
+            sink.installAbnormalExitFlush();
+
         const int rc = dispatch(args, flags);
-        if (rc != 0)
+        if (rc != 0) {
+            sink.flush(strformat("command exited with status %d", rc));
             return rc;
+        }
 
         if (args[0] == "profile" || args[0] == "pipeline" ||
             args[0] == "load") {
             printStageSummary();
         }
-        if (!flags.tracePath.empty())
-            obs::Tracer::instance().writeJson(flags.tracePath);
-        if (!flags.metricsPath.empty()) {
-            std::ofstream out(flags.metricsPath);
-            fatalIf(!out, "cannot open metrics output file '" +
-                    flags.metricsPath + "'");
-            out << obs::MetricsRegistry::instance()
-                .snapshot().toJson();
-        }
+        sink.flush();
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
+        try {
+            obs::TelemetrySink::instance().flush(
+                std::string("error: ") + e.what());
+        } catch (...) {
+            // Flushing is best effort on the failure path; the
+            // original error is what the user must see.
+        }
         return 1;
     }
 }
