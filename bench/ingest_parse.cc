@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Ingestion benchmarks: trace-bundle parse/normalize/resample
+ * throughput, the digest-then-cache-hit fast path, and off-grid
+ * resampling — the costs a user pays when feeding externally captured
+ * counter traces into the characterization pipeline.
+ *
+ * The bundle under test is synthetic and deterministic (seeded
+ * Xoshiro values, fixed shape: 8 benchmarks x 600 samples x the full
+ * canonical counter set), so timings are comparable across runs and
+ * machines without shipping trace data in the repository.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/random.hh"
+#include "ingest/bundle_reader.hh"
+#include "ingest/bundle_writer.hh"
+#include "ingest/resample.hh"
+#include "store/profile_store.hh"
+
+namespace mbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t bundleBenchmarks = 8;
+constexpr std::size_t bundleSamples = 600;
+constexpr double bundleTick = 0.1;
+
+BenchmarkProfile
+syntheticProfile(std::uint64_t seed, std::size_t samples)
+{
+    BenchmarkProfile p;
+    p.name = strformat("Synthetic %llu", (unsigned long long)seed);
+    p.suite = "Ingest Bench";
+    Xoshiro256StarStar rng(seed);
+    p.runtimeSeconds = bundleTick * double(samples);
+    p.instructions = 1e9 * rng.uniform();
+    p.ipc = 3.0 * rng.uniform();
+    p.cacheMpki = 40.0 * rng.uniform();
+    p.branchMpki = 8.0 * rng.uniform();
+    forEachMetricSeries(p.series, [&](const char *, TimeSeries &s) {
+        std::vector<double> values;
+        values.reserve(samples);
+        for (std::size_t i = 0; i < samples; ++i)
+            values.push_back(rng.uniform());
+        s = TimeSeries(bundleTick, std::move(values));
+    });
+    return p;
+}
+
+/** Writes the synthetic bundle once; removed at program exit. */
+class BundleFixture
+{
+  public:
+    static const BundleFixture &instance()
+    {
+        static BundleFixture fixture;
+        return fixture;
+    }
+
+    const fs::path &dir() const { return bundleDir; }
+
+    std::uintmax_t bytes() const
+    {
+        std::uintmax_t total = 0;
+        for (const auto &entry :
+             fs::recursive_directory_iterator(bundleDir)) {
+            if (entry.is_regular_file())
+                total += entry.file_size();
+        }
+        return total;
+    }
+
+  private:
+    BundleFixture()
+        : bundleDir(fs::temp_directory_path() / "mbs-ingest-bench")
+    {
+        fs::remove_all(bundleDir);
+        ingest::TraceBundleWriter writer(SocConfig::snapdragon888(),
+                                         bundleTick);
+        for (std::size_t i = 0; i < bundleBenchmarks; ++i)
+            writer.add(syntheticProfile(i + 1, bundleSamples), 60.0,
+                       true);
+        writer.write(bundleDir);
+    }
+
+    ~BundleFixture()
+    {
+        std::error_code ec;
+        fs::remove_all(bundleDir, ec);
+    }
+
+    fs::path bundleDir;
+};
+
+void
+printReproduction()
+{
+    const BundleFixture &fixture = BundleFixture::instance();
+    const ingest::IngestResult result =
+        ingest::TraceBundleReader().read(fixture.dir());
+    std::printf(
+        "Ingest round trip: %zu benchmarks, %llu rows, %llu alias "
+        "hits, %llu dropped samples, %.1f KiB of bundle bytes "
+        "(digest %016llx)\n\n",
+        result.profiles.size(),
+        (unsigned long long)result.stats.rows,
+        (unsigned long long)result.stats.aliasHits,
+        (unsigned long long)result.stats.droppedSamples,
+        double(fixture.bytes()) / 1024.0,
+        (unsigned long long)result.bundleDigest);
+}
+
+/** Full strict parse + normalize + resample of the bundle. */
+void
+BM_IngestParse(benchmark::State &state)
+{
+    const BundleFixture &fixture = BundleFixture::instance();
+    const ingest::TraceBundleReader reader;
+    for (auto _ : state) {
+        ingest::IngestResult result = reader.read(fixture.dir());
+        benchmark::DoNotOptimize(result.profiles.size());
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            int64_t(fixture.bytes()));
+}
+BENCHMARK(BM_IngestParse)->Unit(benchmark::kMillisecond);
+
+/** Digest + memoized load: the warm-cache ingest path. */
+void
+BM_IngestCachedLoad(benchmark::State &state)
+{
+    const BundleFixture &fixture = BundleFixture::instance();
+    const fs::path cacheDir =
+        fs::temp_directory_path() / "mbs-ingest-bench-cache";
+    fs::remove_all(cacheDir);
+    {
+        ProfileStore store(cacheDir);
+        ingest::IngestOptions options;
+        options.cache = &store;
+        ingest::TraceBundleReader(options).read(fixture.dir());
+
+        for (auto _ : state) {
+            ingest::IngestResult result =
+                ingest::TraceBundleReader(options).read(fixture.dir());
+            benchmark::DoNotOptimize(result.fromCache);
+        }
+    }
+    fs::remove_all(cacheDir);
+}
+BENCHMARK(BM_IngestCachedLoad)->Unit(benchmark::kMillisecond);
+
+/** Off-grid Level resampling of one long series. */
+void
+BM_ResampleLevelOffGrid(benchmark::State &state)
+{
+    Xoshiro256StarStar rng(7);
+    std::vector<double> times, values;
+    double t = 0.0;
+    for (std::size_t i = 0; i < 100000; ++i) {
+        t += 0.05 + 0.1 * rng.uniform(); // jittered cadence
+        times.push_back(t);
+        values.push_back(rng.uniform());
+    }
+    for (auto _ : state) {
+        TimeSeries out = ingest::resampleLevel(times, values, 0.1);
+        benchmark::DoNotOptimize(out.size());
+    }
+}
+BENCHMARK(BM_ResampleLevelOffGrid)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    return mbs::benchutil::runBenchmarks("ingest_parse", argc, argv);
+}

@@ -2,15 +2,18 @@
 
 #include <cstdio>
 
+#include "common/strings.hh"
+
 namespace mbs {
 
 namespace {
 
 std::string
-formatDouble(double value)
+formatDouble(double value, int precision)
 {
+    const ScopedCLocale pin;
     char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
     return buf;
 }
 
@@ -50,7 +53,7 @@ CsvWriter::writeRow(const std::vector<double> &cells)
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (i > 0)
             out << ',';
-        out << formatDouble(cells[i]);
+        out << formatDouble(cells[i], precision);
     }
     out << '\n';
 }
@@ -61,7 +64,7 @@ CsvWriter::writeRow(const std::string &label,
 {
     out << escape(label);
     for (double c : cells)
-        out << ',' << formatDouble(c);
+        out << ',' << formatDouble(c, precision);
     out << '\n';
 }
 

@@ -24,6 +24,13 @@ class CsvWriter
     /** @param out Stream to write to; must outlive the writer. */
     explicit CsvWriter(std::ostream &out) : out(out) {}
 
+    /**
+     * Significant digits for numeric cells. The default (10) keeps
+     * telemetry artifacts compact; 17 makes doubles round-trip
+     * bit-exactly (trace-bundle export relies on it).
+     */
+    void setPrecision(int digits) { precision = digits; }
+
     /** Write one row of string cells. */
     void writeRow(const std::vector<std::string> &cells);
 
@@ -39,6 +46,7 @@ class CsvWriter
 
   private:
     std::ostream &out;
+    int precision = 10;
 };
 
 } // namespace mbs

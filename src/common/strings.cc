@@ -4,7 +4,49 @@
 #include <cstdarg>
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <locale.h>
+#define MBS_HAVE_USELOCALE 1
+#endif
+
 namespace mbs {
+
+#if MBS_HAVE_USELOCALE
+
+namespace {
+
+locale_t
+classicCLocale()
+{
+    // Leaked intentionally: freelocale() during static destruction
+    // could race late formatting (e.g. the terminate-handler flush).
+    static const locale_t c = newlocale(LC_ALL_MASK, "C", locale_t(0));
+    return c;
+}
+
+} // namespace
+
+ScopedCLocale::ScopedCLocale()
+{
+    const locale_t c = classicCLocale();
+    if (c != locale_t(0)) {
+        previous = reinterpret_cast<void *>(uselocale(c));
+        active = true;
+    }
+}
+
+ScopedCLocale::~ScopedCLocale()
+{
+    if (active)
+        uselocale(reinterpret_cast<locale_t>(previous));
+}
+
+#else
+
+ScopedCLocale::ScopedCLocale() {}
+ScopedCLocale::~ScopedCLocale() {}
+
+#endif
 
 std::vector<std::string>
 split(const std::string &text, char sep)
@@ -98,6 +140,7 @@ slugify(const std::string &text)
 std::string
 strformat(const char *fmt, ...)
 {
+    const ScopedCLocale pin;
     va_list args;
     va_start(args, fmt);
     va_list args_copy;

@@ -36,9 +36,37 @@ bool endsWith(const std::string &text, const std::string &suffix);
  */
 std::string slugify(const std::string &text);
 
-/** printf-style formatting into a std::string. */
+/**
+ * printf-style formatting into a std::string.
+ *
+ * Numeric conversions always use the classic "C" locale regardless of
+ * the process-global locale, so machine-readable artifacts (CSV,
+ * JSON, Prometheus text, reports) never grow locale decimal commas.
+ */
 std::string strformat(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * RAII guard pinning the calling thread's C locale to classic "C"
+ * for its lifetime (POSIX uselocale; a no-op where unavailable).
+ * Wrap printf-family number formatting and strtod-family parsing
+ * with it so exported artifacts and ingested traces are
+ * locale-independent.
+ */
+class ScopedCLocale
+{
+  public:
+    ScopedCLocale();
+    ~ScopedCLocale();
+
+    ScopedCLocale(const ScopedCLocale &) = delete;
+    ScopedCLocale &operator=(const ScopedCLocale &) = delete;
+
+  private:
+    /** Opaque previous per-thread locale (locale_t on POSIX). */
+    void *previous = nullptr;
+    bool active = false;
+};
 
 } // namespace mbs
 

@@ -130,14 +130,33 @@ CharacterizationPipeline::stressesAllCpuClusters(
     return true;
 }
 
+std::vector<WorkloadInfo>
+CharacterizationPipeline::workloadInfoFrom(
+    const WorkloadRegistry &registry,
+    const std::vector<BenchmarkProfile> &profiles)
+{
+    std::vector<WorkloadInfo> out;
+    out.reserve(profiles.size());
+    for (const auto &p : profiles) {
+        const Benchmark &unit = registry.unit(p.name);
+        WorkloadInfo info;
+        info.plannedRuntimeSeconds = unit.totalDurationSeconds();
+        info.individuallyExecutable = unit.individuallyExecutable();
+        out.push_back(info);
+    }
+    return out;
+}
+
 std::vector<SubsetCandidate>
 CharacterizationPipeline::buildCandidates(
     const std::vector<BenchmarkProfile> &profiles,
     const std::vector<int> &labels,
-    const WorkloadRegistry &registry) const
+    const std::vector<WorkloadInfo> &workloads) const
 {
     fatalIf(labels.size() != profiles.size(),
             "labels/profiles size mismatch");
+    fatalIf(workloads.size() != profiles.size(),
+            "workloads/profiles size mismatch");
     std::vector<SubsetCandidate> out;
     for (std::size_t i = 0; i < profiles.size(); ++i) {
         const BenchmarkProfile &p = profiles[i];
@@ -146,18 +165,26 @@ CharacterizationPipeline::buildCandidates(
         c.suite = p.suite;
         // Subset accounting uses the *planned* runtime (Table VI is
         // built from nominal durations, not jittered measurements).
-        c.runtimeSeconds =
-            registry.unit(p.name).totalDurationSeconds();
+        c.runtimeSeconds = workloads[i].plannedRuntimeSeconds;
         c.cluster = labels[i];
         c.avgAieLoad = p.avgAieLoad();
         c.avgGpuLoad = p.avgGpuLoad();
         c.stressesAllCpuClusters = stressesAllCpuClusters(
             p, options.clusterStressThreshold);
-        c.requiresWholeSuite =
-            !registry.unit(p.name).individuallyExecutable();
+        c.requiresWholeSuite = !workloads[i].individuallyExecutable;
         out.push_back(std::move(c));
     }
     return out;
+}
+
+std::vector<SubsetCandidate>
+CharacterizationPipeline::buildCandidates(
+    const std::vector<BenchmarkProfile> &profiles,
+    const std::vector<int> &labels,
+    const WorkloadRegistry &registry) const
+{
+    return buildCandidates(profiles, labels,
+                           workloadInfoFrom(registry, profiles));
 }
 
 CharacterizationReport
@@ -167,11 +194,24 @@ CharacterizationPipeline::run(const WorkloadRegistry &registry) const
     obs::EventLog::instance().emit(
         "pipeline.run.start",
         {{"suites", strformat("%zu", registry.suites().size())}});
-    CharacterizationReport report;
+    std::vector<BenchmarkProfile> profiles;
     {
         const StageScope stage("profile");
-        report.profiles = session.profileAll(registry);
+        profiles = session.profileAll(registry);
     }
+    const auto workloads = workloadInfoFrom(registry, profiles);
+    return analyze(profiles, workloads);
+}
+
+CharacterizationReport
+CharacterizationPipeline::analyze(
+    const std::vector<BenchmarkProfile> &profiles,
+    const std::vector<WorkloadInfo> &workloads) const
+{
+    fatalIf(workloads.size() != profiles.size(),
+            "workloads/profiles size mismatch");
+    CharacterizationReport report;
+    report.profiles = profiles;
     {
         const StageScope stage("fig1-metrics");
         report.fig1Metrics = buildFig1Metrics(report.profiles);
@@ -251,7 +291,7 @@ CharacterizationPipeline::run(const WorkloadRegistry &registry) const
         // three agree when algorithmsAgree holds).
         const StageScope stage("subsetting");
         const auto candidates = buildCandidates(
-            report.profiles, report.hierarchicalLabels, registry);
+            report.profiles, report.hierarchicalLabels, workloads);
         const SubsetBuilder builder(candidates);
         report.fullRuntimeSeconds = builder.fullRuntimeSeconds();
         report.naiveSubset = builder.naive();

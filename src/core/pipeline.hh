@@ -89,6 +89,25 @@ struct PipelineOptions
 };
 
 /**
+ * What the subset-construction stage must know about a workload
+ * beyond its measured profile. Derived from the registry for
+ * simulated runs and from the trace-bundle manifest for ingested
+ * counter traces — which is what lets analyze() run on externally
+ * captured data without a registry entry.
+ */
+struct WorkloadInfo
+{
+    /**
+     * Planned (nominal) runtime used for Table-VI accounting; the
+     * paper builds subset runtimes from nominal durations, not
+     * jittered measurements.
+     */
+    double plannedRuntimeSeconds = 0.0;
+    /** False when the unit only runs as part of its whole suite. */
+    bool individuallyExecutable = true;
+};
+
+/**
  * Orchestrates the full analysis.
  */
 class CharacterizationPipeline
@@ -99,6 +118,27 @@ class CharacterizationPipeline
 
     /** Run everything against @p registry. */
     CharacterizationReport run(const WorkloadRegistry &registry) const;
+
+    /**
+     * Every post-profiling stage: Fig.-1 metrics, correlations,
+     * cluster features, validation sweep, the three clusterings,
+     * subsets and Fig.-7 curves. Pure function of its inputs, so
+     * profiles from the simulator and bit-identical profiles
+     * re-ingested from an exported trace bundle produce a
+     * byte-identical report.
+     *
+     * @param profiles One averaged profile per benchmark unit.
+     * @param workloads Per-profile subset-accounting info, same
+     *        order and length as @p profiles.
+     */
+    CharacterizationReport
+    analyze(const std::vector<BenchmarkProfile> &profiles,
+            const std::vector<WorkloadInfo> &workloads) const;
+
+    /** Per-profile WorkloadInfo looked up from @p registry. */
+    static std::vector<WorkloadInfo>
+    workloadInfoFrom(const WorkloadRegistry &registry,
+                     const std::vector<BenchmarkProfile> &profiles);
 
     /** Build the Fig.-1 metric matrix from profiles. */
     static FeatureMatrix
@@ -121,6 +161,12 @@ class CharacterizationPipeline
                                        double threshold = 0.30);
 
     /** Build the subset-candidate list. */
+    std::vector<SubsetCandidate>
+    buildCandidates(const std::vector<BenchmarkProfile> &profiles,
+                    const std::vector<int> &labels,
+                    const std::vector<WorkloadInfo> &workloads) const;
+
+    /** Convenience overload deriving WorkloadInfo from @p registry. */
     std::vector<SubsetCandidate>
     buildCandidates(const std::vector<BenchmarkProfile> &profiles,
                     const std::vector<int> &labels,

@@ -1,0 +1,523 @@
+#include "ingest/bundle_reader.hh"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "common/digest.hh"
+#include "common/json_parse.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "ingest/resample.hh"
+#include "ingest/schema.hh"
+#include "obs/events.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace mbs {
+namespace ingest {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/**
+ * Seed marker distinguishing ingested-bundle cache entries from
+ * simulated ones; the real identity lives in benchDigest (the bundle
+ * digest), which a simulation key can never collide with by
+ * construction of this constant.
+ */
+constexpr std::uint64_t ingestCacheSeed = 0x494E47455354ULL; // "INGEST"
+
+std::string
+readFileBytes(const fs::path &path, const char *what)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, strformat("cannot open %s %s", what,
+                           path.string().c_str()));
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    fatalIf(!in.good() && !in.eof(),
+            "error reading " + path.string());
+    return std::move(buf).str();
+}
+
+/** Locale-independent double parse; accepts an optional leading '+'. */
+bool
+parseDouble(std::string_view cell, double *out)
+{
+    std::size_t begin = 0;
+    std::size_t end = cell.size();
+    while (begin < end && (cell[begin] == ' ' || cell[begin] == '\t'))
+        ++begin;
+    while (end > begin &&
+           (cell[end - 1] == ' ' || cell[end - 1] == '\t'))
+        --end;
+    if (begin < end && cell[begin] == '+')
+        ++begin;
+    if (begin == end)
+        return false;
+    const auto [ptr, ec] =
+        std::from_chars(cell.data() + begin, cell.data() + end, *out);
+    return ec == std::errc() && ptr == cell.data() + end;
+}
+
+/** Split one CSV line, honouring RFC-4180 quoting. */
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cell.push_back('"');
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cell.push_back(c);
+            }
+        } else if (c == '"' && cell.empty()) {
+            quoted = true;
+        } else if (c == ',') {
+            cells.push_back(std::move(cell));
+            cell.clear();
+        } else {
+            cell.push_back(c);
+        }
+    }
+    cells.push_back(std::move(cell));
+    return cells;
+}
+
+std::uint64_t
+parseHexDigest(const JsonValue &v, const std::string &where)
+{
+    fatalIf(!v.isString(),
+            where + ": soc.config_digest must be a hex string");
+    std::string_view s = v.str;
+    if (s.rfind("0x", 0) == 0 || s.rfind("0X", 0) == 0)
+        s.remove_prefix(2);
+    std::uint64_t out = 0;
+    const auto [ptr, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), out, 16);
+    fatalIf(ec != std::errc() || ptr != s.data() + s.size() ||
+                s.empty(),
+            where + ": malformed soc.config_digest '" + v.str + "'");
+    return out;
+}
+
+double
+numberField(const JsonValue &obj, const std::string &key,
+            const std::string &where, double fallback)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        return fallback;
+    fatalIf(!v->isNumber(),
+            where + ": field '" + key + "' must be a number");
+    return v->number;
+}
+
+std::string
+stringField(const JsonValue &obj, const std::string &key,
+            const std::string &where)
+{
+    const JsonValue *v = obj.find(key);
+    fatalIf(v == nullptr || !v->isString(),
+            where + ": missing string field '" + key + "'");
+    return v->str;
+}
+
+TraceManifest
+parseManifest(const std::string &bytes, const std::string &where)
+{
+    JsonValue doc;
+    try {
+        doc = parseJson(bytes);
+    } catch (const FatalError &e) {
+        fatal(where + ": " + e.what());
+    }
+    fatalIf(!doc.isObject(), where + ": manifest must be an object");
+
+    TraceManifest m;
+    m.schema = stringField(doc, "schema", where);
+    fatalIf(m.schema != traceBundleSchemaName,
+            strformat("%s: schema '%s' is not '%s'", where.c_str(),
+                      m.schema.c_str(), traceBundleSchemaName));
+    const JsonValue *version = doc.find("schema_version");
+    fatalIf(version == nullptr || !version->isNumber(),
+            where + ": missing numeric field 'schema_version'");
+    m.schemaVersion = int(version->number);
+    fatalIf(m.schemaVersion != traceBundleSchemaVersion,
+            strformat("%s: unsupported schema_version %d "
+                      "(supported: %d)",
+                      where.c_str(), m.schemaVersion,
+                      traceBundleSchemaVersion));
+
+    if (const JsonValue *gen = doc.find("generator");
+        gen != nullptr && gen->isString()) {
+        m.generator = gen->str;
+    }
+    if (const JsonValue *soc = doc.find("soc")) {
+        fatalIf(!soc->isObject(), where + ": 'soc' must be an object");
+        if (const JsonValue *name = soc->find("name");
+            name != nullptr && name->isString()) {
+            m.socName = name->str;
+        }
+        if (const JsonValue *digest = soc->find("config_digest"))
+            m.socConfigDigest = parseHexDigest(*digest, where);
+        m.gpuMaxFreqHz =
+            numberField(*soc, "gpu_max_freq_hz", where, 0.0);
+        m.aieMaxFreqHz =
+            numberField(*soc, "aie_max_freq_hz", where, 0.0);
+    }
+    m.samplePeriodSeconds =
+        numberField(doc, "sample_period_seconds", where, 0.0);
+    fatalIf(m.samplePeriodSeconds <= 0.0,
+            where + ": sample_period_seconds must be > 0");
+
+    const JsonValue *benchmarks = doc.find("benchmarks");
+    fatalIf(benchmarks == nullptr || !benchmarks->isArray(),
+            where + ": missing array field 'benchmarks'");
+    fatalIf(benchmarks->array.empty(),
+            where + ": 'benchmarks' is empty");
+    for (const JsonValue &entry : benchmarks->array) {
+        fatalIf(!entry.isObject(),
+                where + ": benchmark entries must be objects");
+        TraceBenchmark b;
+        b.name = stringField(entry, "name", where);
+        b.suite = stringField(entry, "suite", where);
+        b.file = stringField(entry, "file", where);
+        b.samplePeriodSeconds = numberField(
+            entry, "sample_period_seconds", where,
+            m.samplePeriodSeconds);
+        b.plannedRuntimeSeconds = numberField(
+            entry, "planned_runtime_seconds", where, 0.0);
+        if (const JsonValue *ie = entry.find(
+                "individually_executable")) {
+            fatalIf(!ie->isBool(),
+                    where +
+                        ": 'individually_executable' must be a bool");
+            b.individuallyExecutable = ie->boolean;
+        }
+        if (const JsonValue *summary = entry.find("summary")) {
+            fatalIf(!summary->isObject(),
+                    where + ": 'summary' must be an object");
+            b.summary.present = true;
+            b.summary.runtimeSeconds = numberField(
+                *summary, "runtime_seconds", where, 0.0);
+            b.summary.instructions =
+                numberField(*summary, "instructions", where, 0.0);
+            b.summary.ipc = numberField(*summary, "ipc", where, 0.0);
+            b.summary.cacheMpki =
+                numberField(*summary, "cache_mpki", where, 0.0);
+            b.summary.branchMpki =
+                numberField(*summary, "branch_mpki", where, 0.0);
+        }
+        m.benchmarks.push_back(std::move(b));
+    }
+    return m;
+}
+
+/** One parsed trace file: a time base plus normalized columns. */
+struct ParsedTrace
+{
+    std::vector<double> times;
+    /** canonical name -> (semantics, samples), insertion-ordered. */
+    std::vector<std::pair<ResolvedColumn, std::vector<double>>>
+        columns;
+
+    const std::vector<double> *
+    column(const std::string &canonical) const
+    {
+        for (const auto &[spec, samples] : columns) {
+            if (spec.canonical == canonical)
+                return &samples;
+        }
+        return nullptr;
+    }
+
+};
+
+ParsedTrace
+parseTrace(const std::string &bytes, const std::string &where,
+           const ConversionContext &ctx, bool lax, IngestStats *stats)
+{
+    std::vector<std::string> lines;
+    {
+        std::size_t begin = 0;
+        while (begin <= bytes.size()) {
+            std::size_t end = bytes.find('\n', begin);
+            if (end == std::string::npos)
+                end = bytes.size();
+            std::string line = bytes.substr(begin, end - begin);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            lines.push_back(std::move(line));
+            if (end == bytes.size())
+                break;
+            begin = end + 1;
+        }
+        while (!lines.empty() && lines.back().empty())
+            lines.pop_back();
+    }
+    fatalIf(lines.empty(),
+            where + ":1: empty trace file (no header row)");
+
+    // Header: time column first, then counters.
+    const std::vector<std::string> header = splitCsvLine(lines[0]);
+    double timeScale = 1.0;
+    fatalIf(!resolveTimeColumn(header[0], &timeScale),
+            strformat("%s:1: first column must be a time column "
+                      "(e.g. %s), got '%s'",
+                      where.c_str(), canonicalTimeColumn,
+                      header[0].c_str()));
+
+    ParsedTrace trace;
+    // kept[i] maps header cell i+1 to a trace column or, when
+    // negative, marks it dropped under --lax.
+    std::vector<int> kept;
+    for (std::size_t i = 1; i < header.size(); ++i) {
+        const auto resolved = resolveCounterColumn(header[i], ctx);
+        if (!resolved) {
+            fatalIf(!lax, strformat(
+                "%s:1: unknown counter column '%s'", where.c_str(),
+                header[i].c_str()));
+            kept.push_back(-1);
+            continue;
+        }
+        fatalIf(trace.column(resolved->canonical) != nullptr,
+                strformat("%s:1: duplicate column for counter '%s'",
+                          where.c_str(),
+                          resolved->canonical.c_str()));
+        if (resolved->viaAlias)
+            ++stats->aliasHits;
+        kept.push_back(int(trace.columns.size()));
+        trace.columns.emplace_back(*resolved, std::vector<double>());
+    }
+    fatalIf(trace.columns.empty(),
+            where + ":1: no counter columns");
+
+    std::vector<double> row(trace.columns.size());
+    for (std::size_t lineNo = 2; lineNo <= lines.size(); ++lineNo) {
+        const std::string &line = lines[lineNo - 1];
+        if (line.empty())
+            continue;
+        const std::vector<std::string> cells = splitCsvLine(line);
+        const auto dropRow = [&](const std::string &why) {
+            fatalIf(!lax, strformat("%s:%zu: %s", where.c_str(),
+                                    lineNo, why.c_str()));
+            ++stats->droppedSamples;
+        };
+        if (cells.size() != header.size()) {
+            dropRow(strformat("expected %zu fields, got %zu",
+                              header.size(), cells.size()));
+            continue;
+        }
+        double t = 0.0;
+        if (!parseDouble(cells[0], &t) || !std::isfinite(t)) {
+            // A broken time base cannot be skipped around safely.
+            fatal(strformat("%s:%zu: malformed timestamp '%s'",
+                            where.c_str(), lineNo,
+                            cells[0].c_str()));
+        }
+        t *= timeScale;
+        if (!trace.times.empty() && t <= trace.times.back()) {
+            // Always fatal: reordering time silently is never safe.
+            fatal(strformat(
+                "%s:%zu: non-monotonic timestamp %s (previous %s)",
+                where.c_str(), lineNo,
+                strformat("%g", t).c_str(),
+                strformat("%g", trace.times.back()).c_str()));
+        }
+        bool bad = false;
+        for (std::size_t i = 1; i < cells.size() && !bad; ++i) {
+            const int slot = kept[i - 1];
+            if (slot < 0)
+                continue;
+            double v = 0.0;
+            if (!parseDouble(cells[i], &v)) {
+                dropRow(strformat("malformed number '%s'",
+                                  cells[i].c_str()));
+                bad = true;
+            } else if (!std::isfinite(v)) {
+                dropRow(strformat(
+                    "non-finite sample for '%s'",
+                    trace.columns[std::size_t(slot)]
+                        .first.canonical.c_str()));
+                bad = true;
+            } else {
+                row[std::size_t(slot)] =
+                    v * trace.columns[std::size_t(slot)].first.scale;
+            }
+        }
+        if (bad)
+            continue;
+        trace.times.push_back(t);
+        for (std::size_t i = 0; i < trace.columns.size(); ++i)
+            trace.columns[i].second.push_back(row[i]);
+        ++stats->rows;
+    }
+    fatalIf(trace.times.empty(), where + ": no samples");
+    return trace;
+}
+
+BenchmarkProfile
+buildProfile(const TraceBenchmark &meta, const ParsedTrace &trace,
+             double tick, bool lax, const std::string &where,
+             IngestStats *stats)
+{
+    BenchmarkProfile p;
+    p.name = meta.name;
+    p.suite = meta.suite;
+
+    const std::size_t grid = resampleGridSize(trace.times, tick);
+    forEachMetricSeries(p.series, [&](const char *canonical,
+                                      TimeSeries &series) {
+        const std::vector<double> *samples = trace.column(canonical);
+        if (samples == nullptr) {
+            fatalIf(!lax, strformat(
+                "%s:1: missing counter column '%s'", where.c_str(),
+                canonical));
+            // Gap policy: absent counters read as zero.
+            stats->droppedSamples += grid;
+            series = TimeSeries(tick, std::vector<double>(grid, 0.0));
+            return;
+        }
+        series = resampleLevel(trace.times, *samples, tick);
+    });
+
+    if (meta.summary.present) {
+        p.runtimeSeconds = meta.summary.runtimeSeconds;
+        p.instructions = meta.summary.instructions;
+        p.ipc = meta.summary.ipc;
+        p.cacheMpki = meta.summary.cacheMpki;
+        p.branchMpki = meta.summary.branchMpki;
+        return p;
+    }
+
+    // No summary block: derive the scalar aggregates from the Rate
+    // columns when present.
+    p.runtimeSeconds = p.series.cpuLoad.duration();
+    const std::vector<double> *instructions =
+        trace.column(RateColumns::instructions);
+    const std::vector<double> *cycles =
+        trace.column(RateColumns::cycles);
+    const std::vector<double> *misses =
+        trace.column(RateColumns::cacheMisses);
+    const std::vector<double> *mispredicts =
+        trace.column(RateColumns::branchMispredicts);
+    const double instrTotal =
+        instructions != nullptr ? rateTotal(*instructions) : 0.0;
+    p.instructions = instrTotal;
+    if (cycles != nullptr && rateTotal(*cycles) > 0.0)
+        p.ipc = instrTotal / rateTotal(*cycles);
+    if (misses != nullptr && instrTotal > 0.0)
+        p.cacheMpki = rateTotal(*misses) / instrTotal * 1000.0;
+    if (mispredicts != nullptr && instrTotal > 0.0)
+        p.branchMpki = rateTotal(*mispredicts) / instrTotal * 1000.0;
+    return p;
+}
+
+} // namespace
+
+TraceBundleReader::TraceBundleReader(const IngestOptions &options)
+    : opts(options)
+{
+    fatalIf(opts.tickSeconds < 0.0, "--tick must be >= 0");
+}
+
+IngestResult
+TraceBundleReader::read(const fs::path &bundleDir) const
+{
+    const obs::ScopedSpan span("ingest", "stage");
+
+    IngestResult result;
+    const fs::path manifestPath = bundleDir / "manifest.json";
+    const std::string manifestBytes =
+        readFileBytes(manifestPath, "trace-bundle manifest");
+    result.manifest =
+        parseManifest(manifestBytes, manifestPath.string());
+    const TraceManifest &manifest = result.manifest;
+
+    result.tickSeconds = opts.tickSeconds > 0.0
+                             ? opts.tickSeconds
+                             : manifest.samplePeriodSeconds;
+
+    // Bundle identity: every byte that can influence the profiles.
+    Fnv1a digest;
+    digest.mix(manifestBytes);
+    std::vector<std::string> traceBytes;
+    traceBytes.reserve(manifest.benchmarks.size());
+    for (const TraceBenchmark &b : manifest.benchmarks) {
+        traceBytes.push_back(
+            readFileBytes(bundleDir / b.file, "trace file"));
+        digest.mix(traceBytes.back());
+    }
+    result.bundleDigest = digest.value();
+
+    auto &metrics = obs::MetricsRegistry::instance();
+    metrics.counter("ingest.bundles").add();
+
+    const ProfileKey key{manifest.socConfigDigest,
+                         result.bundleDigest, ingestCacheSeed, 1,
+                         result.tickSeconds};
+    if (opts.cache != nullptr) {
+        if (auto cached = opts.cache->load(key);
+            cached.has_value() &&
+            cached->size() == manifest.benchmarks.size()) {
+            result.profiles = std::move(*cached);
+            result.fromCache = true;
+            obs::EventLog::instance().emit(
+                "ingest.bundle",
+                {{"bundle", bundleDir.string()},
+                 {"benchmarks",
+                  strformat("%zu", result.profiles.size())},
+                 {"cached", "true"}});
+            return result;
+        }
+    }
+
+    const ConversionContext ctx{manifest.gpuMaxFreqHz,
+                                manifest.aieMaxFreqHz};
+    for (std::size_t i = 0; i < manifest.benchmarks.size(); ++i) {
+        const TraceBenchmark &meta = manifest.benchmarks[i];
+        const std::string where = (bundleDir / meta.file).string();
+        const ParsedTrace trace = parseTrace(
+            traceBytes[i], where, ctx, opts.lax, &result.stats);
+        const double tick = opts.tickSeconds > 0.0
+                                ? opts.tickSeconds
+                                : (meta.samplePeriodSeconds > 0.0
+                                       ? meta.samplePeriodSeconds
+                                       : manifest.samplePeriodSeconds);
+        result.profiles.push_back(buildProfile(
+            meta, trace, tick, opts.lax, where, &result.stats));
+    }
+
+    metrics.counter("ingest.rows").add(result.stats.rows);
+    metrics.counter("ingest.dropped_samples")
+        .add(result.stats.droppedSamples);
+    metrics.counter("ingest.alias_hits").add(result.stats.aliasHits);
+    obs::EventLog::instance().emit(
+        "ingest.bundle",
+        {{"bundle", bundleDir.string()},
+         {"benchmarks", strformat("%zu", result.profiles.size())},
+         {"rows", strformat("%llu",
+                            (unsigned long long)result.stats.rows)},
+         {"cached", "false"}});
+
+    if (opts.cache != nullptr)
+        opts.cache->save(key, result.profiles);
+    return result;
+}
+
+} // namespace ingest
+} // namespace mbs

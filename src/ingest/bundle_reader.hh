@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Trace-bundle ingestion: parse, normalize and resample external
+ * counter traces into the same BenchmarkProfile structures the
+ * profiler produces, so the whole characterization pipeline runs
+ * unchanged on captured data.
+ *
+ * The reader is strict by default — malformed input dies with a
+ * `<file>:<line>: message` diagnostic — and lenient with --lax, where
+ * unknown columns and broken rows are dropped (and counted) instead.
+ * Structural faults (non-monotonic timestamps, schema mismatches,
+ * truncated files) are fatal either way: silently reordering time is
+ * never safe.
+ */
+
+#ifndef MBS_INGEST_BUNDLE_READER_HH
+#define MBS_INGEST_BUNDLE_READER_HH
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "ingest/trace_bundle.hh"
+#include "profiler/profile_cache.hh"
+#include "profiler/session.hh"
+
+namespace mbs {
+namespace ingest {
+
+/** Ingestion knobs. */
+struct IngestOptions
+{
+    /**
+     * Resampling tick in seconds; 0 adopts the bundle's nominal
+     * sample period (which keeps on-grid traces bit-exact).
+     */
+    double tickSeconds = 0.0;
+    /**
+     * Drop-and-count instead of die for unknown columns and
+     * malformed/non-finite rows.
+     */
+    bool lax = false;
+    /**
+     * Optional memoization cache consulted per bundle digest
+     * (non-owning). Ingesting the same bundle bytes twice then skips
+     * the parse entirely.
+     */
+    ProfileCache *cache = nullptr;
+};
+
+/** Parse/normalization tallies (also exported as obs counters). */
+struct IngestStats
+{
+    /** Data rows accepted across all trace files. */
+    std::uint64_t rows = 0;
+    /** Rows/columns discarded under --lax. */
+    std::uint64_t droppedSamples = 0;
+    /** Columns matched through the alias table. */
+    std::uint64_t aliasHits = 0;
+};
+
+/** Everything one bundle ingestion produces. */
+struct IngestResult
+{
+    TraceManifest manifest;
+    /** One profile per manifest benchmark, manifest order. */
+    std::vector<BenchmarkProfile> profiles;
+    IngestStats stats;
+    /** FNV-1a over manifest and trace bytes: the cache identity. */
+    std::uint64_t bundleDigest = 0;
+    /** The resampling tick actually used. */
+    double tickSeconds = 0.0;
+    /** True when profiles came from the cache, not a parse. */
+    bool fromCache = false;
+};
+
+/** Reads trace bundles (see trace_bundle.hh for the layout). */
+class TraceBundleReader
+{
+  public:
+    explicit TraceBundleReader(const IngestOptions &options = {});
+
+    /**
+     * Ingest the bundle at @p bundleDir.
+     *
+     * @throws FatalError with a positioned message on malformed
+     *         input (strict mode) or structural faults (always).
+     */
+    IngestResult read(const std::filesystem::path &bundleDir) const;
+
+  private:
+    IngestOptions opts;
+};
+
+} // namespace ingest
+} // namespace mbs
+
+#endif // MBS_INGEST_BUNDLE_READER_HH

@@ -1,0 +1,178 @@
+#include "ingest/bundle_writer.hh"
+
+#include <cctype>
+#include <fstream>
+#include <locale>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "ingest/schema.hh"
+#include "obs/json.hh"
+
+namespace mbs {
+namespace ingest {
+
+namespace fs = std::filesystem;
+
+TraceBundleWriter::TraceBundleWriter(const SocConfig &config,
+                                     double samplePeriodSeconds)
+    : socName(config.name), socDigest(config.digest()),
+      gpuMaxFreqHz(config.gpu.maxFreqHz),
+      aieMaxFreqHz(config.aie.maxFreqHz),
+      samplePeriod(samplePeriodSeconds)
+{
+    fatalIf(samplePeriod <= 0.0,
+            "bundle sample period must be > 0");
+}
+
+std::string
+TraceBundleWriter::slugFor(const std::string &name)
+{
+    std::string slug;
+    for (char ch : name) {
+        const auto c = static_cast<unsigned char>(ch);
+        if (std::isalnum(c))
+            slug.push_back(char(std::tolower(c)));
+        else if (!slug.empty() && slug.back() != '-')
+            slug.push_back('-');
+    }
+    while (!slug.empty() && slug.back() == '-')
+        slug.pop_back();
+    return slug.empty() ? "trace" : slug;
+}
+
+void
+TraceBundleWriter::add(const BenchmarkProfile &profile,
+                       double plannedRuntimeSeconds,
+                       bool individuallyExecutable)
+{
+    Entry entry;
+    entry.profile = profile;
+    entry.plannedRuntimeSeconds = plannedRuntimeSeconds;
+    entry.individuallyExecutable = individuallyExecutable;
+    std::string slug = slugFor(profile.name);
+    // Disambiguate repeated names deterministically.
+    int suffix = 1;
+    for (const Entry &prior : entries) {
+        if (prior.file == "traces/" + slug + ".csv")
+            slug = slugFor(profile.name) + strformat("-%d", ++suffix);
+    }
+    entry.file = "traces/" + slug + ".csv";
+    entries.push_back(std::move(entry));
+}
+
+std::string
+TraceBundleWriter::manifestJson() const
+{
+    using obs::jsonEscape;
+    using obs::jsonNumber;
+    std::string out;
+    out += "{\n";
+    out += strformat("  \"schema\": \"%s\",\n",
+                     traceBundleSchemaName);
+    out += strformat("  \"schema_version\": %d,\n",
+                     traceBundleSchemaVersion);
+    out += "  \"generator\": \"mobilebench\",\n";
+    out += "  \"soc\": {\n";
+    out += "    \"name\": \"" + jsonEscape(socName) + "\",\n";
+    out += strformat("    \"config_digest\": \"0x%016llx\",\n",
+                     static_cast<unsigned long long>(socDigest));
+    out += "    \"gpu_max_freq_hz\": " + jsonNumber(gpuMaxFreqHz) +
+           ",\n";
+    out += "    \"aie_max_freq_hz\": " + jsonNumber(aieMaxFreqHz) +
+           "\n";
+    out += "  },\n";
+    out += "  \"sample_period_seconds\": " + jsonNumber(samplePeriod) +
+           ",\n";
+    out += "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const Entry &e = entries[i];
+        const BenchmarkProfile &p = e.profile;
+        out += "    {\n";
+        out += "      \"name\": \"" + jsonEscape(p.name) + "\",\n";
+        out += "      \"suite\": \"" + jsonEscape(p.suite) + "\",\n";
+        out += "      \"file\": \"" + jsonEscape(e.file) + "\",\n";
+        out += "      \"sample_period_seconds\": " +
+               jsonNumber(p.series.cpuLoad.interval()) + ",\n";
+        out += "      \"planned_runtime_seconds\": " +
+               jsonNumber(e.plannedRuntimeSeconds) + ",\n";
+        out += strformat("      \"individually_executable\": %s,\n",
+                         e.individuallyExecutable ? "true" : "false");
+        out += "      \"summary\": {\n";
+        out += "        \"runtime_seconds\": " +
+               jsonNumber(p.runtimeSeconds) + ",\n";
+        out += "        \"instructions\": " +
+               jsonNumber(p.instructions) + ",\n";
+        out += "        \"ipc\": " + jsonNumber(p.ipc) + ",\n";
+        out += "        \"cache_mpki\": " + jsonNumber(p.cacheMpki) +
+               ",\n";
+        out += "        \"branch_mpki\": " + jsonNumber(p.branchMpki) +
+               "\n";
+        out += "      }\n";
+        out += i + 1 < entries.size() ? "    },\n" : "    }\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+void
+TraceBundleWriter::writeTraceCsv(const fs::path &path,
+                                 const BenchmarkProfile &profile)
+{
+    const double interval = profile.series.cpuLoad.interval();
+    std::size_t samples = profile.series.cpuLoad.size();
+    forEachMetricSeries(profile.series,
+                        [&](const char *name, const TimeSeries &s) {
+        panicIf(s.interval() != interval || s.size() != samples,
+                std::string("series '") + name +
+                    "' disagrees on shape; cannot export");
+    });
+
+    std::ofstream out(path);
+    fatalIf(!out, "cannot write trace file " + path.string());
+    out.imbue(std::locale::classic());
+    CsvWriter csv(out);
+    csv.setPrecision(17);
+
+    std::vector<std::string> header{canonicalTimeColumn};
+    forEachMetricSeries(profile.series,
+                        [&](const char *name, const TimeSeries &) {
+        header.push_back(name);
+    });
+    csv.writeRow(header);
+
+    std::vector<double> row(header.size());
+    for (std::size_t i = 0; i < samples; ++i) {
+        row.clear();
+        row.push_back(double(i) * interval);
+        forEachMetricSeries(profile.series,
+                            [&](const char *, const TimeSeries &s) {
+            row.push_back(s[i]);
+        });
+        csv.writeRow(row);
+    }
+    fatalIf(!out, "short write to trace file " + path.string());
+}
+
+void
+TraceBundleWriter::write(const fs::path &directory) const
+{
+    std::error_code ec;
+    fs::create_directories(directory / "traces", ec);
+    fatalIf(bool(ec), "cannot create trace-bundle directory " +
+                          (directory / "traces").string());
+
+    for (const Entry &e : entries)
+        writeTraceCsv(directory / e.file, e.profile);
+
+    const fs::path manifestPath = directory / "manifest.json";
+    std::ofstream out(manifestPath);
+    fatalIf(!out, "cannot write " + manifestPath.string());
+    out << manifestJson();
+    fatalIf(!out, "short write to " + manifestPath.string());
+}
+
+} // namespace ingest
+} // namespace mbs

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Trace-bundle export: serialize profiles into the schema the ingest
+ * reader consumes.
+ *
+ * The writer is what makes the round-trip guarantee testable: a
+ * bundle written from simulator profiles and read back yields
+ * bit-identical profiles (series CSVs carry 17 significant digits so
+ * every double survives the decimal round trip; scalar aggregates
+ * ride in the manifest summary block).
+ */
+
+#ifndef MBS_INGEST_BUNDLE_WRITER_HH
+#define MBS_INGEST_BUNDLE_WRITER_HH
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "profiler/session.hh"
+#include "soc/config.hh"
+
+namespace mbs {
+namespace ingest {
+
+/** Writes profiles as a trace bundle (manifest.json + traces/). */
+class TraceBundleWriter
+{
+  public:
+    /**
+     * @param config SoC the profiles were captured on; its digest and
+     *        maximum clocks go into the manifest.
+     * @param samplePeriodSeconds Bundle-wide nominal sample period.
+     */
+    TraceBundleWriter(const SocConfig &config,
+                      double samplePeriodSeconds);
+
+    /**
+     * Queue one profile for export.
+     *
+     * @param plannedRuntimeSeconds Nominal runtime for Table-VI
+     *        subset accounting.
+     * @param individuallyExecutable False when the unit only runs as
+     *        part of its whole suite.
+     */
+    void add(const BenchmarkProfile &profile,
+             double plannedRuntimeSeconds,
+             bool individuallyExecutable = true);
+
+    /**
+     * Write manifest.json and one traces/<slug>.csv per queued
+     * profile under @p directory (created if needed).
+     */
+    void write(const std::filesystem::path &directory) const;
+
+    /** Filesystem-safe trace-file slug derived from a name. */
+    static std::string slugFor(const std::string &name);
+
+  private:
+    struct Entry
+    {
+        BenchmarkProfile profile;
+        double plannedRuntimeSeconds = 0.0;
+        bool individuallyExecutable = true;
+        std::string file;
+    };
+
+    std::string manifestJson() const;
+    static void writeTraceCsv(const std::filesystem::path &path,
+                              const BenchmarkProfile &profile);
+
+    std::string socName;
+    std::uint64_t socDigest = 0;
+    double gpuMaxFreqHz = 0.0;
+    double aieMaxFreqHz = 0.0;
+    double samplePeriod = 0.0;
+    std::vector<Entry> entries;
+};
+
+} // namespace ingest
+} // namespace mbs
+
+#endif // MBS_INGEST_BUNDLE_WRITER_HH

@@ -1,0 +1,138 @@
+#include "ingest/resample.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mbs {
+namespace ingest {
+
+namespace {
+
+/** True when times[k] == k*tick exactly for every k. */
+bool
+onUniformGrid(const std::vector<double> &times, double tick)
+{
+    for (std::size_t k = 0; k < times.size(); ++k) {
+        if (times[k] != double(k) * tick)
+            return false;
+    }
+    return true;
+}
+
+/** Linear interpolation of (times, values) at time @p t, clamped. */
+double
+levelAt(const std::vector<double> &times,
+        const std::vector<double> &values, double t)
+{
+    if (t <= times.front())
+        return values.front();
+    if (t >= times.back())
+        return values.back();
+    const auto it =
+        std::lower_bound(times.begin(), times.end(), t);
+    const std::size_t hi = std::size_t(it - times.begin());
+    if (times[hi] == t)
+        return values[hi];
+    const std::size_t lo = hi - 1;
+    const double f = (t - times[lo]) / (times[hi] - times[lo]);
+    return values[lo] + f * (values[hi] - values[lo]);
+}
+
+void
+checkInputs(const std::vector<double> &times,
+            const std::vector<double> &values, double tick)
+{
+    fatalIf(tick <= 0.0, "resample tick must be > 0");
+    fatalIf(times.empty(), "cannot resample an empty column");
+    fatalIf(times.size() != values.size(),
+            "timestamp/value count mismatch");
+    for (std::size_t i = 1; i < times.size(); ++i) {
+        fatalIf(times[i] <= times[i - 1],
+                "timestamps must be strictly increasing");
+    }
+}
+
+} // namespace
+
+TimeSeries
+resampleLevel(const std::vector<double> &times,
+              const std::vector<double> &values, double tick)
+{
+    checkInputs(times, values, tick);
+    if (onUniformGrid(times, tick))
+        return TimeSeries(tick, values);
+    const std::size_t n = resampleGridSize(times, tick);
+    std::vector<double> out;
+    out.reserve(n);
+    for (std::size_t k = 0; k < n; ++k)
+        out.push_back(levelAt(times, values, double(k) * tick));
+    return TimeSeries(tick, out);
+}
+
+TimeSeries
+resampleRate(const std::vector<double> &times,
+             const std::vector<double> &values, double tick)
+{
+    checkInputs(times, values, tick);
+    if (onUniformGrid(times, tick))
+        return TimeSeries(tick, values);
+
+    // Cumulative events at each input timestamp; values[i] covers
+    // (times[i-1], times[i]] with times[-1] taken as 0.
+    std::vector<double> cumulative(times.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        total += values[i];
+        cumulative[i] = total;
+    }
+
+    const auto cumulativeAt = [&](double t) {
+        if (t <= 0.0)
+            return 0.0;
+        if (t >= times.back())
+            return total;
+        // Within (times[i-1], times[i]] the count accrues linearly.
+        const auto it =
+            std::lower_bound(times.begin(), times.end(), t);
+        const std::size_t hi = std::size_t(it - times.begin());
+        const double t0 = hi == 0 ? 0.0 : times[hi - 1];
+        const double c0 = hi == 0 ? 0.0 : cumulative[hi - 1];
+        const double f = (t - t0) / (times[hi] - t0);
+        return c0 + f * (cumulative[hi] - c0);
+    };
+
+    const std::size_t n = resampleGridSize(times, tick);
+    std::vector<double> out;
+    out.reserve(n);
+    double prev = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double next = cumulativeAt(double(k + 1) * tick);
+        out.push_back(next - prev);
+        prev = next;
+    }
+    return TimeSeries(tick, out);
+}
+
+std::size_t
+resampleGridSize(const std::vector<double> &times, double tick)
+{
+    fatalIf(tick <= 0.0, "resample tick must be > 0");
+    fatalIf(times.empty(), "cannot resample an empty column");
+    // floor with a half-ulp of grace so times.back() == (n-1)*tick
+    // lands on n samples even after decimal round trips.
+    return std::size_t(std::floor(times.back() / tick + 1e-9)) + 1;
+}
+
+double
+rateTotal(const std::vector<double> &values)
+{
+    double total = 0.0;
+    for (double v : values)
+        total += v;
+    return total;
+}
+
+} // namespace ingest
+} // namespace mbs

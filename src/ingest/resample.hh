@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fixed-tick resampling of irregularly sampled counter columns.
+ *
+ * External profilers rarely sample on a perfectly uniform grid; the
+ * analysis pipeline's TimeSeries is strictly uniform. Resampling maps
+ * (timestamp, value) pairs onto a fixed tick with per-counter
+ * semantics: Level columns interpolate the instantaneous value at
+ * each tick, Rate columns conserve totals by interpolating the
+ * cumulative sum and differencing.
+ *
+ * When the input already lies exactly on the tick grid the samples
+ * pass through bit-for-bit — this is what makes the exported-bundle
+ * round trip byte-exact.
+ */
+
+#ifndef MBS_INGEST_RESAMPLE_HH
+#define MBS_INGEST_RESAMPLE_HH
+
+#include <vector>
+
+#include "stats/time_series.hh"
+
+namespace mbs {
+namespace ingest {
+
+/**
+ * Resample a Level column to a uniform @p tick grid.
+ *
+ * Sample k of the result is the value at time k*tick, linearly
+ * interpolated between the surrounding input samples (clamped at the
+ * ends). Inputs whose timestamps equal k*tick exactly for every k
+ * are passed through bit-for-bit.
+ *
+ * @param times Strictly increasing timestamps in seconds.
+ * @param values One value per timestamp.
+ * @param tick Output sampling interval in seconds (> 0).
+ */
+TimeSeries resampleLevel(const std::vector<double> &times,
+                         const std::vector<double> &values,
+                         double tick);
+
+/**
+ * Resample a Rate column (per-sample event counts) to a uniform
+ * @p tick grid, conserving the total.
+ *
+ * values[i] is taken as the events accumulated over
+ * (times[i-1], times[i]] (over (0, times[0]] for the first sample).
+ * The cumulative sum is interpolated at tick boundaries and adjacent
+ * differences form the output, so sum(output) == sum(values) up to
+ * the final partial tick.
+ */
+TimeSeries resampleRate(const std::vector<double> &times,
+                        const std::vector<double> &values,
+                        double tick);
+
+/** Total of a Rate column: plain sum of the per-sample counts. */
+double rateTotal(const std::vector<double> &values);
+
+/**
+ * Number of samples a resampled series will have: one per tick in
+ * [0, times.back()]. Exposed so gap-filled (all-zero) columns can be
+ * shaped without resampling anything.
+ */
+std::size_t resampleGridSize(const std::vector<double> &times,
+                             double tick);
+
+} // namespace ingest
+} // namespace mbs
+
+#endif // MBS_INGEST_RESAMPLE_HH

@@ -1,0 +1,180 @@
+#include "ingest/schema.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "profiler/session.hh"
+
+namespace mbs {
+namespace ingest {
+
+namespace {
+
+std::string
+normalizeHeader(const std::string &header)
+{
+    std::size_t begin = 0;
+    std::size_t end = header.size();
+    while (begin < end && std::isspace(
+               static_cast<unsigned char>(header[begin]))) {
+        ++begin;
+    }
+    while (end > begin && std::isspace(
+               static_cast<unsigned char>(header[end - 1]))) {
+        --end;
+    }
+    std::string out = header.substr(begin, end - begin);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) {
+                       return char(std::tolower(c));
+                   });
+    return out;
+}
+
+/** True when @p name is one of the canonical MetricSeries columns. */
+bool
+isCanonicalSeriesName(const std::string &name)
+{
+    bool found = false;
+    MetricSeries probe;
+    forEachMetricSeries(probe, [&](const char *canonical,
+                                   const TimeSeries &) {
+        if (name == canonical)
+            found = true;
+    });
+    return found;
+}
+
+bool
+isCanonicalRateName(const std::string &name)
+{
+    return name == RateColumns::instructions ||
+           name == RateColumns::cycles ||
+           name == RateColumns::cacheMisses ||
+           name == RateColumns::branchMispredicts;
+}
+
+double
+conversionScale(UnitConversion conversion, const std::string &header,
+                const ConversionContext &ctx)
+{
+    switch (conversion) {
+    case UnitConversion::None:
+        return 1.0;
+    case UnitConversion::Percent:
+        return 0.01;
+    case UnitConversion::KibPerSecond:
+        return 1024.0;
+    case UnitConversion::MhzOfGpuMax:
+        fatalIf(ctx.gpuMaxFreqHz <= 0.0,
+                "column '" + header +
+                    "' needs soc.gpu_max_freq_hz in the manifest");
+        return 1e6 / ctx.gpuMaxFreqHz;
+    case UnitConversion::MhzOfAieMax:
+        fatalIf(ctx.aieMaxFreqHz <= 0.0,
+                "column '" + header +
+                    "' needs soc.aie_max_freq_hz in the manifest");
+        return 1e6 / ctx.aieMaxFreqHz;
+    }
+    panic("unknown unit conversion");
+}
+
+} // namespace
+
+const std::vector<AliasEntry> &
+aliasTable()
+{
+    // Vendor-profiler spellings (Snapdragon Profiler et al.) for the
+    // canonical counter set. Aliases are matched lowercased.
+    static const std::vector<AliasEntry> table = {
+        {"cpu utilization %", "cpu.load", UnitConversion::Percent},
+        {"cpu load", "cpu.load", UnitConversion::None},
+        {"gpu load", "gpu.load", UnitConversion::None},
+        {"gpu load %", "gpu.load", UnitConversion::Percent},
+        {"gpu % utilization", "gpu.utilization",
+         UnitConversion::Percent},
+        {"% shaders busy", "gpu.shaders.busy", UnitConversion::Percent},
+        {"% gpu bus busy", "gpu.bus.busy", UnitConversion::Percent},
+        {"gpu frequency (mhz)", "gpu.frequency.fraction",
+         UnitConversion::MhzOfGpuMax},
+        {"% texture memory", "gpu.texture.residency",
+         UnitConversion::Percent},
+        {"aie load", "aie.load", UnitConversion::None},
+        {"npu load %", "aie.load", UnitConversion::Percent},
+        {"aie % utilization", "aie.utilization",
+         UnitConversion::Percent},
+        {"dsp frequency (mhz)", "aie.frequency.fraction",
+         UnitConversion::MhzOfAieMax},
+        {"used memory fraction", "mem.used.minus.idle.fraction",
+         UnitConversion::None},
+        {"memory used %", "mem.used.minus.idle.fraction",
+         UnitConversion::Percent},
+        {"storage utilization %", "storage.utilization",
+         UnitConversion::Percent},
+        {"read throughput (kb/s)", "storage.read.bandwidth",
+         UnitConversion::KibPerSecond},
+        {"write throughput (kb/s)", "storage.write.bandwidth",
+         UnitConversion::KibPerSecond},
+        {"cpu little load %", "cpu.little.load",
+         UnitConversion::Percent},
+        {"cpu mid load %", "cpu.mid.load", UnitConversion::Percent},
+        {"cpu big load %", "cpu.big.load", UnitConversion::Percent},
+        {"instructions", "cpu.instructions", UnitConversion::None},
+        {"cycles", "cpu.cycles", UnitConversion::None},
+        {"cache misses", "cpu.cache.total.misses",
+         UnitConversion::None},
+        {"branch mispredicts", "cpu.branch.mispredicts",
+         UnitConversion::None},
+    };
+    return table;
+}
+
+std::optional<ResolvedColumn>
+resolveCounterColumn(const std::string &header,
+                     const ConversionContext &ctx)
+{
+    const std::string key = normalizeHeader(header);
+    if (isCanonicalSeriesName(key)) {
+        return ResolvedColumn{key, ColumnSemantics::Level, 1.0, false};
+    }
+    if (isCanonicalRateName(key)) {
+        return ResolvedColumn{key, ColumnSemantics::Rate, 1.0, false};
+    }
+    for (const AliasEntry &entry : aliasTable()) {
+        if (key != entry.alias)
+            continue;
+        ResolvedColumn column;
+        column.canonical = entry.canonical;
+        column.semantics = isCanonicalRateName(entry.canonical)
+                               ? ColumnSemantics::Rate
+                               : ColumnSemantics::Level;
+        column.scale = conversionScale(entry.conversion, header, ctx);
+        column.viaAlias = true;
+        return column;
+    }
+    return std::nullopt;
+}
+
+bool
+resolveTimeColumn(const std::string &header, double *scaleToSeconds)
+{
+    const std::string key = normalizeHeader(header);
+    double scale = 0.0;
+    if (key == "time_s" || key == "time" || key == "timestamp_s" ||
+        key == "seconds" || key == "time (s)") {
+        scale = 1.0;
+    } else if (key == "time_ms" || key == "timestamp_ms" ||
+               key == "milliseconds" || key == "time (ms)") {
+        scale = 1e-3;
+    } else {
+        return false;
+    }
+    if (scaleToSeconds != nullptr)
+        *scaleToSeconds = scale;
+    return true;
+}
+
+} // namespace ingest
+} // namespace mbs

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Trace-bundle schema: the versioned on-disk vocabulary for external
+ * counter traces.
+ *
+ * A bundle is a directory holding `manifest.json` plus one CSV per
+ * benchmark under `traces/`. Every CSV column is either the time
+ * column or one counter; column headers are normalized against the
+ * alias table here into the canonical `soc/counters.hh` names before
+ * any analysis runs. The canonical MetricSeries column order is
+ * defined by forEachMetricSeries (profiler/session.hh) — schema.cc
+ * never re-states it.
+ */
+
+#ifndef MBS_INGEST_SCHEMA_HH
+#define MBS_INGEST_SCHEMA_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mbs {
+namespace ingest {
+
+/** Manifest `schema` field every bundle must carry. */
+inline constexpr const char *traceBundleSchemaName = "mbs.trace-bundle";
+
+/** Highest manifest `schema_version` this reader understands. */
+inline constexpr int traceBundleSchemaVersion = 1;
+
+/**
+ * How samples of a column combine when resampled.
+ *
+ * Level counters are instantaneous observations (loads, fractions,
+ * bandwidths): resampling interpolates the value at each tick. Rate
+ * counters are per-interval event counts (instructions retired):
+ * resampling must conserve the total, so the cumulative sum is
+ * interpolated and differenced.
+ */
+enum class ColumnSemantics { Level, Rate };
+
+/** Unit conversions a column may need on ingest. */
+enum class UnitConversion
+{
+    None,        ///< Already in canonical units.
+    Percent,     ///< 0..100 -> 0..1 fraction.
+    KibPerSecond,///< KiB/s -> bytes/s.
+    MhzOfGpuMax, ///< MHz -> fraction of the GPU's maximum clock.
+    MhzOfAieMax, ///< MHz -> fraction of the AIE's maximum clock.
+};
+
+/** Manifest facts a unit conversion may depend on. */
+struct ConversionContext
+{
+    double gpuMaxFreqHz = 0.0;
+    double aieMaxFreqHz = 0.0;
+};
+
+/** One counter column after header normalization. */
+struct ResolvedColumn
+{
+    /** Canonical `soc/counters.hh` name. */
+    std::string canonical;
+    ColumnSemantics semantics = ColumnSemantics::Level;
+    /** Multiply every raw sample by this to get canonical units. */
+    double scale = 1.0;
+    /** True when the header matched through the alias table. */
+    bool viaAlias = false;
+};
+
+/**
+ * Normalize a counter-column header.
+ *
+ * Matching is case-insensitive and ignores surrounding whitespace;
+ * canonical names match directly, everything else goes through the
+ * alias table (vendor-profiler spellings like "GPU % Utilization").
+ *
+ * @return the resolved column, or nullopt for an unknown header.
+ * @throws FatalError when an MHz alias is used but @p ctx lacks the
+ *         corresponding maximum frequency.
+ */
+std::optional<ResolvedColumn>
+resolveCounterColumn(const std::string &header,
+                     const ConversionContext &ctx);
+
+/**
+ * Recognize a time-column header ("time_s", "time_ms", ...).
+ *
+ * @param scaleToSeconds Set to the factor converting raw values to
+ *        seconds when the header is recognized.
+ * @return true when @p header names the time column.
+ */
+bool resolveTimeColumn(const std::string &header,
+                       double *scaleToSeconds);
+
+/** Canonical time-column header the bundle writer emits. */
+inline constexpr const char *canonicalTimeColumn = "time_s";
+
+/**
+ * The optional Rate columns the reader can derive scalar aggregates
+ * from when a manifest omits the summary block.
+ */
+struct RateColumns
+{
+    static constexpr const char *instructions = "cpu.instructions";
+    static constexpr const char *cycles = "cpu.cycles";
+    static constexpr const char *cacheMisses = "cpu.cache.total.misses";
+    static constexpr const char *branchMispredicts =
+        "cpu.branch.mispredicts";
+};
+
+/** One alias-table row, exposed so docs/tests can enumerate it. */
+struct AliasEntry
+{
+    const char *alias;
+    const char *canonical;
+    UnitConversion conversion;
+};
+
+/** The full alias table (stable order). */
+const std::vector<AliasEntry> &aliasTable();
+
+} // namespace ingest
+} // namespace mbs
+
+#endif // MBS_INGEST_SCHEMA_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * In-memory model of a trace-bundle manifest.
+ *
+ * A bundle is a directory:
+ *
+ *     <bundle>/manifest.json       device topology + benchmark index
+ *     <bundle>/traces/<slug>.csv   one counter trace per benchmark
+ *
+ * The manifest pins the schema version, identifies the SoC the traces
+ * were captured on (name, config digest, the maximum clocks needed to
+ * convert MHz columns to frequency fractions), states the nominal
+ * sample period and lists every benchmark with its suite, trace file,
+ * subset-accounting facts and an optional summary block of scalar
+ * aggregates. The summary exists because aggregates like IPC are
+ * means over per-run totals — they cannot be recomputed from the
+ * averaged series, so a byte-exact round trip must carry them.
+ */
+
+#ifndef MBS_INGEST_TRACE_BUNDLE_HH
+#define MBS_INGEST_TRACE_BUNDLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbs {
+namespace ingest {
+
+/** Optional per-benchmark scalar aggregates. */
+struct TraceSummary
+{
+    bool present = false;
+    double runtimeSeconds = 0.0;
+    double instructions = 0.0;
+    double ipc = 0.0;
+    double cacheMpki = 0.0;
+    double branchMpki = 0.0;
+};
+
+/** One benchmark entry of the manifest. */
+struct TraceBenchmark
+{
+    std::string name;
+    std::string suite;
+    /** Trace CSV path relative to the bundle root. */
+    std::string file;
+    /** Per-trace sample period; 0 inherits the bundle period. */
+    double samplePeriodSeconds = 0.0;
+    /** Nominal runtime used for Table-VI subset accounting. */
+    double plannedRuntimeSeconds = 0.0;
+    /** False when the unit only runs as part of its whole suite. */
+    bool individuallyExecutable = true;
+    TraceSummary summary;
+};
+
+/** Parsed manifest.json. */
+struct TraceManifest
+{
+    std::string schema;
+    int schemaVersion = 0;
+    std::string generator;
+    std::string socName;
+    /** SocConfig::digest() of the capture platform. */
+    std::uint64_t socConfigDigest = 0;
+    /** Maximum clocks for MHz-to-fraction column conversion. */
+    double gpuMaxFreqHz = 0.0;
+    double aieMaxFreqHz = 0.0;
+    /** Bundle-wide nominal sample period in seconds. */
+    double samplePeriodSeconds = 0.0;
+    std::vector<TraceBenchmark> benchmarks;
+};
+
+} // namespace ingest
+} // namespace mbs
+
+#endif // MBS_INGEST_TRACE_BUNDLE_HH

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/strings.hh"
+
 namespace mbs {
 namespace obs {
 
@@ -38,6 +40,7 @@ jsonNumber(double value)
 {
     if (!std::isfinite(value))
         return "null";
+    const ScopedCLocale pin;
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.17g", value);
     return buf;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <locale>
 #include <sstream>
 
 #include "common/csv.hh"
@@ -158,6 +159,9 @@ std::string
 TimeSeriesSampler::toCsv(const std::string &partialReason) const
 {
     std::ostringstream out;
+    // Classic locale: the CSV must use '.' decimal points even when
+    // the host program installed a different global locale.
+    out.imbue(std::locale::classic());
     if (!partialReason.empty())
         out << "# partial: " << partialReason << "\n";
     {

@@ -72,6 +72,21 @@ averageSeries(const std::vector<BenchmarkProfile> &runs, Proj proj)
 
 } // namespace
 
+const char *
+clusterLoadSeriesName(std::size_t cluster)
+{
+    switch (cluster) {
+      case 0:
+        return "cpu.little.load";
+      case 1:
+        return "cpu.mid.load";
+      case 2:
+        return "cpu.big.load";
+      default:
+        panic("cluster index out of range");
+    }
+}
+
 /** One unit of profiling work: a benchmark, or a whole-run suite. */
 struct ProfilerSession::ExecUnit
 {

@@ -81,6 +81,44 @@ struct MetricSeries
     std::array<TimeSeries, numClusters> clusterLoad;
 };
 
+/** Number of series in a MetricSeries (fixed by the struct shape). */
+constexpr std::size_t metricSeriesCount = 14 + numClusters;
+
+/**
+ * Canonical counter name of clusterLoad[@p cluster]
+ * ("cpu.little.load", "cpu.mid.load", "cpu.big.load").
+ */
+const char *clusterLoadSeriesName(std::size_t cluster);
+
+/**
+ * Apply @p fn to every series of a MetricSeries in the one canonical
+ * order, with its catalog counter name. This order is load-bearing:
+ * the store serializer and the trace-bundle reader/writer all iterate
+ * through here, so the cache format and the ingest schema can never
+ * disagree about which series is which.
+ */
+template <typename Series, typename Fn>
+void
+forEachMetricSeries(Series &series, Fn fn)
+{
+    fn("cpu.load", series.cpuLoad);
+    fn("gpu.load", series.gpuLoad);
+    fn("gpu.shaders.busy", series.shadersBusy);
+    fn("gpu.bus.busy", series.gpuBusBusy);
+    fn("aie.load", series.aieLoad);
+    fn("mem.used.minus.idle.fraction", series.usedMemory);
+    fn("storage.utilization", series.storageUtil);
+    fn("storage.read.bandwidth", series.storageReadBw);
+    fn("storage.write.bandwidth", series.storageWriteBw);
+    fn("gpu.utilization", series.gpuUtilization);
+    fn("gpu.frequency.fraction", series.gpuFrequency);
+    fn("aie.utilization", series.aieUtilization);
+    fn("aie.frequency.fraction", series.aieFrequency);
+    fn("gpu.texture.residency", series.textureResidency);
+    for (std::size_t c = 0; c < numClusters; ++c)
+        fn(clusterLoadSeriesName(c), series.clusterLoad[c]);
+}
+
 /** Averaged profile of one benchmark unit. */
 struct BenchmarkProfile
 {

@@ -186,10 +186,10 @@ RoiExtractor::extractFromSeries(
     return out;
 }
 
-RoiWindow
-RoiExtractor::extract(const BenchmarkProfile &profile) const
+std::vector<std::vector<double>>
+RoiExtractor::keyMetricSeries(const BenchmarkProfile &profile)
 {
-    const std::vector<std::vector<double>> series = {
+    return {
         profile.series.cpuLoad.values(),
         profile.series.gpuLoad.values(),
         profile.series.shadersBusy.values(),
@@ -197,7 +197,12 @@ RoiExtractor::extract(const BenchmarkProfile &profile) const
         profile.series.aieLoad.values(),
         profile.series.usedMemory.values(),
     };
-    return extractFromSeries(series);
+}
+
+RoiWindow
+RoiExtractor::extract(const BenchmarkProfile &profile) const
+{
+    return extractFromSeries(keyMetricSeries(profile));
 }
 
 } // namespace mbs

@@ -87,6 +87,14 @@ class RoiExtractor
     RoiWindow extract(const BenchmarkProfile &profile) const;
 
     /**
+     * The six key metric series extract() selects over, as raw
+     * sample vectors. Exposed so other consumers (the ingest summary
+     * view) window over exactly the same metric set.
+     */
+    static std::vector<std::vector<double>>
+    keyMetricSeries(const BenchmarkProfile &profile);
+
+    /**
      * Select the best window directly over raw metric series.
      * Windows are aligned to segment boundaries where possible and
      * slid at fine granularity otherwise.

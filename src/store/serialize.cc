@@ -11,33 +11,12 @@ namespace {
 constexpr std::uint64_t entryMagic = 0x31464F5250534D42ULL; // "BMSPROF1"
 
 /**
- * Apply @p fn to every series of @p series in the fixed file order.
- * Works for const and mutable MetricSeries; keeping the order in one
- * place guarantees the writer and reader never disagree.
+ * The entry layout iterates series via forEachMetricSeries
+ * (session.hh), the one canonical MetricSeries order shared with the
+ * trace-bundle schema, so writer and reader can never disagree.
  */
-template <typename Series, typename Fn>
-void
-forEachSeries(Series &series, Fn fn)
-{
-    fn(series.cpuLoad);
-    fn(series.gpuLoad);
-    fn(series.shadersBusy);
-    fn(series.gpuBusBusy);
-    fn(series.aieLoad);
-    fn(series.usedMemory);
-    fn(series.storageUtil);
-    fn(series.storageReadBw);
-    fn(series.storageWriteBw);
-    fn(series.gpuUtilization);
-    fn(series.gpuFrequency);
-    fn(series.aieUtilization);
-    fn(series.aieFrequency);
-    fn(series.textureResidency);
-    for (std::size_t c = 0; c < numClusters; ++c)
-        fn(series.clusterLoad[c]);
-}
-
-constexpr std::uint32_t seriesPerProfile = 14 + std::uint32_t(numClusters);
+constexpr std::uint32_t seriesPerProfile =
+    std::uint32_t(metricSeriesCount);
 
 /** Little binary writer: appends raw fields to a byte string. */
 struct Writer
@@ -150,7 +129,8 @@ serializeProfiles(const ProfileKey &key,
         w.f64(p.cacheMpki);
         w.f64(p.branchMpki);
         w.u32(seriesPerProfile);
-        forEachSeries(p.series, [&w](const TimeSeries &s) {
+        forEachMetricSeries(p.series,
+                            [&w](const char *, const TimeSeries &s) {
             w.f64(s.interval());
             w.u64(std::uint64_t(s.size()));
             for (double v : s.values())
@@ -202,7 +182,7 @@ deserializeProfiles(const ProfileKey &key, const std::string &bytes)
             r.good = false;
             break;
         }
-        forEachSeries(p.series, [&r](TimeSeries &s) {
+        forEachMetricSeries(p.series, [&r](const char *, TimeSeries &s) {
             const double interval = r.f64();
             const std::uint64_t n = r.u64();
             if (!r.ok() ||

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <locale>
 #include <sstream>
 
 #include "common/csv.hh"
@@ -54,6 +56,47 @@ TEST(Csv, WritesLabeledRow)
     CsvWriter csv(out);
     csv.writeRow("bench,mark", std::vector<double>{0.5});
     EXPECT_EQ(out.str(), "\"bench,mark\",0.5\n");
+}
+
+/** A numpunct facet rendering 1234.5 as "1.234,5". */
+class CommaPunct : public std::numpunct<char>
+{
+  protected:
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+};
+
+TEST(Csv, NumbersIgnoreTheGlobalStreamLocale)
+{
+    // Streams created from here on inherit comma decimals and dot
+    // thousands separators; the writer must still emit C-locale CSV.
+    const std::locale saved = std::locale::global(
+        std::locale(std::locale::classic(), new CommaPunct));
+    std::string text;
+    try {
+        std::ostringstream out;
+        CsvWriter csv(out);
+        csv.writeRow(std::vector<double>{1.5, 1234567.25});
+        text = out.str();
+    } catch (...) {
+        std::locale::global(saved);
+        throw;
+    }
+    std::locale::global(saved);
+    EXPECT_EQ(text, "1.5,1234567.25\n");
+}
+
+TEST(Csv, HighPrecisionRowsRoundTripDoublesExactly)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.setPrecision(17);
+    const double value = 0.1234567890123456789;
+    csv.writeRow(std::vector<double>{value});
+    double parsed = 0.0;
+    EXPECT_EQ(std::sscanf(out.str().c_str(), "%lf", &parsed), 1);
+    EXPECT_EQ(parsed, value);
 }
 
 } // namespace

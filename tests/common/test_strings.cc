@@ -3,6 +3,10 @@
  * Tests for string utilities.
  */
 
+#include <clocale>
+#include <cstdio>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "common/strings.hh"
@@ -98,6 +102,70 @@ TEST(Strformat, HandlesLongOutput)
     EXPECT_EQ(out.size(), 502u);
     EXPECT_EQ(out.front(), '[');
     EXPECT_EQ(out.back(), ']');
+}
+
+/**
+ * Switch LC_NUMERIC to a comma-decimal locale, restoring on scope
+ * exit. Reports whether any such locale is installed so tests can
+ * skip on minimal containers that only ship the C locales.
+ */
+class CommaDecimalLocale
+{
+  public:
+    CommaDecimalLocale()
+    {
+        const char *current = std::setlocale(LC_NUMERIC, nullptr);
+        saved = current != nullptr ? current : "C";
+        for (const char *name :
+             {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8",
+              "fr_FR.utf8"}) {
+            if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+                installed = true;
+                return;
+            }
+        }
+    }
+
+    ~CommaDecimalLocale() { std::setlocale(LC_NUMERIC, saved.c_str()); }
+
+    bool available() const { return installed; }
+
+  private:
+    std::string saved;
+    bool installed = false;
+};
+
+TEST(Strformat, IgnoresCommaDecimalGlobalLocale)
+{
+    const CommaDecimalLocale locale;
+    if (!locale.available())
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    // The pinned formatter must keep emitting '.' even though the
+    // global C locale now renders 1.5 as "1,5".
+    EXPECT_EQ(strformat("%.2f", 1.5), "1.50");
+    EXPECT_EQ(strformat("%g", 0.25), "0.25");
+}
+
+TEST(ScopedCLocale, PinsNumericFormattingWithinScope)
+{
+    const CommaDecimalLocale locale;
+    if (!locale.available())
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    char buf[32];
+    {
+        const ScopedCLocale pin;
+        std::snprintf(buf, sizeof(buf), "%.1f", 2.5);
+        EXPECT_STREQ(buf, "2.5");
+    }
+    // Outside the scope the comma locale is back in force.
+    std::snprintf(buf, sizeof(buf), "%.1f", 2.5);
+    EXPECT_STREQ(buf, "2,5");
+}
+
+TEST(ScopedCLocale, IsHarmlessUnderTheDefaultLocale)
+{
+    const ScopedCLocale pin;
+    EXPECT_EQ(strformat("%.3f", 0.125), "0.125");
 }
 
 } // namespace

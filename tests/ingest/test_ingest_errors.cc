@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Negative-path ingestion tests: every malformed bundle dies with a
+ * positioned `<file>:<line>:` diagnostic, structural faults are fatal
+ * even under --lax, and recoverable faults are dropped-and-counted
+ * only when --lax asks for it.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "ingest/bundle_reader.hh"
+
+namespace mbs {
+namespace ingest {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IngestErrorTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        root = fs::path(::testing::TempDir()) /
+               ("mbs-ingest-err-" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        fs::remove_all(root);
+        fs::create_directories(root / "traces");
+    }
+
+    void TearDown() override { fs::remove_all(root); }
+
+    void writeManifest(int schemaVersion = 1)
+    {
+        std::ofstream(root / "manifest.json")
+            << "{\n"
+               "  \"schema\": \"mbs.trace-bundle\",\n"
+               "  \"schema_version\": "
+            << schemaVersion
+            << ",\n"
+               "  \"soc\": {\"name\": \"Test SoC\",\n"
+               "    \"config_digest\": \"0x00000000000000ab\",\n"
+               "    \"gpu_max_freq_hz\": 840e6,\n"
+               "    \"aie_max_freq_hz\": 1000e6},\n"
+               "  \"sample_period_seconds\": 0.1,\n"
+               "  \"benchmarks\": [{\"name\": \"T\",\n"
+               "    \"suite\": \"S\", \"file\": \"traces/t.csv\"}]\n"
+               "}\n";
+    }
+
+    void writeTrace(const std::string &csv)
+    {
+        std::ofstream(root / "traces" / "t.csv") << csv;
+    }
+
+    /** Run a reader and return the FatalError message it dies with. */
+    std::string readerDies(const IngestOptions &options = {})
+    {
+        try {
+            TraceBundleReader(options).read(root);
+        } catch (const FatalError &e) {
+            return e.what();
+        }
+        ADD_FAILURE() << "expected FatalError, but read() succeeded";
+        return "";
+    }
+
+    static void expectContains(const std::string &msg,
+                               const std::string &needle)
+    {
+        EXPECT_NE(msg.find(needle), std::string::npos)
+            << "message: " << msg;
+    }
+
+    /** The positioned prefix every trace diagnostic must carry. */
+    std::string tracePos(int line) const
+    {
+        return (root / "traces" / "t.csv").string() + ":" +
+               std::to_string(line) + ":";
+    }
+
+    fs::path root;
+};
+
+TEST_F(IngestErrorTest, MissingManifestDies)
+{
+    const std::string msg = readerDies();
+    expectContains(msg, "cannot open trace-bundle manifest");
+    expectContains(msg, (root / "manifest.json").string());
+}
+
+TEST_F(IngestErrorTest, SchemaVersionMismatchDies)
+{
+    writeManifest(/*schemaVersion=*/2);
+    writeTrace("time_s,cpu.load\n0.0,0.5\n");
+    const std::string msg = readerDies();
+    expectContains(msg, (root / "manifest.json").string() + ":");
+    expectContains(msg, "unsupported schema_version 2 (supported: 1)");
+}
+
+TEST_F(IngestErrorTest, WrongSchemaNameDies)
+{
+    std::ofstream(root / "manifest.json")
+        << "{\"schema\": \"other.format\", \"schema_version\": 1,\n"
+           "\"sample_period_seconds\": 0.1,\n"
+           "\"benchmarks\": [{\"name\": \"T\", \"suite\": \"S\",\n"
+           "\"file\": \"traces/t.csv\"}]}\n";
+    expectContains(readerDies(),
+                   "schema 'other.format' is not 'mbs.trace-bundle'");
+}
+
+TEST_F(IngestErrorTest, MissingTraceFileDies)
+{
+    writeManifest();
+    // traces/t.csv intentionally absent.
+    const std::string msg = readerDies();
+    expectContains(msg, "cannot open trace file");
+    expectContains(msg, (root / "traces" / "t.csv").string());
+}
+
+TEST_F(IngestErrorTest, EmptyTraceFileDies)
+{
+    writeManifest();
+    writeTrace("");
+    expectContains(readerDies(),
+                   tracePos(1) + " empty trace file (no header row)");
+}
+
+TEST_F(IngestErrorTest, TruncatedRowDies)
+{
+    // The last row is cut off mid-record (a truncated download).
+    writeManifest();
+    writeTrace("time_s,cpu.load,gpu.load\n"
+               "0.0,0.5,0.25\n"
+               "0.1,0.6\n");
+    expectContains(readerDies(),
+                   tracePos(3) + " expected 3 fields, got 2");
+}
+
+TEST_F(IngestErrorTest, DuplicateTimestampDiesEvenUnderLax)
+{
+    writeManifest();
+    writeTrace("time_s,cpu.load\n0.0,0.5\n0.1,0.6\n0.1,0.7\n");
+    IngestOptions lax;
+    lax.lax = true;
+    expectContains(
+        readerDies(lax),
+        tracePos(4) + " non-monotonic timestamp 0.1 (previous 0.1)");
+}
+
+TEST_F(IngestErrorTest, BackwardsTimestampDiesEvenUnderLax)
+{
+    writeManifest();
+    writeTrace("time_s,cpu.load\n0.0,0.5\n0.2,0.6\n0.1,0.7\n");
+    IngestOptions lax;
+    lax.lax = true;
+    expectContains(
+        readerDies(lax),
+        tracePos(4) + " non-monotonic timestamp 0.1 (previous 0.2)");
+}
+
+TEST_F(IngestErrorTest, MalformedTimestampDiesEvenUnderLax)
+{
+    writeManifest();
+    writeTrace("time_s,cpu.load\n0.0,0.5\nbogus,0.6\n");
+    IngestOptions lax;
+    lax.lax = true;
+    expectContains(readerDies(lax),
+                   tracePos(3) + " malformed timestamp 'bogus'");
+}
+
+TEST_F(IngestErrorTest, UnknownCounterColumnDiesWhenStrict)
+{
+    writeManifest();
+    writeTrace("time_s,cpu.load,wifi.signal\n0.0,0.5,42\n");
+    expectContains(
+        readerDies(),
+        tracePos(1) + " unknown counter column 'wifi.signal'");
+}
+
+TEST_F(IngestErrorTest, DuplicateCounterColumnDiesEvenUnderLax)
+{
+    // Two headers normalizing to the same canonical counter.
+    writeManifest();
+    writeTrace("time_s,cpu.load,CPU Utilization %\n0.0,0.5,50\n");
+    IngestOptions lax;
+    lax.lax = true;
+    expectContains(
+        readerDies(lax),
+        tracePos(1) + " duplicate column for counter 'cpu.load'");
+}
+
+TEST_F(IngestErrorTest, NanSampleDiesWhenStrict)
+{
+    writeManifest();
+    writeTrace("time_s,cpu.load\n0.0,0.5\n0.1,nan\n");
+    expectContains(readerDies(),
+                   tracePos(3) + " non-finite sample for 'cpu.load'");
+}
+
+TEST_F(IngestErrorTest, InfSampleDiesWhenStrict)
+{
+    writeManifest();
+    writeTrace("time_s,gpu.load\n0.0,0.5\n0.1,inf\n");
+    expectContains(readerDies(),
+                   tracePos(3) + " non-finite sample for 'gpu.load'");
+}
+
+TEST_F(IngestErrorTest, MalformedNumberDiesWhenStrict)
+{
+    writeManifest();
+    writeTrace("time_s,cpu.load\n0.0,0.5\n0.1,oops\n");
+    expectContains(readerDies(),
+                   tracePos(3) + " malformed number 'oops'");
+}
+
+TEST_F(IngestErrorTest, MissingCanonicalColumnDiesWhenStrict)
+{
+    // A trace carrying only cpu.load: strict mode demands the full
+    // canonical set, pointing at the first one it cannot find.
+    writeManifest();
+    writeTrace("time_s,cpu.load\n0.0,0.5\n");
+    expectContains(readerDies(),
+                   tracePos(1) + " missing counter column '");
+}
+
+TEST_F(IngestErrorTest, AllRowsBadDiesEvenUnderLax)
+{
+    writeManifest();
+    writeTrace("time_s,cpu.load\n0.0,nan\n0.1,inf\n");
+    IngestOptions lax;
+    lax.lax = true;
+    expectContains(readerDies(lax), "no samples");
+}
+
+TEST_F(IngestErrorTest, LaxDropsAndCountsRecoverableFaults)
+{
+    writeManifest();
+    writeTrace("time_s,cpu.load,wifi.signal\n"
+               "0.0,0.5,1\n"
+               "0.1,nan,2\n"   // dropped: non-finite sample
+               "0.2,0.7\n"     // dropped: short row
+               "0.3,0.8,4\n");
+    IngestOptions options;
+    options.lax = true;
+    const IngestResult result = TraceBundleReader(options).read(root);
+    EXPECT_EQ(result.stats.rows, 2u);
+    // Two bad rows plus the zero-gap-filled absent canonical columns.
+    EXPECT_GE(result.stats.droppedSamples, 2u);
+    ASSERT_EQ(result.profiles.size(), 1u);
+    ASSERT_EQ(result.profiles[0].series.cpuLoad.size(), 4u);
+    EXPECT_DOUBLE_EQ(result.profiles[0].series.cpuLoad[0], 0.5);
+    EXPECT_DOUBLE_EQ(result.profiles[0].series.cpuLoad[3], 0.8);
+}
+
+TEST_F(IngestErrorTest, TimeColumnMustComeFirst)
+{
+    writeManifest();
+    writeTrace("cpu.load,time_s\n0.5,0.0\n");
+    expectContains(readerDies(),
+                   tracePos(1) + " first column must be a time column");
+}
+
+TEST_F(IngestErrorTest, ManifestWithoutBenchmarksDies)
+{
+    std::ofstream(root / "manifest.json")
+        << "{\"schema\": \"mbs.trace-bundle\", \"schema_version\": 1,\n"
+           "\"sample_period_seconds\": 0.1, \"benchmarks\": []}\n";
+    expectContains(readerDies(), "'benchmarks' is empty");
+}
+
+} // namespace
+} // namespace ingest
+} // namespace mbs

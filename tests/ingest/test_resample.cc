@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Resampling tests: uniform-grid bit-exact passthrough, Level
+ * interpolation, Rate total conservation, and input validation.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "ingest/resample.hh"
+
+namespace mbs {
+namespace ingest {
+namespace {
+
+TEST(Resample, UniformGridPassesThroughBitExact)
+{
+    const double tick = 0.1;
+    std::vector<double> times, values;
+    for (int i = 0; i < 100; ++i) {
+        times.push_back(double(i) * tick);
+        values.push_back(0.1234567890123456789 * double(i));
+    }
+    const TimeSeries out = resampleLevel(times, values, tick);
+    ASSERT_EQ(out.size(), values.size());
+    EXPECT_EQ(out.interval(), tick);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        // Bit-exact, not approximately equal: this property is what
+        // makes the export/ingest round trip byte-identical.
+        EXPECT_EQ(out[i], values[i]) << "sample " << i;
+    }
+}
+
+TEST(Resample, LevelInterpolatesBetweenSamples)
+{
+    // Samples at 0 and 0.2 seconds; ticks at 0, 0.1, 0.2.
+    const TimeSeries out =
+        resampleLevel({0.0, 0.2}, {1.0, 3.0}, 0.1);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_DOUBLE_EQ(out[0], 1.0);
+    EXPECT_DOUBLE_EQ(out[1], 2.0);
+    EXPECT_DOUBLE_EQ(out[2], 3.0);
+}
+
+TEST(Resample, LevelClampsOutsideTheSampledRange)
+{
+    // First sample at 0.15s: ticks 0 and 0.1 clamp to its value.
+    const TimeSeries out =
+        resampleLevel({0.15, 0.25}, {5.0, 7.0}, 0.1);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_DOUBLE_EQ(out[0], 5.0);
+    EXPECT_DOUBLE_EQ(out[1], 5.0);
+}
+
+TEST(Resample, RateConservesTheTotal)
+{
+    // Irregular sampling; the resampled total must match the input.
+    const std::vector<double> times{0.07, 0.18, 0.33, 0.4};
+    const std::vector<double> values{100.0, 250.0, 75.0, 30.0};
+    const TimeSeries out = resampleRate(times, values, 0.1);
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        total += out[i];
+    // The final tick extends past times.back(), so the full total is
+    // captured.
+    EXPECT_NEAR(total, rateTotal(values), 1e-9);
+}
+
+TEST(Resample, RateOnUniformGridPassesThrough)
+{
+    const std::vector<double> times{0.0, 0.1, 0.2};
+    const std::vector<double> values{10.0, 20.0, 30.0};
+    const TimeSeries out = resampleRate(times, values, 0.1);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 10.0);
+    EXPECT_EQ(out[1], 20.0);
+    EXPECT_EQ(out[2], 30.0);
+}
+
+TEST(Resample, GridSizeCoversTheLastSample)
+{
+    EXPECT_EQ(resampleGridSize({0.0, 0.1, 0.2}, 0.1), 3u);
+    EXPECT_EQ(resampleGridSize({0.0, 0.25}, 0.1), 3u);
+    EXPECT_EQ(resampleGridSize({0.05}, 0.1), 1u);
+}
+
+TEST(Resample, RejectsBadInputs)
+{
+    EXPECT_THROW(resampleLevel({}, {}, 0.1), FatalError);
+    EXPECT_THROW(resampleLevel({0.0}, {1.0}, 0.0), FatalError);
+    EXPECT_THROW(resampleLevel({0.0, 0.1}, {1.0}, 0.1), FatalError);
+    EXPECT_THROW(resampleLevel({0.1, 0.1}, {1.0, 2.0}, 0.1),
+                 FatalError);
+    EXPECT_THROW(resampleLevel({0.2, 0.1}, {1.0, 2.0}, 0.1),
+                 FatalError);
+}
+
+} // namespace
+} // namespace ingest
+} // namespace mbs

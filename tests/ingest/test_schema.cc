@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Schema tests: canonical-name and alias resolution, unit
+ * conversions, time-column recognition, and the alias table's
+ * integrity against the canonical counter set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "ingest/schema.hh"
+#include "profiler/session.hh"
+
+namespace mbs {
+namespace ingest {
+namespace {
+
+ConversionContext
+snapdragonCtx()
+{
+    return ConversionContext{840e6, 1000e6};
+}
+
+TEST(Schema, CanonicalNamesResolveWithoutAliasOrScaling)
+{
+    MetricSeries probe;
+    forEachMetricSeries(probe, [](const char *name,
+                                  const TimeSeries &) {
+        const auto col =
+            resolveCounterColumn(name, ConversionContext{});
+        ASSERT_TRUE(col.has_value()) << name;
+        EXPECT_EQ(col->canonical, name);
+        EXPECT_EQ(col->scale, 1.0);
+        EXPECT_FALSE(col->viaAlias);
+        EXPECT_EQ(col->semantics, ColumnSemantics::Level);
+    });
+}
+
+TEST(Schema, MatchingIsCaseAndWhitespaceInsensitive)
+{
+    const auto col =
+        resolveCounterColumn("  CPU.Load  ", ConversionContext{});
+    ASSERT_TRUE(col.has_value());
+    EXPECT_EQ(col->canonical, "cpu.load");
+    EXPECT_FALSE(col->viaAlias);
+}
+
+TEST(Schema, VendorAliasesConvertUnits)
+{
+    const auto ctx = snapdragonCtx();
+
+    const auto pct = resolveCounterColumn("CPU Utilization %", ctx);
+    ASSERT_TRUE(pct.has_value());
+    EXPECT_EQ(pct->canonical, "cpu.load");
+    EXPECT_DOUBLE_EQ(pct->scale, 0.01);
+    EXPECT_TRUE(pct->viaAlias);
+
+    const auto kib =
+        resolveCounterColumn("Read Throughput (KB/s)", ctx);
+    ASSERT_TRUE(kib.has_value());
+    EXPECT_EQ(kib->canonical, "storage.read.bandwidth");
+    EXPECT_DOUBLE_EQ(kib->scale, 1024.0);
+
+    const auto mhz = resolveCounterColumn("GPU Frequency (MHz)", ctx);
+    ASSERT_TRUE(mhz.has_value());
+    EXPECT_EQ(mhz->canonical, "gpu.frequency.fraction");
+    // 840 MHz raw must land on fraction 1.0.
+    EXPECT_DOUBLE_EQ(840.0 * mhz->scale, 1.0);
+}
+
+TEST(Schema, MhzAliasWithoutMaxFrequencyDies)
+{
+    EXPECT_THROW(
+        resolveCounterColumn("GPU Frequency (MHz)",
+                             ConversionContext{}),
+        FatalError);
+}
+
+TEST(Schema, RateColumnsCarryRateSemantics)
+{
+    const auto direct =
+        resolveCounterColumn("cpu.instructions", ConversionContext{});
+    ASSERT_TRUE(direct.has_value());
+    EXPECT_EQ(direct->semantics, ColumnSemantics::Rate);
+
+    const auto alias =
+        resolveCounterColumn("Instructions", ConversionContext{});
+    ASSERT_TRUE(alias.has_value());
+    EXPECT_EQ(alias->canonical, "cpu.instructions");
+    EXPECT_EQ(alias->semantics, ColumnSemantics::Rate);
+}
+
+TEST(Schema, UnknownHeaderResolvesToNothing)
+{
+    EXPECT_FALSE(resolveCounterColumn("wifi.signal.strength",
+                                      ConversionContext{})
+                     .has_value());
+}
+
+TEST(Schema, TimeColumnRecognitionAndScaling)
+{
+    double scale = 0.0;
+    EXPECT_TRUE(resolveTimeColumn("time_s", &scale));
+    EXPECT_DOUBLE_EQ(scale, 1.0);
+    EXPECT_TRUE(resolveTimeColumn("Timestamp_MS", &scale));
+    EXPECT_DOUBLE_EQ(scale, 1e-3);
+    EXPECT_FALSE(resolveTimeColumn("cpu.load", &scale));
+}
+
+TEST(Schema, AliasTableTargetsOnlyCanonicalNames)
+{
+    const auto ctx = snapdragonCtx();
+    for (const AliasEntry &entry : aliasTable()) {
+        // Every alias target must itself resolve (i.e. be canonical),
+        // so an alias can never smuggle in an unknown counter.
+        const auto target = resolveCounterColumn(entry.canonical, ctx);
+        ASSERT_TRUE(target.has_value()) << entry.canonical;
+        EXPECT_FALSE(target->viaAlias) << entry.canonical;
+
+        const auto via = resolveCounterColumn(entry.alias, ctx);
+        ASSERT_TRUE(via.has_value()) << entry.alias;
+        EXPECT_EQ(via->canonical, entry.canonical) << entry.alias;
+        EXPECT_TRUE(via->viaAlias) << entry.alias;
+    }
+}
+
+} // namespace
+} // namespace ingest
+} // namespace mbs

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Trace-bundle writer/reader tests: the bit-exact round trip, alias
+ * and unit normalization over hand-written bundles, resampling of
+ * off-grid traces, scalar derivation from Rate columns, and
+ * memoization through a ProfileCache.
+ */
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "obs/metrics.hh"
+#include "ingest/bundle_reader.hh"
+#include "ingest/bundle_writer.hh"
+#include "ingest/schema.hh"
+#include "store/profile_store.hh"
+
+namespace mbs {
+namespace ingest {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh scratch directory per test, removed on destruction. */
+class BundleTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        root = fs::path(::testing::TempDir()) /
+               ("mbs-bundle-" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        fs::remove_all(root);
+        fs::create_directories(root);
+    }
+
+    void TearDown() override { fs::remove_all(root); }
+
+    fs::path root;
+};
+
+/** A profile with awkward (non-round) values in every series. */
+BenchmarkProfile
+syntheticProfile(const std::string &name, std::uint64_t seed,
+                 std::size_t samples, double tick)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.suite = "Synthetic Suite";
+    Xoshiro256StarStar rng(seed);
+    p.runtimeSeconds = tick * double(samples) * rng.uniform();
+    p.instructions = 1e9 * rng.uniform();
+    p.ipc = 3.0 * rng.uniform();
+    p.cacheMpki = 40.0 * rng.uniform();
+    p.branchMpki = 8.0 * rng.uniform();
+    forEachMetricSeries(p.series, [&](const char *, TimeSeries &s) {
+        std::vector<double> values;
+        values.reserve(samples);
+        for (std::size_t i = 0; i < samples; ++i)
+            values.push_back(rng.uniform());
+        s = TimeSeries(tick, std::move(values));
+    });
+    return p;
+}
+
+void
+expectProfilesBitIdentical(const BenchmarkProfile &a,
+                           const BenchmarkProfile &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.suite, b.suite);
+    EXPECT_EQ(a.runtimeSeconds, b.runtimeSeconds);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.cacheMpki, b.cacheMpki);
+    EXPECT_EQ(a.branchMpki, b.branchMpki);
+    forEachMetricSeries(a.series, [&](const char *name,
+                                      const TimeSeries &sa) {
+        forEachMetricSeries(b.series, [&](const char *other,
+                                          const TimeSeries &sb) {
+            if (std::string(name) != other)
+                return;
+            ASSERT_EQ(sa.size(), sb.size()) << name;
+            EXPECT_EQ(sa.interval(), sb.interval()) << name;
+            for (std::size_t i = 0; i < sa.size(); ++i)
+                ASSERT_EQ(sa[i], sb[i]) << name << " sample " << i;
+        });
+    });
+}
+
+TEST_F(BundleTest, WriteReadRoundTripIsBitExact)
+{
+    const SocConfig config = SocConfig::snapdragon888();
+    TraceBundleWriter writer(config, 0.1);
+    std::vector<BenchmarkProfile> original;
+    original.push_back(syntheticProfile("Alpha Bench", 1, 64, 0.1));
+    original.push_back(syntheticProfile("Beta Bench", 2, 113, 0.1));
+    for (const auto &p : original)
+        writer.add(p, 30.0, true);
+    writer.write(root);
+
+    const TraceBundleReader reader;
+    const IngestResult result = reader.read(root);
+    ASSERT_EQ(result.profiles.size(), original.size());
+    EXPECT_FALSE(result.fromCache);
+    EXPECT_EQ(result.manifest.socConfigDigest, config.digest());
+    EXPECT_EQ(result.stats.aliasHits, 0u);
+    for (std::size_t i = 0; i < original.size(); ++i)
+        expectProfilesBitIdentical(original[i], result.profiles[i]);
+}
+
+TEST_F(BundleTest, ManifestCarriesWorkloadFacts)
+{
+    TraceBundleWriter writer(SocConfig::snapdragon888(), 0.1);
+    writer.add(syntheticProfile("Solo", 3, 16, 0.1), 45.5, false);
+    writer.write(root);
+
+    const IngestResult result = TraceBundleReader().read(root);
+    ASSERT_EQ(result.manifest.benchmarks.size(), 1u);
+    EXPECT_DOUBLE_EQ(
+        result.manifest.benchmarks[0].plannedRuntimeSeconds, 45.5);
+    EXPECT_FALSE(
+        result.manifest.benchmarks[0].individuallyExecutable);
+}
+
+/** Write a minimal hand-rolled bundle with one trace file. */
+void
+writeBundle(const fs::path &root, const std::string &manifest,
+            const std::string &csv,
+            const std::string &file = "traces/t.csv")
+{
+    fs::create_directories((root / file).parent_path());
+    std::ofstream(root / "manifest.json") << manifest;
+    std::ofstream(root / file) << csv;
+}
+
+std::string
+minimalManifest(const std::string &extraBenchFields = "")
+{
+    return std::string("{\n")
+        + "  \"schema\": \"mbs.trace-bundle\",\n"
+          "  \"schema_version\": 1,\n"
+          "  \"soc\": {\"name\": \"Test SoC\",\n"
+          "    \"config_digest\": \"0x00000000000000ab\",\n"
+          "    \"gpu_max_freq_hz\": 840e6,\n"
+          "    \"aie_max_freq_hz\": 1000e6},\n"
+          "  \"sample_period_seconds\": 0.1,\n"
+          "  \"benchmarks\": [{\"name\": \"T\", \"suite\": \"S\",\n"
+          "    \"file\": \"traces/t.csv\""
+        + extraBenchFields + "}]\n}\n";
+}
+
+TEST_F(BundleTest, AliasedPercentColumnsAreNormalized)
+{
+    // A vendor-style trace: percent CPU load, KB/s storage reads,
+    // MHz GPU frequency. Everything else is absent (lax mode).
+    writeBundle(root, minimalManifest(),
+                "time_s,CPU Utilization %,Read Throughput (KB/s),"
+                "GPU Frequency (MHz)\n"
+                "0.0,50,1024,420\n"
+                "0.1,100,2048,840\n");
+    IngestOptions options;
+    options.lax = true;
+    const IngestResult result = TraceBundleReader(options).read(root);
+    ASSERT_EQ(result.profiles.size(), 1u);
+    const BenchmarkProfile &p = result.profiles[0];
+    EXPECT_EQ(result.stats.aliasHits, 3u);
+    EXPECT_EQ(result.stats.rows, 2u);
+    ASSERT_EQ(p.series.cpuLoad.size(), 2u);
+    EXPECT_DOUBLE_EQ(p.series.cpuLoad[0], 0.5);
+    EXPECT_DOUBLE_EQ(p.series.cpuLoad[1], 1.0);
+    EXPECT_DOUBLE_EQ(p.series.storageReadBw[0], 1024.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(p.series.gpuFrequency[0], 0.5);
+    EXPECT_DOUBLE_EQ(p.series.gpuFrequency[1], 1.0);
+    // Absent counters are gap-filled with zeros under --lax.
+    ASSERT_EQ(p.series.aieLoad.size(), 2u);
+    EXPECT_EQ(p.series.aieLoad[0], 0.0);
+}
+
+TEST_F(BundleTest, OffGridTracesAreResampledAndScalarsDerived)
+{
+    // Irregular timestamps, no summary block: series interpolate to
+    // the 0.1s grid and the scalars derive from the Rate columns.
+    writeBundle(root, minimalManifest(),
+                "time_s,cpu.load,cpu.instructions,cpu.cycles\n"
+                "0.0,0.2,1000,2000\n"
+                "0.15,0.4,1500,2500\n"
+                "0.3,0.6,500,500\n");
+    IngestOptions options;
+    options.lax = true;
+    const IngestResult result = TraceBundleReader(options).read(root);
+    const BenchmarkProfile &p = result.profiles[0];
+    ASSERT_EQ(p.series.cpuLoad.size(), 4u);
+    EXPECT_DOUBLE_EQ(p.series.cpuLoad[0], 0.2);
+    EXPECT_NEAR(p.series.cpuLoad[1], 0.2 + 0.2 * (0.10 / 0.15),
+                1e-12);
+    EXPECT_DOUBLE_EQ(p.series.cpuLoad[3], 0.6);
+    EXPECT_DOUBLE_EQ(p.instructions, 3000.0);
+    EXPECT_DOUBLE_EQ(p.ipc, 3000.0 / 5000.0);
+}
+
+TEST_F(BundleTest, TickOverrideResamples)
+{
+    TraceBundleWriter writer(SocConfig::snapdragon888(), 0.1);
+    writer.add(syntheticProfile("Fine", 4, 40, 0.1), 4.0, true);
+    writer.write(root);
+
+    IngestOptions options;
+    options.tickSeconds = 0.2;
+    const IngestResult result = TraceBundleReader(options).read(root);
+    EXPECT_DOUBLE_EQ(result.tickSeconds, 0.2);
+    // 40 samples at 0.1s span 3.9s -> 20 ticks at 0.2s.
+    EXPECT_EQ(result.profiles[0].series.cpuLoad.size(), 20u);
+    EXPECT_DOUBLE_EQ(result.profiles[0].series.cpuLoad.interval(),
+                     0.2);
+}
+
+TEST_F(BundleTest, CacheMemoizesByBundleDigest)
+{
+    TraceBundleWriter writer(SocConfig::snapdragon888(), 0.1);
+    writer.add(syntheticProfile("Cached", 5, 32, 0.1), 10.0, true);
+    writer.write(root / "bundle");
+
+    ProfileStore store(root / "cache");
+    IngestOptions options;
+    options.cache = &store;
+
+    const IngestResult cold =
+        TraceBundleReader(options).read(root / "bundle");
+    EXPECT_FALSE(cold.fromCache);
+    const IngestResult warm =
+        TraceBundleReader(options).read(root / "bundle");
+    EXPECT_TRUE(warm.fromCache);
+    ASSERT_EQ(warm.profiles.size(), 1u);
+    expectProfilesBitIdentical(cold.profiles[0], warm.profiles[0]);
+
+    // Touching a trace byte changes the digest: a miss again.
+    std::ofstream(root / "bundle" / "traces" / "cached.csv",
+                  std::ios::app)
+        << "# trailing comment\n";
+    // (Appending a junk line actually breaks parsing; just check the
+    // digest changed by reading with lax off and expecting a fresh
+    // parse error rather than a stale cache hit.)
+    EXPECT_THROW(TraceBundleReader(options).read(root / "bundle"),
+                 FatalError);
+}
+
+TEST_F(BundleTest, ObsCountersAccumulate)
+{
+    auto &metrics = obs::MetricsRegistry::instance();
+    const auto rows0 = metrics.counter("ingest.rows").value();
+    const auto bundles0 = metrics.counter("ingest.bundles").value();
+
+    TraceBundleWriter writer(SocConfig::snapdragon888(), 0.1);
+    writer.add(syntheticProfile("Obs", 6, 25, 0.1), 2.5, true);
+    writer.write(root);
+    TraceBundleReader().read(root);
+
+    EXPECT_EQ(metrics.counter("ingest.rows").value(), rows0 + 25);
+    EXPECT_EQ(metrics.counter("ingest.bundles").value(),
+              bundles0 + 1);
+}
+
+} // namespace
+} // namespace ingest
+} // namespace mbs

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The export/ingest round trip: profiles written as a trace bundle
+ * and read back are bit-identical, and analyze() over the re-ingested
+ * profiles renders every report section byte-for-byte identically to
+ * the direct pipeline — at any --jobs count.
+ */
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "core/report.hh"
+#include "ingest/bundle_reader.hh"
+#include "ingest/bundle_writer.hh"
+
+#include "report_fixture.hh"
+
+namespace mbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Export the fixture report's profiles, ingest them back once. */
+class IngestRoundTrip : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        const CharacterizationReport &direct = testutil::report();
+        const WorkloadRegistry &registry = testutil::registry();
+
+        bundleDir = new fs::path(fs::path(::testing::TempDir()) /
+                                 "mbs-ingest-roundtrip");
+        fs::remove_all(*bundleDir);
+
+        const double tick =
+            direct.profiles.front().series.cpuLoad.interval();
+        ingest::TraceBundleWriter writer(SocConfig::snapdragon888(),
+                                         tick);
+        for (const auto &p : direct.profiles) {
+            const Benchmark &unit = registry.unit(p.name);
+            writer.add(p, unit.totalDurationSeconds(),
+                       unit.individuallyExecutable());
+        }
+        writer.write(*bundleDir);
+
+        result = new ingest::IngestResult(
+            ingest::TraceBundleReader().read(*bundleDir));
+    }
+
+    static void TearDownTestSuite()
+    {
+        fs::remove_all(*bundleDir);
+        delete bundleDir;
+        delete result;
+        bundleDir = nullptr;
+        result = nullptr;
+    }
+
+    static std::vector<WorkloadInfo> manifestWorkloads()
+    {
+        std::vector<WorkloadInfo> out;
+        for (const auto &b : result->manifest.benchmarks) {
+            WorkloadInfo info;
+            info.plannedRuntimeSeconds = b.plannedRuntimeSeconds;
+            info.individuallyExecutable = b.individuallyExecutable;
+            out.push_back(info);
+        }
+        return out;
+    }
+
+    static fs::path *bundleDir;
+    static ingest::IngestResult *result;
+};
+
+fs::path *IngestRoundTrip::bundleDir = nullptr;
+ingest::IngestResult *IngestRoundTrip::result = nullptr;
+
+TEST_F(IngestRoundTrip, ProfilesSurviveBitExactly)
+{
+    const CharacterizationReport &direct = testutil::report();
+    ASSERT_EQ(result->profiles.size(), direct.profiles.size());
+    EXPECT_EQ(result->stats.aliasHits, 0u);
+    EXPECT_EQ(result->stats.droppedSamples, 0u);
+    for (std::size_t i = 0; i < direct.profiles.size(); ++i) {
+        const BenchmarkProfile &a = direct.profiles[i];
+        const BenchmarkProfile &b = result->profiles[i];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.suite, b.suite);
+        EXPECT_EQ(a.runtimeSeconds, b.runtimeSeconds);
+        EXPECT_EQ(a.instructions, b.instructions);
+        EXPECT_EQ(a.ipc, b.ipc);
+        EXPECT_EQ(a.cacheMpki, b.cacheMpki);
+        EXPECT_EQ(a.branchMpki, b.branchMpki);
+        forEachMetricSeries(
+            a.series, [&](const char *name, const TimeSeries &sa) {
+                forEachMetricSeries(
+                    b.series,
+                    [&](const char *other, const TimeSeries &sb) {
+                        if (std::string(name) != other)
+                            return;
+                        ASSERT_EQ(sa.size(), sb.size())
+                            << a.name << " " << name;
+                        for (std::size_t k = 0; k < sa.size(); ++k)
+                            ASSERT_EQ(sa[k], sb[k])
+                                << a.name << " " << name
+                                << " sample " << k;
+                    });
+            });
+    }
+}
+
+TEST_F(IngestRoundTrip, ManifestMirrorsRegistryFacts)
+{
+    const WorkloadRegistry &registry = testutil::registry();
+    ASSERT_EQ(result->manifest.benchmarks.size(),
+              testutil::report().profiles.size());
+    for (const auto &b : result->manifest.benchmarks) {
+        const Benchmark &unit = registry.unit(b.name);
+        EXPECT_EQ(b.plannedRuntimeSeconds,
+                  unit.totalDurationSeconds())
+            << b.name;
+        EXPECT_EQ(b.individuallyExecutable,
+                  unit.individuallyExecutable())
+            << b.name;
+        EXPECT_TRUE(b.summary.present) << b.name;
+    }
+    EXPECT_EQ(result->manifest.socConfigDigest,
+              SocConfig::snapdragon888().digest());
+}
+
+/** Render every registry-independent section as one string. */
+std::string
+renderSections(const CharacterizationReport &report)
+{
+    return renderFig1(report) + renderTableIII(report) +
+           renderTableV(report) + renderFig4(report) +
+           renderFig5And6(report) + renderTableVI(report) +
+           renderFig7(report);
+}
+
+TEST_F(IngestRoundTrip, AnalyzeReproducesTheDirectReportByteForByte)
+{
+    const CharacterizationReport &direct = testutil::report();
+
+    // Re-analyze the ingested profiles at two different parallelism
+    // levels: the rendered report must not depend on either the data
+    // path (simulated vs ingested) or the jobs count.
+    for (const int jobs : {1, 4}) {
+        PipelineOptions options;
+        options.profile.jobs = jobs;
+        const CharacterizationPipeline pipeline(
+            SocConfig::snapdragon888(), options);
+        const CharacterizationReport ingested =
+            pipeline.analyze(result->profiles, manifestWorkloads());
+        EXPECT_EQ(renderSections(ingested), renderSections(direct))
+            << "jobs=" << jobs;
+    }
+}
+
+TEST_F(IngestRoundTrip, AnalyzeMatchesStructuredResultsToo)
+{
+    const CharacterizationReport &direct = testutil::report();
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888());
+    const CharacterizationReport ingested =
+        pipeline.analyze(result->profiles, manifestWorkloads());
+    EXPECT_EQ(ingested.chosenK, direct.chosenK);
+    EXPECT_EQ(ingested.hierarchicalLabels, direct.hierarchicalLabels);
+    EXPECT_EQ(ingested.kmeansLabels, direct.kmeansLabels);
+    EXPECT_EQ(ingested.pamLabels, direct.pamLabels);
+    EXPECT_EQ(ingested.naiveSubset.members, direct.naiveSubset.members);
+    EXPECT_EQ(ingested.selectSubset.members, direct.selectSubset.members);
+    EXPECT_EQ(ingested.selectPlusGpuSubset.members,
+              direct.selectPlusGpuSubset.members);
+    EXPECT_EQ(ingested.fullRuntimeSeconds, direct.fullRuntimeSeconds);
+}
+
+} // namespace
+} // namespace mbs

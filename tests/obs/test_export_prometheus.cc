@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <locale>
 #include <map>
 #include <sstream>
 #include <string>
@@ -209,6 +210,33 @@ TEST_F(PrometheusTest, ExpositionRoundTripParses)
     EXPECT_EQ(typeOf.at("_3dmark_launches"), "counter");
     EXPECT_EQ(typeOf.at("mem_head_room"), "gauge");
     EXPECT_EQ(typeOf.at("store_entry_bytes"), "histogram");
+}
+
+/** A numpunct facet rendering 2.5 as "2,5". */
+class CommaPunct : public std::numpunct<char>
+{
+  protected:
+    char do_decimal_point() const override { return ','; }
+    std::string do_grouping() const override { return "\3"; }
+};
+
+TEST_F(PrometheusTest, ValuesIgnoreTheGlobalStreamLocale)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.gauge("mem.head_room").set(2.5);
+    const std::locale saved = std::locale::global(
+        std::locale(std::locale::classic(), new CommaPunct));
+    std::string text;
+    try {
+        text = toPrometheusText(registry.snapshot());
+    } catch (...) {
+        std::locale::global(saved);
+        throw;
+    }
+    std::locale::global(saved);
+    EXPECT_NE(text.find("mem_head_room 2.5\n"), std::string::npos)
+        << text;
+    EXPECT_EQ(text.find("2,5"), std::string::npos) << text;
 }
 
 } // namespace

@@ -12,6 +12,14 @@
  *   mobilebench catalog [category]         list hardware counters
  *   mobilebench cache <stats|clear>        inspect the profile store
  *   mobilebench telemetry <dir>            summarize a telemetry dir
+ *   mobilebench ingest <bundle>            analyze external traces
+ *
+ * `ingest` reads a trace bundle (manifest.json + traces/ CSVs, the
+ * format `pipeline --telemetry-out` exports under trace-bundle/) and
+ * either summarizes the ingested profiles or, with `--pipeline`, runs
+ * the full characterization pipeline on them. `--lax` drops-and-counts
+ * malformed rows and unknown columns instead of dying; `--tick <s>`
+ * overrides the resampling interval.
  *
  * Observability flags (any command): `--trace <file>` writes a Chrome
  * trace-event JSON (open in Perfetto), `--metrics <file>` writes a
@@ -32,6 +40,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -53,6 +62,8 @@
 #include "obs/progress.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
+#include "ingest/bundle_reader.hh"
+#include "ingest/bundle_writer.hh"
 #include "roi/roi.hh"
 #include "soc/energy.hh"
 #include "store/profile_store.hh"
@@ -61,26 +72,31 @@
 namespace mbs {
 namespace {
 
-int
-usage()
+/** One line per subcommand; shared by --help and error paths. */
+constexpr const char *commandList =
+    "  list                        suites and benchmarks\n"
+    "  profile <benchmark|suite>   metrics + sparklines\n"
+    "  counters <benchmark> <c..>  counter CSV to stdout\n"
+    "  pipeline                    full paper pipeline\n"
+    "  ingest <bundle>             analyze an external trace bundle\n"
+    "  roi <benchmark> [fraction]  simulation-ROI pick\n"
+    "  energy <benchmark>          energy breakdown\n"
+    "  catalog [category]          hardware counters\n"
+    "  cache <stats|clear>         inspect or empty the\n"
+    "                              profile store (needs --cache-dir)\n"
+    "  load <file>                 profile suites from a\n"
+    "                              workload definition file\n"
+    "  telemetry <dir>             summarize a telemetry "
+    "bundle written\n"
+    "                              by --telemetry-out\n"
+    "  help                        this message (also --help, -h)\n";
+
+void
+printUsage(std::FILE *out)
 {
-    std::fprintf(stderr,
+    std::fprintf(out,
                  "usage: mobilebench <command> [args] [flags]\n"
-                 "  list                        suites and benchmarks\n"
-                 "  profile <benchmark|suite>   metrics + sparklines\n"
-                 "  counters <benchmark> <c..>  counter CSV to stdout\n"
-                 "  pipeline                    full paper pipeline\n"
-                 "  roi <benchmark> [fraction]  simulation-ROI pick\n"
-                 "  energy <benchmark>          energy breakdown\n"
-                 "  catalog [category]          hardware counters\n"
-                 "  cache <stats|clear>         inspect or empty the\n"
-                 "                              profile store "
-                 "(needs --cache-dir)\n"
-                 "  load <file>                 profile suites from a\n"
-                 "                              workload definition file\n"
-                 "  telemetry <dir>             summarize a telemetry "
-                 "bundle written\n"
-                 "                              by --telemetry-out\n"
+                 "%s"
                  "flags (any command):\n"
                  "  --trace <file>       write a Chrome trace-event "
                  "JSON (Perfetto)\n"
@@ -88,8 +104,10 @@ usage()
                  "snapshot (JSON)\n"
                  "  --telemetry-out <dir>  write metrics.prom, "
                  "metrics.json,\n"
-                 "                       timeseries.csv, events.jsonl "
-                 "and trace.json\n"
+                 "                       timeseries.csv, events.jsonl, "
+                 "trace.json and\n"
+                 "                       (pipeline) a re-ingestable "
+                 "trace-bundle/\n"
                  "  --progress           per-benchmark progress on "
                  "stderr\n"
                  "  --log-timestamps     prefix log lines with elapsed "
@@ -100,7 +118,32 @@ usage()
                  "identical for any n)\n"
                  "  --cache-dir <dir>    memoize profiling results in "
                  "an on-disk\n"
-                 "                       content-addressed store\n");
+                 "                       content-addressed store\n"
+                 "flags (ingest):\n"
+                 "  --pipeline           run the full characterization "
+                 "pipeline on\n"
+                 "                       the ingested profiles\n"
+                 "  --lax                drop-and-count malformed rows "
+                 "and unknown\n"
+                 "                       columns instead of dying\n"
+                 "  --tick <seconds>     resampling interval (default: "
+                 "the bundle's\n"
+                 "                       own sample period)\n",
+                 commandList);
+}
+
+int
+usage()
+{
+    printUsage(stderr);
+    return 2;
+}
+
+int
+unknownCommand(const std::string &cmd)
+{
+    std::fprintf(stderr, "unknown command '%s'; commands are:\n%s",
+                 cmd.c_str(), commandList);
     return 2;
 }
 
@@ -201,6 +244,14 @@ struct GlobalFlags
     int jobs = 1;
     /** Profile-store directory; empty disables caching. */
     std::string cacheDir;
+    /** `mobilebench --help` / `-h`. */
+    bool help = false;
+    /** ingest: run the full pipeline on the ingested profiles. */
+    bool ingestPipeline = false;
+    /** ingest: drop-and-count instead of die on malformed input. */
+    bool lax = false;
+    /** ingest: resampling tick override; 0 uses the bundle period. */
+    double tick = 0.0;
 
     /** Apply the execution flags to a session's options. */
     ProfileOptions sessionOptions(ProfileCache *cache) const
@@ -342,6 +393,47 @@ cmdCounters(const std::string &name,
     return 0;
 }
 
+/**
+ * The report sections that depend only on the profiles (everything
+ * except Table I, which describes the registry). Printed identically
+ * by `pipeline` and `ingest --pipeline`, which is what the round-trip
+ * golden check diffs.
+ */
+void
+printReportSections(const CharacterizationReport &report)
+{
+    std::printf("%s\n", renderFig1(report).c_str());
+    std::printf("%s\n", renderTableIV().c_str());
+    std::printf("%s\n", renderTableIII(report).c_str());
+    std::printf("%s\n", renderTableV(report).c_str());
+    std::printf("%s\n", renderFig4(report).c_str());
+    std::printf("%s\n", renderFig5And6(report).c_str());
+    std::printf("%s\n", renderTableVI(report).c_str());
+    std::printf("%s\n", renderFig7(report).c_str());
+}
+
+/**
+ * Export the profiles as a re-ingestable trace bundle under
+ * `<telemetry-dir>/trace-bundle`; `mobilebench ingest` on it
+ * reproduces this run's report byte-for-byte.
+ */
+void
+exportTraceBundle(const std::string &telemetryDir,
+                  const SocConfig &config,
+                  const PipelineOptions &options,
+                  const std::vector<BenchmarkProfile> &profiles)
+{
+    ingest::TraceBundleWriter writer(config,
+                                     options.profile.tickSeconds);
+    for (const auto &p : profiles) {
+        const Benchmark &unit = registry().unit(p.name);
+        writer.add(p, unit.totalDurationSeconds(),
+                   unit.individuallyExecutable());
+    }
+    writer.write(std::filesystem::path(telemetryDir) /
+                 "trace-bundle");
+}
+
 int
 cmdPipeline(const GlobalFlags &flags)
 {
@@ -352,15 +444,81 @@ cmdPipeline(const GlobalFlags &flags)
     recordRunMetadata(config, options.profile);
     const CharacterizationPipeline pipeline(config, options);
     const auto report = pipeline.run(registry());
+    if (!flags.telemetryDir.empty())
+        exportTraceBundle(flags.telemetryDir, config, options,
+                          report.profiles);
     std::printf("%s\n", renderTableI(registry()).c_str());
-    std::printf("%s\n", renderFig1(report).c_str());
-    std::printf("%s\n", renderTableIV().c_str());
-    std::printf("%s\n", renderTableIII(report).c_str());
-    std::printf("%s\n", renderTableV(report).c_str());
-    std::printf("%s\n", renderFig4(report).c_str());
-    std::printf("%s\n", renderFig5And6(report).c_str());
-    std::printf("%s\n", renderTableVI(report).c_str());
-    std::printf("%s\n", renderFig7(report).c_str());
+    printReportSections(report);
+    return 0;
+}
+
+int
+cmdIngest(const std::string &bundle, const GlobalFlags &flags)
+{
+    const auto store = flags.openStore();
+    ingest::IngestOptions options;
+    options.tickSeconds = flags.tick;
+    options.lax = flags.lax;
+    options.cache = store.get();
+    const ingest::TraceBundleReader reader(options);
+    const auto result = reader.read(bundle);
+
+    if (flags.ingestPipeline) {
+        // analyze() never touches the simulator, so the pipeline's
+        // SoC configuration is irrelevant here; the profiles carry
+        // the captured platform's behaviour.
+        PipelineOptions pipelineOptions;
+        pipelineOptions.profile.jobs = flags.jobs;
+        const CharacterizationPipeline pipeline(
+            SocConfig::snapdragon888(), pipelineOptions);
+        std::vector<WorkloadInfo> workloads;
+        workloads.reserve(result.manifest.benchmarks.size());
+        for (const auto &b : result.manifest.benchmarks) {
+            workloads.push_back(WorkloadInfo{
+                b.plannedRuntimeSeconds, b.individuallyExecutable});
+        }
+        printReportSections(
+            pipeline.analyze(result.profiles, workloads));
+        return 0;
+    }
+
+    std::printf("%s: %zu benchmarks", bundle.c_str(),
+                result.profiles.size());
+    if (result.fromCache) {
+        std::printf(" (cached)\n");
+    } else {
+        std::printf(", %llu rows (%llu dropped, %llu alias hits)\n",
+                    (unsigned long long)result.stats.rows,
+                    (unsigned long long)result.stats.droppedSamples,
+                    (unsigned long long)result.stats.aliasHits);
+    }
+    if (!result.manifest.socName.empty()) {
+        std::printf("captured on %s, sample period %gs, "
+                    "resampled at %gs\n",
+                    result.manifest.socName.c_str(),
+                    result.manifest.samplePeriodSeconds,
+                    result.tickSeconds);
+    }
+    const RoiExtractor roi;
+    TextTable t({"Benchmark", "Suite", "Samples", "Runtime", "IPC",
+                 "CPU load", "GPU load", "AIE load", "ROI"});
+    t.setAlign(2, Align::Right);
+    t.setAlign(3, Align::Right);
+    t.setAlign(4, Align::Right);
+    for (const auto &p : result.profiles) {
+        const auto window = roi.extract(p);
+        t.addRow({p.name, p.suite,
+                  strformat("%zu", p.series.cpuLoad.size()),
+                  units::formatSeconds(p.runtimeSeconds),
+                  strformat("%.2f", p.ipc),
+                  units::formatPercent(p.avgCpuLoad()),
+                  units::formatPercent(p.avgGpuLoad()),
+                  units::formatPercent(p.avgAieLoad()),
+                  strformat("%.0f%%..%.0f%%",
+                            100.0 * window.startFraction,
+                            100.0 * window.endFraction)});
+    }
+    std::printf("%s", t.render().c_str());
     return 0;
 }
 
@@ -647,9 +805,24 @@ parseFlags(int argc, char **argv, GlobalFlags &flags)
                     "--jobs must be >= 0 (0 = all cores)");
         } else if (arg == "--cache-dir")
             flags.cacheDir = valueOf("--cache-dir");
-        else
+        else if (arg == "--help")
+            flags.help = true;
+        else if (arg == "--pipeline")
+            flags.ingestPipeline = true;
+        else if (arg == "--lax")
+            flags.lax = true;
+        else if (arg == "--tick") {
+            const std::string v = valueOf("--tick");
+            try {
+                flags.tick = std::stod(v);
+            } catch (const std::exception &) {
+                fatal("--tick requires a number of seconds, got '" +
+                      v + "'");
+            }
+            fatalIf(flags.tick <= 0.0, "--tick must be > 0");
+        } else
             fatal("unknown flag '" + arg +
-                  "'; see: mobilebench (no arguments) for usage");
+                  "'; see: mobilebench --help for usage");
     }
     return positional;
 }
@@ -683,7 +856,19 @@ dispatch(const std::vector<std::string> &args,
         return cmdCache(args[1], flags);
     if (cmd == "telemetry" && args.size() >= 2)
         return cmdTelemetry(args[1]);
-    return usage();
+    if (cmd == "ingest" && args.size() >= 2)
+        return cmdIngest(args[1], flags);
+    // A known command with missing arguments is a usage error; an
+    // unrecognized word gets the command list.
+    static const char *known[] = {"list", "profile", "counters",
+                                  "pipeline", "roi", "energy",
+                                  "catalog", "load", "cache",
+                                  "telemetry", "ingest"};
+    for (const char *k : known) {
+        if (cmd == k)
+            return usage();
+    }
+    return unknownCommand(cmd);
 }
 
 } // namespace
@@ -696,6 +881,12 @@ main(int argc, char **argv)
     try {
         GlobalFlags flags;
         const auto args = parseFlags(argc, argv, flags);
+        if (flags.help ||
+            (!args.empty() &&
+             (args[0] == "help" || args[0] == "-h"))) {
+            printUsage(stdout);
+            return 0;
+        }
         if (args.empty())
             return usage();
 
