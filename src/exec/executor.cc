@@ -1,6 +1,7 @@
 #include "exec/executor.hh"
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "obs/events.hh"
 #include "obs/metrics.hh"
 
@@ -122,21 +123,71 @@ void Executor::workerLoop()
 void Executor::parallelFor(std::size_t n,
                            const std::function<void(std::size_t)> &body)
 {
+    // Fault-injection decisions are taken here on the submitting
+    // thread, in submission-index order, so an armed plan kills the
+    // same task indices at every --jobs count and determinism holds
+    // under chaos runs too. A doomed task dies before touching its
+    // result slot, simulating a worker failure.
     std::vector<std::future<void>> futures;
     futures.reserve(n);
-    for (std::size_t i = 0; i < n; ++i)
-        futures.push_back(submit([&body, i]() { body(i); }));
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool doomed = fault::check("exec.task").has_value();
+        futures.push_back(submit([&body, i, doomed]() {
+            if (doomed)
+                throw fault::InjectedFault("exec.task");
+            body(i);
+        }));
+    }
 
     // Await in submission order; surface the lowest failing index's
     // exception only after every task has finished so no task is left
-    // running with dangling references.
+    // running with dangling references. Injected worker deaths are
+    // resubmitted inline (still in index order, so the merge-by-
+    // submission-index contract is untouched) within a bounded budget.
     std::exception_ptr first;
-    for (std::future<void> &f : futures) {
+    for (std::size_t i = 0; i < futures.size(); ++i) {
         try {
-            f.get();
+            futures[i].get();
+            continue;
+        } catch (const fault::InjectedFault &) {
         } catch (...) {
             if (!first)
                 first = std::current_exception();
+            continue;
+        }
+
+        bool succeeded = false;
+        bool realError = false;
+        for (int retry = 0;
+             retry < kTaskResubmits && !succeeded && !realError;
+             ++retry) {
+            const bool doomed =
+                fault::check("exec.task").has_value();
+            try {
+                submit([&body, i, doomed]() {
+                    if (doomed)
+                        throw fault::InjectedFault("exec.task");
+                    body(i);
+                }).get();
+                succeeded = true;
+            } catch (const fault::InjectedFault &) {
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+                realError = true;
+            }
+        }
+        auto &injector = fault::Injector::instance();
+        if (succeeded) {
+            injector.recovered("exec.task", "resubmitted");
+        } else if (!realError) {
+            injector.degraded("exec.task",
+                              "task resubmission budget exhausted");
+            if (!first)
+                first = std::make_exception_ptr(FatalError(
+                    "task " + std::to_string(i) +
+                    " kept failing under fault injection "
+                    "(resubmission budget exhausted)"));
         }
     }
     if (first)

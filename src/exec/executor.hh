@@ -89,9 +89,18 @@ class Executor
      * Tasks may run in any order on any worker; completion is awaited
      * in index order, and the exception of the lowest failing index
      * (if any) is rethrown after every task has finished.
+     *
+     * Under an armed fault plan (src/fault), a task the plan kills is
+     * resubmitted inline up to kTaskResubmits times; the kill/retry
+     * decisions are taken on the submitting thread in index order, so
+     * injected failures — like everything else about parallelFor —
+     * are independent of the worker count.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
+
+    /** Resubmission budget for injected task failures. */
+    static constexpr int kTaskResubmits = 3;
 
   private:
     void enqueue(std::function<void()> task);

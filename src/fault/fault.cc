@@ -1,0 +1,428 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include <chrono>
+#include <thread>
+
+#include "common/digest.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/strings.hh"
+#include "obs/events.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
+
+namespace mbs {
+namespace fault {
+
+namespace {
+
+/** Site table: every injection point and the kinds it supports. */
+const std::vector<std::pair<std::string, std::vector<Kind>>> &
+siteTable()
+{
+    static const std::vector<std::pair<std::string, std::vector<Kind>>>
+        table = {
+            {"store.read",
+             {Kind::Error, Kind::Truncate, Kind::Corrupt}},
+            {"store.write", {Kind::Error}},
+            {"store.rename", {Kind::Error}},
+            {"ingest.manifest",
+             {Kind::Error, Kind::Truncate, Kind::Corrupt}},
+            {"ingest.csv",
+             {Kind::Error, Kind::Truncate, Kind::Corrupt}},
+            {"exec.task", {Kind::Error}},
+            {"telemetry.write", {Kind::Error}},
+        };
+    return table;
+}
+
+struct FaultInstruments
+{
+    obs::Counter &injected;
+    obs::Counter &recovered;
+    obs::Counter &degraded;
+};
+
+/**
+ * fault.* counters, touched once at first arm() so an armed run
+ * exports them even when every value stays zero.
+ */
+FaultInstruments &
+faultInstruments()
+{
+    auto &registry = obs::MetricsRegistry::instance();
+    static FaultInstruments instruments{
+        registry.counter("fault.injected"),
+        registry.counter("fault.recovered"),
+        registry.counter("fault.degraded"),
+    };
+    return instruments;
+}
+
+/** Decision hash: uniform in [0, 1) from the decision coordinates. */
+double
+decisionU01(std::uint64_t seed, const std::string &site,
+            std::size_t specIdx, std::uint64_t arrival)
+{
+    Fnv1a h;
+    h.mix(seed);
+    h.mix(site);
+    h.mix(static_cast<std::uint64_t>(specIdx));
+    h.mix(arrival);
+    return static_cast<double>(h.value() >> 11) * 0x1.0p-53;
+}
+
+std::string
+formatRate(double rate)
+{
+    std::ostringstream out;
+    out << rate;
+    const std::string text = out.str();
+    // Keep describe() round-trippable: a whole-valued rate must not
+    // collapse to an integer literal, which parse() reads as a burst.
+    if (text.find_first_of(".eE") == std::string::npos)
+        return text + ".0";
+    return text;
+}
+
+} // namespace
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Error:
+        return "eio";
+      case Kind::Truncate:
+        return "truncate";
+      case Kind::Corrupt:
+        return "corrupt";
+    }
+    return "unknown";
+}
+
+const std::vector<std::string> &
+FaultPlan::knownSites()
+{
+    static const std::vector<std::string> sites = [] {
+        std::vector<std::string> names;
+        for (const auto &[site, kinds] : siteTable())
+            names.push_back(site);
+        return names;
+    }();
+    return sites;
+}
+
+const std::vector<Kind> &
+FaultPlan::kindsFor(const std::string &site)
+{
+    static const std::vector<Kind> none;
+    for (const auto &[name, kinds] : siteTable())
+        if (name == site)
+            return kinds;
+    return none;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec, std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan.planSeed = seed;
+
+    std::stringstream stream(spec);
+    std::string entryText;
+    while (std::getline(stream, entryText, ',')) {
+        // Tolerate surrounding whitespace between entries.
+        const auto first = entryText.find_first_not_of(" \t");
+        const auto last = entryText.find_last_not_of(" \t");
+        if (first == std::string::npos)
+            continue;
+        entryText = entryText.substr(first, last - first + 1);
+
+        const auto colon = entryText.find(':');
+        const auto at = entryText.find('@', colon == std::string::npos
+                                                ? 0
+                                                : colon + 1);
+        fatalIf(colon == std::string::npos ||
+                    at == std::string::npos,
+                strformat("fault spec entry '%s' is not "
+                          "<site>:<kind>@<trigger>",
+                          entryText.c_str()));
+
+        SiteSpec entry;
+        entry.site = entryText.substr(0, colon);
+        const std::string kindText =
+            entryText.substr(colon + 1, at - colon - 1);
+        const std::string trigger = entryText.substr(at + 1);
+
+        const std::vector<Kind> &allowed = kindsFor(entry.site);
+        if (allowed.empty()) {
+            std::string all;
+            for (const std::string &name : knownSites())
+                all += (all.empty() ? "" : ", ") + name;
+            fatal(strformat("unknown fault site '%s' (known: %s)",
+                            entry.site.c_str(), all.c_str()));
+        }
+
+        bool kindKnown = kindText == "any";
+        entry.anyKind = kindKnown;
+        for (Kind kind : {Kind::Error, Kind::Truncate, Kind::Corrupt})
+            if (kindText == kindName(kind)) {
+                entry.kind = kind;
+                kindKnown = true;
+            }
+        fatalIf(!kindKnown,
+                strformat("unknown fault kind '%s' in '%s' "
+                          "(known: eio, truncate, corrupt, any)",
+                          kindText.c_str(), entryText.c_str()));
+        fatalIf(!entry.anyKind &&
+                    std::find(allowed.begin(), allowed.end(),
+                              entry.kind) == allowed.end(),
+                strformat("fault site '%s' does not support kind '%s'",
+                          entry.site.c_str(), kindText.c_str()));
+
+        const bool isBurst =
+            !trigger.empty() &&
+            std::all_of(trigger.begin(), trigger.end(), [](char c) {
+                return std::isdigit(static_cast<unsigned char>(c));
+            });
+        if (isBurst) {
+            entry.burst = std::stoull(trigger);
+            fatalIf(entry.burst == 0,
+                    strformat("fault trigger '@0' in '%s' would "
+                              "never fire",
+                              entryText.c_str()));
+        } else {
+            std::size_t used = 0;
+            double rate = 0.0;
+            try {
+                rate = std::stod(trigger, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            fatalIf(used != trigger.size() || rate <= 0.0 ||
+                        rate > 1.0,
+                    strformat("fault trigger '%s' in '%s' is neither "
+                              "a burst count nor a rate in (0, 1]",
+                              trigger.c_str(), entryText.c_str()));
+            entry.rate = rate;
+        }
+        plan.entries.push_back(std::move(entry));
+    }
+    fatalIf(plan.entries.empty(),
+            strformat("fault spec '%s' contains no entries",
+                      spec.c_str()));
+    return plan;
+}
+
+FaultPlan
+FaultPlan::uniform(double rate, std::uint64_t seed)
+{
+    fatalIf(rate <= 0.0 || rate > 1.0,
+            strformat("--fault-rate %g is outside (0, 1]", rate));
+    FaultPlan plan;
+    plan.planSeed = seed;
+    for (const auto &[site, kinds] : siteTable()) {
+        SiteSpec entry;
+        entry.site = site;
+        entry.anyKind = true;
+        entry.rate = rate;
+        plan.entries.push_back(std::move(entry));
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::string text;
+    for (const SiteSpec &entry : entries) {
+        if (!text.empty())
+            text += ",";
+        text += entry.site;
+        text += ":";
+        text += entry.anyKind ? "any" : kindName(entry.kind);
+        text += "@";
+        text += entry.burst > 0 ? std::to_string(entry.burst)
+                                : formatRate(entry.rate);
+    }
+    return text;
+}
+
+Injector &
+Injector::instance()
+{
+    static Injector injector;
+    return injector;
+}
+
+void
+Injector::arm(const FaultPlan &newPlan)
+{
+    faultInstruments();
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        plan = newPlan;
+        sites.clear();
+        for (std::size_t i = 0; i < plan.entries.size(); ++i)
+            sites[plan.entries[i].site].specs.push_back(i);
+        for (auto &[site, state] : sites) {
+            Fnv1a h;
+            h.mix(plan.seed());
+            h.mix(site);
+            h.mix(std::string("mutate"));
+            state.mutateState = h.value();
+        }
+        armed.store(!plan.empty(), std::memory_order_relaxed);
+    }
+    // The telemetry sink lives *below* this layer in the dependency
+    // order, so its injection point is this gate: injected write
+    // errors are retried, and an exhausted budget skips the file
+    // (the sink's own graceful-degradation path).
+    obs::setTelemetryWriteGate([](const std::string &path) {
+        auto &injector = Injector::instance();
+        bool sawInjectedError = false;
+        for (int attempt = 1; attempt <= 3; ++attempt) {
+            if (check("telemetry.write") == Kind::Error) {
+                sawInjectedError = true;
+                if (attempt < 3) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1
+                                                  << (attempt - 1)));
+                }
+                continue;
+            }
+            if (sawInjectedError)
+                injector.recovered("telemetry.write", "retried");
+            return true;
+        }
+        injector.degraded("telemetry.write",
+                          "write retries exhausted; skipping '" +
+                              path + "'");
+        return false;
+    });
+}
+
+void
+Injector::disarm()
+{
+    obs::setTelemetryWriteGate({});
+    std::lock_guard<std::mutex> lock(mtx);
+    armed.store(false, std::memory_order_relaxed);
+    plan = FaultPlan();
+    sites.clear();
+}
+
+std::optional<Kind>
+Injector::next(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (!armed.load(std::memory_order_relaxed))
+        return std::nullopt;
+    auto it = sites.find(site);
+    if (it == sites.end())
+        return std::nullopt;
+    SiteState &state = it->second;
+    const std::uint64_t arrival = state.arrivals++;
+
+    for (std::size_t specIdx : state.specs) {
+        const SiteSpec &spec = plan.entries[specIdx];
+        bool fire = false;
+        if (spec.burst > 0) {
+            fire = arrival < spec.burst;
+        } else {
+            fire = decisionU01(plan.seed(), site, specIdx, arrival) <
+                   spec.rate;
+        }
+        if (!fire)
+            continue;
+
+        Kind kind = spec.kind;
+        if (spec.anyKind) {
+            const std::vector<Kind> &allowed =
+                FaultPlan::kindsFor(site);
+            Fnv1a h;
+            h.mix(plan.seed());
+            h.mix(site);
+            h.mix(std::string("kind"));
+            h.mix(arrival);
+            kind = allowed[h.value() % allowed.size()];
+        }
+
+        faultInstruments().injected.add();
+        obs::EventLog::instance().emit(
+            "fault.injected",
+            {{"site", site},
+             {"kind", kindName(kind)},
+             {"arrival", std::to_string(arrival)}});
+        return kind;
+    }
+    return std::nullopt;
+}
+
+std::string
+Injector::mutate(Kind kind, const std::string &site,
+                 std::string bytes)
+{
+    if (bytes.empty())
+        return bytes;
+    std::uint64_t seed;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto it = sites.find(site);
+        if (it == sites.end())
+            return bytes;
+        // Advance the per-site stream so successive mutations at one
+        // site differ, while the whole sequence replays under re-arm.
+        it->second.mutateState =
+            SplitMix64(it->second.mutateState).next();
+        seed = it->second.mutateState;
+    }
+    SplitMix64 rng(seed);
+    switch (kind) {
+      case Kind::Error:
+        break;
+      case Kind::Truncate: {
+        const double u01 =
+            static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+        const double keep = 0.05 + 0.65 * u01;
+        bytes.resize(static_cast<std::size_t>(
+            static_cast<double>(bytes.size()) * keep));
+        break;
+      }
+      case Kind::Corrupt: {
+        const std::size_t flips = 1 + bytes.size() / 512;
+        for (std::size_t i = 0; i < flips; ++i) {
+            const std::size_t pos = rng.next() % bytes.size();
+            bytes[pos] = static_cast<char>(bytes[pos] ^ 0xA5);
+        }
+        break;
+      }
+    }
+    return bytes;
+}
+
+void
+Injector::recovered(const std::string &site, const std::string &how)
+{
+    faultInstruments().recovered.add();
+    obs::EventLog::instance().emit("fault.recovered",
+                                   {{"site", site}, {"how", how}});
+}
+
+void
+Injector::degraded(const std::string &site, const std::string &detail)
+{
+    faultInstruments().degraded.add();
+    obs::EventLog::instance().emit(
+        "fault.degraded", {{"site", site}, {"detail", detail}});
+    warn(strformat("degraded at %s: %s", site.c_str(),
+                   detail.c_str()));
+}
+
+} // namespace fault
+} // namespace mbs

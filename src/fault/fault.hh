@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection.
+ *
+ * The pipeline has real failure surfaces — the on-disk profile store,
+ * external trace-bundle ingestion, the multi-worker executor, the
+ * telemetry sink — and each of them ships a recovery policy (retry
+ * with backoff, quarantine-and-bypass, partial-bundle salvage, task
+ * resubmission). This module exists to *exercise* those policies
+ * continuously: a FaultPlan names injection points ("sites") and,
+ * per site, a fault kind plus a trigger; the process-wide Injector
+ * then decides, arrival by arrival, whether the next operation at a
+ * site fails.
+ *
+ * Determinism is the load-bearing property. Every decision is a pure
+ * function of (plan seed, site name, spec index, arrival number), and
+ * every call site arranges for arrivals to happen in a deterministic
+ * order (store/ingest/telemetry operations are serial; executor task
+ * decisions are taken on the submitting thread in submission order).
+ * Re-arming the same plan therefore replays the exact same fault
+ * pattern, for any `--jobs` count — which is what lets `mobilebench
+ * chaos` assert that a recovered run is byte-identical to a
+ * fault-free one.
+ *
+ * Spec grammar (comma-separated entries):
+ *
+ *   <site>:<kind>@<trigger>
+ *
+ *   site     store.read | store.write | store.rename |
+ *            ingest.manifest | ingest.csv | exec.task |
+ *            telemetry.write
+ *   kind     eio (operation fails) | truncate (payload cut short) |
+ *            corrupt (payload bytes flipped) | any (pick among the
+ *            site's supported kinds, deterministically per arrival)
+ *   trigger  integer N  -> fire on the first N arrivals at the site
+ *            fraction p -> fire each arrival with probability p
+ *                          ("1.0" always fires; "1" fires once)
+ *
+ * Examples: `store.read:eio@3` (the first three store reads fail),
+ * `ingest.csv:truncate@0.01` (each trace file is truncated with 1%
+ * probability).
+ *
+ * Zero-cost when idle: call sites guard with `fault::check(site)`,
+ * whose fast path is a single relaxed atomic load; with no plan
+ * armed, nothing else happens.
+ *
+ * Observability: every fired injection increments `fault.injected`,
+ * every neutralized one `fault.recovered`, every surviving
+ * degradation `fault.degraded`, each with a matching event.
+ */
+
+#ifndef MBS_FAULT_FAULT_HH
+#define MBS_FAULT_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mbs {
+namespace fault {
+
+/** What an injected fault does to the faulted operation. */
+enum class Kind {
+    /** The operation fails outright (IO error, worker death). */
+    Error,
+    /** The operation yields a truncated payload. */
+    Truncate,
+    /** The operation yields a payload with flipped bytes. */
+    Corrupt,
+};
+
+/** Spec-grammar name of @p kind ("eio", "truncate", "corrupt"). */
+const char *kindName(Kind kind);
+
+/** One parsed spec entry: a site, a kind and a trigger. */
+struct SiteSpec
+{
+    std::string site;
+    /** True for uniform plans: pick any kind the site supports. */
+    bool anyKind = false;
+    Kind kind = Kind::Error;
+    /** Bernoulli probability per arrival; 0 when burst-triggered. */
+    double rate = 0.0;
+    /** Fire on the first `burst` arrivals; 0 when rate-triggered. */
+    std::uint64_t burst = 0;
+};
+
+/**
+ * A parsed, seeded fault plan. Immutable once constructed; arm it on
+ * the Injector to make it live.
+ */
+class FaultPlan
+{
+  public:
+    /** The empty plan: injects nothing. */
+    FaultPlan() = default;
+
+    /**
+     * Parse an explicit spec string (see the grammar above).
+     * fatal() on unknown sites/kinds or malformed triggers.
+     */
+    static FaultPlan parse(const std::string &spec,
+                           std::uint64_t seed);
+
+    /**
+     * A plan covering every known site at probability @p rate per
+     * arrival, with the fault kind drawn (deterministically) from
+     * the kinds each site supports.
+     */
+    static FaultPlan uniform(double rate, std::uint64_t seed);
+
+    bool empty() const { return entries.empty(); }
+    std::uint64_t seed() const { return planSeed; }
+
+    /** Canonical spec string (round-trips through parse). */
+    std::string describe() const;
+
+    /** Every site the framework can inject at. */
+    static const std::vector<std::string> &knownSites();
+
+    /** The kinds @p site supports; empty for unknown sites. */
+    static const std::vector<Kind> &kindsFor(const std::string &site);
+
+  private:
+    friend class Injector;
+
+    std::vector<SiteSpec> entries;
+    std::uint64_t planSeed = 0;
+};
+
+/** Thrown by a task that an armed plan decided to kill. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    explicit InjectedFault(const std::string &site)
+        : std::runtime_error("injected fault at " + site),
+          siteName(site)
+    {}
+
+    const std::string &site() const { return siteName; }
+
+  private:
+    std::string siteName;
+};
+
+/**
+ * The process-wide fault injector.
+ *
+ * Disarmed by default; arm() activates a plan and resets all arrival
+ * counters, so the same plan always replays the same fault pattern.
+ * Thread-safe: decisions take a mutex, but only once a plan is armed.
+ */
+class Injector
+{
+  public:
+    static Injector &instance();
+
+    /** Activate @p plan, resetting every arrival counter. */
+    void arm(const FaultPlan &plan);
+
+    /** Deactivate injection (the idle state). */
+    void disarm();
+
+    /** Fast path: is any plan armed? One relaxed atomic load. */
+    bool active() const
+    {
+        return armed.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Register one arrival at @p site and decide its fate. Returns
+     * the fault kind to apply, or nullopt to proceed normally.
+     * Counts `fault.injected` and emits a `fault.injected` event
+     * when firing.
+     */
+    std::optional<Kind> next(const std::string &site);
+
+    /**
+     * Deterministically apply @p kind to a payload: Truncate cuts it
+     * to a seeded fraction, Corrupt flips seeded byte positions.
+     * (Error has no payload transformation; bytes pass through.)
+     */
+    std::string mutate(Kind kind, const std::string &site,
+                       std::string bytes);
+
+    /** A recovery policy neutralized an injected fault at @p site. */
+    void recovered(const std::string &site, const std::string &how);
+
+    /**
+     * The system degraded gracefully at @p site (cache bypassed,
+     * artifact dropped, benchmark salvaged) but kept running.
+     */
+    void degraded(const std::string &site, const std::string &detail);
+
+  private:
+    Injector() = default;
+
+    struct SiteState
+    {
+        /** Indices into plan.entries targeting this site. */
+        std::vector<std::size_t> specs;
+        std::uint64_t arrivals = 0;
+        /** Payload-mutation stream, seeded per site at arm(). */
+        std::uint64_t mutateState = 0;
+    };
+
+    std::atomic<bool> armed{false};
+    mutable std::mutex mtx;
+    FaultPlan plan;
+    std::map<std::string, SiteState> sites;
+};
+
+/**
+ * Guarded decision helper for call sites: nullopt (at the cost of
+ * one relaxed atomic load) when no plan is armed, otherwise the
+ * Injector's verdict for this arrival.
+ */
+inline std::optional<Kind>
+check(const char *site)
+{
+    Injector &inj = Injector::instance();
+    if (!inj.active())
+        return std::nullopt;
+    return inj.next(site);
+}
+
+/** RAII arm/disarm, for tests and the chaos driver. */
+class ScopedPlan
+{
+  public:
+    explicit ScopedPlan(const FaultPlan &plan)
+    {
+        Injector::instance().arm(plan);
+    }
+    ~ScopedPlan() { Injector::instance().disarm(); }
+
+    ScopedPlan(const ScopedPlan &) = delete;
+    ScopedPlan &operator=(const ScopedPlan &) = delete;
+};
+
+} // namespace fault
+} // namespace mbs
+
+#endif // MBS_FAULT_FAULT_HH

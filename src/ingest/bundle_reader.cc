@@ -1,15 +1,18 @@
 #include "ingest/bundle_reader.hh"
 
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <sstream>
 #include <string_view>
+#include <thread>
 
 #include "common/digest.hh"
 #include "common/json_parse.hh"
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "fault/fault.hh"
 #include "ingest/resample.hh"
 #include "ingest/schema.hh"
 #include "obs/events.hh"
@@ -42,6 +45,41 @@ readFileBytes(const fs::path &path, const char *what)
     fatalIf(!in.good() && !in.eof(),
             "error reading " + path.string());
     return std::move(buf).str();
+}
+
+/**
+ * readFileBytes() under a fault-injection site: injected IO errors
+ * are retried with backoff (and counted recovered on success, fatal
+ * once the budget runs out); injected truncation/corruption mutates
+ * the bytes so the downstream parser exercises its diagnostics.
+ */
+std::string
+readFileBytesInjected(const fs::path &path, const char *what,
+                      const char *site)
+{
+    auto &injector = fault::Injector::instance();
+    bool sawInjectedError = false;
+    for (int attempt = 1;; ++attempt) {
+        const std::optional<fault::Kind> injected =
+            fault::check(site);
+        if (injected == fault::Kind::Error) {
+            sawInjectedError = true;
+            fatalIf(attempt >= 3,
+                    strformat("%s: injected read error "
+                              "(retries exhausted)",
+                              path.string().c_str()));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1 << (attempt - 1)));
+            continue;
+        }
+        std::string bytes = readFileBytes(path, what);
+        if (injected)
+            bytes = injector.mutate(*injected, site,
+                                    std::move(bytes));
+        if (sawInjectedError)
+            injector.recovered(site, "retried");
+        return bytes;
+    }
 }
 
 /** Locale-independent double parse; accepts an optional leading '+'. */
@@ -442,24 +480,38 @@ TraceBundleReader::read(const fs::path &bundleDir) const
 
     IngestResult result;
     const fs::path manifestPath = bundleDir / "manifest.json";
-    const std::string manifestBytes =
-        readFileBytes(manifestPath, "trace-bundle manifest");
+    const std::string manifestBytes = readFileBytesInjected(
+        manifestPath, "trace-bundle manifest", "ingest.manifest");
     result.manifest =
         parseManifest(manifestBytes, manifestPath.string());
-    const TraceManifest &manifest = result.manifest;
+    TraceManifest &manifest = result.manifest;
 
     result.tickSeconds = opts.tickSeconds > 0.0
                              ? opts.tickSeconds
                              : manifest.samplePeriodSeconds;
 
     // Bundle identity: every byte that can influence the profiles.
+    // With a fault plan armed the bytes below may be mutated copies,
+    // so the digest no longer names the on-disk content — the cache
+    // is bypassed entirely for the armed run (see below).
     Fnv1a digest;
     digest.mix(manifestBytes);
     std::vector<std::string> traceBytes;
+    std::vector<std::string> readErrors(manifest.benchmarks.size());
     traceBytes.reserve(manifest.benchmarks.size());
-    for (const TraceBenchmark &b : manifest.benchmarks) {
-        traceBytes.push_back(
-            readFileBytes(bundleDir / b.file, "trace file"));
+    for (std::size_t i = 0; i < manifest.benchmarks.size(); ++i) {
+        const TraceBenchmark &b = manifest.benchmarks[i];
+        try {
+            traceBytes.push_back(readFileBytesInjected(
+                bundleDir / b.file, "trace file", "ingest.csv"));
+        } catch (const FatalError &e) {
+            if (!opts.lax)
+                throw;
+            // Salvageable: remember the diagnostic, drop the
+            // benchmark in the parse loop below.
+            readErrors[i] = e.what();
+            traceBytes.emplace_back();
+        }
         digest.mix(traceBytes.back());
     }
     result.bundleDigest = digest.value();
@@ -467,10 +519,11 @@ TraceBundleReader::read(const fs::path &bundleDir) const
     auto &metrics = obs::MetricsRegistry::instance();
     metrics.counter("ingest.bundles").add();
 
+    const bool faultsArmed = fault::Injector::instance().active();
     const ProfileKey key{manifest.socConfigDigest,
                          result.bundleDigest, ingestCacheSeed, 1,
                          result.tickSeconds};
-    if (opts.cache != nullptr) {
+    if (opts.cache != nullptr && !faultsArmed) {
         if (auto cached = opts.cache->load(key);
             cached.has_value() &&
             cached->size() == manifest.benchmarks.size()) {
@@ -488,18 +541,59 @@ TraceBundleReader::read(const fs::path &bundleDir) const
 
     const ConversionContext ctx{manifest.gpuMaxFreqHz,
                                 manifest.aieMaxFreqHz};
+    std::vector<TraceBenchmark> survivors;
+    survivors.reserve(manifest.benchmarks.size());
     for (std::size_t i = 0; i < manifest.benchmarks.size(); ++i) {
         const TraceBenchmark &meta = manifest.benchmarks[i];
         const std::string where = (bundleDir / meta.file).string();
-        const ParsedTrace trace = parseTrace(
-            traceBytes[i], where, ctx, opts.lax, &result.stats);
-        const double tick = opts.tickSeconds > 0.0
-                                ? opts.tickSeconds
-                                : (meta.samplePeriodSeconds > 0.0
-                                       ? meta.samplePeriodSeconds
-                                       : manifest.samplePeriodSeconds);
-        result.profiles.push_back(buildProfile(
-            meta, trace, tick, opts.lax, where, &result.stats));
+        const auto salvage = [&](const std::string &error) {
+            // Partial-bundle salvage: the fault is confined to this
+            // benchmark's trace, so drop it and keep the rest.
+            result.stats.droppedBenchmarks.push_back(
+                {meta.name, error});
+            warn(strformat("--lax: dropping benchmark '%s': %s",
+                           meta.name.c_str(), error.c_str()));
+            metrics.counter("ingest.dropped_benchmarks").add();
+            obs::EventLog::instance().emit(
+                "ingest.salvage",
+                {{"benchmark", meta.name}, {"error", error}});
+            if (faultsArmed)
+                fault::Injector::instance().degraded(
+                    "ingest.csv",
+                    "dropped benchmark '" + meta.name + "'");
+        };
+        if (!readErrors[i].empty()) {
+            salvage(readErrors[i]);
+            continue;
+        }
+        try {
+            const ParsedTrace trace = parseTrace(
+                traceBytes[i], where, ctx, opts.lax, &result.stats);
+            const double tick =
+                opts.tickSeconds > 0.0
+                    ? opts.tickSeconds
+                    : (meta.samplePeriodSeconds > 0.0
+                           ? meta.samplePeriodSeconds
+                           : manifest.samplePeriodSeconds);
+            result.profiles.push_back(buildProfile(
+                meta, trace, tick, opts.lax, where, &result.stats));
+        } catch (const FatalError &e) {
+            if (!opts.lax)
+                throw;
+            salvage(e.what());
+            continue;
+        }
+        survivors.push_back(meta);
+    }
+    if (!result.stats.droppedBenchmarks.empty()) {
+        // A bundle with no survivors is still a hard failure; point
+        // at the first benchmark's diagnostic.
+        fatalIf(result.profiles.empty(),
+                result.stats.droppedBenchmarks.front().error +
+                    " (no benchmark survived --lax salvage)");
+        // Keep profiles[i] <-> manifest.benchmarks[i] aligned for
+        // every downstream consumer.
+        manifest.benchmarks = std::move(survivors);
     }
 
     metrics.counter("ingest.rows").add(result.stats.rows);
@@ -512,10 +606,16 @@ TraceBundleReader::read(const fs::path &bundleDir) const
          {"benchmarks", strformat("%zu", result.profiles.size())},
          {"rows", strformat("%llu",
                             (unsigned long long)result.stats.rows)},
+         {"dropped_benchmarks",
+          strformat("%zu", result.stats.droppedBenchmarks.size())},
          {"cached", "false"}});
 
-    if (opts.cache != nullptr)
+    // A salvaged (or fault-mutated) parse must never poison the
+    // memoization cache: only clean, complete bundles are saved.
+    if (opts.cache != nullptr && !faultsArmed &&
+        result.stats.droppedBenchmarks.empty()) {
         opts.cache->save(key, result.profiles);
+    }
     return result;
 }
 

@@ -10,7 +10,12 @@
  * unknown columns and broken rows are dropped (and counted) instead.
  * Structural faults (non-monotonic timestamps, schema mismatches,
  * truncated files) are fatal either way: silently reordering time is
- * never safe.
+ * never safe. Under --lax a structural fault confined to one
+ * benchmark's trace is additionally *salvageable*: the faulted
+ * benchmark is dropped from the bundle (recorded in
+ * IngestStats::droppedBenchmarks with its positioned diagnostic) and
+ * ingestion continues over the rest; only a bundle with no surviving
+ * benchmark still dies.
  */
 
 #ifndef MBS_INGEST_BUNDLE_READER_HH
@@ -18,6 +23,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <string>
 #include <vector>
 
 #include "ingest/trace_bundle.hh"
@@ -48,6 +54,14 @@ struct IngestOptions
     ProfileCache *cache = nullptr;
 };
 
+/** One benchmark dropped by --lax partial-bundle salvage. */
+struct DroppedBenchmark
+{
+    std::string name;
+    /** The positioned `<file>:<line>:` diagnostic that dropped it. */
+    std::string error;
+};
+
 /** Parse/normalization tallies (also exported as obs counters). */
 struct IngestStats
 {
@@ -57,13 +71,20 @@ struct IngestStats
     std::uint64_t droppedSamples = 0;
     /** Columns matched through the alias table. */
     std::uint64_t aliasHits = 0;
+    /** Benchmarks dropped by --lax salvage, manifest order. */
+    std::vector<DroppedBenchmark> droppedBenchmarks;
 };
 
 /** Everything one bundle ingestion produces. */
 struct IngestResult
 {
+    /**
+     * The parsed manifest, pruned to surviving benchmarks when --lax
+     * salvage dropped any (so profiles[i] always describes
+     * manifest.benchmarks[i]).
+     */
     TraceManifest manifest;
-    /** One profile per manifest benchmark, manifest order. */
+    /** One profile per (surviving) manifest benchmark, in order. */
     std::vector<BenchmarkProfile> profiles;
     IngestStats stats;
     /** FNV-1a over manifest and trace bytes: the cache identity. */

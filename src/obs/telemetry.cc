@@ -34,19 +34,56 @@ terminateWithFlush()
     std::abort();
 }
 
+std::mutex gateMtx;
+std::function<bool(const std::string &)> writeGate;
+
+/** Consult the installed write gate, if any, for @p path. */
+bool
+gateAllows(const std::string &path)
+{
+    std::function<bool(const std::string &)> gate;
+    {
+        std::lock_guard<std::mutex> lock(gateMtx);
+        gate = writeGate;
+    }
+    return !gate || gate(path);
+}
+
+/**
+ * Write one telemetry file, degrading to a warning on failure:
+ * losing an export must never take down the run that produced it.
+ */
 void
 writeTextFile(const fs::path &path, const std::string &content)
 {
+    if (!gateAllows(path.string())) {
+        warn("skipping telemetry output '" + path.string() +
+             "' (write gate)");
+        return;
+    }
     std::ofstream out(path);
-    fatalIf(!out, "cannot open telemetry output file '" +
-            path.string() + "'");
+    if (!out) {
+        warn("cannot open telemetry output file '" + path.string() +
+             "' (continuing without it)");
+        return;
+    }
     out << content;
     out.flush();
-    fatalIf(!out, "failed writing telemetry output file '" +
-            path.string() + "'");
+    if (!out) {
+        warn("failed writing telemetry output file '" +
+             path.string() + "'");
+    }
 }
 
 } // namespace
+
+void
+setTelemetryWriteGate(
+    std::function<bool(const std::string &path)> gate)
+{
+    std::lock_guard<std::mutex> lock(gateMtx);
+    writeGate = std::move(gate);
+}
 
 TelemetrySink &
 TelemetrySink::instance()
@@ -101,7 +138,8 @@ TelemetrySink::flush(const std::string &partialReason)
         sampler.stopWallSampler();
     }
 
-    if (!configCopy.tracePath.empty()) {
+    if (!configCopy.tracePath.empty() &&
+        gateAllows(configCopy.tracePath)) {
         if (!partialReason.empty())
             Tracer::instance().metadata("partial", partialReason);
         Tracer::instance().writeJson(configCopy.tracePath);
@@ -120,11 +158,18 @@ TelemetrySink::flush(const std::string &partialReason)
         writeTextFile(dir / "metrics.json", snap.toJson(partialReason));
         writeTextFile(dir / "timeseries.csv",
                       sampler.toCsv(partialReason));
-        EventLog::instance().writeJsonl((dir / "events.jsonl").string(),
-                                        partialReason);
-        if (!partialReason.empty())
-            Tracer::instance().metadata("partial", partialReason);
-        Tracer::instance().writeJson((dir / "trace.json").string());
+        const std::string eventsPath =
+            (dir / "events.jsonl").string();
+        if (gateAllows(eventsPath))
+            EventLog::instance().writeJsonl(eventsPath,
+                                            partialReason);
+        const std::string tracePath = (dir / "trace.json").string();
+        if (gateAllows(tracePath)) {
+            if (!partialReason.empty())
+                Tracer::instance().metadata("partial",
+                                            partialReason);
+            Tracer::instance().writeJson(tracePath);
+        }
     }
 }
 

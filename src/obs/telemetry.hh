@@ -26,6 +26,7 @@
 #ifndef MBS_OBS_TELEMETRY_HH
 #define MBS_OBS_TELEMETRY_HH
 
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -48,6 +49,19 @@ struct TelemetryConfig
             !telemetryDir.empty();
     }
 };
+
+/**
+ * Install a gate consulted with each output path right before the
+ * sink writes that file; returning false skips the file (the sink
+ * degrades to a warning instead of dying — telemetry is never a
+ * correctness dependency). An empty function clears the gate.
+ *
+ * This hook exists for the fault-injection layer (src/fault), which
+ * sits *above* obs in the dependency order and so cannot be called
+ * from here directly.
+ */
+void setTelemetryWriteGate(
+    std::function<bool(const std::string &path)> gate);
 
 /**
  * The process-wide telemetry sink.

@@ -1,11 +1,14 @@
 #include "store/profile_store.hh"
 
+#include <chrono>
 #include <fstream>
 #include <system_error>
+#include <thread>
 
 #include "common/digest.hh"
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "fault/fault.hh"
 #include "obs/events.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -20,6 +23,8 @@ struct StoreMetrics
     obs::Counter &hits;
     obs::Counter &misses;
     obs::Counter &evictions;
+    obs::Counter &quarantined;
+    obs::Counter &writeFailures;
     obs::Histogram &entryBytes;
 };
 
@@ -31,6 +36,8 @@ storeMetrics()
         registry.counter("store.hits"),
         registry.counter("store.misses"),
         registry.counter("store.evictions"),
+        registry.counter("store.quarantined"),
+        registry.counter("store.write_failures"),
         registry.histogram("store.entry_bytes",
                            {4096.0, 16384.0, 65536.0, 262144.0,
                             1048576.0, 4194304.0, 16777216.0}),
@@ -39,6 +46,14 @@ storeMetrics()
 }
 
 const char entrySuffix[] = ".profile";
+
+/** Exponential backoff before retry number @p attempt (1-based). */
+void
+backoff(int attempt)
+{
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1 << (attempt - 1)));
+}
 
 } // namespace
 
@@ -74,6 +89,33 @@ ProfileStore::entryPath(const ProfileKey &key) const
                    entrySuffix);
 }
 
+bool
+ProfileStore::quarantined(const ProfileKey &key) const
+{
+    std::lock_guard<std::mutex> lock(quarantineMtx);
+    return quarantineSet.count(keyDigest(key)) > 0;
+}
+
+void
+ProfileStore::noteReadFailure(std::uint64_t digest)
+{
+    std::lock_guard<std::mutex> lock(quarantineMtx);
+    if (quarantineSet.count(digest))
+        return;
+    if (++readFailures[digest] < kQuarantineThreshold)
+        return;
+    quarantineSet.insert(digest);
+    storeMetrics().quarantined.add();
+    obs::EventLog::instance().emit(
+        "store.quarantine",
+        {{"entry", strformat("%016llx", (unsigned long long)digest)},
+         {"failures", std::to_string(readFailures[digest])}});
+    warn(strformat("cache entry %016llx failed %d reads; "
+                   "quarantined (recomputing from now on)",
+                   (unsigned long long)digest,
+                   readFailures[digest]));
+}
+
 std::optional<std::vector<BenchmarkProfile>>
 ProfileStore::load(const ProfileKey &key)
 {
@@ -81,35 +123,78 @@ ProfileStore::load(const ProfileKey &key)
     const obs::ScopedSpan span("store.load", "store",
                                {{"entry", path.filename().string()}});
     StoreMetrics &m = storeMetrics();
+    auto &injector = fault::Injector::instance();
 
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
+    // A quarantined entry is bypassed outright: recomputation is
+    // cheap and deterministic, a flapping cache slot is neither.
+    if (quarantined(key)) {
         m.misses.add();
         obs::EventLog::instance().emit(
-            "store.miss", {{"entry", path.filename().string()}});
+            "store.bypass", {{"entry", path.filename().string()},
+                             {"reason", "quarantined"}});
         return std::nullopt;
     }
-    std::string bytes((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-    in.close();
 
-    auto profiles = deserializeProfiles(key, bytes);
-    if (!profiles) {
-        // Corrupt, truncated or stale-format entry: evict it so the
-        // slot is rewritten cleanly after the re-simulation.
-        std::error_code ec;
-        std::filesystem::remove(path, ec);
-        m.evictions.add();
-        m.misses.add();
+    bool sawInjectedError = false;
+    for (int attempt = 1; attempt <= kIoAttempts; ++attempt) {
+        const std::optional<fault::Kind> injected =
+            fault::check("store.read");
+        if (injected == fault::Kind::Error) {
+            // A transient read error: back off and retry.
+            sawInjectedError = true;
+            if (attempt < kIoAttempts) {
+                backoff(attempt);
+                continue;
+            }
+            noteReadFailure(keyDigest(key));
+            m.misses.add();
+            injector.degraded("store.read",
+                              "read retries exhausted; recomputing");
+            return std::nullopt;
+        }
+
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            // Definitive absence: the normal cold-cache miss.
+            m.misses.add();
+            obs::EventLog::instance().emit(
+                "store.miss", {{"entry", path.filename().string()}});
+            if (sawInjectedError)
+                injector.recovered("store.read", "retried");
+            return std::nullopt;
+        }
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        in.close();
+
+        if (injected)
+            bytes = injector.mutate(*injected, "store.read",
+                                    std::move(bytes));
+
+        auto profiles = deserializeProfiles(key, bytes);
+        if (!profiles) {
+            // Corrupt, truncated or stale-format entry: evict it so
+            // the slot is rewritten cleanly after the re-simulation.
+            std::error_code ec;
+            std::filesystem::remove(path, ec);
+            m.evictions.add();
+            m.misses.add();
+            obs::EventLog::instance().emit(
+                "store.evict", {{"entry", path.filename().string()},
+                                {"reason", "corrupt"}});
+            noteReadFailure(keyDigest(key));
+            if (injected || sawInjectedError)
+                injector.recovered("store.read", "evict+recompute");
+            return std::nullopt;
+        }
+        m.hits.add();
         obs::EventLog::instance().emit(
-            "store.evict", {{"entry", path.filename().string()},
-                            {"reason", "corrupt"}});
-        return std::nullopt;
+            "store.hit", {{"entry", path.filename().string()}});
+        if (sawInjectedError)
+            injector.recovered("store.read", "retried");
+        return profiles;
     }
-    m.hits.add();
-    obs::EventLog::instance().emit(
-        "store.hit", {{"entry", path.filename().string()}});
-    return profiles;
+    return std::nullopt; // Unreachable; the loop always returns.
 }
 
 void
@@ -119,26 +204,82 @@ ProfileStore::save(const ProfileKey &key,
     const std::filesystem::path path = entryPath(key);
     const obs::ScopedSpan span("store.save", "store",
                                {{"entry", path.filename().string()}});
+
+    // Rewriting a quarantined slot would only re-arm the flapping
+    // entry; leave it bypassed for the rest of the run.
+    if (quarantined(key)) {
+        obs::EventLog::instance().emit(
+            "store.save.skip", {{"entry", path.filename().string()},
+                                {"reason", "quarantined"}});
+        return;
+    }
+
     const std::string bytes = serializeProfiles(key, profiles);
+    auto &injector = fault::Injector::instance();
 
     // Write-then-rename keeps the entry atomic: a concurrent reader
     // either sees the complete old entry or the complete new one.
     const std::filesystem::path tmp = path.string() + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        fatalIf(!out, "cannot write cache entry '" + tmp.string() + "'");
-        out.write(bytes.data(), std::streamsize(bytes.size()));
-        fatalIf(!out.good(),
-                "short write to cache entry '" + tmp.string() + "'");
+    std::string failure;
+    for (int attempt = 1; attempt <= kIoAttempts; ++attempt) {
+        if (attempt > 1)
+            backoff(attempt - 1);
+        failure.clear();
+        if (fault::check("store.write") == fault::Kind::Error) {
+            failure = "injected write error";
+        } else {
+            std::ofstream out(tmp,
+                              std::ios::binary | std::ios::trunc);
+            if (!out) {
+                failure =
+                    "cannot write cache entry '" + tmp.string() + "'";
+            } else {
+                out.write(bytes.data(),
+                          std::streamsize(bytes.size()));
+                if (!out.good())
+                    failure = "short write to cache entry '" +
+                              tmp.string() + "'";
+            }
+        }
+        if (failure.empty() &&
+            fault::check("store.rename") == fault::Kind::Error) {
+            failure = "injected rename error";
+        }
+        if (failure.empty()) {
+            std::error_code ec;
+            std::filesystem::rename(tmp, path, ec);
+            if (ec)
+                failure = "cannot publish cache entry '" +
+                          path.string() + "': " + ec.message();
+        }
+        if (failure.empty()) {
+            if (attempt > 1)
+                injector.recovered("store.write", "retried");
+            storeMetrics().entryBytes.observe(double(bytes.size()));
+            obs::EventLog::instance().emit(
+                "store.save",
+                {{"entry", path.filename().string()},
+                 {"bytes", strformat("%zu", bytes.size())}});
+            return;
+        }
+        std::error_code rm;
+        std::filesystem::remove(tmp, rm);
     }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    fatalIf(bool(ec), "cannot publish cache entry '" + path.string() +
-                          "': " + ec.message());
-    storeMetrics().entryBytes.observe(double(bytes.size()));
-    obs::EventLog::instance().emit(
-        "store.save", {{"entry", path.filename().string()},
-                       {"bytes", strformat("%zu", bytes.size())}});
+
+    // The store is an accelerator: a failed save costs the next run
+    // a recomputation, never this run its results.
+    storeMetrics().writeFailures.add();
+    if (fault::Injector::instance().active()) {
+        injector.degraded("store.write", failure);
+    } else {
+        warn(strformat("cache save failed after %d attempts "
+                       "(continuing uncached): %s",
+                       kIoAttempts, failure.c_str()));
+        obs::EventLog::instance().emit(
+            "store.save.fail",
+            {{"entry", path.filename().string()},
+             {"error", failure}});
+    }
 }
 
 ProfileStore::Stats

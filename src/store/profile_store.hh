@@ -13,9 +13,15 @@
  * Robustness: writes go to a temporary file that is renamed into
  * place (readers never see partial entries), and any unreadable,
  * truncated, corrupt or version-mismatched entry is evicted and
- * treated as a miss. Observability: `store.hits`, `store.misses`
- * and `store.evictions` counters, a `store.entry_bytes` histogram
- * and per-operation spans via src/obs.
+ * treated as a miss. IO errors are retried with exponential backoff
+ * (kIoAttempts tries); an entry whose reads keep failing is
+ * quarantined — later loads bypass it (recomputation wins over a
+ * flapping cache slot) and saves stop rewriting it. A failed save
+ * degrades to a warning rather than killing the run: the cache is an
+ * accelerator, never a correctness dependency. Observability:
+ * `store.hits`, `store.misses`, `store.evictions`,
+ * `store.quarantined` and `store.write_failures` counters, a
+ * `store.entry_bytes` histogram and per-operation spans via src/obs.
  */
 
 #ifndef MBS_STORE_PROFILE_STORE_HH
@@ -24,7 +30,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <map>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -65,10 +74,28 @@ class ProfileStore : public ProfileCache
     /** The digest that names @p key's entry file. */
     static std::uint64_t keyDigest(const ProfileKey &key);
 
+    /** Is @p key's entry quarantined (loads bypass, saves skip)? */
+    bool quarantined(const ProfileKey &key) const;
+
+    /** IO attempts per load/save before giving up (1 + retries). */
+    static constexpr int kIoAttempts = 3;
+    /** Read failures of one entry before it is quarantined. */
+    static constexpr int kQuarantineThreshold = 2;
+
   private:
     std::filesystem::path entryPath(const ProfileKey &key) const;
 
+    /**
+     * Record a failed read of @p digest's entry; quarantine it once
+     * the failure count reaches kQuarantineThreshold.
+     */
+    void noteReadFailure(std::uint64_t digest);
+
     std::filesystem::path root;
+
+    mutable std::mutex quarantineMtx;
+    std::map<std::uint64_t, int> readFailures;
+    std::set<std::uint64_t> quarantineSet;
 };
 
 } // namespace mbs

@@ -2,7 +2,8 @@
  * @file
  * Executor unit tests: job resolution, inline serial mode, the
  * deterministic merge contract of parallelFor, future-based
- * submission, exception propagation and the exec.* instruments.
+ * submission, exception propagation, injected-fault task
+ * resubmission and the exec.* instruments.
  */
 
 #include <atomic>
@@ -14,6 +15,7 @@
 
 #include "common/logging.hh"
 #include "exec/executor.hh"
+#include "fault/fault.hh"
 #include "obs/metrics.hh"
 
 namespace mbs {
@@ -127,6 +129,84 @@ TEST(Executor, ManyMoreTasksThanWorkers)
         sum.fetch_add(long(i));
     });
     EXPECT_EQ(sum.load(), 999L * 1000L / 2L);
+}
+
+std::uint64_t
+faultCounter(const std::string &name)
+{
+    return obs::MetricsRegistry::instance().counter(name).value();
+}
+
+TEST(Executor, ResubmitsInjectedTaskDeathsWithIdenticalResults)
+{
+    // The first three submissions are killed; resubmission must
+    // restore every slot, so the merged result stays bit-identical
+    // to a fault-free run for any job count.
+    for (int jobs : {1, 4}) {
+        const std::uint64_t injected = faultCounter("fault.injected");
+        const std::uint64_t recovered =
+            faultCounter("fault.recovered");
+        fault::ScopedPlan guard(
+            fault::FaultPlan::parse("exec.task:eio@3", 17));
+        Executor exec(jobs);
+        std::vector<double> slots(32, 0.0);
+        exec.parallelFor(slots.size(), [&slots](std::size_t i) {
+            slots[i] = double(i) * 2.0 + 0.5;
+        });
+        for (std::size_t i = 0; i < slots.size(); ++i)
+            EXPECT_EQ(slots[i], double(i) * 2.0 + 0.5)
+                << "jobs=" << jobs << " slot " << i;
+        EXPECT_EQ(faultCounter("fault.injected"), injected + 3)
+            << "jobs=" << jobs;
+        EXPECT_EQ(faultCounter("fault.recovered"), recovered + 3)
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(Executor, ExhaustedResubmissionBudgetDegradesToFatal)
+{
+    // Rate 1.0 kills every submission and every resubmission: the
+    // budget runs out and parallelFor reports the task as lost.
+    const std::uint64_t degraded = faultCounter("fault.degraded");
+    fault::ScopedPlan guard(
+        fault::FaultPlan::parse("exec.task:eio@1.0", 17));
+    Executor exec(2);
+    std::atomic<int> completed{0};
+    try {
+        exec.parallelFor(8, [&completed](std::size_t) {
+            completed.fetch_add(1);
+        });
+        FAIL() << "expected the exhausted budget to propagate";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("resubmission budget exhausted"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_GE(faultCounter("fault.degraded"), degraded + 1);
+    EXPECT_EQ(completed.load(), 0);
+}
+
+TEST(Executor, RealTaskExceptionsAreNotRetried)
+{
+    // A genuine failure inside a task must propagate as-is even with
+    // a plan armed — resubmission is for injected deaths only.
+    fault::ScopedPlan guard(
+        fault::FaultPlan::parse("store.read:eio@1", 17));
+    Executor exec(2);
+    std::atomic<int> attempts{0};
+    try {
+        exec.parallelFor(4, [&attempts](std::size_t i) {
+            if (i == 2) {
+                attempts.fetch_add(1);
+                throw std::runtime_error("task 2 failed for real");
+            }
+        });
+        FAIL() << "expected the task exception to propagate";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task 2 failed for real");
+    }
+    EXPECT_EQ(attempts.load(), 1);
 }
 
 } // namespace

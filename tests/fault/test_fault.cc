@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Fault-injection framework tests: spec parsing and round-tripping,
+ * trigger semantics (burst vs rate), decision determinism under
+ * re-arm, payload-mutation determinism, the idle fast path and the
+ * fault.* instruments.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fault/fault.hh"
+#include "obs/metrics.hh"
+
+namespace mbs {
+namespace fault {
+namespace {
+
+std::uint64_t
+counterValue(const std::string &name)
+{
+    return obs::MetricsRegistry::instance().counter(name).value();
+}
+
+/** Collect the injector's verdicts for @p arrivals at @p site. */
+std::vector<std::optional<Kind>>
+drain(const std::string &site, int arrivals)
+{
+    std::vector<std::optional<Kind>> verdicts;
+    for (int i = 0; i < arrivals; ++i)
+        verdicts.push_back(Injector::instance().next(site));
+    return verdicts;
+}
+
+TEST(FaultPlan, ParsesBurstAndRateEntries)
+{
+    const FaultPlan plan =
+        FaultPlan::parse("store.read:eio@3,ingest.csv:truncate@0.01",
+                         7);
+    EXPECT_FALSE(plan.empty());
+    EXPECT_EQ(plan.seed(), 7u);
+    EXPECT_EQ(plan.describe(),
+              "store.read:eio@3,ingest.csv:truncate@0.01");
+}
+
+TEST(FaultPlan, DescribeRoundTripsThroughParse)
+{
+    // Including the uniform plan, whose entries use kind "any" and a
+    // whole-valued rate — the two corners of the grammar.
+    for (const FaultPlan &plan :
+         {FaultPlan::uniform(1.0, 3),
+          FaultPlan::parse("exec.task:eio@2,store.read:corrupt@0.5",
+                           3),
+          FaultPlan::parse("telemetry.write:any@0.25", 3)}) {
+        const FaultPlan back = FaultPlan::parse(plan.describe(), 3);
+        EXPECT_EQ(back.describe(), plan.describe());
+    }
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(FaultPlan::parse("store.read", 1), FatalError);
+    EXPECT_THROW(FaultPlan::parse("no.such.site:eio@1", 1),
+                 FatalError);
+    EXPECT_THROW(FaultPlan::parse("store.read:frob@1", 1),
+                 FatalError);
+    // store.write only supports eio.
+    EXPECT_THROW(FaultPlan::parse("store.write:truncate@1", 1),
+                 FatalError);
+    EXPECT_THROW(FaultPlan::parse("store.read:eio@0", 1), FatalError);
+    EXPECT_THROW(FaultPlan::parse("store.read:eio@1.5", 1),
+                 FatalError);
+    EXPECT_THROW(FaultPlan::parse("store.read:eio@-0.5", 1),
+                 FatalError);
+    EXPECT_THROW(FaultPlan::parse("store.read:eio@x", 1),
+                 FatalError);
+    EXPECT_THROW(FaultPlan::parse("", 1), FatalError);
+    EXPECT_THROW(FaultPlan::uniform(0.0, 1), FatalError);
+    EXPECT_THROW(FaultPlan::uniform(1.5, 1), FatalError);
+}
+
+TEST(FaultPlan, KnownSitesAndKindsAreConsistent)
+{
+    const auto &sites = FaultPlan::knownSites();
+    EXPECT_EQ(sites.size(), 7u);
+    for (const std::string &site : sites)
+        EXPECT_FALSE(FaultPlan::kindsFor(site).empty()) << site;
+    EXPECT_TRUE(FaultPlan::kindsFor("no.such.site").empty());
+}
+
+TEST(Injector, IdleInjectsNothing)
+{
+    // No plan armed: the fast path must stay silent at every site.
+    EXPECT_FALSE(Injector::instance().active());
+    const std::uint64_t injected = counterValue("fault.injected");
+    for (const std::string &site : FaultPlan::knownSites())
+        EXPECT_FALSE(check(site.c_str()).has_value());
+    EXPECT_EQ(counterValue("fault.injected"), injected);
+}
+
+TEST(Injector, BurstFiresOnExactlyTheFirstNArrivals)
+{
+    const std::uint64_t injected = counterValue("fault.injected");
+    ScopedPlan guard(FaultPlan::parse("store.read:eio@3", 11));
+    EXPECT_TRUE(Injector::instance().active());
+    const auto verdicts = drain("store.read", 10);
+    for (int i = 0; i < 10; ++i) {
+        if (i < 3)
+            EXPECT_EQ(verdicts[i], Kind::Error) << "arrival " << i;
+        else
+            EXPECT_FALSE(verdicts[i].has_value()) << "arrival " << i;
+    }
+    // Other sites are untouched by a single-site plan.
+    EXPECT_FALSE(check("exec.task").has_value());
+    EXPECT_EQ(counterValue("fault.injected"), injected + 3);
+}
+
+TEST(Injector, RearmReplaysTheSamePattern)
+{
+    const FaultPlan plan = FaultPlan::uniform(0.3, 99);
+    std::vector<std::optional<Kind>> first, second;
+    {
+        ScopedPlan guard(plan);
+        first = drain("ingest.csv", 64);
+    }
+    {
+        ScopedPlan guard(plan);
+        second = drain("ingest.csv", 64);
+    }
+    EXPECT_EQ(first, second);
+    // A fair rate produces a mixed pattern, not all-or-nothing.
+    int fired = 0;
+    for (const auto &v : first)
+        fired += v.has_value() ? 1 : 0;
+    EXPECT_GT(fired, 0);
+    EXPECT_LT(fired, 64);
+}
+
+TEST(Injector, DifferentSeedsProduceDifferentPatterns)
+{
+    std::vector<std::optional<Kind>> a, b;
+    {
+        ScopedPlan guard(FaultPlan::uniform(0.3, 1));
+        a = drain("ingest.csv", 64);
+    }
+    {
+        ScopedPlan guard(FaultPlan::uniform(0.3, 2));
+        b = drain("ingest.csv", 64);
+    }
+    EXPECT_NE(a, b);
+}
+
+TEST(Injector, RateOneAlwaysFiresAndRespectsSiteKinds)
+{
+    ScopedPlan guard(FaultPlan::uniform(1.0, 5));
+    for (const std::string &site : FaultPlan::knownSites()) {
+        const auto verdicts = drain(site, 8);
+        const auto &allowed = FaultPlan::kindsFor(site);
+        for (const auto &v : verdicts) {
+            ASSERT_TRUE(v.has_value()) << site;
+            EXPECT_NE(std::find(allowed.begin(), allowed.end(), *v),
+                      allowed.end())
+                << site;
+        }
+    }
+}
+
+TEST(Injector, MutateIsDeterministicUnderRearm)
+{
+    const FaultPlan plan = FaultPlan::parse("store.read:corrupt@1",
+                                            21);
+    const std::string payload(2048, 'x');
+    std::string first, second, firstNext;
+    {
+        ScopedPlan guard(plan);
+        first = Injector::instance().mutate(Kind::Corrupt,
+                                            "store.read", payload);
+        // The per-site stream advances: a second mutation differs.
+        firstNext = Injector::instance().mutate(Kind::Corrupt,
+                                                "store.read", payload);
+    }
+    {
+        ScopedPlan guard(plan);
+        second = Injector::instance().mutate(Kind::Corrupt,
+                                             "store.read", payload);
+    }
+    EXPECT_EQ(first, second);
+    EXPECT_NE(first, payload);
+    EXPECT_NE(first, firstNext);
+    EXPECT_EQ(first.size(), payload.size());
+}
+
+TEST(Injector, TruncateShortensButKeepsSomePrefix)
+{
+    ScopedPlan guard(FaultPlan::parse("ingest.csv:truncate@1", 33));
+    const std::string payload(1000, 'y');
+    const std::string cut = Injector::instance().mutate(
+        Kind::Truncate, "ingest.csv", payload);
+    EXPECT_LT(cut.size(), payload.size());
+    EXPECT_GT(cut.size(), 0u);
+    EXPECT_EQ(cut, payload.substr(0, cut.size()));
+}
+
+TEST(Injector, RecoveredAndDegradedCountAndDisarmResets)
+{
+    const std::uint64_t recovered = counterValue("fault.recovered");
+    const std::uint64_t degraded = counterValue("fault.degraded");
+    {
+        ScopedPlan guard(FaultPlan::parse("store.read:eio@1", 55));
+        Injector::instance().recovered("store.read", "retried");
+        Injector::instance().degraded("store.read", "gave up");
+    }
+    EXPECT_EQ(counterValue("fault.recovered"), recovered + 1);
+    EXPECT_EQ(counterValue("fault.degraded"), degraded + 1);
+    // ScopedPlan disarmed on scope exit; the injector is idle again.
+    EXPECT_FALSE(Injector::instance().active());
+    EXPECT_FALSE(check("store.read").has_value());
+}
+
+TEST(Injector, InjectedFaultNamesItsSite)
+{
+    const InjectedFault fault("exec.task");
+    EXPECT_EQ(fault.site(), "exec.task");
+    EXPECT_STREQ(fault.what(), "injected fault at exec.task");
+}
+
+} // namespace
+} // namespace fault
+} // namespace mbs

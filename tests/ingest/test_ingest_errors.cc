@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "ingest/bundle_reader.hh"
 
 namespace mbs {
@@ -274,6 +275,129 @@ TEST_F(IngestErrorTest, ManifestWithoutBenchmarksDies)
         << "{\"schema\": \"mbs.trace-bundle\", \"schema_version\": 1,\n"
            "\"sample_period_seconds\": 0.1, \"benchmarks\": []}\n";
     expectContains(readerDies(), "'benchmarks' is empty");
+}
+
+/**
+ * Partial-bundle salvage: with two benchmarks in the manifest, one
+ * broken trace must not sink the other — under --lax the broken
+ * benchmark is dropped with its positioned diagnostic and the rest
+ * of the bundle survives; strict mode still dies in place.
+ */
+class IngestSalvageTest : public IngestErrorTest
+{
+  protected:
+    /**
+     * "Bad" (traces/t.csv, written per test) comes first so strict
+     * mode trips over it before anything else; "Good" carries a
+     * clean lax-parsable trace.
+     */
+    void writeTwoBenchmarkManifest()
+    {
+        std::ofstream(root / "manifest.json")
+            << "{\n"
+               "  \"schema\": \"mbs.trace-bundle\",\n"
+               "  \"schema_version\": 1,\n"
+               "  \"soc\": {\"name\": \"Test SoC\",\n"
+               "    \"config_digest\": \"0x00000000000000ab\",\n"
+               "    \"gpu_max_freq_hz\": 840e6,\n"
+               "    \"aie_max_freq_hz\": 1000e6},\n"
+               "  \"sample_period_seconds\": 0.1,\n"
+               "  \"benchmarks\": [\n"
+               "    {\"name\": \"Bad\", \"suite\": \"S\",\n"
+               "     \"file\": \"traces/t.csv\"},\n"
+               "    {\"name\": \"Good\", \"suite\": \"S\",\n"
+               "     \"file\": \"traces/good.csv\"}\n"
+               "  ]\n"
+               "}\n";
+        std::ofstream(root / "traces" / "good.csv")
+            << "time_s,cpu.load\n0.0,0.5\n0.1,0.6\n0.2,0.7\n";
+    }
+};
+
+TEST_F(IngestSalvageTest, LaxSalvagesAroundOneTruncatedTrace)
+{
+    writeTwoBenchmarkManifest();
+    // The bad trace is truncated to zero bytes — a row-level drop
+    // cannot absorb that, so the whole benchmark must be salvaged.
+    writeTrace("");
+    IngestOptions lax;
+    lax.lax = true;
+    const IngestResult result = TraceBundleReader(lax).read(root);
+
+    ASSERT_EQ(result.profiles.size(), 1u);
+    EXPECT_EQ(result.profiles[0].name, "Good");
+    EXPECT_EQ(result.profiles[0].series.cpuLoad.size(), 3u);
+
+    // The drop is recorded with the full positioned diagnostic.
+    ASSERT_EQ(result.stats.droppedBenchmarks.size(), 1u);
+    EXPECT_EQ(result.stats.droppedBenchmarks[0].name, "Bad");
+    expectContains(result.stats.droppedBenchmarks[0].error,
+                   tracePos(1) + " empty trace file (no header row)");
+
+    // The returned manifest is pruned to the survivors, so anything
+    // downstream (pipeline, re-export) sees a consistent bundle.
+    ASSERT_EQ(result.manifest.benchmarks.size(), 1u);
+    EXPECT_EQ(result.manifest.benchmarks[0].name, "Good");
+}
+
+TEST_F(IngestSalvageTest, StrictStillDiesOnTheTruncatedTrace)
+{
+    writeTwoBenchmarkManifest();
+    writeTrace("");
+    expectContains(readerDies(),
+                   tracePos(1) + " empty trace file (no header row)");
+}
+
+TEST_F(IngestSalvageTest, LaxSalvagesAroundMissingTraceFile)
+{
+    writeTwoBenchmarkManifest();
+    // traces/t.csv intentionally absent.
+    IngestOptions lax;
+    lax.lax = true;
+    const IngestResult result = TraceBundleReader(lax).read(root);
+    ASSERT_EQ(result.profiles.size(), 1u);
+    EXPECT_EQ(result.profiles[0].name, "Good");
+    ASSERT_EQ(result.stats.droppedBenchmarks.size(), 1u);
+    expectContains(result.stats.droppedBenchmarks[0].error,
+                   "cannot open trace file");
+}
+
+TEST_F(IngestSalvageTest, ZeroSurvivorsDiesEvenUnderLax)
+{
+    // Salvage is partial by definition: when every benchmark drops,
+    // the first diagnostic surfaces instead of an empty result.
+    writeManifest();
+    writeTrace("");
+    IngestOptions lax;
+    lax.lax = true;
+    const std::string msg = readerDies(lax);
+    expectContains(msg,
+                   tracePos(1) + " empty trace file (no header row)");
+    expectContains(msg, "no benchmark survived --lax salvage");
+}
+
+TEST_F(IngestSalvageTest, InjectedCsvFaultsSalvageUnderLax)
+{
+    // An injected hard read error behaves exactly like a damaged
+    // bundle: dropped under --lax. A burst of 3 exhausts the first
+    // trace read's whole retry budget (each retry is one arrival)
+    // and leaves the second benchmark's read untouched.
+    writeTwoBenchmarkManifest();
+    writeTrace("time_s,cpu.load\n0.0,0.5\n0.1,0.6\n");
+    fault::ScopedPlan guard(
+        fault::FaultPlan::parse("ingest.csv:eio@3", 13));
+    IngestOptions lax;
+    lax.lax = true;
+    const IngestResult result = TraceBundleReader(lax).read(root);
+
+    // "Bad" is read first, so it is the one the burst kills — even
+    // though its trace bytes on disk are perfectly valid.
+    ASSERT_EQ(result.profiles.size(), 1u);
+    EXPECT_EQ(result.profiles[0].name, "Good");
+    ASSERT_EQ(result.stats.droppedBenchmarks.size(), 1u);
+    EXPECT_EQ(result.stats.droppedBenchmarks[0].name, "Bad");
+    expectContains(result.stats.droppedBenchmarks[0].error,
+                   "injected read error (retries exhausted)");
 }
 
 } // namespace

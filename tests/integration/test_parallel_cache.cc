@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "core/pipeline.hh"
+#include "fault/fault.hh"
 #include "obs/metrics.hh"
 #include "report_fixture.hh"
 #include "store/profile_store.hh"
@@ -160,6 +161,53 @@ TEST(ProfileCache, WarmRunSkipsSimulationAndReproducesReport)
     EXPECT_EQ(counterValue("sim.ticks"), warm_ticks);
     EXPECT_EQ(counterValue("store.misses"), warm_misses);
     expectReportsBitIdentical(cold, warm);
+
+    fs::remove_all(dir);
+}
+
+TEST(ProfileCache, FaultedWarmRunStaysBitIdenticalAcrossJobCounts)
+{
+    // Satellite of the chaos contract: a warm cache under injected
+    // store.read corruption evicts, quarantines the flapping entries
+    // and recomputes — and the profiles stay bit-identical to the
+    // fault-free run at every job count. Quarantine bookkeeping
+    // lives in the store instance, so one store serves every run.
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "mbs-faulted-warm-cache";
+    fs::remove_all(dir);
+    ProfileStore store(dir);
+
+    ProfileOptions opts;
+    opts.cache = &store;
+    opts.jobs = 1;
+    const auto clean =
+        ProfilerSession(SocConfig::snapdragon888(), opts)
+            .profileAll(testutil::registry());
+    EXPECT_GT(store.stats().entries, 0u);
+
+    // Every cached read is corrupted. One faulted run per job count:
+    // the second one pushes each entry past the quarantine threshold.
+    const std::uint64_t quarantines =
+        counterValue("store.quarantined");
+    const fault::FaultPlan plan =
+        fault::FaultPlan::parse("store.read:corrupt@100000", 42);
+    for (int jobs : {1, 4}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        fault::ScopedPlan guard(plan);
+        ProfileOptions faulted = opts;
+        faulted.jobs = jobs;
+        expectProfilesBitIdentical(
+            clean,
+            ProfilerSession(SocConfig::snapdragon888(), faulted)
+                .profileAll(testutil::registry()));
+    }
+    EXPECT_GT(counterValue("store.quarantined"), quarantines);
+
+    // With the plan gone, quarantine still bypasses the flapping
+    // entries: the warm run recomputes them and stays identical.
+    expectProfilesBitIdentical(
+        clean, ProfilerSession(SocConfig::snapdragon888(), opts)
+                   .profileAll(testutil::registry()));
 
     fs::remove_all(dir);
 }

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * ProfileStore under fault injection: read retries recover, repeated
+ * read failures quarantine-and-bypass the entry, and exhausted write
+ * budgets degrade to an uncached run instead of dying.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hh"
+#include "obs/metrics.hh"
+#include "store/profile_store.hh"
+
+namespace mbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreFaultTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        root = fs::path(::testing::TempDir()) /
+               ("mbs-store-fault-" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        fs::remove_all(root);
+    }
+
+    void TearDown() override
+    {
+        fault::Injector::instance().disarm();
+        fs::remove_all(root);
+    }
+
+    fs::path root;
+};
+
+ProfileKey
+key(std::uint64_t seed)
+{
+    ProfileKey k;
+    k.socDigest = 0xfa017;
+    k.benchDigest = 0x57083;
+    k.seed = seed;
+    k.runs = 2;
+    k.tickSeconds = 0.1;
+    return k;
+}
+
+BenchmarkProfile
+profile(const std::string &name)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.suite = "Fault Suite";
+    p.runtimeSeconds = 1.5;
+    p.ipc = 2.0;
+    p.series.cpuLoad = TimeSeries(0.1, {0.4, 0.5});
+    return p;
+}
+
+std::uint64_t
+counterValue(const std::string &name)
+{
+    return obs::MetricsRegistry::instance().counter(name).value();
+}
+
+TEST_F(StoreFaultTest, TransientReadErrorsRetryAndRecover)
+{
+    ProfileStore store(root);
+    const auto k = key(1);
+    store.save(k, {profile("retry me")});
+
+    // Two injected errors leave one good attempt inside the budget.
+    const std::uint64_t injected = counterValue("fault.injected");
+    const std::uint64_t recovered = counterValue("fault.recovered");
+    fault::ScopedPlan guard(
+        fault::FaultPlan::parse("store.read:eio@2", 42));
+    const auto back = store.load(k);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->front().name, "retry me");
+    EXPECT_EQ(counterValue("fault.injected"), injected + 2);
+    EXPECT_EQ(counterValue("fault.recovered"), recovered + 1);
+    EXPECT_FALSE(store.quarantined(k));
+}
+
+TEST_F(StoreFaultTest, ExhaustedReadRetriesDegradeToMiss)
+{
+    ProfileStore store(root);
+    const auto k = key(2);
+    store.save(k, {profile("unreachable")});
+
+    const std::uint64_t degraded = counterValue("fault.degraded");
+    const std::uint64_t misses = counterValue("store.misses");
+    fault::ScopedPlan guard(
+        fault::FaultPlan::parse("store.read:eio@1.0", 42));
+    EXPECT_FALSE(store.load(k).has_value());
+    EXPECT_EQ(counterValue("fault.degraded"), degraded + 1);
+    EXPECT_EQ(counterValue("store.misses"), misses + 1);
+}
+
+TEST_F(StoreFaultTest, RepeatedReadFailuresQuarantineTheEntry)
+{
+    ProfileStore store(root);
+    const auto k = key(3);
+    store.save(k, {profile("flapper")});
+
+    const std::uint64_t quarantines =
+        counterValue("store.quarantined");
+    {
+        // Every read corrupts the payload, so every load evicts; at
+        // the quarantine threshold the slot turns into a bypass.
+        fault::ScopedPlan guard(
+            fault::FaultPlan::parse("store.read:corrupt@1000", 42));
+        for (int i = 0; i < ProfileStore::kQuarantineThreshold; ++i) {
+            EXPECT_FALSE(store.load(k).has_value());
+            // The recompute path re-saves; the corrupt plan only
+            // targets reads, so the save lands.
+            store.save(k, {profile("flapper")});
+        }
+    }
+    EXPECT_TRUE(store.quarantined(k));
+    EXPECT_EQ(counterValue("store.quarantined"), quarantines + 1);
+
+    // Quarantine outlives the plan: even fault-free, the slot is
+    // bypassed (a miss) and save is a no-op.
+    const std::uint64_t misses = counterValue("store.misses");
+    EXPECT_FALSE(store.load(k).has_value());
+    EXPECT_EQ(counterValue("store.misses"), misses + 1);
+    store.save(k, {profile("flapper")});
+    EXPECT_FALSE(store.load(k).has_value());
+
+    // Other keys in the same store are unaffected.
+    store.save(key(4), {profile("healthy")});
+    EXPECT_TRUE(store.load(key(4)).has_value());
+}
+
+TEST_F(StoreFaultTest, ExhaustedWriteRetriesDegradeWithoutDying)
+{
+    ProfileStore store(root);
+    const auto k = key(5);
+
+    const std::uint64_t writeFailures =
+        counterValue("store.write_failures");
+    const std::uint64_t degraded = counterValue("fault.degraded");
+    {
+        fault::ScopedPlan guard(
+            fault::FaultPlan::parse("store.write:eio@1.0", 42));
+        // Must not throw: a failed save costs a recomputation later,
+        // never the current run.
+        store.save(k, {profile("never lands")});
+    }
+    EXPECT_EQ(counterValue("store.write_failures"),
+              writeFailures + 1);
+    EXPECT_EQ(counterValue("fault.degraded"), degraded + 1);
+    EXPECT_FALSE(store.load(k).has_value());
+    EXPECT_EQ(store.stats().entries, 0u);
+
+    // With faults gone the same save works.
+    store.save(k, {profile("lands now")});
+    ASSERT_TRUE(store.load(k).has_value());
+}
+
+TEST_F(StoreFaultTest, InjectedRenameErrorRetriesThenLands)
+{
+    ProfileStore store(root);
+    const auto k = key(6);
+    const std::uint64_t recovered = counterValue("fault.recovered");
+    {
+        fault::ScopedPlan guard(
+            fault::FaultPlan::parse("store.rename:eio@1", 42));
+        store.save(k, {profile("renamed late")});
+    }
+    EXPECT_EQ(counterValue("fault.recovered"), recovered + 1);
+    const auto back = store.load(k);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->front().name, "renamed late");
+    // No leftover .tmp file after the retry.
+    for (const auto &e : fs::directory_iterator(root))
+        EXPECT_NE(e.path().extension(), ".tmp");
+}
+
+} // namespace
+} // namespace mbs

@@ -50,6 +50,7 @@
 
 #include "common/csv.hh"
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "common/sparkline.hh"
 #include "common/strings.hh"
 #include "common/table.hh"
@@ -89,6 +90,11 @@ constexpr const char *commandList =
     "  telemetry <dir>             summarize a telemetry "
     "bundle written\n"
     "                              by --telemetry-out\n"
+    "  chaos                       run the pipeline repeatedly "
+    "under\n"
+    "                              rotating fault seeds and check "
+    "the\n"
+    "                              report stays byte-identical\n"
     "  help                        this message (also --help, -h)\n";
 
 void
@@ -125,10 +131,31 @@ printUsage(std::FILE *out)
                  "                       the ingested profiles\n"
                  "  --lax                drop-and-count malformed rows "
                  "and unknown\n"
-                 "                       columns instead of dying\n"
+                 "                       columns instead of dying; "
+                 "salvage bundles\n"
+                 "                       by dropping benchmarks whose "
+                 "trace is broken\n"
                  "  --tick <seconds>     resampling interval (default: "
                  "the bundle's\n"
-                 "                       own sample period)\n",
+                 "                       own sample period)\n"
+                 "fault injection (any command; chaos):\n"
+                 "  --fault-spec <s>     explicit plan, e.g. "
+                 "store.read:eio@3,\n"
+                 "                       ingest.csv:truncate@0.01 "
+                 "(sites: store.read,\n"
+                 "                       store.write, store.rename, "
+                 "ingest.manifest,\n"
+                 "                       ingest.csv, exec.task, "
+                 "telemetry.write)\n"
+                 "  --fault-rate <p>     uniform plan: every site "
+                 "faults with\n"
+                 "                       probability p per operation\n"
+                 "  --fault-seed <n>     plan seed (chaos rotates "
+                 "seed+1..seed+N)\n"
+                 "  --iterations <n>     chaos: fault-injected runs "
+                 "to compare\n"
+                 "                       against the fault-free "
+                 "baseline (default 10)\n",
                  commandList);
 }
 
@@ -252,6 +279,14 @@ struct GlobalFlags
     bool lax = false;
     /** ingest: resampling tick override; 0 uses the bundle period. */
     double tick = 0.0;
+    /** Explicit fault plan (site:kind@trigger,...); empty = none. */
+    std::string faultSpec;
+    /** Uniform per-site fault probability; 0 = not requested. */
+    double faultRate = 0.0;
+    /** Fault-plan seed (chaos rotates seed+1 .. seed+N). */
+    std::uint64_t faultSeed = 1;
+    /** chaos: fault-injected runs to compare to the baseline. */
+    int iterations = 10;
 
     /** Apply the execution flags to a session's options. */
     ProfileOptions sessionOptions(ProfileCache *cache) const
@@ -399,17 +434,25 @@ cmdCounters(const std::string &name,
  * by `pipeline` and `ingest --pipeline`, which is what the round-trip
  * golden check diffs.
  */
+std::string
+renderReportSections(const CharacterizationReport &report)
+{
+    std::string out;
+    out += renderFig1(report) + "\n";
+    out += renderTableIV() + "\n";
+    out += renderTableIII(report) + "\n";
+    out += renderTableV(report) + "\n";
+    out += renderFig4(report) + "\n";
+    out += renderFig5And6(report) + "\n";
+    out += renderTableVI(report) + "\n";
+    out += renderFig7(report) + "\n";
+    return out;
+}
+
 void
 printReportSections(const CharacterizationReport &report)
 {
-    std::printf("%s\n", renderFig1(report).c_str());
-    std::printf("%s\n", renderTableIV().c_str());
-    std::printf("%s\n", renderTableIII(report).c_str());
-    std::printf("%s\n", renderTableV(report).c_str());
-    std::printf("%s\n", renderFig4(report).c_str());
-    std::printf("%s\n", renderFig5And6(report).c_str());
-    std::printf("%s\n", renderTableVI(report).c_str());
-    std::printf("%s\n", renderFig7(report).c_str());
+    std::printf("%s", renderReportSections(report).c_str());
 }
 
 /**
@@ -450,6 +493,147 @@ cmdPipeline(const GlobalFlags &flags)
     std::printf("%s\n", renderTableI(registry()).c_str());
     printReportSections(report);
     return 0;
+}
+
+/**
+ * One full pipeline run rendered to a string (the profile-dependent
+ * sections only, exactly what printReportSections() prints). The
+ * chaos driver compares these byte-for-byte across runs.
+ */
+std::string
+runPipelineSections(const GlobalFlags &flags,
+                    const std::string &cacheDir)
+{
+    PipelineOptions options;
+    options.profile.jobs = flags.jobs;
+    options.cacheDir = cacheDir;
+    const CharacterizationPipeline pipeline(
+        SocConfig::snapdragon888(), options);
+    return renderReportSections(pipeline.run(registry()));
+}
+
+/**
+ * `mobilebench chaos`: run the full pipeline once fault-free, then
+ * --iterations more times under rotating fault seeds, asserting the
+ * rendered report stays byte-identical whenever recovery succeeded.
+ * Every fifth iteration (absent --fault-spec) swaps the uniform
+ * random plan for a hard always-fail store plan, so the graceful-
+ * degradation path (bypass the cache, recompute) is exercised on a
+ * fixed cadence, not just when the dice land that way.
+ */
+int
+cmdChaos(const GlobalFlags &flags)
+{
+    namespace fs = std::filesystem;
+    const obs::ScopedSpan stage("chaos", "stage");
+
+    // Iterations share one cache so store faults hit real entries;
+    // a scratch directory is used (and cleaned) unless the user
+    // pointed --cache-dir at one of their own.
+    const bool ownCache = flags.cacheDir.empty();
+    const std::string cacheDir =
+        ownCache ? ".mbs-chaos-cache" : flags.cacheDir;
+    if (ownCache)
+        fs::remove_all(cacheDir);
+
+    const std::string baseline =
+        runPipelineSections(flags, cacheDir);
+    std::printf("chaos: baseline report is %zu bytes "
+                "(jobs=%d, cache=%s)\n",
+                baseline.size(), flags.jobs, cacheDir.c_str());
+
+    auto &reg = obs::MetricsRegistry::instance();
+    const std::uint64_t injStart =
+        reg.counter("fault.injected").value();
+    const std::uint64_t recStart =
+        reg.counter("fault.recovered").value();
+    const std::uint64_t degStart =
+        reg.counter("fault.degraded").value();
+    const double rate =
+        flags.faultRate > 0.0 ? flags.faultRate : 0.05;
+
+    int identical = 0, mismatched = 0, failed = 0;
+    for (int it = 1; it <= flags.iterations; ++it) {
+        const std::uint64_t seed =
+            flags.faultSeed + std::uint64_t(it);
+        const fault::FaultPlan plan =
+            !flags.faultSpec.empty()
+                ? fault::FaultPlan::parse(flags.faultSpec, seed)
+                : (it % 5 == 0
+                       ? fault::FaultPlan::parse(
+                             "store.read:eio@1.0,"
+                             "store.write:eio@1.0",
+                             seed)
+                       : fault::FaultPlan::uniform(rate, seed));
+
+        const std::uint64_t inj0 =
+            reg.counter("fault.injected").value();
+        const std::uint64_t rec0 =
+            reg.counter("fault.recovered").value();
+        const std::uint64_t deg0 =
+            reg.counter("fault.degraded").value();
+
+        std::string sections;
+        std::string runError;
+        {
+            const fault::ScopedPlan armed(plan);
+            try {
+                sections = runPipelineSections(flags, cacheDir);
+            } catch (const std::exception &e) {
+                runError = e.what();
+            }
+        }
+
+        const char *verdict;
+        if (!runError.empty()) {
+            verdict = "degraded (run failed)";
+            ++failed;
+        } else if (sections == baseline) {
+            verdict = "identical";
+            ++identical;
+        } else {
+            verdict = "MISMATCH";
+            ++mismatched;
+        }
+        std::printf(
+            "chaos[%02d] seed=%llu injected=%llu recovered=%llu "
+            "degraded=%llu plan=%s -> %s\n",
+            it, (unsigned long long)seed,
+            (unsigned long long)(
+                reg.counter("fault.injected").value() - inj0),
+            (unsigned long long)(
+                reg.counter("fault.recovered").value() - rec0),
+            (unsigned long long)(
+                reg.counter("fault.degraded").value() - deg0),
+            plan.describe().c_str(), verdict);
+        if (!runError.empty())
+            std::printf("chaos[%02d] run error: %s\n", it,
+                        runError.c_str());
+        if (sections != baseline && runError.empty()) {
+            std::fprintf(
+                stderr,
+                "CHAOS FAIL: recovered run diverged from the "
+                "fault-free report; reproduce with:\n"
+                "  mobilebench chaos --iterations 1 "
+                "--fault-seed %llu --jobs %d --fault-spec '%s'\n",
+                (unsigned long long)(seed - 1), flags.jobs,
+                plan.describe().c_str());
+        }
+    }
+
+    if (ownCache)
+        fs::remove_all(cacheDir);
+    std::printf(
+        "chaos summary: %d iterations, %d identical, %d degraded, "
+        "%d mismatched; injected=%llu recovered=%llu degraded=%llu\n",
+        flags.iterations, identical, failed, mismatched,
+        (unsigned long long)(reg.counter("fault.injected").value() -
+                             injStart),
+        (unsigned long long)(reg.counter("fault.recovered").value() -
+                             recStart),
+        (unsigned long long)(reg.counter("fault.degraded").value() -
+                             degStart));
+    return mismatched > 0 ? 1 : 0;
 }
 
 int
@@ -498,6 +682,10 @@ cmdIngest(const std::string &bundle, const GlobalFlags &flags)
                     result.manifest.socName.c_str(),
                     result.manifest.samplePeriodSeconds,
                     result.tickSeconds);
+    }
+    for (const auto &d : result.stats.droppedBenchmarks) {
+        std::printf("dropped benchmark %s (--lax salvage): %s\n",
+                    d.name.c_str(), d.error.c_str());
     }
     const RoiExtractor roi;
     TextTable t({"Benchmark", "Suite", "Samples", "Runtime", "IPC",
@@ -820,6 +1008,36 @@ parseFlags(int argc, char **argv, GlobalFlags &flags)
                       v + "'");
             }
             fatalIf(flags.tick <= 0.0, "--tick must be > 0");
+        } else if (arg == "--fault-spec")
+            flags.faultSpec = valueOf("--fault-spec");
+        else if (arg == "--fault-rate") {
+            const std::string v = valueOf("--fault-rate");
+            try {
+                flags.faultRate = std::stod(v);
+            } catch (const std::exception &) {
+                fatal("--fault-rate requires a probability, got '" +
+                      v + "'");
+            }
+            fatalIf(flags.faultRate <= 0.0 || flags.faultRate > 1.0,
+                    "--fault-rate must be in (0, 1]");
+        } else if (arg == "--fault-seed") {
+            const std::string v = valueOf("--fault-seed");
+            try {
+                flags.faultSeed = std::stoull(v);
+            } catch (const std::exception &) {
+                fatal("--fault-seed requires an integer, got '" + v +
+                      "'");
+            }
+        } else if (arg == "--iterations") {
+            const std::string v = valueOf("--iterations");
+            try {
+                flags.iterations = std::stoi(v);
+            } catch (const std::exception &) {
+                fatal("--iterations requires an integer, got '" + v +
+                      "'");
+            }
+            fatalIf(flags.iterations < 1,
+                    "--iterations must be >= 1");
         } else
             fatal("unknown flag '" + arg +
                   "'; see: mobilebench --help for usage");
@@ -843,6 +1061,8 @@ dispatch(const std::vector<std::string> &args,
     }
     if (cmd == "pipeline")
         return cmdPipeline(flags);
+    if (cmd == "chaos")
+        return cmdChaos(flags);
     if (cmd == "roi" && args.size() >= 2)
         return cmdRoi(args[1], args.size() >= 3 ? std::stod(args[2])
                                                 : 0.10);
@@ -861,9 +1081,9 @@ dispatch(const std::vector<std::string> &args,
     // A known command with missing arguments is a usage error; an
     // unrecognized word gets the command list.
     static const char *known[] = {"list", "profile", "counters",
-                                  "pipeline", "roi", "energy",
-                                  "catalog", "load", "cache",
-                                  "telemetry", "ingest"};
+                                  "pipeline", "chaos", "roi",
+                                  "energy", "catalog", "load",
+                                  "cache", "telemetry", "ingest"};
     for (const char *k : known) {
         if (cmd == k)
             return usage();
@@ -907,7 +1127,23 @@ main(int argc, char **argv)
         if (telemetry.anyConfigured())
             sink.installAbnormalExitFlush();
 
+        // Arm an explicit fault plan for ordinary commands; `chaos`
+        // manages its own per-iteration plans and seeds.
+        const bool armFaults =
+            args[0] != "chaos" &&
+            (!flags.faultSpec.empty() || flags.faultRate > 0.0);
+        if (armFaults) {
+            fault::Injector::instance().arm(
+                !flags.faultSpec.empty()
+                    ? fault::FaultPlan::parse(flags.faultSpec,
+                                              flags.faultSeed)
+                    : fault::FaultPlan::uniform(flags.faultRate,
+                                                flags.faultSeed));
+        }
+
         const int rc = dispatch(args, flags);
+        if (armFaults)
+            fault::Injector::instance().disarm();
         if (rc != 0) {
             sink.flush(strformat("command exited with status %d", rc));
             return rc;
