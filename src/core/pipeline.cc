@@ -190,7 +190,10 @@ CharacterizationPipeline::buildCandidates(
 CharacterizationReport
 CharacterizationPipeline::run(const WorkloadRegistry &registry) const
 {
-    obs::MetricsRegistry::instance().counter("pipeline.runs").add();
+    obs::MetricsRegistry::instance()
+        .counter("pipeline.runs", obs::Volatility::Stable,
+                 "Full characterization pipeline executions")
+        .add();
     obs::EventLog::instance().emit(
         "pipeline.run.start",
         {{"suites", strformat("%zu", registry.suites().size())}});

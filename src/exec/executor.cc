@@ -17,14 +17,18 @@ namespace {
 obs::Counter &taskCounter()
 {
     static obs::Counter &c =
-        obs::MetricsRegistry::instance().counter("exec.tasks");
+        obs::MetricsRegistry::instance().counter(
+            "exec.tasks", obs::Volatility::Stable,
+            "Tasks executed by the deterministic executor");
     return c;
 }
 
 obs::Gauge &queueDepthGauge()
 {
     static obs::Gauge &g =
-        obs::MetricsRegistry::instance().gauge("exec.queue_depth");
+        obs::MetricsRegistry::instance().gauge(
+            "exec.queue_depth", obs::Volatility::Stable,
+            "Tasks submitted and not yet retired");
     return g;
 }
 

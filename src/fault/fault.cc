@@ -56,9 +56,13 @@ faultInstruments()
 {
     auto &registry = obs::MetricsRegistry::instance();
     static FaultInstruments instruments{
-        registry.counter("fault.injected"),
-        registry.counter("fault.recovered"),
-        registry.counter("fault.degraded"),
+        registry.counter("fault.injected", obs::Volatility::Stable,
+                         "Faults fired by the armed injection plan"),
+        registry.counter("fault.recovered", obs::Volatility::Stable,
+                         "Injected faults absorbed by a retry path"),
+        registry.counter("fault.degraded", obs::Volatility::Stable,
+                         "Injected faults absorbed by degrading "
+                         "(salvage, cache bypass)"),
     };
     return instruments;
 }

@@ -517,7 +517,21 @@ TraceBundleReader::read(const fs::path &bundleDir) const
     result.bundleDigest = digest.value();
 
     auto &metrics = obs::MetricsRegistry::instance();
-    metrics.counter("ingest.bundles").add();
+    // Register the full ingest.* family with descriptions up front;
+    // help binds at creation, and later .add() sites stay terse.
+    const auto stable = obs::Volatility::Stable;
+    metrics.counter("ingest.rows", stable,
+                    "Counter-trace CSV rows accepted");
+    metrics.counter("ingest.dropped_samples", stable,
+                    "Trace samples dropped by --lax salvage");
+    metrics.counter("ingest.dropped_benchmarks", stable,
+                    "Benchmarks dropped whole by --lax salvage");
+    metrics.counter("ingest.alias_hits", stable,
+                    "Counter names resolved through the alias table");
+    metrics
+        .counter("ingest.bundles", stable,
+                 "Counter-trace bundles ingested")
+        .add();
 
     const bool faultsArmed = fault::Injector::instance().active();
     const ProfileKey key{manifest.socConfigDigest,

@@ -38,6 +38,35 @@ leLabel(double bound)
     return strformat("%g", bound);
 }
 
+/**
+ * Escape a `# HELP` payload per the text exposition format:
+ * backslash and newline are the only escapes.
+ */
+std::string
+escapeHelp(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** The `# HELP` line for @p s, or nothing when no help was given. */
+std::string
+helpLine(const std::string &name, const MetricSample &s)
+{
+    if (s.help.empty())
+        return "";
+    return "# HELP " + name + " " + escapeHelp(s.help) + "\n";
+}
+
 } // namespace
 
 std::string
@@ -72,6 +101,7 @@ toPrometheusText(const MetricsSnapshot &snapshot,
         const std::string name = sanitizePrometheusName(s.name);
         switch (s.kind) {
           case MetricSample::Kind::Counter:
+            out += helpLine(name, s);
             out += "# TYPE " + name + " counter\n";
             out += name + " " +
                 strformat("%llu",
@@ -79,10 +109,12 @@ toPrometheusText(const MetricsSnapshot &snapshot,
                 "\n";
             break;
           case MetricSample::Kind::Gauge:
+            out += helpLine(name, s);
             out += "# TYPE " + name + " gauge\n";
             out += name + " " + promNumber(s.value) + "\n";
             break;
           case MetricSample::Kind::Histogram: {
+            out += helpLine(name, s);
             out += "# TYPE " + name + " histogram\n";
             std::uint64_t cumulative = 0;
             for (std::size_t i = 0; i < s.bucketBounds.size(); ++i) {

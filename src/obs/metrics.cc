@@ -58,6 +58,43 @@ Histogram::reset()
     n = 0;
 }
 
+double
+Histogram::percentile(double p) const
+{
+    p = std::min(1.0, std::max(0.0, p));
+    std::vector<std::uint64_t> countsCopy;
+    std::uint64_t total_ = 0;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        countsCopy = counts;
+        total_ = n;
+    }
+    if (total_ == 0)
+        return 0.0;
+
+    const double rank = p * double(total_);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < countsCopy.size(); ++i) {
+        const std::uint64_t inBucket = countsCopy[i];
+        if (inBucket == 0 || double(cumulative + inBucket) < rank) {
+            cumulative += inBucket;
+            continue;
+        }
+        // The rank lands in this bucket. The overflow bucket has no
+        // finite upper edge to interpolate towards; clamp to the
+        // last bound like Prometheus' histogram_quantile().
+        if (i >= upper.size())
+            return upper.back();
+        const double hi = upper[i];
+        const double lo =
+            i == 0 ? std::min(0.0, hi) : upper[i - 1];
+        const double fraction =
+            double(rank - double(cumulative)) / double(inBucket);
+        return lo + (hi - lo) * std::min(1.0, std::max(0.0, fraction));
+    }
+    return upper.back();
+}
+
 std::string
 MetricsSnapshot::toJson(const std::string &partialReason) const
 {
@@ -133,25 +170,29 @@ MetricsRegistry::instance()
 }
 
 Counter &
-MetricsRegistry::counter(const std::string &name, Volatility v)
+MetricsRegistry::counter(const std::string &name, Volatility v,
+                         const std::string &help)
 {
     std::lock_guard<std::mutex> lock(mtx);
     auto &entry = counters[name];
     if (!entry.instrument) {
         entry.instrument = std::make_unique<Counter>();
         entry.volatility = v;
+        entry.help = help;
     }
     return *entry.instrument;
 }
 
 Gauge &
-MetricsRegistry::gauge(const std::string &name, Volatility v)
+MetricsRegistry::gauge(const std::string &name, Volatility v,
+                       const std::string &help)
 {
     std::lock_guard<std::mutex> lock(mtx);
     auto &entry = gauges[name];
     if (!entry.instrument) {
         entry.instrument = std::make_unique<Gauge>();
         entry.volatility = v;
+        entry.help = help;
     }
     return *entry.instrument;
 }
@@ -159,7 +200,7 @@ MetricsRegistry::gauge(const std::string &name, Volatility v)
 Histogram &
 MetricsRegistry::histogram(const std::string &name,
                            std::vector<double> upperBounds,
-                           Volatility v)
+                           Volatility v, const std::string &help)
 {
     std::lock_guard<std::mutex> lock(mtx);
     auto &entry = histograms[name];
@@ -167,8 +208,22 @@ MetricsRegistry::histogram(const std::string &name,
         entry.instrument =
             std::make_unique<Histogram>(std::move(upperBounds));
         entry.volatility = v;
+        entry.help = help;
     }
     return *entry.instrument;
+}
+
+std::string
+MetricsRegistry::helpFor(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (const auto it = counters.find(name); it != counters.end())
+        return it->second.help;
+    if (const auto it = gauges.find(name); it != gauges.end())
+        return it->second.help;
+    if (const auto it = histograms.find(name); it != histograms.end())
+        return it->second.help;
+    return "";
 }
 
 MetricsSnapshot
@@ -186,6 +241,7 @@ MetricsRegistry::snapshot(bool includeVolatile) const
         s.name = name;
         s.kind = MetricSample::Kind::Counter;
         s.value = double(entry.instrument->value());
+        s.help = entry.help;
         snap.samples.push_back(std::move(s));
     }
     for (const auto &[name, entry] : gauges) {
@@ -195,6 +251,7 @@ MetricsRegistry::snapshot(bool includeVolatile) const
         s.name = name;
         s.kind = MetricSample::Kind::Gauge;
         s.value = entry.instrument->value();
+        s.help = entry.help;
         snap.samples.push_back(std::move(s));
     }
     for (const auto &[name, entry] : histograms) {
@@ -207,6 +264,7 @@ MetricsRegistry::snapshot(bool includeVolatile) const
         s.bucketCounts = entry.instrument->bucketCounts();
         s.observations = entry.instrument->count();
         s.sum = entry.instrument->sum();
+        s.help = entry.help;
         snap.samples.push_back(std::move(s));
     }
     std::sort(snap.samples.begin(), snap.samples.end(),

@@ -98,6 +98,16 @@ class Histogram
     std::vector<std::uint64_t> bucketCounts() const;
     const std::vector<double> &bounds() const { return upper; }
 
+    /**
+     * Estimate the @p p quantile (p in [0, 1]) by cumulative-bucket
+     * linear interpolation, the same estimate Prometheus'
+     * histogram_quantile() computes from the exported buckets. The
+     * first bucket interpolates from 0 (or from the bound itself when
+     * it is negative); ranks landing in the overflow bucket clamp to
+     * the last finite bound. Returns 0 with no observations.
+     */
+    double percentile(double p) const;
+
   private:
     mutable std::mutex mtx;
     std::vector<double> upper;
@@ -118,6 +128,8 @@ struct MetricSample
     std::vector<std::uint64_t> bucketCounts;
     std::uint64_t observations = 0;
     double sum = 0.0;
+    /** Registration-site description; empty when none was given. */
+    std::string help;
 };
 
 /** A point-in-time capture of every (selected) instrument. */
@@ -149,21 +161,31 @@ class MetricsRegistry
   public:
     static MetricsRegistry &instance();
 
-    /** Find or create the counter named @p name. */
+    /**
+     * Find or create the counter named @p name. @p help, when
+     * non-empty, becomes the instrument's description (exported as a
+     * `# HELP` line); it applies on creation only.
+     */
     Counter &counter(const std::string &name,
-                     Volatility v = Volatility::Stable);
+                     Volatility v = Volatility::Stable,
+                     const std::string &help = "");
 
     /** Find or create the gauge named @p name. */
     Gauge &gauge(const std::string &name,
-                 Volatility v = Volatility::Stable);
+                 Volatility v = Volatility::Stable,
+                 const std::string &help = "");
 
     /**
-     * Find or create a histogram. @p upperBounds applies only on
-     * creation; later calls return the existing instrument.
+     * Find or create a histogram. @p upperBounds and @p help apply
+     * only on creation; later calls return the existing instrument.
      */
     Histogram &histogram(const std::string &name,
                          std::vector<double> upperBounds,
-                         Volatility v = Volatility::Stable);
+                         Volatility v = Volatility::Stable,
+                         const std::string &help = "");
+
+    /** The help text registered for @p name ("" when none). */
+    std::string helpFor(const std::string &name) const;
 
     /**
      * Capture all instruments, sorted by name. Volatile instruments
@@ -190,6 +212,7 @@ class MetricsRegistry
     {
         std::unique_ptr<T> instrument;
         Volatility volatility = Volatility::Stable;
+        std::string help;
     };
 
     mutable std::mutex mtx;

@@ -1,8 +1,9 @@
 #include "progress.hh"
 
-#include <cstdio>
+#include <unistd.h>
 
 #include "common/logging.hh"
+#include "common/strings.hh"
 
 namespace mbs {
 namespace obs {
@@ -21,6 +22,66 @@ Progress::setEnabled(bool enable)
 }
 
 void
+Progress::setMode(Mode m)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    mode = m;
+}
+
+void
+Progress::setSinkForTest(std::FILE *f)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    testSink = f;
+}
+
+Progress::Mode
+Progress::activeMode()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return resolved;
+}
+
+std::FILE *
+Progress::sink()
+{
+    return testSink != nullptr ? testSink : stderr;
+}
+
+bool
+Progress::sinkIsTty()
+{
+    std::FILE *f = sink();
+    const int fd = fileno(f);
+    return fd >= 0 && isatty(fd) == 1;
+}
+
+void
+Progress::render(const std::string &line, bool finalLine)
+{
+    // Redraws share the logging sink mutex so a concurrent warn()
+    // from a worker thread never tears a progress line (the state
+    // mutex is always taken first, the sink mutex second).
+    std::lock_guard<std::mutex> sinkLock(logSinkMutex());
+    std::FILE *f = sink();
+    if (resolved == Mode::Tty) {
+        // Pad with spaces so a shorter redraw fully covers the
+        // previous, longer one before the cursor returns home.
+        std::string padded = line;
+        while (padded.size() < lastWidth)
+            padded += ' ';
+        lastWidth = line.size();
+        std::fprintf(f, "\r%s%s", padded.c_str(),
+                     finalLine ? "\n" : "");
+        if (finalLine)
+            lastWidth = 0;
+        std::fflush(f);
+    } else {
+        std::fprintf(f, "%s\n", line.c_str());
+    }
+}
+
+void
 Progress::begin(std::size_t total_, const std::string &label)
 {
     if (!enabled())
@@ -28,14 +89,15 @@ Progress::begin(std::size_t total_, const std::string &label)
     std::lock_guard<std::mutex> lock(mtx);
     total = total_;
     done = 0;
-    // Redraws share the logging sink mutex so a concurrent warn()
-    // from a worker thread never tears a progress line (the state
-    // mutex is always taken first, the sink mutex second).
-    std::lock_guard<std::mutex> sink(logSinkMutex());
+    lastWidth = 0;
+    resolved = mode;
+    if (resolved == Mode::Auto)
+        resolved = sinkIsTty() ? Mode::Tty : Mode::Lines;
     if (total > 0) {
-        std::fprintf(stderr, "%s: %zu steps\n", label.c_str(), total);
+        render(strformat("%s: %zu steps", label.c_str(), total),
+               false);
     } else {
-        std::fprintf(stderr, "%s\n", label.c_str());
+        render(label, false);
     }
 }
 
@@ -46,13 +108,13 @@ Progress::step(const std::string &label)
         return;
     std::lock_guard<std::mutex> lock(mtx);
     ++done;
-    std::lock_guard<std::mutex> sink(logSinkMutex());
+    std::string line;
     if (total > 0) {
-        std::fprintf(stderr, "[%3zu/%zu] %s\n", done, total,
-                     label.c_str());
+        line = strformat("[%3zu/%zu] %s", done, total, label.c_str());
     } else {
-        std::fprintf(stderr, "[%3zu] %s\n", done, label.c_str());
+        line = strformat("[%3zu] %s", done, label.c_str());
     }
+    render(line, false);
 }
 
 void
@@ -61,6 +123,16 @@ Progress::finish()
     if (!enabled())
         return;
     std::lock_guard<std::mutex> lock(mtx);
+    if (resolved == Mode::Tty && lastWidth > 0) {
+        // Leave the last frame on screen and move past it so the
+        // next log line starts on a fresh row.
+        std::string line;
+        if (total > 0)
+            line = strformat("[%3zu/%zu] done", done, total);
+        else
+            line = strformat("[%3zu] done", done);
+        render(line, true);
+    }
     total = 0;
     done = 0;
 }

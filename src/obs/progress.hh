@@ -7,6 +7,11 @@
  * call is a single relaxed atomic load, so library users pay nothing.
  * Lines go to stderr so they never corrupt machine-readable stdout
  * output (CSV, tables).
+ *
+ * When stderr is a terminal the meter redraws one line in place
+ * (`\r`); when it is a pipe or a CI log file it degrades to one line
+ * per update so captured logs stay grep-able instead of accumulating
+ * carriage-return redraw garbage.
  */
 
 #ifndef MBS_OBS_PROGRESS_HH
@@ -14,6 +19,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdio>
 #include <mutex>
 #include <string>
 
@@ -26,6 +32,13 @@ namespace obs {
 class Progress
 {
   public:
+    /** How updates are rendered. */
+    enum class Mode {
+        Auto,  ///< Tty when the sink isatty(), Lines otherwise.
+        Tty,   ///< In-place `\r` redraw of a single line.
+        Lines, ///< One full line per update (CI logs, pipes).
+    };
+
     static Progress &instance();
 
     /** Turn reporting on or off (off by default). */
@@ -34,6 +47,22 @@ class Progress
     {
         return on.load(std::memory_order_relaxed);
     }
+
+    /**
+     * Force a rendering mode (tests, or `--progress` on a captured
+     * terminal). The default Auto probes the sink with isatty() at
+     * each begin().
+     */
+    void setMode(Mode m);
+
+    /**
+     * Redirect output to @p f (tests). nullptr restores stderr.
+     * The caller keeps ownership of the stream.
+     */
+    void setSinkForTest(std::FILE *f);
+
+    /** The mode begin() resolved for the current phase. */
+    Mode activeMode();
 
     /**
      * Start a new phase of @p total steps labelled @p label.
@@ -50,10 +79,20 @@ class Progress
   private:
     Progress() = default;
 
+    std::FILE *sink();
+    bool sinkIsTty();
+    /** Render one update under both mutexes (caller holds `mtx`). */
+    void render(const std::string &line, bool finalLine);
+
     std::atomic<bool> on{false};
     std::mutex mtx;
     std::size_t total = 0;
     std::size_t done = 0;
+    Mode mode = Mode::Auto;
+    Mode resolved = Mode::Lines;
+    /** Width of the last `\r`-drawn line, for blank-out padding. */
+    std::size_t lastWidth = 0;
+    std::FILE *testSink = nullptr;
 };
 
 } // namespace obs

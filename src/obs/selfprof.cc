@@ -1,0 +1,231 @@
+#include "selfprof.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/strings.hh"
+#include "obs/metrics.hh"
+
+namespace mbs {
+namespace obs {
+
+double
+SelfProfile::attributionRatio() const
+{
+    if (totalSamples == 0)
+        return 1.0;
+    return double(attributedSamples) / double(totalSamples);
+}
+
+std::string
+SelfProfile::collapsedText() const
+{
+    std::string out;
+    for (const auto &[stack, count] : collapsed) {
+        out += stack + " " +
+            strformat("%llu", (unsigned long long)count) + "\n";
+    }
+    return out;
+}
+
+std::string
+SelfProfile::tableText() const
+{
+    std::string out = strformat("%-40s %10s %10s %7s\n", "span",
+                                "self", "cumul", "self%");
+    for (const auto &s : spans) {
+        const double pct = totalSamples > 0
+            ? 100.0 * double(s.selfSamples) / double(totalSamples)
+            : 0.0;
+        out += strformat("%-40s %10llu %10llu %6.1f%%\n",
+                         s.name.c_str(),
+                         (unsigned long long)s.selfSamples,
+                         (unsigned long long)s.cumulativeSamples, pct);
+    }
+    out += strformat("%llu samples, %llu attributed (%.1f%%)\n",
+                     (unsigned long long)totalSamples,
+                     (unsigned long long)attributedSamples,
+                     100.0 * attributionRatio());
+    return out;
+}
+
+SelfProfiler &
+SelfProfiler::instance()
+{
+    static SelfProfiler profiler;
+    return profiler;
+}
+
+SelfProfiler::ThreadStack &
+SelfProfiler::myStack()
+{
+    // Re-register after resetForTest(): the generation stamp tells a
+    // thread its cached registration was dropped from `threads`.
+    thread_local std::shared_ptr<ThreadStack> mine;
+    thread_local std::uint64_t myGeneration = 0;
+    const std::uint64_t current =
+        generation.load(std::memory_order_relaxed);
+    if (!mine || myGeneration != current) {
+        mine = std::make_shared<ThreadStack>();
+        myGeneration = current;
+        std::lock_guard<std::mutex> lock(mtx);
+        threads.push_back(mine);
+    }
+    return *mine;
+}
+
+void
+SelfProfiler::pushFrame(const std::string &name)
+{
+    ThreadStack &ts = myStack();
+    std::lock_guard<std::mutex> lock(ts.mtx);
+    ts.frames.push_back(name);
+}
+
+void
+SelfProfiler::popFrame()
+{
+    ThreadStack &ts = myStack();
+    std::lock_guard<std::mutex> lock(ts.mtx);
+    if (!ts.frames.empty())
+        ts.frames.pop_back();
+}
+
+void
+SelfProfiler::sampleOnce()
+{
+    // Snapshot the thread list first, then walk each thread's stack
+    // under its own mutex: push/pop never block on the sampler for
+    // longer than one stack copy.
+    std::vector<std::shared_ptr<ThreadStack>> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        snapshot = threads;
+    }
+    std::vector<std::vector<std::string>> stacks;
+    stacks.reserve(snapshot.size());
+    for (const auto &ts : snapshot) {
+        std::lock_guard<std::mutex> lock(ts->mtx);
+        stacks.push_back(ts->frames);
+    }
+
+    std::lock_guard<std::mutex> lock(mtx);
+    for (const auto &frames : stacks) {
+        ++totalSamples;
+        if (frames.empty())
+            continue;
+        ++attributedSamples;
+        // Cumulative: each distinct span name on the stack once, so
+        // recursive spans do not double-count a sample.
+        std::vector<std::string> unique = frames;
+        std::sort(unique.begin(), unique.end());
+        unique.erase(std::unique(unique.begin(), unique.end()),
+                     unique.end());
+        for (const auto &name : unique) {
+            auto &cost = costs[name];
+            cost.name = name;
+            ++cost.cumulativeSamples;
+        }
+        ++costs[frames.back()].selfSamples;
+        std::string stack;
+        for (const auto &name : frames)
+            stack += (stack.empty() ? "" : ";") + name;
+        ++collapsed[stack];
+    }
+}
+
+void
+SelfProfiler::samplerLoop(double hz)
+{
+    using namespace std::chrono;
+    const auto period = duration_cast<steady_clock::duration>(
+        duration<double>(1.0 / hz));
+    auto next = steady_clock::now() + period;
+    while (!stopRequested.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_until(next);
+        next += period;
+        if (stopRequested.load(std::memory_order_relaxed))
+            break;
+        sampleOnce();
+    }
+}
+
+void
+SelfProfiler::arm(double hz)
+{
+    if (armed())
+        return;
+    hz = std::min(1000.0, std::max(1.0, hz));
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        totalSamples = 0;
+        attributedSamples = 0;
+        costs.clear();
+        collapsed.clear();
+    }
+    stopRequested.store(false, std::memory_order_relaxed);
+    // Arm before the thread starts so spans racing with arm() are
+    // already pushing frames by the first tick.
+    on.store(true, std::memory_order_relaxed);
+    sampler = std::thread([this, hz]() { samplerLoop(hz); });
+}
+
+void
+SelfProfiler::disarm()
+{
+    if (!armed())
+        return;
+    stopRequested.store(true, std::memory_order_relaxed);
+    sampler.join();
+    on.store(false, std::memory_order_relaxed);
+
+    // Mirror the session totals into the registry as Volatile
+    // instruments: visible with --metrics/--telemetry-out, excluded
+    // from deterministic snapshots and goldens.
+    auto &registry = MetricsRegistry::instance();
+    std::lock_guard<std::mutex> lock(mtx);
+    registry
+        .counter("selfprof.samples", Volatility::Volatile,
+                 "Wall-clock samples taken by the self-profiler")
+        .add(totalSamples);
+    registry
+        .counter("selfprof.attributed", Volatility::Volatile,
+                 "Self-profiler samples landing inside a live span")
+        .add(attributedSamples);
+}
+
+SelfProfile
+SelfProfiler::profile() const
+{
+    SelfProfile out;
+    std::lock_guard<std::mutex> lock(mtx);
+    out.totalSamples = totalSamples;
+    out.attributedSamples = attributedSamples;
+    out.collapsed = collapsed;
+    out.spans.reserve(costs.size());
+    for (const auto &[name, cost] : costs)
+        out.spans.push_back(cost);
+    std::sort(out.spans.begin(), out.spans.end(),
+              [](const SpanCost &a, const SpanCost &b) {
+                  if (a.selfSamples != b.selfSamples)
+                      return a.selfSamples > b.selfSamples;
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+void
+SelfProfiler::resetForTest()
+{
+    disarm();
+    generation.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mtx);
+    threads.clear();
+    totalSamples = 0;
+    attributedSamples = 0;
+    costs.clear();
+    collapsed.clear();
+}
+
+} // namespace obs
+} // namespace mbs

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * In-process sampling self-profiler.
+ *
+ * A wall-clock sampler thread wakes at a fixed rate and attributes
+ * one sample per registered thread to the innermost live ScopedSpan
+ * on that thread (obs/trace.hh), building a span-cost table (self
+ * vs. cumulative samples) and a collapsed-stack export that
+ * flamegraph.pl / speedscope render directly.
+ *
+ * Threads register lazily: a thread appears in the sample set the
+ * first time it pushes a span frame while the profiler is armed, so
+ * span-free worker threads never dilute attribution. Disarmed (the
+ * default) the per-span cost is a single relaxed atomic load, the
+ * same contract as the tracer and the fault injector.
+ *
+ * Everything the profiler measures is wall-clock and therefore
+ * Volatile-class: its counters are registered Volatile and its
+ * bundle artifacts (profile.collapsed, profile.txt) are excluded
+ * from byte-identity goldens.
+ */
+
+#ifndef MBS_OBS_SELFPROF_HH
+#define MBS_OBS_SELFPROF_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mbs {
+namespace obs {
+
+/** Sample counts attributed to one span name. */
+struct SpanCost
+{
+    std::string name;
+    /** Samples where this span was innermost. */
+    std::uint64_t selfSamples = 0;
+    /** Samples where this span was anywhere on the stack. */
+    std::uint64_t cumulativeSamples = 0;
+};
+
+/** Everything one armed profiling session collected. */
+struct SelfProfile
+{
+    /** Ticks × registered threads actually sampled. */
+    std::uint64_t totalSamples = 0;
+    /** Samples that landed inside at least one span. */
+    std::uint64_t attributedSamples = 0;
+    /** Per-span costs, sorted by self samples descending. */
+    std::vector<SpanCost> spans;
+    /** Collapsed stacks ("outer;inner" -> samples), name-sorted. */
+    std::map<std::string, std::uint64_t> collapsed;
+
+    /** Attributed fraction in [0, 1]; 1 with no samples at all. */
+    double attributionRatio() const;
+    /** flamegraph.pl input: one "stack count" line per stack. */
+    std::string collapsedText() const;
+    /** Human-readable span-cost table. */
+    std::string tableText() const;
+};
+
+/**
+ * The process-wide self-profiler.
+ */
+class SelfProfiler
+{
+  public:
+    static SelfProfiler &instance();
+
+    /** @return true while a sampler thread is collecting. */
+    bool armed() const
+    {
+        return on.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Start the sampler thread at @p hz samples per second (clamped
+     * to [1, 1000]). No-op when already armed. Clears any previous
+     * session's samples.
+     */
+    void arm(double hz);
+
+    /** Stop the sampler thread. No-op when not armed. */
+    void disarm();
+
+    /** Copy of the collected samples (armed or not). */
+    SelfProfile profile() const;
+
+    /** Drop all samples and thread registrations (tests). */
+    void resetForTest();
+
+    /**
+     * Span-frame hooks, called by ScopedSpan only while armed. The
+     * frame name is copied so the sampler never dereferences into a
+     * dying span.
+     */
+    void pushFrame(const std::string &name);
+    void popFrame();
+
+  private:
+    /** One registered thread's live span stack. */
+    struct ThreadStack
+    {
+        std::mutex mtx;
+        std::vector<std::string> frames;
+    };
+
+    SelfProfiler() = default;
+
+    ThreadStack &myStack();
+    void samplerLoop(double hz);
+    void sampleOnce();
+
+    std::atomic<bool> on{false};
+    std::atomic<bool> stopRequested{false};
+    /** Bumped by resetForTest() to invalidate cached registrations. */
+    std::atomic<std::uint64_t> generation{0};
+    std::thread sampler;
+
+    mutable std::mutex mtx;
+    std::vector<std::shared_ptr<ThreadStack>> threads;
+    std::uint64_t totalSamples = 0;
+    std::uint64_t attributedSamples = 0;
+    std::map<std::string, SpanCost> costs;
+    std::map<std::string, std::uint64_t> collapsed;
+};
+
+} // namespace obs
+} // namespace mbs
+
+#endif // MBS_OBS_SELFPROF_HH

@@ -8,6 +8,7 @@
 #include "obs/events.hh"
 #include "obs/export_prometheus.hh"
 #include "obs/metrics.hh"
+#include "obs/selfprof.hh"
 #include "obs/timeseries.hh"
 #include "obs/trace.hh"
 
@@ -169,6 +170,15 @@ TelemetrySink::flush(const std::string &partialReason)
                 Tracer::instance().metadata("partial",
                                             partialReason);
             Tracer::instance().writeJson(tracePath);
+        }
+        // Self-profiler artifacts are wall-clock (Volatile-class)
+        // and only appear when --self-profile armed the sampler, so
+        // deterministic byte-identity goldens never see them.
+        const SelfProfile prof = SelfProfiler::instance().profile();
+        if (prof.totalSamples > 0) {
+            writeTextFile(dir / "profile.collapsed",
+                          prof.collapsedText());
+            writeTextFile(dir / "profile.txt", prof.tableText());
         }
     }
 }

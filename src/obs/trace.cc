@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/strings.hh"
 #include "obs/json.hh"
+#include "obs/selfprof.hh"
 #include "obs/thread_id.hh"
 
 namespace mbs {
@@ -186,6 +187,30 @@ Tracer::spanSummaries(const std::string &category) const
     return out;
 }
 
+std::map<std::string, std::vector<double>>
+Tracer::spanDurations(const std::string &category) const
+{
+    const auto evs = events();
+    std::map<int, std::vector<const TraceEvent *>> stacks;
+    std::map<std::string, std::vector<double>> out;
+    for (const auto &e : evs) {
+        if (!category.empty() && e.category != category)
+            continue;
+        if (e.phase == 'B') {
+            stacks[e.tid].push_back(&e);
+        } else if (e.phase == 'E') {
+            auto &stack = stacks[e.tid];
+            if (stack.empty())
+                continue; // unmatched end; ignore
+            const TraceEvent *b = stack.back();
+            stack.pop_back();
+            out[b->name].push_back(
+                double(e.tsMicros - b->tsMicros) / 1e6);
+        }
+    }
+    return out;
+}
+
 std::string
 Tracer::exportJson() const
 {
@@ -252,14 +277,19 @@ Tracer::clear()
 ScopedSpan::ScopedSpan(std::string name_, std::string category_,
                        TraceArgs args)
     : name(std::move(name_)), category(std::move(category_)),
-      active(Tracer::instance().enabled())
+      active(Tracer::instance().enabled()),
+      profiled(SelfProfiler::instance().armed())
 {
     if (active)
         Tracer::instance().begin(name, category, std::move(args));
+    if (profiled)
+        SelfProfiler::instance().pushFrame(name);
 }
 
 ScopedSpan::~ScopedSpan()
 {
+    if (profiled)
+        SelfProfiler::instance().popFrame();
     if (active)
         Tracer::instance().end(name, category);
 }

@@ -112,6 +112,14 @@ class Tracer
     std::vector<SpanSummary>
     spanSummaries(const std::string &category = "") const;
 
+    /**
+     * Individual completed span durations (seconds) keyed by span
+     * name, begin-order within each name. @p category filters when
+     * non-empty. Feeds percentile computation over stage timings.
+     */
+    std::map<std::string, std::vector<double>>
+    spanDurations(const std::string &category = "") const;
+
     /** Render the Chrome trace-event JSON document. */
     std::string exportJson() const;
 
@@ -139,7 +147,9 @@ class Tracer
 /**
  * RAII span: records a begin event at construction and the matching
  * end event at destruction. When the tracer is disabled at
- * construction time the object is inert.
+ * construction time the object is inert. While the self-profiler
+ * (obs/selfprof.hh) is armed the span also pushes a frame onto the
+ * profiler's per-thread stack, independent of the tracer flag.
  */
 class ScopedSpan
 {
@@ -156,6 +166,7 @@ class ScopedSpan
     std::string name;
     std::string category;
     bool active = false;
+    bool profiled = false;
 };
 
 } // namespace obs

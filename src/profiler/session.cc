@@ -240,9 +240,13 @@ ProfilerSession::profileUnits(const std::vector<ExecUnit> &units) const
     // still exports them (as zero) instead of omitting them — the
     // warm/cold snapshot comparison relies on `sim.ticks` being
     // present either way.
-    metrics.counter("sim.ticks");
-    metrics.counter("profiler.benchmarks_profiled");
-    metrics.counter("profiler.runs");
+    metrics.counter("sim.ticks", obs::Volatility::Stable,
+                    "Simulator ticks evaluated");
+    metrics.counter("profiler.benchmarks_profiled",
+                    obs::Volatility::Stable,
+                    "Benchmarks profiled (cache hits included)");
+    metrics.counter("profiler.runs", obs::Volatility::Stable,
+                    "Per-benchmark repetition runs requested");
 
     // Per-unit plan: what to simulate, how to slice it back into
     // benchmarks, and whether the cache already has the answer.

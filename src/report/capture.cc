@@ -1,0 +1,71 @@
+#include "capture.hh"
+
+#include "common/strings.hh"
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
+
+#ifndef MBS_BUILD_STAMP
+#define MBS_BUILD_STAMP "unknown"
+#endif
+
+namespace mbs {
+namespace report {
+
+std::string
+buildStamp()
+{
+    return MBS_BUILD_STAMP;
+}
+
+LedgerRecord
+captureRecord(const CaptureContext &context)
+{
+    LedgerRecord r;
+    r.command = context.command;
+    r.runId = context.runId;
+    r.socName = context.socName;
+    r.socConfigDigest = strformat(
+        "%016llx", (unsigned long long)context.socConfigDigest);
+    r.suiteDigest = context.suiteDigest != 0
+        ? strformat("%016llx",
+                    (unsigned long long)context.suiteDigest)
+        : "";
+    r.seed = context.seed;
+    r.runs = context.runs;
+    r.tickSeconds = context.tickSeconds;
+    r.logicalTicks =
+        obs::TimeSeriesSampler::instance().logicalTicks();
+
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::instance().snapshot(false);
+    r.metrics.reserve(snap.samples.size());
+    for (const auto &s : snap.samples) {
+        LedgerMetric m;
+        m.name = s.name;
+        switch (s.kind) {
+          case obs::MetricSample::Kind::Counter:
+            m.type = "counter";
+            m.value = s.value;
+            break;
+          case obs::MetricSample::Kind::Gauge:
+            m.type = "gauge";
+            m.value = s.value;
+            break;
+          case obs::MetricSample::Kind::Histogram:
+            m.type = "histogram";
+            m.observations = s.observations;
+            m.sum = s.sum;
+            break;
+        }
+        r.metrics.push_back(std::move(m));
+    }
+
+    r.jobs = context.jobs;
+    r.buildStamp = buildStamp();
+    r.wallSeconds = context.wallSeconds;
+    r.telemetryDir = context.telemetryDir;
+    return r;
+}
+
+} // namespace report
+} // namespace mbs

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Build a LedgerRecord from the live process: the Stable-class
+ * metrics snapshot, the logical clock, and the identity fields the
+ * CLI already computes for trace metadata. The build stamp is baked
+ * in at compile time (git describe via CMake, "unknown" without a
+ * git checkout).
+ */
+
+#ifndef MBS_REPORT_CAPTURE_HH
+#define MBS_REPORT_CAPTURE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "report/ledger.hh"
+
+namespace mbs {
+namespace report {
+
+/** Identity of the run being recorded; the CLI fills this. */
+struct CaptureContext
+{
+    std::string command;
+    std::string runId;
+    std::string socName;
+    std::uint64_t socConfigDigest = 0;
+    /** 0 when the run has no registry suite digest (ingest). */
+    std::uint64_t suiteDigest = 0;
+    std::uint64_t seed = 0;
+    int runs = 0;
+    double tickSeconds = 0.0;
+    int jobs = 0;
+    double wallSeconds = 0.0;
+    std::string telemetryDir;
+};
+
+/** The compile-time build stamp (git describe or "unknown"). */
+std::string buildStamp();
+
+/**
+ * Snapshot the current process state into a record. Metrics come
+ * from MetricsRegistry (Stable instruments only) and the logical
+ * duration from TimeSeriesSampler's logical clock.
+ */
+LedgerRecord captureRecord(const CaptureContext &context);
+
+} // namespace report
+} // namespace mbs
+
+#endif // MBS_REPORT_CAPTURE_HH

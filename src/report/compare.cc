@@ -1,0 +1,298 @@
+#include "compare.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "common/json_parse.hh"
+#include "common/strings.hh"
+#include "obs/json.hh"
+
+namespace mbs {
+namespace report {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+double
+relativeDelta(double base, double current)
+{
+    return (current - base) / std::max(std::fabs(base), 1.0);
+}
+
+MetricDelta
+alignedRow(const std::string &name, double base, double current,
+           double threshold)
+{
+    MetricDelta row;
+    row.name = name;
+    row.base = base;
+    row.current = current;
+    row.delta = relativeDelta(base, current);
+    if (row.delta > threshold)
+        row.verdict = "regression";
+    else if (row.delta < -threshold)
+        row.verdict = "improved";
+    return row;
+}
+
+/** Per-event-type counts from one events.jsonl, strict-parsed. */
+std::map<std::string, double>
+eventTypeCounts(const fs::path &path)
+{
+    std::map<std::string, double> out;
+    std::ifstream in(path);
+    if (!in)
+        return out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const JsonValue event = parseJson(line);
+        if (!event.isObject())
+            continue;
+        if (const JsonValue *type = event.find("type");
+            type != nullptr && type->isString()) {
+            out[type->str] += 1.0;
+        }
+    }
+    return out;
+}
+
+/**
+ * Final logical-domain value per metric from one timeseries.csv.
+ * Logical rows are the deterministic prefix; the last sample per
+ * metric is the run's end state in the logical clock.
+ */
+std::map<std::string, double>
+finalLogicalValues(const fs::path &path)
+{
+    std::map<std::string, double> out;
+    std::ifstream in(path);
+    if (!in)
+        return out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!startsWith(line, "logical,"))
+            continue;
+        // domain,sample,time,checkpoint,metric,value
+        const auto fields = split(line, ',');
+        if (fields.size() < 6)
+            continue;
+        double value = 0.0;
+        try {
+            value = std::stod(fields[5]);
+        } catch (const std::exception &) {
+            continue;
+        }
+        // Rows are ordered by sample index; later rows overwrite.
+        out[fields[4]] = value;
+    }
+    return out;
+}
+
+/** Align two name->value maps into threshold-judged rows. */
+std::vector<MetricDelta>
+alignMaps(const std::map<std::string, double> &base,
+          const std::map<std::string, double> &current,
+          double threshold)
+{
+    std::vector<MetricDelta> out;
+    for (const auto &[name, baseValue] : base) {
+        const auto it = current.find(name);
+        if (it == current.end()) {
+            MetricDelta row;
+            row.name = name;
+            row.base = baseValue;
+            row.verdict = "missing";
+            out.push_back(std::move(row));
+            continue;
+        }
+        out.push_back(
+            alignedRow(name, baseValue, it->second, threshold));
+    }
+    for (const auto &[name, currentValue] : current) {
+        if (base.find(name) != base.end())
+            continue;
+        MetricDelta row;
+        row.name = name;
+        row.current = currentValue;
+        row.verdict = "new";
+        out.push_back(std::move(row));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricDelta &a, const MetricDelta &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+void
+appendRowsJson(std::string &out, const char *key,
+               const std::vector<MetricDelta> &rows)
+{
+    out += std::string("  \"") + key + "\": [";
+    bool first = true;
+    for (const auto &r : rows) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    {\"name\": \"" + obs::jsonEscape(r.name) +
+            "\", \"base\": " + obs::jsonNumber(r.base) +
+            ", \"current\": " + obs::jsonNumber(r.current) +
+            ", \"delta\": " + obs::jsonNumber(r.delta) +
+            ", \"verdict\": \"" + r.verdict + "\"}";
+    }
+    out += first ? "]" : "\n  ]";
+}
+
+void
+appendRowsText(std::string &out,
+               const std::vector<MetricDelta> &rows)
+{
+    for (const auto &r : rows) {
+        if (r.verdict == "missing") {
+            out += strformat("MISSING    %-44s (in baseline only)\n",
+                             r.name.c_str());
+            continue;
+        }
+        if (r.verdict == "new") {
+            out += strformat("NEW        %-44s (no baseline yet)\n",
+                             r.name.c_str());
+            continue;
+        }
+        const char *verdict = r.verdict == "regression"
+            ? "REGRESSION"
+            : r.verdict.c_str();
+        out += strformat("%-10s %-44s %14.6g -> %14.6g (%+.1f%%)\n",
+                         verdict, r.name.c_str(), r.base, r.current,
+                         r.delta * 100.0);
+    }
+}
+
+} // namespace
+
+std::string
+CompareResult::toText() const
+{
+    std::string out;
+    out += strformat("compare %s -> %s (threshold %+.0f%%)\n",
+                     baseLabel.c_str(), currentLabel.c_str(),
+                     threshold * 100.0);
+    out += "metrics:\n";
+    appendRowsText(out, metrics);
+    appendRowsText(out, {logicalTicks});
+    if (bundlesCompared) {
+        if (!events.empty()) {
+            out += "events:\n";
+            appendRowsText(out, events);
+        }
+        if (!timeseries.empty()) {
+            out += "timeseries (final logical values):\n";
+            appendRowsText(out, timeseries);
+        }
+    }
+    out += strformat("%zu regression%s\n", regressions.size(),
+                     regressions.size() == 1 ? "" : "s");
+    return out;
+}
+
+std::string
+CompareResult::toJson() const
+{
+    std::string out = "{\n";
+    out += "  \"base\": \"" + obs::jsonEscape(baseLabel) + "\",\n";
+    out += "  \"current\": \"" + obs::jsonEscape(currentLabel) +
+        "\",\n";
+    out += "  \"threshold\": " + obs::jsonNumber(threshold) + ",\n";
+    out += "  \"bundles_compared\": ";
+    out += bundlesCompared ? "true" : "false";
+    out += ",\n";
+    appendRowsJson(out, "metrics", metrics);
+    out += ",\n";
+    appendRowsJson(out, "events", events);
+    out += ",\n";
+    appendRowsJson(out, "timeseries", timeseries);
+    out += ",\n";
+    out += "  \"regressions\": [";
+    bool first = true;
+    for (const auto &name : regressions) {
+        out += first ? "" : ", ";
+        first = false;
+        out += "\"" + obs::jsonEscape(name) + "\"";
+    }
+    out += "],\n";
+    out += std::string("  \"verdict\": \"") +
+        (regression() ? "regression" : "ok") + "\"\n}\n";
+    return out;
+}
+
+CompareResult
+compareRecords(const LedgerRecord &base, const LedgerRecord &current,
+               double threshold)
+{
+    CompareResult result;
+    result.threshold = threshold;
+    result.baseLabel = strformat(
+        "seq %llu (%s)", (unsigned long long)base.seq,
+        base.runId.substr(0, 8).c_str());
+    result.currentLabel = strformat(
+        "seq %llu (%s)", (unsigned long long)current.seq,
+        current.runId.substr(0, 8).c_str());
+
+    std::map<std::string, double> baseValues, currentValues;
+    for (const auto &m : base.metrics)
+        baseValues[m.name] = m.comparable();
+    for (const auto &m : current.metrics)
+        currentValues[m.name] = m.comparable();
+    result.metrics = alignMaps(baseValues, currentValues, threshold);
+
+    result.logicalTicks =
+        alignedRow("logical_ticks", double(base.logicalTicks),
+                   double(current.logicalTicks), threshold);
+
+    // Event-log and time-series diffs need both runs' bundles on
+    // disk; a pruned bundle degrades to a metrics-only comparison.
+    const bool haveBundles = !base.telemetryDir.empty() &&
+        !current.telemetryDir.empty() &&
+        fs::exists(base.telemetryDir) &&
+        fs::exists(current.telemetryDir);
+    if (haveBundles) {
+        result.bundlesCompared = true;
+        result.events = alignMaps(
+            eventTypeCounts(fs::path(base.telemetryDir) /
+                            "events.jsonl"),
+            eventTypeCounts(fs::path(current.telemetryDir) /
+                            "events.jsonl"),
+            threshold);
+        result.timeseries = alignMaps(
+            finalLogicalValues(fs::path(base.telemetryDir) /
+                               "timeseries.csv"),
+            finalLogicalValues(fs::path(current.telemetryDir) /
+                               "timeseries.csv"),
+            threshold);
+    }
+
+    // Regressions ranked worst-first; only the stable metrics and
+    // the logical clock gate the verdict (event/series diffs are
+    // advisory — they restate the same underlying counters).
+    std::vector<const MetricDelta *> regressed;
+    for (const auto &r : result.metrics) {
+        if (r.verdict == "regression")
+            regressed.push_back(&r);
+    }
+    if (result.logicalTicks.verdict == "regression")
+        regressed.push_back(&result.logicalTicks);
+    std::sort(regressed.begin(), regressed.end(),
+              [](const MetricDelta *a, const MetricDelta *b) {
+                  return a->delta > b->delta;
+              });
+    for (const auto *r : regressed)
+        result.regressions.push_back(r->name);
+    return result;
+}
+
+} // namespace report
+} // namespace mbs

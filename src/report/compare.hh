@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Aligned diff of two ledger records: per-counter deltas over the
+ * stable metrics snapshot, plus event-log and time-series diffs when
+ * both runs kept their telemetry bundles. Same contract as
+ * tools/perf_compare: metrics present on only one side are reported
+ * but never fail; a delta beyond the threshold is a regression and
+ * makes the overall verdict (and the CLI's exit status) non-zero.
+ *
+ * The delta denominator is max(|base|, 1), so a counter growing from
+ * 0 to 5 reports +5.0 rather than being skipped — a fault counter
+ * appearing from nothing is exactly the kind of change a cross-run
+ * gate must flag.
+ */
+
+#ifndef MBS_REPORT_COMPARE_HH
+#define MBS_REPORT_COMPARE_HH
+
+#include <string>
+#include <vector>
+
+#include "report/ledger.hh"
+
+namespace mbs {
+namespace report {
+
+/** One aligned row of the diff. */
+struct MetricDelta
+{
+    std::string name;
+    double base = 0.0;
+    double current = 0.0;
+    /** (current - base) / max(|base|, 1). */
+    double delta = 0.0;
+    /** "ok", "regression", "improved", "missing" or "new". */
+    std::string verdict = "ok";
+};
+
+/** The full comparison outcome. */
+struct CompareResult
+{
+    std::string baseLabel;
+    std::string currentLabel;
+    double threshold = 0.25;
+    /** Stable-metric rows, name order; missing/new rows included. */
+    std::vector<MetricDelta> metrics;
+    /** logical_ticks compared like a metric. */
+    MetricDelta logicalTicks;
+    /** Per-event-type counts from events.jsonl (when available). */
+    std::vector<MetricDelta> events;
+    /** Final logical time-series value per metric (when available). */
+    std::vector<MetricDelta> timeseries;
+    /** True when the two runs' bundle artifacts were diffed. */
+    bool bundlesCompared = false;
+    /** Names of regressed metrics, worst first. */
+    std::vector<std::string> regressions;
+
+    bool regression() const { return !regressions.empty(); }
+    /** Human-readable table (perf_compare style). */
+    std::string toText() const;
+    /** Machine-readable verdict document for CI. */
+    std::string toJson() const;
+};
+
+/**
+ * Diff @p current against @p base at @p threshold. When both records
+ * carry an existing telemetry bundle directory, events.jsonl and
+ * timeseries.csv are diffed too (strict JSON parsing per event
+ * line); a missing bundle degrades to a metrics-only comparison.
+ */
+CompareResult compareRecords(const LedgerRecord &base,
+                             const LedgerRecord &current,
+                             double threshold);
+
+} // namespace report
+} // namespace mbs
+
+#endif // MBS_REPORT_COMPARE_HH

@@ -1,0 +1,400 @@
+#include "ledger.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/digest.hh"
+#include "common/json_parse.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "obs/json.hh"
+#include "store/atomic_write.hh"
+
+namespace mbs {
+namespace report {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+readFileBytes(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "cannot open ledger record '" + path.string() + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+std::uint64_t
+asU64(const JsonValue &v, const std::string &where)
+{
+    fatalIf(!v.isNumber(), where + ": expected a number");
+    fatalIf(v.number < 0, where + ": expected a non-negative number");
+    return std::uint64_t(v.number);
+}
+
+const JsonValue &
+member(const JsonValue &obj, const std::string &key,
+       const std::string &where)
+{
+    const JsonValue *v = obj.find(key);
+    fatalIf(v == nullptr, where + ": missing \"" + key + "\"");
+    return *v;
+}
+
+std::string
+stringMember(const JsonValue &obj, const std::string &key,
+             const std::string &where)
+{
+    const JsonValue &v = member(obj, key, where);
+    fatalIf(!v.isString(), where + ": \"" + key + "\" not a string");
+    return v.str;
+}
+
+} // namespace
+
+std::string
+LedgerRecord::stableJson() const
+{
+    std::string out = "{\n";
+    out += "    \"command\": \"" + obs::jsonEscape(command) + "\",\n";
+    out += "    \"run_id\": \"" + obs::jsonEscape(runId) + "\",\n";
+    out += "    \"soc\": \"" + obs::jsonEscape(socName) + "\",\n";
+    out += "    \"soc_config_digest\": \"" +
+        obs::jsonEscape(socConfigDigest) + "\",\n";
+    out += "    \"suite_digest\": \"" + obs::jsonEscape(suiteDigest) +
+        "\",\n";
+    out += "    \"seed\": " +
+        strformat("%llu", (unsigned long long)seed) + ",\n";
+    out += "    \"runs\": " + strformat("%d", runs) + ",\n";
+    out += "    \"tick_seconds\": " + obs::jsonNumber(tickSeconds) +
+        ",\n";
+    out += "    \"logical_ticks\": " +
+        strformat("%llu", (unsigned long long)logicalTicks) + ",\n";
+    out += "    \"metrics\": [";
+    bool first = true;
+    for (const auto &m : metrics) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "      {\"name\": \"" + obs::jsonEscape(m.name) +
+            "\", \"type\": \"" + obs::jsonEscape(m.type) + "\", ";
+        if (m.type == "histogram") {
+            out += "\"count\": " +
+                strformat("%llu",
+                          (unsigned long long)m.observations) +
+                ", \"sum\": " + obs::jsonNumber(m.sum);
+        } else {
+            out += "\"value\": " + obs::jsonNumber(m.value);
+        }
+        out += "}";
+    }
+    out += first ? "]\n" : "\n    ]\n";
+    out += "  }";
+    return out;
+}
+
+std::string
+LedgerRecord::toPayload() const
+{
+    std::string out = "{\n";
+    out += "  \"schema_version\": " +
+        strformat("%d", schemaVersion) + ",\n";
+    out += "  \"stable\": " + stableJson() + ",\n";
+    out += "  \"volatile\": {\n";
+    out += "    \"seq\": " +
+        strformat("%llu", (unsigned long long)seq) + ",\n";
+    out += "    \"jobs\": " + strformat("%d", jobs) + ",\n";
+    out += "    \"build_stamp\": \"" + obs::jsonEscape(buildStamp) +
+        "\",\n";
+    out += "    \"wall_seconds\": " + obs::jsonNumber(wallSeconds) +
+        ",\n";
+    out += "    \"telemetry_dir\": \"" +
+        obs::jsonEscape(telemetryDir) + "\"\n";
+    out += "  }\n}\n";
+    return out;
+}
+
+LedgerRecord
+LedgerRecord::fromPayload(const std::string &payload,
+                          const std::string &where)
+{
+    const JsonValue doc = parseJson(payload);
+    fatalIf(!doc.isObject(), where + ": record is not an object");
+
+    LedgerRecord r;
+    r.schemaVersion = int(
+        asU64(member(doc, "schema_version", where), where));
+    fatalIf(r.schemaVersion > kLedgerSchemaVersion,
+            where + ": schema version " +
+                std::to_string(r.schemaVersion) +
+                " is newer than this build understands (" +
+                std::to_string(kLedgerSchemaVersion) + ")");
+
+    const JsonValue &stable = member(doc, "stable", where);
+    fatalIf(!stable.isObject(), where + ": \"stable\" not an object");
+    r.command = stringMember(stable, "command", where);
+    r.runId = stringMember(stable, "run_id", where);
+    r.socName = stringMember(stable, "soc", where);
+    r.socConfigDigest =
+        stringMember(stable, "soc_config_digest", where);
+    r.suiteDigest = stringMember(stable, "suite_digest", where);
+    r.seed = asU64(member(stable, "seed", where), where);
+    r.runs = int(asU64(member(stable, "runs", where), where));
+    r.tickSeconds = member(stable, "tick_seconds", where).number;
+    r.logicalTicks =
+        asU64(member(stable, "logical_ticks", where), where);
+    const JsonValue &metrics = member(stable, "metrics", where);
+    fatalIf(!metrics.isArray(), where + ": \"metrics\" not an array");
+    for (const JsonValue &m : metrics.array) {
+        fatalIf(!m.isObject(), where + ": metric not an object");
+        LedgerMetric lm;
+        lm.name = stringMember(m, "name", where);
+        lm.type = stringMember(m, "type", where);
+        if (lm.type == "histogram") {
+            lm.observations =
+                asU64(member(m, "count", where), where);
+            lm.sum = member(m, "sum", where).number;
+        } else {
+            lm.value = member(m, "value", where).number;
+        }
+        r.metrics.push_back(std::move(lm));
+    }
+
+    const JsonValue &vol = member(doc, "volatile", where);
+    fatalIf(!vol.isObject(), where + ": \"volatile\" not an object");
+    r.seq = asU64(member(vol, "seq", where), where);
+    r.jobs = int(asU64(member(vol, "jobs", where), where));
+    r.buildStamp = stringMember(vol, "build_stamp", where);
+    r.wallSeconds = member(vol, "wall_seconds", where).number;
+    r.telemetryDir = stringMember(vol, "telemetry_dir", where);
+    return r;
+}
+
+const LedgerMetric *
+LedgerRecord::findMetric(const std::string &name) const
+{
+    for (const auto &m : metrics) {
+        if (m.name == name)
+            return &m;
+    }
+    return nullptr;
+}
+
+RunLedger::RunLedger(const std::filesystem::path &directory)
+    : root(directory)
+{
+    std::error_code ec;
+    fs::create_directories(root / "records", ec);
+    fatalIf(bool(ec), "cannot create ledger directory '" +
+            (root / "records").string() + "': " + ec.message());
+}
+
+std::filesystem::path
+RunLedger::recordsDir() const
+{
+    return root / "records";
+}
+
+std::string
+RunLedger::checksumHeader(const std::string &payload)
+{
+    Fnv1a h;
+    h.mix(payload);
+    return strformat("{\"mbs_ledger_checksum\": \"%016llx\", "
+                     "\"bytes\": %zu}",
+                     (unsigned long long)h.value(), payload.size());
+}
+
+std::string
+RunLedger::verifiedPayload(const std::string &fileBytes,
+                           const std::string &where)
+{
+    const std::size_t nl = fileBytes.find('\n');
+    fatalIf(nl == std::string::npos,
+            where + ": not a ledger record (no checksum header)");
+    const std::string header = fileBytes.substr(0, nl);
+    const std::string payload = fileBytes.substr(nl + 1);
+
+    const JsonValue doc = parseJson(header);
+    fatalIf(!doc.isObject(),
+            where + ": malformed checksum header");
+    const std::string expected =
+        stringMember(doc, "mbs_ledger_checksum", where);
+    const std::uint64_t expectedBytes =
+        asU64(member(doc, "bytes", where), where);
+    fatalIf(payload.size() != expectedBytes,
+            where + ": truncated record (" +
+                std::to_string(payload.size()) + " of " +
+                std::to_string(expectedBytes) + " payload bytes)");
+    Fnv1a h;
+    h.mix(payload);
+    const std::string actual =
+        strformat("%016llx", (unsigned long long)h.value());
+    fatalIf(actual != expected,
+            where + ": checksum mismatch (record corrupt): "
+                "expected " + expected + ", computed " + actual);
+    return payload;
+}
+
+std::uint64_t
+RunLedger::append(LedgerRecord &record)
+{
+    const auto existing = entries();
+    std::uint64_t seq =
+        existing.empty() ? 1 : existing.back().seq + 1;
+    fs::path path;
+    // Skip sequence numbers already taken by a concurrent writer;
+    // the window is tiny and the scan is cheap.
+    for (;; ++seq) {
+        const std::string prefix =
+            record.runId.substr(0, std::min<std::size_t>(
+                                       8, record.runId.size()));
+        path = recordsDir() /
+            strformat("%06llu-%s.json", (unsigned long long)seq,
+                      prefix.c_str());
+        if (!fs::exists(path))
+            break;
+    }
+    record.seq = seq;
+
+    const std::string payload = record.toPayload();
+    const std::string bytes =
+        checksumHeader(payload) + "\n" + payload;
+    const AtomicWriteResult written = atomicWriteFile(path, bytes);
+    fatalIf(!written.ok, "cannot append ledger record '" +
+            path.string() + "': " + written.error);
+
+    // The index is an accelerator for humans and CI artifact
+    // uploads; record files remain the source of truth, so a lost
+    // index line is harmless.
+    std::ofstream index(root / "index.jsonl", std::ios::app);
+    if (index) {
+        index << strformat(
+            "{\"seq\": %llu, \"run_id\": \"%s\", \"command\": "
+            "\"%s\", \"logical_ticks\": %llu, \"wall_seconds\": %s, "
+            "\"build_stamp\": \"%s\"}\n",
+            (unsigned long long)seq,
+            obs::jsonEscape(record.runId).c_str(),
+            obs::jsonEscape(record.command).c_str(),
+            (unsigned long long)record.logicalTicks,
+            obs::jsonNumber(record.wallSeconds).c_str(),
+            obs::jsonEscape(record.buildStamp).c_str());
+    }
+    return seq;
+}
+
+std::vector<LedgerEntry>
+RunLedger::entries() const
+{
+    std::vector<LedgerEntry> out;
+    std::error_code ec;
+    for (const auto &de :
+         fs::directory_iterator(recordsDir(), ec)) {
+        const fs::path p = de.path();
+        if (p.extension() != ".json")
+            continue;
+        const std::string stem = p.stem().string();
+        const std::size_t dash = stem.find('-');
+        if (dash == std::string::npos || dash == 0)
+            continue;
+        const std::string seqPart = stem.substr(0, dash);
+        if (seqPart.find_first_not_of("0123456789") !=
+            std::string::npos)
+            continue;
+        LedgerEntry e;
+        e.seq = std::stoull(seqPart);
+        e.runIdPrefix = stem.substr(dash + 1);
+        e.path = p;
+        out.push_back(std::move(e));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const LedgerEntry &a, const LedgerEntry &b) {
+                  return a.seq < b.seq;
+              });
+    return out;
+}
+
+LedgerRecord
+RunLedger::load(const LedgerEntry &entry) const
+{
+    const std::string where = entry.path.string();
+    return LedgerRecord::fromPayload(
+        verifiedPayload(readFileBytes(entry.path), where), where);
+}
+
+LedgerRecord
+RunLedger::resolve(const std::string &selector) const
+{
+    // A path to a record file works from any ledger.
+    if (fs::exists(selector) && fs::is_regular_file(selector)) {
+        return LedgerRecord::fromPayload(
+            verifiedPayload(readFileBytes(selector), selector),
+            selector);
+    }
+
+    const auto all = entries();
+    fatalIf(all.empty(), "ledger '" + root.string() +
+            "' has no records yet");
+
+    if (selector == "last" || startsWith(selector, "last~")) {
+        std::size_t back = 0;
+        if (startsWith(selector, "last~")) {
+            const std::string n = selector.substr(5);
+            fatalIf(n.empty() || n.find_first_not_of("0123456789") !=
+                        std::string::npos,
+                    "bad selector '" + selector +
+                        "'; use last~<n>");
+            back = std::stoull(n);
+        }
+        fatalIf(back >= all.size(),
+                "selector '" + selector + "' reaches past the " +
+                    std::to_string(all.size()) +
+                    " record(s) in the ledger");
+        return load(all[all.size() - 1 - back]);
+    }
+
+    if (!selector.empty() &&
+        selector.find_first_not_of("0123456789") ==
+            std::string::npos) {
+        const std::uint64_t seq = std::stoull(selector);
+        for (const auto &e : all) {
+            if (e.seq == seq)
+                return load(e);
+        }
+        fatal("no ledger record with sequence number " + selector);
+    }
+
+    if (selector.size() >= 4 &&
+        selector.find_first_not_of("0123456789abcdef") ==
+            std::string::npos) {
+        const LedgerEntry *match = nullptr;
+        for (const auto &e : all) {
+            if (!startsWith(e.runIdPrefix, selector) &&
+                !startsWith(selector, e.runIdPrefix))
+                continue;
+            // Same run id can recur (repeated identical runs);
+            // prefer the newest, but a prefix matching different
+            // run ids is ambiguous.
+            if (match != nullptr &&
+                match->runIdPrefix != e.runIdPrefix) {
+                fatal("run-id prefix '" + selector +
+                      "' is ambiguous in ledger '" + root.string() +
+                      "'");
+            }
+            match = &e;
+        }
+        if (match != nullptr)
+            return load(*match);
+    }
+
+    fatal("cannot resolve '" + selector +
+          "' in ledger '" + root.string() +
+          "'; use last, last~<n>, a sequence number, a run-id "
+          "prefix, or a record path");
+}
+
+} // namespace report
+} // namespace mbs

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The run ledger: a durable, indexed, append-only record of every
+ * characterization run, so runs can be compared across time instead
+ * of evaporating with their terminal output.
+ *
+ * Each `pipeline` / `ingest` / `chaos` invocation appends one
+ * schema-versioned record. A record splits into two blocks:
+ *
+ *  - **stable** — everything reproducible under a fixed seed: the
+ *    command, run id, SoC/suite digests, seed/runs/tick, logical
+ *    duration in simulator ticks, and the full Stable-class metrics
+ *    snapshot. Two identical runs (any `--jobs` count) serialize
+ *    this block byte-identically; goldens diff it directly.
+ *
+ *  - **volatile** — wall-clock and environment facts: the ledger
+ *    sequence number, jobs, build stamp, wall seconds, telemetry
+ *    bundle path. Never part of byte-identity comparisons.
+ *
+ * On disk a record file is one header line
+ * `{"mbs_ledger_checksum": "<16-hex>", "bytes": N}` followed by the
+ * payload document; the checksum is the FNV-1a of the raw payload
+ * bytes, so verification never depends on JSON re-serialization.
+ * Records are published with the store's atomic write-rename
+ * (store/atomic_write.hh); `index.jsonl` is a best-effort
+ * convenience index that is always rebuildable from the record
+ * files, which remain the source of truth.
+ */
+
+#ifndef MBS_REPORT_LEDGER_HH
+#define MBS_REPORT_LEDGER_HH
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace mbs {
+namespace report {
+
+constexpr int kLedgerSchemaVersion = 1;
+
+/** One metric's value inside a ledger record. */
+struct LedgerMetric
+{
+    std::string name;
+    /** "counter", "gauge" or "histogram". */
+    std::string type;
+    /** Counter or gauge value. */
+    double value = 0.0;
+    /** Histogram observation count and sum. */
+    std::uint64_t observations = 0;
+    double sum = 0.0;
+
+    /** The scalar compare aligns on: value, or count for histograms. */
+    double comparable() const
+    {
+        return type == "histogram" ? double(observations) : value;
+    }
+};
+
+/** One run's durable record. */
+struct LedgerRecord
+{
+    int schemaVersion = kLedgerSchemaVersion;
+
+    // --- stable block (deterministic under a fixed seed) ---
+    std::string command;
+    /** 16-hex digest of the run configuration. */
+    std::string runId;
+    std::string socName;
+    /** 16-hex SoC config digest. */
+    std::string socConfigDigest;
+    /** 16-hex workload-suite digest; empty when not applicable. */
+    std::string suiteDigest;
+    std::uint64_t seed = 0;
+    int runs = 0;
+    double tickSeconds = 0.0;
+    /** Logical duration: simulator ticks merged over the run. */
+    std::uint64_t logicalTicks = 0;
+    /** Stable-class metrics snapshot, sorted by name. */
+    std::vector<LedgerMetric> metrics;
+
+    // --- volatile block (wall clock / environment) ---
+    /** Ledger-assigned sequence number (1-based; 0 = unassigned). */
+    std::uint64_t seq = 0;
+    int jobs = 0;
+    /** git-describe-style build stamp ("unknown" without git). */
+    std::string buildStamp;
+    double wallSeconds = 0.0;
+    /** Telemetry bundle directory of this run; may be empty. */
+    std::string telemetryDir;
+
+    /** Deterministic serialization of the stable block only. */
+    std::string stableJson() const;
+    /** The full record payload (schema version + both blocks). */
+    std::string toPayload() const;
+    /**
+     * Parse @p payload (the document after the checksum header).
+     * @p where names the source in diagnostics. Throws FatalError
+     * on malformed or version-mismatched input.
+     */
+    static LedgerRecord fromPayload(const std::string &payload,
+                                    const std::string &where);
+
+    /** The metric named @p name, or nullptr. */
+    const LedgerMetric *findMetric(const std::string &name) const;
+};
+
+/** Directory-scan info about one record file. */
+struct LedgerEntry
+{
+    std::uint64_t seq = 0;
+    /** The 8-hex run-id prefix embedded in the filename. */
+    std::string runIdPrefix;
+    std::filesystem::path path;
+};
+
+/**
+ * The on-disk ledger: `<dir>/records/NNNNNN-<runid8>.json` plus a
+ * best-effort `<dir>/index.jsonl`.
+ */
+class RunLedger
+{
+  public:
+    /**
+     * Open (creating if needed) the ledger rooted at @p directory;
+     * fatal() when it cannot be created.
+     */
+    explicit RunLedger(const std::filesystem::path &directory);
+
+    /**
+     * Append @p record, assigning the next sequence number (returned
+     * and stored into the record's seq). The write is atomic; a
+     * failed write is fatal() — losing a ledger record silently
+     * would defeat the ledger.
+     */
+    std::uint64_t append(LedgerRecord &record);
+
+    /** Record files found on disk, ordered by sequence number. */
+    std::vector<LedgerEntry> entries() const;
+
+    /** Load and checksum-verify one record; throws FatalError. */
+    LedgerRecord load(const LedgerEntry &entry) const;
+
+    /**
+     * Resolve a user-facing selector to a record:
+     *   "last"      the newest record
+     *   "last~N"    N records before the newest
+     *   "<seq>"     a decimal sequence number
+     *   "<hex...>"  a unique run-id prefix (4+ hex digits)
+     *   "<path>"    a record file path
+     * Throws FatalError when nothing (or more than one run-id
+     * candidate) matches.
+     */
+    LedgerRecord resolve(const std::string &selector) const;
+
+    const std::filesystem::path &directory() const { return root; }
+
+    /** The checksum header line (no trailing newline). */
+    static std::string checksumHeader(const std::string &payload);
+    /**
+     * Split a record file's bytes into header + payload, verify the
+     * checksum and byte count; throws FatalError on corruption.
+     */
+    static std::string verifiedPayload(const std::string &fileBytes,
+                                       const std::string &where);
+
+  private:
+    std::filesystem::path recordsDir() const;
+
+    std::filesystem::path root;
+};
+
+} // namespace report
+} // namespace mbs
+
+#endif // MBS_REPORT_LEDGER_HH

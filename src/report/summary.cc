@@ -1,0 +1,140 @@
+#include "summary.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/sparkline.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "report/compare.hh"
+
+namespace mbs {
+namespace report {
+
+namespace {
+
+std::string
+metricCell(const LedgerRecord &r, const std::string &name)
+{
+    const LedgerMetric *m = r.findMetric(name);
+    if (m == nullptr)
+        return "-";
+    return strformat("%.6g", m->comparable());
+}
+
+std::string
+wallCell(double seconds)
+{
+    if (seconds <= 0.0)
+        return "-";
+    return seconds >= 1.0 ? strformat("%.2f s", seconds)
+                          : strformat("%.0f ms", seconds * 1e3);
+}
+
+} // namespace
+
+std::string
+renderLedgerSummary(const RunLedger &ledger, std::size_t lastN)
+{
+    const auto all = ledger.entries();
+    fatalIf(all.empty(), "ledger '" +
+            ledger.directory().string() + "' has no records yet");
+
+    const std::size_t n = std::min(lastN, all.size());
+    std::vector<LedgerRecord> records;
+    records.reserve(n);
+    for (std::size_t i = all.size() - n; i < all.size(); ++i)
+        records.push_back(ledger.load(all[i]));
+
+    std::string out = strformat(
+        "ledger %s: %zu record%s (showing last %zu)\n",
+        ledger.directory().string().c_str(), all.size(),
+        all.size() == 1 ? "" : "s", n);
+
+    TextTable t({"Seq", "Run id", "Command", "Build", "Ticks",
+                 "sim.ticks", "exec.tasks", "Wall"});
+    t.setAlign(0, Align::Right);
+    t.setAlign(4, Align::Right);
+    t.setAlign(5, Align::Right);
+    t.setAlign(6, Align::Right);
+    t.setAlign(7, Align::Right);
+    for (const auto &r : records) {
+        t.addRow({strformat("%llu", (unsigned long long)r.seq),
+                  r.runId.substr(0, 8), r.command, r.buildStamp,
+                  strformat("%llu",
+                            (unsigned long long)r.logicalTicks),
+                  metricCell(r, "sim.ticks"),
+                  metricCell(r, "exec.tasks"),
+                  wallCell(r.wallSeconds)});
+    }
+    out += t.render();
+
+    // Sparklines: each counter's trajectory across the shown runs,
+    // normalized to its own maximum. A flat line is an invariant; a
+    // step is a behaviour change worth a `compare`.
+    if (records.size() >= 2) {
+        std::map<std::string, std::vector<double>> series;
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            for (const auto &m : records[i].metrics) {
+                auto &values = series[m.name];
+                values.resize(records.size(), 0.0);
+                values[i] = m.comparable();
+            }
+        }
+        out += "\nmetric trajectories (last " +
+            std::to_string(records.size()) + " runs)\n";
+        for (const auto &[name, values] : series) {
+            const double peak =
+                *std::max_element(values.begin(), values.end());
+            std::vector<double> normalized = values;
+            if (peak > 0.0) {
+                for (double &v : normalized)
+                    v /= peak;
+            }
+            out += strformat(
+                "%-44s %s  (max %.6g)\n", name.c_str(),
+                sparkline(normalized,
+                          std::max<std::size_t>(records.size(), 8))
+                    .c_str(),
+                peak);
+        }
+    }
+
+    // Top regressions: the newest two records diffed at a tight
+    // threshold so the report surfaces drifts a CI gate would not.
+    if (records.size() >= 2) {
+        const CompareResult diff = compareRecords(
+            records[records.size() - 2], records.back(), 0.01);
+        std::vector<MetricDelta> moved;
+        for (const auto &row : diff.metrics) {
+            if (row.verdict == "regression" ||
+                row.verdict == "improved")
+                moved.push_back(row);
+        }
+        std::sort(moved.begin(), moved.end(),
+                  [](const MetricDelta &a, const MetricDelta &b) {
+                      return std::fabs(a.delta) >
+                          std::fabs(b.delta);
+                  });
+        out += "\ntop deltas, newest vs previous run\n";
+        if (moved.empty()) {
+            out += "  none (all metrics within 1%)\n";
+        } else {
+            const std::size_t top =
+                std::min<std::size_t>(5, moved.size());
+            for (std::size_t i = 0; i < top; ++i) {
+                const auto &row = moved[i];
+                out += strformat(
+                    "  %-44s %14.6g -> %14.6g (%+.1f%%)\n",
+                    row.name.c_str(), row.base, row.current,
+                    row.delta * 100.0);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace report
+} // namespace mbs

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * `mobilebench report`: summarize a run ledger — a last-N run
+ * table, per-metric sparklines across those runs, and the top
+ * regressions between the two newest records.
+ */
+
+#ifndef MBS_REPORT_SUMMARY_HH
+#define MBS_REPORT_SUMMARY_HH
+
+#include <cstddef>
+#include <string>
+
+#include "report/ledger.hh"
+
+namespace mbs {
+namespace report {
+
+/**
+ * Render the ledger summary over the newest @p lastN records:
+ * run table (seq, run id, command, build, logical ticks, key
+ * counters, wall time), one sparkline per counter showing its
+ * trajectory across those runs, and the top metric deltas between
+ * the newest two records. Fatal when the ledger is empty.
+ */
+std::string renderLedgerSummary(const RunLedger &ledger,
+                                std::size_t lastN);
+
+} // namespace report
+} // namespace mbs
+
+#endif // MBS_REPORT_SUMMARY_HH

@@ -45,17 +45,29 @@ void
 SimStats::flushToRegistry() const
 {
     auto &metrics = obs::MetricsRegistry::instance();
-    metrics.counter("sim.runs").add(runs);
-    metrics.counter("sim.phases").add(phases);
-    metrics.counter("sim.ticks").add(ticks);
-    metrics.counter("sim.dvfs_transitions").add(dvfsTransitions);
-    metrics.counter("sim.scheduler_migrations")
+    const auto stable = obs::Volatility::Stable;
+    metrics.counter("sim.runs", stable,
+                    "Simulated benchmark runs").add(runs);
+    metrics.counter("sim.phases", stable,
+                    "Workload phases simulated").add(phases);
+    metrics.counter("sim.ticks", stable,
+                    "Simulator ticks evaluated").add(ticks);
+    metrics.counter("sim.dvfs_transitions", stable,
+                    "DVFS operating-point changes across all "
+                    "clusters").add(dvfsTransitions);
+    metrics.counter("sim.scheduler_migrations", stable,
+                    "Scheduler thread migrations between clusters")
         .add(schedulerMigrations);
-    metrics.counter("sim.cache_evals").add(cacheEvals);
-    metrics.counter("sim.memory_evals").add(memoryEvals);
+    metrics.counter("sim.cache_evals", stable,
+                    "Cache-hierarchy model evaluations")
+        .add(cacheEvals);
+    metrics.counter("sim.memory_evals", stable,
+                    "Memory-subsystem model evaluations")
+        .add(memoryEvals);
     auto &hist = metrics.histogram(
         "sim.phase_ticks",
-        {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+        {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000},
+        stable, "Ticks spent in each simulated workload phase");
     for (const std::uint64_t t : phaseTicks)
         hist.observe(double(t));
 }
@@ -398,7 +410,9 @@ SocSimulator::run(const std::vector<TimedPhase> &phases,
     if (result.totals.runtimeSeconds > 0.0) {
         obs::MetricsRegistry::instance()
             .gauge("sim.wall_seconds_per_simulated_second",
-                   obs::Volatility::Volatile)
+                   obs::Volatility::Volatile,
+                   "Wall-clock slowdown of the simulator relative "
+                   "to simulated time")
             .set(wallSeconds / result.totals.runtimeSeconds);
     }
     return result;

@@ -1,0 +1,76 @@
+#include "atomic_write.hh"
+
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "fault/fault.hh"
+
+namespace mbs {
+
+namespace {
+
+/** Exponential backoff before retry number @p attempt (1-based). */
+void
+backoff(int attempt)
+{
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1 << (attempt - 1)));
+}
+
+} // namespace
+
+AtomicWriteResult
+atomicWriteFile(const std::filesystem::path &path,
+                const std::string &bytes,
+                const AtomicWriteOptions &options)
+{
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    AtomicWriteResult result;
+    for (int attempt = 1; attempt <= options.attempts; ++attempt) {
+        if (attempt > 1)
+            backoff(attempt - 1);
+        result.attemptsUsed = attempt;
+        std::string failure;
+        if (!options.writeFaultSite.empty() &&
+            fault::check(options.writeFaultSite.c_str()) ==
+                fault::Kind::Error) {
+            failure = "injected write error";
+        } else {
+            std::ofstream out(tmp,
+                              std::ios::binary | std::ios::trunc);
+            if (!out) {
+                failure =
+                    "cannot write '" + tmp.string() + "'";
+            } else {
+                out.write(bytes.data(),
+                          std::streamsize(bytes.size()));
+                if (!out.good())
+                    failure = "short write to '" + tmp.string() + "'";
+            }
+        }
+        if (failure.empty() && !options.renameFaultSite.empty() &&
+            fault::check(options.renameFaultSite.c_str()) ==
+                fault::Kind::Error) {
+            failure = "injected rename error";
+        }
+        if (failure.empty()) {
+            std::error_code ec;
+            std::filesystem::rename(tmp, path, ec);
+            if (ec)
+                failure = "cannot publish '" + path.string() +
+                          "': " + ec.message();
+        }
+        if (failure.empty()) {
+            result.ok = true;
+            result.error.clear();
+            return result;
+        }
+        result.error = failure;
+        std::error_code rm;
+        std::filesystem::remove(tmp, rm);
+    }
+    return result;
+}
+
+} // namespace mbs

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Atomic write-then-rename with retries: the durability idiom the
+ * profile store established, factored out so every on-disk artifact
+ * family (store entries, ledger records) publishes files the same
+ * way. A reader never sees a partial file — it either finds the
+ * complete old bytes or the complete new bytes.
+ *
+ * Fault-injection sites are parameters rather than hard-coded so
+ * each caller keeps its own site names (`store.write`/`store.rename`
+ * for the profile store); callers outside an armed fault plan pass
+ * nothing and get plain filesystem behaviour.
+ */
+
+#ifndef MBS_STORE_ATOMIC_WRITE_HH
+#define MBS_STORE_ATOMIC_WRITE_HH
+
+#include <filesystem>
+#include <string>
+
+namespace mbs {
+
+struct AtomicWriteOptions
+{
+    /** Total tries (1 + retries), with exponential backoff between. */
+    int attempts = 3;
+    /** fault::check() site consulted before each write; "" = none. */
+    std::string writeFaultSite;
+    /** fault::check() site consulted before each rename; "" = none. */
+    std::string renameFaultSite;
+};
+
+struct AtomicWriteResult
+{
+    bool ok = false;
+    /** Tries consumed; > 1 on success means a retry recovered it. */
+    int attemptsUsed = 0;
+    /** Last failure message when !ok. */
+    std::string error;
+};
+
+/**
+ * Write @p bytes to `<path>.tmp` and rename it onto @p path,
+ * retrying with backoff. Never throws for IO failures; the caller
+ * decides whether a lost file is fatal.
+ */
+AtomicWriteResult
+atomicWriteFile(const std::filesystem::path &path,
+                const std::string &bytes,
+                const AtomicWriteOptions &options = {});
+
+} // namespace mbs
+
+#endif // MBS_STORE_ATOMIC_WRITE_HH

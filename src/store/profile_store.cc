@@ -12,6 +12,7 @@
 #include "obs/events.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "store/atomic_write.hh"
 #include "store/serialize.hh"
 
 namespace mbs {
@@ -33,14 +34,24 @@ storeMetrics()
 {
     auto &registry = obs::MetricsRegistry::instance();
     static StoreMetrics m{
-        registry.counter("store.hits"),
-        registry.counter("store.misses"),
-        registry.counter("store.evictions"),
-        registry.counter("store.quarantined"),
-        registry.counter("store.write_failures"),
+        registry.counter("store.hits", obs::Volatility::Stable,
+                         "Profile-store cache lookups that hit"),
+        registry.counter("store.misses", obs::Volatility::Stable,
+                         "Profile-store cache lookups that missed"),
+        registry.counter("store.evictions", obs::Volatility::Stable,
+                         "Entries evicted to enforce the store's "
+                         "size budget"),
+        registry.counter("store.quarantined", obs::Volatility::Stable,
+                         "Corrupt entries moved aside on load"),
+        registry.counter("store.write_failures",
+                         obs::Volatility::Stable,
+                         "Store writes abandoned after retries"),
         registry.histogram("store.entry_bytes",
                            {4096.0, 16384.0, 65536.0, 262144.0,
-                            1048576.0, 4194304.0, 16777216.0}),
+                            1048576.0, 4194304.0, 16777216.0},
+                           obs::Volatility::Stable,
+                           "Serialized size of stored profile "
+                           "entries in bytes"),
     };
     return m;
 }
@@ -219,52 +230,23 @@ ProfileStore::save(const ProfileKey &key,
 
     // Write-then-rename keeps the entry atomic: a concurrent reader
     // either sees the complete old entry or the complete new one.
-    const std::filesystem::path tmp = path.string() + ".tmp";
-    std::string failure;
-    for (int attempt = 1; attempt <= kIoAttempts; ++attempt) {
-        if (attempt > 1)
-            backoff(attempt - 1);
-        failure.clear();
-        if (fault::check("store.write") == fault::Kind::Error) {
-            failure = "injected write error";
-        } else {
-            std::ofstream out(tmp,
-                              std::ios::binary | std::ios::trunc);
-            if (!out) {
-                failure =
-                    "cannot write cache entry '" + tmp.string() + "'";
-            } else {
-                out.write(bytes.data(),
-                          std::streamsize(bytes.size()));
-                if (!out.good())
-                    failure = "short write to cache entry '" +
-                              tmp.string() + "'";
-            }
-        }
-        if (failure.empty() &&
-            fault::check("store.rename") == fault::Kind::Error) {
-            failure = "injected rename error";
-        }
-        if (failure.empty()) {
-            std::error_code ec;
-            std::filesystem::rename(tmp, path, ec);
-            if (ec)
-                failure = "cannot publish cache entry '" +
-                          path.string() + "': " + ec.message();
-        }
-        if (failure.empty()) {
-            if (attempt > 1)
-                injector.recovered("store.write", "retried");
-            storeMetrics().entryBytes.observe(double(bytes.size()));
-            obs::EventLog::instance().emit(
-                "store.save",
-                {{"entry", path.filename().string()},
-                 {"bytes", strformat("%zu", bytes.size())}});
-            return;
-        }
-        std::error_code rm;
-        std::filesystem::remove(tmp, rm);
+    AtomicWriteOptions writeOptions;
+    writeOptions.attempts = kIoAttempts;
+    writeOptions.writeFaultSite = "store.write";
+    writeOptions.renameFaultSite = "store.rename";
+    const AtomicWriteResult written =
+        atomicWriteFile(path, bytes, writeOptions);
+    if (written.ok) {
+        if (written.attemptsUsed > 1)
+            injector.recovered("store.write", "retried");
+        storeMetrics().entryBytes.observe(double(bytes.size()));
+        obs::EventLog::instance().emit(
+            "store.save",
+            {{"entry", path.filename().string()},
+             {"bytes", strformat("%zu", bytes.size())}});
+        return;
     }
+    const std::string failure = written.error;
 
     // The store is an accelerator: a failed save costs the next run
     // a recomputation, never this run its results.

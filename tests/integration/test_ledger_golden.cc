@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Golden tests for the run ledger: records captured from in-process
+ * pipeline runs at --jobs 1 and --jobs 4 must carry byte-identical
+ * stable blocks and compare with zero deltas at threshold 0, and a
+ * run with an injected executor fault must regress exec.tasks and
+ * surface the fault.* counters as new rows — the exact contract
+ * `mobilebench compare` turns into an exit status.
+ *
+ * Runs the pipeline with zeroAll() between runs (reset() would
+ * destroy instruments whose references hot paths cache), so the
+ * records cover exactly what the CLI appends to the ledger.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/digest.hh"
+#include "core/pipeline.hh"
+#include "fault/fault.hh"
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
+#include "report/capture.hh"
+#include "report/compare.hh"
+#include "report/ledger.hh"
+#include "workload/registry.hh"
+
+namespace mbs {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::TimeSeriesSampler;
+
+/** Run the full pipeline in-process and capture a ledger record. */
+report::LedgerRecord
+captureRun(int jobs)
+{
+    MetricsRegistry::instance().zeroAll();
+    auto &sampler = TimeSeriesSampler::instance();
+    sampler.reset();
+    sampler.setEnabled(true);
+
+    PipelineOptions options;
+    options.profile.jobs = jobs;
+    const SocConfig soc = SocConfig::snapdragon888();
+    const CharacterizationPipeline pipeline(soc, options);
+    const WorkloadRegistry registry;
+    const auto report = pipeline.run(registry);
+    EXPECT_FALSE(report.profiles.empty());
+
+    Fnv1a suite;
+    for (const auto &s : registry.suites())
+        suite.mix(s.digest());
+
+    report::CaptureContext context;
+    context.command = "pipeline";
+    context.runId = "cafef00dcafef00d";
+    context.socName = soc.name;
+    context.socConfigDigest = soc.digest();
+    context.suiteDigest = suite.value();
+    context.seed = options.profile.seed;
+    context.runs = options.profile.runs;
+    context.tickSeconds = options.profile.tickSeconds;
+    context.jobs = jobs;
+    context.wallSeconds = 0.25 * jobs; // volatile by contract
+    const report::LedgerRecord record =
+        report::captureRecord(context);
+
+    sampler.setEnabled(false);
+    sampler.reset();
+    return record;
+}
+
+class LedgerGoldenTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        fault::Injector::instance().disarm();
+        auto &sampler = TimeSeriesSampler::instance();
+        sampler.setEnabled(false);
+        sampler.reset();
+        MetricsRegistry::instance().zeroAll();
+    }
+};
+
+TEST_F(LedgerGoldenTest, StableBlocksIdenticalAcrossJobCounts)
+{
+    const report::LedgerRecord serial = captureRun(1);
+    const report::LedgerRecord parallel = captureRun(4);
+
+    // Sanity: the runs actually produced a metrics snapshot.
+    ASSERT_NE(serial.findMetric("exec.tasks"), nullptr);
+    EXPECT_GT(serial.logicalTicks, 0u);
+
+    // The contract: byte-identical stable blocks, not merely equal
+    // values — the golden the CLI lane asserts with diff.
+    EXPECT_EQ(serial.stableJson(), parallel.stableJson());
+
+    // And the volatile side really did differ (jobs, wall clock),
+    // proving the stable/volatile split carries the determinism.
+    EXPECT_NE(serial.jobs, parallel.jobs);
+
+    const report::CompareResult diff =
+        report::compareRecords(serial, parallel, 0.0);
+    EXPECT_FALSE(diff.regression()) << diff.toText();
+    for (const auto &row : diff.metrics)
+        EXPECT_EQ(row.delta, 0.0) << row.name;
+    EXPECT_EQ(diff.logicalTicks.delta, 0.0);
+}
+
+TEST_F(LedgerGoldenTest, InjectedExecutorFaultFlagsRegression)
+{
+    report::LedgerRecord base = captureRun(1);
+    // Model the CLI reality (one process per run): the baseline run
+    // never registered the fault.* instruments, so they appear from
+    // nothing on the faulted side. In this shared-process binary a
+    // previously armed plan may have left them behind at zero.
+    base.metrics.erase(
+        std::remove_if(base.metrics.begin(), base.metrics.end(),
+                       [](const report::LedgerMetric &m) {
+                           return m.name.rfind("fault.", 0) == 0;
+                       }),
+        base.metrics.end());
+
+    // Same run with faults injected at the executor's task site: the
+    // retry path re-executes tasks, so exec.tasks must grow and the
+    // fault.* counters appear from nothing.
+    report::LedgerRecord faulted;
+    {
+        const fault::ScopedPlan plan(
+            fault::FaultPlan::parse("exec.task:eio@2", 42));
+        faulted = captureRun(1);
+    }
+
+    const report::LedgerMetric *baseTasks =
+        base.findMetric("exec.tasks");
+    const report::LedgerMetric *faultTasks =
+        faulted.findMetric("exec.tasks");
+    ASSERT_NE(baseTasks, nullptr);
+    ASSERT_NE(faultTasks, nullptr);
+    EXPECT_GT(faultTasks->value, baseTasks->value);
+
+    const report::CompareResult diff =
+        report::compareRecords(base, faulted, 0.01);
+    ASSERT_TRUE(diff.regression()) << diff.toText();
+    EXPECT_NE(std::find(diff.regressions.begin(),
+                        diff.regressions.end(), "exec.tasks"),
+              diff.regressions.end())
+        << diff.toText();
+
+    // fault.* counters exist only on the faulted side: reported as
+    // new, never as regressions.
+    bool sawNewFault = false;
+    for (const auto &row : diff.metrics) {
+        if (row.name.rfind("fault.", 0) != 0)
+            continue;
+        EXPECT_NE(row.verdict, "regression") << row.name;
+        if (row.verdict == "new")
+            sawNewFault = true;
+    }
+    EXPECT_TRUE(sawNewFault) << diff.toText();
+}
+
+TEST_F(LedgerGoldenTest, RecordRoundTripsThroughTheLedger)
+{
+    report::LedgerRecord record = captureRun(2);
+    const std::string dir =
+        std::string(::testing::TempDir()) + "mbs-ledger-golden";
+    std::filesystem::remove_all(dir);
+    report::RunLedger ledger(dir);
+    const std::uint64_t seq = ledger.append(record);
+    const report::LedgerRecord back =
+        ledger.resolve(std::to_string(seq));
+    EXPECT_EQ(back.stableJson(), record.stableJson());
+    EXPECT_FALSE(
+        report::compareRecords(record, back, 0.0).regression());
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace mbs

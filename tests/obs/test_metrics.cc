@@ -163,6 +163,82 @@ TEST_F(MetricsTest, ConcurrentCounterUpdatesAreLossless)
     EXPECT_EQ(h.count(), std::uint64_t(threads) * adds);
 }
 
+TEST_F(MetricsTest, PercentileInterpolatesWithinBuckets)
+{
+    // Bounds equal to the observed values make the interpolation
+    // exact at every observed rank (the stage table relies on this).
+    auto &h = MetricsRegistry::instance().histogram(
+        "test.pct", {10.0, 20.0, 30.0, 40.0});
+    h.observe(10.0);
+    h.observe(20.0);
+    h.observe(30.0);
+    h.observe(40.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 20.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.75), 30.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.00), 40.0);
+}
+
+TEST_F(MetricsTest, PercentileInterpolatesMidBucket)
+{
+    auto &h = MetricsRegistry::instance().histogram(
+        "test.pct_mid", {10.0});
+    for (int i = 0; i < 4; ++i)
+        h.observe(5.0);
+    // Rank 2 of 4 in the [0, 10] bucket: linear interpolation
+    // (Prometheus histogram_quantile semantics) gives 5.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+}
+
+TEST_F(MetricsTest, PercentileClampsOverflowToLastBound)
+{
+    auto &h = MetricsRegistry::instance().histogram(
+        "test.pct_over", {10.0});
+    h.observe(1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 10.0);
+}
+
+TEST_F(MetricsTest, PercentileOfEmptyHistogramIsZero)
+{
+    auto &h = MetricsRegistry::instance().histogram(
+        "test.pct_empty", {10.0});
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    // Out-of-range p is clamped, not fatal.
+    h.observe(5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+TEST_F(MetricsTest, HelpBindsAtCreationOnly)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.counter("help.count", Volatility::Stable,
+                "Things counted.");
+    EXPECT_EQ(reg.helpFor("help.count"), "Things counted.");
+    // Later calls return the existing instrument; their help (or
+    // lack of it) never rebinds the description.
+    reg.counter("help.count");
+    reg.counter("help.count", Volatility::Stable, "Rewritten.");
+    EXPECT_EQ(reg.helpFor("help.count"), "Things counted.");
+    EXPECT_EQ(reg.helpFor("no.such.metric"), "");
+}
+
+TEST_F(MetricsTest, SnapshotCarriesHelpForEveryKind)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.counter("help.a", Volatility::Stable, "A counter.");
+    reg.gauge("help.b", Volatility::Stable, "A gauge.");
+    reg.histogram("help.c", {1.0}, Volatility::Stable,
+                  "A histogram.");
+    reg.counter("help.none");
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.samples.size(), 4u);
+    EXPECT_EQ(snap.samples[0].help, "A counter.");
+    EXPECT_EQ(snap.samples[1].help, "A gauge.");
+    EXPECT_EQ(snap.samples[2].help, "A histogram.");
+    EXPECT_EQ(snap.samples[3].help, "");
+}
+
 TEST_F(MetricsTest, ResetDropsInstruments)
 {
     auto &reg = MetricsRegistry::instance();

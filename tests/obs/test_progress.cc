@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Progress meter tests: TTY detection via the injected sink, the
+ * line-per-update degradation for pipes/CI logs, in-place `\r`
+ * redraws with blank-out padding in Tty mode, and the disabled
+ * default writing nothing.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/progress.hh"
+
+namespace mbs {
+namespace {
+
+using obs::Progress;
+
+/** A tmpfile() sink whose contents the test can read back. */
+class ProgressTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        sink = std::tmpfile();
+        ASSERT_NE(sink, nullptr);
+        auto &p = Progress::instance();
+        p.setSinkForTest(sink);
+        p.setMode(Progress::Mode::Auto);
+        p.setEnabled(true);
+    }
+
+    void TearDown() override
+    {
+        auto &p = Progress::instance();
+        p.setEnabled(false);
+        p.setMode(Progress::Mode::Auto);
+        p.setSinkForTest(nullptr);
+        std::fclose(sink);
+    }
+
+    std::string captured()
+    {
+        std::fflush(sink);
+        std::string out;
+        std::rewind(sink);
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, sink)) > 0)
+            out.append(buf, n);
+        return out;
+    }
+
+    std::FILE *sink = nullptr;
+};
+
+TEST_F(ProgressTest, AutoResolvesToLinesOnNonTty)
+{
+    auto &p = Progress::instance();
+    p.begin(2, "profiling");
+    // A tmpfile is not a terminal: Auto must degrade to Lines.
+    EXPECT_EQ(p.activeMode(), Progress::Mode::Lines);
+    p.step("one");
+    p.step("two");
+    p.finish();
+
+    const std::string out = captured();
+    // One grep-able line per update, no carriage returns.
+    EXPECT_EQ(out.find('\r'), std::string::npos) << out;
+    EXPECT_NE(out.find("profiling: 2 steps\n"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("[  1/2] one\n"), std::string::npos) << out;
+    EXPECT_NE(out.find("[  2/2] two\n"), std::string::npos) << out;
+}
+
+TEST_F(ProgressTest, ForcedTtyRedrawsInPlace)
+{
+    auto &p = Progress::instance();
+    p.setMode(Progress::Mode::Tty);
+    p.begin(2, "profiling");
+    EXPECT_EQ(p.activeMode(), Progress::Mode::Tty);
+    p.step("a-much-longer-label");
+    p.step("short");
+    p.finish();
+
+    const std::string out = captured();
+    // Every update starts with a carriage return, and the final
+    // frame ends the phase with a newline (the "done" frame is
+    // padded, so only the padded line guarantees the terminator).
+    EXPECT_NE(out.find("\r[  1/2] a-much-longer-label"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\r[  2/2] short"), std::string::npos) << out;
+    EXPECT_NE(out.find("\r[  2/2] done"), std::string::npos) << out;
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out.back(), '\n') << out;
+    // The shorter redraw is padded to blank out the longer one.
+    const std::size_t shortAt = out.find("\r[  2/2] short");
+    ASSERT_NE(shortAt, std::string::npos);
+    const std::size_t nextCr = out.find('\r', shortAt + 1);
+    const std::string frame = out.substr(
+        shortAt, (nextCr == std::string::npos ? out.size()
+                                              : nextCr) -
+            shortAt);
+    EXPECT_GE(frame.size(),
+              std::string("\r[  1/2] a-much-longer-label").size())
+        << '"' << frame << '"';
+}
+
+TEST_F(ProgressTest, ForcedLinesModeIgnoresTtyness)
+{
+    auto &p = Progress::instance();
+    p.setMode(Progress::Mode::Lines);
+    p.begin(1, "export");
+    EXPECT_EQ(p.activeMode(), Progress::Mode::Lines);
+    p.step("bundle");
+    p.finish();
+    const std::string out = captured();
+    EXPECT_EQ(out.find('\r'), std::string::npos) << out;
+    EXPECT_NE(out.find("[  1/1] bundle\n"), std::string::npos)
+        << out;
+}
+
+TEST_F(ProgressTest, UnknownTotalOmitsDenominator)
+{
+    auto &p = Progress::instance();
+    p.begin(0, "scanning");
+    p.step("first");
+    p.finish();
+    const std::string out = captured();
+    EXPECT_NE(out.find("scanning\n"), std::string::npos) << out;
+    EXPECT_NE(out.find("[  1] first\n"), std::string::npos) << out;
+}
+
+TEST_F(ProgressTest, DisabledWritesNothing)
+{
+    auto &p = Progress::instance();
+    p.setEnabled(false);
+    p.begin(3, "silent");
+    p.step("invisible");
+    p.finish();
+    EXPECT_EQ(captured(), "");
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Self-profiler tests: sample attribution to live spans (the >= 90%
+ * acceptance bar on real work), collapsed-stack and table exports,
+ * lazy thread registration, and the disarmed zero-cost contract.
+ */
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/selfprof.hh"
+#include "obs/trace.hh"
+
+namespace mbs {
+namespace {
+
+using obs::ScopedSpan;
+using obs::SelfProfile;
+using obs::SelfProfiler;
+
+class SelfProfTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::Tracer::instance().setEnabled(true);
+        SelfProfiler::instance().disarm();
+        SelfProfiler::instance().resetForTest();
+    }
+
+    void TearDown() override
+    {
+        SelfProfiler::instance().disarm();
+        SelfProfiler::instance().resetForTest();
+        obs::Tracer::instance().setEnabled(false);
+        obs::Tracer::instance().clear();
+    }
+};
+
+/** Busy-spin so the sampler has work to land on. */
+void
+spinFor(std::chrono::milliseconds duration)
+{
+    const auto until = std::chrono::steady_clock::now() + duration;
+    volatile std::uint64_t sink = 0;
+    while (std::chrono::steady_clock::now() < until)
+        sink = sink + 1;
+}
+
+TEST_F(SelfProfTest, AttributesSamplesToInnermostSpan)
+{
+    auto &prof = SelfProfiler::instance();
+    prof.arm(500.0);
+    {
+        ScopedSpan outer("outer", "stage");
+        spinFor(std::chrono::milliseconds(40));
+        {
+            ScopedSpan inner("inner", "stage");
+            spinFor(std::chrono::milliseconds(40));
+        }
+    }
+    prof.disarm();
+
+    const SelfProfile profile = prof.profile();
+    ASSERT_GT(profile.totalSamples, 0u);
+    // Every sample lands while this thread is inside a span: the
+    // acceptance bar is >= 90%, lazy registration makes it 100%.
+    EXPECT_GE(profile.attributionRatio(), 0.90);
+
+    bool sawOuter = false, sawInner = false;
+    for (const auto &s : profile.spans) {
+        if (s.name == "outer") {
+            sawOuter = true;
+            // Cumulative counts samples under "inner" too.
+            EXPECT_GE(s.cumulativeSamples, s.selfSamples);
+        }
+        if (s.name == "inner")
+            sawInner = true;
+    }
+    EXPECT_TRUE(sawOuter);
+    EXPECT_TRUE(sawInner);
+
+    const std::string collapsed = profile.collapsedText();
+    EXPECT_NE(collapsed.find("outer"), std::string::npos)
+        << collapsed;
+    EXPECT_NE(collapsed.find("outer;inner"), std::string::npos)
+        << collapsed;
+    const std::string table = profile.tableText();
+    EXPECT_NE(table.find("outer"), std::string::npos) << table;
+}
+
+TEST_F(SelfProfTest, CollapsedLinesAreStackSpaceCount)
+{
+    auto &prof = SelfProfiler::instance();
+    prof.arm(500.0);
+    {
+        ScopedSpan span("lonely", "stage");
+        spinFor(std::chrono::milliseconds(30));
+    }
+    prof.disarm();
+    const std::string collapsed = prof.profile().collapsedText();
+    ASSERT_FALSE(collapsed.empty());
+    // "stack count\n" per line; the single-span stack is its name.
+    for (std::size_t at = 0; at < collapsed.size();) {
+        const std::size_t nl = collapsed.find('\n', at);
+        ASSERT_NE(nl, std::string::npos);
+        const std::string line = collapsed.substr(at, nl - at);
+        const std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+        at = nl + 1;
+    }
+}
+
+TEST_F(SelfProfTest, DisarmedSpansAreNeverRegistered)
+{
+    auto &prof = SelfProfiler::instance();
+    ASSERT_FALSE(prof.armed());
+    {
+        ScopedSpan span("unprofiled", "stage");
+        spinFor(std::chrono::milliseconds(5));
+    }
+    const SelfProfile profile = prof.profile();
+    EXPECT_EQ(profile.totalSamples, 0u);
+    EXPECT_TRUE(profile.spans.empty());
+    EXPECT_TRUE(profile.collapsed.empty());
+    // No samples at all counts as fully attributed.
+    EXPECT_DOUBLE_EQ(profile.attributionRatio(), 1.0);
+    EXPECT_EQ(profile.collapsedText(), "");
+}
+
+TEST_F(SelfProfTest, SpanFreeThreadsDoNotDiluteAttribution)
+{
+    auto &prof = SelfProfiler::instance();
+    prof.arm(500.0);
+    // A worker that never opens a span must never be sampled.
+    std::thread spanFree(
+        [] { spinFor(std::chrono::milliseconds(60)); });
+    {
+        ScopedSpan span("worker", "stage");
+        spinFor(std::chrono::milliseconds(60));
+    }
+    spanFree.join();
+    prof.disarm();
+    const SelfProfile profile = prof.profile();
+    ASSERT_GT(profile.totalSamples, 0u);
+    EXPECT_GE(profile.attributionRatio(), 0.90);
+}
+
+TEST_F(SelfProfTest, MultipleThreadsSampleIndependently)
+{
+    auto &prof = SelfProfiler::instance();
+    prof.arm(500.0);
+    std::thread other([] {
+        ScopedSpan span("thread-b", "stage");
+        spinFor(std::chrono::milliseconds(50));
+    });
+    {
+        ScopedSpan span("thread-a", "stage");
+        spinFor(std::chrono::milliseconds(50));
+    }
+    other.join();
+    prof.disarm();
+    const SelfProfile profile = prof.profile();
+    bool sawA = false, sawB = false;
+    for (const auto &s : profile.spans) {
+        sawA = sawA || s.name == "thread-a";
+        sawB = sawB || s.name == "thread-b";
+    }
+    EXPECT_TRUE(sawA);
+    EXPECT_TRUE(sawB);
+}
+
+TEST_F(SelfProfTest, RearmClearsThePreviousSession)
+{
+    auto &prof = SelfProfiler::instance();
+    prof.arm(500.0);
+    {
+        ScopedSpan span("first-session", "stage");
+        spinFor(std::chrono::milliseconds(30));
+    }
+    prof.disarm();
+    ASSERT_GT(prof.profile().totalSamples, 0u);
+
+    prof.arm(500.0);
+    {
+        ScopedSpan span("second-session", "stage");
+        spinFor(std::chrono::milliseconds(30));
+    }
+    prof.disarm();
+    const SelfProfile profile = prof.profile();
+    for (const auto &s : profile.spans)
+        EXPECT_NE(s.name, "first-session");
+}
+
+TEST_F(SelfProfTest, HzIsClampedNotFatal)
+{
+    auto &prof = SelfProfiler::instance();
+    prof.arm(1e9); // clamped to 1000 Hz
+    {
+        ScopedSpan span("clamped", "stage");
+        spinFor(std::chrono::milliseconds(20));
+    }
+    prof.disarm();
+    EXPECT_GT(prof.profile().totalSamples, 0u);
+}
+
+} // namespace
+} // namespace mbs

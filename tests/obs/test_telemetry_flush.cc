@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Abnormal-exit telemetry flush tests: a flush with a partial reason
+ * marks every artifact PARTIAL, the first flush wins over later
+ * ones, and a truncated events.jsonl still parses line-by-line under
+ * the strict JSON parser (the JSONL contract that makes a mid-write
+ * crash recoverable).
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/json_parse.hh"
+#include "common/strings.hh"
+#include "obs/events.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
+#include "obs/timeseries.hh"
+
+namespace mbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+using obs::EventLog;
+using obs::MetricsRegistry;
+using obs::TelemetryConfig;
+using obs::TelemetrySink;
+using obs::TimeSeriesSampler;
+
+class TelemetryFlushTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir = fs::path(::testing::TempDir()) /
+              ("mbs-flush-" +
+               std::string(::testing::UnitTest::GetInstance()
+                               ->current_test_info()
+                               ->name()));
+        fs::remove_all(dir);
+        MetricsRegistry::instance().reset();
+        EventLog::instance().clear();
+        TelemetrySink::instance().resetForTest();
+    }
+
+    void TearDown() override
+    {
+        TelemetrySink::instance().resetForTest();
+        auto &sampler = TimeSeriesSampler::instance();
+        sampler.setEnabled(false);
+        sampler.reset();
+        EventLog::instance().setEnabled(false);
+        EventLog::instance().clear();
+        MetricsRegistry::instance().reset();
+        fs::remove_all(dir);
+    }
+
+    /** Configure the sink on `dir` and produce some live state. */
+    void configureWithActivity()
+    {
+        TelemetryConfig config;
+        config.telemetryDir = dir.string();
+        TelemetrySink::instance().configure(config);
+        MetricsRegistry::instance().counter("flush.test").add(3);
+        EventLog::instance().emit(
+            "flush.event", {{"key", "value"}});
+        EventLog::instance().emit("flush.event");
+        TimeSeriesSampler::instance().sample(
+            obs::ClockDomain::Logical, "mid");
+    }
+
+    std::string read(const char *name) const
+    {
+        std::ifstream in(dir / name);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return buf.str();
+    }
+
+    fs::path dir;
+};
+
+TEST_F(TelemetryFlushTest, PartialFlushMarksEveryArtifact)
+{
+    configureWithActivity();
+    TelemetrySink::instance().flush("simulated crash");
+
+    const std::string prom = read("metrics.prom");
+    EXPECT_EQ(prom.rfind("# PARTIAL: simulated crash\n", 0), 0u)
+        << prom;
+
+    const std::string json = read("metrics.json");
+    EXPECT_NE(json.find("simulated crash"), std::string::npos);
+    // The partial marker must not break JSON validity.
+    EXPECT_NO_THROW(parseJson(json));
+
+    const std::string csv = read("timeseries.csv");
+    EXPECT_NE(csv.find("# partial: simulated crash"),
+              std::string::npos)
+        << csv;
+
+    const std::string events = read("events.jsonl");
+    EXPECT_NE(events.find("log.partial"), std::string::npos);
+    EXPECT_NE(events.find("simulated crash"), std::string::npos);
+
+    const std::string trace = read("trace.json");
+    EXPECT_NE(trace.find("partial"), std::string::npos);
+    EXPECT_NO_THROW(parseJson(trace));
+}
+
+TEST_F(TelemetryFlushTest, FirstFlushWins)
+{
+    configureWithActivity();
+    TelemetrySink::instance().flush("crash during run");
+    // A later normal flush must not erase the partial record.
+    TelemetrySink::instance().flush();
+    EXPECT_NE(read("metrics.prom").find("crash during run"),
+              std::string::npos);
+
+    // And the other way around: a completed normal flush is never
+    // downgraded to partial by a crash during cleanup.
+    TelemetrySink::instance().resetForTest();
+    configureWithActivity();
+    TelemetrySink::instance().flush();
+    TelemetrySink::instance().flush("late terminate");
+    EXPECT_EQ(read("metrics.prom").find("late terminate"),
+              std::string::npos);
+}
+
+TEST_F(TelemetryFlushTest, NormalFlushCarriesNoPartialMarker)
+{
+    configureWithActivity();
+    TelemetrySink::instance().flush();
+    EXPECT_EQ(read("metrics.prom").find("# PARTIAL"),
+              std::string::npos);
+    EXPECT_EQ(read("events.jsonl").find("log.partial"),
+              std::string::npos);
+    EXPECT_EQ(read("timeseries.csv").find("# partial"),
+              std::string::npos);
+}
+
+/**
+ * The JSONL contract: each event is one self-contained JSON line, so
+ * any prefix of the file cut at a line boundary parses strictly, and
+ * a cut mid-line loses exactly the final line and nothing else.
+ */
+TEST_F(TelemetryFlushTest, TruncatedEventsParseLineByLine)
+{
+    configureWithActivity();
+    for (int i = 0; i < 20; ++i) {
+        EventLog::instance().emit(
+            "flush.bulk", {{"i", std::to_string(i)}});
+    }
+    TelemetrySink::instance().flush("killed mid-run");
+    const std::string full = read("events.jsonl");
+    ASSERT_GT(full.size(), 200u);
+
+    // Simulate the kill landing at every prefix ending mid-line: the
+    // complete lines before the cut must all strict-parse.
+    for (const std::size_t cut :
+         {full.size() / 4, full.size() / 2, full.size() - 3}) {
+        const std::string truncated = full.substr(0, cut);
+        const auto lines = split(truncated, '\n');
+        // Everything but the final (possibly cut) fragment is intact.
+        std::size_t parsed = 0;
+        for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+            if (lines[i].empty())
+                continue;
+            JsonValue event;
+            ASSERT_NO_THROW(event = parseJson(lines[i]))
+                << "cut=" << cut << " line=" << lines[i];
+            ASSERT_TRUE(event.isObject());
+            const JsonValue *type = event.find("type");
+            ASSERT_NE(type, nullptr);
+            EXPECT_TRUE(type->isString());
+            ++parsed;
+        }
+        EXPECT_GT(parsed, 0u) << "cut=" << cut;
+    }
+}
+
+TEST_F(TelemetryFlushTest, UnconfiguredFlushWritesNothing)
+{
+    TelemetrySink::instance().flush("crash with no config");
+    EXPECT_FALSE(fs::exists(dir));
+}
+
+} // namespace
+} // namespace mbs

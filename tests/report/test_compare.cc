@@ -1,0 +1,249 @@
+/**
+ * @file
+ * compareRecords tests: the perf_compare contract (threshold
+ * verdicts, MISSING/NEW never fail, exit-driving regressions list),
+ * the max(|base|, 1) delta denominator, worst-first ranking, bundle
+ * artifact diffs, and JSON verdict validity.
+ */
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/json_parse.hh"
+#include "report/compare.hh"
+
+namespace mbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+using report::CompareResult;
+using report::LedgerMetric;
+using report::LedgerRecord;
+using report::compareRecords;
+
+LedgerRecord
+base()
+{
+    LedgerRecord r;
+    r.command = "pipeline";
+    r.runId = "aaaa111122223333";
+    r.seq = 1;
+    r.logicalTicks = 1000;
+    const auto add = [&](const std::string &name, double value) {
+        LedgerMetric m;
+        m.name = name;
+        m.type = "counter";
+        m.value = value;
+        r.metrics.push_back(m);
+    };
+    add("exec.tasks", 72);
+    add("sim.ticks", 132764);
+    add("fault.injected", 0);
+    return r;
+}
+
+const report::MetricDelta &
+row(const CompareResult &result, const std::string &name)
+{
+    for (const auto &r : result.metrics) {
+        if (r.name == name)
+            return r;
+    }
+    ADD_FAILURE() << "no row for " << name;
+    static report::MetricDelta none;
+    return none;
+}
+
+TEST(CompareTest, IdenticalRecordsHaveNoRegressions)
+{
+    const LedgerRecord a = base();
+    LedgerRecord b = base();
+    b.seq = 2;
+    const CompareResult result = compareRecords(a, b, 0.0);
+    EXPECT_FALSE(result.regression());
+    EXPECT_TRUE(result.regressions.empty());
+    for (const auto &r : result.metrics)
+        EXPECT_EQ(r.verdict, "ok") << r.name;
+    EXPECT_EQ(result.logicalTicks.verdict, "ok");
+}
+
+TEST(CompareTest, DeltaBeyondThresholdIsRegression)
+{
+    const LedgerRecord a = base();
+    LedgerRecord b = base();
+    b.metrics[0].value = 100; // exec.tasks 72 -> 100 (+38.9%)
+    const CompareResult result = compareRecords(a, b, 0.25);
+    EXPECT_TRUE(result.regression());
+    ASSERT_EQ(result.regressions.size(), 1u);
+    EXPECT_EQ(result.regressions[0], "exec.tasks");
+    EXPECT_EQ(row(result, "exec.tasks").verdict, "regression");
+    EXPECT_NEAR(row(result, "exec.tasks").delta, 28.0 / 72.0, 1e-9);
+    // Within threshold: the same diff at a looser gate passes.
+    EXPECT_FALSE(compareRecords(a, b, 0.5).regression());
+}
+
+TEST(CompareTest, ZeroBaseUsesUnitDenominator)
+{
+    const LedgerRecord a = base();
+    LedgerRecord b = base();
+    b.metrics[2].value = 5; // fault.injected 0 -> 5
+    const CompareResult result = compareRecords(a, b, 0.25);
+    EXPECT_TRUE(result.regression());
+    EXPECT_DOUBLE_EQ(row(result, "fault.injected").delta, 5.0);
+}
+
+TEST(CompareTest, ImprovementIsNotARegression)
+{
+    const LedgerRecord a = base();
+    LedgerRecord b = base();
+    b.metrics[1].value = 1000; // sim.ticks collapses
+    const CompareResult result = compareRecords(a, b, 0.25);
+    EXPECT_EQ(row(result, "sim.ticks").verdict, "improved");
+    EXPECT_FALSE(result.regression());
+}
+
+TEST(CompareTest, MissingAndNewNeverFail)
+{
+    LedgerRecord a = base();
+    LedgerRecord b = base();
+    b.metrics.erase(b.metrics.begin()); // exec.tasks missing
+    LedgerMetric fresh;
+    fresh.name = "zz.new_counter";
+    fresh.type = "counter";
+    fresh.value = 1e9;
+    b.metrics.push_back(fresh);
+    const CompareResult result = compareRecords(a, b, 0.0);
+    EXPECT_EQ(row(result, "exec.tasks").verdict, "missing");
+    EXPECT_EQ(row(result, "zz.new_counter").verdict, "new");
+    EXPECT_FALSE(result.regression());
+}
+
+TEST(CompareTest, RegressionsRankedWorstFirst)
+{
+    const LedgerRecord a = base();
+    LedgerRecord b = base();
+    b.metrics[0].value = 720;     // exec.tasks +900%
+    b.metrics[1].value = 200000;  // sim.ticks +50.6%
+    const CompareResult result = compareRecords(a, b, 0.25);
+    ASSERT_EQ(result.regressions.size(), 2u);
+    EXPECT_EQ(result.regressions[0], "exec.tasks");
+    EXPECT_EQ(result.regressions[1], "sim.ticks");
+}
+
+TEST(CompareTest, LogicalTicksGateTheVerdict)
+{
+    const LedgerRecord a = base();
+    LedgerRecord b = base();
+    b.logicalTicks = 2000;
+    const CompareResult result = compareRecords(a, b, 0.25);
+    EXPECT_TRUE(result.regression());
+    ASSERT_EQ(result.regressions.size(), 1u);
+    EXPECT_EQ(result.regressions[0], "logical_ticks");
+}
+
+TEST(CompareTest, HistogramsCompareByObservationCount)
+{
+    LedgerRecord a = base();
+    LedgerMetric h;
+    h.name = "sim.phase_ticks";
+    h.type = "histogram";
+    h.observations = 100;
+    h.sum = 5.0;
+    a.metrics.push_back(h);
+    LedgerRecord b = a;
+    // Sum unchanged: the observation count drives the comparison.
+    b.metrics.back().observations = 200;
+    const CompareResult result = compareRecords(a, b, 0.25);
+    EXPECT_EQ(row(result, "sim.phase_ticks").verdict, "regression");
+}
+
+TEST(CompareTest, JsonVerdictParsesAndNamesRegressions)
+{
+    const LedgerRecord a = base();
+    LedgerRecord b = base();
+    b.metrics[0].value = 300;
+    const CompareResult result = compareRecords(a, b, 0.25);
+    const std::string json = result.toJson();
+    const JsonValue doc = parseJson(json);
+    ASSERT_TRUE(doc.isObject());
+    const JsonValue *verdict = doc.find("verdict");
+    ASSERT_NE(verdict, nullptr);
+    EXPECT_EQ(verdict->str, "regression");
+    const JsonValue *regressions = doc.find("regressions");
+    ASSERT_NE(regressions, nullptr);
+    ASSERT_TRUE(regressions->isArray());
+    ASSERT_EQ(regressions->array.size(), 1u);
+    EXPECT_EQ(regressions->array[0].str, "exec.tasks");
+    const JsonValue *metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_EQ(metrics->array.size(), result.metrics.size());
+}
+
+TEST(CompareTest, TextVerdictMarksRegressionRows)
+{
+    const LedgerRecord a = base();
+    LedgerRecord b = base();
+    b.metrics[0].value = 300;
+    const CompareResult result = compareRecords(a, b, 0.25);
+    const std::string text = result.toText();
+    EXPECT_NE(text.find("REGRESSION exec.tasks"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("1 regression\n"), std::string::npos);
+}
+
+TEST(CompareTest, BundleArtifactsDiffWhenBothExist)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) /
+        "mbs-compare-bundles";
+    fs::remove_all(dir);
+    fs::create_directories(dir / "a");
+    fs::create_directories(dir / "b");
+    std::ofstream(dir / "a" / "events.jsonl")
+        << "{\"type\": \"sim.run.start\"}\n"
+        << "{\"type\": \"sim.run.start\"}\n";
+    std::ofstream(dir / "b" / "events.jsonl")
+        << "{\"type\": \"sim.run.start\"}\n"
+        << "{\"type\": \"exec.retry\"}\n";
+    std::ofstream(dir / "a" / "timeseries.csv")
+        << "domain,sample,time,checkpoint,metric,value\n"
+        << "logical,0,0,start,sim.ticks,10\n"
+        << "logical,1,1,end,sim.ticks,100\n";
+    std::ofstream(dir / "b" / "timeseries.csv")
+        << "domain,sample,time,checkpoint,metric,value\n"
+        << "logical,1,1,end,sim.ticks,100\n";
+
+    LedgerRecord a = base();
+    a.telemetryDir = (dir / "a").string();
+    LedgerRecord b = base();
+    b.telemetryDir = (dir / "b").string();
+    const CompareResult result = compareRecords(a, b, 0.25);
+    EXPECT_TRUE(result.bundlesCompared);
+    ASSERT_FALSE(result.events.empty());
+    bool sawNew = false, sawImproved = false;
+    for (const auto &r : result.events) {
+        if (r.name == "exec.retry" && r.verdict == "new")
+            sawNew = true;
+        if (r.name == "sim.run.start" && r.verdict == "improved")
+            sawImproved = true;
+    }
+    EXPECT_TRUE(sawNew);
+    EXPECT_TRUE(sawImproved);
+    // Final logical value is the last row per metric.
+    ASSERT_EQ(result.timeseries.size(), 1u);
+    EXPECT_EQ(result.timeseries[0].name, "sim.ticks");
+    EXPECT_EQ(result.timeseries[0].verdict, "ok");
+    // Advisory only: event/series diffs never gate the verdict.
+    EXPECT_FALSE(result.regression());
+
+    // A pruned bundle degrades to a metrics-only comparison.
+    fs::remove_all(dir / "b");
+    const CompareResult degraded = compareRecords(a, b, 0.25);
+    EXPECT_FALSE(degraded.bundlesCompared);
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace mbs

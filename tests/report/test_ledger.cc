@@ -1,0 +1,268 @@
+/**
+ * @file
+ * RunLedger tests: append/load round trip, sequence assignment,
+ * checksum and truncation detection, stable-block byte-identity
+ * across volatile-only differences, selector resolution, and the
+ * best-effort index.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "report/ledger.hh"
+
+namespace mbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+using report::LedgerMetric;
+using report::LedgerRecord;
+using report::RunLedger;
+
+/** Fresh scratch directory per test, removed on destruction. */
+class LedgerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        root = fs::path(::testing::TempDir()) /
+               ("mbs-ledger-" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        fs::remove_all(root);
+    }
+
+    void TearDown() override { fs::remove_all(root); }
+
+    fs::path root;
+};
+
+LedgerRecord
+record(const std::string &runId, std::uint64_t ticks)
+{
+    LedgerRecord r;
+    r.command = "pipeline";
+    r.runId = runId;
+    r.socName = "Snapdragon 888";
+    r.socConfigDigest = "00000000deadbeef";
+    r.suiteDigest = "0000000012345678";
+    r.seed = 20240501;
+    r.runs = 3;
+    r.tickSeconds = 0.1;
+    r.logicalTicks = ticks;
+    LedgerMetric counter;
+    counter.name = "sim.ticks";
+    counter.type = "counter";
+    counter.value = double(ticks);
+    r.metrics.push_back(counter);
+    LedgerMetric hist;
+    hist.name = "sim.phase_ticks";
+    hist.type = "histogram";
+    hist.observations = 7;
+    hist.sum = 42.5;
+    r.metrics.push_back(hist);
+    r.jobs = 1;
+    r.buildStamp = "test-build";
+    r.wallSeconds = 1.5;
+    return r;
+}
+
+std::string
+readAll(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+TEST_F(LedgerTest, AppendAssignsSequenceAndRoundTrips)
+{
+    RunLedger ledger(root);
+    LedgerRecord a = record("aaaa111122223333", 100);
+    LedgerRecord b = record("bbbb444455556666", 200);
+    EXPECT_EQ(ledger.append(a), 1u);
+    EXPECT_EQ(ledger.append(b), 2u);
+    EXPECT_EQ(a.seq, 1u);
+    EXPECT_EQ(b.seq, 2u);
+
+    const auto entries = ledger.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].seq, 1u);
+    EXPECT_EQ(entries[0].runIdPrefix, "aaaa1111");
+    EXPECT_EQ(entries[1].seq, 2u);
+
+    const LedgerRecord loaded = ledger.load(entries[1]);
+    EXPECT_EQ(loaded.runId, b.runId);
+    EXPECT_EQ(loaded.seq, 2u);
+    EXPECT_EQ(loaded.logicalTicks, 200u);
+    EXPECT_EQ(loaded.command, "pipeline");
+    EXPECT_EQ(loaded.seed, 20240501u);
+    ASSERT_NE(loaded.findMetric("sim.phase_ticks"), nullptr);
+    EXPECT_EQ(loaded.findMetric("sim.phase_ticks")->observations,
+              7u);
+    EXPECT_DOUBLE_EQ(loaded.findMetric("sim.phase_ticks")->sum,
+                     42.5);
+}
+
+TEST_F(LedgerTest, SequenceResumesAfterReopen)
+{
+    {
+        RunLedger ledger(root);
+        LedgerRecord a = record("aaaa111122223333", 1);
+        ledger.append(a);
+    }
+    RunLedger reopened(root);
+    LedgerRecord b = record("aaaa111122223333", 2);
+    EXPECT_EQ(reopened.append(b), 2u);
+}
+
+TEST_F(LedgerTest, StableJsonIgnoresVolatileFields)
+{
+    LedgerRecord a = record("aaaa111122223333", 100);
+    LedgerRecord b = a;
+    b.seq = 99;
+    b.jobs = 16;
+    b.buildStamp = "different-build";
+    b.wallSeconds = 1234.5;
+    b.telemetryDir = "/somewhere/else";
+    EXPECT_EQ(a.stableJson(), b.stableJson());
+    EXPECT_NE(a.toPayload(), b.toPayload());
+}
+
+TEST_F(LedgerTest, CorruptPayloadIsDetected)
+{
+    RunLedger ledger(root);
+    LedgerRecord a = record("aaaa111122223333", 100);
+    ledger.append(a);
+    const auto entries = ledger.entries();
+    ASSERT_EQ(entries.size(), 1u);
+
+    // Flip one payload byte without changing the length.
+    std::string bytes = readAll(entries[0].path);
+    const std::size_t at = bytes.find("pipeline");
+    ASSERT_NE(at, std::string::npos);
+    bytes[at] = 'P';
+    std::ofstream(entries[0].path, std::ios::binary) << bytes;
+
+    EXPECT_THROW(ledger.load(entries[0]), FatalError);
+}
+
+TEST_F(LedgerTest, TruncatedPayloadIsDetected)
+{
+    RunLedger ledger(root);
+    LedgerRecord a = record("aaaa111122223333", 100);
+    ledger.append(a);
+    const auto entries = ledger.entries();
+    ASSERT_EQ(entries.size(), 1u);
+
+    std::string bytes = readAll(entries[0].path);
+    bytes.resize(bytes.size() - 10);
+    std::ofstream(entries[0].path, std::ios::binary) << bytes;
+
+    EXPECT_THROW(ledger.load(entries[0]), FatalError);
+}
+
+TEST_F(LedgerTest, FutureSchemaVersionIsRejected)
+{
+    LedgerRecord a = record("aaaa111122223333", 100);
+    std::string payload = a.toPayload();
+    const std::string needle = "\"schema_version\": 1";
+    const std::size_t at = payload.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    payload.replace(at, needle.size(), "\"schema_version\": 99");
+    EXPECT_THROW(LedgerRecord::fromPayload(payload, "test"),
+                 FatalError);
+}
+
+TEST_F(LedgerTest, ResolveSelectors)
+{
+    RunLedger ledger(root);
+    LedgerRecord a = record("aaaa111122223333", 100);
+    LedgerRecord b = record("bbbb444455556666", 200);
+    LedgerRecord c = record("cccc777788889999", 300);
+    ledger.append(a);
+    ledger.append(b);
+    ledger.append(c);
+
+    EXPECT_EQ(ledger.resolve("last").logicalTicks, 300u);
+    EXPECT_EQ(ledger.resolve("last~1").logicalTicks, 200u);
+    EXPECT_EQ(ledger.resolve("last~2").logicalTicks, 100u);
+    EXPECT_EQ(ledger.resolve("2").logicalTicks, 200u);
+    EXPECT_EQ(ledger.resolve("bbbb").logicalTicks, 200u);
+    // A record file path resolves from any ledger.
+    EXPECT_EQ(ledger.resolve(ledger.entries()[0].path.string())
+                  .logicalTicks,
+              100u);
+
+    EXPECT_THROW(ledger.resolve("last~3"), FatalError);
+    EXPECT_THROW(ledger.resolve("7"), FatalError);
+    EXPECT_THROW(ledger.resolve("dddd"), FatalError);
+    EXPECT_THROW(ledger.resolve("not a selector"), FatalError);
+}
+
+TEST_F(LedgerTest, RepeatedRunIdPrefersNewestButMixedIsAmbiguous)
+{
+    RunLedger ledger(root);
+    LedgerRecord a = record("aaaa111122223333", 100);
+    LedgerRecord b = record("aaaa111122223333", 200);
+    ledger.append(a);
+    ledger.append(b);
+    // Same run id twice: the newest record wins.
+    EXPECT_EQ(ledger.resolve("aaaa1111").logicalTicks, 200u);
+
+    LedgerRecord c = record("aaaa999900001111", 300);
+    ledger.append(c);
+    // "aaaa" now matches two different run ids.
+    EXPECT_THROW(ledger.resolve("aaaa"), FatalError);
+}
+
+TEST_F(LedgerTest, EmptyLedgerResolveAndSummaryFail)
+{
+    RunLedger ledger(root);
+    EXPECT_TRUE(ledger.entries().empty());
+    EXPECT_THROW(ledger.resolve("last"), FatalError);
+}
+
+TEST_F(LedgerTest, IndexLineWrittenPerAppend)
+{
+    RunLedger ledger(root);
+    LedgerRecord a = record("aaaa111122223333", 100);
+    LedgerRecord b = record("bbbb444455556666", 200);
+    ledger.append(a);
+    ledger.append(b);
+    std::ifstream in(root / "index.jsonl");
+    ASSERT_TRUE(bool(in));
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line)) {
+        EXPECT_NE(line.find("\"seq\": "), std::string::npos);
+        EXPECT_NE(line.find("\"run_id\": "), std::string::npos);
+        ++lines;
+    }
+    EXPECT_EQ(lines, 2);
+}
+
+TEST_F(LedgerTest, ChecksumHeaderVerifies)
+{
+    const std::string payload = "{\"hello\": 1}\n";
+    const std::string header = RunLedger::checksumHeader(payload);
+    EXPECT_EQ(RunLedger::verifiedPayload(header + "\n" + payload,
+                                         "test"),
+              payload);
+    EXPECT_THROW(
+        RunLedger::verifiedPayload(header + "\n" + payload + "x",
+                                   "test"),
+        FatalError);
+    EXPECT_THROW(RunLedger::verifiedPayload("no header", "test"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * atomicWriteFile tests: publish-or-nothing semantics, retry
+ * recovery under injected write/rename faults, exhausted budgets
+ * reporting failure without leaving a temp file, and the no-fault
+ * fast path for callers outside the store's site names.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hh"
+#include "store/atomic_write.hh"
+
+namespace mbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AtomicWriteTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        root = fs::path(::testing::TempDir()) /
+               ("mbs-awrite-" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        fs::remove_all(root);
+        fs::create_directories(root);
+    }
+
+    void TearDown() override
+    {
+        fault::Injector::instance().disarm();
+        fs::remove_all(root);
+    }
+
+    std::string read(const fs::path &path) const
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return buf.str();
+    }
+
+    fs::path root;
+};
+
+TEST_F(AtomicWriteTest, WritesBytesAndLeavesNoTempFile)
+{
+    const fs::path target = root / "out.bin";
+    const AtomicWriteResult result =
+        atomicWriteFile(target, "payload bytes");
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.attemptsUsed, 1);
+    EXPECT_EQ(read(target), "payload bytes");
+    EXPECT_FALSE(fs::exists(root / "out.bin.tmp"));
+}
+
+TEST_F(AtomicWriteTest, OverwriteReplacesWholeFile)
+{
+    const fs::path target = root / "out.bin";
+    ASSERT_TRUE(atomicWriteFile(target, "first, longer bytes").ok);
+    ASSERT_TRUE(atomicWriteFile(target, "second").ok);
+    EXPECT_EQ(read(target), "second");
+}
+
+TEST_F(AtomicWriteTest, RetryRecoversFromOneInjectedWriteFault)
+{
+    fault::Injector::instance().arm(
+        fault::FaultPlan::parse("store.write:eio@1", 1));
+    AtomicWriteOptions options;
+    options.writeFaultSite = "store.write";
+    const fs::path target = root / "out.bin";
+    const AtomicWriteResult result =
+        atomicWriteFile(target, "recovered", options);
+    EXPECT_TRUE(result.ok);
+    EXPECT_GT(result.attemptsUsed, 1);
+    EXPECT_EQ(read(target), "recovered");
+}
+
+TEST_F(AtomicWriteTest, ExhaustedBudgetReportsFailureCleanly)
+{
+    fault::Injector::instance().arm(
+        fault::FaultPlan::parse("store.rename:eio@1.0", 1));
+    AtomicWriteOptions options;
+    options.renameFaultSite = "store.rename";
+    options.attempts = 2;
+    const fs::path target = root / "out.bin";
+    const AtomicWriteResult result =
+        atomicWriteFile(target, "never lands", options);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.attemptsUsed, 2);
+    EXPECT_FALSE(result.error.empty());
+    // Publish-or-nothing: neither the target nor the temp survives.
+    EXPECT_FALSE(fs::exists(target));
+    EXPECT_FALSE(fs::exists(root / "out.bin.tmp"));
+}
+
+TEST_F(AtomicWriteTest, EmptySiteNamesIgnoreArmedPlans)
+{
+    fault::Injector::instance().arm(
+        fault::FaultPlan::parse("store.write:eio@1.0", 1));
+    const fs::path target = root / "out.bin";
+    // Default options carry no site names, so the armed store plan
+    // cannot touch this caller.
+    EXPECT_TRUE(atomicWriteFile(target, "untouched").ok);
+    EXPECT_EQ(read(target), "untouched");
+}
+
+TEST_F(AtomicWriteTest, MissingDirectoryFailsWithoutThrowing)
+{
+    const fs::path target = root / "no" / "such" / "dir" / "out.bin";
+    AtomicWriteResult result;
+    EXPECT_NO_THROW(result = atomicWriteFile(target, "bytes"));
+    EXPECT_FALSE(result.ok);
+    EXPECT_FALSE(result.error.empty());
+}
+
+} // namespace
+} // namespace mbs

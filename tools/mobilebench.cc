@@ -38,7 +38,11 @@
  * reruns skip simulation entirely.
  */
 
+#include <algorithm>
+#include <array>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -61,10 +65,16 @@
 #include "obs/events.hh"
 #include "obs/metrics.hh"
 #include "obs/progress.hh"
+#include "obs/selfprof.hh"
 #include "obs/telemetry.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "ingest/bundle_reader.hh"
 #include "ingest/bundle_writer.hh"
+#include "report/capture.hh"
+#include "report/compare.hh"
+#include "report/ledger.hh"
+#include "report/summary.hh"
 #include "roi/roi.hh"
 #include "soc/energy.hh"
 #include "store/profile_store.hh"
@@ -90,6 +100,15 @@ constexpr const char *commandList =
     "  telemetry <dir>             summarize a telemetry "
     "bundle written\n"
     "                              by --telemetry-out\n"
+    "  report                      summarize the run ledger: "
+    "last-N\n"
+    "                              table, metric sparklines, top "
+    "deltas\n"
+    "  compare <a> <b>             diff two ledger records "
+    "(selectors:\n"
+    "                              last, last~N, seq, run-id "
+    "prefix,\n"
+    "                              path); exit 1 on regression\n"
     "  chaos                       run the pipeline repeatedly "
     "under\n"
     "                              rotating fault seeds and check "
@@ -125,6 +144,27 @@ printUsage(std::FILE *out)
                  "  --cache-dir <dir>    memoize profiling results in "
                  "an on-disk\n"
                  "                       content-addressed store\n"
+                 "  --ledger <dir>       run-ledger directory "
+                 "(default\n"
+                 "                       .mobilebench/ledger; "
+                 "pipeline, ingest and\n"
+                 "                       chaos append a record per "
+                 "run)\n"
+                 "  --no-ledger          do not append a ledger "
+                 "record\n"
+                 "  --self-profile[=hz]  arm the in-process sampling "
+                 "profiler\n"
+                 "                       (default 199 Hz); writes "
+                 "profile.collapsed\n"
+                 "                       and profile.txt into the "
+                 "telemetry bundle\n"
+                 "flags (report / compare):\n"
+                 "  --last <n>           report: records to "
+                 "summarize (default 10)\n"
+                 "  --threshold <frac>   compare: regression "
+                 "threshold (default 0.25)\n"
+                 "  --json               compare: print the "
+                 "machine-readable verdict\n"
                  "flags (ingest):\n"
                  "  --pipeline           run the full characterization "
                  "pipeline on\n"
@@ -193,6 +233,23 @@ requireUnit(const std::string &name)
 }
 
 /**
+ * Identity of the current run, filled alongside the tracer metadata
+ * and consumed by the ledger append in main(). Commands that never
+ * call recordRunMetadata leave it empty and append no record.
+ */
+report::CaptureContext captureContext;
+
+/** Digest over every registry suite (content identity of the set). */
+std::uint64_t
+registrySuiteDigest()
+{
+    Fnv1a h;
+    for (const auto &suite : registry().suites())
+        h.mix(suite.digest());
+    return h.value();
+}
+
+/**
  * Attach run metadata to the tracer so exported traces identify the
  * exact configuration that produced them.
  */
@@ -228,6 +285,42 @@ recordRunMetadata(const SocConfig &config, const ProfileOptions &opts)
     log.setCommonField("seed", seed);
     log.setCommonField("soc", config.name);
     log.setCommonField("soc_config_digest", digest);
+
+    captureContext.runId = run_id;
+    captureContext.socName = config.name;
+    captureContext.socConfigDigest = config.digest();
+    captureContext.suiteDigest = registrySuiteDigest();
+    captureContext.seed = opts.seed;
+    captureContext.runs = opts.runs;
+    captureContext.tickSeconds = opts.tickSeconds;
+}
+
+/** "1.23 s" / "4.5 ms" for a stage duration. */
+std::string
+formatStageSeconds(double seconds)
+{
+    return seconds >= 1.0 ? strformat("%.2f s", seconds)
+                          : strformat("%.1f ms", seconds * 1e3);
+}
+
+/**
+ * P50/P95/P99 of one stage's call durations via the registry's
+ * cumulative-bucket interpolation. The bucket bounds are the
+ * stage's own sorted durations, so the interpolation is exact at
+ * every observed rank.
+ */
+std::array<double, 3>
+stagePercentiles(const std::vector<double> &durations)
+{
+    std::vector<double> bounds = durations;
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()),
+                 bounds.end());
+    obs::Histogram hist(std::move(bounds));
+    for (const double d : durations)
+        hist.observe(d);
+    return {hist.percentile(0.50), hist.percentile(0.95),
+            hist.percentile(0.99)};
 }
 
 /** Render the per-stage wall-time table from the recorded spans. */
@@ -238,19 +331,26 @@ printStageSummary()
         obs::Tracer::instance().spanSummaries("stage");
     if (summaries.empty())
         return;
+    const auto durations =
+        obs::Tracer::instance().spanDurations("stage");
     double total = 0.0;
     for (const auto &s : summaries)
         total += s.totalSeconds;
-    TextTable t({"Stage", "Calls", "Time", "Share"});
-    t.setAlign(1, Align::Right);
-    t.setAlign(2, Align::Right);
-    t.setAlign(3, Align::Right);
+    TextTable t({"Stage", "Calls", "Time", "P50", "P95", "P99",
+                 "Share"});
+    for (std::size_t c = 1; c <= 6; ++c)
+        t.setAlign(c, Align::Right);
     for (const auto &s : summaries) {
+        const auto it = durations.find(s.name);
+        std::array<double, 3> p{0.0, 0.0, 0.0};
+        if (it != durations.end() && !it->second.empty())
+            p = stagePercentiles(it->second);
         t.addRow({s.name,
                   strformat("%llu", (unsigned long long)s.count),
-                  s.totalSeconds >= 1.0
-                      ? strformat("%.2f s", s.totalSeconds)
-                      : strformat("%.1f ms", s.totalSeconds * 1e3),
+                  formatStageSeconds(s.totalSeconds),
+                  formatStageSeconds(p[0]),
+                  formatStageSeconds(p[1]),
+                  formatStageSeconds(p[2]),
                   total > 0.0
                       ? units::formatPercent(s.totalSeconds / total)
                       : "-"});
@@ -287,6 +387,18 @@ struct GlobalFlags
     std::uint64_t faultSeed = 1;
     /** chaos: fault-injected runs to compare to the baseline. */
     int iterations = 10;
+    /** Run-ledger directory; pipeline/ingest/chaos append records. */
+    std::string ledgerDir = ".mobilebench/ledger";
+    /** `--no-ledger`: skip the ledger append entirely. */
+    bool noLedger = false;
+    /** Self-profiler sampling rate in Hz; 0 = disarmed. */
+    double selfProfileHz = 0.0;
+    /** report: records to summarize. */
+    std::size_t last = 10;
+    /** compare: regression threshold (perf_compare's contract). */
+    double threshold = 0.25;
+    /** compare: print the machine-readable JSON verdict. */
+    bool json = false;
 
     /** Apply the execution flags to a session's options. */
     ProfileOptions sessionOptions(ProfileCache *cache) const
@@ -527,6 +639,13 @@ cmdChaos(const GlobalFlags &flags)
     namespace fs = std::filesystem;
     const obs::ScopedSpan stage("chaos", "stage");
 
+    // The ledger record for a chaos run identifies the pipeline
+    // configuration the iterations perturb.
+    PipelineOptions chaosOptions;
+    chaosOptions.profile.jobs = flags.jobs;
+    recordRunMetadata(SocConfig::snapdragon888(),
+                      chaosOptions.profile);
+
     // Iterations share one cache so store faults hit real entries;
     // a scratch directory is used (and cleaned) unless the user
     // pointed --cache-dir at one of their own.
@@ -646,6 +765,22 @@ cmdIngest(const std::string &bundle, const GlobalFlags &flags)
     options.cache = store.get();
     const ingest::TraceBundleReader reader(options);
     const auto result = reader.read(bundle);
+
+    // Identity for the ledger: ingest runs have no registry suite or
+    // profiler seed, so the run id derives from what actually shaped
+    // the result — the capture platform and the bundle bytes.
+    Fnv1a ingestRunId;
+    ingestRunId.mix(result.manifest.socConfigDigest);
+    ingestRunId.mix(result.bundleDigest);
+    ingestRunId.mix(result.tickSeconds);
+    captureContext.runId = strformat(
+        "%016llx", (unsigned long long)ingestRunId.value());
+    captureContext.socName = result.manifest.socName;
+    captureContext.socConfigDigest = result.manifest.socConfigDigest;
+    captureContext.suiteDigest = result.bundleDigest;
+    captureContext.seed = 0;
+    captureContext.runs = 0;
+    captureContext.tickSeconds = result.tickSeconds;
 
     if (flags.ingestPipeline) {
         // analyze() never touches the simulator, so the pipeline's
@@ -892,6 +1027,27 @@ cmdTelemetry(const std::string &dir)
     }
 
     {
+        std::ifstream in(dir + "/profile.collapsed");
+        if (in) {
+            any = true;
+            std::size_t stacks = 0;
+            unsigned long long samples = 0;
+            while (std::getline(in, line)) {
+                if (line.empty())
+                    continue;
+                ++stacks;
+                const std::size_t at = line.find_last_of(' ');
+                if (at != std::string::npos)
+                    samples += std::strtoull(
+                        line.c_str() + at + 1, nullptr, 10);
+            }
+            t.addRow({"profile.collapsed",
+                      strformat("%zu stacks, %llu samples", stacks,
+                                samples)});
+        }
+    }
+
+    {
         std::ifstream in(dir + "/events.jsonl");
         if (in) {
             any = true;
@@ -932,6 +1088,45 @@ cmdTelemetry(const std::string &dir)
                           "on abnormal exit)\n"
                         : "");
     return 0;
+}
+
+int
+cmdReport(const GlobalFlags &flags)
+{
+    const report::RunLedger ledger(flags.ledgerDir);
+    std::printf(
+        "%s", report::renderLedgerSummary(ledger, flags.last)
+                  .c_str());
+    return 0;
+}
+
+int
+cmdCompare(const std::string &a, const std::string &b,
+           const GlobalFlags &flags)
+{
+    const report::RunLedger ledger(flags.ledgerDir);
+    const report::LedgerRecord base = ledger.resolve(a);
+    const report::LedgerRecord current = ledger.resolve(b);
+    const report::CompareResult diff =
+        report::compareRecords(base, current, flags.threshold);
+    if (flags.json)
+        std::printf("%s\n", diff.toJson().c_str());
+    else
+        std::printf("%s", diff.toText().c_str());
+    if (!diff.regression())
+        return 0;
+    std::string names;
+    for (const auto &n : diff.regressions) {
+        if (!names.empty())
+            names += ", ";
+        names += n;
+    }
+    std::fprintf(stderr,
+                 "COMPARE FAIL: %s regressed vs %s beyond "
+                 "threshold %.2f: %s\n",
+                 diff.currentLabel.c_str(), diff.baseLabel.c_str(),
+                 flags.threshold, names.c_str());
+    return 1;
 }
 
 int
@@ -1038,7 +1233,46 @@ parseFlags(int argc, char **argv, GlobalFlags &flags)
             }
             fatalIf(flags.iterations < 1,
                     "--iterations must be >= 1");
-        } else
+        } else if (arg == "--ledger")
+            flags.ledgerDir = valueOf("--ledger");
+        else if (arg == "--no-ledger")
+            flags.noLedger = true;
+        else if (arg == "--self-profile" ||
+                 startsWith(arg, "--self-profile=")) {
+            if (arg == "--self-profile") {
+                flags.selfProfileHz = 199.0;
+            } else {
+                const std::string v = arg.substr(arg.find('=') + 1);
+                try {
+                    flags.selfProfileHz = std::stod(v);
+                } catch (const std::exception &) {
+                    fatal("--self-profile requires a rate in Hz, "
+                          "got '" + v + "'");
+                }
+                fatalIf(flags.selfProfileHz <= 0.0,
+                        "--self-profile rate must be > 0");
+            }
+        } else if (arg == "--last") {
+            const std::string v = valueOf("--last");
+            try {
+                flags.last = std::stoul(v);
+            } catch (const std::exception &) {
+                fatal("--last requires an integer, got '" + v + "'");
+            }
+            fatalIf(flags.last < 1, "--last must be >= 1");
+        } else if (arg == "--threshold") {
+            const std::string v = valueOf("--threshold");
+            try {
+                flags.threshold = std::stod(v);
+            } catch (const std::exception &) {
+                fatal("--threshold requires a number, got '" + v +
+                      "'");
+            }
+            fatalIf(flags.threshold < 0.0,
+                    "--threshold must be >= 0");
+        } else if (arg == "--json")
+            flags.json = true;
+        else
             fatal("unknown flag '" + arg +
                   "'; see: mobilebench --help for usage");
     }
@@ -1078,12 +1312,17 @@ dispatch(const std::vector<std::string> &args,
         return cmdTelemetry(args[1]);
     if (cmd == "ingest" && args.size() >= 2)
         return cmdIngest(args[1], flags);
+    if (cmd == "report")
+        return cmdReport(flags);
+    if (cmd == "compare" && args.size() >= 3)
+        return cmdCompare(args[1], args[2], flags);
     // A known command with missing arguments is a usage error; an
     // unrecognized word gets the command list.
     static const char *known[] = {"list", "profile", "counters",
                                   "pipeline", "chaos", "roi",
                                   "energy", "catalog", "load",
-                                  "cache", "telemetry", "ingest"};
+                                  "cache", "telemetry", "ingest",
+                                  "report", "compare"};
     for (const char *k : known) {
         if (cmd == k)
             return usage();
@@ -1127,6 +1366,15 @@ main(int argc, char **argv)
         if (telemetry.anyConfigured())
             sink.installAbnormalExitFlush();
 
+        // Ledger records carry the run's logical-clock duration:
+        // keep the clock live for recording commands even when no
+        // bundle is exported (samples stay in memory and are never
+        // written), so a telemetry run and a bare run compare equal.
+        const bool ledgerCommand = args[0] == "pipeline" ||
+            args[0] == "ingest" || args[0] == "chaos";
+        if (ledgerCommand && !flags.noLedger)
+            obs::TimeSeriesSampler::instance().setEnabled(true);
+
         // Arm an explicit fault plan for ordinary commands; `chaos`
         // manages its own per-iteration plans and seeds.
         const bool armFaults =
@@ -1141,9 +1389,23 @@ main(int argc, char **argv)
                                                 flags.faultSeed));
         }
 
+        // Arm the self-profiler last so its sampler thread only ever
+        // sees fully initialized observability state.
+        if (flags.selfProfileHz > 0.0)
+            obs::SelfProfiler::instance().arm(flags.selfProfileHz);
+
+        const auto wallStart = std::chrono::steady_clock::now();
         const int rc = dispatch(args, flags);
+        const double wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wallStart)
+                .count();
         if (armFaults)
             fault::Injector::instance().disarm();
+        // Disarm before any flush: the sampler thread must be joined
+        // before the bundle snapshots the profile.
+        if (obs::SelfProfiler::instance().armed())
+            obs::SelfProfiler::instance().disarm();
         if (rc != 0) {
             sink.flush(strformat("command exited with status %d", rc));
             return rc;
@@ -1153,11 +1415,33 @@ main(int argc, char **argv)
             args[0] == "load") {
             printStageSummary();
         }
+
+        // The ledger append is the run's last durable act: only
+        // successful characterization runs are recorded, and the
+        // notice goes to stderr so stdout stays byte-comparable.
+        if (ledgerCommand && !flags.noLedger &&
+            !captureContext.runId.empty()) {
+            captureContext.command = args[0];
+            captureContext.jobs = flags.jobs;
+            captureContext.wallSeconds = wallSeconds;
+            captureContext.telemetryDir = flags.telemetryDir;
+            report::RunLedger ledger(flags.ledgerDir);
+            report::LedgerRecord record =
+                report::captureRecord(captureContext);
+            const std::uint64_t seq = ledger.append(record);
+            std::fprintf(
+                stderr, "ledger: appended record %llu (%s) to %s\n",
+                (unsigned long long)seq,
+                record.runId.substr(0, 8).c_str(),
+                ledger.directory().string().c_str());
+        }
         sink.flush();
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         try {
+            if (obs::SelfProfiler::instance().armed())
+                obs::SelfProfiler::instance().disarm();
             obs::TelemetrySink::instance().flush(
                 std::string("error: ") + e.what());
         } catch (...) {
