@@ -1,6 +1,7 @@
 #include "pipeline.hh"
 
 #include <algorithm>
+#include <optional>
 
 #include "cluster/hierarchical.hh"
 #include "cluster/kmeans.hh"
@@ -258,7 +259,11 @@ CharacterizationPipeline::analyze(
         // and the slot vector keeps the output in the serial sweep's
         // algorithm-major, k-minor order for any job count.
         report.validation.resize(points.size());
-        Executor exec(options.profile.jobs);
+        std::optional<Executor> local;
+        if (!options.profile.executor)
+            local.emplace(options.profile.jobs);
+        Executor &exec = options.profile.executor
+            ? *options.profile.executor : *local;
         exec.parallelFor(points.size(), [&](std::size_t i) {
             report.validation[i] = ValidationSweep::evaluate(
                 report.clusterFeatures, *points[i].algorithm,

@@ -324,4 +324,19 @@ renderFig7(const CharacterizationReport &report)
         t.render();
 }
 
+std::string
+renderReportSections(const CharacterizationReport &report)
+{
+    std::string out;
+    out += renderFig1(report) + "\n";
+    out += renderTableIV() + "\n";
+    out += renderTableIII(report) + "\n";
+    out += renderTableV(report) + "\n";
+    out += renderFig4(report) + "\n";
+    out += renderFig5And6(report) + "\n";
+    out += renderTableVI(report) + "\n";
+    out += renderFig7(report) + "\n";
+    return out;
+}
+
 } // namespace mbs

@@ -63,6 +63,15 @@ std::string renderTableVI(const CharacterizationReport &report);
 std::string renderFig7(const CharacterizationReport &report);
 
 /**
+ * The report sections that depend only on the profiles (everything
+ * except Table I, which describes the registry): Fig. 1, Tables
+ * III-VI, Figs. 4-7 concatenated in paper order. Printed identically
+ * by `pipeline`, `ingest --pipeline`, and serve jobs; round-trip and
+ * serve goldens diff this string byte for byte.
+ */
+std::string renderReportSections(const CharacterizationReport &report);
+
+/**
  * Table V data: fractions[cluster][level] of execution time, averaged
  * over all benchmarks. Exposed for tests and benches.
  */

@@ -14,22 +14,21 @@ namespace mbs {
 
 namespace {
 
+// Looked up per call, not cached in a function-local static: the
+// serve daemon resets the registry between jobs, which would leave a
+// cached reference dangling.
 obs::Counter &taskCounter()
 {
-    static obs::Counter &c =
-        obs::MetricsRegistry::instance().counter(
-            "exec.tasks", obs::Volatility::Stable,
-            "Tasks executed by the deterministic executor");
-    return c;
+    return obs::MetricsRegistry::instance().counter(
+        "exec.tasks", obs::Volatility::Stable,
+        "Tasks executed by the deterministic executor");
 }
 
 obs::Gauge &queueDepthGauge()
 {
-    static obs::Gauge &g =
-        obs::MetricsRegistry::instance().gauge(
-            "exec.queue_depth", obs::Volatility::Stable,
-            "Tasks submitted and not yet retired");
-    return g;
+    return obs::MetricsRegistry::instance().gauge(
+        "exec.queue_depth", obs::Volatility::Stable,
+        "Tasks submitted and not yet retired");
 }
 
 /**

@@ -48,14 +48,16 @@ struct FaultInstruments
 };
 
 /**
- * fault.* counters, touched once at first arm() so an armed run
- * exports them even when every value stays zero.
+ * fault.* counters, touched at arm() so an armed run exports them
+ * even when every value stays zero. Looked up per call, not cached
+ * in a function-local static: the serve daemon resets the registry
+ * between jobs, which would leave cached references dangling.
  */
-FaultInstruments &
+FaultInstruments
 faultInstruments()
 {
     auto &registry = obs::MetricsRegistry::instance();
-    static FaultInstruments instruments{
+    return FaultInstruments{
         registry.counter("fault.injected", obs::Volatility::Stable,
                          "Faults fired by the armed injection plan"),
         registry.counter("fault.recovered", obs::Volatility::Stable,
@@ -64,7 +66,6 @@ faultInstruments()
                          "Injected faults absorbed by degrading "
                          "(salvage, cache bypass)"),
     };
-    return instruments;
 }
 
 /** Decision hash: uniform in [0, 1) from the decision coordinates. */

@@ -35,6 +35,16 @@ Progress::setSinkForTest(std::FILE *f)
     testSink = f;
 }
 
+void
+Progress::setListener(
+    std::function<void(std::size_t, std::size_t, const std::string &)>
+        fn)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    listener = std::move(fn);
+    listening.store(listener != nullptr, std::memory_order_relaxed);
+}
+
 Progress::Mode
 Progress::activeMode()
 {
@@ -84,12 +94,17 @@ Progress::render(const std::string &line, bool finalLine)
 void
 Progress::begin(std::size_t total_, const std::string &label)
 {
-    if (!enabled())
+    const bool toListener = listening.load(std::memory_order_relaxed);
+    if (!enabled() && !toListener)
         return;
     std::lock_guard<std::mutex> lock(mtx);
     total = total_;
     done = 0;
     lastWidth = 0;
+    if (listener) {
+        listener(0, total, label);
+        return;
+    }
     resolved = mode;
     if (resolved == Mode::Auto)
         resolved = sinkIsTty() ? Mode::Tty : Mode::Lines;
@@ -104,10 +119,15 @@ Progress::begin(std::size_t total_, const std::string &label)
 void
 Progress::step(const std::string &label)
 {
-    if (!enabled())
+    const bool toListener = listening.load(std::memory_order_relaxed);
+    if (!enabled() && !toListener)
         return;
     std::lock_guard<std::mutex> lock(mtx);
     ++done;
+    if (listener) {
+        listener(done, total, label);
+        return;
+    }
     std::string line;
     if (total > 0) {
         line = strformat("[%3zu/%zu] %s", done, total, label.c_str());
@@ -120,9 +140,15 @@ Progress::step(const std::string &label)
 void
 Progress::finish()
 {
-    if (!enabled())
+    const bool toListener = listening.load(std::memory_order_relaxed);
+    if (!enabled() && !toListener)
         return;
     std::lock_guard<std::mutex> lock(mtx);
+    if (listener) {
+        total = 0;
+        done = 0;
+        return;
+    }
     if (resolved == Mode::Tty && lastWidth > 0) {
         // Leave the last frame on screen and move past it so the
         // next log line starts on a fresh row.

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdio>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -61,6 +62,19 @@ class Progress
      */
     void setSinkForTest(std::FILE *f);
 
+    /**
+     * Route updates to @p fn(done, total, label) instead of the
+     * stderr meter. A serve job has no terminal — its progress
+     * travels to the submitting client as protocol frames — and a
+     * TTY escape-code meter would only pollute the daemon's log, so
+     * while a listener is installed nothing is printed and the
+     * meter counts regardless of setEnabled(). nullptr restores
+     * normal stderr rendering.
+     */
+    void setListener(
+        std::function<void(std::size_t done, std::size_t total,
+                           const std::string &label)> fn);
+
     /** The mode begin() resolved for the current phase. */
     Mode activeMode();
 
@@ -85,6 +99,10 @@ class Progress
     void render(const std::string &line, bool finalLine);
 
     std::atomic<bool> on{false};
+    /** Fast-path flag for the listener (checked before `mtx`). */
+    std::atomic<bool> listening{false};
+    std::function<void(std::size_t, std::size_t, const std::string &)>
+        listener;
     std::mutex mtx;
     std::size_t total = 0;
     std::size_t done = 0;

@@ -1,0 +1,128 @@
+#include "obs/signals.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace mbs {
+namespace obs {
+
+namespace {
+
+/** Self-pipe: the handler writes one byte (the signo) per signal. */
+int pipeFds[2] = {-1, -1};
+
+std::atomic<bool> signalSeen{false};
+/** Set by the handler on the second signal; forces immediate exit. */
+std::atomic<int> signalCount{0};
+
+std::mutex callbackMutex;
+std::function<void(int)> callback;
+bool callbackExitsFlag = true;
+
+extern "C" void
+drainHandler(int sig)
+{
+    const int count = signalCount.fetch_add(1) + 1;
+    if (count >= 2) {
+        // The polite drain is taking too long (or is wedged); honor
+        // the user's insistence immediately. _exit is signal-safe.
+        _exit(128 + sig);
+    }
+    const unsigned char byte = static_cast<unsigned char>(sig);
+    // A full pipe just means a signal is already pending; dropping
+    // the byte is fine.
+    [[maybe_unused]] const ssize_t n = write(pipeFds[1], &byte, 1);
+}
+
+void
+watcherLoop()
+{
+    for (;;) {
+        unsigned char byte = 0;
+        const ssize_t n = read(pipeFds[0], &byte, 1);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return;
+        signalSeen.store(true);
+        std::function<void(int)> fn;
+        bool exits = true;
+        {
+            std::lock_guard<std::mutex> lock(callbackMutex);
+            fn = callback;
+            exits = callbackExitsFlag;
+        }
+        const int sig = int(byte);
+        if (fn) {
+            try {
+                fn(sig);
+            } catch (...) {
+                // A drain that throws must not take down the
+                // watcher; the exit below still happens.
+            }
+        }
+        if (exits)
+            _exit(128 + sig);
+        // A non-exiting callback (serve stop request) leaves the
+        // process to unwind normally; loop for the next signal in
+        // case the stop path needs a repeat nudge (the handler's
+        // second-signal escalation usually fires first).
+    }
+}
+
+/** First-install bootstrap: pipe, watcher thread, sigaction. */
+void
+installOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        fatalIf(pipe(pipeFds) != 0, "cannot create signal pipe");
+        std::thread(watcherLoop).detach();
+        struct sigaction action;
+        std::memset(&action, 0, sizeof(action));
+        action.sa_handler = drainHandler;
+        sigemptyset(&action.sa_mask);
+        // No SA_RESTART: blocking accept()/read() calls in the serve
+        // loop should wake with EINTR so the stop flag is noticed.
+        sigaction(SIGINT, &action, nullptr);
+        sigaction(SIGTERM, &action, nullptr);
+    });
+}
+
+} // namespace
+
+void
+installSignalDrain(std::function<void(int)> onSignal, bool callbackExits)
+{
+    {
+        std::lock_guard<std::mutex> lock(callbackMutex);
+        callback = std::move(onSignal);
+        callbackExitsFlag = callbackExits;
+    }
+    installOnce();
+}
+
+void
+resetSignalDrain()
+{
+    std::lock_guard<std::mutex> lock(callbackMutex);
+    callback = nullptr;
+    callbackExitsFlag = true;
+}
+
+bool
+drainSignalSeen()
+{
+    return signalSeen.load();
+}
+
+} // namespace obs
+} // namespace mbs

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Graceful SIGINT/SIGTERM draining.
+ *
+ * A signal handler may only touch async-signal-safe functions, and
+ * everything worth doing on shutdown — flushing the telemetry sink,
+ * appending a ledger record, draining a job queue — is not. The
+ * standard escape hatch is used here: the handler write()s the
+ * signal number into a self-pipe and a watcher thread, parked on the
+ * read end, runs the registered callback in ordinary thread context.
+ *
+ * One callback is active at a time (the CLI installs either the
+ * one-shot drain or the serve-daemon stop). The second signal skips
+ * the callback and calls _exit(128+sig) — the escalation path for a
+ * drain that hangs, mirroring the convention users expect from
+ * long-running tools: first ^C is polite, second is now.
+ */
+
+#ifndef MBS_OBS_SIGNALS_HH
+#define MBS_OBS_SIGNALS_HH
+
+#include <functional>
+
+namespace mbs {
+namespace obs {
+
+/**
+ * Install SIGINT/SIGTERM handlers routing to @p onSignal(signo) on a
+ * dedicated watcher thread. Installing again replaces the callback
+ * (the handlers and watcher are process-lifetime singletons). The
+ * callback decides what draining means; when it returns, the watcher
+ * calls _exit(128 + signo) when @p callbackExits is true (the
+ * one-shot drain). With false — a serve daemon's stop request — the
+ * normal shutdown path carries on instead.
+ */
+void installSignalDrain(std::function<void(int)> onSignal,
+                        bool callbackExits = true);
+
+/** Remove the callback; subsequent signals get default-ish exits. */
+void resetSignalDrain();
+
+/** True once a drain signal has been received (the watcher saw it). */
+bool drainSignalSeen();
+
+} // namespace obs
+} // namespace mbs
+
+#endif // MBS_OBS_SIGNALS_HH

@@ -303,7 +303,10 @@ ProfilerSession::profileUnits(const std::vector<ExecUnit> &units) const
     // realizes the merge-by-submission-index contract.
     std::vector<SimulationResult> results(tasks.size());
     if (!tasks.empty()) {
-        Executor exec(opts.jobs);
+        std::optional<Executor> local;
+        if (!opts.executor)
+            local.emplace(opts.jobs);
+        Executor &exec = opts.executor ? *opts.executor : *local;
         exec.parallelFor(tasks.size(), [&](std::size_t t) {
             const Task &task = tasks[t];
             const ExecUnit &u = units[task.unit];

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/executor.hh"
 #include "profiler/catalog.hh"
 #include "profiler/profile_cache.hh"
 #include "soc/simulator.hh"
@@ -49,6 +50,14 @@ struct ProfileOptions
      * (non-owning; the caller keeps it alive for the session).
      */
     ProfileCache *cache = nullptr;
+    /**
+     * Optional pre-built executor to fan simulations across
+     * (non-owning; the caller keeps it alive). When null, each
+     * profiling call builds its own `jobs`-wide pool. The serve
+     * daemon shares one pool across every job it runs so worker
+     * threads are created once per process, not once per request.
+     */
+    Executor *executor = nullptr;
 };
 
 /** The six Fig.-2 metric series plus per-cluster loads (Fig. 3). */

@@ -1,5 +1,6 @@
 #include "capture.hh"
 
+#include "common/digest.hh"
 #include "common/strings.hh"
 #include "obs/metrics.hh"
 #include "obs/timeseries.hh"
@@ -15,6 +16,29 @@ std::string
 buildStamp()
 {
     return MBS_BUILD_STAMP;
+}
+
+std::string
+runIdFor(std::uint64_t socConfigDigest, std::uint64_t seed, int runs,
+         double tickSeconds)
+{
+    Fnv1a h;
+    h.mix(socConfigDigest);
+    h.mix(seed);
+    h.mix(runs);
+    h.mix(tickSeconds);
+    return strformat("%016llx", (unsigned long long)h.value());
+}
+
+std::string
+ingestRunIdFor(std::uint64_t socConfigDigest, std::uint64_t bundleDigest,
+               double tickSeconds)
+{
+    Fnv1a h;
+    h.mix(socConfigDigest);
+    h.mix(bundleDigest);
+    h.mix(tickSeconds);
+    return strformat("%016llx", (unsigned long long)h.value());
 }
 
 LedgerRecord

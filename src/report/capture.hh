@@ -39,6 +39,24 @@ struct CaptureContext
 std::string buildStamp();
 
 /**
+ * The 16-hex run id of a profiled run: an FNV-1a digest over the SoC
+ * configuration digest and the profiling parameters. One definition
+ * shared by the one-shot CLI and the serve daemon so the two can
+ * never drift — identical ids is what makes their ledger records
+ * byte-comparable.
+ */
+std::string runIdFor(std::uint64_t socConfigDigest, std::uint64_t seed,
+                     int runs, double tickSeconds);
+
+/**
+ * The 16-hex run id of an ingest run: digest of the capture platform
+ * and the bundle bytes (an ingested bundle has no profiler seed).
+ */
+std::string ingestRunIdFor(std::uint64_t socConfigDigest,
+                           std::uint64_t bundleDigest,
+                           double tickSeconds);
+
+/**
  * Snapshot the current process state into a record. Metrics come
  * from MetricsRegistry (Stable instruments only) and the logical
  * duration from TimeSeriesSampler's logical clock.

@@ -245,21 +245,37 @@ RunLedger::append(LedgerRecord &record)
     const auto existing = entries();
     std::uint64_t seq =
         existing.empty() ? 1 : existing.back().seq + 1;
-    fs::path path;
-    // Skip sequence numbers already taken by a concurrent writer;
-    // the window is tiny and the scan is cheap.
+    const std::string prefix =
+        record.runId.substr(0, std::min<std::size_t>(
+                                   8, record.runId.size()));
+
+    // Claim the sequence number with an exclusive publish of an
+    // empty slot marker (`.seq-NNNNNN`, no .json extension so the
+    // directory scan ignores it). Concurrent appenders — other
+    // processes; the scan above races — collide on the *marker*
+    // even when their run ids (and so their record file names)
+    // differ, so each writer ends up with a unique seq and its own
+    // record file: no append is ever silently replaced or torn. A
+    // crashed claimer leaves a harmless gap in the numbering.
+    AtomicWriteOptions exclusive;
+    exclusive.exclusive = true;
     for (;; ++seq) {
-        const std::string prefix =
-            record.runId.substr(0, std::min<std::size_t>(
-                                       8, record.runId.size()));
-        path = recordsDir() /
-            strformat("%06llu-%s.json", (unsigned long long)seq,
-                      prefix.c_str());
-        if (!fs::exists(path))
+        const fs::path slot =
+            recordsDir() /
+            strformat(".seq-%06llu", (unsigned long long)seq);
+        const AtomicWriteResult claimed =
+            atomicWriteFile(slot, "", exclusive);
+        if (claimed.ok)
             break;
+        fatalIf(!claimed.existed, "cannot claim ledger sequence "
+                "number in '" + recordsDir().string() + "': " +
+                claimed.error);
     }
     record.seq = seq;
 
+    const fs::path path = recordsDir() /
+        strformat("%06llu-%s.json", (unsigned long long)seq,
+                  prefix.c_str());
     const std::string payload = record.toPayload();
     const std::string bytes =
         checksumHeader(payload) + "\n" + payload;

@@ -1,0 +1,136 @@
+#include "serve/client.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace mbs {
+namespace serve {
+
+namespace fs = std::filesystem;
+
+Client::Client(std::uint16_t port, const std::string &tenant)
+    : sock(connectTo(port))
+{
+    const Frame reply = roundTrip(helloFrame(tenant));
+    if (reply.type == "rejected")
+        fatal("serve client: " + reply.str("reason"));
+    fatalIf(reply.type != "welcome",
+            strformat("serve client: expected welcome, got '%s'",
+                      reply.type.c_str()));
+    greeting.server = reply.str("server");
+    greeting.build = reply.str("build");
+}
+
+Frame
+Client::roundTrip(const std::string &frame)
+{
+    fatalIf(!sendFrame(sock, frame),
+            "serve client: server hung up on send");
+    const auto payload = recvFrame(sock);
+    fatalIf(!payload.has_value(),
+            "serve client: server hung up awaiting reply");
+    return Frame::parse(*payload);
+}
+
+void
+Client::ping()
+{
+    const Frame reply = roundTrip(pingFrame());
+    fatalIf(reply.type != "pong",
+            strformat("serve client: expected pong, got '%s'",
+                      reply.type.c_str()));
+}
+
+ResultInfo
+Client::submit(const JobOptions &options,
+               const std::vector<BundleFile> &bundle,
+               const std::function<void(std::size_t, std::size_t,
+                                        const std::string &)>
+                   &onProgress)
+{
+    fatalIf(!sendFrame(sock, submitFrame(options, bundle)),
+            "serve client: server hung up on submit");
+    // accepted / progress / result arrive in no guaranteed relative
+    // order (the session and dispatcher threads race); take frames
+    // as they come until the terminal one.
+    for (;;) {
+        const auto payload = recvFrame(sock);
+        fatalIf(!payload.has_value(),
+                "serve client: server hung up awaiting result");
+        const Frame frame = Frame::parse(*payload);
+        if (frame.type == "accepted")
+            continue;
+        if (frame.type == "progress") {
+            if (onProgress) {
+                onProgress(std::size_t(frame.num("done")),
+                           std::size_t(frame.num("total")),
+                           frame.strOr("label", ""));
+            }
+            continue;
+        }
+        if (frame.type == "result")
+            return resultInfoFrom(frame);
+        if (frame.type == "rejected")
+            fatal("serve client: submission rejected: " +
+                  frame.str("reason"));
+        if (frame.type == "error")
+            fatal("serve client: server error: " +
+                  frame.str("message"));
+        fatal(strformat("serve client: unexpected frame '%s'",
+                        frame.type.c_str()));
+    }
+}
+
+void
+Client::shutdownServer()
+{
+    const Frame reply = roundTrip(shutdownFrame());
+    fatalIf(reply.type != "shutdown_ok",
+            strformat("serve client: expected shutdown_ok, got '%s'",
+                      reply.type.c_str()));
+}
+
+std::vector<BundleFile>
+readBundleDir(const fs::path &bundleDir)
+{
+    fatalIf(!fs::is_directory(bundleDir),
+            strformat("serve client: '%s' is not a directory",
+                      bundleDir.string().c_str()));
+    std::vector<BundleFile> files;
+    for (const auto &entry :
+         fs::recursive_directory_iterator(bundleDir)) {
+        if (!entry.is_regular_file())
+            continue;
+        const fs::path rel =
+            fs::relative(entry.path(), bundleDir);
+        BundleFile file;
+        file.path = rel.generic_string();
+        fatalIf(!safeBundlePath(file.path),
+                strformat("serve client: cannot upload '%s'",
+                          file.path.c_str()));
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream content;
+        content << in.rdbuf();
+        fatalIf(!in.good() && !in.eof(),
+                strformat("serve client: cannot read '%s'",
+                          entry.path().string().c_str()));
+        file.content = content.str();
+        files.push_back(std::move(file));
+    }
+    fatalIf(files.empty(),
+            strformat("serve client: bundle '%s' has no files",
+                      bundleDir.string().c_str()));
+    // Deterministic upload order (directory iteration is not).
+    std::sort(files.begin(), files.end(),
+              [](const BundleFile &a, const BundleFile &b) {
+                  return a.path < b.path;
+              });
+    return files;
+}
+
+} // namespace serve
+} // namespace mbs

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Client side of the serve protocol: one blocking connection that
+ * submits jobs and waits for their result frames. Used by the
+ * `mobilebench submit` subcommand, the load generator, and the
+ * serve tests.
+ */
+
+#ifndef MBS_SERVE_CLIENT_HH
+#define MBS_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/net.hh"
+#include "serve/protocol.hh"
+
+namespace mbs {
+namespace serve {
+
+class Client
+{
+  public:
+    /** Server identity returned by the hello/welcome handshake. */
+    struct Welcome
+    {
+        std::string server;
+        std::string build;
+    };
+
+    /**
+     * Connect to 127.0.0.1:@p port and perform the handshake.
+     * @throws FatalError when the connection or handshake fails.
+     */
+    explicit Client(std::uint16_t port,
+                    const std::string &tenant = "default");
+
+    const Welcome &welcome() const { return greeting; }
+
+    /** Ping/pong round trip; fatal() on a protocol violation. */
+    void ping();
+
+    /**
+     * Submit one job and block until its result frame. Progress
+     * frames invoke @p onProgress (when set) as they arrive.
+     * @throws FatalError when the server rejects the submission
+     *         (queue full / shutting down) or breaks protocol. A
+     *         job that *ran* and failed returns normally with
+     *         status "failed".
+     */
+    ResultInfo
+    submit(const JobOptions &options,
+           const std::vector<BundleFile> &bundle = {},
+           const std::function<void(std::size_t, std::size_t,
+                                    const std::string &)> &onProgress =
+               {});
+
+    /** Ask the daemon to stop; waits for the shutdown_ok frame. */
+    void shutdownServer();
+
+  private:
+    Frame roundTrip(const std::string &frame);
+
+    Socket sock;
+    Welcome greeting;
+};
+
+/**
+ * Read a trace bundle from disk into protocol BundleFiles: every
+ * regular file under @p bundleDir, paths relative to it. fatal()
+ * when the directory does not exist or a path is not expressible as
+ * a safe bundle path.
+ */
+std::vector<BundleFile>
+readBundleDir(const std::filesystem::path &bundleDir);
+
+} // namespace serve
+} // namespace mbs
+
+#endif // MBS_SERVE_CLIENT_HH

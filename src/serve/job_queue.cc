@@ -1,0 +1,71 @@
+#include "serve/job_queue.hh"
+
+namespace mbs {
+namespace serve {
+
+JobQueue::Offer
+JobQueue::offer(Job job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return Offer::Closed;
+        if (depth_ >= capacity_)
+            return Offer::Full;
+        tenants_[job.tenant].push_back(std::move(job));
+        ++depth_;
+    }
+    ready_.notify_one();
+    return Offer::Accepted;
+}
+
+std::optional<Job>
+JobQueue::take()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return depth_ > 0 || closed_; });
+    if (depth_ == 0)
+        return std::nullopt;
+
+    // Round-robin: serve the first tenant strictly after the cursor
+    // (map order is the rotation order), wrapping to the beginning.
+    // upper_bound handles a cursor tenant that has since drained and
+    // been erased.
+    auto it = tenants_.upper_bound(cursor_);
+    if (it == tenants_.end())
+        it = tenants_.begin();
+    Job job = std::move(it->second.front());
+    it->second.pop_front();
+    cursor_ = it->first;
+    if (it->second.empty())
+        tenants_.erase(it);
+    --depth_;
+    return job;
+}
+
+void
+JobQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    ready_.notify_all();
+}
+
+std::size_t
+JobQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return depth_;
+}
+
+bool
+JobQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+} // namespace serve
+} // namespace mbs

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bounded multi-tenant job queue with fair round-robin admission.
+ *
+ * Sessions offer() jobs tagged with their tenant name; the dispatcher
+ * take()s them one at a time. Capacity bounds the *total* number of
+ * queued jobs — a full queue rejects new offers immediately (the
+ * session answers with a `rejected` frame) instead of blocking the
+ * socket thread. Dequeue order is round-robin across tenants with
+ * jobs pending, FIFO within each tenant: a tenant that floods the
+ * queue with 30 jobs cannot starve one that submitted a single job a
+ * moment later.
+ */
+
+#ifndef MBS_SERVE_JOB_QUEUE_HH
+#define MBS_SERVE_JOB_QUEUE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace mbs {
+namespace serve {
+
+/** One queued unit of work plus its reply plumbing. */
+struct Job
+{
+    std::uint64_t id = 0;
+    std::string tenant;
+    JobOptions options;
+    std::vector<BundleFile> bundle;
+    /**
+     * Sends one frame back to the submitting client; returns false
+     * when that client is gone (the runner then drops further
+     * frames but still finishes the job).
+     */
+    std::function<bool(const std::string &)> reply;
+};
+
+class JobQueue
+{
+  public:
+    explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    enum class Offer { Accepted, Full, Closed };
+
+    /** Enqueue @p job under its tenant; never blocks. */
+    Offer offer(Job job);
+
+    /**
+     * Dequeue the next job fairly, blocking until one is available.
+     * @return nullopt once the queue is closed *and* drained.
+     */
+    std::optional<Job> take();
+
+    /** Stop admission; take() keeps draining what was accepted. */
+    void close();
+
+    std::size_t depth() const;
+    bool closed() const;
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    /** Tenant name -> that tenant's FIFO backlog. */
+    std::map<std::string, std::deque<Job>> tenants_;
+    /** Tenant whose turn comes after the last dequeue. */
+    std::string cursor_;
+    std::size_t depth_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace serve
+} // namespace mbs
+
+#endif // MBS_SERVE_JOB_QUEUE_HH

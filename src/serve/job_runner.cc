@@ -1,0 +1,362 @@
+#include "job_runner.hh"
+
+#include <chrono>
+#include <exception>
+#include <fstream>
+#include <memory>
+
+#include "common/digest.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "core/pipeline.hh"
+#include "core/report.hh"
+#include "fault/fault.hh"
+#include "ingest/bundle_reader.hh"
+#include "ingest/bundle_writer.hh"
+#include "obs/events.hh"
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
+#include "obs/telemetry.hh"
+#include "obs/timeseries.hh"
+#include "obs/trace.hh"
+#include "report/capture.hh"
+#include "report/ledger.hh"
+#include "store/profile_store.hh"
+
+namespace mbs {
+namespace serve {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/**
+ * The daemon's registry: built once, shared by every pipeline job.
+ * Construction is deterministic, so its suite digest matches the
+ * one-shot CLI's — a requirement of the ledger byte-identity golden.
+ */
+const WorkloadRegistry &
+registry()
+{
+    static const WorkloadRegistry reg;
+    return reg;
+}
+
+std::uint64_t
+registrySuiteDigest()
+{
+    Fnv1a h;
+    for (const auto &suite : registry().suites())
+        h.mix(suite.digest());
+    return h.value();
+}
+
+/**
+ * Mirror of the CLI's recordRunMetadata: identical tracer metadata
+ * and event-log common fields, so a serve job's telemetry bundle
+ * carries the same identity a one-shot run would.
+ */
+void
+attachRunMetadata(const SocConfig &config, const ProfileOptions &opts,
+                  const std::string &runId)
+{
+    const std::string seed =
+        strformat("%llu", (unsigned long long)opts.seed);
+    const std::string tick = strformat("%g", opts.tickSeconds);
+    const std::string runs = strformat("%d", opts.runs);
+    const std::string digest =
+        strformat("%016llx", (unsigned long long)config.digest());
+
+    auto &tracer = obs::Tracer::instance();
+    tracer.metadata("seed", seed);
+    tracer.metadata("tick_seconds", tick);
+    tracer.metadata("runs_per_benchmark", runs);
+    tracer.metadata("soc", config.name);
+    tracer.metadata("soc_config_digest", digest);
+    tracer.metadata("run_id", runId);
+
+    auto &log = obs::EventLog::instance();
+    log.setCommonField("run_id", runId);
+    log.setCommonField("seed", seed);
+    log.setCommonField("soc", config.name);
+    log.setCommonField("soc_config_digest", digest);
+}
+
+/** Spool the uploaded bundle files under @p root (paths pre-vetted). */
+fs::path
+spoolBundle(const fs::path &root, const std::vector<BundleFile> &files)
+{
+    const fs::path bundleDir = root / "upload";
+    for (const auto &file : files) {
+        fatalIf(!safeBundlePath(file.path),
+                strformat("serve: unsafe bundle path '%s'",
+                          file.path.c_str()));
+        const fs::path target = bundleDir / file.path;
+        std::error_code ec;
+        fs::create_directories(target.parent_path(), ec);
+        fatalIf(bool(ec),
+                strformat("serve: cannot create %s: %s",
+                          target.parent_path().string().c_str(),
+                          ec.message().c_str()));
+        std::ofstream out(target, std::ios::binary | std::ios::trunc);
+        out.write(file.content.data(),
+                  std::streamsize(file.content.size()));
+        out.flush();
+        fatalIf(!out.good(),
+                strformat("serve: short write spooling %s",
+                          target.string().c_str()));
+    }
+    return bundleDir;
+}
+
+} // namespace
+
+JobRunner::JobRunner(const RunnerConfig &config)
+    : cfg(config), exec(config.jobs)
+{
+    std::error_code ec;
+    fs::create_directories(cfg.workDir, ec);
+    fatalIf(bool(ec), strformat("serve: cannot create work dir %s: %s",
+                                cfg.workDir.string().c_str(),
+                                ec.message().c_str()));
+}
+
+fs::path
+JobRunner::jobDir(std::uint64_t id) const
+{
+    return cfg.workDir / strformat("job-%06llu",
+                                   (unsigned long long)id);
+}
+
+ResultInfo
+JobRunner::run(const Job &job)
+{
+    const auto wallStart = std::chrono::steady_clock::now();
+    ResultInfo info;
+    try {
+        info = execute(job);
+    } catch (const std::exception &e) {
+        info = ResultInfo{};
+        info.jobId = job.id;
+        info.status = "failed";
+        info.error = e.what();
+        try {
+            obs::TelemetrySink::instance().flush(
+                std::string("serve job failed: ") + e.what());
+        } catch (...) {
+            // Artifact flush is best effort on the failure path.
+        }
+    }
+    // Teardown runs on every exit path so a failed job can never
+    // leak an armed fault plan or a progress listener into the next.
+    auto &injector = fault::Injector::instance();
+    if (injector.active())
+        injector.disarm();
+    obs::Progress::instance().setListener(nullptr);
+    info.jobId = job.id;
+    info.wallSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wallStart)
+                           .count();
+    if (job.reply)
+        job.reply(resultFrame(info));
+    return info;
+}
+
+ResultInfo
+JobRunner::execute(const Job &job)
+{
+    ResultInfo info;
+    info.jobId = job.id;
+
+    if (job.options.job == "noop") {
+        // Measurement jobs for the load driver: no observability
+        // reset, no artifacts, no ledger — just protocol latency.
+        info.report = "noop: " + job.options.payload;
+        return info;
+    }
+
+    const fs::path dir = jobDir(job.id);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    fatalIf(bool(ec), strformat("serve: cannot create job dir %s: %s",
+                                dir.string().c_str(),
+                                ec.message().c_str()));
+
+    // --- Reset the process-wide observability state (steps 1-3 of
+    // the sequence documented in job_runner.hh). The registry reset
+    // is what makes the Stable-metrics snapshot of this job identical
+    // to a fresh one-shot process: stale instruments from previous
+    // jobs (fault.*, store.*) must disappear, not read zero.
+    auto &sampler = obs::TimeSeriesSampler::instance();
+    sampler.stopWallSampler();
+    sampler.reset();
+    sampler.setEnabled(true);
+    obs::EventLog::instance().clear();
+    obs::Tracer::instance().clear();
+    obs::MetricsRegistry::instance().reset();
+
+    // Step 4: progress goes to the client as frames, never to the
+    // daemon's stderr.
+    if (job.reply) {
+        auto reply = job.reply;
+        const std::uint64_t id = job.id;
+        obs::Progress::instance().setListener(
+            [reply, id](std::size_t done, std::size_t total,
+                        const std::string &label) {
+                reply(progressFrame(id, done, total, label));
+            });
+    }
+
+    // Step 5: per-job artifact bundle.
+    obs::TelemetryConfig telemetry;
+    telemetry.telemetryDir = dir.string();
+    auto &sink = obs::TelemetrySink::instance();
+    sink.configure(telemetry);
+
+    // Step 6: this job's fault plan (if any).
+    if (!job.options.faultSpec.empty() || job.options.faultRate > 0.0) {
+        fault::Injector::instance().arm(
+            !job.options.faultSpec.empty()
+                ? fault::FaultPlan::parse(job.options.faultSpec,
+                                          job.options.faultSeed)
+                : fault::FaultPlan::uniform(job.options.faultRate,
+                                            job.options.faultSeed));
+    }
+
+    report::CaptureContext context;
+    const auto wallStart = std::chrono::steady_clock::now();
+    if (job.options.job == "pipeline") {
+        info.report = runPipeline(job, context);
+    } else if (job.options.job == "ingest") {
+        info.report = runIngest(job, context);
+    } else {
+        fatal(strformat("serve: unknown job type '%s'",
+                        job.options.job.c_str()));
+    }
+    const double wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wallStart)
+            .count();
+
+    // Disarm before capture, exactly where the one-shot CLI does.
+    auto &injector = fault::Injector::instance();
+    if (injector.active())
+        injector.disarm();
+
+    // The ledger append is the job's last durable act; its stable
+    // block is the serve golden, so everything above must have left
+    // the registry exactly as a fresh process would.
+    context.command = job.options.job;
+    context.jobs = cfg.jobs;
+    context.wallSeconds = wallSeconds;
+    context.telemetryDir = dir.string();
+    report::LedgerRecord record = report::captureRecord(context);
+    info.runId = record.runId;
+    info.ledgerStable = record.stableJson();
+    if (!cfg.ledgerDir.empty()) {
+        report::RunLedger ledger(cfg.ledgerDir);
+        info.ledgerSeq = ledger.append(record);
+    }
+    sink.flush();
+    return info;
+}
+
+std::string
+JobRunner::runPipeline(const Job &job, report::CaptureContext &context)
+{
+    const SocConfig config = SocConfig::snapdragon888();
+    PipelineOptions options;
+    options.profile.jobs = cfg.jobs;
+    options.profile.executor = &exec;
+    options.cacheDir = cfg.cacheDir;
+    if (job.options.tick > 0.0)
+        options.profile.tickSeconds = job.options.tick;
+
+    const std::string runId = report::runIdFor(
+        config.digest(), options.profile.seed, options.profile.runs,
+        options.profile.tickSeconds);
+    attachRunMetadata(config, options.profile, runId);
+    context.runId = runId;
+    context.socName = config.name;
+    context.socConfigDigest = config.digest();
+    context.suiteDigest = registrySuiteDigest();
+    context.seed = options.profile.seed;
+    context.runs = options.profile.runs;
+    context.tickSeconds = options.profile.tickSeconds;
+
+    const CharacterizationPipeline pipeline(config, options);
+    const auto report = pipeline.run(registry());
+
+    // Same re-ingestable trace bundle a one-shot `pipeline
+    // --telemetry-out` exports (the writer registers no metrics, so
+    // this cannot perturb the stable block).
+    ingest::TraceBundleWriter writer(config,
+                                     options.profile.tickSeconds);
+    for (const auto &p : report.profiles) {
+        const Benchmark &unit = registry().unit(p.name);
+        writer.add(p, unit.totalDurationSeconds(),
+                   unit.individuallyExecutable());
+    }
+    writer.write(jobDir(job.id) / "trace-bundle");
+
+    return renderTableI(registry()) + "\n" +
+        renderReportSections(report);
+}
+
+std::string
+JobRunner::runIngest(const Job &job, report::CaptureContext &context)
+{
+    fatalIf(job.bundle.empty(),
+            "serve: ingest job carries no bundle files");
+    const fs::path bundleDir = spoolBundle(jobDir(job.id), job.bundle);
+
+    std::unique_ptr<ProfileStore> store;
+    if (!cfg.cacheDir.empty())
+        store = std::make_unique<ProfileStore>(cfg.cacheDir);
+    ingest::IngestOptions options;
+    options.tickSeconds = job.options.tick;
+    options.lax = job.options.lax;
+    options.cache = store.get();
+    const ingest::TraceBundleReader reader(options);
+    const auto result = reader.read(bundleDir);
+
+    context.runId = report::ingestRunIdFor(
+        result.manifest.socConfigDigest, result.bundleDigest,
+        result.tickSeconds);
+    context.socName = result.manifest.socName;
+    context.socConfigDigest = result.manifest.socConfigDigest;
+    context.suiteDigest = result.bundleDigest;
+    context.seed = 0;
+    context.runs = 0;
+    context.tickSeconds = result.tickSeconds;
+
+    if (job.options.ingestPipeline) {
+        PipelineOptions pipelineOptions;
+        pipelineOptions.profile.jobs = cfg.jobs;
+        pipelineOptions.profile.executor = &exec;
+        const CharacterizationPipeline pipeline(
+            SocConfig::snapdragon888(), pipelineOptions);
+        std::vector<WorkloadInfo> workloads;
+        workloads.reserve(result.manifest.benchmarks.size());
+        for (const auto &b : result.manifest.benchmarks) {
+            workloads.push_back(WorkloadInfo{
+                b.plannedRuntimeSeconds, b.individuallyExecutable});
+        }
+        return renderReportSections(
+            pipeline.analyze(result.profiles, workloads));
+    }
+
+    std::string out = strformat(
+        "%zu benchmarks, %llu rows (%llu dropped, %llu alias hits)\n",
+        result.profiles.size(),
+        (unsigned long long)result.stats.rows,
+        (unsigned long long)result.stats.droppedSamples,
+        (unsigned long long)result.stats.aliasHits);
+    if (result.fromCache)
+        out = strformat("%zu benchmarks (cached)\n",
+                        result.profiles.size());
+    return out;
+}
+
+} // namespace serve
+} // namespace mbs

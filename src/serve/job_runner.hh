@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-job execution for the serve daemon: the code that makes a job
+ * submitted over the socket behave — byte for byte — like the same
+ * run through the one-shot CLI.
+ *
+ * The headline guarantee is ledger-record identity: the *stable
+ * block* of the record a serve job appends (command, run id,
+ * SoC/suite digests, seed/runs/tick, logical ticks, the full
+ * Stable-class metrics snapshot) must serialize identically to a
+ * fresh `mobilebench pipeline` process. The snapshot covers every
+ * *registered* instrument, so zeroing values between jobs is not
+ * enough — a fault.* counter registered by an earlier faulted job
+ * would surface (at zero) in the next clean job's record, which a
+ * fresh process never shows. Each job therefore runs against fully
+ * reset process-wide observability state:
+ *
+ *   1. stop the wall sampler, reset + re-enable the logical clock
+ *   2. clear the event log and the tracer (both stay enabled)
+ *   3. MetricsRegistry::reset() — drop every instrument
+ *   4. route Progress to the client as protocol frames
+ *   5. configure the telemetry sink at the job's artifact directory
+ *   6. arm the job's fault plan (if any)
+ *
+ * and tears all of it down on every exit path. Jobs execute one at a
+ * time (the dispatcher is a single thread) precisely because this
+ * state is process-wide; pipeline-internal parallelism still fans
+ * out through the shared executor.
+ */
+
+#ifndef MBS_SERVE_JOB_RUNNER_HH
+#define MBS_SERVE_JOB_RUNNER_HH
+
+#include <filesystem>
+#include <string>
+
+#include "exec/executor.hh"
+#include "report/capture.hh"
+#include "serve/job_queue.hh"
+#include "serve/protocol.hh"
+
+namespace mbs {
+namespace serve {
+
+/** Daemon-level execution settings shared by every job. */
+struct RunnerConfig
+{
+    /** Root under which per-job artifact directories are created. */
+    std::filesystem::path workDir = ".mobilebench/serve";
+    /** Ledger directory jobs append to; empty disables the ledger. */
+    std::filesystem::path ledgerDir;
+    /** Profile-store directory; empty disables caching. */
+    std::string cacheDir;
+    /** Worker threads of the shared executor. */
+    int jobs = 1;
+};
+
+class JobRunner
+{
+  public:
+    explicit JobRunner(const RunnerConfig &config);
+
+    /**
+     * Execute @p job start to finish: reset the observability
+     * singletons, run the work, capture + append the ledger record,
+     * flush the job's telemetry bundle, and stream progress/result
+     * frames through job.reply. Never throws — a failing job turns
+     * into a "failed" result frame and the daemon lives on.
+     *
+     * @return the result that was (best-effort) sent to the client.
+     */
+    ResultInfo run(const Job &job);
+
+    Executor &executor() { return exec; }
+
+    /** The artifact directory of job @p id (also created by run()). */
+    std::filesystem::path jobDir(std::uint64_t id) const;
+
+  private:
+    ResultInfo execute(const Job &job);
+    std::string runPipeline(const Job &job,
+                            report::CaptureContext &context);
+    std::string runIngest(const Job &job,
+                          report::CaptureContext &context);
+
+    RunnerConfig cfg;
+    Executor exec;
+};
+
+} // namespace serve
+} // namespace mbs
+
+#endif // MBS_SERVE_JOB_RUNNER_HH

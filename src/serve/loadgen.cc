@@ -1,0 +1,169 @@
+#include "serve/loadgen.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "serve/client.hh"
+
+namespace mbs {
+namespace serve {
+
+namespace {
+
+/**
+ * Exact percentiles over the observed latencies: bucket bounds are
+ * the sorted distinct observations themselves, so the cumulative
+ * interpolation is exact at every observed rank (the same trick the
+ * CLI's stage summary uses).
+ */
+double
+exactPercentile(const std::vector<double> &values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::vector<double> bounds = values;
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()),
+                 bounds.end());
+    obs::Histogram hist(std::move(bounds));
+    for (const double v : values)
+        hist.observe(v);
+    return hist.percentile(p);
+}
+
+} // namespace
+
+std::string
+LoadgenSummary::toJson() const
+{
+    std::string out = "{";
+    out += "\"jobs\": " + obs::jsonNumber(double(jobs));
+    out += ", \"ok\": " + obs::jsonNumber(double(ok));
+    out += ", \"failed\": " + obs::jsonNumber(double(failed));
+    out += ", \"latency_p50_s\": " + obs::jsonNumber(p50);
+    out += ", \"latency_p95_s\": " + obs::jsonNumber(p95);
+    out += ", \"latency_p99_s\": " + obs::jsonNumber(p99);
+    out += ", \"latency_mean_s\": " + obs::jsonNumber(meanSeconds);
+    out += ", \"wall_seconds\": " + obs::jsonNumber(wallSeconds);
+    out += "}\n";
+    return out;
+}
+
+std::string
+LoadgenSummary::toText() const
+{
+    return strformat(
+        "loadgen: %d jobs (%d ok, %d failed) in %.2f s — latency "
+        "p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, mean %.1f ms\n",
+        jobs, ok, failed, wallSeconds, p50 * 1e3, p95 * 1e3,
+        p99 * 1e3, meanSeconds * 1e3);
+}
+
+LoadgenSummary
+runLoadgen(const LoadgenOptions &options)
+{
+    fatalIf(options.port == 0, "loadgen: --port is required");
+    fatalIf(options.clients < 1 || options.jobsPerClient < 1,
+            "loadgen: --clients and --jobs must be at least 1");
+
+    // Wall-clock latencies are Volatile by definition: they must
+    // never enter a ledger record's stable block. The Stable
+    // ok/failed counters, by contrast, are deterministic for a
+    // given load plan against a healthy daemon.
+    auto &reg = obs::MetricsRegistry::instance();
+    auto &latency = reg.histogram(
+        "serve.loadgen.latency_seconds",
+        {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0},
+        obs::Volatility::Volatile,
+        "end-to-end serve job latency (submit to result)");
+    auto &okCounter =
+        reg.counter("serve.loadgen.jobs_ok", obs::Volatility::Stable,
+                    "loadgen jobs that returned status ok");
+    auto &failCounter = reg.counter(
+        "serve.loadgen.jobs_failed", obs::Volatility::Stable,
+        "loadgen jobs that failed or were rejected");
+
+    std::mutex mergeMutex;
+    std::vector<double> latencies;
+    int ok = 0;
+    int failed = 0;
+
+    const auto wallStart = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(std::size_t(options.clients));
+    for (int c = 0; c < options.clients; ++c) {
+        workers.emplace_back([&, c] {
+            std::vector<double> mine;
+            int myOk = 0;
+            int myFailed = 0;
+            try {
+                Client client(options.port,
+                              strformat("loadgen-%d", c));
+                for (int j = 0; j < options.jobsPerClient; ++j) {
+                    const auto t0 =
+                        std::chrono::steady_clock::now();
+                    try {
+                        const ResultInfo info =
+                            client.submit(options.job);
+                        const double dt =
+                            std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                t0)
+                                .count();
+                        mine.push_back(dt);
+                        latency.observe(dt);
+                        if (info.status == "ok")
+                            ++myOk;
+                        else
+                            ++myFailed;
+                    } catch (const std::exception &) {
+                        // Rejected or connection-poisoned; count
+                        // it and keep the remaining jobs honest.
+                        ++myFailed;
+                    }
+                }
+            } catch (const std::exception &) {
+                // Could not even connect: every job this client
+                // never got to run counts as failed.
+                myFailed += options.jobsPerClient - myOk - myFailed;
+            }
+            std::lock_guard<std::mutex> lock(mergeMutex);
+            latencies.insert(latencies.end(), mine.begin(),
+                             mine.end());
+            ok += myOk;
+            failed += myFailed;
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    LoadgenSummary summary;
+    summary.jobs = options.clients * options.jobsPerClient;
+    summary.ok = ok;
+    summary.failed = summary.jobs - ok;
+    summary.p50 = exactPercentile(latencies, 0.50);
+    summary.p95 = exactPercentile(latencies, 0.95);
+    summary.p99 = exactPercentile(latencies, 0.99);
+    double sum = 0.0;
+    for (const double v : latencies)
+        sum += v;
+    summary.meanSeconds =
+        latencies.empty() ? 0.0 : sum / double(latencies.size());
+    summary.wallSeconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              wallStart)
+                              .count();
+    okCounter.add(std::uint64_t(summary.ok));
+    failCounter.add(std::uint64_t(summary.failed));
+    return summary;
+}
+
+} // namespace serve
+} // namespace mbs

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The serve load driver: N concurrent clients each submitting M jobs
+ * and measuring end-to-end latency (submit sent -> result received).
+ *
+ * Latencies feed the obs machinery twice: every observation lands in
+ * the Volatile `serve.loadgen.latency_seconds` registry histogram
+ * (exported by the telemetry sink like any other instrument), and
+ * the reported p50/p95/p99 are computed through the same
+ * exact-bounds Histogram interpolation the CLI's stage summary uses,
+ * so a percentile here and a percentile there mean the same thing.
+ */
+
+#ifndef MBS_SERVE_LOADGEN_HH
+#define MBS_SERVE_LOADGEN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace mbs {
+namespace serve {
+
+struct LoadgenOptions
+{
+    /** Daemon port (required). */
+    std::uint16_t port = 0;
+    /** Concurrent client connections. */
+    int clients = 4;
+    /** Jobs each client submits back to back. */
+    int jobsPerClient = 8;
+    /** The job every client submits; default is a noop probe that
+     *  measures protocol + queue + dispatch latency without the
+     *  pipeline's compute cost. */
+    JobOptions job;
+};
+
+struct LoadgenSummary
+{
+    int jobs = 0;
+    int ok = 0;
+    int failed = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double meanSeconds = 0.0;
+    double wallSeconds = 0.0;
+
+    /** Deterministic-key JSON document of the summary. */
+    std::string toJson() const;
+    /** One-line human rendering for the CLI. */
+    std::string toText() const;
+};
+
+/**
+ * Run the load; never throws. A client whose submission fails keeps
+ * going with its next job, and every failure is counted.
+ */
+LoadgenSummary runLoadgen(const LoadgenOptions &options);
+
+} // namespace serve
+} // namespace mbs
+
+#endif // MBS_SERVE_LOADGEN_HH

@@ -1,0 +1,209 @@
+#include "serve/net.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "serve/protocol.hh"
+
+namespace mbs {
+namespace serve {
+
+Socket &
+Socket::operator=(Socket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+int
+Socket::release()
+{
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+namespace {
+
+sockaddr_in
+loopbackAddress(std::uint16_t port)
+{
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return addr;
+}
+
+/**
+ * Write all of @p data; EPIPE and ECONNRESET report a hung-up peer
+ * as false instead of killing the process (SIGPIPE is suppressed per
+ * send with MSG_NOSIGNAL).
+ */
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t n =
+            ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EPIPE || errno == ECONNRESET)
+                return false;
+            fatal(strformat("serve: send failed: %s",
+                            std::strerror(errno)));
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Read exactly @p size bytes. @return bytes read: size on success, 0
+ * on EOF before the first byte, anything in between on a mid-message
+ * hangup (the caller decides whether that is fatal).
+ */
+std::size_t
+readAll(int fd, char *data, std::size_t size)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t n = ::recv(fd, data + done, size - done, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == ECONNRESET)
+                return done;
+            fatal(strformat("serve: recv failed: %s",
+                            std::strerror(errno)));
+        }
+        if (n == 0)
+            return done;
+        done += static_cast<std::size_t>(n);
+    }
+    return done;
+}
+
+} // namespace
+
+Socket
+listenOn(std::uint16_t port)
+{
+    Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+    fatalIf(!socket.valid(), strformat("serve: socket() failed: %s",
+                                       std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = loopbackAddress(port);
+    if (::bind(socket.fd(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        fatal(strformat("serve: cannot bind 127.0.0.1:%u: %s",
+                        unsigned(port), std::strerror(errno)));
+    }
+    if (::listen(socket.fd(), 64) != 0)
+        fatal(strformat("serve: listen failed: %s", std::strerror(errno)));
+    return socket;
+}
+
+std::uint16_t
+boundPort(const Socket &socket)
+{
+    sockaddr_in addr;
+    socklen_t len = sizeof(addr);
+    fatalIf(::getsockname(socket.fd(),
+                          reinterpret_cast<sockaddr *>(&addr), &len) != 0,
+            strformat("serve: getsockname failed: %s",
+                      std::strerror(errno)));
+    return ntohs(addr.sin_port);
+}
+
+Socket
+acceptOn(const Socket &listener)
+{
+    for (;;) {
+        const int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd >= 0)
+            return Socket(fd);
+        if (errno == EINTR)
+            continue;
+        // EBADF/EINVAL: the stop path closed or shut down the
+        // listener under us; ECONNABORTED: the peer gave up first.
+        if (errno == ECONNABORTED)
+            continue;
+        return Socket();
+    }
+}
+
+Socket
+connectTo(std::uint16_t port)
+{
+    Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+    fatalIf(!socket.valid(), strformat("serve: socket() failed: %s",
+                                       std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr = loopbackAddress(port);
+    for (;;) {
+        if (::connect(socket.fd(), reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            return socket;
+        }
+        if (errno == EINTR)
+            continue;
+        fatal(strformat("serve: cannot connect to 127.0.0.1:%u: %s",
+                        unsigned(port), std::strerror(errno)));
+    }
+}
+
+bool
+sendFrame(const Socket &socket, const std::string &payloadJson)
+{
+    const std::string wire = encodeFrame(payloadJson);
+    return writeAll(socket.fd(), wire.data(), wire.size());
+}
+
+std::optional<std::string>
+recvFrame(const Socket &socket)
+{
+    unsigned char header[4];
+    const std::size_t got =
+        readAll(socket.fd(), reinterpret_cast<char *>(header), 4);
+    if (got == 0)
+        return std::nullopt;
+    fatalIf(got < 4, "serve: connection closed mid frame header");
+    const std::uint32_t size = decodeFrameLength(header, kMaxFrameBytes);
+    std::string payload(size, '\0');
+    if (size > 0) {
+        const std::size_t body = readAll(socket.fd(), payload.data(), size);
+        fatalIf(body < size, "serve: connection closed mid frame payload");
+    }
+    return payload;
+}
+
+} // namespace serve
+} // namespace mbs

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Thin POSIX socket helpers for the serve daemon and its clients.
+ *
+ * Loopback AF_INET only: the daemon is an on-host characterization
+ * service, not an internet-facing endpoint, so it binds 127.0.0.1
+ * and clients connect there. All reads and writes retry on EINTR and
+ * loop until the requested byte count moved (TCP gives no message
+ * boundaries; the framing in protocol.hh supplies them).
+ */
+
+#ifndef MBS_SERVE_NET_HH
+#define MBS_SERVE_NET_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mbs {
+namespace serve {
+
+/** RAII owner of one socket file descriptor. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket &operator=(Socket &&other) noexcept;
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    /** Close the descriptor now (idempotent). */
+    void close();
+    /** Release ownership without closing. */
+    int release();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Bind and listen on 127.0.0.1:@p port. Port 0 asks the kernel for an
+ * ephemeral port; read the actual one back with boundPort().
+ * @throws FatalError when the address is unavailable.
+ */
+Socket listenOn(std::uint16_t port);
+
+/** @return the local port a bound socket ended up on. */
+std::uint16_t boundPort(const Socket &socket);
+
+/**
+ * Accept one connection. Returns an invalid Socket when the listener
+ * was closed or shut down (the server's stop path) instead of
+ * throwing.
+ */
+Socket acceptOn(const Socket &listener);
+
+/**
+ * Connect to 127.0.0.1:@p port.
+ * @throws FatalError when the connection is refused.
+ */
+Socket connectTo(std::uint16_t port);
+
+/**
+ * Send one framed payload (length prefix + JSON bytes).
+ * @return false when the peer hung up (EPIPE/ECONNRESET).
+ */
+bool sendFrame(const Socket &socket, const std::string &payloadJson);
+
+/**
+ * Receive one framed payload.
+ * @return the JSON payload, or nullopt on clean EOF before a header.
+ * @throws FatalError on a truncated frame or an oversized length
+ *         prefix (both mean the stream is unrecoverable).
+ */
+std::optional<std::string> recvFrame(const Socket &socket);
+
+} // namespace serve
+} // namespace mbs
+
+#endif // MBS_SERVE_NET_HH

@@ -1,0 +1,343 @@
+#include "serve/protocol.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "obs/json.hh"
+
+namespace mbs {
+namespace serve {
+
+std::string
+encodeFrame(const std::string &payloadJson)
+{
+    fatalIf(payloadJson.size() > kMaxFrameBytes,
+            strformat("serve: frame payload of %zu bytes exceeds the "
+                      "%u-byte cap", payloadJson.size(), kMaxFrameBytes));
+    const std::uint32_t n = static_cast<std::uint32_t>(payloadJson.size());
+    std::string wire;
+    wire.reserve(4 + payloadJson.size());
+    wire.push_back(static_cast<char>((n >> 24) & 0xff));
+    wire.push_back(static_cast<char>((n >> 16) & 0xff));
+    wire.push_back(static_cast<char>((n >> 8) & 0xff));
+    wire.push_back(static_cast<char>(n & 0xff));
+    wire += payloadJson;
+    return wire;
+}
+
+std::uint32_t
+decodeFrameLength(const unsigned char header[4], std::uint32_t maxBytes)
+{
+    const std::uint32_t n = (std::uint32_t(header[0]) << 24) |
+                            (std::uint32_t(header[1]) << 16) |
+                            (std::uint32_t(header[2]) << 8) |
+                            std::uint32_t(header[3]);
+    fatalIf(n > maxBytes,
+            strformat("serve: peer announced a %u-byte frame (cap %u); "
+                      "closing", n, maxBytes));
+    return n;
+}
+
+Frame
+Frame::parse(const std::string &payload)
+{
+    Frame frame;
+    frame.doc = parseJson(payload);
+    fatalIf(!frame.doc.isObject(), "serve: frame is not a JSON object");
+    const JsonValue &v = frame.doc.at("v");
+    fatalIf(!v.isNumber() || v.number != kProtocolVersion,
+            strformat("serve: unsupported protocol version (want %d)",
+                      kProtocolVersion));
+    const JsonValue &type = frame.doc.at("type");
+    fatalIf(!type.isString() || type.str.empty(),
+            "serve: frame has no string \"type\"");
+    frame.type = type.str;
+    return frame;
+}
+
+std::string
+Frame::str(const std::string &key) const
+{
+    const JsonValue &value = doc.at(key);
+    fatalIf(!value.isString(),
+            strformat("serve: frame member \"%s\" is not a string",
+                      key.c_str()));
+    return value.str;
+}
+
+std::string
+Frame::strOr(const std::string &key, const std::string &fallback) const
+{
+    const JsonValue *value = doc.find(key);
+    if (!value)
+        return fallback;
+    fatalIf(!value->isString(),
+            strformat("serve: frame member \"%s\" is not a string",
+                      key.c_str()));
+    return value->str;
+}
+
+double
+Frame::num(const std::string &key) const
+{
+    const JsonValue &value = doc.at(key);
+    fatalIf(!value.isNumber(),
+            strformat("serve: frame member \"%s\" is not a number",
+                      key.c_str()));
+    return value.number;
+}
+
+double
+Frame::numOr(const std::string &key, double fallback) const
+{
+    const JsonValue *value = doc.find(key);
+    if (!value)
+        return fallback;
+    fatalIf(!value->isNumber(),
+            strformat("serve: frame member \"%s\" is not a number",
+                      key.c_str()));
+    return value->number;
+}
+
+bool
+Frame::boolOr(const std::string &key, bool fallback) const
+{
+    const JsonValue *value = doc.find(key);
+    if (!value)
+        return fallback;
+    fatalIf(!value->isBool(),
+            strformat("serve: frame member \"%s\" is not a bool",
+                      key.c_str()));
+    return value->boolean;
+}
+
+bool
+safeBundlePath(const std::string &path)
+{
+    if (path.empty() || path.size() > 4096)
+        return false;
+    if (path.front() == '/')
+        return false;
+    std::string segment;
+    // Reject "." / ".." segments, empty segments ("a//b"), and bytes
+    // that only ever appear in hostile paths.
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+        const char c = i < path.size() ? path[i] : '/';
+        if (c == '\0' || c == '\\')
+            return false;
+        if (c != '/') {
+            segment.push_back(c);
+            continue;
+        }
+        if (segment.empty() || segment == "." || segment == "..")
+            return false;
+        segment.clear();
+    }
+    return true;
+}
+
+namespace {
+
+/** Open a frame object: {"v":1,"type":"<type>" */
+std::string
+head(const char *type)
+{
+    std::ostringstream out;
+    out << "{\"v\":" << kProtocolVersion << ",\"type\":\"" << type << "\"";
+    return out.str();
+}
+
+std::string
+quoted(const std::string &text)
+{
+    return "\"" + obs::jsonEscape(text) + "\"";
+}
+
+} // namespace
+
+std::string
+helloFrame(const std::string &tenant)
+{
+    return head("hello") + ",\"tenant\":" + quoted(tenant) + "}";
+}
+
+std::string
+pingFrame()
+{
+    return head("ping") + "}";
+}
+
+std::string
+shutdownFrame()
+{
+    return head("shutdown") + "}";
+}
+
+std::string
+submitFrame(const JobOptions &options, const std::vector<BundleFile> &bundle)
+{
+    std::ostringstream out;
+    out << head("submit") << ",\"job\":" << quoted(options.job)
+        << ",\"options\":{"
+        << "\"fault_spec\":" << quoted(options.faultSpec)
+        << ",\"fault_rate\":" << obs::jsonNumber(options.faultRate)
+        << ",\"fault_seed\":" << options.faultSeed
+        << ",\"pipeline\":" << (options.ingestPipeline ? "true" : "false")
+        << ",\"lax\":" << (options.lax ? "true" : "false")
+        << ",\"tick\":" << obs::jsonNumber(options.tick)
+        << ",\"payload\":" << quoted(options.payload) << "}";
+    if (!bundle.empty()) {
+        out << ",\"bundle\":{\"files\":[";
+        for (std::size_t i = 0; i < bundle.size(); ++i) {
+            if (i)
+                out << ",";
+            out << "{\"path\":" << quoted(bundle[i].path)
+                << ",\"content\":" << quoted(bundle[i].content) << "}";
+        }
+        out << "]}";
+    }
+    out << "}";
+    return out.str();
+}
+
+JobOptions
+jobOptionsFrom(const Frame &frame)
+{
+    JobOptions options;
+    options.job = frame.str("job");
+    fatalIf(options.job != "pipeline" && options.job != "ingest" &&
+                options.job != "noop",
+            strformat("serve: unknown job kind \"%s\"",
+                      options.job.c_str()));
+    const JsonValue *opts = frame.doc.find("options");
+    if (!opts)
+        return options;
+    fatalIf(!opts->isObject(), "serve: \"options\" is not an object");
+    Frame wrapper;
+    wrapper.doc = *opts;
+    // The wrapper Frame reuses the typed accessors; "v"/"type" are not
+    // required on nested objects so only the *Or forms are safe here.
+    options.faultSpec = wrapper.strOr("fault_spec", "");
+    options.faultRate = wrapper.numOr("fault_rate", 0.0);
+    options.faultSeed =
+        static_cast<std::uint64_t>(wrapper.numOr("fault_seed", 1.0));
+    options.ingestPipeline = wrapper.boolOr("pipeline", false);
+    options.lax = wrapper.boolOr("lax", false);
+    options.tick = wrapper.numOr("tick", 0.0);
+    options.payload = wrapper.strOr("payload", "");
+    return options;
+}
+
+std::vector<BundleFile>
+bundleFilesFrom(const Frame &frame)
+{
+    std::vector<BundleFile> files;
+    const JsonValue *bundle = frame.doc.find("bundle");
+    if (!bundle)
+        return files;
+    fatalIf(!bundle->isObject(), "serve: \"bundle\" is not an object");
+    const JsonValue &list = bundle->at("files");
+    fatalIf(!list.isArray(), "serve: \"bundle.files\" is not an array");
+    for (const JsonValue &entry : list.array) {
+        fatalIf(!entry.isObject(), "serve: bundle file entry is not an object");
+        const JsonValue &path = entry.at("path");
+        const JsonValue &content = entry.at("content");
+        fatalIf(!path.isString() || !content.isString(),
+                "serve: bundle file entry needs string path and content");
+        fatalIf(!safeBundlePath(path.str),
+                strformat("serve: unsafe bundle path \"%s\"",
+                          path.str.c_str()));
+        files.push_back(BundleFile{path.str, content.str});
+    }
+    return files;
+}
+
+std::string
+welcomeFrame(const std::string &server, const std::string &build)
+{
+    std::ostringstream out;
+    out << head("welcome") << ",\"server\":" << quoted(server)
+        << ",\"build\":" << quoted(build)
+        << ",\"max_frame_bytes\":" << kMaxFrameBytes << "}";
+    return out.str();
+}
+
+std::string
+pongFrame()
+{
+    return head("pong") + "}";
+}
+
+std::string
+acceptedFrame(std::uint64_t jobId, std::size_t queueDepth)
+{
+    std::ostringstream out;
+    out << head("accepted") << ",\"job_id\":" << jobId
+        << ",\"queue_depth\":" << queueDepth << "}";
+    return out.str();
+}
+
+std::string
+rejectedFrame(const std::string &reason)
+{
+    return head("rejected") + ",\"reason\":" + quoted(reason) + "}";
+}
+
+std::string
+progressFrame(std::uint64_t jobId, std::size_t done, std::size_t total,
+              const std::string &label)
+{
+    std::ostringstream out;
+    out << head("progress") << ",\"job_id\":" << jobId << ",\"done\":" << done
+        << ",\"total\":" << total << ",\"label\":" << quoted(label) << "}";
+    return out.str();
+}
+
+std::string
+resultFrame(const ResultInfo &info)
+{
+    std::ostringstream out;
+    out << head("result") << ",\"job_id\":" << info.jobId
+        << ",\"status\":" << quoted(info.status)
+        << ",\"report\":" << quoted(info.report)
+        << ",\"run_id\":" << quoted(info.runId)
+        << ",\"ledger_seq\":" << info.ledgerSeq
+        << ",\"ledger_stable\":" << quoted(info.ledgerStable)
+        << ",\"wall_seconds\":" << obs::jsonNumber(info.wallSeconds)
+        << ",\"error\":" << quoted(info.error) << "}";
+    return out.str();
+}
+
+ResultInfo
+resultInfoFrom(const Frame &frame)
+{
+    fatalIf(frame.type != "result",
+            strformat("serve: expected a result frame, got %s",
+                      frame.type.c_str()));
+    ResultInfo info;
+    info.jobId = static_cast<std::uint64_t>(frame.num("job_id"));
+    info.status = frame.str("status");
+    info.report = frame.str("report");
+    info.runId = frame.str("run_id");
+    info.ledgerSeq = static_cast<std::uint64_t>(frame.num("ledger_seq"));
+    info.ledgerStable = frame.str("ledger_stable");
+    info.wallSeconds = frame.num("wall_seconds");
+    info.error = frame.str("error");
+    return info;
+}
+
+std::string
+errorFrame(const std::string &message)
+{
+    return head("error") + ",\"message\":" + quoted(message) + "}";
+}
+
+std::string
+shutdownOkFrame()
+{
+    return head("shutdown_ok") + "}";
+}
+
+} // namespace serve
+} // namespace mbs

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The mobilebench serve wire protocol: length-prefixed JSON frames.
+ *
+ * Every frame on the socket is a 4-byte big-endian payload length
+ * followed by exactly that many bytes of one JSON object. The object
+ * always carries `"v"` (the protocol version) and `"type"`; everything
+ * else depends on the type:
+ *
+ *   client -> server
+ *     hello      {v, type, tenant}            open a session
+ *     ping       {v, type}                    liveness probe
+ *     submit     {v, type, job, options{},    enqueue one job; job is
+ *                 bundle{files[{path,         "pipeline", "ingest" or
+ *                 content}]}?}                "noop"; bundle only for
+ *                                            ingest uploads
+ *     shutdown   {v, type}                    request graceful stop
+ *
+ *   server -> client
+ *     welcome    {v, type, server, build,     hello reply
+ *                 max_frame_bytes}
+ *     pong       {v, type}
+ *     accepted   {v, type, job_id, queue_depth}
+ *     rejected   {v, type, reason}            admission refused
+ *     progress   {v, type, job_id, done, total, label}
+ *     result     {v, type, job_id, status,    status "ok"/"failed";
+ *                 report, run_id, ledger_seq, report is the full
+ *                 ledger_stable, wall_seconds, rendered text; the
+ *                 error}                      stable block is the
+ *                                            byte-identity golden
+ *     error      {v, type, message}           protocol-level fault
+ *     shutdown_ok {v, type}
+ *
+ * Frames are parsed with the strict RFC-8259 parser
+ * (common/json_parse.hh); a frame that fails to parse or validate is
+ * answered with an `error` frame and the connection is closed. The
+ * payload length is bounded (kMaxFrameBytes) so a garbage length
+ * prefix cannot ask the peer to allocate gigabytes.
+ */
+
+#ifndef MBS_SERVE_PROTOCOL_HH
+#define MBS_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json_parse.hh"
+
+namespace mbs {
+namespace serve {
+
+/** Protocol version spoken by this build. */
+constexpr int kProtocolVersion = 1;
+
+/** Hard upper bound on one frame's JSON payload. */
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/** Encode @p payloadJson as one wire frame (length prefix + bytes). */
+std::string encodeFrame(const std::string &payloadJson);
+
+/**
+ * Decode the 4-byte big-endian length prefix. fatal() when the
+ * announced length exceeds @p maxBytes (a corrupt or hostile peer).
+ */
+std::uint32_t decodeFrameLength(const unsigned char header[4],
+                                std::uint32_t maxBytes);
+
+/**
+ * One parsed frame: the validated envelope plus the raw document for
+ * type-specific field access.
+ */
+struct Frame
+{
+    std::string type;
+    JsonValue doc;
+
+    /**
+     * Parse and validate @p payload: strict JSON, an object, a
+     * numeric "v" equal to kProtocolVersion, a string "type".
+     * @throws FatalError naming the defect.
+     */
+    static Frame parse(const std::string &payload);
+
+    /** String member @p key; fatal() when absent or not a string. */
+    std::string str(const std::string &key) const;
+    /** String member @p key, or @p fallback when absent. */
+    std::string strOr(const std::string &key,
+                      const std::string &fallback) const;
+    /** Number member @p key; fatal() when absent or not a number. */
+    double num(const std::string &key) const;
+    /** Number member @p key, or @p fallback when absent. */
+    double numOr(const std::string &key, double fallback) const;
+    /** Bool member @p key, or @p fallback when absent. */
+    bool boolOr(const std::string &key, bool fallback) const;
+};
+
+/** One uploaded file of an ingest bundle. */
+struct BundleFile
+{
+    /** Bundle-relative path ("manifest.json", "traces/x.csv"). */
+    std::string path;
+    std::string content;
+};
+
+/**
+ * Validate @p path as a safe bundle-relative path: non-empty,
+ * relative, no "." or ".." segments, no backslashes or NULs. A
+ * daemon writes uploaded files under a spool directory, so the
+ * client must not be able to point one outside it.
+ */
+bool safeBundlePath(const std::string &path);
+
+// --- frame builders (client -> server) ---
+
+std::string helloFrame(const std::string &tenant);
+std::string pingFrame();
+std::string shutdownFrame();
+
+/** Options of one submitted job, mirroring the one-shot CLI flags. */
+struct JobOptions
+{
+    /** "pipeline", "ingest" or "noop". */
+    std::string job = "pipeline";
+    std::string faultSpec;
+    double faultRate = 0.0;
+    std::uint64_t faultSeed = 1;
+    /** ingest: run the full pipeline on the ingested profiles. */
+    bool ingestPipeline = false;
+    /** ingest: tolerate malformed rows / salvage benchmarks. */
+    bool lax = false;
+    /** ingest: resampling tick override; 0 = bundle period. */
+    double tick = 0.0;
+    /** noop: payload echoed back in the result report. */
+    std::string payload;
+};
+
+std::string submitFrame(const JobOptions &options,
+                        const std::vector<BundleFile> &bundle = {});
+
+/** Parse the options of a validated submit frame. */
+JobOptions jobOptionsFrom(const Frame &frame);
+
+/** Parse the bundle files of a validated submit frame (may be empty;
+ *  fatal() on unsafe paths or malformed entries). */
+std::vector<BundleFile> bundleFilesFrom(const Frame &frame);
+
+// --- frame builders (server -> client) ---
+
+std::string welcomeFrame(const std::string &server,
+                         const std::string &build);
+std::string pongFrame();
+std::string acceptedFrame(std::uint64_t jobId,
+                          std::size_t queueDepth);
+std::string rejectedFrame(const std::string &reason);
+std::string progressFrame(std::uint64_t jobId, std::size_t done,
+                          std::size_t total,
+                          const std::string &label);
+
+/** Terminal frame of one job. */
+struct ResultInfo
+{
+    std::uint64_t jobId = 0;
+    /** "ok" or "failed". */
+    std::string status = "ok";
+    /** The full rendered report text (empty when failed). */
+    std::string report;
+    /** Run id of the ledger record ("" when none was appended). */
+    std::string runId;
+    /** Ledger sequence number (0 when none was appended). */
+    std::uint64_t ledgerSeq = 0;
+    /** Deterministic stable-block JSON of the ledger record. */
+    std::string ledgerStable;
+    double wallSeconds = 0.0;
+    /** Failure message when status is "failed". */
+    std::string error;
+};
+
+std::string resultFrame(const ResultInfo &info);
+ResultInfo resultInfoFrom(const Frame &frame);
+
+std::string errorFrame(const std::string &message);
+std::string shutdownOkFrame();
+
+} // namespace serve
+} // namespace mbs
+
+#endif // MBS_SERVE_PROTOCOL_HH

@@ -1,0 +1,254 @@
+#include "serve/server.hh"
+
+#include <sys/socket.h>
+
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "report/capture.hh"
+
+namespace mbs {
+namespace serve {
+
+/**
+ * Everything one connection needs to outlive its own thread: queued
+ * jobs keep the state (and so the socket) alive through their reply
+ * closures after the session thread is gone.
+ */
+struct Server::SessionState
+{
+    Socket sock;
+    /** Serializes sends: the session thread answers pings while the
+     *  dispatcher streams progress for an earlier submit. */
+    std::mutex sendMutex;
+    /** Cleared on the first failed send; later sends are dropped. */
+    bool open = true;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+    std::string tenant = "default";
+
+    bool send(const std::string &frame)
+    {
+        std::lock_guard<std::mutex> lock(sendMutex);
+        if (!open)
+            return false;
+        if (!sendFrame(sock, frame)) {
+            open = false;
+            return false;
+        }
+        return true;
+    }
+};
+
+Server::Server(const ServerConfig &config)
+    : cfg(config), runner(config.runner), queue(config.queueCapacity)
+{
+}
+
+Server::~Server()
+{
+    requestStop();
+    if (dispatcher.joinable())
+        dispatcher.join();
+    reapSessions(true);
+}
+
+void
+Server::start()
+{
+    listener = listenOn(cfg.port);
+    listenPort = boundPort(listener);
+    dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
+void
+Server::requestStop()
+{
+    if (stopping.exchange(true))
+        return;
+    queue.close();
+    // Wake the accept loop. shutdown(2) on a *listening* socket
+    // fails with ENOTCONN on Linux and leaves accept() blocked, so
+    // the reliable nudge is a throwaway self-connection; the loop
+    // re-checks `stopping` on every wakeup. Sessions lose only
+    // their read side so result frames for in-flight jobs still go
+    // out during the drain.
+    if (listener.valid()) {
+        try {
+            Socket wake = connectTo(listenPort);
+        } catch (const std::exception &) {
+            // Listener already gone; nothing left to wake.
+        }
+    }
+    std::lock_guard<std::mutex> lock(sessionsMutex);
+    for (const auto &state : sessions) {
+        if (state->sock.valid())
+            ::shutdown(state->sock.fd(), SHUT_RD);
+    }
+}
+
+void
+Server::dispatchLoop()
+{
+    while (auto job = queue.take()) {
+        const ResultInfo info = runner.run(*job);
+        if (info.status == "ok")
+            counters.completed.fetch_add(1);
+        else
+            counters.failed.fetch_add(1);
+    }
+}
+
+int
+Server::run()
+{
+    fatalIf(!listener.valid(), "serve: run() before start()");
+    std::fprintf(stderr,
+                 "serve: listening on 127.0.0.1:%u (build %s)\n",
+                 unsigned(listenPort),
+                 report::buildStamp().c_str());
+    for (;;) {
+        Socket conn = acceptOn(listener);
+        if (stopping.load()) {
+            // The wake connection from requestStop(), or a late
+            // client that raced the shutdown; refuse and stop.
+            if (conn.valid())
+                sendFrame(conn, rejectedFrame("server shutting down"));
+            break;
+        }
+        if (!conn.valid())
+            break;
+        counters.connections.fetch_add(1);
+        auto state = std::make_shared<SessionState>();
+        state->sock = std::move(conn);
+        {
+            std::lock_guard<std::mutex> lock(sessionsMutex);
+            sessions.push_back(state);
+        }
+        state->thread =
+            std::thread([this, state] { session(state); });
+        reapSessions(false);
+    }
+    listener.close();
+    // The queue is closed by now: wait for the dispatcher to drain
+    // every accepted job, then for the session threads to go.
+    if (dispatcher.joinable())
+        dispatcher.join();
+    reapSessions(true);
+    std::fprintf(stderr,
+                 "serve: stopped — %llu connections, %llu accepted, "
+                 "%llu rejected, %llu completed, %llu failed\n",
+                 (unsigned long long)counters.connections.load(),
+                 (unsigned long long)counters.accepted.load(),
+                 (unsigned long long)counters.rejected.load(),
+                 (unsigned long long)counters.completed.load(),
+                 (unsigned long long)counters.failed.load());
+    return 0;
+}
+
+void
+Server::reapSessions(bool all)
+{
+    std::vector<std::shared_ptr<SessionState>> reap;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex);
+        auto it = sessions.begin();
+        while (it != sessions.end()) {
+            if (all || (*it)->finished.load()) {
+                reap.push_back(*it);
+                it = sessions.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (const auto &state : reap) {
+        // A final reap can race requestStop(): when this erase wins,
+        // the stop path's SHUT_RD loop sees an empty vector and a
+        // session whose client keeps the connection open would block
+        // in recv forever — and this join with it. Shut the read
+        // side down here before joining.
+        if (all && !state->finished.load() && state->sock.valid())
+            ::shutdown(state->sock.fd(), SHUT_RD);
+        if (state->thread.joinable())
+            state->thread.join();
+    }
+}
+
+void
+Server::session(std::shared_ptr<SessionState> state)
+{
+    SessionState &st = *state;
+    try {
+        bool greeted = false;
+        while (auto payload = recvFrame(st.sock)) {
+            const Frame frame = Frame::parse(*payload);
+            if (!greeted) {
+                fatalIf(frame.type != "hello",
+                        strformat("serve: expected hello, got '%s'",
+                                  frame.type.c_str()));
+                st.tenant = frame.strOr("tenant", "default");
+                greeted = true;
+                st.send(welcomeFrame("mobilebench-serve",
+                                     report::buildStamp()));
+                continue;
+            }
+            if (frame.type == "ping") {
+                st.send(pongFrame());
+            } else if (frame.type == "submit") {
+                Job job;
+                job.id = nextJobId.fetch_add(1);
+                job.tenant = st.tenant;
+                job.options = jobOptionsFrom(frame);
+                job.bundle = bundleFilesFrom(frame);
+                job.reply = [state](const std::string &f) {
+                    return state->send(f);
+                };
+                const std::uint64_t id = job.id;
+                switch (queue.offer(std::move(job))) {
+                case JobQueue::Offer::Accepted:
+                    counters.accepted.fetch_add(1);
+                    st.send(acceptedFrame(id, queue.depth()));
+                    break;
+                case JobQueue::Offer::Full:
+                    counters.rejected.fetch_add(1);
+                    st.send(rejectedFrame("queue full"));
+                    break;
+                case JobQueue::Offer::Closed:
+                    counters.rejected.fetch_add(1);
+                    st.send(rejectedFrame("server shutting down"));
+                    break;
+                }
+            } else if (frame.type == "shutdown") {
+                st.send(shutdownOkFrame());
+                requestStop();
+                // shutdown_ok is the last frame of a session that
+                // asked the daemon to stop; leave instead of racing
+                // the stop path for another recv.
+                break;
+            } else {
+                fatal(strformat("serve: unexpected frame type '%s'",
+                                frame.type.c_str()));
+            }
+        }
+    } catch (const std::exception &e) {
+        // Protocol violations poison only this connection; tell the
+        // peer why and hang up. The daemon lives on.
+        st.send(errorFrame(e.what()));
+        std::lock_guard<std::mutex> lock(st.sendMutex);
+        st.open = false;
+        if (st.sock.valid())
+            ::shutdown(st.sock.fd(), SHUT_RDWR);
+    }
+    // A clean EOF leaves `open` set: a client may legitimately stop
+    // reading its socket only after the final result frame, and the
+    // reply closures keep the state alive until the runner sent it.
+    // A client that truly vanished turns the next send into EPIPE,
+    // which clears `open` then.
+    st.finished.store(true);
+}
+
+} // namespace serve
+} // namespace mbs

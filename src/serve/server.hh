@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The serve daemon: accept loop, per-connection sessions, and the
+ * single dispatcher thread that feeds the JobRunner.
+ *
+ * Threading model:
+ *   - run() owns the accept loop (one thread, usually main).
+ *   - every accepted connection gets a detached-by-join session
+ *     thread that speaks the protocol and offers jobs to the queue;
+ *   - ONE dispatcher thread takes jobs and runs them serially —
+ *     jobs reset process-wide observability state (see
+ *     job_runner.hh), so two cannot overlap. Parallelism lives
+ *     inside a job, through the runner's shared executor.
+ *
+ * A session's socket is owned by a shared SessionState: queued jobs
+ * hold a reference through their reply closures, so a client that
+ * disconnects early never leaves the runner writing to a dead fd —
+ * the reply just starts returning false and the job still completes
+ * (and its ledger record still lands).
+ *
+ * requestStop() is safe to call from the signal watcher thread: it
+ * closes the listener (waking accept), closes the queue (dispatcher
+ * drains in-flight work, then exits) and shuts down open sessions.
+ */
+
+#ifndef MBS_SERVE_SERVER_HH
+#define MBS_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/job_queue.hh"
+#include "serve/job_runner.hh"
+#include "serve/net.hh"
+
+namespace mbs {
+namespace serve {
+
+struct ServerConfig
+{
+    /** Port to listen on; 0 picks an ephemeral one (see port()). */
+    std::uint16_t port = 0;
+    /** Bound on queued (not yet running) jobs across all tenants. */
+    std::size_t queueCapacity = 32;
+    RunnerConfig runner;
+};
+
+/** Daemon-lifetime counters (stderr summary on shutdown). These are
+ *  plain atomics, NOT MetricsRegistry instruments: the registry is
+ *  reset per job to keep ledger records byte-identical to one-shot
+ *  runs, and daemon bookkeeping must never leak into that block. */
+struct ServerStats
+{
+    std::atomic<std::uint64_t> connections{0};
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> failed{0};
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServerConfig &config);
+    ~Server();
+
+    /**
+     * Bind the listener and start the dispatcher. Returns once the
+     * daemon is accepting (so callers can read port() / announce
+     * readiness before blocking in run()).
+     */
+    void start();
+
+    /** The actual listening port (after start()). */
+    std::uint16_t port() const { return listenPort; }
+
+    /**
+     * Accept connections until requestStop(). Drains the queue,
+     * joins every thread, prints the stats summary to stderr.
+     * @return 0 on a clean stop.
+     */
+    int run();
+
+    /** Initiate a graceful stop; callable from any thread. */
+    void requestStop();
+
+    const ServerStats &stats() const { return counters; }
+
+  private:
+    struct SessionState;
+
+    void dispatchLoop();
+    void session(std::shared_ptr<SessionState> state);
+    void reapSessions(bool all);
+
+    ServerConfig cfg;
+    JobRunner runner;
+    JobQueue queue;
+    ServerStats counters;
+
+    Socket listener;
+    std::uint16_t listenPort = 0;
+    std::atomic<bool> stopping{false};
+    std::atomic<std::uint64_t> nextJobId{1};
+
+    std::thread dispatcher;
+    std::mutex sessionsMutex;
+    std::vector<std::shared_ptr<SessionState>> sessions;
+};
+
+} // namespace serve
+} // namespace mbs
+
+#endif // MBS_SERVE_SERVER_HH

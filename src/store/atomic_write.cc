@@ -1,8 +1,12 @@
 #include "atomic_write.hh"
 
+#include <cerrno>
+#include <cstring>
 #include <chrono>
 #include <fstream>
 #include <thread>
+
+#include <unistd.h>
 
 #include "fault/fault.hh"
 
@@ -25,7 +29,10 @@ atomicWriteFile(const std::filesystem::path &path,
                 const std::string &bytes,
                 const AtomicWriteOptions &options)
 {
-    const std::filesystem::path tmp = path.string() + ".tmp";
+    const std::filesystem::path tmp = options.exclusive
+        ? std::filesystem::path(path.string() + ".tmp." +
+                                std::to_string(::getpid()))
+        : std::filesystem::path(path.string() + ".tmp");
     AtomicWriteResult result;
     for (int attempt = 1; attempt <= options.attempts; ++attempt) {
         if (attempt > 1)
@@ -55,11 +62,33 @@ atomicWriteFile(const std::filesystem::path &path,
             failure = "injected rename error";
         }
         if (failure.empty()) {
-            std::error_code ec;
-            std::filesystem::rename(tmp, path, ec);
-            if (ec)
-                failure = "cannot publish '" + path.string() +
-                          "': " + ec.message();
+            if (options.exclusive) {
+                // link(2) is the atomic claim: exactly one of any
+                // number of concurrent writers gets the name, the
+                // rest see EEXIST. rename(2) cannot express this —
+                // it silently replaces an existing target.
+                if (::link(tmp.c_str(), path.c_str()) != 0) {
+                    if (errno == EEXIST) {
+                        result.existed = true;
+                        result.error = "'" + path.string() +
+                            "' already exists";
+                        std::error_code rm;
+                        std::filesystem::remove(tmp, rm);
+                        return result;
+                    }
+                    failure = "cannot publish '" + path.string() +
+                        "': " + std::strerror(errno);
+                } else {
+                    std::error_code rm;
+                    std::filesystem::remove(tmp, rm);
+                }
+            } else {
+                std::error_code ec;
+                std::filesystem::rename(tmp, path, ec);
+                if (ec)
+                    failure = "cannot publish '" + path.string() +
+                              "': " + ec.message();
+            }
         }
         if (failure.empty()) {
             result.ok = true;

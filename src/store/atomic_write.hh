@@ -28,6 +28,16 @@ struct AtomicWriteOptions
     std::string writeFaultSite;
     /** fault::check() site consulted before each rename; "" = none. */
     std::string renameFaultSite;
+    /**
+     * Publish with link(2) instead of rename(2): fails (with
+     * `existed` set, no retry) when the target already exists
+     * instead of silently replacing it. Claiming a slot that
+     * exactly one concurrent writer may own — a ledger sequence
+     * number — needs this; plain overwrite-is-fine artifacts do
+     * not. The temp file name embeds the pid so two processes
+     * racing for the same slot never share a staging file.
+     */
+    bool exclusive = false;
 };
 
 struct AtomicWriteResult
@@ -37,6 +47,8 @@ struct AtomicWriteResult
     int attemptsUsed = 0;
     /** Last failure message when !ok. */
     std::string error;
+    /** Exclusive publish lost the race: the target already exists. */
+    bool existed = false;
 };
 
 /**

@@ -29,11 +29,14 @@ struct StoreMetrics
     obs::Histogram &entryBytes;
 };
 
-StoreMetrics &
+// Looked up per call, not cached in a function-local static: the
+// serve daemon resets the registry between jobs, which would leave
+// cached references dangling.
+StoreMetrics
 storeMetrics()
 {
     auto &registry = obs::MetricsRegistry::instance();
-    static StoreMetrics m{
+    return StoreMetrics{
         registry.counter("store.hits", obs::Volatility::Stable,
                          "Profile-store cache lookups that hit"),
         registry.counter("store.misses", obs::Volatility::Stable,
@@ -53,7 +56,6 @@ storeMetrics()
                            "Serialized size of stored profile "
                            "entries in bytes"),
     };
-    return m;
 }
 
 const char entrySuffix[] = ".profile";
@@ -133,7 +135,7 @@ ProfileStore::load(const ProfileKey &key)
     const std::filesystem::path path = entryPath(key);
     const obs::ScopedSpan span("store.load", "store",
                                {{"entry", path.filename().string()}});
-    StoreMetrics &m = storeMetrics();
+    StoreMetrics m = storeMetrics();
     auto &injector = fault::Injector::instance();
 
     // A quarantined entry is bypassed outright: recomputation is

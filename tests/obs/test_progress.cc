@@ -6,8 +6,10 @@
  * default writing nothing.
  */
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -142,6 +144,82 @@ TEST_F(ProgressTest, DisabledWritesNothing)
     p.step("invisible");
     p.finish();
     EXPECT_EQ(captured(), "");
+}
+
+/** One observed (done, total, label) listener callback. */
+struct Update
+{
+    std::size_t done;
+    std::size_t total;
+    std::string label;
+
+    bool operator==(const Update &other) const
+    {
+        return done == other.done && total == other.total &&
+               label == other.label;
+    }
+};
+
+TEST_F(ProgressTest, ListenerReceivesUpdatesAndSilencesTheMeter)
+{
+    auto &p = Progress::instance();
+    std::vector<Update> updates;
+    p.setListener([&updates](std::size_t done, std::size_t total,
+                             const std::string &label) {
+        updates.push_back({done, total, label});
+    });
+    p.begin(2, "profiling");
+    p.step("one");
+    p.step("two");
+    p.finish();
+    p.setListener(nullptr);
+
+    const std::vector<Update> expected = {
+        {0, 2, "profiling"}, {1, 2, "one"}, {2, 2, "two"}};
+    EXPECT_EQ(updates, expected);
+    // A serve job's progress travels as frames; while a listener is
+    // installed nothing may leak into the daemon's terminal sink.
+    EXPECT_EQ(captured(), "");
+}
+
+TEST_F(ProgressTest, ListenerCountsEvenWhenDisabled)
+{
+    // The daemon never passes --progress, but a submitting client
+    // still wants progress frames: the listener bypasses the enabled
+    // flag.
+    auto &p = Progress::instance();
+    p.setEnabled(false);
+    std::vector<Update> updates;
+    p.setListener([&updates](std::size_t done, std::size_t total,
+                             const std::string &label) {
+        updates.push_back({done, total, label});
+    });
+    p.begin(1, "job");
+    p.step("only");
+    p.finish();
+    p.setListener(nullptr);
+    const std::vector<Update> expected = {{0, 1, "job"},
+                                          {1, 1, "only"}};
+    EXPECT_EQ(updates, expected);
+    EXPECT_EQ(captured(), "");
+}
+
+TEST_F(ProgressTest, ClearingTheListenerRestoresStderrRendering)
+{
+    auto &p = Progress::instance();
+    p.setListener([](std::size_t, std::size_t, const std::string &) {
+    });
+    p.begin(1, "silent");
+    p.step("frame");
+    p.finish();
+    p.setListener(nullptr);
+
+    p.begin(1, "loud");
+    p.step("line");
+    p.finish();
+    const std::string out = captured();
+    EXPECT_EQ(out.find("frame"), std::string::npos) << out;
+    EXPECT_NE(out.find("[  1/1] line\n"), std::string::npos) << out;
 }
 
 } // namespace

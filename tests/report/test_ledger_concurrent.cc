@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Multi-process ledger contention: several forked writers append to
+ * the same ledger directory at once. The exclusive slot-marker claim
+ * must hand every append a unique sequence number and publish every
+ * record intact — no append silently replaced, none torn.
+ */
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hh"
+#include "report/ledger.hh"
+
+namespace mbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+using report::LedgerMetric;
+using report::LedgerRecord;
+using report::RunLedger;
+
+constexpr int kWriters = 4;
+constexpr int kAppendsPerWriter = 8;
+
+/** Run id encoding writer w, append i as "cc0000WW0000IIII". */
+std::string
+encodedRunId(int writer, int append)
+{
+    return strformat("cc0000%02d0000%04d", writer, append);
+}
+
+LedgerRecord
+contendedRecord(int writer, int append)
+{
+    LedgerRecord r;
+    r.command = "pipeline";
+    r.runId = encodedRunId(writer, append);
+    r.socName = "Snapdragon 888";
+    r.socConfigDigest = "00000000deadbeef";
+    r.suiteDigest = "0000000012345678";
+    r.seed = 20240501;
+    r.runs = 3;
+    r.tickSeconds = 0.1;
+    r.logicalTicks = std::uint64_t(writer) * 1000 + append;
+    LedgerMetric counter;
+    counter.name = "sim.ticks";
+    counter.type = "counter";
+    counter.value = double(append);
+    r.metrics.push_back(counter);
+    r.jobs = 1;
+    r.buildStamp = "test-build";
+    r.wallSeconds = 0.1;
+    return r;
+}
+
+TEST(LedgerConcurrent, ForkedWritersGetUniqueSequences)
+{
+    const fs::path root =
+        fs::path(::testing::TempDir()) / "mbs-ledger-concurrent";
+    fs::remove_all(root);
+    // Create the directory tree up front so the children only race
+    // on appends, not on mkdir.
+    { RunLedger warmup(root); }
+
+    std::vector<pid_t> children;
+    for (int writer = 0; writer < kWriters; ++writer) {
+        const pid_t pid = fork();
+        ASSERT_GE(pid, 0) << "fork failed";
+        if (pid == 0) {
+            // Child: append its share, then leave without touching
+            // gtest state. Any exception is a non-zero exit the
+            // parent turns into a failure.
+            int rc = 0;
+            try {
+                RunLedger ledger(root);
+                for (int i = 0; i < kAppendsPerWriter; ++i) {
+                    LedgerRecord r = contendedRecord(writer, i);
+                    if (ledger.append(r) == 0)
+                        rc = 2;
+                }
+            } catch (...) {
+                rc = 1;
+            }
+            _exit(rc);
+        }
+        children.push_back(pid);
+    }
+
+    for (const pid_t pid : children) {
+        int status = 0;
+        ASSERT_EQ(waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 0)
+            << "writer " << pid << " failed";
+    }
+
+    // Every append landed: unique, gap-free sequence numbers (no
+    // writer crashed, so every claimed slot published its record)
+    // and all records load checksum-clean.
+    RunLedger ledger(root);
+    const auto entries = ledger.entries();
+    constexpr std::size_t kTotal =
+        std::size_t(kWriters) * kAppendsPerWriter;
+    ASSERT_EQ(entries.size(), kTotal);
+
+    std::set<std::uint64_t> seqs;
+    std::set<std::string> runIds;
+    std::array<int, kWriters> perWriter{};
+    for (const auto &entry : entries) {
+        seqs.insert(entry.seq);
+        const LedgerRecord r = ledger.load(entry);
+        runIds.insert(r.runId);
+        ASSERT_EQ(r.runId.size(), 16u);
+        const int writer = std::stoi(r.runId.substr(6, 2));
+        ASSERT_GE(writer, 0);
+        ASSERT_LT(writer, kWriters);
+        ++perWriter[std::size_t(writer)];
+    }
+    EXPECT_EQ(seqs.size(), kTotal);
+    EXPECT_EQ(*seqs.begin(), 1u);
+    EXPECT_EQ(*seqs.rbegin(), kTotal);
+    EXPECT_EQ(runIds.size(), kTotal);
+    for (int writer = 0; writer < kWriters; ++writer)
+        EXPECT_EQ(perWriter[std::size_t(writer)], kAppendsPerWriter)
+            << "writer " << writer << " lost appends";
+
+    fs::remove_all(root);
+}
+
+} // namespace
+} // namespace mbs

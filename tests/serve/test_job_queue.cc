@@ -1,0 +1,136 @@
+/**
+ * @file
+ * JobQueue tests: bounded admission, round-robin fairness across
+ * tenants, FIFO within a tenant, and close/drain semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job_queue.hh"
+
+namespace mbs {
+namespace serve {
+namespace {
+
+Job
+job(std::uint64_t id, const std::string &tenant)
+{
+    Job j;
+    j.id = id;
+    j.tenant = tenant;
+    j.options.job = "noop";
+    return j;
+}
+
+TEST(JobQueue, BoundedAdmission)
+{
+    JobQueue queue(2);
+    EXPECT_EQ(queue.offer(job(1, "a")), JobQueue::Offer::Accepted);
+    EXPECT_EQ(queue.offer(job(2, "a")), JobQueue::Offer::Accepted);
+    EXPECT_EQ(queue.offer(job(3, "a")), JobQueue::Offer::Full);
+    EXPECT_EQ(queue.depth(), 2u);
+
+    // Draining one slot re-opens admission.
+    ASSERT_TRUE(queue.take().has_value());
+    EXPECT_EQ(queue.offer(job(4, "a")), JobQueue::Offer::Accepted);
+    EXPECT_EQ(queue.depth(), 2u);
+}
+
+TEST(JobQueue, FifoWithinTenant)
+{
+    JobQueue queue(8);
+    for (std::uint64_t id = 1; id <= 5; ++id)
+        ASSERT_EQ(queue.offer(job(id, "solo")),
+                  JobQueue::Offer::Accepted);
+    for (std::uint64_t id = 1; id <= 5; ++id) {
+        auto next = queue.take();
+        ASSERT_TRUE(next.has_value());
+        EXPECT_EQ(next->id, id);
+    }
+    EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(JobQueue, RoundRobinAcrossTenants)
+{
+    // Tenant "a" floods the queue before "b" and "c" submit one job
+    // each; fairness still interleaves them instead of serving all
+    // of "a" first.
+    JobQueue queue(16);
+    for (std::uint64_t id = 1; id <= 6; ++id)
+        ASSERT_EQ(queue.offer(job(id, "a")),
+                  JobQueue::Offer::Accepted);
+    ASSERT_EQ(queue.offer(job(100, "b")), JobQueue::Offer::Accepted);
+    ASSERT_EQ(queue.offer(job(200, "c")), JobQueue::Offer::Accepted);
+
+    std::vector<std::string> order;
+    std::vector<std::uint64_t> ids;
+    while (queue.depth() > 0) {
+        auto next = queue.take();
+        ASSERT_TRUE(next.has_value());
+        order.push_back(next->tenant);
+        ids.push_back(next->id);
+    }
+    ASSERT_EQ(order.size(), 8u);
+    // First rotation serves each tenant once.
+    const std::vector<std::string> head(order.begin(),
+                                        order.begin() + 3);
+    EXPECT_EQ(head, (std::vector<std::string>{"a", "b", "c"}));
+    // The stragglers are a's remaining backlog, still FIFO.
+    const std::vector<std::uint64_t> tail(ids.begin() + 3, ids.end());
+    EXPECT_EQ(tail, (std::vector<std::uint64_t>{2, 3, 4, 5, 6}));
+}
+
+TEST(JobQueue, CloseDrainsThenEnds)
+{
+    JobQueue queue(4);
+    ASSERT_EQ(queue.offer(job(1, "a")), JobQueue::Offer::Accepted);
+    ASSERT_EQ(queue.offer(job(2, "b")), JobQueue::Offer::Accepted);
+    queue.close();
+    EXPECT_TRUE(queue.closed());
+    EXPECT_EQ(queue.offer(job(3, "a")), JobQueue::Offer::Closed);
+
+    // Accepted work still drains after close...
+    EXPECT_TRUE(queue.take().has_value());
+    EXPECT_TRUE(queue.take().has_value());
+    // ...then take() reports end-of-stream instead of blocking.
+    EXPECT_FALSE(queue.take().has_value());
+    EXPECT_FALSE(queue.take().has_value());
+}
+
+TEST(JobQueue, CloseWakesBlockedTaker)
+{
+    JobQueue queue(4);
+    std::optional<Job> got = job(99, "sentinel");
+    std::thread taker([&] { got = queue.take(); });
+    // The taker blocks on the empty queue; close() must wake it with
+    // end-of-stream rather than leaving it stuck.
+    queue.close();
+    taker.join();
+    EXPECT_FALSE(got.has_value());
+}
+
+TEST(JobQueue, ReplyClosureSurvivesQueue)
+{
+    JobQueue queue(2);
+    int sends = 0;
+    Job j = job(7, "a");
+    j.reply = [&sends](const std::string &) {
+        ++sends;
+        return true;
+    };
+    ASSERT_EQ(queue.offer(std::move(j)), JobQueue::Offer::Accepted);
+    auto out = queue.take();
+    ASSERT_TRUE(out.has_value());
+    ASSERT_TRUE(out->reply);
+    out->reply("frame");
+    out->reply("frame");
+    EXPECT_EQ(sends, 2);
+}
+
+} // namespace
+} // namespace serve
+} // namespace mbs

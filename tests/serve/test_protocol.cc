@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Serve wire-protocol tests: framing, envelope validation, the
+ * submit round trip (options + bundle), result round trip, and the
+ * bundle-path safety gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "serve/protocol.hh"
+
+namespace mbs {
+namespace serve {
+namespace {
+
+TEST(ServeProtocol, EncodeFramePrefixesBigEndianLength)
+{
+    const std::string wire = encodeFrame("{\"v\":1}");
+    ASSERT_EQ(wire.size(), 4u + 7u);
+    EXPECT_EQ(wire[0], '\0');
+    EXPECT_EQ(wire[1], '\0');
+    EXPECT_EQ(wire[2], '\0');
+    EXPECT_EQ(wire[3], char(7));
+    EXPECT_EQ(wire.substr(4), "{\"v\":1}");
+}
+
+TEST(ServeProtocol, DecodeFrameLengthRejectsOversize)
+{
+    const unsigned char big[4] = {0xff, 0xff, 0xff, 0xff};
+    EXPECT_THROW(decodeFrameLength(big, kMaxFrameBytes), FatalError);
+    const unsigned char ok[4] = {0, 0, 1, 0};
+    EXPECT_EQ(decodeFrameLength(ok, kMaxFrameBytes), 256u);
+}
+
+TEST(ServeProtocol, ParseValidatesEnvelope)
+{
+    const Frame frame = Frame::parse(pingFrame());
+    EXPECT_EQ(frame.type, "ping");
+
+    EXPECT_THROW(Frame::parse("not json"), FatalError);
+    EXPECT_THROW(Frame::parse("[1,2]"), FatalError);
+    EXPECT_THROW(Frame::parse("{\"type\":\"ping\"}"), FatalError);
+    EXPECT_THROW(Frame::parse("{\"v\":99,\"type\":\"ping\"}"),
+                 FatalError);
+    EXPECT_THROW(Frame::parse("{\"v\":1,\"type\":\"\"}"), FatalError);
+    EXPECT_THROW(Frame::parse("{\"v\":1}"), FatalError);
+}
+
+TEST(ServeProtocol, HelloCarriesTenant)
+{
+    const Frame frame = Frame::parse(helloFrame("team-a"));
+    EXPECT_EQ(frame.type, "hello");
+    EXPECT_EQ(frame.strOr("tenant", "default"), "team-a");
+}
+
+TEST(ServeProtocol, SubmitRoundTripsOptions)
+{
+    JobOptions options;
+    options.job = "ingest";
+    options.faultSpec = "store.read:eio@1";
+    options.faultRate = 0.25;
+    options.faultSeed = 77;
+    options.ingestPipeline = true;
+    options.lax = true;
+    options.tick = 0.5;
+    options.payload = "with \"quotes\" and \n newline";
+
+    const Frame frame = Frame::parse(submitFrame(options));
+    const JobOptions parsed = jobOptionsFrom(frame);
+    EXPECT_EQ(parsed.job, "ingest");
+    EXPECT_EQ(parsed.faultSpec, options.faultSpec);
+    EXPECT_DOUBLE_EQ(parsed.faultRate, options.faultRate);
+    EXPECT_EQ(parsed.faultSeed, options.faultSeed);
+    EXPECT_TRUE(parsed.ingestPipeline);
+    EXPECT_TRUE(parsed.lax);
+    EXPECT_DOUBLE_EQ(parsed.tick, options.tick);
+    EXPECT_EQ(parsed.payload, options.payload);
+    EXPECT_TRUE(bundleFilesFrom(frame).empty());
+}
+
+TEST(ServeProtocol, SubmitDefaultsWithoutOptionsObject)
+{
+    const Frame frame =
+        Frame::parse("{\"v\":1,\"type\":\"submit\","
+                     "\"job\":\"pipeline\"}");
+    const JobOptions parsed = jobOptionsFrom(frame);
+    EXPECT_EQ(parsed.job, "pipeline");
+    EXPECT_EQ(parsed.faultSpec, "");
+    EXPECT_EQ(parsed.faultSeed, 1u);
+    EXPECT_FALSE(parsed.ingestPipeline);
+}
+
+TEST(ServeProtocol, SubmitRejectsUnknownJobKind)
+{
+    const Frame frame = Frame::parse(
+        "{\"v\":1,\"type\":\"submit\",\"job\":\"rm-rf\"}");
+    EXPECT_THROW(jobOptionsFrom(frame), FatalError);
+}
+
+TEST(ServeProtocol, BundleRoundTripsFiles)
+{
+    const std::vector<BundleFile> bundle = {
+        {"manifest.json", "{\"x\": 1}"},
+        {"traces/a.csv", "time_s,ipc\n0,1\n"},
+    };
+    const Frame frame =
+        Frame::parse(submitFrame(JobOptions{}, bundle));
+    const auto files = bundleFilesFrom(frame);
+    ASSERT_EQ(files.size(), 2u);
+    EXPECT_EQ(files[0].path, "manifest.json");
+    EXPECT_EQ(files[0].content, "{\"x\": 1}");
+    EXPECT_EQ(files[1].path, "traces/a.csv");
+    EXPECT_EQ(files[1].content, "time_s,ipc\n0,1\n");
+}
+
+TEST(ServeProtocol, BundleRejectsHostilePaths)
+{
+    for (const char *hostile :
+         {"../escape", "/etc/passwd", "a/../../b", "a//b", ".",
+          "traces/..", "a\\b", ""}) {
+        const std::vector<BundleFile> bundle = {{hostile, "x"}};
+        const Frame frame =
+            Frame::parse(submitFrame(JobOptions{}, bundle));
+        EXPECT_THROW(bundleFilesFrom(frame), FatalError)
+            << "path not rejected: " << hostile;
+    }
+}
+
+TEST(ServeProtocol, SafeBundlePath)
+{
+    EXPECT_TRUE(safeBundlePath("manifest.json"));
+    EXPECT_TRUE(safeBundlePath("traces/benchmark.csv"));
+    EXPECT_TRUE(safeBundlePath("a.b/c-d_e/f"));
+    EXPECT_FALSE(safeBundlePath(""));
+    EXPECT_FALSE(safeBundlePath("/abs"));
+    EXPECT_FALSE(safeBundlePath("../up"));
+    EXPECT_FALSE(safeBundlePath("dir/./file"));
+    EXPECT_FALSE(safeBundlePath("dir//file"));
+    EXPECT_FALSE(safeBundlePath("trailing/"));
+    EXPECT_FALSE(safeBundlePath("back\\slash"));
+    EXPECT_FALSE(safeBundlePath(std::string(5000, 'a')));
+}
+
+TEST(ServeProtocol, ResultRoundTrips)
+{
+    ResultInfo info;
+    info.jobId = 42;
+    info.status = "failed";
+    info.report = "line1\nline2\n";
+    info.runId = "00c0ffee00c0ffee";
+    info.ledgerSeq = 7;
+    info.ledgerStable = "{\"command\": \"pipeline\"}";
+    info.wallSeconds = 1.25;
+    info.error = "store exploded";
+
+    const ResultInfo back =
+        resultInfoFrom(Frame::parse(resultFrame(info)));
+    EXPECT_EQ(back.jobId, 42u);
+    EXPECT_EQ(back.status, "failed");
+    EXPECT_EQ(back.report, info.report);
+    EXPECT_EQ(back.runId, info.runId);
+    EXPECT_EQ(back.ledgerSeq, 7u);
+    EXPECT_EQ(back.ledgerStable, info.ledgerStable);
+    EXPECT_DOUBLE_EQ(back.wallSeconds, 1.25);
+    EXPECT_EQ(back.error, "store exploded");
+}
+
+TEST(ServeProtocol, ProgressFrameFields)
+{
+    const Frame frame =
+        Frame::parse(progressFrame(3, 5, 24, "profile: Aitutu"));
+    EXPECT_EQ(frame.type, "progress");
+    EXPECT_EQ(frame.num("job_id"), 3.0);
+    EXPECT_EQ(frame.num("done"), 5.0);
+    EXPECT_EQ(frame.num("total"), 24.0);
+    EXPECT_EQ(frame.str("label"), "profile: Aitutu");
+}
+
+} // namespace
+} // namespace serve
+} // namespace mbs

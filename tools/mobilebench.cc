@@ -66,9 +66,13 @@
 #include "obs/metrics.hh"
 #include "obs/progress.hh"
 #include "obs/selfprof.hh"
+#include "obs/signals.hh"
 #include "obs/telemetry.hh"
 #include "obs/timeseries.hh"
 #include "obs/trace.hh"
+#include "serve/client.hh"
+#include "serve/loadgen.hh"
+#include "serve/server.hh"
 #include "ingest/bundle_reader.hh"
 #include "ingest/bundle_writer.hh"
 #include "report/capture.hh"
@@ -114,6 +118,19 @@ constexpr const char *commandList =
     "                              rotating fault seeds and check "
     "the\n"
     "                              report stays byte-identical\n"
+    "  serve --listen <port>       multi-tenant characterization "
+    "daemon\n"
+    "                              (length-prefixed JSON frames "
+    "over TCP)\n"
+    "  submit [bundle]             run one job on a daemon "
+    "(--port);\n"
+    "                              no bundle = pipeline, bundle "
+    "dir =\n"
+    "                              ingest upload\n"
+    "  loadgen                     drive a daemon with N clients x "
+    "M jobs\n"
+    "                              and report latency p50/p95/p99\n"
+    "  version                     build stamp (also --version)\n"
     "  help                        this message (also --help, -h)\n";
 
 void
@@ -178,6 +195,30 @@ printUsage(std::FILE *out)
                  "  --tick <seconds>     resampling interval (default: "
                  "the bundle's\n"
                  "                       own sample period)\n"
+                 "flags (serve / submit / loadgen):\n"
+                 "  --listen <port>      serve: listen on "
+                 "127.0.0.1:<port> (0 =\n"
+                 "                       ephemeral; the chosen port "
+                 "is announced)\n"
+                 "  --queue-capacity <n> serve: max queued jobs "
+                 "across tenants\n"
+                 "                       (default 32)\n"
+                 "  --serve-dir <dir>    serve: per-job artifact "
+                 "root (default\n"
+                 "                       .mobilebench/serve)\n"
+                 "  --port <port>        submit/loadgen: daemon "
+                 "port\n"
+                 "  --tenant <name>      submit: tenant for fair "
+                 "admission\n"
+                 "  --clients <n>        loadgen: concurrent "
+                 "connections\n"
+                 "                       (default 4; --jobs is "
+                 "jobs per client,\n"
+                 "                       default 8)\n"
+                 "  --job-type <t>       loadgen job: noop "
+                 "(default), pipeline\n"
+                 "  --latency-out <file> loadgen: write the "
+                 "latency summary JSON\n"
                  "fault injection (any command; chaos):\n"
                  "  --fault-spec <s>     explicit plan, e.g. "
                  "store.read:eio@3,\n"
@@ -264,13 +305,10 @@ recordRunMetadata(const SocConfig &config, const ProfileOptions &opts)
         strformat("%016llx", (unsigned long long)config.digest());
     // The run id is a digest of the run configuration, so repeated
     // runs of the same configuration correlate across artifacts.
-    Fnv1a runId;
-    runId.mix(config.digest());
-    runId.mix(opts.seed);
-    runId.mix(opts.runs);
-    runId.mix(opts.tickSeconds);
-    const std::string run_id =
-        strformat("%016llx", (unsigned long long)runId.value());
+    // report::runIdFor is shared with the serve daemon: identical
+    // ids are what make their ledger records byte-comparable.
+    const std::string run_id = report::runIdFor(
+        config.digest(), opts.seed, opts.runs, opts.tickSeconds);
 
     auto &tracer = obs::Tracer::instance();
     tracer.metadata("seed", seed);
@@ -399,6 +437,29 @@ struct GlobalFlags
     double threshold = 0.25;
     /** compare: print the machine-readable JSON verdict. */
     bool json = false;
+    /** `--version` / `version`: print the build stamp and exit. */
+    bool version = false;
+    /** serve: listen port (0 = kernel-chosen ephemeral). */
+    std::uint16_t listenPort = 0;
+    /** serve: set once --listen was given (port 0 is valid). */
+    bool listenSet = false;
+    /** serve: bound on queued jobs across all tenants. */
+    std::size_t queueCapacity = 32;
+    /** serve: root for per-job artifact directories. */
+    std::string serveDir = ".mobilebench/serve";
+    /** submit/loadgen: daemon port to connect to. */
+    std::uint16_t port = 0;
+    /** submit: tenant name for fair admission. */
+    std::string tenant = "default";
+    /** loadgen: concurrent client connections. */
+    int clients = 4;
+    /** Set when --jobs was given explicitly (loadgen reuses the
+     *  flag as jobs-per-client with a different default). */
+    bool jobsSet = false;
+    /** loadgen: job type every client submits. */
+    std::string jobType = "noop";
+    /** loadgen: latency summary JSON output path; empty = none. */
+    std::string latencyOut;
 
     /** Apply the execution flags to a session's options. */
     ProfileOptions sessionOptions(ProfileCache *cache) const
@@ -538,27 +599,6 @@ cmdCounters(const std::string &name,
         csv.writeRow(row);
     }
     return 0;
-}
-
-/**
- * The report sections that depend only on the profiles (everything
- * except Table I, which describes the registry). Printed identically
- * by `pipeline` and `ingest --pipeline`, which is what the round-trip
- * golden check diffs.
- */
-std::string
-renderReportSections(const CharacterizationReport &report)
-{
-    std::string out;
-    out += renderFig1(report) + "\n";
-    out += renderTableIV() + "\n";
-    out += renderTableIII(report) + "\n";
-    out += renderTableV(report) + "\n";
-    out += renderFig4(report) + "\n";
-    out += renderFig5And6(report) + "\n";
-    out += renderTableVI(report) + "\n";
-    out += renderFig7(report) + "\n";
-    return out;
 }
 
 void
@@ -769,12 +809,9 @@ cmdIngest(const std::string &bundle, const GlobalFlags &flags)
     // Identity for the ledger: ingest runs have no registry suite or
     // profiler seed, so the run id derives from what actually shaped
     // the result — the capture platform and the bundle bytes.
-    Fnv1a ingestRunId;
-    ingestRunId.mix(result.manifest.socConfigDigest);
-    ingestRunId.mix(result.bundleDigest);
-    ingestRunId.mix(result.tickSeconds);
-    captureContext.runId = strformat(
-        "%016llx", (unsigned long long)ingestRunId.value());
+    captureContext.runId = report::ingestRunIdFor(
+        result.manifest.socConfigDigest, result.bundleDigest,
+        result.tickSeconds);
     captureContext.socName = result.manifest.socName;
     captureContext.socConfigDigest = result.manifest.socConfigDigest;
     captureContext.suiteDigest = result.bundleDigest;
@@ -843,6 +880,131 @@ cmdIngest(const std::string &bundle, const GlobalFlags &flags)
     }
     std::printf("%s", t.render().c_str());
     return 0;
+}
+
+int
+cmdServe(const GlobalFlags &flags)
+{
+    fatalIf(!flags.listenSet,
+            "serve: --listen <port> is required (0 = ephemeral)");
+    serve::ServerConfig config;
+    config.port = flags.listenPort;
+    config.queueCapacity = flags.queueCapacity;
+    config.runner.workDir = flags.serveDir;
+    if (!flags.noLedger)
+        config.runner.ledgerDir = flags.ledgerDir;
+    config.runner.cacheDir = flags.cacheDir;
+    config.runner.jobs = flags.jobs;
+    serve::Server server(config);
+    server.start();
+    // The ready line is the startup contract: scripts and CI wait
+    // for it on stdout and read the (possibly ephemeral) port back.
+    std::printf("serve: ready on 127.0.0.1:%u\n",
+                unsigned(server.port()));
+    std::fflush(stdout);
+    // First SIGINT/SIGTERM drains: stop admission, finish queued
+    // jobs (each still appending its ledger record and flushing its
+    // telemetry bundle), then return through the normal run() exit.
+    obs::installSignalDrain([&server](int) { server.requestStop(); },
+                            /*callbackExits=*/false);
+    const int rc = server.run();
+    obs::resetSignalDrain();
+    return rc;
+}
+
+int
+cmdSubmit(const std::vector<std::string> &args,
+          const GlobalFlags &flags)
+{
+    fatalIf(flags.port == 0, "submit: --port is required");
+    serve::JobOptions job;
+    std::vector<serve::BundleFile> bundle;
+    if (args.size() >= 2) {
+        job.job = "ingest";
+        job.ingestPipeline = flags.ingestPipeline;
+        job.lax = flags.lax;
+        job.tick = flags.tick;
+        bundle = serve::readBundleDir(args[1]);
+    }
+    job.faultSpec = flags.faultSpec;
+    job.faultRate = flags.faultRate;
+    job.faultSeed = flags.faultSeed;
+
+    serve::Client client(flags.port, flags.tenant);
+    std::function<void(std::size_t, std::size_t,
+                       const std::string &)>
+        onProgress;
+    if (flags.progress) {
+        onProgress = [](std::size_t done, std::size_t total,
+                        const std::string &label) {
+            std::fprintf(stderr, "[%3zu/%zu] %s\n", done, total,
+                         label.c_str());
+        };
+    }
+    const serve::ResultInfo result =
+        client.submit(job, bundle, onProgress);
+    if (result.status != "ok") {
+        std::fprintf(stderr, "submit: job %llu failed: %s\n",
+                     (unsigned long long)result.jobId,
+                     result.error.c_str());
+        return 1;
+    }
+    // stdout carries the report alone so it stays byte-comparable
+    // with the one-shot command's output; bookkeeping goes to
+    // stderr exactly like the one-shot ledger notice.
+    std::printf("%s", result.report.c_str());
+    std::fprintf(stderr, "submit: job %llu done in %.2f s",
+                 (unsigned long long)result.jobId,
+                 result.wallSeconds);
+    if (result.ledgerSeq > 0) {
+        std::fprintf(stderr, " (run %s, ledger seq %llu)",
+                     result.runId.substr(0, 8).c_str(),
+                     (unsigned long long)result.ledgerSeq);
+    }
+    std::fprintf(stderr, "\n");
+    return 0;
+}
+
+int
+cmdLoadgen(const GlobalFlags &flags)
+{
+    fatalIf(flags.port == 0, "loadgen: --port is required");
+    serve::LoadgenOptions options;
+    options.port = flags.port;
+    options.clients = flags.clients;
+    // --jobs doubles as jobs-per-client here (the load driver has
+    // no simulation workers of its own); default 8 when not given.
+    options.jobsPerClient = flags.jobsSet ? flags.jobs : 8;
+    fatalIf(options.jobsPerClient < 1,
+            "loadgen: --jobs must be >= 1");
+    options.job.job = flags.jobType;
+    const serve::LoadgenSummary summary = serve::runLoadgen(options);
+    std::printf("%s", summary.toText().c_str());
+    if (!flags.latencyOut.empty()) {
+        std::ofstream out(flags.latencyOut,
+                          std::ios::binary | std::ios::trunc);
+        out << summary.toJson();
+        out.flush();
+        fatalIf(!out.good(), "loadgen: cannot write --latency-out '" +
+                                 flags.latencyOut + "'");
+    }
+    // Ledger identity: a load run has no SoC or suite, so the run id
+    // digests the load plan itself; repeated identical plans then
+    // correlate in `mobilebench report` like any other run.
+    Fnv1a h;
+    h.mix(std::string("loadgen"));
+    h.mix(options.job.job);
+    h.mix(std::uint64_t(options.clients));
+    h.mix(std::uint64_t(options.jobsPerClient));
+    captureContext.runId =
+        strformat("%016llx", (unsigned long long)h.value());
+    captureContext.socName = "serve";
+    captureContext.socConfigDigest = 0;
+    captureContext.suiteDigest = 0;
+    captureContext.seed = 0;
+    captureContext.runs = options.jobsPerClient;
+    captureContext.tickSeconds = 0.0;
+    return summary.failed > 0 ? 1 : 0;
 }
 
 int
@@ -1186,6 +1348,7 @@ parseFlags(int argc, char **argv, GlobalFlags &flags)
             }
             fatalIf(flags.jobs < 0,
                     "--jobs must be >= 0 (0 = all cores)");
+            flags.jobsSet = true;
         } else if (arg == "--cache-dir")
             flags.cacheDir = valueOf("--cache-dir");
         else if (arg == "--help")
@@ -1272,6 +1435,64 @@ parseFlags(int argc, char **argv, GlobalFlags &flags)
                     "--threshold must be >= 0");
         } else if (arg == "--json")
             flags.json = true;
+        else if (arg == "--version")
+            flags.version = true;
+        else if (arg == "--listen") {
+            const std::string v = valueOf("--listen");
+            try {
+                const unsigned long p = std::stoul(v);
+                fatalIf(p > 65535, "--listen port must be <= 65535");
+                flags.listenPort = std::uint16_t(p);
+            } catch (const FatalError &) {
+                throw;
+            } catch (const std::exception &) {
+                fatal("--listen requires a port number, got '" + v +
+                      "'");
+            }
+            flags.listenSet = true;
+        } else if (arg == "--port") {
+            const std::string v = valueOf("--port");
+            try {
+                const unsigned long p = std::stoul(v);
+                fatalIf(p == 0 || p > 65535,
+                        "--port must be in 1..65535");
+                flags.port = std::uint16_t(p);
+            } catch (const FatalError &) {
+                throw;
+            } catch (const std::exception &) {
+                fatal("--port requires a port number, got '" + v +
+                      "'");
+            }
+        } else if (arg == "--queue-capacity") {
+            const std::string v = valueOf("--queue-capacity");
+            try {
+                flags.queueCapacity = std::stoul(v);
+            } catch (const std::exception &) {
+                fatal("--queue-capacity requires an integer, got '" +
+                      v + "'");
+            }
+            fatalIf(flags.queueCapacity < 1,
+                    "--queue-capacity must be >= 1");
+        } else if (arg == "--serve-dir")
+            flags.serveDir = valueOf("--serve-dir");
+        else if (arg == "--tenant")
+            flags.tenant = valueOf("--tenant");
+        else if (arg == "--clients") {
+            const std::string v = valueOf("--clients");
+            try {
+                flags.clients = std::stoi(v);
+            } catch (const std::exception &) {
+                fatal("--clients requires an integer, got '" + v +
+                      "'");
+            }
+            fatalIf(flags.clients < 1, "--clients must be >= 1");
+        } else if (arg == "--job-type") {
+            flags.jobType = valueOf("--job-type");
+            fatalIf(flags.jobType != "noop" &&
+                        flags.jobType != "pipeline",
+                    "--job-type must be noop or pipeline");
+        } else if (arg == "--latency-out")
+            flags.latencyOut = valueOf("--latency-out");
         else
             fatal("unknown flag '" + arg +
                   "'; see: mobilebench --help for usage");
@@ -1316,13 +1537,20 @@ dispatch(const std::vector<std::string> &args,
         return cmdReport(flags);
     if (cmd == "compare" && args.size() >= 3)
         return cmdCompare(args[1], args[2], flags);
+    if (cmd == "serve")
+        return cmdServe(flags);
+    if (cmd == "submit")
+        return cmdSubmit(args, flags);
+    if (cmd == "loadgen")
+        return cmdLoadgen(flags);
     // A known command with missing arguments is a usage error; an
     // unrecognized word gets the command list.
     static const char *known[] = {"list", "profile", "counters",
                                   "pipeline", "chaos", "roi",
                                   "energy", "catalog", "load",
                                   "cache", "telemetry", "ingest",
-                                  "report", "compare"};
+                                  "report", "compare", "serve",
+                                  "submit", "loadgen"};
     for (const char *k : known) {
         if (cmd == k)
             return usage();
@@ -1340,6 +1568,12 @@ main(int argc, char **argv)
     try {
         GlobalFlags flags;
         const auto args = parseFlags(argc, argv, flags);
+        if (flags.version ||
+            (!args.empty() && args[0] == "version")) {
+            std::printf("mobilebench %s\n",
+                        report::buildStamp().c_str());
+            return 0;
+        }
         if (flags.help ||
             (!args.empty() &&
              (args[0] == "help" || args[0] == "-h"))) {
@@ -1371,9 +1605,27 @@ main(int argc, char **argv)
         // bundle is exported (samples stay in memory and are never
         // written), so a telemetry run and a bare run compare equal.
         const bool ledgerCommand = args[0] == "pipeline" ||
-            args[0] == "ingest" || args[0] == "chaos";
+            args[0] == "ingest" || args[0] == "chaos" ||
+            args[0] == "loadgen";
         if (ledgerCommand && !flags.noLedger)
             obs::TimeSeriesSampler::instance().setEnabled(true);
+
+        // One-shot graceful shutdown: first ^C flushes whatever
+        // telemetry exists (marked partial) and exits 128+sig; the
+        // serve command replaces this with its own draining stop.
+        if (args[0] != "serve") {
+            obs::installSignalDrain([](int sig) {
+                try {
+                    if (obs::SelfProfiler::instance().armed())
+                        obs::SelfProfiler::instance().disarm();
+                    obs::TelemetrySink::instance().flush(strformat(
+                        "interrupted by signal %d", sig));
+                } catch (...) {
+                    // Exit still proceeds; a failed flush must not
+                    // hang the drain.
+                }
+            });
+        }
 
         // Arm an explicit fault plan for ordinary commands; `chaos`
         // manages its own per-iteration plans and seeds.

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the serve daemon over a real socket:
+#
+#   1. daemon up on an ephemeral port (parsed from the ready line)
+#   2. pipeline job over the socket
+#   3. the same job under an injected fault plan — recovered, daemon
+#      still serving
+#   4. the same pipeline through the one-shot CLI into the same
+#      ledger; reports and ledger stable blocks must be
+#      byte-identical (compare at threshold 0)
+#   5. the serve job's trace bundle re-ingested over the socket vs
+#      one-shot `ingest --pipeline`
+#   6. loadgen with a latency artifact
+#   7. SIGTERM drains gracefully with a clean exit code
+#
+# Usage: serve_smoke.sh /path/to/mobilebench
+set -euo pipefail
+
+MB=${1:?usage: serve_smoke.sh /path/to/mobilebench}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/mbs-serve-smoke.XXXXXX")
+SERVER_PID=
+cleanup() {
+    if [ -n "$SERVER_PID" ]; then
+        kill -9 "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+LEDGER=$WORK/ledger
+
+"$MB" serve --listen 0 --serve-dir "$WORK/serve" --ledger "$LEDGER" \
+    >"$WORK/serve.out" 2>"$WORK/serve.err" &
+SERVER_PID=$!
+
+PORT=
+for _ in $(seq 1 100); do
+    PORT=$(sed -n \
+        's/^serve: ready on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+        "$WORK/serve.out")
+    [ -n "$PORT" ] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "FAIL: daemon died before becoming ready" >&2
+        cat "$WORK/serve.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$PORT" ]; then
+    echo "FAIL: daemon never printed the ready line" >&2
+    exit 1
+fi
+echo "# daemon ready on port $PORT"
+
+# --- pipeline job over the socket (ledger seq 1) -------------------
+"$MB" submit --port "$PORT" >"$WORK/serve_pipeline.out"
+
+# --- faulted job: deterministic recovery, daemon survives (seq 2) --
+"$MB" submit --port "$PORT" --fault-spec "exec.task:eio@2" \
+    --fault-seed 7 >"$WORK/serve_faulted.out"
+grep -q '"fault.injected"' "$WORK/serve/job-000002/events.jsonl" || {
+    echo "FAIL: faulted job logged no injection events" >&2
+    exit 1
+}
+
+# --- the same run through the one-shot CLI (seq 3) -----------------
+"$MB" pipeline --ledger "$LEDGER" >"$WORK/oneshot_pipeline.raw"
+# The one-shot output is the serve report plus wall-clock timing
+# sections; the comparable prefix ends just above "Stage timing".
+sed -n '1,/^Stage timing$/p' "$WORK/oneshot_pipeline.raw" \
+    | head -n -2 >"$WORK/oneshot_pipeline.out"
+diff -u "$WORK/oneshot_pipeline.out" "$WORK/serve_pipeline.out" || {
+    echo "FAIL: serve pipeline report differs from one-shot" >&2
+    exit 1
+}
+
+# --- ledger stable blocks: serve job vs one-shot, threshold 0 ------
+"$MB" compare 1 3 --ledger "$LEDGER" --threshold 0
+
+# --- ingest the serve job's trace bundle over the socket -----------
+BUNDLE=$WORK/serve/job-000001/trace-bundle
+if [ ! -d "$BUNDLE" ]; then
+    echo "FAIL: serve job 1 left no trace bundle" >&2
+    exit 1
+fi
+"$MB" submit --port "$PORT" "$BUNDLE" --pipeline \
+    >"$WORK/serve_ingest.out" # seq 4
+"$MB" ingest "$BUNDLE" --pipeline --ledger "$LEDGER" \
+    >"$WORK/oneshot_ingest.out" # seq 5
+diff -u "$WORK/oneshot_ingest.out" "$WORK/serve_ingest.out" || {
+    echo "FAIL: serve ingest report differs from one-shot" >&2
+    exit 1
+}
+"$MB" compare 4 5 --ledger "$LEDGER" --threshold 0
+
+# --- loadgen with a latency artifact (seq 6) -----------------------
+"$MB" loadgen --port "$PORT" --clients 2 --jobs 4 \
+    --latency-out "$WORK/latency.json" --ledger "$LEDGER"
+grep -q '"latency_p99_s"' "$WORK/latency.json" || {
+    echo "FAIL: latency artifact missing percentiles" >&2
+    exit 1
+}
+
+# --- graceful shutdown ---------------------------------------------
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: daemon still running 10s after SIGTERM" >&2
+    exit 1
+fi
+RC=0
+wait "$SERVER_PID" || RC=$?
+SERVER_PID=
+if [ "$RC" -ne 0 ]; then
+    echo "FAIL: daemon exited with code $RC" >&2
+    cat "$WORK/serve.err" >&2
+    exit 1
+fi
+grep -q '^serve: stopped' "$WORK/serve.err" || {
+    echo "FAIL: no shutdown summary in the daemon log" >&2
+    exit 1
+}
+
+echo "serve smoke OK"
