@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "obs/flightrec.hh"
 #include "obs/json.hh"
 #include "obs/thread_id.hh"
 
@@ -53,6 +54,10 @@ EventLog::setEnabled(bool enable)
 void
 EventLog::emit(const std::string &type, EventFields fields)
 {
+    // The flight recorder sees every emit, even while the log itself
+    // is disabled — its whole point is history the normal exporters
+    // were not collecting.
+    FlightRecorder::instance().note('e', type);
     if (!enabled())
         return;
     Event e;

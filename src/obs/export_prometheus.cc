@@ -1,6 +1,9 @@
 #include "export_prometheus.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "common/strings.hh"
 #include "obs/json.hh"
@@ -67,6 +70,44 @@ helpLine(const std::string &name, const MetricSample &s)
     return "# HELP " + name + " " + escapeHelp(s.help) + "\n";
 }
 
+/**
+ * Split an instrument name into its metric family and an optional
+ * `{key="value",...}` label block (see obs::labeledMetric). Only the
+ * family part is sanitized; the label block passes through verbatim.
+ */
+struct SplitName
+{
+    std::string family;
+    /** Includes the braces; empty when the name carries no labels. */
+    std::string labels;
+};
+
+SplitName
+splitName(const std::string &name)
+{
+    SplitName split;
+    const auto brace = name.find('{');
+    if (brace == std::string::npos || name.back() != '}') {
+        split.family = sanitizePrometheusName(name);
+    } else {
+        split.family = sanitizePrometheusName(name.substr(0, brace));
+        split.labels = name.substr(brace);
+    }
+    return split;
+}
+
+/** `family_bucket{...,le="bound"}` merging @p labels with le. */
+std::string
+bucketSeries(const SplitName &split, const std::string &le)
+{
+    if (split.labels.empty())
+        return split.family + "_bucket{le=\"" + le + "\"}";
+    // Drop the closing brace and splice the le label in.
+    return split.family + "_bucket" +
+        split.labels.substr(0, split.labels.size() - 1) + ",le=\"" +
+        le + "\"}";
+}
+
 } // namespace
 
 std::string
@@ -97,39 +138,68 @@ toPrometheusText(const MetricsSnapshot &snapshot,
     std::string out;
     if (!partialReason.empty())
         out += "# PARTIAL: " + partialReason + "\n";
-    for (const auto &s : snapshot.samples) {
-        const std::string name = sanitizePrometheusName(s.name);
+    // HELP/TYPE belong to the metric family, emitted once even when
+    // labeled variants fan the family out over several samples.
+    // Group by (family, labels) — not by raw name — so a family's
+    // labeled variants stay contiguous even when another family
+    // (serve_exec_seconds_p50) sorts between the bare name and its
+    // '{'-suffixed variants. The empty label block sorts first, so
+    // the bare instrument (the one registered with help text) leads
+    // its family.
+    std::vector<std::pair<SplitName, const MetricSample *>> ordered;
+    ordered.reserve(snapshot.samples.size());
+    for (const auto &s : snapshot.samples)
+        ordered.emplace_back(splitName(s.name), &s);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const auto &a, const auto &b) {
+                         if (a.first.family != b.first.family)
+                             return a.first.family < b.first.family;
+                         return a.first.labels < b.first.labels;
+                     });
+    std::string lastFamily;
+    for (const auto &[split, sample] : ordered) {
+        const MetricSample &s = *sample;
+        const std::string series = split.family + split.labels;
+        const bool newFamily = split.family != lastFamily;
+        lastFamily = split.family;
         switch (s.kind) {
           case MetricSample::Kind::Counter:
-            out += helpLine(name, s);
-            out += "# TYPE " + name + " counter\n";
-            out += name + " " +
+            if (newFamily) {
+                out += helpLine(split.family, s);
+                out += "# TYPE " + split.family + " counter\n";
+            }
+            out += series + " " +
                 strformat("%llu",
                           (unsigned long long)(std::uint64_t)s.value) +
                 "\n";
             break;
           case MetricSample::Kind::Gauge:
-            out += helpLine(name, s);
-            out += "# TYPE " + name + " gauge\n";
-            out += name + " " + promNumber(s.value) + "\n";
+            if (newFamily) {
+                out += helpLine(split.family, s);
+                out += "# TYPE " + split.family + " gauge\n";
+            }
+            out += series + " " + promNumber(s.value) + "\n";
             break;
           case MetricSample::Kind::Histogram: {
-            out += helpLine(name, s);
-            out += "# TYPE " + name + " histogram\n";
+            if (newFamily) {
+                out += helpLine(split.family, s);
+                out += "# TYPE " + split.family + " histogram\n";
+            }
             std::uint64_t cumulative = 0;
             for (std::size_t i = 0; i < s.bucketBounds.size(); ++i) {
                 cumulative += i < s.bucketCounts.size()
                     ? s.bucketCounts[i] : 0;
-                out += name + "_bucket{le=\"" +
-                    leLabel(s.bucketBounds[i]) + "\"} " +
+                out += bucketSeries(split, leLabel(s.bucketBounds[i])) +
+                    " " +
                     strformat("%llu", (unsigned long long)cumulative) +
                     "\n";
             }
-            out += name + "_bucket{le=\"+Inf\"} " +
+            out += bucketSeries(split, "+Inf") + " " +
                 strformat("%llu", (unsigned long long)s.observations) +
                 "\n";
-            out += name + "_sum " + promNumber(s.sum) + "\n";
-            out += name + "_count " +
+            out += split.family + "_sum" + split.labels + " " +
+                promNumber(s.sum) + "\n";
+            out += split.family + "_count" + split.labels + " " +
                 strformat("%llu", (unsigned long long)s.observations) +
                 "\n";
             break;

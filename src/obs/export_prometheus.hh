@@ -17,7 +17,10 @@
  * Instrument names pass through sanitizePrometheusName() (dots become
  * underscores, invalid characters are replaced), histogram buckets
  * are emitted *cumulatively* with the mandatory `+Inf` bound, and no
- * timestamps are attached — so an exposition built from a
+ * timestamps are attached. Names composed with obs::labeledMetric()
+ * carry a `{key="value"}` block; the exporter splits it off, emits
+ * HELP/TYPE once per family, and merges histogram `le` labels into
+ * the block — so an exposition built from a
  * deterministic snapshot is itself byte-identical across runs.
  */
 

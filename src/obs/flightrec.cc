@@ -1,0 +1,279 @@
+#include "flightrec.hh"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "obs/thread_id.hh"
+
+namespace mbs {
+namespace obs {
+
+namespace {
+
+std::uint64_t
+nowMicros()
+{
+    using namespace std::chrono;
+    return std::uint64_t(duration_cast<microseconds>(
+        steady_clock::now().time_since_epoch()).count());
+}
+
+/**
+ * A tiny buffered formatter whose primitives are all usable from a
+ * signal handler: no allocation, no locale, no stdio. The sink is a
+ * plain function pointer so both dump paths (string append, raw fd
+ * write) share one byte-identical formatting routine.
+ */
+struct Out
+{
+    void (*sink)(void *ctx, const char *data, std::size_t len);
+    void *ctx;
+    char buf[512];
+    std::size_t len = 0;
+};
+
+void
+flush(Out &out)
+{
+    if (out.len > 0)
+        out.sink(out.ctx, out.buf, out.len);
+    out.len = 0;
+}
+
+void
+putBytes(Out &out, const char *data, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (out.len == sizeof(out.buf))
+            flush(out);
+        out.buf[out.len++] = data[i];
+    }
+}
+
+void
+putStr(Out &out, const char *s)
+{
+    putBytes(out, s, std::strlen(s));
+}
+
+void
+putU64(Out &out, std::uint64_t v)
+{
+    char digits[20];
+    std::size_t n = 0;
+    do {
+        digits[n++] = char('0' + v % 10);
+        v /= 10;
+    } while (v > 0);
+    while (n > 0)
+        putBytes(out, &digits[--n], 1);
+}
+
+void
+stringSink(void *ctx, const char *data, std::size_t len)
+{
+    static_cast<std::string *>(ctx)->append(data, len);
+}
+
+void
+fdSink(void *ctx, const char *data, std::size_t len)
+{
+    const int fd = int(reinterpret_cast<std::intptr_t>(ctx));
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::write(fd, data + done, len - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // best effort — the process is dying
+        }
+        done += std::size_t(n);
+    }
+}
+
+} // namespace
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+void
+FlightRecorder::arm()
+{
+    on.store(true, std::memory_order_relaxed);
+}
+
+void
+FlightRecorder::disarm()
+{
+    on.store(false, std::memory_order_relaxed);
+}
+
+FlightRecorder::Ring *
+FlightRecorder::myRing()
+{
+    // The selfprof registration idiom: a generation stamp tells a
+    // thread its cached ring was detached by resetForTest().
+    thread_local Ring *mine = nullptr;
+    thread_local std::uint64_t myGeneration = 0;
+    const std::uint64_t current =
+        generation.load(std::memory_order_relaxed);
+    if (mine != nullptr && myGeneration == current)
+        return mine;
+
+    std::lock_guard<std::mutex> lock(mtx);
+    const std::size_t slot = ringCount.load(std::memory_order_relaxed);
+    if (slot >= kMaxThreads)
+        return nullptr;
+    auto ring = std::make_unique<Ring>();
+    ring->tid = currentThreadId();
+    rings[slot] = ring.get();
+    keepAlive.push_back(std::move(ring));
+    // Publish the slot only after the pointer is in place, so the
+    // lock-free dump never sees an unset slot.
+    ringCount.store(slot + 1, std::memory_order_release);
+    mine = rings[slot];
+    myGeneration = current;
+    return mine;
+}
+
+void
+FlightRecorder::record(char kind, const char *name, std::size_t len)
+{
+    Ring *ring = myRing();
+    if (ring == nullptr)
+        return;
+    const std::uint64_t seq =
+        ring->head.load(std::memory_order_relaxed);
+    Entry &e = ring->entries[seq % kRingEntries];
+    // Un-publish the slot first: a dump racing this overwrite sees a
+    // stale stamp and skips the entry instead of reading a mix.
+    e.stamp.store(0, std::memory_order_release);
+    e.tsMicros = nowMicros();
+    e.kind = kind;
+    std::size_t n = 0;
+    for (; n < len && n < kNameBytes - 1; ++n) {
+        const char c = name[n];
+        // Sanitize at record time so the signal-context dump never
+        // needs JSON escaping: printable ASCII minus '"' and '\'.
+        e.name[n] = (c < 0x20 || c == '"' || c == '\\' || c == 0x7f)
+            ? '_' : c;
+    }
+    e.name[n] = '\0';
+    e.stamp.store(seq + 1, std::memory_order_release);
+    ring->head.store(seq + 1, std::memory_order_release);
+}
+
+void
+FlightRecorder::dumpTo(void (*sink)(void *, const char *, std::size_t),
+                       void *ctx) const
+{
+    Out out{sink, ctx, {}, 0};
+    const std::size_t count = ringCount.load(std::memory_order_acquire);
+
+    putStr(out, "{\"flightrec\": 1, \"ring_entries\": ");
+    putU64(out, kRingEntries);
+    putStr(out, ", \"threads\": ");
+    putU64(out, count);
+    putStr(out, "}\n");
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const Ring *ring = rings[i];
+        const std::uint64_t head =
+            ring->head.load(std::memory_order_acquire);
+        const std::uint64_t dropped =
+            head > kRingEntries ? head - kRingEntries : 0;
+        putStr(out, "{\"tid\": ");
+        putU64(out, std::uint64_t(ring->tid));
+        putStr(out, ", \"written\": ");
+        putU64(out, head);
+        putStr(out, ", \"dropped\": ");
+        putU64(out, dropped);
+        putStr(out, "}\n");
+        for (std::uint64_t seq = dropped; seq < head; ++seq) {
+            const Entry &e = ring->entries[seq % kRingEntries];
+            if (e.stamp.load(std::memory_order_acquire) != seq + 1)
+                continue; // torn or overwritten mid-dump
+            putStr(out, "{\"tid\": ");
+            putU64(out, std::uint64_t(ring->tid));
+            putStr(out, ", \"seq\": ");
+            putU64(out, seq);
+            putStr(out, ", \"ts_us\": ");
+            putU64(out, e.tsMicros);
+            putStr(out, ", \"kind\": \"");
+            putBytes(out, &e.kind, 1);
+            putStr(out, "\", \"name\": \"");
+            putStr(out, e.name);
+            putStr(out, "\"}\n");
+        }
+    }
+    flush(out);
+}
+
+void
+FlightRecorder::dumpToFd(int fd) const
+{
+    dumpTo(fdSink, reinterpret_cast<void *>(std::intptr_t(fd)));
+}
+
+std::string
+FlightRecorder::dumpJsonl() const
+{
+    std::string text;
+    dumpTo(stringSink, &text);
+    return text;
+}
+
+bool
+FlightRecorder::dumpToFile(const std::string &path) const
+{
+    std::error_code ec;
+    const std::filesystem::path p(path);
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string text = dumpJsonl();
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+std::vector<FlightRecorder::ThreadStats>
+FlightRecorder::threadStats() const
+{
+    std::vector<ThreadStats> out;
+    const std::size_t count = ringCount.load(std::memory_order_acquire);
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const Ring *ring = rings[i];
+        ThreadStats s;
+        s.tid = ring->tid;
+        s.written = ring->head.load(std::memory_order_acquire);
+        s.dropped =
+            s.written > kRingEntries ? s.written - kRingEntries : 0;
+        out.push_back(s);
+    }
+    return out;
+}
+
+void
+FlightRecorder::resetForTest()
+{
+    disarm();
+    std::lock_guard<std::mutex> lock(mtx);
+    ringCount.store(0, std::memory_order_release);
+    generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace obs
+} // namespace mbs

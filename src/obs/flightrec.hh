@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Always-on flight recorder: the last ~4k observability events, kept
+ * in fixed-size per-thread ring buffers so a post-mortem of a crashed
+ * or wedged process starts from *recent history* instead of nothing.
+ *
+ * Unlike the tracer (unbounded buffer, cleared per job) and the event
+ * log (per-job, flushed to artifacts), the recorder is process-wide
+ * and survives the serve daemon's per-job observability reset. Every
+ * ScopedSpan begin/end and EventLog emit drops one entry into the
+ * calling thread's ring; when the process dies — std::terminate, a
+ * fatal signal, or a job ending failed — the rings are dumped as
+ * `flightrec.jsonl` with per-thread sequence numbers and drop counts.
+ *
+ * Cost model: one relaxed atomic load when disarmed; when armed, one
+ * timestamp read plus a bounded memcpy into a preallocated slot — no
+ * locks, no allocation, single writer per ring. The dump path has an
+ * async-signal-safe variant (dumpToFd) that formats with hand-rolled
+ * integer conversion and write(2) only, so the fatal-signal handler
+ * in obs/signals can use it.
+ *
+ * Torn entries: a dump may race a thread still writing (crash dumps
+ * always do). Each slot carries a stamp published after the payload;
+ * the dump skips slots whose stamp does not match the expected
+ * sequence number, so a half-written entry is dropped rather than
+ * emitted garbled.
+ */
+
+#ifndef MBS_OBS_FLIGHTREC_HH
+#define MBS_OBS_FLIGHTREC_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mbs {
+namespace obs {
+
+class FlightRecorder
+{
+  public:
+    /** Entries retained per thread (8 threads ≈ the "last ~4k"). */
+    static constexpr std::size_t kRingEntries = 512;
+    /** Fixed name capacity (truncating, NUL-terminated). */
+    static constexpr std::size_t kNameBytes = 48;
+    /** Registration slots; threads beyond this record nothing. */
+    static constexpr std::size_t kMaxThreads = 256;
+
+    static FlightRecorder &instance();
+
+    /** Start recording (idempotent; the CLI arms once at startup). */
+    void arm();
+    /** Stop recording; rings keep their contents. */
+    void disarm();
+    bool armed() const
+    {
+        return on.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Record one entry on the calling thread's ring. @p kind is 'B'
+     * (span begin), 'E' (span end) or 'e' (event-log emit). Cheap
+     * no-op while disarmed.
+     */
+    void note(char kind, const std::string &name)
+    {
+        if (armed())
+            record(kind, name.data(), name.size());
+    }
+
+    /** The jsonl dump (header + per-thread stats + entries). */
+    std::string dumpJsonl() const;
+
+    /**
+     * Write dumpJsonl() to @p path, creating parent directories.
+     * Best-effort: returns false instead of throwing, because every
+     * caller is already on a failure path.
+     */
+    bool dumpToFile(const std::string &path) const;
+
+    /**
+     * Async-signal-safe dump: formats into a stack buffer and emits
+     * with write(2) only. Byte-identical to dumpJsonl().
+     */
+    void dumpToFd(int fd) const;
+
+    /** Per-thread written/dropped totals (tests and diagnostics). */
+    struct ThreadStats
+    {
+        int tid = 0;
+        std::uint64_t written = 0;
+        std::uint64_t dropped = 0;
+    };
+    std::vector<ThreadStats> threadStats() const;
+
+    /**
+     * Disarm and detach every ring so the next note() starts clean.
+     * Old rings stay owned (never freed) — a concurrently-exiting
+     * writer or an in-flight dump may still touch them.
+     */
+    void resetForTest();
+
+  private:
+    struct Entry
+    {
+        /** seq + 1 once the payload below is complete; 0 = torn. */
+        std::atomic<std::uint64_t> stamp{0};
+        std::uint64_t tsMicros = 0;
+        char kind = 0;
+        char name[kNameBytes] = {};
+    };
+
+    struct Ring
+    {
+        int tid = 0;
+        /** Next sequence number this ring's owner will write. */
+        std::atomic<std::uint64_t> head{0};
+        Entry entries[kRingEntries];
+    };
+
+    FlightRecorder() = default;
+
+    Ring *myRing();
+    void record(char kind, const char *name, std::size_t len);
+    /** The one formatting core both dump paths share. */
+    void dumpTo(void (*sink)(void *, const char *, std::size_t),
+                void *ctx) const;
+
+    std::atomic<bool> on{false};
+    /** Bumped by resetForTest() to invalidate cached registrations. */
+    std::atomic<std::uint64_t> generation{1};
+    /** Raw slots iterated lock-free by the signal-context dump. */
+    std::atomic<std::size_t> ringCount{0};
+    Ring *rings[kMaxThreads] = {};
+    /** Lifetime anchor: rings are reachable here forever, so a reset
+     *  never frees memory another thread may still be writing. */
+    mutable std::mutex mtx;
+    std::vector<std::unique_ptr<Ring>> keepAlive;
+};
+
+} // namespace obs
+} // namespace mbs
+
+#endif // MBS_OBS_FLIGHTREC_HH

@@ -169,6 +169,23 @@ MetricsRegistry::instance()
     return registry;
 }
 
+std::string
+labeledMetric(const std::string &name, const std::string &key,
+              const std::string &value)
+{
+    std::string escaped;
+    escaped.reserve(value.size());
+    for (const char c : value) {
+        switch (c) {
+          case '\\': escaped += "\\\\"; break;
+          case '"': escaped += "\\\""; break;
+          case '\n': escaped += "\\n"; break;
+          default: escaped += c; break;
+        }
+    }
+    return name + "{" + key + "=\"" + escaped + "\"}";
+}
+
 Counter &
 MetricsRegistry::counter(const std::string &name, Volatility v,
                          const std::string &help)

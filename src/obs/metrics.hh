@@ -149,16 +149,24 @@ struct MetricsSnapshot
 };
 
 /**
- * The process-wide instrument registry.
+ * An instrument registry.
  *
  * Thread-safe: instrument lookup takes a mutex, but the returned
- * references are stable for the process lifetime, so steady-state
+ * references are stable for the registry lifetime, so steady-state
  * updates are lock-free (counters/gauges) or per-instrument
  * (histograms).
+ *
+ * Most code uses the process-wide instance(); that registry is reset
+ * per job by the serve daemon so job exports stay byte-identical to
+ * one-shot runs. Subsystems whose metrics must *survive* that reset
+ * (the daemon's own admission counters, for example) construct their
+ * own registry instead — see serve/daemon_metrics.hh.
  */
 class MetricsRegistry
 {
   public:
+    MetricsRegistry() = default;
+
     static MetricsRegistry &instance();
 
     /**
@@ -205,8 +213,6 @@ class MetricsRegistry
     void zeroAll();
 
   private:
-    MetricsRegistry() = default;
-
     template <typename T>
     struct Entry
     {
@@ -220,6 +226,17 @@ class MetricsRegistry
     std::map<std::string, Entry<Gauge>> gauges;
     std::map<std::string, Entry<Histogram>> histograms;
 };
+
+/**
+ * Compose a labeled instrument name: `name{key="value"}`. The label
+ * block rides inside the registry name; the Prometheus exporter
+ * splits it back out so `serve.jobs_accepted{tenant="a"}` renders as
+ * the `serve_jobs_accepted` family with a `tenant` label. The value
+ * is escaped per the exposition format (backslash, quote, newline).
+ */
+std::string labeledMetric(const std::string &name,
+                          const std::string &key,
+                          const std::string &value);
 
 } // namespace obs
 } // namespace mbs

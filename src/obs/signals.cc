@@ -7,9 +7,11 @@
 #include <mutex>
 #include <thread>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "obs/flightrec.hh"
 
 namespace mbs {
 namespace obs {
@@ -97,7 +99,54 @@ installOnce()
     });
 }
 
+/** Crash-dump destination; fixed storage so the handler never
+ *  touches a std::string. Guarded by its own first byte: empty =
+ *  dump disabled. */
+char fatalDumpPath[4096] = {0};
+
+extern "C" void
+fatalHandler(int sig)
+{
+    if (fatalDumpPath[0] != '\0') {
+        const int fd = open(fatalDumpPath,
+                            O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            FlightRecorder::instance().dumpToFd(fd);
+            close(fd);
+        }
+    }
+    // Re-deliver with the default disposition so the exit status
+    // still reports the crash (the signal stays pending until the
+    // handler returns).
+    signal(sig, SIG_DFL);
+    raise(sig);
+}
+
 } // namespace
+
+void
+installFatalSignalDump(const std::string &path)
+{
+    fatalIf(path.size() >= sizeof(fatalDumpPath),
+            "fatal-signal dump path too long");
+    std::memcpy(fatalDumpPath, path.c_str(), path.size() + 1);
+    // Touch the singletons now: a first call from the handler would
+    // not be safe, an ordinary load afterwards is.
+    FlightRecorder::instance();
+
+    static std::once_flag once;
+    std::call_once(once, [] {
+        struct sigaction action;
+        std::memset(&action, 0, sizeof(action));
+        action.sa_handler = fatalHandler;
+        sigemptyset(&action.sa_mask);
+        sigaction(SIGSEGV, &action, nullptr);
+        sigaction(SIGBUS, &action, nullptr);
+        sigaction(SIGILL, &action, nullptr);
+        sigaction(SIGFPE, &action, nullptr);
+        sigaction(SIGABRT, &action, nullptr);
+    });
+}
 
 void
 installSignalDrain(std::function<void(int)> onSignal, bool callbackExits)

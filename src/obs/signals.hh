@@ -14,12 +14,18 @@
  * the callback and calls _exit(128+sig) — the escalation path for a
  * drain that hangs, mirroring the convention users expect from
  * long-running tools: first ^C is polite, second is now.
+ *
+ * Fatal signals (SIGSEGV and friends) get the opposite treatment:
+ * no draining is possible, so installFatalSignalDump() writes the
+ * flight recorder's rings with signal-safe calls only and then lets
+ * the default disposition kill the process.
  */
 
 #ifndef MBS_OBS_SIGNALS_HH
 #define MBS_OBS_SIGNALS_HH
 
 #include <functional>
+#include <string>
 
 namespace mbs {
 namespace obs {
@@ -41,6 +47,19 @@ void resetSignalDrain();
 
 /** True once a drain signal has been received (the watcher saw it). */
 bool drainSignalSeen();
+
+/**
+ * Install fatal-signal handlers (SIGSEGV, SIGBUS, SIGILL, SIGFPE,
+ * SIGABRT) that dump the flight recorder (obs/flightrec.hh) to
+ * @p path before the process dies with the default disposition. The
+ * handler uses only async-signal-safe calls: open/write/close plus
+ * the recorder's lock-free fd dump. Installing again replaces the
+ * path; an empty @p path disables the dump (handlers stay).
+ *
+ * Unlike the drain above this is not a graceful path — it exists so
+ * a crashed daemon leaves its last ~4k observability events behind.
+ */
+void installFatalSignalDump(const std::string &path);
 
 } // namespace obs
 } // namespace mbs

@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "obs/events.hh"
 #include "obs/export_prometheus.hh"
+#include "obs/flightrec.hh"
 #include "obs/metrics.hh"
 #include "obs/selfprof.hh"
 #include "obs/timeseries.hh"
@@ -179,6 +180,16 @@ TelemetrySink::flush(const std::string &partialReason)
             writeTextFile(dir / "profile.collapsed",
                           prof.collapsedText());
             writeTextFile(dir / "profile.txt", prof.tableText());
+        }
+        // A partial flush means the process is dying abnormally
+        // (std::terminate) — exactly when the flight recorder's
+        // recent-history rings earn their keep. Normal exits skip
+        // the dump so deterministic bundles stay byte-identical.
+        if (!partialReason.empty() &&
+            FlightRecorder::instance().armed() &&
+            gateAllows((dir / "flightrec.jsonl").string())) {
+            writeTextFile(dir / "flightrec.jsonl",
+                          FlightRecorder::instance().dumpJsonl());
         }
     }
 }

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "obs/flightrec.hh"
 #include "obs/json.hh"
 #include "obs/selfprof.hh"
 #include "obs/thread_id.hh"
@@ -39,6 +40,14 @@ appendEventJson(std::string &out, const TraceEvent &e)
                      (unsigned long long)e.tsMicros, e.tid);
     if (e.phase == 'i')
         out += ", \"s\": \"t\"";
+    if (e.phase == 's' || e.phase == 'f') {
+        out += strformat(", \"id\": \"0x%llx\"",
+                         (unsigned long long)e.flowId);
+        // Bind the finish to the enclosing slice's end so the arrow
+        // lands on the span rather than a synthetic point.
+        if (e.phase == 'f')
+            out += ", \"bp\": \"e\"";
+    }
     if (!e.args.empty()) {
         out += ", \"args\": {";
         bool first = true;
@@ -124,6 +133,29 @@ Tracer::instant(const std::string &name, const std::string &category,
     e.tid = threadId();
     e.args = std::move(args);
     record(std::move(e));
+}
+
+void
+Tracer::flow(char phase, const std::string &name,
+             const std::string &category, std::uint64_t flowId)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = name;
+    e.category = category;
+    e.phase = phase;
+    e.tsMicros = nowMicros() - epochMicros;
+    e.tid = threadId();
+    e.flowId = flowId;
+    record(std::move(e));
+}
+
+std::uint64_t
+Tracer::epoch() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return epochMicros;
 }
 
 void
@@ -216,13 +248,20 @@ Tracer::exportJson() const
 {
     std::vector<TraceEvent> evs;
     std::map<std::string, std::string> md;
+    std::uint64_t epoch_ = 0;
     {
         std::lock_guard<std::mutex> lock(mtx);
         evs = buffer;
         md = meta;
+        epoch_ = epochMicros;
     }
 
     std::string out = "{\n\"displayTimeUnit\": \"ms\",\n";
+    // Steady-clock anchor for the relative "ts" values; the trace
+    // stitcher (serve/stitch) uses it to align two processes'
+    // timelines. Chrome/Perfetto ignore unknown top-level keys.
+    out += strformat("\"epochMicros\": %llu,\n",
+                     (unsigned long long)epoch_);
     out += "\"otherData\": {";
     bool first = true;
     for (const auto &[k, v] : md) {
@@ -280,6 +319,7 @@ ScopedSpan::ScopedSpan(std::string name_, std::string category_,
       active(Tracer::instance().enabled()),
       profiled(SelfProfiler::instance().armed())
 {
+    FlightRecorder::instance().note('B', name);
     if (active)
         Tracer::instance().begin(name, category, std::move(args));
     if (profiled)
@@ -292,6 +332,7 @@ ScopedSpan::~ScopedSpan()
         SelfProfiler::instance().popFrame();
     if (active)
         Tracer::instance().end(name, category);
+    FlightRecorder::instance().note('E', name);
 }
 
 } // namespace obs

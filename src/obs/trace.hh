@@ -47,12 +47,17 @@ struct TraceEvent
 {
     std::string name;
     std::string category;
-    /** Chrome phase: 'B' begin, 'E' end, 'i' instant, 'M' metadata. */
+    /**
+     * Chrome phase: 'B' begin, 'E' end, 'i' instant, 'M' metadata,
+     * 's'/'f' flow start/finish (cross-process arrows).
+     */
     char phase = 'B';
     /** Microseconds since the tracer epoch. */
     std::uint64_t tsMicros = 0;
     /** Small sequential per-thread id (1-based). */
     int tid = 0;
+    /** Flow-event chain id ('s'/'f' phases only). */
+    std::uint64_t flowId = 0;
     TraceArgs args;
 };
 
@@ -93,6 +98,15 @@ class Tracer
                  TraceArgs args = {});
 
     /**
+     * Record a flow event: @p phase 's' starts a chain, 'f' finishes
+     * it; events sharing @p flowId are drawn as one arrow by the
+     * trace viewer, across processes once traces are stitched
+     * (serve/stitch.hh). No-op while disabled.
+     */
+    void flow(char phase, const std::string &name,
+              const std::string &category, std::uint64_t flowId);
+
+    /**
      * Attach run metadata (seed, config digest, ...). Always
      * recorded, independent of the enabled flag, and exported both
      * as 'M' metadata events and in the document's otherData block.
@@ -119,6 +133,13 @@ class Tracer
      */
     std::map<std::string, std::vector<double>>
     spanDurations(const std::string &category = "") const;
+
+    /**
+     * The steady-clock microsecond reading the tracer's relative
+     * timestamps are measured from. Exported as `epochMicros` so a
+     * stitcher can align two processes' traces on the shared clock.
+     */
+    std::uint64_t epoch() const;
 
     /** Render the Chrome trace-event JSON document. */
     std::string exportJson() const;
@@ -149,7 +170,9 @@ class Tracer
  * end event at destruction. When the tracer is disabled at
  * construction time the object is inert. While the self-profiler
  * (obs/selfprof.hh) is armed the span also pushes a frame onto the
- * profiler's per-thread stack, independent of the tracer flag.
+ * profiler's per-thread stack, and while the flight recorder
+ * (obs/flightrec.hh) is armed it drops begin/end entries into the
+ * per-thread crash ring — both independent of the tracer flag.
  */
 class ScopedSpan
 {

@@ -1,11 +1,17 @@
 #include "serve/client.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
+#include "common/digest.hh"
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "obs/trace.hh"
 
 namespace mbs {
 namespace serve {
@@ -30,19 +36,69 @@ Client::roundTrip(const std::string &frame)
 {
     fatalIf(!sendFrame(sock, frame),
             "serve client: server hung up on send");
-    const auto payload = recvFrame(sock);
-    fatalIf(!payload.has_value(),
-            "serve client: server hung up awaiting reply");
-    return Frame::parse(*payload);
+    for (;;) {
+        const auto payload = recvFrame(sock);
+        fatalIf(!payload.has_value(),
+                "serve client: server hung up awaiting reply");
+        const Frame reply = Frame::parse(*payload);
+        // The session thread (accepted) and the dispatcher (result)
+        // race on the socket, so a completed submit can leave its
+        // accepted/progress notifications trailing in the stream.
+        // They are never the reply to a request sent afterwards.
+        if (reply.type == "accepted" || reply.type == "progress")
+            continue;
+        return reply;
+    }
 }
 
-void
+PongInfo
 Client::ping()
 {
     const Frame reply = roundTrip(pingFrame());
     fatalIf(reply.type != "pong",
             strformat("serve client: expected pong, got '%s'",
                       reply.type.c_str()));
+    return pongInfoFrom(reply);
+}
+
+StatsInfo
+Client::stats(bool includeVolatile)
+{
+    const Frame reply = roundTrip(statsFrame(includeVolatile));
+    fatalIf(reply.type != "stats_ok",
+            strformat("serve client: expected stats_ok, got '%s'",
+                      reply.type.c_str()));
+    return statsInfoFrom(reply);
+}
+
+void
+Client::watch(const WatchRequest &request,
+              const std::function<void(const StatsInfo &)> &onEvent)
+{
+    fatalIf(!sendFrame(sock, watchFrame(request)),
+            "serve client: server hung up on watch");
+    std::uint64_t received = 0;
+    while (request.count == 0 || received < request.count) {
+        const auto payload = recvFrame(sock);
+        if (!payload.has_value()) {
+            // count 0 means "until the daemon goes away" — EOF is
+            // the expected end of that stream, not a fault.
+            fatalIf(request.count != 0,
+                    "serve client: server hung up mid-watch");
+            return;
+        }
+        const Frame frame = Frame::parse(*payload);
+        // Skip trailing notifications from earlier submits on this
+        // session (see roundTrip).
+        if (frame.type == "accepted" || frame.type == "progress")
+            continue;
+        fatalIf(frame.type != "stats_event",
+                strformat("serve client: expected stats_event, "
+                          "got '%s'", frame.type.c_str()));
+        if (onEvent)
+            onEvent(statsInfoFrom(frame));
+        ++received;
+    }
 }
 
 ResultInfo
@@ -52,6 +108,23 @@ Client::submit(const JobOptions &options,
                                         const std::string &)>
                    &onProgress)
 {
+    // When the caller supplied a trace id, mirror the server's flow
+    // anchors: the 's' here pairs with the runner's 'f' at job begin
+    // and the runner's 's' at job end pairs with the 'f' below —
+    // after stitching (stitch.hh) the two traces are connected by
+    // those arrows.
+    std::unique_ptr<obs::ScopedSpan> span;
+    if (!options.traceId.empty()) {
+        obs::Tracer::instance().metadata("trace_id",
+                                         options.traceId);
+        span = std::make_unique<obs::ScopedSpan>(
+            "serve.submit", "serve",
+            obs::TraceArgs{{"trace_id", options.traceId},
+                           {"job", options.job}});
+        obs::Tracer::instance().flow(
+            's', "serve.submit", "serve",
+            traceFlowId(options.traceId));
+    }
     fatalIf(!sendFrame(sock, submitFrame(options, bundle)),
             "serve client: server hung up on submit");
     // accepted / progress / result arrive in no guaranteed relative
@@ -72,8 +145,13 @@ Client::submit(const JobOptions &options,
             }
             continue;
         }
-        if (frame.type == "result")
+        if (frame.type == "result") {
+            if (!options.traceId.empty())
+                obs::Tracer::instance().flow(
+                    'f', "serve.result", "serve",
+                    traceFlowId(options.traceId) + 1);
             return resultInfoFrom(frame);
+        }
         if (frame.type == "rejected")
             fatal("serve client: submission rejected: " +
                   frame.str("reason"));
@@ -130,6 +208,18 @@ readBundleDir(const fs::path &bundleDir)
                   return a.path < b.path;
               });
     return files;
+}
+
+std::string
+makeTraceId()
+{
+    Fnv1a h;
+    h.mix(std::uint64_t(
+        std::chrono::system_clock::now().time_since_epoch().count()));
+    h.mix(std::uint64_t(
+        std::chrono::steady_clock::now().time_since_epoch().count()));
+    h.mix(std::uint64_t(::getpid()));
+    return strformat("%016llx", (unsigned long long)h.value());
 }
 
 } // namespace serve

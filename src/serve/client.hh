@@ -40,8 +40,28 @@ class Client
 
     const Welcome &welcome() const { return greeting; }
 
-    /** Ping/pong round trip; fatal() on a protocol violation. */
-    void ping();
+    /**
+     * Ping/pong round trip; fatal() on a protocol violation.
+     * @return the daemon health carried by the pong (uptime, build,
+     *         queued jobs) — zeros from pre-health daemons.
+     */
+    PongInfo ping();
+
+    /**
+     * One live scrape of the daemon metric domain (stats/stats_ok).
+     * @p includeVolatile false asks for the deterministic
+     * stable-only exposition.
+     */
+    StatsInfo stats(bool includeVolatile = true);
+
+    /**
+     * Stream periodic scrapes (watch/stats_event), invoking
+     * @p onEvent per tick. Returns after request.count events; with
+     * count 0 it streams until the daemon stops or the connection
+     * drops. fatal() on a protocol violation.
+     */
+    void watch(const WatchRequest &request,
+               const std::function<void(const StatsInfo &)> &onEvent);
 
     /**
      * Submit one job and block until its result frame. Progress
@@ -76,6 +96,13 @@ class Client
  */
 std::vector<BundleFile>
 readBundleDir(const std::filesystem::path &bundleDir);
+
+/**
+ * A fresh client-side trace id: 16 lowercase hex chars derived from
+ * the wall clock, the steady clock and the pid. Unique enough to key
+ * one submit's flow arrows; not a cryptographic id.
+ */
+std::string makeTraceId();
 
 } // namespace serve
 } // namespace mbs

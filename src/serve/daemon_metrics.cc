@@ -1,0 +1,183 @@
+#include "serve/daemon_metrics.hh"
+
+#include "obs/export_prometheus.hh"
+#include "report/capture.hh"
+
+namespace mbs {
+namespace serve {
+
+namespace {
+
+using obs::Volatility;
+
+/** Latency bounds shared by the queue-wait and execution series. */
+std::vector<double>
+latencyBounds()
+{
+    return {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0};
+}
+
+constexpr const char *kQueueWaitHelp =
+    "Seconds jobs waited in the admission queue before dispatch.";
+constexpr const char *kExecHelp =
+    "Seconds jobs spent executing (queue wait excluded).";
+
+} // namespace
+
+DaemonMetrics::DaemonMetrics()
+    : accepted(domain.counter(
+          "serve.jobs_accepted", Volatility::Stable,
+          "Jobs admitted to the daemon's bounded queue.")),
+      rejected(domain.counter(
+          "serve.jobs_rejected", Volatility::Stable,
+          "Jobs refused admission (queue full or daemon stopping).")),
+      completed(domain.counter(
+          "serve.jobs_completed", Volatility::Stable,
+          "Jobs that finished with status ok.")),
+      failed(domain.counter(
+          "serve.jobs_failed", Volatility::Stable,
+          "Jobs that finished with status failed.")),
+      queueDepth(domain.gauge(
+          "serve.queue_depth", Volatility::Stable,
+          "Jobs currently waiting in the admission queue.")),
+      uptime(domain.gauge(
+          "serve.uptime_seconds", Volatility::Volatile,
+          "Seconds since the daemon started listening.")),
+      queueWaitAll(domain.histogram(
+          "serve.queue_wait_seconds", latencyBounds(),
+          Volatility::Volatile, kQueueWaitHelp)),
+      execAll(domain.histogram(
+          "serve.exec_seconds", latencyBounds(),
+          Volatility::Volatile, kExecHelp))
+{
+    domain.gauge(obs::labeledMetric("serve.build_info", "build",
+                                    report::buildStamp()),
+                 Volatility::Stable,
+                 "Constant 1; the build label carries the daemon's "
+                 "build stamp.")
+        .set(1.0);
+    // Registered up front so every percentile family has HELP even
+    // before the first job completes.
+    for (const char *p : {"p50", "p95", "p99"}) {
+        domain.gauge("serve.queue_wait_seconds_" + std::string(p),
+                     Volatility::Volatile,
+                     "Queue-wait quantile interpolated from "
+                     "serve.queue_wait_seconds at scrape time.");
+        domain.gauge("serve.exec_seconds_" + std::string(p),
+                     Volatility::Volatile,
+                     "Execution-time quantile interpolated from "
+                     "serve.exec_seconds at scrape time.");
+    }
+}
+
+DaemonMetrics::TenantInstruments &
+DaemonMetrics::tenantInstruments(const std::string &tenant)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    TenantInstruments &t = tenants[tenant];
+    if (t.queueWait == nullptr) {
+        t.queueWait = &domain.histogram(
+            obs::labeledMetric("serve.queue_wait_seconds", "tenant",
+                               tenant),
+            latencyBounds(), Volatility::Volatile, kQueueWaitHelp);
+        t.exec = &domain.histogram(
+            obs::labeledMetric("serve.exec_seconds", "tenant", tenant),
+            latencyBounds(), Volatility::Volatile, kExecHelp);
+    }
+    return t;
+}
+
+void
+DaemonMetrics::onAccepted(const std::string &tenant)
+{
+    accepted.add();
+    domain.counter(obs::labeledMetric("serve.jobs_accepted", "tenant",
+                                      tenant))
+        .add();
+}
+
+void
+DaemonMetrics::onRejected(const std::string &tenant)
+{
+    rejected.add();
+    domain.counter(obs::labeledMetric("serve.jobs_rejected", "tenant",
+                                      tenant))
+        .add();
+}
+
+void
+DaemonMetrics::onCompleted(const std::string &tenant,
+                           double queueSeconds, double execSeconds)
+{
+    completed.add();
+    domain.counter(obs::labeledMetric("serve.jobs_completed", "tenant",
+                                      tenant))
+        .add();
+    TenantInstruments &t = tenantInstruments(tenant);
+    queueWaitAll.observe(queueSeconds);
+    execAll.observe(execSeconds);
+    t.queueWait->observe(queueSeconds);
+    t.exec->observe(execSeconds);
+}
+
+void
+DaemonMetrics::onFailed(const std::string &tenant, double queueSeconds,
+                        double execSeconds)
+{
+    failed.add();
+    domain.counter(obs::labeledMetric("serve.jobs_failed", "tenant",
+                                      tenant))
+        .add();
+    // A failed job still waited and ran; its latency belongs in the
+    // same distributions the completed path feeds.
+    TenantInstruments &t = tenantInstruments(tenant);
+    queueWaitAll.observe(queueSeconds);
+    execAll.observe(execSeconds);
+    t.queueWait->observe(queueSeconds);
+    t.exec->observe(execSeconds);
+}
+
+void
+DaemonMetrics::setQueueDepth(std::size_t depth)
+{
+    queueDepth.set(double(depth));
+}
+
+void
+DaemonMetrics::refreshPercentiles()
+{
+    const double quantiles[] = {0.50, 0.95, 0.99};
+    const char *suffixes[] = {"p50", "p95", "p99"};
+    for (int i = 0; i < 3; ++i) {
+        const std::string qw =
+            "serve.queue_wait_seconds_" + std::string(suffixes[i]);
+        const std::string ex =
+            "serve.exec_seconds_" + std::string(suffixes[i]);
+        domain.gauge(qw, Volatility::Volatile)
+            .set(queueWaitAll.percentile(quantiles[i]));
+        domain.gauge(ex, Volatility::Volatile)
+            .set(execAll.percentile(quantiles[i]));
+        std::lock_guard<std::mutex> lock(mtx);
+        for (const auto &[tenant, t] : tenants) {
+            domain.gauge(obs::labeledMetric(qw, "tenant", tenant),
+                         Volatility::Volatile)
+                .set(t.queueWait->percentile(quantiles[i]));
+            domain.gauge(obs::labeledMetric(ex, "tenant", tenant),
+                         Volatility::Volatile)
+                .set(t.exec->percentile(quantiles[i]));
+        }
+    }
+}
+
+std::string
+DaemonMetrics::render(bool includeVolatile, double uptimeSeconds)
+{
+    if (includeVolatile) {
+        uptime.set(uptimeSeconds);
+        refreshPercentiles();
+    }
+    return obs::toPrometheusText(domain.snapshot(includeVolatile));
+}
+
+} // namespace serve
+} // namespace mbs

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The daemon-scoped metric domain behind the stats/watch frames.
+ *
+ * The process-wide obs::MetricsRegistry::instance() is reset by the
+ * JobRunner before every job so per-job exports stay byte-identical
+ * to one-shot runs — which is exactly why daemon-lifetime counters
+ * cannot live there. DaemonMetrics owns its *own* MetricsRegistry:
+ * admission counters, queue depth, per-tenant labeled counters and
+ * latency histograms accumulate across jobs and survive every
+ * per-job reset, scrape-able mid-job over the wire.
+ *
+ * Volatility split (what the idle byte-compare may see):
+ *  - Stable: serve.jobs_{accepted,rejected,completed,failed} and
+ *    their per-tenant variants, serve.queue_depth, serve.build_info.
+ *    Deterministic for a fixed submission sequence, so two idle
+ *    stable-only scrapes byte-compare equal.
+ *  - Volatile: serve.uptime_seconds, the queue-wait / execution-time
+ *    histograms and their derived p50/p95/p99 gauges — wall clock by
+ *    nature, included only when the scrape asks for volatile.
+ */
+
+#ifndef MBS_SERVE_DAEMON_METRICS_HH
+#define MBS_SERVE_DAEMON_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace mbs {
+namespace serve {
+
+class DaemonMetrics
+{
+  public:
+    DaemonMetrics();
+
+    /** Admission outcomes; @p tenant updates the labeled variant. */
+    void onAccepted(const std::string &tenant);
+    void onRejected(const std::string &tenant);
+    /** Completion outcomes with the job's latency split. */
+    void onCompleted(const std::string &tenant, double queueSeconds,
+                     double execSeconds);
+    void onFailed(const std::string &tenant, double queueSeconds,
+                  double execSeconds);
+
+    /** Track the bounded queue's current depth. */
+    void setQueueDepth(std::size_t depth);
+
+    /**
+     * Render the domain as Prometheus text. Refreshes the derived
+     * gauges (uptime from @p uptimeSeconds, per-tenant latency
+     * percentiles from the histograms) first. @p includeVolatile
+     * false yields the deterministic stable-only view the CI idle
+     * byte-compare uses.
+     */
+    std::string render(bool includeVolatile, double uptimeSeconds);
+
+    /** The underlying registry (exposition tests). */
+    obs::MetricsRegistry &registry() { return domain; }
+
+  private:
+    struct TenantInstruments
+    {
+        obs::Histogram *queueWait = nullptr;
+        obs::Histogram *exec = nullptr;
+    };
+
+    TenantInstruments &tenantInstruments(const std::string &tenant);
+    void refreshPercentiles();
+
+    obs::MetricsRegistry domain;
+    obs::Counter &accepted;
+    obs::Counter &rejected;
+    obs::Counter &completed;
+    obs::Counter &failed;
+    obs::Gauge &queueDepth;
+    obs::Gauge &uptime;
+    obs::Histogram &queueWaitAll;
+    obs::Histogram &execAll;
+
+    std::mutex mtx;
+    std::map<std::string, TenantInstruments> tenants;
+};
+
+} // namespace serve
+} // namespace mbs
+
+#endif // MBS_SERVE_DAEMON_METRICS_HH

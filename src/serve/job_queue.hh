@@ -15,6 +15,7 @@
 #ifndef MBS_SERVE_JOB_QUEUE_HH
 #define MBS_SERVE_JOB_QUEUE_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -37,6 +38,11 @@ struct Job
     std::string tenant;
     JobOptions options;
     std::vector<BundleFile> bundle;
+    /** Admission time; the dispatcher derives queueSeconds from it. */
+    std::chrono::steady_clock::time_point enqueuedAt{};
+    /** Queue wait, filled by the dispatcher right before dispatch;
+     *  lands in the result frame and the daemon latency histograms. */
+    double queueSeconds = 0.0;
     /**
      * Sends one frame back to the submitting client; returns false
      * when that client is gone (the runner then drops further

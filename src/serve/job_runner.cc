@@ -14,6 +14,7 @@
 #include "ingest/bundle_reader.hh"
 #include "ingest/bundle_writer.hh"
 #include "obs/events.hh"
+#include "obs/flightrec.hh"
 #include "obs/metrics.hh"
 #include "obs/progress.hh"
 #include "obs/telemetry.hh"
@@ -115,6 +116,12 @@ JobRunner::JobRunner(const RunnerConfig &config)
     : cfg(config), exec(config.jobs)
 {
     std::error_code ec;
+    // Result frames hand job_dir to clients that may run in a
+    // different working directory (submit --stitch-trace), so a
+    // relative --serve-dir must not leak into the wire.
+    const fs::path abs = fs::absolute(cfg.workDir, ec);
+    if (!ec)
+        cfg.workDir = abs.lexically_normal();
     fs::create_directories(cfg.workDir, ec);
     fatalIf(bool(ec), strformat("serve: cannot create work dir %s: %s",
                                 cfg.workDir.string().c_str(),
@@ -146,6 +153,14 @@ JobRunner::run(const Job &job)
         } catch (...) {
             // Artifact flush is best effort on the failure path.
         }
+        // Every failed job leaves a crash-ring dump next to its
+        // artifacts: the last few thousand span/event entries that
+        // led up to the failure, capturable even when the telemetry
+        // sink itself is what threw.
+        auto &recorder = obs::FlightRecorder::instance();
+        if (recorder.armed())
+            recorder.dumpToFile(
+                (jobDir(job.id) / "flightrec.jsonl").string());
     }
     // Teardown runs on every exit path so a failed job can never
     // leak an armed fault plan or a progress listener into the next.
@@ -157,6 +172,7 @@ JobRunner::run(const Job &job)
     info.wallSeconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - wallStart)
                            .count();
+    info.queueSeconds = job.queueSeconds;
     if (job.reply)
         job.reply(resultFrame(info));
     return info;
@@ -225,18 +241,47 @@ JobRunner::execute(const Job &job)
 
     report::CaptureContext context;
     const auto wallStart = std::chrono::steady_clock::now();
-    if (job.options.job == "pipeline") {
-        info.report = runPipeline(job, context);
-    } else if (job.options.job == "ingest") {
-        info.report = runIngest(job, context);
-    } else {
-        fatal(strformat("serve: unknown job type '%s'",
-                        job.options.job.c_str()));
+    {
+        // Root the job's span tree under the client's trace id (when
+        // the submit carried one) and pin both ends of the stitch:
+        // the 'f' flow closes the client's submit arrow, the 's'
+        // flow opens the arrow its result receipt will close.
+        obs::TraceArgs rootArgs = {
+            {"job_id",
+             strformat("%llu", (unsigned long long)job.id)},
+            {"tenant", job.tenant}};
+        const std::string &traceId = job.options.traceId;
+        if (!traceId.empty()) {
+            rootArgs.emplace_back("trace_id", traceId);
+            if (!job.options.parentSpan.empty())
+                rootArgs.emplace_back("parent_span",
+                                      job.options.parentSpan);
+            obs::Tracer::instance().metadata("trace_id", traceId);
+        }
+        obs::ScopedSpan jobSpan("serve.job", "serve", rootArgs);
+        if (!traceId.empty())
+            obs::Tracer::instance().flow('f', "serve.submit",
+                                         "serve",
+                                         traceFlowId(traceId));
+        if (job.options.job == "pipeline") {
+            info.report = runPipeline(job, context);
+        } else if (job.options.job == "ingest") {
+            info.report = runIngest(job, context);
+        } else {
+            fatal(strformat("serve: unknown job type '%s'",
+                            job.options.job.c_str()));
+        }
+        if (!traceId.empty())
+            obs::Tracer::instance().flow('s', "serve.result",
+                                         "serve",
+                                         traceFlowId(traceId) + 1);
     }
     const double wallSeconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - wallStart)
             .count();
+    info.execSeconds = wallSeconds;
+    info.jobDir = dir.string();
 
     // Disarm before capture, exactly where the one-shot CLI does.
     auto &injector = fault::Injector::instance();

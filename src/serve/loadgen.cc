@@ -51,6 +51,12 @@ LoadgenSummary::toJson() const
     out += ", \"latency_p95_s\": " + obs::jsonNumber(p95);
     out += ", \"latency_p99_s\": " + obs::jsonNumber(p99);
     out += ", \"latency_mean_s\": " + obs::jsonNumber(meanSeconds);
+    out += ", \"queue_wait_p50_s\": " + obs::jsonNumber(queueWaitP50);
+    out += ", \"queue_wait_p95_s\": " + obs::jsonNumber(queueWaitP95);
+    out += ", \"queue_wait_p99_s\": " + obs::jsonNumber(queueWaitP99);
+    out += ", \"exec_p50_s\": " + obs::jsonNumber(execP50);
+    out += ", \"exec_p95_s\": " + obs::jsonNumber(execP95);
+    out += ", \"exec_p99_s\": " + obs::jsonNumber(execP99);
     out += ", \"wall_seconds\": " + obs::jsonNumber(wallSeconds);
     out += "}\n";
     return out;
@@ -60,10 +66,17 @@ std::string
 LoadgenSummary::toText() const
 {
     return strformat(
-        "loadgen: %d jobs (%d ok, %d failed) in %.2f s — latency "
-        "p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, mean %.1f ms\n",
-        jobs, ok, failed, wallSeconds, p50 * 1e3, p95 * 1e3,
-        p99 * 1e3, meanSeconds * 1e3);
+               "loadgen: %d jobs (%d ok, %d failed) in %.2f s — "
+               "latency p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, "
+               "mean %.1f ms\n",
+               jobs, ok, failed, wallSeconds, p50 * 1e3, p95 * 1e3,
+               p99 * 1e3, meanSeconds * 1e3) +
+        strformat("loadgen: server split — queue-wait p50 %.1f ms, "
+                  "p95 %.1f ms, p99 %.1f ms; exec p50 %.1f ms, "
+                  "p95 %.1f ms, p99 %.1f ms\n",
+                  queueWaitP50 * 1e3, queueWaitP95 * 1e3,
+                  queueWaitP99 * 1e3, execP50 * 1e3, execP95 * 1e3,
+                  execP99 * 1e3);
 }
 
 LoadgenSummary
@@ -89,9 +102,28 @@ runLoadgen(const LoadgenOptions &options)
     auto &failCounter = reg.counter(
         "serve.loadgen.jobs_failed", obs::Volatility::Stable,
         "loadgen jobs that failed or were rejected");
+    // The daemon-reported split rides in the loadgen run's *ledger
+    // record* (Stable snapshot), unlike the end-to-end wall-clock
+    // histogram above: loadgen records carry no byte-identity
+    // golden, and having the split on the record is what lets
+    // `mobilebench ledger compare` show queue-wait growth between
+    // two load runs.
+    auto &queueWaitHist = reg.histogram(
+        "serve.loadgen.queue_wait_seconds",
+        {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0},
+        obs::Volatility::Stable,
+        "per-job queue wait reported by the daemon's result frames");
+    auto &execHist = reg.histogram(
+        "serve.loadgen.exec_seconds",
+        {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0},
+        obs::Volatility::Stable,
+        "per-job execution time reported by the daemon's result "
+        "frames");
 
     std::mutex mergeMutex;
     std::vector<double> latencies;
+    std::vector<double> queueWaits;
+    std::vector<double> execs;
     int ok = 0;
     int failed = 0;
 
@@ -101,6 +133,8 @@ runLoadgen(const LoadgenOptions &options)
     for (int c = 0; c < options.clients; ++c) {
         workers.emplace_back([&, c] {
             std::vector<double> mine;
+            std::vector<double> myQueueWaits;
+            std::vector<double> myExecs;
             int myOk = 0;
             int myFailed = 0;
             try {
@@ -119,6 +153,10 @@ runLoadgen(const LoadgenOptions &options)
                                 .count();
                         mine.push_back(dt);
                         latency.observe(dt);
+                        myQueueWaits.push_back(info.queueSeconds);
+                        myExecs.push_back(info.execSeconds);
+                        queueWaitHist.observe(info.queueSeconds);
+                        execHist.observe(info.execSeconds);
                         if (info.status == "ok")
                             ++myOk;
                         else
@@ -137,6 +175,9 @@ runLoadgen(const LoadgenOptions &options)
             std::lock_guard<std::mutex> lock(mergeMutex);
             latencies.insert(latencies.end(), mine.begin(),
                              mine.end());
+            queueWaits.insert(queueWaits.end(), myQueueWaits.begin(),
+                              myQueueWaits.end());
+            execs.insert(execs.end(), myExecs.begin(), myExecs.end());
             ok += myOk;
             failed += myFailed;
         });
@@ -151,6 +192,12 @@ runLoadgen(const LoadgenOptions &options)
     summary.p50 = exactPercentile(latencies, 0.50);
     summary.p95 = exactPercentile(latencies, 0.95);
     summary.p99 = exactPercentile(latencies, 0.99);
+    summary.queueWaitP50 = exactPercentile(queueWaits, 0.50);
+    summary.queueWaitP95 = exactPercentile(queueWaits, 0.95);
+    summary.queueWaitP99 = exactPercentile(queueWaits, 0.99);
+    summary.execP50 = exactPercentile(execs, 0.50);
+    summary.execP95 = exactPercentile(execs, 0.95);
+    summary.execP99 = exactPercentile(execs, 0.99);
     double sum = 0.0;
     for (const double v : latencies)
         sum += v;

@@ -9,6 +9,14 @@
  * the reported p50/p95/p99 are computed through the same
  * exact-bounds Histogram interpolation the CLI's stage summary uses,
  * so a percentile here and a percentile there mean the same thing.
+ *
+ * Result frames additionally carry the daemon's own latency split —
+ * queue_seconds (admission to dispatch) and exec_seconds (dispatch
+ * to done) — which the driver folds into two more histograms,
+ * `serve.loadgen.queue_wait_seconds` and `serve.loadgen.exec_seconds`
+ * (Stable, so they appear in the loadgen run's ledger record), and
+ * reports as separate percentile columns. End-to-end latency minus
+ * the two is the protocol + framing overhead.
  */
 
 #ifndef MBS_SERVE_LOADGEN_HH
@@ -46,6 +54,14 @@ struct LoadgenSummary
     double p99 = 0.0;
     double meanSeconds = 0.0;
     double wallSeconds = 0.0;
+    /** Daemon-reported queue-wait split (result-frame timings). */
+    double queueWaitP50 = 0.0;
+    double queueWaitP95 = 0.0;
+    double queueWaitP99 = 0.0;
+    /** Daemon-reported execution-time split (result-frame timings). */
+    double execP50 = 0.0;
+    double execP95 = 0.0;
+    double execP99 = 0.0;
 
     /** Deterministic-key JSON document of the summary. */
     std::string toJson() const;

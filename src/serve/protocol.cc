@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/digest.hh"
 #include "common/logging.hh"
 #include "common/strings.hh"
 #include "obs/json.hh"
@@ -175,6 +176,39 @@ shutdownFrame()
 }
 
 std::string
+statsFrame(bool includeVolatile)
+{
+    return head("stats") + ",\"volatile\":" +
+        (includeVolatile ? "true" : "false") + "}";
+}
+
+std::string
+watchFrame(const WatchRequest &request)
+{
+    std::ostringstream out;
+    out << head("watch") << ",\"interval_seconds\":"
+        << obs::jsonNumber(request.intervalSeconds)
+        << ",\"count\":" << request.count
+        << ",\"volatile\":" << (request.includeVolatile ? "true" : "false")
+        << "}";
+    return out.str();
+}
+
+WatchRequest
+watchRequestFrom(const Frame &frame)
+{
+    WatchRequest request;
+    request.intervalSeconds =
+        frame.numOr("interval_seconds", request.intervalSeconds);
+    fatalIf(!(request.intervalSeconds > 0.0),
+            "serve: watch interval must be positive");
+    request.count =
+        static_cast<std::uint64_t>(frame.numOr("count", 0.0));
+    request.includeVolatile = frame.boolOr("volatile", true);
+    return request;
+}
+
+std::string
 submitFrame(const JobOptions &options, const std::vector<BundleFile> &bundle)
 {
     std::ostringstream out;
@@ -186,7 +220,9 @@ submitFrame(const JobOptions &options, const std::vector<BundleFile> &bundle)
         << ",\"pipeline\":" << (options.ingestPipeline ? "true" : "false")
         << ",\"lax\":" << (options.lax ? "true" : "false")
         << ",\"tick\":" << obs::jsonNumber(options.tick)
-        << ",\"payload\":" << quoted(options.payload) << "}";
+        << ",\"payload\":" << quoted(options.payload)
+        << ",\"trace_id\":" << quoted(options.traceId)
+        << ",\"parent_span\":" << quoted(options.parentSpan) << "}";
     if (!bundle.empty()) {
         out << ",\"bundle\":{\"files\":[";
         for (std::size_t i = 0; i < bundle.size(); ++i) {
@@ -226,7 +262,18 @@ jobOptionsFrom(const Frame &frame)
     options.lax = wrapper.boolOr("lax", false);
     options.tick = wrapper.numOr("tick", 0.0);
     options.payload = wrapper.strOr("payload", "");
+    options.traceId = wrapper.strOr("trace_id", "");
+    options.parentSpan = wrapper.strOr("parent_span", "");
     return options;
+}
+
+std::uint64_t
+traceFlowId(const std::string &traceId)
+{
+    Fnv1a h;
+    h.mix(traceId);
+    const std::uint64_t id = h.value();
+    return id == 0 ? 1 : id;
 }
 
 std::vector<BundleFile>
@@ -264,9 +311,74 @@ welcomeFrame(const std::string &server, const std::string &build)
 }
 
 std::string
-pongFrame()
+pongFrame(const PongInfo &info)
 {
-    return head("pong") + "}";
+    std::ostringstream out;
+    out << head("pong") << ",\"uptime_seconds\":"
+        << obs::jsonNumber(info.uptimeSeconds)
+        << ",\"build\":" << quoted(info.build)
+        << ",\"jobs_in_queue\":" << info.jobsInQueue << "}";
+    return out.str();
+}
+
+PongInfo
+pongInfoFrom(const Frame &frame)
+{
+    fatalIf(frame.type != "pong",
+            strformat("serve: expected a pong frame, got %s",
+                      frame.type.c_str()));
+    PongInfo info;
+    info.uptimeSeconds = frame.numOr("uptime_seconds", 0.0);
+    info.build = frame.strOr("build", "");
+    info.jobsInQueue =
+        static_cast<std::uint64_t>(frame.numOr("jobs_in_queue", 0.0));
+    return info;
+}
+
+namespace {
+
+std::string
+statsBody(const char *type, const StatsInfo &info, bool withSeq)
+{
+    std::ostringstream out;
+    out << head(type);
+    if (withSeq)
+        out << ",\"seq\":" << info.seq;
+    out << ",\"prometheus\":" << quoted(info.prometheus)
+        << ",\"uptime_seconds\":" << obs::jsonNumber(info.uptimeSeconds)
+        << ",\"build\":" << quoted(info.build)
+        << ",\"jobs_in_queue\":" << info.jobsInQueue << "}";
+    return out.str();
+}
+
+} // namespace
+
+std::string
+statsOkFrame(const StatsInfo &info)
+{
+    return statsBody("stats_ok", info, false);
+}
+
+std::string
+statsEventFrame(const StatsInfo &info)
+{
+    return statsBody("stats_event", info, true);
+}
+
+StatsInfo
+statsInfoFrom(const Frame &frame)
+{
+    fatalIf(frame.type != "stats_ok" && frame.type != "stats_event",
+            strformat("serve: expected a stats frame, got %s",
+                      frame.type.c_str()));
+    StatsInfo info;
+    info.prometheus = frame.str("prometheus");
+    info.uptimeSeconds = frame.num("uptime_seconds");
+    info.build = frame.str("build");
+    info.jobsInQueue =
+        static_cast<std::uint64_t>(frame.num("jobs_in_queue"));
+    info.seq = static_cast<std::uint64_t>(frame.numOr("seq", 0.0));
+    return info;
 }
 
 std::string
@@ -305,6 +417,9 @@ resultFrame(const ResultInfo &info)
         << ",\"ledger_seq\":" << info.ledgerSeq
         << ",\"ledger_stable\":" << quoted(info.ledgerStable)
         << ",\"wall_seconds\":" << obs::jsonNumber(info.wallSeconds)
+        << ",\"queue_seconds\":" << obs::jsonNumber(info.queueSeconds)
+        << ",\"exec_seconds\":" << obs::jsonNumber(info.execSeconds)
+        << ",\"job_dir\":" << quoted(info.jobDir)
         << ",\"error\":" << quoted(info.error) << "}";
     return out.str();
 }
@@ -323,6 +438,12 @@ resultInfoFrom(const Frame &frame)
     info.ledgerSeq = static_cast<std::uint64_t>(frame.num("ledger_seq"));
     info.ledgerStable = frame.str("ledger_stable");
     info.wallSeconds = frame.num("wall_seconds");
+    // The timing split and artifact path arrived with the
+    // introspection plane; tolerate result frames from daemons that
+    // predate them.
+    info.queueSeconds = frame.numOr("queue_seconds", 0.0);
+    info.execSeconds = frame.numOr("exec_seconds", 0.0);
+    info.jobDir = frame.strOr("job_dir", "");
     info.error = frame.str("error");
     return info;
 }

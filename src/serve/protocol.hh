@@ -13,21 +13,34 @@
  *     submit     {v, type, job, options{},    enqueue one job; job is
  *                 bundle{files[{path,         "pipeline", "ingest" or
  *                 content}]}?}                "noop"; bundle only for
- *                                            ingest uploads
+ *                                            ingest uploads; options
+ *                                            may carry trace_id /
+ *                                            parent_span for
+ *                                            cross-process stitching
+ *     stats      {v, type, volatile}          one live metrics scrape
+ *     watch      {v, type, interval_seconds,  periodic scrapes;
+ *                 count, volatile}            count 0 = forever
  *     shutdown   {v, type}                    request graceful stop
  *
  *   server -> client
  *     welcome    {v, type, server, build,     hello reply
  *                 max_frame_bytes}
- *     pong       {v, type}
+ *     pong       {v, type, uptime_seconds,    liveness + health
+ *                 build, jobs_in_queue}
  *     accepted   {v, type, job_id, queue_depth}
  *     rejected   {v, type, reason}            admission refused
  *     progress   {v, type, job_id, done, total, label}
+ *     stats_ok   {v, type, prometheus,        stats reply; prometheus
+ *                 uptime_seconds, build,      is text exposition of
+ *                 jobs_in_queue}              the daemon domain
+ *     stats_event {v, type, seq, prometheus,  one watch tick
+ *                 uptime_seconds, build,
+ *                 jobs_in_queue}
  *     result     {v, type, job_id, status,    status "ok"/"failed";
  *                 report, run_id, ledger_seq, report is the full
  *                 ledger_stable, wall_seconds, rendered text; the
- *                 error}                      stable block is the
- *                                            byte-identity golden
+ *                 queue_seconds, exec_seconds, stable block is the
+ *                 job_dir, error}             byte-identity golden
  *     error      {v, type, message}           protocol-level fault
  *     shutdown_ok {v, type}
  *
@@ -117,6 +130,22 @@ std::string helloFrame(const std::string &tenant);
 std::string pingFrame();
 std::string shutdownFrame();
 
+/** One live scrape; @p includeVolatile adds uptime/latency series. */
+std::string statsFrame(bool includeVolatile);
+
+/** Periodic scrape request parsed from a watch frame. */
+struct WatchRequest
+{
+    double intervalSeconds = 2.0;
+    /** Number of stats_event frames to stream; 0 = until the client
+     *  disconnects or the daemon stops. */
+    std::uint64_t count = 0;
+    bool includeVolatile = true;
+};
+
+std::string watchFrame(const WatchRequest &request);
+WatchRequest watchRequestFrom(const Frame &frame);
+
 /** Options of one submitted job, mirroring the one-shot CLI flags. */
 struct JobOptions
 {
@@ -133,6 +162,15 @@ struct JobOptions
     double tick = 0.0;
     /** noop: payload echoed back in the result report. */
     std::string payload;
+    /**
+     * Client-generated trace id (16 hex chars by convention). When
+     * non-empty the job runner roots the job's span tree under it
+     * and emits flow events keyed off it, so the client can stitch
+     * its trace and the server's into one timeline (serve/stitch.hh).
+     */
+    std::string traceId;
+    /** Client span the job is a child of (informational). */
+    std::string parentSpan;
 };
 
 std::string submitFrame(const JobOptions &options,
@@ -140,6 +178,15 @@ std::string submitFrame(const JobOptions &options,
 
 /** Parse the options of a validated submit frame. */
 JobOptions jobOptionsFrom(const Frame &frame);
+
+/**
+ * The flow-event chain id derived from @p traceId (FNV-1a over the
+ * id string; never 0 so it stays distinguishable from "no flow").
+ * Client and daemon derive it independently from the trace id in the
+ * submit frame: the submit->job-begin arrow uses this id, the
+ * job-end->result arrow uses id + 1.
+ */
+std::uint64_t traceFlowId(const std::string &traceId);
 
 /** Parse the bundle files of a validated submit frame (may be empty;
  *  fatal() on unsafe paths or malformed entries). */
@@ -149,7 +196,36 @@ std::vector<BundleFile> bundleFilesFrom(const Frame &frame);
 
 std::string welcomeFrame(const std::string &server,
                          const std::string &build);
-std::string pongFrame();
+
+/** Daemon health at a glance, carried by pong. */
+struct PongInfo
+{
+    double uptimeSeconds = 0.0;
+    std::string build;
+    std::uint64_t jobsInQueue = 0;
+};
+
+std::string pongFrame(const PongInfo &info);
+/** Tolerates bare pongs from older daemons (fields default to 0/""). */
+PongInfo pongInfoFrom(const Frame &frame);
+
+/** Payload of stats_ok and stats_event frames. */
+struct StatsInfo
+{
+    /** Prometheus text exposition of the daemon metric domain. */
+    std::string prometheus;
+    double uptimeSeconds = 0.0;
+    std::string build;
+    std::uint64_t jobsInQueue = 0;
+    /** stats_event only: 0-based index within the watch stream. */
+    std::uint64_t seq = 0;
+};
+
+std::string statsOkFrame(const StatsInfo &info);
+std::string statsEventFrame(const StatsInfo &info);
+/** Parse a stats_ok or stats_event frame. */
+StatsInfo statsInfoFrom(const Frame &frame);
+
 std::string acceptedFrame(std::uint64_t jobId,
                           std::size_t queueDepth);
 std::string rejectedFrame(const std::string &reason);
@@ -172,6 +248,16 @@ struct ResultInfo
     /** Deterministic stable-block JSON of the ledger record. */
     std::string ledgerStable;
     double wallSeconds = 0.0;
+    /** Seconds the job waited in the queue before dispatch. */
+    double queueSeconds = 0.0;
+    /** Seconds the job spent executing (excluding queue wait). */
+    double execSeconds = 0.0;
+    /**
+     * The job's artifact directory on the daemon's filesystem
+     * (trace.json, events.jsonl, ...). Meaningful to clients sharing
+     * that filesystem — the loopback stitching case.
+     */
+    std::string jobDir;
     /** Failure message when status is "failed". */
     std::string error;
 };

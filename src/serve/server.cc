@@ -2,11 +2,14 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "obs/flightrec.hh"
 #include "report/capture.hh"
 
 namespace mbs {
@@ -58,9 +61,24 @@ Server::~Server()
 void
 Server::start()
 {
+    startedAt = std::chrono::steady_clock::now();
+    // The daemon always flies with the crash recorder armed: a fatal
+    // signal or terminate mid-job dumps the last few thousand
+    // span/event entries (obs/flightrec.hh).
+    obs::FlightRecorder::instance().arm();
     listener = listenOn(cfg.port);
     listenPort = boundPort(listener);
     dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
+double
+Server::uptimeSeconds() const
+{
+    if (startedAt == std::chrono::steady_clock::time_point{})
+        return 0.0;
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - startedAt)
+        .count();
 }
 
 void
@@ -93,11 +111,80 @@ void
 Server::dispatchLoop()
 {
     while (auto job = queue.take()) {
+        metrics.setQueueDepth(queue.depth());
+        job->queueSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - job->enqueuedAt)
+                .count();
         const ResultInfo info = runner.run(*job);
-        if (info.status == "ok")
+        // A failed job reports no separate execution timing; its
+        // whole wall time stands in so the latency histograms still
+        // see the job.
+        const double execSeconds =
+            info.execSeconds > 0.0 ? info.execSeconds
+                                   : info.wallSeconds;
+        if (info.status == "ok") {
             counters.completed.fetch_add(1);
-        else
+            metrics.onCompleted(job->tenant, job->queueSeconds,
+                                execSeconds);
+        } else {
             counters.failed.fetch_add(1);
+            metrics.onFailed(job->tenant, job->queueSeconds,
+                             execSeconds);
+        }
+    }
+}
+
+PongInfo
+Server::makePong()
+{
+    PongInfo info;
+    info.uptimeSeconds = uptimeSeconds();
+    info.build = report::buildStamp();
+    info.jobsInQueue = queue.depth();
+    return info;
+}
+
+StatsInfo
+Server::makeStats(bool includeVolatile)
+{
+    StatsInfo info;
+    info.uptimeSeconds = uptimeSeconds();
+    info.build = report::buildStamp();
+    info.jobsInQueue = queue.depth();
+    // The depth gauge is refreshed at scrape time: admissions and
+    // dispatches both update it, but a scrape between the two should
+    // still see the live queue.
+    metrics.setQueueDepth(info.jobsInQueue);
+    info.prometheus = metrics.render(includeVolatile,
+                                     info.uptimeSeconds);
+    return info;
+}
+
+void
+Server::watchLoop(SessionState &st, const WatchRequest &request)
+{
+    const double interval =
+        std::min(std::max(request.intervalSeconds, 0.01), 3600.0);
+    for (std::uint64_t sent = 0;
+         request.count == 0 || sent < request.count; ++sent) {
+        if (stopping.load())
+            break;
+        StatsInfo info = makeStats(request.includeVolatile);
+        info.seq = sent;
+        if (!st.send(statsEventFrame(info)))
+            break;
+        if (request.count != 0 && sent + 1 >= request.count)
+            break;
+        // Sleep in short slices so a graceful stop is noticed long
+        // before a multi-second interval elapses.
+        double remaining = interval;
+        while (remaining > 0.0 && !stopping.load()) {
+            const double slice = std::min(remaining, 0.05);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(slice));
+            remaining -= slice;
+        }
     }
 }
 
@@ -196,13 +283,19 @@ Server::session(std::shared_ptr<SessionState> state)
                 continue;
             }
             if (frame.type == "ping") {
-                st.send(pongFrame());
+                st.send(pongFrame(makePong()));
+            } else if (frame.type == "stats") {
+                st.send(statsOkFrame(
+                    makeStats(frame.boolOr("volatile", true))));
+            } else if (frame.type == "watch") {
+                watchLoop(st, watchRequestFrom(frame));
             } else if (frame.type == "submit") {
                 Job job;
                 job.id = nextJobId.fetch_add(1);
                 job.tenant = st.tenant;
                 job.options = jobOptionsFrom(frame);
                 job.bundle = bundleFilesFrom(frame);
+                job.enqueuedAt = std::chrono::steady_clock::now();
                 job.reply = [state](const std::string &f) {
                     return state->send(f);
                 };
@@ -210,14 +303,18 @@ Server::session(std::shared_ptr<SessionState> state)
                 switch (queue.offer(std::move(job))) {
                 case JobQueue::Offer::Accepted:
                     counters.accepted.fetch_add(1);
+                    metrics.onAccepted(st.tenant);
+                    metrics.setQueueDepth(queue.depth());
                     st.send(acceptedFrame(id, queue.depth()));
                     break;
                 case JobQueue::Offer::Full:
                     counters.rejected.fetch_add(1);
+                    metrics.onRejected(st.tenant);
                     st.send(rejectedFrame("queue full"));
                     break;
                 case JobQueue::Offer::Closed:
                     counters.rejected.fetch_add(1);
+                    metrics.onRejected(st.tenant);
                     st.send(rejectedFrame("server shutting down"));
                     break;
                 }

@@ -6,7 +6,11 @@
  * Threading model:
  *   - run() owns the accept loop (one thread, usually main).
  *   - every accepted connection gets a detached-by-join session
- *     thread that speaks the protocol and offers jobs to the queue;
+ *     thread that speaks the protocol and offers jobs to the queue.
+ *     stats/watch frames are answered right on the session thread,
+ *     which is what makes a scrape work *mid-job*: the dispatcher
+ *     may be deep inside a pipeline run while a monitoring session
+ *     reads the daemon metric domain;
  *   - ONE dispatcher thread takes jobs and runs them serially —
  *     jobs reset process-wide observability state (see
  *     job_runner.hh), so two cannot overlap. Parallelism lives
@@ -27,12 +31,14 @@
 #define MBS_SERVE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "serve/daemon_metrics.hh"
 #include "serve/job_queue.hh"
 #include "serve/job_runner.hh"
 #include "serve/net.hh"
@@ -50,9 +56,12 @@ struct ServerConfig
 };
 
 /** Daemon-lifetime counters (stderr summary on shutdown). These are
- *  plain atomics, NOT MetricsRegistry instruments: the registry is
- *  reset per job to keep ledger records byte-identical to one-shot
- *  runs, and daemon bookkeeping must never leak into that block. */
+ *  plain atomics, NOT process-wide MetricsRegistry instruments: that
+ *  registry is reset per job to keep ledger records byte-identical
+ *  to one-shot runs, and daemon bookkeeping must never leak into
+ *  that block. The scrape-able mirror of these counters lives in the
+ *  server's own DaemonMetrics domain (daemon_metrics.hh), updated at
+ *  the same sites. */
 struct ServerStats
 {
     std::atomic<std::uint64_t> connections{0};
@@ -90,17 +99,28 @@ class Server
 
     const ServerStats &stats() const { return counters; }
 
+    /** The daemon-scoped metric domain behind stats/watch frames. */
+    DaemonMetrics &daemonMetrics() { return metrics; }
+
+    /** Seconds since start(); 0 before it. */
+    double uptimeSeconds() const;
+
   private:
     struct SessionState;
 
     void dispatchLoop();
     void session(std::shared_ptr<SessionState> state);
     void reapSessions(bool all);
+    PongInfo makePong();
+    StatsInfo makeStats(bool includeVolatile);
+    void watchLoop(SessionState &st, const WatchRequest &request);
 
     ServerConfig cfg;
     JobRunner runner;
     JobQueue queue;
     ServerStats counters;
+    DaemonMetrics metrics;
+    std::chrono::steady_clock::time_point startedAt{};
 
     Socket listener;
     std::uint16_t listenPort = 0;

@@ -1,0 +1,186 @@
+#include "serve/stitch.hh"
+
+#include <utility>
+#include <vector>
+
+#include "common/json_parse.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "obs/json.hh"
+
+namespace mbs {
+namespace serve {
+
+namespace {
+
+/** First member named @p key, mutable (objects only). */
+JsonValue *
+findMut(JsonValue &value, const std::string &key)
+{
+    for (auto &[k, v] : value.object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+/**
+ * Serialize @p value back to JSON, members in document order. The
+ * tracer's own exporter only emits objects/arrays/strings/numbers,
+ * but bools and nulls are covered for forward compatibility.
+ */
+void
+appendJson(std::string &out, const JsonValue &value)
+{
+    switch (value.type) {
+      case JsonValue::Type::Null:
+        out += "null";
+        break;
+      case JsonValue::Type::Bool:
+        out += value.boolean ? "true" : "false";
+        break;
+      case JsonValue::Type::Number:
+        out += obs::jsonNumber(value.number);
+        break;
+      case JsonValue::Type::String:
+        out += '"';
+        out += obs::jsonEscape(value.str);
+        out += '"';
+        break;
+      case JsonValue::Type::Array: {
+        out += "[";
+        bool first = true;
+        for (const auto &v : value.array) {
+            if (!first)
+                out += ", ";
+            first = false;
+            appendJson(out, v);
+        }
+        out += "]";
+        break;
+      }
+      case JsonValue::Type::Object: {
+        out += "{";
+        bool first = true;
+        for (const auto &[k, v] : value.object) {
+            if (!first)
+                out += ", ";
+            first = false;
+            out += '"';
+            out += obs::jsonEscape(k);
+            out += "\": ";
+            appendJson(out, v);
+        }
+        out += "}";
+        break;
+      }
+    }
+}
+
+/** The event's name when it is a process_name metadata record. */
+bool
+isProcessName(const JsonValue &event)
+{
+    const JsonValue *name = event.find("name");
+    return name && name->isString() && name->str == "process_name";
+}
+
+double
+epochOf(const JsonValue &doc, const char *which)
+{
+    const JsonValue *epoch = doc.find("epochMicros");
+    fatalIf(epoch == nullptr || !epoch->isNumber(),
+            strformat("stitch: %s trace lacks the epochMicros "
+                      "anchor (re-export it with this build)",
+                      which));
+    return epoch->number;
+}
+
+std::string
+processNameMeta(int pid, const std::string &name)
+{
+    return strformat("  {\"name\": \"process_name\", \"ph\": \"M\", "
+                     "\"pid\": %d, \"tid\": 0, \"args\": "
+                     "{\"name\": \"%s\"}}",
+                     pid, name.c_str());
+}
+
+} // namespace
+
+std::string
+stitchTraces(const std::string &clientJson,
+             const std::string &serverJson)
+{
+    JsonValue client = parseJson(clientJson);
+    JsonValue server = parseJson(serverJson);
+    fatalIf(!client.isObject() || !server.isObject(),
+            "stitch: trace documents must be JSON objects");
+    const double clientEpoch = epochOf(client, "client");
+    const double serverEpoch = epochOf(server, "server");
+    // Both epochs read the same steady clock (same machine), so this
+    // delta maps a server-relative timestamp onto the client's
+    // timeline exactly.
+    const double delta = serverEpoch - clientEpoch;
+
+    std::string out = "{\n\"displayTimeUnit\": \"ms\",\n";
+    out += strformat("\"epochMicros\": %llu,\n",
+                     (unsigned long long)clientEpoch);
+
+    // Merge run metadata: client keys verbatim, server keys behind a
+    // "serve." prefix so neither side shadows the other.
+    out += "\"otherData\": {";
+    bool first = true;
+    auto emitData = [&](const JsonValue *data,
+                        const std::string &prefix) {
+        if (data == nullptr || !data->isObject())
+            return;
+        for (const auto &[k, v] : data->object) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += "  \"";
+            out += obs::jsonEscape(prefix + k);
+            out += "\": ";
+            appendJson(out, v);
+        }
+    };
+    emitData(client.find("otherData"), "");
+    emitData(server.find("otherData"), "serve.");
+    out += first ? "},\n" : "\n},\n";
+
+    out += "\"traceEvents\": [\n";
+    out += processNameMeta(1, "mobilebench client") + ",\n";
+    out += processNameMeta(2, "mobilebench serve");
+
+    const JsonValue *clientEvents = client.find("traceEvents");
+    fatalIf(clientEvents == nullptr || !clientEvents->isArray(),
+            "stitch: client trace has no traceEvents array");
+    for (const auto &event : clientEvents->array) {
+        if (isProcessName(event))
+            continue;
+        out += ",\n  ";
+        appendJson(out, event);
+    }
+
+    JsonValue *serverEvents = findMut(server, "traceEvents");
+    fatalIf(serverEvents == nullptr || !serverEvents->isArray(),
+            "stitch: server trace has no traceEvents array");
+    for (auto &event : serverEvents->array) {
+        if (!event.isObject() || isProcessName(event))
+            continue;
+        if (JsonValue *pid = findMut(event, "pid"))
+            pid->number = 2.0;
+        if (JsonValue *ts = findMut(event, "ts")) {
+            ts->number += delta;
+            if (ts->number < 0.0)
+                ts->number = 0.0;
+        }
+        out += ",\n  ";
+        appendJson(out, event);
+    }
+
+    out += "\n]\n}\n";
+    return out;
+}
+
+} // namespace serve
+} // namespace mbs

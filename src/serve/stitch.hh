@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Cross-process trace stitching for the serve protocol.
+ *
+ * A `mobilebench submit` that carries a trace id produces *two*
+ * Chrome trace documents: the client's (its submit span plus a flow
+ * 's'/'f' pair) and the daemon's per-job trace.json (the job's span
+ * tree rooted at serve.job, with the matching flow anchors). Both
+ * record timestamps relative to their own tracer epoch, but each
+ * export carries that epoch as a top-level `epochMicros` key read
+ * from the shared steady clock — so on one machine (the loopback
+ * serve case) the two timelines can be aligned exactly.
+ *
+ * stitchTraces() merges them into one document:
+ *   - client events keep pid 1, server events move to pid 2,
+ *   - server timestamps are shifted by (serverEpoch - clientEpoch),
+ *   - process_name metadata labels the two lanes,
+ *   - the flow arrows (ids derived from the trace id, see
+ *     serve::traceFlowId) connect submit -> job -> result across the
+ *     process boundary.
+ *
+ * The result loads in Perfetto / chrome://tracing as a single
+ * timeline with arrows across the two process tracks.
+ */
+
+#ifndef MBS_SERVE_STITCH_HH
+#define MBS_SERVE_STITCH_HH
+
+#include <string>
+
+namespace mbs {
+namespace serve {
+
+/**
+ * Merge @p clientJson and @p serverJson (two Chrome trace documents
+ * exported by obs::Tracer) into one stitched document.
+ *
+ * @throws FatalError when either document is malformed or lacks the
+ *         epochMicros anchor this build's tracer exports.
+ */
+std::string stitchTraces(const std::string &clientJson,
+                         const std::string &serverJson);
+
+} // namespace serve
+} // namespace mbs
+
+#endif // MBS_SERVE_STITCH_HH

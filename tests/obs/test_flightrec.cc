@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the always-on flight recorder: ring wraparound keeps the
+ * newest entries in order, drop accounting is exact, concurrent
+ * writers stay on their own rings (exercised under the sanitizer
+ * lanes), every dump line is valid JSON, and the fatal-signal path
+ * writes a parseable dump from a forked child that crashes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_parse.hh"
+#include "obs/flightrec.hh"
+#include "obs/signals.hh"
+#include "obs/trace.hh"
+
+#include "json_check.hh"
+
+namespace mbs {
+namespace {
+
+using obs::FlightRecorder;
+
+class FlightRecTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        FlightRecorder::instance().resetForTest();
+        FlightRecorder::instance().arm();
+    }
+
+    void TearDown() override
+    {
+        FlightRecorder::instance().resetForTest();
+    }
+};
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        out.push_back(line);
+    return out;
+}
+
+/** Entry lines of @p dump parsed to (seq, name), this thread only. */
+std::vector<std::pair<std::uint64_t, std::string>>
+entriesOf(const std::string &dump)
+{
+    std::vector<std::pair<std::uint64_t, std::string>> out;
+    for (const auto &line : lines(dump)) {
+        const JsonValue doc = parseJson(line);
+        if (doc.find("seq") == nullptr)
+            continue;
+        out.emplace_back(std::uint64_t(doc.at("seq").number),
+                         doc.at("name").str);
+    }
+    return out;
+}
+
+TEST_F(FlightRecTest, RecordsEntriesWithSequentialSeq)
+{
+    auto &rec = FlightRecorder::instance();
+    rec.note('B', "alpha");
+    rec.note('e', "beta");
+    rec.note('E', "alpha");
+    const auto entries = entriesOf(rec.dumpJsonl());
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].first, 0u);
+    EXPECT_EQ(entries[0].second, "alpha");
+    EXPECT_EQ(entries[1].first, 1u);
+    EXPECT_EQ(entries[1].second, "beta");
+    EXPECT_EQ(entries[2].first, 2u);
+}
+
+TEST_F(FlightRecTest, EveryDumpLineIsValidJson)
+{
+    auto &rec = FlightRecorder::instance();
+    rec.note('B', "name with \"quotes\" and \\slashes\\");
+    rec.note('e', std::string(200, 'x')); // truncated to kNameBytes
+    for (const auto &line : lines(rec.dumpJsonl()))
+        EXPECT_TRUE(test::JsonChecker::valid(line)) << line;
+}
+
+TEST_F(FlightRecTest, WraparoundKeepsNewestEntriesInOrder)
+{
+    auto &rec = FlightRecorder::instance();
+    const std::size_t total = FlightRecorder::kRingEntries + 100;
+    for (std::size_t i = 0; i < total; ++i)
+        rec.note('e', "evt-" + std::to_string(i));
+    const auto entries = entriesOf(rec.dumpJsonl());
+    ASSERT_EQ(entries.size(), FlightRecorder::kRingEntries);
+    // The surviving window is exactly the newest kRingEntries, in
+    // sequence order.
+    const std::uint64_t first = total - FlightRecorder::kRingEntries;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        EXPECT_EQ(entries[i].first, first + i);
+        EXPECT_EQ(entries[i].second,
+                  "evt-" + std::to_string(first + i));
+    }
+}
+
+TEST_F(FlightRecTest, DropAccountingIsExact)
+{
+    auto &rec = FlightRecorder::instance();
+    const std::uint64_t total = FlightRecorder::kRingEntries + 37;
+    for (std::uint64_t i = 0; i < total; ++i)
+        rec.note('e', "x");
+    const auto stats = rec.threadStats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].written, total);
+    EXPECT_EQ(stats[0].dropped, total - FlightRecorder::kRingEntries);
+
+    // The same numbers appear on the dump's per-thread stat line.
+    bool found = false;
+    for (const auto &line : lines(rec.dumpJsonl())) {
+        const JsonValue doc = parseJson(line);
+        if (doc.find("dropped") == nullptr)
+            continue;
+        found = true;
+        EXPECT_EQ(std::uint64_t(doc.at("written").number), total);
+        EXPECT_EQ(std::uint64_t(doc.at("dropped").number),
+                  total - FlightRecorder::kRingEntries);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(FlightRecTest, DisarmedNotesRecordNothing)
+{
+    auto &rec = FlightRecorder::instance();
+    rec.disarm();
+    rec.note('B', "ignored");
+    EXPECT_TRUE(entriesOf(rec.dumpJsonl()).empty());
+}
+
+TEST_F(FlightRecTest, ScopedSpanFeedsTheRecorderEvenWhenTracerOff)
+{
+    obs::Tracer::instance().setEnabled(false);
+    {
+        obs::ScopedSpan span("recorded.span", "test");
+    }
+    const auto entries =
+        entriesOf(FlightRecorder::instance().dumpJsonl());
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].second, "recorded.span");
+    EXPECT_EQ(entries[1].second, "recorded.span");
+}
+
+TEST_F(FlightRecTest, ConcurrentWritersEachGetTheirOwnRing)
+{
+    auto &rec = FlightRecorder::instance();
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 2000; // > kRingEntries: forces wrap
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&rec, t] {
+            // Built in two steps: GCC 12 mis-fires -Wrestrict on the
+            // one-line literal + temporary concatenation here.
+            std::string name = "w";
+            name += std::to_string(t);
+            for (int i = 0; i < kPerThread; ++i)
+                rec.note('e', name);
+        });
+    }
+    // Dump concurrently with the writers: torn entries must be
+    // skipped, never emitted garbled (sanitizer lanes watch the
+    // memory accesses themselves).
+    for (int i = 0; i < 10; ++i) {
+        for (const auto &line : lines(rec.dumpJsonl()))
+            EXPECT_TRUE(test::JsonChecker::valid(line)) << line;
+    }
+    for (auto &w : writers)
+        w.join();
+
+    std::uint64_t written = 0;
+    for (const auto &s : rec.threadStats())
+        written += s.written;
+    // This thread may have noted nothing; the writers account for
+    // exactly kThreads * kPerThread entries.
+    EXPECT_EQ(written, std::uint64_t(kThreads) * kPerThread);
+    const auto entries = entriesOf(rec.dumpJsonl());
+    EXPECT_EQ(entries.size(),
+              std::size_t(kThreads) * FlightRecorder::kRingEntries);
+}
+
+TEST_F(FlightRecTest, FatalSignalInForkedChildWritesParseableDump)
+{
+    const std::string path =
+        ::testing::TempDir() + "flightrec_signal_dump.jsonl";
+    std::remove(path.c_str());
+
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: arm, install the dump hook, record some history,
+        // then die on a real fatal signal. _exit codes mark setup
+        // failures; the parent asserts on the signal death.
+        auto &rec = FlightRecorder::instance();
+        rec.arm();
+        obs::installFatalSignalDump(path);
+        for (int i = 0; i < 100; ++i)
+            rec.note('e', "pre-crash-" + std::to_string(i));
+        std::raise(SIGSEGV);
+        _exit(97); // unreachable
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "no dump at " << path;
+    std::ostringstream content;
+    content << in.rdbuf();
+    const std::string dump = content.str();
+    ASSERT_FALSE(dump.empty());
+    for (const auto &line : lines(dump))
+        EXPECT_TRUE(test::JsonChecker::valid(line)) << line;
+    // The child's pre-crash history survived into the dump.
+    EXPECT_NE(dump.find("pre-crash-99"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace mbs

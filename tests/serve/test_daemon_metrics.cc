@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Exposition tests for the daemon-scoped metric domain: every family
+ * carries `# HELP`, per-tenant variants render as labeled series with
+ * the `le` label spliced into histogram buckets, the stable/volatile
+ * split holds (idle stable scrapes byte-compare equal, wall-clock
+ * series stay out of them), and the derived percentile gauges refresh
+ * at render time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.hh"
+#include "serve/daemon_metrics.hh"
+
+namespace mbs {
+namespace serve {
+namespace {
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        out.push_back(line);
+    return out;
+}
+
+/** Drive a small fixed workload through the domain. */
+void
+feed(DaemonMetrics &m)
+{
+    m.onAccepted("team-a");
+    m.onAccepted("team-a");
+    m.onAccepted("team-b");
+    m.onRejected("team-b");
+    m.onCompleted("team-a", 0.002, 0.030);
+    m.onCompleted("team-a", 0.004, 0.050);
+    m.onFailed("team-b", 0.200, 1.500);
+    m.setQueueDepth(1);
+}
+
+TEST(DaemonMetrics, EveryFamilyHasHelp)
+{
+    DaemonMetrics m;
+    feed(m);
+    const auto all = lines(m.render(true, 12.5));
+    // Every `# TYPE fam ...` line must be directly preceded by
+    // `# HELP fam ...` — i.e. every metric-creation site passed a
+    // description.
+    int families = 0;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        if (!startsWith(all[i], "# TYPE "))
+            continue;
+        ++families;
+        ASSERT_GT(i, 0u);
+        const std::string family = split(all[i].substr(7), ' ')[0];
+        EXPECT_TRUE(startsWith(all[i - 1], "# HELP " + family + " "))
+            << all[i] << " preceded by " << all[i - 1];
+    }
+    EXPECT_GE(families, 10);
+}
+
+TEST(DaemonMetrics, LabeledCountersRenderPerTenant)
+{
+    DaemonMetrics m;
+    feed(m);
+    const std::string text = m.render(true, 1.0);
+    EXPECT_NE(text.find("serve_jobs_accepted 3\n"),
+              std::string::npos) << text;
+    EXPECT_NE(text.find("serve_jobs_accepted{tenant=\"team-a\"} 2\n"),
+              std::string::npos) << text;
+    EXPECT_NE(text.find("serve_jobs_accepted{tenant=\"team-b\"} 1\n"),
+              std::string::npos) << text;
+    EXPECT_NE(text.find("serve_jobs_rejected{tenant=\"team-b\"} 1\n"),
+              std::string::npos) << text;
+    EXPECT_NE(text.find("serve_jobs_completed 2\n"),
+              std::string::npos) << text;
+    EXPECT_NE(text.find("serve_jobs_failed{tenant=\"team-b\"} 1\n"),
+              std::string::npos) << text;
+    EXPECT_NE(text.find("serve_queue_depth 1\n"),
+              std::string::npos) << text;
+}
+
+TEST(DaemonMetrics, TenantHistogramBucketsMergeLeLabel)
+{
+    DaemonMetrics m;
+    feed(m);
+    const std::string text = m.render(true, 1.0);
+    // The tenant label block and the le label share one brace pair.
+    EXPECT_NE(text.find("serve_queue_wait_seconds_bucket"
+                        "{tenant=\"team-a\",le=\"0.005\"} 2\n"),
+              std::string::npos) << text;
+    EXPECT_NE(text.find("serve_queue_wait_seconds_bucket"
+                        "{tenant=\"team-a\",le=\"+Inf\"} 2\n"),
+              std::string::npos) << text;
+    EXPECT_NE(text.find("serve_exec_seconds_count"
+                        "{tenant=\"team-b\"} 1\n"),
+              std::string::npos) << text;
+    // Aggregate series sees all three finished jobs.
+    EXPECT_NE(text.find("serve_queue_wait_seconds_count 3\n"),
+              std::string::npos) << text;
+    // HELP/TYPE are emitted once per family even with the labeled
+    // fan-out.
+    const std::string type =
+        "# TYPE serve_queue_wait_seconds histogram";
+    const std::size_t first = text.find(type);
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(text.find(type, first + 1), std::string::npos) << text;
+}
+
+TEST(DaemonMetrics, StableViewExcludesWallClockSeries)
+{
+    DaemonMetrics m;
+    feed(m);
+    const std::string stable = m.render(false, 99.0);
+    EXPECT_EQ(stable.find("uptime"), std::string::npos) << stable;
+    EXPECT_EQ(stable.find("queue_wait"), std::string::npos) << stable;
+    EXPECT_EQ(stable.find("exec_seconds"), std::string::npos)
+        << stable;
+    EXPECT_NE(stable.find("serve_jobs_accepted 3\n"),
+              std::string::npos) << stable;
+    EXPECT_NE(stable.find("serve_build_info{build="),
+              std::string::npos) << stable;
+    // The volatile view carries everything the stable one does.
+    const std::string full = m.render(true, 99.0);
+    EXPECT_NE(full.find("serve_uptime_seconds 99\n"),
+              std::string::npos) << full;
+}
+
+TEST(DaemonMetrics, IdleStableScrapesAreByteIdentical)
+{
+    DaemonMetrics m;
+    feed(m);
+    // Different uptimes, different wall clocks: the stable view must
+    // not notice.
+    const std::string a = m.render(false, 1.0);
+    const std::string b = m.render(false, 3600.0);
+    EXPECT_EQ(a, b);
+    // And a second domain fed the identical sequence renders the
+    // identical stable text.
+    DaemonMetrics m2;
+    feed(m2);
+    EXPECT_EQ(m2.render(false, 7.0), a);
+}
+
+TEST(DaemonMetrics, PercentileGaugesRefreshAtRender)
+{
+    DaemonMetrics m;
+    for (int i = 0; i < 100; ++i)
+        m.onCompleted("t", 0.010, 0.100);
+    const std::string text = m.render(true, 1.0);
+    // All observations sit in one bucket, so every quantile
+    // interpolates inside (0.005, 0.01] for queue wait and
+    // (0.05, 0.1] for exec.
+    for (const char *q : {"p50", "p95", "p99"}) {
+        const std::string qw =
+            "serve_queue_wait_seconds_" + std::string(q);
+        // Anchor at a line start so the family's HELP line (which
+        // also contains "name ") cannot match.
+        const std::size_t at = text.find("\n" + qw + " ");
+        ASSERT_NE(at, std::string::npos) << qw << "\n" << text;
+        const double value =
+            std::stod(text.substr(at + qw.size() + 2));
+        EXPECT_GT(value, 0.005) << qw;
+        EXPECT_LE(value, 0.010 + 1e-12) << qw;
+    }
+    EXPECT_NE(text.find("serve_exec_seconds_p99{tenant=\"t\"}"),
+              std::string::npos) << text;
+}
+
+TEST(DaemonMetrics, FreshDomainStillExposesDocumentedFamilies)
+{
+    // Even before any job, the admission counters, depth gauge and
+    // build info render (with HELP) so a scrape right after startup
+    // is never empty.
+    DaemonMetrics m;
+    const std::string text = m.render(false, 0.0);
+    for (const char *family :
+         {"serve_jobs_accepted", "serve_jobs_rejected",
+          "serve_jobs_completed", "serve_jobs_failed",
+          "serve_queue_depth", "serve_build_info"}) {
+        EXPECT_NE(text.find("# HELP " + std::string(family) + " "),
+                  std::string::npos) << family << "\n" << text;
+    }
+}
+
+} // namespace
+} // namespace serve
+} // namespace mbs

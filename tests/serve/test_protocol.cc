@@ -166,6 +166,135 @@ TEST(ServeProtocol, ResultRoundTrips)
     EXPECT_EQ(back.error, "store exploded");
 }
 
+TEST(ServeProtocol, SubmitRoundTripsTraceContext)
+{
+    JobOptions options;
+    options.job = "noop";
+    options.traceId = "00c0ffee00c0ffee";
+    options.parentSpan = "serve.submit";
+    const JobOptions parsed =
+        jobOptionsFrom(Frame::parse(submitFrame(options)));
+    EXPECT_EQ(parsed.traceId, "00c0ffee00c0ffee");
+    EXPECT_EQ(parsed.parentSpan, "serve.submit");
+
+    // Absent trace context parses to empty (old clients).
+    const JobOptions bare = jobOptionsFrom(
+        Frame::parse(submitFrame(JobOptions{})));
+    EXPECT_EQ(bare.traceId, "");
+    EXPECT_EQ(bare.parentSpan, "");
+}
+
+TEST(ServeProtocol, TraceFlowIdIsDeterministicAndNonZero)
+{
+    const std::uint64_t id = traceFlowId("00c0ffee00c0ffee");
+    EXPECT_EQ(id, traceFlowId("00c0ffee00c0ffee"));
+    EXPECT_NE(id, 0u);
+    EXPECT_NE(id, traceFlowId("00c0ffee00c0ffef"));
+    EXPECT_NE(traceFlowId(""), 0u);
+}
+
+TEST(ServeProtocol, PongRoundTripsHealth)
+{
+    PongInfo info;
+    info.uptimeSeconds = 12.5;
+    info.build = "abc1234";
+    info.jobsInQueue = 3;
+    const PongInfo back =
+        pongInfoFrom(Frame::parse(pongFrame(info)));
+    EXPECT_DOUBLE_EQ(back.uptimeSeconds, 12.5);
+    EXPECT_EQ(back.build, "abc1234");
+    EXPECT_EQ(back.jobsInQueue, 3u);
+
+    // A bare pong from an older daemon parses to defaults.
+    const PongInfo old = pongInfoFrom(
+        Frame::parse("{\"v\":1,\"type\":\"pong\"}"));
+    EXPECT_DOUBLE_EQ(old.uptimeSeconds, 0.0);
+    EXPECT_EQ(old.build, "");
+    EXPECT_EQ(old.jobsInQueue, 0u);
+}
+
+TEST(ServeProtocol, StatsRequestCarriesVolatileFlag)
+{
+    const Frame on = Frame::parse(statsFrame(true));
+    EXPECT_EQ(on.type, "stats");
+    EXPECT_TRUE(on.boolOr("volatile", false));
+    const Frame off = Frame::parse(statsFrame(false));
+    EXPECT_FALSE(off.boolOr("volatile", true));
+}
+
+TEST(ServeProtocol, WatchRoundTripsRequest)
+{
+    WatchRequest request;
+    request.intervalSeconds = 0.25;
+    request.count = 7;
+    request.includeVolatile = false;
+    const WatchRequest back =
+        watchRequestFrom(Frame::parse(watchFrame(request)));
+    EXPECT_DOUBLE_EQ(back.intervalSeconds, 0.25);
+    EXPECT_EQ(back.count, 7u);
+    EXPECT_FALSE(back.includeVolatile);
+
+    // Defaults survive a minimal frame.
+    const WatchRequest bare = watchRequestFrom(
+        Frame::parse("{\"v\":1,\"type\":\"watch\"}"));
+    EXPECT_DOUBLE_EQ(bare.intervalSeconds, 2.0);
+    EXPECT_EQ(bare.count, 0u);
+    EXPECT_TRUE(bare.includeVolatile);
+}
+
+TEST(ServeProtocol, StatsFramesRoundTripExposition)
+{
+    StatsInfo info;
+    info.prometheus =
+        "# HELP serve_jobs_accepted Jobs admitted.\n"
+        "# TYPE serve_jobs_accepted counter\n"
+        "serve_jobs_accepted 5\n";
+    info.uptimeSeconds = 2.75;
+    info.build = "deadbeef";
+    info.jobsInQueue = 2;
+    info.seq = 9;
+
+    const Frame ok = Frame::parse(statsOkFrame(info));
+    EXPECT_EQ(ok.type, "stats_ok");
+    const StatsInfo backOk = statsInfoFrom(ok);
+    EXPECT_EQ(backOk.prometheus, info.prometheus);
+    EXPECT_DOUBLE_EQ(backOk.uptimeSeconds, 2.75);
+    EXPECT_EQ(backOk.build, "deadbeef");
+    EXPECT_EQ(backOk.jobsInQueue, 2u);
+
+    const Frame event = Frame::parse(statsEventFrame(info));
+    EXPECT_EQ(event.type, "stats_event");
+    const StatsInfo backEvent = statsInfoFrom(event);
+    EXPECT_EQ(backEvent.seq, 9u);
+    EXPECT_EQ(backEvent.prometheus, info.prometheus);
+}
+
+TEST(ServeProtocol, ResultRoundTripsLatencySplitAndJobDir)
+{
+    ResultInfo info;
+    info.jobId = 11;
+    info.status = "ok";
+    info.wallSeconds = 0.5;
+    info.queueSeconds = 0.125;
+    info.execSeconds = 0.375;
+    info.jobDir = "/var/serve/jobs/job-000011";
+    const ResultInfo back =
+        resultInfoFrom(Frame::parse(resultFrame(info)));
+    EXPECT_DOUBLE_EQ(back.queueSeconds, 0.125);
+    EXPECT_DOUBLE_EQ(back.execSeconds, 0.375);
+    EXPECT_EQ(back.jobDir, "/var/serve/jobs/job-000011");
+
+    // Results from an older daemon lack the split: defaults hold.
+    const ResultInfo old = resultInfoFrom(Frame::parse(
+        "{\"v\":1,\"type\":\"result\",\"job_id\":1,"
+        "\"status\":\"ok\",\"report\":\"\",\"run_id\":\"\","
+        "\"ledger_seq\":0,\"ledger_stable\":\"\","
+        "\"wall_seconds\":0.1,\"error\":\"\"}"));
+    EXPECT_DOUBLE_EQ(old.queueSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(old.execSeconds, 0.0);
+    EXPECT_EQ(old.jobDir, "");
+}
+
 TEST(ServeProtocol, ProgressFrameFields)
 {
     const Frame frame =

@@ -10,15 +10,22 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "common/json_parse.hh"
 #include "common/logging.hh"
+#include "common/strings.hh"
+#include "obs/trace.hh"
 #include "serve/client.hh"
 #include "serve/net.hh"
 #include "serve/protocol.hh"
 #include "serve/server.hh"
+#include "serve/stitch.hh"
 
 namespace mbs {
 namespace serve {
@@ -205,6 +212,154 @@ TEST_F(ServeTest, ShutdownFrameStopsTheDaemon)
     accept.join();
     // The listener is gone: new connections are refused.
     EXPECT_THROW(connectTo(server->port()), FatalError);
+}
+
+TEST_F(ServeTest, EnrichedPongCarriesHealth)
+{
+    Client client(server->port());
+    const PongInfo pong = client.ping();
+    EXPECT_GE(pong.uptimeSeconds, 0.0);
+    EXPECT_EQ(pong.build, client.welcome().build);
+    EXPECT_EQ(pong.jobsInQueue, 0u);
+}
+
+TEST_F(ServeTest, StatsScrapeReconcilesWithServerCounters)
+{
+    Client client(server->port(), "team-a");
+    JobOptions noop;
+    noop.job = "noop";
+    for (int i = 0; i < 3; ++i)
+        ASSERT_EQ(client.submit(noop).status, "ok");
+
+    const StatsInfo info = client.stats();
+    EXPECT_EQ(info.build, client.welcome().build);
+    EXPECT_GE(info.uptimeSeconds, 0.0);
+    // The daemon domain survives the per-job registry reset: the
+    // scrape agrees with the server's own counters.
+    EXPECT_EQ(server->stats().completed.load(), 3u);
+    EXPECT_NE(info.prometheus.find("serve_jobs_accepted 3\n"),
+              std::string::npos) << info.prometheus;
+    EXPECT_NE(info.prometheus.find("serve_jobs_completed 3\n"),
+              std::string::npos) << info.prometheus;
+    EXPECT_NE(info.prometheus.find(
+                  "serve_jobs_completed{tenant=\"team-a\"} 3\n"),
+              std::string::npos) << info.prometheus;
+    // The volatile scrape carries the latency split.
+    EXPECT_NE(info.prometheus.find("serve_queue_wait_seconds_count 3"),
+              std::string::npos) << info.prometheus;
+    EXPECT_NE(info.prometheus.find("serve_uptime_seconds"),
+              std::string::npos) << info.prometheus;
+
+    // Two idle stable-only scrapes are byte-identical and free of
+    // wall-clock series.
+    const StatsInfo a = client.stats(false);
+    const StatsInfo b = client.stats(false);
+    EXPECT_EQ(a.prometheus, b.prometheus);
+    EXPECT_EQ(a.prometheus.find("uptime"), std::string::npos);
+    EXPECT_EQ(a.prometheus.find("queue_wait"), std::string::npos);
+}
+
+TEST_F(ServeTest, WatchDeliversCountedTicksWithSequenceNumbers)
+{
+    Client client(server->port());
+    WatchRequest request;
+    request.intervalSeconds = 0.01;
+    request.count = 3;
+    std::vector<StatsInfo> events;
+    client.watch(request, [&events](const StatsInfo &info) {
+        events.push_back(info);
+    });
+    ASSERT_EQ(events.size(), 3u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].seq, i);
+        EXPECT_NE(events[i].prometheus.find("serve_jobs_accepted"),
+                  std::string::npos);
+    }
+    // The session is still usable after a finite watch stream.
+    client.ping();
+}
+
+TEST_F(ServeTest, FailedJobLeavesFlightRecorderDump)
+{
+    Client client(server->port());
+    JobOptions options;
+    options.job = "ingest";
+    const std::vector<BundleFile> bogus = {
+        {"manifest.json", "this is not json"},
+    };
+    const ResultInfo info = client.submit(options, bogus);
+    ASSERT_EQ(info.status, "failed");
+
+    const fs::path dump =
+        root / "work" / "job-000001" / "flightrec.jsonl";
+    ASSERT_TRUE(fs::exists(dump)) << dump;
+    std::ifstream in(dump);
+    std::string line;
+    int parsed = 0;
+    while (std::getline(in, line)) {
+        EXPECT_NO_THROW(parseJson(line)) << line;
+        ++parsed;
+    }
+    EXPECT_GT(parsed, 0);
+}
+
+TEST_F(ServeTest, PipelineJobExportsStitchableTrace)
+{
+    // The server side of the tentpole stitch: a submit carrying a
+    // trace id yields a job trace.json whose flow anchors use the
+    // ids both ends derive independently from that trace id.
+    auto &tracer = obs::Tracer::instance();
+    const bool wasEnabled = tracer.enabled();
+    tracer.setEnabled(true);
+
+    Client client(server->port());
+    JobOptions options = pipelineJob();
+    options.traceId = "00c0ffee00c0ffee";
+    options.parentSpan = "serve.submit";
+    const ResultInfo info = client.submit(options);
+    tracer.setEnabled(wasEnabled);
+    ASSERT_EQ(info.status, "ok") << info.error;
+    ASSERT_FALSE(info.jobDir.empty());
+
+    const fs::path tracePath = fs::path(info.jobDir) / "trace.json";
+    ASSERT_TRUE(fs::exists(tracePath)) << tracePath;
+    std::ifstream in(tracePath);
+    std::ostringstream content;
+    content << in.rdbuf();
+    const std::string serverTrace = content.str();
+
+    const std::string beginId = strformat(
+        "0x%llx",
+        (unsigned long long)traceFlowId(options.traceId));
+    const std::string endId = strformat(
+        "0x%llx",
+        (unsigned long long)(traceFlowId(options.traceId) + 1));
+    EXPECT_NE(serverTrace.find("serve.job"), std::string::npos);
+    EXPECT_NE(serverTrace.find("\"id\": \"" + beginId + "\""),
+              std::string::npos) << serverTrace.substr(0, 2000);
+    EXPECT_NE(serverTrace.find("\"id\": \"" + endId + "\""),
+              std::string::npos);
+    EXPECT_NE(serverTrace.find("00c0ffee00c0ffee"),
+              std::string::npos);
+
+    // And it stitches against a client-side document into one
+    // parseable timeline with the server lane on pid 2.
+    const std::string clientTrace =
+        "{\"epochMicros\": 0, \"otherData\": {},"
+        " \"traceEvents\": ["
+        "{\"name\": \"serve.submit\", \"cat\": \"serve\","
+        " \"ph\": \"s\", \"ts\": 1, \"pid\": 1, \"tid\": 1,"
+        " \"id\": \"" + beginId + "\"}]}";
+    const JsonValue doc =
+        parseJson(stitchTraces(clientTrace, serverTrace));
+    bool sawServerLane = false;
+    for (const auto &event : doc.at("traceEvents").array) {
+        const JsonValue *name = event.find("name");
+        if (name && name->str == "serve.job" &&
+            event.at("pid").number == 2.0)
+            sawServerLane = true;
+    }
+    EXPECT_TRUE(sawServerLane);
 }
 
 TEST(ServeAdmission, FullQueueRejectsSubmit)

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Trace-stitching tests: two Chrome trace documents (client and
+ * server) merge into one parseable timeline — server events land on
+ * pid 2 with their timestamps re-anchored via the epochMicros delta,
+ * flow arrows survive, process_name lanes label both sides, and run
+ * metadata merges under a "serve." prefix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json_parse.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "obs/trace.hh"
+#include "serve/stitch.hh"
+
+namespace mbs {
+namespace serve {
+namespace {
+
+/** A handcrafted client trace anchored at steady-clock 1000 us. */
+std::string
+clientTrace()
+{
+    return "{\n"
+           "\"displayTimeUnit\": \"ms\",\n"
+           "\"epochMicros\": 1000,\n"
+           "\"otherData\": {\"run_id\": \"c0ffee\"},\n"
+           "\"traceEvents\": [\n"
+           "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1,"
+           " \"tid\": 0, \"args\": {\"name\": \"old client lane\"}},\n"
+           "  {\"name\": \"serve.submit\", \"cat\": \"serve\","
+           " \"ph\": \"X\", \"ts\": 10, \"dur\": 500, \"pid\": 1,"
+           " \"tid\": 7},\n"
+           "  {\"name\": \"serve.submit\", \"cat\": \"serve\","
+           " \"ph\": \"s\", \"ts\": 12, \"pid\": 1, \"tid\": 7,"
+           " \"id\": \"0xdead\"}\n"
+           "]\n}\n";
+}
+
+/** A server trace anchored 400 us after the client's epoch. */
+std::string
+serverTrace()
+{
+    return "{\n"
+           "\"displayTimeUnit\": \"ms\",\n"
+           "\"epochMicros\": 1400,\n"
+           "\"otherData\": {\"run_id\": \"beef\"},\n"
+           "\"traceEvents\": [\n"
+           "  {\"name\": \"serve.job\", \"cat\": \"serve\","
+           " \"ph\": \"X\", \"ts\": 100, \"dur\": 50, \"pid\": 1,"
+           " \"tid\": 3},\n"
+           "  {\"name\": \"serve.submit\", \"cat\": \"serve\","
+           " \"ph\": \"f\", \"bp\": \"e\", \"ts\": 101, \"pid\": 1,"
+           " \"tid\": 3, \"id\": \"0xdead\"}\n"
+           "]\n}\n";
+}
+
+const JsonValue *
+eventNamed(const JsonValue &doc, const std::string &name,
+           const std::string &phase)
+{
+    for (const auto &event : doc.at("traceEvents").array) {
+        const JsonValue *n = event.find("name");
+        const JsonValue *ph = event.find("ph");
+        if (n && ph && n->str == name && ph->str == phase)
+            return &event;
+    }
+    return nullptr;
+}
+
+TEST(Stitch, MergesIntoOneParseableDocument)
+{
+    const std::string out =
+        stitchTraces(clientTrace(), serverTrace());
+    const JsonValue doc = parseJson(out);
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.at("displayTimeUnit").str, "ms");
+    // The stitched document keeps the client's steady-clock anchor.
+    EXPECT_EQ(doc.at("epochMicros").number, 1000.0);
+    ASSERT_TRUE(doc.at("traceEvents").isArray());
+}
+
+TEST(Stitch, ServerEventsMoveToPidTwoWithShiftedTimestamps)
+{
+    const JsonValue doc =
+        parseJson(stitchTraces(clientTrace(), serverTrace()));
+    // Client slice: untouched.
+    const JsonValue *submit = eventNamed(doc, "serve.submit", "X");
+    ASSERT_NE(submit, nullptr);
+    EXPECT_EQ(submit->at("pid").number, 1.0);
+    EXPECT_EQ(submit->at("ts").number, 10.0);
+    // Server slice: pid remapped, ts shifted by the 400 us epoch
+    // delta onto the client timeline.
+    const JsonValue *job = eventNamed(doc, "serve.job", "X");
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->at("pid").number, 2.0);
+    EXPECT_EQ(job->at("ts").number, 500.0);
+    EXPECT_EQ(job->at("dur").number, 50.0);
+}
+
+TEST(Stitch, FlowArrowsSurviveWithMatchingIds)
+{
+    const JsonValue doc =
+        parseJson(stitchTraces(clientTrace(), serverTrace()));
+    const JsonValue *start = eventNamed(doc, "serve.submit", "s");
+    const JsonValue *finish = eventNamed(doc, "serve.submit", "f");
+    ASSERT_NE(start, nullptr);
+    ASSERT_NE(finish, nullptr);
+    EXPECT_EQ(start->at("id").str, finish->at("id").str);
+    EXPECT_EQ(finish->at("bp").str, "e");
+    // The arrow crosses the process boundary.
+    EXPECT_EQ(start->at("pid").number, 1.0);
+    EXPECT_EQ(finish->at("pid").number, 2.0);
+}
+
+TEST(Stitch, ProcessLanesAreLabeledAndOldMetadataDropped)
+{
+    const JsonValue doc =
+        parseJson(stitchTraces(clientTrace(), serverTrace()));
+    int lanes = 0;
+    for (const auto &event : doc.at("traceEvents").array) {
+        if (event.at("name").str != "process_name")
+            continue;
+        ++lanes;
+        const std::string label = event.at("args").at("name").str;
+        const double pid = event.at("pid").number;
+        EXPECT_TRUE((pid == 1.0 && label == "mobilebench client") ||
+                    (pid == 2.0 && label == "mobilebench serve"))
+            << label;
+    }
+    // Exactly the two synthesized lanes; "old client lane" is gone.
+    EXPECT_EQ(lanes, 2);
+}
+
+TEST(Stitch, OtherDataMergesUnderServePrefix)
+{
+    const JsonValue doc =
+        parseJson(stitchTraces(clientTrace(), serverTrace()));
+    const JsonValue &data = doc.at("otherData");
+    EXPECT_EQ(data.at("run_id").str, "c0ffee");
+    EXPECT_EQ(data.at("serve.run_id").str, "beef");
+}
+
+TEST(Stitch, NegativeShiftedTimestampsClampToZero)
+{
+    // Server epoch *before* the client epoch (job raced ahead):
+    // delta is negative and early server events clamp at 0.
+    const std::string server =
+        "{\"epochMicros\": 200, \"traceEvents\": ["
+        "{\"name\": \"early\", \"ph\": \"X\", \"ts\": 100,"
+        " \"dur\": 1, \"pid\": 1, \"tid\": 0}]}";
+    const JsonValue doc =
+        parseJson(stitchTraces(clientTrace(), server));
+    const JsonValue *early = eventNamed(doc, "early", "X");
+    ASSERT_NE(early, nullptr);
+    EXPECT_EQ(early->at("ts").number, 0.0);
+}
+
+TEST(Stitch, MissingEpochIsFatal)
+{
+    const std::string noEpoch = "{\"traceEvents\": []}";
+    EXPECT_THROW(stitchTraces(noEpoch, serverTrace()), FatalError);
+    EXPECT_THROW(stitchTraces(clientTrace(), noEpoch), FatalError);
+}
+
+TEST(Stitch, RealTracerExportsStitch)
+{
+    // End to end against the actual exporter: record spans + flow
+    // halves in two tracer generations and stitch the exports.
+    auto &tracer = obs::Tracer::instance();
+    tracer.clear();
+    tracer.setEnabled(true);
+    {
+        obs::ScopedSpan span("serve.submit", "serve");
+        tracer.flow('s', "serve.submit", "serve", 0xdeadull);
+    }
+    const std::string client = tracer.exportJson();
+
+    tracer.clear();
+    {
+        obs::ScopedSpan span("serve.job", "serve");
+        tracer.flow('f', "serve.submit", "serve", 0xdeadull);
+    }
+    const std::string server = tracer.exportJson();
+    tracer.clear();
+    tracer.setEnabled(false);
+
+    const JsonValue doc = parseJson(stitchTraces(client, server));
+    EXPECT_NE(eventNamed(doc, "serve.submit", "s"), nullptr);
+    EXPECT_NE(eventNamed(doc, "serve.submit", "f"), nullptr);
+    // The tracer exports spans as B/E pairs; both land on pid 2.
+    const JsonValue *job = eventNamed(doc, "serve.job", "B");
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->at("pid").number, 2.0);
+    const JsonValue *end = eventNamed(doc, "serve.job", "E");
+    ASSERT_NE(end, nullptr);
+    EXPECT_EQ(end->at("pid").number, 2.0);
+}
+
+} // namespace
+} // namespace serve
+} // namespace mbs

@@ -49,6 +49,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,7 @@
 #include "core/pipeline.hh"
 #include "core/report.hh"
 #include "obs/events.hh"
+#include "obs/flightrec.hh"
 #include "obs/metrics.hh"
 #include "obs/progress.hh"
 #include "obs/selfprof.hh"
@@ -73,6 +75,7 @@
 #include "serve/client.hh"
 #include "serve/loadgen.hh"
 #include "serve/server.hh"
+#include "serve/stitch.hh"
 #include "ingest/bundle_reader.hh"
 #include "ingest/bundle_writer.hh"
 #include "report/capture.hh"
@@ -130,6 +133,10 @@ constexpr const char *commandList =
     "  loadgen                     drive a daemon with N clients x "
     "M jobs\n"
     "                              and report latency p50/p95/p99\n"
+    "  stats                       scrape a daemon's live metrics "
+    "(--port;\n"
+    "                              Prometheus text; --watch streams "
+    "ticks)\n"
     "  version                     build stamp (also --version)\n"
     "  help                        this message (also --help, -h)\n";
 
@@ -219,6 +226,29 @@ printUsage(std::FILE *out)
                  "(default), pipeline\n"
                  "  --latency-out <file> loadgen: write the "
                  "latency summary JSON\n"
+                 "  --ping               submit: health check only "
+                 "(pong health\n"
+                 "                       on stdout; exit 1 when "
+                 "unreachable)\n"
+                 "  --stitch-trace <f>   submit: merge the client "
+                 "and daemon\n"
+                 "                       traces of this job into "
+                 "one Chrome\n"
+                 "                       trace file (loopback "
+                 "daemons)\n"
+                 "  --watch              stats: stream periodic "
+                 "scrapes\n"
+                 "  --interval <s>       stats --watch: seconds "
+                 "between ticks\n"
+                 "                       (default 2)\n"
+                 "  --count <n>          stats --watch: stop after "
+                 "n ticks\n"
+                 "                       (default 0 = until the "
+                 "daemon stops)\n"
+                 "  --stable-only        stats: deterministic "
+                 "stable-class\n"
+                 "                       series only (no uptime / "
+                 "latency)\n"
                  "fault injection (any command; chaos):\n"
                  "  --fault-spec <s>     explicit plan, e.g. "
                  "store.read:eio@3,\n"
@@ -460,6 +490,18 @@ struct GlobalFlags
     std::string jobType = "noop";
     /** loadgen: latency summary JSON output path; empty = none. */
     std::string latencyOut;
+    /** submit: health-check only (ping/pong round trip). */
+    bool ping = false;
+    /** submit: stitched client+daemon trace output; empty = none. */
+    std::string stitchTrace;
+    /** stats: stream periodic scrapes instead of a one-shot. */
+    bool watch = false;
+    /** stats --watch: seconds between ticks. */
+    double interval = 2.0;
+    /** stats --watch: ticks to stream; 0 = until the daemon stops. */
+    std::uint64_t count = 0;
+    /** stats: stable-class series only (deterministic scrape). */
+    bool stableOnly = false;
 
     /** Apply the execution flags to a session's options. */
     ProfileOptions sessionOptions(ProfileCache *cache) const
@@ -896,6 +938,12 @@ cmdServe(const GlobalFlags &flags)
     config.runner.cacheDir = flags.cacheDir;
     config.runner.jobs = flags.jobs;
     serve::Server server(config);
+    // A daemon crash should leave evidence even outside any job:
+    // route the fatal-signal flight-recorder dump next to the
+    // per-job artifact directories.
+    obs::installFatalSignalDump(
+        (std::filesystem::path(flags.serveDir) / "flightrec.jsonl")
+            .string());
     server.start();
     // The ready line is the startup contract: scripts and CI wait
     // for it on stdout and read the (possibly ephemeral) port back.
@@ -917,6 +965,26 @@ cmdSubmit(const std::vector<std::string> &args,
           const GlobalFlags &flags)
 {
     fatalIf(flags.port == 0, "submit: --port is required");
+    if (flags.ping) {
+        // Health check: exit 0 with the daemon's vitals, exit 1
+        // (with the reason on stderr) when it cannot be reached —
+        // the shape scripts and CI readiness probes want.
+        try {
+            serve::Client client(flags.port, flags.tenant);
+            const serve::PongInfo pong = client.ping();
+            std::printf("submit: daemon healthy — up %.1f s "
+                        "(build %s), %llu job(s) queued\n",
+                        pong.uptimeSeconds, pong.build.c_str(),
+                        (unsigned long long)pong.jobsInQueue);
+            return 0;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "submit: daemon unreachable on port %u: "
+                         "%s\n",
+                         unsigned(flags.port), e.what());
+            return 1;
+        }
+    }
     serve::JobOptions job;
     std::vector<serve::BundleFile> bundle;
     if (args.size() >= 2) {
@@ -929,6 +997,11 @@ cmdSubmit(const std::vector<std::string> &args,
     job.faultSpec = flags.faultSpec;
     job.faultRate = flags.faultRate;
     job.faultSeed = flags.faultSeed;
+    // Every submit carries a trace id: the client's submit span and
+    // the daemon's job span tree share it, and the flow anchors it
+    // keys make `--stitch-trace` a pure post-processing step.
+    job.traceId = serve::makeTraceId();
+    job.parentSpan = "serve.submit";
 
     serve::Client client(flags.port, flags.tenant);
     std::function<void(std::size_t, std::size_t,
@@ -949,13 +1022,44 @@ cmdSubmit(const std::vector<std::string> &args,
                      result.error.c_str());
         return 1;
     }
+    if (!flags.stitchTrace.empty()) {
+        // Merge this process' trace with the daemon's per-job
+        // trace.json (written before the result frame went out).
+        // Only meaningful when daemon and client share a
+        // filesystem — the loopback case the daemon serves.
+        fatalIf(result.jobDir.empty(),
+                "submit: daemon reported no job directory to "
+                "stitch from (older build?)");
+        const std::string serverPath =
+            (std::filesystem::path(result.jobDir) / "trace.json")
+                .string();
+        std::ifstream in(serverPath, std::ios::binary);
+        fatalIf(!in, "submit: cannot read daemon trace '" +
+                         serverPath + "'");
+        std::ostringstream serverJson;
+        serverJson << in.rdbuf();
+        const std::string stitched = serve::stitchTraces(
+            obs::Tracer::instance().exportJson(), serverJson.str());
+        std::ofstream out(flags.stitchTrace,
+                          std::ios::binary | std::ios::trunc);
+        out << stitched;
+        out.flush();
+        fatalIf(!out.good(),
+                "submit: cannot write --stitch-trace '" +
+                    flags.stitchTrace + "'");
+        std::fprintf(stderr, "submit: stitched trace -> %s\n",
+                     flags.stitchTrace.c_str());
+    }
     // stdout carries the report alone so it stays byte-comparable
     // with the one-shot command's output; bookkeeping goes to
     // stderr exactly like the one-shot ledger notice.
     std::printf("%s", result.report.c_str());
-    std::fprintf(stderr, "submit: job %llu done in %.2f s",
+    std::fprintf(stderr,
+                 "submit: job %llu done in %.2f s (queued %.3f s, "
+                 "ran %.3f s)",
                  (unsigned long long)result.jobId,
-                 result.wallSeconds);
+                 result.wallSeconds, result.queueSeconds,
+                 result.execSeconds);
     if (result.ledgerSeq > 0) {
         std::fprintf(stderr, " (run %s, ledger seq %llu)",
                      result.runId.substr(0, 8).c_str(),
@@ -1005,6 +1109,40 @@ cmdLoadgen(const GlobalFlags &flags)
     captureContext.runs = options.jobsPerClient;
     captureContext.tickSeconds = 0.0;
     return summary.failed > 0 ? 1 : 0;
+}
+
+int
+cmdStats(const GlobalFlags &flags)
+{
+    fatalIf(flags.port == 0, "stats: --port is required");
+    serve::Client client(flags.port, flags.tenant);
+    const bool includeVolatile = !flags.stableOnly;
+    if (!flags.watch) {
+        // stdout is the Prometheus text alone (pipe it straight
+        // into promtool or a diff); the health line goes to stderr.
+        const serve::StatsInfo info = client.stats(includeVolatile);
+        std::fprintf(stderr,
+                     "stats: daemon up %.1f s (build %s), %llu "
+                     "job(s) queued\n",
+                     info.uptimeSeconds, info.build.c_str(),
+                     (unsigned long long)info.jobsInQueue);
+        std::printf("%s", info.prometheus.c_str());
+        return 0;
+    }
+    serve::WatchRequest request;
+    request.intervalSeconds = flags.interval;
+    request.count = flags.count;
+    request.includeVolatile = includeVolatile;
+    client.watch(request, [](const serve::StatsInfo &info) {
+        // The tick banner is a Prometheus comment, so a captured
+        // watch stream still parses as exposition text.
+        std::printf("# tick %llu: up %.1f s, %llu job(s) queued\n%s",
+                    (unsigned long long)info.seq, info.uptimeSeconds,
+                    (unsigned long long)info.jobsInQueue,
+                    info.prometheus.c_str());
+        std::fflush(stdout);
+    });
+    return 0;
 }
 
 int
@@ -1493,6 +1631,31 @@ parseFlags(int argc, char **argv, GlobalFlags &flags)
                     "--job-type must be noop or pipeline");
         } else if (arg == "--latency-out")
             flags.latencyOut = valueOf("--latency-out");
+        else if (arg == "--ping")
+            flags.ping = true;
+        else if (arg == "--stitch-trace")
+            flags.stitchTrace = valueOf("--stitch-trace");
+        else if (arg == "--watch")
+            flags.watch = true;
+        else if (arg == "--interval") {
+            const std::string v = valueOf("--interval");
+            try {
+                flags.interval = std::stod(v);
+            } catch (const std::exception &) {
+                fatal("--interval requires a number of seconds, "
+                      "got '" + v + "'");
+            }
+            fatalIf(flags.interval <= 0.0, "--interval must be > 0");
+        } else if (arg == "--count") {
+            const std::string v = valueOf("--count");
+            try {
+                flags.count = std::stoull(v);
+            } catch (const std::exception &) {
+                fatal("--count requires an integer, got '" + v +
+                      "'");
+            }
+        } else if (arg == "--stable-only")
+            flags.stableOnly = true;
         else
             fatal("unknown flag '" + arg +
                   "'; see: mobilebench --help for usage");
@@ -1543,6 +1706,8 @@ dispatch(const std::vector<std::string> &args,
         return cmdSubmit(args, flags);
     if (cmd == "loadgen")
         return cmdLoadgen(flags);
+    if (cmd == "stats")
+        return cmdStats(flags);
     // A known command with missing arguments is a usage error; an
     // unrecognized word gets the command list.
     static const char *known[] = {"list", "profile", "counters",
@@ -1550,7 +1715,7 @@ dispatch(const std::vector<std::string> &args,
                                   "energy", "catalog", "load",
                                   "cache", "telemetry", "ingest",
                                   "report", "compare", "serve",
-                                  "submit", "loadgen"};
+                                  "submit", "loadgen", "stats"};
     for (const char *k : known) {
         if (cmd == k)
             return usage();
@@ -1599,6 +1764,19 @@ main(int argc, char **argv)
         sink.configure(telemetry);
         if (telemetry.anyConfigured())
             sink.installAbnormalExitFlush();
+
+        // The flight recorder flies on every command: per-thread
+        // rings a few hundred KB total, written with two relaxed
+        // atomics per span — cheap enough to never turn off. A
+        // telemetry run also gets the fatal-signal dump (SIGSEGV and
+        // friends write flightrec.jsonl into the bundle directory).
+        obs::FlightRecorder::instance().arm();
+        if (!flags.telemetryDir.empty()) {
+            obs::installFatalSignalDump(
+                (std::filesystem::path(flags.telemetryDir) /
+                 "flightrec.jsonl")
+                    .string());
+        }
 
         // Ledger records carry the run's logical-clock duration:
         // keep the clock live for recording commands even when no

@@ -2,16 +2,23 @@
 # End-to-end smoke of the serve daemon over a real socket:
 #
 #   1. daemon up on an ephemeral port (parsed from the ready line)
-#   2. pipeline job over the socket
-#   3. the same job under an injected fault plan — recovered, daemon
+#   2. health probe (`submit --ping`) against the live daemon
+#   3. pipeline job over the socket, stitched into one cross-process
+#      trace via --stitch-trace
+#   4. the same job under an injected fault plan — recovered, daemon
 #      still serving
-#   4. the same pipeline through the one-shot CLI into the same
+#   5. live stats scrape mid-run: the daemon-domain counters must
+#      agree with the number of jobs submitted, and two idle
+#      stable-only scrapes must be byte-identical
+#   6. the same pipeline through the one-shot CLI into the same
 #      ledger; reports and ledger stable blocks must be
 #      byte-identical (compare at threshold 0)
-#   5. the serve job's trace bundle re-ingested over the socket vs
+#   7. the serve job's trace bundle re-ingested over the socket vs
 #      one-shot `ingest --pipeline`
-#   6. loadgen with a latency artifact
-#   7. SIGTERM drains gracefully with a clean exit code
+#   8. loadgen with a latency artifact carrying the queue-wait /
+#      execution split from the result frames
+#   9. SIGTERM drains gracefully with a clean exit code; a ping
+#      against the dead port must fail with a non-zero exit
 #
 # Usage: serve_smoke.sh /path/to/mobilebench
 set -euo pipefail
@@ -52,14 +59,61 @@ if [ -z "$PORT" ]; then
 fi
 echo "# daemon ready on port $PORT"
 
-# --- pipeline job over the socket (ledger seq 1) -------------------
-"$MB" submit --port "$PORT" >"$WORK/serve_pipeline.out"
+# --- health probe against the live daemon --------------------------
+"$MB" submit --port "$PORT" --ping || {
+    echo "FAIL: ping against the live daemon failed" >&2
+    exit 1
+}
+
+# --- pipeline job over the socket (ledger seq 1), stitched ---------
+"$MB" submit --port "$PORT" --stitch-trace "$WORK/stitched.json" \
+    >"$WORK/serve_pipeline.out"
+# The stitched document is one timeline with both process lanes and
+# the cross-process flow arrows that connect them.
+grep -q '"mobilebench client"' "$WORK/stitched.json" || {
+    echo "FAIL: stitched trace lacks the client lane" >&2
+    exit 1
+}
+grep -q '"mobilebench serve"' "$WORK/stitched.json" || {
+    echo "FAIL: stitched trace lacks the server lane" >&2
+    exit 1
+}
+grep -q '"ph": "f"' "$WORK/stitched.json" || {
+    echo "FAIL: stitched trace has no flow-finish arrows" >&2
+    exit 1
+}
 
 # --- faulted job: deterministic recovery, daemon survives (seq 2) --
 "$MB" submit --port "$PORT" --fault-spec "exec.task:eio@2" \
     --fault-seed 7 >"$WORK/serve_faulted.out"
 grep -q '"fault.injected"' "$WORK/serve/job-000002/events.jsonl" || {
     echo "FAIL: faulted job logged no injection events" >&2
+    exit 1
+}
+
+# --- live stats: the daemon domain survives per-job resets ---------
+"$MB" stats --port "$PORT" >"$WORK/stats_mid.prom" 2>/dev/null
+grep -q '^serve_jobs_completed 2$' "$WORK/stats_mid.prom" || {
+    echo "FAIL: mid-run scrape does not report 2 completed jobs" >&2
+    cat "$WORK/stats_mid.prom" >&2
+    exit 1
+}
+grep -q '^# HELP serve_jobs_completed ' "$WORK/stats_mid.prom" || {
+    echo "FAIL: scrape families lack HELP text" >&2
+    exit 1
+}
+grep -q '^serve_uptime_seconds ' "$WORK/stats_mid.prom" || {
+    echo "FAIL: volatile scrape lacks the uptime gauge" >&2
+    exit 1
+}
+# Two idle stable-only scrapes must be byte-identical (the wall
+# clock keeps moving; the deterministic view must not).
+"$MB" stats --port "$PORT" --stable-only \
+    >"$WORK/stats_a.prom" 2>/dev/null
+"$MB" stats --port "$PORT" --stable-only \
+    >"$WORK/stats_b.prom" 2>/dev/null
+cmp "$WORK/stats_a.prom" "$WORK/stats_b.prom" || {
+    echo "FAIL: idle stable-only scrapes differ" >&2
     exit 1
 }
 
@@ -100,6 +154,15 @@ grep -q '"latency_p99_s"' "$WORK/latency.json" || {
     echo "FAIL: latency artifact missing percentiles" >&2
     exit 1
 }
+# The artifact also carries the daemon-reported latency split.
+grep -q '"queue_wait_p99_s"' "$WORK/latency.json" || {
+    echo "FAIL: latency artifact missing the queue-wait split" >&2
+    exit 1
+}
+grep -q '"exec_p99_s"' "$WORK/latency.json" || {
+    echo "FAIL: latency artifact missing the execution split" >&2
+    exit 1
+}
 
 # --- graceful shutdown ---------------------------------------------
 kill -TERM "$SERVER_PID"
@@ -123,5 +186,11 @@ grep -q '^serve: stopped' "$WORK/serve.err" || {
     echo "FAIL: no shutdown summary in the daemon log" >&2
     exit 1
 }
+
+# --- a ping against the dead daemon must fail loudly ---------------
+if "$MB" submit --port "$PORT" --ping 2>/dev/null; then
+    echo "FAIL: ping succeeded against a stopped daemon" >&2
+    exit 1
+fi
 
 echo "serve smoke OK"
