@@ -1,7 +1,9 @@
 #include "common/json_parse.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/strings.hh"
@@ -14,7 +16,16 @@ namespace {
 class Parser
 {
   public:
-    explicit Parser(const std::string &text_) : text(text_) {}
+    explicit Parser(const std::string &text_) : text(text_)
+    {
+        // Line-start offsets for O(log n) position lookups: both the
+        // error path and every parsed node carry line/column.
+        lineStarts.push_back(0);
+        for (std::size_t i = 0; i < text.size(); ++i) {
+            if (text[i] == '\n')
+                lineStarts.push_back(i + 1);
+        }
+    }
 
     JsonValue
     document()
@@ -26,18 +37,21 @@ class Parser
     }
 
   private:
+    /** 1-based line/column of byte offset @p at. */
+    std::pair<std::size_t, std::size_t>
+    position(std::size_t at) const
+    {
+        const auto it = std::upper_bound(lineStarts.begin(),
+                                         lineStarts.end(), at);
+        const std::size_t line = std::size_t(it - lineStarts.begin());
+        return {line, at - lineStarts[line - 1] + 1};
+    }
+
     [[noreturn]] void
     fail(const std::string &what) const
     {
-        std::size_t line = 1, column = 1;
-        for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
-            if (text[i] == '\n') {
-                ++line;
-                column = 1;
-            } else {
-                ++column;
-            }
-        }
+        const auto [line, column] =
+            position(pos < text.size() ? pos : text.size());
         fatal(strformat("JSON parse error at line %zu column %zu: ",
                         line, column) + what);
     }
@@ -93,6 +107,16 @@ class Parser
     {
         skipSpace();
         failIf(pos >= text.size(), "unexpected end of input");
+        const auto [line, column] = position(pos);
+        JsonValue v = bareValue();
+        v.line = line;
+        v.column = column;
+        return v;
+    }
+
+    JsonValue
+    bareValue()
+    {
         JsonValue v;
         switch (peek()) {
           case '{':
@@ -296,6 +320,7 @@ class Parser
 
     const std::string &text;
     std::size_t pos = 0;
+    std::vector<std::size_t> lineStarts;
 };
 
 } // namespace

@@ -26,6 +26,11 @@ struct JsonValue
     enum class Type { Null, Bool, Number, String, Array, Object };
 
     Type type = Type::Null;
+    /** 1-based position of the value's first character in the source
+     *  document; lets consumers (the spec compiler, ingest) report
+     *  `file:line:column` diagnostics against parsed nodes. */
+    std::size_t line = 0;
+    std::size_t column = 0;
     bool boolean = false;
     double number = 0.0;
     /** String payload (Type::String), UTF-8, escapes resolved. */

@@ -41,6 +41,19 @@ ingestRunIdFor(std::uint64_t socConfigDigest, std::uint64_t bundleDigest,
     return strformat("%016llx", (unsigned long long)h.value());
 }
 
+std::string
+specRunIdFor(std::uint64_t socConfigDigest, std::uint64_t specDigest,
+             std::uint64_t seed, int runs, double tickSeconds)
+{
+    Fnv1a h;
+    h.mix(socConfigDigest);
+    h.mix(specDigest);
+    h.mix(seed);
+    h.mix(runs);
+    h.mix(tickSeconds);
+    return strformat("%016llx", (unsigned long long)h.value());
+}
+
 LedgerRecord
 captureRecord(const CaptureContext &context)
 {

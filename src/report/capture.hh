@@ -57,6 +57,15 @@ std::string ingestRunIdFor(std::uint64_t socConfigDigest,
                            double tickSeconds);
 
 /**
+ * The 16-hex run id of a spec-driven run: the spec digest joins the
+ * profiling parameters so two different spec files can never share a
+ * run identity. Shared by `run --spec` and serve spec jobs.
+ */
+std::string specRunIdFor(std::uint64_t socConfigDigest,
+                         std::uint64_t specDigest, std::uint64_t seed,
+                         int runs, double tickSeconds);
+
+/**
  * Snapshot the current process state into a record. Metrics come
  * from MetricsRegistry (Stable instruments only) and the logical
  * duration from TimeSeriesSampler's logical clock.

@@ -22,6 +22,7 @@
 #include "obs/trace.hh"
 #include "report/capture.hh"
 #include "report/ledger.hh"
+#include "spec/spec.hh"
 #include "store/profile_store.hh"
 
 namespace mbs {
@@ -265,6 +266,8 @@ JobRunner::execute(const Job &job)
                                          traceFlowId(traceId));
         if (job.options.job == "pipeline") {
             info.report = runPipeline(job, context);
+        } else if (job.options.job == "spec") {
+            info.report = runSpec(job, context);
         } else if (job.options.job == "ingest") {
             info.report = runIngest(job, context);
         } else {
@@ -345,6 +348,55 @@ JobRunner::runPipeline(const Job &job, report::CaptureContext &context)
     writer.write(jobDir(job.id) / "trace-bundle");
 
     return renderTableI(registry()) + "\n" +
+        renderReportSections(report);
+}
+
+std::string
+JobRunner::runSpec(const Job &job, report::CaptureContext &context)
+{
+    // The spec body crossed the trust boundary as bytes only; the
+    // compiler's diagnostics use a fixed placeholder name so nothing
+    // a client sends ever shapes daemon-side paths or messages. A
+    // hostile body throws here, which fails the job and leaves the
+    // daemon serving.
+    const spec::WorkloadSpec workloadSpec =
+        spec::compileSpecString(job.options.spec, "<spec>");
+    const WorkloadRegistry specRegistry = workloadSpec.toRegistry();
+
+    const SocConfig config = SocConfig::snapdragon888();
+    PipelineOptions options;
+    options.profile.jobs = cfg.jobs;
+    options.profile.executor = &exec;
+    options.cacheDir = cfg.cacheDir;
+    options.kMax = spec::clampedKMax(specRegistry.units().size());
+    if (job.options.tick > 0.0)
+        options.profile.tickSeconds = job.options.tick;
+
+    const std::string runId = report::specRunIdFor(
+        config.digest(), workloadSpec.digest, options.profile.seed,
+        options.profile.runs, options.profile.tickSeconds);
+    attachRunMetadata(config, options.profile, runId);
+    context.runId = runId;
+    context.socName = config.name;
+    context.socConfigDigest = config.digest();
+    context.suiteDigest = workloadSpec.digest;
+    context.seed = options.profile.seed;
+    context.runs = options.profile.runs;
+    context.tickSeconds = options.profile.tickSeconds;
+
+    const CharacterizationPipeline pipeline(config, options);
+    const auto report = pipeline.run(specRegistry);
+
+    ingest::TraceBundleWriter writer(config,
+                                     options.profile.tickSeconds);
+    for (const auto &p : report.profiles) {
+        const Benchmark &unit = specRegistry.unit(p.name);
+        writer.add(p, unit.totalDurationSeconds(),
+                   unit.individuallyExecutable());
+    }
+    writer.write(jobDir(job.id) / "trace-bundle");
+
+    return renderTableI(specRegistry) + "\n" +
         renderReportSections(report);
 }
 

@@ -80,6 +80,8 @@ class JobRunner
     ResultInfo execute(const Job &job);
     std::string runPipeline(const Job &job,
                             report::CaptureContext &context);
+    std::string runSpec(const Job &job,
+                        report::CaptureContext &context);
     std::string runIngest(const Job &job,
                           report::CaptureContext &context);
 

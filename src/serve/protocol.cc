@@ -214,7 +214,8 @@ submitFrame(const JobOptions &options, const std::vector<BundleFile> &bundle)
     std::ostringstream out;
     out << head("submit") << ",\"job\":" << quoted(options.job)
         << ",\"options\":{"
-        << "\"fault_spec\":" << quoted(options.faultSpec)
+        << "\"spec\":" << quoted(options.spec)
+        << ",\"fault_spec\":" << quoted(options.faultSpec)
         << ",\"fault_rate\":" << obs::jsonNumber(options.faultRate)
         << ",\"fault_seed\":" << options.faultSeed
         << ",\"pipeline\":" << (options.ingestPipeline ? "true" : "false")
@@ -242,8 +243,8 @@ jobOptionsFrom(const Frame &frame)
 {
     JobOptions options;
     options.job = frame.str("job");
-    fatalIf(options.job != "pipeline" && options.job != "ingest" &&
-                options.job != "noop",
+    fatalIf(options.job != "pipeline" && options.job != "spec" &&
+                options.job != "ingest" && options.job != "noop",
             strformat("serve: unknown job kind \"%s\"",
                       options.job.c_str()));
     const JsonValue *opts = frame.doc.find("options");
@@ -254,6 +255,9 @@ jobOptionsFrom(const Frame &frame)
     wrapper.doc = *opts;
     // The wrapper Frame reuses the typed accessors; "v"/"type" are not
     // required on nested objects so only the *Or forms are safe here.
+    options.spec = wrapper.strOr("spec", "");
+    fatalIf(options.job == "spec" && options.spec.empty(),
+            "serve: spec job without a spec body");
     options.faultSpec = wrapper.strOr("fault_spec", "");
     options.faultRate = wrapper.numOr("fault_rate", 0.0);
     options.faultSeed =

@@ -11,9 +11,12 @@
  *     hello      {v, type, tenant}            open a session
  *     ping       {v, type}                    liveness probe
  *     submit     {v, type, job, options{},    enqueue one job; job is
- *                 bundle{files[{path,         "pipeline", "ingest" or
- *                 content}]}?}                "noop"; bundle only for
- *                                            ingest uploads; options
+ *                 bundle{files[{path,         "pipeline", "spec",
+ *                 content}]}?}                "ingest" or "noop";
+ *                                            bundle only for ingest
+ *                                            uploads; a spec job
+ *                                            ships the JSON spec body
+ *                                            in options.spec; options
  *                                            may carry trace_id /
  *                                            parent_span for
  *                                            cross-process stitching
@@ -149,8 +152,15 @@ WatchRequest watchRequestFrom(const Frame &frame);
 /** Options of one submitted job, mirroring the one-shot CLI flags. */
 struct JobOptions
 {
-    /** "pipeline", "ingest" or "noop". */
+    /** "pipeline", "spec", "ingest" or "noop". */
     std::string job = "pipeline";
+    /**
+     * spec: the full JSON spec document, shipped inline over the
+     * wire (no filename crosses the trust boundary; diagnostics use
+     * the fixed name "<spec>"). A hostile body fails the job with a
+     * positioned compile error; the daemon lives on.
+     */
+    std::string spec;
     std::string faultSpec;
     double faultRate = 0.0;
     std::uint64_t faultSeed = 1;

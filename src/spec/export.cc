@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Suite -> spec-JSON serialization. The contract is exactness: the
+ * emitted document compiles back to suites whose digests equal the
+ * input's. Phases are flattened to raw demand bundles (the kernel
+ * tag is kept as a label), every field is explicit, and doubles are
+ * printed with %.17g so strtod recovers the identical bit pattern.
+ */
+
+#include <sstream>
+
+#include "common/strings.hh"
+#include "spec/spec.hh"
+
+namespace mbs {
+namespace spec {
+
+namespace {
+
+std::string
+jsonString(const std::string &text)
+{
+    std::string out = "\"";
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strformat("\\u%04x", unsigned(c));
+            else
+                out.push_back(c);
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+num(double value)
+{
+    return strformat("%.17g", value);
+}
+
+std::string
+bytes(std::uint64_t value)
+{
+    return strformat("%llu", (unsigned long long)value);
+}
+
+const char *
+targetTag(HardwareTarget target)
+{
+    switch (target) {
+      case HardwareTarget::Cpu: return "cpu";
+      case HardwareTarget::Gpu: return "gpu";
+      case HardwareTarget::MemorySubsystem: return "memory";
+      case HardwareTarget::StorageSubsystem: return "storage";
+      case HardwareTarget::Ai: return "ai";
+      case HardwareTarget::EverydayTasks: return "everyday";
+    }
+    return "cpu";
+}
+
+const char *
+apiTag(GraphicsApi api)
+{
+    switch (api) {
+      case GraphicsApi::None: return "none";
+      case GraphicsApi::OpenGlEs: return "opengl";
+      case GraphicsApi::Vulkan: return "vulkan";
+    }
+    return "none";
+}
+
+const char *
+codecTag(MediaCodec codec)
+{
+    switch (codec) {
+      case MediaCodec::None: return "none";
+      case MediaCodec::H264: return "h264";
+      case MediaCodec::H265: return "h265";
+      case MediaCodec::Vp9: return "vp9";
+      case MediaCodec::Av1: return "av1";
+    }
+    return "none";
+}
+
+void
+writeDemand(std::ostringstream &out, const PhaseDemand &d,
+            const std::string &pad)
+{
+    out << pad << "\"demand\": {\n";
+    out << pad << "  \"threads\": [";
+    for (std::size_t i = 0; i < d.threads.size(); ++i) {
+        out << (i == 0 ? "" : ",") << "\n"
+            << pad << "    {\"count\": " << d.threads[i].count
+            << ", \"intensity\": " << num(d.threads[i].intensity)
+            << "}";
+    }
+    out << (d.threads.empty() ? "" : "\n" + pad + "  ") << "],\n";
+    out << pad << "  \"cpu\": {\"base_ipc\": " << num(d.cpu.baseIpc)
+        << ", \"mem_intensity\": " << num(d.cpu.memIntensity)
+        << ", \"working_set_bytes\": " << bytes(d.cpu.workingSetBytes)
+        << ",\n"
+        << pad << "          \"locality\": " << num(d.cpu.locality)
+        << ", \"branch_fraction\": " << num(d.cpu.branchFraction)
+        << ", \"branch_predictability\": "
+        << num(d.cpu.branchPredictability) << "},\n";
+    out << pad << "  \"gpu\": {\"work_rate\": " << num(d.gpu.workRate)
+        << ", \"api\": \"" << apiTag(d.gpu.api) << "\""
+        << ", \"offscreen\": "
+        << (d.gpu.offscreen ? "true" : "false") << ",\n"
+        << pad << "          \"resolution_scale\": "
+        << num(d.gpu.resolutionScale)
+        << ", \"texture_bandwidth\": " << num(d.gpu.textureBandwidth)
+        << ", \"texture_bytes\": " << bytes(d.gpu.textureBytes)
+        << "},\n";
+    out << pad << "  \"aie\": {\"work_rate\": " << num(d.aie.workRate)
+        << ", \"codec\": \"" << codecTag(d.aie.codec) << "\"},\n";
+    out << pad << "  \"memory\": {\"footprint_bytes\": "
+        << bytes(d.memory.footprintBytes) << "},\n";
+    out << pad << "  \"storage\": {\"io_rate\": "
+        << num(d.storage.ioRate) << ", \"read_fraction\": "
+        << num(d.storage.readFraction) << "}\n";
+    out << pad << "}\n";
+}
+
+} // namespace
+
+std::string
+exportSuitesJson(const std::vector<Suite> &suites)
+{
+    std::ostringstream out;
+    out << "{\n  \"spec_version\": " << specSchemaVersion << ",\n";
+    out << "  \"suites\": [";
+    for (std::size_t si = 0; si < suites.size(); ++si) {
+        const Suite &suite = suites[si];
+        out << (si == 0 ? "" : ",") << "\n    {\n";
+        out << "      \"name\": " << jsonString(suite.name) << ",\n";
+        out << "      \"publisher\": " << jsonString(suite.publisher)
+            << ",\n";
+        out << "      \"whole_suite\": "
+            << (suite.runsAsWhole ? "true" : "false") << ",\n";
+        out << "      \"benchmarks\": [";
+        for (std::size_t bi = 0; bi < suite.benchmarks.size(); ++bi) {
+            const Benchmark &bench = suite.benchmarks[bi];
+            out << (bi == 0 ? "" : ",") << "\n        {\n";
+            out << "          \"name\": " << jsonString(bench.name())
+                << ",\n";
+            out << "          \"target\": \""
+                << targetTag(bench.target()) << "\",\n";
+            out << "          \"executable\": "
+                << (bench.individuallyExecutable() ? "true"
+                                                   : "false")
+                << ",\n";
+            out << "          \"phases\": [";
+            const auto &phases = bench.phases();
+            for (std::size_t pi = 0; pi < phases.size(); ++pi) {
+                const Phase &p = phases[pi];
+                out << (pi == 0 ? "" : ",") << "\n            {\n";
+                out << "              \"name\": "
+                    << jsonString(p.name) << ",\n";
+                out << "              \"kernel\": "
+                    << jsonString(p.kernel) << ",\n";
+                out << "              \"duration\": "
+                    << num(p.durationSeconds) << ",\n";
+                out << "              \"instructions\": "
+                    << num(p.demand.cpu.instructionsBillions)
+                    << ",\n";
+                writeDemand(out, p.demand, "              ");
+                out << "            }";
+            }
+            out << "\n          ]\n        }";
+        }
+        out << "\n      ]\n    }";
+    }
+    out << "\n  ]\n}\n";
+    return out.str();
+}
+
+std::string
+exportRegistryJson(const WorkloadRegistry &registry)
+{
+    return exportSuitesJson(registry.suites());
+}
+
+} // namespace spec
+} // namespace mbs

@@ -1,0 +1,664 @@
+#include "spec/spec.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/digest.hh"
+#include "common/json_parse.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/strings.hh"
+#include "workload/loader.hh"
+#include "workload/suite_builder.hh"
+
+namespace mbs {
+namespace spec {
+
+namespace {
+
+using Kwargs = std::vector<std::pair<std::string, std::string>>;
+
+/** Upper bound on repeat counts and mix sizes: spec bodies arrive
+ *  over the serve socket, so expansion must stay bounded. */
+constexpr int kMaxExpansion = 1000;
+
+/**
+ * One compilation pass over a parsed document. Every diagnostic is a
+ * `<file>:<line>:<col>: message` FatalError anchored at the JSON
+ * node that caused it.
+ */
+class Compiler
+{
+  public:
+    Compiler(const JsonValue &doc_, std::string file_)
+        : doc(doc_), file(std::move(file_))
+    {
+    }
+
+    WorkloadSpec compile();
+
+  private:
+    std::string
+    where(const JsonValue &node) const
+    {
+        return strformat("%s:%zu:%zu: ", file.c_str(), node.line,
+                         node.column);
+    }
+
+    [[noreturn]] void
+    fail(const JsonValue &node, const std::string &what) const
+    {
+        fatal(where(node) + what);
+    }
+
+    const JsonValue &
+    asObject(const JsonValue &node, const std::string &what) const
+    {
+        if (!node.isObject())
+            fail(node, what + " must be an object");
+        return node;
+    }
+
+    const JsonValue &
+    asArray(const JsonValue &node, const std::string &what) const
+    {
+        if (!node.isArray())
+            fail(node, what + " must be an array");
+        return node;
+    }
+
+    std::string
+    asString(const JsonValue &node, const std::string &what) const
+    {
+        if (!node.isString())
+            fail(node, what + " must be a string");
+        return node.str;
+    }
+
+    double
+    asNumber(const JsonValue &node, const std::string &what) const
+    {
+        if (!node.isNumber())
+            fail(node, what + " must be a number");
+        return node.number;
+    }
+
+    bool
+    asBool(const JsonValue &node, const std::string &what) const
+    {
+        if (!node.isBool())
+            fail(node, what + " must be a boolean");
+        return node.boolean;
+    }
+
+    int
+    asCount(const JsonValue &node, const std::string &what) const
+    {
+        const double n = asNumber(node, what);
+        if (n < 1.0 || n > double(kMaxExpansion) ||
+            n != std::floor(n)) {
+            fail(node, strformat("%s must be an integer in [1, %d]",
+                                 what.c_str(), kMaxExpansion));
+        }
+        return int(n);
+    }
+
+    const JsonValue &
+    required(const JsonValue &obj, const std::string &key,
+             const std::string &ctx) const
+    {
+        const JsonValue *v = obj.find(key);
+        if (v == nullptr)
+            fail(obj, ctx + " is missing required key '" + key + "'");
+        return *v;
+    }
+
+    /** Reject unknown keys so typos surface instead of silently
+     *  compiling to defaults (versioning rule: new keys need a new
+     *  spec_version). */
+    void
+    checkKeys(const JsonValue &obj,
+              std::initializer_list<const char *> allowed,
+              const std::string &ctx) const
+    {
+        for (const auto &[key, value] : obj.object) {
+            bool known = false;
+            for (const char *a : allowed)
+                known = known || key == a;
+            if (!known)
+                fail(value, "unknown key '" + key + "' in " + ctx);
+        }
+    }
+
+    std::string scalarString(const JsonValue &node) const;
+    Kwargs kwargsFrom(const JsonValue &obj) const;
+    PhaseDemand demandFrom(const JsonValue &obj) const;
+    Phase kernelPhase(const JsonValue &entry) const;
+    Phase demandPhase(const JsonValue &entry) const;
+    void appendEntry(const JsonValue &entry, std::vector<Phase> &out,
+                     bool allow_template, bool allow_mix) const;
+    std::vector<Phase> phaseList(const JsonValue &entries,
+                                 bool allow_template,
+                                 bool allow_mix) const;
+    Suite compileSuite(const JsonValue &node,
+                       std::set<std::string> &unitNames) const;
+
+    const JsonValue &doc;
+    std::string file;
+    const JsonValue *params = nullptr;
+    const JsonValue *templates = nullptr;
+};
+
+std::string
+Compiler::scalarString(const JsonValue &node) const
+{
+    switch (node.type) {
+      case JsonValue::Type::String:
+        return node.str;
+      case JsonValue::Type::Number:
+        // %.17g round-trips doubles exactly through strtod, which is
+        // what keeps export -> re-parse -> compile digest-stable.
+        return strformat("%.17g", node.number);
+      case JsonValue::Type::Bool:
+        return node.boolean ? "true" : "false";
+      default:
+        fail(node, "keyword value must be a string, number or "
+                   "boolean");
+    }
+}
+
+Kwargs
+Compiler::kwargsFrom(const JsonValue &obj) const
+{
+    Kwargs out;
+    for (const auto &[key, value] : obj.object)
+        out.emplace_back(key, scalarString(value));
+    return out;
+}
+
+Phase
+Compiler::kernelPhase(const JsonValue &entry) const
+{
+    checkKeys(entry,
+              {"name", "kernel", "duration", "instructions", "params",
+               "args"},
+              "kernel phase");
+    const std::string name =
+        asString(required(entry, "name", "kernel phase"),
+                 "phase 'name'");
+    const JsonValue &kernelNode =
+        required(entry, "kernel", "kernel phase");
+    const std::string kernel = asString(kernelNode, "phase 'kernel'");
+    const JsonValue &durationNode =
+        required(entry, "duration", "kernel phase");
+    const double duration =
+        asNumber(durationNode, "phase 'duration'");
+    if (duration <= 0.0)
+        fail(durationNode, "phase duration must be positive");
+    const JsonValue &instructionsNode =
+        required(entry, "instructions", "kernel phase");
+    const double instructions =
+        asNumber(instructionsNode, "phase 'instructions'");
+    if (instructions < 0.0)
+        fail(instructionsNode,
+             "phase instruction budget must be non-negative");
+
+    Kwargs kwargs;
+    if (const JsonValue *ref = entry.find("params")) {
+        const std::string setName =
+            asString(*ref, "phase 'params'");
+        const JsonValue *set =
+            params != nullptr ? params->find(setName) : nullptr;
+        if (set == nullptr)
+            fail(*ref, "unknown parameter set '" + setName + "'");
+        kwargs = kwargsFrom(asObject(*set, "parameter set '" +
+                                               setName + "'"));
+    }
+    if (const JsonValue *args = entry.find("args")) {
+        for (auto &[key, value] :
+             asObject(*args, "phase 'args'").object) {
+            const std::string text = scalarString(value);
+            bool replaced = false;
+            for (auto &kw : kwargs) {
+                if (kw.first == key) {
+                    kw.second = text;
+                    replaced = true;
+                }
+            }
+            if (!replaced)
+                kwargs.emplace_back(key, text);
+        }
+    }
+
+    PhaseDemand demand;
+    try {
+        demand = makeKernelDemand(kernel, kwargs);
+    } catch (const FatalError &e) {
+        fail(kernelNode, e.what());
+    }
+    return makePhase(name, kernel, std::move(demand), duration,
+                     instructions);
+}
+
+PhaseDemand
+Compiler::demandFrom(const JsonValue &obj) const
+{
+    asObject(obj, "phase 'demand'");
+    checkKeys(obj, {"threads", "cpu", "gpu", "aie", "memory",
+                    "storage"},
+              "demand bundle");
+    PhaseDemand d;
+    if (const JsonValue *threads = obj.find("threads")) {
+        for (const JsonValue &group :
+             asArray(*threads, "'threads'").array) {
+            asObject(group, "thread group");
+            checkKeys(group, {"count", "intensity"}, "thread group");
+            ThreadDemand t;
+            t.count = asCount(required(group, "count",
+                                       "thread group"),
+                              "thread 'count'");
+            t.intensity = asNumber(required(group, "intensity",
+                                            "thread group"),
+                                   "thread 'intensity'");
+            d.threads.push_back(t);
+        }
+    }
+    const auto numberOr = [this](const JsonValue &node,
+                                 const char *key, double fallback) {
+        const JsonValue *v = node.find(key);
+        return v != nullptr
+            ? asNumber(*v, std::string("'") + key + "'")
+            : fallback;
+    };
+    const auto bytesOr = [this, &numberOr](const JsonValue &node,
+                                           const char *key,
+                                           std::uint64_t fallback) {
+        const JsonValue *v = node.find(key);
+        if (v == nullptr)
+            return fallback;
+        const double n = asNumber(*v, std::string("'") + key + "'");
+        if (n < 0.0 || n != std::floor(n))
+            fail(*v, std::string("'") + key +
+                         "' must be a non-negative integer");
+        return std::uint64_t(n);
+    };
+    if (const JsonValue *cpu = obj.find("cpu")) {
+        asObject(*cpu, "'cpu'");
+        checkKeys(*cpu,
+                  {"base_ipc", "mem_intensity", "working_set_bytes",
+                   "locality", "branch_fraction",
+                   "branch_predictability"},
+                  "'cpu'");
+        d.cpu.baseIpc = numberOr(*cpu, "base_ipc", d.cpu.baseIpc);
+        d.cpu.memIntensity =
+            numberOr(*cpu, "mem_intensity", d.cpu.memIntensity);
+        d.cpu.workingSetBytes =
+            bytesOr(*cpu, "working_set_bytes", d.cpu.workingSetBytes);
+        d.cpu.locality = numberOr(*cpu, "locality", d.cpu.locality);
+        d.cpu.branchFraction =
+            numberOr(*cpu, "branch_fraction", d.cpu.branchFraction);
+        d.cpu.branchPredictability = numberOr(
+            *cpu, "branch_predictability",
+            d.cpu.branchPredictability);
+    }
+    if (const JsonValue *gpu = obj.find("gpu")) {
+        asObject(*gpu, "'gpu'");
+        checkKeys(*gpu,
+                  {"work_rate", "api", "offscreen",
+                   "resolution_scale", "texture_bandwidth",
+                   "texture_bytes"},
+                  "'gpu'");
+        d.gpu.workRate = numberOr(*gpu, "work_rate", d.gpu.workRate);
+        if (const JsonValue *api = gpu->find("api")) {
+            const std::string name = asString(*api, "'api'");
+            if (name == "none")
+                d.gpu.api = GraphicsApi::None;
+            else if (name == "opengl")
+                d.gpu.api = GraphicsApi::OpenGlEs;
+            else if (name == "vulkan")
+                d.gpu.api = GraphicsApi::Vulkan;
+            else
+                fail(*api, "unknown graphics api '" + name +
+                               "' (none|opengl|vulkan)");
+        }
+        if (const JsonValue *off = gpu->find("offscreen"))
+            d.gpu.offscreen = asBool(*off, "'offscreen'");
+        d.gpu.resolutionScale =
+            numberOr(*gpu, "resolution_scale", d.gpu.resolutionScale);
+        d.gpu.textureBandwidth = numberOr(*gpu, "texture_bandwidth",
+                                          d.gpu.textureBandwidth);
+        d.gpu.textureBytes =
+            bytesOr(*gpu, "texture_bytes", d.gpu.textureBytes);
+    }
+    if (const JsonValue *aie = obj.find("aie")) {
+        asObject(*aie, "'aie'");
+        checkKeys(*aie, {"work_rate", "codec"}, "'aie'");
+        d.aie.workRate = numberOr(*aie, "work_rate", d.aie.workRate);
+        if (const JsonValue *codec = aie->find("codec")) {
+            static const std::map<std::string, MediaCodec> codecs = {
+                {"none", MediaCodec::None},
+                {"h264", MediaCodec::H264},
+                {"h265", MediaCodec::H265},
+                {"vp9", MediaCodec::Vp9},
+                {"av1", MediaCodec::Av1},
+            };
+            const std::string name = asString(*codec, "'codec'");
+            const auto it = codecs.find(name);
+            if (it == codecs.end())
+                fail(*codec, "unknown codec '" + name +
+                                 "' (none|h264|h265|vp9|av1)");
+            d.aie.codec = it->second;
+        }
+    }
+    if (const JsonValue *memory = obj.find("memory")) {
+        asObject(*memory, "'memory'");
+        checkKeys(*memory, {"footprint_bytes"}, "'memory'");
+        d.memory.footprintBytes = bytesOr(*memory, "footprint_bytes",
+                                          d.memory.footprintBytes);
+    }
+    if (const JsonValue *storage = obj.find("storage")) {
+        asObject(*storage, "'storage'");
+        checkKeys(*storage, {"io_rate", "read_fraction"},
+                  "'storage'");
+        d.storage.ioRate =
+            numberOr(*storage, "io_rate", d.storage.ioRate);
+        const double rf = numberOr(*storage, "read_fraction",
+                                   d.storage.readFraction);
+        if (rf < 0.0 || rf > 1.0)
+            fail(*storage, "'read_fraction' must be in [0, 1]");
+        d.storage.readFraction = rf;
+    }
+    return d;
+}
+
+Phase
+Compiler::demandPhase(const JsonValue &entry) const
+{
+    checkKeys(entry,
+              {"name", "kernel", "duration", "instructions",
+               "demand"},
+              "demand phase");
+    Phase p;
+    p.name = asString(required(entry, "name", "demand phase"),
+                      "phase 'name'");
+    if (const JsonValue *kernel = entry.find("kernel"))
+        p.kernel = asString(*kernel, "phase 'kernel'");
+    else
+        p.kernel = "custom";
+    const JsonValue &durationNode =
+        required(entry, "duration", "demand phase");
+    p.durationSeconds = asNumber(durationNode, "phase 'duration'");
+    if (p.durationSeconds <= 0.0)
+        fail(durationNode, "phase duration must be positive");
+    const JsonValue &instructionsNode =
+        required(entry, "instructions", "demand phase");
+    const double instructions =
+        asNumber(instructionsNode, "phase 'instructions'");
+    if (instructions < 0.0)
+        fail(instructionsNode,
+             "phase instruction budget must be non-negative");
+    p.demand = demandFrom(required(entry, "demand", "demand phase"));
+    p.demand.cpu.instructionsBillions = instructions;
+    return p;
+}
+
+void
+Compiler::appendEntry(const JsonValue &entry, std::vector<Phase> &out,
+                      bool allow_template, bool allow_mix) const
+{
+    asObject(entry, "phase entry");
+    if (const JsonValue *ref = entry.find("template")) {
+        if (!allow_template)
+            fail(*ref, "template references cannot nest");
+        checkKeys(entry, {"template", "repeat"},
+                  "template reference");
+        const std::string name =
+            asString(*ref, "'template'");
+        const JsonValue *body =
+            templates != nullptr ? templates->find(name) : nullptr;
+        if (body == nullptr)
+            fail(*ref, "unknown template '" + name + "'");
+        asObject(*body, "template '" + name + "'");
+        checkKeys(*body, {"phases"}, "template '" + name + "'");
+        const JsonValue &phases =
+            required(*body, "phases", "template '" + name + "'");
+        int repeat = 1;
+        if (const JsonValue *r = entry.find("repeat"))
+            repeat = asCount(*r, "'repeat'");
+        const std::vector<Phase> expanded =
+            phaseList(phases, /*allow_template=*/false,
+                      /*allow_mix=*/true);
+        for (int i = 0; i < repeat; ++i)
+            out.insert(out.end(), expanded.begin(), expanded.end());
+        return;
+    }
+    if (const JsonValue *mix = entry.find("mix")) {
+        if (!allow_mix)
+            fail(*mix, "mix entries cannot nest");
+        checkKeys(entry, {"mix"}, "mix reference");
+        asObject(*mix, "'mix'");
+        checkKeys(*mix, {"seed", "count", "choices"}, "'mix'");
+        const JsonValue &seedNode = required(*mix, "seed", "'mix'");
+        const double seed = asNumber(seedNode, "mix 'seed'");
+        if (seed < 0.0 || seed != std::floor(seed) ||
+            seed > 9007199254740992.0) {
+            fail(seedNode,
+                 "mix 'seed' must be a non-negative integer");
+        }
+        const int count =
+            asCount(required(*mix, "count", "'mix'"), "mix 'count'");
+        const JsonValue &choicesNode =
+            required(*mix, "choices", "'mix'");
+        const auto &choices =
+            asArray(choicesNode, "mix 'choices'").array;
+        if (choices.empty())
+            fail(choicesNode, "mix 'choices' must not be empty");
+        std::vector<Phase> compiled;
+        for (const JsonValue &choice : choices) {
+            appendEntry(choice, compiled, /*allow_template=*/false,
+                        /*allow_mix=*/false);
+        }
+        // Deterministic pick: the same seed yields the bit-identical
+        // phase sequence on every platform (DESIGN.md §12).
+        SplitMix64 rng{std::uint64_t(seed)};
+        for (int i = 0; i < count; ++i)
+            out.push_back(compiled[rng.next() % compiled.size()]);
+        return;
+    }
+    if (entry.find("demand") != nullptr) {
+        out.push_back(demandPhase(entry));
+        return;
+    }
+    if (entry.find("kernel") != nullptr) {
+        out.push_back(kernelPhase(entry));
+        return;
+    }
+    fail(entry, "phase entry needs one of 'kernel', 'demand', "
+                "'template' or 'mix'");
+}
+
+std::vector<Phase>
+Compiler::phaseList(const JsonValue &entries, bool allow_template,
+                    bool allow_mix) const
+{
+    const auto &list = asArray(entries, "'phases'").array;
+    if (list.empty())
+        fail(entries, "'phases' must not be empty");
+    std::vector<Phase> out;
+    for (const JsonValue &entry : list)
+        appendEntry(entry, out, allow_template, allow_mix);
+    return out;
+}
+
+Suite
+Compiler::compileSuite(const JsonValue &node,
+                       std::set<std::string> &unitNames) const
+{
+    asObject(node, "suite");
+    checkKeys(node, {"name", "publisher", "whole_suite",
+                     "benchmarks"},
+              "suite");
+    const JsonValue &nameNode = required(node, "name", "suite");
+    const std::string name = asString(nameNode, "suite 'name'");
+    if (name.empty())
+        fail(nameNode, "suite 'name' must not be empty");
+    std::string publisher;
+    if (const JsonValue *p = node.find("publisher"))
+        publisher = asString(*p, "suite 'publisher'");
+    bool whole = false;
+    if (const JsonValue *w = node.find("whole_suite"))
+        whole = asBool(*w, "'whole_suite'");
+
+    SuiteBuilder builder(name, publisher, whole);
+    const JsonValue &benchmarksNode =
+        required(node, "benchmarks", "suite");
+    const auto &benchmarks =
+        asArray(benchmarksNode, "'benchmarks'").array;
+    if (benchmarks.empty())
+        fail(benchmarksNode, "'benchmarks' must not be empty");
+    for (const JsonValue &bench : benchmarks) {
+        asObject(bench, "benchmark");
+        checkKeys(bench, {"name", "target", "executable", "phases"},
+                  "benchmark");
+        const JsonValue &benchNameNode =
+            required(bench, "name", "benchmark");
+        const std::string benchName =
+            asString(benchNameNode, "benchmark 'name'");
+        if (benchName.empty())
+            fail(benchNameNode, "benchmark 'name' must not be empty");
+        if (!unitNames.insert(benchName).second)
+            fail(benchNameNode, "duplicate benchmark name '" +
+                                    benchName + "'");
+        static const std::map<std::string, HardwareTarget> targets = {
+            {"cpu", HardwareTarget::Cpu},
+            {"gpu", HardwareTarget::Gpu},
+            {"memory", HardwareTarget::MemorySubsystem},
+            {"storage", HardwareTarget::StorageSubsystem},
+            {"ai", HardwareTarget::Ai},
+            {"everyday", HardwareTarget::EverydayTasks},
+        };
+        const JsonValue &targetNode =
+            required(bench, "target", "benchmark");
+        const std::string targetName =
+            asString(targetNode, "benchmark 'target'");
+        const auto target = targets.find(targetName);
+        if (target == targets.end())
+            fail(targetNode,
+                 "unknown target '" + targetName +
+                     "' (cpu|gpu|memory|storage|ai|everyday)");
+        bool executable = true;
+        if (const JsonValue *e = bench.find("executable"))
+            executable = asBool(*e, "'executable'");
+        builder.benchmark(benchName, target->second, executable);
+        for (Phase &p :
+             phaseList(required(bench, "phases", "benchmark"),
+                       /*allow_template=*/true, /*allow_mix=*/true))
+            builder.rawPhase(std::move(p));
+    }
+    return builder.build();
+}
+
+WorkloadSpec
+Compiler::compile()
+{
+    asObject(doc, "spec document");
+    checkKeys(doc, {"spec_version", "params", "templates", "suites"},
+              "spec document");
+    const JsonValue &versionNode =
+        required(doc, "spec_version", "spec document");
+    const double version =
+        asNumber(versionNode, "'spec_version'");
+    if (version != double(specSchemaVersion)) {
+        fail(versionNode,
+             strformat("unsupported spec_version %g (this build "
+                       "reads version %d)",
+                       version, specSchemaVersion));
+    }
+    if (const JsonValue *p = doc.find("params"))
+        params = &asObject(*p, "'params'");
+    if (const JsonValue *t = doc.find("templates"))
+        templates = &asObject(*t, "'templates'");
+
+    WorkloadSpec out;
+    out.version = specSchemaVersion;
+    out.source = file;
+    const JsonValue &suitesNode = required(doc, "suites",
+                                           "spec document");
+    const auto &suites = asArray(suitesNode, "'suites'").array;
+    if (suites.empty())
+        fail(suitesNode, "'suites' must not be empty");
+    std::set<std::string> suiteNames;
+    std::set<std::string> unitNames;
+    for (const JsonValue &suiteNode : suites) {
+        Suite suite = compileSuite(suiteNode, unitNames);
+        if (!suiteNames.insert(suite.name).second) {
+            fail(suiteNode,
+                 "duplicate suite name '" + suite.name + "'");
+        }
+        out.suites.push_back(std::move(suite));
+    }
+
+    Fnv1a h;
+    h.mix(out.version);
+    for (const Suite &s : out.suites)
+        h.mix(s.digest());
+    out.digest = h.value();
+    return out;
+}
+
+} // namespace
+
+std::size_t
+WorkloadSpec::unitCount() const
+{
+    std::size_t n = 0;
+    for (const Suite &s : suites)
+        n += s.benchmarks.size();
+    return n;
+}
+
+WorkloadRegistry
+WorkloadSpec::toRegistry() const
+{
+    return WorkloadRegistry(suites);
+}
+
+WorkloadSpec
+compileSpecString(const std::string &text,
+                  const std::string &filename)
+{
+    JsonValue doc;
+    try {
+        doc = parseJson(text);
+    } catch (const FatalError &e) {
+        // parseJson's message already carries line/column; prefix
+        // the file so the diagnostic reads like the compiler's own.
+        fatal(filename + ": " + e.what());
+    }
+    return Compiler(doc, filename).compile();
+}
+
+WorkloadSpec
+compileSpecFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in.good(),
+            "cannot read spec file '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return compileSpecString(text.str(), path);
+}
+
+int
+clampedKMax(std::size_t units)
+{
+    return int(std::min<std::size_t>(10, units));
+}
+
+} // namespace spec
+} // namespace mbs

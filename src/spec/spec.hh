@@ -1,0 +1,113 @@
+/**
+ * @file
+ * JSON workload-spec language: user-defined suites without
+ * recompiling.
+ *
+ * A spec file declares suites -> benchmarks -> phases in strict
+ * RFC-8259 JSON (common/json_parse.hh). Each phase either names a
+ * registered kernel archetype with keyword overrides (the same
+ * keywords the text loader accepts: threads, intensity, gpu_rate,
+ * aie_rate, io_rate, working_set_mb, api, codec, ...) or gives a raw
+ * demand bundle mirroring PhaseDemand field by field. Three
+ * composition constructs keep large specs small:
+ *
+ *  - "params": named keyword sets a kernel phase references by name;
+ *    its own "args" override individual keys.
+ *  - "templates": named phase sequences a benchmark splices in with
+ *    {"template": name, "repeat": n}.
+ *  - {"mix": {...}}: a seeded randomized pick of `count` phases from
+ *    `choices`, deterministic via SplitMix64 — the same seed always
+ *    yields the bit-identical suite, on every platform.
+ *
+ * Schema versioning: the required top-level "spec_version" must be
+ * exactly `specSchemaVersion`; newer documents are rejected with an
+ * upgrade hint rather than misread. All diagnostics are positioned
+ * `<file>:<line>:<col>: message` FatalErrors in the src/ingest
+ * style, pointing at the offending JSON node.
+ *
+ * Compiled specs are ordinary Suite/Benchmark objects: they flow
+ * through the unchanged analyze() pipeline and key the profile store
+ * by Benchmark::digest(), so an edited spec can never hit a stale
+ * cache entry.
+ */
+
+#ifndef MBS_SPEC_SPEC_HH
+#define MBS_SPEC_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/benchmark.hh"
+#include "workload/registry.hh"
+
+namespace mbs {
+namespace spec {
+
+/** The one schema version this build reads and writes. */
+inline constexpr int specSchemaVersion = 1;
+
+/** A compiled workload spec. */
+struct WorkloadSpec
+{
+    /** Schema version of the source document. */
+    int version = specSchemaVersion;
+    /** Compiled suites, in document order. */
+    std::vector<Suite> suites;
+    /**
+     * Content digest over the schema version and every compiled
+     * suite digest: two specs with equal digests describe identical
+     * workloads. Participates in the run id so edited specs get
+     * fresh ledger identities.
+     */
+    std::uint64_t digest = 0;
+    /** Source filename, as used in diagnostics. */
+    std::string source;
+
+    /** Flattened unit count across all suites. */
+    std::size_t unitCount() const;
+
+    /** Registry over the compiled suites, ready for the pipeline. */
+    WorkloadRegistry toRegistry() const;
+};
+
+/**
+ * Parse and compile the spec document in @p text.
+ *
+ * @param text Full JSON document.
+ * @param filename Name used in diagnostics (e.g. "spec.json" or
+ *        "<spec>" for wire-submitted bodies).
+ * @throws FatalError with a `<file>:<line>:<col>:` prefix on any
+ *         schema or semantic error.
+ */
+WorkloadSpec compileSpecString(const std::string &text,
+                               const std::string &filename);
+
+/** Read @p path and compile it; fatal() when unreadable. */
+WorkloadSpec compileSpecFile(const std::string &path);
+
+/**
+ * Serialize @p suites as a spec document that compiles back
+ * digest-identical: every phase is flattened to a raw demand bundle
+ * with all fields explicit and doubles printed round-trip exactly
+ * (%.17g). The golden test round-trips the built-in registry
+ * through this.
+ */
+std::string exportSuitesJson(const std::vector<Suite> &suites);
+
+/** exportSuitesJson over the registry's suites. */
+std::string exportRegistryJson(const WorkloadRegistry &registry);
+
+/**
+ * Largest k the clustering stage can use for @p units observations,
+ * honoring the pipeline default of 10: spec suites may have fewer
+ * units than the paper's 18, and analyze() rejects k_max above the
+ * observation count. Shared by the CLI and the serve job runner so
+ * both produce byte-identical reports for the same spec.
+ */
+int clampedKMax(std::size_t units);
+
+} // namespace spec
+} // namespace mbs
+
+#endif // MBS_SPEC_SPEC_HH

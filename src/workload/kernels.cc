@@ -442,5 +442,24 @@ menuIdle()
     return d;
 }
 
+PhaseDemand
+vectorMath(int threads, double intensity,
+           std::uint64_t working_set_bytes)
+{
+    PhaseDemand d;
+    d.threads = group(threads, intensity);
+    // Wide SIMD units retire several lanes per instruction; the
+    // sequential stream prefetches perfectly but still keeps the
+    // memory pipes busy.
+    d.cpu.baseIpc = 3.4;
+    d.cpu.memIntensity = 0.38;
+    d.cpu.workingSetBytes = working_set_bytes;
+    d.cpu.locality = 0.94; // streaming: hardware prefetch, no reuse
+    d.cpu.branchFraction = 0.04;
+    d.cpu.branchPredictability = 0.995; // loop-closing branches only
+    d.memory.footprintBytes = working_set_bytes + 1200 * MB;
+    return d;
+}
+
 } // namespace kernels
 } // namespace mbs

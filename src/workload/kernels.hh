@@ -131,6 +131,15 @@ PhaseDemand loadingBurst(int threads = 5, double intensity = 0.65);
 /** Near-idle menu/result screen. */
 PhaseDemand menuIdle();
 
+/**
+ * SIMD vector math (NEON/SVE-style streaming compute): very high ILP
+ * on wide units, sequential streaming access over a large working
+ * set, almost no branches. The archetype behind vector-extension
+ * stress suites ("Vector-Processing for Mobile Devices").
+ */
+PhaseDemand vectorMath(int threads = 4, double intensity = 0.85,
+                       std::uint64_t working_set_bytes = 64ULL << 20);
+
 } // namespace kernels
 } // namespace mbs
 

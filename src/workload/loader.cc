@@ -216,6 +216,12 @@ makeKernelDemand(const std::string &kernel, const Kwargs &kwargs)
         d = kernels::loadingBurst(threads_or(5), intensity_or(0.65));
     } else if (kernel == "menuIdle") {
         d = kernels::menuIdle();
+    } else if (kernel == "vectorMath") {
+        d = kernels::vectorMath(threads_or(4), intensity_or(0.85),
+                                a.workingSetMb > 0.0
+                                    ? std::uint64_t(a.workingSetMb)
+                                          << 20
+                                    : 64ULL << 20);
     } else {
         fatal("unknown kernel archetype '" + kernel + "'");
     }

@@ -39,7 +39,8 @@ namespace mbs {
  * compression, memoryStream, storageIo, database, webBrowse,
  * photoEdit, videoCodec, renderScene, gpuCompute, physics,
  * nnInference, uiScroll, psnrCompare, multicoreStress,
- * dataProcessing, dataSecurity, loadingBurst, menuIdle).
+ * dataProcessing, dataSecurity, loadingBurst, menuIdle,
+ * vectorMath).
  *
  * Common keywords: threads, intensity, gpu_rate, api
  * (opengl|vulkan), resolution, offscreen, texture_mb, aie_rate,

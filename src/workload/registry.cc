@@ -21,6 +21,21 @@ WorkloadRegistry::WorkloadRegistry()
     }
 }
 
+WorkloadRegistry::WorkloadRegistry(std::vector<Suite> suites)
+    : suiteList(std::move(suites))
+{
+    fatalIf(suiteList.empty(), "workload registry needs at least "
+                               "one suite");
+    for (const auto &suite : suiteList) {
+        for (const auto &bench : suite.benchmarks) {
+            fatalIf(hasUnit(bench.name()),
+                    "duplicate benchmark unit name '" + bench.name() +
+                        "'");
+            unitList.push_back(bench);
+        }
+    }
+}
+
 std::vector<std::string>
 WorkloadRegistry::unitNames() const
 {

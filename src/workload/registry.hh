@@ -26,6 +26,13 @@ class WorkloadRegistry
     /** Build the full calibrated registry. */
     WorkloadRegistry();
 
+    /**
+     * Build a registry from externally supplied suites (spec files,
+     * text-format loads); fatal() when @p suites is empty or two
+     * units share a display name (lookups are by unit name).
+     */
+    explicit WorkloadRegistry(std::vector<Suite> suites);
+
     /** All suites in Table I order. */
     const std::vector<Suite> &suites() const { return suiteList; }
 

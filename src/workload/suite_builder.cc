@@ -1,0 +1,75 @@
+#include "workload/suite_builder.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace mbs {
+
+Phase
+makePhase(std::string name, std::string kernel, PhaseDemand demand,
+          double duration_s, double instructions_b)
+{
+    demand.cpu.instructionsBillions = instructions_b;
+    return Phase{std::move(name), std::move(kernel), duration_s,
+                 std::move(demand)};
+}
+
+SuiteBuilder::SuiteBuilder(std::string name, std::string publisher,
+                           bool runs_as_whole)
+{
+    suite.name = std::move(name);
+    suite.publisher = std::move(publisher);
+    suite.runsAsWhole = runs_as_whole;
+}
+
+SuiteBuilder &
+SuiteBuilder::benchmark(std::string name, HardwareTarget target,
+                        bool individually_executable)
+{
+    if (open) {
+        fatalIf(suite.benchmarks.back().phases().empty(),
+                strformat("suite '%s': benchmark '%s' has no phases",
+                          suite.name.c_str(),
+                          suite.benchmarks.back().name().c_str()));
+    }
+    suite.benchmarks.emplace_back(suite.name, std::move(name), target,
+                                  individually_executable);
+    open = true;
+    return *this;
+}
+
+SuiteBuilder &
+SuiteBuilder::phase(std::string name, std::string kernel,
+                    PhaseDemand demand, double duration_s,
+                    double instructions_b)
+{
+    return rawPhase(makePhase(std::move(name), std::move(kernel),
+                              std::move(demand), duration_s,
+                              instructions_b));
+}
+
+SuiteBuilder &
+SuiteBuilder::rawPhase(Phase p)
+{
+    fatalIf(!open, strformat("suite '%s': phase '%s' before any "
+                             "benchmark",
+                             suite.name.c_str(), p.name.c_str()));
+    suite.benchmarks.back().addPhase(std::move(p));
+    return *this;
+}
+
+Suite
+SuiteBuilder::build()
+{
+    fatalIf(suite.benchmarks.empty(),
+            strformat("suite '%s' has no benchmarks",
+                      suite.name.c_str()));
+    fatalIf(suite.benchmarks.back().phases().empty(),
+            strformat("suite '%s': benchmark '%s' has no phases",
+                      suite.name.c_str(),
+                      suite.benchmarks.back().name().c_str()));
+    open = false;
+    return std::move(suite);
+}
+
+} // namespace mbs

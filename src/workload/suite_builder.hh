@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Public suite-construction helpers shared by the hard-coded suite
+ * definition files (src/workload/suites) and the spec compiler
+ * (src/spec): one phase-assembly path instead of two.
+ *
+ * makePhase() is the single place a kernel demand bundle and an
+ * instruction budget become a Phase; SuiteBuilder is a small fluent
+ * wrapper for assembling whole suites benchmark by benchmark, used
+ * where suites are built from data (spec files) rather than code.
+ */
+
+#ifndef MBS_WORKLOAD_SUITE_BUILDER_HH
+#define MBS_WORKLOAD_SUITE_BUILDER_HH
+
+#include <string>
+#include <utility>
+
+#include "workload/benchmark.hh"
+
+namespace mbs {
+
+/**
+ * Build a phase from a kernel-archetype demand bundle.
+ *
+ * @param name Phase display name.
+ * @param kernel Kernel archetype tag.
+ * @param demand Demand bundle from the kernels library.
+ * @param duration_s Phase duration in seconds.
+ * @param instructions_b Instruction budget in billions; the per-
+ *        benchmark budgets are calibrated so the suite totals match
+ *        the paper's published aggregates (see DESIGN.md §4).
+ */
+Phase makePhase(std::string name, std::string kernel,
+                PhaseDemand demand, double duration_s,
+                double instructions_b);
+
+/**
+ * Fluent assembly of one Suite: open a benchmark, append phases,
+ * repeat, build. Phase durations are validated by
+ * Benchmark::addPhase exactly as in the hard-coded suites.
+ */
+class SuiteBuilder
+{
+  public:
+    SuiteBuilder(std::string name, std::string publisher,
+                 bool runs_as_whole = false);
+
+    /** Open a new benchmark; later phases append to it. */
+    SuiteBuilder &benchmark(std::string name, HardwareTarget target,
+                            bool individually_executable = true);
+
+    /** Append a kernel phase to the open benchmark. */
+    SuiteBuilder &phase(std::string name, std::string kernel,
+                        PhaseDemand demand, double duration_s,
+                        double instructions_b);
+
+    /** Append an already-assembled phase to the open benchmark. */
+    SuiteBuilder &rawPhase(Phase p);
+
+    /**
+     * Finish and return the suite. fatal() when the suite has no
+     * benchmarks or any benchmark has no phases.
+     */
+    Suite build();
+
+  private:
+    Suite suite;
+    bool open = false;
+};
+
+namespace suites {
+
+/** Compat alias used by the suite definition files. */
+inline Phase
+phase(std::string name, std::string kernel, PhaseDemand demand,
+      double duration_s, double instructions_b)
+{
+    return makePhase(std::move(name), std::move(kernel),
+                     std::move(demand), duration_s, instructions_b);
+}
+
+} // namespace suites
+} // namespace mbs
+
+#endif // MBS_WORKLOAD_SUITE_BUILDER_HH

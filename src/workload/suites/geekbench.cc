@@ -15,7 +15,7 @@
 #include "workload/suites/suites.hh"
 
 #include "workload/kernels.hh"
-#include "workload/suites/builder.hh"
+#include "workload/suite_builder.hh"
 
 namespace mbs {
 namespace suites {

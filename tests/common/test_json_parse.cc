@@ -108,10 +108,30 @@ TEST(JsonParse, ErrorsCarryPosition)
         parseJson("{\n  \"a\": nope\n}");
         FAIL() << "expected FatalError";
     } catch (const FatalError &e) {
-        EXPECT_NE(std::string(e.what()).find("line 2"),
+        EXPECT_NE(std::string(e.what()).find("line 2 column 8"),
                   std::string::npos)
             << e.what();
     }
+}
+
+TEST(JsonParse, ValuesCarryPosition)
+{
+    // Every parsed node records the 1-based line/column of its first
+    // character; the spec compiler anchors its diagnostics there.
+    const JsonValue v = parseJson(
+        "{\n  \"a\": [1,\n    {\"b\": true}]\n}");
+    EXPECT_EQ(v.line, 1u);
+    EXPECT_EQ(v.column, 1u);
+    const JsonValue &arr = v.at("a");
+    EXPECT_EQ(arr.line, 2u);
+    EXPECT_EQ(arr.column, 8u);
+    EXPECT_EQ(arr.array[0].line, 2u);
+    EXPECT_EQ(arr.array[0].column, 9u);
+    EXPECT_EQ(arr.array[1].line, 3u);
+    EXPECT_EQ(arr.array[1].column, 5u);
+    const JsonValue &flag = arr.array[1].at("b");
+    EXPECT_EQ(flag.line, 3u);
+    EXPECT_EQ(flag.column, 11u);
 }
 
 } // namespace

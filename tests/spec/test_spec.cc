@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the workload-spec compiler: schema validation, the
+ * params/template/mix composition constructs, determinism, and
+ * positioned diagnostics (`<file>:<line>:<col>: message`).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "spec/spec.hh"
+#include "workload/loader.hh"
+
+namespace mbs {
+namespace {
+
+/** Compile @p text and return the diagnostic ("" on success). */
+std::string
+diagnose(const std::string &text)
+{
+    try {
+        spec::compileSpecString(text, "t.json");
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+/** A minimal valid document around one benchmark's phase list. */
+std::string
+wrapPhases(const std::string &phases,
+           const std::string &extraTop = "")
+{
+    return std::string("{\"spec_version\": 1, ") + extraTop +
+        "\"suites\": [{\"name\": \"S\", \"benchmarks\": "
+        "[{\"name\": \"B\", \"target\": \"cpu\", \"phases\": [" +
+        phases + "]}]}]}";
+}
+
+const char *kGemmPhase =
+    "{\"name\": \"p\", \"kernel\": \"gemm\", \"duration\": 5, "
+    "\"instructions\": 10}";
+
+TEST(SpecCompile, MinimalKernelSpec)
+{
+    const auto ws =
+        spec::compileSpecString(wrapPhases(kGemmPhase), "t.json");
+    EXPECT_EQ(ws.version, spec::specSchemaVersion);
+    EXPECT_EQ(ws.source, "t.json");
+    ASSERT_EQ(ws.suites.size(), 1u);
+    const Suite &s = ws.suites[0];
+    EXPECT_EQ(s.name, "S");
+    EXPECT_FALSE(s.runsAsWhole);
+    ASSERT_EQ(s.benchmarks.size(), 1u);
+    const Benchmark &b = s.benchmarks[0];
+    EXPECT_EQ(b.name(), "B");
+    EXPECT_EQ(b.target(), HardwareTarget::Cpu);
+    EXPECT_TRUE(b.individuallyExecutable());
+    ASSERT_EQ(b.phases().size(), 1u);
+    const Phase &p = b.phases()[0];
+    EXPECT_EQ(p.name, "p");
+    EXPECT_EQ(p.kernel, "gemm");
+    EXPECT_DOUBLE_EQ(p.durationSeconds, 5.0);
+    EXPECT_DOUBLE_EQ(p.demand.cpu.instructionsBillions, 10.0);
+    // The default-argument gemm demand, exactly as the text loader
+    // builds it.
+    const PhaseDemand direct = makeKernelDemand("gemm", {});
+    EXPECT_DOUBLE_EQ(p.demand.cpu.baseIpc, direct.cpu.baseIpc);
+    EXPECT_EQ(p.demand.threads.size(), direct.threads.size());
+}
+
+TEST(SpecCompile, KernelArgsOverrideParamSet)
+{
+    const std::string doc = wrapPhases(
+        "{\"name\": \"p\", \"kernel\": \"memoryStream\", "
+        "\"duration\": 2, \"instructions\": 1, "
+        "\"params\": \"mem\", \"args\": {\"locality\": 0.5}}",
+        "\"params\": {\"mem\": {\"working_set_mb\": 64, "
+        "\"locality\": 0.1}}, ");
+    const auto ws = spec::compileSpecString(doc, "t.json");
+    const Phase &p = ws.suites[0].benchmarks[0].phases()[0];
+    // working_set_mb comes from the set, locality from the override.
+    EXPECT_EQ(p.demand.cpu.workingSetBytes, 64ULL << 20);
+    EXPECT_DOUBLE_EQ(p.demand.cpu.locality, 0.5);
+}
+
+TEST(SpecCompile, TemplateRepeatSplicesPhases)
+{
+    const std::string doc = wrapPhases(
+        std::string(kGemmPhase) + ", {\"template\": \"t\", "
+        "\"repeat\": 3}",
+        std::string("\"templates\": {\"t\": {\"phases\": [") +
+            kGemmPhase + ", " + kGemmPhase + "]}}, ");
+    const auto ws = spec::compileSpecString(doc, "t.json");
+    EXPECT_EQ(ws.suites[0].benchmarks[0].phases().size(), 1u + 3 * 2);
+}
+
+TEST(SpecCompile, MixIsSeedDeterministic)
+{
+    const auto mixDoc = [](int seed) {
+        return wrapPhases(strformat(
+            "{\"mix\": {\"seed\": %d, \"count\": 16, \"choices\": ["
+            "{\"name\": \"a\", \"kernel\": \"gemm\", "
+            "\"duration\": 1, \"instructions\": 1}, "
+            "{\"name\": \"b\", \"kernel\": \"crypto\", "
+            "\"duration\": 2, \"instructions\": 1}, "
+            "{\"name\": \"c\", \"kernel\": \"fft\", "
+            "\"duration\": 3, \"instructions\": 1}]}}",
+            seed));
+    };
+    const auto a1 = spec::compileSpecString(mixDoc(7), "t.json");
+    const auto a2 = spec::compileSpecString(mixDoc(7), "t.json");
+    const auto b = spec::compileSpecString(mixDoc(8), "t.json");
+    EXPECT_EQ(a1.suites[0].benchmarks[0].phases().size(), 16u);
+    EXPECT_EQ(a1.digest, a2.digest);
+    EXPECT_NE(a1.digest, b.digest);
+    // The pick really mixes: not all 16 phases are the same choice.
+    const auto &phases = a1.suites[0].benchmarks[0].phases();
+    bool varied = false;
+    for (const Phase &p : phases)
+        varied = varied || p.name != phases[0].name;
+    EXPECT_TRUE(varied);
+}
+
+TEST(SpecCompile, DigestIgnoresFormatting)
+{
+    const std::string compact = wrapPhases(kGemmPhase);
+    std::string spaced;
+    for (char c : compact) {
+        spaced += c;
+        if (c == ',')
+            spaced += "\n   ";
+    }
+    EXPECT_EQ(spec::compileSpecString(compact, "a.json").digest,
+              spec::compileSpecString(spaced, "b.json").digest);
+}
+
+TEST(SpecCompile, RawDemandPhase)
+{
+    const auto ws = spec::compileSpecString(
+        wrapPhases("{\"name\": \"p\", \"duration\": 4, "
+                   "\"instructions\": 2, \"demand\": {"
+                   "\"threads\": [{\"count\": 3, \"intensity\": "
+                   "0.5}], "
+                   "\"cpu\": {\"base_ipc\": 1.5, "
+                   "\"working_set_bytes\": 1048576}, "
+                   "\"gpu\": {\"work_rate\": 0.4, \"api\": "
+                   "\"vulkan\"}, "
+                   "\"storage\": {\"io_rate\": 0.2}}}"),
+        "t.json");
+    const Phase &p = ws.suites[0].benchmarks[0].phases()[0];
+    EXPECT_EQ(p.kernel, "custom");
+    ASSERT_EQ(p.demand.threads.size(), 1u);
+    EXPECT_EQ(p.demand.threads[0].count, 3);
+    EXPECT_DOUBLE_EQ(p.demand.cpu.baseIpc, 1.5);
+    EXPECT_EQ(p.demand.cpu.workingSetBytes, 1ULL << 20);
+    EXPECT_EQ(p.demand.gpu.api, GraphicsApi::Vulkan);
+    EXPECT_DOUBLE_EQ(p.demand.gpu.workRate, 0.4);
+    EXPECT_DOUBLE_EQ(p.demand.storage.ioRate, 0.2);
+    EXPECT_DOUBLE_EQ(p.demand.cpu.instructionsBillions, 2.0);
+}
+
+TEST(SpecCompile, ToRegistryAndKMax)
+{
+    const auto ws =
+        spec::compileSpecString(wrapPhases(kGemmPhase), "t.json");
+    const WorkloadRegistry reg = ws.toRegistry();
+    EXPECT_EQ(reg.units().size(), 1u);
+    EXPECT_TRUE(reg.hasUnit("B"));
+    EXPECT_EQ(spec::clampedKMax(1), 1);
+    EXPECT_EQ(spec::clampedKMax(6), 6);
+    EXPECT_EQ(spec::clampedKMax(18), 10);
+    EXPECT_EQ(spec::clampedKMax(1000), 10);
+}
+
+TEST(SpecDiagnostics, ErrorsArePositioned)
+{
+    // The offending node is `-1` at line 1; every diagnostic must
+    // lead with "<file>:<line>:<col>:".
+    const std::string msg = diagnose(wrapPhases(
+        "{\"name\": \"p\", \"kernel\": \"gemm\", \"duration\": -1, "
+        "\"instructions\": 1}"));
+    EXPECT_EQ(msg.rfind("t.json:1:", 0), 0u) << msg;
+    EXPECT_NE(msg.find("duration must be positive"),
+              std::string::npos)
+        << msg;
+}
+
+TEST(SpecDiagnostics, MultiLinePositionsPointAtTheNode)
+{
+    const std::string doc =
+        "{\"spec_version\": 1,\n"
+        " \"suites\": [{\"name\": \"S\", \"benchmarks\":\n"
+        "  [{\"name\": \"B\", \"target\":\n"
+        "    \"warp-drive\",\n"
+        "    \"phases\": [" + std::string(kGemmPhase) + "]}]}]}";
+    const std::string msg = diagnose(doc);
+    EXPECT_EQ(msg.rfind("t.json:4:5:", 0), 0u) << msg;
+    EXPECT_NE(msg.find("unknown target 'warp-drive'"),
+              std::string::npos)
+        << msg;
+}
+
+TEST(SpecDiagnostics, RejectionCatalogue)
+{
+    const struct
+    {
+        std::string doc;
+        const char *needle;
+    } cases[] = {
+        {"[1]", "must be an object"},
+        {"{\"suites\": []}", "missing required key 'spec_version'"},
+        {"{\"spec_version\": 2, \"suites\": []}",
+         "unsupported spec_version 2"},
+        {"{\"spec_version\": 1}", "missing required key 'suites'"},
+        {"{\"spec_version\": 1, \"suites\": []}",
+         "'suites' must not be empty"},
+        {"{\"spec_version\": 1, \"extra\": 1, \"suites\": [1]}",
+         "unknown key 'extra'"},
+        {wrapPhases(kGemmPhase, "\"params\": [], "),
+         "'params' must be an object"},
+        {wrapPhases("{\"name\": \"p\", \"kernel\": \"gemm\", "
+                    "\"duration\": 1}"),
+         "missing required key 'instructions'"},
+        {wrapPhases("{\"name\": \"p\", \"kernel\": \"gemm\", "
+                    "\"duration\": \"long\", \"instructions\": 1}"),
+         "'duration' must be a number"},
+        {wrapPhases("{\"name\": \"p\", \"kernel\": \"gemm\", "
+                    "\"duration\": 1, \"instructions\": -2}"),
+         "instruction budget must be non-negative"},
+        {wrapPhases("{\"name\": \"p\", \"kernel\": \"warpDrive\", "
+                    "\"duration\": 1, \"instructions\": 1}"),
+         "unknown kernel archetype 'warpDrive'"},
+        {wrapPhases("{\"name\": \"p\", \"kernel\": \"gemm\", "
+                    "\"duration\": 1, \"instructions\": 1, "
+                    "\"params\": \"nope\"}"),
+         "unknown parameter set 'nope'"},
+        {wrapPhases("{\"name\": \"p\", \"kernel\": \"gemm\", "
+                    "\"duration\": 1, \"instructions\": 1, "
+                    "\"frobnicate\": 1}"),
+         "unknown key 'frobnicate'"},
+        {wrapPhases("{\"template\": \"nope\"}"),
+         "unknown template 'nope'"},
+        {wrapPhases("{\"template\": \"t\", \"repeat\": 2}",
+                    "\"templates\": {\"t\": {\"phases\": "
+                    "[{\"template\": \"t\"}]}}, "),
+         "template references cannot nest"},
+        {wrapPhases("{\"mix\": {\"seed\": 1, \"count\": 2, "
+                    "\"choices\": [{\"mix\": {\"seed\": 1, "
+                    "\"count\": 1, \"choices\": []}}]}}"),
+         "mix entries cannot nest"},
+        {wrapPhases("{\"mix\": {\"seed\": -1, \"count\": 2, "
+                    "\"choices\": [" + std::string(kGemmPhase) +
+                    "]}}"),
+         "mix 'seed' must be a non-negative integer"},
+        {wrapPhases("{\"mix\": {\"seed\": 1, \"count\": 5000, "
+                    "\"choices\": [" + std::string(kGemmPhase) +
+                    "]}}"),
+         "must be an integer in [1, 1000]"},
+        {wrapPhases("{\"name\": \"p\", \"duration\": 1, "
+                    "\"instructions\": 1}"),
+         "needs one of 'kernel', 'demand', 'template' or 'mix'"},
+        {wrapPhases("{\"name\": \"p\", \"duration\": 1, "
+                    "\"instructions\": 1, \"demand\": "
+                    "{\"gpu\": {\"api\": \"directx\"}}}"),
+         "unknown graphics api 'directx'"},
+        {wrapPhases("{\"name\": \"p\", \"duration\": 1, "
+                    "\"instructions\": 1, \"demand\": "
+                    "{\"storage\": {\"read_fraction\": 1.5}}}"),
+         "'read_fraction' must be in [0, 1]"},
+        {wrapPhases("{\"name\": \"p\", \"duration\": 1, "
+                    "\"instructions\": 1, \"demand\": "
+                    "{\"memory\": {\"footprint_bytes\": 1.5}}}"),
+         "must be a non-negative integer"},
+        {wrapPhases(std::string(kGemmPhase) + ", " + kGemmPhase),
+         ""}, // duplicate phase names are fine...
+        {"{\"spec_version\": 1, \"suites\": ["
+         "{\"name\": \"S\", \"benchmarks\": [{\"name\": \"B\", "
+         "\"target\": \"cpu\", \"phases\": [" +
+             std::string(kGemmPhase) +
+             "]}, {\"name\": \"B\", \"target\": \"gpu\", "
+             "\"phases\": [" +
+             std::string(kGemmPhase) + "]}]}]}",
+         "duplicate benchmark name 'B'"}, // ...duplicate units not.
+    };
+    for (const auto &c : cases) {
+        const std::string msg = diagnose(c.doc);
+        if (std::string(c.needle).empty()) {
+            EXPECT_EQ(msg, "") << c.doc;
+            continue;
+        }
+        EXPECT_NE(msg.find(c.needle), std::string::npos)
+            << "doc: " << c.doc << "\ngot: " << msg;
+        EXPECT_EQ(msg.rfind("t.json:", 0), 0u) << msg;
+    }
+}
+
+TEST(SpecDiagnostics, ParseErrorsNameTheFile)
+{
+    const std::string msg = diagnose("{\"spec_version\": 1,,}");
+    EXPECT_EQ(msg.rfind("t.json: ", 0), 0u) << msg;
+    EXPECT_NE(msg.find("JSON parse error at line 1"),
+              std::string::npos)
+        << msg;
+}
+
+TEST(SpecDiagnostics, DuplicateUnitsAcrossSuites)
+{
+    const std::string doc =
+        "{\"spec_version\": 1, \"suites\": ["
+        "{\"name\": \"S1\", \"benchmarks\": [{\"name\": \"B\", "
+        "\"target\": \"cpu\", \"phases\": [" +
+        std::string(kGemmPhase) +
+        "]}]}, "
+        "{\"name\": \"S2\", \"benchmarks\": [{\"name\": \"B\", "
+        "\"target\": \"cpu\", \"phases\": [" +
+        std::string(kGemmPhase) + "]}]}]}";
+    EXPECT_NE(diagnose(doc).find("duplicate benchmark name 'B'"),
+              std::string::npos);
+}
+
+TEST(SpecFile, UnreadablePathIsFatal)
+{
+    EXPECT_THROW(spec::compileSpecFile("no/such/spec.json"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace mbs

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Golden round-trip: exporting suites as a spec document and
+ * compiling that document back must reproduce the exact digests.
+ * This is the property `mobilebench spec export` relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "spec/spec.hh"
+#include "workload/registry.hh"
+
+namespace mbs {
+namespace {
+
+TEST(SpecExport, BuiltinRegistryRoundTripsDigestIdentical)
+{
+    const WorkloadRegistry builtin;
+    const std::string text = spec::exportRegistryJson(builtin);
+    const spec::WorkloadSpec ws =
+        spec::compileSpecString(text, "<export>");
+
+    ASSERT_EQ(ws.suites.size(), builtin.suites().size());
+    EXPECT_EQ(ws.unitCount(), builtin.units().size());
+    for (std::size_t i = 0; i < ws.suites.size(); ++i) {
+        const Suite &got = ws.suites[i];
+        const Suite &want = builtin.suites()[i];
+        EXPECT_EQ(got.name, want.name);
+        EXPECT_EQ(got.publisher, want.publisher);
+        EXPECT_EQ(got.runsAsWhole, want.runsAsWhole);
+        EXPECT_EQ(got.digest(), want.digest()) << want.name;
+    }
+}
+
+TEST(SpecExport, ExportIsIdempotent)
+{
+    const WorkloadRegistry builtin;
+    const std::string once = spec::exportRegistryJson(builtin);
+    const spec::WorkloadSpec ws =
+        spec::compileSpecString(once, "<export>");
+    const std::string twice = spec::exportSuitesJson(ws.suites);
+    EXPECT_EQ(once, twice);
+}
+
+TEST(SpecExport, CompiledSpecExportsAndRecompiles)
+{
+    const std::string doc =
+        "{\"spec_version\": 1, \"suites\": [{\"name\": \"S\", "
+        "\"whole_suite\": true, \"benchmarks\": [{\"name\": \"B\", "
+        "\"target\": \"gpu\", \"executable\": false, \"phases\": ["
+        "{\"name\": \"p\", \"kernel\": \"renderScene\", "
+        "\"duration\": 7, \"instructions\": 3, "
+        "\"args\": {\"gpu_rate\": 0.7, \"api\": \"vulkan\", "
+        "\"offscreen\": true}}]}]}]}";
+    const auto first = spec::compileSpecString(doc, "t.json");
+    const auto second = spec::compileSpecString(
+        spec::exportSuitesJson(first.suites), "<export>");
+    ASSERT_EQ(second.suites.size(), 1u);
+    EXPECT_EQ(second.digest, first.digest);
+    // Flattening preserves the execution constraints too.
+    EXPECT_TRUE(second.suites[0].runsAsWhole);
+    EXPECT_FALSE(
+        second.suites[0].benchmarks[0].individuallyExecutable());
+}
+
+} // namespace
+} // namespace mbs

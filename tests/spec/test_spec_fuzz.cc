@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Property tests for the spec compiler: a seeded generator emits
+ * random valid documents that must compile, survive an export ->
+ * re-parse -> compile round trip digest-identically, and whose
+ * mutated (malformed) variants must fail with a positioned
+ * diagnostic instead of crashing. Runs under the ASan/UBSan CI lane
+ * like every other unit test, so out-of-bounds or UB in the parser
+ * or compiler surfaces here first.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/strings.hh"
+#include "spec/spec.hh"
+
+namespace mbs {
+namespace {
+
+// Every kernel that compiles with no mandatory keywords (videoCodec
+// needs 'codec', so it stays out of the random pool).
+const char *const kKernels[] = {
+    "gemm",         "fft",           "crypto",     "integerOps",
+    "floatOps",     "imageDecode",   "compression", "memoryStream",
+    "storageIo",    "database",      "webBrowse",  "photoEdit",
+    "renderScene",  "gpuCompute",    "physics",
+    "nnInference",  "uiScroll",      "vectorMath", "dataProcessing",
+    "dataSecurity", "loadingBurst",  "menuIdle",
+};
+const char *const kTargets[] = {"cpu",     "gpu", "memory",
+                                "storage", "ai",  "everyday"};
+
+/** Deterministic generator of schema-valid spec documents. */
+class SpecGenerator
+{
+  public:
+    explicit SpecGenerator(std::uint64_t seed) : rng(seed) {}
+
+    std::string
+    document()
+    {
+        std::string out = "{\"spec_version\": 1";
+        const bool withParams = chance(2);
+        if (withParams) {
+            out += ", \"params\": {\"hot\": {\"threads\": " +
+                strformat("%d", 1 + int(pick(8))) +
+                ", \"intensity\": 0.9}}";
+        }
+        const bool withTemplate = chance(2);
+        if (withTemplate) {
+            out += ", \"templates\": {\"warm\": {\"phases\": [" +
+                phase(withParams) + "]}}";
+        }
+        out += ", \"suites\": [";
+        const std::size_t suiteCount = 1 + pick(3);
+        for (std::size_t s = 0; s < suiteCount; ++s) {
+            if (s != 0)
+                out += ", ";
+            out += suite(s, withParams, withTemplate);
+        }
+        return out + "]}";
+    }
+
+  private:
+    bool chance(std::uint64_t oneIn) { return pick(oneIn) == 0; }
+    std::uint64_t pick(std::uint64_t n) { return rng.next() % n; }
+
+    std::string
+    phase(bool withParams)
+    {
+        std::string p = strformat(
+            "{\"name\": \"ph%llu\", \"kernel\": \"%s\", "
+            "\"duration\": %llu, \"instructions\": %llu",
+            (unsigned long long)pick(1000),
+            kKernels[pick(sizeof(kKernels) / sizeof(kKernels[0]))],
+            (unsigned long long)(1 + pick(30)),
+            (unsigned long long)pick(50));
+        if (withParams && chance(3))
+            p += ", \"params\": \"hot\"";
+        if (chance(3)) {
+            p += strformat(", \"args\": {\"intensity\": 0.%llu}",
+                           (unsigned long long)(1 + pick(9)));
+        }
+        return p + "}";
+    }
+
+    std::string
+    entry(bool withParams, bool withTemplate)
+    {
+        if (withTemplate && chance(4)) {
+            return strformat(
+                "{\"template\": \"warm\", \"repeat\": %llu}",
+                (unsigned long long)(1 + pick(3)));
+        }
+        if (chance(5)) {
+            std::string mix = strformat(
+                "{\"mix\": {\"seed\": %llu, \"count\": %llu, "
+                "\"choices\": [",
+                (unsigned long long)pick(1u << 30),
+                (unsigned long long)(1 + pick(8)));
+            const std::size_t choices = 1 + pick(3);
+            for (std::size_t c = 0; c < choices; ++c) {
+                if (c != 0)
+                    mix += ", ";
+                mix += phase(withParams);
+            }
+            return mix + "]}}";
+        }
+        if (chance(6)) {
+            return strformat(
+                "{\"name\": \"raw%llu\", \"duration\": %llu, "
+                "\"instructions\": %llu, \"demand\": {\"threads\": "
+                "[{\"count\": %llu, \"intensity\": 0.8}], "
+                "\"cpu\": {\"base_ipc\": 2.5}}}",
+                (unsigned long long)pick(1000),
+                (unsigned long long)(1 + pick(20)),
+                (unsigned long long)pick(40),
+                (unsigned long long)(1 + pick(6)));
+        }
+        return phase(withParams);
+    }
+
+    std::string
+    suite(std::size_t index, bool withParams, bool withTemplate)
+    {
+        std::string out = strformat(
+            "{\"name\": \"suite %llu\", \"publisher\": \"fuzz\", "
+            "\"benchmarks\": [",
+            (unsigned long long)index);
+        const std::size_t benchCount = 1 + pick(4);
+        for (std::size_t b = 0; b < benchCount; ++b) {
+            if (b != 0)
+                out += ", ";
+            out += strformat(
+                "{\"name\": \"s%llu b%llu\", \"target\": \"%s\", "
+                "\"phases\": [",
+                (unsigned long long)index, (unsigned long long)b,
+                kTargets[pick(sizeof(kTargets) /
+                              sizeof(kTargets[0]))]);
+            const std::size_t phaseCount = 1 + pick(4);
+            for (std::size_t p = 0; p < phaseCount; ++p) {
+                if (p != 0)
+                    out += ", ";
+                out += entry(withParams, withTemplate);
+            }
+            out += "]}";
+        }
+        return out + "]}";
+    }
+
+    SplitMix64 rng;
+};
+
+TEST(SpecFuzz, GeneratedSpecsRoundTripDigestStable)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        const std::string doc = SpecGenerator(seed).document();
+        spec::WorkloadSpec first;
+        ASSERT_NO_THROW(first = spec::compileSpecString(
+                            doc, "fuzz.json"))
+            << "seed " << seed << "\n" << doc;
+        // Compilation is deterministic...
+        EXPECT_EQ(spec::compileSpecString(doc, "fuzz.json").digest,
+                  first.digest)
+            << "seed " << seed;
+        // ...and the export round trip preserves every digest.
+        const spec::WorkloadSpec again = spec::compileSpecString(
+            spec::exportSuitesJson(first.suites), "<export>");
+        EXPECT_EQ(again.digest, first.digest) << "seed " << seed;
+    }
+}
+
+/**
+ * Break a valid document in a targeted way and check the compiler
+ * rejects it with a positioned FatalError rather than crashing or
+ * accepting it.
+ */
+TEST(SpecFuzz, MutatedSpecsFailWithPositionedErrors)
+{
+    struct Mutation
+    {
+        const char *find;
+        const char *replace;
+    };
+    const Mutation mutations[] = {
+        {"\"duration\": ", "\"duration\": -"},      // negative
+        {"\"kernel\": \"", "\"kernel\": \"bogus-"}, // unknown kernel
+        {"\"duration\": ", "\"durance\": "},        // missing + typo
+        {"\"target\": \"", "\"target\": \"x"},      // unknown target
+        {"\"spec_version\": 1", "\"spec_version\": 99"},
+        {"\"instructions\": ", "\"instructions\": \"many"},
+    };
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const std::string doc = SpecGenerator(seed).document();
+        for (const Mutation &m : mutations) {
+            std::string broken = doc;
+            const std::size_t at = broken.find(m.find);
+            ASSERT_NE(at, std::string::npos) << m.find;
+            broken.replace(at, std::string(m.find).size(),
+                           m.replace);
+            try {
+                spec::compileSpecString(broken, "mut.json");
+                FAIL() << "mutation accepted: " << m.replace;
+            } catch (const FatalError &e) {
+                EXPECT_EQ(std::string(e.what()).rfind("mut.json:",
+                                                      0),
+                          0u)
+                    << e.what();
+            }
+        }
+    }
+}
+
+/** Truncations of a valid document must all fail cleanly too. */
+TEST(SpecFuzz, TruncationsNeverCrash)
+{
+    const std::string doc = SpecGenerator(3).document();
+    for (std::size_t len = 0; len < doc.size();
+         len += 1 + len / 8) {
+        try {
+            spec::compileSpecString(doc.substr(0, len), "cut.json");
+        } catch (const FatalError &) {
+            // Expected: positioned parse or schema error.
+        }
+    }
+}
+
+} // namespace
+} // namespace mbs

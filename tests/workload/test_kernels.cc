@@ -163,6 +163,21 @@ TEST(Kernels, EverydayKernelsUseLittleClassThreads)
     }
 }
 
+TEST(Kernels, VectorMathStreamsWideUnits)
+{
+    const auto d = kernels::vectorMath(8, 0.95, 32ULL << 20);
+    ASSERT_FALSE(d.threads.empty());
+    EXPECT_EQ(d.threads[0].count, 8);
+    EXPECT_DOUBLE_EQ(d.threads[0].intensity, 0.95);
+    // SIMD streaming: near-peak ILP, big sequential working set,
+    // almost no branches.
+    EXPECT_GT(d.cpu.baseIpc, 3.0);
+    EXPECT_EQ(d.cpu.workingSetBytes, 32ULL << 20);
+    EXPECT_LE(d.cpu.branchFraction, 0.05);
+    EXPECT_GT(d.cpu.branchPredictability, 0.99);
+    EXPECT_GT(d.memory.footprintBytes, 32ULL << 20);
+}
+
 TEST(Kernels, AllKernelsHaveSaneCharacter)
 {
     const PhaseDemand demands[] = {
@@ -179,6 +194,7 @@ TEST(Kernels, AllKernelsHaveSaneCharacter)
         kernels::psnrCompare(true), kernels::multicoreStress(),
         kernels::dataProcessing(), kernels::dataSecurity(),
         kernels::loadingBurst(), kernels::menuIdle(),
+        kernels::vectorMath(),
     };
     for (const auto &d : demands) {
         EXPECT_GT(d.cpu.baseIpc, 0.5);

@@ -202,12 +202,28 @@ TEST(MakeKernelDemand, EveryKernelIsConstructible)
           "database", "webBrowse", "photoEdit", "renderScene",
           "gpuCompute", "physics", "nnInference", "uiScroll",
           "psnrCompare", "multicoreStress", "dataProcessing",
-          "dataSecurity", "loadingBurst", "menuIdle"}) {
+          "dataSecurity", "loadingBurst", "menuIdle",
+          "vectorMath"}) {
         EXPECT_NO_THROW(makeKernelDemand(kernel, {})) << kernel;
     }
     EXPECT_NO_THROW(
         makeKernelDemand("videoCodec", {{"codec", "h264"}}));
     EXPECT_THROW(makeKernelDemand("unknown", {}), FatalError);
+}
+
+TEST(MakeKernelDemand, VectorMathHonorsKeywords)
+{
+    const PhaseDemand d = makeKernelDemand(
+        "vectorMath", {{"threads", "8"},
+                       {"intensity", "0.95"},
+                       {"working_set_mb", "32"}});
+    ASSERT_FALSE(d.threads.empty());
+    EXPECT_EQ(d.threads[0].count, 8);
+    EXPECT_DOUBLE_EQ(d.threads[0].intensity, 0.95);
+    EXPECT_EQ(d.cpu.workingSetBytes, 32ULL << 20);
+    // Defaults when the keywords are absent.
+    const PhaseDemand bare = makeKernelDemand("vectorMath", {});
+    EXPECT_EQ(bare.cpu.workingSetBytes, 64ULL << 20);
 }
 
 } // namespace

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
+#include "workload/kernels.hh"
 #include "workload/registry.hh"
+#include "workload/suite_builder.hh"
 
 namespace mbs {
 namespace {
@@ -193,6 +195,32 @@ TEST(Registry, EveryPhaseHasPositiveBudgetOrIsIdle)
             EXPECT_FALSE(p.kernel.empty());
         }
     }
+}
+
+TEST(Registry, BuildsFromExternalSuites)
+{
+    // The ctor the spec compiler and text loader use.
+    Suite s = SuiteBuilder("Custom", "me")
+                  .benchmark("Only", HardwareTarget::Cpu)
+                  .phase("p", "gemm", kernels::gemm(4, 0.9), 5, 2)
+                  .build();
+    const WorkloadRegistry reg({s});
+    EXPECT_EQ(reg.units().size(), 1u);
+    EXPECT_TRUE(reg.hasSuite("Custom"));
+    EXPECT_TRUE(reg.hasUnit("Only"));
+    EXPECT_EQ(reg.unit("Only").suiteName(), "Custom");
+}
+
+TEST(Registry, RejectsBadExternalSuites)
+{
+    EXPECT_THROW(WorkloadRegistry(std::vector<Suite>{}), FatalError);
+
+    Suite s = SuiteBuilder("S", "me")
+                  .benchmark("B", HardwareTarget::Cpu)
+                  .phase("p", "gemm", kernels::gemm(4, 0.9), 5, 2)
+                  .build();
+    // Two units sharing a display name break name-keyed lookups.
+    EXPECT_THROW(WorkloadRegistry({s, s}), FatalError);
 }
 
 /** Parameterized check: per-unit calibrated runtimes (DESIGN.md). */

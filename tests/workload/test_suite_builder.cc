@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the shared suite-construction path (makePhase /
+ * SuiteBuilder) used by both the hard-coded suite files and the spec
+ * compiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workload/kernels.hh"
+#include "workload/suite_builder.hh"
+
+namespace mbs {
+namespace {
+
+TEST(MakePhase, StampsEveryField)
+{
+    const Phase p = makePhase("warm", "gemm",
+                              kernels::gemm(4, 0.9), 12.5, 30.0);
+    EXPECT_EQ(p.name, "warm");
+    EXPECT_EQ(p.kernel, "gemm");
+    EXPECT_DOUBLE_EQ(p.durationSeconds, 12.5);
+    EXPECT_DOUBLE_EQ(p.demand.cpu.instructionsBillions, 30.0);
+    // The demand bundle is the kernel's, budget aside.
+    const PhaseDemand raw = kernels::gemm(4, 0.9);
+    EXPECT_DOUBLE_EQ(p.demand.cpu.baseIpc, raw.cpu.baseIpc);
+    EXPECT_EQ(p.demand.threads.size(), raw.threads.size());
+}
+
+TEST(SuiteBuilder, BuildsTheSameSuiteAsDirectConstruction)
+{
+    SuiteBuilder builder("S", "pub", /*runs_as_whole=*/true);
+    builder.benchmark("A", HardwareTarget::Cpu)
+        .phase("p1", "gemm", kernels::gemm(4, 0.9), 10, 20)
+        .phase("p2", "crypto", kernels::crypto(2, 0.8), 5, 8)
+        .benchmark("B", HardwareTarget::Gpu,
+                   /*individually_executable=*/false)
+        .rawPhase(makePhase(
+            "p3", "renderScene",
+            kernels::renderScene(GraphicsApi::Vulkan, 0.8), 30, 3));
+    const Suite built = builder.build();
+
+    Suite direct;
+    direct.name = "S";
+    direct.publisher = "pub";
+    direct.runsAsWhole = true;
+    Benchmark a("S", "A", HardwareTarget::Cpu);
+    a.addPhase(makePhase("p1", "gemm", kernels::gemm(4, 0.9), 10, 20));
+    a.addPhase(makePhase("p2", "crypto", kernels::crypto(2, 0.8), 5,
+                         8));
+    Benchmark b("S", "B", HardwareTarget::Gpu, false);
+    b.addPhase(makePhase(
+        "p3", "renderScene",
+        kernels::renderScene(GraphicsApi::Vulkan, 0.8), 30, 3));
+    direct.benchmarks = {a, b};
+
+    EXPECT_EQ(built.digest(), direct.digest());
+    ASSERT_EQ(built.benchmarks.size(), 2u);
+    EXPECT_EQ(built.benchmarks[0].suiteName(), "S");
+    EXPECT_FALSE(built.benchmarks[1].individuallyExecutable());
+}
+
+TEST(SuiteBuilder, PhaseBeforeBenchmarkIsFatal)
+{
+    SuiteBuilder builder("S", "pub");
+    EXPECT_THROW(builder.phase("p", "gemm", kernels::gemm(4, 0.9),
+                               1, 1),
+                 FatalError);
+}
+
+TEST(SuiteBuilder, EmptySuiteIsFatal)
+{
+    SuiteBuilder builder("S", "pub");
+    EXPECT_THROW(builder.build(), FatalError);
+}
+
+TEST(SuiteBuilder, EmptyBenchmarkIsFatal)
+{
+    // ...whether detected at build() or when the next benchmark
+    // opens.
+    SuiteBuilder atBuild("S", "pub");
+    atBuild.benchmark("A", HardwareTarget::Cpu);
+    EXPECT_THROW(atBuild.build(), FatalError);
+
+    SuiteBuilder atNext("S", "pub");
+    atNext.benchmark("A", HardwareTarget::Cpu);
+    EXPECT_THROW(atNext.benchmark("B", HardwareTarget::Cpu),
+                 FatalError);
+}
+
+} // namespace
+} // namespace mbs

@@ -49,6 +49,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -84,6 +85,7 @@
 #include "report/summary.hh"
 #include "roi/roi.hh"
 #include "soc/energy.hh"
+#include "spec/spec.hh"
 #include "store/profile_store.hh"
 #include "workload/loader.hh"
 
@@ -96,6 +98,18 @@ constexpr const char *commandList =
     "  profile <benchmark|suite>   metrics + sparklines\n"
     "  counters <benchmark> <c..>  counter CSV to stdout\n"
     "  pipeline                    full paper pipeline\n"
+    "  run --spec <file>           full pipeline on a JSON workload\n"
+    "                              spec instead of the built-in "
+    "registry\n"
+    "  spec validate <file|->      compile a spec and print its "
+    "digest\n"
+    "                              ('-' reads stdin); exit 1 with a\n"
+    "                              positioned diagnostic on any "
+    "defect\n"
+    "  spec export                 print the built-in registry as a "
+    "spec\n"
+    "                              document (recompiles "
+    "digest-identical)\n"
     "  ingest <bundle>             analyze an external trace bundle\n"
     "  roi <benchmark> [fraction]  simulation-ROI pick\n"
     "  energy <benchmark>          energy breakdown\n"
@@ -202,6 +216,13 @@ printUsage(std::FILE *out)
                  "  --tick <seconds>     resampling interval (default: "
                  "the bundle's\n"
                  "                       own sample period)\n"
+                 "flags (run / chaos / submit):\n"
+                 "  --spec <file>        workload spec to execute: "
+                 "run executes\n"
+                 "                       it locally, chaos perturbs "
+                 "it under\n"
+                 "                       faults, submit ships the "
+                 "body to a daemon\n"
                  "flags (serve / submit / loadgen):\n"
                  "  --listen <port>      serve: listen on "
                  "127.0.0.1:<port> (0 =\n"
@@ -363,6 +384,55 @@ recordRunMetadata(const SocConfig &config, const ProfileOptions &opts)
     captureContext.tickSeconds = opts.tickSeconds;
 }
 
+/**
+ * recordRunMetadata for a spec-driven run: the run id and suite
+ * digest derive from the compiled spec, so an edited spec file gets
+ * a fresh ledger identity. report::specRunIdFor is shared with the
+ * serve daemon's spec jobs, keeping the two byte-comparable.
+ */
+void
+recordSpecRunMetadata(const SocConfig &config,
+                      const ProfileOptions &opts,
+                      const spec::WorkloadSpec &workloadSpec)
+{
+    const std::string seed =
+        strformat("%llu", (unsigned long long)opts.seed);
+    const std::string tick = strformat("%g", opts.tickSeconds);
+    const std::string runs = strformat("%d", opts.runs);
+    const std::string digest =
+        strformat("%016llx", (unsigned long long)config.digest());
+    const std::string run_id = report::specRunIdFor(
+        config.digest(), workloadSpec.digest, opts.seed, opts.runs,
+        opts.tickSeconds);
+
+    auto &tracer = obs::Tracer::instance();
+    tracer.metadata("seed", seed);
+    tracer.metadata("tick_seconds", tick);
+    tracer.metadata("runs_per_benchmark", runs);
+    tracer.metadata("soc", config.name);
+    tracer.metadata("soc_config_digest", digest);
+    tracer.metadata("run_id", run_id);
+    tracer.metadata("spec", workloadSpec.source);
+    tracer.metadata(
+        "spec_digest",
+        strformat("%016llx",
+                  (unsigned long long)workloadSpec.digest));
+
+    auto &log = obs::EventLog::instance();
+    log.setCommonField("run_id", run_id);
+    log.setCommonField("seed", seed);
+    log.setCommonField("soc", config.name);
+    log.setCommonField("soc_config_digest", digest);
+
+    captureContext.runId = run_id;
+    captureContext.socName = config.name;
+    captureContext.socConfigDigest = config.digest();
+    captureContext.suiteDigest = workloadSpec.digest;
+    captureContext.seed = opts.seed;
+    captureContext.runs = opts.runs;
+    captureContext.tickSeconds = opts.tickSeconds;
+}
+
 /** "1.23 s" / "4.5 ms" for a stage duration. */
 std::string
 formatStageSeconds(double seconds)
@@ -447,6 +517,8 @@ struct GlobalFlags
     bool lax = false;
     /** ingest: resampling tick override; 0 uses the bundle period. */
     double tick = 0.0;
+    /** run/chaos/submit: workload-spec file; empty = built-in. */
+    std::string spec;
     /** Explicit fault plan (site:kind@trigger,...); empty = none. */
     std::string faultSpec;
     /** Uniform per-site fault probability; 0 = not requested. */
@@ -690,20 +762,106 @@ cmdPipeline(const GlobalFlags &flags)
 }
 
 /**
+ * `mobilebench run --spec <file>`: the full characterization
+ * pipeline over a compiled workload spec instead of the built-in
+ * registry. Output layout matches `pipeline` (suite table, then the
+ * report sections) and is byte-identical for any --jobs count; the
+ * ledger record's stable block matches a serve "spec" job carrying
+ * the same body, which is what tools/serve_smoke.sh asserts.
+ */
+int
+cmdRun(const GlobalFlags &flags)
+{
+    fatalIf(flags.spec.empty(), "run: --spec <file> is required");
+    const spec::WorkloadSpec workloadSpec =
+        spec::compileSpecFile(flags.spec);
+    const WorkloadRegistry workloads = workloadSpec.toRegistry();
+
+    const SocConfig config = SocConfig::snapdragon888();
+    PipelineOptions options;
+    options.profile.jobs = flags.jobs;
+    options.cacheDir = flags.cacheDir;
+    options.kMax = spec::clampedKMax(workloads.units().size());
+    if (flags.tick > 0.0)
+        options.profile.tickSeconds = flags.tick;
+    recordSpecRunMetadata(config, options.profile, workloadSpec);
+    // The ledger command is "spec", matching the serve job kind, so
+    // the stable blocks of the two paths stay byte-identical.
+    captureContext.command = "spec";
+
+    const CharacterizationPipeline pipeline(config, options);
+    const auto report = pipeline.run(workloads);
+    if (!flags.telemetryDir.empty()) {
+        ingest::TraceBundleWriter writer(
+            config, options.profile.tickSeconds);
+        for (const auto &p : report.profiles) {
+            const Benchmark &unit = workloads.unit(p.name);
+            writer.add(p, unit.totalDurationSeconds(),
+                       unit.individuallyExecutable());
+        }
+        writer.write(std::filesystem::path(flags.telemetryDir) /
+                     "trace-bundle");
+    }
+    std::printf("%s\n", renderTableI(workloads).c_str());
+    printReportSections(report);
+    return 0;
+}
+
+/**
+ * `mobilebench spec validate <file|->`: compile only. Exit 0 with
+ * the content digest on success; any defect is a positioned
+ * `<file>:<line>:<col>:` diagnostic and exit 1. '-' reads the
+ * document from stdin so `spec export | spec validate -` closes the
+ * round-trip loop in scripts and CI.
+ */
+int
+cmdSpecValidate(const std::string &path)
+{
+    const spec::WorkloadSpec ws = [&] {
+        if (path != "-")
+            return spec::compileSpecFile(path);
+        std::ostringstream body;
+        body << std::cin.rdbuf();
+        return spec::compileSpecString(body.str(), "<stdin>");
+    }();
+    std::printf("%s: ok — spec_version %d, %zu suite(s), %zu "
+                "unit(s), digest %016llx\n",
+                ws.source.c_str(), ws.version, ws.suites.size(),
+                ws.unitCount(), (unsigned long long)ws.digest);
+    return 0;
+}
+
+/**
+ * `mobilebench spec export`: the built-in registry serialized as a
+ * spec document. Compiling the output yields suites digest-identical
+ * to the registry's own — the golden the round-trip tests pin.
+ */
+int
+cmdSpecExport()
+{
+    std::printf("%s", spec::exportRegistryJson(registry()).c_str());
+    return 0;
+}
+
+/**
  * One full pipeline run rendered to a string (the profile-dependent
  * sections only, exactly what printReportSections() prints). The
- * chaos driver compares these byte-for-byte across runs.
+ * chaos driver compares these byte-for-byte across runs. The k-max
+ * clamp only bites for spec registries smaller than the paper's 18
+ * units; for the built-in registry it is the pipeline default.
  */
 std::string
 runPipelineSections(const GlobalFlags &flags,
-                    const std::string &cacheDir)
+                    const std::string &cacheDir,
+                    const WorkloadRegistry &workloads)
 {
     PipelineOptions options;
     options.profile.jobs = flags.jobs;
     options.cacheDir = cacheDir;
+    options.kMax = spec::clampedKMax(workloads.units().size());
     const CharacterizationPipeline pipeline(
         SocConfig::snapdragon888(), options);
-    return renderReportSections(pipeline.run(registry()));
+    return renderReportSections(pipeline.run(workloads));
 }
 
 /**
@@ -721,12 +879,28 @@ cmdChaos(const GlobalFlags &flags)
     namespace fs = std::filesystem;
     const obs::ScopedSpan stage("chaos", "stage");
 
+    // `chaos --spec` perturbs a spec-defined pipeline instead of the
+    // built-in registry; the fault machinery is identical either way.
+    std::optional<spec::WorkloadSpec> specDoc;
+    std::optional<WorkloadRegistry> specRegistry;
+    if (!flags.spec.empty()) {
+        specDoc = spec::compileSpecFile(flags.spec);
+        specRegistry = specDoc->toRegistry();
+    }
+    const WorkloadRegistry &workloads =
+        specRegistry ? *specRegistry : registry();
+
     // The ledger record for a chaos run identifies the pipeline
     // configuration the iterations perturb.
     PipelineOptions chaosOptions;
     chaosOptions.profile.jobs = flags.jobs;
-    recordRunMetadata(SocConfig::snapdragon888(),
-                      chaosOptions.profile);
+    if (specDoc) {
+        recordSpecRunMetadata(SocConfig::snapdragon888(),
+                              chaosOptions.profile, *specDoc);
+    } else {
+        recordRunMetadata(SocConfig::snapdragon888(),
+                          chaosOptions.profile);
+    }
 
     // Iterations share one cache so store faults hit real entries;
     // a scratch directory is used (and cleaned) unless the user
@@ -738,7 +912,7 @@ cmdChaos(const GlobalFlags &flags)
         fs::remove_all(cacheDir);
 
     const std::string baseline =
-        runPipelineSections(flags, cacheDir);
+        runPipelineSections(flags, cacheDir, workloads);
     std::printf("chaos: baseline report is %zu bytes "
                 "(jobs=%d, cache=%s)\n",
                 baseline.size(), flags.jobs, cacheDir.c_str());
@@ -779,7 +953,8 @@ cmdChaos(const GlobalFlags &flags)
         {
             const fault::ScopedPlan armed(plan);
             try {
-                sections = runPipelineSections(flags, cacheDir);
+                sections =
+                    runPipelineSections(flags, cacheDir, workloads);
             } catch (const std::exception &e) {
                 runError = e.what();
             }
@@ -987,7 +1162,22 @@ cmdSubmit(const std::vector<std::string> &args,
     }
     serve::JobOptions job;
     std::vector<serve::BundleFile> bundle;
-    if (args.size() >= 2) {
+    if (!flags.spec.empty()) {
+        fatalIf(args.size() >= 2,
+                "submit: --spec and a bundle directory are "
+                "mutually exclusive");
+        // The body ships inline: the daemon compiles it under the
+        // fixed name "<spec>", so a broken file fails the job with a
+        // positioned diagnostic instead of touching the daemon.
+        std::ifstream in(flags.spec, std::ios::binary);
+        fatalIf(!in, "submit: cannot read spec file '" + flags.spec +
+                         "'");
+        std::ostringstream body;
+        body << in.rdbuf();
+        job.job = "spec";
+        job.spec = body.str();
+        job.tick = flags.tick;
+    } else if (args.size() >= 2) {
         job.job = "ingest";
         job.ingestPipeline = flags.ingestPipeline;
         job.lax = flags.lax;
@@ -1504,7 +1694,9 @@ parseFlags(int argc, char **argv, GlobalFlags &flags)
                       v + "'");
             }
             fatalIf(flags.tick <= 0.0, "--tick must be > 0");
-        } else if (arg == "--fault-spec")
+        } else if (arg == "--spec")
+            flags.spec = valueOf("--spec");
+        else if (arg == "--fault-spec")
             flags.faultSpec = valueOf("--fault-spec");
         else if (arg == "--fault-rate") {
             const std::string v = valueOf("--fault-rate");
@@ -1679,6 +1871,19 @@ dispatch(const std::vector<std::string> &args,
     }
     if (cmd == "pipeline")
         return cmdPipeline(flags);
+    if (cmd == "run")
+        return cmdRun(flags);
+    if (cmd == "spec" && args.size() >= 2) {
+        if (args[1] == "validate" && args.size() >= 3)
+            return cmdSpecValidate(args[2]);
+        if (args[1] == "export")
+            return cmdSpecExport();
+        std::fprintf(stderr,
+                     "unknown spec action '%s'; use validate "
+                     "<file|-> or export\n",
+                     args[1].c_str());
+        return 2;
+    }
     if (cmd == "chaos")
         return cmdChaos(flags);
     if (cmd == "roi" && args.size() >= 2)
@@ -1711,8 +1916,8 @@ dispatch(const std::vector<std::string> &args,
     // A known command with missing arguments is a usage error; an
     // unrecognized word gets the command list.
     static const char *known[] = {"list", "profile", "counters",
-                                  "pipeline", "chaos", "roi",
-                                  "energy", "catalog", "load",
+                                  "pipeline", "run", "spec", "chaos",
+                                  "roi", "energy", "catalog", "load",
                                   "cache", "telemetry", "ingest",
                                   "report", "compare", "serve",
                                   "submit", "loadgen", "stats"};
@@ -1783,8 +1988,8 @@ main(int argc, char **argv)
         // bundle is exported (samples stay in memory and are never
         // written), so a telemetry run and a bare run compare equal.
         const bool ledgerCommand = args[0] == "pipeline" ||
-            args[0] == "ingest" || args[0] == "chaos" ||
-            args[0] == "loadgen";
+            args[0] == "run" || args[0] == "ingest" ||
+            args[0] == "chaos" || args[0] == "loadgen";
         if (ledgerCommand && !flags.noLedger)
             obs::TimeSeriesSampler::instance().setEnabled(true);
 
@@ -1851,7 +2056,11 @@ main(int argc, char **argv)
         // notice goes to stderr so stdout stays byte-comparable.
         if (ledgerCommand && !flags.noLedger &&
             !captureContext.runId.empty()) {
-            captureContext.command = args[0];
+            // `run --spec` records itself as "spec" (the serve job
+            // kind) so the two ledger paths stay byte-comparable;
+            // every other command records its own name.
+            if (captureContext.command.empty())
+                captureContext.command = args[0];
             captureContext.jobs = flags.jobs;
             captureContext.wallSeconds = wallSeconds;
             captureContext.telemetryDir = flags.telemetryDir;

@@ -17,7 +17,10 @@
 #      one-shot `ingest --pipeline`
 #   8. loadgen with a latency artifact carrying the queue-wait /
 #      execution split from the result frames
-#   9. SIGTERM drains gracefully with a clean exit code; a ping
+#   9. a workload-spec job: the spec body shipped over the socket
+#      must produce a byte-identical report and ledger stable block
+#      to the one-shot `run --spec` of the same file
+#  10. SIGTERM drains gracefully with a clean exit code; a ping
 #      against the dead port must fail with a non-zero exit
 #
 # Usage: serve_smoke.sh /path/to/mobilebench
@@ -163,6 +166,17 @@ grep -q '"exec_p99_s"' "$WORK/latency.json" || {
     echo "FAIL: latency artifact missing the execution split" >&2
     exit 1
 }
+
+# --- workload spec: socket submission vs one-shot run --spec -------
+SPEC=$(dirname "$0")/../examples/specs/vector_stress.json
+"$MB" submit --port "$PORT" --spec "$SPEC" >"$WORK/serve_spec.out"
+"$MB" run --spec "$SPEC" --ledger "$LEDGER" >"$WORK/oneshot_spec.out"
+diff -u "$WORK/oneshot_spec.out" "$WORK/serve_spec.out" || {
+    echo "FAIL: serve spec report differs from one-shot run --spec" >&2
+    exit 1
+}
+# Same spec + seed => identical stable ledger blocks, serve or CLI.
+"$MB" compare last~1 last --ledger "$LEDGER" --threshold 0
 
 # --- graceful shutdown ---------------------------------------------
 kill -TERM "$SERVER_PID"
