@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Macro-bench for the full cluster-validation sweep: every k in
+ * [2, 10] under KMeans, PAM and average-linkage hierarchical
+ * clustering, with all five validation measures per point. This is
+ * the heaviest analysis-core path the pipeline exercises, so the CI
+ * perf gate tracks it alongside the per-kernel micro benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "cluster/hierarchical.hh"
+#include "cluster/kmeans.hh"
+#include "cluster/pam.hh"
+#include "cluster/validation.hh"
+
+namespace mbs {
+namespace {
+
+constexpr int kMin = 2;
+constexpr int kMax = 10;
+
+const KMeans &
+kmeans()
+{
+    static const KMeans algo;
+    return algo;
+}
+
+const Pam &
+pam()
+{
+    static const Pam algo;
+    return algo;
+}
+
+const HierarchicalClustering &
+hierarchical()
+{
+    static const HierarchicalClustering algo(Linkage::Average);
+    return algo;
+}
+
+void
+printReproduction()
+{
+    const auto &m = benchutil::report().clusterFeatures;
+    const ValidationSweep sweep({&kmeans(), &pam(), &hierarchical()},
+                                kMin, kMax);
+    const auto points = sweep.run(m);
+
+    // Best k per algorithm by silhouette, the sweep's headline read.
+    std::map<std::string, ValidationPoint> best;
+    for (const auto &p : points) {
+        const auto it = best.find(p.algorithm);
+        if (it == best.end() || p.silhouette > it->second.silhouette)
+            best[p.algorithm] = p;
+    }
+    TextTable t({"Algorithm", "best k", "silhouette", "dunn"});
+    for (const auto &[algo, p] : best) {
+        t.addRow({algo, strformat("%d", p.k),
+                  strformat("%.3f", p.silhouette),
+                  strformat("%.3f", p.dunn)});
+    }
+    std::printf("Full validation sweep, k in [%d, %d] (%zu points)\n%s\n",
+                kMin, kMax, points.size(), t.render().c_str());
+}
+
+void
+sweepOne(benchmark::State &state, const Clusterer &algorithm)
+{
+    const auto &m = benchutil::report().clusterFeatures;
+    const ValidationSweep sweep({&algorithm}, kMin, kMax);
+    for (auto _ : state) {
+        auto points = sweep.run(m);
+        benchmark::DoNotOptimize(points.size());
+    }
+}
+
+void
+BM_SweepKMeans(benchmark::State &state)
+{
+    sweepOne(state, kmeans());
+}
+BENCHMARK(BM_SweepKMeans)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepPam(benchmark::State &state)
+{
+    sweepOne(state, pam());
+}
+BENCHMARK(BM_SweepPam)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepHierarchical(benchmark::State &state)
+{
+    sweepOne(state, hierarchical());
+}
+BENCHMARK(BM_SweepHierarchical)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepAllAlgorithms(benchmark::State &state)
+{
+    const auto &m = benchutil::report().clusterFeatures;
+    const ValidationSweep sweep({&kmeans(), &pam(), &hierarchical()},
+                                kMin, kMax);
+    for (auto _ : state) {
+        auto points = sweep.run(m);
+        benchmark::DoNotOptimize(points.size());
+    }
+}
+BENCHMARK(BM_SweepAllAlgorithms)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace mbs
+
+int
+main(int argc, char **argv)
+{
+    mbs::printReproduction();
+    return mbs::benchutil::runBenchmarks("sweep_cluster_validation",
+                                         argc, argv);
+}

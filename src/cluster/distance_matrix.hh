@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Flat, symmetric pairwise Euclidean distance matrix.
+ *
+ * The clustering algorithms and every validation measure need the same
+ * n x n distances; computing them once into a contiguous buffer keeps
+ * the inner loops streaming (row pointers, no vector-of-vectors
+ * indirection) and lets one ValidationSweep::evaluate() share the
+ * matrix across all five measures.
+ */
+
+#ifndef MBS_CLUSTER_DISTANCE_MATRIX_HH
+#define MBS_CLUSTER_DISTANCE_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/feature_matrix.hh"
+
+namespace mbs {
+
+class DistanceMatrix
+{
+  public:
+    DistanceMatrix() = default;
+
+    /** Pairwise Euclidean distances between the rows of @p m. */
+    explicit DistanceMatrix(const FeatureMatrix &m)
+        : n(m.rows()), cells(n * n, 0.0)
+    {
+        const std::size_t dims = m.cols();
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) {
+                const double d = euclideanDistance(
+                    m.rowPtr(i), m.rowPtr(j), dims);
+                cells[i * n + j] = d;
+                cells[j * n + i] = d;
+            }
+        }
+    }
+
+    std::size_t size() const { return n; }
+
+    double at(std::size_t i, std::size_t j) const
+    {
+        return cells[i * n + j];
+    }
+
+    /** @return pointer to row @p i's first distance. */
+    const double *row(std::size_t i) const
+    {
+        return cells.data() + i * n;
+    }
+
+  private:
+    std::size_t n = 0;
+    std::vector<double> cells;
+};
+
+} // namespace mbs
+
+#endif // MBS_CLUSTER_DISTANCE_MATRIX_HH

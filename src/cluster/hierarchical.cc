@@ -8,6 +8,7 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace mbs {
 
@@ -120,23 +121,29 @@ HierarchicalClustering::buildDendrogram(
     fatalIf(n < 1, "cannot cluster an empty feature matrix");
 
     // Active cluster list: node id, member count, and a distance row
-    // to every other active cluster (Lance-Williams updates).
+    // to every other active cluster (Lance-Williams updates). The
+    // matrix is one flat n x n buffer with fixed row stride; the
+    // active prefix shrinks as clusters merge.
     struct Active
     {
         int node;
         double count;
     };
     std::vector<Active> active;
-    std::vector<std::vector<double>> dist(n, std::vector<double>(n));
+    std::vector<double> dist(n * n, 0.0);
+    const auto D = [&dist, n](std::size_t i, std::size_t j) -> double & {
+        return dist[i * n + j];
+    };
+    const std::size_t dims = features.cols();
     for (std::size_t i = 0; i < n; ++i) {
         active.push_back(Active{int(i), 1.0});
         for (std::size_t j = i; j < n; ++j) {
-            double d =
-                euclideanDistance(features.row(i), features.row(j));
+            double d = euclideanDistance(
+                features.rowPtr(i), features.rowPtr(j), dims);
             if (linkage == Linkage::Ward)
                 d = d * d; // Ward operates on squared distances
-            dist[i][j] = d;
-            dist[j][i] = d;
+            D(i, j) = d;
+            D(j, i) = d;
         }
     }
 
@@ -147,9 +154,10 @@ HierarchicalClustering::buildDendrogram(
         std::size_t bi = 0, bj = 1;
         double best = std::numeric_limits<double>::max();
         for (std::size_t i = 0; i < active.size(); ++i) {
+            const double *row = dist.data() + i * n;
             for (std::size_t j = i + 1; j < active.size(); ++j) {
-                if (dist[i][j] < best) {
-                    best = dist[i][j];
+                if (row[j] < best) {
+                    best = row[j];
                     bi = i;
                     bj = j;
                 }
@@ -167,8 +175,8 @@ HierarchicalClustering::buildDendrogram(
         for (std::size_t x = 0; x < active.size(); ++x) {
             if (x == bi || x == bj)
                 continue;
-            const double dik = dist[bi][x];
-            const double djk = dist[bj][x];
+            const double dik = D(bi, x);
+            const double djk = D(bj, x);
             double d = 0.0;
             switch (linkage) {
               case Linkage::Single:
@@ -183,7 +191,7 @@ HierarchicalClustering::buildDendrogram(
               case Linkage::Ward: {
                 const double ck = active[x].count;
                 d = ((ci + ck) * dik + (cj + ck) * djk -
-                     ck * dist[bi][bj]) / (ci + cj + ck);
+                     ck * D(bi, bj)) / (ci + cj + ck);
                 break;
               }
             }
@@ -196,24 +204,22 @@ HierarchicalClustering::buildDendrogram(
         for (std::size_t x = 0; x < active.size(); ++x) {
             if (x == bi || x == bj)
                 continue;
-            dist[bi][x] = merged_row[x];
-            dist[x][bi] = merged_row[x];
+            D(bi, x) = merged_row[x];
+            D(x, bi) = merged_row[x];
         }
-        // Swap-erase bj from active and the distance matrix.
+        // Swap-erase bj from active and the distance matrix; the flat
+        // buffer keeps its stride, only the active prefix shrinks.
         const std::size_t last = active.size() - 1;
         if (bj != last) {
             std::swap(active[bj], active[last]);
-            for (std::size_t x = 0; x < active.size(); ++x) {
-                std::swap(dist[bj][x], dist[last][x]);
-            }
-            for (std::size_t x = 0; x < active.size(); ++x) {
-                std::swap(dist[x][bj], dist[x][last]);
-            }
+            std::swap_ranges(dist.begin() + std::ptrdiff_t(bj * n),
+                             dist.begin() + std::ptrdiff_t(bj * n +
+                                                           active.size()),
+                             dist.begin() + std::ptrdiff_t(last * n));
+            for (std::size_t x = 0; x < active.size(); ++x)
+                std::swap(D(x, bj), D(x, last));
         }
         active.pop_back();
-        for (auto &row : dist)
-            row.resize(active.size());
-        dist.resize(active.size());
     }
 
     return Dendrogram(n, std::move(merges));

@@ -5,22 +5,41 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/simd.hh"
 
 namespace mbs {
 
 namespace {
 
-using Point = std::vector<double>;
+/**
+ * Centers live in one flat k x dims buffer so the assignment loop
+ * streams row-vs-center with contiguous loads on both sides.
+ */
+struct Centers
+{
+    std::size_t dims = 0;
+    std::vector<double> cells;
+
+    std::size_t count() const { return dims ? cells.size() / dims : 0; }
+    const double *at(std::size_t c) const { return cells.data() + c * dims; }
+    double *at(std::size_t c) { return cells.data() + c * dims; }
+
+    void append(const double *p)
+    {
+        cells.insert(cells.end(), p, p + dims);
+    }
+};
 
 /** Squared distance from @p row to each center; returns best index. */
 std::size_t
-nearestCenter(const Point &row, const std::vector<Point> &centers,
+nearestCenter(const double *row, const Centers &centers,
               double *best_distance = nullptr)
 {
     std::size_t best = 0;
     double best_d = std::numeric_limits<double>::max();
-    for (std::size_t c = 0; c < centers.size(); ++c) {
-        const double d = squaredEuclideanDistance(row, centers[c]);
+    for (std::size_t c = 0; c < centers.count(); ++c) {
+        const double d =
+            simd::sumSqDiff(row, centers.at(c), centers.dims);
         if (d < best_d) {
             best_d = d;
             best = c;
@@ -32,28 +51,29 @@ nearestCenter(const Point &row, const std::vector<Point> &centers,
 }
 
 /** k-means++ seeding. */
-std::vector<Point>
+Centers
 seedCenters(const FeatureMatrix &features, int k,
             Xoshiro256StarStar &rng)
 {
-    std::vector<Point> centers;
-    centers.push_back(
-        features.row(rng.uniformInt(features.rows())));
-    while (int(centers.size()) < k) {
+    Centers centers;
+    centers.dims = features.cols();
+    centers.append(
+        features.rowPtr(rng.uniformInt(features.rows())));
+    while (int(centers.count()) < k) {
         // Choose the next center with probability proportional to the
         // squared distance to the nearest existing center.
         std::vector<double> weights(features.rows());
         double total = 0.0;
         for (std::size_t i = 0; i < features.rows(); ++i) {
             double d = 0.0;
-            nearestCenter(features.row(i), centers, &d);
+            nearestCenter(features.rowPtr(i), centers, &d);
             weights[i] = d;
             total += d;
         }
         if (total <= 0.0) {
             // All points coincide with existing centers; pick any.
-            centers.push_back(
-                features.row(rng.uniformInt(features.rows())));
+            centers.append(
+                features.rowPtr(rng.uniformInt(features.rows())));
             continue;
         }
         double pick = rng.uniform() * total;
@@ -65,7 +85,7 @@ seedCenters(const FeatureMatrix &features, int k,
                 break;
             }
         }
-        centers.push_back(features.row(chosen));
+        centers.append(features.rowPtr(chosen));
     }
     return centers;
 }
@@ -87,19 +107,21 @@ KMeans::fit(const FeatureMatrix &features, int k) const
             "K-Means k must be in [1, rows]");
     Xoshiro256StarStar master(options.seed);
 
+    const std::size_t dims = features.cols();
+
     ClusteringResult best;
     best.inertia = std::numeric_limits<double>::max();
 
     for (int restart = 0; restart < options.restarts; ++restart) {
         auto rng = master.fork(std::uint64_t(restart));
-        std::vector<Point> centers = seedCenters(features, k, rng);
+        Centers centers = seedCenters(features, k, rng);
         std::vector<int> labels(features.rows(), 0);
 
         for (int iter = 0; iter < options.maxIterations; ++iter) {
             bool changed = false;
             for (std::size_t i = 0; i < features.rows(); ++i) {
                 const int c =
-                    int(nearestCenter(features.row(i), centers));
+                    int(nearestCenter(features.rowPtr(i), centers));
                 if (c != labels[i]) {
                     labels[i] = c;
                     changed = true;
@@ -108,14 +130,14 @@ KMeans::fit(const FeatureMatrix &features, int k) const
 
             // Recompute centers; repair empty clusters with the point
             // farthest from its current center.
-            std::vector<Point> next(
-                std::size_t(k), Point(features.cols(), 0.0));
+            Centers next;
+            next.dims = dims;
+            next.cells.assign(std::size_t(k) * dims, 0.0);
             std::vector<int> count(std::size_t(k), 0);
             for (std::size_t i = 0; i < features.rows(); ++i) {
                 const auto c = std::size_t(labels[i]);
                 ++count[c];
-                for (std::size_t d = 0; d < features.cols(); ++d)
-                    next[c][d] += features.at(i, d);
+                simd::addAssign(next.at(c), features.rowPtr(i), dims);
             }
             for (std::size_t c = 0; c < std::size_t(k); ++c) {
                 if (count[c] == 0) {
@@ -123,17 +145,17 @@ KMeans::fit(const FeatureMatrix &features, int k) const
                     double far_d = -1.0;
                     for (std::size_t i = 0; i < features.rows(); ++i) {
                         double d = 0.0;
-                        nearestCenter(features.row(i), centers, &d);
+                        nearestCenter(features.rowPtr(i), centers, &d);
                         if (d > far_d) {
                             far_d = d;
                             far = i;
                         }
                     }
-                    next[c] = features.row(far);
+                    std::copy_n(features.rowPtr(far), dims, next.at(c));
                     changed = true;
                 } else {
-                    for (double &v : next[c])
-                        v /= double(count[c]);
+                    simd::divScalar(next.at(c), next.at(c), dims,
+                                    double(count[c]));
                 }
             }
             centers = std::move(next);
@@ -144,7 +166,8 @@ KMeans::fit(const FeatureMatrix &features, int k) const
         double inertia = 0.0;
         for (std::size_t i = 0; i < features.rows(); ++i) {
             double d = 0.0;
-            labels[i] = int(nearestCenter(features.row(i), centers, &d));
+            labels[i] =
+                int(nearestCenter(features.rowPtr(i), centers, &d));
             inertia += d;
         }
         if (inertia < best.inertia) {

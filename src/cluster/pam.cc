@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "cluster/distance_matrix.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace mbs {
 
@@ -11,14 +13,15 @@ namespace {
 
 /** Total cost of assigning every point to its nearest medoid. */
 double
-totalCost(const std::vector<std::vector<double>> &dist,
+totalCost(const DistanceMatrix &dist,
           const std::vector<std::size_t> &medoids)
 {
     double cost = 0.0;
     for (std::size_t i = 0; i < dist.size(); ++i) {
+        const double *row = dist.row(i);
         double best = std::numeric_limits<double>::max();
         for (std::size_t m : medoids)
-            best = std::min(best, dist[i][m]);
+            best = std::min(best, row[m]);
         cost += best;
     }
     return cost;
@@ -32,15 +35,7 @@ Pam::fit(const FeatureMatrix &features, int k) const
     const std::size_t n = features.rows();
     fatalIf(k < 1 || std::size_t(k) > n, "PAM k must be in [1, rows]");
 
-    std::vector<std::vector<double>> dist(n, std::vector<double>(n));
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = i; j < n; ++j) {
-            const double d =
-                euclideanDistance(features.row(i), features.row(j));
-            dist[i][j] = d;
-            dist[j][i] = d;
-        }
-    }
+    const DistanceMatrix dist(features);
 
     // BUILD: first medoid minimizes total distance; each further
     // medoid maximizes the cost reduction.
@@ -50,9 +45,9 @@ Pam::fit(const FeatureMatrix &features, int k) const
         std::size_t best = 0;
         double best_cost = std::numeric_limits<double>::max();
         for (std::size_t m = 0; m < n; ++m) {
-            double cost = 0.0;
-            for (std::size_t i = 0; i < n; ++i)
-                cost += dist[i][m];
+            // The matrix is symmetric, so medoid m's column sum is
+            // its (contiguous) row sum.
+            const double cost = simd::sum(dist.row(m), n);
             if (cost < best_cost) {
                 best_cost = cost;
                 best = m;
@@ -108,11 +103,12 @@ Pam::fit(const FeatureMatrix &features, int k) const
     out.inertia = current;
     out.labels.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
+        const double *row = dist.row(i);
         std::size_t best_m = 0;
         double best_d = std::numeric_limits<double>::max();
         for (std::size_t m = 0; m < medoids.size(); ++m) {
-            if (dist[i][medoids[m]] < best_d) {
-                best_d = dist[i][medoids[m]];
+            if (row[medoids[m]] < best_d) {
+                best_d = row[medoids[m]];
                 best_m = m;
             }
         }

@@ -22,20 +22,20 @@ labelMax(const std::vector<int> &labels)
 } // namespace
 
 double
-dunnIndex(const FeatureMatrix &features, const std::vector<int> &labels)
+dunnIndex(const DistanceMatrix &dist, const std::vector<int> &labels)
 {
-    fatalIf(labels.size() != features.rows(),
-            "labels/features size mismatch");
+    fatalIf(labels.size() != dist.size(),
+            "labels/distances size mismatch");
     const int k = labelMax(labels);
     if (k < 2)
         return 0.0;
 
     double min_separation = std::numeric_limits<double>::max();
     double max_diameter = 0.0;
-    for (std::size_t i = 0; i < features.rows(); ++i) {
-        for (std::size_t j = i + 1; j < features.rows(); ++j) {
-            const double d =
-                euclideanDistance(features.row(i), features.row(j));
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+        const double *row = dist.row(i);
+        for (std::size_t j = i + 1; j < dist.size(); ++j) {
+            const double d = row[j];
             if (labels[i] == labels[j])
                 max_diameter = std::max(max_diameter, d);
             else
@@ -48,18 +48,27 @@ dunnIndex(const FeatureMatrix &features, const std::vector<int> &labels)
 }
 
 double
-silhouetteWidth(const FeatureMatrix &features,
-                const std::vector<int> &labels)
+dunnIndex(const FeatureMatrix &features, const std::vector<int> &labels)
 {
     fatalIf(labels.size() != features.rows(),
             "labels/features size mismatch");
+    return dunnIndex(DistanceMatrix(features), labels);
+}
+
+double
+silhouetteWidth(const DistanceMatrix &dist,
+                const std::vector<int> &labels)
+{
+    fatalIf(labels.size() != dist.size(),
+            "labels/distances size mismatch");
     const int k = labelMax(labels);
     if (k < 2)
         return 0.0;
     const auto groups = groupByCluster(labels, k);
 
     double total = 0.0;
-    for (std::size_t i = 0; i < features.rows(); ++i) {
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+        const double *row = dist.row(i);
         const auto own = std::size_t(labels[i]);
         if (groups[own].size() < 2) {
             // Singleton: silhouette defined as 0.
@@ -68,10 +77,8 @@ silhouetteWidth(const FeatureMatrix &features,
         // a(i): mean distance to own cluster (excluding self).
         double a = 0.0;
         for (std::size_t j : groups[own]) {
-            if (j != i) {
-                a += euclideanDistance(features.row(i),
-                                       features.row(j));
-            }
+            if (j != i)
+                a += row[j];
         }
         a /= double(groups[own].size() - 1);
 
@@ -81,10 +88,8 @@ silhouetteWidth(const FeatureMatrix &features,
             if (c == own || groups[c].empty())
                 continue;
             double mean = 0.0;
-            for (std::size_t j : groups[c]) {
-                mean += euclideanDistance(features.row(i),
-                                          features.row(j));
-            }
+            for (std::size_t j : groups[c])
+                mean += row[j];
             mean /= double(groups[c].size());
             b = std::min(b, mean);
         }
@@ -92,31 +97,38 @@ silhouetteWidth(const FeatureMatrix &features,
         if (denom > 0.0)
             total += (b - a) / denom;
     }
-    return total / double(features.rows());
+    return total / double(dist.size());
 }
 
 double
-connectivity(const FeatureMatrix &features,
-             const std::vector<int> &labels, int neighbors)
+silhouetteWidth(const FeatureMatrix &features,
+                const std::vector<int> &labels)
 {
     fatalIf(labels.size() != features.rows(),
             "labels/features size mismatch");
+    return silhouetteWidth(DistanceMatrix(features), labels);
+}
+
+double
+connectivity(const DistanceMatrix &dist,
+             const std::vector<int> &labels, int neighbors)
+{
+    fatalIf(labels.size() != dist.size(),
+            "labels/distances size mismatch");
     fatalIf(neighbors < 1, "connectivity needs >= 1 neighbour");
-    const std::size_t n = features.rows();
+    const std::size_t n = dist.size();
     const auto k = std::min<std::size_t>(std::size_t(neighbors),
                                          n > 0 ? n - 1 : 0);
     double total = 0.0;
+    std::vector<std::pair<double, std::size_t>> order;
     for (std::size_t i = 0; i < n; ++i) {
         // Sort the other observations by distance to i.
-        std::vector<std::pair<double, std::size_t>> order;
+        const double *row = dist.row(i);
+        order.clear();
         order.reserve(n - 1);
         for (std::size_t j = 0; j < n; ++j) {
-            if (j != i) {
-                order.emplace_back(
-                    euclideanDistance(features.row(i),
-                                      features.row(j)),
-                    j);
-            }
+            if (j != i)
+                order.emplace_back(row[j], j);
         }
         std::sort(order.begin(), order.end());
         for (std::size_t j = 0; j < k; ++j) {
@@ -125,6 +137,15 @@ connectivity(const FeatureMatrix &features,
         }
     }
     return total;
+}
+
+double
+connectivity(const FeatureMatrix &features,
+             const std::vector<int> &labels, int neighbors)
+{
+    fatalIf(labels.size() != features.rows(),
+            "labels/features size mismatch");
+    return connectivity(DistanceMatrix(features), labels, neighbors);
 }
 
 double
@@ -166,10 +187,13 @@ averageProportionOfNonOverlap(const FeatureMatrix &features,
 
 double
 averageDistance(const FeatureMatrix &features,
+                const DistanceMatrix &dist,
                 const Clusterer &algorithm, int k)
 {
     fatalIf(features.cols() < 2,
             "stability validation needs >= 2 feature columns");
+    fatalIf(dist.size() != features.rows(),
+            "distances/features size mismatch");
     const auto full = algorithm.fit(features, k).labels;
     const auto full_groups = groupByCluster(full, labelMax(full));
 
@@ -188,16 +212,23 @@ averageDistance(const FeatureMatrix &features,
                 reduced_groups[std::size_t(reduced[i])];
             double sum = 0.0;
             for (std::size_t a : c_full) {
-                for (std::size_t b : c_red) {
-                    sum += euclideanDistance(features.row(a),
-                                             features.row(b));
-                }
+                const double *row = dist.row(a);
+                for (std::size_t b : c_red)
+                    sum += row[b];
             }
             total += sum / double(c_full.size() * c_red.size());
             ++terms;
         }
     }
     return terms ? total / double(terms) : 0.0;
+}
+
+double
+averageDistance(const FeatureMatrix &features,
+                const Clusterer &algorithm, int k)
+{
+    return averageDistance(features, DistanceMatrix(features),
+                           algorithm, k);
 }
 
 ValidationSweep::ValidationSweep(
@@ -217,11 +248,13 @@ ValidationSweep::evaluate(const FeatureMatrix &features,
     point.algorithm = algorithm.name();
     point.k = k;
     const auto labels = algorithm.fit(features, k).labels;
-    point.dunn = dunnIndex(features, labels);
-    point.silhouette = silhouetteWidth(features, labels);
-    point.connectivity = connectivity(features, labels);
+    // One distance matrix serves every measure of this sweep point.
+    const DistanceMatrix dist(features);
+    point.dunn = dunnIndex(dist, labels);
+    point.silhouette = silhouetteWidth(dist, labels);
+    point.connectivity = connectivity(dist, labels);
     point.apn = averageProportionOfNonOverlap(features, algorithm, k);
-    point.ad = averageDistance(features, algorithm, k);
+    point.ad = averageDistance(features, dist, algorithm, k);
     return point;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cluster/clustering.hh"
+#include "cluster/distance_matrix.hh"
 
 namespace mbs {
 
@@ -28,11 +29,19 @@ namespace mbs {
 double dunnIndex(const FeatureMatrix &features,
                  const std::vector<int> &labels);
 
+/** Dunn index over precomputed pairwise distances. */
+double dunnIndex(const DistanceMatrix &dist,
+                 const std::vector<int> &labels);
+
 /**
  * Mean silhouette width over all observations. Observations in
  * singleton clusters contribute 0, following convention.
  */
 double silhouetteWidth(const FeatureMatrix &features,
+                       const std::vector<int> &labels);
+
+/** Silhouette width over precomputed pairwise distances. */
+double silhouetteWidth(const DistanceMatrix &dist,
                        const std::vector<int> &labels);
 
 /**
@@ -42,6 +51,10 @@ double silhouetteWidth(const FeatureMatrix &features,
  * every local neighbourhood is intact).
  */
 double connectivity(const FeatureMatrix &features,
+                    const std::vector<int> &labels, int neighbors = 5);
+
+/** Connectivity over precomputed pairwise distances. */
+double connectivity(const DistanceMatrix &dist,
                     const std::vector<int> &labels, int neighbors = 5);
 
 /**
@@ -59,6 +72,15 @@ double averageProportionOfNonOverlap(const FeatureMatrix &features,
  * members, measured in the full feature space. Lower is better.
  */
 double averageDistance(const FeatureMatrix &features,
+                       const Clusterer &algorithm, int k);
+
+/**
+ * Average distance using precomputed full-feature-space pairwise
+ * distances. All leave-one-column-out comparisons measure in the
+ * full space, so one matrix serves every column.
+ */
+double averageDistance(const FeatureMatrix &features,
+                       const DistanceMatrix &dist,
                        const Clusterer &algorithm, int k);
 
 /** One row of a validation sweep: measures for (algorithm, k). */

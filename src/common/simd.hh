@@ -1,0 +1,808 @@
+/**
+ * @file
+ * Portable 4-wide double SIMD shim with a bit-identical scalar twin.
+ *
+ * Every kernel here is defined once, as a template over a 4-lane pack
+ * type, and instantiated twice: with the native vector pack (SSE2 on
+ * x86-64, NEON on aarch64) and with ScalarPack, a plain struct of four
+ * doubles whose operations replicate the vector semantics lane for
+ * lane — including the reduction order ((l0+l2)+(l1+l3), the natural
+ * order of a two-register horizontal add) and the (a<b)?a:b min/max
+ * selection rule of _mm_min_pd/_mm_max_pd. Because IEEE-754 lane
+ * arithmetic is deterministic and both instantiations execute the
+ * same operations in the same order, the two backends produce
+ * byte-identical results for every input, NaN and Inf included.
+ *
+ * That property is the repo's scalar-identity contract: running any
+ * pipeline with MBS_SIMD=off must byte-compare clean against the
+ * vector run, which CI enforces. The environment switch is read once
+ * per process; tests can override it with forceBackendForTest().
+ *
+ * Kernels deliberately accept unaligned pointers (loadu everywhere):
+ * callers batch rows out of flat matrices whose stride is not a lane
+ * multiple, and the cost of unaligned loads on every target this
+ * builds for is nil.
+ */
+
+#ifndef MBS_COMMON_SIMD_HH
+#define MBS_COMMON_SIMD_HH
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define MBS_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__aarch64__) || defined(_M_ARM64)
+#define MBS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace mbs {
+namespace simd {
+
+/** Lane count of the shim's packs. */
+constexpr std::size_t kLanes = 4;
+
+/**
+ * The portable twin: four named doubles with vector-identical
+ * semantics. Also the only backend on targets without SSE2/NEON.
+ */
+struct ScalarPack
+{
+    double l0, l1, l2, l3;
+
+    static ScalarPack zero() { return {0.0, 0.0, 0.0, 0.0}; }
+    static ScalarPack broadcast(double v) { return {v, v, v, v}; }
+    /** {b, b+1, b+2, b+3}; exact for integral b below 2^52. */
+    static ScalarPack indexBase(double b)
+    {
+        return {b, b + 1.0, b + 2.0, b + 3.0};
+    }
+    static ScalarPack load(const double *p)
+    {
+        return {p[0], p[1], p[2], p[3]};
+    }
+    void store(double *p) const
+    {
+        p[0] = l0;
+        p[1] = l1;
+        p[2] = l2;
+        p[3] = l3;
+    }
+
+    static ScalarPack add(ScalarPack a, ScalarPack b)
+    {
+        return {a.l0 + b.l0, a.l1 + b.l1, a.l2 + b.l2, a.l3 + b.l3};
+    }
+    static ScalarPack sub(ScalarPack a, ScalarPack b)
+    {
+        return {a.l0 - b.l0, a.l1 - b.l1, a.l2 - b.l2, a.l3 - b.l3};
+    }
+    static ScalarPack mul(ScalarPack a, ScalarPack b)
+    {
+        return {a.l0 * b.l0, a.l1 * b.l1, a.l2 * b.l2, a.l3 * b.l3};
+    }
+    static ScalarPack div(ScalarPack a, ScalarPack b)
+    {
+        return {a.l0 / b.l0, a.l1 / b.l1, a.l2 / b.l2, a.l3 / b.l3};
+    }
+    /** (a<b)?a:b per lane — _mm_min_pd's exact selection rule. */
+    static ScalarPack min(ScalarPack a, ScalarPack b)
+    {
+        return {a.l0 < b.l0 ? a.l0 : b.l0, a.l1 < b.l1 ? a.l1 : b.l1,
+                a.l2 < b.l2 ? a.l2 : b.l2, a.l3 < b.l3 ? a.l3 : b.l3};
+    }
+    /** (a>b)?a:b per lane — _mm_max_pd's exact selection rule. */
+    static ScalarPack max(ScalarPack a, ScalarPack b)
+    {
+        return {a.l0 > b.l0 ? a.l0 : b.l0, a.l1 > b.l1 ? a.l1 : b.l1,
+                a.l2 > b.l2 ? a.l2 : b.l2, a.l3 > b.l3 ? a.l3 : b.l3};
+    }
+    /** Clear the sign bit per lane (NaN payloads preserved). */
+    static ScalarPack abs(ScalarPack a)
+    {
+        return {absLane(a.l0), absLane(a.l1), absLane(a.l2),
+                absLane(a.l3)};
+    }
+
+    double reduceAdd() const { return (l0 + l2) + (l1 + l3); }
+    double reduceMin() const
+    {
+        const double a = l0 < l2 ? l0 : l2;
+        const double b = l1 < l3 ? l1 : l3;
+        return a < b ? a : b;
+    }
+    double reduceMax() const
+    {
+        const double a = l0 > l2 ? l0 : l2;
+        const double b = l1 > l3 ? l1 : l3;
+        return a > b ? a : b;
+    }
+
+    static std::size_t countGreater(ScalarPack a, ScalarPack t)
+    {
+        return std::size_t(a.l0 > t.l0) + std::size_t(a.l1 > t.l1) +
+               std::size_t(a.l2 > t.l2) + std::size_t(a.l3 > t.l3);
+    }
+    static bool anyLessEqual(ScalarPack a, ScalarPack b)
+    {
+        return a.l0 <= b.l0 || a.l1 <= b.l1 || a.l2 <= b.l2 ||
+               a.l3 <= b.l3;
+    }
+    static bool allEqual(ScalarPack a, ScalarPack b)
+    {
+        return a.l0 == b.l0 && a.l1 == b.l1 && a.l2 == b.l2 &&
+               a.l3 == b.l3;
+    }
+
+  private:
+    static double absLane(double v)
+    {
+        // std::fabs is specified as a sign-bit clear; spell it out so
+        // the twin cannot diverge from the vector and-mask even for
+        // NaN payloads.
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(v));
+        bits &= ~(std::uint64_t(1) << 63);
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+};
+
+#if MBS_SIMD_SSE2
+
+/** Two __m128d registers: lo = {l0, l1}, hi = {l2, l3}. */
+struct VectorPack
+{
+    __m128d lo, hi;
+
+    static VectorPack zero()
+    {
+        return {_mm_setzero_pd(), _mm_setzero_pd()};
+    }
+    static VectorPack broadcast(double v)
+    {
+        return {_mm_set1_pd(v), _mm_set1_pd(v)};
+    }
+    static VectorPack indexBase(double b)
+    {
+        return {_mm_set_pd(b + 1.0, b),
+                _mm_set_pd(b + 3.0, b + 2.0)};
+    }
+    static VectorPack load(const double *p)
+    {
+        return {_mm_loadu_pd(p), _mm_loadu_pd(p + 2)};
+    }
+    void store(double *p) const
+    {
+        _mm_storeu_pd(p, lo);
+        _mm_storeu_pd(p + 2, hi);
+    }
+
+    static VectorPack add(VectorPack a, VectorPack b)
+    {
+        return {_mm_add_pd(a.lo, b.lo), _mm_add_pd(a.hi, b.hi)};
+    }
+    static VectorPack sub(VectorPack a, VectorPack b)
+    {
+        return {_mm_sub_pd(a.lo, b.lo), _mm_sub_pd(a.hi, b.hi)};
+    }
+    static VectorPack mul(VectorPack a, VectorPack b)
+    {
+        return {_mm_mul_pd(a.lo, b.lo), _mm_mul_pd(a.hi, b.hi)};
+    }
+    static VectorPack div(VectorPack a, VectorPack b)
+    {
+        return {_mm_div_pd(a.lo, b.lo), _mm_div_pd(a.hi, b.hi)};
+    }
+    static VectorPack min(VectorPack a, VectorPack b)
+    {
+        return {_mm_min_pd(a.lo, b.lo), _mm_min_pd(a.hi, b.hi)};
+    }
+    static VectorPack max(VectorPack a, VectorPack b)
+    {
+        return {_mm_max_pd(a.lo, b.lo), _mm_max_pd(a.hi, b.hi)};
+    }
+    static VectorPack abs(VectorPack a)
+    {
+        const __m128d mask =
+            _mm_castsi128_pd(_mm_set1_epi64x(0x7fffffffffffffffLL));
+        return {_mm_and_pd(a.lo, mask), _mm_and_pd(a.hi, mask)};
+    }
+
+    double reduceAdd() const
+    {
+        const __m128d s = _mm_add_pd(lo, hi); // {l0+l2, l1+l3}
+        return _mm_cvtsd_f64(
+            _mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+    }
+    double reduceMin() const
+    {
+        const __m128d s = _mm_min_pd(lo, hi);
+        return _mm_cvtsd_f64(
+            _mm_min_sd(s, _mm_unpackhi_pd(s, s)));
+    }
+    double reduceMax() const
+    {
+        const __m128d s = _mm_max_pd(lo, hi);
+        return _mm_cvtsd_f64(
+            _mm_max_sd(s, _mm_unpackhi_pd(s, s)));
+    }
+
+    static std::size_t countGreater(VectorPack a, VectorPack t)
+    {
+        const int m = _mm_movemask_pd(_mm_cmpgt_pd(a.lo, t.lo)) |
+                      (_mm_movemask_pd(_mm_cmpgt_pd(a.hi, t.hi)) << 2);
+        return std::size_t(__builtin_popcount(unsigned(m)));
+    }
+    static bool anyLessEqual(VectorPack a, VectorPack b)
+    {
+        return (_mm_movemask_pd(_mm_cmple_pd(a.lo, b.lo)) |
+                _mm_movemask_pd(_mm_cmple_pd(a.hi, b.hi))) != 0;
+    }
+    static bool allEqual(VectorPack a, VectorPack b)
+    {
+        return _mm_movemask_pd(_mm_cmpeq_pd(a.lo, b.lo)) == 0x3 &&
+               _mm_movemask_pd(_mm_cmpeq_pd(a.hi, b.hi)) == 0x3;
+    }
+};
+
+#elif MBS_SIMD_NEON
+
+/** Two float64x2_t registers: lo = {l0, l1}, hi = {l2, l3}. */
+struct VectorPack
+{
+    float64x2_t lo, hi;
+
+    static VectorPack zero()
+    {
+        return {vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+    }
+    static VectorPack broadcast(double v)
+    {
+        return {vdupq_n_f64(v), vdupq_n_f64(v)};
+    }
+    static VectorPack indexBase(double b)
+    {
+        const double v[4] = {b, b + 1.0, b + 2.0, b + 3.0};
+        return load(v);
+    }
+    static VectorPack load(const double *p)
+    {
+        return {vld1q_f64(p), vld1q_f64(p + 2)};
+    }
+    void store(double *p) const
+    {
+        vst1q_f64(p, lo);
+        vst1q_f64(p + 2, hi);
+    }
+
+    static VectorPack add(VectorPack a, VectorPack b)
+    {
+        return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+    }
+    static VectorPack sub(VectorPack a, VectorPack b)
+    {
+        return {vsubq_f64(a.lo, b.lo), vsubq_f64(a.hi, b.hi)};
+    }
+    static VectorPack mul(VectorPack a, VectorPack b)
+    {
+        return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+    }
+    static VectorPack div(VectorPack a, VectorPack b)
+    {
+        return {vdivq_f64(a.lo, b.lo), vdivq_f64(a.hi, b.hi)};
+    }
+    // vminq/vmaxq_f64 return NaN when either lane is NaN, which is
+    // NOT _mm_min_pd's rule; select explicitly so all three backends
+    // share the (a<b)?a:b semantics.
+    static VectorPack min(VectorPack a, VectorPack b)
+    {
+        return {vbslq_f64(vcltq_f64(a.lo, b.lo), a.lo, b.lo),
+                vbslq_f64(vcltq_f64(a.hi, b.hi), a.hi, b.hi)};
+    }
+    static VectorPack max(VectorPack a, VectorPack b)
+    {
+        return {vbslq_f64(vcgtq_f64(a.lo, b.lo), a.lo, b.lo),
+                vbslq_f64(vcgtq_f64(a.hi, b.hi), a.hi, b.hi)};
+    }
+    static VectorPack abs(VectorPack a)
+    {
+        return {vabsq_f64(a.lo), vabsq_f64(a.hi)};
+    }
+
+    double reduceAdd() const
+    {
+        const float64x2_t s = vaddq_f64(lo, hi);
+        return vgetq_lane_f64(s, 0) + vgetq_lane_f64(s, 1);
+    }
+    double reduceMin() const
+    {
+        const VectorPack s = min(*this, {hi, lo});
+        const double a = vgetq_lane_f64(s.lo, 0);
+        const double b = vgetq_lane_f64(s.lo, 1);
+        return a < b ? a : b;
+    }
+    double reduceMax() const
+    {
+        const VectorPack s = max(*this, {hi, lo});
+        const double a = vgetq_lane_f64(s.lo, 0);
+        const double b = vgetq_lane_f64(s.lo, 1);
+        return a > b ? a : b;
+    }
+
+    static std::size_t countGreater(VectorPack a, VectorPack t)
+    {
+        const uint64x2_t glo = vcgtq_f64(a.lo, t.lo);
+        const uint64x2_t ghi = vcgtq_f64(a.hi, t.hi);
+        return std::size_t(vgetq_lane_u64(glo, 0) >> 63) +
+               std::size_t(vgetq_lane_u64(glo, 1) >> 63) +
+               std::size_t(vgetq_lane_u64(ghi, 0) >> 63) +
+               std::size_t(vgetq_lane_u64(ghi, 1) >> 63);
+    }
+    static bool anyLessEqual(VectorPack a, VectorPack b)
+    {
+        const uint64x2_t l = vcleq_f64(a.lo, b.lo);
+        const uint64x2_t h = vcleq_f64(a.hi, b.hi);
+        return (vgetq_lane_u64(l, 0) | vgetq_lane_u64(l, 1) |
+                vgetq_lane_u64(h, 0) | vgetq_lane_u64(h, 1)) != 0;
+    }
+    static bool allEqual(VectorPack a, VectorPack b)
+    {
+        const uint64x2_t l = vceqq_f64(a.lo, b.lo);
+        const uint64x2_t h = vceqq_f64(a.hi, b.hi);
+        return (vgetq_lane_u64(l, 0) & vgetq_lane_u64(l, 1) &
+                vgetq_lane_u64(h, 0) & vgetq_lane_u64(h, 1)) != 0;
+    }
+};
+
+#else
+
+using VectorPack = ScalarPack;
+
+#endif
+
+/** True when a native vector backend was compiled in. */
+constexpr bool
+vectorCompiled()
+{
+#if MBS_SIMD_SSE2 || MBS_SIMD_NEON
+    return true;
+#else
+    return false;
+#endif
+}
+
+/** ISA of the compiled vector backend. */
+constexpr const char *
+vectorIsa()
+{
+#if MBS_SIMD_SSE2
+    return "sse2";
+#elif MBS_SIMD_NEON
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+namespace detail {
+
+/** -1 = follow MBS_SIMD, 0 = force scalar, 1 = force vector. */
+inline std::atomic<int> &
+backendOverride()
+{
+    static std::atomic<int> mode{-1};
+    return mode;
+}
+
+inline bool
+envDisablesSimd()
+{
+    static const bool off = [] {
+        const char *v = std::getenv("MBS_SIMD");
+        if (v == nullptr)
+            return false;
+        return std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+               std::strcmp(v, "scalar") == 0 ||
+               std::strcmp(v, "false") == 0;
+    }();
+    return off;
+}
+
+} // namespace detail
+
+/**
+ * True when kernels dispatch to the native vector backend.
+ * Controlled by MBS_SIMD (off/0/scalar/false disable, read once per
+ * process) and, in tests, by forceBackendForTest().
+ */
+inline bool
+enabled()
+{
+    const int mode = detail::backendOverride().load(
+        std::memory_order_relaxed);
+    if (mode >= 0)
+        return mode == 1 && vectorCompiled();
+    return vectorCompiled() && !detail::envDisablesSimd();
+}
+
+/**
+ * Test hook: -1 restores MBS_SIMD dispatch, 0 forces the scalar
+ * twin, 1 forces the vector backend (no-op without one compiled).
+ */
+inline void
+forceBackendForTest(int mode)
+{
+    detail::backendOverride().store(mode, std::memory_order_relaxed);
+}
+
+/** Active backend name, for diagnostics (never printed in reports). */
+inline const char *
+activeBackendName()
+{
+    return enabled() ? vectorIsa() : "scalar";
+}
+
+namespace detail {
+
+template <class P>
+inline double
+sumT(const double *p, std::size_t n)
+{
+    P acc = P::zero();
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes)
+        acc = P::add(acc, P::load(p + i));
+    double total = acc.reduceAdd();
+    for (; i < n; ++i)
+        total += p[i];
+    return total;
+}
+
+template <class P>
+inline void
+sum2T(const double *x, const double *y, std::size_t n, double &sx,
+      double &sy)
+{
+    P ax = P::zero(), ay = P::zero();
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        ax = P::add(ax, P::load(x + i));
+        ay = P::add(ay, P::load(y + i));
+    }
+    double tx = ax.reduceAdd(), ty = ay.reduceAdd();
+    for (; i < n; ++i) {
+        tx += x[i];
+        ty += y[i];
+    }
+    sx = tx;
+    sy = ty;
+}
+
+template <class P>
+inline double
+sumSqDiffT(const double *a, const double *b, std::size_t n)
+{
+    P acc = P::zero();
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const P d = P::sub(P::load(a + i), P::load(b + i));
+        acc = P::add(acc, P::mul(d, d));
+    }
+    double total = acc.reduceAdd();
+    for (; i < n; ++i) {
+        const double d = a[i] - b[i];
+        total += d * d;
+    }
+    return total;
+}
+
+template <class P>
+inline double
+sumAbsDiffT(const double *a, const double *b, std::size_t n)
+{
+    P acc = P::zero();
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        acc = P::add(acc,
+                     P::abs(P::sub(P::load(a + i), P::load(b + i))));
+    }
+    double total = acc.reduceAdd();
+    for (; i < n; ++i)
+        total += std::fabs(a[i] - b[i]);
+    return total;
+}
+
+template <class P>
+inline void
+pearsonMomentsT(const double *x, const double *y, std::size_t n,
+                double mx, double my, double &sxy, double &sxx,
+                double &syy)
+{
+    P axy = P::zero(), axx = P::zero(), ayy = P::zero();
+    const P vmx = P::broadcast(mx), vmy = P::broadcast(my);
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const P dx = P::sub(P::load(x + i), vmx);
+        const P dy = P::sub(P::load(y + i), vmy);
+        axy = P::add(axy, P::mul(dx, dy));
+        axx = P::add(axx, P::mul(dx, dx));
+        ayy = P::add(ayy, P::mul(dy, dy));
+    }
+    double txy = axy.reduceAdd();
+    double txx = axx.reduceAdd();
+    double tyy = ayy.reduceAdd();
+    for (; i < n; ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        txy += dx * dy;
+        txx += dx * dx;
+        tyy += dy * dy;
+    }
+    sxy = txy;
+    sxx = txx;
+    syy = tyy;
+}
+
+template <class P>
+inline double
+minT(const double *p, std::size_t n)
+{
+    std::size_t i = 1;
+    double m = p[0];
+    if (n >= kLanes) {
+        P acc = P::load(p);
+        for (i = kLanes; i + kLanes <= n; i += kLanes)
+            acc = P::min(acc, P::load(p + i));
+        m = acc.reduceMin();
+    }
+    for (; i < n; ++i)
+        m = p[i] < m ? p[i] : m;
+    return m;
+}
+
+template <class P>
+inline double
+maxT(const double *p, std::size_t n)
+{
+    std::size_t i = 1;
+    double m = p[0];
+    if (n >= kLanes) {
+        P acc = P::load(p);
+        for (i = kLanes; i + kLanes <= n; i += kLanes)
+            acc = P::max(acc, P::load(p + i));
+        m = acc.reduceMax();
+    }
+    for (; i < n; ++i)
+        m = p[i] > m ? p[i] : m;
+    return m;
+}
+
+template <class P>
+inline std::size_t
+countGreaterT(const double *p, std::size_t n, double threshold)
+{
+    const P t = P::broadcast(threshold);
+    std::size_t count = 0;
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes)
+        count += P::countGreater(P::load(p + i), t);
+    for (; i < n; ++i)
+        count += std::size_t(p[i] > threshold);
+    return count;
+}
+
+template <class P>
+inline void
+addAssignT(double *dst, const double *src, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes)
+        P::add(P::load(dst + i), P::load(src + i)).store(dst + i);
+    for (; i < n; ++i)
+        dst[i] += src[i];
+}
+
+template <class P>
+inline void
+divScalarT(double *dst, const double *src, std::size_t n, double denom)
+{
+    const P d = P::broadcast(denom);
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes)
+        P::div(P::load(src + i), d).store(dst + i);
+    for (; i < n; ++i)
+        dst[i] = src[i] / denom;
+}
+
+template <class P>
+inline void
+subBaselineClampT(double *dst, const double *src, std::size_t n,
+                  double baseline)
+{
+    const P b = P::broadcast(baseline);
+    const P zero = P::zero();
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        // max(diff, 0) with the diff first: matches
+        // std::max(0.0, d)'s result for -0.0 and NaN alike.
+        P::max(P::sub(P::load(src + i), b), zero).store(dst + i);
+    }
+    for (; i < n; ++i) {
+        const double d = src[i] - baseline;
+        dst[i] = d > 0.0 ? d : 0.0;
+    }
+}
+
+template <class P>
+inline bool
+anyNonIncreasingT(const double *p, std::size_t n)
+{
+    if (n < 2)
+        return false;
+    std::size_t i = 1;
+    for (; i + kLanes <= n; i += kLanes) {
+        if (P::anyLessEqual(P::load(p + i), P::load(p + i - 1)))
+            return true;
+    }
+    for (; i < n; ++i) {
+        if (p[i] <= p[i - 1])
+            return true;
+    }
+    return false;
+}
+
+template <class P>
+inline bool
+onUniformGridT(const double *p, std::size_t n, double tick)
+{
+    const P t = P::broadcast(tick);
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const P expect = P::mul(P::indexBase(double(i)), t);
+        if (!P::allEqual(P::load(p + i), expect))
+            return false;
+    }
+    for (; i < n; ++i) {
+        if (p[i] != double(i) * tick)
+            return false;
+    }
+    return true;
+}
+
+} // namespace detail
+
+/** Lane-ordered sum of @p n doubles (0 for n == 0). */
+inline double
+sum(const double *p, std::size_t n)
+{
+    return enabled() ? detail::sumT<VectorPack>(p, n)
+                     : detail::sumT<ScalarPack>(p, n);
+}
+
+/** Two sums in one sweep (for paired-sample means). */
+inline void
+sum2(const double *x, const double *y, std::size_t n, double &sx,
+     double &sy)
+{
+    if (enabled())
+        detail::sum2T<VectorPack>(x, y, n, sx, sy);
+    else
+        detail::sum2T<ScalarPack>(x, y, n, sx, sy);
+}
+
+/** Sum of squared element differences (squared Euclidean distance). */
+inline double
+sumSqDiff(const double *a, const double *b, std::size_t n)
+{
+    return enabled() ? detail::sumSqDiffT<VectorPack>(a, b, n)
+                     : detail::sumSqDiffT<ScalarPack>(a, b, n);
+}
+
+/** Sum of absolute element differences (Manhattan distance). */
+inline double
+sumAbsDiff(const double *a, const double *b, std::size_t n)
+{
+    return enabled() ? detail::sumAbsDiffT<VectorPack>(a, b, n)
+                     : detail::sumAbsDiffT<ScalarPack>(a, b, n);
+}
+
+/** Centered second moments sxy/sxx/syy about (mx, my). */
+inline void
+pearsonMoments(const double *x, const double *y, std::size_t n,
+               double mx, double my, double &sxy, double &sxx,
+               double &syy)
+{
+    if (enabled()) {
+        detail::pearsonMomentsT<VectorPack>(x, y, n, mx, my, sxy, sxx,
+                                            syy);
+    } else {
+        detail::pearsonMomentsT<ScalarPack>(x, y, n, mx, my, sxy, sxx,
+                                            syy);
+    }
+}
+
+/** Smallest of @p n doubles under the (a<b)?a:b rule. @pre n >= 1. */
+inline double
+minValue(const double *p, std::size_t n)
+{
+    return enabled() ? detail::minT<VectorPack>(p, n)
+                     : detail::minT<ScalarPack>(p, n);
+}
+
+/** Largest of @p n doubles under the (a>b)?a:b rule. @pre n >= 1. */
+inline double
+maxValue(const double *p, std::size_t n)
+{
+    return enabled() ? detail::maxT<VectorPack>(p, n)
+                     : detail::maxT<ScalarPack>(p, n);
+}
+
+/** Count of elements strictly greater than @p threshold. */
+inline std::size_t
+countGreater(const double *p, std::size_t n, double threshold)
+{
+    return enabled() ? detail::countGreaterT<VectorPack>(p, n, threshold)
+                     : detail::countGreaterT<ScalarPack>(p, n,
+                                                         threshold);
+}
+
+/** dst[i] += src[i] for i in [0, n). */
+inline void
+addAssign(double *dst, const double *src, std::size_t n)
+{
+    if (enabled())
+        detail::addAssignT<VectorPack>(dst, src, n);
+    else
+        detail::addAssignT<ScalarPack>(dst, src, n);
+}
+
+/** dst[i] = src[i] / denom (dst may alias src). */
+inline void
+divScalar(double *dst, const double *src, std::size_t n, double denom)
+{
+    if (enabled())
+        detail::divScalarT<VectorPack>(dst, src, n, denom);
+    else
+        detail::divScalarT<ScalarPack>(dst, src, n, denom);
+}
+
+/** dst[i] = max(src[i] - baseline, 0) (dst may alias src). */
+inline void
+subBaselineClamp(double *dst, const double *src, std::size_t n,
+                 double baseline)
+{
+    if (enabled())
+        detail::subBaselineClampT<VectorPack>(dst, src, n, baseline);
+    else
+        detail::subBaselineClampT<ScalarPack>(dst, src, n, baseline);
+}
+
+/** True when any p[i] <= p[i-1] (monotonicity violation scan). */
+inline bool
+anyNonIncreasing(const double *p, std::size_t n)
+{
+    return enabled() ? detail::anyNonIncreasingT<VectorPack>(p, n)
+                     : detail::anyNonIncreasingT<ScalarPack>(p, n);
+}
+
+/** True when p[k] == k * tick exactly for every k in [0, n). */
+inline bool
+onUniformGrid(const double *p, std::size_t n, double tick)
+{
+    return enabled() ? detail::onUniformGridT<VectorPack>(p, n, tick)
+                     : detail::onUniformGridT<ScalarPack>(p, n, tick);
+}
+
+} // namespace simd
+} // namespace mbs
+
+#endif // MBS_COMMON_SIMD_HH

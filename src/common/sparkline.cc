@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "logging.hh"
+#include "simd.hh"
 
 namespace mbs {
 
@@ -24,11 +25,9 @@ resampleMean(const std::vector<double> &values, std::size_t width)
         auto end = static_cast<std::size_t>(
             std::ceil(double(i + 1) * step));
         end = std::min(end, values.size());
-        double sum = 0.0;
-        std::size_t n = 0;
-        for (std::size_t j = begin; j < end; ++j, ++n)
-            sum += values[j];
-        out[i] = n ? sum / double(n) : 0.0;
+        const std::size_t n = end > begin ? end - begin : 0;
+        out[i] = n
+            ? simd::sum(values.data() + begin, n) / double(n) : 0.0;
     }
     return out;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace mbs {
 namespace ingest {
@@ -14,11 +15,7 @@ namespace {
 bool
 onUniformGrid(const std::vector<double> &times, double tick)
 {
-    for (std::size_t k = 0; k < times.size(); ++k) {
-        if (times[k] != double(k) * tick)
-            return false;
-    }
-    return true;
+    return simd::onUniformGrid(times.data(), times.size(), tick);
 }
 
 /** Linear interpolation of (times, values) at time @p t, clamped. */
@@ -48,10 +45,8 @@ checkInputs(const std::vector<double> &times,
     fatalIf(times.empty(), "cannot resample an empty column");
     fatalIf(times.size() != values.size(),
             "timestamp/value count mismatch");
-    for (std::size_t i = 1; i < times.size(); ++i) {
-        fatalIf(times[i] <= times[i - 1],
-                "timestamps must be strictly increasing");
-    }
+    fatalIf(simd::anyNonIncreasing(times.data(), times.size()),
+            "timestamps must be strictly increasing");
 }
 
 } // namespace

@@ -3,39 +3,36 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "common/strings.hh"
 #include "common/table.hh"
 
 namespace mbs {
 
 double
+pearson(const double *x, const double *y, std::size_t n)
+{
+    if (n < 2)
+        return 0.0;
+
+    double sx = 0.0, sy = 0.0;
+    simd::sum2(x, y, n, sx, sy);
+    const double mx = sx / double(n);
+    const double my = sy / double(n);
+
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    simd::pearsonMoments(x, y, n, mx, my, sxy, sxx, syy);
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
 pearson(const std::vector<double> &x, const std::vector<double> &y)
 {
     fatalIf(x.size() != y.size(),
             "pearson() requires equal-length samples");
-    const std::size_t n = x.size();
-    if (n < 2)
-        return 0.0;
-
-    double mx = 0.0, my = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        mx += x[i];
-        my += y[i];
-    }
-    mx /= double(n);
-    my /= double(n);
-
-    double sxy = 0.0, sxx = 0.0, syy = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        const double dx = x[i] - mx;
-        const double dy = y[i] - my;
-        sxy += dx * dy;
-        sxx += dx * dx;
-        syy += dy * dy;
-    }
-    if (sxx == 0.0 || syy == 0.0)
-        return 0.0;
-    return sxy / std::sqrt(sxx * syy);
+    return pearson(x.data(), y.data(), x.size());
 }
 
 CorrelationStrength
@@ -68,13 +65,14 @@ CorrelationMatrix::CorrelationMatrix(const FeatureMatrix &features)
 {
     const std::size_t n = labels.size();
     r.assign(n, std::vector<double>(n, 0.0));
-    std::vector<std::vector<double>> cols(n);
-    for (std::size_t c = 0; c < n; ++c)
-        cols[c] = features.column(c);
+    // One SoA snapshot instead of n per-column heap copies; every
+    // pearson() then streams two contiguous columns.
+    const FeatureColumns cols(features);
     for (std::size_t a = 0; a < n; ++a) {
         r[a][a] = 1.0;
         for (std::size_t b = a + 1; b < n; ++b) {
-            const double v = pearson(cols[a], cols[b]);
+            const double v =
+                pearson(cols.col(a), cols.col(b), cols.rows());
             r[a][b] = v;
             r[b][a] = v;
         }

@@ -20,6 +20,9 @@ namespace mbs {
  */
 double pearson(const std::vector<double> &x, const std::vector<double> &y);
 
+/** Pearson correlation over two n-element buffers. */
+double pearson(const double *x, const double *y, std::size_t n);
+
 /** Qualitative strength bands used in the paper's discussion. */
 enum class CorrelationStrength { None, Moderate, Strong };
 

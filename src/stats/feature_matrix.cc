@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace mbs {
 
@@ -22,7 +23,7 @@ FeatureMatrix::addRow(const std::string &name, std::vector<double> values)
             " columns");
     fatalIf(hasRow(name), "duplicate row name '" + name + "'");
     names.push_back(name);
-    data.push_back(std::move(values));
+    cells.insert(cells.end(), values.begin(), values.end());
 }
 
 std::size_t
@@ -52,14 +53,14 @@ FeatureMatrix::at(std::size_t row, std::size_t col) const
 {
     fatalIf(row >= rows() || col >= cols(),
             "feature matrix index out of range");
-    return data[row][col];
+    return cells[row * cols() + col];
 }
 
-const std::vector<double> &
+std::span<const double>
 FeatureMatrix::row(std::size_t r) const
 {
     fatalIf(r >= rows(), "feature matrix row out of range");
-    return data[r];
+    return {rowPtr(r), cols()};
 }
 
 std::vector<double>
@@ -68,7 +69,7 @@ FeatureMatrix::column(std::size_t col) const
     fatalIf(col >= cols(), "feature matrix column out of range");
     std::vector<double> out(rows());
     for (std::size_t r = 0; r < rows(); ++r)
-        out[r] = data[r][col];
+        out[r] = cells[r * cols() + col];
     return out;
 }
 
@@ -77,17 +78,17 @@ FeatureMatrix::normalizedByColumnMax() const
 {
     FeatureMatrix out(columnNames);
     std::vector<double> max_abs(cols(), 0.0);
-    for (const auto &r : data) {
+    for (std::size_t i = 0; i < rows(); ++i) {
+        const double *r = rowPtr(i);
         for (std::size_t c = 0; c < cols(); ++c)
             max_abs[c] = std::max(max_abs[c], std::fabs(r[c]));
     }
+    std::vector<double> r(cols());
     for (std::size_t i = 0; i < rows(); ++i) {
-        std::vector<double> r = data[i];
-        for (std::size_t c = 0; c < cols(); ++c) {
-            if (max_abs[c] > 0.0)
-                r[c] /= max_abs[c];
-        }
-        out.addRow(names[i], std::move(r));
+        const double *src = rowPtr(i);
+        for (std::size_t c = 0; c < cols(); ++c)
+            r[c] = max_abs[c] > 0.0 ? src[c] / max_abs[c] : src[c];
+        out.addRow(names[i], r);
     }
     return out;
 }
@@ -96,19 +97,22 @@ FeatureMatrix
 FeatureMatrix::normalizedMinMax() const
 {
     FeatureMatrix out(columnNames);
+    const FeatureColumns soa(*this);
     std::vector<double> lo(cols(), 0.0), hi(cols(), 0.0);
     for (std::size_t c = 0; c < cols(); ++c) {
-        const auto col = column(c);
-        lo[c] = *std::min_element(col.begin(), col.end());
-        hi[c] = *std::max_element(col.begin(), col.end());
+        if (rows() > 0) {
+            lo[c] = simd::minValue(soa.col(c), rows());
+            hi[c] = simd::maxValue(soa.col(c), rows());
+        }
     }
+    std::vector<double> r(cols());
     for (std::size_t i = 0; i < rows(); ++i) {
-        std::vector<double> r = data[i];
+        const double *src = rowPtr(i);
         for (std::size_t c = 0; c < cols(); ++c) {
             const double range = hi[c] - lo[c];
-            r[c] = range > 0.0 ? (r[c] - lo[c]) / range : 0.0;
+            r[c] = range > 0.0 ? (src[c] - lo[c]) / range : 0.0;
         }
-        out.addRow(names[i], std::move(r));
+        out.addRow(names[i], r);
     }
     return out;
 }
@@ -117,23 +121,23 @@ FeatureMatrix
 FeatureMatrix::normalizedZScore() const
 {
     FeatureMatrix out(columnNames);
+    const FeatureColumns soa(*this);
     std::vector<double> mean(cols(), 0.0), sd(cols(), 0.0);
     for (std::size_t c = 0; c < cols(); ++c) {
-        const auto col = column(c);
-        double sum = 0.0;
-        for (double v : col)
-            sum += v;
-        mean[c] = col.empty() ? 0.0 : sum / double(col.size());
-        double sq = 0.0;
-        for (double v : col)
-            sq += (v - mean[c]) * (v - mean[c]);
-        sd[c] = col.empty() ? 0.0 : std::sqrt(sq / double(col.size()));
+        if (rows() == 0)
+            continue;
+        mean[c] = simd::sum(soa.col(c), rows()) / double(rows());
+        double sxy = 0.0, sq = 0.0, syy = 0.0;
+        simd::pearsonMoments(soa.col(c), soa.col(c), rows(), mean[c],
+                             mean[c], sxy, sq, syy);
+        sd[c] = std::sqrt(sq / double(rows()));
     }
+    std::vector<double> r(cols());
     for (std::size_t i = 0; i < rows(); ++i) {
-        std::vector<double> r = data[i];
+        const double *src = rowPtr(i);
         for (std::size_t c = 0; c < cols(); ++c)
-            r[c] = sd[c] > 0.0 ? (r[c] - mean[c]) / sd[c] : 0.0;
-        out.addRow(names[i], std::move(r));
+            r[c] = sd[c] > 0.0 ? (src[c] - mean[c]) / sd[c] : 0.0;
+        out.addRow(names[i], r);
     }
     return out;
 }
@@ -149,13 +153,16 @@ FeatureMatrix::withoutColumn(std::size_t col) const
             kept_names.push_back(columnNames[c]);
     }
     FeatureMatrix out(std::move(kept_names));
+    std::vector<double> r;
+    r.reserve(cols() - 1);
     for (std::size_t i = 0; i < rows(); ++i) {
-        std::vector<double> r;
+        const double *src = rowPtr(i);
+        r.clear();
         for (std::size_t c = 0; c < cols(); ++c) {
             if (c != col)
-                r.push_back(data[i][c]);
+                r.push_back(src[c]);
         }
-        out.addRow(names[i], std::move(r));
+        out.addRow(names[i], r);
     }
     return out;
 }
@@ -166,9 +173,41 @@ FeatureMatrix::selectRows(const std::vector<std::size_t> &keep) const
     FeatureMatrix out(columnNames);
     for (std::size_t idx : keep) {
         fatalIf(idx >= rows(), "selectRows index out of range");
-        out.addRow(names[idx], data[idx]);
+        const auto sp = row(idx);
+        out.addRow(names[idx],
+                   std::vector<double>(sp.begin(), sp.end()));
     }
     return out;
+}
+
+FeatureColumns::FeatureColumns(const FeatureMatrix &m)
+    : nRows(m.rows()), nCols(m.cols()), cells(nRows * nCols)
+{
+    // One transpose pass; afterwards every column is contiguous.
+    for (std::size_t r = 0; r < nRows; ++r) {
+        const double *src = m.rowPtr(r);
+        for (std::size_t c = 0; c < nCols; ++c)
+            cells[c * nRows + r] = src[c];
+    }
+}
+
+double
+euclideanDistance(const double *a, const double *b, std::size_t n)
+{
+    return std::sqrt(simd::sumSqDiff(a, b, n));
+}
+
+double
+squaredEuclideanDistance(const double *a, const double *b,
+                         std::size_t n)
+{
+    return simd::sumSqDiff(a, b, n);
+}
+
+double
+manhattanDistance(const double *a, const double *b, std::size_t n)
+{
+    return simd::sumAbsDiff(a, b, n);
 }
 
 double
@@ -182,20 +221,14 @@ squaredEuclideanDistance(const std::vector<double> &a,
                          const std::vector<double> &b)
 {
     fatalIf(a.size() != b.size(), "distance between unequal-length vectors");
-    double sum = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i)
-        sum += (a[i] - b[i]) * (a[i] - b[i]);
-    return sum;
+    return simd::sumSqDiff(a.data(), b.data(), a.size());
 }
 
 double
 manhattanDistance(const std::vector<double> &a, const std::vector<double> &b)
 {
     fatalIf(a.size() != b.size(), "distance between unequal-length vectors");
-    double sum = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i)
-        sum += std::fabs(a[i] - b[i]);
-    return sum;
+    return simd::sumAbsDiff(a.data(), b.data(), a.size());
 }
 
 } // namespace mbs

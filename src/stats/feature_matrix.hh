@@ -2,12 +2,19 @@
  * @file
  * Named observation-by-feature matrix, the hand-off format between the
  * characterization pipeline and the clustering/subsetting analyses.
+ *
+ * Storage is one flat row-major buffer: profiles are batched into
+ * contiguous rows so the distance and assignment kernels in
+ * common/simd.hh stream them without pointer chasing. FeatureColumns
+ * is the structure-of-arrays twin — a column-major snapshot for the
+ * per-feature passes (Pearson correlation, normalization stats).
  */
 
 #ifndef MBS_STATS_FEATURE_MATRIX_HH
 #define MBS_STATS_FEATURE_MATRIX_HH
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,7 +39,7 @@ class FeatureMatrix
      */
     void addRow(const std::string &name, std::vector<double> values);
 
-    std::size_t rows() const { return data.size(); }
+    std::size_t rows() const { return names.size(); }
     std::size_t cols() const { return columnNames.size(); }
 
     const std::vector<std::string> &rowNames() const { return names; }
@@ -49,10 +56,16 @@ class FeatureMatrix
 
     double at(std::size_t row, std::size_t col) const;
 
-    /** @return the full row vector at index @p row. */
-    const std::vector<double> &row(std::size_t row) const;
+    /** @return the row at index @p row as a contiguous view. */
+    std::span<const double> row(std::size_t row) const;
 
-    /** @return one column as a vector. */
+    /** @return unchecked pointer to row @p row's first value. */
+    const double *rowPtr(std::size_t row) const
+    {
+        return cells.data() + row * cols();
+    }
+
+    /** @return one column as a vector (strided copy). */
     std::vector<double> column(std::size_t col) const;
 
     /**
@@ -78,8 +91,54 @@ class FeatureMatrix
   private:
     std::vector<std::string> columnNames;
     std::vector<std::string> names;
-    std::vector<std::vector<double>> data;
+    /** rows() x cols(), row-major, rows contiguous. */
+    std::vector<double> cells;
 };
+
+/**
+ * Structure-of-arrays snapshot of a FeatureMatrix: every feature
+ * column materialized contiguously (column-major) in one buffer, so
+ * column-wise kernels (Pearson, column stats) run at stride 1
+ * without a per-column heap allocation.
+ */
+class FeatureColumns
+{
+  public:
+    explicit FeatureColumns(const FeatureMatrix &m);
+
+    std::size_t rows() const { return nRows; }
+    std::size_t cols() const { return nCols; }
+
+    /** @return pointer to column @p c's first value. */
+    const double *col(std::size_t c) const
+    {
+        return cells.data() + c * nRows;
+    }
+
+    /** @return column @p c as a contiguous view. */
+    std::span<const double> column(std::size_t c) const
+    {
+        return {col(c), nRows};
+    }
+
+  private:
+    std::size_t nRows = 0;
+    std::size_t nCols = 0;
+    /** cols x rows, column-major. */
+    std::vector<double> cells;
+};
+
+/** Euclidean distance between two n-element buffers. */
+double euclideanDistance(const double *a, const double *b,
+                         std::size_t n);
+
+/** Squared Euclidean distance between two n-element buffers. */
+double squaredEuclideanDistance(const double *a, const double *b,
+                                std::size_t n);
+
+/** Manhattan (L1) distance between two n-element buffers. */
+double manhattanDistance(const double *a, const double *b,
+                         std::size_t n);
 
 /** Euclidean distance between two equal-length vectors. */
 double euclideanDistance(const std::vector<double> &a,

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "common/sparkline.hh"
 
 namespace mbs {
@@ -36,7 +37,7 @@ TimeSeries::min() const
 {
     if (samples.empty())
         return 0.0;
-    return *std::min_element(samples.begin(), samples.end());
+    return simd::minValue(samples.data(), samples.size());
 }
 
 double
@@ -44,13 +45,13 @@ TimeSeries::max() const
 {
     if (samples.empty())
         return 0.0;
-    return *std::max_element(samples.begin(), samples.end());
+    return simd::maxValue(samples.data(), samples.size());
 }
 
 double
 TimeSeries::sum() const
 {
-    return std::accumulate(samples.begin(), samples.end(), 0.0);
+    return simd::sum(samples.data(), samples.size());
 }
 
 double
@@ -70,8 +71,8 @@ TimeSeries::fractionAbove(double threshold) const
 {
     if (samples.empty())
         return 0.0;
-    const auto n = std::count_if(samples.begin(), samples.end(),
-        [threshold](double v) { return v > threshold; });
+    const std::size_t n =
+        simd::countGreater(samples.data(), samples.size(), threshold);
     return double(n) / double(samples.size());
 }
 
@@ -81,8 +82,7 @@ TimeSeries::normalizedBy(double bound) const
     if (bound == 0.0)
         return *this;
     std::vector<double> scaled(samples.size());
-    for (std::size_t i = 0; i < samples.size(); ++i)
-        scaled[i] = samples[i] / bound;
+    simd::divScalar(scaled.data(), samples.data(), samples.size(), bound);
     return TimeSeries(intervalS, std::move(scaled));
 }
 
@@ -112,11 +112,10 @@ TimeSeries::average(const std::vector<TimeSeries> &runs)
     for (const auto &run : runs) {
         const TimeSeries r = run.size() == shortest
             ? run : run.resampled(shortest);
-        for (std::size_t i = 0; i < shortest; ++i)
-            acc[i] += r[i];
+        simd::addAssign(acc.data(), r.values().data(), shortest);
     }
-    for (double &v : acc)
-        v /= double(runs.size());
+    simd::divScalar(acc.data(), acc.data(), shortest,
+                    double(runs.size()));
 
     double interval = 0.0;
     for (const auto &run : runs)
@@ -129,8 +128,8 @@ TimeSeries
 TimeSeries::minusBaseline(double baseline) const
 {
     std::vector<double> adjusted(samples.size());
-    for (std::size_t i = 0; i < samples.size(); ++i)
-        adjusted[i] = std::max(0.0, samples[i] - baseline);
+    simd::subBaselineClamp(adjusted.data(), samples.data(),
+                           samples.size(), baseline);
     return TimeSeries(intervalS, std::move(adjusted));
 }
 

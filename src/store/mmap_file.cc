@@ -1,0 +1,82 @@
+#include "store/mmap_file.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace mbs {
+
+MappedFile::MappedFile(const std::filesystem::path &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return;
+
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        return;
+    }
+    mtime = std::uint64_t(st.st_mtim.tv_sec) * 1000000000ULL +
+            std::uint64_t(st.st_mtim.tv_nsec);
+    length = std::size_t(st.st_size);
+    if (length > 0) {
+        void *p = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (p == MAP_FAILED) {
+            ::close(fd);
+            length = 0;
+            mtime = 0;
+            return;
+        }
+        data = p;
+    }
+    // The mapping outlives the descriptor.
+    ::close(fd);
+    isValid = true;
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : data(other.data), length(other.length), mtime(other.mtime),
+      isValid(other.isValid)
+{
+    other.data = nullptr;
+    other.length = 0;
+    other.mtime = 0;
+    other.isValid = false;
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        reset();
+        data = other.data;
+        length = other.length;
+        mtime = other.mtime;
+        isValid = other.isValid;
+        other.data = nullptr;
+        other.length = 0;
+        other.mtime = 0;
+        other.isValid = false;
+    }
+    return *this;
+}
+
+MappedFile::~MappedFile()
+{
+    reset();
+}
+
+void
+MappedFile::reset()
+{
+    if (data != nullptr)
+        ::munmap(data, length);
+    data = nullptr;
+    length = 0;
+    mtime = 0;
+    isValid = false;
+}
+
+} // namespace mbs

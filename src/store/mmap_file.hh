@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Read-only memory-mapped file.
+ *
+ * The profile store's warm path used to slurp each entry through an
+ * ifstream into a heap string before deserializing. Mapping the entry
+ * instead hands deserialization a zero-copy view of the page cache;
+ * the only copies left are the bulk memcpys into the profiles' own
+ * sample buffers.
+ */
+
+#ifndef MBS_STORE_MMAP_FILE_HH
+#define MBS_STORE_MMAP_FILE_HH
+
+#include <cstdint>
+#include <filesystem>
+#include <string_view>
+
+namespace mbs {
+
+/**
+ * A read-only mapping of one file. Move-only; unmaps on destruction.
+ *
+ * Opening never throws: a missing or unreadable file simply leaves
+ * valid() false, which the store treats as a cache miss.
+ */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+
+    /** Map @p path read-only. */
+    explicit MappedFile(const std::filesystem::path &path);
+
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+    ~MappedFile();
+
+    /** Did the open + map succeed? (Empty files count as mapped.) */
+    bool valid() const { return isValid; }
+
+    /** The mapped bytes; empty when !valid() or the file is empty. */
+    std::string_view view() const
+    {
+        return {static_cast<const char *>(data), length};
+    }
+
+    std::size_t size() const { return length; }
+
+    /**
+     * Modification time of the file at open, in nanoseconds since
+     * the epoch (st_mtim). 0 when !valid().
+     */
+    std::uint64_t mtimeNs() const { return mtime; }
+
+  private:
+    void reset();
+
+    void *data = nullptr;
+    std::size_t length = 0;
+    std::uint64_t mtime = 0;
+    bool isValid = false;
+};
+
+} // namespace mbs
+
+#endif // MBS_STORE_MMAP_FILE_HH

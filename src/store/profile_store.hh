@@ -96,6 +96,20 @@ class ProfileStore : public ProfileCache
     mutable std::mutex quarantineMtx;
     std::map<std::uint64_t, int> readFailures;
     std::set<std::uint64_t> quarantineSet;
+
+    /**
+     * Entries whose checksum this process has already verified, with
+     * the (size, mtime) the file had at verification. A warm hit
+     * whose file is unchanged skips re-deriving the checksum; any
+     * size/mtime drift or a save through this store re-verifies.
+     */
+    struct VerifiedEntry
+    {
+        std::uint64_t bytes;
+        std::uint64_t mtimeNs;
+    };
+    mutable std::mutex verifiedMtx;
+    std::map<std::uint64_t, VerifiedEntry> verifiedEntries;
 };
 
 } // namespace mbs

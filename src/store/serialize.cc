@@ -42,11 +42,11 @@ struct Writer
  *  after the first short read. */
 struct Reader
 {
-    const std::string &in;
+    const std::string_view in;
     std::size_t pos = 0;
     bool good = true;
 
-    explicit Reader(const std::string &bytes) : in(bytes) {}
+    explicit Reader(std::string_view bytes) : in(bytes) {}
 
     bool ok() const { return good; }
 
@@ -98,7 +98,7 @@ struct Reader
 };
 
 std::uint64_t
-checksumOf(const std::string &payload)
+checksumOf(std::string_view payload)
 {
     Fnv1a d;
     d.bytes(payload.data(), payload.size());
@@ -142,17 +142,20 @@ serializeProfiles(const ProfileKey &key,
 }
 
 std::optional<std::vector<BenchmarkProfile>>
-deserializeProfiles(const ProfileKey &key, const std::string &bytes)
+deserializeProfiles(const ProfileKey &key, std::string_view bytes,
+                    ChecksumPolicy checksums)
 {
     if (bytes.size() < sizeof(std::uint64_t))
         return std::nullopt;
-    const std::string payload =
+    const std::string_view payload =
         bytes.substr(0, bytes.size() - sizeof(std::uint64_t));
-    std::uint64_t stored_checksum = 0;
-    std::memcpy(&stored_checksum,
-                bytes.data() + payload.size(), sizeof(stored_checksum));
-    if (checksumOf(payload) != stored_checksum)
-        return std::nullopt;
+    if (checksums == ChecksumPolicy::Verify) {
+        std::uint64_t stored_checksum = 0;
+        std::memcpy(&stored_checksum, bytes.data() + payload.size(),
+                    sizeof(stored_checksum));
+        if (checksumOf(payload) != stored_checksum)
+            return std::nullopt;
+    }
 
     Reader r(payload);
     if (r.u64() != entryMagic || r.u32() != profileFormatVersion)
@@ -190,14 +193,17 @@ deserializeProfiles(const ProfileKey &key, const std::string &bytes)
                 r.good = false;
                 return;
             }
-            std::vector<double> values;
-            values.reserve(std::size_t(n));
-            for (std::uint64_t k = 0; k < n; ++k)
-                values.push_back(r.f64());
             if (interval <= 0.0) {
                 r.good = false; // TimeSeries rejects such intervals
                 return;
             }
+            // One bulk copy straight out of the (possibly mapped)
+            // entry instead of a per-sample decode loop.
+            std::vector<double> values(static_cast<std::size_t>(n));
+            if (n > 0)
+                r.bytes(values.data(), std::size_t(n) * sizeof(double));
+            if (!r.ok())
+                return;
             s = TimeSeries(interval, std::move(values));
         });
         if (r.ok())

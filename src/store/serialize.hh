@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "profiler/profile_cache.hh"
@@ -44,13 +45,25 @@ std::string serializeProfiles(const ProfileKey &key,
                               const std::vector<BenchmarkProfile> &profiles);
 
 /**
- * Decode entry bytes written by serializeProfiles.
+ * Should deserialization re-derive the trailing FNV-1a checksum?
+ * Trust skips the re-derivation (every structural check still runs);
+ * the store uses it for entries whose checksum it has already
+ * verified this process and that are unchanged on disk.
+ */
+enum class ChecksumPolicy { Verify, Trust };
+
+/**
+ * Decode entry bytes written by serializeProfiles. The view overload
+ * reads in place (e.g. over a memory-mapped entry) — sample arrays
+ * are bulk-copied out, nothing else is materialized.
+ *
  * @return the profiles, or nullopt when the bytes are truncated,
  *         corrupt, of a different format version or keyed for a
  *         different (SoC, benchmark, seed, runs, cadence) identity.
  */
 std::optional<std::vector<BenchmarkProfile>>
-deserializeProfiles(const ProfileKey &key, const std::string &bytes);
+deserializeProfiles(const ProfileKey &key, std::string_view bytes,
+                    ChecksumPolicy checksums = ChecksumPolicy::Verify);
 
 } // namespace mbs
 

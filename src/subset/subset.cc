@@ -1,13 +1,50 @@
 #include "subset.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <set>
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/simd.hh"
 
 namespace mbs {
+
+namespace {
+
+/**
+ * Sum over non-members of the distance to the nearest member row.
+ * Tracks the minimum *squared* distance per row and takes one square
+ * root at the end — sqrt is monotone and correctly rounded, so the
+ * result is bit-identical to minimizing over sqrt'd distances.
+ */
+double
+totalMinDistanceByRow(const FeatureMatrix &features,
+                      const std::vector<std::size_t> &member_rows)
+{
+    const std::size_t dims = features.cols();
+    std::vector<char> is_member(features.rows(), 0);
+    for (std::size_t m : member_rows)
+        is_member[m] = 1;
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < features.rows(); ++i) {
+        if (is_member[i])
+            continue;
+        const double *row = features.rowPtr(i);
+        double best = std::numeric_limits<double>::max();
+        for (std::size_t m : member_rows) {
+            best = std::min(best,
+                            simd::sumSqDiff(row, features.rowPtr(m),
+                                            dims));
+        }
+        total += std::sqrt(best);
+    }
+    return total;
+}
+
+} // namespace
 
 SubsetBuilder::SubsetBuilder(std::vector<SubsetCandidate> candidates)
     : candidateList(std::move(candidates))
@@ -158,22 +195,7 @@ totalMinEuclideanDistance(const FeatureMatrix &features,
     std::vector<std::size_t> member_rows;
     for (const auto &name : members)
         member_rows.push_back(features.rowIndex(name));
-
-    double total = 0.0;
-    for (std::size_t i = 0; i < features.rows(); ++i) {
-        if (std::find(member_rows.begin(), member_rows.end(), i) !=
-            member_rows.end()) {
-            continue;
-        }
-        double best = std::numeric_limits<double>::max();
-        for (std::size_t m : member_rows) {
-            best = std::min(best,
-                            euclideanDistance(features.row(i),
-                                              features.row(m)));
-        }
-        total += best;
-    }
-    return total;
+    return totalMinDistanceByRow(features, member_rows);
 }
 
 std::vector<double>
@@ -181,18 +203,25 @@ incrementalDistanceCurve(const FeatureMatrix &features,
                          const std::vector<std::string> &members)
 {
     fatalIf(members.empty(), "a curve needs at least one member");
-    std::vector<std::string> order = members;
+    // Resolve every name to its row index once up front.
+    std::vector<std::size_t> order;
+    std::vector<char> in_order(features.rows(), 0);
+    for (const auto &name : members) {
+        const std::size_t r = features.rowIndex(name);
+        order.push_back(r);
+        in_order[r] = 1;
+    }
     // Append the remaining benchmarks in row order.
-    for (const auto &name : features.rowNames()) {
-        if (std::find(order.begin(), order.end(), name) == order.end())
-            order.push_back(name);
+    for (std::size_t r = 0; r < features.rows(); ++r) {
+        if (!in_order[r])
+            order.push_back(r);
     }
 
     std::vector<double> curve;
-    std::vector<std::string> current;
-    for (const auto &name : order) {
-        current.push_back(name);
-        curve.push_back(totalMinEuclideanDistance(features, current));
+    std::vector<std::size_t> current;
+    for (std::size_t r : order) {
+        current.push_back(r);
+        curve.push_back(totalMinDistanceByRow(features, current));
     }
     return curve;
 }
@@ -209,18 +238,24 @@ subsetDistancePercentile(const FeatureMatrix &features,
             "subset larger than the benchmark set");
 
     Xoshiro256StarStar rng(seed);
+    // Shuffle row indices rather than name strings; the uniformInt
+    // draw sequence is unchanged, so sampled subsets are too.
+    std::vector<std::size_t> pool(names.size());
+    std::vector<std::size_t> sampled(members.size());
     int not_larger = 0;
     for (int s = 0; s < samples; ++s) {
         // Sample a random subset of the same size (Fisher-Yates
         // prefix).
-        std::vector<std::string> pool = names;
+        for (std::size_t i = 0; i < pool.size(); ++i)
+            pool[i] = i;
         for (std::size_t i = 0; i < members.size(); ++i) {
             const std::size_t j =
                 i + rng.uniformInt(pool.size() - i);
             std::swap(pool[i], pool[j]);
         }
-        pool.resize(members.size());
-        if (own <= totalMinEuclideanDistance(features, pool))
+        sampled.assign(pool.begin(),
+                       pool.begin() + std::ptrdiff_t(members.size()));
+        if (own <= totalMinDistanceByRow(features, sampled))
             ++not_larger;
         // not_larger counts samples our subset beats or ties.
     }

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * The SIMD shim's contract: the vector backend and the scalar twin
+ * are bit-identical for every kernel, every tail length, and every
+ * special value. Each check runs the same kernel under
+ * forceBackendForTest(1) (vector) and forceBackendForTest(0)
+ * (scalar) and compares results as raw bits — EXPECT_EQ on doubles
+ * would call NaN != NaN a failure and -0.0 == 0.0 a pass, both
+ * wrong for a byte-identity contract.
+ */
+
+#include "common/simd.hh"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+using namespace mbs;
+
+namespace {
+
+std::uint64_t
+bitsOf(double v)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+::testing::AssertionResult
+sameBits(double a, double b)
+{
+    if (bitsOf(a) == bitsOf(b))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+        << a << " (0x" << std::hex << bitsOf(a) << ") != " << std::dec
+        << b << " (0x" << std::hex << bitsOf(b) << ")";
+}
+
+/** Restores MBS_SIMD dispatch however a test exits. */
+struct BackendGuard
+{
+    ~BackendGuard() { simd::forceBackendForTest(-1); }
+};
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Deterministic awkward values: mixed signs, magnitudes, exact ties. */
+std::vector<double>
+awkwardSeries(std::size_t n, double salt)
+{
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = double(i) + salt;
+        v[i] = (i % 3 == 0 ? -1.0 : 1.0) *
+               (x * 1e-3 + x * x * 7e-7 + 1.0 / (x + 1.0));
+    }
+    return v;
+}
+
+/** Run @p kernel under both backends and return {vector, scalar}. */
+template <class F>
+auto
+bothBackends(F kernel)
+{
+    BackendGuard guard;
+    simd::forceBackendForTest(1);
+    const auto vec = kernel();
+    simd::forceBackendForTest(0);
+    const auto sca = kernel();
+    return std::make_pair(vec, sca);
+}
+
+} // namespace
+
+TEST(Simd, BackendPlumbing)
+{
+    BackendGuard guard;
+    simd::forceBackendForTest(0);
+    EXPECT_FALSE(simd::enabled());
+    EXPECT_STREQ(simd::activeBackendName(), "scalar");
+    simd::forceBackendForTest(1);
+    EXPECT_EQ(simd::enabled(), simd::vectorCompiled());
+    if (simd::vectorCompiled()) {
+        EXPECT_STREQ(simd::activeBackendName(), simd::vectorIsa());
+    }
+}
+
+TEST(Simd, SumMatchesAcrossLaneTails)
+{
+    // Every tail residue around the 4-lane width, plus 0 and 1.
+    for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                          31u, 32u, 33u}) {
+        const auto v = awkwardSeries(n, 0.25);
+        const auto [vec, sca] = bothBackends(
+            [&] { return simd::sum(v.data(), n); });
+        EXPECT_TRUE(sameBits(vec, sca)) << "n=" << n;
+    }
+}
+
+TEST(Simd, PairedKernelsMatchAcrossLaneTails)
+{
+    for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 13u, 64u, 65u}) {
+        const auto a = awkwardSeries(n, 0.5);
+        const auto b = awkwardSeries(n, 1.75);
+
+        auto [vs, ss] = bothBackends([&] {
+            double sx = 0.0, sy = 0.0;
+            simd::sum2(a.data(), b.data(), n, sx, sy);
+            return std::make_pair(sx, sy);
+        });
+        EXPECT_TRUE(sameBits(vs.first, ss.first)) << "n=" << n;
+        EXPECT_TRUE(sameBits(vs.second, ss.second)) << "n=" << n;
+
+        auto [vd, sd] = bothBackends(
+            [&] { return simd::sumSqDiff(a.data(), b.data(), n); });
+        EXPECT_TRUE(sameBits(vd, sd)) << "n=" << n;
+
+        auto [vm, sm] = bothBackends(
+            [&] { return simd::sumAbsDiff(a.data(), b.data(), n); });
+        EXPECT_TRUE(sameBits(vm, sm)) << "n=" << n;
+    }
+}
+
+TEST(Simd, PearsonMomentsMatch)
+{
+    for (std::size_t n : {2u, 3u, 4u, 5u, 9u, 40u, 41u, 42u, 43u}) {
+        const auto x = awkwardSeries(n, 0.1);
+        const auto y = awkwardSeries(n, 2.9);
+        const double mx = simd::sum(x.data(), n) / double(n);
+        const double my = simd::sum(y.data(), n) / double(n);
+        auto [vec, sca] = bothBackends([&] {
+            double sxy = 0.0, sxx = 0.0, syy = 0.0;
+            simd::pearsonMoments(x.data(), y.data(), n, mx, my, sxy,
+                                 sxx, syy);
+            return std::array<double, 3>{sxy, sxx, syy};
+        });
+        for (int i = 0; i < 3; ++i)
+            EXPECT_TRUE(sameBits(vec[std::size_t(i)],
+                                 sca[std::size_t(i)]))
+                << "n=" << n << " moment " << i;
+    }
+}
+
+TEST(Simd, MinMaxAndCountMatchAcrossLaneTails)
+{
+    for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 17u}) {
+        auto v = awkwardSeries(n, 3.5);
+        if (n > 2)
+            v[n / 2] = v[0]; // an exact tie
+        auto [vmin, smin] = bothBackends(
+            [&] { return simd::minValue(v.data(), n); });
+        EXPECT_TRUE(sameBits(vmin, smin)) << "n=" << n;
+        auto [vmax, smax] = bothBackends(
+            [&] { return simd::maxValue(v.data(), n); });
+        EXPECT_TRUE(sameBits(vmax, smax)) << "n=" << n;
+        auto [vc, sc] = bothBackends([&] {
+            return simd::countGreater(v.data(), n, v[n - 1]);
+        });
+        EXPECT_EQ(vc, sc) << "n=" << n;
+    }
+}
+
+TEST(Simd, MutatingKernelsMatchAcrossLaneTails)
+{
+    for (std::size_t n : {0u, 1u, 3u, 4u, 5u, 8u, 11u}) {
+        const auto src = awkwardSeries(n, 0.75);
+        const auto base = awkwardSeries(n, 5.25);
+
+        auto [va, sa] = bothBackends([&] {
+            std::vector<double> dst = base;
+            simd::addAssign(dst.data(), src.data(), n);
+            return dst;
+        });
+        auto [vd, sd] = bothBackends([&] {
+            std::vector<double> dst(n, 0.0);
+            simd::divScalar(dst.data(), src.data(), n, 0.37);
+            return dst;
+        });
+        auto [vb, sb] = bothBackends([&] {
+            std::vector<double> dst(n, 0.0);
+            simd::subBaselineClamp(dst.data(), src.data(), n, 0.02);
+            return dst;
+        });
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_TRUE(sameBits(va[i], sa[i])) << "n=" << n;
+            EXPECT_TRUE(sameBits(vd[i], sd[i])) << "n=" << n;
+            EXPECT_TRUE(sameBits(vb[i], sb[i])) << "n=" << n;
+        }
+    }
+}
+
+TEST(Simd, EmptyAndSingleElement)
+{
+    const double one = 42.5;
+    auto [vs, ss] = bothBackends(
+        [&] { return simd::sum(&one, 0); });
+    EXPECT_TRUE(sameBits(vs, ss));
+    EXPECT_TRUE(sameBits(vs, 0.0));
+
+    auto [v1, s1] = bothBackends(
+        [&] { return simd::sum(&one, 1); });
+    EXPECT_TRUE(sameBits(v1, s1));
+    EXPECT_TRUE(sameBits(v1, 42.5));
+
+    auto [vmin, smin] = bothBackends(
+        [&] { return simd::minValue(&one, 1); });
+    EXPECT_TRUE(sameBits(vmin, smin));
+    EXPECT_TRUE(sameBits(vmin, 42.5));
+}
+
+TEST(Simd, NanAndInfPropagateIdentically)
+{
+    // NaN/Inf planted in vector-body lanes AND in the scalar tail.
+    std::vector<double> v = {1.0,  kNan, 2.0,  -kInf, 3.0,
+                             kInf, 4.0,  -0.0, kNan};
+    const std::size_t n = v.size();
+    std::vector<double> w(n, 1.0);
+
+    auto [vs, ss] = bothBackends(
+        [&] { return simd::sum(v.data(), n); });
+    EXPECT_TRUE(sameBits(vs, ss));
+    EXPECT_TRUE(std::isnan(vs));
+
+    auto [vd, sd] = bothBackends(
+        [&] { return simd::sumSqDiff(v.data(), w.data(), n); });
+    EXPECT_TRUE(sameBits(vd, sd));
+
+    auto [va, sa] = bothBackends(
+        [&] { return simd::sumAbsDiff(v.data(), w.data(), n); });
+    EXPECT_TRUE(sameBits(va, sa));
+
+    // min/max follow the (a<b)?a:b selection rule, so a NaN in the
+    // accumulator is REPLACED by later comparisons that return the
+    // other operand — whatever the rule yields, both backends must
+    // yield the same bits.
+    auto [vmin, smin] = bothBackends(
+        [&] { return simd::minValue(v.data(), n); });
+    EXPECT_TRUE(sameBits(vmin, smin));
+    auto [vmax, smax] = bothBackends(
+        [&] { return simd::maxValue(v.data(), n); });
+    EXPECT_TRUE(sameBits(vmax, smax));
+
+    auto [vc, sc] = bothBackends(
+        [&] { return simd::countGreater(v.data(), n, 0.0); });
+    EXPECT_EQ(vc, sc);
+
+    auto [vb, sb] = bothBackends([&] {
+        std::vector<double> dst(n, 0.0);
+        simd::subBaselineClamp(dst.data(), v.data(), n, 1.0);
+        return dst;
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_TRUE(sameBits(vb[i], sb[i])) << "lane " << i;
+}
+
+TEST(Simd, MonotonicityScanAcceptsNanLikeScalarCompare)
+{
+    // p[i] <= p[i-1] is false when either side is NaN, so a NaN
+    // timestamp slips past the strictly-increasing check in BOTH
+    // backends (matching the pre-SIMD scalar loop).
+    std::vector<double> increasing = {0.0, 1.0, 2.0, 3.0, 4.0,
+                                      5.0, 6.0, 7.0, 8.0};
+    auto [vi, si] = bothBackends([&] {
+        return simd::anyNonIncreasing(increasing.data(),
+                                      increasing.size());
+    });
+    EXPECT_EQ(vi, si);
+    EXPECT_FALSE(vi);
+
+    for (std::size_t bad : {1u, 4u, 7u, 8u}) {
+        auto broken = increasing;
+        broken[bad] = broken[bad - 1]; // equal: non-increasing
+        auto [vb, sb] = bothBackends([&] {
+            return simd::anyNonIncreasing(broken.data(),
+                                          broken.size());
+        });
+        EXPECT_EQ(vb, sb) << "bad=" << bad;
+        EXPECT_TRUE(vb) << "bad=" << bad;
+
+        auto nanned = increasing;
+        nanned[bad] = kNan;
+        auto [vn, sn] = bothBackends([&] {
+            return simd::anyNonIncreasing(nanned.data(),
+                                          nanned.size());
+        });
+        EXPECT_EQ(vn, sn) << "bad=" << bad;
+        EXPECT_FALSE(vn) << "bad=" << bad;
+    }
+}
+
+TEST(Simd, UniformGridDetectionMatches)
+{
+    const double tick = 0.25;
+    for (std::size_t n : {0u, 1u, 3u, 4u, 5u, 8u, 9u, 16u, 100u}) {
+        std::vector<double> grid(n);
+        for (std::size_t i = 0; i < n; ++i)
+            grid[i] = double(i) * tick;
+        auto [vg, sg] = bothBackends([&] {
+            return simd::onUniformGrid(grid.data(), n, tick);
+        });
+        EXPECT_EQ(vg, sg) << "n=" << n;
+        EXPECT_TRUE(vg) << "n=" << n;
+
+        if (n > 0) {
+            auto off = grid;
+            off[n - 1] += 1e-12;
+            auto [vo, so] = bothBackends([&] {
+                return simd::onUniformGrid(off.data(), n, tick);
+            });
+            EXPECT_EQ(vo, so) << "n=" << n;
+            EXPECT_FALSE(vo) << "n=" << n;
+        }
+    }
+}
+
+TEST(Simd, AlignmentAgnosticLoads)
+{
+    // Kernels must accept pointers at any 8-byte offset from a
+    // 32-byte boundary: rows of a flat matrix whose stride is not a
+    // multiple of the lane width land on all of them. Heap storage
+    // keeps the optimizer from folding the offsets away against a
+    // known array bound.
+    std::vector<double> storage(64 + 3 + 4);
+    double *buf = storage.data();
+    while (reinterpret_cast<std::uintptr_t>(buf) % 32 != 0)
+        ++buf;
+    for (std::size_t i = 0; i < 64 + 3; ++i)
+        buf[i] = double(i) * 0.711 - 20.0;
+    for (std::size_t offset : {0u, 1u, 2u, 3u}) {
+        const double *p = buf + offset;
+        auto [vs, ss] = bothBackends(
+            [&] { return simd::sum(p, 64); });
+        EXPECT_TRUE(sameBits(vs, ss)) << "offset=" << offset;
+        auto [vmin, smin] = bothBackends(
+            [&] { return simd::minValue(p, 64); });
+        EXPECT_TRUE(sameBits(vmin, smin)) << "offset=" << offset;
+        auto [vd, sd] = bothBackends(
+            [&] { return simd::sumSqDiff(p, buf, 64); });
+        EXPECT_TRUE(sameBits(vd, sd)) << "offset=" << offset;
+    }
+}
+
+TEST(Simd, DivScalarAliasesInPlace)
+{
+    for (std::size_t n : {4u, 7u}) {
+        auto [vec, sca] = bothBackends([&] {
+            auto v = awkwardSeries(n, 1.0);
+            simd::divScalar(v.data(), v.data(), n, 3.0);
+            return v;
+        });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_TRUE(sameBits(vec[i], sca[i])) << "n=" << n;
+    }
+}

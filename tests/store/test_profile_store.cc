@@ -142,6 +142,150 @@ TEST_F(StoreTest, CorruptEntryIsEvicted)
     EXPECT_EQ(store.stats().entries, 0u);
 }
 
+/** Path of the single entry file under @p root. */
+fs::path
+onlyEntry(const fs::path &root)
+{
+    fs::path entry;
+    for (const auto &e : fs::directory_iterator(root))
+        if (e.path().extension() == ".profile")
+            entry = e.path();
+    return entry;
+}
+
+/**
+ * Serialized offset of the first profile's first name byte: the
+ * 48-byte header (magic, version, embedded key), the u32 profile
+ * count and the u32 name length. Flipping a bit there leaves every
+ * structural check green — only a checksum re-derivation can tell
+ * the bytes changed.
+ */
+constexpr std::uint64_t nameByteOffset = 48 + 4 + 4;
+
+/** Flip one payload byte of @p entry without disturbing its size or
+ *  mtime, so the change is detectable by checksum alone. */
+void
+corruptKeepingMtime(const fs::path &entry)
+{
+    const auto stamp = fs::last_write_time(entry);
+    ASSERT_GT(fs::file_size(entry), nameByteOffset);
+    {
+        std::fstream f(entry, std::ios::in | std::ios::out |
+                                  std::ios::binary);
+        f.seekg(std::streamoff(nameByteOffset));
+        char byte = 0;
+        f.read(&byte, 1);
+        byte = char(byte ^ 0x01);
+        f.seekp(std::streamoff(nameByteOffset));
+        f.write(&byte, 1);
+    }
+    fs::last_write_time(entry, stamp);
+}
+
+TEST_F(StoreTest, WarmHitTrustsMemoizedChecksum)
+{
+    // After one verified load, an unchanged entry (same size, same
+    // mtime) must not pay for checksum re-derivation on later hits.
+    // Observable contract: a byte flip the checksum would catch goes
+    // unnoticed as long as size and mtime are preserved — proof the
+    // warm path really skips the re-derivation.
+    ProfileStore store(root);
+    const auto k = key(10);
+    store.save(k, {profile("memoized")});
+    ASSERT_TRUE(store.load(k).has_value()); // verifies + memoizes
+
+    corruptKeepingMtime(onlyEntry(root));
+
+    const std::uint64_t hits = counterValue("store.hits");
+    EXPECT_TRUE(store.load(k).has_value());
+    EXPECT_EQ(counterValue("store.hits"), hits + 1);
+}
+
+TEST_F(StoreTest, SaveInvalidatesChecksumMemo)
+{
+    // A save rewrites the slot, so the memo entry must die with it:
+    // the next load re-verifies and catches corruption again.
+    ProfileStore store(root);
+    const auto k = key(11);
+    store.save(k, {profile("first")});
+    ASSERT_TRUE(store.load(k).has_value());
+    store.save(k, {profile("second")}); // erases the memo entry
+
+    corruptKeepingMtime(onlyEntry(root));
+
+    const std::uint64_t evictions = counterValue("store.evictions");
+    EXPECT_FALSE(store.load(k).has_value());
+    EXPECT_EQ(counterValue("store.evictions"), evictions + 1);
+}
+
+TEST_F(StoreTest, FreshStoreReverifiesEntries)
+{
+    // The memo is per process (per store instance), never persisted:
+    // a new store over the same directory starts from zero trust.
+    ProfileStore writer(root);
+    const auto k = key(12);
+    writer.save(k, {profile("handoff")});
+    ASSERT_TRUE(writer.load(k).has_value());
+
+    corruptKeepingMtime(onlyEntry(root));
+
+    ProfileStore reader(root);
+    const std::uint64_t evictions = counterValue("store.evictions");
+    EXPECT_FALSE(reader.load(k).has_value());
+    EXPECT_EQ(counterValue("store.evictions"), evictions + 1);
+}
+
+TEST_F(StoreTest, ClearDropsChecksumMemo)
+{
+    // clear() must forget verified entries along with the files; a
+    // stale memo would mis-trust a future slot that reuses the same
+    // digest with coincidentally matching size and mtime.
+    ProfileStore store(root);
+    const auto k = key(13);
+    store.save(k, {profile("cleared")});
+    ASSERT_TRUE(store.load(k).has_value());
+    EXPECT_EQ(store.clear(), 1u);
+
+    store.save(k, {profile("rebuilt")});
+    corruptKeepingMtime(onlyEntry(root));
+    EXPECT_FALSE(store.load(k).has_value());
+}
+
+TEST_F(StoreTest, ZeroByteEntryIsEvicted)
+{
+    // A zero-length file maps to an empty (but valid) view; the
+    // decoder must reject it and the store must evict the slot.
+    ProfileStore store(root);
+    const auto k = key(14);
+    store.save(k, {profile("truncated")});
+    const fs::path entry = onlyEntry(root);
+    { std::ofstream(entry, std::ios::trunc | std::ios::binary); }
+    ASSERT_EQ(fs::file_size(entry), 0u);
+
+    const std::uint64_t evictions = counterValue("store.evictions");
+    EXPECT_FALSE(store.load(k).has_value());
+    EXPECT_EQ(counterValue("store.evictions"), evictions + 1);
+    EXPECT_FALSE(fs::exists(entry));
+}
+
+TEST_F(StoreTest, TruncatedEntryIsEvictedOnZeroCopyPath)
+{
+    // Chop the mapped entry mid-payload: every length field inside
+    // still parses, but the reader runs out of bytes. The zero-copy
+    // decoder must fail closed and the slot must be evicted.
+    ProfileStore store(root);
+    const auto k = key(15);
+    store.save(k, {profile("chopped")});
+    const fs::path entry = onlyEntry(root);
+    const auto size = fs::file_size(entry);
+    fs::resize_file(entry, size / 2);
+
+    const std::uint64_t evictions = counterValue("store.evictions");
+    EXPECT_FALSE(store.load(k).has_value());
+    EXPECT_EQ(counterValue("store.evictions"), evictions + 1);
+    EXPECT_FALSE(fs::exists(entry));
+}
+
 TEST_F(StoreTest, SaveOverwritesExistingEntry)
 {
     ProfileStore store(root);
